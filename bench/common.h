@@ -1,0 +1,209 @@
+#ifndef XC_BENCH_COMMON_H
+#define XC_BENCH_COMMON_H
+
+/**
+ * @file
+ * Shared harness for the paper-reproduction benchmarks: runtime
+ * factories for every configuration of §5.1 and helpers that deploy
+ * an application, drive it with a load generator, and report
+ * paper-style rows.
+ */
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/images.h"
+#include "apps/kv.h"
+#include "apps/nginx.h"
+#include "apps/php_mysql.h"
+#include "load/driver.h"
+#include "runtimes/clear_container.h"
+#include "runtimes/docker.h"
+#include "runtimes/graphene.h"
+#include "runtimes/gvisor.h"
+#include "runtimes/unikernel.h"
+#include "runtimes/x_container.h"
+#include "runtimes/xen_container.h"
+
+namespace xc::bench {
+
+using runtimes::Runtime;
+
+/** The ten cloud configurations of §5.1 (5 runtimes x patched?). */
+struct RuntimeKind
+{
+    std::string label;
+    /** nullptr when unavailable on this machine (Clear on EC2). */
+    std::function<std::unique_ptr<Runtime>(const hw::MachineSpec &)>
+        make;
+};
+
+inline std::vector<RuntimeKind>
+cloudRuntimes()
+{
+    using namespace runtimes;
+    std::vector<RuntimeKind> kinds;
+    auto add = [&](std::string label,
+                   std::function<std::unique_ptr<Runtime>(
+                       const hw::MachineSpec &)> make) {
+        kinds.push_back(RuntimeKind{std::move(label), std::move(make)});
+    };
+    add("docker", [](const hw::MachineSpec &spec) {
+        DockerRuntime::Options o;
+        o.spec = spec;
+        return std::make_unique<DockerRuntime>(o);
+    });
+    add("docker-unpatched", [](const hw::MachineSpec &spec) {
+        DockerRuntime::Options o;
+        o.spec = spec;
+        o.meltdownPatched = false;
+        return std::make_unique<DockerRuntime>(o);
+    });
+    add("xen-container", [](const hw::MachineSpec &spec) {
+        XenContainerRuntime::Options o;
+        o.spec = spec;
+        return std::make_unique<XenContainerRuntime>(o);
+    });
+    add("xen-container-unpatched", [](const hw::MachineSpec &spec) {
+        XenContainerRuntime::Options o;
+        o.spec = spec;
+        o.meltdownPatched = false;
+        return std::make_unique<XenContainerRuntime>(o);
+    });
+    add("x-container", [](const hw::MachineSpec &spec) {
+        XContainerRuntime::Options o;
+        o.spec = spec;
+        return std::make_unique<XContainerRuntime>(o);
+    });
+    add("x-container-unpatched", [](const hw::MachineSpec &spec) {
+        XContainerRuntime::Options o;
+        o.spec = spec;
+        o.meltdownPatched = false;
+        return std::make_unique<XContainerRuntime>(o);
+    });
+    add("gvisor", [](const hw::MachineSpec &spec) {
+        GvisorRuntime::Options o;
+        o.spec = spec;
+        return std::make_unique<GvisorRuntime>(o);
+    });
+    add("gvisor-unpatched", [](const hw::MachineSpec &spec) {
+        GvisorRuntime::Options o;
+        o.spec = spec;
+        o.meltdownPatched = false;
+        return std::make_unique<GvisorRuntime>(o);
+    });
+    add("clear-container",
+        [](const hw::MachineSpec &spec)
+            -> std::unique_ptr<Runtime> {
+            if (!runtimes::ClearContainerRuntime::availableOn(spec))
+                return nullptr;
+            ClearContainerRuntime::Options o;
+            o.spec = spec;
+            return std::make_unique<ClearContainerRuntime>(o);
+        });
+    add("clear-container-unpatched",
+        [](const hw::MachineSpec &spec)
+            -> std::unique_ptr<Runtime> {
+            if (!runtimes::ClearContainerRuntime::availableOn(spec))
+                return nullptr;
+            ClearContainerRuntime::Options o;
+            o.spec = spec;
+            o.hostMeltdownPatched = false;
+            return std::make_unique<ClearContainerRuntime>(o);
+        });
+    return kinds;
+}
+
+/** Which macro app to deploy. */
+enum class MacroApp { Nginx, Memcached, Redis };
+
+inline const char *
+macroAppName(MacroApp app)
+{
+    switch (app) {
+      case MacroApp::Nginx: return "nginx";
+      case MacroApp::Memcached: return "memcached";
+      case MacroApp::Redis: return "redis";
+    }
+    return "?";
+}
+
+/** Deploy @p app on @p rt and drive it; returns the load result. */
+inline load::LoadResult
+runMacro(Runtime &rt, MacroApp app, int connections,
+         sim::Tick duration = 400 * sim::kTicksPerMs, int workers = 4)
+{
+    runtimes::ContainerOpts copts;
+    copts.name = macroAppName(app);
+    copts.image = apps::glibcImage("img");
+    copts.vcpus = 4;
+    copts.memBytes = 512ull << 20;
+    runtimes::RtContainer *c = rt.createContainer(copts);
+    if (!c) {
+        std::fprintf(stderr, "%s: container failed to boot\n",
+                     rt.name().c_str());
+        return {};
+    }
+
+    std::unique_ptr<apps::NginxApp> nginx;
+    std::unique_ptr<apps::KvApp> kv;
+    guestos::Port port = 0;
+    load::WorkloadSpec spec;
+
+    switch (app) {
+      case MacroApp::Nginx: {
+        apps::NginxApp::Config ncfg;
+        ncfg.workers = workers;
+        nginx = std::make_unique<apps::NginxApp>(ncfg);
+        nginx->deploy(*c);
+        port = 80;
+        // Apache ab: no keepalive.
+        spec = load::abSpec(guestos::SockAddr{rt.hostIp(), 8080},
+                            connections, duration);
+        break;
+      }
+      case MacroApp::Memcached: {
+        kv = std::make_unique<apps::KvApp>(
+            apps::KvApp::memcachedConfig());
+        kv->deploy(*c);
+        port = 11211;
+        spec = load::memtierSpec(guestos::SockAddr{rt.hostIp(), 8080},
+                                 connections, duration);
+        break;
+      }
+      case MacroApp::Redis: {
+        kv = std::make_unique<apps::KvApp>(apps::KvApp::redisConfig());
+        kv->deploy(*c);
+        port = 6379;
+        spec = load::memtierSpec(guestos::SockAddr{rt.hostIp(), 8080},
+                                 connections, duration);
+        break;
+      }
+    }
+    rt.exposePort(c, 8080, port);
+
+    load::ClosedLoopDriver driver(rt.fabric(), spec);
+    rt.machine().events().schedule(10 * sim::kTicksPerMs,
+                                   [&] { driver.start(); });
+    rt.machine().events().runUntil(10 * sim::kTicksPerMs + spec.warmup +
+                                   spec.duration +
+                                   50 * sim::kTicksPerMs);
+    return driver.collect();
+}
+
+/** Print one paper-style relative row. */
+inline void
+printRelativeRow(const std::string &label, double value,
+                 double baseline, const char *unit)
+{
+    std::printf("  %-28s %12.0f %s   (%.2fx vs docker)\n",
+                label.c_str(), value, unit,
+                baseline > 0 ? value / baseline : 0.0);
+}
+
+} // namespace xc::bench
+
+#endif // XC_BENCH_COMMON_H

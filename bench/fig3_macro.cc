@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 3: relative throughput and latency of the macrobenchmarks
+ * (NGINX via Apache ab, memcached and Redis via memtier with a
+ * 1:10 SET:GET ratio), across the ten §5.1 configurations on the
+ * EC2 and GCE machine models, normalized to patched Docker.
+ *
+ * Paper shape: X-Containers beat Docker on NGINX (+21-50%) and
+ * memcached (+34-108%), match it on Redis; gVisor collapses under
+ * ptrace; Clear Containers (GCE only) pay nested-virtualization
+ * penalties; Xen-Containers trail Docker.
+ */
+
+#include "common.h"
+
+using namespace xc;
+using namespace xc::bench;
+
+int
+main()
+{
+    struct Cloud
+    {
+        const char *label;
+        hw::MachineSpec spec;
+    };
+    const Cloud clouds[] = {
+        {"Amazon EC2", hw::MachineSpec::ec2C4_2xlarge()},
+        {"Google GCE", hw::MachineSpec::gceCustom4()},
+    };
+
+    std::printf("Figure 3: macrobenchmarks, relative to patched "
+                "Docker\n\n");
+
+    for (MacroApp app : {MacroApp::Nginx, MacroApp::Memcached,
+                         MacroApp::Redis}) {
+        for (const Cloud &cloud : clouds) {
+            std::printf("== %s on %s ==\n", macroAppName(app),
+                        cloud.label);
+            std::printf("  %-28s %12s %8s %12s %8s\n", "runtime",
+                        "req/s", "rel", "p50-lat(us)", "rel");
+            double docker_tp = 0.0, docker_lat = 0.0;
+            for (auto &rk : cloudRuntimes()) {
+                auto rt = rk.make(cloud.spec);
+                if (!rt) {
+                    std::printf("  %-28s (requires nested HW "
+                                "virtualization)\n",
+                                rk.label.c_str());
+                    continue;
+                }
+                int conns = app == MacroApp::Nginx ? 160 : 400;
+                auto r = runMacro(*rt, app, conns,
+                                  300 * sim::kTicksPerMs);
+                if (rk.label == "docker") {
+                    docker_tp = r.throughput;
+                    docker_lat = r.p50LatencyUs;
+                }
+                std::printf(
+                    "  %-28s %12.0f %7.2fx %12.0f %7.2fx\n",
+                    rk.label.c_str(), r.throughput,
+                    docker_tp > 0 ? r.throughput / docker_tp : 0.0,
+                    r.p50LatencyUs,
+                    docker_lat > 0 ? r.p50LatencyUs / docker_lat
+                                   : 0.0);
+            }
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

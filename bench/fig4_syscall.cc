@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 4: relative raw system-call throughput, normalized to
+ * patched Docker — single copy and 4 concurrent copies, on the EC2
+ * and GCE machine models.
+ *
+ * Paper shape: X-Containers up to ~27x Docker (patched) and <=1.6x
+ * vs Clear Containers; gVisor at 7-9% of Docker; Xen-Containers
+ * below Docker; the Meltdown patch does not affect X-Containers or
+ * Clear Containers.
+ */
+
+#include "common.h"
+
+#include "load/unixbench.h"
+
+using namespace xc;
+using namespace xc::bench;
+
+int
+main()
+{
+    struct Cloud
+    {
+        const char *label;
+        hw::MachineSpec spec;
+    };
+    const Cloud clouds[] = {
+        {"Amazon EC2", hw::MachineSpec::ec2C4_2xlarge()},
+        {"Google GCE", hw::MachineSpec::gceCustom4()},
+    };
+
+    std::printf("Figure 4: relative system call throughput "
+                "(higher is better)\n");
+    std::printf("paper: X-Container up to 27x Docker, <=1.6x vs "
+                "Clear; gVisor 7-9%% of Docker\n\n");
+
+    for (const Cloud &cloud : clouds) {
+        for (int copies : {1, 4}) {
+            std::printf("== %s, %s ==\n", cloud.label,
+                        copies == 1 ? "single" : "concurrent(4)");
+            double docker = 0.0;
+            for (auto &kind : cloudRuntimes()) {
+                auto rt = kind.make(cloud.spec);
+                if (!rt) {
+                    std::printf("  %-28s (not available: no nested "
+                                "HW virtualization)\n",
+                                kind.label.c_str());
+                    continue;
+                }
+                auto r = load::runMicro(*rt, load::MicroKind::Syscall,
+                                        200 * sim::kTicksPerMs,
+                                        copies);
+                if (kind.label == "docker")
+                    docker = r.opsPerSec;
+                std::printf("  %-28s %12.0f loops/s  (%6.2fx)\n",
+                            kind.label.c_str(), r.opsPerSec,
+                            docker > 0 ? r.opsPerSec / docker : 0.0);
+            }
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

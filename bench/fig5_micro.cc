@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 5: relative performance of the remaining microbenchmarks
+ * (Execl, File Copy, Pipe Throughput, Context Switching, Process
+ * Creation, iperf), normalized to patched Docker, single and
+ * 4-copy concurrent, on EC2 and GCE machine models.
+ *
+ * Paper shape: X-Containers at or above Docker on execl / file copy
+ * / pipe; *below* Docker on process creation and context switching
+ * (page-table operations go through the X-Kernel); the Meltdown
+ * patch does not affect X-Containers / Clear Containers.
+ */
+
+#include "common.h"
+
+#include "load/iperf.h"
+#include "load/unixbench.h"
+
+using namespace xc;
+using namespace xc::bench;
+
+int
+main()
+{
+    struct Cloud
+    {
+        const char *label;
+        hw::MachineSpec spec;
+    };
+    const Cloud clouds[] = {
+        {"Amazon EC2", hw::MachineSpec::ec2C4_2xlarge()},
+        {"Google GCE", hw::MachineSpec::gceCustom4()},
+    };
+    const load::MicroKind kinds[] = {
+        load::MicroKind::Execl,
+        load::MicroKind::FileCopy,
+        load::MicroKind::PipeThroughput,
+        load::MicroKind::ContextSwitch,
+        load::MicroKind::ProcessCreation,
+    };
+
+    std::printf("Figure 5: relative microbenchmark performance "
+                "(higher is better)\n\n");
+
+    for (const Cloud &cloud : clouds) {
+        for (int copies : {1, 4}) {
+            std::printf("===== %s, %s =====\n", cloud.label,
+                        copies == 1 ? "single" : "concurrent(4)");
+            for (load::MicroKind kind : kinds) {
+                std::printf("-- %s --\n", load::microKindName(kind));
+                double docker = 0.0;
+                for (auto &rk : cloudRuntimes()) {
+                    auto rt = rk.make(cloud.spec);
+                    if (!rt) {
+                        std::printf("  %-28s n/a\n", rk.label.c_str());
+                        continue;
+                    }
+                    auto r = load::runMicro(*rt, kind,
+                                            150 * sim::kTicksPerMs,
+                                            copies);
+                    if (rk.label == "docker")
+                        docker = r.opsPerSec;
+                    std::printf(
+                        "  %-28s %12.0f ops/s  (%5.2fx)\n",
+                        rk.label.c_str(), r.opsPerSec,
+                        docker > 0 ? r.opsPerSec / docker : 0.0);
+                }
+            }
+            // iperf throughput.
+            std::printf("-- iperf --\n");
+            double docker_gbps = 0.0;
+            for (auto &rk : cloudRuntimes()) {
+                auto rt = rk.make(cloud.spec);
+                if (!rt) {
+                    std::printf("  %-28s n/a\n", rk.label.c_str());
+                    continue;
+                }
+                auto r = load::runIperf(*rt, 150 * sim::kTicksPerMs,
+                                        copies);
+                if (rk.label == "docker")
+                    docker_gbps = r.gbitPerSec;
+                std::printf("  %-28s %10.2f Gbit/s  (%5.2fx)\n",
+                            rk.label.c_str(), r.gbitPerSec,
+                            docker_gbps > 0
+                                ? r.gbitPerSec / docker_gbps
+                                : 0.0);
+            }
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Figure 6: comparison with other LibOS platforms on the local
+ * cluster (Dell R720s) — Graphene (G), Unikernel/Rumprun (U), and
+ * X-Containers (X).
+ *
+ *  (a) NGINX, 1 worker, 1 core each: X ~ U, X > 2x G.
+ *  (b) NGINX, 4 workers: X > 1.5x G (U cannot run multi-process).
+ *  (c) two PHP servers + MySQL (Fig. 7 topologies): X beats U by
+ *      >40% on Shared/Dedicated; the Dedicated&Merged configuration
+ *      (PHP+MySQL in ONE container, impossible on a unikernel)
+ *      reaches ~3x U-Dedicated.
+ */
+
+#include "common.h"
+
+#include "apps/php_mysql.h"
+
+using namespace xc;
+using namespace xc::bench;
+
+namespace {
+
+std::unique_ptr<runtimes::Runtime>
+makeLibosRuntime(const std::string &which)
+{
+    auto spec = hw::MachineSpec::xeonE52690Local();
+    if (which == "graphene") {
+        runtimes::GrapheneRuntime::Options o;
+        o.spec = spec;
+        return std::make_unique<runtimes::GrapheneRuntime>(o);
+    }
+    if (which == "unikernel") {
+        runtimes::UnikernelRuntime::Options o;
+        o.spec = spec;
+        return std::make_unique<runtimes::UnikernelRuntime>(o);
+    }
+    runtimes::XContainerRuntime::Options o;
+    o.spec = spec;
+    return std::make_unique<runtimes::XContainerRuntime>(o);
+}
+
+double
+nginxThroughput(runtimes::Runtime &rt, int workers)
+{
+    runtimes::ContainerOpts copts;
+    copts.name = "web";
+    copts.image = apps::glibcImage("img");
+    copts.vcpus = workers;
+    copts.memBytes = 512ull << 20;
+    auto *c = rt.createContainer(copts);
+    if (!c)
+        return 0.0;
+    apps::NginxApp::Config ncfg;
+    ncfg.workers = workers;
+    apps::NginxApp nginx(ncfg);
+    nginx.deploy(*c);
+    rt.exposePort(c, 8080, 80);
+
+    load::WorkloadSpec spec = load::wrkSpec(
+        guestos::SockAddr{rt.hostIp(), 8080}, 64 * workers,
+        300 * sim::kTicksPerMs);
+    load::ClosedLoopDriver driver(rt.fabric(), spec);
+    rt.machine().events().schedule(10 * sim::kTicksPerMs,
+                                   [&] { driver.start(); });
+    rt.machine().events().runUntil(10 * sim::kTicksPerMs +
+                                   spec.warmup + spec.duration +
+                                   50 * sim::kTicksPerMs);
+    return driver.collect().throughput;
+}
+
+enum class PhpTopology { Shared, Dedicated, DedicatedMerged };
+
+/** Fig. 6c: total throughput of two PHP servers. */
+double
+phpMysqlThroughput(runtimes::Runtime &rt, PhpTopology topo)
+{
+    using runtimes::ContainerOpts;
+    ContainerOpts base;
+    base.image = apps::glibcImage("img");
+    base.vcpus = 1;
+    base.memBytes = 512ull << 20;
+
+    std::vector<std::unique_ptr<apps::MysqlApp>> dbs;
+    std::vector<std::unique_ptr<apps::PhpApp>> phps;
+
+    auto deploy_mysql = [&](runtimes::RtContainer *c) {
+        dbs.push_back(std::make_unique<apps::MysqlApp>());
+        dbs.back()->deploy(*c);
+        return guestos::SockAddr{c->ip(), 3306};
+    };
+    auto deploy_php = [&](runtimes::RtContainer *c,
+                          guestos::SockAddr db) {
+        apps::PhpApp::Config pcfg;
+        pcfg.mysql = db;
+        phps.push_back(std::make_unique<apps::PhpApp>(pcfg));
+        phps.back()->deploy(*c);
+    };
+
+    runtimes::RtContainer *php1 = nullptr;
+    runtimes::RtContainer *php2 = nullptr;
+
+    switch (topo) {
+      case PhpTopology::Shared: {
+        ContainerOpts o = base;
+        o.name = "mysql";
+        auto db = deploy_mysql(rt.createContainer(o));
+        o.name = "php1";
+        php1 = rt.createContainer(o);
+        deploy_php(php1, db);
+        o.name = "php2";
+        php2 = rt.createContainer(o);
+        deploy_php(php2, db);
+        break;
+      }
+      case PhpTopology::Dedicated: {
+        ContainerOpts o = base;
+        o.name = "mysql1";
+        auto db1 = deploy_mysql(rt.createContainer(o));
+        o.name = "mysql2";
+        auto db2 = deploy_mysql(rt.createContainer(o));
+        o.name = "php1";
+        php1 = rt.createContainer(o);
+        deploy_php(php1, db1);
+        o.name = "php2";
+        php2 = rt.createContainer(o);
+        deploy_php(php2, db2);
+        break;
+      }
+      case PhpTopology::DedicatedMerged: {
+        // PHP + MySQL in one container: requires multi-process.
+        ContainerOpts o = base;
+        o.vcpus = 1;
+        o.name = "stack1";
+        php1 = rt.createContainer(o);
+        if (!php1->supportsMultiProcess())
+            return -1.0;
+        auto db1 = deploy_mysql(php1);
+        deploy_php(php1, db1);
+        o.name = "stack2";
+        php2 = rt.createContainer(o);
+        auto db2 = deploy_mysql(php2);
+        deploy_php(php2, db2);
+        break;
+      }
+    }
+
+    rt.exposePort(php1, 8081, 8080);
+    rt.exposePort(php2, 8082, 8080);
+
+    load::WorkloadSpec s1 = load::wrkSpec(
+        guestos::SockAddr{rt.hostIp(), 8081}, 48,
+        300 * sim::kTicksPerMs);
+    load::WorkloadSpec s2 = load::wrkSpec(
+        guestos::SockAddr{rt.hostIp(), 8082}, 48,
+        300 * sim::kTicksPerMs);
+    load::ClosedLoopDriver d1(rt.fabric(), s1, 1);
+    load::ClosedLoopDriver d2(rt.fabric(), s2, 2);
+    rt.machine().events().schedule(20 * sim::kTicksPerMs, [&] {
+        d1.start();
+        d2.start();
+    });
+    rt.machine().events().runUntil(20 * sim::kTicksPerMs + s1.warmup +
+                                   s1.duration + 60 * sim::kTicksPerMs);
+    return d1.collect().throughput + d2.collect().throughput;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 6: LibOS platform comparison "
+                "(local cluster)\n\n");
+
+    std::printf("(a) NGINX, 1 worker (requests/s)\n");
+    double g1 = 0, u1 = 0, x1 = 0;
+    {
+        auto g = makeLibosRuntime("graphene");
+        g1 = nginxThroughput(*g, 1);
+        auto u = makeLibosRuntime("unikernel");
+        u1 = nginxThroughput(*u, 1);
+        auto x = makeLibosRuntime("x-container");
+        x1 = nginxThroughput(*x, 1);
+    }
+    std::printf("  G %8.0f   U %8.0f   X %8.0f    "
+                "(X/G=%.2f, X/U=%.2f; paper: X~U, X>2xG)\n\n",
+                g1, u1, x1, g1 > 0 ? x1 / g1 : 0,
+                u1 > 0 ? x1 / u1 : 0);
+
+    std::printf("(b) NGINX, 4 workers (requests/s; U n/a)\n");
+    double g4 = 0, x4 = 0;
+    {
+        auto g = makeLibosRuntime("graphene");
+        g4 = nginxThroughput(*g, 4);
+        auto x = makeLibosRuntime("x-container");
+        x4 = nginxThroughput(*x, 4);
+    }
+    std::printf("  G %8.0f   X %8.0f    (X/G=%.2f; paper: >1.5x)\n\n",
+                g4, x4, g4 > 0 ? x4 / g4 : 0);
+
+    std::printf("(c) 2x PHP + MySQL total throughput (requests/s)\n");
+    struct Cell
+    {
+        const char *label;
+        PhpTopology topo;
+    };
+    const Cell cells[] = {
+        {"Shared", PhpTopology::Shared},
+        {"Dedicated", PhpTopology::Dedicated},
+        {"Dedicated&Merged", PhpTopology::DedicatedMerged},
+    };
+    double u_dedicated = 0;
+    for (const Cell &cell : cells) {
+        auto u = makeLibosRuntime("unikernel");
+        double ur = phpMysqlThroughput(*u, cell.topo);
+        auto x = makeLibosRuntime("x-container");
+        double xr = phpMysqlThroughput(*x, cell.topo);
+        if (cell.topo == PhpTopology::Dedicated)
+            u_dedicated = ur;
+        std::printf("  %-18s U %8.0f   X %8.0f   (X/U=%.2f)\n",
+                    cell.label, ur, xr, ur > 0 ? xr / ur : 0);
+        if (cell.topo == PhpTopology::DedicatedMerged &&
+            u_dedicated > 0) {
+            std::printf(
+                "  merged X vs U-Dedicated: %.2fx (paper: ~3x)\n",
+                xr / u_dedicated);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Figure 9: kernel customization case study — load balancing three
+ * single-worker NGINX servers (§5.7).
+ *
+ * Configurations:
+ *   docker + HAProxy        (user-level LB; the Docker baseline)
+ *   x-container + HAProxy   (paper: ~2x Docker)
+ *   x-container + IPVS NAT  (kernel module in the X-LibOS: +12%)
+ *   x-container + IPVS DR   (direct routing: bottleneck shifts to
+ *                            the NGINX backends, another ~2.5x)
+ */
+
+#include "common.h"
+
+#include "apps/haproxy.h"
+#include "guestos/ipvs.h"
+
+using namespace xc;
+using namespace xc::bench;
+
+namespace {
+
+enum class LbKind { Haproxy, IpvsNat, IpvsDr };
+
+double
+runConfig(runtimes::Runtime &rt, LbKind kind)
+{
+    // Three single-worker NGINX backends.
+    std::vector<std::unique_ptr<apps::NginxApp>> backends;
+    std::vector<guestos::SockAddr> backend_addrs;
+    for (int i = 0; i < 3; ++i) {
+        runtimes::ContainerOpts copts;
+        copts.name = "web" + std::to_string(i);
+        copts.image = apps::glibcImage("img");
+        copts.vcpus = 1;
+        copts.memBytes = 256ull << 20;
+        runtimes::RtContainer *c = rt.createContainer(copts);
+        if (!c)
+            return 0.0;
+        apps::NginxApp::Config ncfg;
+        ncfg.workers = 1;
+        backends.push_back(std::make_unique<apps::NginxApp>(ncfg));
+        backends.back()->deploy(*c);
+        backend_addrs.push_back(guestos::SockAddr{c->ip(), 80});
+    }
+
+    // The load balancer container.
+    runtimes::ContainerOpts lb_opts;
+    lb_opts.name = "lb";
+    lb_opts.image = apps::glibcImage("img");
+    lb_opts.vcpus = 1;
+    lb_opts.memBytes = 256ull << 20;
+    runtimes::RtContainer *lb = rt.createContainer(lb_opts);
+    if (!lb)
+        return 0.0;
+
+    std::unique_ptr<apps::HaproxyApp> haproxy;
+    std::unique_ptr<guestos::IpvsService> ipvs;
+    switch (kind) {
+      case LbKind::Haproxy: {
+        apps::HaproxyApp::Config hcfg;
+        hcfg.backends = backend_addrs;
+        haproxy = std::make_unique<apps::HaproxyApp>(hcfg);
+        haproxy->deploy(*lb);
+        break;
+      }
+      case LbKind::IpvsNat:
+      case LbKind::IpvsDr: {
+        guestos::IpvsService::Config icfg;
+        icfg.backends = backend_addrs;
+        icfg.mode = kind == LbKind::IpvsNat
+                        ? guestos::IpvsService::Mode::Nat
+                        : guestos::IpvsService::Mode::DirectRouting;
+        ipvs = std::make_unique<guestos::IpvsService>(icfg);
+        if (!ipvs->install(lb->kernel()))
+            return 0.0;
+        break;
+      }
+    }
+    rt.exposePort(lb, 8080, 80);
+
+    load::WorkloadSpec spec = load::wrkSpec(
+        guestos::SockAddr{rt.hostIp(), 8080}, 160,
+        300 * sim::kTicksPerMs);
+    load::ClosedLoopDriver driver(rt.fabric(), spec);
+    rt.machine().events().schedule(20 * sim::kTicksPerMs,
+                                   [&] { driver.start(); });
+    rt.machine().events().runUntil(20 * sim::kTicksPerMs + spec.warmup +
+                                   spec.duration +
+                                   60 * sim::kTicksPerMs);
+    return driver.collect().throughput;
+}
+
+} // namespace
+
+int
+main()
+{
+    auto spec = hw::MachineSpec::xeonE52690Local();
+
+    std::printf("Figure 9: kernel-level load balancing (req/s)\n");
+    std::printf("paper: X+HAProxy ~2x Docker+HAProxy; IPVS NAT +12%%; "
+                "IPVS direct routing another ~2.5x\n\n");
+
+    double docker_hap = 0.0;
+    {
+        runtimes::DockerRuntime::Options o;
+        o.spec = spec;
+        runtimes::DockerRuntime rt(o);
+        docker_hap = runConfig(rt, LbKind::Haproxy);
+        std::printf("  %-28s %10.0f  (1.00x)\n", "docker (haproxy)",
+                    docker_hap);
+    }
+
+    struct Cell
+    {
+        const char *label;
+        LbKind kind;
+    };
+    const Cell cells[] = {
+        {"x-container (haproxy)", LbKind::Haproxy},
+        {"x-container (ipvs NAT)", LbKind::IpvsNat},
+        {"x-container (ipvs Route)", LbKind::IpvsDr},
+    };
+    double prev = docker_hap;
+    for (const Cell &cell : cells) {
+        runtimes::XContainerRuntime::Options o;
+        o.spec = spec;
+        runtimes::XContainerRuntime rt(o);
+        double tp = runConfig(rt, cell.kind);
+        std::printf("  %-28s %10.0f  (%.2fx docker, %.2fx prev)\n",
+                    cell.label, tp,
+                    docker_hap > 0 ? tp / docker_hap : 0.0,
+                    prev > 0 ? tp / prev : 0.0);
+        prev = tp;
+    }
+    return 0;
+}

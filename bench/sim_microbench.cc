@@ -1,0 +1,151 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's own hot paths
+ * (host performance, not simulated time): event queue, coroutine
+ * round trips, stub interpretation, ABOM patching, and a full
+ * simulated syscall on the X-Container stack.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/abom.h"
+#include "guestos/native_port.h"
+#include "guestos/net.h"
+#include "guestos/sys.h"
+#include "hw/cpu_pool.h"
+#include "isa/assembler.h"
+#include "isa/interpreter.h"
+#include "sim/event_queue.h"
+
+using namespace xc;
+
+static void
+BM_EventQueueScheduleFire(benchmark::State &state)
+{
+    sim::EventQueue q;
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        q.scheduleAfter(1, [&] { ++fired; });
+        q.step();
+    }
+    benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+static void
+BM_TaskCreateResume(benchmark::State &state)
+{
+    auto coro = []() -> sim::Task<int> { co_return 7; };
+    for (auto _ : state) {
+        sim::Task<int> t = coro();
+        t.handle().resume();
+        benchmark::DoNotOptimize(t.result());
+    }
+}
+BENCHMARK(BM_TaskCreateResume);
+
+namespace {
+
+class NullEnv : public isa::ExecEnv
+{
+  public:
+    isa::GuestAddr
+    onSyscall(isa::Regs &, isa::CodeBuffer &,
+              isa::GuestAddr ip_after) override
+    {
+        return ip_after;
+    }
+    isa::GuestAddr
+    onVsyscallCall(int, isa::Regs &, isa::CodeBuffer &,
+                   isa::GuestAddr ret) override
+    {
+        return ret;
+    }
+    isa::GuestAddr
+    onInvalidOpcode(isa::Regs &, isa::CodeBuffer &,
+                    isa::GuestAddr) override
+    {
+        return kFault;
+    }
+};
+
+} // namespace
+
+static void
+BM_StubInterpretation(benchmark::State &state)
+{
+    isa::CodeBuffer code(0x1000);
+    isa::Assembler as(code);
+    isa::GuestAddr entry = as.movEaxImm(39);
+    as.syscallInsn();
+    as.ret();
+    NullEnv env;
+    for (auto _ : state) {
+        isa::Regs regs;
+        auto r = isa::execute(code, entry, regs, env);
+        benchmark::DoNotOptimize(r.instructions);
+    }
+}
+BENCHMARK(BM_StubInterpretation);
+
+static void
+BM_AbomPatchSite(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        isa::CodeBuffer code(0x1000);
+        isa::Assembler as(code);
+        as.movEaxImm(1);
+        isa::GuestAddr sc = as.syscallInsn();
+        as.ret();
+        core::Abom abom;
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(abom.onSyscallTrap(code, sc));
+    }
+}
+BENCHMARK(BM_AbomPatchSite);
+
+static void
+BM_SimulatedSyscallNative(benchmark::State &state)
+{
+    // One full simulated getpid (binary + semantic legs) per host
+    // iteration, measured in host time.
+    hw::Machine machine(hw::MachineSpec::ec2C4_2xlarge(), 1);
+    guestos::NetFabric fabric(machine.events());
+    hw::CorePool::Config pool_cfg;
+    pool_cfg.cores = machine.numCpus();
+    pool_cfg.quantum = 1000 * sim::kTicksPerSec;
+    hw::CorePool pool(machine, pool_cfg, "cpus");
+    guestos::NativePort port(machine.costs(), {});
+    guestos::GuestKernel::Config kcfg;
+    kcfg.vcpus = 1;
+    kcfg.pool = &pool;
+    kcfg.platform = &port;
+    kcfg.fabric = &fabric;
+    guestos::GuestKernel kernel(machine, kcfg);
+
+    auto image = std::make_shared<guestos::Image>();
+    image->stubs = std::make_shared<isa::StubLibrary>();
+    guestos::Process *proc = kernel.createProcess("bench", image);
+
+    std::uint64_t done = 0;
+    guestos::Thread::Body body =
+        [&done](guestos::Thread &t) -> sim::Task<void> {
+        guestos::Sys sys(t);
+        for (;;) {
+            co_await sys.getpid();
+            ++done;
+        }
+    };
+    kernel.spawnThread(proc, "loop", std::move(body));
+
+    for (auto _ : state) {
+        std::uint64_t before = done;
+        while (done == before)
+            machine.events().step();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(done));
+}
+BENCHMARK(BM_SimulatedSyscallNative);
+
+BENCHMARK_MAIN();

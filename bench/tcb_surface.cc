@@ -1,0 +1,80 @@
+/**
+ * @file
+ * §3.4's isolation argument, quantified: the interface each
+ * architecture exposes as its *inter-container* isolation boundary,
+ * and a mechanical demonstration that the X-Kernel's mmu_update
+ * validation rejects cross-domain mappings.
+ *
+ * "X-Containers rely on a small X-Kernel that is specifically
+ *  dedicated to providing isolation ... a small number of hypervisor
+ *  calls that lead to a smaller number of vulnerabilities in
+ *  practice."
+ */
+
+#include <cstdio>
+
+#include "apps/images.h"
+#include "guestos/syscall_nums.h"
+#include "runtimes/x_container.h"
+#include "xen/hypervisor.h"
+
+using namespace xc;
+
+int
+main()
+{
+    std::printf("Isolation boundary comparison (Section 3.4)\n\n");
+    std::printf("%-16s %-34s %10s\n", "architecture",
+                "inter-container boundary", "interfaces");
+    std::printf("%-16s %-34s %10d   (modeled; ~350 on a real "
+                "kernel)\n",
+                "docker", "shared Linux kernel syscalls",
+                guestos::NR_max_modeled);
+    std::printf("%-16s %-34s %10d\n", "x-container",
+                "X-Kernel hypercalls",
+                static_cast<int>(xen::Hypercall::kCount));
+    std::printf("%-16s %-34s %10s\n", "gvisor",
+                "sentry's host-syscall filter", "~70");
+    std::printf("\nTCB note: the host Linux kernel is tens of MLoC; "
+                "Xen's core is ~100s of kLoC.\n\n");
+
+    // Mechanical demonstration: a guest cannot map another guest's
+    // frames through mmu_update.
+    runtimes::XContainerRuntime rt({});
+    runtimes::ContainerOpts copts;
+    copts.image = apps::glibcImage("img");
+    copts.name = "a";
+    auto *a = rt.createContainer(copts);
+    copts.name = "b";
+    auto *b = rt.createContainer(copts);
+    (void)a;
+    (void)b;
+
+    core::XKernel &xk = rt.xkernel();
+    // Find one frame owned by domain B (id 2: dom0=0, a=1, b=2).
+    auto &mem = rt.machine().memory();
+    hw::Pfn probe = 1;
+    while (mem.ownerOf(probe) != 2 && probe < mem.totalFrames() * 2)
+        ++probe;
+
+    xen::Domain *domA = nullptr;
+    // Domain ids are assigned in creation order; fetch via a fresh
+    // domain to compare ownership.
+    domA = xk.createDomain("probe", 16ull << 20, 1);
+
+    std::printf("cross-domain mapping attempts:\n");
+    bool own_ok = true;
+    hw::Pfn own = 1;
+    while (mem.ownerOf(own) != static_cast<hw::OwnerId>(domA->id()))
+        ++own;
+    own_ok = xk.validateMmuUpdate(*domA, own);
+    bool foreign_ok = xk.validateMmuUpdate(*domA, probe);
+    std::printf("  map own frame:      %s\n",
+                own_ok ? "allowed" : "REJECTED");
+    std::printf("  map foreign frame:  %s\n",
+                foreign_ok ? "ALLOWED (bug!)" : "rejected");
+    std::printf("  rejected mmu_updates so far: %llu\n",
+                static_cast<unsigned long long>(
+                    xk.rejectedMmuUpdates()));
+    return foreign_ok ? 1 : 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * A byte-level walkthrough of ABOM's binary replacement (Fig. 2 of
+ * the paper): the 7-byte replacements (cases 1 and 2), the two-phase
+ * 9-byte replacement, and the invalid-opcode fixup for jumps into
+ * the middle of a patched call.
+ *
+ *   ./build/examples/binary_patching
+ */
+
+#include <cstdio>
+
+#include "core/abom.h"
+#include "isa/assembler.h"
+#include "isa/interpreter.h"
+
+using namespace xc;
+
+namespace {
+
+void
+dumpRange(const isa::CodeBuffer &code, isa::GuestAddr at, int n,
+          const char *label)
+{
+    std::printf("  %08llx  ", static_cast<unsigned long long>(at));
+    for (int i = 0; i < n; ++i)
+        std::printf("%02x ", code.read8(at + i));
+    std::printf("  %s\n", label);
+}
+
+void
+disasmFrom(const isa::CodeBuffer &code, isa::GuestAddr at, int count)
+{
+    isa::GuestAddr ip = at;
+    for (int i = 0; i < count; ++i) {
+        isa::Insn insn = isa::decode(code, ip);
+        if (!insn.valid()) {
+            std::printf("    %s\n",
+                        isa::disassemble(insn, ip).c_str());
+            break;
+        }
+        std::printf("    %s\n", isa::disassemble(insn, ip).c_str());
+        ip += insn.length;
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== 7-byte replacement, case 1 (glibc __read) ===\n");
+    {
+        // The exact example of Fig. 2: __read at 0xeb6a9.
+        isa::CodeBuffer code(0xeb6a9);
+        isa::Assembler as(code);
+        as.movEaxImm(0); // mov $0x0,%eax  (nr 0 = read)
+        isa::GuestAddr sc = as.syscallInsn();
+        as.ret();
+
+        std::printf("before the first trap:\n");
+        dumpRange(code, 0xeb6a9, 7, "mov $0,%eax; syscall");
+        disasmFrom(code, 0xeb6a9, 2);
+
+        core::Abom abom;
+        abom.onSyscallTrap(code, sc);
+
+        std::printf("after ABOM (one cmpxchg):\n");
+        dumpRange(code, 0xeb6a9, 7, "callq *0xffffffffff600008");
+        disasmFrom(code, 0xeb6a9, 1);
+    }
+
+    std::printf("\n=== 7-byte replacement, case 2 "
+                "(Go syscall.Syscall) ===\n");
+    {
+        isa::CodeBuffer code(0x7f41d);
+        isa::Assembler as(code);
+        as.movRaxFromRsp(0x08); // mov 0x8(%rsp),%rax
+        isa::GuestAddr sc = as.syscallInsn();
+        as.ret();
+
+        std::printf("before:\n");
+        disasmFrom(code, 0x7f41d, 2);
+        core::Abom abom;
+        abom.onSyscallTrap(code, sc);
+        std::printf("after (dispatch through the stack-argument "
+                    "slot *0xffffffffff600c08):\n");
+        disasmFrom(code, 0x7f41d, 1);
+    }
+
+    std::printf("\n=== 9-byte replacement, two phases "
+                "(__restore_rt) ===\n");
+    {
+        isa::CodeBuffer code(0x10330);
+        isa::Assembler as(code);
+        as.movRaxImm(0xf); // mov $0xf,%rax (rt_sigreturn)
+        isa::GuestAddr sc = as.syscallInsn();
+        as.ret();
+
+        std::printf("before:\n");
+        disasmFrom(code, 0x10330, 2);
+
+        core::Abom abom;
+        abom.onSyscallTrap(code, sc);
+        std::printf("phase 1 (mov replaced; stale syscall kept so "
+                    "direct jumps stay valid):\n");
+        disasmFrom(code, 0x10330, 2);
+
+        abom.adjustReturn(code, sc);
+        std::printf("phase 2 (the X-LibOS handler saw the stale "
+                    "syscall at the return address):\n");
+        disasmFrom(code, 0x10330, 2);
+    }
+
+    std::printf("\n=== jump into the middle of a patched call ===\n");
+    {
+        isa::CodeBuffer code(0x1000);
+        isa::Assembler as(code);
+        as.movEaxImm(39);
+        isa::GuestAddr sc = as.syscallInsn();
+        as.ret();
+
+        core::Abom abom;
+        abom.onSyscallTrap(code, sc);
+        std::printf("a stale jump lands at %#llx — the bytes there "
+                    "are now \"60 ff\":\n",
+                    static_cast<unsigned long long>(sc));
+        dumpRange(code, sc, 2, "invalid opcode in 64-bit mode");
+        isa::GuestAddr fixed = abom.fixupInvalidOpcode(code, sc);
+        std::printf("the X-Kernel's fixup handler moves the IP back "
+                    "to %#llx:\n",
+                    static_cast<unsigned long long>(fixed));
+        disasmFrom(code, fixed, 1);
+        std::printf("stats: %llu fixup trap(s) handled\n",
+                    static_cast<unsigned long long>(
+                        abom.stats().fixupTraps));
+    }
+    return 0;
+}

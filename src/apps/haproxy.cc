@@ -1,0 +1,115 @@
+#include "apps/haproxy.h"
+
+#include "apps/images.h"
+#include "guestos/vfs.h"
+
+namespace xc::apps {
+
+using guestos::Fd;
+using guestos::Sys;
+using guestos::Thread;
+
+void
+HaproxyApp::deploy(runtimes::RtContainer &container)
+{
+    image_ = glibcImage("haproxy:1.7.5");
+    guestos::Process *proc = container.createProcess("haproxy", image_);
+    guestos::Thread::Body body = [this](Thread &t) {
+        return mainBody(t);
+    };
+    container.kernel().spawnThread(proc, "haproxy", std::move(body));
+}
+
+sim::Task<void>
+HaproxyApp::mainBody(Thread &t)
+{
+    Sys sys(t);
+    Fd ls = static_cast<Fd>(co_await sys.socket());
+    co_await sys.bind(ls, cfg.port);
+    co_await sys.listen(ls);
+    Fd logFd = static_cast<Fd>(co_await sys.open(
+        "/var/log/haproxy.log",
+        guestos::OWrOnly | guestos::OCreat | guestos::OAppend));
+
+    Fd ep = static_cast<Fd>(co_await sys.epollCreate());
+    co_await sys.epollCtlAdd(ep, ls, guestos::PollIn, 0);
+
+    // Each client connection is pinned to one backend connection.
+    // Tokens: odd = client side, even = backend side of a pair.
+    struct Pair
+    {
+        Fd client = -1;
+        Fd backend = -1;
+    };
+    std::map<std::uint64_t, Pair> pairs; // pair id -> fds
+    std::uint64_t next_pair = 1;
+
+    auto token_of = [](std::uint64_t pair_id, bool client_side) {
+        return pair_id * 2 + (client_side ? 1 : 0);
+    };
+
+    for (;;) {
+        auto events = co_await sys.epollWait(ep, 64, 1000);
+        for (const auto &ev : events) {
+            if (ev.token == 0) {
+                std::int64_t c = co_await sys.acceptNb(ls);
+                if (c < 0)
+                    continue;
+                // Round-robin backend; dedicated upstream conn.
+                guestos::SockAddr target =
+                    cfg.backends[nextBackend++ % cfg.backends.size()];
+                Fd b = static_cast<Fd>(co_await sys.socket());
+                std::int64_t rc = co_await sys.connect(b, target);
+                if (rc != 0) {
+                    co_await sys.close(static_cast<Fd>(c));
+                    co_await sys.close(b);
+                    continue;
+                }
+                std::uint64_t id = next_pair++;
+                pairs[id] = Pair{static_cast<Fd>(c), b};
+                co_await sys.epollCtlAdd(ep, static_cast<Fd>(c),
+                                         guestos::PollIn,
+                                         token_of(id, true));
+                co_await sys.epollCtlAdd(ep, b, guestos::PollIn,
+                                         token_of(id, false));
+            } else {
+                std::uint64_t id = ev.token / 2;
+                bool from_client = (ev.token & 1) != 0;
+                auto it = pairs.find(id);
+                if (it == pairs.end())
+                    continue;
+                Fd src = from_client ? it->second.client
+                                     : it->second.backend;
+                Fd dst = from_client ? it->second.backend
+                                     : it->second.client;
+                std::int64_t n = co_await sys.recv(src, 65536);
+                if (n <= 0) {
+                    co_await sys.epollCtlDel(ep, it->second.client);
+                    co_await sys.epollCtlDel(ep, it->second.backend);
+                    co_await sys.close(it->second.client);
+                    co_await sys.close(it->second.backend);
+                    pairs.erase(it);
+                    continue;
+                }
+                if (from_client) {
+                    // Routing decision, ACL evaluation, header
+                    // rewrite — plus the per-request backend
+                    // connection churn of http-server-close mode
+                    // (haproxy 1.7's default): socket option and
+                    // fd bookkeeping syscalls on every request.
+                    co_await t.compute(cfg.proxyCycles);
+                    co_await sys.setsockopt(dst);
+                    co_await sys.fcntl(dst);
+                } else {
+                    ++proxied_;
+                    // Per-request access log line.
+                    co_await t.compute(900);
+                    co_await sys.write(logFd, 160);
+                }
+                co_await sys.send(dst, static_cast<std::uint64_t>(n));
+            }
+        }
+    }
+}
+
+} // namespace xc::apps

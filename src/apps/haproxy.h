@@ -1,0 +1,51 @@
+#ifndef XC_APPS_HAPROXY_H
+#define XC_APPS_HAPROXY_H
+
+/**
+ * @file
+ * HAProxy: the single-threaded, event-driven user-level load
+ * balancer of §5.7. Each client connection is pinned to its own
+ * backend connection; the event loop shuttles request and response
+ * bytes through user space — four socket syscalls and two copies per
+ * proxied request, which is exactly the work IPVS eliminates.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "guestos/sys.h"
+#include "runtimes/runtime.h"
+
+namespace xc::apps {
+
+class HaproxyApp
+{
+  public:
+    struct Config
+    {
+        guestos::Port port = 80;
+        std::vector<guestos::SockAddr> backends;
+        /** Header rewrite + routing decision per request. */
+        hw::Cycles proxyCycles = 6500;
+    };
+
+    explicit HaproxyApp(Config cfg) : cfg(std::move(cfg)) {}
+
+    void deploy(runtimes::RtContainer &container);
+
+    std::uint64_t requestsProxied() const { return proxied_; }
+
+  private:
+    sim::Task<void> mainBody(guestos::Thread &t);
+
+    Config cfg;
+    std::shared_ptr<guestos::Image> image_;
+    std::size_t nextBackend = 0;
+    std::uint64_t proxied_ = 0;
+};
+
+} // namespace xc::apps
+
+#endif // XC_APPS_HAPROXY_H

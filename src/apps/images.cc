@@ -1,0 +1,72 @@
+#include "apps/images.h"
+
+#include "isa/syscall_stub.h"
+
+namespace xc::apps {
+
+using guestos::Image;
+using isa::WrapperKind;
+
+std::shared_ptr<Image>
+glibcImage(const std::string &name)
+{
+    auto img = std::make_shared<Image>();
+    img->name = name;
+    img->stubs = std::make_shared<isa::StubLibrary>();
+    img->wrapperFor = [](int nr) {
+        // glibc uses the 32-bit-immediate form for low numbers and
+        // the mov-rax form for a few (e.g. rt_sigreturn).
+        if (nr == guestos::NR_rt_sigreturn)
+            return WrapperKind::GlibcMovRax;
+        return WrapperKind::GlibcMovEax;
+    };
+    return img;
+}
+
+std::shared_ptr<Image>
+goImage(const std::string &name)
+{
+    auto img = std::make_shared<Image>();
+    img->name = name;
+    img->stubs = std::make_shared<isa::StubLibrary>();
+    img->wrapperFor = [](int) { return WrapperKind::GoStackArg; };
+    return img;
+}
+
+std::shared_ptr<Image>
+mixedImage(const std::string &name, std::set<int> cancellable_nrs)
+{
+    auto img = std::make_shared<Image>();
+    img->name = name;
+    img->stubs = std::make_shared<isa::StubLibrary>();
+    img->wrapperFor = [nrs = std::move(cancellable_nrs)](int nr) {
+        if (nrs.count(nr))
+            return WrapperKind::PthreadCancellable;
+        if (nr == guestos::NR_rt_sigreturn)
+            return WrapperKind::GlibcMovRax;
+        return WrapperKind::GlibcMovEax;
+    };
+    return img;
+}
+
+std::shared_ptr<Image>
+mysqlImage()
+{
+    // The paper: "MySQL uses cancellable system calls implemented in
+    // the libpthread library that are not recognized by ABOM" — the
+    // hot I/O path (reads/writes on client sockets and data files).
+    return mixedImage("mysql:5.7",
+                      {guestos::NR_read, guestos::NR_write,
+                       guestos::NR_recvfrom, guestos::NR_sendto,
+                       guestos::NR_recvmsg, guestos::NR_sendmsg});
+}
+
+std::shared_ptr<Image>
+nginxImage()
+{
+    // nginx's vectored-write path goes through a wrapper shape ABOM
+    // does not recognize (Table 1: 92.3%).
+    return mixedImage("nginx:1.13", {guestos::NR_writev});
+}
+
+} // namespace xc::apps

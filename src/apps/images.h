@@ -1,0 +1,52 @@
+#ifndef XC_APPS_IMAGES_H
+#define XC_APPS_IMAGES_H
+
+/**
+ * @file
+ * Container-image profiles: each application image carries a
+ * byte-level syscall wrapper library shaped like its language
+ * runtime's, which is what decides ABOM's Table-1 coverage:
+ *
+ *  - C/glibc apps: mov-eax (7-byte case 1) and a few mov-rax
+ *    (9-byte) wrappers — fully patchable online;
+ *  - Go apps: stack-argument wrappers (7-byte case 2) — patchable;
+ *  - MySQL: the hot I/O calls go through libpthread's *cancellable*
+ *    wrappers — NOT patchable online (44.6% in Table 1) until the
+ *    offline tool rewrites them (92.2%);
+ *  - several runtimes (Ruby/JVM/Erlang/nginx) route one or two
+ *    syscalls through non-standard sequences, giving the 92-99%
+ *    rows.
+ */
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "guestos/process.h"
+#include "guestos/syscall_nums.h"
+
+namespace xc::apps {
+
+/** Plain C/glibc image: everything online-patchable. */
+std::shared_ptr<guestos::Image> glibcImage(const std::string &name);
+
+/** Go runtime image: syscall.Syscall-style stack-arg wrappers. */
+std::shared_ptr<guestos::Image> goImage(const std::string &name);
+
+/**
+ * Image whose wrappers for @p cancellable_nrs go through libpthread
+ * cancellable sequences (unpatchable online); everything else glibc.
+ */
+std::shared_ptr<guestos::Image>
+mixedImage(const std::string &name, std::set<int> cancellable_nrs);
+
+/** MySQL: read/write/send/recv through cancellable wrappers. */
+std::shared_ptr<guestos::Image> mysqlImage();
+
+/** nginx: its writev path uses a non-standard sequence (Table 1's
+ *  92.3% row). */
+std::shared_ptr<guestos::Image> nginxImage();
+
+} // namespace xc::apps
+
+#endif // XC_APPS_IMAGES_H

@@ -1,0 +1,69 @@
+#ifndef XC_APPS_KV_H
+#define XC_APPS_KV_H
+
+/**
+ * @file
+ * Key-value servers: memcached (multi-threaded, hash table behind a
+ * lock) and Redis (single-threaded event loop, richer per-command
+ * work). Both are driven by memtier_benchmark with a 1:10 SET:GET
+ * ratio in the paper (Fig. 3).
+ */
+
+#include <cstdint>
+#include <memory>
+
+#include "guestos/sync.h"
+#include "guestos/sys.h"
+#include "runtimes/runtime.h"
+
+namespace xc::apps {
+
+class KvApp
+{
+  public:
+    struct Config
+    {
+        std::string name = "kv";
+        guestos::Port port = 11211;
+        /** Worker threads in one process (memcached -t). */
+        int threads = 4;
+        /** Per-command CPU (lookup/parse/respond). */
+        hw::Cycles opCycles = 1500;
+        /** Response payload bytes. */
+        std::uint64_t responseBytes = 120;
+        /** Fraction (1/N) of ops that are SETs taking the store
+         *  lock (memtier's 1:10 SET:GET -> 11). */
+        int setEvery = 11;
+        /** Serialize SETs through a lock (memcached's item lock;
+         *  Redis is single threaded and lock free). */
+        bool locking = true;
+    };
+
+    /** memcached:1.5.7 with default 4 threads. */
+    static Config memcachedConfig();
+
+    /** redis:3.2.11: one event loop, heavier per-command work. */
+    static Config redisConfig();
+
+    explicit KvApp(Config cfg) : cfg(cfg) {}
+
+    void deploy(runtimes::RtContainer &container);
+
+    std::uint64_t opsServed() const { return served_; }
+    std::uint64_t lockContentions() const;
+
+  private:
+    sim::Task<void> mainBody(guestos::Thread &t);
+    sim::Task<void> workerLoop(guestos::Thread &t);
+
+    Config cfg;
+    std::shared_ptr<guestos::Image> image_;
+    guestos::Fd listenFd = -1;
+    std::unique_ptr<guestos::GuestMutex> storeLock;
+    std::uint64_t served_ = 0;
+    std::uint64_t opCounter = 0;
+};
+
+} // namespace xc::apps
+
+#endif // XC_APPS_KV_H

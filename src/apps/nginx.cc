@@ -1,0 +1,129 @@
+#include "apps/nginx.h"
+
+#include "apps/images.h"
+#include "guestos/vfs.h"
+
+namespace xc::apps {
+
+using guestos::Fd;
+using guestos::Sys;
+using guestos::Thread;
+
+void
+NginxApp::deploy(runtimes::RtContainer &container)
+{
+    image_ = nginxImage();
+    guestos::GuestKernel &kernel = container.kernel();
+    kernel.vfs().createFile("/srv/index.html", cfg.pageBytes);
+
+    guestos::Process *master =
+        container.createProcess("nginx", image_);
+    guestos::Thread::Body body = [this](Thread &t) {
+        return masterBody(t);
+    };
+    kernel.spawnThread(master, "nginx-master", std::move(body));
+}
+
+sim::Task<void>
+NginxApp::masterBody(Thread &t)
+{
+    Sys sys(t);
+    Fd s = static_cast<Fd>(co_await sys.socket());
+    co_await sys.bind(s, cfg.port);
+    co_await sys.listen(s);
+    listenFd = s;
+
+    if (cfg.workers <= 1) {
+        // Single-worker deployments (including single-process
+        // platforms): the master becomes the worker.
+        co_await workerBody(t);
+        co_return;
+    }
+
+    for (int i = 0; i < cfg.workers; ++i) {
+        guestos::Thread::Body worker = [this](Thread &wt) {
+            return workerBody(wt);
+        };
+        co_await sys.fork(std::move(worker));
+    }
+    // The master supervises; it does nothing on the request path.
+    for (;;)
+        co_await t.sleepFor(sim::kTicksPerSec);
+}
+
+sim::Task<void>
+NginxApp::workerBody(Thread &t)
+{
+    Sys sys(t);
+    logFd = static_cast<Fd>(co_await sys.open(
+        "/var/log/nginx/access.log",
+        guestos::OWrOnly | guestos::OCreat | guestos::OAppend));
+    Fd ep = static_cast<Fd>(co_await sys.epollCreate());
+    co_await sys.epollCtlAdd(ep, listenFd, guestos::PollIn, 0);
+
+    std::map<std::uint64_t, Fd> conns;
+    std::uint64_t next_token = 1;
+
+    for (;;) {
+        auto events = co_await sys.epollWait(ep, 64, 1000);
+        for (const auto &ev : events) {
+            if (ev.token == 0) {
+                // Non-blocking accept; other workers may have won
+                // the race for this connection.
+                std::int64_t c = co_await sys.acceptNb(listenFd);
+                if (c < 0)
+                    continue;
+                co_await sys.setsockopt(static_cast<Fd>(c));
+                co_await sys.epollCtlAdd(ep, static_cast<Fd>(c),
+                                         guestos::PollIn, next_token);
+                conns[next_token++] = static_cast<Fd>(c);
+            } else {
+                auto it = conns.find(ev.token);
+                if (it == conns.end())
+                    continue;
+                Fd conn = it->second;
+                std::int64_t n = co_await sys.recv(conn, 4096);
+                if (n <= 0) {
+                    co_await sys.epollCtlDel(ep, conn);
+                    co_await sys.close(conn);
+                    conns.erase(it);
+                    continue;
+                }
+                co_await serveConn(sys, conn);
+            }
+        }
+    }
+}
+
+sim::Task<void>
+NginxApp::serveConn(Sys &sys, Fd conn)
+{
+    Thread &t = sys.thread();
+    // nginx refreshes its cached time around request processing.
+    co_await sys.gettimeofday();
+    // Parse the request line + headers, resolve the location.
+    co_await t.compute(cfg.parseCycles);
+
+    std::uint64_t body_bytes = cfg.pageBytes;
+    if (!cfg.openFileCache) {
+        std::int64_t f = co_await sys.open("/srv/index.html",
+                                           guestos::ORdOnly);
+        if (f >= 0) {
+            std::int64_t size = co_await sys.fstat(static_cast<Fd>(f));
+            if (size >= 0)
+                body_bytes = static_cast<std::uint64_t>(size);
+            // writev sends headers + the cached file pages.
+            co_await sys.writev(conn, 240 + body_bytes);
+            co_await sys.close(static_cast<Fd>(f));
+        }
+    } else {
+        co_await sys.writev(conn, 240 + body_bytes);
+    }
+    // Access log line (buffered write to the log file).
+    co_await sys.gettimeofday();
+    co_await t.compute(cfg.logCycles);
+    co_await sys.write(logFd, 180);
+    ++served_;
+}
+
+} // namespace xc::apps

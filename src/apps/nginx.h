@@ -1,0 +1,68 @@
+#ifndef XC_APPS_NGINX_H
+#define XC_APPS_NGINX_H
+
+/**
+ * @file
+ * NGINX: event-driven static web server with a master process and N
+ * single-threaded worker processes sharing the listening socket —
+ * the paper's principal macrobenchmark workload (Figs. 3, 6, 8, 9).
+ *
+ * Per request the worker takes the real syscall sequence of an
+ * uncached static GET: epoll_wait wakeup, accept4/recv, HTTP parse,
+ * open + fstat of the file, writev of headers+body (or the response
+ * write), close, plus access-log bookkeeping.
+ */
+
+#include <cstdint>
+#include <memory>
+
+#include "guestos/sys.h"
+#include "runtimes/runtime.h"
+
+namespace xc::apps {
+
+class NginxApp
+{
+  public:
+    struct Config
+    {
+        int workers = 1;
+        guestos::Port port = 80;
+        /** Served page size (default nginx index.html is 612 B). */
+        std::uint64_t pageBytes = 612;
+        /** HTTP parsing + request handling CPU. */
+        hw::Cycles parseCycles = 18000;
+        /** Access-log formatting CPU. */
+        hw::Cycles logCycles = 2600;
+        /** open_file_cache: when on, the per-request open/fstat/
+         *  close triple is skipped (nginx default config has it
+         *  off). */
+        bool openFileCache = false;
+    };
+
+    explicit NginxApp(Config cfg) : cfg(cfg) {}
+
+    /** Start master + workers inside @p container. */
+    void deploy(runtimes::RtContainer &container);
+
+    std::uint64_t requestsServed() const { return served_; }
+    const std::shared_ptr<guestos::Image> &image() const
+    {
+        return image_;
+    }
+
+  private:
+    sim::Task<void> masterBody(guestos::Thread &t);
+    sim::Task<void> workerBody(guestos::Thread &t);
+    sim::Task<void> serveConn(guestos::Sys &sys, guestos::Fd conn);
+
+    Config cfg;
+    std::shared_ptr<guestos::Image> image_;
+    guestos::Fd listenFd = -1;
+    guestos::Fd logFd = -1;
+    std::uint64_t served_ = 0;
+};
+
+} // namespace xc::apps
+
+#endif // XC_APPS_NGINX_H

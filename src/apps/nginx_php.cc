@@ -1,0 +1,135 @@
+#include "apps/nginx_php.h"
+
+#include "apps/images.h"
+
+namespace xc::apps {
+
+using guestos::Fd;
+using guestos::Sys;
+using guestos::Thread;
+
+void
+NginxPhpApp::deploy(runtimes::RtContainer &container)
+{
+    image_ = glibcImage("webdevops/php-nginx");
+    guestos::GuestKernel &kernel = container.kernel();
+
+    // Four processes: two masters that only supervise and two
+    // workers that carry the request path.
+    guestos::Process *fpm_master_proc =
+        container.createProcess("php-fpm", image_);
+    guestos::Thread::Body fpm_master = [this](Thread &t) {
+        return fpmMaster(t);
+    };
+    kernel.spawnThread(fpm_master_proc, "php-fpm-master",
+                       std::move(fpm_master));
+
+    guestos::Process *nginx_master_proc =
+        container.createProcess("nginx", image_);
+    guestos::Thread::Body nginx_master = [this](Thread &t) {
+        return nginxMaster(t);
+    };
+    kernel.spawnThread(nginx_master_proc, "nginx-master",
+                       std::move(nginx_master));
+}
+
+sim::Task<void>
+NginxPhpApp::fpmMaster(Thread &t)
+{
+    Sys sys(t);
+    guestos::Thread::Body worker = [this](Thread &wt) {
+        return fpmWorker(wt);
+    };
+    co_await sys.fork(std::move(worker));
+    for (;;)
+        co_await t.sleepFor(sim::kTicksPerSec);
+}
+
+sim::Task<void>
+NginxPhpApp::fpmWorker(Thread &t)
+{
+    Sys sys(t);
+    Fd s = static_cast<Fd>(co_await sys.socket());
+    co_await sys.bind(s, fcgiPort);
+    co_await sys.listen(s);
+    Fd c = static_cast<Fd>(co_await sys.accept(s));
+    if (c < 0)
+        co_return;
+    for (;;) {
+        std::int64_t n = co_await sys.recv(c, 4096);
+        if (n <= 0)
+            break;
+        co_await t.compute(cfg.phpCycles);
+        co_await sys.send(c, cfg.responseBytes);
+    }
+}
+
+sim::Task<void>
+NginxPhpApp::nginxMaster(Thread &t)
+{
+    Sys sys(t);
+    Fd s = static_cast<Fd>(co_await sys.socket());
+    co_await sys.bind(s, cfg.port);
+    co_await sys.listen(s);
+    listenFd = s;
+    guestos::Thread::Body worker = [this](Thread &wt) {
+        return nginxWorker(wt);
+    };
+    co_await sys.fork(std::move(worker));
+    for (;;)
+        co_await t.sleepFor(sim::kTicksPerSec);
+}
+
+sim::Task<void>
+NginxPhpApp::nginxWorker(Thread &t)
+{
+    Sys sys(t);
+    // Persistent FastCGI connection to the PHP-FPM worker.
+    co_await t.sleepFor(2 * sim::kTicksPerMs);
+    Fd fcgi = static_cast<Fd>(co_await sys.socket());
+    std::int64_t rc = co_await sys.connect(
+        fcgi, guestos::SockAddr{
+                  t.kernel().netOf(t.process()).ip(), fcgiPort});
+
+    Fd ep = static_cast<Fd>(co_await sys.epollCreate());
+    co_await sys.epollCtlAdd(ep, listenFd, guestos::PollIn, 0);
+
+    std::map<std::uint64_t, Fd> conns;
+    std::uint64_t next_token = 1;
+
+    for (;;) {
+        auto events = co_await sys.epollWait(ep, 64, 1000);
+        for (const auto &ev : events) {
+            if (ev.token == 0) {
+                std::int64_t c = co_await sys.acceptNb(listenFd);
+                if (c < 0)
+                    continue;
+                co_await sys.epollCtlAdd(ep, static_cast<Fd>(c),
+                                         guestos::PollIn, next_token);
+                conns[next_token++] = static_cast<Fd>(c);
+            } else {
+                auto it = conns.find(ev.token);
+                if (it == conns.end())
+                    continue;
+                Fd conn = it->second;
+                std::int64_t n = co_await sys.recv(conn, 4096);
+                if (n <= 0) {
+                    co_await sys.epollCtlDel(ep, conn);
+                    co_await sys.close(conn);
+                    conns.erase(it);
+                    continue;
+                }
+                co_await t.compute(cfg.nginxCycles / 2);
+                if (rc == 0) {
+                    co_await sys.send(fcgi, 600);
+                    co_await sys.recv(fcgi, 65536);
+                }
+                co_await t.compute(cfg.nginxCycles / 2);
+                co_await sys.send(conn, cfg.responseBytes + 300);
+                ++served_;
+            }
+        }
+    }
+}
+
+} // namespace xc::apps

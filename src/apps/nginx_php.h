@@ -1,0 +1,56 @@
+#ifndef XC_APPS_NGINX_PHP_H
+#define XC_APPS_NGINX_PHP_H
+
+/**
+ * @file
+ * The webdevops/PHP-NGINX container of the Figure 8 scalability
+ * experiment: NGINX (master + 1 worker) proxying over FastCGI to
+ * PHP-FPM (master + 1 worker) — four processes per container, as
+ * the paper notes when explaining why Docker schedules 4N processes
+ * for N containers.
+ */
+
+#include <cstdint>
+#include <memory>
+
+#include "guestos/sys.h"
+#include "runtimes/runtime.h"
+
+namespace xc::apps {
+
+class NginxPhpApp
+{
+  public:
+    struct Config
+    {
+        guestos::Port port = 80;
+        /** PHP page execution (PHP-FPM pages are heavy: ~1 ms). */
+        hw::Cycles phpCycles = 2'800'000;
+        /** NGINX proxy handling per request. */
+        hw::Cycles nginxCycles = 16000;
+        std::uint64_t responseBytes = 2200;
+    };
+
+    explicit NginxPhpApp(Config cfg) : cfg(cfg) {}
+    NginxPhpApp() : cfg(Config()) {}
+
+    void deploy(runtimes::RtContainer &container);
+
+    std::uint64_t requestsServed() const { return served_; }
+
+  private:
+    sim::Task<void> nginxMaster(guestos::Thread &t);
+    sim::Task<void> nginxWorker(guestos::Thread &t);
+    sim::Task<void> fpmMaster(guestos::Thread &t);
+    sim::Task<void> fpmWorker(guestos::Thread &t);
+
+    Config cfg;
+    std::shared_ptr<guestos::Image> image_;
+    guestos::Fd listenFd = -1;
+    guestos::Port fcgiPort = 9000;
+    std::uint64_t served_ = 0;
+};
+
+} // namespace xc::apps
+
+#endif // XC_APPS_NGINX_PHP_H

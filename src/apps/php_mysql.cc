@@ -1,0 +1,163 @@
+#include "apps/php_mysql.h"
+
+#include "apps/images.h"
+#include "guestos/vfs.h"
+
+namespace xc::apps {
+
+using guestos::Fd;
+using guestos::Sys;
+using guestos::Thread;
+
+void
+MysqlApp::deploy(runtimes::RtContainer &container)
+{
+    image_ = mysqlImage();
+    guestos::GuestKernel &kernel = container.kernel();
+    kernel.vfs().createFile("/var/lib/mysql/ibdata1", 64ull << 20);
+
+    guestos::Process *proc = container.createProcess("mysqld", image_);
+    guestos::Thread::Body body = [this](Thread &t) {
+        return mainBody(t);
+    };
+    kernel.spawnThread(proc, "mysqld", std::move(body));
+}
+
+sim::Task<void>
+MysqlApp::mainBody(Thread &t)
+{
+    Sys sys(t);
+    Fd s = static_cast<Fd>(co_await sys.socket());
+    co_await sys.bind(s, cfg.port);
+    co_await sys.listen(s);
+
+    Fd data = static_cast<Fd>(
+        co_await sys.open("/var/lib/mysql/ibdata1", guestos::ORdWr));
+
+    Fd ep = static_cast<Fd>(co_await sys.epollCreate());
+    co_await sys.epollCtlAdd(ep, s, guestos::PollIn, 0);
+
+    std::map<std::uint64_t, Fd> conns;
+    std::uint64_t next_token = 1;
+
+    for (;;) {
+        auto events = co_await sys.epollWait(ep, 64, 1000);
+        for (const auto &ev : events) {
+            if (ev.token == 0) {
+                std::int64_t c = co_await sys.acceptNb(s);
+                if (c < 0)
+                    continue;
+                co_await sys.epollCtlAdd(ep, static_cast<Fd>(c),
+                                         guestos::PollIn, next_token);
+                conns[next_token++] = static_cast<Fd>(c);
+            } else {
+                auto it = conns.find(ev.token);
+                if (it == conns.end())
+                    continue;
+                Fd conn = it->second;
+                std::int64_t n = co_await sys.recv(conn, 2048);
+                if (n <= 0) {
+                    co_await sys.epollCtlDel(ep, conn);
+                    co_await sys.close(conn);
+                    conns.erase(it);
+                    continue;
+                }
+                // Parse + plan + execute. Buffer-pool reads go
+                // through lseek+read on the tablespace; the I/O
+                // calls themselves use libpthread's cancellable
+                // wrappers (unpatchable online), while bookkeeping
+                // calls use plain glibc wrappers.
+                bool is_write = (queryCounter++ % 2) == 1;
+                co_await t.compute(cfg.queryCycles);
+                for (int pg = 0; pg < cfg.pagesPerQuery; ++pg) {
+                    co_await sys.lseek(data, 16384 * pg);
+                    co_await sys.read(data, 16384);
+                }
+                co_await sys.fcntl(data);
+                if (is_write) {
+                    co_await t.compute(cfg.writeExtraCycles);
+                    co_await sys.write(data, 16384); // redo log page
+                }
+                // Result sets go out through sendmsg.
+                co_await sys.sendMsg(conn, cfg.resultBytes);
+                ++served_;
+            }
+        }
+    }
+}
+
+void
+PhpApp::deploy(runtimes::RtContainer &container)
+{
+    image_ = glibcImage("php:7-cgi");
+    guestos::GuestKernel &kernel = container.kernel();
+    guestos::Process *proc = container.createProcess("php", image_);
+    guestos::Thread::Body body = [this](Thread &t) {
+        return mainBody(t);
+    };
+    kernel.spawnThread(proc, "php-server", std::move(body));
+}
+
+sim::Task<void>
+PhpApp::mainBody(Thread &t)
+{
+    Sys sys(t);
+
+    Fd s = static_cast<Fd>(co_await sys.socket());
+    co_await sys.bind(s, cfg.port);
+    co_await sys.listen(s);
+
+    // Persistent database connection.
+    co_await t.sleepFor(5 * sim::kTicksPerMs); // let mysqld start
+    Fd db = static_cast<Fd>(co_await sys.socket());
+    std::int64_t rc = co_await sys.connect(db, cfg.mysql);
+    if (rc != 0)
+        sim::warn("php: cannot reach mysql (%lld)",
+                  static_cast<long long>(rc));
+
+    Fd ep = static_cast<Fd>(co_await sys.epollCreate());
+    co_await sys.epollCtlAdd(ep, s, guestos::PollIn, 0);
+
+    std::map<std::uint64_t, Fd> conns;
+    std::uint64_t next_token = 1;
+
+    for (;;) {
+        auto events = co_await sys.epollWait(ep, 64, 1000);
+        for (const auto &ev : events) {
+            if (ev.token == 0) {
+                std::int64_t c = co_await sys.acceptNb(s);
+                if (c < 0)
+                    continue;
+                co_await sys.epollCtlAdd(ep, static_cast<Fd>(c),
+                                         guestos::PollIn, next_token);
+                conns[next_token++] = static_cast<Fd>(c);
+            } else {
+                auto it = conns.find(ev.token);
+                if (it == conns.end())
+                    continue;
+                Fd conn = it->second;
+                std::int64_t n = co_await sys.recv(conn, 4096);
+                if (n <= 0) {
+                    co_await sys.epollCtlDel(ep, conn);
+                    co_await sys.close(conn);
+                    conns.erase(it);
+                    continue;
+                }
+                // Interpret the script up to the queries.
+                co_await t.compute(cfg.scriptCycles);
+                // Round trips to MySQL on the persistent conn.
+                for (int q = 0; rc == 0 && q < cfg.queriesPerPage;
+                     ++q) {
+                    co_await sys.send(db, cfg.queryBytes);
+                    co_await sys.recv(db, 65536);
+                }
+                // Render the page.
+                co_await t.compute(cfg.renderCycles);
+                co_await sys.send(conn, cfg.responseBytes);
+                ++served_;
+            }
+        }
+    }
+}
+
+} // namespace xc::apps

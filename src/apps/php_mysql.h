@@ -1,0 +1,96 @@
+#ifndef XC_APPS_PHP_MYSQL_H
+#define XC_APPS_PHP_MYSQL_H
+
+/**
+ * @file
+ * The PHP CGI server and MySQL database of §5.5 (Fig. 6c / Fig. 7):
+ * wrk drives a PHP page that issues one query (equal probability
+ * read/write) to MySQL over a persistent connection. The apps can be
+ * deployed in separate containers (Shared/Dedicated) or into the
+ * same container (Dedicated&Merged — only possible on platforms
+ * with multi-process support).
+ */
+
+#include <cstdint>
+#include <memory>
+
+#include "guestos/sys.h"
+#include "runtimes/runtime.h"
+
+namespace xc::apps {
+
+/** MySQL server: single listener, query execution over warm pages. */
+class MysqlApp
+{
+  public:
+    struct Config
+    {
+        guestos::Port port = 3306;
+        /** Parse + plan + execute CPU per query. */
+        hw::Cycles queryCycles = 5000;
+        /** Extra CPU for write queries (logging, locking). */
+        hw::Cycles writeExtraCycles = 2500;
+        /** Result-set bytes. */
+        std::uint64_t resultBytes = 680;
+        /** Buffer-pool pages touched per query (warm reads). */
+        int pagesPerQuery = 2;
+    };
+
+    explicit MysqlApp(Config cfg) : cfg(cfg) {}
+    MysqlApp() : cfg(Config()) {}
+
+    void deploy(runtimes::RtContainer &container);
+
+    std::uint64_t queriesServed() const { return served_; }
+    const std::shared_ptr<guestos::Image> &image() const
+    {
+        return image_;
+    }
+
+  private:
+    sim::Task<void> mainBody(guestos::Thread &t);
+
+    Config cfg;
+    std::shared_ptr<guestos::Image> image_;
+    std::uint64_t served_ = 0;
+    std::uint64_t queryCounter = 0;
+};
+
+/** PHP's built-in CGI web server, one worker, persistent DB conn. */
+class PhpApp
+{
+  public:
+    struct Config
+    {
+        guestos::Port port = 8080;
+        /** Where the database lives. */
+        guestos::SockAddr mysql;
+        /** Script interpretation CPU per request. */
+        hw::Cycles scriptCycles = 8000;
+        /** Page rendering CPU after the queries return. */
+        hw::Cycles renderCycles = 3000;
+        /** Database round trips per page (typical PHP pages issue
+         *  several; this is what makes the Dedicated&Merged
+         *  topology shine — Fig. 6c). */
+        int queriesPerPage = 3;
+        std::uint64_t queryBytes = 140;
+        std::uint64_t responseBytes = 1600;
+    };
+
+    explicit PhpApp(Config cfg) : cfg(cfg) {}
+
+    void deploy(runtimes::RtContainer &container);
+
+    std::uint64_t requestsServed() const { return served_; }
+
+  private:
+    sim::Task<void> mainBody(guestos::Thread &t);
+
+    Config cfg;
+    std::shared_ptr<guestos::Image> image_;
+    std::uint64_t served_ = 0;
+};
+
+} // namespace xc::apps
+
+#endif // XC_APPS_PHP_MYSQL_H

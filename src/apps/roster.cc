@@ -1,0 +1,283 @@
+#include "apps/roster.h"
+
+#include "apps/images.h"
+#include "guestos/vfs.h"
+
+namespace xc::apps {
+
+using guestos::Fd;
+using guestos::Sys;
+using guestos::Thread;
+
+void
+RosterServerApp::deploy(runtimes::RtContainer &container)
+{
+    XC_ASSERT(cfg.image != nullptr);
+    guestos::GuestKernel &kernel = container.kernel();
+    kernel.vfs().createFile("/data/store", 32ull << 20);
+
+    guestos::Process *proc = container.createProcess(cfg.name, cfg.image);
+    guestos::Thread::Body body = [this](Thread &t) {
+        return mainBody(t);
+    };
+    kernel.spawnThread(proc, cfg.name, std::move(body));
+}
+
+sim::Task<void>
+RosterServerApp::mainBody(Thread &t)
+{
+    Sys sys(t);
+    Fd s = static_cast<Fd>(co_await sys.socket());
+    co_await sys.bind(s, cfg.port);
+    co_await sys.listen(s);
+    listenFd = s;
+    dataFd = static_cast<Fd>(
+        co_await sys.open("/data/store", guestos::ORdWr));
+
+    for (int i = 1; i < cfg.threads; ++i) {
+        guestos::Thread::Body worker = [this](Thread &wt) {
+            return workerLoop(wt);
+        };
+        t.kernel().spawnThread(&t.process(),
+                               cfg.name + "-w" + std::to_string(i),
+                               std::move(worker));
+    }
+    co_await workerLoop(t);
+}
+
+sim::Task<void>
+RosterServerApp::workerLoop(Thread &t)
+{
+    Sys sys(t);
+    Fd ep = static_cast<Fd>(co_await sys.epollCreate());
+    co_await sys.epollCtlAdd(ep, listenFd, guestos::PollIn, 0);
+
+    std::map<std::uint64_t, Fd> conns;
+    std::uint64_t next_token = 1;
+
+    for (;;) {
+        auto events = co_await sys.epollWait(ep, 64, 1000);
+        for (const auto &ev : events) {
+            if (ev.token == 0) {
+                std::int64_t c = co_await sys.acceptNb(listenFd);
+                if (c < 0)
+                    continue;
+                co_await sys.epollCtlAdd(ep, static_cast<Fd>(c),
+                                         guestos::PollIn, next_token);
+                conns[next_token++] = static_cast<Fd>(c);
+            } else {
+                auto it = conns.find(ev.token);
+                if (it == conns.end())
+                    continue;
+                Fd conn = it->second;
+                std::int64_t n = co_await sys.recv(conn, 4096);
+                if (n <= 0) {
+                    co_await sys.epollCtlDel(ep, conn);
+                    co_await sys.close(conn);
+                    conns.erase(it);
+                    continue;
+                }
+                co_await t.compute(cfg.opCycles);
+                for (int i = 0; i < cfg.fileReadsPerReq; ++i)
+                    co_await sys.read(dataFd, 8192);
+                for (int i = 0; i < cfg.fileWritesPerReq; ++i)
+                    co_await sys.write(dataFd, 4096);
+                ++reqCounter;
+                if (cfg.oddSyscallEvery > 0 &&
+                    reqCounter % cfg.oddSyscallEvery == 0) {
+                    // One call through the runtime's non-standard
+                    // wrapper (ABOM cannot patch it).
+                    co_await t.kernel().syscall(t, kOddSyscallNr,
+                                                guestos::SysArgs{});
+                }
+                co_await sys.send(conn, cfg.responseBytes);
+                ++served_;
+            }
+        }
+    }
+}
+
+namespace {
+
+std::shared_ptr<guestos::Image>
+imageWithOddWrapper(const std::string &name)
+{
+    return mixedImage(name, {kOddSyscallNr});
+}
+
+} // namespace
+
+RosterServerApp::Config
+memcachedProfile()
+{
+    RosterServerApp::Config cfg;
+    cfg.name = "memcached";
+    cfg.threads = 4;
+    cfg.opCycles = 1500;
+    cfg.image = glibcImage("memcached:1.5.7");
+    return cfg;
+}
+
+RosterServerApp::Config
+redisProfile()
+{
+    RosterServerApp::Config cfg;
+    cfg.name = "redis";
+    cfg.opCycles = 24000;
+    cfg.image = glibcImage("redis:3.2.11");
+    return cfg;
+}
+
+RosterServerApp::Config
+etcdProfile()
+{
+    RosterServerApp::Config cfg;
+    cfg.name = "etcd";
+    cfg.opCycles = 9000;
+    cfg.fileWritesPerReq = 1; // raft log append
+    cfg.image = goImage("etcd:3.3");
+    return cfg;
+}
+
+RosterServerApp::Config
+mongodbProfile()
+{
+    RosterServerApp::Config cfg;
+    cfg.name = "mongodb";
+    cfg.opCycles = 15000;
+    cfg.fileReadsPerReq = 2;
+    cfg.image = glibcImage("mongo:3.6");
+    return cfg;
+}
+
+RosterServerApp::Config
+influxdbProfile()
+{
+    RosterServerApp::Config cfg;
+    cfg.name = "influxdb";
+    cfg.opCycles = 11000;
+    cfg.fileWritesPerReq = 1; // WAL
+    cfg.image = goImage("influxdb:1.5");
+    return cfg;
+}
+
+RosterServerApp::Config
+postgresProfile()
+{
+    RosterServerApp::Config cfg;
+    cfg.name = "postgres";
+    cfg.opCycles = 16000;
+    cfg.fileReadsPerReq = 2;
+    cfg.fileWritesPerReq = 1;
+    // A sliver of calls goes through non-standard assembly in its
+    // spinlock/latch path (Table 1: 99.8%).
+    cfg.oddSyscallEvery = 70;
+    cfg.image = imageWithOddWrapper("postgres:10");
+    return cfg;
+}
+
+RosterServerApp::Config
+fluentdProfile()
+{
+    RosterServerApp::Config cfg;
+    cfg.name = "fluentd";
+    cfg.opCycles = 13000; // Ruby interpreter
+    cfg.fileWritesPerReq = 2; // buffer chunks
+    cfg.oddSyscallEvery = 24; // Ruby VM timer/GC wrappers (99.4%)
+    cfg.image = imageWithOddWrapper("fluentd:v1.2");
+    return cfg;
+}
+
+RosterServerApp::Config
+elasticsearchProfile()
+{
+    RosterServerApp::Config cfg;
+    cfg.name = "elasticsearch";
+    cfg.threads = 4;
+    cfg.opCycles = 21000; // JVM query execution
+    cfg.fileReadsPerReq = 2;
+    cfg.fileWritesPerReq = 1;
+    cfg.oddSyscallEvery = 10; // JVM safepoint/membarrier path (98.8%)
+    cfg.image = imageWithOddWrapper("elasticsearch:6.2");
+    return cfg;
+}
+
+RosterServerApp::Config
+rabbitmqProfile()
+{
+    RosterServerApp::Config cfg;
+    cfg.name = "rabbitmq";
+    cfg.threads = 2;
+    cfg.opCycles = 9000; // Erlang VM
+    cfg.fileWritesPerReq = 1; // message store
+    cfg.oddSyscallEvery = 9; // BEAM's custom poll wrappers (98.6%)
+    cfg.image = imageWithOddWrapper("rabbitmq:3.7");
+    return cfg;
+}
+
+// --- kernel compilation ------------------------------------------------
+
+void
+KernelCompileApp::deploy(runtimes::RtContainer &container)
+{
+    guestos::GuestKernel &kernel = container.kernel();
+    makeImage_ = glibcImage("make");
+    ccImage_ = mixedImage("cc1", {kOddSyscallNr});
+    ccImage_->textPages = 600; // cc1 is big
+    ccImage_->dataPages = 800;
+    for (int i = 0; i < 32; ++i) {
+        kernel.vfs().createFile(
+            "/src/file" + std::to_string(i) + ".c", 24 * 1024);
+    }
+
+    guestos::Process *proc = container.createProcess("make", makeImage_);
+    guestos::Thread::Body body = [this](Thread &t) {
+        return makeBody(t);
+    };
+    kernel.spawnThread(proc, "make", std::move(body));
+}
+
+sim::Task<void>
+KernelCompileApp::makeBody(Thread &t)
+{
+    Sys sys(t);
+    std::uint64_t odd_counter = 0;
+    for (int unit = 0; unit < cfg.compileUnits; ++unit) {
+        // make forks cc1 for the next translation unit.
+        guestos::Thread::Body cc =
+            [this, unit, &odd_counter](Thread &ct) -> sim::Task<void> {
+            Sys csys(ct);
+            co_await csys.exec(ccImage_);
+            std::string src =
+                "/src/file" + std::to_string(unit % 32) + ".c";
+            Fd in = static_cast<Fd>(
+                co_await csys.open(src.c_str(), guestos::ORdOnly));
+            Fd hdr = static_cast<Fd>(co_await csys.open(
+                "/src/file0.c", guestos::ORdOnly)); // header include
+            for (int i = 0; i < 4; ++i)
+                co_await csys.read(in, 8192);
+            for (int i = 0; i < 2; ++i)
+                co_await csys.read(hdr, 8192);
+            co_await ct.compute(cfg.compileCycles);
+            Fd out = static_cast<Fd>(co_await csys.open(
+                "/obj/out.o", guestos::OWrOnly | guestos::OCreat));
+            for (int i = 0; i < 3; ++i)
+                co_await csys.write(out, 8192);
+            co_await csys.close(in);
+            co_await csys.close(hdr);
+            co_await csys.close(out);
+            if (cfg.oddSyscallEvery > 0 &&
+                ++odd_counter % cfg.oddSyscallEvery == 0) {
+                co_await ct.kernel().syscall(ct, kOddSyscallNr,
+                                             guestos::SysArgs{});
+            }
+            co_await csys.exit(0);
+        };
+        std::int64_t pid = co_await sys.fork(std::move(cc));
+        co_await sys.wait(static_cast<guestos::Pid>(pid));
+        ++units_;
+    }
+    finished_ = true;
+}
+
+} // namespace xc::apps

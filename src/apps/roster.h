@@ -1,0 +1,117 @@
+#ifndef XC_APPS_ROSTER_H
+#define XC_APPS_ROSTER_H
+
+/**
+ * @file
+ * The Table-1 application roster: the top-10 most containerized
+ * applications plus kernel compilation and MySQL, each modelled with
+ * its real language runtime's syscall-wrapper profile and a
+ * representative request loop, driven by its usual open-source
+ * workload generator.
+ *
+ * ABOM's syscall-to-function-call conversion rate *emerges* from
+ * executing these mixes: C/glibc and Go apps converge to ~100%;
+ * runtimes that route a small fraction of calls through
+ * non-standard sequences (Ruby/JVM/Erlang/nginx) land in the
+ * 92-99% band; MySQL's libpthread cancellable wrappers cap it at
+ * ~45% until the offline tool rewrites them.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "guestos/sys.h"
+#include "runtimes/runtime.h"
+
+namespace xc::apps {
+
+/** A generic epoll request server with a configurable mix. */
+class RosterServerApp
+{
+  public:
+    struct Config
+    {
+        std::string name;
+        guestos::Port port = 7000;
+        int threads = 1;
+        hw::Cycles opCycles = 3000;
+        std::uint64_t responseBytes = 200;
+        /** Data-file reads per request (databases). */
+        int fileReadsPerReq = 0;
+        /** Log/journal writes per request. */
+        int fileWritesPerReq = 0;
+        /** Every Nth request issues one call through the image's
+         *  designated unpatchable wrapper (0 = never). */
+        int oddSyscallEvery = 0;
+        std::shared_ptr<guestos::Image> image;
+    };
+
+    explicit RosterServerApp(Config cfg) : cfg(std::move(cfg)) {}
+
+    void deploy(runtimes::RtContainer &container);
+    std::uint64_t requestsServed() const { return served_; }
+    const Config &config() const { return cfg; }
+
+  private:
+    sim::Task<void> mainBody(guestos::Thread &t);
+    sim::Task<void> workerLoop(guestos::Thread &t);
+
+    Config cfg;
+    guestos::Fd listenFd = -1;
+    guestos::Fd dataFd = -1;
+    std::uint64_t served_ = 0;
+    std::uint64_t reqCounter = 0;
+};
+
+/** The Table-1 server profiles (name, runtime, mix). */
+RosterServerApp::Config memcachedProfile();
+RosterServerApp::Config redisProfile();
+RosterServerApp::Config etcdProfile();       ///< Go
+RosterServerApp::Config mongodbProfile();
+RosterServerApp::Config influxdbProfile();   ///< Go
+RosterServerApp::Config postgresProfile();
+RosterServerApp::Config fluentdProfile();    ///< Ruby
+RosterServerApp::Config elasticsearchProfile(); ///< JVM
+RosterServerApp::Config rabbitmqProfile();   ///< Erlang
+
+/**
+ * Kernel compilation (tiny config): a batch job forking compiler
+ * processes that exec, read sources, write objects, and exit.
+ */
+class KernelCompileApp
+{
+  public:
+    struct Config
+    {
+        int compileUnits = 200;
+        hw::Cycles compileCycles = 220000;
+        /** Every Nth compile unit issues one call through cc1's
+         *  non-standard signal wrapper (roughly 1 in 21 of all libc
+         *  calls — Table 1's 95.3%). */
+        int oddSyscallEvery = 1;
+    };
+
+    explicit KernelCompileApp(Config cfg) : cfg(cfg) {}
+    KernelCompileApp() : cfg(Config()) {}
+
+    void deploy(runtimes::RtContainer &container);
+    bool finished() const { return finished_; }
+    std::uint64_t unitsCompiled() const { return units_; }
+
+  private:
+    sim::Task<void> makeBody(guestos::Thread &t);
+
+    Config cfg;
+    std::shared_ptr<guestos::Image> makeImage_;
+    std::shared_ptr<guestos::Image> ccImage_;
+    bool finished_ = false;
+    std::uint64_t units_ = 0;
+};
+
+/** The designated "odd wrapper" syscall number roster images use. */
+constexpr int kOddSyscallNr = guestos::NR_ioctl;
+
+} // namespace xc::apps
+
+#endif // XC_APPS_ROSTER_H

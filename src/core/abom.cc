@@ -1,0 +1,173 @@
+#include "core/abom.h"
+
+#include "sim/trace.h"
+
+namespace xc::core {
+
+using isa::CodeBuffer;
+using isa::GuestAddr;
+
+namespace {
+
+/** Encode `callq *abs32(target)` into @p out (7 bytes). */
+void
+encodeCall(std::uint8_t out[7], GuestAddr slot_addr)
+{
+    out[0] = isa::kOpCallAbs1;
+    out[1] = isa::kOpCallAbs2;
+    out[2] = isa::kOpCallAbs3;
+    std::uint32_t disp = isa::abs32Of(slot_addr);
+    for (int i = 0; i < 4; ++i)
+        out[3 + i] = static_cast<std::uint8_t>(disp >> (8 * i));
+}
+
+bool
+haveBytes(const CodeBuffer &code, GuestAddr va, int n)
+{
+    return code.contains(va) && code.contains(va + n - 1);
+}
+
+} // namespace
+
+PatchResult
+Abom::onSyscallTrap(CodeBuffer &code, GuestAddr syscall_addr)
+{
+    ++stats_.trapsSeen;
+    if (!enabled_)
+        return PatchResult::NoMatch;
+    PatchResult result = tryPatch(code, syscall_addr);
+    if (result != PatchResult::NoMatch &&
+        result != PatchResult::Unwritable) {
+        XC_TRACE(Abom, 0, "abom", "patched site %#llx (%s)",
+                 static_cast<unsigned long long>(syscall_addr),
+                 result == PatchResult::Patched7Case1   ? "7B case 1"
+                 : result == PatchResult::Patched7Case2 ? "7B case 2"
+                                                        : "9B phase 1");
+    }
+    switch (result) {
+      case PatchResult::Patched7Case1: ++stats_.patch7Case1; break;
+      case PatchResult::Patched7Case2: ++stats_.patch7Case2; break;
+      case PatchResult::Patched9Phase1: ++stats_.patch9Phase1; break;
+      case PatchResult::NoMatch: ++stats_.noMatch; break;
+      case PatchResult::Unwritable: break;
+    }
+    return result;
+}
+
+PatchResult
+Abom::tryPatch(CodeBuffer &code, GuestAddr syscall_addr)
+{
+    // The site must still hold the syscall instruction (another vCPU
+    // may have patched it while this trap was in flight).
+    if (!haveBytes(code, syscall_addr, 2) ||
+        code.read8(syscall_addr) != isa::kOpSyscall1 ||
+        code.read8(syscall_addr + 1) != isa::kOpSyscall2) {
+        return PatchResult::Unwritable;
+    }
+
+    // --- 7-byte case 1: b8 imm32 (mov $nr,%eax) immediately before.
+    if (haveBytes(code, syscall_addr - 5, 5) &&
+        code.read8(syscall_addr - 5) == isa::kOpMovEaxImm) {
+        std::uint32_t nr = code.read32(syscall_addr - 4);
+        std::uint8_t expected[7];
+        expected[0] = isa::kOpMovEaxImm;
+        for (int i = 0; i < 4; ++i)
+            expected[1 + i] =
+                static_cast<std::uint8_t>(nr >> (8 * i));
+        expected[5] = isa::kOpSyscall1;
+        expected[6] = isa::kOpSyscall2;
+        std::uint8_t repl[7];
+        encodeCall(repl, isa::vsyscallSlotAddr(static_cast<int>(nr)));
+        if (!code.cmpxchg(syscall_addr - 5, expected, repl, 7))
+            return PatchResult::Unwritable;
+        return PatchResult::Patched7Case1;
+    }
+
+    // --- 7-byte case 2: 48 8b 44 24 08 (mov 0x8(%rsp),%rax) before.
+    if (haveBytes(code, syscall_addr - 5, 5) &&
+        code.read8(syscall_addr - 5) == isa::kOpRexW &&
+        code.read8(syscall_addr - 4) == isa::kOpMovRspLoad1 &&
+        code.read8(syscall_addr - 3) == isa::kOpMovRspLoad2 &&
+        code.read8(syscall_addr - 2) == isa::kOpMovRspLoad3 &&
+        code.read8(syscall_addr - 1) == 0x08) {
+        std::uint8_t expected[7] = {isa::kOpRexW, isa::kOpMovRspLoad1,
+                                    isa::kOpMovRspLoad2,
+                                    isa::kOpMovRspLoad3, 0x08,
+                                    isa::kOpSyscall1, isa::kOpSyscall2};
+        std::uint8_t repl[7];
+        encodeCall(repl, isa::vsyscallSlotAddr(isa::kStackArgSlot));
+        if (!code.cmpxchg(syscall_addr - 5, expected, repl, 7))
+            return PatchResult::Unwritable;
+        return PatchResult::Patched7Case2;
+    }
+
+    // --- 9-byte phase 1: 48 c7 c0 imm32 (mov $nr,%rax) before.
+    if (haveBytes(code, syscall_addr - 7, 7) &&
+        code.read8(syscall_addr - 7) == isa::kOpRexW &&
+        code.read8(syscall_addr - 6) == isa::kOpMovRaxImm1 &&
+        code.read8(syscall_addr - 5) == isa::kOpMovRaxImm2) {
+        std::uint32_t nr = code.read32(syscall_addr - 4);
+        std::uint8_t expected[7];
+        expected[0] = isa::kOpRexW;
+        expected[1] = isa::kOpMovRaxImm1;
+        expected[2] = isa::kOpMovRaxImm2;
+        for (int i = 0; i < 4; ++i)
+            expected[3 + i] =
+                static_cast<std::uint8_t>(nr >> (8 * i));
+        std::uint8_t repl[7];
+        encodeCall(repl, isa::vsyscallSlotAddr(static_cast<int>(nr)));
+        // Replace only the mov; the syscall instruction stays valid
+        // in case something jumps straight at it (phase 2 later).
+        if (!code.cmpxchg(syscall_addr - 7, expected, repl, 7))
+            return PatchResult::Unwritable;
+        return PatchResult::Patched9Phase1;
+    }
+
+    return PatchResult::NoMatch;
+}
+
+GuestAddr
+Abom::adjustReturn(CodeBuffer &code, GuestAddr ret_addr)
+{
+    isa::Insn next = isa::decode(code, ret_addr);
+
+    if (next.op == isa::Op::Syscall) {
+        // Stale syscall from a phase-1 patch. Finish the job: turn
+        // it into `jmp -9` (back to the call) so future jumps into
+        // it re-dispatch through the call. eb f7 — Fig. 2 phase 2.
+        std::uint8_t expected[2] = {isa::kOpSyscall1, isa::kOpSyscall2};
+        std::uint8_t repl[2] = {isa::kOpJmpRel8, 0xf7};
+        if (enabled_ &&
+            code.cmpxchg(ret_addr, expected, repl, 2)) {
+            ++stats_.patch9Phase2;
+        }
+        return ret_addr + 2; // skip the stale instruction
+    }
+
+    if (next.op == isa::Op::JmpRel8 && next.imm == -9) {
+        // Phase-2 jmp back into the call: skip it.
+        return ret_addr + 2;
+    }
+
+    return ret_addr;
+}
+
+GuestAddr
+Abom::fixupInvalidOpcode(CodeBuffer &code, GuestAddr fault_addr)
+{
+    // The only bytes our patches can strand a jump inside are the
+    // trailing "60 ff" of `ff 14 25 xx xx 60 ff`: verify that the
+    // five preceding bytes are a call through the vsyscall page.
+    if (!haveBytes(code, fault_addr - 5, 7))
+        return kNoFix;
+    GuestAddr call_at = fault_addr - 5;
+    isa::Insn insn = isa::decode(code, call_at);
+    if (insn.op != isa::Op::CallAbs)
+        return kNoFix;
+    if (isa::vsyscallSlotIndex(static_cast<GuestAddr>(insn.imm)) < 0)
+        return kNoFix;
+    ++stats_.fixupTraps;
+    return call_at;
+}
+
+} // namespace xc::core

@@ -1,0 +1,125 @@
+#ifndef XC_CORE_ABOM_H
+#define XC_CORE_ABOM_H
+
+/**
+ * @file
+ * ABOM — the Automatic Binary Optimization Module (§4.4).
+ *
+ * Lives in the X-Kernel. On every syscall trap it inspects the bytes
+ * around the trapping syscall instruction and, when they match a
+ * known wrapper pattern, rewrites them in place into a function call
+ * through the vsyscall entry table, using compare-and-swap of at
+ * most eight bytes so every intermediate state other CPUs can
+ * observe is valid binary:
+ *
+ *  - 7-byte replacement, case 1:  mov $nr,%eax; syscall
+ *        -> callq *vsyscallSlot(nr)
+ *  - 7-byte replacement, case 2:  mov 0x8(%rsp),%rax; syscall
+ *        -> callq *vsyscallSlot(kStackArgSlot)
+ *  - 9-byte replacement (two phases): mov $nr,%rax; syscall
+ *        phase 1: the 7-byte mov  -> callq *slot   (syscall stays)
+ *        phase 2: the stale syscall -> jmp back to the call
+ *    (phase 2 is applied by the X-LibOS syscall handler when it sees
+ *     the stale syscall at the return address.)
+ *
+ * Anything else — notably libpthread's cancellable wrappers, where
+ * checks sit between the mov and the syscall — stays unpatched and
+ * keeps trapping (MySQL's 44.6% row of Table 1); the offline tool
+ * (offline_patch.h) covers those.
+ */
+
+#include <cstdint>
+
+#include "isa/code_buffer.h"
+#include "isa/insn.h"
+
+namespace xc::core {
+
+/** What one patch attempt did. */
+enum class PatchResult {
+    Patched7Case1,   ///< mov-eax + syscall merged into a call
+    Patched7Case2,   ///< stack-arg mov + syscall merged into a call
+    Patched9Phase1,  ///< mov-rax replaced by call; syscall left stale
+    NoMatch,         ///< unrecognized context: left alone
+    Unwritable,      ///< cmpxchg lost a race / bytes changed
+};
+
+/** ABOM statistics (drives Table 1). */
+struct AbomStats
+{
+    std::uint64_t trapsSeen = 0;        ///< syscalls arriving as traps
+    std::uint64_t directCalls = 0;      ///< dispatched via vsyscall call
+    std::uint64_t patch7Case1 = 0;
+    std::uint64_t patch7Case2 = 0;
+    std::uint64_t patch9Phase1 = 0;
+    std::uint64_t patch9Phase2 = 0;
+    std::uint64_t noMatch = 0;
+    std::uint64_t fixupTraps = 0;       ///< 0x60 0xff mid-call entries
+
+    /** Fraction of syscall invocations converted to function calls. */
+    double
+    reductionRatio() const
+    {
+        std::uint64_t total = trapsSeen + directCalls;
+        return total == 0
+                   ? 0.0
+                   : static_cast<double>(directCalls) /
+                         static_cast<double>(total);
+    }
+};
+
+/** The optimizer. */
+class Abom
+{
+  public:
+    /** Enable/disable online patching (Table 1 compares both). */
+    explicit Abom(bool enabled = true) : enabled_(enabled) {}
+
+    bool enabled() const { return enabled_; }
+    void setEnabled(bool on) { enabled_ = on; }
+
+    AbomStats &stats() { return stats_; }
+    const AbomStats &stats() const { return stats_; }
+
+    /**
+     * A syscall instruction at @p syscall_addr trapped. Record it
+     * and, if patching is enabled, try to rewrite the site.
+     * CR0.WP is disabled around the write and the page's dirty bit
+     * is set, as the paper describes.
+     */
+    PatchResult onSyscallTrap(isa::CodeBuffer &code,
+                              isa::GuestAddr syscall_addr);
+
+    /**
+     * The X-LibOS syscall handler's return-address check: if the
+     * instruction at @p ret_addr is a stale syscall left by phase 1
+     * (or the phase-2 jmp back to the call), finish the optimization
+     * and return the address execution should really resume at.
+     */
+    isa::GuestAddr adjustReturn(isa::CodeBuffer &code,
+                                isa::GuestAddr ret_addr);
+
+    /**
+     * Invalid-opcode fixup (§4.4): a jump landed on the trailing
+     * "0x60 0xff" of a patched call. Returns the address of the
+     * enclosing call instruction, or kNoFix if the bytes do not
+     * belong to one of our patches.
+     */
+    static constexpr isa::GuestAddr kNoFix = ~isa::GuestAddr(0);
+    isa::GuestAddr fixupInvalidOpcode(isa::CodeBuffer &code,
+                                      isa::GuestAddr fault_addr);
+
+    /** Count a dispatch through the vsyscall table. */
+    void countDirectCall() { ++stats_.directCalls; }
+
+  private:
+    PatchResult tryPatch(isa::CodeBuffer &code,
+                         isa::GuestAddr syscall_addr);
+
+    bool enabled_;
+    AbomStats stats_;
+};
+
+} // namespace xc::core
+
+#endif // XC_CORE_ABOM_H

@@ -1,0 +1,72 @@
+#include "core/offline_patch.h"
+
+#include "sim/logging.h"
+
+namespace xc::core {
+
+OfflinePatchReport
+offlinePatch(isa::StubLibrary &lib, int max_gap)
+{
+    return offlinePatchOnly(lib, {}, max_gap);
+}
+
+OfflinePatchReport
+offlinePatchOnly(isa::StubLibrary &lib, const std::set<int> &nrs,
+                 int max_gap)
+{
+    OfflinePatchReport report;
+    isa::CodeBuffer &code = lib.code();
+
+    for (const isa::SyscallStub &stub : lib.stubs()) {
+        ++report.sitesExamined;
+        if (!nrs.empty() && !nrs.count(stub.nr)) {
+            ++report.sitesSkipped;
+            continue;
+        }
+
+        // Only rewrite sites the online module cannot: a mov at the
+        // entry with intervening instructions before the syscall.
+        isa::GuestAddr mov_at = stub.entry;
+        isa::Insn mov = isa::decode(code, mov_at);
+        bool mov_ok = (mov.op == isa::Op::MovEaxImm ||
+                       mov.op == isa::Op::MovRaxImm);
+        std::int64_t gap =
+            static_cast<std::int64_t>(stub.syscallSite) -
+            static_cast<std::int64_t>(mov_at + mov.length);
+        if (!mov_ok || gap <= 0 || gap > max_gap) {
+            ++report.sitesSkipped;
+            continue;
+        }
+
+        // Verify the site still holds a syscall (not already done).
+        isa::Insn sc = isa::decode(code, stub.syscallSite);
+        if (sc.op != isa::Op::Syscall) {
+            ++report.sitesSkipped;
+            continue;
+        }
+
+        // Rewrite [mov_at, syscallSite + 2) into call + NOP padding.
+        // The span is at least mov(5|7) + gap + 2 >= 8 bytes, so the
+        // 7-byte call always fits.
+        isa::GuestAddr end = stub.syscallSite + 2;
+        std::uint64_t span = end - mov_at;
+        XC_ASSERT(span >= 7);
+
+        std::uint32_t nr = static_cast<std::uint32_t>(stub.nr);
+        isa::GuestAddr slot = isa::vsyscallSlotAddr(static_cast<int>(nr));
+        code.write8(mov_at + 0, isa::kOpCallAbs1);
+        code.write8(mov_at + 1, isa::kOpCallAbs2);
+        code.write8(mov_at + 2, isa::kOpCallAbs3);
+        std::uint32_t disp = isa::abs32Of(slot);
+        for (int i = 0; i < 4; ++i)
+            code.write8(mov_at + 3 + i,
+                        static_cast<std::uint8_t>(disp >> (8 * i)));
+        for (isa::GuestAddr a = mov_at + 7; a < end; ++a)
+            code.write8(a, isa::kOpNop);
+
+        ++report.sitesPatched;
+    }
+    return report;
+}
+
+} // namespace xc::core

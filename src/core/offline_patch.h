@@ -1,0 +1,60 @@
+#ifndef XC_CORE_OFFLINE_PATCH_H
+#define XC_CORE_OFFLINE_PATCH_H
+
+/**
+ * @file
+ * The offline binary patching tool (§4.4).
+ *
+ * ABOM's online patching only handles a syscall instruction that
+ * immediately follows its number-loading mov. For "more complicated
+ * cases it is possible to inject code into the binary and re-direct
+ * a bigger chunk of code. We also provide a tool to do this offline"
+ * — this is that tool. It is what recovers MySQL's libpthread
+ * cancellable wrappers (Table 1: 44.6% online -> 92.2% with two
+ * offline patches).
+ *
+ * Offline we are not constrained by the live 8-byte cmpxchg window:
+ * the whole mov..syscall span is rewritten into a vsyscall call plus
+ * NOP padding.
+ */
+
+#include <cstdint>
+#include <set>
+
+#include "isa/code_buffer.h"
+#include "isa/syscall_stub.h"
+
+namespace xc::core {
+
+/** Result of an offline patch pass. */
+struct OfflinePatchReport
+{
+    std::uint64_t sitesExamined = 0;
+    std::uint64_t sitesPatched = 0;
+    std::uint64_t sitesSkipped = 0;
+};
+
+/**
+ * Scan @p lib for syscall sites whose number-loading mov is separated
+ * from the syscall instruction (ABOM-unpatchable) and rewrite the
+ * span into `callq *vsyscallSlot(nr)` + NOPs.
+ *
+ * @param max_gap maximum bytes of intervening code the tool will
+ *        redirect (real wrappers have short cancellation prologues).
+ */
+OfflinePatchReport offlinePatch(isa::StubLibrary &lib,
+                                int max_gap = 32);
+
+/**
+ * Same, but only for wrappers of the given syscall numbers — the
+ * paper patched exactly "two locations in the libpthread library"
+ * (the read- and write-family entry points), leaving other
+ * cancellable paths (msg variants) trapping: 92.2%, not 100%.
+ */
+OfflinePatchReport offlinePatchOnly(isa::StubLibrary &lib,
+                                    const std::set<int> &nrs,
+                                    int max_gap = 32);
+
+} // namespace xc::core
+
+#endif // XC_CORE_OFFLINE_PATCH_H

@@ -1,0 +1,80 @@
+#include "core/platform.h"
+
+namespace xc::core {
+
+XContainer::XContainer(XContainerPlatform &platform, xen::Domain *dom,
+                       XcPort::Options port_opts,
+                       guestos::GuestKernel::Config kcfg)
+    : name_(dom->name()), dom(dom),
+      port_(platform.xkernel(), dom, port_opts)
+{
+    kcfg.platform = &port_;
+    kernel_ =
+        std::make_unique<guestos::GuestKernel>(platform.machine(), kcfg);
+}
+
+XContainerPlatform::XContainerPlatform(hw::Machine &machine,
+                                       guestos::NetFabric &fabric,
+                                       Config config)
+    : machine_(machine), fabric(fabric), config_(config)
+{
+    xk = std::make_unique<XKernel>(machine, config_.xkernel);
+}
+
+XContainerPlatform::~XContainerPlatform()
+{
+    containers.clear();
+}
+
+XContainer *
+XContainerPlatform::spawn(const ContainerSpec &spec)
+{
+    XC_ASSERT(spec.image != nullptr);
+    xen::Domain *dom =
+        xk->createDomain(spec.name, spec.memBytes, spec.vcpus);
+    if (!dom)
+        return nullptr; // out of physical memory
+
+    bool smp = spec.forceSmpOff ? false
+               : spec.smpOverride ? true
+                                  : spec.vcpus > 1;
+
+    guestos::GuestKernel::Config kcfg;
+    kcfg.name = spec.name;
+    kcfg.traits = xlibosTraits(smp);
+    kcfg.vcpus = spec.vcpus;
+    kcfg.pool = &xk->pool();
+    kcfg.fabric = &fabric;
+
+    XcPort::Options port_opts;
+    port_opts.natForwarding = spec.natForwarding;
+
+    auto container = std::make_unique<XContainer>(*this, dom,
+                                                  port_opts, kcfg);
+    XContainer *raw = container.get();
+    containers.emplace(raw, std::move(container));
+    return raw;
+}
+
+void
+XContainerPlatform::destroy(XContainer *container)
+{
+    auto it = containers.find(container);
+    XC_ASSERT(it != containers.end());
+    xen::Domain *dom = container->domain();
+    containers.erase(it); // kernel goes first
+    xk->destroyDomain(dom);
+}
+
+sim::Tick
+XContainerPlatform::bootLatency() const
+{
+    constexpr sim::Tick kLibOsBoot = 180 * sim::kTicksPerMs;
+    constexpr sim::Tick kXlToolstack = 2820 * sim::kTicksPerMs;
+    constexpr sim::Tick kLightVmToolstack = 4 * sim::kTicksPerMs;
+    return kLibOsBoot + (config_.toolstack == Toolstack::Xl
+                             ? kXlToolstack
+                             : kLightVmToolstack);
+}
+
+} // namespace xc::core

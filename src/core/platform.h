@@ -1,0 +1,118 @@
+#ifndef XC_CORE_PLATFORM_H
+#define XC_CORE_PLATFORM_H
+
+/**
+ * @file
+ * Public facade of the X-Containers platform.
+ *
+ * An XContainerPlatform owns the X-Kernel on a machine; containers
+ * are spawned from Docker-style images through the Docker Wrapper's
+ * special bootloader (§4.5), each becoming a domain running its own
+ * X-LibOS. This is the API the examples and benchmarks program
+ * against.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/xc_port.h"
+#include "core/xkernel.h"
+#include "guestos/kernel.h"
+#include "guestos/net.h"
+
+namespace xc::core {
+
+class XContainerPlatform;
+
+/** One running X-Container. */
+class XContainer
+{
+  public:
+    XContainer(XContainerPlatform &platform, xen::Domain *dom,
+               XcPort::Options port_opts,
+               guestos::GuestKernel::Config kcfg);
+
+    const std::string &name() const { return name_; }
+    xen::Domain *domain() { return dom; }
+    guestos::GuestKernel &kernel() { return *kernel_; }
+    XcPort &port() { return port_; }
+
+  private:
+    friend class XContainerPlatform;
+    std::string name_;
+    xen::Domain *dom;
+    XcPort port_;
+    std::unique_ptr<guestos::GuestKernel> kernel_;
+};
+
+/** The platform. */
+class XContainerPlatform
+{
+  public:
+    /** Which toolstack spawns instances (§4.5): the stock xl
+     *  toolstack costs seconds; a LightVM-style split toolstack gets
+     *  it down to milliseconds. */
+    enum class Toolstack { Xl, LightVM };
+
+    struct Config
+    {
+        XKernel::XConfig xkernel;
+        Toolstack toolstack = Toolstack::Xl;
+    };
+
+    /** Per-container spawn parameters (Docker-image-shaped). */
+    struct ContainerSpec
+    {
+        std::string name = "container";
+        std::uint64_t memBytes = 128ull << 20; ///< paper default
+        int vcpus = 1;
+        std::shared_ptr<guestos::Image> image;
+        /** Compile SMP support out of this container's X-LibOS
+         *  (kernel customization, §3.2). Defaults to on when the
+         *  container has more than one vCPU. */
+        bool smpOverride = false;
+        bool forceSmpOff = false;
+        /** Expose through port-forwarding NAT (public cloud). */
+        bool natForwarding = true;
+    };
+
+    XContainerPlatform(hw::Machine &machine,
+                       guestos::NetFabric &fabric, Config config);
+    ~XContainerPlatform();
+
+    XKernel &xkernel() { return *xk; }
+    hw::Machine &machine() { return machine_; }
+
+    /**
+     * Boot an X-Container: create the domain, load the X-LibOS with
+     * the image through the Docker Wrapper's bootloader.
+     * @return nullptr when machine memory is exhausted.
+     */
+    XContainer *spawn(const ContainerSpec &spec);
+
+    /** Tear a container down and release its domain. */
+    void destroy(XContainer *container);
+
+    std::size_t containerCount() const { return containers.size(); }
+
+    /**
+     * Instantiation latency (§4.5): the bootloader starts the
+     * container's processes without unnecessary services in ~180 ms,
+     * but the xl toolstack adds ~2.8 s unless a LightVM-style
+     * toolstack (~4 ms) is used.
+     */
+    sim::Tick bootLatency() const;
+
+  private:
+    hw::Machine &machine_;
+    guestos::NetFabric &fabric;
+    Config config_;
+    std::unique_ptr<XKernel> xk;
+    std::map<XContainer *, std::unique_ptr<XContainer>> containers;
+};
+
+} // namespace xc::core
+
+#endif // XC_CORE_PLATFORM_H

@@ -1,0 +1,191 @@
+#ifndef XC_CORE_XC_PORT_H
+#define XC_CORE_XC_PORT_H
+
+/**
+ * @file
+ * PlatformPort for an X-Container: the X-LibOS running on the
+ * X-Kernel.
+ *
+ * The syscall environment is where the paper's mechanism lives: the
+ * first execution of each syscall site traps, the X-Kernel's ABOM
+ * rewrites the site, and from then on the wrapper dispatches through
+ * the vsyscall entry table as a function call — including the
+ * return-address adjustment that completes 9-byte patches and the
+ * invalid-opcode fixup for jumps into patched bytes.
+ */
+
+#include "core/xkernel.h"
+#include "guestos/kernel.h"
+#include "guestos/platform_port.h"
+#include "guestos/thread.h"
+#include "xen/event_channel.h"
+
+namespace xc::core {
+
+/** Binary-leg environment on the X-Container platform. */
+class XcSyscallEnv : public isa::ExecEnv
+{
+  public:
+    explicit XcSyscallEnv(XKernel &xk) : xk(xk) {}
+
+    void bind(guestos::Thread *t) { bound = t; }
+
+    isa::GuestAddr
+    onSyscall(isa::Regs &, isa::CodeBuffer &code,
+              isa::GuestAddr ip_after) override
+    {
+        const auto &c = xk.machine().costs();
+        // Slow path: trap into the X-Kernel, which immediately
+        // hands control to the X-LibOS (same address space: no page
+        // table switch, no TLB flush) and returns via the
+        // lightweight user-mode iret.
+        hw::Cycles cost = c.pvSyscallForward + c.userIret +
+                          xk.hypercallKptiExtra();
+        PatchResult r =
+            xk.abom().onSyscallTrap(code, ip_after - 2);
+        if (r == PatchResult::Patched7Case1 ||
+            r == PatchResult::Patched7Case2 ||
+            r == PatchResult::Patched9Phase1) {
+            cost += kPatchCost;
+        }
+        bound->charge(cost);
+        return ip_after;
+    }
+
+    isa::GuestAddr
+    onVsyscallCall(int, isa::Regs &, isa::CodeBuffer &code,
+                   isa::GuestAddr ret_addr) override
+    {
+        // Fast path: the patched call lands directly in the X-LibOS
+        // entry table.
+        xk.abom().countDirectCall();
+        bound->charge(xk.machine().costs().functionCallDispatch);
+        // The handler checks the return address for a stale syscall
+        // or the phase-2 jmp and skips it (§4.4).
+        return xk.abom().adjustReturn(code, ret_addr);
+    }
+
+    isa::GuestAddr
+    onInvalidOpcode(isa::Regs &, isa::CodeBuffer &code,
+                    isa::GuestAddr ip) override
+    {
+        // Possibly a jump into the middle of a patched call: the
+        // X-Kernel's special trap handler moves the IP back to the
+        // start of the call instruction.
+        isa::GuestAddr fixed = xk.abom().fixupInvalidOpcode(code, ip);
+        if (fixed == Abom::kNoFix)
+            return kFault; // genuine SIGILL
+        bound->charge(kFixupTrapCost);
+        return fixed;
+    }
+
+  private:
+    /** One-time cost of performing a binary patch (pattern check +
+     *  CR0.WP toggle + cmpxchg). */
+    static constexpr hw::Cycles kPatchCost = 900;
+    /** Invalid-opcode trap + fixup in the X-Kernel. */
+    static constexpr hw::Cycles kFixupTrapCost = 1200;
+
+    XKernel &xk;
+    guestos::Thread *bound = nullptr;
+};
+
+/** Platform backend for an X-Container. */
+class XcPort : public guestos::PlatformPort
+{
+  public:
+    struct Options
+    {
+        /** Port-forwarding NAT in the driver domain (public-cloud
+         *  deployment, as in the paper's macrobenchmarks). */
+        bool natForwarding = true;
+    };
+
+    XcPort(XKernel &xk, xen::Domain *dom, Options opt)
+        : xk(xk), dom(dom), opts(opt), env(xk)
+    {
+        (void)this->dom;
+    }
+
+    hw::Cycles
+    pageTableSwitchCost(const hw::CostModel &c) override
+    {
+        // Page tables remain under X-Kernel control: CR3 loads are
+        // still hypercalls (this is why process creation and context
+        // switching show overheads vs Docker in Fig. 5).
+        xk.countHypercall(xen::Hypercall::MmuExtOp);
+        return xk.hypercallCost(xen::Hypercall::MmuExtOp) +
+               c.pageTableSwitch + xk.hypercallKptiExtra();
+    }
+
+    hw::Cycles
+    pageTableUpdateCost(const hw::CostModel &c,
+                        std::uint64_t ptes) override
+    {
+        xk.countHypercall(xen::Hypercall::MmuUpdate);
+        return xk.hypercallCost(xen::Hypercall::MmuUpdate) +
+               c.mmuUpdatePte * ptes + xk.hypercallKptiExtra();
+    }
+
+    isa::ExecEnv &
+    syscallEnv(guestos::Thread &t) override
+    {
+        env.bind(&t);
+        return env;
+    }
+
+    hw::Cycles
+    eventDeliveryCost(const hw::CostModel &c) override
+    {
+        // The X-LibOS emulates the interrupt stack frame and jumps
+        // into the handler without entering the X-Kernel (§4.2).
+        return c.xcEventDelivery;
+    }
+
+    hw::Cycles
+    netPathExtraPerPacket(const hw::CostModel &c, bool rx) override
+    {
+        xen::DescriptorRing &ring = rx ? rxRing : txRing;
+        ring.produce();
+        ring.consume(1);
+        // Only the guest-side front-end work (grant setup, ring
+        // descriptors, event) is charged to the container's
+        // threads: the back-end, bridging, and NAT run in the
+        // driver domain on its own cores, which are not the
+        // bottleneck in these experiments (they are idle SMT
+        // siblings). See DESIGN.md "dom0 offload".
+        (void)opts;
+        return c.ringHopPerPacket * 2 / 3;
+    }
+
+    const xen::DescriptorRing &txQueue() const { return txRing; }
+    const xen::DescriptorRing &rxQueue() const { return rxRing; }
+
+  private:
+    XKernel &xk;
+    xen::Domain *dom;
+    Options opts;
+    XcSyscallEnv env;
+    xen::DescriptorRing txRing;
+    xen::DescriptorRing rxRing;
+};
+
+/**
+ * KernelTraits for the X-LibOS (§3.2, §4.3): global-bit kernel
+ * mappings are re-enabled; KPTI is unnecessary (system calls do not
+ * enter kernel mode); SMP support can be compiled out for
+ * single-threaded applications as a customization.
+ */
+inline guestos::KernelTraits
+xlibosTraits(bool smp = true)
+{
+    guestos::KernelTraits traits;
+    traits.kpti = false;
+    traits.kernelGlobal = true;
+    traits.smp = smp;
+    return traits;
+}
+
+} // namespace xc::core
+
+#endif // XC_CORE_XC_PORT_H

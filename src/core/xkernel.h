@@ -1,0 +1,89 @@
+#ifndef XC_CORE_XKERNEL_H
+#define XC_CORE_XKERNEL_H
+
+/**
+ * @file
+ * The X-Kernel: Xen modified to serve as an exokernel (§4.2).
+ *
+ * Relative to stock Xen PV, the ABI changes are:
+ *  - guest kernel (X-LibOS) and user processes share one privilege
+ *    level and one address space: no syscall forwarding with address
+ *    space switches; after ABOM patching, syscalls are function calls;
+ *  - guest mode is determined from the stack pointer's most
+ *    significant bit, since user/kernel switches no longer pass
+ *    through the hypervisor;
+ *  - iret/sysret are emulated in user mode (no iret hypercall);
+ *  - the global bit is allowed for X-LibOS and X-Kernel mappings, so
+ *    intra-container process switches keep kernel TLB entries;
+ *  - a trap handler repairs jumps that land inside patched call
+ *    instructions (the 0x60 0xff bytes).
+ */
+
+#include "core/abom.h"
+#include "hw/page_table.h"
+#include "xen/hypervisor.h"
+
+namespace xc::core {
+
+/** The modified hypervisor. */
+class XKernel : public xen::Hypervisor
+{
+  public:
+    struct XConfig
+    {
+        xen::Hypervisor::Config base;
+        /** Online binary optimization enabled. */
+        bool abomEnabled = true;
+        /** Meltdown patch applied to the X-Kernel itself. The paper
+         *  measures that it does not affect X-Container performance
+         *  (guest syscalls never enter the X-Kernel), but hypercalls
+         *  pay a small extra cost. */
+        bool meltdownPatched = false;
+    };
+
+    XKernel(hw::Machine &machine, XConfig config)
+        : xen::Hypervisor(machine, config.base),
+          xconfig(config), abom_(config.abomEnabled)
+    {
+    }
+
+    Abom &abom() { return abom_; }
+    const XConfig &xcfg() const { return xconfig; }
+
+    /**
+     * Mode detection (§4.2): with lightweight system calls the
+     * X-Kernel cannot track guest user/kernel switches, so it
+     * classifies by the most significant bit of the stack pointer:
+     * X-LibOS lives in the top half of the address space.
+     */
+    static bool
+    inGuestKernelMode(hw::Vaddr rsp)
+    {
+        return hw::isKernelHalf(rsp);
+    }
+
+    /** Cost of the user-mode iret emulation (replaces the iret
+     *  hypercall of stock PV). */
+    hw::Cycles
+    userIretCost()
+    {
+        return machine().costs().userIret;
+    }
+
+    /** Extra cost on hypercalls when the X-Kernel is KPTI-patched. */
+    hw::Cycles
+    hypercallKptiExtra()
+    {
+        return xconfig.meltdownPatched
+                   ? machine().costs().kptiTrapOverhead / 2
+                   : 0;
+    }
+
+  private:
+    XConfig xconfig;
+    Abom abom_;
+};
+
+} // namespace xc::core
+
+#endif // XC_CORE_XKERNEL_H

@@ -1,0 +1,112 @@
+#include "guestos/epoll.h"
+
+#include "guestos/kernel.h"
+
+namespace xc::guestos {
+
+Epoll::~Epoll()
+{
+    for (auto &[obj, item] : items)
+        obj->removeWatch(this);
+}
+
+int
+Epoll::ctlAdd(const FilePtr &file, std::uint32_t events,
+              std::uint64_t token)
+{
+    if (!file || file.get() == this)
+        return -ERR_INVAL;
+    auto it = items.find(file.get());
+    if (it != items.end()) {
+        it->second.events = events;
+        it->second.token = token;
+        file->removeWatch(this);
+    }
+    items[file.get()] = Item{file, events, token};
+    file->addWatch(this, events, token);
+    if (file->readiness() & events)
+        notifyReady();
+    return 0;
+}
+
+int
+Epoll::ctlDel(const FilePtr &file)
+{
+    if (!file)
+        return -ERR_INVAL;
+    auto it = items.find(file.get());
+    if (it == items.end())
+        return -ERR_NOENT;
+    file->removeWatch(this);
+    items.erase(it);
+    return 0;
+}
+
+std::vector<EpollEvent>
+Epoll::collectReady(int max) const
+{
+    std::vector<EpollEvent> out;
+    for (const auto &[obj, item] : items) {
+        std::uint32_t ready = obj->readiness() & (item.events | PollHup);
+        if (ready) {
+            out.push_back(EpollEvent{item.token, ready});
+            if (static_cast<int>(out.size()) >= max)
+                break;
+        }
+    }
+    return out;
+}
+
+sim::Task<std::vector<EpollEvent>>
+Epoll::wait(Thread &t, int max, sim::Tick timeout)
+{
+    const auto &costs = t.kernel().costs();
+    for (;;) {
+        // Scan cost scales with the interest-list size (level
+        // triggered readiness recheck).
+        t.charge(t.kernel().serviceCost(
+            80 + 6 * static_cast<hw::Cycles>(items.size())));
+        std::vector<EpollEvent> ready = collectReady(max);
+        if (!ready.empty() || timeout == 0) {
+            co_await t.flushCompute();
+            co_return ready;
+        }
+        (void)costs;
+        if (timeout == sim::kTickMax) {
+            co_await t.blockOn(waiters);
+        } else {
+            co_await t.blockOnTimeout(waiters, timeout);
+            if (t.timedOut())
+                co_return std::vector<EpollEvent>{};
+        }
+        if (t.interrupted())
+            co_return std::vector<EpollEvent>{}; // EINTR
+    }
+}
+
+void
+Epoll::notifyReady()
+{
+    waiters.wakeAll();
+    readinessChanged(); // nested epoll support
+}
+
+sim::Task<std::int64_t>
+Epoll::read(Thread &, std::uint64_t)
+{
+    co_return -ERR_INVAL;
+}
+
+sim::Task<std::int64_t>
+Epoll::write(Thread &, std::uint64_t)
+{
+    co_return -ERR_INVAL;
+}
+
+std::uint32_t
+Epoll::readiness() const
+{
+    return collectReady(1).empty() ? 0u : std::uint32_t(PollIn);
+}
+
+} // namespace xc::guestos

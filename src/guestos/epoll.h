@@ -1,0 +1,75 @@
+#ifndef XC_GUESTOS_EPOLL_H
+#define XC_GUESTOS_EPOLL_H
+
+/**
+ * @file
+ * Level-triggered epoll — the event loop substrate of the
+ * event-driven applications (NGINX, Redis, memcached, HAProxy).
+ */
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/task.h"
+#include "guestos/file_object.h"
+#include "guestos/thread.h"
+
+namespace xc::guestos {
+
+class GuestKernel;
+
+/** One (token, events) result of epoll_wait. */
+struct EpollEvent
+{
+    std::uint64_t token;
+    std::uint32_t events;
+};
+
+/** An epoll instance. */
+class Epoll : public FileObject
+{
+  public:
+    explicit Epoll(GuestKernel &kernel) : kernel_(kernel) {}
+    ~Epoll() override;
+
+    /** EPOLL_CTL_ADD/MOD. Returns 0 or -errno. */
+    int ctlAdd(const FilePtr &file, std::uint32_t events,
+               std::uint64_t token);
+    int ctlDel(const FilePtr &file);
+
+    /**
+     * epoll_wait: returns ready events (up to @p max), blocking up
+     * to @p timeout (kTickMax = forever; 0 = poll).
+     */
+    sim::Task<std::vector<EpollEvent>> wait(Thread &t, int max,
+                                            sim::Tick timeout);
+
+    /** Called by watched files when readiness may have changed. */
+    void notifyReady();
+
+    // FileObject interface (reads/writes are invalid on epoll fds).
+    sim::Task<std::int64_t> read(Thread &t, std::uint64_t n) override;
+    sim::Task<std::int64_t> write(Thread &t, std::uint64_t n) override;
+    std::uint32_t readiness() const override;
+    const char *kind() const override { return "epoll"; }
+
+    std::size_t watchedCount() const { return items.size(); }
+
+  private:
+    std::vector<EpollEvent> collectReady(int max) const;
+
+    GuestKernel &kernel_;
+    struct Item
+    {
+        FilePtr file;
+        std::uint32_t events;
+        std::uint64_t token;
+    };
+    std::map<FileObject *, Item> items;
+    WaitQueue waiters;
+};
+
+} // namespace xc::guestos
+
+#endif // XC_GUESTOS_EPOLL_H

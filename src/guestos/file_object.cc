@@ -1,0 +1,42 @@
+#include "guestos/file_object.h"
+
+#include <algorithm>
+
+#include "guestos/epoll.h"
+
+namespace xc::guestos {
+
+void
+FileObject::addWatch(Epoll *ep, std::uint32_t events, std::uint64_t token)
+{
+    watches.push_back(EpollWatch{ep, events, token});
+}
+
+void
+FileObject::removeWatch(Epoll *ep)
+{
+    watches.erase(std::remove_if(watches.begin(), watches.end(),
+                                 [ep](const EpollWatch &w) {
+                                     return w.epoll == ep;
+                                 }),
+                  watches.end());
+}
+
+bool
+FileObject::watchedBy(const Epoll *ep) const
+{
+    return std::any_of(watches.begin(), watches.end(),
+                       [ep](const EpollWatch &w) { return w.epoll == ep; });
+}
+
+void
+FileObject::readinessChanged()
+{
+    std::uint32_t ready = readiness();
+    for (const EpollWatch &w : watches) {
+        if (ready & (w.events | PollHup))
+            w.epoll->notifyReady();
+    }
+}
+
+} // namespace xc::guestos

@@ -1,0 +1,80 @@
+#ifndef XC_GUESTOS_FILE_OBJECT_H
+#define XC_GUESTOS_FILE_OBJECT_H
+
+/**
+ * @file
+ * Base class for everything a file descriptor can reference:
+ * VFS files, pipe ends, sockets, epoll instances.
+ *
+ * Data is modelled by size, not content, except where content
+ * changes behaviour (e.g. key presence in a cache); read/write
+ * therefore take and return byte counts.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/task.h"
+#include "guestos/types.h"
+
+namespace xc::guestos {
+
+class Thread;
+class Epoll;
+
+/** Readiness bits (EPOLLIN/EPOLLOUT subset). */
+enum PollBits : std::uint32_t {
+    PollIn = 1u << 0,
+    PollOut = 1u << 2,
+    PollHup = 1u << 4,
+};
+
+/** An epoll registration on a file object. */
+struct EpollWatch
+{
+    Epoll *epoll;
+    std::uint32_t events;
+    std::uint64_t token;
+};
+
+/** Anything installable in a file-descriptor table. */
+class FileObject
+{
+  public:
+    virtual ~FileObject() = default;
+
+    /** Read up to @p n bytes; returns bytes read or -errno. */
+    virtual sim::Task<std::int64_t> read(Thread &t, std::uint64_t n) = 0;
+
+    /** Write @p n bytes; returns bytes written or -errno. */
+    virtual sim::Task<std::int64_t> write(Thread &t, std::uint64_t n) = 0;
+
+    /** Current readiness mask (PollBits). */
+    virtual std::uint32_t readiness() const = 0;
+
+    /** Short type tag for debugging ("file", "pipe", "sock", ...). */
+    virtual const char *kind() const = 0;
+
+    /** One fd-table reference dropped (close). */
+    virtual void onClose(Thread &t) { (void)t; }
+
+    // --- epoll integration ------------------------------------------
+
+    void addWatch(Epoll *ep, std::uint32_t events, std::uint64_t token);
+    void removeWatch(Epoll *ep);
+    bool watchedBy(const Epoll *ep) const;
+
+  protected:
+    /** Subclasses call this whenever readiness may have changed. */
+    void readinessChanged();
+
+  private:
+    std::vector<EpollWatch> watches;
+};
+
+using FilePtr = std::shared_ptr<FileObject>;
+
+} // namespace xc::guestos
+
+#endif // XC_GUESTOS_FILE_OBJECT_H

@@ -1,0 +1,281 @@
+#include "guestos/ipvs.h"
+
+#include <deque>
+
+#include "sim/logging.h"
+
+namespace xc::guestos {
+
+/**
+ * Direct-routing VIP: incoming connections are re-targeted at a
+ * backend's real listener, so the backend terminates the connection
+ * and its responses reach the client without crossing the director.
+ * The director's inbound routing work is a few hundred cycles per
+ * packet and is absorbed in its idle capacity (see DESIGN.md).
+ */
+class IpvsService::DrVipListener : public TcpListener
+{
+  public:
+    DrVipListener(GuestKernel &kernel, SockAddr addr,
+                  IpvsService &service)
+        : TcpListener(kernel, &kernel.net(), addr), service(service)
+    {
+    }
+
+    std::shared_ptr<TcpSock>
+    incoming(std::shared_ptr<Connection> conn) override
+    {
+        NetFabric *fabric = kernelOf().net().fabric();
+        // Round robin over live backends (equal weights, as in the
+        // paper's setup).
+        for (std::size_t tries = 0;
+             tries < service.cfg.backends.size(); ++tries) {
+            SockAddr target =
+                service.cfg.backends[service.nextBackend++ %
+                                     service.cfg.backends.size()];
+            TcpListener *real =
+                fabric->listenerAt(fabric->resolve(target));
+            if (!real)
+                continue;
+            ++service.connections_;
+            return real->incoming(std::move(conn));
+        }
+        sim::warn("ipvs-dr: no live backend for the VIP");
+        return TcpListener::incoming(std::move(conn));
+    }
+
+  private:
+    IpvsService &service;
+};
+
+/**
+ * One NAT-mode proxied connection: the director terminates the
+ * client connection and opens a backend connection, forwarding both
+ * directions *in softirq context* — no kernel threads, no wakeups.
+ * Director CPU consumption is modelled by serializing all relays
+ * through the service's softirq timeline (one core's worth).
+ */
+class IpvsService::NatConn
+    : public std::enable_shared_from_this<IpvsService::NatConn>
+{
+  public:
+    struct End : public Endpoint
+    {
+        NatConn *owner = nullptr;
+        bool clientSide = false;
+
+        void
+        deliverData(std::uint64_t bytes) override
+        {
+            owner->forward(clientSide, bytes);
+        }
+
+        void deliverAck(std::uint64_t) override {}
+
+        void
+        peerClosed() override
+        {
+            owner->onPeerClosed(clientSide);
+        }
+
+        NetStack *
+        stack() override
+        {
+            return &owner->service.kernel_->net();
+        }
+
+        int machineId() const override { return 0; }
+    };
+
+    NatConn(IpvsService &service, std::shared_ptr<Connection> client)
+        : service(service), connClient(std::move(client))
+    {
+        endClient.owner = this;
+        endClient.clientSide = true;
+        endBackend.owner = this;
+        endBackend.clientSide = false;
+    }
+
+    ~NatConn()
+    {
+        if (connClient)
+            connClient->detach(&endClient);
+        if (connBackend)
+            connBackend->detach(&endBackend);
+    }
+
+    void
+    start(SockAddr backend)
+    {
+        NetFabric *fabric = service.kernel_->net().fabric();
+        auto self = shared_from_this();
+        fabric->connect(&endBackend, backend,
+                        [self](std::shared_ptr<Connection> c) {
+                            self->backendUp(std::move(c));
+                        });
+    }
+
+  private:
+    friend class IpvsService;
+
+    void
+    backendUp(std::shared_ptr<Connection> c)
+    {
+        if (!c) {
+            sim::warn("ipvs-nat: backend connect failed");
+            teardown();
+            return;
+        }
+        connBackend = std::move(c);
+        // Flush anything the client sent during the backend
+        // handshake.
+        for (std::uint64_t bytes : pendingToBackend)
+            forward(true, bytes);
+        pendingToBackend.clear();
+    }
+
+    void
+    forward(bool from_client, std::uint64_t bytes)
+    {
+        if (closed)
+            return;
+        if (from_client && !connBackend) {
+            pendingToBackend.push_back(bytes);
+            return;
+        }
+        // Ack the source immediately (the director consumed it).
+        Connection *src = from_client ? connClient.get()
+                                      : connBackend.get();
+        Endpoint *src_end = from_client ? &endClient : &endBackend;
+        src->ack(src_end, bytes);
+
+        service.splicedBytes_ += bytes;
+
+        // Softirq work on the director: inbound stack + conntrack/
+        // rewrite + outbound stack + both split-driver rings.
+        const auto &costs = service.kernel_->costs();
+        std::uint64_t mss =
+            service.kernel_->net().fabric()->config().mss;
+        std::uint64_t packets =
+            std::max<std::uint64_t>(1, (bytes + mss - 1) / mss);
+        hw::Cycles work =
+            packets * (2 * costs.netstackPerPacket + costs.natPerPacket +
+                       2 * costs.ringHopPerPacket + kConntrack) +
+            static_cast<hw::Cycles>(2 * costs.netPerByte *
+                                    static_cast<double>(bytes));
+        sim::Tick at = service.chargeSoftirq(work);
+
+        auto self = shared_from_this();
+        service.kernel_->machine().events().schedule(
+            at, [self, from_client, bytes] {
+                if (self->closed)
+                    return;
+                Connection *dst = from_client
+                                      ? self->connBackend.get()
+                                      : self->connClient.get();
+                Endpoint *dst_end = from_client
+                                        ? &self->endBackend
+                                        : &self->endClient;
+                if (dst)
+                    dst->send(dst_end, bytes);
+            });
+    }
+
+    void
+    onPeerClosed(bool client_side)
+    {
+        if (client_side)
+            connClient.reset();
+        else
+            connBackend.reset();
+        teardown();
+    }
+
+    void
+    teardown()
+    {
+        if (closed)
+            return;
+        closed = true;
+        if (connClient) {
+            connClient->close(&endClient);
+            connClient.reset();
+        }
+        if (connBackend) {
+            connBackend->close(&endBackend);
+            connBackend.reset();
+        }
+    }
+
+    static constexpr hw::Cycles kConntrack = 1700;
+
+    IpvsService &service;
+    End endClient;
+    End endBackend;
+    std::shared_ptr<Connection> connClient;
+    std::shared_ptr<Connection> connBackend;
+    std::deque<std::uint64_t> pendingToBackend;
+    bool closed = false;
+};
+
+/** NAT VIP: terminate at a NatConn relay instead of a socket. */
+class IpvsService::NatVipListener : public TcpListener
+{
+  public:
+    NatVipListener(GuestKernel &kernel, SockAddr addr,
+                   IpvsService &service)
+        : TcpListener(kernel, &kernel.net(), addr), service(service)
+    {
+    }
+
+    std::shared_ptr<TcpSock>
+    incoming(std::shared_ptr<Connection> conn) override
+    {
+        ++service.connections_;
+        auto relay =
+            std::make_shared<NatConn>(service, conn);
+        conn->adoptServerEnd(&relay->endClient);
+        SockAddr target =
+            service.cfg.backends[service.nextBackend++ %
+                                 service.cfg.backends.size()];
+        relay->start(target);
+        service.relays.push_back(relay);
+        return nullptr; // the relay adopted the connection
+    }
+
+  private:
+    IpvsService &service;
+};
+
+bool
+IpvsService::install(GuestKernel &kernel)
+{
+    XC_ASSERT(!cfg.backends.empty());
+    kernel_ = &kernel;
+    NetFabric *fabric = kernel.net().fabric();
+    if (!fabric)
+        return false;
+    SockAddr addr{kernel.net().ip(), cfg.port};
+    if (fabric->listenerAt(addr))
+        return false; // port taken
+
+    if (cfg.mode == Mode::DirectRouting)
+        vip = std::make_shared<DrVipListener>(kernel, addr, *this);
+    else
+        vip = std::make_shared<NatVipListener>(kernel, addr, *this);
+    fabric->bindListener(addr, vip.get());
+    return true;
+}
+
+sim::Tick
+IpvsService::chargeSoftirq(hw::Cycles work)
+{
+    // All NAT forwarding serializes through one softirq context —
+    // the director core the paper identifies as the bottleneck.
+    sim::Tick now = kernel_->now();
+    sim::Tick start = std::max(now, softirqBusyUntil);
+    softirqBusyUntil = start + kernel_->machine().cyclesToTicks(work);
+    return softirqBusyUntil;
+}
+
+} // namespace xc::guestos

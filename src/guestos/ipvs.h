@@ -1,0 +1,79 @@
+#ifndef XC_GUESTOS_IPVS_H
+#define XC_GUESTOS_IPVS_H
+
+/**
+ * @file
+ * IPVS (IP Virtual Server): kernel-level load balancing (§5.7).
+ *
+ * On Docker, inserting IPVS would need root privilege and host
+ * network access; an X-Container can load it into its own X-LibOS.
+ * Two modes, as in the paper's Figure 9:
+ *
+ *  - NAT: the director terminates connections in-kernel and splices
+ *    both directions to a backend through kernel threads — no
+ *    user-level proxy process, no syscall round trips, but the
+ *    director still carries request *and* response bytes.
+ *  - Direct routing: the director only dispatches the connection;
+ *    backends answer the client directly, so response traffic never
+ *    touches the director and the bottleneck shifts to the backends.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "guestos/kernel.h"
+#include "guestos/net.h"
+
+namespace xc::guestos {
+
+class IpvsService
+{
+  public:
+    enum class Mode { Nat, DirectRouting };
+
+    struct Config
+    {
+        Port port = 80;
+        Mode mode = Mode::Nat;
+        std::vector<SockAddr> backends;
+    };
+
+    explicit IpvsService(Config cfg) : cfg(std::move(cfg)) {}
+
+    /**
+     * Load the module into @p kernel (the director's X-LibOS):
+     * binds the virtual service and starts the kernel-side
+     * machinery. @return false if the port is taken.
+     */
+    bool install(GuestKernel &kernel);
+
+    std::uint64_t connections() const { return connections_; }
+    std::uint64_t splicedBytes() const { return splicedBytes_; }
+
+  private:
+    friend class NatConnFriend; // (documentation aid)
+    class DrVipListener;
+    class NatVipListener;
+    class NatConn;
+    friend class DrVipListener;
+    friend class NatVipListener;
+    friend class NatConn;
+
+    /** Serialize softirq forwarding work on the director; returns
+     *  the time the forwarded message leaves the director. */
+    sim::Tick chargeSoftirq(hw::Cycles work);
+
+    Config cfg;
+    GuestKernel *kernel_ = nullptr;
+    std::shared_ptr<TcpListener> vip;
+    std::vector<std::shared_ptr<NatConn>> relays;
+    sim::Tick softirqBusyUntil = 0;
+    std::size_t nextBackend = 0;
+    std::uint64_t connections_ = 0;
+    std::uint64_t splicedBytes_ = 0;
+};
+
+} // namespace xc::guestos
+
+#endif // XC_GUESTOS_IPVS_H

@@ -1,0 +1,1005 @@
+#include "guestos/kernel.h"
+
+#include <bit>
+#include <sstream>
+
+#include "guestos/epoll.h"
+#include "guestos/net.h"
+#include "guestos/pipe.h"
+#include "guestos/vfs.h"
+#include "sim/logging.h"
+#include "sim/trace.h"
+
+namespace xc::guestos {
+
+namespace {
+
+/** A socket() result before bind/listen/connect morphs it. */
+class ProtoSock : public FileObject
+{
+  public:
+    sim::Task<std::int64_t>
+    read(Thread &, std::uint64_t) override
+    {
+        co_return -ERR_NOTCONN;
+    }
+
+    sim::Task<std::int64_t>
+    write(Thread &, std::uint64_t) override
+    {
+        co_return -ERR_NOTCONN;
+    }
+
+    std::uint32_t readiness() const override { return 0; }
+    const char *kind() const override { return "proto"; }
+
+    Port boundPort = 0;
+};
+
+std::uint64_t
+log2Ceil(std::uint64_t n)
+{
+    return std::bit_width(n) - 1;
+}
+
+} // namespace
+
+// --- Vcpu -------------------------------------------------------------
+
+Vcpu::Vcpu(GuestKernel &kernel, int idx)
+    : kernel_(kernel), idx_(idx),
+      name_(kernel.name() + ".vcpu" + std::to_string(idx))
+{
+}
+
+void
+Vcpu::granted(int core, sim::Tick slice_end)
+{
+    core_ = core;
+    (void)slice_end;
+    kernel_.onVcpuGranted(this, slice_end);
+}
+
+// --- construction ------------------------------------------------------
+
+GuestKernel::GuestKernel(hw::Machine &machine, Config cfg)
+    : machine_(machine), config(std::move(cfg))
+{
+    XC_ASSERT(config.pool != nullptr);
+    XC_ASSERT(config.platform != nullptr);
+    XC_ASSERT(config.vcpus > 0);
+    vfs_ = std::make_unique<Vfs>(*this);
+    net_ = std::make_unique<NetStack>(*this, config.fabric);
+    for (int i = 0; i < config.vcpus; ++i) {
+        vcpus.push_back(std::make_unique<Vcpu>(*this, i));
+        idleVcpus.push_back(vcpus.back().get());
+    }
+}
+
+GuestKernel::~GuestKernel()
+{
+    for (auto &v : vcpus)
+        config.pool->remove(v.get());
+    // Processes hold fd objects (listeners, sockets) that unregister
+    // from the network stack on destruction: drop them while vfs_
+    // and net_ are still alive.
+    processes.clear();
+}
+
+// --- processes ---------------------------------------------------------
+
+namespace {
+
+/** Pages representing the kernel image mapped into every process. */
+constexpr std::uint64_t kKernelImagePages = 32;
+constexpr std::uint64_t kStackPages = 16;
+
+} // namespace
+
+Process *
+GuestKernel::createProcess(const std::string &name,
+                           std::shared_ptr<Image> image)
+{
+    XC_ASSERT(image != nullptr);
+    Pid pid = nextPid++;
+    auto proc = std::make_unique<Process>(*this, pid, name, image);
+    Process *p = proc.get();
+    processes.emplace(pid, std::move(proc));
+
+    // Populate the address space: kernel half (global bit per
+    // traits), text, data, stack.
+    bool kernel_global =
+        config.traits.kernelGlobal && !config.traits.kpti;
+    std::uint32_t kflags = hw::PtePresent | hw::PteWritable |
+                           (kernel_global ? std::uint32_t(hw::PteGlobal) : 0u);
+    for (std::uint64_t i = 0; i < kKernelImagePages; ++i)
+        p->pageTable().map(hw::kKernelBase + i * hw::kPageSize, 1 + i,
+                           kflags);
+    for (std::uint64_t i = 0; i < image->textPages; ++i)
+        p->pageTable().map(0x400000 + i * hw::kPageSize, 0x100 + i,
+                           hw::PtePresent | hw::PteUser);
+    for (std::uint64_t i = 0; i < image->dataPages; ++i)
+        p->pageTable().map(0x600000 + i * hw::kPageSize, 0x1100 + i,
+                           hw::PtePresent | hw::PteUser |
+                               hw::PteWritable);
+    for (std::uint64_t i = 0; i < kStackPages; ++i)
+        p->pageTable().map(0x7ffd00000000ull + i * hw::kPageSize,
+                           0x2100 + i,
+                           hw::PtePresent | hw::PteUser |
+                               hw::PteWritable);
+    return p;
+}
+
+Thread *
+GuestKernel::spawnThread(Process *proc, const std::string &name,
+                         Thread::Body body)
+{
+    XC_ASSERT(proc != nullptr && !proc->exited());
+    auto thread = std::make_unique<Thread>(*this, *proc, nextTid++,
+                                           name);
+    Thread *t = thread.get();
+    proc->threads_.push_back(std::move(thread));
+    t->body_ = std::move(body);
+    t->task_ = runBody(t);
+    t->cont_ = t->task_.handle();
+    t->state_ = Thread::State::Embryo;
+    wake(t);
+    return t;
+}
+
+sim::Task<void>
+GuestKernel::runBody(Thread *t)
+{
+    try {
+        co_await t->body_(*t);
+    } catch (const std::exception &e) {
+        sim::panic("thread %s died with exception: %s",
+                   t->name().c_str(), e.what());
+    }
+    threadFinished(t);
+}
+
+void
+GuestKernel::threadFinished(Thread *t)
+{
+    t->state_ = Thread::State::Zombie;
+    t->timer_.cancel();
+    Vcpu *v = t->vcpu_;
+    t->vcpu_ = nullptr;
+
+    Process &p = t->process();
+    bool all_done = true;
+    for (const auto &sib : p.threads())
+        all_done &= (sib->state() == Thread::State::Zombie);
+    if (all_done && !p.exited_) {
+        p.exited_ = true;
+        // Release the address space and descriptors.
+        p.pageTable().clearUser();
+        for (std::size_t fd = 0; fd < p.fds_.size(); ++fd) {
+            if (p.fds_[fd])
+                p.fdClose(*t, static_cast<Fd>(fd));
+        }
+        p.exitWaiters_.wakeAll();
+    }
+
+    if (v) {
+        v->current_ = nullptr;
+        scheduleNext(v);
+    }
+}
+
+void
+GuestKernel::exitThread(Thread &t, int code)
+{
+    t.process().exitCode_ = code;
+}
+
+sim::Task<int>
+GuestKernel::waitPid(Thread &t, Pid pid)
+{
+    Process *child = findProcess(pid);
+    if (!child)
+        co_return -ERR_CHILD;
+    while (!child->exited()) {
+        co_await t.blockOn(child->exitWaiters());
+        if (t.interrupted())
+            co_return -ERR_INTR;
+    }
+    int code = child->exitCode();
+    // Reap after the child's coroutines have fully unwound.
+    machine_.events().scheduleAfter(0, [this, pid] {
+        auto it = processes.find(pid);
+        if (it != processes.end() && it->second->exited())
+            processes.erase(it);
+    });
+    co_return code;
+}
+
+Process *
+GuestKernel::forkProcess(Thread &parent, Thread::Body child_main)
+{
+    ++stats_.forks;
+    Process &pp = parent.process();
+    Pid pid = nextPid++;
+    auto proc = std::make_unique<Process>(*this, pid, pp.name(),
+                                          pp.image());
+    Process *child = proc.get();
+    child->ppid_ = pp.pid();
+    processes.emplace(pid, std::move(proc));
+
+    // Copy-on-write duplication of the user half; kernel half is
+    // re-created with the same traits.
+    bool kernel_global =
+        config.traits.kernelGlobal && !config.traits.kpti;
+    std::uint32_t kflags = hw::PtePresent | hw::PteWritable |
+                           (kernel_global ? std::uint32_t(hw::PteGlobal) : 0u);
+    for (std::uint64_t i = 0; i < kKernelImagePages; ++i)
+        child->pageTable().map(hw::kKernelBase + i * hw::kPageSize,
+                               1 + i, kflags);
+    child->pageTable().copyUserFrom(pp.pageTable(), /*cow=*/true);
+
+    // The fd table is duplicated; objects are shared. The network
+    // namespace is inherited.
+    child->fds_ = pp.fds_;
+    child->umask_ = pp.umask_;
+    child->netns_ = pp.netns_;
+
+    spawnThread(child, pp.name() + ".child", std::move(child_main));
+    return child;
+}
+
+void
+GuestKernel::execImage(Thread &t, std::shared_ptr<Image> image)
+{
+    ++stats_.execs;
+    Process &p = t.process();
+    p.pageTable().clearUser();
+    p.image_ = image;
+    for (std::uint64_t i = 0; i < image->textPages; ++i)
+        p.pageTable().map(0x400000 + i * hw::kPageSize, 0x100 + i,
+                          hw::PtePresent | hw::PteUser);
+    for (std::uint64_t i = 0; i < image->dataPages; ++i)
+        p.pageTable().map(0x600000 + i * hw::kPageSize, 0x1100 + i,
+                          hw::PtePresent | hw::PteUser |
+                              hw::PteWritable);
+}
+
+NetStack &
+GuestKernel::netOf(Process &p)
+{
+    return p.netnsOverride() ? *p.netnsOverride() : *net_;
+}
+
+Process *
+GuestKernel::findProcess(Pid pid)
+{
+    auto it = processes.find(pid);
+    return it == processes.end() ? nullptr : it->second.get();
+}
+
+// --- scheduler -----------------------------------------------------------
+
+void
+GuestKernel::resumeSoon(std::coroutine_handle<> h)
+{
+    machine_.events().scheduleAfter(0, [h] { h.resume(); });
+}
+
+void
+GuestKernel::wake(Thread *t)
+{
+    if (t->state_ != Thread::State::Blocked &&
+        t->state_ != Thread::State::Embryo) {
+        return;
+    }
+    t->waitingOn_ = nullptr;
+    t->timer_.cancel();
+    t->state_ = Thread::State::Runnable;
+    runq.push_back(t);
+    ++stats_.wakeups;
+    if (!idleVcpus.empty()) {
+        Vcpu *v = idleVcpus.front();
+        idleVcpus.erase(idleVcpus.begin());
+        v->idle_ = false;
+        config.pool->submit(v);
+    }
+}
+
+void
+GuestKernel::onVcpuGranted(Vcpu *v, sim::Tick)
+{
+    if (v->current_ && v->pendingResume_) {
+        // Resume the thread that was interrupted by vCPU preemption.
+        auto h = v->pendingResume_;
+        v->pendingResume_ = nullptr;
+        resumeSoon(h);
+        return;
+    }
+    scheduleNext(v);
+}
+
+void
+GuestKernel::scheduleNext(Vcpu *v)
+{
+    XC_ASSERT(v->current_ == nullptr);
+    if (runq.empty()) {
+        // Nothing runnable: the vCPU blocks (releases the core).
+        if (v->core_ >= 0) {
+            int core = v->core_;
+            v->core_ = -1;
+            v->idle_ = true;
+            idleVcpus.push_back(v);
+            config.pool->release(core);
+        }
+        return;
+    }
+    Thread *t = runq.front();
+    runq.pop_front();
+    dispatchThread(v, t);
+}
+
+hw::Cycles
+GuestKernel::threadSwitchCost(Vcpu *v, Thread *, Thread *next)
+{
+    const auto &c = costs();
+    hw::Cycles cost = c.contextSwitchBase + config.traits.extraSwitchCost;
+    if (config.traits.smp)
+        cost += config.traits.smpTax;
+    cost += c.schedDecisionBase +
+            c.schedDecisionLog2 * log2Ceil(runq.size() + 2);
+    if (v->lastPid_ != 0 && v->lastPid_ != next->process().pid()) {
+        ++stats_.processSwitches;
+        cost += config.platform->pageTableSwitchCost(c);
+        bool kernel_survives =
+            config.traits.kernelGlobal && !config.traits.kpti;
+        cost += config.pool->cpuOf(v->core_).tlb().onAddressSpaceSwitch(
+            c, kernel_survives);
+        // Cache working-set pressure: grows once this kernel
+        // schedules more processes than the cache can hold warm.
+        std::uint64_t pop = log2Ceil(processes.size() + 1);
+        if (pop > static_cast<std::uint64_t>(c.cachePressureFreeLog2)) {
+            cost += c.cachePressureLog2 *
+                    (pop - c.cachePressureFreeLog2);
+        }
+    }
+    return cost;
+}
+
+void
+GuestKernel::dispatchThread(Vcpu *v, Thread *t)
+{
+    XC_TRACE(Sched, now(), config.name.c_str(),
+             "dispatch %s on vcpu%d (runq=%zu)", t->name().c_str(),
+             v->idx(), runq.size());
+    ++stats_.threadSwitches;
+    hw::Cycles cost = threadSwitchCost(v, nullptr, t);
+    v->current_ = t;
+    v->lastPid_ = t->process().pid();
+    t->vcpu_ = v;
+    t->state_ = Thread::State::Running;
+    config.pool->cpuOf(v->core_).account(hw::CycleClass::Kernel, cost);
+
+    sim::Tick when = machine_.now() + machine_.cyclesToTicks(cost);
+    t->sliceEnd_ = when + config.traits.threadQuantum;
+    machine_.events().schedule(when, [t] {
+        auto h = t->cont_;
+        t->cont_ = nullptr;
+        h.resume();
+    });
+}
+
+void
+GuestKernel::onFlushSuspend(Thread *t, std::coroutine_handle<> h)
+{
+    Vcpu *v = t->vcpu_;
+    XC_ASSERT(v != nullptr && v->current_ == t);
+    hw::Cycles c = t->accrued_;
+    t->accrued_ = 0;
+    t->cyclesRun_ += c;
+    config.pool->cpuOf(v->core_).account(hw::CycleClass::User, c);
+
+    auto boundary = [this, t, h] {
+        Vcpu *vc = t->vcpu_;
+        if (config.pool->preemptDue(vc->core_)) {
+            // Hypervisor-level preemption: the vCPU yields; the
+            // thread stays current and resumes with the next grant.
+            vc->pendingResume_ = h;
+            config.pool->yieldCore(vc->core_);
+        } else if (machine_.now() >= t->sliceEnd_ && !runq.empty()) {
+            // Guest-level preemption at a kernel entry point.
+            t->state_ = Thread::State::Runnable;
+            t->cont_ = h;
+            t->vcpu_ = nullptr;
+            vc->current_ = nullptr;
+            runq.push_back(t);
+            scheduleNext(vc);
+        } else {
+            h.resume();
+        }
+    };
+
+    if (c == 0) {
+        boundary();
+        return;
+    }
+    machine_.events().scheduleAfter(machine_.cyclesToTicks(c), boundary);
+}
+
+void
+GuestKernel::onBlockSuspend(Thread *t, WaitQueue &wq,
+                            std::coroutine_handle<> h)
+{
+    Vcpu *v = t->vcpu_;
+    XC_ASSERT(v != nullptr && v->current_ == t);
+    // Accrued kernel cycles stay on the thread and are charged after
+    // wakeup; the block itself must be immediate so wakeups between
+    // "check condition" and "sleep" cannot be lost.
+    t->state_ = Thread::State::Blocked;
+    t->cont_ = h;
+    t->waitingOn_ = &wq;
+    wq.push(t);
+    t->vcpu_ = nullptr;
+    v->current_ = nullptr;
+    scheduleNext(v);
+}
+
+void
+GuestKernel::onBlockTimeoutSuspend(Thread *t, WaitQueue &wq,
+                                   sim::Tick timeout,
+                                   std::coroutine_handle<> h)
+{
+    t->timedOut_ = false;
+    onBlockSuspend(t, wq, h);
+    t->timer_ = machine_.events().scheduleAfter(timeout, [this, t] {
+        if (t->state_ == Thread::State::Blocked && t->waitingOn_) {
+            t->waitingOn_->remove(t);
+            t->timedOut_ = true;
+            wake(t);
+        }
+    });
+}
+
+void
+GuestKernel::onSleepSuspend(Thread *t, sim::Tick d,
+                            std::coroutine_handle<> h)
+{
+    Vcpu *v = t->vcpu_;
+    XC_ASSERT(v != nullptr && v->current_ == t);
+    t->state_ = Thread::State::Blocked;
+    t->cont_ = h;
+    t->waitingOn_ = nullptr;
+    t->vcpu_ = nullptr;
+    v->current_ = nullptr;
+    t->timer_ = machine_.events().scheduleAfter(
+        d, [this, t] { wake(t); });
+    scheduleNext(v);
+}
+
+void
+GuestKernel::onYieldSuspend(Thread *t, std::coroutine_handle<> h)
+{
+    Vcpu *v = t->vcpu_;
+    XC_ASSERT(v != nullptr && v->current_ == t);
+    t->state_ = Thread::State::Runnable;
+    t->cont_ = h;
+    t->vcpu_ = nullptr;
+    v->current_ = nullptr;
+    runq.push_back(t);
+    scheduleNext(v);
+}
+
+void
+GuestKernel::sendSignal(Process *proc, int sig)
+{
+    XC_ASSERT(proc != nullptr);
+    constexpr int kSigInt = 2, kSigKill = 9, kSigTerm = 15;
+    bool handled = proc->handlesSignal(sig) && sig != kSigKill;
+    if (handled) {
+        proc->queueSignal(sig);
+    } else if (sig == kSigKill || sig == kSigTerm || sig == kSigInt) {
+        proc->markKilled();
+    } else {
+        return; // default action: ignore (modelled subset)
+    }
+    // Interrupt blocked threads so they reach a delivery / unwind
+    // point promptly.
+    for (const auto &thread : proc->threads()) {
+        Thread *t = thread.get();
+        if (t->state() == Thread::State::Blocked) {
+            if (t->waitingOn_) {
+                t->waitingOn_->remove(t);
+            }
+            t->markInterrupted();
+            wake(t);
+        }
+    }
+}
+
+std::string
+GuestKernel::renderStats() const
+{
+    std::ostringstream os;
+    const char *n = config.name.c_str();
+    os << n << ".syscalls " << stats_.syscalls << "\n";
+    os << n << ".threadSwitches " << stats_.threadSwitches << "\n";
+    os << n << ".processSwitches " << stats_.processSwitches << "\n";
+    os << n << ".forks " << stats_.forks << "\n";
+    os << n << ".execs " << stats_.execs << "\n";
+    os << n << ".wakeups " << stats_.wakeups << "\n";
+    os << n << ".processes " << processes.size() << "\n";
+    return os.str();
+}
+
+// --- futexes ---------------------------------------------------------------
+
+std::uint64_t
+GuestKernel::futexGen(std::uintptr_t addr) const
+{
+    auto it = futexTable.find(addr);
+    return it == futexTable.end() ? 0 : it->second.gen;
+}
+
+std::size_t
+GuestKernel::futexWaiters(std::uintptr_t addr) const
+{
+    auto it = futexTable.find(addr);
+    return it == futexTable.end() ? 0 : it->second.waiters.size();
+}
+
+// --- system calls -----------------------------------------------------------
+
+sim::Task<void>
+GuestKernel::syscallBinary(Thread &t, int nr)
+{
+    ++stats_.syscalls;
+    Process &p = t.process();
+    const auto &image = *p.image();
+    if (image.stubs) {
+        const isa::SyscallStub *stub = image.stubs->find(nr);
+        if (!stub)
+            stub = &image.stubs->ensure(nr, image.wrapperKind(nr));
+        isa::ExecEnv &env = config.platform->syscallEnv(t);
+        isa::Regs regs;
+        if (stub->kind == isa::WrapperKind::GoStackArg)
+            regs.stack[1] = static_cast<std::uint64_t>(nr);
+        isa::RunResult run =
+            isa::execute(image.stubs->code(), stub->entry, regs, env);
+        t.charge(run.instructions * costs().stubInstruction);
+        if (run.faulted)
+            sim::panic("syscall stub for %s faulted unrecoverably",
+                       syscallName(nr));
+    } else {
+        // Images without a binary model: plain trap cost.
+        t.charge(costs().syscallTrap +
+                 (config.traits.kpti ? costs().kptiTrapOverhead : 0));
+    }
+    co_await t.flushCompute();
+}
+
+sim::Task<std::int64_t>
+GuestKernel::syscall(Thread &t, int nr, SysArgs args)
+{
+    XC_TRACE(Syscall, now(), config.name.c_str(), "%s by %s",
+             syscallName(nr), t.name().c_str());
+    // Pending handled signals are delivered at kernel entry: build
+    // the signal frame, run the handler, return via rt_sigreturn
+    // (whose wrapper is the 9-byte mov-rax pattern of Fig. 2).
+    while (t.process().hasPendingSignal() && nr != NR_rt_sigreturn) {
+        int sig = t.process().takePendingSignal();
+        t.charge(serviceCost(650)); // signal frame setup
+        co_await t.compute(t.process().handlerCycles(sig));
+        co_await syscallBinary(t, NR_rt_sigreturn);
+        t.charge(serviceCost(200)); // sigreturn semantics
+    }
+    co_await syscallBinary(t, nr);
+    co_return co_await semantic(t, nr, std::move(args));
+}
+
+sim::Task<std::int64_t>
+GuestKernel::semantic(Thread &t, int nr, SysArgs args)
+{
+    Process &p = t.process();
+    const auto &c = costs();
+    // Generic kernel-side dispatch work.
+    t.charge(serviceCost(25));
+
+    switch (nr) {
+      case NR_getpid:
+        t.charge(serviceCost(15));
+        co_await t.flushCompute();
+        co_return p.pid();
+
+      case NR_getuid:
+        t.charge(serviceCost(12));
+        co_await t.flushCompute();
+        co_return 0;
+
+      case NR_umask: {
+        t.charge(serviceCost(12));
+        std::uint32_t old = p.umaskValue();
+        p.setUmask(static_cast<std::uint32_t>(args.arg[0]));
+        co_await t.flushCompute();
+        co_return old;
+      }
+
+      case NR_dup: {
+        t.charge(serviceCost(28));
+        co_await t.flushCompute();
+        co_return p.fdDup(static_cast<Fd>(args.arg[0]));
+      }
+
+      case NR_close: {
+        t.charge(serviceCost(35));
+        co_await t.flushCompute();
+        co_return p.fdClose(t, static_cast<Fd>(args.arg[0]));
+      }
+
+      case NR_gettimeofday:
+        t.charge(serviceCost(50));
+        co_await t.flushCompute();
+        co_return static_cast<std::int64_t>(now() / sim::kTicksPerUs);
+
+      case NR_sched_yield:
+        co_await t.yieldNow();
+        co_return 0;
+
+      case NR_nanosleep:
+        co_await t.sleepFor(
+            static_cast<sim::Tick>(args.arg[0]) * sim::kTicksPerNs);
+        co_return 0;
+
+      case NR_read:
+      case NR_recvfrom:
+      case NR_recvmsg: {
+        FilePtr f = p.fdGet(static_cast<Fd>(args.arg[0]));
+        if (!f)
+            co_return -ERR_BADF;
+        co_return co_await f->read(t,
+                                   static_cast<std::uint64_t>(args.arg[1]));
+      }
+
+      case NR_write:
+      case NR_writev:
+      case NR_sendto:
+      case NR_sendmsg: {
+        FilePtr f = p.fdGet(static_cast<Fd>(args.arg[0]));
+        if (!f)
+            co_return -ERR_BADF;
+        co_return co_await f->write(
+            t, static_cast<std::uint64_t>(args.arg[1]));
+      }
+
+      case NR_sendfile: {
+        FilePtr out = p.fdGet(static_cast<Fd>(args.arg[0]));
+        FilePtr in = p.fdGet(static_cast<Fd>(args.arg[1]));
+        if (!out || !in)
+            co_return -ERR_BADF;
+        // In-kernel splice: one copy saved vs read+write.
+        t.charge(serviceCost(c.vfsOp));
+        co_return co_await out->write(
+            t, static_cast<std::uint64_t>(args.arg[2]));
+      }
+
+      case NR_open:
+      case NR_openat: {
+        int err = 0;
+        auto f = vfs_->open(args.path(), static_cast<int>(args.arg[0]),
+                            err);
+        t.charge(serviceCost(450));
+        co_await t.flushCompute();
+        if (!f)
+            co_return -err;
+        co_return p.installFd(std::move(f));
+      }
+
+      case NR_stat: {
+        t.charge(serviceCost(350));
+        co_await t.flushCompute();
+        auto inode = vfs_->lookup(args.path());
+        if (!inode)
+            co_return -ERR_NOENT;
+        co_return static_cast<std::int64_t>(inode->size);
+      }
+
+      case NR_fstat: {
+        t.charge(serviceCost(150));
+        co_await t.flushCompute();
+        FilePtr f = p.fdGet(static_cast<Fd>(args.arg[0]));
+        if (!f)
+            co_return -ERR_BADF;
+        auto *vf = dynamic_cast<VfsFile *>(f.get());
+        co_return vf ? static_cast<std::int64_t>(vf->inode()->size) : 0;
+      }
+
+      case NR_lseek: {
+        t.charge(serviceCost(80));
+        co_await t.flushCompute();
+        FilePtr f = p.fdGet(static_cast<Fd>(args.arg[0]));
+        auto *vf = dynamic_cast<VfsFile *>(f.get());
+        if (!vf)
+            co_return -ERR_BADF;
+        vf->seek(static_cast<std::uint64_t>(args.arg[1]));
+        co_return args.arg[1];
+      }
+
+      case NR_unlink:
+        t.charge(serviceCost(300));
+        co_await t.flushCompute();
+        co_return vfs_->unlink(args.path());
+
+      case NR_pipe: {
+        t.charge(serviceCost(400));
+        co_await t.flushCompute();
+        auto [rd, wr] = makePipe(*this);
+        Fd fr = p.installFd(rd);
+        Fd fw = p.installFd(wr);
+        if (fr < 0 || fw < 0)
+            co_return -ERR_MFILE;
+        co_return fr | (static_cast<std::int64_t>(fw) << 16);
+      }
+
+      case NR_socket: {
+        t.charge(serviceCost(350));
+        co_await t.flushCompute();
+        co_return p.installFd(std::make_shared<ProtoSock>());
+      }
+
+      case NR_bind: {
+        t.charge(serviceCost(200));
+        co_await t.flushCompute();
+        auto f = p.fdGet(static_cast<Fd>(args.arg[0]));
+        auto *proto = dynamic_cast<ProtoSock *>(f.get());
+        if (!proto)
+            co_return -ERR_BADF;
+        proto->boundPort = static_cast<Port>(args.arg[1]);
+        co_return 0;
+      }
+
+      case NR_listen: {
+        t.charge(serviceCost(300));
+        co_await t.flushCompute();
+        auto f = p.fdGet(static_cast<Fd>(args.arg[0]));
+        auto *proto = dynamic_cast<ProtoSock *>(f.get());
+        if (!proto)
+            co_return -ERR_BADF;
+        auto listener = netOf(p).listen(proto->boundPort);
+        if (!listener)
+            co_return -ERR_ADDRINUSE;
+        p.fdReplace(static_cast<Fd>(args.arg[0]), std::move(listener));
+        co_return 0;
+      }
+
+      case NR_accept:
+      case NR_accept4: {
+        auto f = p.fdGet(static_cast<Fd>(args.arg[0]));
+        auto *listener = dynamic_cast<TcpListener *>(f.get());
+        if (!listener)
+            co_return -ERR_BADF;
+        if (args.arg[1] != 0) { // SOCK_NONBLOCK
+            auto sock = listener->tryAccept();
+            if (!sock) {
+                // Empty backlog: fail fast (the thundering-herd
+                // losers pay only this).
+                t.charge(serviceCost(220));
+                co_await t.flushCompute();
+                co_return -ERR_AGAIN;
+            }
+            // Connection establishment: handshake bookkeeping
+            // (SYN + ACK through the NIC path), socket + pcb setup.
+            t.charge(serviceCost(2400) +
+                     2 * config.platform->netPathExtraPerPacket(
+                             c, true));
+            co_await t.flushCompute();
+            co_return p.installFd(std::move(sock));
+        }
+        auto sock = co_await listener->accept(t);
+        if (!sock)
+            co_return p.killed() ? -ERR_INTR : -ERR_INVAL;
+        co_return p.installFd(std::move(sock));
+      }
+
+      case NR_connect: {
+        auto f = p.fdGet(static_cast<Fd>(args.arg[0]));
+        if (!dynamic_cast<ProtoSock *>(f.get()))
+            co_return -ERR_BADF;
+        auto sock = netOf(p).socket();
+        SockAddr dst{static_cast<IpAddr>(args.arg[1]),
+                     static_cast<Port>(args.arg[2])};
+        std::int64_t r = co_await sock->connect(t, dst);
+        if (r < 0)
+            co_return r;
+        p.fdReplace(static_cast<Fd>(args.arg[0]), std::move(sock));
+        co_return 0;
+      }
+
+      case NR_setsockopt:
+      case NR_fcntl:
+        t.charge(serviceCost(80));
+        co_await t.flushCompute();
+        co_return 0;
+
+      case NR_shutdown: {
+        t.charge(serviceCost(150));
+        co_await t.flushCompute();
+        FilePtr f = p.fdGet(static_cast<Fd>(args.arg[0]));
+        if (!f)
+            co_return -ERR_BADF;
+        f->onClose(t);
+        co_return 0;
+      }
+
+      case NR_ioctl:
+        t.charge(serviceCost(110));
+        co_await t.flushCompute();
+        co_return 0;
+
+      case NR_rt_sigaction:
+        t.charge(serviceCost(160));
+        co_await t.flushCompute();
+        if (args.arg[0] > 0) {
+            p.setSignalHandler(
+                static_cast<int>(args.arg[0]),
+                static_cast<std::uint64_t>(args.arg[1]));
+        }
+        co_return 0;
+
+      case NR_rt_sigreturn:
+        t.charge(serviceCost(200));
+        co_await t.flushCompute();
+        co_return 0;
+
+      case NR_epoll_create:
+      case NR_epoll_create1:
+        t.charge(serviceCost(300));
+        co_await t.flushCompute();
+        co_return p.installFd(std::make_shared<Epoll>(*this));
+
+      case NR_epoll_ctl: {
+        t.charge(serviceCost(150));
+        co_await t.flushCompute();
+        auto f = p.fdGet(static_cast<Fd>(args.arg[0]));
+        auto *ep = dynamic_cast<Epoll *>(f.get());
+        if (!ep)
+            co_return -ERR_BADF;
+        FilePtr target = p.fdGet(static_cast<Fd>(args.arg[2]));
+        if (!target)
+            co_return -ERR_BADF;
+        if (args.arg[1] == 2) // EPOLL_CTL_DEL
+            co_return ep->ctlDel(target);
+        co_return ep->ctlAdd(target,
+                             static_cast<std::uint32_t>(args.arg[3]),
+                             static_cast<std::uint64_t>(args.arg[4]));
+      }
+
+      case NR_epoll_wait: {
+        auto f = p.fdGet(static_cast<Fd>(args.arg[0]));
+        auto *ep = dynamic_cast<Epoll *>(f.get());
+        if (!ep)
+            co_return -ERR_BADF;
+        sim::Tick timeout =
+            args.arg[2] < 0
+                ? sim::kTickMax
+                : static_cast<sim::Tick>(args.arg[2]) * sim::kTicksPerMs;
+        auto events = co_await ep->wait(
+            t, static_cast<int>(args.arg[1]), timeout);
+        co_return static_cast<std::int64_t>(events.size());
+      }
+
+      case NR_futex: {
+        auto addr = static_cast<std::uintptr_t>(args.arg[0]);
+        FutexSlot &slot = futexTable[addr];
+        t.charge(serviceCost(250));
+        if (args.arg[1] == FutexWait) {
+            if (slot.gen != static_cast<std::uint64_t>(args.arg[3])) {
+                co_await t.flushCompute();
+                co_return -ERR_AGAIN;
+            }
+            co_await t.blockOn(slot.waiters);
+            co_return t.interrupted() ? -ERR_INTR : 0;
+        }
+        // FutexWake
+        ++slot.gen;
+        std::int64_t woken = 0;
+        for (std::int64_t i = 0; i < args.arg[2]; ++i) {
+            if (!slot.waiters.wakeOne())
+                break;
+            ++woken;
+        }
+        co_await t.flushCompute();
+        co_return woken;
+      }
+
+      case NR_fork: {
+        std::uint64_t pages = p.image()->totalPages() + kStackPages;
+        // Two page-table passes: write-protect the parent's entries
+        // for COW, then install (and, under a hypervisor, validate
+        // and pin) the child's table.
+        hw::Cycles cost =
+            c.forkBase + c.perPageSetup * pages +
+            config.platform->pageTableUpdateCost(c, pages) +
+            config.platform->pageTableUpdateCost(c, pages);
+        co_await t.compute(cost);
+        co_return 0;
+      }
+
+      case NR_execve: {
+        std::uint64_t pages = p.image()->totalPages();
+        // Tear down the old image, install the new one.
+        hw::Cycles cost =
+            c.execBase + c.perPageSetup * pages +
+            config.platform->pageTableUpdateCost(c, pages) +
+            config.platform->pageTableUpdateCost(c, pages);
+        co_await t.compute(cost);
+        co_return 0;
+      }
+
+      case NR_exit: {
+        // Address-space teardown walks the page table too (unpin +
+        // free through the hypervisor on PV platforms).
+        std::uint64_t pages = p.image()->totalPages() + kStackPages;
+        t.charge(serviceCost(400) +
+                 config.platform->pageTableUpdateCost(c, pages));
+        co_await t.flushCompute();
+        exitThread(t, static_cast<int>(args.arg[0]));
+        co_return 0;
+      }
+
+      case NR_wait4:
+        co_return co_await waitPid(t, static_cast<Pid>(args.arg[0]));
+
+      case NR_kill: {
+        t.charge(serviceCost(400));
+        co_await t.flushCompute();
+        Process *target = findProcess(static_cast<Pid>(args.arg[0]));
+        if (!target)
+            co_return -ERR_NOENT;
+        sendSignal(target, static_cast<int>(args.arg[1]));
+        co_return 0;
+      }
+
+      case NR_mmap: {
+        std::uint64_t pages =
+            (static_cast<std::uint64_t>(args.arg[1]) + hw::kPageSize -
+             1) /
+            hw::kPageSize;
+        hw::Cycles cost =
+            serviceCost(300) +
+            config.platform->pageTableUpdateCost(c, pages);
+        hw::Vaddr base = p.mmapTop_;
+        for (std::uint64_t i = 0; i < pages; ++i)
+            p.pageTable().map(base + i * hw::kPageSize, 0x4000 + i,
+                              hw::PtePresent | hw::PteUser |
+                                  hw::PteWritable);
+        p.mmapTop_ += pages * hw::kPageSize;
+        co_await t.compute(cost);
+        co_return static_cast<std::int64_t>(base);
+      }
+
+      case NR_munmap: {
+        std::uint64_t pages =
+            (static_cast<std::uint64_t>(args.arg[1]) + hw::kPageSize -
+             1) /
+            hw::kPageSize;
+        hw::Vaddr base = static_cast<hw::Vaddr>(args.arg[0]);
+        for (std::uint64_t i = 0; i < pages; ++i)
+            p.pageTable().unmap(base + i * hw::kPageSize);
+        co_await t.compute(
+            serviceCost(200) +
+            config.platform->pageTableUpdateCost(c, pages));
+        co_return 0;
+      }
+
+      case NR_brk:
+        t.charge(serviceCost(120));
+        co_await t.flushCompute();
+        co_return args.arg[0];
+
+      default:
+        sim::warn("unmodeled syscall %s (%d)", syscallName(nr), nr);
+        t.charge(serviceCost(100));
+        co_await t.flushCompute();
+        co_return -ERR_NOSYS;
+    }
+}
+
+} // namespace xc::guestos

@@ -1,0 +1,314 @@
+#ifndef XC_GUESTOS_KERNEL_H
+#define XC_GUESTOS_KERNEL_H
+
+/**
+ * @file
+ * GuestKernel: the Linux-like kernel library.
+ *
+ * One code base plays every kernel role in the paper:
+ *  - the host Linux under Docker/gVisor (vCPUs pinned 1:1 to cores),
+ *  - the unmodified PV guest kernel of Xen-Containers,
+ *  - the X-LibOS (traits flip: function-call syscalls, global-bit
+ *    kernel mappings, lightweight iret),
+ *  - the stripped guest of Clear Containers,
+ * exactly as the paper turns one Linux into different configurations
+ * (§3.2). The differences are captured in KernelTraits plus the
+ * PlatformPort the runtime supplies.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "hw/cpu_pool.h"
+#include "hw/machine.h"
+#include "sim/stats.h"
+#include "sim/task.h"
+#include "guestos/platform_port.h"
+#include "guestos/process.h"
+#include "guestos/syscall_nums.h"
+#include "guestos/thread.h"
+
+namespace xc::guestos {
+
+class Vfs;
+class NetStack;
+class NetFabric;
+class GuestKernel;
+
+/** Compile/boot-time configuration differences between kernels. */
+struct KernelTraits
+{
+    /** Meltdown patch (KPTI): kernel unmapped from user page tables;
+     *  traps cost more and kernel TLB entries never survive. */
+    bool kpti = false;
+    /** Kernel mappings use the global bit (disabled for PV guests,
+     *  re-enabled for the X-LibOS — §4.3). */
+    bool kernelGlobal = true;
+    /** SMP locking/TLB-shootdown tax; a customized single-threaded
+     *  X-LibOS build can disable it (§3.2). */
+    bool smp = true;
+    /** Extra per-context-switch cycles for this kernel flavour
+     *  (e.g. Rumprun's simpler but slower paths). */
+    hw::Cycles extraSwitchCost = 0;
+    /** Multiplier on VFS/netstack handler work: 1.0 = Linux-grade.
+     *  Unikernel substrates are leaner but less optimized (>1 for
+     *  Rumprun per §5.5's PHP+MySQL result). */
+    double serviceCostFactor = 1.0;
+    /** Extra latency the kernel's TCP stack adds before received
+     *  data is visible to the application (delayed-ack / Nagle-like
+     *  behaviour of less tuned stacks; Rumprun's NetBSD-derived
+     *  stack is the paper's example — §5.5). */
+    sim::Tick rxExtraLatency = 0;
+    /** Guest scheduler quantum. */
+    sim::Tick threadQuantum = 6 * sim::kTicksPerMs;
+    /** SMP lock/shootdown tax per context switch when smp is on. */
+    hw::Cycles smpTax = 120;
+};
+
+/** One paravirtual (or pinned-physical) CPU of a kernel. */
+class Vcpu : public hw::CpuClient
+{
+  public:
+    Vcpu(GuestKernel &kernel, int idx);
+
+    void granted(int core, sim::Tick slice_end) override;
+    const std::string &clientName() const override { return name_; }
+
+    int idx() const { return idx_; }
+    int core() const { return core_; }
+    Thread *current() const { return current_; }
+    bool isIdle() const { return idle_; }
+
+  private:
+    friend class GuestKernel;
+
+    GuestKernel &kernel_;
+    int idx_;
+    std::string name_;
+    int core_ = -1;
+    bool idle_ = true;
+    Thread *current_ = nullptr;
+    /** Pid of the last process that ran here (page-table identity
+     *  for switch-cost accounting; never dereferenced). */
+    Pid lastPid_ = 0;
+    std::coroutine_handle<> pendingResume_;
+};
+
+/** Futex op subset (FUTEX_WAIT / FUTEX_WAKE equivalents). */
+enum FutexOp : int { FutexWait = 0, FutexWake = 1 };
+
+/**
+ * Arguments of one system call (semantic leg).
+ *
+ * Deliberately trivially copyable (fixed-size path buffer instead of
+ * std::string): SysArgs is passed by value into lazily-started
+ * coroutines, and GCC 12's coroutine parameter-copy handling is
+ * only fully trustworthy for trivially copyable types.
+ */
+struct SysArgs
+{
+    std::int64_t arg[6] = {0, 0, 0, 0, 0, 0};
+    /** Pathname for open/stat/unlink (NUL-terminated). */
+    char pathBuf[120] = {0};
+
+    void
+    setPath(const std::string &p)
+    {
+        std::size_t n = std::min(p.size(), sizeof(pathBuf) - 1);
+        std::memcpy(pathBuf, p.data(), n);
+        pathBuf[n] = '\0';
+    }
+
+    std::string path() const { return std::string(pathBuf); }
+};
+static_assert(std::is_trivially_copyable_v<SysArgs>);
+
+/** Per-kernel statistics. */
+struct KernelStats
+{
+    std::uint64_t syscalls = 0;
+    std::uint64_t threadSwitches = 0;
+    std::uint64_t processSwitches = 0;
+    std::uint64_t forks = 0;
+    std::uint64_t execs = 0;
+    std::uint64_t wakeups = 0;
+};
+
+/** The kernel. */
+class GuestKernel
+{
+  public:
+    struct Config
+    {
+        std::string name = "linux";
+        KernelTraits traits;
+        int vcpus = 1;
+        /** Pool the vCPUs are scheduled on (machine pool for a host
+         *  kernel, hypervisor pool for a guest). */
+        hw::CorePool *pool = nullptr;
+        PlatformPort *platform = nullptr;
+        /** Network fabric this kernel's stack attaches to. */
+        NetFabric *fabric = nullptr;
+    };
+
+    GuestKernel(hw::Machine &machine, Config config);
+    ~GuestKernel();
+
+    GuestKernel(const GuestKernel &) = delete;
+    GuestKernel &operator=(const GuestKernel &) = delete;
+
+    hw::Machine &machine() { return machine_; }
+    const hw::CostModel &costs() const { return machine_.costs(); }
+    const KernelTraits &traits() const { return config.traits; }
+    const std::string &name() const { return config.name; }
+    PlatformPort &platform() { return *config.platform; }
+    sim::Tick now() const { return machine_.now(); }
+    const KernelStats &stats() const { return stats_; }
+
+    Vfs &vfs() { return *vfs_; }
+    NetStack &net() { return *net_; }
+
+    /** The network stack process @p p sees (its netns). */
+    NetStack &netOf(Process &p);
+
+    /** Scale handler work by the kernel's service quality factor.
+     *  A kernel compiled without SMP support drops locking and TLB
+     *  shootdowns from every handler (§3.2's customization win). */
+    hw::Cycles
+    serviceCost(hw::Cycles base) const
+    {
+        double factor = config.traits.serviceCostFactor;
+        if (!config.traits.smp)
+            factor *= 0.92;
+        return static_cast<hw::Cycles>(static_cast<double>(base) *
+                                       factor);
+    }
+
+    // --- process / thread lifecycle ---------------------------------
+
+    /** Create a process with no threads yet. */
+    Process *createProcess(const std::string &name,
+                           std::shared_ptr<Image> image);
+
+    /** Add a thread running @p body; it becomes runnable at once. */
+    Thread *spawnThread(Process *proc, const std::string &name,
+                        Thread::Body body);
+
+    /** Kernel-side fork: clone @p parent's process (fds + COW
+     *  address space), run @p child_main in the child. Charges the
+     *  page-table copy through the platform port. Returns the child.
+     *  (The syscall-shaped wrapper lives in Sys::fork.) */
+    Process *forkProcess(Thread &parent, Thread::Body child_main);
+
+    /** Kernel-side execve: replace @p proc's image. */
+    void execImage(Thread &t, std::shared_ptr<Image> image);
+
+    /** Voluntary thread exit (also ends the process when it is the
+     *  last thread). Must be the last thing a body does. */
+    void exitThread(Thread &t, int code);
+
+    /** Wait for process @p pid to exit; returns its exit code. */
+    sim::Task<int> waitPid(Thread &t, Pid pid);
+
+    /** Make @p t runnable (used by wait queues and devices). */
+    void wake(Thread *t);
+
+    /**
+     * POSIX signal delivery: queue @p sig on @p proc. Handled
+     * signals run their handler at the next syscall boundary (the
+     * handler returns through rt_sigreturn — the Fig. 2 9-byte
+     * wrapper). Unhandled SIGTERM/SIGKILL/SIGINT mark the process
+     * killed; its blocked threads wake with EINTR so they unwind.
+     */
+    void sendSignal(Process *proc, int sig);
+
+    Process *findProcess(Pid pid);
+    std::size_t processCount() const { return processes.size(); }
+    std::size_t runQueueLength() const { return runq.size(); }
+
+    /** Formatted counters ("<name>.<stat> <value>" lines). */
+    std::string renderStats() const;
+
+    // --- futexes ------------------------------------------------------
+
+    /** Wake generation of futex word @p addr (the "value" waiters
+     *  compare against to avoid lost wakeups). */
+    std::uint64_t futexGen(std::uintptr_t addr) const;
+    std::size_t futexWaiters(std::uintptr_t addr) const;
+
+    // --- system calls -------------------------------------------------
+
+    /**
+     * Full system call: binary leg (stub execution through the
+     * platform's ExecEnv — trap / forward / patch / function call)
+     * followed by the semantic leg (the actual kernel service).
+     */
+    sim::Task<std::int64_t> syscall(Thread &t, int nr, SysArgs args);
+
+    /** Semantic leg only (used internally and by vDSO-style calls). */
+    sim::Task<std::int64_t> semantic(Thread &t, int nr, SysArgs args);
+
+    /** Binary leg only — for calls whose semantics return rich
+     *  objects the Sys facade drives directly (epoll_wait, fork). */
+    sim::Task<void> syscallBinary(Thread &t, int nr);
+
+    // --- scheduler entry points used by Thread/Vcpu -----------------
+
+    void onVcpuGranted(Vcpu *v, sim::Tick slice_end);
+    void onFlushSuspend(Thread *t, std::coroutine_handle<> h);
+    void onBlockSuspend(Thread *t, WaitQueue &wq,
+                        std::coroutine_handle<> h);
+    void onBlockTimeoutSuspend(Thread *t, WaitQueue &wq,
+                               sim::Tick timeout,
+                               std::coroutine_handle<> h);
+    void onSleepSuspend(Thread *t, sim::Tick d,
+                        std::coroutine_handle<> h);
+    void onYieldSuspend(Thread *t, std::coroutine_handle<> h);
+
+    /** Resume @p h through the event queue (bounded stack depth). */
+    void resumeSoon(std::coroutine_handle<> h);
+
+  private:
+    friend class Vcpu;
+
+    void scheduleNext(Vcpu *v);
+    void dispatchThread(Vcpu *v, Thread *t);
+    hw::Cycles threadSwitchCost(Vcpu *v, Thread *prev, Thread *next);
+    void threadFinished(Thread *t);
+    /** Thread runner. NOTE: coroutine by-value parameters must be
+     *  trivially copyable (GCC 12 miscompiles the parameter copy
+     *  otherwise); the body lives in Thread::body_. */
+    sim::Task<void> runBody(Thread *t);
+
+    hw::Machine &machine_;
+    Config config;
+    KernelStats stats_;
+
+    std::vector<std::unique_ptr<Vcpu>> vcpus;
+    std::vector<Vcpu *> idleVcpus;
+    std::deque<Thread *> runq;
+
+    std::map<Pid, std::unique_ptr<Process>> processes;
+    Pid nextPid = 1;
+    Tid nextTid = 1;
+
+    struct FutexSlot
+    {
+        std::uint64_t gen = 0;
+        WaitQueue waiters;
+    };
+    std::map<std::uintptr_t, FutexSlot> futexTable;
+
+    std::unique_ptr<Vfs> vfs_;
+    std::unique_ptr<NetStack> net_;
+};
+
+} // namespace xc::guestos
+
+#endif // XC_GUESTOS_KERNEL_H

@@ -1,0 +1,146 @@
+#ifndef XC_GUESTOS_NATIVE_PORT_H
+#define XC_GUESTOS_NATIVE_PORT_H
+
+/**
+ * @file
+ * PlatformPort for a kernel running directly on hardware — the host
+ * Linux under Docker and gVisor, and the guest Linux inside a
+ * hardware-virtualized (Clear Containers) VM. System calls are
+ * native traps; page tables are written directly.
+ */
+
+#include "guestos/platform_port.h"
+#include "guestos/thread.h"
+
+namespace xc::guestos {
+
+/** Binary-leg environment: plain trap per syscall instruction. */
+class NativeSyscallEnv : public isa::ExecEnv
+{
+  public:
+    NativeSyscallEnv(const hw::CostModel &costs, bool kpti,
+                     hw::Cycles trap_cost, hw::Cycles extra_per_call)
+        : costs(costs), kpti(kpti), trapCost(trap_cost),
+          extraPerCall(extra_per_call)
+    {
+    }
+
+    void bind(Thread *t) { bound = t; }
+
+    std::uint64_t traps() const { return traps_; }
+
+    isa::GuestAddr
+    onSyscall(isa::Regs &, isa::CodeBuffer &,
+              isa::GuestAddr ip_after) override
+    {
+        ++traps_;
+        bound->charge(trapCost + extraPerCall +
+                      (kpti ? costs.kptiTrapOverhead : 0));
+        return ip_after;
+    }
+
+    isa::GuestAddr
+    onVsyscallCall(int, isa::Regs &, isa::CodeBuffer &,
+                   isa::GuestAddr) override
+    {
+        // No one patches binaries on this platform; a stray vsyscall
+        // call faults like it would on real hardware.
+        return kFault;
+    }
+
+    isa::GuestAddr
+    onInvalidOpcode(isa::Regs &, isa::CodeBuffer &,
+                    isa::GuestAddr) override
+    {
+        return kFault; // SIGILL
+    }
+
+  private:
+    const hw::CostModel &costs;
+    bool kpti;
+    hw::Cycles trapCost;
+    hw::Cycles extraPerCall;
+    Thread *bound = nullptr;
+    std::uint64_t traps_ = 0;
+};
+
+/** Platform backend for bare-metal / HVM-native kernels. */
+class NativePort : public PlatformPort
+{
+  public:
+    struct Options
+    {
+        /** Meltdown patch applied to this kernel. */
+        bool kpti = false;
+        /** Container networking (veth + bridge + NAT) on this
+         *  kernel's path (Docker), vs plain host networking. */
+        bool containerNet = false;
+        /** Trap cost override (Clear Containers' stripped guest).
+         *  0 = use the model's default syscallTrap. */
+        hw::Cycles trapCostOverride = 0;
+        /** Per-packet extra charged on top (nested-virt I/O exits
+         *  for Clear Containers). */
+        hw::Cycles packetExtra = 0;
+        /** Per-syscall filter overhead (Docker's seccomp profile). */
+        hw::Cycles seccompPerSyscall = 0;
+        /** Extra cost of delivering an interrupt into this kernel
+         *  (nested-virt injection exits for Clear Containers). */
+        hw::Cycles eventDeliveryExtra = 0;
+    };
+
+    NativePort(const hw::CostModel &costs, Options opt)
+        : opts(opt),
+          env(costs, opt.kpti,
+              opt.trapCostOverride ? opt.trapCostOverride
+                                   : costs.syscallTrap,
+              opt.seccompPerSyscall)
+    {
+    }
+
+    hw::Cycles
+    pageTableSwitchCost(const hw::CostModel &c) override
+    {
+        return c.pageTableSwitch;
+    }
+
+    hw::Cycles
+    pageTableUpdateCost(const hw::CostModel &c,
+                        std::uint64_t ptes) override
+    {
+        return c.nativePte * ptes;
+    }
+
+    isa::ExecEnv &
+    syscallEnv(Thread &t) override
+    {
+        env.bind(&t);
+        return env;
+    }
+
+    hw::Cycles
+    eventDeliveryCost(const hw::CostModel &c) override
+    {
+        // Native interrupt entry; KPTI taxes these too.
+        return 250 + opts.eventDeliveryExtra +
+               (opts.kpti ? c.kptiTrapOverhead / 2 : 0);
+    }
+
+    hw::Cycles
+    netPathExtraPerPacket(const hw::CostModel &c, bool) override
+    {
+        hw::Cycles extra = opts.packetExtra;
+        if (opts.containerNet)
+            extra += c.natPerPacket + c.vethPerPacket;
+        return extra;
+    }
+
+    const NativeSyscallEnv &nativeEnv() const { return env; }
+
+  private:
+    Options opts;
+    NativeSyscallEnv env;
+};
+
+} // namespace xc::guestos
+
+#endif // XC_GUESTOS_NATIVE_PORT_H

@@ -1,0 +1,606 @@
+#include "guestos/net.h"
+
+#include <algorithm>
+
+#include "guestos/kernel.h"
+#include "sim/trace.h"
+
+namespace xc::guestos {
+
+// --- Connection -------------------------------------------------------
+
+Connection::Connection(NetFabric &fabric, Endpoint *a, Endpoint *b,
+                       sim::Tick latency)
+    : fabric(fabric), endA(a), endB(b), latency_(latency)
+{
+}
+
+Endpoint *
+Connection::peerOf(Endpoint *ep) const
+{
+    if (ep == endA)
+        return endB;
+    if (ep == endB)
+        return endA;
+    return nullptr;
+}
+
+void
+Connection::send(Endpoint *from, std::uint64_t bytes)
+{
+    bool to_b = (from == endA);
+    auto self = shared_from_this();
+    fabric.events().scheduleAfter(latency_, [self, to_b, bytes] {
+        Endpoint *dst = to_b ? self->endB : self->endA;
+        if (dst)
+            dst->deliverData(bytes);
+    });
+}
+
+void
+Connection::ack(Endpoint *receiver, std::uint64_t bytes)
+{
+    bool to_b = (receiver == endA);
+    auto self = shared_from_this();
+    fabric.events().scheduleAfter(latency_, [self, to_b, bytes] {
+        Endpoint *dst = to_b ? self->endB : self->endA;
+        if (dst)
+            dst->deliverAck(bytes);
+    });
+}
+
+void
+Connection::close(Endpoint *from)
+{
+    bool to_b = (from == endA);
+    auto self = shared_from_this();
+    detach(from);
+    fabric.events().scheduleAfter(latency_, [self, to_b] {
+        Endpoint *dst = to_b ? self->endB : self->endA;
+        if (dst)
+            dst->peerClosed();
+    });
+}
+
+void
+Connection::detach(Endpoint *ep)
+{
+    if (endA == ep)
+        endA = nullptr;
+    if (endB == ep)
+        endB = nullptr;
+}
+
+// --- TcpSock ------------------------------------------------------------
+
+TcpSock::TcpSock(GuestKernel &kernel, NetStack *home)
+    : kernel_(kernel), home_(home)
+{
+}
+
+TcpSock::~TcpSock()
+{
+    if (conn)
+        conn->detach(this);
+}
+
+NetStack *
+TcpSock::stack()
+{
+    return home_;
+}
+
+int
+TcpSock::machineId() const
+{
+    return 0; // all guest kernels live on the simulated server machine
+}
+
+hw::Cycles
+TcpSock::rxWork(std::uint64_t bytes) const
+{
+    const auto &costs = kernel_.costs();
+    std::uint64_t mss = kernel_.net().fabric()->config().mss;
+    std::uint64_t packets = std::max<std::uint64_t>(1, (bytes + mss - 1) / mss);
+    // Loopback traffic never touches the NIC path: no driver hop,
+    // no hardware interrupt.
+    if (loopback_) {
+        return packets * kernel_.serviceCost(costs.netstackPerPacket / 2) +
+               static_cast<hw::Cycles>(costs.netPerByte *
+                                       static_cast<double>(bytes));
+    }
+    // Interrupt coalescing: roughly one interrupt per four packets.
+    hw::Cycles per_packet =
+        kernel_.serviceCost(costs.netstackPerPacket) + costs.softirqEntry +
+        kernel_.platform().eventDeliveryCost(costs) / 4 +
+        kernel_.platform().netPathExtraPerPacket(costs, /*rx=*/true);
+    return packets * per_packet +
+           static_cast<hw::Cycles>(costs.netPerByte *
+                                   static_cast<double>(bytes));
+}
+
+hw::Cycles
+TcpSock::txWork(std::uint64_t bytes) const
+{
+    const auto &costs = kernel_.costs();
+    std::uint64_t mss = kernel_.net().fabric()->config().mss;
+    std::uint64_t packets = std::max<std::uint64_t>(1, (bytes + mss - 1) / mss);
+    if (loopback_) {
+        return packets * kernel_.serviceCost(costs.netstackPerPacket / 2) +
+               static_cast<hw::Cycles>(costs.netPerByte *
+                                       static_cast<double>(bytes));
+    }
+    hw::Cycles per_packet =
+        kernel_.serviceCost(costs.netstackPerPacket) +
+        kernel_.platform().netPathExtraPerPacket(costs, /*rx=*/false);
+    return packets * per_packet +
+           static_cast<hw::Cycles>(costs.netPerByte *
+                                   static_cast<double>(bytes));
+}
+
+sim::Task<std::int64_t>
+TcpSock::read(Thread &t, std::uint64_t n)
+{
+    while (rxBytes == 0) {
+        if (peerClosed_ || closed_ || !conn)
+            co_return 0; // EOF
+        co_await t.blockOn(rxWait);
+        if (t.interrupted())
+            co_return -ERR_INTR;
+    }
+    std::uint64_t got = std::min(n, rxBytes);
+    rxBytes -= got;
+    // Consume the softirq work accumulated for this data.
+    t.charge(pendingRxWork + kernel_.serviceCost(120));
+    pendingRxWork = 0;
+    if (conn)
+        conn->ack(this, got);
+    readinessChanged();
+    co_await t.flushCompute();
+    co_return static_cast<std::int64_t>(got);
+}
+
+sim::Task<std::int64_t>
+TcpSock::write(Thread &t, std::uint64_t n)
+{
+    if (closed_)
+        co_return -ERR_BADF;
+    if (!conn || peerClosed_)
+        co_return -ERR_PIPE;
+    std::uint64_t window = kernel_.net().fabric()->config().window;
+    while (unacked + n > window) {
+        if (peerClosed_ || closed_)
+            co_return -ERR_PIPE;
+        co_await t.blockOn(txWait);
+        if (t.interrupted())
+            co_return -ERR_INTR;
+    }
+    unacked += n;
+    t.charge(txWork(n));
+    conn->send(this, n);
+    co_await t.flushCompute();
+    co_return static_cast<std::int64_t>(n);
+}
+
+std::uint32_t
+TcpSock::readiness() const
+{
+    std::uint32_t r = 0;
+    if (rxBytes > 0 || peerClosed_)
+        r |= PollIn;
+    if (conn && !peerClosed_ &&
+        unacked < kernel_.net().fabric()->config().window)
+        r |= PollOut;
+    if (peerClosed_)
+        r |= PollHup;
+    return r;
+}
+
+void
+TcpSock::onClose(Thread &t)
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    // FIN/teardown path: timers, pcb release, FIN packet out.
+    t.charge(kernel_.serviceCost(1600) +
+             (loopback_ ? 0
+                        : kernel_.platform().netPathExtraPerPacket(
+                              kernel_.costs(), false)));
+    if (conn) {
+        conn->close(this);
+        conn.reset();
+    }
+    rxWait.wakeAll();
+    txWait.wakeAll();
+}
+
+void
+TcpSock::deliverData(std::uint64_t bytes)
+{
+    if (closed_)
+        return;
+    sim::Tick extra = kernel_.traits().rxExtraLatency;
+    if (extra > 0 && !loopback_) {
+        // Stacks with delayed-ack/Nagle-like behaviour surface the
+        // data to the application a bit later.
+        kernel_.machine().events().scheduleAfter(
+            extra, [this, bytes] {
+                if (closed_)
+                    return;
+                rxBytes += bytes;
+                pendingRxWork += rxWork(bytes);
+                rxWait.wakeAll();
+                readinessChanged();
+            });
+        return;
+    }
+    rxBytes += bytes;
+    pendingRxWork += rxWork(bytes);
+    rxWait.wakeAll();
+    readinessChanged();
+}
+
+void
+TcpSock::deliverAck(std::uint64_t bytes)
+{
+    unacked -= std::min(unacked, bytes);
+    txWait.wakeAll();
+    readinessChanged();
+}
+
+void
+TcpSock::peerClosed()
+{
+    peerClosed_ = true;
+    rxWait.wakeAll();
+    txWait.wakeAll();
+    readinessChanged();
+}
+
+sim::Task<std::int64_t>
+TcpSock::connect(Thread &t, SockAddr dst)
+{
+    NetFabric *fabric = kernel_.net().fabric();
+    if (!fabric)
+        co_return -ERR_NOTCONN;
+    // SYN processing on our side.
+    t.charge(txWork(1));
+    co_await t.flushCompute();
+
+    bool done = false;
+    std::shared_ptr<Connection> result;
+    WaitQueue wait;
+    fabric->connect(this, dst,
+                    [&](std::shared_ptr<Connection> c) {
+                        result = std::move(c);
+                        done = true;
+                        wait.wakeAll();
+                    });
+    while (!done)
+        co_await t.blockOn(wait);
+    if (!result)
+        co_return -ERR_CONNREFUSED;
+    established(std::move(result));
+    co_return 0;
+}
+
+void
+TcpSock::established(std::shared_ptr<Connection> c)
+{
+    conn = std::move(c);
+    Endpoint *peer = conn->peerOf(this);
+    loopback_ = peer && peer->stack() == home_;
+    readinessChanged();
+}
+
+// --- TcpListener ----------------------------------------------------------
+
+TcpListener::TcpListener(GuestKernel &kernel, NetStack *home,
+                         SockAddr addr)
+    : kernel_(kernel), home_(home), addr(addr)
+{
+}
+
+TcpListener::~TcpListener()
+{
+    if (!unbound && kernel_.net().fabric())
+        kernel_.net().fabric()->unbindListener(addr);
+}
+
+sim::Task<std::int64_t>
+TcpListener::read(Thread &, std::uint64_t)
+{
+    co_return -ERR_INVAL;
+}
+
+sim::Task<std::int64_t>
+TcpListener::write(Thread &, std::uint64_t)
+{
+    co_return -ERR_INVAL;
+}
+
+std::uint32_t
+TcpListener::readiness() const
+{
+    return backlog.empty() ? 0u : std::uint32_t(PollIn);
+}
+
+void
+TcpListener::onClose(Thread &)
+{
+    if (!unbound && kernel_.net().fabric()) {
+        kernel_.net().fabric()->unbindListener(addr);
+        unbound = true;
+    }
+    acceptors.wakeAll();
+}
+
+sim::Task<std::shared_ptr<TcpSock>>
+TcpListener::accept(Thread &t)
+{
+    while (backlog.empty()) {
+        if (unbound)
+            co_return nullptr;
+        co_await t.blockOn(acceptors);
+        if (t.interrupted())
+            co_return nullptr; // EINTR at the syscall layer
+    }
+    auto sock = backlog.front();
+    backlog.pop_front();
+    // Connection establishment: handshake processing (SYN + ACK
+    // both cross the NIC path), socket + pcb allocation,
+    // accept-queue bookkeeping.
+    t.charge(kernel_.serviceCost(2400) +
+             2 * kernel_.platform().netPathExtraPerPacket(
+                     kernel_.costs(), true));
+    readinessChanged();
+    co_await t.flushCompute();
+    co_return sock;
+}
+
+std::shared_ptr<TcpSock>
+TcpListener::tryAccept()
+{
+    if (backlog.empty())
+        return nullptr;
+    auto sock = backlog.front();
+    backlog.pop_front();
+    readinessChanged();
+    return sock;
+}
+
+std::shared_ptr<TcpSock>
+TcpListener::incoming(std::shared_ptr<Connection> conn)
+{
+    XC_TRACE(Net, kernel_.now(), kernel_.name().c_str(),
+             "incoming connection on port %u (backlog=%zu)",
+             addr.port, backlog.size());
+    auto sock = std::make_shared<TcpSock>(kernel_, home_);
+    conn->adoptServerEnd(sock.get());
+    sock->established(std::move(conn));
+    backlog.push_back(sock);
+    acceptors.wakeAll();
+    readinessChanged();
+    return sock;
+}
+
+// --- WireClient -------------------------------------------------------------
+
+WireClient::WireClient(NetFabric &fabric, int machine_id)
+    : fabric(fabric), machineId_(machine_id)
+{
+}
+
+WireClient::~WireClient()
+{
+    if (conn)
+        conn->detach(this);
+}
+
+void
+WireClient::connectTo(SockAddr dst)
+{
+    fabric.connect(this, dst, [this](std::shared_ptr<Connection> c) {
+        conn = std::move(c);
+        if (onConnected)
+            onConnected(conn != nullptr);
+    });
+}
+
+void
+WireClient::send(std::uint64_t bytes)
+{
+    if (conn)
+        conn->send(this, bytes);
+}
+
+void
+WireClient::close()
+{
+    if (conn) {
+        conn->close(this);
+        conn.reset();
+    }
+}
+
+void
+WireClient::deliverData(std::uint64_t bytes)
+{
+    // Client machines ack instantly (their CPU is not the system
+    // under test).
+    if (conn)
+        conn->ack(this, bytes);
+    if (onData)
+        onData(bytes);
+}
+
+void
+WireClient::deliverAck(std::uint64_t)
+{
+}
+
+void
+WireClient::peerClosed()
+{
+    if (conn) {
+        conn->detach(this);
+        conn.reset();
+    }
+    if (onPeerClosed)
+        onPeerClosed();
+}
+
+// --- NetStack ------------------------------------------------------------
+
+NetStack::NetStack(GuestKernel &kernel, NetFabric *fabric)
+    : kernel_(kernel), fabric_(fabric)
+{
+    if (fabric_)
+        ip_ = fabric_->registerStack(this);
+}
+
+NetStack::~NetStack()
+{
+    if (fabric_)
+        fabric_->unregisterStack(this);
+}
+
+std::shared_ptr<TcpListener>
+NetStack::listen(Port port)
+{
+    if (!fabric_)
+        return nullptr;
+    SockAddr addr{ip_, port};
+    if (fabric_->listenerAt(addr))
+        return nullptr; // ERR_ADDRINUSE
+    auto listener =
+        std::make_shared<TcpListener>(kernel_, this, addr);
+    fabric_->bindListener(addr, listener.get());
+    return listener;
+}
+
+std::shared_ptr<TcpSock>
+NetStack::socket()
+{
+    return std::make_shared<TcpSock>(kernel_, this);
+}
+
+// --- NetFabric ------------------------------------------------------------
+
+NetFabric::NetFabric(sim::EventQueue &events, NetConfig config)
+    : events_(events), config_(config)
+{
+}
+
+IpAddr
+NetFabric::registerStack(NetStack *)
+{
+    return nextIp++;
+}
+
+void
+NetFabric::unregisterStack(NetStack *stack)
+{
+    // Drop any listeners still registered for this stack.
+    for (auto it = listeners.begin(); it != listeners.end();) {
+        if (it->second->homeStack() == stack)
+            it = listeners.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+NetFabric::bindListener(SockAddr addr, TcpListener *listener)
+{
+    listeners[key(addr)] = listener;
+}
+
+void
+NetFabric::unbindListener(SockAddr addr)
+{
+    listeners.erase(key(addr));
+}
+
+TcpListener *
+NetFabric::listenerAt(SockAddr addr) const
+{
+    auto it = listeners.find(key(addr));
+    return it == listeners.end() ? nullptr : it->second;
+}
+
+void
+NetFabric::addNatRule(SockAddr pub, SockAddr priv)
+{
+    natRules[key(pub)] = priv;
+}
+
+void
+NetFabric::removeNatRule(SockAddr pub)
+{
+    natRules.erase(key(pub));
+}
+
+SockAddr
+NetFabric::resolve(SockAddr addr) const
+{
+    auto it = natRules.find(key(addr));
+    return it == natRules.end() ? addr : it->second;
+}
+
+sim::Tick
+NetFabric::latencyBetween(Endpoint *a, Endpoint *b) const
+{
+    if (a->stack() && b->stack() && a->stack() == b->stack())
+        return config_.sameKernelLatency;
+    if (a->machineId() == b->machineId())
+        return config_.sameMachineLatency;
+    return config_.crossMachineLatency;
+}
+
+sim::Tick
+NetFabric::latencyFor(Endpoint *initiator, NetStack *dst_stack) const
+{
+    if (initiator->stack() && initiator->stack() == dst_stack)
+        return config_.sameKernelLatency;
+    if (dst_stack && initiator->machineId() == dst_stack->machineId())
+        return config_.sameMachineLatency;
+    return config_.crossMachineLatency;
+}
+
+void
+NetFabric::connect(Endpoint *initiator, SockAddr dst,
+                   std::function<void(std::shared_ptr<Connection>)> done)
+{
+    SockAddr resolved = resolve(dst);
+    std::uint64_t k = key(resolved);
+    auto it = listeners.find(k);
+    if (it == listeners.end()) {
+        // RST after one round trip.
+        events_.scheduleAfter(2 * config_.crossMachineLatency,
+                              [done] { done(nullptr); });
+        return;
+    }
+    TcpListener *listener = it->second;
+    sim::Tick lat = latencyFor(initiator, listener->homeStack());
+
+    events_.scheduleAfter(lat, [this, initiator, k, lat, done] {
+        // Re-check: the listener may have closed while the SYN was
+        // in flight.
+        auto it2 = listeners.find(k);
+        if (it2 == listeners.end()) {
+            events_.scheduleAfter(lat, [done] { done(nullptr); });
+            return;
+        }
+        auto conn = std::make_shared<Connection>(
+            *this, initiator, nullptr, lat);
+        // incoming() adopts the server-side endpoint itself (kernel
+        // modules may terminate the connection in custom endpoints).
+        it2->second->incoming(conn);
+        events_.scheduleAfter(lat,
+                              [done, conn] { done(conn); });
+    });
+}
+
+} // namespace xc::guestos

@@ -1,0 +1,303 @@
+#ifndef XC_GUESTOS_NET_H
+#define XC_GUESTOS_NET_H
+
+/**
+ * @file
+ * The simulated network: a global fabric connecting per-kernel
+ * stacks and external load drivers.
+ *
+ * Messages are modelled at application-message granularity with
+ * packet counts derived from an MSS. CPU costs are split between the
+ * sender (charged synchronously at send) and the receiver (softirq
+ * work accumulated on the socket and charged to the thread that
+ * consumes the data — "softirq steal" accounting). Each kernel's
+ * platform adds its own per-packet path cost: veth+NAT for Docker,
+ * the split-driver ring for Xen/X-Containers, the sentry for gVisor,
+ * nested exits for Clear Containers.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "sim/task.h"
+#include "guestos/file_object.h"
+#include "guestos/thread.h"
+#include "guestos/types.h"
+
+namespace xc::guestos {
+
+class GuestKernel;
+class NetFabric;
+class NetStack;
+class TcpListener;
+
+/** Fabric-wide tuning. */
+struct NetConfig
+{
+    sim::Tick sameKernelLatency = 2 * sim::kTicksPerUs;
+    sim::Tick sameMachineLatency = 12 * sim::kTicksPerUs;
+    sim::Tick crossMachineLatency = 70 * sim::kTicksPerUs;
+    std::uint64_t mss = 1448;
+    std::uint64_t window = 256 * 1024;
+};
+
+/** Anything that can terminate a connection. */
+class Endpoint
+{
+  public:
+    virtual ~Endpoint() = default;
+
+    /** Payload bytes arrived. */
+    virtual void deliverData(std::uint64_t bytes) = 0;
+    /** Window credit returned by the peer. */
+    virtual void deliverAck(std::uint64_t bytes) = 0;
+    /** The peer closed its side. */
+    virtual void peerClosed() = 0;
+
+    /** The kernel stack this endpoint lives in (nullptr for
+     *  external drivers). */
+    virtual NetStack *stack() { return nullptr; }
+    virtual int machineId() const = 0;
+};
+
+/** A full-duplex connection between two endpoints. */
+class Connection : public std::enable_shared_from_this<Connection>
+{
+  public:
+    Connection(NetFabric &fabric, Endpoint *a, Endpoint *b,
+               sim::Tick latency);
+
+    /** Send @p bytes from @p from to the other side. */
+    void send(Endpoint *from, std::uint64_t bytes);
+
+    /** Close @p from's side; the peer sees peerClosed. */
+    void close(Endpoint *from);
+
+    /** Return window credit to the sender of received data. */
+    void ack(Endpoint *receiver, std::uint64_t bytes);
+
+    /** Endpoint is going away; stop delivering to it. */
+    void detach(Endpoint *ep);
+
+    /** Late-bind the passive end (set during handshake delivery). */
+    void adoptServerEnd(Endpoint *b) { endB = b; }
+
+    sim::Tick latency() const { return latency_; }
+    Endpoint *peerOf(Endpoint *ep) const;
+
+  private:
+    NetFabric &fabric;
+    Endpoint *endA;
+    Endpoint *endB;
+    sim::Tick latency_;
+};
+
+/** A connected TCP socket inside a guest kernel. */
+class TcpSock : public FileObject, public Endpoint
+{
+  public:
+    TcpSock(GuestKernel &kernel, NetStack *home);
+    ~TcpSock() override;
+
+    // --- FileObject ---------------------------------------------------
+    sim::Task<std::int64_t> read(Thread &t, std::uint64_t n) override;
+    sim::Task<std::int64_t> write(Thread &t, std::uint64_t n) override;
+    std::uint32_t readiness() const override;
+    const char *kind() const override { return "sock"; }
+    void onClose(Thread &t) override;
+
+    // --- Endpoint -------------------------------------------------------
+    void deliverData(std::uint64_t bytes) override;
+    void deliverAck(std::uint64_t bytes) override;
+    void peerClosed() override;
+    NetStack *stack() override;
+    int machineId() const override;
+
+    /** Active open: block until connected (or refused). */
+    sim::Task<std::int64_t> connect(Thread &t, SockAddr dst);
+
+    bool connected() const { return conn != nullptr; }
+    std::uint64_t rxBuffered() const { return rxBytes; }
+
+    /** Attach an established connection (accept/handshake path). */
+    void established(std::shared_ptr<Connection> c);
+
+    /** True when both endpoints live in the same kernel (loopback:
+     *  no NIC path, no split-driver ring, no softirq). */
+    bool isLoopback() const { return loopback_; }
+
+  private:
+    hw::Cycles rxWork(std::uint64_t bytes) const;
+    hw::Cycles txWork(std::uint64_t bytes) const;
+
+    GuestKernel &kernel_;
+    NetStack *home_; ///< the netns this socket belongs to
+    std::shared_ptr<Connection> conn;
+    bool loopback_ = false;
+    std::uint64_t rxBytes = 0;
+    hw::Cycles pendingRxWork = 0;
+    std::uint64_t unacked = 0;
+    bool peerClosed_ = false;
+    bool closed_ = false;
+    WaitQueue rxWait;
+    WaitQueue txWait;
+};
+
+/** A listening socket. */
+class TcpListener : public FileObject
+{
+  public:
+    TcpListener(GuestKernel &kernel, NetStack *home, SockAddr addr);
+    ~TcpListener() override;
+
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+
+    sim::Task<std::int64_t> read(Thread &t, std::uint64_t n) override;
+    sim::Task<std::int64_t> write(Thread &t, std::uint64_t n) override;
+    std::uint32_t readiness() const override;
+    const char *kind() const override { return "listen"; }
+    void onClose(Thread &t) override;
+
+    /** Blocking accept: returns a connected TcpSock. */
+    sim::Task<std::shared_ptr<TcpSock>> accept(Thread &t);
+
+    /** Non-blocking accept: nullptr when the backlog is empty. */
+    std::shared_ptr<TcpSock> tryAccept();
+
+    /** Fabric delivers an incoming handshake. Virtual so kernel
+     *  modules (IPVS direct routing) can redirect connections. */
+    virtual std::shared_ptr<TcpSock>
+    incoming(std::shared_ptr<Connection> conn);
+
+    NetStack *homeStack() const { return home_; }
+    SockAddr address() const { return addr; }
+    std::size_t backlogLen() const { return backlog.size(); }
+    GuestKernel &kernelOf() { return kernel_; }
+
+  private:
+    GuestKernel &kernel_;
+    NetStack *home_;
+    SockAddr addr;
+    bool unbound = false;
+    std::deque<std::shared_ptr<TcpSock>> backlog;
+    WaitQueue acceptors;
+};
+
+/**
+ * External load-driver endpoint (wrk/ab/memtier live on client
+ * machines that are not simulated in detail; their connection ends
+ * are WireClients with callback-style I/O and zero simulated CPU).
+ */
+class WireClient : public Endpoint
+{
+  public:
+    WireClient(NetFabric &fabric, int machine_id);
+    ~WireClient() override;
+
+    std::function<void(bool ok)> onConnected;
+    std::function<void(std::uint64_t bytes)> onData;
+    std::function<void()> onPeerClosed;
+
+    void connectTo(SockAddr dst);
+    void send(std::uint64_t bytes);
+    void close();
+    bool connected() const { return conn != nullptr; }
+
+    void deliverData(std::uint64_t bytes) override;
+    void deliverAck(std::uint64_t bytes) override;
+    void peerClosed() override;
+    int machineId() const override { return machineId_; }
+
+  private:
+    friend class NetFabric;
+    NetFabric &fabric;
+    int machineId_;
+    std::shared_ptr<Connection> conn;
+};
+
+/** Per-kernel network stack. */
+class NetStack
+{
+  public:
+    NetStack(GuestKernel &kernel, NetFabric *fabric);
+    ~NetStack();
+
+    GuestKernel &kernel() { return kernel_; }
+    NetFabric *fabric() { return fabric_; }
+    IpAddr ip() const { return ip_; }
+    int machineId() const { return machineId_; }
+
+    /** Bind + listen on @p port. nullptr if the port is taken. */
+    std::shared_ptr<TcpListener> listen(Port port);
+
+    /** New unconnected socket. */
+    std::shared_ptr<TcpSock> socket();
+
+  private:
+    GuestKernel &kernel_;
+    NetFabric *fabric_;
+    IpAddr ip_ = 0;
+    int machineId_ = 0;
+};
+
+/** The global wire + address directory. */
+class NetFabric
+{
+  public:
+    explicit NetFabric(sim::EventQueue &events, NetConfig config = {});
+
+    const NetConfig &config() const { return config_; }
+    sim::EventQueue &events() { return events_; }
+
+    /** Register a kernel stack on the (single) server machine. */
+    IpAddr registerStack(NetStack *stack);
+    void unregisterStack(NetStack *stack);
+
+    /** Allocate an id for an external client machine. */
+    int newClientMachine() { return nextMachine++; }
+
+    void bindListener(SockAddr addr, TcpListener *listener);
+    void unbindListener(SockAddr addr);
+    TcpListener *listenerAt(SockAddr addr) const;
+
+    /** iptables-style DNAT: @p pub forwards to @p priv. */
+    void addNatRule(SockAddr pub, SockAddr priv);
+    void removeNatRule(SockAddr pub);
+
+    /** Resolve an address through NAT rules (one hop). */
+    SockAddr resolve(SockAddr addr) const;
+
+    /**
+     * Open a connection from @p initiator to @p dst. After a
+     * handshake RTT, @p done fires with the established connection
+     * (nullptr = refused).
+     */
+    void connect(Endpoint *initiator, SockAddr dst,
+                 std::function<void(std::shared_ptr<Connection>)> done);
+
+    /** One-way latency between two endpoints. */
+    sim::Tick latencyBetween(Endpoint *a, Endpoint *b) const;
+    sim::Tick latencyFor(Endpoint *initiator, NetStack *dstStack) const;
+
+  private:
+    static std::uint64_t
+    key(SockAddr a)
+    {
+        return (static_cast<std::uint64_t>(a.ip) << 16) | a.port;
+    }
+
+    sim::EventQueue &events_;
+    NetConfig config_;
+    std::map<std::uint64_t, TcpListener *> listeners;
+    std::map<std::uint64_t, SockAddr> natRules;
+    IpAddr nextIp = 0x0a000001; // 10.0.0.1
+    int nextMachine = 1;        // 0 = the server machine
+};
+
+} // namespace xc::guestos
+
+#endif // XC_GUESTOS_NET_H

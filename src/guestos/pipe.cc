@@ -1,0 +1,118 @@
+#include "guestos/pipe.h"
+
+#include <algorithm>
+
+#include "guestos/kernel.h"
+
+namespace xc::guestos {
+
+sim::Task<std::int64_t>
+PipeEnd::read(Thread &t, std::uint64_t n)
+{
+    if (writeEnd_)
+        co_return -ERR_BADF;
+    const auto &costs = kernel_.costs();
+
+    while (core_->buffered == 0) {
+        if (core_->writeClosed)
+            co_return 0; // EOF
+        co_await t.blockOn(core_->readers);
+        if (t.interrupted())
+            co_return -ERR_INTR;
+    }
+
+    std::uint64_t got = std::min(n, core_->buffered);
+    core_->buffered -= got;
+    hw::Cycles work = kernel_.serviceCost(costs.pipeOp) +
+                      static_cast<hw::Cycles>(
+                          costs.copyPerByte * static_cast<double>(got));
+    core_->writers.wakeAll();
+    readinessChanged();
+    if (core_->writeEnd)
+        core_->writeEnd->peerActivity();
+    co_await t.compute(work);
+    co_return static_cast<std::int64_t>(got);
+}
+
+sim::Task<std::int64_t>
+PipeEnd::write(Thread &t, std::uint64_t n)
+{
+    if (!writeEnd_)
+        co_return -ERR_BADF;
+    const auto &costs = kernel_.costs();
+
+    if (core_->readClosed)
+        co_return -ERR_PIPE;
+
+    // Block until the whole write fits (simplified O_DIRECT-style
+    // atomicity; benchmark writes are <= 4 KB against a 64 KB cap).
+    std::uint64_t chunk = std::min(n, PipeCore::kCapacity);
+    while (PipeCore::kCapacity - core_->buffered < chunk) {
+        if (core_->readClosed)
+            co_return -ERR_PIPE;
+        co_await t.blockOn(core_->writers);
+        if (t.interrupted())
+            co_return -ERR_INTR;
+    }
+
+    core_->buffered += chunk;
+    hw::Cycles work = kernel_.serviceCost(costs.pipeOp) +
+                      static_cast<hw::Cycles>(
+                          costs.copyPerByte * static_cast<double>(chunk));
+    core_->readers.wakeAll();
+    readinessChanged();
+    if (core_->readEnd)
+        core_->readEnd->peerActivity();
+    co_await t.compute(work);
+    co_return static_cast<std::int64_t>(chunk);
+}
+
+std::uint32_t
+PipeEnd::readiness() const
+{
+    if (writeEnd_) {
+        std::uint32_t r = 0;
+        if (core_->buffered < PipeCore::kCapacity)
+            r |= PollOut;
+        if (core_->readClosed)
+            r |= PollHup;
+        return r;
+    }
+    std::uint32_t r = 0;
+    if (core_->buffered > 0)
+        r |= PollIn;
+    if (core_->writeClosed)
+        r |= PollHup | PollIn; // EOF is readable
+    return r;
+}
+
+void
+PipeEnd::onClose(Thread &)
+{
+    if (writeEnd_) {
+        core_->writeClosed = true;
+        core_->writeEnd = nullptr;
+        core_->readers.wakeAll();
+        if (core_->readEnd)
+            core_->readEnd->peerActivity(); // EOF is readable
+    } else {
+        core_->readClosed = true;
+        core_->readEnd = nullptr;
+        core_->writers.wakeAll();
+        if (core_->writeEnd)
+            core_->writeEnd->peerActivity(); // EPIPE visible
+    }
+}
+
+std::pair<std::shared_ptr<PipeEnd>, std::shared_ptr<PipeEnd>>
+makePipe(GuestKernel &kernel)
+{
+    auto core = std::make_shared<PipeCore>();
+    auto rd = std::make_shared<PipeEnd>(kernel, core, false);
+    auto wr = std::make_shared<PipeEnd>(kernel, core, true);
+    core->readEnd = rd.get();
+    core->writeEnd = wr.get();
+    return {rd, wr};
+}
+
+} // namespace xc::guestos

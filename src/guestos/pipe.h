@@ -1,0 +1,74 @@
+#ifndef XC_GUESTOS_PIPE_H
+#define XC_GUESTOS_PIPE_H
+
+/**
+ * @file
+ * POSIX pipes with a bounded buffer and blocking semantics — the
+ * substrate for the UnixBench Pipe-Throughput and Context-Switching
+ * benchmarks (two processes ping-ponging through a pipe pair).
+ */
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "sim/task.h"
+#include "guestos/file_object.h"
+#include "guestos/thread.h"
+
+namespace xc::guestos {
+
+class GuestKernel;
+
+/** Shared pipe state between the two ends. */
+class PipeEnd;
+
+struct PipeCore
+{
+    static constexpr std::uint64_t kCapacity = 65536;
+
+    std::uint64_t buffered = 0;
+    bool readClosed = false;
+    bool writeClosed = false;
+    WaitQueue readers;
+    WaitQueue writers;
+    /** Back pointers so each end can raise the *peer's* readiness
+     *  (epoll watches live on the end objects). */
+    PipeEnd *readEnd = nullptr;
+    PipeEnd *writeEnd = nullptr;
+};
+
+/** One end of a pipe. */
+class PipeEnd : public FileObject
+{
+  public:
+    PipeEnd(GuestKernel &kernel, std::shared_ptr<PipeCore> core,
+            bool write_end)
+        : kernel_(kernel), core_(std::move(core)), writeEnd_(write_end)
+    {
+    }
+
+    sim::Task<std::int64_t> read(Thread &t, std::uint64_t n) override;
+    sim::Task<std::int64_t> write(Thread &t, std::uint64_t n) override;
+    std::uint32_t readiness() const override;
+    const char *kind() const override { return "pipe"; }
+    void onClose(Thread &t) override;
+
+    bool isWriteEnd() const { return writeEnd_; }
+
+    /** Raise this end's epoll readiness (called by the peer). */
+    void peerActivity() { readinessChanged(); }
+
+  private:
+    GuestKernel &kernel_;
+    std::shared_ptr<PipeCore> core_;
+    bool writeEnd_;
+};
+
+/** Create a connected (read_end, write_end) pair. */
+std::pair<std::shared_ptr<PipeEnd>, std::shared_ptr<PipeEnd>>
+makePipe(GuestKernel &kernel);
+
+} // namespace xc::guestos
+
+#endif // XC_GUESTOS_PIPE_H

@@ -1,0 +1,57 @@
+#ifndef XC_GUESTOS_PLATFORM_PORT_H
+#define XC_GUESTOS_PLATFORM_PORT_H
+
+/**
+ * @file
+ * The interface a kernel uses to reach the layer below it.
+ *
+ * The guest kernel library is one code base; what differs between
+ * Docker's host Linux, an unmodified PV guest, and the X-LibOS is
+ * how the layer below charges for privileged operations. Runtimes
+ * implement this port to assemble each architecture.
+ */
+
+#include <cstdint>
+
+#include "hw/cost_model.h"
+#include "isa/interpreter.h"
+
+namespace xc::guestos {
+
+class Process;
+class Thread;
+
+/** Per-kernel backend supplied by the runtime. */
+class PlatformPort
+{
+  public:
+    virtual ~PlatformPort() = default;
+
+    /** Extra cost of a page-table (CR3) switch beyond the TLB model:
+     *  a native MOV CR3, or a hypercall for PV guests. */
+    virtual hw::Cycles pageTableSwitchCost(const hw::CostModel &c) = 0;
+
+    /** Cost of installing/validating @p ptes page-table entries
+     *  (native writes vs batched, validated mmu_update). */
+    virtual hw::Cycles pageTableUpdateCost(const hw::CostModel &c,
+                                           std::uint64_t ptes) = 0;
+
+    /** Binary-leg environment executing syscall stubs on behalf of
+     *  thread @p t: this is where trap forwarding, ptrace stops, or
+     *  the ABOM patch + function-call dispatch happen. Costs are
+     *  charged to @p t. */
+    virtual isa::ExecEnv &syscallEnv(Thread &t) = 0;
+
+    /** Cost of delivering an interrupt/event into this kernel. */
+    virtual hw::Cycles eventDeliveryCost(const hw::CostModel &c) = 0;
+
+    /** Extra per-packet cost on this kernel's network path
+     *  (veth+NAT for containers, split-driver ring for PV, sentry
+     *  netstack for gVisor, nested exits for Clear). */
+    virtual hw::Cycles netPathExtraPerPacket(const hw::CostModel &c,
+                                             bool rx) = 0;
+};
+
+} // namespace xc::guestos
+
+#endif // XC_GUESTOS_PLATFORM_PORT_H

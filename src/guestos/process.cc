@@ -1,0 +1,82 @@
+#include "guestos/process.h"
+
+#include "guestos/kernel.h"
+
+namespace xc::guestos {
+
+Process::Process(GuestKernel &kernel, Pid pid, std::string name,
+                 std::shared_ptr<Image> image)
+    : kernel_(kernel), pid_(pid), name_(std::move(name)),
+      image_(std::move(image))
+{
+}
+
+Process::~Process() = default;
+
+Fd
+Process::installFd(FilePtr obj)
+{
+    XC_ASSERT(obj != nullptr);
+    for (std::size_t i = 0; i < fds_.size(); ++i) {
+        if (!fds_[i]) {
+            fds_[i] = std::move(obj);
+            return static_cast<Fd>(i);
+        }
+    }
+    if (fds_.size() >= kMaxFds)
+        return -ERR_MFILE;
+    fds_.push_back(std::move(obj));
+    return static_cast<Fd>(fds_.size() - 1);
+}
+
+FilePtr
+Process::fdGet(Fd fd) const
+{
+    if (fd < 0 || static_cast<std::size_t>(fd) >= fds_.size())
+        return nullptr;
+    return fds_[fd];
+}
+
+int
+Process::fdClose(Thread &t, Fd fd)
+{
+    if (fd < 0 || static_cast<std::size_t>(fd) >= fds_.size() ||
+        !fds_[fd]) {
+        return -ERR_BADF;
+    }
+    FilePtr obj = std::move(fds_[fd]);
+    fds_[fd] = nullptr;
+    // Only the last fd-table reference triggers the close action
+    // (dup'ed descriptors and fork-inherited tables share objects).
+    if (obj.use_count() == 1)
+        obj->onClose(t);
+    return 0;
+}
+
+void
+Process::fdReplace(Fd fd, FilePtr obj)
+{
+    XC_ASSERT(fd >= 0 && static_cast<std::size_t>(fd) < fds_.size() &&
+              fds_[fd] != nullptr);
+    fds_[fd] = std::move(obj);
+}
+
+Fd
+Process::fdDup(Fd fd)
+{
+    FilePtr obj = fdGet(fd);
+    if (!obj)
+        return -ERR_BADF;
+    return installFd(std::move(obj));
+}
+
+std::size_t
+Process::openFds() const
+{
+    std::size_t n = 0;
+    for (const auto &f : fds_)
+        n += (f != nullptr);
+    return n;
+}
+
+} // namespace xc::guestos

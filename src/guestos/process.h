@@ -1,0 +1,185 @@
+#ifndef XC_GUESTOS_PROCESS_H
+#define XC_GUESTOS_PROCESS_H
+
+/**
+ * @file
+ * Processes: address space + file descriptor table + threads.
+ *
+ * In the X-Container model processes remain the unit of resource
+ * management and compatibility, while isolation moves to the
+ * container boundary (§1): that distinction is mechanical here —
+ * every process has its own page table (switch costs apply), but
+ * whether a process switch flushes kernel TLB entries depends on the
+ * kernel's traits (global-bit, KPTI).
+ */
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/page_table.h"
+#include "isa/syscall_stub.h"
+#include "guestos/file_object.h"
+#include "guestos/thread.h"
+#include "guestos/types.h"
+
+namespace xc::guestos {
+
+class GuestKernel;
+class NetStack;
+
+/**
+ * A container image: the executable + libraries all processes of a
+ * container share, including the byte-level syscall wrapper library
+ * that ABOM patches (once per site, shared by the image as the
+ * paper's flush-dirty-pages option describes).
+ */
+struct Image
+{
+    std::string name;
+    std::shared_ptr<isa::StubLibrary> stubs;
+    /** Mapped footprint used for fork/exec cost accounting. */
+    std::uint64_t textPages = 160;
+    std::uint64_t dataPages = 320;
+    /** Which wrapper shape this image's runtime emits for a given
+     *  syscall (glibc default; Go images use stack-argument
+     *  wrappers; MySQL's hot calls go through libpthread's
+     *  cancellable wrappers — Table 1). */
+    std::function<isa::WrapperKind(int nr)> wrapperFor;
+
+    std::uint64_t totalPages() const { return textPages + dataPages; }
+
+    /** The wrapper kind for @p nr (glibc mov-eax by default). */
+    isa::WrapperKind
+    wrapperKind(int nr) const
+    {
+        return wrapperFor ? wrapperFor(nr)
+                          : isa::WrapperKind::GlibcMovEax;
+    }
+};
+
+/** A process: address space, fd table, and its threads. */
+class Process
+{
+  public:
+    Process(GuestKernel &kernel, Pid pid, std::string name,
+            std::shared_ptr<Image> image);
+    ~Process();
+
+    GuestKernel &kernel() { return kernel_; }
+    Pid pid() const { return pid_; }
+    Pid parentPid() const { return ppid_; }
+    const std::string &name() const { return name_; }
+    const std::shared_ptr<Image> &image() const { return image_; }
+    hw::PageTable &pageTable() { return pageTable_; }
+
+    bool exited() const { return exited_; }
+    int exitCode() const { return exitCode_; }
+
+    std::uint32_t umaskValue() const { return umask_; }
+    void setUmask(std::uint32_t m) { umask_ = m; }
+
+    /** Network namespace (container isolation); nullptr = the
+     *  kernel's default stack. Inherited across fork. */
+    NetStack *netnsOverride() const { return netns_; }
+    void setNetns(NetStack *ns) { netns_ = ns; }
+
+    // --- signals -------------------------------------------------------
+
+    /** Register a handler for @p sig costing @p handler_cycles per
+     *  delivery (rt_sigaction's bookkeeping is charged by the
+     *  syscall layer). */
+    void
+    setSignalHandler(int sig, std::uint64_t handler_cycles)
+    {
+        handlers_[sig] = handler_cycles;
+    }
+
+    bool
+    handlesSignal(int sig) const
+    {
+        return handlers_.count(sig) != 0;
+    }
+
+    std::uint64_t
+    handlerCycles(int sig) const
+    {
+        auto it = handlers_.find(sig);
+        return it == handlers_.end() ? 0 : it->second;
+    }
+
+    /** Queue @p sig for delivery at the next syscall boundary. */
+    void queueSignal(int sig) { pendingSignals_.push_back(sig); }
+    bool hasPendingSignal() const { return !pendingSignals_.empty(); }
+
+    int
+    takePendingSignal()
+    {
+        int sig = pendingSignals_.front();
+        pendingSignals_.erase(pendingSignals_.begin());
+        return sig;
+    }
+
+    /** A fatal signal arrived: threads observe this at their next
+     *  blocking boundary and unwind. */
+    bool killed() const { return killed_; }
+    void markKilled() { killed_ = true; }
+
+    // --- fd table -----------------------------------------------------
+
+    /** Install @p obj at the lowest free fd. Returns fd or -ERR_MFILE. */
+    Fd installFd(FilePtr obj);
+
+    /** Object at @p fd; nullptr if closed/invalid. */
+    FilePtr fdGet(Fd fd) const;
+
+    /** Close @p fd. Returns 0 or -ERR_BADF. */
+    int fdClose(Thread &t, Fd fd);
+
+    /** Duplicate @p fd to the lowest free slot. */
+    Fd fdDup(Fd fd);
+
+    /** Replace the object at @p fd (bind/listen/connect morphs). */
+    void fdReplace(Fd fd, FilePtr obj);
+
+    std::size_t openFds() const;
+
+    /** Threads of this process (includes zombies until reaped). */
+    const std::vector<std::unique_ptr<Thread>> &threads() const
+    {
+        return threads_;
+    }
+
+    /** Waiters for this process's exit (wait4). */
+    WaitQueue &exitWaiters() { return exitWaiters_; }
+
+  private:
+    friend class GuestKernel;
+
+    static constexpr std::size_t kMaxFds = 1024;
+
+    GuestKernel &kernel_;
+    Pid pid_;
+    Pid ppid_ = 0;
+    std::string name_;
+    std::shared_ptr<Image> image_;
+    hw::PageTable pageTable_;
+    std::vector<FilePtr> fds_;
+    std::vector<std::unique_ptr<Thread>> threads_;
+    WaitQueue exitWaiters_;
+    std::uint32_t umask_ = 022;
+    NetStack *netns_ = nullptr;
+    std::map<int, std::uint64_t> handlers_;
+    std::vector<int> pendingSignals_;
+    bool killed_ = false;
+    bool exited_ = false;
+    int exitCode_ = 0;
+    hw::Vaddr mmapTop_ = 0x7f5000000000ull;
+};
+
+} // namespace xc::guestos
+
+#endif // XC_GUESTOS_PROCESS_H

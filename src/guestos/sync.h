@@ -1,0 +1,127 @@
+#ifndef XC_GUESTOS_SYNC_H
+#define XC_GUESTOS_SYNC_H
+
+/**
+ * @file
+ * Guest-level synchronization (pthread mutex/condvar equivalents).
+ *
+ * The fast path is a few atomic-instruction cycles in user space;
+ * the contended path goes through the futex system call — and
+ * therefore through whatever syscall mechanism the platform uses,
+ * which is why lock-heavy apps (memcached) feel the syscall tax too.
+ *
+ * Lost wakeups are prevented the same way real futexes do it: the
+ * waiter passes the generation it observed (the futex "value"), and
+ * FutexWait returns -ERR_AGAIN if a wake happened in between.
+ */
+
+#include <cstdint>
+
+#include "sim/task.h"
+#include "guestos/kernel.h"
+#include "guestos/thread.h"
+
+namespace xc::guestos {
+
+
+/** A pthread-like mutex. */
+class GuestMutex
+{
+  public:
+    explicit GuestMutex(GuestKernel &kernel) : kernel_(kernel) {}
+
+    sim::Task<void>
+    lock(Thread &t)
+    {
+        // Uncontended CAS.
+        t.charge(18);
+        while (locked_) {
+            ++contentions_;
+            std::uintptr_t addr = reinterpret_cast<std::uintptr_t>(this);
+            SysArgs args;
+            args.arg[0] = static_cast<std::int64_t>(addr);
+            args.arg[1] = FutexWait;
+            args.arg[3] =
+                static_cast<std::int64_t>(kernel_.futexGen(addr));
+            co_await kernel_.syscall(t, NR_futex, args);
+        }
+        locked_ = true;
+        co_await t.flushCompute();
+    }
+
+    sim::Task<void>
+    unlock(Thread &t)
+    {
+        locked_ = false;
+        t.charge(14);
+        std::uintptr_t addr = reinterpret_cast<std::uintptr_t>(this);
+        if (kernel_.futexWaiters(addr) > 0) {
+            SysArgs args;
+            args.arg[0] = static_cast<std::int64_t>(addr);
+            args.arg[1] = FutexWake;
+            args.arg[2] = 1;
+            co_await kernel_.syscall(t, NR_futex, args);
+        } else {
+            co_await t.flushCompute();
+        }
+    }
+
+    bool locked() const { return locked_; }
+    std::uint64_t contentions() const { return contentions_; }
+
+  private:
+    GuestKernel &kernel_;
+    bool locked_ = false;
+    std::uint64_t contentions_ = 0;
+};
+
+/** A pthread-like condition variable. */
+class GuestCond
+{
+  public:
+    explicit GuestCond(GuestKernel &kernel) : kernel_(kernel) {}
+
+    /** Wait: atomically unlock @p m, sleep, relock. */
+    sim::Task<void>
+    wait(Thread &t, GuestMutex &m)
+    {
+        std::uintptr_t addr = reinterpret_cast<std::uintptr_t>(this);
+        std::uint64_t gen = kernel_.futexGen(addr);
+        co_await m.unlock(t);
+        SysArgs args;
+        args.arg[0] = static_cast<std::int64_t>(addr);
+        args.arg[1] = FutexWait;
+        args.arg[3] = static_cast<std::int64_t>(gen);
+        co_await kernel_.syscall(t, NR_futex, args);
+        co_await m.lock(t);
+    }
+
+    sim::Task<void>
+    signal(Thread &t)
+    {
+        SysArgs args;
+        args.arg[0] = static_cast<std::int64_t>(
+            reinterpret_cast<std::uintptr_t>(this));
+        args.arg[1] = FutexWake;
+        args.arg[2] = 1;
+        co_await kernel_.syscall(t, NR_futex, args);
+    }
+
+    sim::Task<void>
+    broadcast(Thread &t)
+    {
+        SysArgs args;
+        args.arg[0] = static_cast<std::int64_t>(
+            reinterpret_cast<std::uintptr_t>(this));
+        args.arg[1] = FutexWake;
+        args.arg[2] = 1 << 30;
+        co_await kernel_.syscall(t, NR_futex, args);
+    }
+
+  private:
+    GuestKernel &kernel_;
+};
+
+} // namespace xc::guestos
+
+#endif // XC_GUESTOS_SYNC_H

@@ -1,0 +1,158 @@
+#ifndef XC_GUESTOS_SYS_H
+#define XC_GUESTOS_SYS_H
+
+/**
+ * @file
+ * The "libc" facade applications program against.
+ *
+ * Every call goes through the full system-call machinery: the
+ * byte-encoded wrapper stub (binary leg — where the platform traps,
+ * forwards, ptrace-stops, or dispatches a patched function call) and
+ * the kernel's semantic handler. Application logic is C++, its
+ * kernel interface is the real ABI.
+ */
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/task.h"
+#include "guestos/epoll.h"
+#include "guestos/kernel.h"
+#include "guestos/thread.h"
+
+namespace xc::guestos {
+
+/** Per-thread syscall interface. */
+class Sys
+{
+  public:
+    explicit Sys(Thread &t) : t(t), k(t.kernel()) {}
+
+    // --- trivial calls (UnixBench "System Call" mix) ---------------
+
+    sim::Task<std::int64_t> getpid();
+    sim::Task<std::int64_t> getuid();
+    sim::Task<std::int64_t> umask(std::uint32_t mask);
+    sim::Task<std::int64_t> dup(Fd fd);
+    sim::Task<std::int64_t> close(Fd fd);
+    /** gettimeofday(2) through the vDSO (no kernel entry). */
+    sim::Task<std::int64_t> gettimeofday();
+    sim::Task<std::int64_t> yield();
+    sim::Task<std::int64_t> nanosleep(sim::Tick duration);
+
+    // --- files -------------------------------------------------------
+
+    sim::Task<std::int64_t> open(const char *path, int flags);
+    sim::Task<std::int64_t> read(Fd fd, std::uint64_t n);
+    sim::Task<std::int64_t> write(Fd fd, std::uint64_t n);
+    sim::Task<std::int64_t> writev(Fd fd, std::uint64_t n);
+    sim::Task<std::int64_t> lseek(Fd fd, std::uint64_t off);
+    sim::Task<std::int64_t> stat(const char *path);
+    sim::Task<std::int64_t> fstat(Fd fd);
+    sim::Task<std::int64_t> unlink(const char *path);
+    sim::Task<std::int64_t> sendfile(Fd out, Fd in, std::uint64_t n);
+
+    /** pipe(2): returns {read_fd, write_fd} ({-1,-1} on error). */
+    sim::Task<std::pair<Fd, Fd>> pipe();
+
+    // --- sockets -----------------------------------------------------
+
+    sim::Task<std::int64_t> socket();
+    sim::Task<std::int64_t> bind(Fd fd, Port port);
+    sim::Task<std::int64_t> listen(Fd fd);
+    sim::Task<std::int64_t> accept(Fd fd);
+    /** Non-blocking accept (-ERR_AGAIN when backlog empty). */
+    sim::Task<std::int64_t> acceptNb(Fd fd);
+    sim::Task<std::int64_t> connect(Fd fd, SockAddr addr);
+    sim::Task<std::int64_t> send(Fd fd, std::uint64_t n);
+    /** sendmsg(2) (some runtimes prefer the msg variants). */
+    sim::Task<std::int64_t> sendMsg(Fd fd, std::uint64_t n);
+    sim::Task<std::int64_t> recv(Fd fd, std::uint64_t n);
+    sim::Task<std::int64_t> setsockopt(Fd fd);
+    sim::Task<std::int64_t> fcntl(Fd fd);
+    sim::Task<std::int64_t> shutdown(Fd fd);
+
+    // --- epoll --------------------------------------------------------
+
+    sim::Task<std::int64_t> epollCreate();
+    sim::Task<std::int64_t> epollCtlAdd(Fd epfd, Fd fd,
+                                        std::uint32_t events,
+                                        std::uint64_t token);
+    sim::Task<std::int64_t> epollCtlDel(Fd epfd, Fd fd);
+
+    /** epoll_wait with rich results. @p timeout_ms < 0 = forever. */
+    sim::Task<std::vector<EpollEvent>> epollWait(Fd epfd, int max,
+                                                 int timeout_ms);
+
+    /**
+     * poll(2) over a descriptor set: returns ready fds, blocking up
+     * to @p timeout_ms (< 0 = forever). O(n) per call, like the
+     * real thing — which is why the event-driven servers use epoll.
+     */
+    sim::Task<std::vector<Fd>> poll(const std::vector<Fd> &fds,
+                                    int timeout_ms);
+
+    // --- processes -----------------------------------------------------
+
+    /** fork(2): clone the current process; @p child_main runs as the
+     *  child's main thread. Returns the child pid. */
+    sim::Task<std::int64_t>
+    fork(Thread::Body child_main)
+    {
+        // Coroutine by-value parameters must be trivially copyable
+        // (GCC 12): move the body to the heap, pass a raw pointer.
+        return forkImpl(new Thread::Body(std::move(child_main)));
+    }
+
+    /** execve(2): replace the process image. */
+    sim::Task<std::int64_t>
+    exec(std::shared_ptr<Image> image)
+    {
+        return execImpl(new std::shared_ptr<Image>(std::move(image)));
+    }
+
+    /** exit(2): must be the tail call of a thread body. */
+    sim::Task<std::int64_t> exit(int code);
+
+    /** wait4(2). */
+    sim::Task<std::int64_t> wait(Pid pid);
+
+    /** kill(2). */
+    sim::Task<std::int64_t> kill(Pid pid, int sig);
+
+    /** rt_sigaction(2): install a handler whose body costs
+     *  @p handler_cycles per delivery. */
+    sim::Task<std::int64_t> sigaction(int sig,
+                                      std::uint64_t handler_cycles);
+
+    // --- misc ------------------------------------------------------------
+
+    /** Burn pure user-mode CPU (application work). */
+    sim::Task<void>
+    cpuWork(hw::Cycles cycles)
+    {
+        co_await t.compute(cycles);
+    }
+
+    Thread &thread() { return t; }
+    GuestKernel &kernel() { return k; }
+
+  private:
+    sim::Task<std::int64_t>
+    call(int nr, SysArgs args)
+    {
+        return k.syscall(t, nr, args);
+    }
+
+    sim::Task<std::int64_t> forkImpl(Thread::Body *holder);
+    sim::Task<std::int64_t> execImpl(std::shared_ptr<Image> *holder);
+
+    Thread &t;
+    GuestKernel &k;
+};
+
+} // namespace xc::guestos
+
+#endif // XC_GUESTOS_SYS_H

@@ -1,0 +1,62 @@
+#include "guestos/syscall_nums.h"
+
+namespace xc::guestos {
+
+const char *
+syscallName(int nr)
+{
+    switch (nr) {
+      case NR_read: return "read";
+      case NR_write: return "write";
+      case NR_open: return "open";
+      case NR_close: return "close";
+      case NR_stat: return "stat";
+      case NR_fstat: return "fstat";
+      case NR_poll: return "poll";
+      case NR_lseek: return "lseek";
+      case NR_mmap: return "mmap";
+      case NR_munmap: return "munmap";
+      case NR_brk: return "brk";
+      case NR_rt_sigaction: return "rt_sigaction";
+      case NR_rt_sigreturn: return "rt_sigreturn";
+      case NR_ioctl: return "ioctl";
+      case NR_writev: return "writev";
+      case NR_pipe: return "pipe";
+      case NR_sched_yield: return "sched_yield";
+      case NR_dup: return "dup";
+      case NR_nanosleep: return "nanosleep";
+      case NR_getpid: return "getpid";
+      case NR_sendfile: return "sendfile";
+      case NR_socket: return "socket";
+      case NR_connect: return "connect";
+      case NR_accept: return "accept";
+      case NR_sendto: return "sendto";
+      case NR_recvfrom: return "recvfrom";
+      case NR_sendmsg: return "sendmsg";
+      case NR_recvmsg: return "recvmsg";
+      case NR_shutdown: return "shutdown";
+      case NR_bind: return "bind";
+      case NR_listen: return "listen";
+      case NR_fork: return "fork";
+      case NR_execve: return "execve";
+      case NR_exit: return "exit";
+      case NR_wait4: return "wait4";
+      case NR_kill: return "kill";
+      case NR_fcntl: return "fcntl";
+      case NR_unlink: return "unlink";
+      case NR_umask: return "umask";
+      case NR_gettimeofday: return "gettimeofday";
+      case NR_getuid: return "getuid";
+      case NR_setsockopt: return "setsockopt";
+      case NR_futex: return "futex";
+      case NR_epoll_create: return "epoll_create";
+      case NR_epoll_wait: return "epoll_wait";
+      case NR_epoll_ctl: return "epoll_ctl";
+      case NR_openat: return "openat";
+      case NR_accept4: return "accept4";
+      case NR_epoll_create1: return "epoll_create1";
+      default: return "sys_?";
+    }
+}
+
+} // namespace xc::guestos

@@ -1,0 +1,73 @@
+#ifndef XC_GUESTOS_SYSCALL_NUMS_H
+#define XC_GUESTOS_SYSCALL_NUMS_H
+
+/**
+ * @file
+ * Linux x86-64 system-call numbers for the calls the simulator
+ * models. Numbers are the real ABI values: they flow through the
+ * byte-encoded wrapper stubs and the vsyscall entry table, so they
+ * must match what a real binary would place in %rax.
+ */
+
+namespace xc::guestos {
+
+enum SysNr : int {
+    NR_read = 0,
+    NR_write = 1,
+    NR_open = 2,
+    NR_close = 3,
+    NR_stat = 4,
+    NR_fstat = 5,
+    NR_poll = 7,
+    NR_lseek = 8,
+    NR_mmap = 9,
+    NR_munmap = 11,
+    NR_brk = 12,
+    NR_rt_sigaction = 13,
+    NR_rt_sigreturn = 15,
+    NR_ioctl = 16,
+    NR_writev = 20,
+    NR_pipe = 22,
+    NR_sched_yield = 24,
+    NR_dup = 32,
+    NR_nanosleep = 35,
+    NR_getpid = 39,
+    NR_sendfile = 40,
+    NR_socket = 41,
+    NR_connect = 42,
+    NR_accept = 43,
+    NR_sendto = 44,
+    NR_recvfrom = 45,
+    NR_sendmsg = 46,
+    NR_recvmsg = 47,
+    NR_shutdown = 48,
+    NR_bind = 49,
+    NR_listen = 50,
+    NR_fork = 57,
+    NR_execve = 59,
+    NR_exit = 60,
+    NR_wait4 = 61,
+    NR_kill = 62,
+    NR_fcntl = 72,
+    NR_unlink = 87,
+    NR_umask = 95,
+    NR_gettimeofday = 96,
+    NR_getuid = 102,
+    NR_setsockopt = 54,
+    NR_futex = 202,
+    NR_epoll_create = 213,
+    NR_epoll_wait = 232,
+    NR_epoll_ctl = 233,
+    NR_openat = 257,
+    NR_accept4 = 288,
+    NR_epoll_create1 = 291,
+
+    NR_max_modeled = 335,
+};
+
+/** Human-readable name for tracing; "sys_<nr>" when unknown. */
+const char *syscallName(int nr);
+
+} // namespace xc::guestos
+
+#endif // XC_GUESTOS_SYSCALL_NUMS_H

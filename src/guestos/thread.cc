@@ -1,0 +1,75 @@
+#include "guestos/thread.h"
+
+#include "guestos/kernel.h"
+
+namespace xc::guestos {
+
+Thread::Thread(GuestKernel &kernel, Process &process, Tid tid,
+               std::string name)
+    : kernel_(kernel), process_(process), tid_(tid),
+      name_(std::move(name))
+{
+}
+
+void
+Thread::onFlushSuspend(std::coroutine_handle<> h)
+{
+    kernel_.onFlushSuspend(this, h);
+}
+
+void
+Thread::onBlockSuspend(WaitQueue &wq, std::coroutine_handle<> h)
+{
+    kernel_.onBlockSuspend(this, wq, h);
+}
+
+void
+Thread::onBlockTimeoutSuspend(WaitQueue &wq, sim::Tick timeout,
+                              std::coroutine_handle<> h)
+{
+    kernel_.onBlockTimeoutSuspend(this, wq, timeout, h);
+}
+
+void
+Thread::onSleepSuspend(sim::Tick d, std::coroutine_handle<> h)
+{
+    kernel_.onSleepSuspend(this, d, h);
+}
+
+void
+Thread::onYieldSuspend(std::coroutine_handle<> h)
+{
+    kernel_.onYieldSuspend(this, h);
+}
+
+bool
+WaitQueue::wakeOne()
+{
+    if (waiters.empty())
+        return false;
+    Thread *t = waiters.front();
+    waiters.pop_front();
+    t->kernel().wake(t);
+    return true;
+}
+
+void
+WaitQueue::wakeAll()
+{
+    while (wakeOne()) {
+    }
+}
+
+bool
+WaitQueue::remove(Thread *t)
+{
+    for (auto it = waiters.begin(); it != waiters.end(); ++it) {
+        if (*it == t) {
+            waiters.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace xc::guestos

@@ -1,0 +1,198 @@
+#ifndef XC_GUESTOS_THREAD_H
+#define XC_GUESTOS_THREAD_H
+
+/**
+ * @file
+ * Guest threads and wait queues.
+ *
+ * A Thread's body is a Task<void> coroutine. CPU time is charged by
+ * accumulating cycles (charge()) and flushing them as simulated time
+ * at await points (flushCompute()); blocking primitives park the
+ * thread on a WaitQueue. All scheduling decisions live in
+ * GuestKernel; Thread only holds state.
+ */
+
+#include <coroutine>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "hw/cost_model.h"
+#include "sim/event_queue.h"
+#include "sim/task.h"
+#include "sim/types.h"
+#include "guestos/types.h"
+
+namespace xc::guestos {
+
+class GuestKernel;
+class Process;
+class Thread;
+class Vcpu;
+
+/** FIFO queue of threads blocked on a condition. */
+class WaitQueue
+{
+  public:
+    bool empty() const { return waiters.empty(); }
+    std::size_t size() const { return waiters.size(); }
+
+    /** Wake the oldest waiter; @return false if none. */
+    bool wakeOne();
+
+    /** Wake all waiters. */
+    void wakeAll();
+
+    /** Remove a specific thread (timeout cancellation). */
+    bool remove(Thread *t);
+
+  private:
+    friend class GuestKernel;
+    void push(Thread *t) { waiters.push_back(t); }
+
+    std::deque<Thread *> waiters;
+};
+
+/** A guest thread (= one schedulable task of a process). */
+class Thread
+{
+  public:
+    using Body = std::function<sim::Task<void>(Thread &)>;
+
+    enum class State { Embryo, Runnable, Running, Blocked, Zombie };
+
+    Thread(GuestKernel &kernel, Process &process, Tid tid,
+           std::string name);
+
+    GuestKernel &kernel() { return kernel_; }
+    Process &process() { return process_; }
+    Tid tid() const { return tid_; }
+    const std::string &name() const { return name_; }
+    State state() const { return state_; }
+    bool done() const { return state_ == State::Zombie; }
+
+    /** Accumulate CPU work to be charged at the next flush. */
+    void charge(hw::Cycles c) { accrued_ += c; }
+    hw::Cycles accrued() const { return accrued_; }
+
+    /**
+     * Awaitable: converts accrued cycles into simulated time on the
+     * thread's current CPU context; preemption points live here.
+     */
+    auto
+    flushCompute()
+    {
+        return sim::suspendWith([this](std::coroutine_handle<> h) {
+            onFlushSuspend(h);
+        });
+    }
+
+    /** Awaitable: charge @p c then flush. */
+    auto
+    compute(hw::Cycles c)
+    {
+        charge(c);
+        return flushCompute();
+    }
+
+    /**
+     * Awaitable: park on @p wq until woken. Accrued cycles are
+     * flushed first, then the thread blocks.
+     */
+    auto
+    blockOn(WaitQueue &wq)
+    {
+        return sim::suspendWith([this, &wq](std::coroutine_handle<> h) {
+            onBlockSuspend(wq, h);
+        });
+    }
+
+    /**
+     * Awaitable: park on @p wq with a timeout. After resumption,
+     * timedOut() tells whether the timer fired first.
+     */
+    auto
+    blockOnTimeout(WaitQueue &wq, sim::Tick timeout)
+    {
+        return sim::suspendWith(
+            [this, &wq, timeout](std::coroutine_handle<> h) {
+                onBlockTimeoutSuspend(wq, timeout, h);
+            });
+    }
+
+    /** Awaitable: sleep for @p d simulated time (nanosleep). */
+    auto
+    sleepFor(sim::Tick d)
+    {
+        return sim::suspendWith([this, d](std::coroutine_handle<> h) {
+            onSleepSuspend(d, h);
+        });
+    }
+
+    /** Whether the last blockOnTimeout ended by timeout. */
+    bool timedOut() const { return timedOut_; }
+
+    /** A signal interrupted the last block; reading clears it
+     *  (blocking syscalls turn it into -ERR_INTR). */
+    bool
+    interrupted()
+    {
+        bool was = interrupted_;
+        interrupted_ = false;
+        return was;
+    }
+
+    /** Set by signal delivery while the thread is blocked. */
+    void markInterrupted() { interrupted_ = true; }
+
+    /** Awaitable: give up the CPU, go to the back of the run queue. */
+    auto
+    yieldNow()
+    {
+        return sim::suspendWith([this](std::coroutine_handle<> h) {
+            onYieldSuspend(h);
+        });
+    }
+
+    /** Total cycles this thread has executed (all classes). */
+    hw::Cycles cyclesRun() const { return cyclesRun_; }
+
+  private:
+    friend class GuestKernel;
+
+    // Suspension hooks implemented in kernel.cc (they need the
+    // scheduler).
+    void onFlushSuspend(std::coroutine_handle<> h);
+    void onBlockSuspend(WaitQueue &wq, std::coroutine_handle<> h);
+    void onBlockTimeoutSuspend(WaitQueue &wq, sim::Tick timeout,
+                               std::coroutine_handle<> h);
+    void onSleepSuspend(sim::Tick d, std::coroutine_handle<> h);
+    void onYieldSuspend(std::coroutine_handle<> h);
+
+    GuestKernel &kernel_;
+    Process &process_;
+    Tid tid_;
+    std::string name_;
+    State state_ = State::Embryo;
+
+    /** The thread's body function. Owned by the Thread (declared
+     *  before task_ so it outlives the coroutine frame): coroutine
+     *  by-value parameters must be trivially copyable under GCC 12
+     *  (miscompiled parameter copies otherwise), so the body is
+     *  stored here rather than passed into the runner coroutine. */
+    Body body_;
+    sim::Task<void> task_;
+    std::coroutine_handle<> cont_;
+    hw::Cycles accrued_ = 0;
+    hw::Cycles cyclesRun_ = 0;
+    Vcpu *vcpu_ = nullptr;
+    sim::Tick sliceEnd_ = 0;
+    bool timedOut_ = false;
+    bool interrupted_ = false;
+    WaitQueue *waitingOn_ = nullptr;
+    sim::EventHandle timer_;
+};
+
+} // namespace xc::guestos
+
+#endif // XC_GUESTOS_THREAD_H

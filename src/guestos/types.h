@@ -1,0 +1,60 @@
+#ifndef XC_GUESTOS_TYPES_H
+#define XC_GUESTOS_TYPES_H
+
+/**
+ * @file
+ * Common identifiers for the Linux-like guest kernel library.
+ */
+
+#include <cstdint>
+
+namespace xc::guestos {
+
+using Pid = std::int32_t;
+using Tid = std::int32_t;
+using Fd = std::int32_t;
+
+/** Simulated IPv4-ish address (opaque integer id). */
+using IpAddr = std::uint32_t;
+using Port = std::uint16_t;
+
+/** A network endpoint. */
+struct SockAddr
+{
+    IpAddr ip = 0;
+    Port port = 0;
+
+    bool
+    operator==(const SockAddr &other) const
+    {
+        return ip == other.ip && port == other.port;
+    }
+};
+
+/** Errno subset (positive values; syscalls return -errno). */
+enum Errno : int {
+    ERR_OK = 0,
+    ERR_PERM = 1,
+    ERR_NOENT = 2,
+    ERR_INTR = 4,
+    ERR_BADF = 9,
+    ERR_CHILD = 10,
+    ERR_AGAIN = 11,
+    ERR_NOMEM = 12,
+    ERR_FAULT = 14,
+    ERR_EXIST = 17,
+    ERR_NOTDIR = 20,
+    ERR_ISDIR = 21,
+    ERR_INVAL = 22,
+    ERR_MFILE = 24,
+    ERR_PIPE = 32,
+    ERR_NOSYS = 38,
+    ERR_NOTCONN = 107,
+    ERR_CONNREFUSED = 111,
+    ERR_ADDRINUSE = 98,
+    ERR_TIMEDOUT = 110,
+};
+
+} // namespace xc::guestos
+
+#endif // XC_GUESTOS_TYPES_H

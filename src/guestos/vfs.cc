@@ -1,0 +1,100 @@
+#include "guestos/vfs.h"
+
+#include "guestos/kernel.h"
+
+namespace xc::guestos {
+
+VfsFile::VfsFile(GuestKernel &kernel, std::shared_ptr<VfsInode> inode,
+                 int flags)
+    : kernel_(kernel), inode_(std::move(inode)), flags_(flags)
+{
+    if (flags_ & OTrunc)
+        inode_->size = 0;
+    if (flags_ & OAppend)
+        offset_ = inode_->size;
+}
+
+sim::Task<std::int64_t>
+VfsFile::read(Thread &t, std::uint64_t n)
+{
+    if ((flags_ & 3) == OWrOnly)
+        co_return -ERR_BADF;
+    const auto &costs = kernel_.costs();
+    std::uint64_t avail =
+        offset_ >= inode_->size ? 0 : inode_->size - offset_;
+    std::uint64_t got = std::min(n, avail);
+
+    hw::Cycles work = kernel_.serviceCost(costs.vfsOp) +
+                      static_cast<hw::Cycles>(
+                          costs.copyPerByte * static_cast<double>(got));
+    if (!inode_->cached) {
+        work += costs.blockOp;
+        inode_->cached = true;
+    }
+    offset_ += got;
+    co_await t.compute(work);
+    co_return static_cast<std::int64_t>(got);
+}
+
+sim::Task<std::int64_t>
+VfsFile::write(Thread &t, std::uint64_t n)
+{
+    if ((flags_ & 3) == ORdOnly)
+        co_return -ERR_BADF;
+    const auto &costs = kernel_.costs();
+    hw::Cycles work = kernel_.serviceCost(costs.vfsOp) +
+                      static_cast<hw::Cycles>(
+                          costs.copyPerByte * static_cast<double>(n));
+    offset_ += n;
+    if (offset_ > inode_->size)
+        inode_->size = offset_;
+    inode_->cached = true;
+    co_await t.compute(work);
+    co_return static_cast<std::int64_t>(n);
+}
+
+std::shared_ptr<VfsInode>
+Vfs::createFile(const std::string &path, std::uint64_t size)
+{
+    auto inode = std::make_shared<VfsInode>();
+    inode->path = path;
+    inode->size = size;
+    inode->cached = false;
+    inodes[path] = inode;
+    return inode;
+}
+
+std::shared_ptr<VfsInode>
+Vfs::lookup(const std::string &path) const
+{
+    auto it = inodes.find(path);
+    return it == inodes.end() ? nullptr : it->second;
+}
+
+int
+Vfs::unlink(const std::string &path)
+{
+    return inodes.erase(path) ? 0 : -ERR_NOENT;
+}
+
+std::shared_ptr<VfsFile>
+Vfs::open(const std::string &path, int flags, int &err)
+{
+    auto inode = lookup(path);
+    if (!inode) {
+        if (!(flags & OCreat)) {
+            err = ERR_NOENT;
+            return nullptr;
+        }
+        inode = createFile(path, 0);
+        inode->cached = true;
+    }
+    if (inode->isDir && (flags & 3) != ORdOnly) {
+        err = ERR_ISDIR;
+        return nullptr;
+    }
+    err = 0;
+    return std::make_shared<VfsFile>(kernel_, inode, flags);
+}
+
+} // namespace xc::guestos

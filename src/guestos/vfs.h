@@ -1,0 +1,103 @@
+#ifndef XC_GUESTOS_VFS_H
+#define XC_GUESTOS_VFS_H
+
+/**
+ * @file
+ * In-memory filesystem (ramfs) with a warm page cache.
+ *
+ * Files carry sizes, not contents. Costs follow the cost model: VFS
+ * bookkeeping per operation plus per-byte copy across the user/
+ * kernel boundary. The page cache is modelled as always warm (the
+ * benchmarks in the paper serve cached static files / table pages);
+ * cold reads charge the block-layer cost once per file.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "sim/task.h"
+#include "guestos/file_object.h"
+#include "guestos/types.h"
+
+namespace xc::guestos {
+
+class GuestKernel;
+class Thread;
+
+/** An in-memory inode. */
+struct VfsInode
+{
+    std::string path;
+    std::uint64_t size = 0;
+    bool isDir = false;
+    /** First access charges block I/O (cold cache). */
+    bool cached = false;
+};
+
+/** Open flags subset. */
+enum OpenFlags : int {
+    ORdOnly = 0,
+    OWrOnly = 1,
+    ORdWr = 2,
+    OCreat = 0100,
+    OTrunc = 01000,
+    OAppend = 02000,
+};
+
+/** An open file description over a VfsInode. */
+class VfsFile : public FileObject
+{
+  public:
+    VfsFile(GuestKernel &kernel, std::shared_ptr<VfsInode> inode,
+            int flags);
+
+    sim::Task<std::int64_t> read(Thread &t, std::uint64_t n) override;
+    sim::Task<std::int64_t> write(Thread &t, std::uint64_t n) override;
+    std::uint32_t readiness() const override { return PollIn | PollOut; }
+    const char *kind() const override { return "file"; }
+
+    std::uint64_t offset() const { return offset_; }
+    void seek(std::uint64_t off) { offset_ = off; }
+    const std::shared_ptr<VfsInode> &inode() const { return inode_; }
+
+  private:
+    GuestKernel &kernel_;
+    std::shared_ptr<VfsInode> inode_;
+    int flags_;
+    std::uint64_t offset_ = 0;
+};
+
+/** The filesystem namespace of one kernel. */
+class Vfs
+{
+  public:
+    explicit Vfs(GuestKernel &kernel) : kernel_(kernel) {}
+
+    /** Create (or truncate) a file of @p size bytes. */
+    std::shared_ptr<VfsInode> createFile(const std::string &path,
+                                         std::uint64_t size);
+
+    std::shared_ptr<VfsInode> lookup(const std::string &path) const;
+
+    /** Remove a path. Returns 0 or -ERR_NOENT. */
+    int unlink(const std::string &path);
+
+    /**
+     * open(2) semantics: returns an open VfsFile, or nullptr with
+     * @p err set.
+     */
+    std::shared_ptr<VfsFile> open(const std::string &path, int flags,
+                                  int &err);
+
+    std::size_t fileCount() const { return inodes.size(); }
+
+  private:
+    GuestKernel &kernel_;
+    std::map<std::string, std::shared_ptr<VfsInode>> inodes;
+};
+
+} // namespace xc::guestos
+
+#endif // XC_GUESTOS_VFS_H

@@ -1,0 +1,55 @@
+#include "hw/cost_model.h"
+
+namespace xc::hw {
+
+MachineSpec
+MachineSpec::ec2C4_2xlarge()
+{
+    MachineSpec spec;
+    spec.name = "ec2-c4.2xlarge";
+    spec.cores = 4;
+    spec.threadsPerCore = 2;
+    spec.ghz = 2.9;
+    spec.memBytes = 15ull << 30;
+    spec.nestedCloud = true;
+    // EC2 does not support nested hardware virtualization at all;
+    // runtimes that need it must refuse to start (checked by the
+    // Clear Containers runtime).
+    spec.nestedHwVirtAvailable = false;
+    return spec;
+}
+
+MachineSpec
+MachineSpec::gceCustom4()
+{
+    MachineSpec spec;
+    spec.name = "gce-custom-4";
+    spec.cores = 4;
+    spec.threadsPerCore = 2;
+    spec.ghz = 2.6;
+    spec.memBytes = 16ull << 30;
+    spec.nestedCloud = true;
+    // GCE exposes nested hardware virtualization (with a performance
+    // penalty) — Clear Containers can run here but not on EC2.
+    spec.nestedHwVirtAvailable = true;
+    // GCE's Haswell-era custom instances have slightly slower
+    // per-packet host processing in our calibration.
+    spec.costs.netstackPerPacket = 2300;
+    return spec;
+}
+
+MachineSpec
+MachineSpec::xeonE52690Local()
+{
+    MachineSpec spec;
+    spec.name = "xeon-e5-2690-local";
+    spec.cores = 16;
+    spec.threadsPerCore = 2;
+    spec.ghz = 2.9;
+    spec.memBytes = 96ull << 30;
+    spec.nestedCloud = false;
+    spec.nestedHwVirtAvailable = true; // bare metal: plain HW virt
+    return spec;
+}
+
+} // namespace xc::hw

@@ -1,0 +1,199 @@
+#ifndef XC_HW_COST_MODEL_H
+#define XC_HW_COST_MODEL_H
+
+/**
+ * @file
+ * Cycle-cost calibration for every architectural transition the
+ * simulator charges.
+ *
+ * The simulator never hard-codes a benchmark result: each container
+ * architecture takes a different *sequence* of these transitions per
+ * operation, and relative performance emerges from the sums. The
+ * magnitudes below follow published measurements (syscall entry/exit
+ * ~100-200 cycles, KPTI ~300-700 extra per trap, VM exits ~1-2k
+ * cycles, nested exits ~10x that, ptrace stops several microseconds)
+ * and are validated against the paper's ratios in EXPERIMENTS.md.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.h"
+
+namespace xc::hw {
+
+using sim::Cycles;
+
+/** Named cycle costs for privilege, memory, and I/O transitions. */
+struct CostModel
+{
+    // --- Privilege transitions -------------------------------------
+    /** syscall/sysret round trip into a native (host or HVM guest)
+     *  kernel, mitigations at 2016-era defaults. */
+    Cycles syscallTrap = 180;
+    /** Same, on a guest kernel stripped of hardening (Clear
+     *  Containers disables most of it inside the VM). */
+    Cycles syscallTrapStripped = 70;
+    /** Extra cost KPTI (Meltdown patch) adds to one kernel
+     *  entry+exit: two CR3 writes plus the TLB refills they cause.
+     *  Calibrated to the first-generation patches the paper measured
+     *  (early 2018, before the PCID optimization was deployed on
+     *  these clouds), which is what makes raw syscalls up to ~27x
+     *  slower than function calls (Fig. 4). */
+    Cycles kptiTrapOverhead = 1700;
+    /** Dispatch through a patched vsyscall function call (ABOM /
+     *  manually patched binaries): call *abs + table load + ret. */
+    Cycles functionCallDispatch = 35;
+    /** Executing one instruction of a syscall-wrapper stub in the
+     *  interpreter (mov/jmp and friends). */
+    Cycles stubInstruction = 2;
+
+    // --- Hypervisor transitions ------------------------------------
+    /** Paravirtual hypercall round trip (trap + validate + return). */
+    Cycles hypercall = 280;
+    /** Xen PV x86-64 syscall forwarding: trap into the hypervisor
+     *  plus virtual-exception delivery into the guest kernel's
+     *  separate address space (excludes the TLB-flush penalty, which
+     *  is charged via the TLB model). */
+    Cycles pvSyscallForward = 700;
+    /** iret-via-hypercall on the return path of a PV exception. */
+    Cycles pvIretHypercall = 280;
+    /** Lightweight user-mode iret emulation in an X-Container
+     *  (registers staged on the kernel stack + ret). */
+    Cycles userIret = 30;
+    /** Hardware VM exit + entry (single-level virtualization). */
+    Cycles vmexit = 1400;
+    /** The same exit when the hypervisor itself runs in a VM
+     *  (nested virtualization, Clear Containers on GCE). */
+    Cycles vmexitNested = 11000;
+    /** Delivering a virtual interrupt/event to a PV guest kernel. */
+    Cycles pvEventDelivery = 1500;
+    /** X-Container event delivery: the LibOS emulates the interrupt
+     *  frame and jumps to the handler without entering the X-Kernel. */
+    Cycles xcEventDelivery = 90;
+
+    // --- gVisor (ptrace platform) ----------------------------------
+    /** One ptrace stop: tracee halts, host schedules the sentry,
+     *  sentry ptrace-reads registers (~2.5 us). Each intercepted
+     *  syscall costs two of these plus sentry handling. */
+    Cycles ptraceStop = 7600;
+    /** Sentry user-space kernel handling per syscall. */
+    Cycles sentryHandling = 2200;
+
+    // --- Memory management -----------------------------------------
+    /** Page-table switch (CR3 write) on the native path. */
+    Cycles pageTableSwitch = 130;
+    /** Validated mmu_update-style hypercall batch overhead. */
+    Cycles mmuUpdateBatch = 350;
+    /** Per-PTE cost inside an mmu_update batch (validation). */
+    Cycles mmuUpdatePte = 18;
+    /** Per-PTE cost of native page-table manipulation. */
+    Cycles nativePte = 6;
+    /** Refilling user-space TLB entries after a flush (amortized). */
+    Cycles tlbRefillUser = 900;
+    /** Refilling kernel TLB entries after a flush; avoided entirely
+     *  when kernel mappings carry the global bit. */
+    Cycles tlbRefillKernel = 1400;
+
+    // --- Scheduling --------------------------------------------------
+    /** Kernel work for one context switch (state save/restore,
+     *  runqueue update), excluding page-table and TLB effects. */
+    Cycles contextSwitchBase = 950;
+    /** Hypervisor work for switching vCPUs on a physical core. */
+    Cycles vcpuSwitch = 1100;
+    /** Per-entity scheduling decision cost multiplier: the decision
+     *  costs schedDecisionBase + schedDecisionLog2 * log2(runnable). */
+    Cycles schedDecisionBase = 120;
+    Cycles schedDecisionLog2 = 60;
+    /** Cache/TLB working-set pressure: once the active-entity
+     *  population outgrows the cache (~2^cachePressureFreeLog2
+     *  entities), every switch pays this much per doubling for the
+     *  re-warming misses of the incoming entity. This is what bends
+     *  Docker's curve down at hundreds of containers (Fig. 8) while
+     *  hierarchical scheduling keeps per-guest populations tiny. */
+    Cycles cachePressureLog2 = 28000;
+    int cachePressureFreeLog2 = 7;
+
+    // --- Processes ----------------------------------------------------
+    /** fork() base work excluding per-page table copying. */
+    Cycles forkBase = 9000;
+    /** execve() base work excluding image setup. */
+    Cycles execBase = 24000;
+    /** Per mapped page charged while setting up / copying an
+     *  address space. */
+    Cycles perPageSetup = 28;
+    /** IPC round trip between LibOS instances (Graphene-style
+     *  coordination of shared POSIX state). */
+    Cycles ipcRoundTrip = 5200;
+
+    // --- Data movement -------------------------------------------------
+    /** Copy cost per byte crossing the user/kernel boundary. */
+    double copyPerByte = 0.15;
+    /** Page-cache / VFS work per file read/write operation. */
+    Cycles vfsOp = 400;
+    /** Pipe buffer bookkeeping per read/write. */
+    Cycles pipeOp = 450;
+
+    // --- Networking ------------------------------------------------------
+    /** Pure TCP/IP stack work per packet (either direction). */
+    Cycles netstackPerPacket = 2100;
+    /** iptables NAT / conntrack per packet (port forwarding). */
+    Cycles natPerPacket = 900;
+    /** veth + bridge hop per packet (Docker bridge networking). */
+    Cycles vethPerPacket = 650;
+    /** Xen split-driver hop: grant copy + event through the ring. */
+    Cycles ringHopPerPacket = 1500;
+    /** Per-byte payload cost through the network path. */
+    double netPerByte = 0.02;
+    /** NIC interrupt/softirq entry on packet receive (charged with
+     *  the platform's kernel-entry discount where applicable). */
+    Cycles softirqEntry = 300;
+
+    // --- Device I/O ---------------------------------------------------------
+    /** Block-layer work per block I/O request. */
+    Cycles blockOp = 1800;
+};
+
+/** Physical machine description (cores, clock, memory) + costs. */
+struct MachineSpec
+{
+    std::string name = "generic";
+    int cores = 4;
+    /** SMT threads per core; extra threads give partial throughput. */
+    int threadsPerCore = 2;
+    double ghz = 2.9;
+    std::uint64_t memBytes = 15ull << 30;
+    CostModel costs{};
+    /** True when the "cloud host" itself is virtualized, so running
+     *  a hypervisor underneath needs Xen-Blanket / nested HW virt. */
+    bool nestedCloud = true;
+    /** Whether the cloud exposes nested hardware virtualization
+     *  (EC2: no; GCE: yes, at a cost — §1). Irrelevant when
+     *  nestedCloud is false. */
+    bool nestedHwVirtAvailable = false;
+
+    /** Clock period in ticks (picoseconds), rounded to nearest. */
+    sim::Tick
+    periodTicks() const
+    {
+        return static_cast<sim::Tick>(1000.0 / ghz + 0.5);
+    }
+
+    /** Convert a cycle count to ticks on this machine. */
+    sim::Tick
+    cyclesToTicks(Cycles c) const
+    {
+        return c * periodTicks();
+    }
+
+    /** Amazon EC2 c4.2xlarge (4 cores / 8 threads, 15 GB). */
+    static MachineSpec ec2C4_2xlarge();
+    /** Google GCE custom 4-core / 8-thread, 16 GB instance. */
+    static MachineSpec gceCustom4();
+    /** Local Dell R720: 2x Xeon E5-2690, 16 cores / 32 threads, 96 GB. */
+    static MachineSpec xeonE52690Local();
+};
+
+} // namespace xc::hw
+
+#endif // XC_HW_COST_MODEL_H

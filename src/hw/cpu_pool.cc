@@ -1,0 +1,131 @@
+#include "hw/cpu_pool.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "sim/logging.h"
+
+namespace xc::hw {
+
+CorePool::CorePool(Machine &machine, Config config, std::string name)
+    : machine(machine), config(config), name_(std::move(name)),
+      current(config.cores, nullptr), sliceEnd(config.cores, 0)
+{
+    XC_ASSERT(config.cores > 0);
+    XC_ASSERT(config.firstCpu + config.cores <= machine.numCpus());
+}
+
+Cycles
+CorePool::decisionCost() const
+{
+    auto waiters = static_cast<std::uint64_t>(queue.size()) + 1;
+    std::uint64_t lg = std::bit_width(waiters) - 1;
+    Cycles cost = config.decisionBase + config.decisionLog2 * lg;
+    if (lg > static_cast<std::uint64_t>(config.cachePressureFreeLog2)) {
+        cost += config.cachePressureLog2 *
+                (lg - config.cachePressureFreeLog2);
+    }
+    return cost;
+}
+
+void
+CorePool::submit(CpuClient *client)
+{
+    if (client->poolState != CpuClient::PoolState::Idle)
+        return;
+    client->poolState = CpuClient::PoolState::Queued;
+    queue.push_back(client);
+    for (int core = 0; core < config.cores; ++core) {
+        if (current[core] == nullptr) {
+            dispatch(core);
+            return;
+        }
+    }
+}
+
+void
+CorePool::dispatch(int core)
+{
+    XC_ASSERT(current[core] == nullptr);
+    if (queue.empty())
+        return;
+    CpuClient *next = queue.front();
+    queue.pop_front();
+    XC_ASSERT(next->poolState == CpuClient::PoolState::Queued);
+    next->poolState = CpuClient::PoolState::Switching;
+    next->poolCore = core;
+    current[core] = next;
+
+    Cycles cost = config.switchCost + decisionCost();
+    cpuOf(core).account(config.chargeClass, cost);
+    sim::Tick when = machine.now() + machine.cyclesToTicks(cost);
+    sliceEnd[core] = when + config.quantum;
+    ++grants_;
+    machine.events().schedule(when, [this, core, next] {
+        // The client may have been removed while the switch was in
+        // flight (teardown); current[] is the source of truth.
+        if (current[core] != next)
+            return;
+        next->poolState = CpuClient::PoolState::Running;
+        next->granted(core, sliceEnd[core]);
+    });
+}
+
+void
+CorePool::release(int core)
+{
+    XC_ASSERT(core >= 0 && core < config.cores);
+    CpuClient *client = current[core];
+    XC_ASSERT(client != nullptr);
+    client->poolState = CpuClient::PoolState::Idle;
+    client->poolCore = -1;
+    current[core] = nullptr;
+    dispatch(core);
+}
+
+bool
+CorePool::preemptDue(int core) const
+{
+    XC_ASSERT(core >= 0 && core < config.cores);
+    return !queue.empty() && machine.now() >= sliceEnd[core];
+}
+
+void
+CorePool::yieldCore(int core)
+{
+    CpuClient *client = current[core];
+    XC_ASSERT(client != nullptr);
+    client->poolState = CpuClient::PoolState::Idle;
+    client->poolCore = -1;
+    current[core] = nullptr;
+    submit(client);
+    if (current[core] == nullptr)
+        dispatch(core);
+}
+
+void
+CorePool::remove(CpuClient *client)
+{
+    switch (client->poolState) {
+      case CpuClient::PoolState::Idle:
+        break;
+      case CpuClient::PoolState::Queued: {
+        auto it = std::find(queue.begin(), queue.end(), client);
+        XC_ASSERT(it != queue.end());
+        queue.erase(it);
+        break;
+      }
+      case CpuClient::PoolState::Switching:
+      case CpuClient::PoolState::Running: {
+        int core = client->poolCore;
+        XC_ASSERT(core >= 0 && current[core] == client);
+        current[core] = nullptr;
+        dispatch(core);
+        break;
+      }
+    }
+    client->poolState = CpuClient::PoolState::Idle;
+    client->poolCore = -1;
+}
+
+} // namespace xc::hw

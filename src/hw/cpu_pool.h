@@ -1,0 +1,122 @@
+#ifndef XC_HW_CPU_POOL_H
+#define XC_HW_CPU_POOL_H
+
+/**
+ * @file
+ * Core-granting scheduler used at both levels of the stack.
+ *
+ * A CorePool owns a set of physical cores and grants them to
+ * CpuClients. The same class serves as
+ *  - the host Linux scheduler (clients = threads, one pool over all
+ *    machine cores),
+ *  - the Xen / X-Kernel credit scheduler (clients = vCPUs),
+ * which is exactly the hierarchical-scheduling comparison of §5.6:
+ * Docker schedules 4N processes in one pool while the X-Kernel
+ * schedules N vCPUs, each of which multiplexes 4 processes privately.
+ *
+ * Preemption is cooperative at await boundaries (syscalls, compute
+ * completions): clients ask preemptDue() at those points and yield.
+ * Bursts between boundaries are microseconds against millisecond
+ * quanta, so this matches real preemption behaviour closely.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "hw/machine.h"
+#include "sim/types.h"
+
+namespace xc::hw {
+
+class CorePool;
+
+/** Something that can be granted a core (a thread or a vCPU). */
+class CpuClient
+{
+  public:
+    virtual ~CpuClient() = default;
+
+    /**
+     * A core has been granted until roughly @p slice_end; the client
+     * keeps it until it calls release()/yieldCore() on the pool.
+     */
+    virtual void granted(int core, sim::Tick slice_end) = 0;
+
+    virtual const std::string &clientName() const = 0;
+
+  private:
+    friend class CorePool;
+    enum class PoolState { Idle, Queued, Switching, Running };
+    PoolState poolState = PoolState::Idle;
+    int poolCore = -1;
+};
+
+/** Scheduler granting cores to clients with cost accounting. */
+class CorePool
+{
+  public:
+    struct Config
+    {
+        /** Number of cores this pool controls. */
+        int cores = 1;
+        /** Index of the first machine CPU this pool controls. */
+        int firstCpu = 0;
+        /** Scheduling quantum. */
+        sim::Tick quantum = 6 * sim::kTicksPerMs;
+        /** Base cost of switching the core between clients. */
+        Cycles switchCost = 0;
+        /** Scheduling-decision cost: base + log2(waiting+1) term. */
+        Cycles decisionBase = 0;
+        Cycles decisionLog2 = 0;
+        /** Cache working-set pressure per doubling of waiting
+         *  clients beyond 2^cachePressureFreeLog2 (see CostModel). */
+        Cycles cachePressureLog2 = 0;
+        int cachePressureFreeLog2 = 5;
+        /** Cycle class the switch overhead is charged to. */
+        CycleClass chargeClass = CycleClass::Kernel;
+    };
+
+    CorePool(Machine &machine, Config config, std::string name);
+
+    /** Mark @p client runnable. No-op if already queued or running. */
+    void submit(CpuClient *client);
+
+    /** Client on @p core blocked or went idle: free the core. */
+    void release(int core);
+
+    /** True if the slice ended and someone is waiting. */
+    bool preemptDue(int core) const;
+
+    /** Requeue the current client of @p core, grant to the next. */
+    void yieldCore(int core);
+
+    /** Remove @p client wherever it is (exit/teardown). */
+    void remove(CpuClient *client);
+
+    int cores() const { return config.cores; }
+    std::size_t waiting() const { return queue.size(); }
+    std::uint64_t grants() const { return grants_; }
+
+    /** The machine CPU backing pool core @p core. */
+    Cpu &cpuOf(int core) { return machine.cpu(config.firstCpu + core); }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    void dispatch(int core);
+    Cycles decisionCost() const;
+
+    Machine &machine;
+    Config config;
+    std::string name_;
+    std::deque<CpuClient *> queue;
+    std::vector<CpuClient *> current;   // per core; nullptr = idle
+    std::vector<sim::Tick> sliceEnd;
+    std::uint64_t grants_ = 0;
+};
+
+} // namespace xc::hw
+
+#endif // XC_HW_CPU_POOL_H

@@ -1,0 +1,38 @@
+#include "hw/machine.h"
+
+#include <sstream>
+
+namespace xc::hw {
+
+Machine::Machine(MachineSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), rng_(seed), memory_(spec_.memBytes)
+{
+    int logical = spec_.cores * spec_.threadsPerCore;
+    cpus_.reserve(logical);
+    for (int i = 0; i < logical; ++i)
+        cpus_.push_back(std::make_unique<Cpu>(i, spec_));
+}
+
+std::string
+Machine::utilizationReport() const
+{
+    std::ostringstream os;
+    double elapsed_cycles =
+        sim::ticksToSeconds(events_.now()) * spec_.ghz * 1e9;
+    for (const auto &cpu : cpus_) {
+        Cycles user = cpu->cyclesIn(CycleClass::User);
+        Cycles kern = cpu->cyclesIn(CycleClass::Kernel);
+        Cycles hyp = cpu->cyclesIn(CycleClass::Hypervisor);
+        double busy =
+            elapsed_cycles > 0
+                ? 100.0 * static_cast<double>(user + kern + hyp) /
+                      elapsed_cycles
+                : 0.0;
+        os << "cpu" << cpu->id() << " user=" << user
+           << " kernel=" << kern << " hyp=" << hyp << " busy=" << busy
+           << "%\n";
+    }
+    return os.str();
+}
+
+} // namespace xc::hw

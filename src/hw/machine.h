@@ -1,0 +1,148 @@
+#ifndef XC_HW_MACHINE_H
+#define XC_HW_MACHINE_H
+
+/**
+ * @file
+ * The simulated physical machine: cores with TLBs, physical memory,
+ * the event queue, and the RNG that everything in one simulation
+ * shares.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/cost_model.h"
+#include "hw/phys_memory.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+
+namespace xc::hw {
+
+/**
+ * Per-core TLB accounting.
+ *
+ * Rather than tracking individual entries, the TLB charges the
+ * amortized refill penalty at each architectural flush point; this is
+ * where the global-bit optimization of §4.3 becomes measurable.
+ */
+class Tlb
+{
+  public:
+    /**
+     * Address-space switch (CR3 write).
+     * @param kernel_global whether kernel mappings carry the global
+     *        bit and therefore survive the switch.
+     * @return refill cycles to charge.
+     */
+    Cycles
+    onAddressSpaceSwitch(const CostModel &costs, bool kernel_global)
+    {
+        ++switches_;
+        Cycles penalty = costs.tlbRefillUser;
+        if (!kernel_global) {
+            ++kernelFlushes_;
+            penalty += costs.tlbRefillKernel;
+        }
+        return penalty;
+    }
+
+    /** Full flush including global entries (cross-container switch). */
+    Cycles
+    onFullFlush(const CostModel &costs)
+    {
+        ++fullFlushes_;
+        return costs.tlbRefillUser + costs.tlbRefillKernel;
+    }
+
+    std::uint64_t switches() const { return switches_; }
+    std::uint64_t kernelFlushes() const { return kernelFlushes_; }
+    std::uint64_t fullFlushes() const { return fullFlushes_; }
+
+  private:
+    std::uint64_t switches_ = 0;
+    std::uint64_t kernelFlushes_ = 0;
+    std::uint64_t fullFlushes_ = 0;
+};
+
+/** Cycle accounting categories for utilization reporting. */
+enum class CycleClass { User, Kernel, Hypervisor, Idle };
+
+/** One physical core (or SMT thread) of the machine. */
+class Cpu
+{
+  public:
+    Cpu(int id, const MachineSpec &spec) : id_(id), spec(&spec) {}
+
+    int id() const { return id_; }
+    Tlb &tlb() { return tlb_; }
+
+    sim::Tick
+    cyclesToTicks(Cycles c) const
+    {
+        return spec->cyclesToTicks(c);
+    }
+
+    /** Record @p c cycles of work in class @p cls. */
+    void
+    account(CycleClass cls, Cycles c)
+    {
+        accounted[static_cast<int>(cls)] += c;
+    }
+
+    Cycles
+    cyclesIn(CycleClass cls) const
+    {
+        return accounted[static_cast<int>(cls)];
+    }
+
+  private:
+    int id_;
+    const MachineSpec *spec;
+    Tlb tlb_;
+    Cycles accounted[4] = {0, 0, 0, 0};
+};
+
+/** The machine: cores + memory + event queue + RNG + stats. */
+class Machine
+{
+  public:
+    explicit Machine(MachineSpec spec, std::uint64_t seed = 42);
+
+    const MachineSpec &spec() const { return spec_; }
+    const CostModel &costs() const { return spec_.costs; }
+
+    sim::EventQueue &events() { return events_; }
+    sim::Rng &rng() { return rng_; }
+    sim::StatRegistry &stats() { return stats_; }
+    PhysMemory &memory() { return memory_; }
+
+    int numCpus() const { return static_cast<int>(cpus_.size()); }
+    Cpu &cpu(int i) { return *cpus_.at(i); }
+
+    sim::Tick now() const { return events_.now(); }
+
+    sim::Tick
+    cyclesToTicks(Cycles c) const
+    {
+        return spec_.cyclesToTicks(c);
+    }
+
+    /** Per-CPU utilization over the elapsed simulated time:
+     *  "cpuN user kernel hypervisor busy%" lines. */
+    std::string utilizationReport() const;
+
+  private:
+    MachineSpec spec_;
+    sim::EventQueue events_;
+    sim::Rng rng_;
+    sim::StatRegistry stats_;
+    PhysMemory memory_;
+    std::vector<std::unique_ptr<Cpu>> cpus_;
+};
+
+} // namespace xc::hw
+
+#endif // XC_HW_MACHINE_H

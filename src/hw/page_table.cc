@@ -1,0 +1,101 @@
+#include "hw/page_table.h"
+
+#include <vector>
+
+namespace xc::hw {
+
+void
+PageTable::map(Vaddr va, Pfn pfn, std::uint32_t flags)
+{
+    Vpn vpn = vaToVpn(va);
+    auto it = entries.find(vpn);
+    if (it != entries.end() && it->second.global())
+        --globalCount;
+    entries[vpn] = Pte{pfn, flags};
+    if (flags & PteGlobal)
+        ++globalCount;
+}
+
+void
+PageTable::unmap(Vaddr va)
+{
+    auto it = entries.find(vaToVpn(va));
+    if (it == entries.end())
+        return;
+    if (it->second.global())
+        --globalCount;
+    entries.erase(it);
+}
+
+const Pte *
+PageTable::lookup(Vaddr va) const
+{
+    auto it = entries.find(vaToVpn(va));
+    return it == entries.end() ? nullptr : &it->second;
+}
+
+Pte *
+PageTable::lookupMutable(Vaddr va)
+{
+    auto it = entries.find(vaToVpn(va));
+    return it == entries.end() ? nullptr : &it->second;
+}
+
+std::optional<std::uint64_t>
+PageTable::translate(Vaddr va) const
+{
+    const Pte *pte = lookup(va);
+    if (!pte || !pte->present())
+        return std::nullopt;
+    return (pte->pfn << kPageShift) | (va & (kPageSize - 1));
+}
+
+void
+PageTable::forEach(const std::function<void(Vpn, const Pte &)> &fn) const
+{
+    for (const auto &[vpn, pte] : entries)
+        fn(vpn, pte);
+}
+
+std::uint64_t
+PageTable::copyUserFrom(PageTable &src, bool cow)
+{
+    std::uint64_t copied = 0;
+    // Collect first: marking COW mutates the source flags.
+    std::vector<Vpn> user_vpns;
+    for (const auto &[vpn, pte] : src.entries) {
+        if (!isKernelHalf(vpnToVa(vpn)))
+            user_vpns.push_back(vpn);
+    }
+    for (Vpn vpn : user_vpns) {
+        Pte &spte = src.entries[vpn];
+        if (cow && spte.writable()) {
+            spte.flags &= ~PteWritable;
+            spte.flags |= PteCow;
+        }
+        auto it = entries.find(vpn);
+        if (it != entries.end() && it->second.global())
+            --globalCount;
+        entries[vpn] = spte;
+        if (spte.global())
+            ++globalCount;
+        ++copied;
+    }
+    return copied;
+}
+
+void
+PageTable::clearUser()
+{
+    for (auto it = entries.begin(); it != entries.end();) {
+        if (!isKernelHalf(vpnToVa(it->first))) {
+            if (it->second.global())
+                --globalCount;
+            it = entries.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+} // namespace xc::hw

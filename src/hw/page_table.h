@@ -1,0 +1,132 @@
+#ifndef XC_HW_PAGE_TABLE_H
+#define XC_HW_PAGE_TABLE_H
+
+/**
+ * @file
+ * Per-address-space page table.
+ *
+ * Models the x86-64 4-level radix structurally as a flat vpn -> PTE
+ * map (the simulator never walks on loads/stores; walk costs are
+ * charged from the cost model). PTE flag semantics, the canonical
+ * user/kernel address-space split, the global bit, and dirty-bit
+ * behaviour are modelled faithfully because the X-Container design
+ * depends on them: stack-pointer-MSB mode detection (§4.2), global
+ * kernel mappings across intra-container process switches (§4.3), and
+ * ABOM setting the dirty bit on read-only code pages (§4.4).
+ */
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "hw/phys_memory.h"
+
+namespace xc::hw {
+
+/** Virtual address / virtual page number. */
+using Vaddr = std::uint64_t;
+using Vpn = std::uint64_t;
+
+/** x86-64-style PTE permission / status bits. */
+enum PteFlags : std::uint32_t {
+    PtePresent = 1u << 0,
+    PteWritable = 1u << 1,
+    PteUser = 1u << 2,
+    PteGlobal = 1u << 3,
+    PteDirty = 1u << 4,
+    PteAccessed = 1u << 5,
+    PteNoExec = 1u << 6,
+    PteCow = 1u << 7, ///< copy-on-write marker (software bit)
+};
+
+/** One page-table entry. */
+struct Pte
+{
+    Pfn pfn = 0;
+    std::uint32_t flags = 0;
+
+    bool present() const { return flags & PtePresent; }
+    bool writable() const { return flags & PteWritable; }
+    bool user() const { return flags & PteUser; }
+    bool global() const { return flags & PteGlobal; }
+    bool dirty() const { return flags & PteDirty; }
+    bool cow() const { return flags & PteCow; }
+};
+
+/** Start of the kernel half of the canonical x86-64 address space. */
+constexpr Vaddr kKernelBase = 0xffff800000000000ull;
+
+/** True if @p va lies in the kernel (top) half. The most significant
+ *  bit of a canonical address is what X-Containers test to decide
+ *  guest-kernel vs guest-user mode from a stack pointer. */
+constexpr bool
+isKernelHalf(Vaddr va)
+{
+    return (va >> 63) & 1;
+}
+
+constexpr Vpn
+vaToVpn(Vaddr va)
+{
+    return va >> kPageShift;
+}
+
+constexpr Vaddr
+vpnToVa(Vpn vpn)
+{
+    return vpn << kPageShift;
+}
+
+/** A single address space's page table. */
+class PageTable
+{
+  public:
+    /** Number of radix levels a hardware walk traverses. */
+    static constexpr int kLevels = 4;
+
+    /** Install / overwrite the mapping for @p va. */
+    void map(Vaddr va, Pfn pfn, std::uint32_t flags);
+
+    /** Remove the mapping for @p va (no-op if absent). */
+    void unmap(Vaddr va);
+
+    /** Look up the PTE for @p va; nullptr if unmapped. */
+    const Pte *lookup(Vaddr va) const;
+
+    /** Mutable lookup (used for dirty/COW updates). */
+    Pte *lookupMutable(Vaddr va);
+
+    /**
+     * Translate @p va to a physical address.
+     * @return nullopt on a missing or non-present mapping.
+     */
+    std::optional<std::uint64_t> translate(Vaddr va) const;
+
+    /** Number of mapped pages (drives fork/exec copy costs). */
+    std::uint64_t mappedPages() const { return entries.size(); }
+
+    /** Number of mapped pages with the global bit set. */
+    std::uint64_t globalPages() const { return globalCount; }
+
+    /** Apply @p fn to every (vpn, pte) pair. */
+    void forEach(const std::function<void(Vpn, const Pte &)> &fn) const;
+
+    /**
+     * Duplicate all user-half entries of @p src into this table
+     * (fork). If @p cow, writable pages become read-only + COW in
+     * both tables, as Linux does.
+     * @return number of entries copied.
+     */
+    std::uint64_t copyUserFrom(PageTable &src, bool cow);
+
+    /** Drop all user-half entries (execve / exit). */
+    void clearUser();
+
+  private:
+    std::unordered_map<Vpn, Pte> entries;
+    std::uint64_t globalCount = 0;
+};
+
+} // namespace xc::hw
+
+#endif // XC_HW_PAGE_TABLE_H

@@ -1,0 +1,77 @@
+#include "hw/phys_memory.h"
+
+namespace xc::hw {
+
+PhysMemory::PhysMemory(std::uint64_t bytes) : total(bytes / kPageSize)
+{
+    XC_ASSERT(total > 0);
+}
+
+std::optional<Pfn>
+PhysMemory::alloc(std::uint64_t count, OwnerId owner)
+{
+    XC_ASSERT(count > 0);
+    if (used + count > total)
+        return std::nullopt;
+    // Frames are modelled as an ever-growing pfn space with a usage
+    // counter: the simulator never addresses frame contents, so
+    // fragmentation is irrelevant; only occupancy matters.
+    Pfn first = nextPfn;
+    nextPfn += count;
+    used += count;
+    runs.emplace(first, Run{count, owner});
+    perOwner[owner] += count;
+    return first;
+}
+
+void
+PhysMemory::free(Pfn first, std::uint64_t count)
+{
+    auto it = runs.find(first);
+    if (it == runs.end() || it->second.count != count)
+        sim::panic("PhysMemory::free of unknown run pfn=%llu count=%llu",
+                   static_cast<unsigned long long>(first),
+                   static_cast<unsigned long long>(count));
+    used -= count;
+    auto owner_it = perOwner.find(it->second.owner);
+    XC_ASSERT(owner_it != perOwner.end() && owner_it->second >= count);
+    owner_it->second -= count;
+    if (owner_it->second == 0)
+        perOwner.erase(owner_it);
+    runs.erase(it);
+}
+
+std::uint64_t
+PhysMemory::ownedFrames(OwnerId owner) const
+{
+    auto it = perOwner.find(owner);
+    return it == perOwner.end() ? 0 : it->second;
+}
+
+OwnerId
+PhysMemory::ownerOf(Pfn pfn) const
+{
+    // Linear probe backwards is unnecessary: runs are keyed by first
+    // pfn, so scan the map (small: one run per domain/region).
+    for (const auto &[first, run] : runs) {
+        if (pfn >= first && pfn < first + run.count)
+            return run.owner;
+    }
+    return kNoOwner;
+}
+
+void
+PhysMemory::freeAllOwnedBy(OwnerId owner)
+{
+    for (auto it = runs.begin(); it != runs.end();) {
+        if (it->second.owner == owner) {
+            used -= it->second.count;
+            it = runs.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    perOwner.erase(owner);
+}
+
+} // namespace xc::hw

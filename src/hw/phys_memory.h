@@ -1,0 +1,79 @@
+#ifndef XC_HW_PHYS_MEMORY_H
+#define XC_HW_PHYS_MEMORY_H
+
+/**
+ * @file
+ * Physical frame allocator.
+ *
+ * Tracks 4 KB frames of machine memory and per-owner accounting.
+ * Memory caps are what limit VM density in the Figure 8 scalability
+ * experiment (Xen HVM guests need >= 256 MB, PV >= 256 MB at scale,
+ * X-Containers run in 128 MB), so exhaustion must be a first-class,
+ * recoverable condition rather than a panic.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "sim/logging.h"
+
+namespace xc::hw {
+
+/** Physical frame number. */
+using Pfn = std::uint64_t;
+
+constexpr std::uint64_t kPageSize = 4096;
+constexpr std::uint64_t kPageShift = 12;
+
+/** Identifies the owner of a frame (domain / container id). */
+using OwnerId = std::uint32_t;
+constexpr OwnerId kNoOwner = 0xffffffffu;
+
+/** Allocator over a fixed pool of physical frames. */
+class PhysMemory
+{
+  public:
+    explicit PhysMemory(std::uint64_t bytes);
+
+    std::uint64_t totalFrames() const { return total; }
+    std::uint64_t freeFrames() const { return total - used; }
+    std::uint64_t usedFrames() const { return used; }
+    std::uint64_t totalBytes() const { return total * kPageSize; }
+
+    /**
+     * Allocate @p count frames for @p owner.
+     * @return the first Pfn of a contiguous run, or std::nullopt if
+     *         the pool cannot satisfy the request.
+     */
+    std::optional<Pfn> alloc(std::uint64_t count, OwnerId owner);
+
+    /** Release @p count frames starting at @p first. */
+    void free(Pfn first, std::uint64_t count);
+
+    /** Frames currently charged to @p owner. */
+    std::uint64_t ownedFrames(OwnerId owner) const;
+
+    /** Owner of frame @p pfn (kNoOwner if unallocated). */
+    OwnerId ownerOf(Pfn pfn) const;
+
+    /** Release every frame charged to @p owner. */
+    void freeAllOwnedBy(OwnerId owner);
+
+  private:
+    struct Run
+    {
+        std::uint64_t count;
+        OwnerId owner;
+    };
+
+    std::uint64_t total;
+    std::uint64_t used = 0;
+    Pfn nextPfn = 1; // pfn 0 reserved (null)
+    std::unordered_map<Pfn, Run> runs; // first pfn -> run
+    std::unordered_map<OwnerId, std::uint64_t> perOwner;
+};
+
+} // namespace xc::hw
+
+#endif // XC_HW_PHYS_MEMORY_H

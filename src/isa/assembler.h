@@ -1,0 +1,143 @@
+#ifndef XC_ISA_ASSEMBLER_H
+#define XC_ISA_ASSEMBLER_H
+
+/**
+ * @file
+ * Tiny assembler emitting the wrapper-instruction subset into a
+ * CodeBuffer. Each emitter returns the address of the emitted
+ * instruction so stub builders can record syscall sites.
+ */
+
+#include "isa/code_buffer.h"
+#include "isa/insn.h"
+
+namespace xc::isa {
+
+/** Emits instructions at the end of a CodeBuffer. */
+class Assembler
+{
+  public:
+    explicit Assembler(CodeBuffer &code) : code_(code) {}
+
+    GuestAddr here() const { return code_.end(); }
+
+    /** mov $imm,%eax — 5 bytes. */
+    GuestAddr
+    movEaxImm(std::uint32_t imm)
+    {
+        GuestAddr at = here();
+        code_.append(kOpMovEaxImm);
+        emit32(imm);
+        return at;
+    }
+
+    /** mov $imm,%rax — 7 bytes (sign-extended imm32). */
+    GuestAddr
+    movRaxImm(std::int32_t imm)
+    {
+        GuestAddr at = here();
+        code_.append({kOpRexW, kOpMovRaxImm1, kOpMovRaxImm2});
+        emit32(static_cast<std::uint32_t>(imm));
+        return at;
+    }
+
+    /** mov disp8(%rsp),%rax — 5 bytes. */
+    GuestAddr
+    movRaxFromRsp(std::uint8_t disp)
+    {
+        GuestAddr at = here();
+        code_.append({kOpRexW, kOpMovRspLoad1, kOpMovRspLoad2,
+                      kOpMovRspLoad3, disp});
+        return at;
+    }
+
+    GuestAddr
+    movEdiImm(std::uint32_t imm)
+    {
+        GuestAddr at = here();
+        code_.append(kOpMovEdiImm);
+        emit32(imm);
+        return at;
+    }
+
+    GuestAddr
+    movEsiImm(std::uint32_t imm)
+    {
+        GuestAddr at = here();
+        code_.append(kOpMovEsiImm);
+        emit32(imm);
+        return at;
+    }
+
+    GuestAddr
+    movEdxImm(std::uint32_t imm)
+    {
+        GuestAddr at = here();
+        code_.append(kOpMovEdxImm);
+        emit32(imm);
+        return at;
+    }
+
+    /** syscall — 2 bytes. */
+    GuestAddr
+    syscallInsn()
+    {
+        GuestAddr at = here();
+        code_.append({kOpSyscall1, kOpSyscall2});
+        return at;
+    }
+
+    /** callq *abs — 7 bytes through a sign-extended 32-bit address. */
+    GuestAddr
+    callAbs(GuestAddr target)
+    {
+        GuestAddr at = here();
+        code_.append({kOpCallAbs1, kOpCallAbs2, kOpCallAbs3});
+        emit32(abs32Of(target));
+        return at;
+    }
+
+    /** jmp rel8 to absolute @p target — 2 bytes. */
+    GuestAddr
+    jmpTo(GuestAddr target)
+    {
+        GuestAddr at = here();
+        std::int64_t rel = static_cast<std::int64_t>(target) -
+                           static_cast<std::int64_t>(at + 2);
+        XC_ASSERT(rel >= -128 && rel <= 127);
+        code_.append({kOpJmpRel8,
+                      static_cast<std::uint8_t>(static_cast<std::int8_t>(rel))});
+        return at;
+    }
+
+    GuestAddr
+    ret()
+    {
+        GuestAddr at = here();
+        code_.append(kOpRet);
+        return at;
+    }
+
+    GuestAddr
+    nop(int count = 1)
+    {
+        GuestAddr at = here();
+        for (int i = 0; i < count; ++i)
+            code_.append(kOpNop);
+        return at;
+    }
+
+  private:
+    void
+    emit32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            code_.append(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    CodeBuffer &code_;
+};
+
+} // namespace xc::isa
+
+#endif // XC_ISA_ASSEMBLER_H

@@ -1,0 +1,112 @@
+#ifndef XC_ISA_CODE_BUFFER_H
+#define XC_ISA_CODE_BUFFER_H
+
+/**
+ * @file
+ * A mapped text segment: raw bytes at a base virtual address.
+ *
+ * ABOM patches these bytes in place with compare-and-swap of up to
+ * eight bytes — exactly the constraint the paper's two-phase 9-byte
+ * replacement exists to satisfy — so the buffer exposes a cmpxchg
+ * primitive rather than unrestricted writes for patching.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <vector>
+
+#include "sim/logging.h"
+
+namespace xc::isa {
+
+/** Guest virtual address of an instruction. */
+using GuestAddr = std::uint64_t;
+
+/** Byte storage for a guest text segment. */
+class CodeBuffer
+{
+  public:
+    explicit CodeBuffer(GuestAddr base = 0x400000, std::size_t reserve = 256)
+        : base_(base)
+    {
+        bytes_.reserve(reserve);
+    }
+
+    GuestAddr base() const { return base_; }
+    std::size_t size() const { return bytes_.size(); }
+    GuestAddr end() const { return base_ + bytes_.size(); }
+
+    bool
+    contains(GuestAddr va) const
+    {
+        return va >= base_ && va < end();
+    }
+
+    /** Append a byte; returns its address. */
+    GuestAddr
+    append(std::uint8_t b)
+    {
+        bytes_.push_back(b);
+        return end() - 1;
+    }
+
+    void
+    append(std::initializer_list<std::uint8_t> bs)
+    {
+        for (auto b : bs)
+            bytes_.push_back(b);
+    }
+
+    std::uint8_t
+    read8(GuestAddr va) const
+    {
+        XC_ASSERT(contains(va));
+        return bytes_[va - base_];
+    }
+
+    std::uint32_t
+    read32(GuestAddr va) const
+    {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(read8(va + i)) << (8 * i);
+        return v;
+    }
+
+    /** Unrestricted write (used by loaders, not by ABOM). */
+    void
+    write8(GuestAddr va, std::uint8_t b)
+    {
+        XC_ASSERT(contains(va));
+        bytes_[va - base_] = b;
+    }
+
+    /**
+     * Atomic compare-and-exchange of up to 8 bytes at @p va — the
+     * only mutation primitive ABOM may use on live code (§4.4).
+     * @return false if the current bytes do not match @p expected.
+     */
+    bool
+    cmpxchg(GuestAddr va, const std::uint8_t *expected,
+            const std::uint8_t *replacement, std::size_t len)
+    {
+        XC_ASSERT(len >= 1 && len <= 8);
+        XC_ASSERT(contains(va) && contains(va + len - 1));
+        if (std::memcmp(&bytes_[va - base_], expected, len) != 0)
+            return false;
+        std::memcpy(&bytes_[va - base_], replacement, len);
+        return true;
+    }
+
+    /** Raw access for tests and disassembly. */
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+
+  private:
+    GuestAddr base_;
+    std::vector<std::uint8_t> bytes_;
+};
+
+} // namespace xc::isa
+
+#endif // XC_ISA_CODE_BUFFER_H

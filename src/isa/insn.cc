@@ -1,0 +1,147 @@
+#include "isa/insn.h"
+
+#include <sstream>
+
+namespace xc::isa {
+
+namespace {
+
+bool
+haveBytes(const CodeBuffer &code, GuestAddr va, int n)
+{
+    return code.contains(va) && code.contains(va + n - 1);
+}
+
+} // namespace
+
+Insn
+decode(const CodeBuffer &code, GuestAddr va)
+{
+    if (!code.contains(va))
+        return Insn{};
+
+    std::uint8_t b0 = code.read8(va);
+
+    switch (b0) {
+      case kOpMovEaxImm:
+        if (haveBytes(code, va, 5))
+            return Insn{Op::MovEaxImm, 5,
+                        static_cast<std::int64_t>(code.read32(va + 1))};
+        return Insn{};
+
+      case kOpMovEdiImm:
+        if (haveBytes(code, va, 5))
+            return Insn{Op::MovEdiImm, 5,
+                        static_cast<std::int64_t>(code.read32(va + 1))};
+        return Insn{};
+
+      case kOpMovEsiImm:
+        if (haveBytes(code, va, 5))
+            return Insn{Op::MovEsiImm, 5,
+                        static_cast<std::int64_t>(code.read32(va + 1))};
+        return Insn{};
+
+      case kOpMovEdxImm:
+        if (haveBytes(code, va, 5))
+            return Insn{Op::MovEdxImm, 5,
+                        static_cast<std::int64_t>(code.read32(va + 1))};
+        return Insn{};
+
+      case kOpRexW:
+        if (haveBytes(code, va, 3) && code.read8(va + 1) == kOpMovRaxImm1 &&
+            code.read8(va + 2) == kOpMovRaxImm2 && haveBytes(code, va, 7)) {
+            // mov $imm32,%rax (sign-extended immediate)
+            return Insn{Op::MovRaxImm, 7,
+                        static_cast<std::int64_t>(
+                            static_cast<std::int32_t>(code.read32(va + 3)))};
+        }
+        if (haveBytes(code, va, 5) && code.read8(va + 1) == kOpMovRspLoad1 &&
+            code.read8(va + 2) == kOpMovRspLoad2 &&
+            code.read8(va + 3) == kOpMovRspLoad3) {
+            // mov disp8(%rsp),%rax
+            return Insn{Op::MovRaxRsp, 5,
+                        static_cast<std::int64_t>(code.read8(va + 4))};
+        }
+        return Insn{};
+
+      case kOpSyscall1:
+        if (haveBytes(code, va, 2) && code.read8(va + 1) == kOpSyscall2)
+            return Insn{Op::Syscall, 2, 0};
+        return Insn{};
+
+      case kOpCallAbs1:
+        if (haveBytes(code, va, 3) && code.read8(va + 1) == kOpCallAbs2 &&
+            code.read8(va + 2) == kOpCallAbs3 && haveBytes(code, va, 7)) {
+            return Insn{Op::CallAbs, 7,
+                        static_cast<std::int64_t>(
+                            sextAbs32(code.read32(va + 3)))};
+        }
+        return Insn{};
+
+      case kOpJmpRel8:
+        if (haveBytes(code, va, 2)) {
+            return Insn{Op::JmpRel8, 2,
+                        static_cast<std::int64_t>(
+                            static_cast<std::int8_t>(code.read8(va + 1)))};
+        }
+        return Insn{};
+
+      case kOpRet:
+        return Insn{Op::Ret, 1, 0};
+
+      case kOpNop:
+        return Insn{Op::Nop, 1, 0};
+
+      default:
+        return Insn{};
+    }
+}
+
+std::string
+disassemble(const Insn &insn, GuestAddr va)
+{
+    std::ostringstream os;
+    os << std::hex << va << ": ";
+    switch (insn.op) {
+      case Op::MovEaxImm:
+        os << "mov $0x" << std::hex << insn.imm << ",%eax";
+        break;
+      case Op::MovRaxImm:
+        os << "mov $0x" << std::hex << insn.imm << ",%rax";
+        break;
+      case Op::MovRaxRsp:
+        os << "mov 0x" << std::hex << insn.imm << "(%rsp),%rax";
+        break;
+      case Op::MovEdiImm:
+        os << "mov $0x" << std::hex << insn.imm << ",%edi";
+        break;
+      case Op::MovEsiImm:
+        os << "mov $0x" << std::hex << insn.imm << ",%esi";
+        break;
+      case Op::MovEdxImm:
+        os << "mov $0x" << std::hex << insn.imm << ",%edx";
+        break;
+      case Op::Syscall:
+        os << "syscall";
+        break;
+      case Op::CallAbs:
+        os << "callq *0x" << std::hex
+           << static_cast<std::uint64_t>(insn.imm);
+        break;
+      case Op::JmpRel8:
+        os << "jmp 0x" << std::hex << (va + insn.length + insn.imm);
+        break;
+      case Op::Ret:
+        os << "ret";
+        break;
+      case Op::Nop:
+        os << "nop";
+        break;
+      case Op::Invalid:
+        os << "(bad)";
+        break;
+    }
+    return os.str();
+}
+
+} // namespace xc::isa

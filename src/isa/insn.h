@@ -1,0 +1,140 @@
+#ifndef XC_ISA_INSN_H
+#define XC_ISA_INSN_H
+
+/**
+ * @file
+ * The x86-64 instruction subset appearing in system-call wrappers.
+ *
+ * Encodings are the real ones (Fig. 2 of the paper):
+ *
+ *   b8 imm32                mov $imm,%eax            (5 bytes)
+ *   48 c7 c0 imm32          mov $imm,%rax            (7 bytes)
+ *   48 8b 44 24 disp8       mov disp8(%rsp),%rax     (5 bytes)
+ *   bf/be/ba imm32          mov $imm,%edi/%esi/%edx  (5 bytes)
+ *   0f 05                   syscall                  (2 bytes)
+ *   ff 14 25 imm32          callq *imm32 (abs, sext) (7 bytes)
+ *   eb rel8                 jmp rel8                 (2 bytes)
+ *   c3                      ret                      (1 byte)
+ *   90                      nop                      (1 byte)
+ *
+ * Anything else decodes as Invalid and raises an invalid-opcode trap,
+ * which is precisely how the X-Kernel's jump-into-patched-bytes
+ * fixup (the "0x60 0xff" case) gets exercised.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "isa/code_buffer.h"
+
+namespace xc::isa {
+
+/** Decoded instruction kinds. */
+enum class Op {
+    MovEaxImm,   ///< b8 imm32
+    MovRaxImm,   ///< 48 c7 c0 imm32
+    MovRaxRsp,   ///< 48 8b 44 24 disp8
+    MovEdiImm,   ///< bf imm32
+    MovEsiImm,   ///< be imm32
+    MovEdxImm,   ///< ba imm32
+    Syscall,     ///< 0f 05
+    CallAbs,     ///< ff 14 25 imm32  (call through absolute address)
+    JmpRel8,     ///< eb rel8
+    Ret,         ///< c3
+    Nop,         ///< 90
+    Invalid,     ///< undecodable bytes
+};
+
+/** A decoded instruction. */
+struct Insn
+{
+    Op op = Op::Invalid;
+    std::uint8_t length = 0;
+    /** Immediate / displacement payload (sign handling per op). */
+    std::int64_t imm = 0;
+
+    bool valid() const { return op != Op::Invalid; }
+};
+
+/** Opcode byte constants used by the assembler and ABOM. */
+constexpr std::uint8_t kOpMovEaxImm = 0xb8;
+constexpr std::uint8_t kOpRexW = 0x48;
+constexpr std::uint8_t kOpMovRaxImm1 = 0xc7;
+constexpr std::uint8_t kOpMovRaxImm2 = 0xc0;
+constexpr std::uint8_t kOpMovRspLoad1 = 0x8b;
+constexpr std::uint8_t kOpMovRspLoad2 = 0x44;
+constexpr std::uint8_t kOpMovRspLoad3 = 0x24;
+constexpr std::uint8_t kOpMovEdiImm = 0xbf;
+constexpr std::uint8_t kOpMovEsiImm = 0xbe;
+constexpr std::uint8_t kOpMovEdxImm = 0xba;
+constexpr std::uint8_t kOpSyscall1 = 0x0f;
+constexpr std::uint8_t kOpSyscall2 = 0x05;
+constexpr std::uint8_t kOpCallAbs1 = 0xff;
+constexpr std::uint8_t kOpCallAbs2 = 0x14;
+constexpr std::uint8_t kOpCallAbs3 = 0x25;
+constexpr std::uint8_t kOpJmpRel8 = 0xeb;
+constexpr std::uint8_t kOpRet = 0xc3;
+constexpr std::uint8_t kOpNop = 0x90;
+
+/**
+ * Decode one instruction at @p va.
+ * Decoding never faults: undecodable bytes produce Op::Invalid with
+ * length 0 (the trap is raised by the interpreter).
+ */
+Insn decode(const CodeBuffer &code, GuestAddr va);
+
+/** Human-readable disassembly of one instruction (for examples). */
+std::string disassemble(const Insn &insn, GuestAddr va);
+
+/**
+ * The vsyscall page layout (§4.4): the system-call entry table lives
+ * at a fixed address in every process. Entry i holds the handler for
+ * syscall number i at kVsyscallBase + 8 * (i + 1); matching the
+ * paper's examples, read (nr 0) dispatches through *0xffffffffff600008
+ * and rt_sigreturn (nr 15) through *0xffffffffff600080.
+ *
+ * Index kStackArgSlot (0x180, i.e. *0xffffffffff600c08) is the
+ * special entry used for Go-style wrappers that keep the syscall
+ * number on the stack rather than in %rax (Fig. 2, case 2).
+ */
+constexpr GuestAddr kVsyscallBase = 0xffffffffff600000ull;
+constexpr int kStackArgSlot = 0x180;
+
+/** Table-slot address for syscall number @p nr. */
+constexpr GuestAddr
+vsyscallSlotAddr(int nr)
+{
+    return kVsyscallBase + 8ull * (static_cast<unsigned>(nr) + 1);
+}
+
+/** Inverse of vsyscallSlotAddr; -1 if @p addr is not a valid slot. */
+constexpr int
+vsyscallSlotIndex(GuestAddr addr)
+{
+    if (addr <= kVsyscallBase || (addr - kVsyscallBase) % 8 != 0)
+        return -1;
+    auto idx = (addr - kVsyscallBase) / 8 - 1;
+    return idx <= 0x200 ? static_cast<int>(idx) : -1;
+}
+
+/**
+ * Sign-extended 32-bit absolute addressing: `callq *imm32` encodes a
+ * disp32 that hardware sign-extends, which is how a 7-byte call can
+ * reach the vsyscall page at 0xffffffffff600000.
+ */
+constexpr GuestAddr
+sextAbs32(std::uint32_t disp)
+{
+    return static_cast<GuestAddr>(
+        static_cast<std::int64_t>(static_cast<std::int32_t>(disp)));
+}
+
+constexpr std::uint32_t
+abs32Of(GuestAddr addr)
+{
+    return static_cast<std::uint32_t>(addr & 0xffffffffull);
+}
+
+} // namespace xc::isa
+
+#endif // XC_ISA_INSN_H

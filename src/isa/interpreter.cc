@@ -1,0 +1,108 @@
+#include "isa/interpreter.h"
+
+namespace xc::isa {
+
+RunResult
+execute(CodeBuffer &code, GuestAddr entry, Regs &regs, ExecEnv &env,
+        std::uint64_t max_insns)
+{
+    RunResult result;
+    GuestAddr ip = entry;
+
+    while (result.instructions < max_insns) {
+        Insn insn = decode(code, ip);
+        ++result.instructions;
+
+        if (!insn.valid()) {
+            GuestAddr fixed = env.onInvalidOpcode(regs, code, ip);
+            if (fixed == ExecEnv::kFault) {
+                result.faulted = true;
+                return result;
+            }
+            ip = fixed;
+            continue;
+        }
+
+        switch (insn.op) {
+          case Op::MovEaxImm:
+            // 32-bit writes zero-extend into the full register.
+            regs.rax = static_cast<std::uint32_t>(insn.imm);
+            ip += insn.length;
+            break;
+
+          case Op::MovRaxImm:
+            regs.rax = static_cast<std::uint64_t>(insn.imm);
+            ip += insn.length;
+            break;
+
+          case Op::MovRaxRsp:
+            regs.rax = regs.loadRspDisp(insn.imm);
+            ip += insn.length;
+            break;
+
+          case Op::MovEdiImm:
+            regs.rdi = static_cast<std::uint32_t>(insn.imm);
+            ip += insn.length;
+            break;
+
+          case Op::MovEsiImm:
+            regs.rsi = static_cast<std::uint32_t>(insn.imm);
+            ip += insn.length;
+            break;
+
+          case Op::MovEdxImm:
+            regs.rdx = static_cast<std::uint32_t>(insn.imm);
+            ip += insn.length;
+            break;
+
+          case Op::Syscall:
+            ip = env.onSyscall(regs, code, ip + insn.length);
+            if (ip == ExecEnv::kFault) {
+                result.faulted = true;
+                return result;
+            }
+            break;
+
+          case Op::CallAbs: {
+            int slot = vsyscallSlotIndex(
+                static_cast<GuestAddr>(insn.imm));
+            if (slot < 0) {
+                GuestAddr fixed = env.onInvalidOpcode(regs, code, ip);
+                if (fixed == ExecEnv::kFault) {
+                    result.faulted = true;
+                    return result;
+                }
+                ip = fixed;
+                break;
+            }
+            ip = env.onVsyscallCall(slot, regs, code, ip + insn.length);
+            if (ip == ExecEnv::kFault) {
+                result.faulted = true;
+                return result;
+            }
+            break;
+          }
+
+          case Op::JmpRel8:
+            ip = ip + insn.length + insn.imm;
+            break;
+
+          case Op::Nop:
+            ip += insn.length;
+            break;
+
+          case Op::Ret:
+            // Wrappers are leaf functions called from native code:
+            // a ret ends the stub.
+            return result;
+
+          case Op::Invalid:
+            sim::panic("unreachable: invalid op dispatched");
+        }
+    }
+
+    result.hitLimit = true;
+    return result;
+}
+
+} // namespace xc::isa

@@ -1,0 +1,106 @@
+#ifndef XC_ISA_INTERPRETER_H
+#define XC_ISA_INTERPRETER_H
+
+/**
+ * @file
+ * Executes syscall-wrapper stubs byte-by-byte.
+ *
+ * Application *logic* in this simulator is C++ code, but every system
+ * call enters through a real byte-encoded wrapper executed here, so
+ * ABOM's on-the-fly binary patching, the two-phase 9-byte protocol,
+ * concurrent execution of half-patched code, and the
+ * jump-into-patched-bytes fixup trap are all exercised on actual
+ * instruction bytes.
+ */
+
+#include <cstdint>
+
+#include "isa/code_buffer.h"
+#include "isa/insn.h"
+
+namespace xc::isa {
+
+/** Architectural state a wrapper touches. */
+struct Regs
+{
+    std::uint64_t rax = 0;
+    std::uint64_t rdi = 0;
+    std::uint64_t rsi = 0;
+    std::uint64_t rdx = 0;
+
+    /** Small stack window; slot 1 is 0x8(%rsp), where Go-style
+     *  callers place the trap number. */
+    static constexpr int kStackSlots = 16;
+    std::uint64_t stack[kStackSlots] = {};
+
+    std::uint64_t
+    loadRspDisp(std::int64_t disp) const
+    {
+        XC_ASSERT(disp >= 0 && disp % 8 == 0 &&
+                  disp / 8 < kStackSlots);
+        return stack[disp / 8];
+    }
+};
+
+/**
+ * Environment a running stub calls out to. Implemented by each
+ * platform: the syscall path differs per architecture (trap into
+ * host kernel / forward through hypervisor / ptrace stop / ...),
+ * and only the X-Kernel implements the invalid-opcode fixup.
+ */
+class ExecEnv
+{
+  public:
+    virtual ~ExecEnv() = default;
+
+    /** Sentinel: halt execution with a fault. */
+    static constexpr GuestAddr kFault = ~GuestAddr(0);
+
+    /**
+     * A syscall instruction executed; @p ip_after points just past
+     * it. The environment performs the system call (and possibly
+     * patches the code). @return the address to resume at.
+     */
+    virtual GuestAddr onSyscall(Regs &regs, CodeBuffer &code,
+                                GuestAddr ip_after) = 0;
+
+    /**
+     * A patched `callq *slot` executed. @p slot is the vsyscall
+     * table index (or kStackArgSlot). The handler may adjust the
+     * return address (the 9-byte phase-1 skip logic).
+     * @return the address to resume at.
+     */
+    virtual GuestAddr onVsyscallCall(int slot, Regs &regs,
+                                     CodeBuffer &code,
+                                     GuestAddr ret_addr) = 0;
+
+    /**
+     * Invalid opcode at @p ip. The X-Kernel's fixup handler moves
+     * the IP back to the start of the patched call; other platforms
+     * fault. @return resume address or kFault.
+     */
+    virtual GuestAddr onInvalidOpcode(Regs &regs, CodeBuffer &code,
+                                      GuestAddr ip) = 0;
+};
+
+/** Outcome of one stub execution. */
+struct RunResult
+{
+    /** Instructions retired (drives stub execution cost). */
+    std::uint64_t instructions = 0;
+    /** True if execution ended in an unrecovered fault. */
+    bool faulted = false;
+    /** True if the instruction budget was exhausted (runaway). */
+    bool hitLimit = false;
+};
+
+/**
+ * Execute starting at @p entry until the wrapper returns (top-level
+ * `ret`), faults, or retires @p max_insns instructions.
+ */
+RunResult execute(CodeBuffer &code, GuestAddr entry, Regs &regs,
+                  ExecEnv &env, std::uint64_t max_insns = 10000);
+
+} // namespace xc::isa
+
+#endif // XC_ISA_INTERPRETER_H

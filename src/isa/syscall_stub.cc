@@ -1,0 +1,101 @@
+#include "isa/syscall_stub.h"
+
+namespace xc::isa {
+
+const char *
+wrapperKindName(WrapperKind kind)
+{
+    switch (kind) {
+      case WrapperKind::GlibcMovEax: return "glibc-mov-eax";
+      case WrapperKind::GlibcMovRax: return "glibc-mov-rax";
+      case WrapperKind::GoStackArg: return "go-stack-arg";
+      case WrapperKind::PthreadCancellable: return "pthread-cancellable";
+      case WrapperKind::JumpToSyscall: return "jump-to-syscall";
+    }
+    return "?";
+}
+
+SyscallStub
+StubLibrary::build(int nr, WrapperKind kind, const std::string &symbol)
+{
+    Assembler as(code_);
+    SyscallStub stub;
+    stub.nr = nr;
+    stub.kind = kind;
+    stub.symbol = symbol;
+
+    switch (kind) {
+      case WrapperKind::GlibcMovEax:
+        stub.entry = as.movEaxImm(static_cast<std::uint32_t>(nr));
+        stub.syscallSite = as.syscallInsn();
+        as.ret();
+        break;
+
+      case WrapperKind::GlibcMovRax:
+        stub.entry = as.movRaxImm(nr);
+        stub.syscallSite = as.syscallInsn();
+        as.ret();
+        break;
+
+      case WrapperKind::GoStackArg:
+        // The caller placed the trap number at 0x8(%rsp).
+        stub.entry = as.movRaxFromRsp(0x08);
+        stub.syscallSite = as.syscallInsn();
+        as.ret();
+        break;
+
+      case WrapperKind::PthreadCancellable:
+        // The cancellation-state checks sit between the number load
+        // and the syscall, so the syscall is NOT immediately preceded
+        // by a recognizable mov. Modelled with the real structure:
+        // load, intervening work, syscall.
+        stub.entry = as.movEaxImm(static_cast<std::uint32_t>(nr));
+        as.nop(6); // cancellable-state test/branch placeholder
+        stub.syscallSite = as.syscallInsn();
+        as.ret();
+        break;
+
+      case WrapperKind::JumpToSyscall:
+        sim::panic("use buildJumpInto() for JumpToSyscall stubs");
+    }
+
+    stubs_.push_back(stub);
+    byNr.emplace(nr, stubs_.size() - 1); // first wrapper for nr wins
+    return stub;
+}
+
+const SyscallStub *
+StubLibrary::find(int nr) const
+{
+    auto it = byNr.find(nr);
+    return it == byNr.end() ? nullptr : &stubs_[it->second];
+}
+
+const SyscallStub &
+StubLibrary::ensure(int nr, WrapperKind kind)
+{
+    if (const SyscallStub *existing = find(nr))
+        return *existing;
+    build(nr, kind);
+    return *find(nr);
+}
+
+SyscallStub
+StubLibrary::buildJumpInto(const SyscallStub &victim,
+                           const std::string &symbol)
+{
+    Assembler as(code_);
+    SyscallStub stub;
+    stub.nr = victim.nr;
+    stub.kind = WrapperKind::JumpToSyscall;
+    stub.symbol = symbol;
+    // Set the number in %eax here, then jump directly at the syscall
+    // instruction inside the victim wrapper.
+    stub.entry = as.movEaxImm(static_cast<std::uint32_t>(victim.nr));
+    as.jmpTo(victim.syscallSite);
+    stub.syscallSite = victim.syscallSite;
+    stubs_.push_back(stub);
+    return stub;
+}
+
+} // namespace xc::isa

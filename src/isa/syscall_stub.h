@@ -1,0 +1,103 @@
+#ifndef XC_ISA_SYSCALL_STUB_H
+#define XC_ISA_SYSCALL_STUB_H
+
+/**
+ * @file
+ * Builders for the system-call wrapper shapes that real language
+ * runtimes emit. Which shape a wrapper uses decides whether ABOM can
+ * patch it (Table 1): glibc-style wrappers match ABOM's patterns,
+ * Go's stack-argument wrappers match case 2, and libpthread's
+ * cancellable wrappers (MySQL's 44.6% row) do not match at all.
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.h"
+#include "isa/code_buffer.h"
+
+namespace xc::isa {
+
+/** Wrapper shapes observed in real binaries. */
+enum class WrapperKind {
+    /** glibc 32-bit-immediate wrapper: mov $nr,%eax; syscall
+     *  (Fig. 2, 7-byte replacement, case 1). */
+    GlibcMovEax,
+    /** Wrapper using mov $nr,%rax; syscall
+     *  (Fig. 2, 9-byte two-phase replacement). */
+    GlibcMovRax,
+    /** Go runtime: number loaded from the stack:
+     *  mov 0x8(%rsp),%rax; syscall (Fig. 2, case 2). */
+    GoStackArg,
+    /** libpthread cancellable syscall: checks between the mov and
+     *  the syscall, so ABOM's adjacency requirement fails. */
+    PthreadCancellable,
+    /** Code that sets %rax elsewhere and jumps straight at the
+     *  syscall instruction inside another wrapper — the rare case
+     *  that lands in the middle of a patched call (0x60 0xff) and
+     *  takes the X-Kernel fixup trap. */
+    JumpToSyscall,
+};
+
+const char *wrapperKindName(WrapperKind kind);
+
+/** One built wrapper: where to call it and what it wraps. */
+struct SyscallStub
+{
+    int nr = 0;
+    WrapperKind kind = WrapperKind::GlibcMovEax;
+    GuestAddr entry = 0;
+    /** Address of the syscall instruction inside the wrapper. */
+    GuestAddr syscallSite = 0;
+    std::string symbol;
+};
+
+/**
+ * Builds wrapper functions into one shared text segment, mimicking a
+ * binary's libc/runtime. Each process family (container image) gets
+ * one StubLibrary; ABOM patches are therefore per-site, once, as in
+ * the paper ("the binary replacement only needs to be performed once
+ * for each place").
+ */
+class StubLibrary
+{
+  public:
+    explicit StubLibrary(GuestAddr base = 0x7f0000000000ull)
+        : code_(base, 4096)
+    {
+    }
+
+    CodeBuffer &code() { return code_; }
+    const CodeBuffer &code() const { return code_; }
+
+    /** Emit a wrapper of @p kind for syscall @p nr. Returned by
+     *  value: later builds may reallocate internal storage. */
+    SyscallStub build(int nr, WrapperKind kind,
+                      const std::string &symbol = "");
+
+    /**
+     * Emit a JumpToSyscall trampoline targeting @p victim's syscall
+     * instruction. @p victim must already be built (and must target
+     * a nearby site: rel8 range).
+     */
+    SyscallStub buildJumpInto(const SyscallStub &victim,
+                              const std::string &symbol = "");
+
+    /** The wrapper used for syscall @p nr; nullptr if none built. */
+    const SyscallStub *find(int nr) const;
+
+    /** Find-or-build the wrapper for @p nr with @p kind. */
+    const SyscallStub &ensure(int nr, WrapperKind kind);
+
+    const std::vector<SyscallStub> &stubs() const { return stubs_; }
+
+  private:
+    CodeBuffer code_;
+    std::vector<SyscallStub> stubs_;
+    std::map<int, std::size_t> byNr;
+};
+
+} // namespace xc::isa
+
+#endif // XC_ISA_SYSCALL_STUB_H

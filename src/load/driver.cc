@@ -1,0 +1,185 @@
+#include "load/driver.h"
+
+#include <algorithm>
+
+namespace xc::load {
+
+using guestos::WireClient;
+
+struct ClosedLoopDriver::Conn
+{
+    std::unique_ptr<WireClient> wire;
+    sim::Tick issuedAt = 0;
+    std::uint64_t received = 0;
+    bool inFlight = false;
+    int machineId = 0;
+};
+
+ClosedLoopDriver::ClosedLoopDriver(guestos::NetFabric &fabric,
+                                   WorkloadSpec spec,
+                                   std::uint64_t seed)
+    : fabric(fabric), spec(spec), rng(seed)
+{
+}
+
+ClosedLoopDriver::~ClosedLoopDriver() = default;
+
+void
+ClosedLoopDriver::start()
+{
+    startedAt = fabric.events().now();
+    windowStart = startedAt + spec.warmup;
+    windowEnd = windowStart + spec.duration;
+    for (int i = 0; i < spec.connections; ++i) {
+        conns.push_back(std::make_unique<Conn>());
+        Conn &c = *conns.back();
+        c.machineId = fabric.newClientMachine();
+        openConn(c);
+    }
+}
+
+bool
+ClosedLoopDriver::inWindow() const
+{
+    sim::Tick now = fabric.events().now();
+    return now >= windowStart && now < windowEnd;
+}
+
+void
+ClosedLoopDriver::openConn(Conn &c)
+{
+    if (fabric.events().now() >= windowEnd)
+        return;
+    c.wire = std::make_unique<WireClient>(fabric, c.machineId);
+    WireClient *wire = c.wire.get();
+    Conn *conn = &c;
+    wire->onConnected = [this, conn](bool ok) {
+        if (!ok) {
+            ++errors;
+            // Back off briefly and retry (server may still be
+            // starting up).
+            fabric.events().scheduleAfter(
+                5 * sim::kTicksPerMs, [this, conn] { openConn(*conn); });
+            return;
+        }
+        issue(*conn);
+    };
+    wire->onData = [this, conn](std::uint64_t bytes) {
+        onResponse(*conn, bytes);
+    };
+    wire->onPeerClosed = [this, conn] {
+        if (conn->inFlight)
+            ++errors;
+        conn->inFlight = false;
+        openConn(*conn);
+    };
+    wire->connectTo(spec.target);
+}
+
+void
+ClosedLoopDriver::issue(Conn &c)
+{
+    if (fabric.events().now() >= windowEnd) {
+        c.wire->close();
+        return;
+    }
+    c.issuedAt = fabric.events().now();
+    c.received = 0;
+    c.inFlight = true;
+    c.wire->send(spec.requestBytes);
+}
+
+void
+ClosedLoopDriver::onResponse(Conn &c, std::uint64_t bytes)
+{
+    if (!c.inFlight)
+        return;
+    c.received += bytes;
+    if (spec.responseBytes != 0 && c.received < spec.responseBytes)
+        return; // partial response
+
+    c.inFlight = false;
+    ++completed_;
+    sim::Tick now = fabric.events().now();
+    if (now >= windowStart && now < windowEnd) {
+        ++counted;
+        latenciesUs.push_back(
+            static_cast<double>(now - c.issuedAt) /
+            static_cast<double>(sim::kTicksPerUs));
+    }
+
+    auto next = [this, conn = &c] {
+        if (spec.keepalive) {
+            issue(*conn);
+        } else {
+            conn->wire->close();
+            openConn(*conn);
+        }
+    };
+    if (spec.thinkTime > 0) {
+        fabric.events().scheduleAfter(spec.thinkTime, next);
+    } else {
+        next();
+    }
+}
+
+LoadResult
+ClosedLoopDriver::collect()
+{
+    LoadResult r;
+    r.requests = counted;
+    r.seconds = sim::ticksToSeconds(spec.duration);
+    r.throughput = static_cast<double>(counted) / r.seconds;
+    r.errors = errors;
+    if (!latenciesUs.empty()) {
+        std::sort(latenciesUs.begin(), latenciesUs.end());
+        double sum = 0;
+        for (double v : latenciesUs)
+            sum += v;
+        r.meanLatencyUs = sum / static_cast<double>(latenciesUs.size());
+        r.p50LatencyUs = latenciesUs[latenciesUs.size() / 2];
+        r.p99LatencyUs =
+            latenciesUs[std::min(latenciesUs.size() - 1,
+                                 latenciesUs.size() * 99 / 100)];
+    }
+    return r;
+}
+
+WorkloadSpec
+wrkSpec(guestos::SockAddr target, int connections, sim::Tick duration)
+{
+    WorkloadSpec spec;
+    spec.target = target;
+    spec.connections = connections;
+    spec.keepalive = true;
+    spec.requestBytes = 170;
+    spec.duration = duration;
+    return spec;
+}
+
+WorkloadSpec
+abSpec(guestos::SockAddr target, int concurrency, sim::Tick duration)
+{
+    WorkloadSpec spec;
+    spec.target = target;
+    spec.connections = concurrency;
+    spec.keepalive = false; // new TCP connection per request
+    spec.requestBytes = 120;
+    spec.duration = duration;
+    return spec;
+}
+
+WorkloadSpec
+memtierSpec(guestos::SockAddr target, int connections,
+            sim::Tick duration)
+{
+    WorkloadSpec spec;
+    spec.target = target;
+    spec.connections = connections;
+    spec.keepalive = true;
+    spec.requestBytes = 60; // small SET/GET commands
+    spec.duration = duration;
+    return spec;
+}
+
+} // namespace xc::load

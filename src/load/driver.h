@@ -1,0 +1,117 @@
+#ifndef XC_LOAD_DRIVER_H
+#define XC_LOAD_DRIVER_H
+
+/**
+ * @file
+ * Closed-loop load generation, the measurement style of the paper's
+ * macrobenchmarks: N concurrent client connections, each repeatedly
+ * issuing a request and waiting for the full response before the
+ * next. Thin wrappers configure it as wrk, Apache ab,
+ * memtier_benchmark, or redis-benchmark.
+ *
+ * Clients run on separate (unsimulated) machines: their endpoints
+ * are WireClients with zero simulated CPU cost, so the system under
+ * test is the server machine only.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "guestos/net.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+
+namespace xc::load {
+
+/** One workload description. */
+struct WorkloadSpec
+{
+    /** Server address to connect to (usually host:exposed-port). */
+    guestos::SockAddr target;
+    /** Concurrent connections (each a closed loop). */
+    int connections = 8;
+    /** Reconnect for every request (ab default) vs keepalive (wrk,
+     *  memtier). */
+    bool keepalive = true;
+    /** Request payload bytes. */
+    std::uint64_t requestBytes = 170;
+    /** Expected response bytes (0 = accept any single message). */
+    std::uint64_t responseBytes = 0;
+    /** Measurement window; the driver also uses a warmup before it. */
+    sim::Tick warmup = 20 * sim::kTicksPerMs;
+    sim::Tick duration = 400 * sim::kTicksPerMs;
+    /** Optional per-request think time (0 = saturating). */
+    sim::Tick thinkTime = 0;
+};
+
+/** Measured results. */
+struct LoadResult
+{
+    std::uint64_t requests = 0;
+    double seconds = 0.0;
+    double throughput = 0.0; ///< requests per second
+    double meanLatencyUs = 0.0;
+    double p50LatencyUs = 0.0;
+    double p99LatencyUs = 0.0;
+    std::uint64_t errors = 0;
+};
+
+/**
+ * The driver. Create, start(), run the event queue past
+ * warmup+duration, then collect().
+ */
+class ClosedLoopDriver
+{
+  public:
+    ClosedLoopDriver(guestos::NetFabric &fabric, WorkloadSpec spec,
+                     std::uint64_t seed = 1);
+    ~ClosedLoopDriver();
+
+    /** Open all connections and begin issuing requests. */
+    void start();
+
+    /** Stop and compute results (call after the queue ran past
+     *  warmup + duration). */
+    LoadResult collect();
+
+    /** Requests completed so far (including warmup). */
+    std::uint64_t completed() const { return completed_; }
+
+  private:
+    struct Conn;
+    void openConn(Conn &c);
+    void issue(Conn &c);
+    void onResponse(Conn &c, std::uint64_t bytes);
+    bool inWindow() const;
+
+    guestos::NetFabric &fabric;
+    WorkloadSpec spec;
+    sim::Rng rng;
+    std::vector<std::unique_ptr<Conn>> conns;
+    sim::Tick startedAt = 0;
+    sim::Tick windowStart = 0;
+    sim::Tick windowEnd = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t counted = 0;
+    std::uint64_t errors = 0;
+    std::vector<double> latenciesUs;
+};
+
+/** wrk: keepalive HTTP load (Fig. 6, 8, 9). */
+WorkloadSpec wrkSpec(guestos::SockAddr target, int connections,
+                     sim::Tick duration = 400 * sim::kTicksPerMs);
+
+/** Apache ab: a new connection per request (Fig. 3 NGINX). */
+WorkloadSpec abSpec(guestos::SockAddr target, int concurrency,
+                    sim::Tick duration = 400 * sim::kTicksPerMs);
+
+/** memtier_benchmark: keepalive key-value ops, small payloads
+ *  (Fig. 3 memcached / Redis; 1:10 SET:GET handled by the server
+ *  app's request interpretation). */
+WorkloadSpec memtierSpec(guestos::SockAddr target, int connections,
+                         sim::Tick duration = 400 * sim::kTicksPerMs);
+
+} // namespace xc::load
+
+#endif // XC_LOAD_DRIVER_H

@@ -1,0 +1,137 @@
+#include "load/iperf.h"
+
+#include <memory>
+#include <vector>
+
+#include "apps/images.h"
+#include "guestos/sys.h"
+
+namespace xc::load {
+
+using guestos::Fd;
+using guestos::Sys;
+using guestos::Thread;
+using guestos::WireClient;
+
+namespace {
+
+constexpr std::uint64_t kChunk = 64 * 1024;
+constexpr int kWindowChunks = 4;
+
+struct IperfState
+{
+    sim::Tick deadline = 0;
+    std::uint64_t bytesReceived = 0;
+};
+
+/** Receiver: accept one stream, consume chunks, app-ack each. */
+sim::Task<void>
+receiverBody(Thread &t, IperfState *st, guestos::Port port)
+{
+    Sys sys(t);
+    Fd s = static_cast<Fd>(co_await sys.socket());
+    co_await sys.bind(s, port);
+    co_await sys.listen(s);
+    Fd c = static_cast<Fd>(co_await sys.accept(s));
+    if (c < 0)
+        co_return;
+    for (;;) {
+        std::int64_t n = co_await sys.recv(c, kChunk);
+        if (n <= 0)
+            break;
+        st->bytesReceived += static_cast<std::uint64_t>(n);
+        // Application-level ack per chunk (windowing).
+        if (static_cast<std::uint64_t>(n) >= kChunk)
+            co_await sys.send(c, 1);
+        if (t.kernel().now() >= st->deadline)
+            break;
+    }
+    co_await sys.close(c);
+}
+
+/** Client side: keep kWindowChunks in flight. */
+struct BulkSender
+{
+    std::unique_ptr<WireClient> wire;
+    sim::Tick deadline;
+    int inFlight = 0;
+
+    void
+    pump(guestos::NetFabric &fabric)
+    {
+        while (inFlight < kWindowChunks &&
+               fabric.events().now() < deadline) {
+            wire->send(kChunk);
+            ++inFlight;
+        }
+    }
+};
+
+} // namespace
+
+IperfResult
+runIperf(runtimes::Runtime &rt, sim::Tick duration, int streams)
+{
+    runtimes::ContainerOpts copts;
+    copts.name = "iperf";
+    copts.image = apps::glibcImage("iperf");
+    copts.vcpus = streams;
+    copts.memBytes = 512ull << 20;
+    runtimes::RtContainer *c = rt.createContainer(copts);
+    if (!c)
+        return {};
+
+    auto st = std::make_shared<IperfState>();
+    st->deadline = rt.machine().now() + 20 * sim::kTicksPerMs +
+                   duration;
+
+    guestos::GuestKernel &kernel = c->kernel();
+    for (int i = 0; i < streams; ++i) {
+        guestos::Port port = static_cast<guestos::Port>(5001 + i);
+        guestos::Process *proc =
+            c->createProcess("iperf-s", copts.image);
+        guestos::Thread::Body body =
+            [raw = st.get(), port](Thread &t) -> sim::Task<void> {
+            co_await receiverBody(t, raw, port);
+        };
+        kernel.spawnThread(proc, "iperf-s", std::move(body));
+        rt.exposePort(c, static_cast<guestos::Port>(5201 + i), port);
+    }
+
+    std::vector<std::shared_ptr<BulkSender>> senders;
+    guestos::NetFabric &fabric = rt.fabric();
+    for (int i = 0; i < streams; ++i) {
+        auto sender = std::make_shared<BulkSender>();
+        sender->deadline = st->deadline;
+        sender->wire = std::make_unique<WireClient>(
+            fabric, fabric.newClientMachine());
+        WireClient *wire = sender->wire.get();
+        BulkSender *raw = sender.get();
+        wire->onConnected = [raw, &fabric](bool ok) {
+            if (ok)
+                raw->pump(fabric);
+        };
+        wire->onData = [raw, &fabric](std::uint64_t) {
+            raw->inFlight = std::max(0, raw->inFlight - 1);
+            raw->pump(fabric);
+        };
+        guestos::SockAddr target{
+            rt.hostIp(), static_cast<guestos::Port>(5201 + i)};
+        fabric.events().schedule(
+            10 * sim::kTicksPerMs,
+            [wire, target] { wire->connectTo(target); });
+        senders.push_back(std::move(sender));
+    }
+
+    rt.machine().events().runUntil(st->deadline +
+                                   100 * sim::kTicksPerMs);
+
+    IperfResult result;
+    result.bytes = st->bytesReceived;
+    result.seconds = sim::ticksToSeconds(duration);
+    result.gbitPerSec = static_cast<double>(st->bytesReceived) * 8.0 /
+                        1e9 / result.seconds;
+    return result;
+}
+
+} // namespace xc::load

@@ -1,0 +1,33 @@
+#ifndef XC_LOAD_IPERF_H
+#define XC_LOAD_IPERF_H
+
+/**
+ * @file
+ * iperf-style TCP bulk-transfer benchmark (Fig. 5): an external
+ * client streams chunks to a receiver in the container; the
+ * receiver's achievable consumption rate (packet processing through
+ * the platform's network path) bounds throughput. Application-level
+ * windowing keeps a fixed number of chunks in flight.
+ */
+
+#include <cstdint>
+
+#include "runtimes/runtime.h"
+
+namespace xc::load {
+
+struct IperfResult
+{
+    std::uint64_t bytes = 0;
+    double seconds = 0.0;
+    double gbitPerSec = 0.0;
+};
+
+/** Run a bulk transfer into a fresh container on @p rt. */
+IperfResult runIperf(runtimes::Runtime &rt,
+                     sim::Tick duration = 300 * sim::kTicksPerMs,
+                     int streams = 1);
+
+} // namespace xc::load
+
+#endif // XC_LOAD_IPERF_H

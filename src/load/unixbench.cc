@@ -1,0 +1,237 @@
+#include "load/unixbench.h"
+
+#include "apps/images.h"
+#include "guestos/sys.h"
+#include "guestos/vfs.h"
+
+namespace xc::load {
+
+using guestos::Fd;
+using guestos::Sys;
+using guestos::Thread;
+
+const char *
+microKindName(MicroKind kind)
+{
+    switch (kind) {
+      case MicroKind::Syscall: return "syscall";
+      case MicroKind::Execl: return "execl";
+      case MicroKind::FileCopy: return "file-copy";
+      case MicroKind::PipeThroughput: return "pipe-throughput";
+      case MicroKind::ContextSwitch: return "context-switching";
+      case MicroKind::ProcessCreation: return "process-creation";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Shared state of one benchmark run. */
+struct MicroRun
+{
+    sim::Tick deadline = 0;
+    std::uint64_t ops = 0;
+    std::shared_ptr<guestos::Image> image;
+    std::shared_ptr<guestos::Image> execTarget;
+
+    bool
+    expired(Thread &t) const
+    {
+        return t.kernel().now() >= deadline;
+    }
+};
+
+sim::Task<void>
+syscallLoop(Thread &t, MicroRun *run)
+{
+    Sys sys(t);
+    Fd fd = static_cast<Fd>(
+        co_await sys.open("/dev/zero", guestos::ORdOnly));
+    while (!run->expired(t)) {
+        std::int64_t d = co_await sys.dup(fd);
+        co_await sys.close(static_cast<Fd>(d));
+        co_await sys.getpid();
+        co_await sys.getuid();
+        co_await sys.umask(022);
+        ++run->ops;
+    }
+}
+
+sim::Task<void>
+execlLoop(Thread &t, MicroRun *run)
+{
+    Sys sys(t);
+    while (!run->expired(t)) {
+        co_await sys.exec(run->execTarget);
+        // Dynamic-linker startup of the fresh image: map the
+        // interpreter and shared libraries, initialize the heap.
+        for (int i = 0; i < 2; ++i) {
+            std::int64_t f =
+                co_await sys.open("/lib/libc.so", guestos::ORdOnly);
+            if (f >= 0) {
+                co_await sys.fstat(static_cast<Fd>(f));
+                co_await sys.close(static_cast<Fd>(f));
+            }
+        }
+        for (int i = 0; i < 3; ++i) {
+            guestos::SysArgs a;
+            a.arg[1] = 8 * 4096;
+            co_await t.kernel().syscall(t, guestos::NR_mmap, a);
+        }
+        co_await t.kernel().syscall(t, guestos::NR_brk,
+                                    guestos::SysArgs{});
+        co_await t.kernel().syscall(t, guestos::NR_rt_sigaction,
+                                    guestos::SysArgs{});
+        ++run->ops;
+    }
+}
+
+sim::Task<void>
+fileCopyLoop(Thread &t, MicroRun *run)
+{
+    Sys sys(t);
+    Fd in = static_cast<Fd>(
+        co_await sys.open("/ub/src", guestos::ORdOnly));
+    Fd out = static_cast<Fd>(co_await sys.open(
+        "/ub/dst", guestos::OWrOnly | guestos::OCreat));
+    while (!run->expired(t)) {
+        std::int64_t n = co_await sys.read(in, 1024);
+        if (n <= 0) {
+            co_await sys.lseek(in, 0);
+            co_await sys.lseek(out, 0);
+            continue;
+        }
+        co_await sys.write(out, static_cast<std::uint64_t>(n));
+        ++run->ops;
+    }
+}
+
+sim::Task<void>
+pipeLoop(Thread &t, MicroRun *run)
+{
+    Sys sys(t);
+    auto [r, w] = co_await sys.pipe();
+    while (!run->expired(t)) {
+        co_await sys.write(w, 512);
+        co_await sys.read(r, 512);
+        ++run->ops;
+    }
+}
+
+sim::Task<void>
+contextSwitchLoop(Thread &t, MicroRun *run)
+{
+    Sys sys(t);
+    auto [r1, w1] = co_await sys.pipe();
+    auto [r2, w2] = co_await sys.pipe();
+
+    guestos::Thread::Body partner =
+        [r1 = r1, w2 = w2, run](Thread &ct) -> sim::Task<void> {
+        Sys csys(ct);
+        for (;;) {
+            std::int64_t n = co_await csys.read(r1, 4);
+            if (n <= 0)
+                break;
+            co_await csys.write(w2, 4);
+            if (run->expired(ct))
+                break;
+        }
+        co_await csys.exit(0);
+    };
+    std::int64_t pid = co_await sys.fork(std::move(partner));
+
+    while (!run->expired(t)) {
+        co_await sys.write(w1, 4);
+        std::int64_t n = co_await sys.read(r2, 4);
+        if (n <= 0)
+            break;
+        // One iteration = two context switches (there and back).
+        run->ops += 2;
+    }
+    co_await sys.close(w1);
+    co_await sys.wait(static_cast<guestos::Pid>(pid));
+}
+
+sim::Task<void>
+processCreationLoop(Thread &t, MicroRun *run)
+{
+    Sys sys(t);
+    while (!run->expired(t)) {
+        guestos::Thread::Body child =
+            [](Thread &ct) -> sim::Task<void> {
+            Sys csys(ct);
+            co_await csys.exit(0);
+        };
+        std::int64_t pid = co_await sys.fork(std::move(child));
+        co_await sys.wait(static_cast<guestos::Pid>(pid));
+        ++run->ops;
+    }
+}
+
+sim::Task<void>
+runKind(Thread &t, MicroKind kind, MicroRun *run)
+{
+    switch (kind) {
+      case MicroKind::Syscall: co_await syscallLoop(t, run); break;
+      case MicroKind::Execl: co_await execlLoop(t, run); break;
+      case MicroKind::FileCopy: co_await fileCopyLoop(t, run); break;
+      case MicroKind::PipeThroughput: co_await pipeLoop(t, run); break;
+      case MicroKind::ContextSwitch:
+        co_await contextSwitchLoop(t, run);
+        break;
+      case MicroKind::ProcessCreation:
+        co_await processCreationLoop(t, run);
+        break;
+    }
+}
+
+} // namespace
+
+MicroResult
+runMicro(runtimes::Runtime &rt, MicroKind kind, sim::Tick duration,
+         int copies)
+{
+    runtimes::ContainerOpts copts;
+    copts.name = std::string("ub-") + microKindName(kind);
+    copts.image = apps::glibcImage("unixbench");
+    copts.vcpus =
+        kind == MicroKind::ContextSwitch ? 2 * copies : copies;
+    copts.memBytes = 512ull << 20;
+    runtimes::RtContainer *c = rt.createContainer(copts);
+    if (!c)
+        return {};
+
+    guestos::GuestKernel &kernel = c->kernel();
+    kernel.vfs().createFile("/dev/zero", 1 << 20);
+    kernel.vfs().createFile("/ub/src", 1 << 20);
+    kernel.vfs().createFile("/lib/libc.so", 2 << 20);
+
+    auto run = std::make_shared<MicroRun>();
+    run->deadline = rt.machine().now() + duration;
+    run->image = copts.image;
+    run->execTarget = apps::glibcImage("execl-target");
+    run->execTarget->textPages = 120;
+    run->execTarget->dataPages = 180;
+
+    for (int i = 0; i < copies; ++i) {
+        guestos::Process *proc = c->createProcess(
+            "ub" + std::to_string(i), copts.image);
+        guestos::Thread::Body body =
+            [kind, raw = run.get()](Thread &t) -> sim::Task<void> {
+            co_await runKind(t, kind, raw);
+        };
+        kernel.spawnThread(proc, "ub" + std::to_string(i),
+                           std::move(body));
+    }
+
+    rt.machine().events().runUntil(run->deadline +
+                                   200 * sim::kTicksPerMs);
+
+    MicroResult result;
+    result.ops = run->ops;
+    result.seconds = sim::ticksToSeconds(duration);
+    result.opsPerSec = static_cast<double>(run->ops) / result.seconds;
+    return result;
+}
+
+} // namespace xc::load

@@ -1,0 +1,52 @@
+#ifndef XC_LOAD_UNIXBENCH_H
+#define XC_LOAD_UNIXBENCH_H
+
+/**
+ * @file
+ * UnixBench-style microbenchmarks (§5.4, Figs. 4 and 5): guest
+ * programs that hammer one kernel facility in a loop and report a
+ * rate. Runs single-copy or N concurrent copies (the paper runs 4).
+ *
+ *  - Syscall: dup + close + getpid + getuid + umask per iteration
+ *  - Execl: replace the process image repeatedly
+ *  - FileCopy: read+write in 1 KB blocks through the VFS
+ *  - PipeThroughput: write+read 512 B through a pipe, same process
+ *  - ContextSwitch: two processes ping-pong over a pipe pair
+ *  - ProcessCreation: fork + wait + exit
+ */
+
+#include <cstdint>
+
+#include "runtimes/runtime.h"
+
+namespace xc::load {
+
+enum class MicroKind {
+    Syscall,
+    Execl,
+    FileCopy,
+    PipeThroughput,
+    ContextSwitch,
+    ProcessCreation,
+};
+
+const char *microKindName(MicroKind kind);
+
+struct MicroResult
+{
+    std::uint64_t ops = 0;
+    double seconds = 0.0;
+    double opsPerSec = 0.0;
+};
+
+/**
+ * Run @p kind inside a fresh container on @p rt for @p duration of
+ * simulated time with @p copies concurrent benchmark processes.
+ */
+MicroResult runMicro(runtimes::Runtime &rt, MicroKind kind,
+                     sim::Tick duration = 300 * sim::kTicksPerMs,
+                     int copies = 1);
+
+} // namespace xc::load
+
+#endif // XC_LOAD_UNIXBENCH_H

@@ -1,0 +1,96 @@
+#include "runtimes/clear_container.h"
+
+namespace xc::runtimes {
+
+ClearContainer::ClearContainer(hw::Machine &machine,
+                               hw::CorePool &pool,
+                               guestos::NetFabric &fabric,
+                               const ContainerOpts &opts,
+                               hw::Pfn first_frame, bool nested)
+    : machine_(machine), firstFrame(first_frame),
+      frames(opts.memBytes / hw::kPageSize)
+{
+    guestos::NativePort::Options popts;
+    popts.kpti = false; // guest kernel deliberately unpatched
+    popts.containerNet = false;
+    // Hardening disabled inside the VM: syscalls are cheaper than
+    // stock native traps.
+    popts.trapCostOverride = machine.costs().syscallTrapStripped;
+    // Every packet exits to the host's virtio back-end; nested
+    // virtualization multiplies the exit cost (amortized over ring
+    // batching, but still the dominant I/O cost — the "significant
+    // performance penalty" Google measured [15]).
+    popts.packetExtra = (nested ? machine.costs().vmexitNested
+                                : machine.costs().vmexit) /
+                        2;
+    // Interrupt injection into the guest is itself an exit.
+    popts.eventDeliveryExtra =
+        (nested ? machine.costs().vmexitNested
+                : machine.costs().vmexit) /
+        2;
+    port_ = std::make_unique<guestos::NativePort>(machine.costs(),
+                                                  popts);
+
+    guestos::GuestKernel::Config kcfg;
+    kcfg.name = opts.name + ".ccvm";
+    kcfg.vcpus = opts.vcpus;
+    kcfg.traits.kpti = false;
+    kcfg.traits.kernelGlobal = true;
+    // Nested EPT walks tax all guest kernel memory-touching work.
+    if (nested)
+        kcfg.traits.serviceCostFactor = 1.35;
+    kcfg.pool = &pool;
+    kcfg.platform = port_.get();
+    kcfg.fabric = &fabric;
+    guest = std::make_unique<guestos::GuestKernel>(machine, kcfg);
+}
+
+ClearContainer::~ClearContainer()
+{
+    guest.reset(); // kernel drops listeners before memory goes
+    machine_.memory().free(firstFrame, frames);
+}
+
+ClearContainerRuntime::ClearContainerRuntime(Options opt)
+    : name_(opt.hostMeltdownPatched ? "clear-container"
+                                    : "clear-container-unpatched"),
+      opts(opt)
+{
+    if (!availableOn(opt.spec)) {
+        sim::fatal("Clear Containers need nested hardware "
+                   "virtualization, which %s does not provide",
+                   opt.spec.name.c_str());
+    }
+    nested = opt.spec.nestedCloud;
+    machine_ = std::make_unique<hw::Machine>(opt.spec, opt.seed);
+    fabric_ = std::make_unique<guestos::NetFabric>(machine_->events());
+
+    // KVM schedules vCPUs as host threads; vCPU switches flush TLBs.
+    hw::CorePool::Config pool_cfg;
+    pool_cfg.cores = machine_->numCpus();
+    pool_cfg.quantum = 6 * sim::kTicksPerMs;
+    pool_cfg.switchCost = machine_->costs().vcpuSwitch +
+                          machine_->costs().tlbRefillUser +
+                          machine_->costs().tlbRefillKernel;
+    pool_cfg.decisionBase = machine_->costs().schedDecisionBase;
+    pool_cfg.decisionLog2 = machine_->costs().schedDecisionLog2;
+    pool_cfg.cachePressureLog2 = machine_->costs().cachePressureLog2;
+    pool_cfg.cachePressureFreeLog2 =
+        machine_->costs().cachePressureFreeLog2;
+    pool = std::make_unique<hw::CorePool>(*machine_, pool_cfg, "kvm");
+}
+
+RtContainer *
+ClearContainerRuntime::createContainer(const ContainerOpts &copts)
+{
+    auto run = machine_->memory().alloc(
+        copts.memBytes / hw::kPageSize,
+        static_cast<hw::OwnerId>(0x1000 + nextId++));
+    if (!run)
+        return nullptr; // VM cannot boot
+    containers.push_back(std::make_unique<ClearContainer>(
+        *machine_, *pool, *fabric_, copts, *run, nested));
+    return containers.back().get();
+}
+
+} // namespace xc::runtimes

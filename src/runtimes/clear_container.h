@@ -1,0 +1,84 @@
+#ifndef XC_RUNTIMES_CLEAR_CONTAINER_H
+#define XC_RUNTIMES_CLEAR_CONTAINER_H
+
+/**
+ * @file
+ * Intel Clear Containers: each container in its own KVM virtual
+ * machine with a dedicated, aggressively-stripped guest kernel.
+ * System calls stay inside the guest at close to native speed (the
+ * guest kernel is unpatched and hardening is disabled), but every
+ * I/O interaction exits to the host — and in public clouds the
+ * hypervisor itself is nested, making exits an order of magnitude
+ * more expensive (§1, measured by Google [15]). Requires nested
+ * hardware virtualization: available on GCE, not on EC2.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "guestos/native_port.h"
+#include "runtimes/runtime.h"
+
+namespace xc::runtimes {
+
+class ClearContainer : public RtContainer
+{
+  public:
+    ClearContainer(hw::Machine &machine, hw::CorePool &pool,
+                   guestos::NetFabric &fabric,
+                   const ContainerOpts &opts, hw::Pfn first_frame,
+                   bool nested);
+    ~ClearContainer() override;
+
+    guestos::GuestKernel &kernel() override { return *guest; }
+    guestos::IpAddr ip() override { return guest->net().ip(); }
+    guestos::NativePort &port() { return *port_; }
+
+  private:
+    hw::Machine &machine_;
+    hw::Pfn firstFrame;
+    std::uint64_t frames;
+    std::unique_ptr<guestos::NativePort> port_;
+    std::unique_ptr<guestos::GuestKernel> guest;
+};
+
+class ClearContainerRuntime : public Runtime
+{
+  public:
+    struct Options
+    {
+        hw::MachineSpec spec = hw::MachineSpec::gceCustom4();
+        std::uint64_t seed = 42;
+        /** Host kernel patched; the guest kernel inside the VM stays
+         *  unpatched under the single-concern threat model (§5.1). */
+        bool hostMeltdownPatched = true;
+    };
+
+    /** Clear Containers cannot run without nested HW virt. */
+    static bool
+    availableOn(const hw::MachineSpec &spec)
+    {
+        return !spec.nestedCloud || spec.nestedHwVirtAvailable;
+    }
+
+    explicit ClearContainerRuntime(Options opt);
+
+    const std::string &name() const override { return name_; }
+    hw::Machine &machine() override { return *machine_; }
+    guestos::NetFabric &fabric() override { return *fabric_; }
+    RtContainer *createContainer(const ContainerOpts &opts) override;
+
+  private:
+    std::string name_;
+    Options opts;
+    bool nested;
+    std::unique_ptr<hw::Machine> machine_;
+    std::unique_ptr<guestos::NetFabric> fabric_;
+    std::unique_ptr<hw::CorePool> pool;
+    std::vector<std::unique_ptr<ClearContainer>> containers;
+    int nextId = 1;
+};
+
+} // namespace xc::runtimes
+
+#endif // XC_RUNTIMES_CLEAR_CONTAINER_H

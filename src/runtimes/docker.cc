@@ -1,0 +1,48 @@
+#include "runtimes/docker.h"
+
+namespace xc::runtimes {
+
+DockerRuntime::DockerRuntime(Options opt)
+    : name_(opt.meltdownPatched ? "docker" : "docker-unpatched")
+{
+    machine_ = std::make_unique<hw::Machine>(opt.spec, opt.seed);
+    fabric_ = std::make_unique<guestos::NetFabric>(machine_->events());
+
+    // The host kernel's vCPUs pin 1:1 onto the machine's logical
+    // CPUs; all thread scheduling happens inside the kernel.
+    hw::CorePool::Config pool_cfg;
+    pool_cfg.cores = machine_->numCpus();
+    pool_cfg.quantum = 1000 * sim::kTicksPerSec;
+    pool_cfg.switchCost = 0;
+    pool = std::make_unique<hw::CorePool>(*machine_, pool_cfg, "cpus");
+
+    guestos::NativePort::Options port_opts;
+    port_opts.kpti = opt.meltdownPatched;
+    port_opts.containerNet = true; // veth + bridge + NAT
+    port_opts.seccompPerSyscall = 55;
+    port = std::make_unique<guestos::NativePort>(machine_->costs(),
+                                                 port_opts);
+
+    guestos::GuestKernel::Config kcfg;
+    kcfg.name = "host-linux";
+    kcfg.traits.kpti = opt.meltdownPatched;
+    kcfg.traits.kernelGlobal = true;
+    kcfg.vcpus = machine_->numCpus();
+    kcfg.pool = pool.get();
+    kcfg.platform = port.get();
+    kcfg.fabric = fabric_.get();
+    host = std::make_unique<guestos::GuestKernel>(*machine_, kcfg);
+}
+
+RtContainer *
+DockerRuntime::createContainer(const ContainerOpts &)
+{
+    // Containers share the host kernel; images are per-process state
+    // supplied at process creation. Memory is not reserved (cgroups
+    // are soft limits).
+    containers.push_back(
+        std::make_unique<DockerContainer>(*host, *fabric_));
+    return containers.back().get();
+}
+
+} // namespace xc::runtimes

@@ -1,0 +1,84 @@
+#ifndef XC_RUNTIMES_DOCKER_H
+#define XC_RUNTIMES_DOCKER_H
+
+/**
+ * @file
+ * Native Docker: all containers are process groups inside one shared
+ * host Linux kernel, reached through veth + bridge + iptables NAT,
+ * with the seccomp default profile on every system call. The
+ * evaluation's baseline (with and without the Meltdown patch).
+ */
+
+#include <map>
+#include <memory>
+
+#include "guestos/native_port.h"
+#include "runtimes/runtime.h"
+
+namespace xc::runtimes {
+
+class DockerRuntime;
+
+/** A Docker container: namespaces in the shared host kernel. */
+class DockerContainer : public RtContainer
+{
+  public:
+    DockerContainer(guestos::GuestKernel &host,
+                    guestos::NetFabric &fabric)
+        : host(host),
+          netns(std::make_unique<guestos::NetStack>(host, &fabric))
+    {
+    }
+
+    guestos::GuestKernel &kernel() override { return host; }
+    guestos::IpAddr ip() override { return netns->ip(); }
+
+    guestos::Process *
+    createProcess(const std::string &name,
+                  std::shared_ptr<guestos::Image> image) override
+    {
+        guestos::Process *p = host.createProcess(name, std::move(image));
+        p->setNetns(netns.get()); // the container's network namespace
+        return p;
+    }
+
+  private:
+    guestos::GuestKernel &host;
+    std::unique_ptr<guestos::NetStack> netns;
+};
+
+/** The runtime. */
+class DockerRuntime : public Runtime
+{
+  public:
+    struct Options
+    {
+        hw::MachineSpec spec = hw::MachineSpec::ec2C4_2xlarge();
+        std::uint64_t seed = 42;
+        /** Host kernel carries the Meltdown patch (KPTI). */
+        bool meltdownPatched = true;
+    };
+
+    explicit DockerRuntime(Options opt);
+
+    const std::string &name() const override { return name_; }
+    hw::Machine &machine() override { return *machine_; }
+    guestos::NetFabric &fabric() override { return *fabric_; }
+    RtContainer *createContainer(const ContainerOpts &opts) override;
+
+    guestos::GuestKernel &hostKernel() { return *host; }
+    guestos::NativePort &hostPort() { return *port; }
+
+  private:
+    std::string name_;
+    std::unique_ptr<hw::Machine> machine_;
+    std::unique_ptr<guestos::NetFabric> fabric_;
+    std::unique_ptr<hw::CorePool> pool;
+    std::unique_ptr<guestos::NativePort> port;
+    std::unique_ptr<guestos::GuestKernel> host;
+    std::vector<std::unique_ptr<DockerContainer>> containers;
+};
+
+} // namespace xc::runtimes
+
+#endif // XC_RUNTIMES_DOCKER_H

@@ -1,0 +1,50 @@
+#include "runtimes/graphene.h"
+
+namespace xc::runtimes {
+
+GrapheneInstance::GrapheneInstance(hw::Machine &machine,
+                                   hw::CorePool &pool,
+                                   guestos::NetFabric &fabric,
+                                   const ContainerOpts &opts,
+                                   bool host_kpti)
+{
+    port_ = std::make_unique<GraphenePort>(machine.costs(), host_kpti);
+
+    guestos::GuestKernel::Config kcfg;
+    kcfg.name = opts.name + ".graphene";
+    kcfg.vcpus = opts.vcpus;
+    kcfg.traits.kpti = host_kpti;
+    kcfg.traits.kernelGlobal = true;
+    // The LibOS implements roughly a third of Linux's syscalls with
+    // simpler internals; its services run slightly slower.
+    kcfg.traits.serviceCostFactor = 1.18;
+    kcfg.pool = &pool;
+    kcfg.platform = port_.get();
+    kcfg.fabric = &fabric;
+    libos = std::make_unique<guestos::GuestKernel>(machine, kcfg);
+    port_->setKernel(libos.get());
+}
+
+GrapheneRuntime::GrapheneRuntime(Options opt) : opts(opt)
+{
+    machine_ = std::make_unique<hw::Machine>(opt.spec, opt.seed);
+    fabric_ = std::make_unique<guestos::NetFabric>(machine_->events());
+
+    hw::CorePool::Config pool_cfg;
+    pool_cfg.cores = machine_->numCpus();
+    pool_cfg.quantum = 6 * sim::kTicksPerMs;
+    pool_cfg.switchCost = machine_->costs().contextSwitchBase;
+    pool_cfg.decisionBase = machine_->costs().schedDecisionBase;
+    pool_cfg.decisionLog2 = machine_->costs().schedDecisionLog2;
+    pool = std::make_unique<hw::CorePool>(*machine_, pool_cfg, "host");
+}
+
+RtContainer *
+GrapheneRuntime::createContainer(const ContainerOpts &copts)
+{
+    instances.push_back(std::make_unique<GrapheneInstance>(
+        *machine_, *pool, *fabric_, copts, opts.hostMeltdownPatched));
+    return instances.back().get();
+}
+
+} // namespace xc::runtimes

@@ -1,0 +1,54 @@
+#include "runtimes/gvisor.h"
+
+namespace xc::runtimes {
+
+GvisorContainer::GvisorContainer(hw::Machine &machine,
+                                 hw::CorePool &pool,
+                                 guestos::NetFabric &fabric,
+                                 bool host_kpti,
+                                 const std::string &name)
+{
+    port_ = std::make_unique<GvisorPort>(machine.costs(), host_kpti);
+
+    guestos::GuestKernel::Config kcfg;
+    kcfg.name = name + ".sentry";
+    // The ptrace platform executes one task at a time regardless of
+    // available cores (§2.3: no multicore processing).
+    kcfg.vcpus = 1;
+    kcfg.traits.kernelGlobal = true;
+    kcfg.traits.kpti = false; // the Sentry is user space
+    // The Go netstack and Sentry services are slower than Linux's.
+    kcfg.traits.serviceCostFactor = 1.35;
+    kcfg.pool = &pool;
+    kcfg.platform = port_.get();
+    kcfg.fabric = &fabric;
+    sentry = std::make_unique<guestos::GuestKernel>(machine, kcfg);
+}
+
+GvisorRuntime::GvisorRuntime(Options opt)
+    : name_(opt.meltdownPatched ? "gvisor" : "gvisor-unpatched"),
+      opts(opt)
+{
+    machine_ = std::make_unique<hw::Machine>(opt.spec, opt.seed);
+    fabric_ = std::make_unique<guestos::NetFabric>(machine_->events());
+
+    // Sentry tasks are host threads: the host scheduler switches
+    // them with normal thread-switch costs.
+    hw::CorePool::Config pool_cfg;
+    pool_cfg.cores = machine_->numCpus();
+    pool_cfg.quantum = 6 * sim::kTicksPerMs;
+    pool_cfg.switchCost = machine_->costs().contextSwitchBase;
+    pool_cfg.decisionBase = machine_->costs().schedDecisionBase;
+    pool_cfg.decisionLog2 = machine_->costs().schedDecisionLog2;
+    pool = std::make_unique<hw::CorePool>(*machine_, pool_cfg, "host");
+}
+
+RtContainer *
+GvisorRuntime::createContainer(const ContainerOpts &copts)
+{
+    containers.push_back(std::make_unique<GvisorContainer>(
+        *machine_, *pool, *fabric_, opts.meltdownPatched, copts.name));
+    return containers.back().get();
+}
+
+} // namespace xc::runtimes

@@ -1,0 +1,172 @@
+#ifndef XC_RUNTIMES_GVISOR_H
+#define XC_RUNTIMES_GVISOR_H
+
+/**
+ * @file
+ * Google gVisor (ptrace platform): each container runs under a
+ * user-space kernel (the Sentry). Every system call is intercepted
+ * via ptrace — two tracee stops plus Sentry handling — and the
+ * network stack (netstack) runs in the Sentry too. Only one process
+ * of a container executes at a time (§2.3).
+ */
+
+#include <memory>
+#include <vector>
+
+#include "guestos/platform_port.h"
+#include "guestos/thread.h"
+#include "runtimes/runtime.h"
+
+namespace xc::runtimes {
+
+/** Binary-leg environment: ptrace interception. */
+class GvisorSyscallEnv : public isa::ExecEnv
+{
+  public:
+    GvisorSyscallEnv(const hw::CostModel &costs, bool host_kpti)
+        : costs(costs), hostKpti(host_kpti)
+    {
+    }
+
+    void bind(guestos::Thread *t) { bound = t; }
+    std::uint64_t intercepts() const { return intercepts_; }
+
+    isa::GuestAddr
+    onSyscall(isa::Regs &, isa::CodeBuffer &,
+              isa::GuestAddr ip_after) override
+    {
+        ++intercepts_;
+        // Two ptrace stops (syscall-enter, syscall-exit), each a
+        // host context switch to the Sentry, plus Sentry handling.
+        // The host's KPTI taxes every one of those host entries.
+        hw::Cycles cost = 2 * costs.ptraceStop + costs.sentryHandling;
+        if (hostKpti)
+            cost += 2 * costs.kptiTrapOverhead;
+        bound->charge(cost);
+        return ip_after;
+    }
+
+    isa::GuestAddr
+    onVsyscallCall(int, isa::Regs &, isa::CodeBuffer &,
+                   isa::GuestAddr) override
+    {
+        return kFault;
+    }
+
+    isa::GuestAddr
+    onInvalidOpcode(isa::Regs &, isa::CodeBuffer &,
+                    isa::GuestAddr) override
+    {
+        return kFault;
+    }
+
+  private:
+    const hw::CostModel &costs;
+    bool hostKpti;
+    guestos::Thread *bound = nullptr;
+    std::uint64_t intercepts_ = 0;
+};
+
+/** Platform backend for a Sentry-managed container. */
+class GvisorPort : public guestos::PlatformPort
+{
+  public:
+    GvisorPort(const hw::CostModel &costs, bool host_kpti)
+        : hostKpti(host_kpti), env(costs, host_kpti)
+    {
+    }
+
+    hw::Cycles
+    pageTableSwitchCost(const hw::CostModel &c) override
+    {
+        return c.pageTableSwitch;
+    }
+
+    hw::Cycles
+    pageTableUpdateCost(const hw::CostModel &c,
+                        std::uint64_t ptes) override
+    {
+        // Sentry mediates memory management of the sandboxed
+        // process (mmap trampolines through the host).
+        return c.nativePte * ptes + 650;
+    }
+
+    isa::ExecEnv &
+    syscallEnv(guestos::Thread &t) override
+    {
+        env.bind(&t);
+        return env;
+    }
+
+    hw::Cycles
+    eventDeliveryCost(const hw::CostModel &c) override
+    {
+        // Host wakeup + Sentry dispatch.
+        return 900 + (hostKpti ? c.kptiTrapOverhead / 2 : 0);
+    }
+
+    hw::Cycles
+    netPathExtraPerPacket(const hw::CostModel &c, bool) override
+    {
+        // Packets traverse the host stack *and* the Sentry's
+        // user-space netstack, with a host boundary crossing.
+        return c.netstackPerPacket + c.natPerPacket +
+               c.vethPerPacket + 1400;
+    }
+
+    const GvisorSyscallEnv &gvisorEnv() const { return env; }
+
+  private:
+    bool hostKpti;
+    GvisorSyscallEnv env;
+};
+
+class GvisorRuntime;
+
+/** A gVisor sandbox (its own Sentry kernel instance). */
+class GvisorContainer : public RtContainer
+{
+  public:
+    GvisorContainer(hw::Machine &machine, hw::CorePool &pool,
+                    guestos::NetFabric &fabric, bool host_kpti,
+                    const std::string &name);
+
+    guestos::GuestKernel &kernel() override { return *sentry; }
+    guestos::IpAddr ip() override { return sentry->net().ip(); }
+    GvisorPort &port() { return *port_; }
+
+  private:
+    std::unique_ptr<GvisorPort> port_;
+    std::unique_ptr<guestos::GuestKernel> sentry;
+};
+
+/** The runtime. */
+class GvisorRuntime : public Runtime
+{
+  public:
+    struct Options
+    {
+        hw::MachineSpec spec = hw::MachineSpec::ec2C4_2xlarge();
+        std::uint64_t seed = 42;
+        bool meltdownPatched = true;
+    };
+
+    explicit GvisorRuntime(Options opt);
+
+    const std::string &name() const override { return name_; }
+    hw::Machine &machine() override { return *machine_; }
+    guestos::NetFabric &fabric() override { return *fabric_; }
+    RtContainer *createContainer(const ContainerOpts &opts) override;
+
+  private:
+    std::string name_;
+    Options opts;
+    std::unique_ptr<hw::Machine> machine_;
+    std::unique_ptr<guestos::NetFabric> fabric_;
+    std::unique_ptr<hw::CorePool> pool;
+    std::vector<std::unique_ptr<GvisorContainer>> containers;
+};
+
+} // namespace xc::runtimes
+
+#endif // XC_RUNTIMES_GVISOR_H

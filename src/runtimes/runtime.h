@@ -1,0 +1,102 @@
+#ifndef XC_RUNTIMES_RUNTIME_H
+#define XC_RUNTIMES_RUNTIME_H
+
+/**
+ * @file
+ * Common interface over every container runtime in the evaluation
+ * (Fig. 1): Docker, gVisor, Clear Containers, Xen-Containers
+ * (LightVM-style), X-Containers, Unikernel (Rumprun), and Graphene.
+ * Benchmarks deploy the same applications through this interface on
+ * each architecture.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "guestos/kernel.h"
+#include "guestos/net.h"
+#include "hw/machine.h"
+
+namespace xc::runtimes {
+
+/** Parameters for one container instance. */
+struct ContainerOpts
+{
+    std::string name = "c";
+    std::shared_ptr<guestos::Image> image;
+    int vcpus = 1;
+    /** Memory reservation for VM-backed runtimes. */
+    std::uint64_t memBytes = 512ull << 20;
+};
+
+/** A deployed container, whatever the runtime maps it to. */
+class RtContainer
+{
+  public:
+    virtual ~RtContainer() = default;
+
+    /** The kernel this container's processes run in. */
+    virtual guestos::GuestKernel &kernel() = 0;
+
+    /** Address the container's services bind on. */
+    virtual guestos::IpAddr ip() = 0;
+
+    /** Create a process inside this container (applies the
+     *  container's network namespace where the runtime has one). */
+    virtual guestos::Process *
+    createProcess(const std::string &name,
+                  std::shared_ptr<guestos::Image> image)
+    {
+        return kernel().createProcess(name, std::move(image));
+    }
+
+    /** True if the runtime can run >1 process in this container
+     *  (Unikernel cannot — §2.3). */
+    virtual bool supportsMultiProcess() const { return true; }
+};
+
+/** A container runtime assembled on one machine. */
+class Runtime
+{
+  public:
+    virtual ~Runtime() = default;
+
+    virtual const std::string &name() const = 0;
+    virtual hw::Machine &machine() = 0;
+    virtual guestos::NetFabric &fabric() = 0;
+
+    /**
+     * Boot a container. @return nullptr when resources (memory, VM
+     * slots) are exhausted — the mechanism behind Figure 8's
+     * density limits.
+     */
+    virtual RtContainer *createContainer(const ContainerOpts &opts) = 0;
+
+    /**
+     * Publish @p pub on the host address, forwarding to
+     * @p container's @p priv port (docker -p / dom0 iptables DNAT).
+     */
+    void
+    exposePort(RtContainer *container, guestos::Port pub,
+               guestos::Port priv)
+    {
+        fabric().addNatRule(guestos::SockAddr{hostIp_, pub},
+                            guestos::SockAddr{container->ip(), priv});
+    }
+
+    /** The host's public address (what load generators connect to). */
+    guestos::IpAddr hostIp() const { return hostIp_; }
+
+  protected:
+    /** Derived runtimes pick a public host address once. */
+    void setHostIp(guestos::IpAddr ip) { hostIp_ = ip; }
+
+  private:
+    guestos::IpAddr hostIp_ = 0xc0a80001; // 192.168.0.1
+};
+
+} // namespace xc::runtimes
+
+#endif // XC_RUNTIMES_RUNTIME_H

@@ -1,0 +1,38 @@
+#include "runtimes/x_container.h"
+
+namespace xc::runtimes {
+
+XContainerRuntime::XContainerRuntime(Options opt)
+    : name_(opt.meltdownPatched ? "x-container"
+                                : "x-container-unpatched"),
+      opts(opt)
+{
+    machine_ = std::make_unique<hw::Machine>(opt.spec, opt.seed);
+    fabric_ = std::make_unique<guestos::NetFabric>(machine_->events());
+
+    core::XContainerPlatform::Config pcfg;
+    pcfg.xkernel.base.xenBlanket = opt.spec.nestedCloud;
+    pcfg.xkernel.abomEnabled = opt.abomEnabled;
+    pcfg.xkernel.meltdownPatched = opt.meltdownPatched;
+    platform_ = std::make_unique<core::XContainerPlatform>(
+        *machine_, *fabric_, pcfg);
+}
+
+RtContainer *
+XContainerRuntime::createContainer(const ContainerOpts &copts)
+{
+    core::XContainerPlatform::ContainerSpec spec;
+    spec.name = copts.name;
+    spec.memBytes = copts.memBytes ? copts.memBytes
+                                   : opts.defaultMemBytes;
+    spec.vcpus = copts.vcpus;
+    spec.image = copts.image;
+    core::XContainer *container = platform_->spawn(spec);
+    if (!container)
+        return nullptr;
+    containers.push_back(
+        std::make_unique<XcContainerHandle>(container));
+    return containers.back().get();
+}
+
+} // namespace xc::runtimes

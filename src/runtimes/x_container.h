@@ -1,0 +1,81 @@
+#ifndef XC_RUNTIMES_X_CONTAINER_H
+#define XC_RUNTIMES_X_CONTAINER_H
+
+/**
+ * @file
+ * The X-Containers runtime: the paper's system, wrapped in the
+ * common Runtime interface so every benchmark runs identically on
+ * it and on the baselines.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "core/platform.h"
+#include "runtimes/runtime.h"
+
+namespace xc::runtimes {
+
+class XcContainerHandle : public RtContainer
+{
+  public:
+    explicit XcContainerHandle(core::XContainer *container)
+        : container_(container)
+    {
+    }
+
+    guestos::GuestKernel &kernel() override
+    {
+        return container_->kernel();
+    }
+
+    guestos::IpAddr ip() override
+    {
+        return container_->kernel().net().ip();
+    }
+
+    core::XContainer *xcontainer() { return container_; }
+
+  private:
+    core::XContainer *container_;
+};
+
+class XContainerRuntime : public Runtime
+{
+  public:
+    struct Options
+    {
+        hw::MachineSpec spec = hw::MachineSpec::ec2C4_2xlarge();
+        std::uint64_t seed = 42;
+        /** Meltdown patch in the X-Kernel (the paper shows it does
+         *  not hurt X-Container performance — Fig. 4). */
+        bool meltdownPatched = true;
+        /** Online binary optimization. */
+        bool abomEnabled = true;
+        /** Default container memory: 128 MB boots everything the
+         *  paper runs (§5.6 note: 64 MB also works). */
+        std::uint64_t defaultMemBytes = 128ull << 20;
+    };
+
+    explicit XContainerRuntime(Options opt);
+
+    const std::string &name() const override { return name_; }
+    hw::Machine &machine() override { return *machine_; }
+    guestos::NetFabric &fabric() override { return *fabric_; }
+    RtContainer *createContainer(const ContainerOpts &opts) override;
+
+    core::XContainerPlatform &platform() { return *platform_; }
+    core::XKernel &xkernel() { return platform_->xkernel(); }
+
+  private:
+    std::string name_;
+    Options opts;
+    std::unique_ptr<hw::Machine> machine_;
+    std::unique_ptr<guestos::NetFabric> fabric_;
+    std::unique_ptr<core::XContainerPlatform> platform_;
+    std::vector<std::unique_ptr<XcContainerHandle>> containers;
+};
+
+} // namespace xc::runtimes
+
+#endif // XC_RUNTIMES_X_CONTAINER_H

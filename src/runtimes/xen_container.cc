@@ -1,0 +1,57 @@
+#include "runtimes/xen_container.h"
+
+namespace xc::runtimes {
+
+XenContainer::XenContainer(xen::Hypervisor &hv, xen::Domain *dom,
+                           guestos::NetFabric &fabric,
+                           const ContainerOpts &opts, bool kpti)
+    : hv(hv), dom(dom)
+{
+    xen::PvPort::Options popts;
+    popts.kpti = kpti;
+    popts.natForwarding = true;
+    port_ = std::make_unique<xen::PvPort>(hv, dom, popts);
+
+    guestos::GuestKernel::Config kcfg;
+    kcfg.name = opts.name + ".pv";
+    kcfg.vcpus = opts.vcpus;
+    kcfg.traits = xen::pvGuestTraits(kpti);
+    kcfg.pool = &hv.pool();
+    kcfg.platform = port_.get();
+    kcfg.fabric = &fabric;
+    guest = std::make_unique<guestos::GuestKernel>(hv.machine(), kcfg);
+}
+
+XenContainer::~XenContainer()
+{
+    guest.reset();
+    port_.reset();
+    hv.destroyDomain(dom);
+}
+
+XenContainerRuntime::XenContainerRuntime(Options opt)
+    : name_(opt.meltdownPatched ? "xen-container"
+                                : "xen-container-unpatched"),
+      opts(opt)
+{
+    machine_ = std::make_unique<hw::Machine>(opt.spec, opt.seed);
+    fabric_ = std::make_unique<guestos::NetFabric>(machine_->events());
+
+    xen::Hypervisor::Config hcfg;
+    hcfg.xenBlanket = opt.spec.nestedCloud;
+    hv = std::make_unique<xen::Hypervisor>(*machine_, hcfg);
+}
+
+RtContainer *
+XenContainerRuntime::createContainer(const ContainerOpts &copts)
+{
+    xen::Domain *dom =
+        hv->createDomain(copts.name, copts.memBytes, copts.vcpus);
+    if (!dom)
+        return nullptr;
+    containers.push_back(std::make_unique<XenContainer>(
+        *hv, dom, *fabric_, copts, opts.meltdownPatched));
+    return containers.back().get();
+}
+
+} // namespace xc::runtimes

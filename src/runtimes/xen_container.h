@@ -1,0 +1,74 @@
+#ifndef XC_RUNTIMES_XEN_CONTAINER_H
+#define XC_RUNTIMES_XEN_CONTAINER_H
+
+/**
+ * @file
+ * Xen-Containers: the paper's own LightVM-like baseline — a
+ * container packaged with an *unmodified* Linux kernel in an
+ * *unmodified* paravirtual Xen instance. Identical software stack to
+ * X-Containers except for the hypervisor (stock Xen vs X-Kernel) and
+ * the guest kernel (stock PV Linux vs X-LibOS), which makes the pair
+ * a controlled comparison (§5.1).
+ */
+
+#include <memory>
+#include <vector>
+
+#include "runtimes/runtime.h"
+#include "xen/hypervisor.h"
+#include "xen/pv_port.h"
+
+namespace xc::runtimes {
+
+class XenContainer : public RtContainer
+{
+  public:
+    XenContainer(xen::Hypervisor &hv, xen::Domain *dom,
+                 guestos::NetFabric &fabric, const ContainerOpts &opts,
+                 bool kpti);
+    ~XenContainer() override;
+
+    guestos::GuestKernel &kernel() override { return *guest; }
+    guestos::IpAddr ip() override { return guest->net().ip(); }
+    xen::PvPort &port() { return *port_; }
+    xen::Domain *domain() { return dom; }
+
+  private:
+    xen::Hypervisor &hv;
+    xen::Domain *dom;
+    std::unique_ptr<xen::PvPort> port_;
+    std::unique_ptr<guestos::GuestKernel> guest;
+};
+
+class XenContainerRuntime : public Runtime
+{
+  public:
+    struct Options
+    {
+        hw::MachineSpec spec = hw::MachineSpec::ec2C4_2xlarge();
+        std::uint64_t seed = 42;
+        /** XPTI-style Meltdown patch ported to guest + hypervisor. */
+        bool meltdownPatched = true;
+    };
+
+    explicit XenContainerRuntime(Options opt);
+
+    const std::string &name() const override { return name_; }
+    hw::Machine &machine() override { return *machine_; }
+    guestos::NetFabric &fabric() override { return *fabric_; }
+    RtContainer *createContainer(const ContainerOpts &opts) override;
+
+    xen::Hypervisor &hypervisor() { return *hv; }
+
+  private:
+    std::string name_;
+    Options opts;
+    std::unique_ptr<hw::Machine> machine_;
+    std::unique_ptr<guestos::NetFabric> fabric_;
+    std::unique_ptr<xen::Hypervisor> hv;
+    std::vector<std::unique_ptr<XenContainer>> containers;
+};
+
+} // namespace xc::runtimes
+
+#endif // XC_RUNTIMES_XEN_CONTAINER_H

@@ -1,0 +1,69 @@
+#include "sim/event_queue.h"
+
+#include "sim/logging.h"
+
+namespace xc::sim {
+
+EventHandle
+EventQueue::schedule(Tick when, std::function<void()> fn)
+{
+    XC_ASSERT(when >= now_);
+    auto alive = std::make_shared<bool>(true);
+    queue.push(Entry{when, nextSeq++, std::move(fn), alive});
+    ++*live_;
+    return EventHandle(alive, live_);
+}
+
+bool
+EventQueue::fireNext()
+{
+    while (!queue.empty()) {
+        // priority_queue::top() is const; we must copy-then-pop. The
+        // function object is small (captures are pointers), so this
+        // is cheap relative to event work.
+        Entry e = queue.top();
+        queue.pop();
+        if (!*e.alive)
+            continue;
+        *e.alive = false;
+        --*live_;
+        XC_ASSERT(e.when >= now_);
+        now_ = e.when;
+        e.fn();
+        return true;
+    }
+    return false;
+}
+
+bool
+EventQueue::step()
+{
+    return fireNext();
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    while (!queue.empty()) {
+        // Skip dead entries so top() reflects the next live event.
+        if (!*queue.top().alive) {
+            queue.pop();
+            continue;
+        }
+        if (queue.top().when > limit)
+            break;
+        fireNext();
+    }
+    if (limit > now_)
+        now_ = limit;
+}
+
+void
+EventQueue::run(std::uint64_t maxEvents)
+{
+    std::uint64_t fired = 0;
+    while (fired < maxEvents && fireNext())
+        ++fired;
+}
+
+} // namespace xc::sim

@@ -1,0 +1,120 @@
+#ifndef XC_SIM_EVENT_QUEUE_H
+#define XC_SIM_EVENT_QUEUE_H
+
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * All simulated activity is driven by one EventQueue per simulation.
+ * Events scheduled for the same tick fire in insertion order, which
+ * (together with the single seeded Rng) makes runs bit-identical.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace xc::sim {
+
+/** Handle used to cancel a scheduled event. */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** True if the event is still pending (not fired, not cancelled). */
+    bool pending() const { return alive && *alive; }
+
+    /** Cancel the event if still pending. */
+    void
+    cancel()
+    {
+        if (alive && *alive) {
+            *alive = false;
+            if (live)
+                --*live;
+        }
+    }
+
+  private:
+    friend class EventQueue;
+    EventHandle(std::shared_ptr<bool> a, std::shared_ptr<std::size_t> l)
+        : alive(std::move(a)), live(std::move(l))
+    {
+    }
+
+    std::shared_ptr<bool> alive;
+    std::shared_ptr<std::size_t> live;
+};
+
+/** A single-owner discrete-event queue. */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     * @return a handle that can cancel the event.
+     */
+    EventHandle schedule(Tick when, std::function<void()> fn);
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    EventHandle
+    scheduleAfter(Tick delay, std::function<void()> fn)
+    {
+        return schedule(now_ + delay, std::move(fn));
+    }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pendingEvents() const { return *live_; }
+
+    /** Run all events up to and including @p limit. */
+    void runUntil(Tick limit);
+
+    /** Run until the queue drains (or @p maxEvents fire). */
+    void run(std::uint64_t maxEvents = ~std::uint64_t(0));
+
+    /** Fire at most one event. @return false if the queue was empty. */
+    bool step();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+        std::shared_ptr<bool> alive;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    bool fireNext();
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq = 0;
+    std::shared_ptr<std::size_t> live_ = std::make_shared<std::size_t>(0);
+    std::priority_queue<Entry, std::vector<Entry>, Later> queue;
+};
+
+} // namespace xc::sim
+
+#endif // XC_SIM_EVENT_QUEUE_H

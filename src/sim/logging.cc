@@ -1,0 +1,111 @@
+#include "sim/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xc::sim {
+
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+bool g_throw = false;
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    std::string out(n > 0 ? n : 0, '\0');
+    if (n > 0)
+        std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    va_end(ap2);
+    return out;
+}
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setThrowOnError(bool enable)
+{
+    g_throw = enable;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (g_level > LogLevel::Info)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    emit("info", vformat(fmt, ap));
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (g_level > LogLevel::Warn)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    emit("warn", vformat(fmt, ap));
+    va_end(ap);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    if (g_level > LogLevel::Debug)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    emit("debug", vformat(fmt, ap));
+    va_end(ap);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    if (g_throw)
+        throw SimError{msg, true};
+    emit("panic", msg);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    if (g_throw)
+        throw SimError{msg, false};
+    emit("fatal", msg);
+    std::exit(1);
+}
+
+} // namespace xc::sim

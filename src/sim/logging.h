@@ -1,0 +1,65 @@
+#ifndef XC_SIM_LOGGING_H
+#define XC_SIM_LOGGING_H
+
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  — an internal simulator bug: something that should never
+ *            happen regardless of what the user does. Aborts.
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments). Exits cleanly.
+ * warn()   — functionality that may be modelled imperfectly.
+ * inform() — normal operating status for the user.
+ */
+
+#include <cstdarg>
+#include <string>
+
+namespace xc::sim {
+
+/** Severity of a log message. */
+enum class LogLevel { Debug, Info, Warn, Error };
+
+/** Global verbosity threshold; messages below it are suppressed. */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/** Printf-style message sinks. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Abort due to an internal simulator bug. Never returns. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit due to a user error (bad config / arguments). Never returns. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * When true, panic() and fatal() throw SimError instead of
+ * aborting/exiting, so tests can assert on failure paths.
+ */
+void setThrowOnError(bool enable);
+
+/** Exception thrown by panic()/fatal() when setThrowOnError(true). */
+struct SimError
+{
+    std::string message;
+    bool isPanic;
+};
+
+} // namespace xc::sim
+
+/** Assert a simulator invariant; panics with location info on failure. */
+#define XC_ASSERT(cond, ...)                                             \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::xc::sim::panic("assertion '%s' failed at %s:%d", #cond,    \
+                             __FILE__, __LINE__);                        \
+        }                                                                \
+    } while (0)
+
+#endif // XC_SIM_LOGGING_H

@@ -1,0 +1,39 @@
+#include "sim/rng.h"
+
+#include <cmath>
+
+namespace xc::sim {
+
+double
+Rng::expMean(double mean)
+{
+    // Inverse-CDF sampling; clamp the uniform away from 0 so log() is
+    // finite.
+    double u = uniform();
+    if (u < 1e-12)
+        u = 1e-12;
+    return -mean * std::log(u);
+}
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double s)
+{
+    XC_ASSERT(n > 0);
+    // Rejection-inversion (Hörmann) would be overkill for our key
+    // ranges; use the simple normalized-harmonic inversion with a
+    // small cache-free incremental scan bounded by n. For the key
+    // counts used by the workloads (<= a few thousand) this is fine.
+    double h = 0.0;
+    for (std::uint64_t k = 1; k <= n; ++k)
+        h += 1.0 / std::pow(static_cast<double>(k), s);
+    double u = uniform() * h;
+    double acc = 0.0;
+    for (std::uint64_t k = 1; k <= n; ++k) {
+        acc += 1.0 / std::pow(static_cast<double>(k), s);
+        if (acc >= u)
+            return k - 1;
+    }
+    return n - 1;
+}
+
+} // namespace xc::sim

@@ -1,0 +1,112 @@
+#ifndef XC_SIM_RNG_H
+#define XC_SIM_RNG_H
+
+/**
+ * @file
+ * Deterministic random number generation for the simulator.
+ *
+ * Every simulation owns exactly one Rng seeded from its config so
+ * repeated runs are bit-identical. The generator is xoshiro256**
+ * seeded through SplitMix64, both public-domain algorithms.
+ */
+
+#include <cstdint>
+
+#include "sim/logging.h"
+
+namespace xc::sim {
+
+/** SplitMix64 step; used for seeding and as a cheap stateless hash. */
+constexpr std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Deterministic xoshiro256** generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eedcafef00dull) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state)
+            word = splitMix64(sm);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        XC_ASSERT(bound != 0);
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t threshold = -bound % bound;
+        for (;;) {
+            std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        XC_ASSERT(lo <= hi);
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Exponentially distributed value with the given mean (used for
+     * open-loop arrival processes and think times).
+     */
+    double expMean(double mean);
+
+    /** Zipf-distributed rank in [0, n) with skew s (key popularity). */
+    std::uint64_t zipf(std::uint64_t n, double s);
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4] = {};
+};
+
+} // namespace xc::sim
+
+#endif // XC_SIM_RNG_H

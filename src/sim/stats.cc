@@ -1,0 +1,157 @@
+#include "sim/stats.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/logging.h"
+
+namespace xc::sim {
+
+Stat::Stat(StatRegistry &registry, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    registry.add(this);
+}
+
+std::string
+Counter::render() const
+{
+    std::ostringstream os;
+    os << name() << " " << value_ << "\n";
+    return os.str();
+}
+
+std::string
+Gauge::render() const
+{
+    std::ostringstream os;
+    os << name() << " " << value_ << "\n";
+    return os.str();
+}
+
+void
+Distribution::sample(double v)
+{
+    samples.push_back(v);
+    sorted = false;
+}
+
+void
+Distribution::ensureSorted() const
+{
+    if (!sorted) {
+        std::sort(samples.begin(), samples.end());
+        sorted = true;
+    }
+}
+
+double
+Distribution::mean() const
+{
+    if (samples.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : samples)
+        sum += v;
+    return sum / static_cast<double>(samples.size());
+}
+
+double
+Distribution::stddev() const
+{
+    if (samples.size() < 2)
+        return 0.0;
+    double m = mean();
+    double acc = 0.0;
+    for (double v : samples)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(samples.size() - 1));
+}
+
+double
+Distribution::min() const
+{
+    ensureSorted();
+    return samples.empty() ? 0.0 : samples.front();
+}
+
+double
+Distribution::max() const
+{
+    ensureSorted();
+    return samples.empty() ? 0.0 : samples.back();
+}
+
+double
+Distribution::percentile(double p) const
+{
+    if (samples.empty())
+        return 0.0;
+    XC_ASSERT(p >= 0.0 && p <= 100.0);
+    ensureSorted();
+    if (samples.size() == 1)
+        return samples[0];
+    // Linear interpolation between closest ranks.
+    double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+std::string
+Distribution::render() const
+{
+    std::ostringstream os;
+    os << name() << ".count " << count() << "\n";
+    os << name() << ".mean " << mean() << "\n";
+    os << name() << ".stdev " << stddev() << "\n";
+    if (!samples.empty()) {
+        os << name() << ".min " << min() << "\n";
+        os << name() << ".p50 " << percentile(50) << "\n";
+        os << name() << ".p99 " << percentile(99) << "\n";
+        os << name() << ".max " << max() << "\n";
+    }
+    return os.str();
+}
+
+void
+StatRegistry::add(Stat *s)
+{
+    auto [it, inserted] = stats.emplace(s->name(), s);
+    if (!inserted)
+        panic("duplicate stat name '%s'", s->name().c_str());
+}
+
+void
+StatRegistry::remove(Stat *s)
+{
+    auto it = stats.find(s->name());
+    if (it != stats.end() && it->second == s)
+        stats.erase(it);
+}
+
+Stat *
+StatRegistry::find(const std::string &name) const
+{
+    auto it = stats.find(name);
+    return it == stats.end() ? nullptr : it->second;
+}
+
+std::string
+StatRegistry::dump() const
+{
+    std::string out;
+    for (const auto &[name, stat] : stats)
+        out += stat->render();
+    return out;
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &[name, stat] : stats)
+        stat->reset();
+}
+
+} // namespace xc::sim

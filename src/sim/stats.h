@@ -1,0 +1,148 @@
+#ifndef XC_SIM_STATS_H
+#define XC_SIM_STATS_H
+
+/**
+ * @file
+ * Lightweight statistics framework (gem5-inspired).
+ *
+ * Stats are named, registered in a StatRegistry, and dumped as
+ * "name value" lines. Counter counts events; Distribution accumulates
+ * samples and reports mean/stdev/percentiles (used for latency).
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xc::sim {
+
+class StatRegistry;
+
+/** Base class for registered statistics. */
+class Stat
+{
+  public:
+    Stat(StatRegistry &registry, std::string name, std::string desc);
+    virtual ~Stat() = default;
+
+    Stat(const Stat &) = delete;
+    Stat &operator=(const Stat &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &description() const { return desc_; }
+
+    /** Render the value(s) as "name value" lines. */
+    virtual std::string render() const = 0;
+
+    /** Reset to the post-construction state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** Monotonic event counter. */
+class Counter : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Counter &
+    operator+=(std::uint64_t n)
+    {
+        value_ += n;
+        return *this;
+    }
+
+    Counter &
+    operator++()
+    {
+        ++value_;
+        return *this;
+    }
+
+    std::uint64_t value() const { return value_; }
+
+    std::string render() const override;
+    void reset() override { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Scalar gauge (set-to-latest semantics). */
+class Gauge : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+    std::string render() const override;
+    void reset() override { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Sample distribution with exact percentiles.
+ *
+ * Stores all samples; the simulated workloads are bounded (at most a
+ * few million requests) so this is acceptable and keeps percentiles
+ * exact.
+ */
+class Distribution : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void sample(double v);
+
+    std::uint64_t count() const { return samples.size(); }
+    double mean() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+
+    /** Exact percentile; @p p in [0, 100]. */
+    double percentile(double p) const;
+
+    std::string render() const override;
+    void reset() override { samples.clear(); sorted = true; }
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<double> samples;
+    mutable bool sorted = true;
+};
+
+/** Flat registry of named stats. */
+class StatRegistry
+{
+  public:
+    /** Register @p s under its name; name collisions panic. */
+    void add(Stat *s);
+    void remove(Stat *s);
+
+    /** Look up a stat by full name; nullptr if absent. */
+    Stat *find(const std::string &name) const;
+
+    /** Render every stat, sorted by name. */
+    std::string dump() const;
+
+    /** Reset all stats. */
+    void resetAll();
+
+  private:
+    std::map<std::string, Stat *> stats;
+};
+
+} // namespace xc::sim
+
+#endif // XC_SIM_STATS_H

@@ -1,0 +1,294 @@
+#ifndef XC_SIM_TASK_H
+#define XC_SIM_TASK_H
+
+/**
+ * @file
+ * C++20 coroutine task type used for all guest-thread execution.
+ *
+ * Every simulated thread body is a Task<void> coroutine. Blocking
+ * kernel operations (wait queues, I/O, CPU time consumption) are
+ * awaitables that suspend the innermost coroutine and hand its handle
+ * to a scheduler; completion propagates back up through symmetric
+ * transfer, so an entire logical call stack suspends and resumes as a
+ * unit without OS threads.
+ */
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "sim/logging.h"
+
+namespace xc::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+/** Final awaiter: symmetric-transfer to the awaiting coroutine. */
+struct FinalAwaiter
+{
+    bool await_ready() const noexcept { return false; }
+
+    template <typename Promise>
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<Promise> h) noexcept
+    {
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+    }
+
+    void await_resume() const noexcept {}
+};
+
+struct PromiseBase
+{
+    std::coroutine_handle<> continuation = nullptr;
+    std::exception_ptr error = nullptr;
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void unhandled_exception() { error = std::current_exception(); }
+};
+
+} // namespace detail
+
+/**
+ * A lazily-started coroutine returning T.
+ *
+ * Ownership: the Task object owns the coroutine frame; destroying a
+ * Task destroys a suspended frame. Root tasks (thread mains) are
+ * resumed by the scheduler via handle(); nested tasks are awaited
+ * with co_await.
+ */
+template <typename T>
+class Task
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        std::optional<T> value;
+
+        Task
+        get_return_object()
+        {
+            return Task(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        template <typename U>
+        void
+        return_value(U &&v)
+        {
+            value.emplace(std::forward<U>(v));
+        }
+    };
+
+    Task() = default;
+    Task(Task &&other) noexcept : coro(std::exchange(other.coro, {})) {}
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            coro = std::exchange(other.coro, {});
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+    ~Task() { destroy(); }
+
+    /** True if the coroutine has run to completion. */
+    bool done() const { return !coro || coro.done(); }
+
+    /** True if this Task refers to a live coroutine frame. */
+    bool valid() const { return static_cast<bool>(coro); }
+
+    /** Raw handle; used by schedulers to start root tasks. */
+    std::coroutine_handle<> handle() const { return coro; }
+
+    /**
+     * Retrieve the result after completion; rethrows any exception
+     * the coroutine ended with.
+     */
+    T
+    result()
+    {
+        XC_ASSERT(coro && coro.done());
+        if (coro.promise().error)
+            std::rethrow_exception(coro.promise().error);
+        return std::move(*coro.promise().value);
+    }
+
+    /** Awaiter allowing `co_await task`. */
+    auto
+    operator co_await() &&
+    {
+        struct Awaiter
+        {
+            std::coroutine_handle<promise_type> inner;
+
+            bool await_ready() const noexcept { return !inner || inner.done(); }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> awaiting) noexcept
+            {
+                inner.promise().continuation = awaiting;
+                return inner;
+            }
+
+            T
+            await_resume()
+            {
+                if (inner.promise().error)
+                    std::rethrow_exception(inner.promise().error);
+                return std::move(*inner.promise().value);
+            }
+        };
+        return Awaiter{coro};
+    }
+
+  private:
+    explicit Task(std::coroutine_handle<promise_type> h) : coro(h) {}
+
+    void
+    destroy()
+    {
+        if (coro) {
+            coro.destroy();
+            coro = {};
+        }
+    }
+
+    std::coroutine_handle<promise_type> coro;
+};
+
+/** Task<void> specialization. */
+template <>
+class Task<void>
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        Task
+        get_return_object()
+        {
+            return Task(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        void return_void() {}
+    };
+
+    Task() = default;
+    Task(Task &&other) noexcept : coro(std::exchange(other.coro, {})) {}
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            coro = std::exchange(other.coro, {});
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+    ~Task() { destroy(); }
+
+    bool done() const { return !coro || coro.done(); }
+    bool valid() const { return static_cast<bool>(coro); }
+    std::coroutine_handle<> handle() const { return coro; }
+
+    /** Rethrow the coroutine's exception, if any, after completion. */
+    void
+    result()
+    {
+        XC_ASSERT(coro && coro.done());
+        if (coro.promise().error)
+            std::rethrow_exception(coro.promise().error);
+    }
+
+    auto
+    operator co_await() &&
+    {
+        struct Awaiter
+        {
+            std::coroutine_handle<promise_type> inner;
+
+            bool await_ready() const noexcept { return !inner || inner.done(); }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> awaiting) noexcept
+            {
+                inner.promise().continuation = awaiting;
+                return inner;
+            }
+
+            void
+            await_resume()
+            {
+                if (inner.promise().error)
+                    std::rethrow_exception(inner.promise().error);
+            }
+        };
+        return Awaiter{coro};
+    }
+
+  private:
+    explicit Task(std::coroutine_handle<promise_type> h) : coro(h) {}
+
+    void
+    destroy()
+    {
+        if (coro) {
+            coro.destroy();
+            coro = {};
+        }
+    }
+
+    std::coroutine_handle<promise_type> coro;
+};
+
+/**
+ * Leaf awaitable that suspends the current coroutine stack and passes
+ * the resumable handle to @p hook. The hook hands the handle to a
+ * scheduler / wait queue, which later resumes it.
+ */
+template <typename Hook>
+class SuspendWith
+{
+  public:
+    explicit SuspendWith(Hook h) : hook(std::move(h)) {}
+
+    bool await_ready() const noexcept { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        hook(h);
+    }
+
+    void await_resume() const noexcept {}
+
+  private:
+    Hook hook;
+};
+
+/** Deduction helper: `co_await suspendWith([&](auto h) {...});` */
+template <typename Hook>
+SuspendWith<Hook>
+suspendWith(Hook h)
+{
+    return SuspendWith<Hook>(std::move(h));
+}
+
+} // namespace xc::sim
+
+#endif // XC_SIM_TASK_H

@@ -1,0 +1,97 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace xc::sim::trace {
+
+namespace {
+
+std::uint32_t g_mask = None;
+std::function<void(const std::string &)> g_sink;
+
+const char *
+categoryName(Category cat)
+{
+    switch (cat) {
+      case Syscall: return "syscall";
+      case Sched: return "sched";
+      case Net: return "net";
+      case Abom: return "abom";
+      case Mem: return "mem";
+      case Hypercall: return "hypercall";
+      case App: return "app";
+      default: return "?";
+    }
+}
+
+} // namespace
+
+void
+enable(std::uint32_t mask)
+{
+    g_mask = mask;
+}
+
+std::uint32_t
+enabled()
+{
+    return g_mask;
+}
+
+void
+setSink(std::function<void(const std::string &)> sink)
+{
+    g_sink = std::move(sink);
+}
+
+void
+emit(Category cat, Tick now, const char *component, const char *fmt,
+     ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    char body[512];
+    std::vsnprintf(body, sizeof(body), fmt, ap);
+    va_end(ap);
+
+    char line[640];
+    std::snprintf(line, sizeof(line), "%12.3f us | %-9s | %-12s | %s",
+                  static_cast<double>(now) /
+                      static_cast<double>(kTicksPerUs),
+                  categoryName(cat), component, body);
+    if (g_sink)
+        g_sink(line);
+    else
+        std::fprintf(stderr, "%s\n", line);
+}
+
+std::uint32_t
+parseCategories(const std::string &list)
+{
+    std::uint32_t mask = None;
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item == "syscall")
+            mask |= Syscall;
+        else if (item == "sched")
+            mask |= Sched;
+        else if (item == "net")
+            mask |= Net;
+        else if (item == "abom")
+            mask |= Abom;
+        else if (item == "mem")
+            mask |= Mem;
+        else if (item == "hypercall")
+            mask |= Hypercall;
+        else if (item == "app")
+            mask |= App;
+        else if (item == "all")
+            mask |= All;
+    }
+    return mask;
+}
+
+} // namespace xc::sim::trace

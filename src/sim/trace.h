@@ -1,0 +1,79 @@
+#ifndef XC_SIM_TRACE_H
+#define XC_SIM_TRACE_H
+
+/**
+ * @file
+ * Category-gated simulation tracing (gem5 DPRINTF-style).
+ *
+ * Categories are a bitmask enabled at run time (e.g. from a bench's
+ * --trace flag or a test). Each record carries the simulated
+ * timestamp and the emitting component. Disabled categories cost one
+ * branch.
+ *
+ *   trace::enable(trace::Syscall | trace::Sched);
+ *   XC_TRACE(Syscall, queue, "nginx", "nr=%d via %s", nr, how);
+ */
+
+#include <cstdarg>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/types.h"
+
+namespace xc::sim::trace {
+
+/** Trace categories (bitmask). */
+enum Category : std::uint32_t {
+    None = 0,
+    Syscall = 1u << 0,  ///< binary + semantic syscall legs
+    Sched = 1u << 1,    ///< thread/vCPU dispatch decisions
+    Net = 1u << 2,      ///< packets, connections, NAT
+    Abom = 1u << 3,     ///< binary patches and fixups
+    Mem = 1u << 4,      ///< reservations, balloon, page tables
+    Hypercall = 1u << 5,
+    App = 1u << 6,      ///< application-level events
+    All = ~0u,
+};
+
+/** Enable (replace) the active category mask. */
+void enable(std::uint32_t mask);
+
+/** Currently-enabled mask. */
+std::uint32_t enabled();
+
+/** True if @p cat is enabled. */
+inline bool
+active(Category cat)
+{
+    return (enabled() & cat) != 0;
+}
+
+/**
+ * Redirect trace output (default: stderr). The sink receives fully
+ * formatted lines without trailing newline.
+ */
+void setSink(std::function<void(const std::string &)> sink);
+
+/** Emit one record (use XC_TRACE instead of calling directly). */
+void emit(Category cat, Tick now, const char *component,
+          const char *fmt, ...) __attribute__((format(printf, 4, 5)));
+
+/** Parse a comma-separated category list ("syscall,net,abom"). */
+std::uint32_t parseCategories(const std::string &list);
+
+} // namespace xc::sim::trace
+
+/**
+ * Trace macro: @p cat is a bare category name; @p now_expr supplies
+ * the timestamp (typically machine.now() or kernel.now()).
+ */
+#define XC_TRACE(cat, now_expr, component, ...)                         \
+    do {                                                                \
+        if (::xc::sim::trace::active(::xc::sim::trace::cat)) {          \
+            ::xc::sim::trace::emit(::xc::sim::trace::cat, (now_expr),   \
+                                   (component), __VA_ARGS__);           \
+        }                                                               \
+    } while (0)
+
+#endif // XC_SIM_TRACE_H

@@ -1,0 +1,50 @@
+#ifndef XC_SIM_TYPES_H
+#define XC_SIM_TYPES_H
+
+/**
+ * @file
+ * Fundamental simulation types: ticks, cycles, and conversions.
+ *
+ * A Tick is the base unit of simulated time, defined as one
+ * picosecond. All CPU cost accounting is done in Cycles and converted
+ * through a core's clock period. Picosecond resolution keeps the
+ * conversion integral for any realistic clock frequency.
+ */
+
+#include <cstdint>
+
+namespace xc::sim {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** CPU cycles (frequency-independent cost unit). */
+using Cycles = std::uint64_t;
+
+/** Ticks per common wall-clock unit. */
+constexpr Tick kTicksPerPs = 1;
+constexpr Tick kTicksPerNs = 1000;
+constexpr Tick kTicksPerUs = 1000 * kTicksPerNs;
+constexpr Tick kTicksPerMs = 1000 * kTicksPerUs;
+constexpr Tick kTicksPerSec = 1000 * kTicksPerMs;
+
+/** The far future; used as "never" for timeouts. */
+constexpr Tick kTickMax = ~Tick(0);
+
+/** Convert a tick count to seconds as a double (for reporting only). */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerSec);
+}
+
+/** Convert seconds to ticks (reporting / configuration helper). */
+constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(kTicksPerSec));
+}
+
+} // namespace xc::sim
+
+#endif // XC_SIM_TYPES_H

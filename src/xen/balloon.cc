@@ -1,0 +1,65 @@
+#include "xen/balloon.h"
+
+namespace xc::xen {
+
+BalloonDriver::BalloonDriver(Hypervisor &hv, Domain *dom)
+    : hv(hv), dom(dom)
+{
+    XC_ASSERT(dom != nullptr);
+}
+
+BalloonDriver::~BalloonDriver()
+{
+    for (auto &[pfn, frames] : chunks)
+        hv.machine().memory().free(pfn, frames);
+}
+
+std::uint64_t
+BalloonDriver::extraBytes() const
+{
+    std::uint64_t frames = 0;
+    for (const auto &[pfn, count] : chunks)
+        frames += count;
+    return frames * hw::kPageSize;
+}
+
+std::uint64_t
+BalloonDriver::inflateBy(std::uint64_t bytes)
+{
+    const auto &costs = hv.machine().costs();
+    std::uint64_t added = 0;
+    lastOpCost_ = 0;
+    while (added + kChunkBytes <= bytes) {
+        std::uint64_t frames = kChunkBytes / hw::kPageSize;
+        auto run = hv.machine().memory().alloc(
+            frames, static_cast<hw::OwnerId>(dom->id()));
+        if (!run)
+            break; // machine exhausted: partial growth is fine
+        chunks.emplace_back(*run, frames);
+        hv.countHypercall(Hypercall::MmuUpdate);
+        lastOpCost_ += hv.hypercallCost(Hypercall::MmuUpdate) +
+                       costs.mmuUpdatePte * frames;
+        added += kChunkBytes;
+    }
+    return added;
+}
+
+std::uint64_t
+BalloonDriver::deflateBy(std::uint64_t bytes)
+{
+    const auto &costs = hv.machine().costs();
+    std::uint64_t released = 0;
+    lastOpCost_ = 0;
+    while (released + kChunkBytes <= bytes && !chunks.empty()) {
+        auto [pfn, frames] = chunks.back();
+        chunks.pop_back();
+        hv.machine().memory().free(pfn, frames);
+        hv.countHypercall(Hypercall::MmuUpdate);
+        lastOpCost_ += hv.hypercallCost(Hypercall::MmuUpdate) +
+                       costs.mmuUpdatePte * frames;
+        released += kChunkBytes;
+    }
+    return released;
+}
+
+} // namespace xc::xen

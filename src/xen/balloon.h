@@ -1,0 +1,64 @@
+#ifndef XC_XEN_BALLOON_H
+#define XC_XEN_BALLOON_H
+
+/**
+ * @file
+ * Balloon driver: dynamic memory for domains (§4.5 lists static
+ * sizing as a prototype limitation and points at ballooning /
+ * memory overcommit as the established Xen solution — this is that
+ * solution).
+ *
+ * The balloon grows and shrinks a domain's reservation in fixed
+ * chunks: inflating the balloon returns frames to the hypervisor,
+ * deflating claims them back (failing gracefully when the machine
+ * is out of memory). Costs model the per-page work of the
+ * decrease/increase_reservation hypercalls.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/machine.h"
+#include "xen/hypervisor.h"
+
+namespace xc::xen {
+
+class BalloonDriver
+{
+  public:
+    /** Reservation adjustment granularity. */
+    static constexpr std::uint64_t kChunkBytes = 16ull << 20;
+
+    BalloonDriver(Hypervisor &hv, Domain *dom);
+    ~BalloonDriver();
+
+    /** Current extra memory beyond the domain's boot reservation. */
+    std::uint64_t extraBytes() const;
+
+    /**
+     * Grow the domain's memory by up to @p bytes (rounded down to
+     * whole chunks). @return bytes actually added (0 when the
+     * machine is exhausted).
+     */
+    std::uint64_t inflateBy(std::uint64_t bytes);
+
+    /**
+     * Return up to @p bytes to the hypervisor (whole chunks; never
+     * below the boot reservation). @return bytes released.
+     */
+    std::uint64_t deflateBy(std::uint64_t bytes);
+
+    /** Cost of the last reservation change (charged by callers that
+     *  model the guest-side balloon thread). */
+    hw::Cycles lastOpCost() const { return lastOpCost_; }
+
+  private:
+    Hypervisor &hv;
+    Domain *dom;
+    std::vector<std::pair<hw::Pfn, std::uint64_t>> chunks;
+    hw::Cycles lastOpCost_ = 0;
+};
+
+} // namespace xc::xen
+
+#endif // XC_XEN_BALLOON_H

@@ -1,0 +1,76 @@
+#include "xen/event_channel.h"
+
+namespace xc::xen {
+
+EvtchnPort
+EventChannels::bind(DomId, std::function<void()> handler)
+{
+    EvtchnPort port = nextPort++;
+    handlers.emplace(port, std::move(handler));
+    return port;
+}
+
+void
+EventChannels::close(EvtchnPort port)
+{
+    handlers.erase(port);
+}
+
+void
+EventChannels::notify(EvtchnPort port)
+{
+    ++notifications_;
+    auto it = handlers.find(port);
+    if (it != handlers.end() && it->second)
+        it->second();
+}
+
+GrantRef
+GrantTable::grantAccess(DomId to, std::uint64_t pfn, bool readonly)
+{
+    GrantRef ref = nextRef++;
+    entries.emplace(ref, Entry{to, pfn, readonly, 0});
+    return ref;
+}
+
+bool
+GrantTable::endAccess(GrantRef ref)
+{
+    auto it = entries.find(ref);
+    if (it == entries.end())
+        return true;
+    if (it->second.mapCount > 0)
+        return false; // still mapped by the peer
+    entries.erase(it);
+    return true;
+}
+
+bool
+GrantTable::mapGrant(GrantRef ref, DomId mapper)
+{
+    auto it = entries.find(ref);
+    if (it == entries.end() || it->second.to != mapper)
+        return false;
+    ++it->second.mapCount;
+    return true;
+}
+
+void
+GrantTable::unmapGrant(GrantRef ref)
+{
+    auto it = entries.find(ref);
+    if (it != entries.end() && it->second.mapCount > 0)
+        --it->second.mapCount;
+}
+
+bool
+GrantTable::grantCopy(GrantRef ref, DomId requester)
+{
+    auto it = entries.find(ref);
+    if (it == entries.end() || it->second.to != requester)
+        return false;
+    ++copies_;
+    return true;
+}
+
+} // namespace xc::xen

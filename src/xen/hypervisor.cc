@@ -1,0 +1,147 @@
+#include "xen/hypervisor.h"
+
+namespace xc::xen {
+
+Domain::Domain(Hypervisor &hv, DomId id, std::string name,
+               std::uint64_t mem_bytes, int vcpus, hw::Pfn first_frame)
+    : hv(hv), id_(id), name_(std::move(name)),
+      frames_(mem_bytes / hw::kPageSize), vcpus_(vcpus),
+      firstFrame(first_frame), grants_(id)
+{
+}
+
+Domain::~Domain()
+{
+    hv.machine().memory().free(firstFrame, frames_);
+}
+
+Hypervisor::Hypervisor(hw::Machine &machine, Config config)
+    : machine_(machine), config_(config)
+{
+    int cores = config_.cores > 0 ? config_.cores : machine.numCpus();
+
+    hw::CorePool::Config pool_cfg;
+    pool_cfg.cores = cores;
+    pool_cfg.firstCpu = config_.firstCpu;
+    pool_cfg.quantum = config_.creditQuantum;
+    pool_cfg.switchCost = machine.costs().vcpuSwitch +
+                          machine.costs().tlbRefillUser +
+                          machine.costs().tlbRefillKernel;
+    pool_cfg.decisionBase = machine.costs().schedDecisionBase;
+    pool_cfg.decisionLog2 = machine.costs().schedDecisionLog2;
+    pool_cfg.cachePressureLog2 = machine.costs().cachePressureLog2;
+    pool_cfg.cachePressureFreeLog2 =
+        machine.costs().cachePressureFreeLog2;
+    pool_cfg.chargeClass = hw::CycleClass::Hypervisor;
+    pool_ = std::make_unique<hw::CorePool>(machine, pool_cfg, "xen");
+
+    // Reserve memory for the hypervisor itself and boot Domain-0.
+    std::uint64_t reserve_frames =
+        config_.hypervisorReserveBytes / hw::kPageSize;
+    auto run = machine.memory().alloc(reserve_frames, 0xfffffffe);
+    if (!run)
+        sim::fatal("machine too small for the hypervisor reserve");
+    reserveFrame = *run;
+
+    dom0_ = createDomain("Domain-0", config_.dom0MemBytes, 2);
+    if (!dom0_)
+        sim::fatal("machine too small for Domain-0");
+}
+
+Hypervisor::~Hypervisor()
+{
+    domains.clear();
+    machine_.memory().free(reserveFrame,
+                           config_.hypervisorReserveBytes /
+                               hw::kPageSize);
+}
+
+Domain *
+Hypervisor::createDomain(const std::string &name,
+                         std::uint64_t mem_bytes, int vcpus)
+{
+    countHypercall(Hypercall::DomctlCreate);
+    std::uint64_t frames = mem_bytes / hw::kPageSize;
+    XC_ASSERT(frames > 0 && vcpus > 0);
+    DomId id = nextDomId++;
+    auto run = machine_.memory().alloc(
+        frames, static_cast<hw::OwnerId>(id));
+    if (!run) {
+        // Out of memory: the domain cannot boot. Not a simulator
+        // error — Figure 8 depends on hitting this.
+        --nextDomId;
+        return nullptr;
+    }
+    auto dom = std::make_unique<Domain>(*this, id, name, mem_bytes,
+                                        vcpus, *run);
+    Domain *raw = dom.get();
+    domains.emplace(id, std::move(dom));
+    return raw;
+}
+
+void
+Hypervisor::destroyDomain(Domain *dom)
+{
+    XC_ASSERT(dom != nullptr && !dom->privileged());
+    countHypercall(Hypercall::DomctlDestroy);
+    domains.erase(dom->id());
+}
+
+bool
+Hypervisor::validateMmuUpdate(const Domain &dom, hw::Pfn pfn)
+{
+    countHypercall(Hypercall::MmuUpdate);
+    hw::OwnerId owner = machine_.memory().ownerOf(pfn);
+    // Domain-0 is privileged (it maps other domains' pages to build
+    // them and to run back-end drivers).
+    if (dom.privileged())
+        return true;
+    if (owner == static_cast<hw::OwnerId>(dom.id()))
+        return true;
+    ++rejectedMmuUpdates_;
+    return false;
+}
+
+hw::Cycles
+Hypervisor::hypercallCost(Hypercall call) const
+{
+    const auto &c = machine_.costs();
+    hw::Cycles base = c.hypercall;
+    // Running under Xen-Blanket in a cloud VM adds a nesting tax on
+    // every entry into the (blanket) hypervisor.
+    if (config_.xenBlanket)
+        base += c.hypercall / 4;
+    switch (call) {
+      case Hypercall::MmuUpdate:
+        return base + c.mmuUpdateBatch;
+      case Hypercall::Iret:
+        return c.pvIretHypercall;
+      case Hypercall::GrantTableOp:
+        return base + 120;
+      default:
+        return base;
+    }
+}
+
+void
+Hypervisor::countHypercall(Hypercall call)
+{
+    ++hypercallCounts[static_cast<int>(call)];
+}
+
+std::uint64_t
+Hypervisor::hypercalls(Hypercall call) const
+{
+    return hypercallCounts[static_cast<int>(call)];
+}
+
+std::uint64_t
+Hypervisor::totalHypercalls() const
+{
+    std::uint64_t total = 0;
+    for (auto count : hypercallCounts)
+        total += count;
+    return total;
+}
+
+} // namespace xc::xen

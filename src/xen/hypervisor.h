@@ -1,0 +1,154 @@
+#ifndef XC_XEN_HYPERVISOR_H
+#define XC_XEN_HYPERVISOR_H
+
+/**
+ * @file
+ * The Xen-style paravirtualization hypervisor.
+ *
+ * Owns the physical cores (credit scheduler via a CorePool whose
+ * clients are guest vCPUs), domain lifecycle with real memory
+ * reservations (which is what caps VM density in the Figure 8
+ * scalability experiment), event channels, and per-domain grant
+ * tables. The X-Kernel (src/core) is this hypervisor with the
+ * kernel/user isolation requirements relaxed.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "hw/cpu_pool.h"
+#include "hw/machine.h"
+#include "xen/event_channel.h"
+
+namespace xc::xen {
+
+class Hypervisor;
+
+/** Hypercall identifiers (subset of the real table). */
+enum class Hypercall {
+    MmuUpdate,
+    MmuExtOp,       ///< TLB flushes, CR3 load
+    StackSwitch,
+    SetTrapTable,
+    EventChannelOp,
+    GrantTableOp,
+    SchedOp,        ///< yield / block
+    Iret,           ///< privileged return path (PV only)
+    DomctlCreate,
+    DomctlDestroy,
+    kCount,
+};
+
+/** A guest domain. */
+class Domain
+{
+  public:
+    Domain(Hypervisor &hv, DomId id, std::string name,
+           std::uint64_t mem_bytes, int vcpus, hw::Pfn first_frame);
+    ~Domain();
+
+    Domain(const Domain &) = delete;
+    Domain &operator=(const Domain &) = delete;
+
+    DomId id() const { return id_; }
+    const std::string &name() const { return name_; }
+    std::uint64_t memBytes() const { return frames_ * hw::kPageSize; }
+    std::uint64_t frames() const { return frames_; }
+    int vcpuCount() const { return vcpus_; }
+    GrantTable &grants() { return grants_; }
+
+    /** Dom0 / driver domains are privileged. */
+    bool privileged() const { return id_ == 0; }
+
+  private:
+    friend class Hypervisor;
+    Hypervisor &hv;
+    DomId id_;
+    std::string name_;
+    std::uint64_t frames_;
+    int vcpus_;
+    hw::Pfn firstFrame;
+    GrantTable grants_;
+};
+
+/** The hypervisor. */
+class Hypervisor
+{
+  public:
+    struct Config
+    {
+        /** Cores the hypervisor schedules (usually all of them). */
+        int cores = 0; ///< 0 = all machine CPUs
+        int firstCpu = 0;
+        /** Credit-scheduler time slice (Xen default 30 ms). */
+        sim::Tick creditQuantum = 30 * sim::kTicksPerMs;
+        /** Memory reserved for Xen itself + Domain-0. */
+        std::uint64_t hypervisorReserveBytes = 256ull << 20;
+        std::uint64_t dom0MemBytes = 1024ull << 20;
+        /** Running nested inside a cloud VM via Xen-Blanket. */
+        bool xenBlanket = false;
+    };
+
+    Hypervisor(hw::Machine &machine, Config config);
+    ~Hypervisor();
+
+    hw::Machine &machine() { return machine_; }
+    hw::CorePool &pool() { return *pool_; }
+    EventChannels &eventChannels() { return evtchn; }
+    const Config &config() const { return config_; }
+
+    /**
+     * Create a domain with a real memory reservation.
+     * @return nullptr when physical memory is exhausted (the VM
+     *         simply fails to boot — Figure 8's density limit).
+     */
+    Domain *createDomain(const std::string &name,
+                         std::uint64_t mem_bytes, int vcpus);
+
+    /** Tear down a domain and release its memory. */
+    void destroyDomain(Domain *dom);
+
+    Domain *dom0() { return dom0_; }
+    std::size_t domainCount() const { return domains.size(); }
+
+    /** Cycle cost of one hypercall of kind @p call. */
+    hw::Cycles hypercallCost(Hypercall call) const;
+
+    /**
+     * mmu_update validation (§3.4 / §4.1): a domain may only map
+     * frames it owns. This check is the isolation boundary between
+     * containers; rejected attempts are counted.
+     * @return true if @p dom may map @p pfn.
+     */
+    bool validateMmuUpdate(const Domain &dom, hw::Pfn pfn);
+
+    std::uint64_t rejectedMmuUpdates() const
+    {
+        return rejectedMmuUpdates_;
+    }
+
+    /** Record a hypercall for statistics. */
+    void countHypercall(Hypercall call);
+
+    std::uint64_t hypercalls(Hypercall call) const;
+    std::uint64_t totalHypercalls() const;
+
+  private:
+    hw::Machine &machine_;
+    Config config_;
+    std::unique_ptr<hw::CorePool> pool_;
+    EventChannels evtchn;
+    std::map<DomId, std::unique_ptr<Domain>> domains;
+    Domain *dom0_ = nullptr;
+    DomId nextDomId = 0;
+    hw::Pfn reserveFrame = 0;
+    std::uint64_t hypercallCounts[static_cast<int>(Hypercall::kCount)] =
+        {};
+    std::uint64_t rejectedMmuUpdates_ = 0;
+};
+
+} // namespace xc::xen
+
+#endif // XC_XEN_HYPERVISOR_H

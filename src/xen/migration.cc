@@ -1,0 +1,95 @@
+#include "xen/migration.h"
+
+#include <algorithm>
+
+namespace xc::xen {
+
+namespace {
+
+sim::Tick
+transferTime(std::uint64_t bytes, double gbps)
+{
+    double seconds = static_cast<double>(bytes) * 8.0 / (gbps * 1e9);
+    return sim::secondsToTicks(seconds);
+}
+
+} // namespace
+
+MigrationReport
+checkpoint(const Domain &dom, const MigrationConfig &cfg)
+{
+    MigrationReport report;
+    report.converged = true;
+    report.rounds = 1;
+    report.bytesTransferred = dom.memBytes();
+    report.totalTime = transferTime(dom.memBytes(), cfg.gbitPerSec);
+    report.downtime = report.totalTime; // paused throughout
+    return report;
+}
+
+MigrationReport
+liveMigrate(const Domain &dom, const MigrationConfig &cfg)
+{
+    MigrationReport report;
+    std::uint64_t to_send = dom.memBytes(); // round 1: everything
+    double rate_bytes = cfg.gbitPerSec * 1e9 / 8.0;
+
+    for (int round = 0; round < cfg.maxRounds; ++round) {
+        ++report.rounds;
+        sim::Tick t = transferTime(to_send, cfg.gbitPerSec);
+        report.bytesTransferred += to_send;
+        report.totalTime += t;
+
+        if (to_send <= cfg.stopCopyThresholdBytes) {
+            // Final stop-and-copy round.
+            report.downtime = t;
+            report.converged = true;
+            return report;
+        }
+        // Pages dirtied while this round was on the wire become the
+        // next round's working set.
+        double dirtied = static_cast<double>(dom.memBytes()) *
+                         cfg.dirtyFractionPerSec *
+                         sim::ticksToSeconds(t);
+        to_send = std::min<std::uint64_t>(
+            dom.memBytes(), static_cast<std::uint64_t>(dirtied));
+        if (to_send == 0)
+            to_send = hw::kPageSize;
+        // Guard against non-convergence (dirtying faster than the
+        // link): fall back to stop-and-copy of the remainder.
+        if (dirtied >= rate_bytes * sim::ticksToSeconds(t) &&
+            round + 2 >= cfg.maxRounds) {
+            sim::Tick final_t = transferTime(to_send, cfg.gbitPerSec);
+            report.bytesTransferred += to_send;
+            report.totalTime += final_t;
+            report.downtime = final_t;
+            report.converged = false;
+            ++report.rounds;
+            return report;
+        }
+    }
+    sim::Tick final_t = transferTime(to_send, cfg.gbitPerSec);
+    report.bytesTransferred += to_send;
+    report.totalTime += final_t;
+    report.downtime = final_t;
+    report.converged = false;
+    return report;
+}
+
+Domain *
+migrateDomain(Hypervisor &src, Hypervisor &dst, Domain *dom,
+              MigrationReport &report, const MigrationConfig &cfg)
+{
+    XC_ASSERT(dom != nullptr && !dom->privileged());
+    // Reserve at the destination first (migration fails cleanly if
+    // it does not fit).
+    Domain *replica = dst.createDomain(dom->name(), dom->memBytes(),
+                                       dom->vcpuCount());
+    if (!replica)
+        return nullptr;
+    report = liveMigrate(*dom, cfg);
+    src.destroyDomain(dom);
+    return replica;
+}
+
+} // namespace xc::xen

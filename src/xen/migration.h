@@ -1,0 +1,78 @@
+#ifndef XC_XEN_MIGRATION_H
+#define XC_XEN_MIGRATION_H
+
+/**
+ * @file
+ * Checkpoint/restore and live migration (§3.3: "there are many
+ * mature technologies in Xen's ecosystem enabling features such as
+ * live migration, fault tolerance, and checkpoint/restore, which are
+ * hard to implement with traditional containers").
+ *
+ * This models Xen's pre-copy protocol at the domain level: the
+ * timing (rounds, transferred bytes, stop-and-copy downtime) is
+ * computed from the domain's memory size, its dirty rate, and the
+ * migration link bandwidth; memory accounting moves between the
+ * source and destination machines. Guest execution state itself is
+ * not serialized (the simulator's coroutines are not relocatable);
+ * what the model demonstrates is the *capability* argument: a
+ * 128 MB X-Container checkpoints and migrates an order of magnitude
+ * faster than a conventional VM.
+ */
+
+#include <cstdint>
+
+#include "xen/hypervisor.h"
+
+namespace xc::xen {
+
+/** Tunables of the pre-copy protocol. */
+struct MigrationConfig
+{
+    /** Link bandwidth between the hosts. */
+    double gbitPerSec = 10.0;
+    /** Fraction of the domain's memory dirtied per second while it
+     *  keeps running (workload dependent). */
+    double dirtyFractionPerSec = 0.2;
+    /** Stop-and-copy when the remaining dirty set is below this. */
+    std::uint64_t stopCopyThresholdBytes = 4ull << 20;
+    /** Give up iterating after this many pre-copy rounds. */
+    int maxRounds = 30;
+};
+
+/** Outcome of one (modelled) migration or checkpoint. */
+struct MigrationReport
+{
+    bool converged = false;
+    int rounds = 0;
+    std::uint64_t bytesTransferred = 0;
+    sim::Tick totalTime = 0;
+    sim::Tick downtime = 0;
+};
+
+/**
+ * Model a checkpoint (single full copy to storage/wire at the given
+ * bandwidth; the domain is paused throughout — downtime == total).
+ */
+MigrationReport checkpoint(const Domain &dom,
+                           const MigrationConfig &cfg = {});
+
+/**
+ * Model a live pre-copy migration of @p dom.
+ */
+MigrationReport liveMigrate(const Domain &dom,
+                            const MigrationConfig &cfg = {});
+
+/**
+ * Execute a (modelled) migration between hypervisors: runs the
+ * timing model, then moves the memory reservation — the domain is
+ * destroyed at the source and an equivalent one is created at the
+ * destination. @return nullptr (and no source-side change) when the
+ * destination cannot fit the domain.
+ */
+Domain *migrateDomain(Hypervisor &src, Hypervisor &dst, Domain *dom,
+                      MigrationReport &report,
+                      const MigrationConfig &cfg = {});
+
+} // namespace xc::xen
+
+#endif // XC_XEN_MIGRATION_H

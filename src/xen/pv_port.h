@@ -1,0 +1,164 @@
+#ifndef XC_XEN_PV_PORT_H
+#define XC_XEN_PV_PORT_H
+
+/**
+ * @file
+ * PlatformPort for an *unmodified* paravirtual guest (the
+ * Xen-Container / LightVM-style baseline).
+ *
+ * This is the configuration whose x86-64 system-call cost motivates
+ * the whole paper (§4.1): the guest kernel lives in a separate
+ * address space from its processes, so every syscall is forwarded by
+ * the hypervisor as a virtual exception, with a page-table switch
+ * and a TLB flush in each direction, and returns through the iret
+ * hypercall.
+ */
+
+#include "guestos/platform_port.h"
+#include "guestos/thread.h"
+#include "xen/hypervisor.h"
+
+namespace xc::xen {
+
+/** Binary-leg environment: hypervisor-forwarded syscalls. */
+class PvSyscallEnv : public isa::ExecEnv
+{
+  public:
+    PvSyscallEnv(Hypervisor &hv, bool kpti) : hv(hv), kpti(kpti) {}
+
+    void bind(guestos::Thread *t) { bound = t; }
+    std::uint64_t forwarded() const { return forwarded_; }
+
+    isa::GuestAddr
+    onSyscall(isa::Regs &, isa::CodeBuffer &,
+              isa::GuestAddr ip_after) override
+    {
+        ++forwarded_;
+        const auto &c = hv.machine().costs();
+        // Trap into Xen, virtual exception into the guest kernel's
+        // address space, and the return path through HYPERVISOR_iret
+        // — with the kernel<->user page-table switch and TLB refill
+        // both ways (no global mappings in PV guests, §4.3).
+        hw::Cycles cost = c.pvSyscallForward + 2 * c.pageTableSwitch +
+                          c.tlbRefillUser + c.tlbRefillKernel +
+                          hv.hypercallCost(Hypercall::Iret);
+        if (kpti)
+            cost += c.kptiTrapOverhead; // XPTI port of the patch
+        hv.countHypercall(Hypercall::Iret);
+        bound->charge(cost);
+        return ip_after;
+    }
+
+    isa::GuestAddr
+    onVsyscallCall(int, isa::Regs &, isa::CodeBuffer &,
+                   isa::GuestAddr) override
+    {
+        return kFault; // nothing patches binaries on this platform
+    }
+
+    isa::GuestAddr
+    onInvalidOpcode(isa::Regs &, isa::CodeBuffer &,
+                    isa::GuestAddr) override
+    {
+        return kFault;
+    }
+
+  private:
+    Hypervisor &hv;
+    bool kpti;
+    guestos::Thread *bound = nullptr;
+    std::uint64_t forwarded_ = 0;
+};
+
+/** Platform backend for an unmodified PV guest kernel. */
+class PvPort : public guestos::PlatformPort
+{
+  public:
+    struct Options
+    {
+        bool kpti = false;
+        /** Port-forwarding NAT in Domain-0 on the packet path. */
+        bool natForwarding = true;
+    };
+
+    PvPort(Hypervisor &hv, Domain *dom, Options opt)
+        : hv(hv), dom(dom), opts(opt),
+          env(hv, opt.kpti)
+    {
+        (void)this->dom;
+    }
+
+    hw::Cycles
+    pageTableSwitchCost(const hw::CostModel &c) override
+    {
+        // CR3 loads go through mmuext_op.
+        hv.countHypercall(Hypercall::MmuExtOp);
+        return hv.hypercallCost(Hypercall::MmuExtOp) +
+               c.pageTableSwitch;
+    }
+
+    hw::Cycles
+    pageTableUpdateCost(const hw::CostModel &c,
+                        std::uint64_t ptes) override
+    {
+        // Batched, validated mmu_update.
+        hv.countHypercall(Hypercall::MmuUpdate);
+        return hv.hypercallCost(Hypercall::MmuUpdate) +
+               c.mmuUpdatePte * ptes;
+    }
+
+    isa::ExecEnv &
+    syscallEnv(guestos::Thread &t) override
+    {
+        env.bind(&t);
+        return env;
+    }
+
+    hw::Cycles
+    eventDeliveryCost(const hw::CostModel &c) override
+    {
+        return c.pvEventDelivery;
+    }
+
+    hw::Cycles
+    netPathExtraPerPacket(const hw::CostModel &c, bool rx) override
+    {
+        // Split-driver hop through the shared ring (grant copy +
+        // event channel), plus Domain-0 bridging and iptables NAT
+        // for the port-forwarded path.
+        DescriptorRing &ring = rx ? rxRing : txRing;
+        ring.produce();
+        ring.consume(1);
+        // Guest-side front-end work only; netback + bridge + NAT
+        // run on Domain-0's cores (see DESIGN.md "dom0 offload").
+        (void)opts;
+        return c.ringHopPerPacket * 2 / 3;
+    }
+
+    const PvSyscallEnv &pvEnv() const { return env; }
+    const DescriptorRing &txQueue() const { return txRing; }
+    const DescriptorRing &rxQueue() const { return rxRing; }
+
+  private:
+    Hypervisor &hv;
+    Domain *dom;
+    Options opts;
+    PvSyscallEnv env;
+    DescriptorRing txRing;
+    DescriptorRing rxRing;
+};
+
+/** KernelTraits for an unmodified PV guest. */
+inline guestos::KernelTraits
+pvGuestTraits(bool kpti)
+{
+    guestos::KernelTraits traits;
+    traits.kpti = kpti;
+    traits.kernelGlobal = false; // global bit disabled in PV guests
+    traits.smp = true;
+    return traits;
+}
+
+} // namespace xc::xen
+
+#endif // XC_XEN_PV_PORT_H

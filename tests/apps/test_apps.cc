@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "apps/haproxy.h"
+#include "apps/images.h"
+#include "apps/kv.h"
+#include "apps/nginx.h"
+#include "apps/nginx_php.h"
+#include "apps/php_mysql.h"
+#include "apps/roster.h"
+#include "load/driver.h"
+#include "runtimes/docker.h"
+#include "runtimes/x_container.h"
+
+namespace xc::test {
+namespace {
+
+using namespace xc;
+
+load::LoadResult
+drive(runtimes::Runtime &rt, runtimes::RtContainer *c,
+      guestos::Port priv, int conns,
+      sim::Tick duration = 120 * sim::kTicksPerMs)
+{
+    rt.exposePort(c, 9000, priv);
+    load::WorkloadSpec spec = load::wrkSpec(
+        guestos::SockAddr{rt.hostIp(), 9000}, conns, duration);
+    load::ClosedLoopDriver driver(rt.fabric(), spec);
+    rt.machine().events().schedule(15 * sim::kTicksPerMs,
+                                   [&] { driver.start(); });
+    rt.machine().events().runUntil(15 * sim::kTicksPerMs + spec.warmup +
+                                   spec.duration +
+                                   50 * sim::kTicksPerMs);
+    return driver.collect();
+}
+
+runtimes::RtContainer *
+spawn(runtimes::Runtime &rt, const char *name, int vcpus)
+{
+    runtimes::ContainerOpts copts;
+    copts.name = name;
+    copts.image = apps::glibcImage(name);
+    copts.vcpus = vcpus;
+    copts.memBytes = 512ull << 20;
+    return rt.createContainer(copts);
+}
+
+TEST(Apps, NginxMultiWorkerSharesListener)
+{
+    runtimes::DockerRuntime rt({});
+    auto *c = spawn(rt, "web", 4);
+    apps::NginxApp::Config ncfg;
+    ncfg.workers = 4;
+    apps::NginxApp nginx(ncfg);
+    nginx.deploy(*c);
+    auto r = drive(rt, c, 80, 32);
+    EXPECT_GT(r.requests, 200u);
+    EXPECT_GE(nginx.requestsServed(), r.requests); // incl. warmup
+    // All four worker processes plus the master exist.
+    EXPECT_GE(c->kernel().processCount(), 5u);
+}
+
+TEST(Apps, NginxServesConfiguredPageSize)
+{
+    runtimes::DockerRuntime rt({});
+    auto *c = spawn(rt, "web", 1);
+    apps::NginxApp::Config ncfg;
+    ncfg.workers = 1;
+    ncfg.pageBytes = 4096;
+    apps::NginxApp nginx(ncfg);
+    nginx.deploy(*c);
+    rt.exposePort(c, 9000, 80);
+
+    std::uint64_t got = 0;
+    guestos::WireClient client(rt.fabric(),
+                               rt.fabric().newClientMachine());
+    client.onConnected = [&](bool ok) {
+        if (ok)
+            client.send(170);
+    };
+    client.onData = [&](std::uint64_t bytes) { got += bytes; };
+    rt.machine().events().schedule(
+        10 * sim::kTicksPerMs, [&] {
+            client.connectTo(guestos::SockAddr{rt.hostIp(), 9000});
+        });
+    rt.machine().events().runUntil(100 * sim::kTicksPerMs);
+    EXPECT_EQ(got, 4096u + 240u); // body + headers
+}
+
+TEST(Apps, MemcachedLockingContendsUnderSetLoad)
+{
+    runtimes::DockerRuntime rt({});
+    auto *c = spawn(rt, "cache", 4);
+    apps::KvApp::Config cfg = apps::KvApp::memcachedConfig();
+    cfg.setEvery = 2; // SET-heavy to force contention
+    apps::KvApp app(cfg);
+    app.deploy(*c);
+    auto r = drive(rt, c, 11211, 64);
+    EXPECT_GT(r.requests, 500u);
+    EXPECT_GT(app.opsServed(), 500u);
+    EXPECT_GT(app.lockContentions(), 0u);
+}
+
+TEST(Apps, RedisSingleThreadCapsAtOneCore)
+{
+    runtimes::DockerRuntime rt({});
+    auto *c = spawn(rt, "redis", 4);
+    apps::KvApp app(apps::KvApp::redisConfig());
+    app.deploy(*c);
+    auto r = drive(rt, c, 6379, 64, 200 * sim::kTicksPerMs);
+    // 28k cycles/op at 2.9 GHz on 1 thread: ~100k ops/s max, even
+    // with 4 vCPUs available.
+    EXPECT_GT(r.throughput, 20000.0);
+    EXPECT_LT(r.throughput, 120000.0);
+}
+
+TEST(Apps, PhpTalksToMysql)
+{
+    runtimes::XContainerRuntime rt({});
+    auto *db = spawn(rt, "db", 1);
+    apps::MysqlApp mysql;
+    mysql.deploy(*db);
+    auto *api = spawn(rt, "api", 1);
+    apps::PhpApp::Config pcfg;
+    pcfg.mysql = guestos::SockAddr{db->ip(), 3306};
+    apps::PhpApp php(pcfg);
+    php.deploy(*api);
+
+    auto r = drive(rt, api, 8080, 16);
+    EXPECT_GT(r.requests, 50u);
+    EXPECT_GT(php.requestsServed(), 50u);
+    // Several queries per page.
+    EXPECT_GE(mysql.queriesServed(), 3 * php.requestsServed() - 3);
+}
+
+TEST(Apps, NginxPhpRunsFourProcesses)
+{
+    runtimes::XContainerRuntime rt({});
+    auto *c = spawn(rt, "webphp", 1);
+    apps::NginxPhpApp app;
+    app.deploy(*c);
+    auto r = drive(rt, c, 80, 5);
+    EXPECT_GT(r.requests, 20u);
+    EXPECT_EQ(c->kernel().processCount(), 4u); // 2 masters + 2 workers
+}
+
+TEST(Apps, HaproxyBalancesAcrossBackends)
+{
+    runtimes::XContainerRuntime rt({});
+    std::vector<std::unique_ptr<apps::NginxApp>> backends;
+    apps::HaproxyApp::Config hcfg;
+    for (int i = 0; i < 3; ++i) {
+        auto *b = spawn(rt, ("web" + std::to_string(i)).c_str(), 1);
+        apps::NginxApp::Config ncfg;
+        ncfg.workers = 1;
+        backends.push_back(std::make_unique<apps::NginxApp>(ncfg));
+        backends.back()->deploy(*b);
+        hcfg.backends.push_back(guestos::SockAddr{b->ip(), 80});
+    }
+    auto *lb = spawn(rt, "lb", 1);
+    apps::HaproxyApp haproxy(hcfg);
+    haproxy.deploy(*lb);
+
+    auto r = drive(rt, lb, 80, 24);
+    EXPECT_GT(r.requests, 100u);
+    EXPECT_GT(haproxy.requestsProxied(), 100u);
+    for (const auto &b : backends)
+        EXPECT_GT(b->requestsServed(), r.requests / 6);
+}
+
+TEST(Apps, RosterProfilesAreDistinct)
+{
+    auto mc = apps::memcachedProfile();
+    auto es = apps::elasticsearchProfile();
+    auto pg = apps::postgresProfile();
+    EXPECT_EQ(mc.oddSyscallEvery, 0);
+    EXPECT_GT(es.oddSyscallEvery, 0);
+    EXPECT_GT(pg.oddSyscallEvery, es.oddSyscallEvery);
+    EXPECT_EQ(mc.threads, 4);
+    // Go images use the stack-argument wrapper.
+    auto etcd = apps::etcdProfile();
+    EXPECT_EQ(etcd.image->wrapperKind(guestos::NR_read),
+              isa::WrapperKind::GoStackArg);
+}
+
+TEST(Apps, RosterServerServesRequests)
+{
+    runtimes::XContainerRuntime rt({});
+    auto cfg = apps::postgresProfile();
+    runtimes::ContainerOpts copts;
+    copts.name = cfg.name;
+    copts.image = cfg.image;
+    copts.vcpus = 1;
+    copts.memBytes = 256ull << 20;
+    auto *c = rt.createContainer(copts);
+    apps::RosterServerApp app(cfg);
+    app.deploy(*c);
+    auto r = drive(rt, c, cfg.port, 16);
+    EXPECT_GT(r.requests, 50u);
+    // The odd-wrapper call keeps a small trap stream alive.
+    const auto &st = rt.xkernel().abom().stats();
+    EXPECT_GT(st.reductionRatio(), 0.95);
+    EXPECT_LT(st.reductionRatio(), 1.0);
+}
+
+TEST(Apps, KernelCompileFinishes)
+{
+    runtimes::XContainerRuntime rt({});
+    auto *c = spawn(rt, "kbuild", 1);
+    apps::KernelCompileApp::Config kcfg;
+    kcfg.compileUnits = 25;
+    apps::KernelCompileApp kc(kcfg);
+    kc.deploy(*c);
+    rt.machine().events().runUntil(5 * sim::kTicksPerSec);
+    EXPECT_TRUE(kc.finished());
+    EXPECT_EQ(kc.unitsCompiled(), 25u);
+    // Compile processes were reaped as make waited on them.
+    EXPECT_LE(c->kernel().processCount(), 2u);
+}
+
+TEST(Apps, MysqlImageMarksIoWrappersCancellable)
+{
+    auto img = apps::mysqlImage();
+    EXPECT_EQ(img->wrapperKind(guestos::NR_read),
+              isa::WrapperKind::PthreadCancellable);
+    EXPECT_EQ(img->wrapperKind(guestos::NR_sendmsg),
+              isa::WrapperKind::PthreadCancellable);
+    EXPECT_EQ(img->wrapperKind(guestos::NR_lseek),
+              isa::WrapperKind::GlibcMovEax);
+    EXPECT_EQ(img->wrapperKind(guestos::NR_rt_sigreturn),
+              isa::WrapperKind::GlibcMovRax);
+}
+
+} // namespace
+} // namespace xc::test

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/abom.h"
+#include "core/offline_patch.h"
+#include "isa/assembler.h"
+#include "isa/interpreter.h"
+#include "isa/syscall_stub.h"
+
+namespace xc::core {
+namespace {
+
+using isa::CodeBuffer;
+using isa::GuestAddr;
+
+std::vector<std::uint8_t>
+bytesAt(const CodeBuffer &code, GuestAddr at, int n)
+{
+    std::vector<std::uint8_t> out;
+    for (int i = 0; i < n; ++i)
+        out.push_back(code.read8(at + i));
+    return out;
+}
+
+TEST(Abom, SevenByteCase1MatchesFigure2)
+{
+    // Fig. 2: __read at 0xeb6a9: b8 00 00 00 00 / 0f 05
+    //   becomes ff 14 25 08 00 60 ff (callq *0xffffffffff600008).
+    CodeBuffer code(0xeb6a9);
+    isa::Assembler as(code);
+    as.movEaxImm(0);
+    GuestAddr sc = as.syscallInsn();
+    as.ret();
+
+    Abom abom;
+    EXPECT_EQ(abom.onSyscallTrap(code, sc), PatchResult::Patched7Case1);
+    EXPECT_EQ(bytesAt(code, 0xeb6a9, 7),
+              (std::vector<std::uint8_t>{0xff, 0x14, 0x25, 0x08, 0x00,
+                                         0x60, 0xff}));
+    EXPECT_EQ(abom.stats().patch7Case1, 1u);
+}
+
+TEST(Abom, SevenByteCase2MatchesFigure2)
+{
+    // Fig. 2: syscall.Syscall: 48 8b 44 24 08 / 0f 05
+    //   becomes ff 14 25 08 0c 60 ff (callq *0xffffffffff600c08).
+    CodeBuffer code(0x7f41d);
+    isa::Assembler as(code);
+    as.movRaxFromRsp(0x08);
+    GuestAddr sc = as.syscallInsn();
+    as.ret();
+
+    Abom abom;
+    EXPECT_EQ(abom.onSyscallTrap(code, sc), PatchResult::Patched7Case2);
+    EXPECT_EQ(bytesAt(code, 0x7f41d, 7),
+              (std::vector<std::uint8_t>{0xff, 0x14, 0x25, 0x08, 0x0c,
+                                         0x60, 0xff}));
+}
+
+TEST(Abom, NineBytePhase1MatchesFigure2)
+{
+    // Fig. 2: __restore_rt at 0x10330: 48 c7 c0 0f 00 00 00 / 0f 05
+    //   phase 1: ff 14 25 80 00 60 ff, syscall kept at 0x10337.
+    CodeBuffer code(0x10330);
+    isa::Assembler as(code);
+    as.movRaxImm(0xf);
+    GuestAddr sc = as.syscallInsn();
+    as.ret();
+
+    Abom abom;
+    EXPECT_EQ(abom.onSyscallTrap(code, sc),
+              PatchResult::Patched9Phase1);
+    EXPECT_EQ(bytesAt(code, 0x10330, 7),
+              (std::vector<std::uint8_t>{0xff, 0x14, 0x25, 0x80, 0x00,
+                                         0x60, 0xff}));
+    // The original syscall is untouched in phase 1.
+    EXPECT_EQ(bytesAt(code, 0x10337, 2),
+              (std::vector<std::uint8_t>{0x0f, 0x05}));
+}
+
+TEST(Abom, NineBytePhase2AppliedByReturnCheck)
+{
+    CodeBuffer code(0x10330);
+    isa::Assembler as(code);
+    as.movRaxImm(0xf);
+    GuestAddr sc = as.syscallInsn();
+    as.ret();
+
+    Abom abom;
+    abom.onSyscallTrap(code, sc);
+    // The handler sees the stale syscall at the return address and
+    // finishes the optimization: eb f7 (jmp 0x10330) per Fig. 2.
+    GuestAddr resumed = abom.adjustReturn(code, sc);
+    EXPECT_EQ(resumed, sc + 2);
+    EXPECT_EQ(bytesAt(code, 0x10337, 2),
+              (std::vector<std::uint8_t>{0xeb, 0xf7}));
+    EXPECT_EQ(abom.stats().patch9Phase2, 1u);
+    // And the jmp target is the call instruction.
+    isa::Insn jmp = isa::decode(code, 0x10337);
+    EXPECT_EQ(0x10337 + jmp.length + jmp.imm, 0x10330);
+    // Subsequent returns skip the jmp too.
+    EXPECT_EQ(abom.adjustReturn(code, sc), sc + 2);
+}
+
+TEST(Abom, EveryIntermediateStateIsValidBinary)
+{
+    // Concurrency safety (§4.4): between phase 1 and phase 2, a
+    // second CPU entering at the wrapper start must execute correct
+    // code: call (dispatch) then stale syscall skipped by handler.
+    CodeBuffer code(0x10330);
+    isa::Assembler as(code);
+    GuestAddr entry = as.movRaxImm(0xf);
+    GuestAddr sc = as.syscallInsn();
+    as.ret();
+
+    Abom abom;
+    abom.onSyscallTrap(code, sc); // phase 1 only
+
+    // Decode from the entry: must be exactly call, syscall, ret.
+    isa::Insn call = isa::decode(code, entry);
+    ASSERT_EQ(call.op, isa::Op::CallAbs);
+    isa::Insn stale = isa::decode(code, entry + call.length);
+    EXPECT_EQ(stale.op, isa::Op::Syscall);
+    EXPECT_EQ(isa::decode(code, entry + call.length + 2).op,
+              isa::Op::Ret);
+}
+
+TEST(Abom, CancellableWrapperIsNotPatched)
+{
+    // libpthread-style: checks between the mov and the syscall.
+    isa::StubLibrary lib;
+    const auto &stub =
+        lib.build(0, isa::WrapperKind::PthreadCancellable, "read");
+    Abom abom;
+    EXPECT_EQ(abom.onSyscallTrap(lib.code(), stub.syscallSite),
+              PatchResult::NoMatch);
+    EXPECT_EQ(abom.stats().noMatch, 1u);
+    // Bytes untouched: the next execution traps again.
+    EXPECT_EQ(abom.onSyscallTrap(lib.code(), stub.syscallSite),
+              PatchResult::NoMatch);
+}
+
+TEST(Abom, DisabledAbomOnlyCounts)
+{
+    CodeBuffer code(0x1000);
+    isa::Assembler as(code);
+    as.movEaxImm(39);
+    GuestAddr sc = as.syscallInsn();
+
+    Abom abom(/*enabled=*/false);
+    EXPECT_EQ(abom.onSyscallTrap(code, sc), PatchResult::NoMatch);
+    EXPECT_EQ(code.read8(0x1000), 0xb8); // unchanged
+    EXPECT_EQ(abom.stats().trapsSeen, 1u);
+}
+
+TEST(Abom, PatchIsIdempotentAcrossRacingTraps)
+{
+    // Two vCPUs trap on the same site; the second finds the bytes
+    // already changed and must not corrupt them.
+    CodeBuffer code(0x1000);
+    isa::Assembler as(code);
+    as.movEaxImm(1);
+    GuestAddr sc = as.syscallInsn();
+    as.ret();
+
+    Abom abom;
+    EXPECT_EQ(abom.onSyscallTrap(code, sc), PatchResult::Patched7Case1);
+    auto after_first = bytesAt(code, 0x1000, 7);
+    EXPECT_EQ(abom.onSyscallTrap(code, sc), PatchResult::Unwritable);
+    EXPECT_EQ(bytesAt(code, 0x1000, 7), after_first);
+}
+
+TEST(Abom, FixupRecognizesOnlyPatchedCallTails)
+{
+    CodeBuffer code(0x1000);
+    isa::Assembler as(code);
+    as.movEaxImm(0);
+    GuestAddr sc = as.syscallInsn();
+    as.ret();
+
+    Abom abom;
+    abom.onSyscallTrap(code, sc);
+    // A jump to the old syscall address lands on "60 ff".
+    GuestAddr fixed = abom.fixupInvalidOpcode(code, sc);
+    EXPECT_EQ(fixed, 0x1000u);
+    EXPECT_EQ(abom.stats().fixupTraps, 1u);
+
+    // Random garbage is not fixed up.
+    CodeBuffer junk(0x2000);
+    junk.append({0x60, 0xff, 0x00, 0x00, 0x00, 0x00, 0x00});
+    EXPECT_EQ(abom.fixupInvalidOpcode(junk, 0x2000), Abom::kNoFix);
+}
+
+TEST(Abom, ReductionRatioTracksConversions)
+{
+    Abom abom;
+    AbomStats &st = abom.stats();
+    st.trapsSeen = 10;
+    st.directCalls = 90;
+    EXPECT_DOUBLE_EQ(abom.stats().reductionRatio(), 0.9);
+}
+
+TEST(OfflinePatch, RewritesCancellableWrapper)
+{
+    isa::StubLibrary lib;
+    const auto stub =
+        lib.build(0, isa::WrapperKind::PthreadCancellable, "read");
+    auto report = offlinePatch(lib);
+    EXPECT_EQ(report.sitesPatched, 1u);
+
+    // The rewritten wrapper now dispatches through the vsyscall
+    // table: first instruction is a call to slot(0).
+    isa::Insn call = isa::decode(lib.code(), stub.entry);
+    ASSERT_EQ(call.op, isa::Op::CallAbs);
+    EXPECT_EQ(static_cast<GuestAddr>(call.imm),
+              isa::vsyscallSlotAddr(0));
+    // Padding is NOPs through the old syscall site.
+    for (GuestAddr a = stub.entry + 7; a < stub.syscallSite + 2; ++a)
+        EXPECT_EQ(lib.code().read8(a), 0x90);
+}
+
+TEST(OfflinePatch, LeavesOnlinePatchableSitesAlone)
+{
+    isa::StubLibrary lib;
+    lib.build(1, isa::WrapperKind::GlibcMovEax, "write");
+    auto report = offlinePatch(lib);
+    EXPECT_EQ(report.sitesPatched, 0u);
+    EXPECT_EQ(report.sitesSkipped, 1u);
+}
+
+TEST(OfflinePatch, PatchedWrapperExecutesCorrectly)
+{
+    isa::StubLibrary lib;
+    const auto stub =
+        lib.build(0, isa::WrapperKind::PthreadCancellable, "read");
+    offlinePatch(lib);
+
+    class Env : public isa::ExecEnv
+    {
+      public:
+        int slot = -1;
+        isa::GuestAddr
+        onSyscall(isa::Regs &, isa::CodeBuffer &, isa::GuestAddr) override
+        {
+            ADD_FAILURE() << "offline-patched wrapper trapped";
+            return kFault;
+        }
+        isa::GuestAddr
+        onVsyscallCall(int s, isa::Regs &, isa::CodeBuffer &,
+                       isa::GuestAddr ret) override
+        {
+            slot = s;
+            return ret;
+        }
+        isa::GuestAddr
+        onInvalidOpcode(isa::Regs &, isa::CodeBuffer &,
+                        isa::GuestAddr) override
+        {
+            return kFault;
+        }
+    };
+
+    Env env;
+    isa::Regs regs;
+    auto r = isa::execute(lib.code(), stub.entry, regs, env);
+    EXPECT_FALSE(r.faulted);
+    EXPECT_EQ(env.slot, 0);
+}
+
+} // namespace
+} // namespace xc::core

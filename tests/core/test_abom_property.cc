@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/abom.h"
+#include "isa/interpreter.h"
+#include "isa/syscall_stub.h"
+
+namespace xc::core {
+namespace {
+
+/** Env that dispatches both paths and records which was taken. */
+class PathEnv : public isa::ExecEnv
+{
+  public:
+    explicit PathEnv(Abom &abom) : abom(abom) {}
+
+    int traps = 0;
+    int calls = 0;
+    int lastSlot = -1;
+
+    isa::GuestAddr
+    onSyscall(isa::Regs &, isa::CodeBuffer &code,
+              isa::GuestAddr ip_after) override
+    {
+        ++traps;
+        abom.onSyscallTrap(code, ip_after - 2);
+        return ip_after;
+    }
+
+    isa::GuestAddr
+    onVsyscallCall(int slot, isa::Regs &, isa::CodeBuffer &code,
+                   isa::GuestAddr ret) override
+    {
+        ++calls;
+        lastSlot = slot;
+        abom.countDirectCall();
+        return abom.adjustReturn(code, ret);
+    }
+
+    isa::GuestAddr
+    onInvalidOpcode(isa::Regs &, isa::CodeBuffer &code,
+                    isa::GuestAddr ip) override
+    {
+        isa::GuestAddr fixed = abom.fixupInvalidOpcode(code, ip);
+        return fixed == Abom::kNoFix ? kFault : fixed;
+    }
+
+  private:
+    Abom &abom;
+};
+
+using PropParam = std::tuple<int, isa::WrapperKind>;
+
+/**
+ * Property sweep: for every (syscall number, wrapper shape), the
+ * wrapper must (a) always deliver the correct number, (b) stay
+ * byte-decodable after any number of ABOM passes, and (c) end up on
+ * the expected dispatch path.
+ */
+class AbomProperty : public ::testing::TestWithParam<PropParam>
+{
+};
+
+TEST_P(AbomProperty, PatchPreservesSemanticsAndValidity)
+{
+    auto [nr, kind] = GetParam();
+    isa::StubLibrary lib;
+    const isa::SyscallStub stub = lib.build(nr, kind);
+
+    Abom abom;
+    PathEnv env(abom);
+
+    for (int round = 0; round < 6; ++round) {
+        isa::Regs regs;
+        if (kind == isa::WrapperKind::GoStackArg)
+            regs.stack[1] = static_cast<std::uint64_t>(nr);
+        isa::RunResult r =
+            isa::execute(lib.code(), stub.entry, regs, env);
+        ASSERT_FALSE(r.faulted) << "round " << round;
+        ASSERT_FALSE(r.hitLimit);
+    }
+
+    // (c) dispatch path per wrapper shape.
+    if (kind == isa::WrapperKind::PthreadCancellable) {
+        EXPECT_EQ(env.traps, 6);
+        EXPECT_EQ(env.calls, 0);
+    } else {
+        EXPECT_EQ(env.traps, 1) << "only the first call traps";
+        EXPECT_EQ(env.calls, 5);
+        int expect_slot = kind == isa::WrapperKind::GoStackArg
+                              ? isa::kStackArgSlot
+                              : nr;
+        EXPECT_EQ(env.lastSlot, expect_slot);
+    }
+
+    // (b) the whole wrapper region still decodes as valid code.
+    isa::GuestAddr ip = stub.entry;
+    while (ip < lib.code().end()) {
+        isa::Insn insn = isa::decode(lib.code(), ip);
+        if (insn.op == isa::Op::Ret)
+            break;
+        // Phase-2 jmp legitimately points backward; follow one hop
+        // only to avoid looping.
+        ASSERT_TRUE(insn.valid())
+            << "invalid byte at " << std::hex << ip;
+        if (insn.op == isa::Op::JmpRel8)
+            break;
+        ip += insn.length;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NrAndKindSweep, AbomProperty,
+    ::testing::Combine(
+        ::testing::Values(0, 1, 2, 3, 15, 39, 57, 60, 102, 231, 302),
+        ::testing::Values(isa::WrapperKind::GlibcMovEax,
+                          isa::WrapperKind::GlibcMovRax,
+                          isa::WrapperKind::GoStackArg,
+                          isa::WrapperKind::PthreadCancellable)),
+    [](const ::testing::TestParamInfo<PropParam> &info) {
+        std::string kind =
+            isa::wrapperKindName(std::get<1>(info.param));
+        for (char &c : kind)
+            if (c == '-')
+                c = '_';
+        return "nr" + std::to_string(std::get<0>(info.param)) + "_" +
+               kind;
+    });
+
+TEST(AbomPropertyExtra, JumpIntoPatchedSiteAlwaysRecovers)
+{
+    // For every nr, patch a glibc wrapper and then enter through a
+    // trampoline that jumps straight at the old syscall address.
+    for (int nr : {0, 1, 15, 39, 60}) {
+        isa::StubLibrary lib;
+        const isa::SyscallStub victim =
+            lib.build(nr, isa::WrapperKind::GlibcMovEax);
+        const isa::SyscallStub jumper = lib.buildJumpInto(victim);
+
+        Abom abom;
+        PathEnv env(abom);
+
+        // Patch via the victim's front door first.
+        isa::Regs regs;
+        isa::execute(lib.code(), victim.entry, regs, env);
+        ASSERT_EQ(env.traps, 1);
+
+        // Now the stale jump lands mid-call: fixup must recover and
+        // dispatch through the call.
+        isa::Regs regs2;
+        isa::RunResult r =
+            isa::execute(lib.code(), jumper.entry, regs2, env);
+        EXPECT_FALSE(r.faulted) << "nr " << nr;
+        EXPECT_EQ(env.calls, 1);
+        EXPECT_EQ(abom.stats().fixupTraps, 1u);
+        EXPECT_EQ(env.lastSlot, nr);
+    }
+}
+
+TEST(AbomPropertyExtra, RacingTrapsNeverCorruptAnyNr)
+{
+    for (int nr = 0; nr < 64; ++nr) {
+        isa::StubLibrary lib;
+        const isa::SyscallStub stub =
+            lib.build(nr, isa::WrapperKind::GlibcMovEax);
+        Abom abom;
+        // First trap patches; a racing second trap must fail the
+        // cmpxchg and leave the site intact.
+        EXPECT_EQ(abom.onSyscallTrap(lib.code(), stub.syscallSite),
+                  PatchResult::Patched7Case1);
+        EXPECT_EQ(abom.onSyscallTrap(lib.code(), stub.syscallSite),
+                  PatchResult::Unwritable);
+        isa::Insn call = isa::decode(lib.code(), stub.entry);
+        ASSERT_EQ(call.op, isa::Op::CallAbs);
+        EXPECT_EQ(isa::vsyscallSlotIndex(
+                      static_cast<isa::GuestAddr>(call.imm)),
+                  nr);
+    }
+}
+
+} // namespace
+} // namespace xc::core

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "apps/images.h"
+#include "core/offline_patch.h"
+#include "core/platform.h"
+#include "guestos/sys.h"
+#include "runtimes/x_container.h"
+#include "runtimes/xen_container.h"
+
+namespace xc::test {
+namespace {
+
+using namespace xc;
+using guestos::Sys;
+using guestos::Thread;
+
+TEST(XcStack, ModeDetectionByStackPointerMsb)
+{
+    // §4.2: the X-Kernel classifies guest mode by the MSB of the
+    // stack pointer — the X-LibOS occupies the top half.
+    EXPECT_TRUE(core::XKernel::inGuestKernelMode(0xffff888000001000ull));
+    EXPECT_TRUE(core::XKernel::inGuestKernelMode(
+        isa::kVsyscallBase)); // vsyscall page is kernel-half
+    EXPECT_FALSE(core::XKernel::inGuestKernelMode(0x7ffdc0001000ull));
+    EXPECT_FALSE(core::XKernel::inGuestKernelMode(0x400000ull));
+}
+
+TEST(XcStack, KernelMappingsCarryGlobalBitInXLibos)
+{
+    // §4.3: the global bit is re-enabled for X-LibOS mappings.
+    runtimes::XContainerRuntime rt({});
+    runtimes::ContainerOpts copts;
+    copts.image = apps::glibcImage("img");
+    auto *c = rt.createContainer(copts);
+    guestos::Process *p = c->createProcess("p", copts.image);
+    EXPECT_GT(p->pageTable().globalPages(), 0u);
+}
+
+TEST(XcStack, PvGuestHasNoGlobalKernelMappings)
+{
+    runtimes::XenContainerRuntime rt({});
+    runtimes::ContainerOpts copts;
+    copts.image = apps::glibcImage("img");
+    auto *c = rt.createContainer(copts);
+    guestos::Process *p = c->createProcess("p", copts.image);
+    EXPECT_EQ(p->pageTable().globalPages(), 0u);
+}
+
+TEST(XcStack, FirstSyscallTrapsRestAreDirect)
+{
+    runtimes::XContainerRuntime rt({});
+    runtimes::ContainerOpts copts;
+    copts.image = apps::glibcImage("img");
+    auto *c = rt.createContainer(copts);
+    guestos::Process *p = c->createProcess("p", copts.image);
+    guestos::Thread::Body body = [](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        for (int i = 0; i < 50; ++i)
+            co_await sys.getpid();
+    };
+    c->kernel().spawnThread(p, "loop", std::move(body));
+    rt.machine().events().run();
+
+    const core::AbomStats &st = rt.xkernel().abom().stats();
+    EXPECT_EQ(st.trapsSeen, 1u);
+    EXPECT_EQ(st.directCalls, 49u);
+    EXPECT_EQ(st.patch7Case1, 1u);
+}
+
+TEST(XcStack, GoImageUsesStackArgSlot)
+{
+    runtimes::XContainerRuntime rt({});
+    runtimes::ContainerOpts copts;
+    copts.image = apps::goImage("goapp");
+    auto *c = rt.createContainer(copts);
+    guestos::Process *p = c->createProcess("p", copts.image);
+    guestos::Thread::Body body = [](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        for (int i = 0; i < 20; ++i)
+            co_await sys.getpid();
+    };
+    c->kernel().spawnThread(p, "loop", std::move(body));
+    rt.machine().events().run();
+    EXPECT_EQ(rt.xkernel().abom().stats().patch7Case2, 1u);
+}
+
+TEST(XcStack, NineBytePatchCompletesViaReturnPath)
+{
+    // rt_sigreturn uses the mov-rax wrapper: the first call patches
+    // phase 1; the second call (through the new call instruction)
+    // lets the handler finish phase 2.
+    runtimes::XContainerRuntime rt({});
+    runtimes::ContainerOpts copts;
+    copts.image = apps::glibcImage("img");
+    auto *c = rt.createContainer(copts);
+    guestos::Process *p = c->createProcess("p", copts.image);
+    guestos::Thread::Body body = [](Thread &t) -> sim::Task<void> {
+        for (int i = 0; i < 3; ++i) {
+            co_await t.kernel().syscall(
+                t, guestos::NR_rt_sigreturn, guestos::SysArgs{});
+        }
+    };
+    c->kernel().spawnThread(p, "loop", std::move(body));
+    rt.machine().events().run();
+    const core::AbomStats &st = rt.xkernel().abom().stats();
+    EXPECT_EQ(st.patch9Phase1, 1u);
+    EXPECT_EQ(st.patch9Phase2, 1u);
+    EXPECT_EQ(st.trapsSeen, 1u);
+    EXPECT_EQ(st.directCalls, 2u);
+}
+
+TEST(XcStack, CancellableWrapperKeepsTrapping)
+{
+    runtimes::XContainerRuntime rt({});
+    runtimes::ContainerOpts copts;
+    copts.image = apps::mixedImage("m", {guestos::NR_getpid});
+    auto *c = rt.createContainer(copts);
+    guestos::Process *p = c->createProcess("p", copts.image);
+    guestos::Thread::Body body = [](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        for (int i = 0; i < 10; ++i)
+            co_await sys.getpid();
+    };
+    c->kernel().spawnThread(p, "loop", std::move(body));
+    rt.machine().events().run();
+    const core::AbomStats &st = rt.xkernel().abom().stats();
+    EXPECT_EQ(st.trapsSeen, 10u);
+    EXPECT_EQ(st.directCalls, 0u);
+}
+
+TEST(XcStack, AbomDisabledKeepsForwardingEverything)
+{
+    runtimes::XContainerRuntime::Options opts;
+    opts.abomEnabled = false;
+    runtimes::XContainerRuntime rt(opts);
+    runtimes::ContainerOpts copts;
+    copts.image = apps::glibcImage("img");
+    auto *c = rt.createContainer(copts);
+    guestos::Process *p = c->createProcess("p", copts.image);
+    guestos::Thread::Body body = [](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        for (int i = 0; i < 25; ++i)
+            co_await sys.getpid();
+    };
+    c->kernel().spawnThread(p, "loop", std::move(body));
+    rt.machine().events().run();
+    const core::AbomStats &st = rt.xkernel().abom().stats();
+    EXPECT_EQ(st.trapsSeen, 25u);
+    EXPECT_EQ(st.directCalls, 0u);
+}
+
+TEST(XcStack, AbomMakesSyscallsMuchFaster)
+{
+    auto run_loop = [](bool abom) {
+        runtimes::XContainerRuntime::Options opts;
+        opts.abomEnabled = abom;
+        runtimes::XContainerRuntime rt(opts);
+        runtimes::ContainerOpts copts;
+        copts.image = apps::glibcImage("img");
+        auto *c = rt.createContainer(copts);
+        guestos::Process *p = c->createProcess("p", copts.image);
+        guestos::Thread::Body body =
+            [](Thread &t) -> sim::Task<void> {
+            Sys sys(t);
+            for (int i = 0; i < 2000; ++i)
+                co_await sys.getpid();
+        };
+        c->kernel().spawnThread(p, "loop", std::move(body));
+        rt.machine().events().run();
+        return rt.machine().now();
+    };
+    sim::Tick with = run_loop(true);
+    sim::Tick without = run_loop(false);
+    EXPECT_GT(without, 3 * with);
+}
+
+TEST(XcStack, SpawnFailsGracefullyWhenMemoryExhausted)
+{
+    runtimes::XContainerRuntime rt({});
+    runtimes::ContainerOpts copts;
+    copts.image = apps::glibcImage("img");
+    copts.memBytes = 4ull << 30; // 4 GB each on a 15 GB machine
+    int booted = 0;
+    while (rt.createContainer(copts))
+        ++booted;
+    EXPECT_GE(booted, 2);
+    EXPECT_LE(booted, 3); // 15 GB minus Xen reserve and dom0
+}
+
+TEST(XcStack, DestroyReleasesDomainMemory)
+{
+    hw::Machine machine(hw::MachineSpec::ec2C4_2xlarge(), 1);
+    guestos::NetFabric fabric(machine.events());
+    core::XContainerPlatform platform(machine, fabric, {});
+    std::uint64_t free_before = machine.memory().freeFrames();
+
+    core::XContainerPlatform::ContainerSpec spec;
+    spec.image = apps::glibcImage("img");
+    core::XContainer *c = platform.spawn(spec);
+    ASSERT_NE(c, nullptr);
+    EXPECT_LT(machine.memory().freeFrames(), free_before);
+    platform.destroy(c);
+    EXPECT_EQ(machine.memory().freeFrames(), free_before);
+    EXPECT_EQ(platform.containerCount(), 0u);
+}
+
+TEST(XcStack, MeltdownPatchDoesNotSlowXContainers)
+{
+    // Fig. 4's observation: patched and unpatched X-Containers
+    // perform identically (syscalls never enter kernel mode).
+    auto run_loop = [](bool patched) {
+        runtimes::XContainerRuntime::Options opts;
+        opts.meltdownPatched = patched;
+        runtimes::XContainerRuntime rt(opts);
+        runtimes::ContainerOpts copts;
+        copts.image = apps::glibcImage("img");
+        auto *c = rt.createContainer(copts);
+        guestos::Process *p = c->createProcess("p", copts.image);
+        guestos::Thread::Body body =
+            [](Thread &t) -> sim::Task<void> {
+            Sys sys(t);
+            for (int i = 0; i < 1000; ++i)
+                co_await sys.getpid();
+        };
+        c->kernel().spawnThread(p, "loop", std::move(body));
+        rt.machine().events().run();
+        return rt.machine().now();
+    };
+    // Identical to within the (tiny) XPTI tax on setup-time
+    // hypercalls; the syscall path itself never enters kernel mode.
+    double patched = static_cast<double>(run_loop(true));
+    double unpatched = static_cast<double>(run_loop(false));
+    EXPECT_NEAR(patched / unpatched, 1.0, 0.02);
+}
+
+TEST(XcStack, HypercallsStillGoThroughXKernel)
+{
+    // Process page-table operations remain X-Kernel work (§4.3's
+    // "context switches between X-Containers do trigger...").
+    runtimes::XContainerRuntime rt({});
+    runtimes::ContainerOpts copts;
+    copts.image = apps::glibcImage("img");
+    auto *c = rt.createContainer(copts);
+    guestos::Process *p = c->createProcess("p", copts.image);
+    guestos::Thread::Body body = [](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        guestos::Thread::Body child =
+            [](Thread &ct) -> sim::Task<void> {
+            Sys csys(ct);
+            co_await csys.exit(0);
+        };
+        std::int64_t pid = co_await sys.fork(std::move(child));
+        co_await sys.wait(static_cast<guestos::Pid>(pid));
+    };
+    c->kernel().spawnThread(p, "forker", std::move(body));
+    rt.machine().events().run();
+    EXPECT_GT(rt.xkernel().hypercalls(xen::Hypercall::MmuUpdate), 0u);
+}
+
+} // namespace
+} // namespace xc::test

@@ -1,0 +1,98 @@
+#ifndef XC_TESTS_GUESTOS_RIG_H
+#define XC_TESTS_GUESTOS_RIG_H
+
+/**
+ * @file
+ * Test rig: a machine with one native kernel (host-Linux style),
+ * which is the simplest complete stack the guest OS library runs on.
+ */
+
+#include <memory>
+
+#include "guestos/kernel.h"
+#include "guestos/native_port.h"
+#include "guestos/net.h"
+#include "guestos/sys.h"
+#include "hw/cpu_pool.h"
+#include "hw/machine.h"
+#include "isa/syscall_stub.h"
+
+namespace xc::test {
+
+using namespace xc;
+
+inline hw::CorePool::Config
+nativePoolConfig(int cores)
+{
+    hw::CorePool::Config cfg;
+    cfg.cores = cores;
+    cfg.quantum = 1000 * sim::kTicksPerSec; // pinned: never preempted
+    cfg.switchCost = 0;
+    return cfg;
+}
+
+struct Rig
+{
+    explicit Rig(int vcpus = 2, bool kpti = false,
+                 hw::MachineSpec spec = hw::MachineSpec::ec2C4_2xlarge())
+        : machine(spec, 42), fabric(machine.events()),
+          pool(machine, nativePoolConfig(machine.numCpus()), "host"),
+          port(machine.costs(),
+               guestos::NativePort::Options{.kpti = kpti,
+                                            .containerNet = false,
+                                            .trapCostOverride = 0,
+                                            .packetExtra = 0})
+    {
+        guestos::GuestKernel::Config kcfg;
+        kcfg.name = "linux";
+        kcfg.traits.kpti = kpti;
+        kcfg.vcpus = vcpus;
+        kcfg.pool = &pool;
+        kcfg.platform = &port;
+        kcfg.fabric = &fabric;
+        kernel = std::make_unique<guestos::GuestKernel>(machine, kcfg);
+    }
+
+    /** A glibc-style image shared by test processes. */
+    std::shared_ptr<guestos::Image>
+    image(const std::string &name = "testapp")
+    {
+        auto img = std::make_shared<guestos::Image>();
+        img->name = name;
+        img->stubs = std::make_shared<isa::StubLibrary>();
+        img->wrapperFor = [](int nr) {
+            // glibc shape: rt_sigreturn uses the mov-rax form.
+            if (nr == guestos::NR_rt_sigreturn)
+                return isa::WrapperKind::GlibcMovRax;
+            return isa::WrapperKind::GlibcMovEax;
+        };
+        return img;
+    }
+
+    /** Spawn a single-thread process running @p body. */
+    guestos::Thread *
+    spawn(const std::string &name, guestos::Thread::Body body)
+    {
+        auto *proc = kernel->createProcess(name, image(name));
+        return kernel->spawnThread(proc, name, std::move(body));
+    }
+
+    void run(std::uint64_t max_events = 10'000'000)
+    {
+        machine.events().run(max_events);
+    }
+
+    void runUntil(sim::Tick t) { machine.events().runUntil(t); }
+
+    sim::Tick now() const { return machine.now(); }
+
+    hw::Machine machine;
+    guestos::NetFabric fabric;
+    hw::CorePool pool;
+    guestos::NativePort port;
+    std::unique_ptr<guestos::GuestKernel> kernel;
+};
+
+} // namespace xc::test
+
+#endif // XC_TESTS_GUESTOS_RIG_H

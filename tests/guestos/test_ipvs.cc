@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "apps/images.h"
+#include "apps/nginx.h"
+#include "guestos/ipvs.h"
+#include "load/driver.h"
+#include "sim/logging.h"
+#include "runtimes/x_container.h"
+
+namespace xc::test {
+namespace {
+
+using namespace xc;
+
+struct LbRig
+{
+    explicit LbRig(guestos::IpvsService::Mode mode)
+    {
+        runtimes::XContainerRuntime::Options o;
+        o.spec = hw::MachineSpec::xeonE52690Local();
+        rt = std::make_unique<runtimes::XContainerRuntime>(o);
+
+        guestos::IpvsService::Config icfg;
+        icfg.mode = mode;
+        for (int i = 0; i < 3; ++i) {
+            runtimes::ContainerOpts copts;
+            copts.name = "web" + std::to_string(i);
+            copts.image = apps::glibcImage("img");
+            copts.vcpus = 1;
+            copts.memBytes = 128ull << 20;
+            auto *c = rt->createContainer(copts);
+            apps::NginxApp::Config ncfg;
+            ncfg.workers = 1;
+            backends.push_back(
+                std::make_unique<apps::NginxApp>(ncfg));
+            backends.back()->deploy(*c);
+            icfg.backends.push_back(guestos::SockAddr{c->ip(), 80});
+        }
+        runtimes::ContainerOpts lb_opts;
+        lb_opts.name = "lb";
+        lb_opts.image = apps::glibcImage("img");
+        lb_opts.vcpus = 1;
+        lb_opts.memBytes = 128ull << 20;
+        lb = rt->createContainer(lb_opts);
+        ipvs = std::make_unique<guestos::IpvsService>(icfg);
+    }
+
+    load::LoadResult
+    drive(int conns, sim::Tick duration)
+    {
+        rt->exposePort(lb, 8080, 80);
+        load::WorkloadSpec spec = load::wrkSpec(
+            guestos::SockAddr{rt->hostIp(), 8080}, conns, duration);
+        load::ClosedLoopDriver driver(rt->fabric(), spec);
+        rt->machine().events().schedule(20 * sim::kTicksPerMs,
+                                        [&] { driver.start(); });
+        rt->machine().events().runUntil(20 * sim::kTicksPerMs +
+                                        spec.warmup + spec.duration +
+                                        60 * sim::kTicksPerMs);
+        return driver.collect();
+    }
+
+    std::uint64_t
+    totalServed() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &b : backends)
+            total += b->requestsServed();
+        return total;
+    }
+
+    std::unique_ptr<runtimes::XContainerRuntime> rt;
+    std::vector<std::unique_ptr<apps::NginxApp>> backends;
+    runtimes::RtContainer *lb = nullptr;
+    std::unique_ptr<guestos::IpvsService> ipvs;
+};
+
+TEST(Ipvs, NatModeServesAndBalances)
+{
+    LbRig rig(guestos::IpvsService::Mode::Nat);
+    ASSERT_TRUE(rig.ipvs->install(rig.lb->kernel()));
+    auto r = rig.drive(30, 100 * sim::kTicksPerMs);
+    EXPECT_GT(r.requests, 100u);
+    EXPECT_GT(rig.ipvs->connections(), 0u);
+    EXPECT_GT(rig.ipvs->splicedBytes(), 0u);
+    // Round robin: every backend served a fair share.
+    std::uint64_t total = rig.totalServed();
+    for (const auto &b : rig.backends) {
+        EXPECT_GT(b->requestsServed(), total / 5);
+    }
+}
+
+TEST(Ipvs, DirectRoutingServesAndBalances)
+{
+    LbRig rig(guestos::IpvsService::Mode::DirectRouting);
+    ASSERT_TRUE(rig.ipvs->install(rig.lb->kernel()));
+    auto r = rig.drive(30, 100 * sim::kTicksPerMs);
+    EXPECT_GT(r.requests, 100u);
+    EXPECT_GT(rig.ipvs->connections(), 0u);
+    // DR: no bytes spliced through the director.
+    EXPECT_EQ(rig.ipvs->splicedBytes(), 0u);
+    std::uint64_t total = rig.totalServed();
+    for (const auto &b : rig.backends)
+        EXPECT_GT(b->requestsServed(), total / 5);
+}
+
+TEST(Ipvs, DirectRoutingOutperformsNatUnderLoad)
+{
+    double nat_tp = 0, dr_tp = 0;
+    {
+        LbRig rig(guestos::IpvsService::Mode::Nat);
+        ASSERT_TRUE(rig.ipvs->install(rig.lb->kernel()));
+        nat_tp = rig.drive(120, 200 * sim::kTicksPerMs).throughput;
+    }
+    {
+        LbRig rig(guestos::IpvsService::Mode::DirectRouting);
+        ASSERT_TRUE(rig.ipvs->install(rig.lb->kernel()));
+        dr_tp = rig.drive(120, 200 * sim::kTicksPerMs).throughput;
+    }
+    EXPECT_GT(dr_tp, nat_tp * 1.3);
+}
+
+TEST(Ipvs, EmptyBackendListIsAProgrammingError)
+{
+    sim::setThrowOnError(true);
+    guestos::IpvsService::Config icfg; // no backends
+    guestos::IpvsService svc(icfg);
+    LbRig rig(guestos::IpvsService::Mode::Nat);
+    EXPECT_THROW(svc.install(rig.lb->kernel()), sim::SimError);
+    sim::setThrowOnError(false);
+}
+
+TEST(Ipvs, RoundRobinSpreadIsNearUniform)
+{
+    // With a sequential round-robin director and 3 equal backends,
+    // no backend may end up more than ~2x ahead of another.
+    LbRig rig(guestos::IpvsService::Mode::DirectRouting);
+    ASSERT_TRUE(rig.ipvs->install(rig.lb->kernel()));
+    rig.drive(30, 150 * sim::kTicksPerMs);
+    std::uint64_t lo = UINT64_MAX, hi = 0;
+    for (const auto &b : rig.backends) {
+        lo = std::min(lo, b->requestsServed());
+        hi = std::max(hi, b->requestsServed());
+    }
+    EXPECT_GT(lo, 0u);
+    EXPECT_LE(hi, 2 * lo);
+}
+
+TEST(Ipvs, InstallFailsOnTakenPort)
+{
+    LbRig rig(guestos::IpvsService::Mode::Nat);
+    ASSERT_TRUE(rig.ipvs->install(rig.lb->kernel()));
+    guestos::IpvsService::Config icfg;
+    icfg.backends = {guestos::SockAddr{1, 80}};
+    guestos::IpvsService second(icfg);
+    EXPECT_FALSE(second.install(rig.lb->kernel()));
+}
+
+} // namespace
+} // namespace xc::test

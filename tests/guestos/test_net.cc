@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rig.h"
+
+namespace xc::test {
+namespace {
+
+using guestos::Fd;
+using guestos::SockAddr;
+using guestos::Sys;
+using guestos::Thread;
+using guestos::WireClient;
+
+TEST(Net, ListenBindsInFabricWhileAliveUnbindsOnExit)
+{
+    Rig rig;
+    bool bound_while_alive = false;
+    rig.spawn("srv", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd s = static_cast<Fd>(co_await sys.socket());
+        EXPECT_EQ(co_await sys.bind(s, 80), 0);
+        EXPECT_EQ(co_await sys.listen(s), 0);
+        SockAddr addr{t.kernel().net().ip(), 80};
+        bound_while_alive = rig.fabric.listenerAt(addr) != nullptr;
+    });
+    rig.run();
+    EXPECT_TRUE(bound_while_alive);
+    // Process exit closed the fd and unbound the listener.
+    SockAddr addr{rig.kernel->net().ip(), 80};
+    EXPECT_EQ(rig.fabric.listenerAt(addr), nullptr);
+}
+
+TEST(Net, DoubleListenSamePortFails)
+{
+    Rig rig;
+    std::int64_t second = 0;
+    rig.spawn("srv", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd s1 = static_cast<Fd>(co_await sys.socket());
+        co_await sys.bind(s1, 80);
+        co_await sys.listen(s1);
+        Fd s2 = static_cast<Fd>(co_await sys.socket());
+        co_await sys.bind(s2, 80);
+        second = co_await sys.listen(s2);
+    });
+    rig.run();
+    EXPECT_EQ(second, -guestos::ERR_ADDRINUSE);
+}
+
+TEST(Net, WireClientEchoRoundTrip)
+{
+    Rig rig(2);
+    std::int64_t served = 0;
+    rig.spawn("srv", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd s = static_cast<Fd>(co_await sys.socket());
+        co_await sys.bind(s, 80);
+        co_await sys.listen(s);
+        Fd c = static_cast<Fd>(co_await sys.accept(s));
+        EXPECT_GE(c, 0);
+        std::int64_t n = co_await sys.recv(c, 65536);
+        EXPECT_EQ(n, 100);
+        co_await sys.send(c, 2000);
+        ++served;
+        co_await sys.close(c);
+    });
+
+    std::uint64_t got = 0;
+    bool closed = false;
+    WireClient client(rig.fabric, rig.fabric.newClientMachine());
+    client.onConnected = [&](bool ok) {
+        EXPECT_TRUE(ok);
+        client.send(100);
+    };
+    client.onData = [&](std::uint64_t bytes) { got += bytes; };
+    client.onPeerClosed = [&] { closed = true; };
+    rig.machine.events().schedule(sim::kTicksPerMs, [&] {
+        client.connectTo(SockAddr{rig.kernel->net().ip(), 80});
+    });
+
+    rig.run();
+    EXPECT_EQ(served, 1);
+    EXPECT_EQ(got, 2000u);
+    EXPECT_TRUE(closed);
+}
+
+TEST(Net, NatRuleRedirectsToPrivateAddress)
+{
+    Rig rig(2);
+    bool accepted = false;
+    rig.spawn("srv", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd s = static_cast<Fd>(co_await sys.socket());
+        co_await sys.bind(s, 80);
+        co_await sys.listen(s);
+        Fd c = static_cast<Fd>(co_await sys.accept(s));
+        accepted = (c >= 0);
+    });
+    // Public host address 203.0.113.1:8080 -> container :80.
+    SockAddr pub{0xcb007101, 8080};
+    rig.fabric.addNatRule(pub, SockAddr{rig.kernel->net().ip(), 80});
+
+    WireClient client(rig.fabric, rig.fabric.newClientMachine());
+    client.onConnected = [&](bool ok) { EXPECT_TRUE(ok); };
+    rig.machine.events().schedule(sim::kTicksPerMs,
+                                  [&] { client.connectTo(pub); });
+    rig.run();
+    EXPECT_TRUE(accepted);
+}
+
+TEST(Net, ConnectToClosedPortRefused)
+{
+    Rig rig;
+    bool refused = false;
+    WireClient client(rig.fabric, rig.fabric.newClientMachine());
+    client.onConnected = [&](bool ok) { refused = !ok; };
+    client.connectTo(SockAddr{rig.kernel->net().ip(), 9999});
+    rig.run();
+    EXPECT_TRUE(refused);
+}
+
+TEST(Net, GuestToGuestConnect)
+{
+    // Two threads in one kernel connect over the loopback-ish path
+    // (PHP -> MySQL in the merged configuration).
+    Rig rig(2);
+    std::int64_t server_got = 0, client_got = 0;
+    rig.spawn("srv", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd s = static_cast<Fd>(co_await sys.socket());
+        co_await sys.bind(s, 3306);
+        co_await sys.listen(s);
+        Fd c = static_cast<Fd>(co_await sys.accept(s));
+        server_got = co_await sys.recv(c, 65536);
+        co_await sys.send(c, 500);
+    });
+    rig.spawn("cli", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        co_await t.sleepFor(sim::kTicksPerMs); // let server listen
+        Fd s = static_cast<Fd>(co_await sys.socket());
+        std::int64_t r = co_await sys.connect(
+            s, SockAddr{t.kernel().net().ip(), 3306});
+        EXPECT_EQ(r, 0);
+        co_await sys.send(s, 120);
+        client_got = co_await sys.recv(s, 65536);
+    });
+    rig.run();
+    EXPECT_EQ(server_got, 120);
+    EXPECT_EQ(client_got, 500);
+}
+
+TEST(Net, WindowBlocksBulkSenderUntilAcked)
+{
+    // iperf-style bulk transfer: sender must not complete a 1 MB
+    // stream instantly; the 256 KB window forces pacing.
+    Rig rig(2);
+    sim::Tick send_done = 0;
+    std::uint64_t received = 0;
+    rig.spawn("srv", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd s = static_cast<Fd>(co_await sys.socket());
+        co_await sys.bind(s, 5001);
+        co_await sys.listen(s);
+        Fd c = static_cast<Fd>(co_await sys.accept(s));
+        for (;;) {
+            std::int64_t n = co_await sys.recv(c, 1 << 20);
+            if (n <= 0)
+                break;
+            received += n;
+        }
+    });
+    rig.spawn("cli", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        co_await t.sleepFor(sim::kTicksPerMs);
+        Fd s = static_cast<Fd>(co_await sys.socket());
+        co_await sys.connect(s, SockAddr{t.kernel().net().ip(), 5001});
+        for (int i = 0; i < 16; ++i)
+            co_await sys.send(s, 64 * 1024); // 1 MB total
+        send_done = t.kernel().now();
+        co_await sys.close(s);
+    });
+    rig.run();
+    EXPECT_EQ(received, 1u << 20);
+    // With a 256 KB window and ~2 us one-way latency the sender must
+    // have waited for at least a few ack round trips.
+    EXPECT_GT(send_done, sim::kTicksPerMs + 8 * sim::kTicksPerUs);
+}
+
+TEST(Net, EpollDrivenEchoServer)
+{
+    // The NGINX-style structure: epoll loop, accept + per-conn
+    // reads, writes.
+    Rig rig(2);
+    int requests_served = 0;
+    rig.spawn("srv", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd ls = static_cast<Fd>(co_await sys.socket());
+        co_await sys.bind(ls, 80);
+        co_await sys.listen(ls);
+        Fd ep = static_cast<Fd>(co_await sys.epollCreate());
+        co_await sys.epollCtlAdd(ep, ls, guestos::PollIn, 0);
+
+        std::map<std::uint64_t, Fd> conns;
+        std::uint64_t next_token = 1;
+        int done = 0;
+        while (done < 3) {
+            auto events = co_await sys.epollWait(ep, 64, 1000);
+            for (const auto &ev : events) {
+                if (ev.token == 0) {
+                    Fd c = static_cast<Fd>(co_await sys.accept(ls));
+                    if (c < 0)
+                        continue;
+                    co_await sys.epollCtlAdd(ep, c, guestos::PollIn,
+                                             next_token);
+                    conns[next_token++] = c;
+                } else {
+                    Fd c = conns[ev.token];
+                    std::int64_t n = co_await sys.recv(c, 65536);
+                    if (n <= 0) {
+                        co_await sys.epollCtlDel(ep, c);
+                        co_await sys.close(c);
+                        ++done;
+                        continue;
+                    }
+                    co_await sys.send(c, 1024);
+                    ++requests_served;
+                }
+            }
+        }
+    });
+
+    std::vector<std::unique_ptr<WireClient>> clients;
+    for (int i = 0; i < 3; ++i) {
+        clients.push_back(std::make_unique<WireClient>(
+            rig.fabric, rig.fabric.newClientMachine()));
+        WireClient *client = clients.back().get();
+        client->onConnected = [client](bool ok) {
+            if (ok)
+                client->send(200);
+        };
+        client->onData = [client](std::uint64_t) { client->close(); };
+        rig.machine.events().schedule(
+            sim::kTicksPerMs, [client, &rig] {
+                client->connectTo(SockAddr{rig.kernel->net().ip(), 80});
+            });
+    }
+    rig.run();
+    EXPECT_EQ(requests_served, 3);
+}
+
+TEST(Net, LatencyTiersDiffer)
+{
+    Rig rig;
+    auto &cfg = rig.fabric.config();
+    EXPECT_LT(cfg.sameKernelLatency, cfg.sameMachineLatency);
+    EXPECT_LT(cfg.sameMachineLatency, cfg.crossMachineLatency);
+}
+
+} // namespace
+} // namespace xc::test

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rig.h"
+
+namespace xc::test {
+namespace {
+
+using guestos::Fd;
+using guestos::SockAddr;
+using guestos::Sys;
+using guestos::Thread;
+using guestos::WireClient;
+
+TEST(NetEdge, DoubleCloseIsSafe)
+{
+    Rig rig;
+    std::int64_t second = 0;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd s = static_cast<Fd>(co_await sys.socket());
+        co_await sys.close(s);
+        second = co_await sys.close(s);
+    });
+    rig.run();
+    EXPECT_EQ(second, -guestos::ERR_BADF);
+}
+
+TEST(NetEdge, WriteAfterPeerCloseReturnsEpipe)
+{
+    Rig rig(2);
+    std::int64_t write_result = 0;
+    rig.spawn("srv", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd s = static_cast<Fd>(co_await sys.socket());
+        co_await sys.bind(s, 80);
+        co_await sys.listen(s);
+        Fd c = static_cast<Fd>(co_await sys.accept(s));
+        // Wait until the client is definitely gone, then write.
+        co_await t.sleepFor(5 * sim::kTicksPerMs);
+        write_result = co_await sys.send(c, 100);
+    });
+    WireClient client(rig.fabric, rig.fabric.newClientMachine());
+    client.onConnected = [&](bool ok) {
+        if (ok)
+            client.close(); // connect then immediately close
+    };
+    rig.machine.events().schedule(sim::kTicksPerMs, [&] {
+        client.connectTo(SockAddr{rig.kernel->net().ip(), 80});
+    });
+    rig.run();
+    EXPECT_EQ(write_result, -guestos::ERR_PIPE);
+}
+
+TEST(NetEdge, ReadDrainsBufferedDataAfterPeerClose)
+{
+    // Data sent before the FIN must still be readable (no loss).
+    Rig rig(2);
+    std::int64_t first_read = 0, second_read = -1;
+    rig.spawn("srv", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd s = static_cast<Fd>(co_await sys.socket());
+        co_await sys.bind(s, 80);
+        co_await sys.listen(s);
+        Fd c = static_cast<Fd>(co_await sys.accept(s));
+        co_await t.sleepFor(5 * sim::kTicksPerMs); // data + FIN land
+        first_read = co_await sys.recv(c, 65536);
+        second_read = co_await sys.recv(c, 65536);
+    });
+    WireClient client(rig.fabric, rig.fabric.newClientMachine());
+    client.onConnected = [&](bool ok) {
+        if (ok) {
+            client.send(777);
+            client.close();
+        }
+    };
+    rig.machine.events().schedule(sim::kTicksPerMs, [&] {
+        client.connectTo(SockAddr{rig.kernel->net().ip(), 80});
+    });
+    rig.run();
+    EXPECT_EQ(first_read, 777);
+    EXPECT_EQ(second_read, 0); // then EOF
+}
+
+TEST(NetEdge, NatRuleRemovalStopsForwarding)
+{
+    Rig rig(2);
+    int accepted = 0;
+    rig.spawn("srv", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd s = static_cast<Fd>(co_await sys.socket());
+        co_await sys.bind(s, 80);
+        co_await sys.listen(s);
+        for (;;) {
+            std::int64_t c = co_await sys.accept(s);
+            if (c < 0)
+                co_return;
+            ++accepted;
+            co_await sys.close(static_cast<Fd>(c));
+        }
+    });
+    SockAddr pub{0xcb007102, 8080};
+    rig.fabric.addNatRule(pub, SockAddr{rig.kernel->net().ip(), 80});
+
+    bool second_refused = false;
+    auto c1 = std::make_unique<WireClient>(
+        rig.fabric, rig.fabric.newClientMachine());
+    auto c2 = std::make_unique<WireClient>(
+        rig.fabric, rig.fabric.newClientMachine());
+    c1->onConnected = [&](bool ok) { EXPECT_TRUE(ok); };
+    c2->onConnected = [&](bool ok) { second_refused = !ok; };
+
+    rig.machine.events().schedule(sim::kTicksPerMs,
+                                  [&] { c1->connectTo(pub); });
+    rig.machine.events().schedule(10 * sim::kTicksPerMs, [&] {
+        rig.fabric.removeNatRule(pub);
+        c2->connectTo(pub);
+    });
+    rig.machine.events().runUntil(100 * sim::kTicksPerMs);
+    EXPECT_EQ(accepted, 1);
+    EXPECT_TRUE(second_refused);
+}
+
+TEST(NetEdge, ListenerClosedWhileSynInFlightRefuses)
+{
+    Rig rig(2);
+    rig.spawn("srv", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd s = static_cast<Fd>(co_await sys.socket());
+        co_await sys.bind(s, 80);
+        co_await sys.listen(s);
+        // Close almost immediately: a SYN already in flight must be
+        // refused, not crash.
+        co_await t.sleepFor(sim::kTicksPerMs +
+                            30 * sim::kTicksPerUs);
+        co_await sys.close(s);
+        co_await t.sleepFor(20 * sim::kTicksPerMs);
+    });
+    bool refused = false;
+    WireClient client(rig.fabric, rig.fabric.newClientMachine());
+    client.onConnected = [&](bool ok) { refused = !ok; };
+    // SYN lands ~70us after this, right around the close.
+    rig.machine.events().schedule(
+        sim::kTicksPerMs + 20 * sim::kTicksPerUs, [&] {
+            client.connectTo(SockAddr{rig.kernel->net().ip(), 80});
+        });
+    rig.run();
+    EXPECT_TRUE(refused);
+}
+
+TEST(NetEdge, ManyConnectionsOneServerThread)
+{
+    Rig rig(2);
+    int served = 0;
+    rig.spawn("srv", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd ls = static_cast<Fd>(co_await sys.socket());
+        co_await sys.bind(ls, 80);
+        co_await sys.listen(ls);
+        Fd ep = static_cast<Fd>(co_await sys.epollCreate());
+        co_await sys.epollCtlAdd(ep, ls, guestos::PollIn, 0);
+        std::map<std::uint64_t, Fd> conns;
+        std::uint64_t tok = 1;
+        while (served < 64) {
+            auto events = co_await sys.epollWait(ep, 64, 500);
+            if (events.empty())
+                co_return;
+            for (const auto &ev : events) {
+                if (ev.token == 0) {
+                    std::int64_t c = co_await sys.acceptNb(ls);
+                    if (c < 0)
+                        continue;
+                    co_await sys.epollCtlAdd(
+                        ep, static_cast<Fd>(c), guestos::PollIn,
+                        tok);
+                    conns[tok++] = static_cast<Fd>(c);
+                } else {
+                    Fd c = conns[ev.token];
+                    std::int64_t n = co_await sys.recv(c, 4096);
+                    if (n <= 0)
+                        continue;
+                    co_await sys.send(c, 64);
+                    ++served;
+                }
+            }
+        }
+    });
+    std::vector<std::unique_ptr<WireClient>> clients;
+    for (int i = 0; i < 64; ++i) {
+        clients.push_back(std::make_unique<WireClient>(
+            rig.fabric, rig.fabric.newClientMachine()));
+        WireClient *c = clients.back().get();
+        c->onConnected = [c](bool ok) {
+            if (ok)
+                c->send(32);
+        };
+        rig.machine.events().schedule(
+            sim::kTicksPerMs + i * 10 * sim::kTicksPerUs, [c, &rig] {
+                c->connectTo(SockAddr{rig.kernel->net().ip(), 80});
+            });
+    }
+    rig.run();
+    EXPECT_EQ(served, 64);
+}
+
+} // namespace
+} // namespace xc::test

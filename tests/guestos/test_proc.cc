@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "rig.h"
+
+#include "guestos/vfs.h"
+
+namespace xc::test {
+namespace {
+
+using guestos::Fd;
+using guestos::Pid;
+using guestos::Sys;
+using guestos::Thread;
+
+TEST(Proc, ForkCreatesChildAndWaitReaps)
+{
+    Rig rig;
+    std::int64_t child_pid = -1, wait_code = -1;
+    bool child_ran = false;
+    rig.spawn("parent", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Thread::Body child_body =
+            [&child_ran](Thread &ct) -> sim::Task<void> {
+                Sys csys(ct);
+                child_ran = true;
+                co_await csys.exit(7);
+            };
+        child_pid = co_await sys.fork(std::move(child_body));
+        EXPECT_GT(child_pid, 0);
+        wait_code = co_await sys.wait(static_cast<Pid>(child_pid));
+    });
+    rig.run();
+    EXPECT_TRUE(child_ran);
+    EXPECT_EQ(wait_code, 7);
+    // Child was reaped.
+    EXPECT_EQ(rig.kernel->findProcess(static_cast<Pid>(child_pid)),
+              nullptr);
+}
+
+TEST(Proc, ForkChildInheritsFds)
+{
+    Rig rig;
+    std::int64_t child_read = -1;
+    rig.kernel->vfs().createFile("/f", 512);
+    rig.spawn("parent", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd fd = static_cast<Fd>(
+            co_await sys.open("/f", guestos::ORdOnly));
+        Thread::Body child_body =
+            [fd, &child_read](Thread &ct) -> sim::Task<void> {
+                Sys csys(ct);
+                child_read = co_await csys.read(fd, 4096);
+                co_await csys.exit(0);
+            };
+        co_await sys.fork(std::move(child_body));
+        co_await sys.wait(0); // bad pid is fine; just sync below
+    });
+    rig.run();
+    EXPECT_EQ(child_read, 512);
+}
+
+TEST(Proc, ForkMarksParentPagesCow)
+{
+    Rig rig;
+    rig.spawn("parent", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        const hw::Pte *before = t.process().pageTable().lookup(0x600000);
+        EXPECT_TRUE(before && before->writable());
+        Thread::Body child_body = [](Thread &ct) -> sim::Task<void> {
+            Sys csys(ct);
+            co_await csys.exit(0);
+        };
+        co_await sys.fork(std::move(child_body));
+        const hw::Pte *after = t.process().pageTable().lookup(0x600000);
+        EXPECT_TRUE(after);
+        EXPECT_FALSE(after->writable());
+        EXPECT_TRUE(after->cow());
+    });
+    rig.run();
+}
+
+TEST(Proc, ProcessCreationLoop)
+{
+    // UnixBench Process Creation: fork + exit + wait in a loop.
+    Rig rig;
+    int reaped = 0;
+    rig.spawn("parent", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        for (int i = 0; i < 30; ++i) {
+            Thread::Body child_body = [](Thread &ct) -> sim::Task<void> {
+                Sys csys(ct);
+                co_await csys.exit(0);
+            };
+            std::int64_t pid = co_await sys.fork(std::move(child_body));
+            std::int64_t code =
+                co_await sys.wait(static_cast<Pid>(pid));
+            if (code == 0)
+                ++reaped;
+        }
+    });
+    rig.run();
+    EXPECT_EQ(reaped, 30);
+    EXPECT_EQ(rig.kernel->stats().forks, 30u);
+    // All children reaped: only the parent process remains.
+    EXPECT_EQ(rig.kernel->processCount(), 1u);
+}
+
+TEST(Proc, ExeclPattern)
+{
+    // UnixBench Execl: exec replaces the image.
+    Rig rig;
+    std::uint64_t execs = 0;
+    auto big = std::make_shared<guestos::Image>();
+    big->name = "bigger";
+    big->textPages = 300;
+    big->dataPages = 500;
+    big->stubs = std::make_shared<isa::StubLibrary>();
+    rig.spawn("parent", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        for (int i = 0; i < 10; ++i) {
+            Thread::Body child_body =
+                [&big](Thread &ct) -> sim::Task<void> {
+                    Sys csys(ct);
+                    co_await csys.exec(big);
+                    co_await csys.exit(0);
+                };
+            std::int64_t pid = co_await sys.fork(std::move(child_body));
+            co_await sys.wait(static_cast<Pid>(pid));
+        }
+        execs = t.kernel().stats().execs;
+    });
+    rig.run();
+    EXPECT_EQ(execs, 10u);
+}
+
+TEST(Proc, ExitReleasesUserPages)
+{
+    Rig rig;
+    Pid child = 0;
+    std::uint64_t child_pages_at_exit = 1;
+    rig.spawn("parent", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Thread::Body child_body = [](Thread &ct) -> sim::Task<void> {
+            Sys csys(ct);
+            co_await csys.exit(0);
+        };
+        std::int64_t pid = co_await sys.fork(std::move(child_body));
+        child = static_cast<Pid>(pid);
+        // Observe before reaping.
+        auto *cp = t.kernel().findProcess(child);
+        while (cp && !cp->exited())
+            co_await t.sleepFor(sim::kTicksPerUs * 100);
+        if (cp) {
+            child_pages_at_exit = 0;
+            cp->pageTable().forEach(
+                [&](hw::Vpn vpn, const hw::Pte &) {
+                    if (!hw::isKernelHalf(hw::vpnToVa(vpn)))
+                        ++child_pages_at_exit;
+                });
+        }
+        co_await sys.wait(child);
+    });
+    rig.run();
+    EXPECT_EQ(child_pages_at_exit, 0u);
+}
+
+TEST(Proc, MultiThreadProcessExitsWhenAllThreadsDone)
+{
+    Rig rig(2);
+    rig.spawn("main", [&](Thread &t) -> sim::Task<void> {
+        t.kernel().spawnThread(&t.process(), "worker",
+                               [](Thread &wt) -> sim::Task<void> {
+                                   co_await wt.compute(5000);
+                               });
+        co_await t.compute(1000);
+    });
+    rig.run();
+    // Both threads zombie -> process exited.
+    bool any_live = false;
+    for (Pid pid = 1; pid < 10; ++pid) {
+        if (auto *p = rig.kernel->findProcess(pid))
+            any_live |= !p->exited();
+    }
+    EXPECT_FALSE(any_live);
+}
+
+TEST(Proc, ExecPreservesOpenFds)
+{
+    // execve replaces the image but keeps the descriptor table
+    // (no close-on-exec flags in the modeled subset).
+    Rig rig;
+    std::int64_t read_after_exec = -1;
+    auto big = rig.image("replacement");
+    rig.kernel->vfs().createFile("/data", 256);
+    rig.spawn("p", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd fd = static_cast<Fd>(
+            co_await sys.open("/data", guestos::ORdOnly));
+        co_await sys.exec(big);
+        read_after_exec = co_await sys.read(fd, 4096);
+    });
+    rig.run();
+    EXPECT_EQ(read_after_exec, 256);
+}
+
+TEST(Proc, UnlinkedFileStaysReadableWhileOpen)
+{
+    // POSIX semantics: the inode lives while a description holds it.
+    Rig rig;
+    std::int64_t n = -1;
+    std::int64_t reopen = 0;
+    rig.kernel->vfs().createFile("/tmpfile", 100);
+    rig.spawn("p", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd fd = static_cast<Fd>(
+            co_await sys.open("/tmpfile", guestos::ORdOnly));
+        co_await sys.unlink("/tmpfile");
+        n = co_await sys.read(fd, 4096);
+        reopen = co_await sys.open("/tmpfile", guestos::ORdOnly);
+    });
+    rig.run();
+    EXPECT_EQ(n, 100);
+    EXPECT_EQ(reopen, -guestos::ERR_NOENT);
+}
+
+TEST(Proc, WaitOnUnknownPidFails)
+{
+    Rig rig;
+    std::int64_t r = 0;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        r = co_await sys.wait(9999);
+    });
+    rig.run();
+    EXPECT_EQ(r, -guestos::ERR_CHILD);
+}
+
+TEST(Proc, ForkIsMoreExpensiveThanGetpid)
+{
+    Rig rig;
+    sim::Tick fork_time = 0, pid_time = 0;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        sim::Tick t0 = t.kernel().now();
+        co_await sys.getpid();
+        pid_time = t.kernel().now() - t0;
+        t0 = t.kernel().now();
+        Thread::Body child_body = [](Thread &ct) -> sim::Task<void> {
+            Sys csys(ct);
+            co_await csys.exit(0);
+        };
+        std::int64_t pid = co_await sys.fork(std::move(child_body));
+        fork_time = t.kernel().now() - t0;
+        co_await sys.wait(static_cast<Pid>(pid));
+    });
+    rig.run();
+    EXPECT_GT(fork_time, 10 * pid_time);
+}
+
+} // namespace
+} // namespace xc::test

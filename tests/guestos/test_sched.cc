@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rig.h"
+
+namespace xc::test {
+namespace {
+
+using guestos::Sys;
+using guestos::Thread;
+
+TEST(Sched, ThreadRunsToCompletion)
+{
+    Rig rig;
+    bool ran = false;
+    rig.spawn("t", [&](Thread &) -> sim::Task<void> {
+        ran = true;
+        co_return;
+    });
+    rig.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(Sched, ComputeAdvancesSimulatedTime)
+{
+    Rig rig;
+    sim::Tick done_at = 0;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        co_await t.compute(29000); // 29000 cycles @2.9GHz ~ 10 us
+        done_at = t.kernel().now();
+    });
+    rig.run();
+    // 10 us of compute plus a dispatch: inside [10us, 12us).
+    EXPECT_GE(done_at, 10 * sim::kTicksPerUs);
+    EXPECT_LT(done_at, 12 * sim::kTicksPerUs);
+}
+
+TEST(Sched, TwoThreadsOnTwoVcpusRunInParallel)
+{
+    Rig rig(/*vcpus=*/2);
+    sim::Tick end_a = 0, end_b = 0;
+    rig.spawn("a", [&](Thread &t) -> sim::Task<void> {
+        co_await t.compute(290000); // ~100 us
+        end_a = t.kernel().now();
+    });
+    rig.spawn("b", [&](Thread &t) -> sim::Task<void> {
+        co_await t.compute(290000);
+        end_b = t.kernel().now();
+    });
+    rig.run();
+    // Parallel: both finish around 100 us, not 200.
+    EXPECT_LT(end_a, 150 * sim::kTicksPerUs);
+    EXPECT_LT(end_b, 150 * sim::kTicksPerUs);
+}
+
+TEST(Sched, SingleVcpuSerializesThreads)
+{
+    Rig rig(/*vcpus=*/1);
+    sim::Tick end_a = 0, end_b = 0;
+    rig.spawn("a", [&](Thread &t) -> sim::Task<void> {
+        co_await t.compute(290000);
+        end_a = t.kernel().now();
+    });
+    rig.spawn("b", [&](Thread &t) -> sim::Task<void> {
+        co_await t.compute(290000);
+        end_b = t.kernel().now();
+    });
+    rig.run();
+    sim::Tick last = std::max(end_a, end_b);
+    EXPECT_GE(last, 200 * sim::kTicksPerUs);
+}
+
+TEST(Sched, QuantumPreemptionInterleavesCpuHogs)
+{
+    Rig rig(/*vcpus=*/1);
+    std::vector<char> order;
+    auto hog = [&](char id) {
+        return [&order, id](Thread &t) -> sim::Task<void> {
+            for (int i = 0; i < 8; ++i) {
+                // Each burst is 2x the 6 ms quantum -> preemption at
+                // each boundary.
+                co_await t.compute(35'000'000);
+                order.push_back(id);
+            }
+        };
+    };
+    rig.spawn("a", hog('a'));
+    rig.spawn("b", hog('b'));
+    rig.run();
+    EXPECT_EQ(order.size(), 16u);
+    // Interleaved, not all-a-then-all-b.
+    bool interleaved = false;
+    for (std::size_t i = 1; i < order.size(); ++i)
+        interleaved |= (order[i] != order[i - 1]);
+    EXPECT_TRUE(interleaved);
+}
+
+TEST(Sched, SleepWakesAtRightTime)
+{
+    Rig rig;
+    sim::Tick woke_at = 0;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        co_await t.sleepFor(5 * sim::kTicksPerMs);
+        woke_at = t.kernel().now();
+    });
+    rig.run();
+    EXPECT_GE(woke_at, 5 * sim::kTicksPerMs);
+    EXPECT_LT(woke_at, 5 * sim::kTicksPerMs + sim::kTicksPerMs);
+}
+
+TEST(Sched, WaitQueueBlocksUntilWoken)
+{
+    Rig rig;
+    guestos::WaitQueue wq;
+    std::vector<int> log;
+    rig.spawn("sleeper", [&](Thread &t) -> sim::Task<void> {
+        log.push_back(1);
+        co_await t.blockOn(wq);
+        log.push_back(3);
+    });
+    rig.spawn("waker", [&](Thread &t) -> sim::Task<void> {
+        co_await t.sleepFor(sim::kTicksPerMs);
+        log.push_back(2);
+        wq.wakeAll();
+    });
+    rig.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Sched, BlockTimeoutFiresWhenNotWoken)
+{
+    Rig rig;
+    guestos::WaitQueue wq;
+    bool timed_out = false;
+    sim::Tick when = 0;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        co_await t.blockOnTimeout(wq, 2 * sim::kTicksPerMs);
+        timed_out = t.timedOut();
+        when = t.kernel().now();
+    });
+    rig.run();
+    EXPECT_TRUE(timed_out);
+    EXPECT_GE(when, 2 * sim::kTicksPerMs);
+    EXPECT_TRUE(wq.empty()); // timer removed the waiter
+}
+
+TEST(Sched, BlockTimeoutWakeBeatsTimer)
+{
+    Rig rig;
+    guestos::WaitQueue wq;
+    bool timed_out = true;
+    rig.spawn("sleeper", [&](Thread &t) -> sim::Task<void> {
+        co_await t.blockOnTimeout(wq, 50 * sim::kTicksPerMs);
+        timed_out = t.timedOut();
+    });
+    rig.spawn("waker", [&](Thread &t) -> sim::Task<void> {
+        co_await t.sleepFor(sim::kTicksPerMs);
+        wq.wakeAll();
+    });
+    rig.run();
+    EXPECT_FALSE(timed_out);
+}
+
+TEST(Sched, YieldRotatesRunQueue)
+{
+    Rig rig(/*vcpus=*/1);
+    std::vector<char> order;
+    auto spinner = [&](char id) {
+        return [&order, id](Thread &t) -> sim::Task<void> {
+            for (int i = 0; i < 3; ++i) {
+                order.push_back(id);
+                co_await t.yieldNow();
+            }
+        };
+    };
+    rig.spawn("a", spinner('a'));
+    rig.spawn("b", spinner('b'));
+    rig.run();
+    EXPECT_EQ(order.size(), 6u);
+    EXPECT_EQ(order[0], 'a');
+    EXPECT_EQ(order[1], 'b'); // yield handed the vCPU over
+}
+
+TEST(Sched, ManyThreadsAllComplete)
+{
+    Rig rig(/*vcpus=*/4);
+    int done = 0;
+    for (int i = 0; i < 200; ++i) {
+        rig.spawn("t" + std::to_string(i),
+                  [&done, i](Thread &t) -> sim::Task<void> {
+                      co_await t.compute(1000 + 17 * i);
+                      ++done;
+                  });
+    }
+    rig.run();
+    EXPECT_EQ(done, 200);
+}
+
+TEST(Sched, StatsCountSwitches)
+{
+    Rig rig(/*vcpus=*/1);
+    rig.spawn("a", [](Thread &t) -> sim::Task<void> {
+        co_await t.compute(1000);
+    });
+    rig.spawn("b", [](Thread &t) -> sim::Task<void> {
+        co_await t.compute(1000);
+    });
+    rig.run();
+    EXPECT_GE(rig.kernel->stats().threadSwitches, 2u);
+    EXPECT_GE(rig.kernel->stats().wakeups, 2u);
+}
+
+TEST(Sched, DeterministicAcrossRuns)
+{
+    auto run_once = [] {
+        Rig rig(2);
+        for (int i = 0; i < 20; ++i) {
+            rig.spawn("t" + std::to_string(i),
+                      [i](Thread &t) -> sim::Task<void> {
+                          co_await t.compute(500 * (i + 1));
+                          co_await t.yieldNow();
+                          co_await t.compute(1000);
+                      });
+        }
+        rig.run();
+        return rig.now();
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+} // namespace
+} // namespace xc::test

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "rig.h"
+
+namespace xc::test {
+namespace {
+
+using guestos::Fd;
+using guestos::Pid;
+using guestos::Sys;
+using guestos::Thread;
+
+constexpr int kSigTerm = 15;
+constexpr int kSigUsr1 = 10;
+
+TEST(Signals, SigTermInterruptsBlockedRead)
+{
+    Rig rig(2);
+    std::int64_t read_result = -999;
+    Pid victim_pid = 0;
+
+    rig.spawn("victim", [&](Thread &t) -> sim::Task<void> {
+        victim_pid = t.process().pid();
+        Sys sys(t);
+        auto [r, w] = co_await sys.pipe();
+        (void)w;
+        // Blocks forever: nobody writes.
+        read_result = co_await sys.read(r, 128);
+    });
+    rig.spawn("killer", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        co_await t.sleepFor(2 * sim::kTicksPerMs);
+        co_await sys.kill(victim_pid, kSigTerm);
+    });
+    rig.run();
+    EXPECT_EQ(read_result, -guestos::ERR_INTR);
+}
+
+TEST(Signals, HandledSignalRunsHandlerAndResumesViaSigreturn)
+{
+    Rig rig(2);
+    std::uint64_t syscalls_after = 0;
+    Pid target_pid = 0;
+    bool target_done = false;
+
+    rig.spawn("target", [&](Thread &t) -> sim::Task<void> {
+        target_pid = t.process().pid();
+        Sys sys(t);
+        co_await sys.sigaction(kSigUsr1, /*handler_cycles=*/50000);
+        // Work loop: each getpid is a delivery opportunity.
+        for (int i = 0; i < 200; ++i) {
+            co_await sys.getpid();
+            co_await t.compute(20000); // ~7 us per iteration
+        }
+        target_done = true;
+    });
+    rig.spawn("sender", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        co_await t.sleepFor(50 * sim::kTicksPerUs);
+        for (int i = 0; i < 5; ++i) {
+            co_await sys.kill(target_pid, kSigUsr1);
+            co_await t.sleepFor(30 * sim::kTicksPerUs);
+        }
+        syscalls_after = t.kernel().stats().syscalls;
+    });
+    rig.run();
+    EXPECT_TRUE(target_done);
+    // Deliveries executed rt_sigreturn through the gateway: more
+    // syscalls than the visible calls alone.
+    EXPECT_GE(rig.kernel->stats().syscalls, 200u + 1u + 5u + 5u);
+}
+
+TEST(Signals, SigreturnWrapperIsTheNineBytePattern)
+{
+    // Signal delivery is how real programs hit the mov-rax wrapper
+    // (__restore_rt, Fig. 2): its stub must exist and be the 9-byte
+    // shape after a delivery.
+    Rig rig(2);
+    Pid target_pid = 0;
+    std::shared_ptr<guestos::Image> image = rig.image("sigapp");
+    auto *proc = rig.kernel->createProcess("sigapp", image);
+    rig.kernel->spawnThread(
+        proc, "t", [&](Thread &t) -> sim::Task<void> {
+            target_pid = t.process().pid();
+            Sys sys(t);
+            co_await sys.sigaction(kSigUsr1, 1000);
+            for (int i = 0; i < 50; ++i) {
+                co_await sys.getpid();
+                co_await t.compute(20000);
+            }
+        });
+    rig.spawn("sender", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        co_await t.sleepFor(60 * sim::kTicksPerUs);
+        co_await sys.kill(target_pid, kSigUsr1);
+    });
+    rig.run();
+    const isa::SyscallStub *stub =
+        image->stubs->find(guestos::NR_rt_sigreturn);
+    ASSERT_NE(stub, nullptr);
+    EXPECT_EQ(stub->kind, isa::WrapperKind::GlibcMovRax);
+}
+
+TEST(Signals, UnhandledUserSignalIsIgnored)
+{
+    Rig rig(2);
+    bool finished = false;
+    Pid target_pid = 0;
+    rig.spawn("target", [&](Thread &t) -> sim::Task<void> {
+        target_pid = t.process().pid();
+        Sys sys(t);
+        for (int i = 0; i < 20; ++i) {
+            co_await sys.getpid();
+            co_await t.compute(1000);
+        }
+        finished = true;
+    });
+    rig.spawn("sender", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        co_await sys.kill(target_pid, kSigUsr1); // no handler: ignore
+    });
+    rig.run();
+    EXPECT_TRUE(finished);
+    EXPECT_FALSE(rig.kernel->findProcess(target_pid) == nullptr);
+}
+
+TEST(Signals, KillUnknownPidFails)
+{
+    Rig rig;
+    std::int64_t r = 0;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        r = co_await sys.kill(4242, kSigTerm);
+    });
+    rig.run();
+    EXPECT_EQ(r, -guestos::ERR_NOENT);
+}
+
+TEST(Signals, GracefulShutdownPattern)
+{
+    // The master/worker pattern: SIGTERM to a worker makes its
+    // blocking accept return, and the worker unwinds cleanly.
+    Rig rig(2);
+    Pid worker_pid = 0;
+    bool worker_unwound = false;
+
+    rig.spawn("worker", [&](Thread &t) -> sim::Task<void> {
+        worker_pid = t.process().pid();
+        Sys sys(t);
+        Fd s = static_cast<Fd>(co_await sys.socket());
+        co_await sys.bind(s, 8080);
+        co_await sys.listen(s);
+        for (;;) {
+            std::int64_t c = co_await sys.accept(s);
+            if (c == -guestos::ERR_INTR && t.process().killed()) {
+                // Graceful exit path.
+                co_await sys.close(s);
+                worker_unwound = true;
+                co_return;
+            }
+            if (c >= 0)
+                co_await sys.close(static_cast<Fd>(c));
+        }
+    });
+    rig.spawn("master", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        co_await t.sleepFor(3 * sim::kTicksPerMs);
+        co_await sys.kill(worker_pid, kSigTerm);
+    });
+    rig.run();
+    EXPECT_TRUE(worker_unwound);
+}
+
+} // namespace
+} // namespace xc::test

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "rig.h"
+
+#include "guestos/sync.h"
+
+namespace xc::test {
+namespace {
+
+using guestos::GuestCond;
+using guestos::GuestMutex;
+using guestos::Sys;
+using guestos::Thread;
+
+TEST(Sync, MutexExcludesConcurrentCriticalSections)
+{
+    Rig rig(4);
+    GuestMutex mu(*rig.kernel);
+    int in_critical = 0;
+    int max_in_critical = 0;
+    int done = 0;
+    for (int i = 0; i < 8; ++i) {
+        rig.spawn("t" + std::to_string(i),
+                  [&](Thread &t) -> sim::Task<void> {
+                      for (int j = 0; j < 5; ++j) {
+                          co_await mu.lock(t);
+                          ++in_critical;
+                          max_in_critical =
+                              std::max(max_in_critical, in_critical);
+                          co_await t.compute(5000);
+                          --in_critical;
+                          co_await mu.unlock(t);
+                          co_await t.compute(2000);
+                      }
+                      ++done;
+                  });
+    }
+    rig.run();
+    EXPECT_EQ(done, 8);
+    EXPECT_EQ(max_in_critical, 1);
+    EXPECT_GT(mu.contentions(), 0u);
+}
+
+TEST(Sync, ContendedMutexGoesThroughFutexSyscall)
+{
+    Rig rig(2);
+    GuestMutex mu(*rig.kernel);
+    rig.spawn("a", [&](Thread &t) -> sim::Task<void> {
+        co_await mu.lock(t);
+        co_await t.compute(500000); // hold long enough to contend
+        co_await mu.unlock(t);
+    });
+    rig.spawn("b", [&](Thread &t) -> sim::Task<void> {
+        co_await t.sleepFor(10 * sim::kTicksPerUs);
+        co_await mu.lock(t);
+        co_await mu.unlock(t);
+    });
+    rig.run();
+    EXPECT_GE(rig.kernel->stats().syscalls, 2u); // WAIT + WAKE at least
+    EXPECT_FALSE(mu.locked());
+}
+
+TEST(Sync, UncontendedMutexAvoidsSyscalls)
+{
+    Rig rig;
+    GuestMutex mu(*rig.kernel);
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        for (int i = 0; i < 10; ++i) {
+            co_await mu.lock(t);
+            co_await mu.unlock(t);
+        }
+    });
+    rig.run();
+    EXPECT_EQ(rig.kernel->stats().syscalls, 0u);
+    EXPECT_EQ(mu.contentions(), 0u);
+}
+
+TEST(Sync, CondVarSignalsWaiter)
+{
+    Rig rig(2);
+    GuestMutex mu(*rig.kernel);
+    GuestCond cv(*rig.kernel);
+    bool flag = false;
+    bool observed = false;
+    rig.spawn("waiter", [&](Thread &t) -> sim::Task<void> {
+        co_await mu.lock(t);
+        while (!flag)
+            co_await cv.wait(t, mu);
+        observed = true;
+        co_await mu.unlock(t);
+    });
+    rig.spawn("signaler", [&](Thread &t) -> sim::Task<void> {
+        co_await t.sleepFor(sim::kTicksPerMs);
+        co_await mu.lock(t);
+        flag = true;
+        co_await mu.unlock(t);
+        co_await cv.signal(t);
+    });
+    rig.run();
+    EXPECT_TRUE(observed);
+}
+
+TEST(Sync, BroadcastWakesAllWaiters)
+{
+    Rig rig(2);
+    GuestMutex mu(*rig.kernel);
+    GuestCond cv(*rig.kernel);
+    bool flag = false;
+    int woke = 0;
+    for (int i = 0; i < 4; ++i) {
+        rig.spawn("w" + std::to_string(i),
+                  [&](Thread &t) -> sim::Task<void> {
+                      co_await mu.lock(t);
+                      while (!flag)
+                          co_await cv.wait(t, mu);
+                      ++woke;
+                      co_await mu.unlock(t);
+                  });
+    }
+    rig.spawn("b", [&](Thread &t) -> sim::Task<void> {
+        co_await t.sleepFor(2 * sim::kTicksPerMs);
+        co_await mu.lock(t);
+        flag = true;
+        co_await mu.unlock(t);
+        co_await cv.broadcast(t);
+    });
+    rig.run();
+    EXPECT_EQ(woke, 4);
+}
+
+} // namespace
+} // namespace xc::test

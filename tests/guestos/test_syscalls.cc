@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include "rig.h"
+
+#include "guestos/vfs.h"
+
+namespace xc::test {
+namespace {
+
+using guestos::Fd;
+using guestos::Sys;
+using guestos::Thread;
+
+TEST(Syscalls, GetpidReturnsProcessId)
+{
+    Rig rig;
+    std::int64_t pid = -1, expect = -1;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        expect = t.process().pid();
+        Sys sys(t);
+        pid = co_await sys.getpid();
+    });
+    rig.run();
+    EXPECT_EQ(pid, expect);
+    EXPECT_GT(pid, 0);
+}
+
+TEST(Syscalls, UnixBenchMixAllSucceed)
+{
+    Rig rig;
+    bool ok = true;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        std::int64_t fd = co_await sys.dup(-1); // bad fd
+        ok &= (fd == -guestos::ERR_BADF);
+        ok &= (co_await sys.getpid()) > 0;
+        ok &= (co_await sys.getuid()) == 0;
+        std::int64_t old_mask = co_await sys.umask(077);
+        ok &= old_mask == 022;
+        ok &= (co_await sys.umask(022)) == 077;
+    });
+    rig.run();
+    EXPECT_TRUE(ok);
+}
+
+TEST(Syscalls, SyscallCountsAccumulate)
+{
+    Rig rig;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        for (int i = 0; i < 10; ++i)
+            co_await sys.getpid();
+    });
+    rig.run();
+    EXPECT_EQ(rig.kernel->stats().syscalls, 10u);
+    // Native platform: every one of them trapped.
+    EXPECT_EQ(rig.port.nativeEnv().traps(), 10u);
+}
+
+TEST(Syscalls, KptiMakesSyscallsSlower)
+{
+    auto time_loop = [](bool kpti) {
+        Rig rig(1, kpti);
+        rig.spawn("t", [](Thread &t) -> sim::Task<void> {
+            Sys sys(t);
+            for (int i = 0; i < 1000; ++i)
+                co_await sys.getpid();
+        });
+        rig.run();
+        return rig.now();
+    };
+    sim::Tick unpatched = time_loop(false);
+    sim::Tick patched = time_loop(true);
+    EXPECT_GT(patched, unpatched + unpatched / 2);
+}
+
+TEST(Syscalls, FileRoundTrip)
+{
+    Rig rig;
+    std::int64_t got = -1, size = -1;
+    rig.kernel->vfs().createFile("/data/page.html", 4096);
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        std::int64_t fd = co_await sys.open("/data/page.html",
+                                            guestos::ORdOnly);
+        EXPECT_GE(fd, 0);
+        got = co_await sys.read(static_cast<Fd>(fd), 65536);
+        size = co_await sys.fstat(static_cast<Fd>(fd));
+        co_await sys.close(static_cast<Fd>(fd));
+    });
+    rig.run();
+    EXPECT_EQ(got, 4096);
+    EXPECT_EQ(size, 4096);
+}
+
+TEST(Syscalls, OpenMissingFileFails)
+{
+    Rig rig;
+    std::int64_t fd = 0;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        fd = co_await sys.open("/no/such", guestos::ORdOnly);
+    });
+    rig.run();
+    EXPECT_EQ(fd, -guestos::ERR_NOENT);
+}
+
+TEST(Syscalls, OCreatCreatesFile)
+{
+    Rig rig;
+    std::int64_t wrote = -1;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        std::int64_t fd = co_await sys.open(
+            "/tmp/new", guestos::OWrOnly | guestos::OCreat);
+        EXPECT_GE(fd, 0);
+        wrote = co_await sys.write(static_cast<Fd>(fd), 1024);
+        co_await sys.close(static_cast<Fd>(fd));
+    });
+    rig.run();
+    EXPECT_EQ(wrote, 1024);
+    auto inode = rig.kernel->vfs().lookup("/tmp/new");
+    EXPECT_TRUE(inode);
+    EXPECT_EQ(inode->size, 1024u);
+}
+
+TEST(Syscalls, FileCopyLoop)
+{
+    // UnixBench File Copy: read 1KB + write 1KB repeatedly.
+    Rig rig;
+    rig.kernel->vfs().createFile("/src", 1 << 20);
+    std::int64_t copied = 0;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd in = static_cast<Fd>(
+            co_await sys.open("/src", guestos::ORdOnly));
+        Fd out = static_cast<Fd>(co_await sys.open(
+            "/dst", guestos::OWrOnly | guestos::OCreat));
+        for (;;) {
+            std::int64_t n = co_await sys.read(in, 1024);
+            if (n <= 0)
+                break;
+            co_await sys.write(out, n);
+            copied += n;
+        }
+        co_await sys.close(in);
+        co_await sys.close(out);
+    });
+    rig.run();
+    EXPECT_EQ(copied, 1 << 20);
+    EXPECT_EQ(rig.kernel->vfs().lookup("/dst")->size, 1u << 20);
+}
+
+TEST(Syscalls, PipePingPong)
+{
+    // UnixBench Context Switching: two threads ping-pong via pipes.
+    Rig rig(2);
+    int rounds = 0;
+    rig.spawn("main", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        auto [r1, w1] = co_await sys.pipe();
+        auto [r2, w2] = co_await sys.pipe();
+        EXPECT_GE(r1, 0);
+        EXPECT_GE(r2, 0);
+
+        // Partner thread in the same process.
+        t.kernel().spawnThread(
+            &t.process(), "pong",
+            [r1, w2](Thread &pt) -> sim::Task<void> {
+                Sys psys(pt);
+                for (int i = 0; i < 50; ++i) {
+                    std::int64_t n = co_await psys.read(r1, 4);
+                    if (n <= 0)
+                        break;
+                    co_await psys.write(w2, 4);
+                }
+            });
+
+        for (int i = 0; i < 50; ++i) {
+            co_await sys.write(w1, 4);
+            std::int64_t n = co_await sys.read(r2, 4);
+            if (n <= 0)
+                break;
+            ++rounds;
+        }
+    });
+    rig.run();
+    EXPECT_EQ(rounds, 50);
+}
+
+TEST(Syscalls, PipeEofOnWriterClose)
+{
+    Rig rig;
+    std::int64_t eof = -1;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        auto [r, w] = co_await sys.pipe();
+        co_await sys.write(w, 100);
+        co_await sys.close(w);
+        std::int64_t n1 = co_await sys.read(r, 4096);
+        EXPECT_EQ(n1, 100);
+        eof = co_await sys.read(r, 4096);
+    });
+    rig.run();
+    EXPECT_EQ(eof, 0);
+}
+
+TEST(Syscalls, PipeBlocksWhenFullUntilDrained)
+{
+    Rig rig(2);
+    bool writer_done = false;
+    rig.spawn("main", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        auto [r, w] = co_await sys.pipe();
+        t.kernel().spawnThread(
+            &t.process(), "writer",
+            [w, &writer_done](Thread &wt) -> sim::Task<void> {
+                Sys wsys(wt);
+                // 3 x 64KB > pipe capacity: must block until reads.
+                for (int i = 0; i < 3; ++i)
+                    co_await wsys.write(w, 65536);
+                writer_done = true;
+            });
+        co_await t.sleepFor(sim::kTicksPerMs);
+        EXPECT_FALSE(writer_done);
+        std::int64_t total = 0;
+        while (total < 3 * 65536)
+            total += co_await sys.read(r, 65536);
+    });
+    rig.run();
+    EXPECT_TRUE(writer_done);
+}
+
+TEST(Syscalls, UnknownSyscallReturnsEnosys)
+{
+    Rig rig;
+    std::int64_t r = 0;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        r = co_await t.kernel().syscall(t, 199, guestos::SysArgs{});
+    });
+    rig.run();
+    EXPECT_EQ(r, -guestos::ERR_NOSYS);
+}
+
+TEST(Syscalls, KernelRenderStatsReportsActivity)
+{
+    Rig rig;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        for (int i = 0; i < 7; ++i)
+            co_await sys.getpid();
+    });
+    rig.run();
+    std::string report = rig.kernel->renderStats();
+    EXPECT_NE(report.find("linux.syscalls 7"), std::string::npos);
+    EXPECT_NE(report.find("linux.processes 1"), std::string::npos);
+}
+
+TEST(Syscalls, MachineUtilizationReportShowsBusyCpu)
+{
+    Rig rig(1);
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        co_await t.compute(2'900'000); // ~1 ms on cpu0
+    });
+    rig.run();
+    std::string report = rig.machine.utilizationReport();
+    EXPECT_NE(report.find("cpu0"), std::string::npos);
+    EXPECT_NE(report.find("user=2900000"), std::string::npos);
+}
+
+TEST(Syscalls, PollReturnsReadyFds)
+{
+    Rig rig(2);
+    std::vector<guestos::Fd> ready;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        auto [r1, w1] = co_await sys.pipe();
+        auto [r2, w2] = co_await sys.pipe();
+        co_await sys.write(w2, 16); // only pipe 2 has data
+        // Poll the two read ends: write ends are writable, so poll
+        // only the read side.
+        std::vector<guestos::Fd> set{r1, r2};
+        ready = co_await sys.poll(set, 10);
+        (void)w1;
+    });
+    rig.run();
+    ASSERT_EQ(ready.size(), 1u);
+}
+
+TEST(Syscalls, PollBlocksUntilData)
+{
+    Rig rig(2);
+    sim::Tick woke_at = 0;
+    rig.spawn("main", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        auto [r, w] = co_await sys.pipe();
+        t.kernel().spawnThread(
+            &t.process(), "writer",
+            [w = w](Thread &wt) -> sim::Task<void> {
+                Sys wsys(wt);
+                co_await wt.sleepFor(3 * sim::kTicksPerMs);
+                co_await wsys.write(w, 8);
+            });
+        std::vector<guestos::Fd> set{r};
+        auto ready = co_await sys.poll(set, -1);
+        woke_at = t.kernel().now();
+        EXPECT_EQ(ready.size(), 1u);
+    });
+    rig.run();
+    EXPECT_GE(woke_at, 3 * sim::kTicksPerMs);
+}
+
+TEST(Syscalls, PollTimesOutEmpty)
+{
+    Rig rig;
+    std::size_t n = 99;
+    sim::Tick when = 0;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        auto [r, w] = co_await sys.pipe();
+        (void)w;
+        std::vector<guestos::Fd> set{r};
+        auto ready = co_await sys.poll(set, 5);
+        n = ready.size();
+        when = t.kernel().now();
+    });
+    rig.run();
+    EXPECT_EQ(n, 0u);
+    EXPECT_GE(when, 5 * sim::kTicksPerMs);
+}
+
+TEST(Syscalls, MmapExtendsAddressSpace)
+{
+    Rig rig;
+    std::uint64_t before = 0, after = 0;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        before = t.process().pageTable().mappedPages();
+        guestos::SysArgs a;
+        a.arg[1] = 16 * 4096;
+        std::int64_t base =
+            co_await t.kernel().syscall(t, guestos::NR_mmap, a);
+        EXPECT_GT(base, 0);
+        after = t.process().pageTable().mappedPages();
+    });
+    rig.run();
+    EXPECT_EQ(after, before + 16);
+}
+
+} // namespace
+} // namespace xc::test

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include "guestos/vfs.h"
+#include "rig.h"
+
+namespace xc::test {
+namespace {
+
+using guestos::Fd;
+using guestos::OAppend;
+using guestos::OCreat;
+using guestos::ORdOnly;
+using guestos::ORdWr;
+using guestos::OTrunc;
+using guestos::OWrOnly;
+using guestos::Sys;
+using guestos::Thread;
+
+TEST(Vfs, OpenMissingWithoutCreatIsEnoent)
+{
+    Rig rig;
+    std::int64_t fd = 0;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        fd = co_await sys.open("/no/such/file", ORdOnly);
+    });
+    rig.run();
+    EXPECT_EQ(fd, -guestos::ERR_NOENT);
+}
+
+TEST(Vfs, OCreatMakesAnEmptyFileVisibleToStat)
+{
+    Rig rig;
+    std::int64_t fstat_size = -1, stat_size = -1;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd fd = static_cast<Fd>(
+            co_await sys.open("/tmp/new", OWrOnly | OCreat));
+        fstat_size = co_await sys.fstat(fd);
+        stat_size = co_await sys.stat("/tmp/new");
+    });
+    rig.run();
+    EXPECT_EQ(fstat_size, 0);
+    EXPECT_EQ(stat_size, 0);
+}
+
+TEST(Vfs, WriteExtendsAndLseekRewindsForReadback)
+{
+    Rig rig;
+    std::int64_t size = -1, back = -1, eof = -1;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd fd = static_cast<Fd>(
+            co_await sys.open("/tmp/f", ORdWr | OCreat));
+        co_await sys.write(fd, 1000);
+        size = co_await sys.fstat(fd);
+        co_await sys.lseek(fd, 0);
+        back = co_await sys.read(fd, 4096);
+        eof = co_await sys.read(fd, 4096);
+    });
+    rig.run();
+    EXPECT_EQ(size, 1000);
+    EXPECT_EQ(back, 1000);
+    EXPECT_EQ(eof, 0);
+}
+
+TEST(Vfs, OTruncDiscardsExistingContents)
+{
+    Rig rig;
+    rig.kernel->vfs().createFile("/var/db", 4096);
+    std::int64_t size = -1;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        co_await sys.open("/var/db", OWrOnly | OTrunc);
+        size = co_await sys.stat("/var/db");
+    });
+    rig.run();
+    EXPECT_EQ(size, 0);
+}
+
+TEST(Vfs, OAppendWritesLandAtEndOfFile)
+{
+    Rig rig;
+    rig.kernel->vfs().createFile("/var/log", 100);
+    std::int64_t size = -1;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd fd = static_cast<Fd>(
+            co_await sys.open("/var/log", OWrOnly | OAppend));
+        co_await sys.write(fd, 50);
+        size = co_await sys.fstat(fd);
+    });
+    rig.run();
+    EXPECT_EQ(size, 150);
+}
+
+TEST(Vfs, AccessModeIsEnforcedPerDescription)
+{
+    Rig rig;
+    rig.kernel->vfs().createFile("/f", 64);
+    std::int64_t rd_on_wr = 0, wr_on_rd = 0;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd w = static_cast<Fd>(co_await sys.open("/f", OWrOnly));
+        Fd r = static_cast<Fd>(co_await sys.open("/f", ORdOnly));
+        rd_on_wr = co_await sys.read(w, 16);
+        wr_on_rd = co_await sys.write(r, 16);
+    });
+    rig.run();
+    EXPECT_EQ(rd_on_wr, -guestos::ERR_BADF);
+    EXPECT_EQ(wr_on_rd, -guestos::ERR_BADF);
+}
+
+TEST(Vfs, ColdFirstReadChargesBlockIoExactlyOnce)
+{
+    // The page cache is per-inode: the first read of an uncached
+    // file pays the block layer, every later read (even through a
+    // different open description) does not.
+    Rig rig;
+    rig.kernel->vfs().createFile("/data/blob", 4096);
+    sim::Tick cold = 0, warm = 0, other_fd = 0;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd a = static_cast<Fd>(co_await sys.open("/data/blob", ORdOnly));
+        sim::Tick t0 = t.kernel().now();
+        co_await sys.read(a, 1024);
+        cold = t.kernel().now() - t0;
+
+        t0 = t.kernel().now();
+        co_await sys.read(a, 1024);
+        warm = t.kernel().now() - t0;
+
+        Fd b = static_cast<Fd>(co_await sys.open("/data/blob", ORdOnly));
+        t0 = t.kernel().now();
+        co_await sys.read(b, 1024);
+        other_fd = t.kernel().now() - t0;
+    });
+    rig.run();
+    EXPECT_GT(cold, warm);
+    EXPECT_EQ(warm, other_fd);
+}
+
+TEST(Vfs, UnlinkedFileStaysReadableThroughOpenFd)
+{
+    Rig rig;
+    rig.kernel->vfs().createFile("/f", 100);
+    std::int64_t unlink_r = -1, stat_r = 0, read_r = -1, reopen = 0;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd fd = static_cast<Fd>(co_await sys.open("/f", ORdOnly));
+        unlink_r = co_await sys.unlink("/f");
+        stat_r = co_await sys.stat("/f");
+        read_r = co_await sys.read(fd, 4096);
+        reopen = co_await sys.open("/f", ORdOnly);
+    });
+    rig.run();
+    EXPECT_EQ(unlink_r, 0);
+    EXPECT_EQ(stat_r, -guestos::ERR_NOENT);
+    EXPECT_EQ(read_r, 100); // inode pinned by the open description
+    EXPECT_EQ(reopen, -guestos::ERR_NOENT);
+}
+
+TEST(Vfs, UnlinkMissingPathIsEnoent)
+{
+    Rig rig;
+    std::int64_t r = 0;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        r = co_await sys.unlink("/nope");
+    });
+    rig.run();
+    EXPECT_EQ(r, -guestos::ERR_NOENT);
+}
+
+TEST(Vfs, DupSharesOneFileOffset)
+{
+    // dup(2) duplicates the descriptor, not the description: both
+    // fds move the same offset.
+    Rig rig;
+    rig.kernel->vfs().createFile("/f", 100);
+    std::int64_t n1 = -1, n2 = -1;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd a = static_cast<Fd>(co_await sys.open("/f", ORdOnly));
+        Fd b = static_cast<Fd>(co_await sys.dup(a));
+        EXPECT_NE(a, b);
+        n1 = co_await sys.read(a, 60);
+        n2 = co_await sys.read(b, 60);
+    });
+    rig.run();
+    EXPECT_EQ(n1, 60);
+    EXPECT_EQ(n2, 40);
+}
+
+TEST(Vfs, IndependentOpensHaveIndependentOffsets)
+{
+    Rig rig;
+    rig.kernel->vfs().createFile("/f", 100);
+    std::int64_t n1 = -1, n2 = -1;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd a = static_cast<Fd>(co_await sys.open("/f", ORdOnly));
+        Fd b = static_cast<Fd>(co_await sys.open("/f", ORdOnly));
+        n1 = co_await sys.read(a, 60);
+        n2 = co_await sys.read(b, 60);
+    });
+    rig.run();
+    EXPECT_EQ(n1, 60);
+    EXPECT_EQ(n2, 60);
+}
+
+TEST(Vfs, OpeningADirectoryForWritingIsEisdir)
+{
+    Rig rig;
+    auto dir = rig.kernel->vfs().createFile("/etc", 0);
+    dir->isDir = true;
+    std::int64_t wr = 0, rd = 0;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        wr = co_await sys.open("/etc", ORdWr);
+        rd = co_await sys.open("/etc", ORdOnly);
+    });
+    rig.run();
+    EXPECT_EQ(wr, -guestos::ERR_ISDIR);
+    EXPECT_GE(rd, 0);
+}
+
+TEST(Vfs, ShortReadAtEndOfFile)
+{
+    Rig rig;
+    rig.kernel->vfs().createFile("/f", 100);
+    std::int64_t n1 = -1, n2 = -1, n3 = -1;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd fd = static_cast<Fd>(co_await sys.open("/f", ORdOnly));
+        n1 = co_await sys.read(fd, 64);
+        n2 = co_await sys.read(fd, 64);
+        n3 = co_await sys.read(fd, 64);
+    });
+    rig.run();
+    EXPECT_EQ(n1, 64);
+    EXPECT_EQ(n2, 36);
+    EXPECT_EQ(n3, 0);
+}
+
+TEST(Vfs, LseekBeyondEofReadsZeroAndWriteExtends)
+{
+    Rig rig;
+    rig.kernel->vfs().createFile("/f", 10);
+    std::int64_t hole_read = -1, size = -1;
+    rig.spawn("t", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd fd = static_cast<Fd>(co_await sys.open("/f", ORdWr));
+        co_await sys.lseek(fd, 1000);
+        hole_read = co_await sys.read(fd, 64);
+        co_await sys.write(fd, 24); // sparse-style extension
+        size = co_await sys.fstat(fd);
+    });
+    rig.run();
+    EXPECT_EQ(hole_read, 0);
+    EXPECT_EQ(size, 1024);
+}
+
+TEST(Vfs, FileCountTracksCreateAndUnlink)
+{
+    Rig rig;
+    auto &vfs = rig.kernel->vfs();
+    std::size_t before = vfs.fileCount();
+    vfs.createFile("/a", 1);
+    vfs.createFile("/b", 2);
+    EXPECT_EQ(vfs.fileCount(), before + 2);
+    vfs.createFile("/a", 3); // same path: replace, not duplicate
+    EXPECT_EQ(vfs.fileCount(), before + 2);
+    EXPECT_EQ(vfs.lookup("/a")->size, 3u);
+    vfs.unlink("/a");
+    EXPECT_EQ(vfs.fileCount(), before + 1);
+}
+
+} // namespace
+} // namespace xc::test

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "hw/cost_model.h"
+
+namespace xc::hw {
+namespace {
+
+TEST(CostModel, PresetsHaveExpectedShape)
+{
+    auto ec2 = MachineSpec::ec2C4_2xlarge();
+    EXPECT_EQ(ec2.cores, 4);
+    EXPECT_EQ(ec2.threadsPerCore, 2);
+    EXPECT_TRUE(ec2.nestedCloud);
+
+    auto gce = MachineSpec::gceCustom4();
+    EXPECT_EQ(gce.cores, 4);
+    EXPECT_TRUE(gce.nestedCloud);
+
+    auto local = MachineSpec::xeonE52690Local();
+    EXPECT_EQ(local.cores, 16);
+    EXPECT_FALSE(local.nestedCloud);
+    EXPECT_GT(local.memBytes, ec2.memBytes);
+}
+
+TEST(CostModel, CyclesToTicksScalesWithFrequency)
+{
+    MachineSpec spec;
+    spec.ghz = 2.0; // period 500 ps
+    EXPECT_EQ(spec.periodTicks(), 500u);
+    EXPECT_EQ(spec.cyclesToTicks(10), 5000u);
+}
+
+TEST(CostModel, TransitionCostOrderingMatchesArchitecture)
+{
+    CostModel c;
+    // The entire X-Containers argument in one assertion chain:
+    // function-call syscalls are far cheaper than native traps,
+    // KPTI makes traps much worse, PV forwarding is worse still,
+    // ptrace is the worst, nested exits dwarf plain exits.
+    EXPECT_LT(c.functionCallDispatch, c.syscallTrap);
+    EXPECT_GT(c.kptiTrapOverhead, c.syscallTrap);
+    // The full PV forwarding path (incl. the address-space switch
+    // and TLB refills of §4.1) costs more than even a KPTI trap.
+    EXPECT_GT(c.pvSyscallForward + c.pvIretHypercall +
+                  2 * c.pageTableSwitch + c.tlbRefillUser +
+                  c.tlbRefillKernel,
+              c.syscallTrap + c.kptiTrapOverhead);
+    EXPECT_GT(2 * c.ptraceStop + c.sentryHandling,
+              c.pvSyscallForward + c.pvIretHypercall);
+    EXPECT_GT(c.vmexitNested, 5 * c.vmexit);
+    EXPECT_LT(c.userIret, c.pvIretHypercall);
+    EXPECT_LT(c.xcEventDelivery, c.pvEventDelivery);
+    EXPECT_LT(c.syscallTrapStripped, c.syscallTrap);
+}
+
+TEST(CostModel, SchedulingAndMemoryCostsPositive)
+{
+    CostModel c;
+    EXPECT_GT(c.contextSwitchBase, 0u);
+    EXPECT_GT(c.vcpuSwitch, c.contextSwitchBase);
+    EXPECT_GT(c.tlbRefillKernel, 0u);
+    EXPECT_GT(c.tlbRefillUser, 0u);
+    EXPECT_GT(c.mmuUpdatePte, c.nativePte);
+    EXPECT_GT(c.forkBase, 0u);
+    EXPECT_GT(c.execBase, c.forkBase);
+}
+
+} // namespace
+} // namespace xc::hw

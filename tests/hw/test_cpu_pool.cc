@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/cpu_pool.h"
+
+namespace xc::hw {
+namespace {
+
+class FakeClient : public CpuClient
+{
+  public:
+    explicit FakeClient(std::string name) : name_(std::move(name)) {}
+
+    void
+    granted(int core, sim::Tick slice_end) override
+    {
+        ++grants;
+        lastCore = core;
+        lastSliceEnd = slice_end;
+        if (onGranted)
+            onGranted(core);
+    }
+
+    const std::string &clientName() const override { return name_; }
+
+    int grants = 0;
+    int lastCore = -1;
+    sim::Tick lastSliceEnd = 0;
+    std::function<void(int)> onGranted;
+
+  private:
+    std::string name_;
+};
+
+struct PoolRig
+{
+    explicit PoolRig(int cores, CorePool::Config cfg = {})
+        : machine(hw::MachineSpec::ec2C4_2xlarge(), 1)
+    {
+        cfg.cores = cores;
+        pool = std::make_unique<CorePool>(machine, cfg, "test");
+    }
+
+    Machine machine;
+    std::unique_ptr<CorePool> pool;
+};
+
+TEST(CorePool, GrantsIdleCoreToSubmittedClient)
+{
+    PoolRig rig(2);
+    FakeClient a("a");
+    rig.pool->submit(&a);
+    rig.machine.events().run();
+    EXPECT_EQ(a.grants, 1);
+    EXPECT_GE(a.lastCore, 0);
+}
+
+TEST(CorePool, TwoClientsTwoCores)
+{
+    PoolRig rig(2);
+    FakeClient a("a"), b("b");
+    rig.pool->submit(&a);
+    rig.pool->submit(&b);
+    rig.machine.events().run();
+    EXPECT_EQ(a.grants, 1);
+    EXPECT_EQ(b.grants, 1);
+    EXPECT_NE(a.lastCore, b.lastCore);
+}
+
+TEST(CorePool, ThirdClientWaitsUntilRelease)
+{
+    PoolRig rig(1);
+    FakeClient a("a"), b("b");
+    rig.pool->submit(&a);
+    rig.pool->submit(&b);
+    rig.machine.events().run();
+    EXPECT_EQ(a.grants, 1);
+    EXPECT_EQ(b.grants, 0);
+    EXPECT_EQ(rig.pool->waiting(), 1u);
+    rig.pool->release(a.lastCore);
+    rig.machine.events().run();
+    EXPECT_EQ(b.grants, 1);
+}
+
+TEST(CorePool, SubmitWhileQueuedIsNoop)
+{
+    PoolRig rig(1);
+    FakeClient a("a"), b("b");
+    rig.pool->submit(&a);
+    rig.pool->submit(&b);
+    rig.pool->submit(&b);
+    rig.pool->submit(&b);
+    EXPECT_EQ(rig.pool->waiting(), 1u);
+}
+
+TEST(CorePool, SwitchCostDelaysGrant)
+{
+    CorePool::Config cfg;
+    cfg.switchCost = 29000; // 29k cycles @2.9GHz = 10 us
+    PoolRig rig(1, cfg);
+    FakeClient a("a");
+    rig.pool->submit(&a);
+    rig.machine.events().run();
+    EXPECT_EQ(a.grants, 1);
+    EXPECT_GE(rig.machine.now(), 10 * sim::kTicksPerUs);
+}
+
+TEST(CorePool, PreemptDueOnlyAfterSliceWithWaiters)
+{
+    CorePool::Config cfg;
+    cfg.quantum = 10 * sim::kTicksPerMs;
+    PoolRig rig(1, cfg);
+    FakeClient a("a"), b("b");
+    rig.pool->submit(&a);
+    rig.machine.events().run();
+    EXPECT_FALSE(rig.pool->preemptDue(a.lastCore)); // no waiters
+    rig.pool->submit(&b);
+    EXPECT_FALSE(rig.pool->preemptDue(a.lastCore)); // slice not over
+    rig.machine.events().runUntil(11 * sim::kTicksPerMs);
+    EXPECT_TRUE(rig.pool->preemptDue(a.lastCore));
+}
+
+TEST(CorePool, YieldCoreRotatesRoundRobin)
+{
+    PoolRig rig(1);
+    FakeClient a("a"), b("b");
+    rig.pool->submit(&a);
+    rig.pool->submit(&b);
+    rig.machine.events().run();
+    ASSERT_EQ(a.grants, 1);
+    rig.pool->yieldCore(a.lastCore);
+    rig.machine.events().run();
+    EXPECT_EQ(b.grants, 1);
+    rig.pool->yieldCore(b.lastCore);
+    rig.machine.events().run();
+    EXPECT_EQ(a.grants, 2); // back to a
+}
+
+TEST(CorePool, RemoveQueuedClient)
+{
+    PoolRig rig(1);
+    FakeClient a("a"), b("b");
+    rig.pool->submit(&a);
+    rig.pool->submit(&b);
+    rig.pool->remove(&b);
+    EXPECT_EQ(rig.pool->waiting(), 0u);
+    rig.machine.events().run();
+    EXPECT_EQ(b.grants, 0);
+}
+
+TEST(CorePool, RemoveRunningClientFreesCore)
+{
+    PoolRig rig(1);
+    FakeClient a("a"), b("b");
+    rig.pool->submit(&a);
+    rig.machine.events().run();
+    rig.pool->submit(&b);
+    rig.pool->remove(&a);
+    rig.machine.events().run();
+    EXPECT_EQ(b.grants, 1);
+}
+
+TEST(CorePool, RemoveWhileSwitchingDoesNotGrant)
+{
+    CorePool::Config cfg;
+    cfg.switchCost = 29000;
+    PoolRig rig(1, cfg);
+    FakeClient a("a");
+    rig.pool->submit(&a);
+    // Remove while the grant-switch event is still in flight.
+    rig.pool->remove(&a);
+    rig.machine.events().run();
+    EXPECT_EQ(a.grants, 0);
+}
+
+TEST(CorePool, GrantCountsAccumulate)
+{
+    PoolRig rig(1);
+    FakeClient a("a");
+    for (int i = 0; i < 5; ++i) {
+        rig.pool->submit(&a);
+        rig.machine.events().run();
+        rig.pool->release(a.lastCore);
+    }
+    EXPECT_EQ(rig.pool->grants(), 5u);
+    EXPECT_EQ(a.grants, 5);
+}
+
+TEST(CorePool, CachePressureIncreasesDecisionCostAtScale)
+{
+    // Run a full grant/release chain over N clients and compare the
+    // per-grant time at small vs large populations: beyond the free
+    // threshold every switch pays the working-set re-warming cost.
+    auto chain_time = [](int n) {
+        CorePool::Config cfg;
+        cfg.cachePressureLog2 = 10000;
+        cfg.cachePressureFreeLog2 = 2;
+        PoolRig rig(1, cfg);
+        std::vector<std::unique_ptr<FakeClient>> clients;
+        for (int i = 0; i < n; ++i) {
+            clients.push_back(
+                std::make_unique<FakeClient>("c" + std::to_string(i)));
+            FakeClient *raw = clients.back().get();
+            raw->onGranted = [&rig](int core) {
+                rig.pool->release(core);
+            };
+            rig.pool->submit(raw);
+        }
+        rig.machine.events().run();
+        return static_cast<double>(rig.machine.now()) / n;
+    };
+    double small = chain_time(4);   // below the free threshold
+    double large = chain_time(128); // far beyond it
+    EXPECT_GT(large, small + 1.0);
+}
+
+} // namespace
+} // namespace xc::hw

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "hw/machine.h"
+
+namespace xc::hw {
+namespace {
+
+TEST(Machine, BuildsLogicalCpus)
+{
+    Machine m(MachineSpec::ec2C4_2xlarge());
+    EXPECT_EQ(m.numCpus(), 8); // 4 cores x 2 threads
+    EXPECT_EQ(m.cpu(0).id(), 0);
+    EXPECT_EQ(m.cpu(7).id(), 7);
+}
+
+TEST(Machine, MemorySizedFromSpec)
+{
+    Machine m(MachineSpec::ec2C4_2xlarge());
+    EXPECT_EQ(m.memory().totalBytes(), 15ull << 30);
+}
+
+TEST(Machine, SameSeedSameRngStream)
+{
+    Machine a(MachineSpec::ec2C4_2xlarge(), 7);
+    Machine b(MachineSpec::ec2C4_2xlarge(), 7);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a.rng().next(), b.rng().next());
+}
+
+TEST(Machine, CycleAccountingPerClass)
+{
+    Machine m(MachineSpec::ec2C4_2xlarge());
+    Cpu &cpu = m.cpu(0);
+    cpu.account(CycleClass::User, 100);
+    cpu.account(CycleClass::Kernel, 50);
+    cpu.account(CycleClass::User, 10);
+    EXPECT_EQ(cpu.cyclesIn(CycleClass::User), 110u);
+    EXPECT_EQ(cpu.cyclesIn(CycleClass::Kernel), 50u);
+    EXPECT_EQ(cpu.cyclesIn(CycleClass::Hypervisor), 0u);
+}
+
+TEST(Tlb, GlobalBitSkipsKernelRefill)
+{
+    CostModel costs;
+    Tlb tlb;
+    Cycles with_global = tlb.onAddressSpaceSwitch(costs, true);
+    Cycles without_global = tlb.onAddressSpaceSwitch(costs, false);
+    EXPECT_EQ(with_global, costs.tlbRefillUser);
+    EXPECT_EQ(without_global, costs.tlbRefillUser + costs.tlbRefillKernel);
+    EXPECT_EQ(tlb.switches(), 2u);
+    EXPECT_EQ(tlb.kernelFlushes(), 1u);
+}
+
+TEST(Tlb, FullFlushChargesEverything)
+{
+    CostModel costs;
+    Tlb tlb;
+    Cycles c = tlb.onFullFlush(costs);
+    EXPECT_EQ(c, costs.tlbRefillUser + costs.tlbRefillKernel);
+    EXPECT_EQ(tlb.fullFlushes(), 1u);
+}
+
+TEST(Machine, TicksAdvanceOnlyViaEvents)
+{
+    Machine m(MachineSpec::ec2C4_2xlarge());
+    EXPECT_EQ(m.now(), 0u);
+    m.events().schedule(1000, [] {});
+    m.events().run();
+    EXPECT_EQ(m.now(), 1000u);
+}
+
+} // namespace
+} // namespace xc::hw

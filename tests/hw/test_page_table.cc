@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "hw/page_table.h"
+
+namespace xc::hw {
+namespace {
+
+TEST(PageTable, MapAndTranslate)
+{
+    PageTable pt;
+    pt.map(0x400000, 77, PtePresent | PteUser);
+    auto pa = pt.translate(0x400123);
+    ASSERT_TRUE(pa);
+    EXPECT_EQ(*pa, (77ull << kPageShift) | 0x123);
+}
+
+TEST(PageTable, TranslateMissingReturnsNullopt)
+{
+    PageTable pt;
+    EXPECT_FALSE(pt.translate(0x400000).has_value());
+}
+
+TEST(PageTable, NonPresentDoesNotTranslate)
+{
+    PageTable pt;
+    pt.map(0x400000, 77, PteUser); // present bit clear
+    EXPECT_FALSE(pt.translate(0x400000).has_value());
+}
+
+TEST(PageTable, UnmapRemoves)
+{
+    PageTable pt;
+    pt.map(0x400000, 1, PtePresent);
+    pt.unmap(0x400000);
+    EXPECT_FALSE(pt.translate(0x400000).has_value());
+    EXPECT_EQ(pt.mappedPages(), 0u);
+}
+
+TEST(PageTable, KernelHalfPredicate)
+{
+    EXPECT_FALSE(isKernelHalf(0x00007fffffffffffull));
+    EXPECT_TRUE(isKernelHalf(kKernelBase));
+    EXPECT_TRUE(isKernelHalf(0xffffffffff600000ull)); // vsyscall page
+    // The MSB test that X-Containers use for mode detection.
+    EXPECT_FALSE(isKernelHalf(0x7ffd12345678ull)); // a user stack
+}
+
+TEST(PageTable, GlobalPageCounting)
+{
+    PageTable pt;
+    pt.map(kKernelBase, 1, PtePresent | PteGlobal);
+    pt.map(kKernelBase + kPageSize, 2, PtePresent | PteGlobal);
+    pt.map(0x400000, 3, PtePresent | PteUser);
+    EXPECT_EQ(pt.globalPages(), 2u);
+    // Remapping a global page without the bit decrements.
+    pt.map(kKernelBase, 1, PtePresent);
+    EXPECT_EQ(pt.globalPages(), 1u);
+    pt.unmap(kKernelBase + kPageSize);
+    EXPECT_EQ(pt.globalPages(), 0u);
+}
+
+TEST(PageTable, CopyUserFromCopiesOnlyUserHalf)
+{
+    PageTable parent, child;
+    parent.map(0x400000, 1, PtePresent | PteUser | PteWritable);
+    parent.map(0x401000, 2, PtePresent | PteUser);
+    parent.map(kKernelBase, 3, PtePresent | PteGlobal);
+
+    std::uint64_t copied = child.copyUserFrom(parent, /*cow=*/false);
+    EXPECT_EQ(copied, 2u);
+    EXPECT_TRUE(child.translate(0x400000).has_value());
+    EXPECT_FALSE(child.translate(kKernelBase).has_value());
+}
+
+TEST(PageTable, CowMarksBothSidesReadOnly)
+{
+    PageTable parent, child;
+    parent.map(0x400000, 1, PtePresent | PteUser | PteWritable);
+    child.copyUserFrom(parent, /*cow=*/true);
+
+    const Pte *ppte = parent.lookup(0x400000);
+    const Pte *cpte = child.lookup(0x400000);
+    ASSERT_TRUE(ppte && cpte);
+    EXPECT_FALSE(ppte->writable());
+    EXPECT_TRUE(ppte->cow());
+    EXPECT_FALSE(cpte->writable());
+    EXPECT_TRUE(cpte->cow());
+    EXPECT_EQ(cpte->pfn, ppte->pfn); // shares the frame until write
+}
+
+TEST(PageTable, CowLeavesReadOnlyPagesAlone)
+{
+    PageTable parent, child;
+    parent.map(0x400000, 1, PtePresent | PteUser); // already RO (text)
+    child.copyUserFrom(parent, /*cow=*/true);
+    EXPECT_FALSE(parent.lookup(0x400000)->cow());
+}
+
+TEST(PageTable, ClearUserKeepsKernel)
+{
+    PageTable pt;
+    pt.map(0x400000, 1, PtePresent | PteUser);
+    pt.map(kKernelBase, 2, PtePresent | PteGlobal);
+    pt.clearUser();
+    EXPECT_EQ(pt.mappedPages(), 1u);
+    EXPECT_TRUE(pt.lookup(kKernelBase));
+    EXPECT_EQ(pt.globalPages(), 1u);
+}
+
+TEST(PageTable, DirtyBitViaMutableLookup)
+{
+    PageTable pt;
+    pt.map(0x400000, 1, PtePresent | PteUser); // read-only code page
+    Pte *pte = pt.lookupMutable(0x400000);
+    ASSERT_TRUE(pte);
+    // ABOM's patch path: write through CR0.WP, PTE picks up dirty.
+    pte->flags |= PteDirty;
+    EXPECT_TRUE(pt.lookup(0x400000)->dirty());
+}
+
+TEST(PageTable, ForEachVisitsAll)
+{
+    PageTable pt;
+    pt.map(0x400000, 1, PtePresent);
+    pt.map(0x401000, 2, PtePresent);
+    int n = 0;
+    pt.forEach([&](Vpn, const Pte &) { ++n; });
+    EXPECT_EQ(n, 2);
+}
+
+TEST(PageTable, FourLevelConstant)
+{
+    EXPECT_EQ(PageTable::kLevels, 4);
+}
+
+} // namespace
+} // namespace xc::hw

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "hw/phys_memory.h"
+
+namespace xc::hw {
+namespace {
+
+TEST(PhysMemory, TotalFramesFromBytes)
+{
+    PhysMemory mem(1 << 20); // 1 MB
+    EXPECT_EQ(mem.totalFrames(), 256u);
+    EXPECT_EQ(mem.freeFrames(), 256u);
+    EXPECT_EQ(mem.totalBytes(), 1u << 20);
+}
+
+TEST(PhysMemory, AllocReducesFree)
+{
+    PhysMemory mem(1 << 20);
+    auto run = mem.alloc(100, 1);
+    ASSERT_TRUE(run.has_value());
+    EXPECT_EQ(mem.freeFrames(), 156u);
+    EXPECT_EQ(mem.usedFrames(), 100u);
+    EXPECT_EQ(mem.ownedFrames(1), 100u);
+}
+
+TEST(PhysMemory, ExhaustionReturnsNulloptNotPanic)
+{
+    PhysMemory mem(1 << 20);
+    EXPECT_TRUE(mem.alloc(200, 1).has_value());
+    EXPECT_FALSE(mem.alloc(100, 2).has_value());
+    // Failed allocation must not leak accounting.
+    EXPECT_EQ(mem.usedFrames(), 200u);
+    EXPECT_EQ(mem.ownedFrames(2), 0u);
+}
+
+TEST(PhysMemory, FreeReturnsFrames)
+{
+    PhysMemory mem(1 << 20);
+    auto run = mem.alloc(64, 3);
+    ASSERT_TRUE(run);
+    mem.free(*run, 64);
+    EXPECT_EQ(mem.freeFrames(), 256u);
+    EXPECT_EQ(mem.ownedFrames(3), 0u);
+}
+
+TEST(PhysMemory, OwnerOfTracksRuns)
+{
+    PhysMemory mem(1 << 20);
+    auto a = mem.alloc(10, 7);
+    auto b = mem.alloc(10, 8);
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(mem.ownerOf(*a), 7u);
+    EXPECT_EQ(mem.ownerOf(*a + 9), 7u);
+    EXPECT_EQ(mem.ownerOf(*b), 8u);
+    EXPECT_EQ(mem.ownerOf(999999), kNoOwner);
+}
+
+TEST(PhysMemory, FreeAllOwnedByReleasesEverything)
+{
+    PhysMemory mem(1 << 20);
+    mem.alloc(10, 7);
+    mem.alloc(20, 7);
+    auto other = mem.alloc(5, 9);
+    ASSERT_TRUE(other);
+    mem.freeAllOwnedBy(7);
+    EXPECT_EQ(mem.ownedFrames(7), 0u);
+    EXPECT_EQ(mem.usedFrames(), 5u);
+    EXPECT_EQ(mem.ownerOf(*other), 9u);
+}
+
+TEST(PhysMemory, ManySmallVmAllocationsUntilFull)
+{
+    // Figure 8 mechanism: 96 GB machine, how many 512 MB VMs fit?
+    PhysMemory mem(96ull << 30);
+    std::uint64_t vm_frames = (512ull << 20) / kPageSize;
+    int booted = 0;
+    while (mem.alloc(vm_frames, booted + 1))
+        ++booted;
+    EXPECT_EQ(booted, 192); // 96 GB / 512 MB
+}
+
+TEST(PhysMemory, DoubleFreePanics)
+{
+    sim::setThrowOnError(true);
+    PhysMemory mem(1 << 20);
+    auto run = mem.alloc(4, 1);
+    ASSERT_TRUE(run);
+    mem.free(*run, 4);
+    EXPECT_THROW(mem.free(*run, 4), sim::SimError);
+    sim::setThrowOnError(false);
+}
+
+} // namespace
+} // namespace xc::hw

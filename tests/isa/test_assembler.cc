@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+
+namespace xc::isa {
+namespace {
+
+TEST(Assembler, EmitsGlibcWrapperBytes)
+{
+    CodeBuffer code(0xeb6a9); // __read example address from Fig. 2
+    Assembler as(code);
+    as.movEaxImm(0);
+    as.syscallInsn();
+    EXPECT_EQ(code.bytes(),
+              (std::vector<std::uint8_t>{0xb8, 0x00, 0x00, 0x00, 0x00,
+                                         0x0f, 0x05}));
+}
+
+TEST(Assembler, EmitsMovRaxWrapperBytes)
+{
+    CodeBuffer code(0x10330); // __restore_rt example address
+    Assembler as(code);
+    as.movRaxImm(0xf);
+    as.syscallInsn();
+    EXPECT_EQ(code.bytes(),
+              (std::vector<std::uint8_t>{0x48, 0xc7, 0xc0, 0x0f, 0x00,
+                                         0x00, 0x00, 0x0f, 0x05}));
+}
+
+TEST(Assembler, EmitsCallToVsyscallSlot)
+{
+    CodeBuffer code(0x1000);
+    Assembler as(code);
+    as.callAbs(vsyscallSlotAddr(0));
+    // Fig. 2: ff 14 25 08 00 60 ff
+    EXPECT_EQ(code.bytes(),
+              (std::vector<std::uint8_t>{0xff, 0x14, 0x25, 0x08, 0x00,
+                                         0x60, 0xff}));
+}
+
+TEST(Assembler, EmitsGoStackLoad)
+{
+    CodeBuffer code(0x1000);
+    Assembler as(code);
+    as.movRaxFromRsp(0x08);
+    EXPECT_EQ(code.bytes(),
+              (std::vector<std::uint8_t>{0x48, 0x8b, 0x44, 0x24, 0x08}));
+}
+
+TEST(Assembler, JmpToEncodesBackwardRel8)
+{
+    CodeBuffer code(0x10330);
+    Assembler as(code);
+    as.callAbs(vsyscallSlotAddr(15)); // 7 bytes at 0x10330
+    GuestAddr jmp_at = as.jmpTo(0x10330); // at 0x10337
+    EXPECT_EQ(jmp_at, 0x10337u);
+    // Fig. 2 phase 2: eb f7
+    EXPECT_EQ(code.read8(0x10337), 0xeb);
+    EXPECT_EQ(code.read8(0x10338), 0xf7);
+}
+
+TEST(Assembler, ReturnsAddressOfEachInsn)
+{
+    CodeBuffer code(0x1000);
+    Assembler as(code);
+    EXPECT_EQ(as.movEaxImm(1), 0x1000u);
+    EXPECT_EQ(as.syscallInsn(), 0x1005u);
+    EXPECT_EQ(as.ret(), 0x1007u);
+    EXPECT_EQ(as.here(), 0x1008u);
+}
+
+TEST(Assembler, RoundTripsThroughDecoder)
+{
+    CodeBuffer code(0x1000);
+    Assembler as(code);
+    as.movEdiImm(3);
+    as.movEsiImm(4);
+    as.movEdxImm(5);
+    as.movEaxImm(1);
+    as.syscallInsn();
+    as.nop(2);
+    as.ret();
+
+    GuestAddr ip = 0x1000;
+    std::vector<Op> ops;
+    while (ip < code.end()) {
+        Insn insn = decode(code, ip);
+        ASSERT_TRUE(insn.valid());
+        ops.push_back(insn.op);
+        ip += insn.length;
+    }
+    EXPECT_EQ(ops, (std::vector<Op>{Op::MovEdiImm, Op::MovEsiImm,
+                                    Op::MovEdxImm, Op::MovEaxImm,
+                                    Op::Syscall, Op::Nop, Op::Nop,
+                                    Op::Ret}));
+}
+
+TEST(CodeBuffer, CmpxchgMatchesAndSwaps)
+{
+    CodeBuffer code(0x1000);
+    code.append({0xb8, 0x00, 0x00, 0x00, 0x00, 0x0f, 0x05});
+    std::uint8_t expected[7] = {0xb8, 0x00, 0x00, 0x00, 0x00, 0x0f, 0x05};
+    std::uint8_t repl[7] = {0xff, 0x14, 0x25, 0x08, 0x00, 0x60, 0xff};
+    EXPECT_TRUE(code.cmpxchg(0x1000, expected, repl, 7));
+    EXPECT_EQ(code.read8(0x1000), 0xff);
+}
+
+TEST(CodeBuffer, CmpxchgFailsOnMismatchWithoutWriting)
+{
+    CodeBuffer code(0x1000);
+    code.append({0xb8, 0x01, 0x00, 0x00, 0x00});
+    std::uint8_t expected[2] = {0xb8, 0x02};
+    std::uint8_t repl[2] = {0x90, 0x90};
+    EXPECT_FALSE(code.cmpxchg(0x1000, expected, repl, 2));
+    EXPECT_EQ(code.read8(0x1000), 0xb8);
+    EXPECT_EQ(code.read8(0x1001), 0x01);
+}
+
+TEST(CodeBuffer, CmpxchgRejectsOversizedPatch)
+{
+    sim::setThrowOnError(true);
+    CodeBuffer code(0x1000);
+    code.append({0, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+    std::uint8_t buf[9] = {};
+    // The 8-byte cmpxchg limit is what forces the 9-byte two-phase
+    // protocol; exceeding it is a simulator bug.
+    EXPECT_THROW(code.cmpxchg(0x1000, buf, buf, 9), sim::SimError);
+    sim::setThrowOnError(false);
+}
+
+} // namespace
+} // namespace xc::isa

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "isa/insn.h"
+
+namespace xc::isa {
+namespace {
+
+CodeBuffer
+bufWith(std::initializer_list<std::uint8_t> bytes)
+{
+    CodeBuffer code(0x1000);
+    code.append(bytes);
+    return code;
+}
+
+TEST(Decode, MovEaxImm)
+{
+    // mov $0x0,%eax — the __read wrapper prologue from Fig. 2.
+    auto code = bufWith({0xb8, 0x00, 0x00, 0x00, 0x00});
+    Insn insn = decode(code, 0x1000);
+    EXPECT_EQ(insn.op, Op::MovEaxImm);
+    EXPECT_EQ(insn.length, 5);
+    EXPECT_EQ(insn.imm, 0);
+}
+
+TEST(Decode, MovRaxImm)
+{
+    // mov $0xf,%rax — the __restore_rt wrapper from Fig. 2.
+    auto code = bufWith({0x48, 0xc7, 0xc0, 0x0f, 0x00, 0x00, 0x00});
+    Insn insn = decode(code, 0x1000);
+    EXPECT_EQ(insn.op, Op::MovRaxImm);
+    EXPECT_EQ(insn.length, 7);
+    EXPECT_EQ(insn.imm, 15);
+}
+
+TEST(Decode, MovRaxImmSignExtends)
+{
+    auto code = bufWith({0x48, 0xc7, 0xc0, 0xff, 0xff, 0xff, 0xff});
+    Insn insn = decode(code, 0x1000);
+    EXPECT_EQ(insn.op, Op::MovRaxImm);
+    EXPECT_EQ(insn.imm, -1);
+}
+
+TEST(Decode, MovRaxFromRsp)
+{
+    // mov 0x8(%rsp),%rax — Go's syscall.Syscall from Fig. 2.
+    auto code = bufWith({0x48, 0x8b, 0x44, 0x24, 0x08});
+    Insn insn = decode(code, 0x1000);
+    EXPECT_EQ(insn.op, Op::MovRaxRsp);
+    EXPECT_EQ(insn.length, 5);
+    EXPECT_EQ(insn.imm, 8);
+}
+
+TEST(Decode, Syscall)
+{
+    auto code = bufWith({0x0f, 0x05});
+    Insn insn = decode(code, 0x1000);
+    EXPECT_EQ(insn.op, Op::Syscall);
+    EXPECT_EQ(insn.length, 2);
+}
+
+TEST(Decode, CallAbsWithSignExtendedVsyscallAddress)
+{
+    // callq *0xffffffffff600008 — patched __read from Fig. 2.
+    auto code = bufWith({0xff, 0x14, 0x25, 0x08, 0x00, 0x60, 0xff});
+    Insn insn = decode(code, 0x1000);
+    EXPECT_EQ(insn.op, Op::CallAbs);
+    EXPECT_EQ(insn.length, 7);
+    EXPECT_EQ(static_cast<GuestAddr>(insn.imm), 0xffffffffff600008ull);
+}
+
+TEST(Decode, JmpRel8Backward)
+{
+    // jmp 0x10330 at 0x10337 — the phase-2 9-byte patch from Fig. 2.
+    CodeBuffer code(0x10337);
+    code.append({0xeb, 0xf7});
+    Insn insn = decode(code, 0x10337);
+    EXPECT_EQ(insn.op, Op::JmpRel8);
+    EXPECT_EQ(insn.imm, -9);
+    EXPECT_EQ(0x10337 + insn.length + insn.imm, 0x10330);
+}
+
+TEST(Decode, RetAndNop)
+{
+    auto code = bufWith({0xc3, 0x90});
+    EXPECT_EQ(decode(code, 0x1000).op, Op::Ret);
+    EXPECT_EQ(decode(code, 0x1001).op, Op::Nop);
+}
+
+TEST(Decode, ArgRegisterMovs)
+{
+    auto code = bufWith({0xbf, 0x01, 0x00, 0x00, 0x00,
+                         0xbe, 0x02, 0x00, 0x00, 0x00,
+                         0xba, 0x03, 0x00, 0x00, 0x00});
+    EXPECT_EQ(decode(code, 0x1000).op, Op::MovEdiImm);
+    EXPECT_EQ(decode(code, 0x1005).op, Op::MovEsiImm);
+    EXPECT_EQ(decode(code, 0x100a).op, Op::MovEdxImm);
+}
+
+TEST(Decode, MidInstructionBytesOfPatchedCallAreInvalid)
+{
+    // Jumping to the "0x60 0xff" tail of a patched call must decode
+    // as an invalid opcode (0x60 is not valid in 64-bit mode).
+    auto code = bufWith({0xff, 0x14, 0x25, 0x08, 0x00, 0x60, 0xff});
+    Insn insn = decode(code, 0x1005); // last two bytes
+    EXPECT_EQ(insn.op, Op::Invalid);
+}
+
+TEST(Decode, TruncatedInstructionIsInvalid)
+{
+    auto code = bufWith({0xb8, 0x00}); // mov eax needs 5 bytes
+    EXPECT_EQ(decode(code, 0x1000).op, Op::Invalid);
+}
+
+TEST(Decode, OutOfRangeIsInvalid)
+{
+    auto code = bufWith({0x90});
+    EXPECT_EQ(decode(code, 0x2000).op, Op::Invalid);
+}
+
+TEST(Decode, UnknownOpcodeIsInvalid)
+{
+    auto code = bufWith({0x60}); // invalid in long mode
+    EXPECT_EQ(decode(code, 0x1000).op, Op::Invalid);
+}
+
+TEST(VsyscallTable, SlotAddressesMatchPaperExamples)
+{
+    // __read (nr 0)        -> *0xffffffffff600008
+    // __restore_rt (nr 15) -> *0xffffffffff600080
+    // Go stack-arg slot    -> *0xffffffffff600c08
+    EXPECT_EQ(vsyscallSlotAddr(0), 0xffffffffff600008ull);
+    EXPECT_EQ(vsyscallSlotAddr(15), 0xffffffffff600080ull);
+    EXPECT_EQ(vsyscallSlotAddr(kStackArgSlot), 0xffffffffff600c08ull);
+}
+
+TEST(VsyscallTable, SlotIndexInvertsSlotAddr)
+{
+    for (int nr : {0, 1, 15, 60, 231, kStackArgSlot})
+        EXPECT_EQ(vsyscallSlotIndex(vsyscallSlotAddr(nr)), nr);
+    EXPECT_EQ(vsyscallSlotIndex(kVsyscallBase), -1);
+    EXPECT_EQ(vsyscallSlotIndex(kVsyscallBase + 4), -1);
+    EXPECT_EQ(vsyscallSlotIndex(0x400000), -1);
+}
+
+TEST(VsyscallTable, Abs32RoundTripsThroughSignExtension)
+{
+    GuestAddr slot = vsyscallSlotAddr(0);
+    EXPECT_EQ(sextAbs32(abs32Of(slot)), slot);
+}
+
+TEST(Disassemble, ProducesReadableText)
+{
+    auto code = bufWith({0xb8, 0x00, 0x00, 0x00, 0x00, 0x0f, 0x05});
+    Insn mov = decode(code, 0x1000);
+    Insn sc = decode(code, 0x1005);
+    EXPECT_NE(disassemble(mov, 0x1000).find("mov"), std::string::npos);
+    EXPECT_NE(disassemble(sc, 0x1005).find("syscall"), std::string::npos);
+}
+
+} // namespace
+} // namespace xc::isa

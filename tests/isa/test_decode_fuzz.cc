@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "isa/insn.h"
+#include "isa/interpreter.h"
+#include "sim/rng.h"
+
+namespace xc::isa {
+namespace {
+
+/** Env that never recovers: fuzzing must end in fault or ret. */
+class InertEnv : public ExecEnv
+{
+  public:
+    GuestAddr
+    onSyscall(Regs &, CodeBuffer &, GuestAddr ip_after) override
+    {
+        return ip_after;
+    }
+    GuestAddr
+    onVsyscallCall(int, Regs &, CodeBuffer &, GuestAddr ret) override
+    {
+        return ret;
+    }
+    GuestAddr
+    onInvalidOpcode(Regs &, CodeBuffer &, GuestAddr) override
+    {
+        return kFault;
+    }
+};
+
+class DecodeFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(DecodeFuzz, RandomBytesNeverCrashDecoderOrInterpreter)
+{
+    sim::Rng rng(GetParam());
+    for (int round = 0; round < 200; ++round) {
+        CodeBuffer code(0x1000, 64);
+        int len = 1 + static_cast<int>(rng.below(63));
+        for (int i = 0; i < len; ++i)
+            code.append(static_cast<std::uint8_t>(rng.below(256)));
+
+        // Decoding any offset must terminate and return something
+        // sane.
+        for (GuestAddr va = 0x1000; va < code.end(); ++va) {
+            Insn insn = decode(code, va);
+            if (insn.valid()) {
+                EXPECT_GE(insn.length, 1);
+                EXPECT_LE(insn.length, 7);
+            }
+        }
+
+        // Executing from the start must end (ret, fault, or the
+        // instruction budget) without UB.
+        Regs regs;
+        InertEnv env;
+        RunResult r = execute(code, 0x1000, regs, env, 500);
+        EXPECT_TRUE(r.faulted || r.hitLimit ||
+                    r.instructions <= 500);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecodeFuzz,
+                         ::testing::Values(1u, 2u, 3u, 42u, 777u));
+
+TEST(DecodeFuzz, AllSingleBytePrefixesTerminate)
+{
+    // Exhaustive: every first byte decodes to something bounded.
+    for (int b = 0; b < 256; ++b) {
+        CodeBuffer code(0x1000, 16);
+        code.append(static_cast<std::uint8_t>(b));
+        for (int i = 0; i < 8; ++i)
+            code.append(0x00);
+        Insn insn = decode(code, 0x1000);
+        if (insn.valid()) {
+            EXPECT_GE(insn.length, 1);
+            EXPECT_LE(insn.length, 7);
+        }
+    }
+}
+
+} // namespace
+} // namespace xc::isa

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "isa/assembler.h"
+#include "isa/interpreter.h"
+
+namespace xc::isa {
+namespace {
+
+/** Records every environment callback; configurable responses. */
+class RecordingEnv : public ExecEnv
+{
+  public:
+    struct SyscallRecord
+    {
+        std::uint64_t nr;
+        GuestAddr ip_after;
+    };
+
+    std::vector<SyscallRecord> syscalls;
+    std::vector<int> vsyscallSlots;
+    std::vector<GuestAddr> invalidOpcodes;
+    std::uint64_t syscallReturn = 0;
+    bool faultOnInvalid = true;
+    GuestAddr invalidFixup = 0;
+
+    GuestAddr
+    onSyscall(Regs &regs, CodeBuffer &, GuestAddr ip_after) override
+    {
+        syscalls.push_back({regs.rax, ip_after});
+        regs.rax = syscallReturn;
+        return ip_after;
+    }
+
+    GuestAddr
+    onVsyscallCall(int slot, Regs &regs, CodeBuffer &,
+                   GuestAddr ret_addr) override
+    {
+        vsyscallSlots.push_back(slot);
+        regs.rax = syscallReturn;
+        return ret_addr;
+    }
+
+    GuestAddr
+    onInvalidOpcode(Regs &, CodeBuffer &, GuestAddr ip) override
+    {
+        invalidOpcodes.push_back(ip);
+        return faultOnInvalid ? kFault : invalidFixup;
+    }
+};
+
+TEST(Interpreter, GlibcWrapperRaisesSyscallWithNumber)
+{
+    CodeBuffer code(0x1000);
+    Assembler as(code);
+    GuestAddr entry = as.movEaxImm(39); // getpid
+    as.syscallInsn();
+    as.ret();
+
+    Regs regs;
+    RecordingEnv env;
+    env.syscallReturn = 1234;
+    RunResult r = execute(code, entry, regs, env);
+
+    ASSERT_EQ(env.syscalls.size(), 1u);
+    EXPECT_EQ(env.syscalls[0].nr, 39u);
+    EXPECT_EQ(regs.rax, 1234u);
+    EXPECT_FALSE(r.faulted);
+    EXPECT_EQ(r.instructions, 3u); // mov, syscall, ret
+}
+
+TEST(Interpreter, MovRaxWrapperCarriesNumber)
+{
+    CodeBuffer code(0x1000);
+    Assembler as(code);
+    GuestAddr entry = as.movRaxImm(15);
+    as.syscallInsn();
+    as.ret();
+
+    Regs regs;
+    RecordingEnv env;
+    execute(code, entry, regs, env);
+    ASSERT_EQ(env.syscalls.size(), 1u);
+    EXPECT_EQ(env.syscalls[0].nr, 15u);
+}
+
+TEST(Interpreter, GoWrapperLoadsNumberFromStack)
+{
+    CodeBuffer code(0x1000);
+    Assembler as(code);
+    GuestAddr entry = as.movRaxFromRsp(0x08);
+    as.syscallInsn();
+    as.ret();
+
+    Regs regs;
+    regs.stack[1] = 1; // trap number at 0x8(%rsp): write
+    RecordingEnv env;
+    execute(code, entry, regs, env);
+    ASSERT_EQ(env.syscalls.size(), 1u);
+    EXPECT_EQ(env.syscalls[0].nr, 1u);
+}
+
+TEST(Interpreter, PatchedCallDispatchesThroughVsyscallSlot)
+{
+    CodeBuffer code(0x1000);
+    Assembler as(code);
+    GuestAddr entry = as.callAbs(vsyscallSlotAddr(0));
+    as.ret();
+
+    Regs regs;
+    RecordingEnv env;
+    env.syscallReturn = 55;
+    RunResult r = execute(code, entry, regs, env);
+    ASSERT_EQ(env.vsyscallSlots.size(), 1u);
+    EXPECT_EQ(env.vsyscallSlots[0], 0);
+    EXPECT_TRUE(env.syscalls.empty());
+    EXPECT_EQ(regs.rax, 55u);
+    EXPECT_FALSE(r.faulted);
+}
+
+TEST(Interpreter, ArgumentMovsSetRegisters)
+{
+    CodeBuffer code(0x1000);
+    Assembler as(code);
+    GuestAddr entry = as.movEdiImm(3);
+    as.movEsiImm(4);
+    as.movEdxImm(5);
+    as.ret();
+
+    Regs regs;
+    RecordingEnv env;
+    execute(code, entry, regs, env);
+    EXPECT_EQ(regs.rdi, 3u);
+    EXPECT_EQ(regs.rsi, 4u);
+    EXPECT_EQ(regs.rdx, 5u);
+}
+
+TEST(Interpreter, MovEaxZeroExtends)
+{
+    CodeBuffer code(0x1000);
+    Assembler as(code);
+    GuestAddr entry = as.movEaxImm(0xffffffffu);
+    as.ret();
+
+    Regs regs;
+    regs.rax = 0xdeadbeefcafebabeull;
+    RecordingEnv env;
+    execute(code, entry, regs, env);
+    EXPECT_EQ(regs.rax, 0xffffffffull); // upper half cleared
+}
+
+TEST(Interpreter, JmpRel8Follows)
+{
+    CodeBuffer code(0x1000);
+    Assembler as(code);
+    // entry: jmp over a syscall to a ret.
+    GuestAddr entry = as.here();
+    as.jmpTo(0x1000 + 2 + 2); // skip the syscall at +2
+    as.syscallInsn();
+    as.ret();
+
+    Regs regs;
+    RecordingEnv env;
+    RunResult r = execute(code, entry, regs, env);
+    EXPECT_TRUE(env.syscalls.empty());
+    EXPECT_FALSE(r.faulted);
+}
+
+TEST(Interpreter, InvalidOpcodeFaultsWithoutFixup)
+{
+    CodeBuffer code(0x1000);
+    code.append({0x60}); // invalid in long mode
+    Regs regs;
+    RecordingEnv env;
+    env.faultOnInvalid = true;
+    RunResult r = execute(code, 0x1000, regs, env);
+    EXPECT_TRUE(r.faulted);
+    ASSERT_EQ(env.invalidOpcodes.size(), 1u);
+    EXPECT_EQ(env.invalidOpcodes[0], 0x1000u);
+}
+
+TEST(Interpreter, InvalidOpcodeFixupResumes)
+{
+    CodeBuffer code(0x1000);
+    Assembler as(code);
+    as.nop();              // 0x1000 (fixup target)
+    GuestAddr bad = as.here();
+    code.append(0x60);     // 0x1001 invalid
+    // After fixup we resume at 0x1002 (skip the bad byte): place ret.
+    CodeBuffer fresh(0x1000);
+    (void)fresh;
+
+    Regs regs;
+    RecordingEnv env;
+    env.faultOnInvalid = false;
+    env.invalidFixup = bad + 1;
+    code.append(kOpRet); // 0x1002
+    RunResult r = execute(code, 0x1000, regs, env);
+    EXPECT_FALSE(r.faulted);
+    EXPECT_EQ(env.invalidOpcodes.size(), 1u);
+}
+
+TEST(Interpreter, VsyscallHandlerCanAdjustReturnAddress)
+{
+    // Phase-1 9-byte patch layout: call; syscall; ret. The handler
+    // must skip the stale syscall by bumping the return address.
+    CodeBuffer code(0x1000);
+    Assembler as(code);
+    GuestAddr entry = as.callAbs(vsyscallSlotAddr(7)); // 7 bytes
+    as.syscallInsn();                                  // stale
+    as.ret();
+
+    class SkippingEnv : public RecordingEnv
+    {
+      public:
+        GuestAddr
+        onVsyscallCall(int slot, Regs &regs, CodeBuffer &code,
+                       GuestAddr ret_addr) override
+        {
+            RecordingEnv::onVsyscallCall(slot, regs, code, ret_addr);
+            Insn next = decode(code, ret_addr);
+            if (next.op == Op::Syscall)
+                return ret_addr + next.length; // skip it
+            return ret_addr;
+        }
+    };
+
+    Regs regs;
+    SkippingEnv env;
+    RunResult r = execute(code, entry, regs, env);
+    EXPECT_EQ(env.vsyscallSlots.size(), 1u);
+    EXPECT_TRUE(env.syscalls.empty()); // stale syscall never trapped
+    EXPECT_FALSE(r.faulted);
+}
+
+TEST(Interpreter, RunawayLoopHitsInstructionLimit)
+{
+    CodeBuffer code(0x1000);
+    Assembler as(code);
+    GuestAddr entry = as.here();
+    as.jmpTo(entry); // jmp self
+
+    Regs regs;
+    RecordingEnv env;
+    RunResult r = execute(code, entry, regs, env, 100);
+    EXPECT_TRUE(r.hitLimit);
+    EXPECT_EQ(r.instructions, 100u);
+}
+
+TEST(Interpreter, CallToNonVsyscallAddressIsInvalid)
+{
+    CodeBuffer code(0x1000);
+    Assembler as(code);
+    GuestAddr entry = as.callAbs(0x400000); // not a vsyscall slot
+    as.ret();
+
+    Regs regs;
+    RecordingEnv env;
+    RunResult r = execute(code, entry, regs, env);
+    EXPECT_TRUE(r.faulted);
+    EXPECT_EQ(env.invalidOpcodes.size(), 1u);
+}
+
+} // namespace
+} // namespace xc::isa

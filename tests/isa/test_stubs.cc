@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "isa/interpreter.h"
+#include "isa/syscall_stub.h"
+
+namespace xc::isa {
+namespace {
+
+/** Minimal env: record syscall numbers, fault on invalid. */
+class CountingEnv : public ExecEnv
+{
+  public:
+    std::vector<std::uint64_t> numbers;
+
+    GuestAddr
+    onSyscall(Regs &regs, CodeBuffer &, GuestAddr ip_after) override
+    {
+        numbers.push_back(regs.rax);
+        return ip_after;
+    }
+
+    GuestAddr
+    onVsyscallCall(int, Regs &, CodeBuffer &, GuestAddr ret) override
+    {
+        return ret;
+    }
+
+    GuestAddr
+    onInvalidOpcode(Regs &, CodeBuffer &, GuestAddr) override
+    {
+        return kFault;
+    }
+};
+
+TEST(StubLibrary, GlibcMovEaxStubExecutes)
+{
+    StubLibrary lib;
+    const SyscallStub stub = lib.build(39, WrapperKind::GlibcMovEax,
+                                        "getpid");
+    Regs regs;
+    CountingEnv env;
+    RunResult r = execute(lib.code(), stub.entry, regs, env);
+    EXPECT_FALSE(r.faulted);
+    ASSERT_EQ(env.numbers.size(), 1u);
+    EXPECT_EQ(env.numbers[0], 39u);
+}
+
+TEST(StubLibrary, GlibcMovRaxStubExecutes)
+{
+    StubLibrary lib;
+    const SyscallStub stub = lib.build(15, WrapperKind::GlibcMovRax,
+                                        "rt_sigreturn");
+    Regs regs;
+    CountingEnv env;
+    execute(lib.code(), stub.entry, regs, env);
+    ASSERT_EQ(env.numbers.size(), 1u);
+    EXPECT_EQ(env.numbers[0], 15u);
+}
+
+TEST(StubLibrary, GoStackArgStubReadsStack)
+{
+    StubLibrary lib;
+    const SyscallStub stub = lib.build(1, WrapperKind::GoStackArg,
+                                        "syscall.Syscall");
+    Regs regs;
+    regs.stack[1] = 1;
+    CountingEnv env;
+    execute(lib.code(), stub.entry, regs, env);
+    ASSERT_EQ(env.numbers.size(), 1u);
+    EXPECT_EQ(env.numbers[0], 1u);
+}
+
+TEST(StubLibrary, PthreadCancellableStillWorksUnpatched)
+{
+    StubLibrary lib;
+    const SyscallStub stub =
+        lib.build(0, WrapperKind::PthreadCancellable, "read_cancel");
+    Regs regs;
+    CountingEnv env;
+    RunResult r = execute(lib.code(), stub.entry, regs, env);
+    EXPECT_FALSE(r.faulted);
+    ASSERT_EQ(env.numbers.size(), 1u);
+    EXPECT_EQ(env.numbers[0], 0u);
+}
+
+TEST(StubLibrary, PthreadCancellableHasGapBeforeSyscall)
+{
+    StubLibrary lib;
+    const SyscallStub stub =
+        lib.build(0, WrapperKind::PthreadCancellable, "read_cancel");
+    // The defining property: the syscall is NOT immediately preceded
+    // by the mov (ABOM's pattern match must fail).
+    EXPECT_GT(stub.syscallSite, stub.entry + 5);
+}
+
+TEST(StubLibrary, JumpToSyscallLandsOnVictimSite)
+{
+    StubLibrary lib;
+    const SyscallStub victim = lib.build(39, WrapperKind::GlibcMovEax,
+                                          "getpid");
+    const SyscallStub jumper = lib.buildJumpInto(victim, "tail_getpid");
+    EXPECT_EQ(jumper.syscallSite, victim.syscallSite);
+
+    Regs regs;
+    CountingEnv env;
+    RunResult r = execute(lib.code(), jumper.entry, regs, env);
+    EXPECT_FALSE(r.faulted);
+    ASSERT_EQ(env.numbers.size(), 1u);
+    EXPECT_EQ(env.numbers[0], 39u);
+}
+
+TEST(StubLibrary, ManyStubsCoexist)
+{
+    StubLibrary lib;
+    for (int nr = 0; nr < 50; ++nr)
+        lib.build(nr, WrapperKind::GlibcMovEax);
+    EXPECT_EQ(lib.stubs().size(), 50u);
+
+    CountingEnv env;
+    for (const auto &stub : lib.stubs()) {
+        Regs regs;
+        execute(lib.code(), stub.entry, regs, env);
+    }
+    ASSERT_EQ(env.numbers.size(), 50u);
+    for (int nr = 0; nr < 50; ++nr)
+        EXPECT_EQ(env.numbers[nr], static_cast<std::uint64_t>(nr));
+}
+
+TEST(StubLibrary, WrapperKindNamesAreDistinct)
+{
+    EXPECT_STRNE(wrapperKindName(WrapperKind::GlibcMovEax),
+                 wrapperKindName(WrapperKind::GlibcMovRax));
+    EXPECT_STRNE(wrapperKindName(WrapperKind::GoStackArg),
+                 wrapperKindName(WrapperKind::PthreadCancellable));
+}
+
+} // namespace
+} // namespace xc::isa

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "apps/images.h"
+#include "apps/nginx.h"
+#include "load/driver.h"
+#include "load/iperf.h"
+#include "load/unixbench.h"
+#include "runtimes/docker.h"
+#include "runtimes/x_container.h"
+
+namespace xc::test {
+namespace {
+
+using namespace xc;
+
+struct WebRig
+{
+    WebRig() : rt({})
+    {
+        runtimes::ContainerOpts copts;
+        copts.name = "web";
+        copts.image = apps::glibcImage("img");
+        copts.vcpus = 2;
+        c = rt.createContainer(copts);
+        apps::NginxApp::Config ncfg;
+        ncfg.workers = 2;
+        nginx = std::make_unique<apps::NginxApp>(ncfg);
+        nginx->deploy(*c);
+        rt.exposePort(c, 9000, 80);
+    }
+
+    load::LoadResult
+    run(load::WorkloadSpec spec)
+    {
+        load::ClosedLoopDriver driver(rt.fabric(), spec);
+        rt.machine().events().schedule(10 * sim::kTicksPerMs,
+                                       [&] { driver.start(); });
+        rt.machine().events().runUntil(
+            10 * sim::kTicksPerMs + spec.warmup + spec.duration +
+            50 * sim::kTicksPerMs);
+        return driver.collect();
+    }
+
+    runtimes::DockerRuntime rt;
+    runtimes::RtContainer *c = nullptr;
+    std::unique_ptr<apps::NginxApp> nginx;
+};
+
+TEST(LoadDriver, MeasuresOnlyInsideWindow)
+{
+    WebRig rig;
+    load::WorkloadSpec spec = load::wrkSpec(
+        guestos::SockAddr{rig.rt.hostIp(), 9000}, 4,
+        100 * sim::kTicksPerMs);
+    auto r = rig.run(spec);
+    // Total served includes warmup; counted requests do not.
+    EXPECT_GT(rig.nginx->requestsServed(), r.requests);
+    EXPECT_GT(r.requests, 0u);
+    EXPECT_NEAR(r.seconds, 0.1, 1e-9);
+}
+
+TEST(LoadDriver, LatencyPercentilesAreOrdered)
+{
+    WebRig rig;
+    auto r = rig.run(load::wrkSpec(
+        guestos::SockAddr{rig.rt.hostIp(), 9000}, 16,
+        100 * sim::kTicksPerMs));
+    EXPECT_GT(r.p50LatencyUs, 0.0);
+    EXPECT_LE(r.p50LatencyUs, r.p99LatencyUs);
+    EXPECT_GE(r.meanLatencyUs, 100.0); // at least the wire RTT
+}
+
+TEST(LoadDriver, MoreConnectionsMoreThroughputUntilSaturation)
+{
+    WebRig rig1;
+    auto r4 = rig1.run(load::wrkSpec(
+        guestos::SockAddr{rig1.rt.hostIp(), 9000}, 4,
+        100 * sim::kTicksPerMs));
+    WebRig rig2;
+    auto r32 = rig2.run(load::wrkSpec(
+        guestos::SockAddr{rig2.rt.hostIp(), 9000}, 32,
+        100 * sim::kTicksPerMs));
+    EXPECT_GT(r32.throughput, 2 * r4.throughput);
+}
+
+TEST(LoadDriver, AbReconnectsPerRequest)
+{
+    // Non-keepalive load: the server sees roughly one connection per
+    // request (thundering accept path).
+    WebRig rig;
+    auto r = rig.run(load::abSpec(
+        guestos::SockAddr{rig.rt.hostIp(), 9000}, 8,
+        80 * sim::kTicksPerMs));
+    EXPECT_GT(r.requests, 20u);
+    // ab throughput < wrk throughput at the same concurrency.
+    WebRig rig2;
+    auto rk = rig2.run(load::wrkSpec(
+        guestos::SockAddr{rig2.rt.hostIp(), 9000}, 8,
+        80 * sim::kTicksPerMs));
+    EXPECT_GT(rk.throughput, r.throughput);
+}
+
+TEST(LoadDriver, ConnectionErrorsAreCountedAndRetried)
+{
+    runtimes::DockerRuntime rt({});
+    // Nothing listening: connects are refused but retried.
+    load::WorkloadSpec spec = load::wrkSpec(
+        guestos::SockAddr{rt.hostIp(), 9000}, 2,
+        50 * sim::kTicksPerMs);
+    load::ClosedLoopDriver driver(rt.fabric(), spec);
+    driver.start();
+    rt.machine().events().runUntil(200 * sim::kTicksPerMs);
+    auto r = driver.collect();
+    EXPECT_EQ(r.requests, 0u);
+    EXPECT_GT(r.errors, 0u);
+}
+
+using MicroParam = std::tuple<load::MicroKind, int>;
+
+class MicroSweep : public ::testing::TestWithParam<MicroParam>
+{
+};
+
+TEST_P(MicroSweep, ProducesPositiveRatesAndScalesWithCopies)
+{
+    auto [kind, copies] = GetParam();
+    runtimes::DockerRuntime rt({});
+    auto r = load::runMicro(rt, kind, 60 * sim::kTicksPerMs, copies);
+    EXPECT_GT(r.ops, 0u);
+    EXPECT_GT(r.opsPerSec, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, MicroSweep,
+    ::testing::Combine(
+        ::testing::Values(load::MicroKind::Syscall,
+                          load::MicroKind::Execl,
+                          load::MicroKind::FileCopy,
+                          load::MicroKind::PipeThroughput,
+                          load::MicroKind::ContextSwitch,
+                          load::MicroKind::ProcessCreation),
+        ::testing::Values(1, 4)),
+    [](const ::testing::TestParamInfo<MicroParam> &info) {
+        std::string name =
+            load::microKindName(std::get<0>(info.param));
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name + "_x" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Micro, ConcurrentCopiesScaleThroughput)
+{
+    runtimes::DockerRuntime rt1({});
+    auto r1 = load::runMicro(rt1, load::MicroKind::Syscall,
+                             60 * sim::kTicksPerMs, 1);
+    runtimes::DockerRuntime rt4({});
+    auto r4 = load::runMicro(rt4, load::MicroKind::Syscall,
+                             60 * sim::kTicksPerMs, 4);
+    EXPECT_GT(r4.opsPerSec, 3.2 * r1.opsPerSec);
+}
+
+TEST(Iperf, DeliversGigabitsAndRespectsDuration)
+{
+    runtimes::DockerRuntime rt({});
+    auto r = load::runIperf(rt, 100 * sim::kTicksPerMs, 1);
+    EXPECT_GT(r.gbitPerSec, 1.0);
+    EXPECT_LT(r.gbitPerSec, 100.0);
+    EXPECT_GT(r.bytes, 1u << 20);
+}
+
+TEST(Iperf, MoreStreamsMoreThroughput)
+{
+    runtimes::DockerRuntime rt1({});
+    auto r1 = load::runIperf(rt1, 100 * sim::kTicksPerMs, 1);
+    runtimes::DockerRuntime rt2({});
+    auto r2 = load::runIperf(rt2, 100 * sim::kTicksPerMs, 4);
+    EXPECT_GT(r2.gbitPerSec, 1.5 * r1.gbitPerSec);
+}
+
+} // namespace
+} // namespace xc::test

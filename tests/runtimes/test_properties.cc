@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "apps/images.h"
+#include "apps/nginx.h"
+#include "load/driver.h"
+#include "load/unixbench.h"
+#include "runtimes/docker.h"
+#include "runtimes/gvisor.h"
+#include "runtimes/x_container.h"
+#include "runtimes/xen_container.h"
+
+namespace xc::test {
+namespace {
+
+using namespace xc;
+
+/** Full-stack NGINX run with a chosen seed; returns throughput. */
+double
+nginxRun(std::uint64_t seed)
+{
+    runtimes::DockerRuntime::Options opts;
+    opts.seed = seed;
+    runtimes::DockerRuntime rt(opts);
+    runtimes::ContainerOpts copts;
+    copts.name = "web";
+    copts.image = apps::glibcImage("img");
+    copts.vcpus = 2;
+    auto *c = rt.createContainer(copts);
+    apps::NginxApp::Config ncfg;
+    ncfg.workers = 2;
+    apps::NginxApp nginx(ncfg);
+    nginx.deploy(*c);
+    rt.exposePort(c, 9000, 80);
+    load::WorkloadSpec spec = load::wrkSpec(
+        guestos::SockAddr{rt.hostIp(), 9000}, 24,
+        100 * sim::kTicksPerMs);
+    load::ClosedLoopDriver driver(rt.fabric(), spec, seed);
+    rt.machine().events().schedule(10 * sim::kTicksPerMs,
+                                   [&] { driver.start(); });
+    rt.machine().events().runUntil(10 * sim::kTicksPerMs + spec.warmup +
+                                   spec.duration +
+                                   40 * sim::kTicksPerMs);
+    return driver.collect().throughput;
+}
+
+TEST(Property, FullStackRunsAreBitDeterministic)
+{
+    EXPECT_EQ(nginxRun(7), nginxRun(7));
+    EXPECT_EQ(nginxRun(1234), nginxRun(1234));
+}
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SeedSweep, ThroughputIsSeedRobust)
+{
+    // Different seeds perturb tie-breaking but must not change the
+    // measured system: within a few percent of a reference seed.
+    double reference = nginxRun(1);
+    double other = nginxRun(GetParam());
+    EXPECT_NEAR(other / reference, 1.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(2u, 3u, 17u, 1000u));
+
+struct SpecCase
+{
+    const char *label;
+    hw::MachineSpec (*make)();
+};
+
+class CloudSweep : public ::testing::TestWithParam<SpecCase>
+{
+};
+
+TEST_P(CloudSweep, SyscallOrderingInvariantHolds)
+{
+    // The Fig. 4 ordering must hold on every machine model:
+    //   x-container > docker-unpatched > docker > xen > gvisor.
+    hw::MachineSpec spec = GetParam().make();
+    auto rate = [&](auto make_rt) {
+        auto rt = make_rt();
+        return load::runMicro(*rt, load::MicroKind::Syscall,
+                              60 * sim::kTicksPerMs, 1)
+            .opsPerSec;
+    };
+
+    double xc = rate([&] {
+        runtimes::XContainerRuntime::Options o;
+        o.spec = spec;
+        return std::make_unique<runtimes::XContainerRuntime>(o);
+    });
+    double docker = rate([&] {
+        runtimes::DockerRuntime::Options o;
+        o.spec = spec;
+        return std::make_unique<runtimes::DockerRuntime>(o);
+    });
+    double docker_unp = rate([&] {
+        runtimes::DockerRuntime::Options o;
+        o.spec = spec;
+        o.meltdownPatched = false;
+        return std::make_unique<runtimes::DockerRuntime>(o);
+    });
+    double xen = rate([&] {
+        runtimes::XenContainerRuntime::Options o;
+        o.spec = spec;
+        return std::make_unique<runtimes::XenContainerRuntime>(o);
+    });
+    double gvisor = rate([&] {
+        runtimes::GvisorRuntime::Options o;
+        o.spec = spec;
+        return std::make_unique<runtimes::GvisorRuntime>(o);
+    });
+
+    EXPECT_GT(xc, 10 * docker);
+    EXPECT_GT(docker_unp, 2 * docker);
+    EXPECT_GT(docker, xen);
+    EXPECT_GT(xen, gvisor);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, CloudSweep,
+    ::testing::Values(
+        SpecCase{"ec2", &hw::MachineSpec::ec2C4_2xlarge},
+        SpecCase{"gce", &hw::MachineSpec::gceCustom4},
+        SpecCase{"local", &hw::MachineSpec::xeonE52690Local}),
+    [](const ::testing::TestParamInfo<SpecCase> &info) {
+        return info.param.label;
+    });
+
+TEST(Property, ContainerDensityScalesInverselyWithMemory)
+{
+    // The Fig. 8 density mechanism: container count is bounded by
+    // physical memory; halving the per-container reservation roughly
+    // doubles how many fit, and exhaustion returns nullptr (never
+    // crashes).
+    auto count_at = [](std::uint64_t mem_bytes) {
+        runtimes::XContainerRuntime rt({});
+        runtimes::ContainerOpts copts;
+        copts.image = apps::glibcImage("img");
+        copts.vcpus = 1;
+        copts.memBytes = mem_bytes;
+        int n = 0;
+        while (n < 64) {
+            copts.name = "c" + std::to_string(n);
+            if (!rt.createContainer(copts))
+                break;
+            ++n;
+        }
+        return n;
+    };
+    int big = count_at(4ull << 30);
+    int small = count_at(2ull << 30);
+    EXPECT_GT(big, 0);
+    EXPECT_LT(big, 64); // exhaustion actually reached
+    EXPECT_GT(small, big);
+    EXPECT_NEAR(static_cast<double>(small) / big, 2.0, 0.75);
+}
+
+TEST(Property, AbomReductionMonotoneInCancellableShare)
+{
+    // More unpatchable calls per request -> strictly lower
+    // conversion ratio.
+    auto reduction = [](int odd_every) {
+        runtimes::XContainerRuntime rt({});
+        runtimes::ContainerOpts copts;
+        copts.image = apps::mixedImage("m", {guestos::NR_ioctl});
+        auto *c = rt.createContainer(copts);
+        guestos::Process *p = c->createProcess("p", copts.image);
+        guestos::Thread::Body body =
+            [odd_every](guestos::Thread &t) -> sim::Task<void> {
+            guestos::Sys sys(t);
+            for (int i = 0; i < 300; ++i) {
+                co_await sys.getpid();
+                if (odd_every > 0 && i % odd_every == 0) {
+                    co_await t.kernel().syscall(t, guestos::NR_ioctl,
+                                                guestos::SysArgs{});
+                }
+            }
+        };
+        c->kernel().spawnThread(p, "loop", std::move(body));
+        rt.machine().events().run();
+        return rt.xkernel().abom().stats().reductionRatio();
+    };
+
+    double none = reduction(0);
+    double sparse = reduction(20);
+    double dense = reduction(3);
+    EXPECT_GT(none, sparse);
+    EXPECT_GT(sparse, dense);
+    EXPECT_GT(none, 0.99);
+}
+
+} // namespace
+} // namespace xc::test

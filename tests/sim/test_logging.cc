@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "sim/logging.h"
+
+namespace xc::sim {
+namespace {
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setThrowOnError(true); }
+    void TearDown() override { setThrowOnError(false); }
+};
+
+TEST_F(LoggingTest, PanicThrowsSimErrorWhenConfigured)
+{
+    try {
+        panic("boom %d", 42);
+        FAIL() << "panic returned";
+    } catch (const SimError &e) {
+        EXPECT_TRUE(e.isPanic);
+        EXPECT_EQ(e.message, "boom 42");
+    }
+}
+
+TEST_F(LoggingTest, FatalThrowsSimErrorWhenConfigured)
+{
+    try {
+        fatal("bad config: %s", "nope");
+        FAIL() << "fatal returned";
+    } catch (const SimError &e) {
+        EXPECT_FALSE(e.isPanic);
+        EXPECT_EQ(e.message, "bad config: nope");
+    }
+}
+
+TEST_F(LoggingTest, AssertMacroPanicsOnFalse)
+{
+    EXPECT_THROW(XC_ASSERT(1 == 2), SimError);
+}
+
+TEST_F(LoggingTest, AssertMacroPassesOnTrue)
+{
+    EXPECT_NO_THROW(XC_ASSERT(2 == 2));
+}
+
+TEST_F(LoggingTest, LogLevelRoundTrips)
+{
+    LogLevel prev = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(prev);
+}
+
+} // namespace
+} // namespace xc::sim

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "sim/rng.h"
+
+namespace xc::sim {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(7), b(8);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedResets)
+{
+    Rng a(7);
+    auto first = a.next();
+    a.next();
+    a.reseed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(1);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng r(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        auto v = r.range(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        saw_lo |= (v == 5);
+        saw_hi |= (v == 8);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIsInUnitInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng r(13);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ExpMeanMatchesRequestedMean)
+{
+    Rng r(19);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += r.expMean(50.0);
+    EXPECT_NEAR(sum / n, 50.0, 1.0);
+}
+
+TEST(Rng, ZipfStaysInRange)
+{
+    Rng r(23);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_LT(r.zipf(100, 0.99), 100u);
+}
+
+TEST(Rng, ZipfIsSkewedTowardLowRanks)
+{
+    Rng r(29);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 20000; ++i)
+        ++counts[r.zipf(50, 1.0)];
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[0], 20000 / 50); // far above uniform share
+}
+
+TEST(Rng, SplitMix64IsDeterministic)
+{
+    std::uint64_t s1 = 99, s2 = 99;
+    EXPECT_EQ(splitMix64(s1), splitMix64(s2));
+    EXPECT_EQ(s1, s2);
+}
+
+} // namespace
+} // namespace xc::sim

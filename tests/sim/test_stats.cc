@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "sim/logging.h"
+#include "sim/stats.h"
+
+namespace xc::sim {
+namespace {
+
+TEST(Stats, CounterIncrements)
+{
+    StatRegistry reg;
+    Counter c(reg, "a.count", "test counter");
+    ++c;
+    c += 4;
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, GaugeSetsLatest)
+{
+    StatRegistry reg;
+    Gauge g(reg, "a.gauge", "test gauge");
+    g.set(3.5);
+    g.set(-1.0);
+    EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(Stats, RegistryFindsByName)
+{
+    StatRegistry reg;
+    Counter c(reg, "x.y", "c");
+    EXPECT_EQ(reg.find("x.y"), &c);
+    EXPECT_EQ(reg.find("nope"), nullptr);
+}
+
+TEST(Stats, DuplicateNamePanics)
+{
+    setThrowOnError(true);
+    StatRegistry reg;
+    Counter a(reg, "dup", "a");
+    EXPECT_THROW({ Counter b(reg, "dup", "b"); }, SimError);
+    setThrowOnError(false);
+}
+
+TEST(Stats, DumpContainsAllStatsSorted)
+{
+    StatRegistry reg;
+    Counter b(reg, "b.stat", "");
+    Counter a(reg, "a.stat", "");
+    a += 1;
+    b += 2;
+    std::string dump = reg.dump();
+    auto pos_a = dump.find("a.stat 1");
+    auto pos_b = dump.find("b.stat 2");
+    ASSERT_NE(pos_a, std::string::npos);
+    ASSERT_NE(pos_b, std::string::npos);
+    EXPECT_LT(pos_a, pos_b);
+}
+
+TEST(Stats, ResetAllClearsEverything)
+{
+    StatRegistry reg;
+    Counter c(reg, "c", "");
+    Gauge g(reg, "g", "");
+    c += 7;
+    g.set(9);
+    reg.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Stats, DistributionMoments)
+{
+    StatRegistry reg;
+    Distribution d(reg, "d", "");
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_NEAR(d.stddev(), 2.138, 0.001);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+}
+
+TEST(Stats, DistributionPercentiles)
+{
+    StatRegistry reg;
+    Distribution d(reg, "d", "");
+    for (int i = 1; i <= 100; ++i)
+        d.sample(i);
+    EXPECT_NEAR(d.percentile(0), 1.0, 1e-9);
+    EXPECT_NEAR(d.percentile(50), 50.5, 1e-9);
+    EXPECT_NEAR(d.percentile(100), 100.0, 1e-9);
+    EXPECT_NEAR(d.percentile(99), 99.01, 0.1);
+}
+
+TEST(Stats, DistributionSingleSample)
+{
+    StatRegistry reg;
+    Distribution d(reg, "d", "");
+    d.sample(42.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0), 42.0);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 42.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 42.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(Stats, DistributionEmptyIsSafe)
+{
+    StatRegistry reg;
+    Distribution d(reg, "d", "");
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 0.0);
+    EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(Stats, DistributionRenderHasPercentiles)
+{
+    StatRegistry reg;
+    Distribution d(reg, "lat", "");
+    d.sample(1.0);
+    d.sample(2.0);
+    std::string r = d.render();
+    EXPECT_NE(r.find("lat.p50"), std::string::npos);
+    EXPECT_NE(r.find("lat.p99"), std::string::npos);
+    EXPECT_NE(r.find("lat.count 2"), std::string::npos);
+}
+
+TEST(Stats, RemoveAllowsReregistration)
+{
+    StatRegistry reg;
+    {
+        Counter c(reg, "temp", "");
+        reg.remove(&c);
+    }
+    Counter c2(reg, "temp", "");
+    EXPECT_EQ(reg.find("temp"), &c2);
+}
+
+} // namespace
+} // namespace xc::sim

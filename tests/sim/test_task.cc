@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <coroutine>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/task.h"
+
+namespace xc::sim {
+namespace {
+
+Task<int>
+answer()
+{
+    co_return 42;
+}
+
+Task<int>
+addOne(Task<int> inner)
+{
+    int v = co_await std::move(inner);
+    co_return v + 1;
+}
+
+TEST(Task, RunsToCompletionWhenResumed)
+{
+    Task<int> t = answer();
+    EXPECT_FALSE(t.done());
+    t.handle().resume();
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(t.result(), 42);
+}
+
+TEST(Task, NestedAwaitPropagatesValue)
+{
+    Task<int> t = addOne(answer());
+    t.handle().resume();
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(t.result(), 43);
+}
+
+Task<void>
+throwing()
+{
+    throw std::runtime_error("inner failure");
+    co_return;
+}
+
+Task<void>
+catching(bool &caught)
+{
+    try {
+        co_await throwing();
+    } catch (const std::runtime_error &) {
+        caught = true;
+    }
+}
+
+TEST(Task, ExceptionPropagatesThroughAwait)
+{
+    bool caught = false;
+    Task<void> t = catching(caught);
+    t.handle().resume();
+    EXPECT_TRUE(t.done());
+    EXPECT_TRUE(caught);
+}
+
+TEST(Task, ExceptionRethrownByResult)
+{
+    Task<void> t = throwing();
+    t.handle().resume();
+    EXPECT_TRUE(t.done());
+    EXPECT_THROW(t.result(), std::runtime_error);
+}
+
+Task<void>
+suspendOnce(std::coroutine_handle<> &resume_me, int &stage)
+{
+    stage = 1;
+    co_await suspendWith([&](std::coroutine_handle<> h) {
+        resume_me = h;
+    });
+    stage = 2;
+}
+
+TEST(Task, SuspendWithHandsOutResumableHandle)
+{
+    std::coroutine_handle<> h;
+    int stage = 0;
+    Task<void> t = suspendOnce(h, stage);
+    t.handle().resume();
+    EXPECT_EQ(stage, 1);
+    EXPECT_FALSE(t.done());
+    ASSERT_TRUE(h);
+    h.resume();
+    EXPECT_EQ(stage, 2);
+    EXPECT_TRUE(t.done());
+}
+
+Task<int>
+blockingLeaf(std::coroutine_handle<> &resume_me)
+{
+    co_await suspendWith([&](std::coroutine_handle<> h) {
+        resume_me = h;
+    });
+    co_return 7;
+}
+
+Task<int>
+wrapper(std::coroutine_handle<> &resume_me)
+{
+    int v = co_await blockingLeaf(resume_me);
+    co_return v * 2;
+}
+
+TEST(Task, LeafSuspendResumesWholeStack)
+{
+    std::coroutine_handle<> h;
+    Task<int> t = wrapper(h);
+    t.handle().resume();
+    EXPECT_FALSE(t.done());
+    h.resume();
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(t.result(), 14);
+}
+
+TEST(Task, IntegratesWithEventQueue)
+{
+    EventQueue q;
+    std::vector<int> log;
+
+    auto sleepUntil = [&](Tick when) {
+        return suspendWith([&q, when](std::coroutine_handle<> h) {
+            q.schedule(when, [h] { h.resume(); });
+        });
+    };
+
+    auto body = [&]() -> Task<void> {
+        log.push_back(1);
+        co_await sleepUntil(100);
+        log.push_back(2);
+        co_await sleepUntil(200);
+        log.push_back(3);
+    };
+
+    Task<void> t = body();
+    t.handle().resume();
+    EXPECT_EQ(log.size(), 1u);
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 200u);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(Task, MoveTransfersOwnership)
+{
+    Task<int> a = answer();
+    Task<int> b = std::move(a);
+    EXPECT_FALSE(a.valid());
+    EXPECT_TRUE(b.valid());
+    b.handle().resume();
+    EXPECT_EQ(b.result(), 42);
+}
+
+TEST(Task, DestroyingSuspendedTaskIsSafe)
+{
+    std::coroutine_handle<> h;
+    int stage = 0;
+    {
+        Task<void> t = suspendOnce(h, stage);
+        t.handle().resume();
+        EXPECT_EQ(stage, 1);
+    } // t destroyed while suspended: frame must be freed
+    SUCCEED();
+}
+
+} // namespace
+} // namespace xc::sim

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace xc::sim::trace {
+namespace {
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        lines.clear();
+        setSink([this](const std::string &line) {
+            lines.push_back(line);
+        });
+    }
+
+    void
+    TearDown() override
+    {
+        enable(None);
+        setSink(nullptr);
+    }
+
+    std::vector<std::string> lines;
+};
+
+TEST_F(TraceTest, DisabledCategoryEmitsNothing)
+{
+    enable(None);
+    XC_TRACE(Syscall, 1000, "kern", "should not appear");
+    EXPECT_TRUE(lines.empty());
+}
+
+TEST_F(TraceTest, EnabledCategoryEmits)
+{
+    enable(Syscall);
+    XC_TRACE(Syscall, 2 * kTicksPerUs, "kern", "nr=%d", 39);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("nr=39"), std::string::npos);
+    EXPECT_NE(lines[0].find("syscall"), std::string::npos);
+    EXPECT_NE(lines[0].find("kern"), std::string::npos);
+    EXPECT_NE(lines[0].find("2.000 us"), std::string::npos);
+}
+
+TEST_F(TraceTest, MaskIsSelective)
+{
+    enable(Net | Abom);
+    XC_TRACE(Syscall, 0, "a", "no");
+    XC_TRACE(Net, 0, "b", "yes1");
+    XC_TRACE(Abom, 0, "c", "yes2");
+    XC_TRACE(Sched, 0, "d", "no");
+    ASSERT_EQ(lines.size(), 2u);
+}
+
+TEST_F(TraceTest, ParseCategories)
+{
+    EXPECT_EQ(parseCategories("syscall"), Syscall);
+    EXPECT_EQ(parseCategories("syscall,net"), Syscall | Net);
+    EXPECT_EQ(parseCategories("abom,sched,mem"),
+              Abom | Sched | Mem);
+    EXPECT_EQ(parseCategories("all"), All);
+    EXPECT_EQ(parseCategories("bogus"), None);
+    EXPECT_EQ(parseCategories(""), None);
+}
+
+TEST_F(TraceTest, ActivePredicateMatchesMask)
+{
+    enable(Hypercall);
+    EXPECT_TRUE(active(Hypercall));
+    EXPECT_FALSE(active(Net));
+}
+
+} // namespace
+} // namespace xc::sim::trace

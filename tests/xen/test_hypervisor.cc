@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "hw/machine.h"
+#include "xen/hypervisor.h"
+
+namespace xc::xen {
+namespace {
+
+hw::Machine
+makeMachine()
+{
+    return hw::Machine(hw::MachineSpec::xeonE52690Local(), 42);
+}
+
+TEST(Hypervisor, BootsDom0WithReservation)
+{
+    auto m = makeMachine();
+    std::uint64_t before = m.memory().freeFrames();
+    Hypervisor hv(m, Hypervisor::Config{});
+    EXPECT_NE(hv.dom0(), nullptr);
+    EXPECT_TRUE(hv.dom0()->privileged());
+    EXPECT_EQ(hv.dom0()->id(), 0);
+    // Hypervisor reserve + dom0 memory are really gone.
+    std::uint64_t taken = before - m.memory().freeFrames();
+    EXPECT_EQ(taken * hw::kPageSize, (256ull << 20) + (1024ull << 20));
+}
+
+TEST(Hypervisor, CreateDomainsUntilMemoryExhausted)
+{
+    hw::MachineSpec spec = hw::MachineSpec::xeonE52690Local();
+    spec.memBytes = 4ull << 30; // 4 GB machine
+    hw::Machine m(spec, 42);
+    Hypervisor hv(m, Hypervisor::Config{});
+    // 4 GB - 256 MB reserve - 1 GB dom0 = 2.75 GB; 512 MB guests -> 5.
+    int booted = 0;
+    while (hv.createDomain("vm", 512ull << 20, 1))
+        ++booted;
+    EXPECT_EQ(booted, 5);
+    // The failed boot must not have leaked a domain id or memory.
+    EXPECT_EQ(hv.domainCount(), 6u); // dom0 + 5
+}
+
+TEST(Hypervisor, DestroyDomainReleasesMemory)
+{
+    auto m = makeMachine();
+    Hypervisor hv(m, Hypervisor::Config{});
+    std::uint64_t free_before = m.memory().freeFrames();
+    Domain *dom = hv.createDomain("vm", 256ull << 20, 1);
+    ASSERT_NE(dom, nullptr);
+    EXPECT_LT(m.memory().freeFrames(), free_before);
+    hv.destroyDomain(dom);
+    EXPECT_EQ(m.memory().freeFrames(), free_before);
+}
+
+TEST(Hypervisor, HypercallCostsAndCounts)
+{
+    auto m = makeMachine();
+    Hypervisor hv(m, Hypervisor::Config{});
+    EXPECT_GT(hv.hypercallCost(Hypercall::MmuUpdate),
+              hv.hypercallCost(Hypercall::SchedOp));
+    std::uint64_t before = hv.totalHypercalls();
+    hv.countHypercall(Hypercall::MmuUpdate);
+    hv.countHypercall(Hypercall::MmuUpdate);
+    EXPECT_EQ(hv.hypercalls(Hypercall::MmuUpdate), 2u);
+    EXPECT_EQ(hv.totalHypercalls(), before + 2);
+}
+
+TEST(Hypervisor, XenBlanketAddsNestingTax)
+{
+    auto m = makeMachine();
+    Hypervisor::Config plain_cfg;
+    Hypervisor::Config blanket_cfg;
+    blanket_cfg.xenBlanket = true;
+    {
+        Hypervisor plain(m, plain_cfg);
+        hw::Cycles c1 = plain.hypercallCost(Hypercall::SchedOp);
+        auto m2 = makeMachine();
+        Hypervisor blanket(m2, blanket_cfg);
+        hw::Cycles c2 = blanket.hypercallCost(Hypercall::SchedOp);
+        EXPECT_GT(c2, c1);
+    }
+}
+
+TEST(EventChannels, BindNotifyClose)
+{
+    EventChannels ec;
+    int fired = 0;
+    EvtchnPort port = ec.bind(1, [&] { ++fired; });
+    ec.notify(port);
+    ec.notify(port);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(ec.notifications(), 2u);
+    ec.close(port);
+    ec.notify(port); // no handler: counted but no effect
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(ec.openPorts(), 0u);
+}
+
+TEST(GrantTable, GrantMapCopyRevoke)
+{
+    GrantTable gt(1);
+    GrantRef ref = gt.grantAccess(2, 0x1000, true);
+    EXPECT_TRUE(gt.mapGrant(ref, 2));
+    EXPECT_FALSE(gt.mapGrant(ref, 3)); // wrong domain
+    EXPECT_FALSE(gt.endAccess(ref));   // still mapped
+    gt.unmapGrant(ref);
+    EXPECT_TRUE(gt.grantCopy(ref, 2));
+    EXPECT_EQ(gt.copies(), 1u);
+    EXPECT_TRUE(gt.endAccess(ref));
+    EXPECT_EQ(gt.activeGrants(), 0u);
+}
+
+TEST(DescriptorRing, ProduceConsumeAndDrops)
+{
+    DescriptorRing ring(4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(ring.produce());
+    EXPECT_TRUE(ring.full());
+    EXPECT_FALSE(ring.produce()); // drop
+    EXPECT_EQ(ring.drops(), 1u);
+    EXPECT_EQ(ring.consume(10), 4);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.batches(), 1u);
+}
+
+TEST(Hypervisor, MmuUpdateValidationIsTheIsolationBoundary)
+{
+    // §3.4: a domain may only install mappings to frames it owns;
+    // dom0 is privileged (it builds domains and runs back ends).
+    auto m = makeMachine();
+    Hypervisor hv(m, Hypervisor::Config{});
+    Domain *a = hv.createDomain("a", 64ull << 20, 1);
+    Domain *b = hv.createDomain("b", 64ull << 20, 1);
+    ASSERT_TRUE(a && b);
+
+    auto frame_of = [&](Domain *d) {
+        hw::Pfn pfn = 1;
+        while (m.memory().ownerOf(pfn) !=
+               static_cast<hw::OwnerId>(d->id()))
+            ++pfn;
+        return pfn;
+    };
+    hw::Pfn fa = frame_of(a);
+    hw::Pfn fb = frame_of(b);
+
+    EXPECT_TRUE(hv.validateMmuUpdate(*a, fa));
+    EXPECT_FALSE(hv.validateMmuUpdate(*a, fb)); // cross-container!
+    EXPECT_FALSE(hv.validateMmuUpdate(*b, fa));
+    EXPECT_TRUE(hv.validateMmuUpdate(*hv.dom0(), fa)); // privileged
+    EXPECT_EQ(hv.rejectedMmuUpdates(), 2u);
+}
+
+TEST(Hypervisor, CreditPoolUsesVcpuSwitchCosts)
+{
+    auto m = makeMachine();
+    Hypervisor hv(m, Hypervisor::Config{});
+    EXPECT_EQ(hv.pool().cores(), m.numCpus());
+    EXPECT_EQ(hv.pool().waiting(), 0u);
+}
+
+} // namespace
+} // namespace xc::xen
