@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kernel_custom.dir/ablation_kernel_custom.cc.o"
+  "CMakeFiles/ablation_kernel_custom.dir/ablation_kernel_custom.cc.o.d"
+  "ablation_kernel_custom"
+  "ablation_kernel_custom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kernel_custom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

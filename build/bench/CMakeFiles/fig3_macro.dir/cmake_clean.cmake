@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_macro.dir/fig3_macro.cc.o"
+  "CMakeFiles/fig3_macro.dir/fig3_macro.cc.o.d"
+  "fig3_macro"
+  "fig3_macro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_macro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_syscall.dir/fig4_syscall.cc.o"
+  "CMakeFiles/fig4_syscall.dir/fig4_syscall.cc.o.d"
+  "fig4_syscall"
+  "fig4_syscall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_syscall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

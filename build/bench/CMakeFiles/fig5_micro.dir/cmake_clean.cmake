@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_micro.dir/fig5_micro.cc.o"
+  "CMakeFiles/fig5_micro.dir/fig5_micro.cc.o.d"
+  "fig5_micro"
+  "fig5_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

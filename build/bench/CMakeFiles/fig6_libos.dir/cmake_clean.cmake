@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_libos.dir/fig6_libos.cc.o"
+  "CMakeFiles/fig6_libos.dir/fig6_libos.cc.o.d"
+  "fig6_libos"
+  "fig6_libos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_libos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

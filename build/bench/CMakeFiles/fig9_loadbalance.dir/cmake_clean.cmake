@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_loadbalance.dir/fig9_loadbalance.cc.o"
+  "CMakeFiles/fig9_loadbalance.dir/fig9_loadbalance.cc.o.d"
+  "fig9_loadbalance"
+  "fig9_loadbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_loadbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

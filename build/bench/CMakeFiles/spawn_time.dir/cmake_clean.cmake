@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spawn_time.dir/spawn_time.cc.o"
+  "CMakeFiles/spawn_time.dir/spawn_time.cc.o.d"
+  "spawn_time"
+  "spawn_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spawn_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

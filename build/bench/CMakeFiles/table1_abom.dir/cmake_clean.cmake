@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_abom.dir/table1_abom.cc.o"
+  "CMakeFiles/table1_abom.dir/table1_abom.cc.o.d"
+  "table1_abom"
+  "table1_abom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_abom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

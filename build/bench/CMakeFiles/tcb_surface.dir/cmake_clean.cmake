@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcb_surface.dir/tcb_surface.cc.o"
+  "CMakeFiles/tcb_surface.dir/tcb_surface.cc.o.d"
+  "tcb_surface"
+  "tcb_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcb_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

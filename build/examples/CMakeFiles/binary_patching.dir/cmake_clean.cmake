@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_patching.dir/binary_patching.cpp.o"
+  "CMakeFiles/binary_patching.dir/binary_patching.cpp.o.d"
+  "binary_patching"
+  "binary_patching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_patching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

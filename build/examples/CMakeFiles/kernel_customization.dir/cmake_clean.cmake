@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_customization.dir/kernel_customization.cpp.o"
+  "CMakeFiles/kernel_customization.dir/kernel_customization.cpp.o.d"
+  "kernel_customization"
+  "kernel_customization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_customization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

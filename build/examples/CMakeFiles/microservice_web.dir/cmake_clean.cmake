@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microservice_web.dir/microservice_web.cpp.o"
+  "CMakeFiles/microservice_web.dir/microservice_web.cpp.o.d"
+  "microservice_web"
+  "microservice_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microservice_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for microservice_web.
+# This may be replaced when dependencies are built.

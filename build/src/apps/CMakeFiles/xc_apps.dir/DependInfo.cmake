@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/haproxy.cc" "src/apps/CMakeFiles/xc_apps.dir/haproxy.cc.o" "gcc" "src/apps/CMakeFiles/xc_apps.dir/haproxy.cc.o.d"
+  "/root/repo/src/apps/images.cc" "src/apps/CMakeFiles/xc_apps.dir/images.cc.o" "gcc" "src/apps/CMakeFiles/xc_apps.dir/images.cc.o.d"
+  "/root/repo/src/apps/kv.cc" "src/apps/CMakeFiles/xc_apps.dir/kv.cc.o" "gcc" "src/apps/CMakeFiles/xc_apps.dir/kv.cc.o.d"
+  "/root/repo/src/apps/nginx.cc" "src/apps/CMakeFiles/xc_apps.dir/nginx.cc.o" "gcc" "src/apps/CMakeFiles/xc_apps.dir/nginx.cc.o.d"
+  "/root/repo/src/apps/nginx_php.cc" "src/apps/CMakeFiles/xc_apps.dir/nginx_php.cc.o" "gcc" "src/apps/CMakeFiles/xc_apps.dir/nginx_php.cc.o.d"
+  "/root/repo/src/apps/php_mysql.cc" "src/apps/CMakeFiles/xc_apps.dir/php_mysql.cc.o" "gcc" "src/apps/CMakeFiles/xc_apps.dir/php_mysql.cc.o.d"
+  "/root/repo/src/apps/roster.cc" "src/apps/CMakeFiles/xc_apps.dir/roster.cc.o" "gcc" "src/apps/CMakeFiles/xc_apps.dir/roster.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtimes/CMakeFiles/xc_runtimes.dir/DependInfo.cmake"
+  "/root/repo/build/src/guestos/CMakeFiles/xc_guestos.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/xc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/xc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xen/CMakeFiles/xc_xen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

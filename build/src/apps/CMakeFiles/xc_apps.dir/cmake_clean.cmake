@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xc_apps.dir/haproxy.cc.o"
+  "CMakeFiles/xc_apps.dir/haproxy.cc.o.d"
+  "CMakeFiles/xc_apps.dir/images.cc.o"
+  "CMakeFiles/xc_apps.dir/images.cc.o.d"
+  "CMakeFiles/xc_apps.dir/kv.cc.o"
+  "CMakeFiles/xc_apps.dir/kv.cc.o.d"
+  "CMakeFiles/xc_apps.dir/nginx.cc.o"
+  "CMakeFiles/xc_apps.dir/nginx.cc.o.d"
+  "CMakeFiles/xc_apps.dir/nginx_php.cc.o"
+  "CMakeFiles/xc_apps.dir/nginx_php.cc.o.d"
+  "CMakeFiles/xc_apps.dir/php_mysql.cc.o"
+  "CMakeFiles/xc_apps.dir/php_mysql.cc.o.d"
+  "CMakeFiles/xc_apps.dir/roster.cc.o"
+  "CMakeFiles/xc_apps.dir/roster.cc.o.d"
+  "libxc_apps.a"
+  "libxc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

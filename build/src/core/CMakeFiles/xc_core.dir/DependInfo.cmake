@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/abom.cc" "src/core/CMakeFiles/xc_core.dir/abom.cc.o" "gcc" "src/core/CMakeFiles/xc_core.dir/abom.cc.o.d"
+  "/root/repo/src/core/offline_patch.cc" "src/core/CMakeFiles/xc_core.dir/offline_patch.cc.o" "gcc" "src/core/CMakeFiles/xc_core.dir/offline_patch.cc.o.d"
+  "/root/repo/src/core/platform.cc" "src/core/CMakeFiles/xc_core.dir/platform.cc.o" "gcc" "src/core/CMakeFiles/xc_core.dir/platform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xen/CMakeFiles/xc_xen.dir/DependInfo.cmake"
+  "/root/repo/build/src/guestos/CMakeFiles/xc_guestos.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/xc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/xc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xc_core.dir/abom.cc.o"
+  "CMakeFiles/xc_core.dir/abom.cc.o.d"
+  "CMakeFiles/xc_core.dir/offline_patch.cc.o"
+  "CMakeFiles/xc_core.dir/offline_patch.cc.o.d"
+  "CMakeFiles/xc_core.dir/platform.cc.o"
+  "CMakeFiles/xc_core.dir/platform.cc.o.d"
+  "libxc_core.a"
+  "libxc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guestos/epoll.cc" "src/guestos/CMakeFiles/xc_guestos.dir/epoll.cc.o" "gcc" "src/guestos/CMakeFiles/xc_guestos.dir/epoll.cc.o.d"
+  "/root/repo/src/guestos/file_object.cc" "src/guestos/CMakeFiles/xc_guestos.dir/file_object.cc.o" "gcc" "src/guestos/CMakeFiles/xc_guestos.dir/file_object.cc.o.d"
+  "/root/repo/src/guestos/ipvs.cc" "src/guestos/CMakeFiles/xc_guestos.dir/ipvs.cc.o" "gcc" "src/guestos/CMakeFiles/xc_guestos.dir/ipvs.cc.o.d"
+  "/root/repo/src/guestos/kernel.cc" "src/guestos/CMakeFiles/xc_guestos.dir/kernel.cc.o" "gcc" "src/guestos/CMakeFiles/xc_guestos.dir/kernel.cc.o.d"
+  "/root/repo/src/guestos/net.cc" "src/guestos/CMakeFiles/xc_guestos.dir/net.cc.o" "gcc" "src/guestos/CMakeFiles/xc_guestos.dir/net.cc.o.d"
+  "/root/repo/src/guestos/pipe.cc" "src/guestos/CMakeFiles/xc_guestos.dir/pipe.cc.o" "gcc" "src/guestos/CMakeFiles/xc_guestos.dir/pipe.cc.o.d"
+  "/root/repo/src/guestos/process.cc" "src/guestos/CMakeFiles/xc_guestos.dir/process.cc.o" "gcc" "src/guestos/CMakeFiles/xc_guestos.dir/process.cc.o.d"
+  "/root/repo/src/guestos/sys.cc" "src/guestos/CMakeFiles/xc_guestos.dir/sys.cc.o" "gcc" "src/guestos/CMakeFiles/xc_guestos.dir/sys.cc.o.d"
+  "/root/repo/src/guestos/syscall_nums.cc" "src/guestos/CMakeFiles/xc_guestos.dir/syscall_nums.cc.o" "gcc" "src/guestos/CMakeFiles/xc_guestos.dir/syscall_nums.cc.o.d"
+  "/root/repo/src/guestos/thread.cc" "src/guestos/CMakeFiles/xc_guestos.dir/thread.cc.o" "gcc" "src/guestos/CMakeFiles/xc_guestos.dir/thread.cc.o.d"
+  "/root/repo/src/guestos/vfs.cc" "src/guestos/CMakeFiles/xc_guestos.dir/vfs.cc.o" "gcc" "src/guestos/CMakeFiles/xc_guestos.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/xc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/xc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/xc_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xc_guestos.dir/epoll.cc.o"
+  "CMakeFiles/xc_guestos.dir/epoll.cc.o.d"
+  "CMakeFiles/xc_guestos.dir/file_object.cc.o"
+  "CMakeFiles/xc_guestos.dir/file_object.cc.o.d"
+  "CMakeFiles/xc_guestos.dir/ipvs.cc.o"
+  "CMakeFiles/xc_guestos.dir/ipvs.cc.o.d"
+  "CMakeFiles/xc_guestos.dir/kernel.cc.o"
+  "CMakeFiles/xc_guestos.dir/kernel.cc.o.d"
+  "CMakeFiles/xc_guestos.dir/net.cc.o"
+  "CMakeFiles/xc_guestos.dir/net.cc.o.d"
+  "CMakeFiles/xc_guestos.dir/pipe.cc.o"
+  "CMakeFiles/xc_guestos.dir/pipe.cc.o.d"
+  "CMakeFiles/xc_guestos.dir/process.cc.o"
+  "CMakeFiles/xc_guestos.dir/process.cc.o.d"
+  "CMakeFiles/xc_guestos.dir/sys.cc.o"
+  "CMakeFiles/xc_guestos.dir/sys.cc.o.d"
+  "CMakeFiles/xc_guestos.dir/syscall_nums.cc.o"
+  "CMakeFiles/xc_guestos.dir/syscall_nums.cc.o.d"
+  "CMakeFiles/xc_guestos.dir/thread.cc.o"
+  "CMakeFiles/xc_guestos.dir/thread.cc.o.d"
+  "CMakeFiles/xc_guestos.dir/vfs.cc.o"
+  "CMakeFiles/xc_guestos.dir/vfs.cc.o.d"
+  "libxc_guestos.a"
+  "libxc_guestos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xc_guestos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/guestos/CMakeFiles/xc_guestos.dir/syscall_nums.cc.o: \
+ /root/repo/src/guestos/syscall_nums.cc /usr/include/stdc-predef.h \
+ /root/repo/src/guestos/syscall_nums.h

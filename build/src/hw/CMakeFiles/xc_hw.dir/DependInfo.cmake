@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cost_model.cc" "src/hw/CMakeFiles/xc_hw.dir/cost_model.cc.o" "gcc" "src/hw/CMakeFiles/xc_hw.dir/cost_model.cc.o.d"
+  "/root/repo/src/hw/cpu_pool.cc" "src/hw/CMakeFiles/xc_hw.dir/cpu_pool.cc.o" "gcc" "src/hw/CMakeFiles/xc_hw.dir/cpu_pool.cc.o.d"
+  "/root/repo/src/hw/machine.cc" "src/hw/CMakeFiles/xc_hw.dir/machine.cc.o" "gcc" "src/hw/CMakeFiles/xc_hw.dir/machine.cc.o.d"
+  "/root/repo/src/hw/page_table.cc" "src/hw/CMakeFiles/xc_hw.dir/page_table.cc.o" "gcc" "src/hw/CMakeFiles/xc_hw.dir/page_table.cc.o.d"
+  "/root/repo/src/hw/phys_memory.cc" "src/hw/CMakeFiles/xc_hw.dir/phys_memory.cc.o" "gcc" "src/hw/CMakeFiles/xc_hw.dir/phys_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/xc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

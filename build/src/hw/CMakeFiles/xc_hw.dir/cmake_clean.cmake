@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xc_hw.dir/cost_model.cc.o"
+  "CMakeFiles/xc_hw.dir/cost_model.cc.o.d"
+  "CMakeFiles/xc_hw.dir/cpu_pool.cc.o"
+  "CMakeFiles/xc_hw.dir/cpu_pool.cc.o.d"
+  "CMakeFiles/xc_hw.dir/machine.cc.o"
+  "CMakeFiles/xc_hw.dir/machine.cc.o.d"
+  "CMakeFiles/xc_hw.dir/page_table.cc.o"
+  "CMakeFiles/xc_hw.dir/page_table.cc.o.d"
+  "CMakeFiles/xc_hw.dir/phys_memory.cc.o"
+  "CMakeFiles/xc_hw.dir/phys_memory.cc.o.d"
+  "libxc_hw.a"
+  "libxc_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xc_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xc_isa.dir/insn.cc.o"
+  "CMakeFiles/xc_isa.dir/insn.cc.o.d"
+  "CMakeFiles/xc_isa.dir/interpreter.cc.o"
+  "CMakeFiles/xc_isa.dir/interpreter.cc.o.d"
+  "CMakeFiles/xc_isa.dir/syscall_stub.cc.o"
+  "CMakeFiles/xc_isa.dir/syscall_stub.cc.o.d"
+  "libxc_isa.a"
+  "libxc_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xc_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xc_load.dir/driver.cc.o"
+  "CMakeFiles/xc_load.dir/driver.cc.o.d"
+  "CMakeFiles/xc_load.dir/iperf.cc.o"
+  "CMakeFiles/xc_load.dir/iperf.cc.o.d"
+  "CMakeFiles/xc_load.dir/unixbench.cc.o"
+  "CMakeFiles/xc_load.dir/unixbench.cc.o.d"
+  "libxc_load.a"
+  "libxc_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xc_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtimes/clear_container.cc" "src/runtimes/CMakeFiles/xc_runtimes.dir/clear_container.cc.o" "gcc" "src/runtimes/CMakeFiles/xc_runtimes.dir/clear_container.cc.o.d"
+  "/root/repo/src/runtimes/docker.cc" "src/runtimes/CMakeFiles/xc_runtimes.dir/docker.cc.o" "gcc" "src/runtimes/CMakeFiles/xc_runtimes.dir/docker.cc.o.d"
+  "/root/repo/src/runtimes/graphene.cc" "src/runtimes/CMakeFiles/xc_runtimes.dir/graphene.cc.o" "gcc" "src/runtimes/CMakeFiles/xc_runtimes.dir/graphene.cc.o.d"
+  "/root/repo/src/runtimes/gvisor.cc" "src/runtimes/CMakeFiles/xc_runtimes.dir/gvisor.cc.o" "gcc" "src/runtimes/CMakeFiles/xc_runtimes.dir/gvisor.cc.o.d"
+  "/root/repo/src/runtimes/unikernel.cc" "src/runtimes/CMakeFiles/xc_runtimes.dir/unikernel.cc.o" "gcc" "src/runtimes/CMakeFiles/xc_runtimes.dir/unikernel.cc.o.d"
+  "/root/repo/src/runtimes/x_container.cc" "src/runtimes/CMakeFiles/xc_runtimes.dir/x_container.cc.o" "gcc" "src/runtimes/CMakeFiles/xc_runtimes.dir/x_container.cc.o.d"
+  "/root/repo/src/runtimes/xen_container.cc" "src/runtimes/CMakeFiles/xc_runtimes.dir/xen_container.cc.o" "gcc" "src/runtimes/CMakeFiles/xc_runtimes.dir/xen_container.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xen/CMakeFiles/xc_xen.dir/DependInfo.cmake"
+  "/root/repo/build/src/guestos/CMakeFiles/xc_guestos.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/xc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/xc_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

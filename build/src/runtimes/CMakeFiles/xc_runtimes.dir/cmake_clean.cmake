@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xc_runtimes.dir/clear_container.cc.o"
+  "CMakeFiles/xc_runtimes.dir/clear_container.cc.o.d"
+  "CMakeFiles/xc_runtimes.dir/docker.cc.o"
+  "CMakeFiles/xc_runtimes.dir/docker.cc.o.d"
+  "CMakeFiles/xc_runtimes.dir/graphene.cc.o"
+  "CMakeFiles/xc_runtimes.dir/graphene.cc.o.d"
+  "CMakeFiles/xc_runtimes.dir/gvisor.cc.o"
+  "CMakeFiles/xc_runtimes.dir/gvisor.cc.o.d"
+  "CMakeFiles/xc_runtimes.dir/unikernel.cc.o"
+  "CMakeFiles/xc_runtimes.dir/unikernel.cc.o.d"
+  "CMakeFiles/xc_runtimes.dir/x_container.cc.o"
+  "CMakeFiles/xc_runtimes.dir/x_container.cc.o.d"
+  "CMakeFiles/xc_runtimes.dir/xen_container.cc.o"
+  "CMakeFiles/xc_runtimes.dir/xen_container.cc.o.d"
+  "libxc_runtimes.a"
+  "libxc_runtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xc_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xc_sim.dir/event_queue.cc.o"
+  "CMakeFiles/xc_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/xc_sim.dir/logging.cc.o"
+  "CMakeFiles/xc_sim.dir/logging.cc.o.d"
+  "CMakeFiles/xc_sim.dir/rng.cc.o"
+  "CMakeFiles/xc_sim.dir/rng.cc.o.d"
+  "CMakeFiles/xc_sim.dir/stats.cc.o"
+  "CMakeFiles/xc_sim.dir/stats.cc.o.d"
+  "CMakeFiles/xc_sim.dir/trace.cc.o"
+  "CMakeFiles/xc_sim.dir/trace.cc.o.d"
+  "libxc_sim.a"
+  "libxc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

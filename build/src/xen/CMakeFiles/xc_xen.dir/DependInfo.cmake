@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xen/balloon.cc" "src/xen/CMakeFiles/xc_xen.dir/balloon.cc.o" "gcc" "src/xen/CMakeFiles/xc_xen.dir/balloon.cc.o.d"
+  "/root/repo/src/xen/event_channel.cc" "src/xen/CMakeFiles/xc_xen.dir/event_channel.cc.o" "gcc" "src/xen/CMakeFiles/xc_xen.dir/event_channel.cc.o.d"
+  "/root/repo/src/xen/hypervisor.cc" "src/xen/CMakeFiles/xc_xen.dir/hypervisor.cc.o" "gcc" "src/xen/CMakeFiles/xc_xen.dir/hypervisor.cc.o.d"
+  "/root/repo/src/xen/migration.cc" "src/xen/CMakeFiles/xc_xen.dir/migration.cc.o" "gcc" "src/xen/CMakeFiles/xc_xen.dir/migration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/guestos/CMakeFiles/xc_guestos.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/xc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/xc_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xc_xen.dir/balloon.cc.o"
+  "CMakeFiles/xc_xen.dir/balloon.cc.o.d"
+  "CMakeFiles/xc_xen.dir/event_channel.cc.o"
+  "CMakeFiles/xc_xen.dir/event_channel.cc.o.d"
+  "CMakeFiles/xc_xen.dir/hypervisor.cc.o"
+  "CMakeFiles/xc_xen.dir/hypervisor.cc.o.d"
+  "CMakeFiles/xc_xen.dir/migration.cc.o"
+  "CMakeFiles/xc_xen.dir/migration.cc.o.d"
+  "libxc_xen.a"
+  "libxc_xen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xc_xen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/guestos/test_ipvs.cc" "tests/CMakeFiles/test_guestos.dir/guestos/test_ipvs.cc.o" "gcc" "tests/CMakeFiles/test_guestos.dir/guestos/test_ipvs.cc.o.d"
+  "/root/repo/tests/guestos/test_isolation.cc" "tests/CMakeFiles/test_guestos.dir/guestos/test_isolation.cc.o" "gcc" "tests/CMakeFiles/test_guestos.dir/guestos/test_isolation.cc.o.d"
+  "/root/repo/tests/guestos/test_net.cc" "tests/CMakeFiles/test_guestos.dir/guestos/test_net.cc.o" "gcc" "tests/CMakeFiles/test_guestos.dir/guestos/test_net.cc.o.d"
+  "/root/repo/tests/guestos/test_net_edge.cc" "tests/CMakeFiles/test_guestos.dir/guestos/test_net_edge.cc.o" "gcc" "tests/CMakeFiles/test_guestos.dir/guestos/test_net_edge.cc.o.d"
+  "/root/repo/tests/guestos/test_proc.cc" "tests/CMakeFiles/test_guestos.dir/guestos/test_proc.cc.o" "gcc" "tests/CMakeFiles/test_guestos.dir/guestos/test_proc.cc.o.d"
+  "/root/repo/tests/guestos/test_sched.cc" "tests/CMakeFiles/test_guestos.dir/guestos/test_sched.cc.o" "gcc" "tests/CMakeFiles/test_guestos.dir/guestos/test_sched.cc.o.d"
+  "/root/repo/tests/guestos/test_signals.cc" "tests/CMakeFiles/test_guestos.dir/guestos/test_signals.cc.o" "gcc" "tests/CMakeFiles/test_guestos.dir/guestos/test_signals.cc.o.d"
+  "/root/repo/tests/guestos/test_sync.cc" "tests/CMakeFiles/test_guestos.dir/guestos/test_sync.cc.o" "gcc" "tests/CMakeFiles/test_guestos.dir/guestos/test_sync.cc.o.d"
+  "/root/repo/tests/guestos/test_syscalls.cc" "tests/CMakeFiles/test_guestos.dir/guestos/test_syscalls.cc.o" "gcc" "tests/CMakeFiles/test_guestos.dir/guestos/test_syscalls.cc.o.d"
+  "/root/repo/tests/guestos/test_vfs.cc" "tests/CMakeFiles/test_guestos.dir/guestos/test_vfs.cc.o" "gcc" "tests/CMakeFiles/test_guestos.dir/guestos/test_vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/xc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/load/CMakeFiles/xc_load.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtimes/CMakeFiles/xc_runtimes.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xen/CMakeFiles/xc_xen.dir/DependInfo.cmake"
+  "/root/repo/build/src/guestos/CMakeFiles/xc_guestos.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/xc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/xc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

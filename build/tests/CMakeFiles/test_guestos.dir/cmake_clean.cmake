@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guestos.dir/guestos/test_ipvs.cc.o"
+  "CMakeFiles/test_guestos.dir/guestos/test_ipvs.cc.o.d"
+  "CMakeFiles/test_guestos.dir/guestos/test_isolation.cc.o"
+  "CMakeFiles/test_guestos.dir/guestos/test_isolation.cc.o.d"
+  "CMakeFiles/test_guestos.dir/guestos/test_net.cc.o"
+  "CMakeFiles/test_guestos.dir/guestos/test_net.cc.o.d"
+  "CMakeFiles/test_guestos.dir/guestos/test_net_edge.cc.o"
+  "CMakeFiles/test_guestos.dir/guestos/test_net_edge.cc.o.d"
+  "CMakeFiles/test_guestos.dir/guestos/test_proc.cc.o"
+  "CMakeFiles/test_guestos.dir/guestos/test_proc.cc.o.d"
+  "CMakeFiles/test_guestos.dir/guestos/test_sched.cc.o"
+  "CMakeFiles/test_guestos.dir/guestos/test_sched.cc.o.d"
+  "CMakeFiles/test_guestos.dir/guestos/test_signals.cc.o"
+  "CMakeFiles/test_guestos.dir/guestos/test_signals.cc.o.d"
+  "CMakeFiles/test_guestos.dir/guestos/test_sync.cc.o"
+  "CMakeFiles/test_guestos.dir/guestos/test_sync.cc.o.d"
+  "CMakeFiles/test_guestos.dir/guestos/test_syscalls.cc.o"
+  "CMakeFiles/test_guestos.dir/guestos/test_syscalls.cc.o.d"
+  "CMakeFiles/test_guestos.dir/guestos/test_vfs.cc.o"
+  "CMakeFiles/test_guestos.dir/guestos/test_vfs.cc.o.d"
+  "test_guestos"
+  "test_guestos.pdb"
+  "test_guestos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guestos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa.dir/isa/test_assembler.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_assembler.cc.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_decode.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_decode.cc.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_decode_fuzz.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_decode_fuzz.cc.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_interpreter.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_interpreter.cc.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_stubs.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_stubs.cc.o.d"
+  "test_isa"
+  "test_isa.pdb"
+  "test_isa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_load.dir/load/test_load.cc.o"
+  "CMakeFiles/test_load.dir/load/test_load.cc.o.d"
+  "test_load"
+  "test_load.pdb"
+  "test_load[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

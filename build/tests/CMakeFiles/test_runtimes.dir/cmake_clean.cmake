@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtimes.dir/runtimes/test_ports.cc.o"
+  "CMakeFiles/test_runtimes.dir/runtimes/test_ports.cc.o.d"
+  "CMakeFiles/test_runtimes.dir/runtimes/test_properties.cc.o"
+  "CMakeFiles/test_runtimes.dir/runtimes/test_properties.cc.o.d"
+  "CMakeFiles/test_runtimes.dir/runtimes/test_stack.cc.o"
+  "CMakeFiles/test_runtimes.dir/runtimes/test_stack.cc.o.d"
+  "test_runtimes"
+  "test_runtimes.pdb"
+  "test_runtimes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_event_queue.cc" "tests/CMakeFiles/test_sim.dir/sim/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_event_queue.cc.o.d"
+  "/root/repo/tests/sim/test_logging.cc" "tests/CMakeFiles/test_sim.dir/sim/test_logging.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_logging.cc.o.d"
+  "/root/repo/tests/sim/test_rng.cc" "tests/CMakeFiles/test_sim.dir/sim/test_rng.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_rng.cc.o.d"
+  "/root/repo/tests/sim/test_stats.cc" "tests/CMakeFiles/test_sim.dir/sim/test_stats.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_stats.cc.o.d"
+  "/root/repo/tests/sim/test_task.cc" "tests/CMakeFiles/test_sim.dir/sim/test_task.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_task.cc.o.d"
+  "/root/repo/tests/sim/test_trace.cc" "tests/CMakeFiles/test_sim.dir/sim/test_trace.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/xc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/load/CMakeFiles/xc_load.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtimes/CMakeFiles/xc_runtimes.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xen/CMakeFiles/xc_xen.dir/DependInfo.cmake"
+  "/root/repo/build/src/guestos/CMakeFiles/xc_guestos.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/xc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/xc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

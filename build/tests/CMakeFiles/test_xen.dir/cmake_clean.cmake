@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xen.dir/xen/test_balloon_migration.cc.o"
+  "CMakeFiles/test_xen.dir/xen/test_balloon_migration.cc.o.d"
+  "CMakeFiles/test_xen.dir/xen/test_hypervisor.cc.o"
+  "CMakeFiles/test_xen.dir/xen/test_hypervisor.cc.o.d"
+  "test_xen"
+  "test_xen.pdb"
+  "test_xen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
