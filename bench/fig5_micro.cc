@@ -13,15 +13,33 @@
 
 #include "common.h"
 
+#include <cstring>
+
 #include "load/iperf.h"
 #include "load/unixbench.h"
+#include "sim/trace.h"
 
 using namespace xc;
 using namespace xc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string trace_path;
+    bool mech_report = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--mech") == 0) {
+            mech_report = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--trace out.json] [--mech]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
     struct Cloud
     {
         const char *label;
@@ -41,6 +59,9 @@ main()
 
     std::printf("Figure 5: relative microbenchmark performance "
                 "(higher is better)\n\n");
+
+    if (!trace_path.empty())
+        sim::trace::startCapture();
 
     for (const Cloud &cloud : clouds) {
         for (int copies : {1, 4}) {
@@ -64,6 +85,8 @@ main()
                         "  %-28s %12.0f ops/s  (%5.2fx)\n",
                         rk.label.c_str(), r.opsPerSec,
                         docker > 0 ? r.opsPerSec / docker : 0.0);
+                    if (mech_report)
+                        std::printf("%s", r.mechReport().c_str());
                 }
             }
             // iperf throughput.
@@ -87,6 +110,19 @@ main()
             }
             std::printf("\n");
         }
+    }
+
+    if (!trace_path.empty()) {
+        sim::trace::stopCapture();
+        if (!sim::trace::saveJson(trace_path)) {
+            std::fprintf(stderr, "failed to write %s\n",
+                        trace_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %zu trace events to %s (%llu dropped)\n",
+                    sim::trace::capturedEvents(), trace_path.c_str(),
+                    static_cast<unsigned long long>(
+                        sim::trace::droppedEvents()));
     }
     return 0;
 }

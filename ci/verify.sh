@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite.
+# This is the exact command sequence ROADMAP.md documents; CI and
+# local runs share it so "works in CI" means "works with ROADMAP.md".
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+cd build
+ctest --output-on-failure -j"$(nproc)"

@@ -48,6 +48,7 @@ class XcSyscallEnv : public isa::ExecEnv
             r == PatchResult::Patched9Phase1) {
             cost += kPatchCost;
         }
+        xk.machine().mech().add(sim::Mech::SyscallTrap, cost);
         bound->charge(cost);
         return ip_after;
     }
@@ -59,6 +60,9 @@ class XcSyscallEnv : public isa::ExecEnv
         // Fast path: the patched call lands directly in the X-LibOS
         // entry table.
         xk.abom().countDirectCall();
+        xk.machine().mech().add(
+            sim::Mech::PatchedCall,
+            xk.machine().costs().functionCallDispatch);
         bound->charge(xk.machine().costs().functionCallDispatch);
         // The handler checks the return address for a stale syscall
         // or the phase-2 jmp and skips it (§4.4).
@@ -123,6 +127,8 @@ class XcPort : public guestos::PlatformPort
                         std::uint64_t ptes) override
     {
         xk.countHypercall(xen::Hypercall::MmuUpdate);
+        xk.machine().mech().add(sim::Mech::PtValidation,
+                                c.mmuUpdatePte * ptes, ptes);
         return xk.hypercallCost(xen::Hypercall::MmuUpdate) +
                c.mmuUpdatePte * ptes + xk.hypercallKptiExtra();
     }
@@ -139,6 +145,8 @@ class XcPort : public guestos::PlatformPort
     {
         // The X-LibOS emulates the interrupt stack frame and jumps
         // into the handler without entering the X-Kernel (§4.2).
+        xk.machine().mech().add(sim::Mech::EvtchnNotify,
+                                c.xcEventDelivery);
         return c.xcEventDelivery;
     }
 

@@ -371,8 +371,11 @@ GuestKernel::dispatchThread(Vcpu *v, Thread *t)
     XC_TRACE(Sched, now(), config.name.c_str(),
              "dispatch %s on vcpu%d (runq=%zu)", t->name().c_str(),
              v->idx(), runq.size());
+    XC_TRACE_INSTANT(Sched, now(), config.name.c_str(), v->idx(),
+                     "dispatch");
     ++stats_.threadSwitches;
     hw::Cycles cost = threadSwitchCost(v, nullptr, t);
+    machine_.mech().add(sim::Mech::ContextSwitch, cost);
     v->current_ = t;
     v->lastPid_ = t->process().pid();
     t->vcpu_ = v;
@@ -570,8 +573,11 @@ GuestKernel::syscallBinary(Thread &t, int nr)
                        syscallName(nr));
     } else {
         // Images without a binary model: plain trap cost.
-        t.charge(costs().syscallTrap +
-                 (config.traits.kpti ? costs().kptiTrapOverhead : 0));
+        hw::Cycles cost =
+            costs().syscallTrap +
+            (config.traits.kpti ? costs().kptiTrapOverhead : 0);
+        machine_.mech().add(sim::Mech::SyscallTrap, cost);
+        t.charge(cost);
     }
     co_await t.flushCompute();
 }
@@ -581,6 +587,8 @@ GuestKernel::syscall(Thread &t, int nr, SysArgs args)
 {
     XC_TRACE(Syscall, now(), config.name.c_str(), "%s by %s",
              syscallName(nr), t.name().c_str());
+    XC_TRACE_SPAN(Syscall, machine_.events(), config.name.c_str(),
+                  static_cast<int>(t.tid()), syscallName(nr));
     // Pending handled signals are delivered at kernel entry: build
     // the signal frame, run the handler, return via rt_sigreturn
     // (whose wrapper is the 9-byte mov-rax pattern of Fig. 2).

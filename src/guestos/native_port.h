@@ -11,6 +11,7 @@
 
 #include "guestos/platform_port.h"
 #include "guestos/thread.h"
+#include "sim/mech_counters.h"
 
 namespace xc::guestos {
 
@@ -19,9 +20,10 @@ class NativeSyscallEnv : public isa::ExecEnv
 {
   public:
     NativeSyscallEnv(const hw::CostModel &costs, bool kpti,
-                     hw::Cycles trap_cost, hw::Cycles extra_per_call)
+                     hw::Cycles trap_cost, hw::Cycles extra_per_call,
+                     sim::MechanismCounters *mech = nullptr)
         : costs(costs), kpti(kpti), trapCost(trap_cost),
-          extraPerCall(extra_per_call)
+          extraPerCall(extra_per_call), mech(mech)
     {
     }
 
@@ -34,8 +36,11 @@ class NativeSyscallEnv : public isa::ExecEnv
               isa::GuestAddr ip_after) override
     {
         ++traps_;
-        bound->charge(trapCost + extraPerCall +
-                      (kpti ? costs.kptiTrapOverhead : 0));
+        hw::Cycles cost = trapCost + extraPerCall +
+                          (kpti ? costs.kptiTrapOverhead : 0);
+        if (mech != nullptr)
+            mech->add(sim::Mech::SyscallTrap, cost);
+        bound->charge(cost);
         return ip_after;
     }
 
@@ -60,6 +65,7 @@ class NativeSyscallEnv : public isa::ExecEnv
     bool kpti;
     hw::Cycles trapCost;
     hw::Cycles extraPerCall;
+    sim::MechanismCounters *mech;
     Thread *bound = nullptr;
     std::uint64_t traps_ = 0;
 };
@@ -86,6 +92,10 @@ class NativePort : public PlatformPort
         /** Extra cost of delivering an interrupt into this kernel
          *  (nested-virt injection exits for Clear Containers). */
         hw::Cycles eventDeliveryExtra = 0;
+        /** Machine-wide mechanism registry to record into. The
+         *  packetExtra/eventDeliveryExtra surcharges are attributed
+         *  as VM exits (they model nested-virt exit costs). */
+        sim::MechanismCounters *mech = nullptr;
     };
 
     NativePort(const hw::CostModel &costs, Options opt)
@@ -93,7 +103,7 @@ class NativePort : public PlatformPort
           env(costs, opt.kpti,
               opt.trapCostOverride ? opt.trapCostOverride
                                    : costs.syscallTrap,
-              opt.seccompPerSyscall)
+              opt.seccompPerSyscall, opt.mech)
     {
     }
 
@@ -121,6 +131,10 @@ class NativePort : public PlatformPort
     eventDeliveryCost(const hw::CostModel &c) override
     {
         // Native interrupt entry; KPTI taxes these too.
+        if (opts.mech != nullptr && opts.eventDeliveryExtra > 0) {
+            opts.mech->add(sim::Mech::VmExit,
+                           opts.eventDeliveryExtra);
+        }
         return 250 + opts.eventDeliveryExtra +
                (opts.kpti ? c.kptiTrapOverhead / 2 : 0);
     }
@@ -129,6 +143,8 @@ class NativePort : public PlatformPort
     netPathExtraPerPacket(const hw::CostModel &c, bool) override
     {
         hw::Cycles extra = opts.packetExtra;
+        if (opts.mech != nullptr && opts.packetExtra > 0)
+            opts.mech->add(sim::Mech::VmExit, opts.packetExtra);
         if (opts.containerNet)
             extra += c.natPerPacket + c.vethPerPacket;
         return extra;

@@ -23,9 +23,10 @@ PipeEnd::read(Thread &t, std::uint64_t n)
 
     std::uint64_t got = std::min(n, core_->buffered);
     core_->buffered -= got;
-    hw::Cycles work = kernel_.serviceCost(costs.pipeOp) +
-                      static_cast<hw::Cycles>(
-                          costs.copyPerByte * static_cast<double>(got));
+    hw::Cycles copy = static_cast<hw::Cycles>(
+        costs.copyPerByte * static_cast<double>(got));
+    kernel_.machine().mech().add(sim::Mech::RingCopy, copy);
+    hw::Cycles work = kernel_.serviceCost(costs.pipeOp) + copy;
     core_->writers.wakeAll();
     readinessChanged();
     if (core_->writeEnd)
@@ -56,9 +57,10 @@ PipeEnd::write(Thread &t, std::uint64_t n)
     }
 
     core_->buffered += chunk;
-    hw::Cycles work = kernel_.serviceCost(costs.pipeOp) +
-                      static_cast<hw::Cycles>(
-                          costs.copyPerByte * static_cast<double>(chunk));
+    hw::Cycles copy = static_cast<hw::Cycles>(
+        costs.copyPerByte * static_cast<double>(chunk));
+    kernel_.machine().mech().add(sim::Mech::RingCopy, copy);
+    hw::Cycles work = kernel_.serviceCost(costs.pipeOp) + copy;
     core_->readers.wakeAll();
     readinessChanged();
     if (core_->readEnd)

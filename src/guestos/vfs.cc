@@ -24,9 +24,10 @@ VfsFile::read(Thread &t, std::uint64_t n)
         offset_ >= inode_->size ? 0 : inode_->size - offset_;
     std::uint64_t got = std::min(n, avail);
 
-    hw::Cycles work = kernel_.serviceCost(costs.vfsOp) +
-                      static_cast<hw::Cycles>(
-                          costs.copyPerByte * static_cast<double>(got));
+    hw::Cycles copy = static_cast<hw::Cycles>(
+        costs.copyPerByte * static_cast<double>(got));
+    kernel_.machine().mech().add(sim::Mech::RingCopy, copy);
+    hw::Cycles work = kernel_.serviceCost(costs.vfsOp) + copy;
     if (!inode_->cached) {
         work += costs.blockOp;
         inode_->cached = true;
@@ -42,9 +43,10 @@ VfsFile::write(Thread &t, std::uint64_t n)
     if ((flags_ & 3) == ORdOnly)
         co_return -ERR_BADF;
     const auto &costs = kernel_.costs();
-    hw::Cycles work = kernel_.serviceCost(costs.vfsOp) +
-                      static_cast<hw::Cycles>(
-                          costs.copyPerByte * static_cast<double>(n));
+    hw::Cycles copy = static_cast<hw::Cycles>(
+        costs.copyPerByte * static_cast<double>(n));
+    kernel_.machine().mech().add(sim::Mech::RingCopy, copy);
+    hw::Cycles work = kernel_.serviceCost(costs.vfsOp) + copy;
     offset_ += n;
     if (offset_ > inode_->size)
         inode_->size = offset_;

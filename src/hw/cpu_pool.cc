@@ -58,6 +58,7 @@ CorePool::dispatch(int core)
 
     Cycles cost = config.switchCost + decisionCost();
     cpuOf(core).account(config.chargeClass, cost);
+    machine.mech().add(sim::Mech::ContextSwitch, cost);
     sim::Tick when = machine.now() + machine.cyclesToTicks(cost);
     sliceEnd[core] = when + config.quantum;
     ++grants_;

@@ -9,8 +9,10 @@ Machine::Machine(MachineSpec spec, std::uint64_t seed)
 {
     int logical = spec_.cores * spec_.threadsPerCore;
     cpus_.reserve(logical);
-    for (int i = 0; i < logical; ++i)
+    for (int i = 0; i < logical; ++i) {
         cpus_.push_back(std::make_unique<Cpu>(i, spec_));
+        cpus_.back()->tlb().attachMech(&mech_);
+    }
 }
 
 std::string

@@ -16,6 +16,7 @@
 #include "hw/cost_model.h"
 #include "hw/phys_memory.h"
 #include "sim/event_queue.h"
+#include "sim/mech_counters.h"
 #include "sim/rng.h"
 #include "sim/stats.h"
 
@@ -31,6 +32,9 @@ namespace xc::hw {
 class Tlb
 {
   public:
+    /** Route flush counts into a machine-wide mechanism registry. */
+    void attachMech(sim::MechanismCounters *mech) { mech_ = mech; }
+
     /**
      * Address-space switch (CR3 write).
      * @param kernel_global whether kernel mappings carry the global
@@ -45,6 +49,8 @@ class Tlb
         if (!kernel_global) {
             ++kernelFlushes_;
             penalty += costs.tlbRefillKernel;
+            if (mech_ != nullptr)
+                mech_->add(sim::Mech::TlbFlush, costs.tlbRefillKernel);
         }
         return penalty;
     }
@@ -54,6 +60,10 @@ class Tlb
     onFullFlush(const CostModel &costs)
     {
         ++fullFlushes_;
+        if (mech_ != nullptr) {
+            mech_->add(sim::Mech::TlbFlush,
+                       costs.tlbRefillUser + costs.tlbRefillKernel);
+        }
         return costs.tlbRefillUser + costs.tlbRefillKernel;
     }
 
@@ -62,6 +72,7 @@ class Tlb
     std::uint64_t fullFlushes() const { return fullFlushes_; }
 
   private:
+    sim::MechanismCounters *mech_ = nullptr;
     std::uint64_t switches_ = 0;
     std::uint64_t kernelFlushes_ = 0;
     std::uint64_t fullFlushes_ = 0;
@@ -119,6 +130,10 @@ class Machine
     sim::StatRegistry &stats() { return stats_; }
     PhysMemory &memory() { return memory_; }
 
+    /** Machine-wide mechanism counters (see sim/mech_counters.h). */
+    sim::MechanismCounters &mech() { return mech_; }
+    const sim::MechanismCounters &mech() const { return mech_; }
+
     int numCpus() const { return static_cast<int>(cpus_.size()); }
     Cpu &cpu(int i) { return *cpus_.at(i); }
 
@@ -139,6 +154,7 @@ class Machine
     sim::EventQueue events_;
     sim::Rng rng_;
     sim::StatRegistry stats_;
+    sim::MechanismCounters mech_;
     PhysMemory memory_;
     std::vector<std::unique_ptr<Cpu>> cpus_;
 };

@@ -25,9 +25,18 @@ ClosedLoopDriver::ClosedLoopDriver(guestos::NetFabric &fabric,
 ClosedLoopDriver::~ClosedLoopDriver() = default;
 
 void
+ClosedLoopDriver::observeMech(const sim::MechanismCounters &mech)
+{
+    observedMech = &mech;
+    mechAtStart = mech.snapshot();
+}
+
+void
 ClosedLoopDriver::start()
 {
     startedAt = fabric.events().now();
+    if (observedMech != nullptr)
+        mechAtStart = observedMech->snapshot();
     windowStart = startedAt + spec.warmup;
     windowEnd = windowStart + spec.duration;
     for (int i = 0; i < spec.connections; ++i) {
@@ -131,6 +140,8 @@ ClosedLoopDriver::collect()
     r.seconds = sim::ticksToSeconds(spec.duration);
     r.throughput = static_cast<double>(counted) / r.seconds;
     r.errors = errors;
+    if (observedMech != nullptr)
+        r.mech = observedMech->snapshot() - mechAtStart;
     if (!latenciesUs.empty()) {
         std::sort(latenciesUs.begin(), latenciesUs.end());
         double sum = 0;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "guestos/net.h"
+#include "sim/mech_counters.h"
 #include "sim/rng.h"
 #include "sim/stats.h"
 
@@ -55,6 +56,14 @@ struct LoadResult
     double p50LatencyUs = 0.0;
     double p99LatencyUs = 0.0;
     std::uint64_t errors = 0;
+    /** Mechanism counts/cycles accrued between start() and
+     *  collect() on the observed machine (zero if none observed). */
+    sim::MechSnapshot mech;
+
+    /** Cycles-by-mechanism histogram (renderMechTable). */
+    std::string mechReport() const { return renderMechTable(mech); }
+    /** The same attribution as JSON (renderMechJson). */
+    std::string mechJson() const { return renderMechJson(mech); }
 };
 
 /**
@@ -70,6 +79,13 @@ class ClosedLoopDriver
 
     /** Open all connections and begin issuing requests. */
     void start();
+
+    /**
+     * Attribute the run's mechanism counters: snapshot @p mech at
+     * start() and report the delta in collect()'s LoadResult. Call
+     * before start() with the server machine's registry.
+     */
+    void observeMech(const sim::MechanismCounters &mech);
 
     /** Stop and compute results (call after the queue ran past
      *  warmup + duration). */
@@ -88,6 +104,8 @@ class ClosedLoopDriver
     guestos::NetFabric &fabric;
     WorkloadSpec spec;
     sim::Rng rng;
+    const sim::MechanismCounters *observedMech = nullptr;
+    sim::MechSnapshot mechAtStart;
     std::vector<std::unique_ptr<Conn>> conns;
     sim::Tick startedAt = 0;
     sim::Tick windowStart = 0;

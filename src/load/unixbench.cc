@@ -224,6 +224,7 @@ runMicro(runtimes::Runtime &rt, MicroKind kind, sim::Tick duration,
                            std::move(body));
     }
 
+    sim::MechSnapshot before = rt.machine().mech().snapshot();
     rt.machine().events().runUntil(run->deadline +
                                    200 * sim::kTicksPerMs);
 
@@ -231,6 +232,7 @@ runMicro(runtimes::Runtime &rt, MicroKind kind, sim::Tick duration,
     result.ops = run->ops;
     result.seconds = sim::ticksToSeconds(duration);
     result.opsPerSec = static_cast<double>(run->ops) / result.seconds;
+    result.mech = rt.machine().mech().snapshot() - before;
     return result;
 }
 

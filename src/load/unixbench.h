@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "runtimes/runtime.h"
+#include "sim/mech_counters.h"
 
 namespace xc::load {
 
@@ -37,6 +38,14 @@ struct MicroResult
     std::uint64_t ops = 0;
     double seconds = 0.0;
     double opsPerSec = 0.0;
+    /** Mechanism counts/cycles accrued on the runtime's machine
+     *  over the benchmark run. */
+    sim::MechSnapshot mech;
+
+    /** Cycles-by-mechanism histogram (renderMechTable). */
+    std::string mechReport() const { return renderMechTable(mech); }
+    /** The same attribution as JSON (renderMechJson). */
+    std::string mechJson() const { return renderMechJson(mech); }
 };
 
 /**

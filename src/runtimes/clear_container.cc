@@ -28,6 +28,7 @@ ClearContainer::ClearContainer(hw::Machine &machine,
         (nested ? machine.costs().vmexitNested
                 : machine.costs().vmexit) /
         2;
+    popts.mech = &machine.mech();
     port_ = std::make_unique<guestos::NativePort>(machine.costs(),
                                                   popts);
 

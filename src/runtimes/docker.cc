@@ -20,6 +20,7 @@ DockerRuntime::DockerRuntime(Options opt)
     port_opts.kpti = opt.meltdownPatched;
     port_opts.containerNet = true; // veth + bridge + NAT
     port_opts.seccompPerSyscall = 55;
+    port_opts.mech = &machine_->mech();
     port = std::make_unique<guestos::NativePort>(machine_->costs(),
                                                  port_opts);
 

@@ -8,7 +8,8 @@ GrapheneInstance::GrapheneInstance(hw::Machine &machine,
                                    const ContainerOpts &opts,
                                    bool host_kpti)
 {
-    port_ = std::make_unique<GraphenePort>(machine.costs(), host_kpti);
+    port_ = std::make_unique<GraphenePort>(machine.costs(), host_kpti,
+                                           &machine.mech());
 
     guestos::GuestKernel::Config kcfg;
     kcfg.name = opts.name + ".graphene";

@@ -20,6 +20,7 @@
 #include "guestos/syscall_nums.h"
 #include "guestos/thread.h"
 #include "runtimes/runtime.h"
+#include "sim/mech_counters.h"
 
 namespace xc::runtimes {
 
@@ -27,8 +28,9 @@ namespace xc::runtimes {
 class GrapheneSyscallEnv : public isa::ExecEnv
 {
   public:
-    GrapheneSyscallEnv(const hw::CostModel &costs, bool host_kpti)
-        : costs(costs), hostKpti(host_kpti)
+    GrapheneSyscallEnv(const hw::CostModel &costs, bool host_kpti,
+                       sim::MechanismCounters *mech = nullptr)
+        : costs(costs), hostKpti(host_kpti), mech(mech)
     {
     }
 
@@ -85,8 +87,11 @@ class GrapheneSyscallEnv : public isa::ExecEnv
         // module).
         hw::Cycles cost = 5400;
         if (needsHost(nr)) {
-            cost += costs.syscallTrap +
-                    (hostKpti ? costs.kptiTrapOverhead : 0);
+            hw::Cycles host = costs.syscallTrap +
+                              (hostKpti ? costs.kptiTrapOverhead : 0);
+            cost += host;
+            if (mech != nullptr)
+                mech->add(sim::Mech::SyscallTrap, host);
         }
         if (kernel && kernel->processCount() > 1 && sharedState(nr)) {
             cost += costs.ipcRoundTrip;
@@ -115,6 +120,7 @@ class GrapheneSyscallEnv : public isa::ExecEnv
   private:
     const hw::CostModel &costs;
     bool hostKpti;
+    sim::MechanismCounters *mech;
     guestos::Thread *bound = nullptr;
     guestos::GuestKernel *kernel = nullptr;
     std::uint64_t ipcCoordinations_ = 0;
@@ -124,8 +130,9 @@ class GrapheneSyscallEnv : public isa::ExecEnv
 class GraphenePort : public guestos::PlatformPort
 {
   public:
-    GraphenePort(const hw::CostModel &costs, bool host_kpti)
-        : hostKpti(host_kpti), env(costs, host_kpti)
+    GraphenePort(const hw::CostModel &costs, bool host_kpti,
+                 sim::MechanismCounters *mech = nullptr)
+        : hostKpti(host_kpti), env(costs, host_kpti, mech)
     {
     }
 

@@ -8,7 +8,8 @@ GvisorContainer::GvisorContainer(hw::Machine &machine,
                                  bool host_kpti,
                                  const std::string &name)
 {
-    port_ = std::make_unique<GvisorPort>(machine.costs(), host_kpti);
+    port_ = std::make_unique<GvisorPort>(machine.costs(), host_kpti,
+                                         &machine.mech());
 
     guestos::GuestKernel::Config kcfg;
     kcfg.name = name + ".sentry";

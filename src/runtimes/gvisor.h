@@ -16,6 +16,7 @@
 #include "guestos/platform_port.h"
 #include "guestos/thread.h"
 #include "runtimes/runtime.h"
+#include "sim/mech_counters.h"
 
 namespace xc::runtimes {
 
@@ -23,8 +24,9 @@ namespace xc::runtimes {
 class GvisorSyscallEnv : public isa::ExecEnv
 {
   public:
-    GvisorSyscallEnv(const hw::CostModel &costs, bool host_kpti)
-        : costs(costs), hostKpti(host_kpti)
+    GvisorSyscallEnv(const hw::CostModel &costs, bool host_kpti,
+                     sim::MechanismCounters *mech = nullptr)
+        : costs(costs), hostKpti(host_kpti), mech(mech)
     {
     }
 
@@ -42,6 +44,13 @@ class GvisorSyscallEnv : public isa::ExecEnv
         hw::Cycles cost = 2 * costs.ptraceStop + costs.sentryHandling;
         if (hostKpti)
             cost += 2 * costs.kptiTrapOverhead;
+        if (mech != nullptr) {
+            // The tracee's trap itself lands in the host kernel,
+            // which then bounces control to the Sentry twice.
+            mech->add(sim::Mech::SyscallTrap, costs.sentryHandling);
+            mech->add(sim::Mech::PtraceHop,
+                      cost - costs.sentryHandling, 2);
+        }
         bound->charge(cost);
         return ip_after;
     }
@@ -63,6 +72,7 @@ class GvisorSyscallEnv : public isa::ExecEnv
   private:
     const hw::CostModel &costs;
     bool hostKpti;
+    sim::MechanismCounters *mech;
     guestos::Thread *bound = nullptr;
     std::uint64_t intercepts_ = 0;
 };
@@ -71,8 +81,9 @@ class GvisorSyscallEnv : public isa::ExecEnv
 class GvisorPort : public guestos::PlatformPort
 {
   public:
-    GvisorPort(const hw::CostModel &costs, bool host_kpti)
-        : hostKpti(host_kpti), env(costs, host_kpti)
+    GvisorPort(const hw::CostModel &costs, bool host_kpti,
+               sim::MechanismCounters *mech = nullptr)
+        : hostKpti(host_kpti), env(costs, host_kpti, mech)
     {
     }
 

@@ -25,8 +25,9 @@ namespace xc::runtimes {
 class RumprunSyscallEnv : public isa::ExecEnv
 {
   public:
-    explicit RumprunSyscallEnv(const hw::CostModel &costs)
-        : costs(costs)
+    explicit RumprunSyscallEnv(const hw::CostModel &costs,
+                               sim::MechanismCounters *mech = nullptr)
+        : costs(costs), mech(mech)
     {
     }
 
@@ -40,6 +41,10 @@ class RumprunSyscallEnv : public isa::ExecEnv
         // calls at compile time; a raw syscall instruction would be
         // an unhandled trap, but our image profiles always emit the
         // function-call form. Charge the direct-call cost.
+        if (mech != nullptr) {
+            mech->add(sim::Mech::PatchedCall,
+                      costs.functionCallDispatch);
+        }
         bound->charge(costs.functionCallDispatch);
         return ip_after;
     }
@@ -48,6 +53,10 @@ class RumprunSyscallEnv : public isa::ExecEnv
     onVsyscallCall(int, isa::Regs &, isa::CodeBuffer &,
                    isa::GuestAddr ret) override
     {
+        if (mech != nullptr) {
+            mech->add(sim::Mech::PatchedCall,
+                      costs.functionCallDispatch);
+        }
         bound->charge(costs.functionCallDispatch);
         return ret;
     }
@@ -61,6 +70,7 @@ class RumprunSyscallEnv : public isa::ExecEnv
 
   private:
     const hw::CostModel &costs;
+    sim::MechanismCounters *mech;
     guestos::Thread *bound = nullptr;
 };
 
@@ -69,7 +79,8 @@ class RumprunPort : public guestos::PlatformPort
 {
   public:
     RumprunPort(xen::Hypervisor &hv, xen::Domain *dom)
-        : hv(hv), dom(dom), env(hv.machine().costs())
+        : hv(hv), dom(dom),
+          env(hv.machine().costs(), &hv.machine().mech())
     {
         (void)this->dom;
     }

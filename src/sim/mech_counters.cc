@@ -1,0 +1,126 @@
+#include "sim/mech_counters.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace xc::sim {
+
+const char *
+mechName(Mech m)
+{
+    switch (m) {
+      case Mech::SyscallTrap: return "syscall_trap";
+      case Mech::PatchedCall: return "patched_call";
+      case Mech::Hypercall: return "hypercall";
+      case Mech::VmExit: return "vmexit";
+      case Mech::TlbFlush: return "tlb_flush";
+      case Mech::PtValidation: return "pt_validation";
+      case Mech::ContextSwitch: return "context_switch";
+      case Mech::EvtchnNotify: return "evtchn_notify";
+      case Mech::PtraceHop: return "ptrace_hop";
+      case Mech::RingCopy: return "ring_copy";
+      case Mech::kCount: break;
+    }
+    return "?";
+}
+
+const char *
+mechDescription(Mech m)
+{
+    switch (m) {
+      case Mech::SyscallTrap:
+        return "syscall/sysret traps into a more-privileged kernel";
+      case Mech::PatchedCall:
+        return "ABOM-patched vsyscall function-call dispatches";
+      case Mech::Hypercall: return "PV hypercall round trips";
+      case Mech::VmExit: return "hardware VM exits (incl. nested)";
+      case Mech::TlbFlush: return "kernel/global TLB invalidations";
+      case Mech::PtValidation:
+        return "hypervisor-validated page-table entry updates";
+      case Mech::ContextSwitch:
+        return "thread/process/vCPU context switches";
+      case Mech::EvtchnNotify:
+        return "event-channel / virtual-interrupt deliveries";
+      case Mech::PtraceHop: return "ptrace stops (sentry interception)";
+      case Mech::RingCopy: return "data copies across privilege rings";
+      case Mech::kCount: break;
+    }
+    return "?";
+}
+
+std::uint64_t
+MechSnapshot::totalCycles() const
+{
+    std::uint64_t total = 0;
+    for (int i = 0; i < kMechCount; ++i)
+        total += cycles[i];
+    return total;
+}
+
+bool
+MechSnapshot::operator==(const MechSnapshot &other) const
+{
+    for (int i = 0; i < kMechCount; ++i) {
+        if (counts[i] != other.counts[i] ||
+            cycles[i] != other.cycles[i]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+MechSnapshot
+MechSnapshot::operator-(const MechSnapshot &other) const
+{
+    MechSnapshot d;
+    for (int i = 0; i < kMechCount; ++i) {
+        d.counts[i] =
+            counts[i] >= other.counts[i] ? counts[i] - other.counts[i]
+                                         : 0;
+        d.cycles[i] =
+            cycles[i] >= other.cycles[i] ? cycles[i] - other.cycles[i]
+                                         : 0;
+    }
+    return d;
+}
+
+std::string
+renderMechTable(const MechSnapshot &snap)
+{
+    std::uint64_t total = snap.totalCycles();
+    std::ostringstream os;
+    os << "mechanism        count         cycles   share\n";
+    for (int i = 0; i < kMechCount; ++i) {
+        Mech m = static_cast<Mech>(i);
+        double share =
+            total > 0 ? 100.0 * static_cast<double>(snap.cycles[i]) /
+                            static_cast<double>(total)
+                      : 0.0;
+        char line[128];
+        std::snprintf(line, sizeof(line), "%-14s %9llu %14llu  %5.1f%%\n",
+                      mechName(m),
+                      static_cast<unsigned long long>(snap.counts[i]),
+                      static_cast<unsigned long long>(snap.cycles[i]),
+                      share);
+        os << line;
+    }
+    return os.str();
+}
+
+std::string
+renderMechJson(const MechSnapshot &snap)
+{
+    std::ostringstream os;
+    os << "{";
+    for (int i = 0; i < kMechCount; ++i) {
+        Mech m = static_cast<Mech>(i);
+        if (i > 0)
+            os << ",";
+        os << "\"" << mechName(m) << "\":{\"count\":" << snap.counts[i]
+           << ",\"cycles\":" << snap.cycles[i] << "}";
+    }
+    os << ",\"total_cycles\":" << snap.totalCycles() << "}";
+    return os.str();
+}
+
+} // namespace xc::sim

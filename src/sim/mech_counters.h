@@ -1,0 +1,121 @@
+#ifndef XC_SIM_MECH_COUNTERS_H
+#define XC_SIM_MECH_COUNTERS_H
+
+/**
+ * @file
+ * Mechanism counters: how many of each architectural transition a
+ * run actually executed, and how many cycles each mechanism cost.
+ *
+ * The cost model (src/hw/cost_model.h) prices transitions; these
+ * counters record that they happened. That is what makes the
+ * simulator's claims checkable: "X-Containers take zero syscall
+ * traps after binary patching" is an assertable invariant over the
+ * SyscallTrap counter, not an inference from a throughput number.
+ *
+ * One registry lives in each hw::Machine; every layer above it
+ * (TLBs, hypervisor, platform ports, guest kernels) records the
+ * mechanisms it executes. Counting is two array increments — cheap
+ * enough to stay on unconditionally.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace xc::sim {
+
+/** Every mechanism class the simulator charges cycles for. */
+enum class Mech : int {
+    SyscallTrap,     ///< syscall/sysret trap into a more-privileged kernel
+    PatchedCall,     ///< ABOM-patched vsyscall function-call dispatch
+    Hypercall,       ///< PV hypercall round trip
+    VmExit,          ///< hardware VM exit/entry (incl. nested)
+    TlbFlush,        ///< kernel/global TLB entries invalidated
+    PtValidation,    ///< hypervisor-validated page-table entry updates
+    ContextSwitch,   ///< thread/process/vCPU switches
+    EvtchnNotify,    ///< event-channel / virtual-interrupt deliveries
+    PtraceHop,       ///< ptrace stops (gVisor sentry interception)
+    RingCopy,        ///< data copies across privilege rings
+    kCount,
+};
+
+constexpr int kMechCount = static_cast<int>(Mech::kCount);
+
+/** Stable lower-case identifier ("syscall_trap", "tlb_flush", ...). */
+const char *mechName(Mech m);
+
+/** One-line human description of the mechanism. */
+const char *mechDescription(Mech m);
+
+/** A point-in-time copy of all counters (comparable, subtractable). */
+struct MechSnapshot
+{
+    std::uint64_t counts[kMechCount] = {};
+    std::uint64_t cycles[kMechCount] = {};
+
+    std::uint64_t
+    count(Mech m) const
+    {
+        return counts[static_cast<int>(m)];
+    }
+
+    std::uint64_t
+    cyclesOf(Mech m) const
+    {
+        return cycles[static_cast<int>(m)];
+    }
+
+    std::uint64_t totalCycles() const;
+
+    bool operator==(const MechSnapshot &other) const;
+
+    /** Per-mechanism delta (saturating at zero). */
+    MechSnapshot operator-(const MechSnapshot &other) const;
+};
+
+/**
+ * Render the cycles-by-mechanism histogram as an aligned table:
+ * mechanism, count, cycles, share of all mechanism cycles.
+ */
+std::string renderMechTable(const MechSnapshot &snap);
+
+/** The same report as a JSON object (stable key order). */
+std::string renderMechJson(const MechSnapshot &snap);
+
+/** Per-machine registry of mechanism counts and cycle attribution. */
+class MechanismCounters
+{
+  public:
+    /** Record @p n executions of @p m costing @p cycles in total. */
+    void
+    add(Mech m, std::uint64_t cycles, std::uint64_t n = 1)
+    {
+        snap_.counts[static_cast<int>(m)] += n;
+        snap_.cycles[static_cast<int>(m)] += cycles;
+    }
+
+    std::uint64_t
+    count(Mech m) const
+    {
+        return snap_.count(m);
+    }
+
+    std::uint64_t
+    cyclesOf(Mech m) const
+    {
+        return snap_.cyclesOf(m);
+    }
+
+    const MechSnapshot &snapshot() const { return snap_; }
+
+    void reset() { snap_ = MechSnapshot{}; }
+
+    std::string renderTable() const { return renderMechTable(snap_); }
+    std::string renderJson() const { return renderMechJson(snap_); }
+
+  private:
+    MechSnapshot snap_;
+};
+
+} // namespace xc::sim
+
+#endif // XC_SIM_MECH_COUNTERS_H

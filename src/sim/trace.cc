@@ -4,6 +4,8 @@
 #include <sstream>
 #include <vector>
 
+#include "sim/event_queue.h"
+
 namespace xc::sim::trace {
 
 namespace {
@@ -24,6 +26,77 @@ categoryName(Category cat)
       case App: return "app";
       default: return "?";
     }
+}
+
+// ----- structured capture state ---------------------------------
+
+struct Event
+{
+    enum class Kind : std::uint8_t { Complete, Instant, Counter };
+    Kind kind;
+    Category cat;
+    int track;  ///< index into g_tracks
+    int lane;   ///< tid within the track
+    int name;   ///< index into g_names
+    Tick ts;
+    Tick dur;           ///< Complete only
+    std::int64_t value; ///< Counter only
+};
+
+bool g_capturing = false;
+std::size_t g_limit = kDefaultCaptureLimit;
+std::uint64_t g_dropped = 0;
+std::vector<Event> g_events;
+std::vector<std::string> g_tracks;
+std::vector<std::string> g_names;
+
+/**
+ * Intern @p s into @p table; linear scan keeps insertion order (and
+ * therefore JSON output) deterministic. Tables stay small — tracks
+ * are per-domain, names are per-instrumentation-site.
+ */
+int
+intern(std::vector<std::string> &table, const char *s)
+{
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        if (table[i] == s)
+            return static_cast<int>(i);
+    }
+    table.emplace_back(s);
+    return static_cast<int>(table.size() - 1);
+}
+
+bool
+record(Event &&ev)
+{
+    if (g_events.size() >= g_limit) {
+        ++g_dropped;
+        return false;
+    }
+    g_events.push_back(ev);
+    return true;
+}
+
+void
+appendUs(std::ostringstream &os, Tick ticks)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(ticks) /
+                      static_cast<double>(kTicksPerUs));
+    os << buf;
+}
+
+void
+appendJsonString(std::ostringstream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+    os << '"';
 }
 
 } // namespace
@@ -92,6 +165,162 @@ parseCategories(const std::string &list)
             mask |= All;
     }
     return mask;
+}
+
+// ----- structured capture ---------------------------------------
+
+void
+startCapture(std::size_t max_events)
+{
+    clearCapture();
+    g_limit = max_events;
+    g_capturing = true;
+}
+
+void
+stopCapture()
+{
+    g_capturing = false;
+}
+
+bool
+capturing()
+{
+    return g_capturing;
+}
+
+void
+clearCapture()
+{
+    g_capturing = false;
+    g_dropped = 0;
+    g_events.clear();
+    g_tracks.clear();
+    g_names.clear();
+}
+
+std::size_t
+capturedEvents()
+{
+    return g_events.size();
+}
+
+std::uint64_t
+droppedEvents()
+{
+    return g_dropped;
+}
+
+void
+completeEvent(Category cat, const char *track, int lane,
+              const char *name, Tick begin, Tick end)
+{
+    if (!g_capturing)
+        return;
+    record({Event::Kind::Complete, cat, intern(g_tracks, track), lane,
+            intern(g_names, name), begin,
+            end >= begin ? end - begin : 0, 0});
+}
+
+void
+instantEvent(Category cat, const char *track, int lane,
+             const char *name, Tick now)
+{
+    if (!g_capturing)
+        return;
+    record({Event::Kind::Instant, cat, intern(g_tracks, track), lane,
+            intern(g_names, name), now, 0, 0});
+}
+
+void
+counterEvent(Category cat, const char *track, const char *name,
+             Tick now, std::int64_t value)
+{
+    if (!g_capturing)
+        return;
+    record({Event::Kind::Counter, cat, intern(g_tracks, track), 0,
+            intern(g_names, name), now, 0, value});
+}
+
+std::string
+exportJson()
+{
+    std::ostringstream os;
+    os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":"
+       << g_dropped << "},\"traceEvents\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < g_tracks.size(); ++i) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"ph\":\"M\",\"pid\":" << i
+           << ",\"tid\":0,\"name\":\"process_name\",\"args\":{"
+              "\"name\":";
+        appendJsonString(os, g_tracks[i]);
+        os << "}}";
+    }
+    for (const Event &ev : g_events) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"ph\":\"";
+        switch (ev.kind) {
+          case Event::Kind::Complete: os << 'X'; break;
+          case Event::Kind::Instant: os << 'i'; break;
+          case Event::Kind::Counter: os << 'C'; break;
+        }
+        os << "\",\"pid\":" << ev.track << ",\"tid\":" << ev.lane
+           << ",\"cat\":\"" << categoryName(ev.cat)
+           << "\",\"name\":";
+        appendJsonString(os, g_names[ev.name]);
+        os << ",\"ts\":";
+        appendUs(os, ev.ts);
+        switch (ev.kind) {
+          case Event::Kind::Complete:
+            os << ",\"dur\":";
+            appendUs(os, ev.dur);
+            break;
+          case Event::Kind::Instant: os << ",\"s\":\"t\""; break;
+          case Event::Kind::Counter:
+            os << ",\"args\":{\"value\":" << ev.value << "}";
+            break;
+        }
+        os << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+bool
+saveJson(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::string json = exportJson();
+    bool ok = std::fwrite(json.data(), 1, json.size(), f) ==
+              json.size();
+    ok = std::fclose(f) == 0 && ok;
+    return ok;
+}
+
+ScopedSpan::ScopedSpan(const EventQueue &q, Category cat,
+                       const char *track, int lane, const char *name)
+{
+    if (!g_capturing)
+        return; // inactive: q_ stays null, destructor is a no-op
+    q_ = &q;
+    cat_ = cat;
+    track_ = track;
+    name_ = name;
+    lane_ = lane;
+    begin_ = q.now();
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (q_ != nullptr && g_capturing)
+        completeEvent(cat_, track_, lane_, name_, begin_, q_->now());
 }
 
 } // namespace xc::sim::trace

@@ -3,23 +3,42 @@
 
 /**
  * @file
- * Category-gated simulation tracing (gem5 DPRINTF-style).
+ * Simulation tracing: category-gated log lines (gem5 DPRINTF-style)
+ * plus a structured event capture that exports Chrome trace_event
+ * JSON (load chrome://tracing or https://ui.perfetto.dev).
  *
- * Categories are a bitmask enabled at run time (e.g. from a bench's
- * --trace flag or a test). Each record carries the simulated
+ * Line tracing — a bitmask enabled at run time (e.g. from a bench's
+ * --trace-cat flag or a test). Each record carries the simulated
  * timestamp and the emitting component. Disabled categories cost one
  * branch.
  *
  *   trace::enable(trace::Syscall | trace::Sched);
  *   XC_TRACE(Syscall, queue, "nginx", "nr=%d via %s", nr, how);
+ *
+ * Structured capture — an opt-in in-memory event buffer. While
+ * startCapture() is active, spans/instants/counters are recorded on
+ * named tracks (one track per domain/guest kernel, one lane per
+ * vCPU/thread) and can be exported as Chrome trace JSON. When
+ * capture is off, every recording macro is a single branch; with
+ * XC_TRACING_DISABLED defined, the macros compile to nothing.
+ *
+ *   trace::startCapture();
+ *   ... run simulation ...
+ *   trace::stopCapture();
+ *   trace::saveJson("out.json");
  */
 
 #include <cstdarg>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
 
 #include "sim/types.h"
+
+namespace xc::sim {
+class EventQueue;
+} // namespace xc::sim
 
 namespace xc::sim::trace {
 
@@ -62,7 +81,91 @@ void emit(Category cat, Tick now, const char *component,
 /** Parse a comma-separated category list ("syscall,net,abom"). */
 std::uint32_t parseCategories(const std::string &list);
 
+// ----- structured event capture ---------------------------------
+
+/** Default event-buffer capacity (events past it are dropped and
+ *  counted, keeping memory bounded on long runs). */
+constexpr std::size_t kDefaultCaptureLimit = 1u << 20;
+
+/**
+ * Start recording structured events (clears any previous capture).
+ * Capture is global and single-threaded, like the simulation.
+ */
+void startCapture(std::size_t max_events = kDefaultCaptureLimit);
+
+/** Stop recording; captured events remain available for export. */
+void stopCapture();
+
+/** True while a capture is recording. */
+bool capturing();
+
+/** Discard captured events and track/name tables. */
+void clearCapture();
+
+/** Number of events currently captured. */
+std::size_t capturedEvents();
+
+/** Events dropped because the buffer limit was reached. */
+std::uint64_t droppedEvents();
+
+/**
+ * Record a complete span [begin, end] on @p track (e.g. the guest
+ * kernel / domain name), lane @p lane (vCPU index or thread id).
+ * No-op unless capturing.
+ */
+void completeEvent(Category cat, const char *track, int lane,
+                   const char *name, Tick begin, Tick end);
+
+/** Record an instant event. No-op unless capturing. */
+void instantEvent(Category cat, const char *track, int lane,
+                  const char *name, Tick now);
+
+/** Record a counter sample. No-op unless capturing. */
+void counterEvent(Category cat, const char *track, const char *name,
+                  Tick now, std::int64_t value);
+
+/**
+ * Export the capture as Chrome trace_event JSON ("traceEvents"
+ * object form). Deterministic: same simulation → byte-identical
+ * output. Tracks become processes (metadata-named), lanes threads;
+ * timestamps are simulated microseconds.
+ */
+std::string exportJson();
+
+/** Write exportJson() to @p path; false on I/O failure. */
+bool saveJson(const std::string &path);
+
+/**
+ * RAII span: records [construction, destruction) against the clock
+ * of @p q. Safe across co_await suspension points (the span lives in
+ * the coroutine frame and reads the queue's clock at both ends).
+ * Inactive (and allocation-free) when capture is off at entry.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(const EventQueue &q, Category cat, const char *track,
+               int lane, const char *name);
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    const EventQueue *q_ = nullptr; // null when inactive
+    const char *track_ = nullptr;
+    const char *name_ = nullptr;
+    int lane_ = 0;
+    Category cat_ = None;
+    Tick begin_ = 0;
+};
+
 } // namespace xc::sim::trace
+
+#define XC_TRACE_CAT2_(a, b) a##b
+#define XC_TRACE_CAT_(a, b) XC_TRACE_CAT2_(a, b)
+
+#ifndef XC_TRACING_DISABLED
 
 /**
  * Trace macro: @p cat is a bare category name; @p now_expr supplies
@@ -75,5 +178,37 @@ std::uint32_t parseCategories(const std::string &list);
                                    (component), __VA_ARGS__);           \
         }                                                               \
     } while (0)
+
+/** Scoped capture span (statement; names a hidden local). */
+#define XC_TRACE_SPAN(cat, queue, track, lane, name)                    \
+    ::xc::sim::trace::ScopedSpan XC_TRACE_CAT_(xc_trace_span_,          \
+                                               __LINE__)               \
+    {                                                                   \
+        (queue), ::xc::sim::trace::cat, (track), (lane), (name)         \
+    }
+
+/** Instant capture event (one branch when capture is off). */
+#define XC_TRACE_INSTANT(cat, now_expr, track, lane, name)              \
+    do {                                                                \
+        if (::xc::sim::trace::capturing()) {                            \
+            ::xc::sim::trace::instantEvent(::xc::sim::trace::cat,       \
+                                           (track), (lane), (name),     \
+                                           (now_expr));                 \
+        }                                                               \
+    } while (0)
+
+#else // XC_TRACING_DISABLED
+
+#define XC_TRACE(cat, now_expr, component, ...)                         \
+    do {                                                                \
+    } while (0)
+#define XC_TRACE_SPAN(cat, queue, track, lane, name)                    \
+    do {                                                                \
+    } while (0)
+#define XC_TRACE_INSTANT(cat, now_expr, track, lane, name)              \
+    do {                                                                \
+    } while (0)
+
+#endif // XC_TRACING_DISABLED
 
 #endif // XC_SIM_TRACE_H

@@ -20,6 +20,8 @@ void
 EventChannels::notify(EvtchnPort port)
 {
     ++notifications_;
+    if (mech_ != nullptr)
+        mech_->add(sim::Mech::EvtchnNotify, 0);
     auto it = handlers.find(port);
     if (it != handlers.end() && it->second)
         it->second();

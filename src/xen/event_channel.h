@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/logging.h"
+#include "sim/mech_counters.h"
 
 namespace xc::xen {
 
@@ -50,10 +51,14 @@ class EventChannels
     std::uint64_t notifications() const { return notifications_; }
     std::size_t openPorts() const { return handlers.size(); }
 
+    /** Route notification counts into the machine-wide registry. */
+    void attachMech(sim::MechanismCounters *mech) { mech_ = mech; }
+
   private:
     std::map<EvtchnPort, std::function<void()>> handlers;
     EvtchnPort nextPort = 1;
     std::uint64_t notifications_ = 0;
+    sim::MechanismCounters *mech_ = nullptr;
 };
 
 /** A domain's grant table: pages offered to other domains. */

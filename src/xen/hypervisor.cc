@@ -1,6 +1,27 @@
 #include "xen/hypervisor.h"
 
+#include "sim/trace.h"
+
 namespace xc::xen {
+
+const char *
+hypercallName(Hypercall call)
+{
+    switch (call) {
+      case Hypercall::MmuUpdate: return "mmu_update";
+      case Hypercall::MmuExtOp: return "mmuext_op";
+      case Hypercall::StackSwitch: return "stack_switch";
+      case Hypercall::SetTrapTable: return "set_trap_table";
+      case Hypercall::EventChannelOp: return "event_channel_op";
+      case Hypercall::GrantTableOp: return "grant_table_op";
+      case Hypercall::SchedOp: return "sched_op";
+      case Hypercall::Iret: return "iret";
+      case Hypercall::DomctlCreate: return "domctl_create";
+      case Hypercall::DomctlDestroy: return "domctl_destroy";
+      case Hypercall::kCount: break;
+    }
+    return "?";
+}
 
 Domain::Domain(Hypervisor &hv, DomId id, std::string name,
                std::uint64_t mem_bytes, int vcpus, hw::Pfn first_frame)
@@ -18,6 +39,7 @@ Domain::~Domain()
 Hypervisor::Hypervisor(hw::Machine &machine, Config config)
     : machine_(machine), config_(config)
 {
+    evtchn.attachMech(&machine_.mech());
     int cores = config_.cores > 0 ? config_.cores : machine.numCpus();
 
     hw::CorePool::Config pool_cfg;
@@ -91,6 +113,8 @@ bool
 Hypervisor::validateMmuUpdate(const Domain &dom, hw::Pfn pfn)
 {
     countHypercall(Hypercall::MmuUpdate);
+    machine_.mech().add(sim::Mech::PtValidation,
+                        machine_.costs().mmuUpdatePte);
     hw::OwnerId owner = machine_.memory().ownerOf(pfn);
     // Domain-0 is privileged (it maps other domains' pages to build
     // them and to run back-end drivers).
@@ -127,6 +151,9 @@ void
 Hypervisor::countHypercall(Hypercall call)
 {
     ++hypercallCounts[static_cast<int>(call)];
+    machine_.mech().add(sim::Mech::Hypercall, hypercallCost(call));
+    XC_TRACE_INSTANT(Hypercall, machine_.now(), "hypervisor", 0,
+                     hypercallName(call));
 }
 
 std::uint64_t

@@ -41,6 +41,9 @@ enum class Hypercall {
     kCount,
 };
 
+/** Stable lower-case identifier ("mmu_update", "iret", ...). */
+const char *hypercallName(Hypercall call);
+
 /** A guest domain. */
 class Domain
 {

@@ -45,6 +45,14 @@ class PvSyscallEnv : public isa::ExecEnv
         if (kpti)
             cost += c.kptiTrapOverhead; // XPTI port of the patch
         hv.countHypercall(Hypercall::Iret);
+        auto &mech = hv.machine().mech();
+        mech.add(sim::Mech::SyscallTrap,
+                 c.pvSyscallForward + 2 * c.pageTableSwitch +
+                     (kpti ? c.kptiTrapOverhead : 0));
+        // Both flushes are on the syscall path itself: no global
+        // bit, so kernel entries die at each of the two switches.
+        mech.add(sim::Mech::TlbFlush,
+                 c.tlbRefillUser + c.tlbRefillKernel, 2);
         bound->charge(cost);
         return ip_after;
     }
@@ -103,6 +111,8 @@ class PvPort : public guestos::PlatformPort
     {
         // Batched, validated mmu_update.
         hv.countHypercall(Hypercall::MmuUpdate);
+        hv.machine().mech().add(sim::Mech::PtValidation,
+                                c.mmuUpdatePte * ptes, ptes);
         return hv.hypercallCost(Hypercall::MmuUpdate) +
                c.mmuUpdatePte * ptes;
     }
@@ -117,6 +127,8 @@ class PvPort : public guestos::PlatformPort
     hw::Cycles
     eventDeliveryCost(const hw::CostModel &c) override
     {
+        hv.machine().mech().add(sim::Mech::EvtchnNotify,
+                                c.pvEventDelivery);
         return c.pvEventDelivery;
     }
 

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/images.h"
+#include "guestos/sys.h"
+#include "guestos/vfs.h"
+#include "hw/machine.h"
+#include "runtimes/docker.h"
+#include "runtimes/gvisor.h"
+#include "runtimes/unikernel.h"
+#include "runtimes/x_container.h"
+#include "runtimes/xen_container.h"
+#include "sim/mech_counters.h"
+
+namespace xc::test {
+namespace {
+
+using guestos::Fd;
+using guestos::Sys;
+using guestos::Thread;
+using runtimes::ContainerOpts;
+using runtimes::RtContainer;
+using runtimes::Runtime;
+using sim::Mech;
+using sim::MechSnapshot;
+
+/**
+ * One fixed syscall burst: a warmup segment (lets ABOM patch every
+ * executed site) followed by a measured segment bracketed by counter
+ * snapshots. Both segments run in the same process on the same image
+ * so patched stubs stay patched.
+ */
+struct BurstState
+{
+    hw::Machine *machine = nullptr;
+    std::uint64_t ops = 0;
+    MechSnapshot mid;
+    MechSnapshot end;
+    bool done = false;
+};
+
+constexpr int kWarmupIters = 40;
+constexpr int kMeasuredIters = 200;
+
+/** Run the burst on a fresh container of @p rt; return the measured
+ *  segment's counter delta. */
+MechSnapshot
+measuredDelta(Runtime &rt, std::uint64_t *ops_out = nullptr)
+{
+    ContainerOpts copts;
+    copts.name = "mech";
+    copts.image = apps::glibcImage("mech");
+    copts.vcpus = 1;
+    copts.memBytes = 256ull << 20;
+    RtContainer *c = rt.createContainer(copts);
+    EXPECT_NE(c, nullptr);
+    if (!c)
+        return {};
+
+    guestos::GuestKernel &kernel = c->kernel();
+    kernel.vfs().createFile("/dev/zero", 1 << 20);
+
+    auto st = std::make_shared<BurstState>();
+    st->machine = &rt.machine();
+
+    guestos::Process *proc = c->createProcess("mech0", copts.image);
+    Thread::Body body = [raw = st.get()](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd fd = static_cast<Fd>(
+            co_await sys.open("/dev/zero", guestos::ORdOnly));
+        for (int i = 0; i < kWarmupIters; ++i) {
+            std::int64_t d = co_await sys.dup(fd);
+            co_await sys.close(static_cast<Fd>(d));
+            co_await sys.getpid();
+            co_await sys.getuid();
+            co_await sys.umask(022);
+        }
+        raw->mid = raw->machine->mech().snapshot();
+        for (int i = 0; i < kMeasuredIters; ++i) {
+            std::int64_t d = co_await sys.dup(fd);
+            co_await sys.close(static_cast<Fd>(d));
+            co_await sys.getpid();
+            co_await sys.getuid();
+            co_await sys.umask(022);
+            ++raw->ops;
+        }
+        raw->end = raw->machine->mech().snapshot();
+        raw->done = true;
+        co_await sys.exit(0);
+    };
+    kernel.spawnThread(proc, "mech0", std::move(body));
+
+    rt.machine().events().runUntil(rt.machine().now() +
+                                   500 * sim::kTicksPerMs);
+    EXPECT_TRUE(st->done);
+    if (ops_out)
+        *ops_out = st->ops;
+    return st->end - st->mid;
+}
+
+TEST(MechInvariants, XContainerPatchedPathAvoidsTrapsAndFlushes)
+{
+    runtimes::XContainerRuntime rt({});
+    std::uint64_t ops = 0;
+    MechSnapshot d = measuredDelta(rt, &ops);
+    EXPECT_GT(ops, 0u);
+    // After warmup every executed site is ABOM-patched: the measured
+    // segment dispatches through the vsyscall table as function
+    // calls — zero traps, zero ptrace hops, zero TLB flushes.
+    EXPECT_EQ(d.count(Mech::SyscallTrap), 0u);
+    EXPECT_EQ(d.count(Mech::PtraceHop), 0u);
+    EXPECT_EQ(d.count(Mech::TlbFlush), 0u);
+    EXPECT_GT(d.count(Mech::PatchedCall), 0u);
+}
+
+TEST(MechInvariants, XContainerCountersDeterministicAcrossRuns)
+{
+    runtimes::XContainerRuntime rt1({});
+    std::uint64_t ops1 = 0;
+    MechSnapshot d1 = measuredDelta(rt1, &ops1);
+
+    runtimes::XContainerRuntime rt2({});
+    std::uint64_t ops2 = 0;
+    MechSnapshot d2 = measuredDelta(rt2, &ops2);
+
+    EXPECT_EQ(ops1, ops2);
+    EXPECT_TRUE(d1 == d2);
+}
+
+TEST(MechInvariants, GvisorInterceptsViaPtrace)
+{
+    runtimes::GvisorRuntime rt({});
+    std::uint64_t ops = 0;
+    MechSnapshot d = measuredDelta(rt, &ops);
+    EXPECT_GT(ops, 0u);
+    // Every intercepted syscall costs two ptrace stops.
+    EXPECT_GT(d.count(Mech::PtraceHop), 0u);
+    EXPECT_GE(d.count(Mech::PtraceHop), 2 * d.count(Mech::SyscallTrap));
+    EXPECT_EQ(d.count(Mech::PatchedCall), 0u);
+}
+
+TEST(MechInvariants, XenContainerFlushesTlbWhereXContainerDoesNot)
+{
+    runtimes::XenContainerRuntime xen({});
+    MechSnapshot dxen = measuredDelta(xen);
+    // PV guest: no global bit, so every syscall's hypervisor bounce
+    // refills both user and kernel TLB entries.
+    EXPECT_GT(dxen.count(Mech::TlbFlush), 0u);
+    EXPECT_GT(dxen.count(Mech::SyscallTrap), 0u);
+    EXPECT_GT(dxen.count(Mech::Hypercall), 0u);
+
+    runtimes::XContainerRuntime xcont({});
+    MechSnapshot dx = measuredDelta(xcont);
+    EXPECT_EQ(dx.count(Mech::TlbFlush), 0u);
+}
+
+TEST(MechInvariants, DockerTrapsOnEverySyscall)
+{
+    runtimes::DockerRuntime rt({});
+    std::uint64_t ops = 0;
+    MechSnapshot d = measuredDelta(rt, &ops);
+    EXPECT_GT(ops, 0u);
+    // 5 syscalls per measured iteration, each one a trap.
+    EXPECT_GE(d.count(Mech::SyscallTrap),
+              5 * static_cast<std::uint64_t>(kMeasuredIters));
+    EXPECT_EQ(d.count(Mech::PtraceHop), 0u);
+    EXPECT_EQ(d.count(Mech::Hypercall), 0u);
+    EXPECT_EQ(d.count(Mech::PatchedCall), 0u);
+}
+
+TEST(MechInvariants, UnikernelSyscallsAreFunctionCalls)
+{
+    runtimes::UnikernelRuntime rt({});
+    std::uint64_t ops = 0;
+    MechSnapshot d = measuredDelta(rt, &ops);
+    EXPECT_GT(ops, 0u);
+    // Rumprun links the application against the rump kernel:
+    // syscalls are compiled-in function calls, never traps.
+    EXPECT_EQ(d.count(Mech::SyscallTrap), 0u);
+    EXPECT_GT(d.count(Mech::PatchedCall), 0u);
+}
+
+TEST(MechInvariants, MechCyclesAreAttributed)
+{
+    runtimes::DockerRuntime rt({});
+    MechSnapshot d = measuredDelta(rt);
+    // Counts without cycles would make the attribution report lie.
+    EXPECT_GT(d.cyclesOf(Mech::SyscallTrap), 0u);
+    EXPECT_GT(d.totalCycles(), 0u);
+}
+
+} // namespace
+} // namespace xc::test

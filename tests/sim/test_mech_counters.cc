@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/mech_counters.h"
+
+namespace xc::sim {
+namespace {
+
+TEST(MechCounters, AddAccumulatesCountsAndCycles)
+{
+    MechanismCounters mech;
+    mech.add(Mech::SyscallTrap, 300);
+    mech.add(Mech::SyscallTrap, 200);
+    mech.add(Mech::TlbFlush, 500, 2);
+    EXPECT_EQ(mech.count(Mech::SyscallTrap), 2u);
+    EXPECT_EQ(mech.cyclesOf(Mech::SyscallTrap), 500u);
+    EXPECT_EQ(mech.count(Mech::TlbFlush), 2u);
+    EXPECT_EQ(mech.cyclesOf(Mech::TlbFlush), 500u);
+    EXPECT_EQ(mech.count(Mech::Hypercall), 0u);
+    EXPECT_EQ(mech.snapshot().totalCycles(), 1000u);
+
+    mech.reset();
+    EXPECT_EQ(mech.count(Mech::SyscallTrap), 0u);
+    EXPECT_EQ(mech.snapshot().totalCycles(), 0u);
+}
+
+TEST(MechCounters, SnapshotDeltaSaturatesAtZero)
+{
+    MechanismCounters mech;
+    mech.add(Mech::Hypercall, 100);
+    MechSnapshot before = mech.snapshot();
+    mech.add(Mech::Hypercall, 50);
+    MechSnapshot after = mech.snapshot();
+
+    MechSnapshot d = after - before;
+    EXPECT_EQ(d.count(Mech::Hypercall), 1u);
+    EXPECT_EQ(d.cyclesOf(Mech::Hypercall), 50u);
+
+    MechSnapshot inverted = before - after;
+    EXPECT_EQ(inverted.count(Mech::Hypercall), 0u);
+    EXPECT_EQ(inverted.cyclesOf(Mech::Hypercall), 0u);
+}
+
+TEST(MechCounters, NamesAreStableIdentifiers)
+{
+    EXPECT_STREQ(mechName(Mech::SyscallTrap), "syscall_trap");
+    EXPECT_STREQ(mechName(Mech::PatchedCall), "patched_call");
+    EXPECT_STREQ(mechName(Mech::PtraceHop), "ptrace_hop");
+    EXPECT_STREQ(mechName(Mech::RingCopy), "ring_copy");
+    for (int i = 0; i < kMechCount; ++i) {
+        Mech m = static_cast<Mech>(i);
+        EXPECT_STRNE(mechName(m), "?");
+        EXPECT_STRNE(mechDescription(m), "?");
+    }
+}
+
+TEST(MechCounters, TableReportsCountsAndShares)
+{
+    MechanismCounters mech;
+    mech.add(Mech::SyscallTrap, 750);
+    mech.add(Mech::TlbFlush, 250);
+    std::string table = mech.renderTable();
+    EXPECT_NE(table.find("syscall_trap"), std::string::npos);
+    EXPECT_NE(table.find("750"), std::string::npos);
+    EXPECT_NE(table.find("75.0%"), std::string::npos);
+    EXPECT_NE(table.find("25.0%"), std::string::npos);
+}
+
+TEST(MechCounters, JsonHasStableKeysAndTotal)
+{
+    MechanismCounters mech;
+    mech.add(Mech::VmExit, 42, 3);
+    std::string json = mech.renderJson();
+    EXPECT_NE(
+        json.find("\"vmexit\":{\"count\":3,\"cycles\":42}"),
+        std::string::npos);
+    EXPECT_NE(json.find("\"total_cycles\":42"), std::string::npos);
+    // Every mechanism appears, even at zero, so consumers can rely
+    // on the schema.
+    for (int i = 0; i < kMechCount; ++i) {
+        EXPECT_NE(json.find(std::string("\"") +
+                            mechName(static_cast<Mech>(i)) + "\""),
+                  std::string::npos);
+    }
+    EXPECT_EQ(mech.renderJson(), renderMechJson(mech.snapshot()));
+}
+
+} // namespace
+} // namespace xc::sim

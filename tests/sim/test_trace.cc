@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "sim/event_queue.h"
 #include "sim/trace.h"
 
 namespace xc::sim::trace {
@@ -73,6 +74,85 @@ TEST_F(TraceTest, ActivePredicateMatchesMask)
     enable(Hypercall);
     EXPECT_TRUE(active(Hypercall));
     EXPECT_FALSE(active(Net));
+}
+
+class CaptureTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { clearCapture(); }
+    void TearDown() override
+    {
+        stopCapture();
+        clearCapture();
+    }
+};
+
+TEST_F(CaptureTest, EventsIgnoredUnlessCapturing)
+{
+    instantEvent(App, "track", 0, "before", 100);
+    EXPECT_EQ(capturedEvents(), 0u);
+
+    startCapture();
+    EXPECT_TRUE(capturing());
+    instantEvent(App, "track", 0, "during", 200);
+    EXPECT_EQ(capturedEvents(), 1u);
+
+    stopCapture();
+    EXPECT_FALSE(capturing());
+    instantEvent(App, "track", 0, "after", 300);
+    EXPECT_EQ(capturedEvents(), 1u);
+}
+
+TEST_F(CaptureTest, ExportFormatsSpansInstantsAndCounters)
+{
+    startCapture();
+    completeEvent(Syscall, "guest", 3, "read",
+                  2 * kTicksPerUs, 5 * kTicksPerUs);
+    instantEvent(Sched, "guest", 1, "dispatch", 7 * kTicksPerUs);
+    counterEvent(Mem, "guest", "rss", 8 * kTicksPerUs, 4096);
+    stopCapture();
+
+    std::string json = exportJson();
+    // Complete span: begin 2us, duration 3us, on pid "guest" tid 3.
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":2.000,\"dur\":3.000"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"read\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":7.000,\"s\":\"t\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"args\":{\"value\":4096}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"process_name\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"guest\""), std::string::npos);
+}
+
+TEST_F(CaptureTest, ScopedSpanRecordsAgainstQueueClock)
+{
+    EventQueue q;
+    startCapture();
+    bool ran = false;
+    q.schedule(10 * kTicksPerUs, [&] {
+        XC_TRACE_SPAN(Syscall, q, "k", 0, "work");
+        ran = true;
+    });
+    q.runUntil(20 * kTicksPerUs);
+    stopCapture();
+    EXPECT_TRUE(ran);
+    // Span begins and ends at the same tick: zero duration at 10us.
+    EXPECT_NE(exportJson().find("\"ts\":10.000,\"dur\":0.000"),
+              std::string::npos);
+}
+
+TEST_F(CaptureTest, StartCaptureClearsPreviousEvents)
+{
+    startCapture();
+    instantEvent(App, "t", 0, "one", 1);
+    stopCapture();
+    EXPECT_EQ(capturedEvents(), 1u);
+    startCapture();
+    EXPECT_EQ(capturedEvents(), 0u);
 }
 
 } // namespace

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "load/unixbench.h"
+#include "runtimes/x_container.h"
+#include "sim/event_queue.h"
+#include "sim/mech_counters.h"
+#include "sim/trace.h"
+
+// ----- global allocation counter --------------------------------
+//
+// This test binary replaces the global allocation functions to count
+// every heap allocation, proving the tracing/counter hot paths are
+// allocation-free when disabled. Keep this TU in its own test binary
+// so the override does not leak into unrelated tests.
+
+namespace {
+std::uint64_t g_allocs = 0;
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    ++g_allocs;
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace xc::test {
+namespace {
+
+TEST(TraceOverhead, DisabledHotPathsAllocateNothing)
+{
+    sim::trace::enable(sim::trace::None);
+    sim::trace::clearCapture();
+    ASSERT_FALSE(sim::trace::capturing());
+
+    sim::EventQueue queue;
+    sim::MechanismCounters mech;
+
+    std::uint64_t before = g_allocs;
+    for (int i = 0; i < 1000; ++i) {
+        XC_TRACE(Syscall, queue.now(), "hot", "i=%d", i);
+        XC_TRACE_INSTANT(Sched, queue.now(), "hot", 0, "tick");
+        {
+            XC_TRACE_SPAN(Syscall, queue, "hot", 0, "span");
+        }
+        mech.add(sim::Mech::SyscallTrap, 100);
+        mech.add(sim::Mech::RingCopy, 7, 2);
+    }
+    std::uint64_t after = g_allocs;
+
+    EXPECT_EQ(after - before, 0u);
+    EXPECT_EQ(mech.count(sim::Mech::SyscallTrap), 1000u);
+}
+
+TEST(TraceOverhead, CaptureDoesNotPerturbTheSimulation)
+{
+    // The tracer observes; it must not charge cycles or change
+    // scheduling. Same run with capture on and off: identical ops
+    // and identical mechanism counters.
+    auto run = [](bool capture) {
+        if (capture)
+            sim::trace::startCapture();
+        runtimes::XContainerRuntime rt({});
+        load::MicroResult r = load::runMicro(
+            rt, load::MicroKind::Syscall, 50 * sim::kTicksPerMs, 1);
+        if (capture) {
+            sim::trace::stopCapture();
+            sim::trace::clearCapture();
+        }
+        return r;
+    };
+
+    load::MicroResult off = run(false);
+    load::MicroResult on = run(true);
+    EXPECT_GT(off.ops, 0u);
+    EXPECT_EQ(off.ops, on.ops);
+    EXPECT_TRUE(off.mech == on.mech);
+}
+
+} // namespace
+} // namespace xc::test

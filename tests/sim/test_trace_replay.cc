@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "apps/images.h"
+#include "guestos/sys.h"
+#include "guestos/vfs.h"
+#include "runtimes/x_container.h"
+#include "sim/mech_counters.h"
+#include "sim/trace.h"
+
+namespace xc::test {
+namespace {
+
+using guestos::Fd;
+using guestos::Sys;
+using guestos::Thread;
+
+/** Everything a run produces that must replay identically. */
+struct RunOutput
+{
+    std::string json;
+    sim::MechSnapshot mech;
+    std::uint64_t ops = 0;
+};
+
+/**
+ * One full capture: boot an X-Container, run a syscall burst, export
+ * the structured trace. The simulation is seeded and single-threaded,
+ * so two invocations must be byte-identical.
+ */
+RunOutput
+runOnce()
+{
+    sim::trace::startCapture();
+
+    runtimes::XContainerRuntime rt({});
+    runtimes::ContainerOpts copts;
+    copts.name = "replay";
+    copts.image = apps::glibcImage("replay");
+    copts.vcpus = 2;
+    copts.memBytes = 256ull << 20;
+    runtimes::RtContainer *c = rt.createContainer(copts);
+    EXPECT_NE(c, nullptr);
+
+    RunOutput out;
+    if (c) {
+        guestos::GuestKernel &kernel = c->kernel();
+        kernel.vfs().createFile("/dev/zero", 1 << 20);
+        auto ops = std::make_shared<std::uint64_t>(0);
+        guestos::Process *proc =
+            c->createProcess("replay0", copts.image);
+        Thread::Body body =
+            [raw = ops.get()](Thread &t) -> sim::Task<void> {
+            Sys sys(t);
+            Fd fd = static_cast<Fd>(
+                co_await sys.open("/dev/zero", guestos::ORdOnly));
+            for (int i = 0; i < 100; ++i) {
+                std::int64_t d = co_await sys.dup(fd);
+                co_await sys.close(static_cast<Fd>(d));
+                co_await sys.getpid();
+                co_await sys.umask(022);
+                ++*raw;
+            }
+            co_await sys.exit(0);
+        };
+        kernel.spawnThread(proc, "replay0", std::move(body));
+        rt.machine().events().runUntil(rt.machine().now() +
+                                       200 * sim::kTicksPerMs);
+        out.ops = *ops;
+        out.mech = rt.machine().mech().snapshot();
+    }
+
+    sim::trace::stopCapture();
+    out.json = sim::trace::exportJson();
+    sim::trace::clearCapture();
+    return out;
+}
+
+TEST(TraceReplay, SameSeedProducesByteIdenticalTrace)
+{
+    RunOutput a = runOnce();
+    RunOutput b = runOnce();
+    EXPECT_GT(a.ops, 0u);
+    EXPECT_EQ(a.ops, b.ops);
+    EXPECT_EQ(a.json, b.json);
+    EXPECT_TRUE(a.mech == b.mech);
+}
+
+TEST(TraceReplay, ExportIsChromeTraceShaped)
+{
+    RunOutput a = runOnce();
+    // Object form with a traceEvents array...
+    EXPECT_NE(a.json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(a.json.find("\"displayTimeUnit\""), std::string::npos);
+    // ...containing complete spans (syscalls), instants (dispatch /
+    // hypercalls) and process-name metadata for the tracks.
+    EXPECT_NE(a.json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(a.json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(a.json.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(a.json.find("process_name"), std::string::npos);
+    // The burst's syscalls and the boot hypercalls are on the trace.
+    EXPECT_NE(a.json.find("\"name\":\"dup\""), std::string::npos);
+    EXPECT_NE(a.json.find("\"name\":\"getpid\""), std::string::npos);
+}
+
+TEST(TraceReplay, CaptureOffRecordsNothing)
+{
+    sim::trace::clearCapture();
+    ASSERT_FALSE(sim::trace::capturing());
+
+    runtimes::XContainerRuntime rt({});
+    runtimes::ContainerOpts copts;
+    copts.name = "quiet";
+    copts.image = apps::glibcImage("quiet");
+    copts.vcpus = 1;
+    copts.memBytes = 128ull << 20;
+    EXPECT_NE(rt.createContainer(copts), nullptr);
+
+    EXPECT_EQ(sim::trace::capturedEvents(), 0u);
+    EXPECT_EQ(sim::trace::droppedEvents(), 0u);
+}
+
+TEST(TraceReplay, BufferLimitDropsAndCounts)
+{
+    sim::trace::startCapture(/*max_events=*/8);
+    for (int i = 0; i < 20; ++i)
+        sim::trace::instantEvent(sim::trace::App, "t", 0, "e",
+                                 static_cast<sim::Tick>(i));
+    sim::trace::stopCapture();
+    EXPECT_EQ(sim::trace::capturedEvents(), 8u);
+    EXPECT_EQ(sim::trace::droppedEvents(), 12u);
+    std::string json = sim::trace::exportJson();
+    EXPECT_NE(json.find("\"dropped\":12"), std::string::npos);
+    sim::trace::clearCapture();
+}
+
+} // namespace
+} // namespace xc::test
