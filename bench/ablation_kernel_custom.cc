@@ -13,6 +13,8 @@
 
 #include "common.h"
 
+#include "runtimes/x_container.h"
+
 using namespace xc;
 using namespace xc::bench;
 

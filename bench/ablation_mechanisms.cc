@@ -12,6 +12,8 @@
 #include "common.h"
 
 #include "load/unixbench.h"
+#include "runtimes/x_container.h"
+#include "runtimes/xen_container.h"
 
 using namespace xc;
 using namespace xc::bench;

@@ -4,21 +4,28 @@
 using namespace xc;
 using namespace xc::bench;
 
-int main()
+int main(int argc, char **argv)
 {
+    Options opt = Options::parse(argc, argv);
     auto spec = hw::MachineSpec::ec2C4_2xlarge();
     for (MacroApp app : {MacroApp::Nginx, MacroApp::Memcached,
                          MacroApp::Redis}) {
         std::printf("== %s ==\n", macroAppName(app));
         double docker_tp = 0;
-        for (auto &kind : cloudRuntimes()) {
-            auto rt = kind.make(spec);
-            if (!rt) { std::printf("  %-28s n/a\n", kind.label.c_str()); continue; }
-            int conns = app == MacroApp::Nginx ? 160 : 400;
-            auto r = runMacro(*rt, app, conns, 300 * sim::kTicksPerMs);
-            if (kind.label == "docker") docker_tp = r.throughput;
+        for (const std::string &name : cloudRuntimeNames()) {
+            if (!opt.wantRuntime(name))
+                continue;
+            auto rt = makeCloudRuntime(name, spec, opt);
+            if (!rt) { std::printf("  %-28s n/a\n", name.c_str()); continue; }
+            MacroRun run;
+            run.connections = opt.connectionsOr(
+                app == MacroApp::Nginx ? 160 : 400);
+            run.duration = opt.durationOr(300 * sim::kTicksPerMs);
+            run.seed = opt.seed;
+            auto r = runMacro(*rt, app, run);
+            if (name == "docker") docker_tp = r.throughput;
             std::printf("  %-28s %9.0f req/s  lat p50 %7.0fus  (%.2fx)\n",
-                        kind.label.c_str(), r.throughput, r.p50LatencyUs,
+                        name.c_str(), r.throughput, r.p50LatencyUs,
                         docker_tp > 0 ? r.throughput / docker_tp : 0.0);
         }
     }

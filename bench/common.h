@@ -3,14 +3,16 @@
 
 /**
  * @file
- * Shared harness for the paper-reproduction benchmarks: runtime
- * factories for every configuration of §5.1 and helpers that deploy
- * an application, drive it with a load generator, and report
+ * Shared harness for the paper-reproduction benchmarks: a uniform
+ * command-line parser, registry-backed runtime construction for
+ * every configuration of §5.1, and helpers that deploy an
+ * application, drive it with a load generator, and report
  * paper-style rows.
  */
 
 #include <cstdio>
-#include <functional>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,102 +21,165 @@
 #include "apps/kv.h"
 #include "apps/nginx.h"
 #include "apps/php_mysql.h"
+#include "fault/fault.h"
 #include "load/driver.h"
-#include "runtimes/clear_container.h"
-#include "runtimes/docker.h"
-#include "runtimes/graphene.h"
-#include "runtimes/gvisor.h"
-#include "runtimes/unikernel.h"
-#include "runtimes/x_container.h"
-#include "runtimes/xen_container.h"
+#include "runtimes/runtime.h"
+#include "sim/trace.h"
 
 namespace xc::bench {
 
 using runtimes::Runtime;
 
-/** The ten cloud configurations of §5.1 (5 runtimes x patched?). */
-struct RuntimeKind
+/**
+ * The flags every bench accepts:
+ *
+ *   --runtime NAME    run only this runtime (default: all)
+ *   --seed N          simulation + fault seed
+ *   --duration MS     measurement window override
+ *   --connections N   client connections override
+ *   --trace FILE      capture a Chrome trace to FILE
+ *   --mech            print the mechanism-cycle breakdown
+ *   --faults RATE     inject FaultPlan::uniform(RATE)
+ *   --quick           smaller sweep (CI)
+ */
+struct Options
 {
-    std::string label;
-    /** nullptr when unavailable on this machine (Clear on EC2). */
-    std::function<std::unique_ptr<Runtime>(const hw::MachineSpec &)>
-        make;
+    std::string runtime; ///< empty = every runtime the bench covers
+    std::uint64_t seed = 42;
+    sim::Tick duration = 0; ///< 0 = the bench's default
+    int connections = 0;    ///< 0 = the bench's default
+    std::string tracePath;
+    bool mech = false;
+    double faultRate = 0.0;
+    bool quick = false;
+
+    static Options
+    parse(int argc, char **argv)
+    {
+        Options o;
+        for (int i = 1; i < argc; ++i) {
+            const char *a = argv[i];
+            auto value = [&](const char *flag) -> const char * {
+                if (std::strcmp(a, flag) != 0)
+                    return nullptr;
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr, "%s: %s needs a value\n",
+                                 argv[0], flag);
+                    std::exit(2);
+                }
+                return argv[++i];
+            };
+            if (const char *v = value("--runtime")) {
+                o.runtime = v;
+            } else if (const char *v = value("--seed")) {
+                o.seed = std::strtoull(v, nullptr, 0);
+            } else if (const char *v = value("--duration")) {
+                o.duration = std::strtoull(v, nullptr, 0) *
+                             sim::kTicksPerMs;
+            } else if (const char *v = value("--connections")) {
+                o.connections = std::atoi(v);
+            } else if (const char *v = value("--trace")) {
+                o.tracePath = v;
+            } else if (std::strcmp(a, "--mech") == 0) {
+                o.mech = true;
+            } else if (const char *v = value("--faults")) {
+                o.faultRate = std::strtod(v, nullptr);
+            } else if (std::strcmp(a, "--quick") == 0) {
+                o.quick = true;
+            } else {
+                std::fprintf(
+                    stderr,
+                    "usage: %s [--runtime NAME] [--seed N] "
+                    "[--duration MS] [--connections N] "
+                    "[--trace out.json] [--mech] [--faults RATE] "
+                    "[--quick]\n",
+                    argv[0]);
+                std::exit(2);
+            }
+        }
+        return o;
+    }
+
+    /** True when @p label should run under --runtime filtering. */
+    bool
+    wantRuntime(const std::string &label) const
+    {
+        return runtime.empty() || runtime == label;
+    }
+
+    sim::Tick
+    durationOr(sim::Tick def) const
+    {
+        return duration != 0 ? duration : def;
+    }
+
+    int
+    connectionsOr(int def) const
+    {
+        return connections != 0 ? connections : def;
+    }
+
+    /** The fault plan --faults selects (inert when rate == 0). */
+    fault::FaultPlan
+    faultPlan() const
+    {
+        if (faultRate <= 0.0)
+            return {};
+        return fault::FaultPlan::uniform(faultRate, seed);
+    }
+
+    void
+    startTrace() const
+    {
+        if (!tracePath.empty())
+            sim::trace::startCapture();
+    }
+
+    /** Stop + write the trace; returns nonzero on write failure. */
+    int
+    finishTrace() const
+    {
+        if (tracePath.empty())
+            return 0;
+        sim::trace::stopCapture();
+        if (!sim::trace::saveJson(tracePath)) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         tracePath.c_str());
+            return 1;
+        }
+        std::printf("wrote %zu trace events to %s (%llu dropped)\n",
+                    sim::trace::capturedEvents(), tracePath.c_str(),
+                    static_cast<unsigned long long>(
+                        sim::trace::droppedEvents()));
+        return 0;
+    }
 };
 
-inline std::vector<RuntimeKind>
-cloudRuntimes()
+/** The ten cloud configurations of §5.1 (5 runtimes x patched?),
+ *  as registry names for runtimes::makeRuntime. */
+inline std::vector<std::string>
+cloudRuntimeNames()
 {
-    using namespace runtimes;
-    std::vector<RuntimeKind> kinds;
-    auto add = [&](std::string label,
-                   std::function<std::unique_ptr<Runtime>(
-                       const hw::MachineSpec &)> make) {
-        kinds.push_back(RuntimeKind{std::move(label), std::move(make)});
+    return {
+        "docker",          "docker-unpatched",
+        "xen-container",   "xen-container-unpatched",
+        "x-container",     "x-container-unpatched",
+        "gvisor",          "gvisor-unpatched",
+        "clear-container", "clear-container-unpatched",
     };
-    add("docker", [](const hw::MachineSpec &spec) {
-        DockerRuntime::Options o;
-        o.spec = spec;
-        return std::make_unique<DockerRuntime>(o);
-    });
-    add("docker-unpatched", [](const hw::MachineSpec &spec) {
-        DockerRuntime::Options o;
-        o.spec = spec;
-        o.meltdownPatched = false;
-        return std::make_unique<DockerRuntime>(o);
-    });
-    add("xen-container", [](const hw::MachineSpec &spec) {
-        XenContainerRuntime::Options o;
-        o.spec = spec;
-        return std::make_unique<XenContainerRuntime>(o);
-    });
-    add("xen-container-unpatched", [](const hw::MachineSpec &spec) {
-        XenContainerRuntime::Options o;
-        o.spec = spec;
-        o.meltdownPatched = false;
-        return std::make_unique<XenContainerRuntime>(o);
-    });
-    add("x-container", [](const hw::MachineSpec &spec) {
-        XContainerRuntime::Options o;
-        o.spec = spec;
-        return std::make_unique<XContainerRuntime>(o);
-    });
-    add("x-container-unpatched", [](const hw::MachineSpec &spec) {
-        XContainerRuntime::Options o;
-        o.spec = spec;
-        o.meltdownPatched = false;
-        return std::make_unique<XContainerRuntime>(o);
-    });
-    add("gvisor", [](const hw::MachineSpec &spec) {
-        GvisorRuntime::Options o;
-        o.spec = spec;
-        return std::make_unique<GvisorRuntime>(o);
-    });
-    add("gvisor-unpatched", [](const hw::MachineSpec &spec) {
-        GvisorRuntime::Options o;
-        o.spec = spec;
-        o.meltdownPatched = false;
-        return std::make_unique<GvisorRuntime>(o);
-    });
-    add("clear-container",
-        [](const hw::MachineSpec &spec)
-            -> std::unique_ptr<Runtime> {
-            if (!runtimes::ClearContainerRuntime::availableOn(spec))
-                return nullptr;
-            ClearContainerRuntime::Options o;
-            o.spec = spec;
-            return std::make_unique<ClearContainerRuntime>(o);
-        });
-    add("clear-container-unpatched",
-        [](const hw::MachineSpec &spec)
-            -> std::unique_ptr<Runtime> {
-            if (!runtimes::ClearContainerRuntime::availableOn(spec))
-                return nullptr;
-            ClearContainerRuntime::Options o;
-            o.spec = spec;
-            o.hostMeltdownPatched = false;
-            return std::make_unique<ClearContainerRuntime>(o);
-        });
-    return kinds;
+}
+
+/** Build @p name on @p spec with the options' seed + fault plan.
+ *  nullptr when unavailable (Clear Containers on EC2). */
+inline std::unique_ptr<Runtime>
+makeCloudRuntime(const std::string &name, const hw::MachineSpec &spec,
+                 const Options &opt = {})
+{
+    runtimes::RuntimeConfig cfg;
+    cfg.spec = spec;
+    cfg.seed = opt.seed;
+    cfg.faults = opt.faultPlan();
+    return runtimes::makeRuntime(name, cfg);
 }
 
 /** Which macro app to deploy. */
@@ -131,10 +196,23 @@ macroAppName(MacroApp app)
     return "?";
 }
 
+/** Knobs for one macrobenchmark run. */
+struct MacroRun
+{
+    int connections = 160;
+    sim::Tick duration = 400 * sim::kTicksPerMs;
+    int workers = 4;
+    std::uint64_t seed = 1;
+    /** Client-side robustness (0 = no request timeouts). */
+    sim::Tick requestTimeout = 0;
+    int retryBudget = 2;
+    /** Attribute the server machine's mechanism counters. */
+    bool observeMech = false;
+};
+
 /** Deploy @p app on @p rt and drive it; returns the load result. */
 inline load::LoadResult
-runMacro(Runtime &rt, MacroApp app, int connections,
-         sim::Tick duration = 400 * sim::kTicksPerMs, int workers = 4)
+runMacro(Runtime &rt, MacroApp app, const MacroRun &run)
 {
     runtimes::ContainerOpts copts;
     copts.name = macroAppName(app);
@@ -156,13 +234,13 @@ runMacro(Runtime &rt, MacroApp app, int connections,
     switch (app) {
       case MacroApp::Nginx: {
         apps::NginxApp::Config ncfg;
-        ncfg.workers = workers;
+        ncfg.workers = run.workers;
         nginx = std::make_unique<apps::NginxApp>(ncfg);
         nginx->deploy(*c);
         port = 80;
         // Apache ab: no keepalive.
         spec = load::abSpec(guestos::SockAddr{rt.hostIp(), 8080},
-                            connections, duration);
+                            run.connections, run.duration);
         break;
       }
       case MacroApp::Memcached: {
@@ -171,7 +249,7 @@ runMacro(Runtime &rt, MacroApp app, int connections,
         kv->deploy(*c);
         port = 11211;
         spec = load::memtierSpec(guestos::SockAddr{rt.hostIp(), 8080},
-                                 connections, duration);
+                                 run.connections, run.duration);
         break;
       }
       case MacroApp::Redis: {
@@ -179,19 +257,36 @@ runMacro(Runtime &rt, MacroApp app, int connections,
         kv->deploy(*c);
         port = 6379;
         spec = load::memtierSpec(guestos::SockAddr{rt.hostIp(), 8080},
-                                 connections, duration);
+                                 run.connections, run.duration);
         break;
       }
     }
     rt.exposePort(c, 8080, port);
 
-    load::ClosedLoopDriver driver(rt.fabric(), spec);
+    spec.requestTimeout = run.requestTimeout;
+    spec.retryBudget = run.retryBudget;
+
+    load::ClosedLoopDriver driver(rt.fabric(), spec, run.seed);
+    if (run.observeMech)
+        driver.observeMech(rt.machine().mech());
     rt.machine().events().schedule(10 * sim::kTicksPerMs,
                                    [&] { driver.start(); });
     rt.machine().events().runUntil(10 * sim::kTicksPerMs + spec.warmup +
                                    spec.duration +
                                    50 * sim::kTicksPerMs);
     return driver.collect();
+}
+
+/** Back-compat shim for the positional-argument call sites. */
+inline load::LoadResult
+runMacro(Runtime &rt, MacroApp app, int connections,
+         sim::Tick duration = 400 * sim::kTicksPerMs, int workers = 4)
+{
+    MacroRun run;
+    run.connections = connections;
+    run.duration = duration;
+    run.workers = workers;
+    return runMacro(rt, app, run);
 }
 
 /** Print one paper-style relative row. */

@@ -17,8 +17,10 @@ using namespace xc;
 using namespace xc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options opt = Options::parse(argc, argv);
+
     struct Cloud
     {
         const char *label;
@@ -32,6 +34,8 @@ main()
     std::printf("Figure 3: macrobenchmarks, relative to patched "
                 "Docker\n\n");
 
+    opt.startTrace();
+
     for (MacroApp app : {MacroApp::Nginx, MacroApp::Memcached,
                          MacroApp::Redis}) {
         for (const Cloud &cloud : clouds) {
@@ -40,31 +44,39 @@ main()
             std::printf("  %-28s %12s %8s %12s %8s\n", "runtime",
                         "req/s", "rel", "p50-lat(us)", "rel");
             double docker_tp = 0.0, docker_lat = 0.0;
-            for (auto &rk : cloudRuntimes()) {
-                auto rt = rk.make(cloud.spec);
+            for (const std::string &name : cloudRuntimeNames()) {
+                if (!opt.wantRuntime(name))
+                    continue;
+                auto rt = makeCloudRuntime(name, cloud.spec, opt);
                 if (!rt) {
                     std::printf("  %-28s (requires nested HW "
                                 "virtualization)\n",
-                                rk.label.c_str());
+                                name.c_str());
                     continue;
                 }
-                int conns = app == MacroApp::Nginx ? 160 : 400;
-                auto r = runMacro(*rt, app, conns,
-                                  300 * sim::kTicksPerMs);
-                if (rk.label == "docker") {
+                MacroRun run;
+                run.connections = opt.connectionsOr(
+                    app == MacroApp::Nginx ? 160 : 400);
+                run.duration = opt.durationOr(300 * sim::kTicksPerMs);
+                run.seed = opt.seed;
+                run.observeMech = opt.mech;
+                auto r = runMacro(*rt, app, run);
+                if (name == "docker") {
                     docker_tp = r.throughput;
                     docker_lat = r.p50LatencyUs;
                 }
                 std::printf(
                     "  %-28s %12.0f %7.2fx %12.0f %7.2fx\n",
-                    rk.label.c_str(), r.throughput,
+                    name.c_str(), r.throughput,
                     docker_tp > 0 ? r.throughput / docker_tp : 0.0,
                     r.p50LatencyUs,
                     docker_lat > 0 ? r.p50LatencyUs / docker_lat
                                    : 0.0);
+                if (opt.mech)
+                    std::printf("%s", r.mechReport().c_str());
             }
             std::printf("\n");
         }
     }
-    return 0;
+    return opt.finishTrace();
 }

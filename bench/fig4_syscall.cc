@@ -12,10 +12,7 @@
 
 #include "common.h"
 
-#include <cstring>
-
 #include "load/unixbench.h"
-#include "sim/trace.h"
 
 using namespace xc;
 using namespace xc::bench;
@@ -23,20 +20,7 @@ using namespace xc::bench;
 int
 main(int argc, char **argv)
 {
-    std::string trace_path;
-    bool mech_report = false;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-            trace_path = argv[++i];
-        } else if (std::strcmp(argv[i], "--mech") == 0) {
-            mech_report = true;
-        } else {
-            std::fprintf(stderr,
-                         "usage: %s [--trace out.json] [--mech]\n",
-                         argv[0]);
-            return 2;
-        }
-    }
+    Options opt = Options::parse(argc, argv);
 
     struct Cloud
     {
@@ -53,48 +37,37 @@ main(int argc, char **argv)
     std::printf("paper: X-Container up to 27x Docker, <=1.6x vs "
                 "Clear; gVisor 7-9%% of Docker\n\n");
 
-    if (!trace_path.empty())
-        sim::trace::startCapture();
+    opt.startTrace();
 
+    sim::Tick duration = opt.durationOr(200 * sim::kTicksPerMs);
     for (const Cloud &cloud : clouds) {
         for (int copies : {1, 4}) {
             std::printf("== %s, %s ==\n", cloud.label,
                         copies == 1 ? "single" : "concurrent(4)");
             double docker = 0.0;
-            for (auto &kind : cloudRuntimes()) {
-                auto rt = kind.make(cloud.spec);
+            for (const std::string &name : cloudRuntimeNames()) {
+                if (!opt.wantRuntime(name))
+                    continue;
+                auto rt = makeCloudRuntime(name, cloud.spec, opt);
                 if (!rt) {
                     std::printf("  %-28s (not available: no nested "
                                 "HW virtualization)\n",
-                                kind.label.c_str());
+                                name.c_str());
                     continue;
                 }
                 auto r = load::runMicro(*rt, load::MicroKind::Syscall,
-                                        200 * sim::kTicksPerMs,
-                                        copies);
-                if (kind.label == "docker")
+                                        duration, copies);
+                if (name == "docker")
                     docker = r.opsPerSec;
                 std::printf("  %-28s %12.0f loops/s  (%6.2fx)\n",
-                            kind.label.c_str(), r.opsPerSec,
+                            name.c_str(), r.opsPerSec,
                             docker > 0 ? r.opsPerSec / docker : 0.0);
-                if (mech_report)
+                if (opt.mech)
                     std::printf("%s", r.mechReport().c_str());
             }
             std::printf("\n");
         }
     }
 
-    if (!trace_path.empty()) {
-        sim::trace::stopCapture();
-        if (!sim::trace::saveJson(trace_path)) {
-            std::fprintf(stderr, "failed to write %s\n",
-                         trace_path.c_str());
-            return 1;
-        }
-        std::printf("wrote %zu trace events to %s (%llu dropped)\n",
-                    sim::trace::capturedEvents(), trace_path.c_str(),
-                    static_cast<unsigned long long>(
-                        sim::trace::droppedEvents()));
-    }
-    return 0;
+    return opt.finishTrace();
 }

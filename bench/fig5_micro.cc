@@ -13,11 +13,8 @@
 
 #include "common.h"
 
-#include <cstring>
-
 #include "load/iperf.h"
 #include "load/unixbench.h"
-#include "sim/trace.h"
 
 using namespace xc;
 using namespace xc::bench;
@@ -25,20 +22,7 @@ using namespace xc::bench;
 int
 main(int argc, char **argv)
 {
-    std::string trace_path;
-    bool mech_report = false;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-            trace_path = argv[++i];
-        } else if (std::strcmp(argv[i], "--mech") == 0) {
-            mech_report = true;
-        } else {
-            std::fprintf(stderr,
-                         "usage: %s [--trace out.json] [--mech]\n",
-                         argv[0]);
-            return 2;
-        }
-    }
+    Options opt = Options::parse(argc, argv);
 
     struct Cloud
     {
@@ -60,9 +44,9 @@ main(int argc, char **argv)
     std::printf("Figure 5: relative microbenchmark performance "
                 "(higher is better)\n\n");
 
-    if (!trace_path.empty())
-        sim::trace::startCapture();
+    opt.startTrace();
 
+    sim::Tick duration = opt.durationOr(150 * sim::kTicksPerMs);
     for (const Cloud &cloud : clouds) {
         for (int copies : {1, 4}) {
             std::printf("===== %s, %s =====\n", cloud.label,
@@ -70,40 +54,42 @@ main(int argc, char **argv)
             for (load::MicroKind kind : kinds) {
                 std::printf("-- %s --\n", load::microKindName(kind));
                 double docker = 0.0;
-                for (auto &rk : cloudRuntimes()) {
-                    auto rt = rk.make(cloud.spec);
+                for (const std::string &name : cloudRuntimeNames()) {
+                    if (!opt.wantRuntime(name))
+                        continue;
+                    auto rt = makeCloudRuntime(name, cloud.spec, opt);
                     if (!rt) {
-                        std::printf("  %-28s n/a\n", rk.label.c_str());
+                        std::printf("  %-28s n/a\n", name.c_str());
                         continue;
                     }
-                    auto r = load::runMicro(*rt, kind,
-                                            150 * sim::kTicksPerMs,
+                    auto r = load::runMicro(*rt, kind, duration,
                                             copies);
-                    if (rk.label == "docker")
+                    if (name == "docker")
                         docker = r.opsPerSec;
                     std::printf(
                         "  %-28s %12.0f ops/s  (%5.2fx)\n",
-                        rk.label.c_str(), r.opsPerSec,
+                        name.c_str(), r.opsPerSec,
                         docker > 0 ? r.opsPerSec / docker : 0.0);
-                    if (mech_report)
+                    if (opt.mech)
                         std::printf("%s", r.mechReport().c_str());
                 }
             }
             // iperf throughput.
             std::printf("-- iperf --\n");
             double docker_gbps = 0.0;
-            for (auto &rk : cloudRuntimes()) {
-                auto rt = rk.make(cloud.spec);
+            for (const std::string &name : cloudRuntimeNames()) {
+                if (!opt.wantRuntime(name))
+                    continue;
+                auto rt = makeCloudRuntime(name, cloud.spec, opt);
                 if (!rt) {
-                    std::printf("  %-28s n/a\n", rk.label.c_str());
+                    std::printf("  %-28s n/a\n", name.c_str());
                     continue;
                 }
-                auto r = load::runIperf(*rt, 150 * sim::kTicksPerMs,
-                                        copies);
-                if (rk.label == "docker")
+                auto r = load::runIperf(*rt, duration, copies);
+                if (name == "docker")
                     docker_gbps = r.gbitPerSec;
                 std::printf("  %-28s %10.2f Gbit/s  (%5.2fx)\n",
-                            rk.label.c_str(), r.gbitPerSec,
+                            name.c_str(), r.gbitPerSec,
                             docker_gbps > 0
                                 ? r.gbitPerSec / docker_gbps
                                 : 0.0);
@@ -112,17 +98,5 @@ main(int argc, char **argv)
         }
     }
 
-    if (!trace_path.empty()) {
-        sim::trace::stopCapture();
-        if (!sim::trace::saveJson(trace_path)) {
-            std::fprintf(stderr, "failed to write %s\n",
-                        trace_path.c_str());
-            return 1;
-        }
-        std::printf("wrote %zu trace events to %s (%llu dropped)\n",
-                    sim::trace::capturedEvents(), trace_path.c_str(),
-                    static_cast<unsigned long long>(
-                        sim::trace::droppedEvents()));
-    }
-    return 0;
+    return opt.finishTrace();
 }

@@ -24,20 +24,10 @@ namespace {
 std::unique_ptr<runtimes::Runtime>
 makeLibosRuntime(const std::string &which)
 {
-    auto spec = hw::MachineSpec::xeonE52690Local();
-    if (which == "graphene") {
-        runtimes::GrapheneRuntime::Options o;
-        o.spec = spec;
-        return std::make_unique<runtimes::GrapheneRuntime>(o);
-    }
-    if (which == "unikernel") {
-        runtimes::UnikernelRuntime::Options o;
-        o.spec = spec;
-        return std::make_unique<runtimes::UnikernelRuntime>(o);
-    }
-    runtimes::XContainerRuntime::Options o;
-    o.spec = spec;
-    return std::make_unique<runtimes::XContainerRuntime>(o);
+    // The local-cluster configurations (§5.1) via the registry;
+    // "graphene" maps to the paper's unpatched-host build.
+    return runtimes::makeRuntime(
+        which, hw::MachineSpec::xeonE52690Local());
 }
 
 double

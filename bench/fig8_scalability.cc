@@ -95,52 +95,33 @@ runPoint(const Series &series, int n)
 int
 main(int argc, char **argv)
 {
+    Options opt = Options::parse(argc, argv);
     // Quick mode for CI: fewer, smaller points.
-    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
     std::vector<int> points =
-        quick ? std::vector<int>{1, 25, 100}
-              : std::vector<int>{1, 25, 50, 100, 150, 200, 250, 300,
-                                 400};
+        opt.quick ? std::vector<int>{1, 25, 100}
+                  : std::vector<int>{1, 25, 50, 100, 150, 200, 250,
+                                     300, 400};
 
     auto spec = hw::MachineSpec::xeonE52690Local();
+    auto viaRegistry = [spec, &opt](const char *name) {
+        return [spec, &opt, name] {
+            return makeCloudRuntime(name, spec, opt);
+        };
+    };
 
     std::vector<Series> series;
-    series.push_back(
-        {"docker",
-         [spec] {
-             runtimes::DockerRuntime::Options o;
-             o.spec = spec;
-             return std::unique_ptr<runtimes::Runtime>(
-                 std::make_unique<runtimes::DockerRuntime>(o));
-         },
-         0, 0});
-    series.push_back(
-        {"x-container",
-         [spec] {
-             runtimes::XContainerRuntime::Options o;
-             o.spec = spec;
-             return std::unique_ptr<runtimes::Runtime>(
-                 std::make_unique<runtimes::XContainerRuntime>(o));
-         },
-         128ull << 20, 0});
-    series.push_back(
-        {"xen-pv",
-         [spec] {
-             runtimes::XenContainerRuntime::Options o;
-             o.spec = spec;
-             return std::unique_ptr<runtimes::Runtime>(
-                 std::make_unique<runtimes::XenContainerRuntime>(o));
-         },
-         256ull << 20, kPvToolstackOverhead});
-    series.push_back(
-        {"xen-hvm",
-         [spec] {
-             runtimes::ClearContainerRuntime::Options o;
-             o.spec = spec; // local machine: plain (non-nested) HVM
-             return std::unique_ptr<runtimes::Runtime>(
-                 std::make_unique<runtimes::ClearContainerRuntime>(o));
-         },
-         256ull << 20, kHvmQemuOverhead});
+    series.push_back({"docker", viaRegistry("docker"), 0, 0});
+    series.push_back({"x-container", viaRegistry("x-container"),
+                      128ull << 20, 0});
+    series.push_back({"xen-pv", viaRegistry("xen-container"),
+                      256ull << 20, kPvToolstackOverhead});
+    // Local machine: plain (non-nested) HVM.
+    series.push_back({"xen-hvm", viaRegistry("clear-container"),
+                      256ull << 20, kHvmQemuOverhead});
+    if (!opt.runtime.empty())
+        std::erase_if(series, [&opt](const Series &s) {
+            return s.label != opt.runtime;
+        });
 
     std::printf("Figure 8: aggregate throughput vs number of "
                 "containers (req/s)\n");

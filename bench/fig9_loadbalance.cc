@@ -105,10 +105,8 @@ main()
 
     double docker_hap = 0.0;
     {
-        runtimes::DockerRuntime::Options o;
-        o.spec = spec;
-        runtimes::DockerRuntime rt(o);
-        docker_hap = runConfig(rt, LbKind::Haproxy);
+        auto rt = runtimes::makeRuntime("docker", spec);
+        docker_hap = runConfig(*rt, LbKind::Haproxy);
         std::printf("  %-28s %10.0f  (1.00x)\n", "docker (haproxy)",
                     docker_hap);
     }
@@ -125,10 +123,8 @@ main()
     };
     double prev = docker_hap;
     for (const Cell &cell : cells) {
-        runtimes::XContainerRuntime::Options o;
-        o.spec = spec;
-        runtimes::XContainerRuntime rt(o);
-        double tp = runConfig(rt, cell.kind);
+        auto rt = runtimes::makeRuntime("x-container", spec);
+        double tp = runConfig(*rt, cell.kind);
         std::printf("  %-28s %10.0f  (%.2fx docker, %.2fx prev)\n",
                     cell.label, tp,
                     docker_hap > 0 ? tp / docker_hap : 0.0,

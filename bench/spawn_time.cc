@@ -14,6 +14,8 @@
 
 #include "common.h"
 
+#include "core/platform.h"
+
 using namespace xc;
 using namespace xc::bench;
 
@@ -50,7 +52,8 @@ main()
     // Docker process spawn: time until an NGINX container serves its
     // first request (fork/exec/bind path in the simulator).
     {
-        runtimes::DockerRuntime rt({});
+        auto rtp = runtimes::makeRuntime("docker", spec);
+        runtimes::Runtime &rt = *rtp;
         runtimes::ContainerOpts copts;
         copts.name = "web";
         copts.image = apps::glibcImage("img");

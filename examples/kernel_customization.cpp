@@ -24,9 +24,9 @@ namespace {
 double
 run(guestos::IpvsService::Mode mode)
 {
-    runtimes::XContainerRuntime::Options o;
-    o.spec = hw::MachineSpec::xeonE52690Local();
-    runtimes::XContainerRuntime rt(o);
+    auto rtp = runtimes::makeRuntime(
+        "x-container", hw::MachineSpec::xeonE52690Local());
+    runtimes::Runtime &rt = *rtp;
 
     std::vector<std::unique_ptr<apps::NginxApp>> backends;
     guestos::IpvsService::Config icfg;

@@ -28,7 +28,8 @@ using namespace xc;
 int
 main()
 {
-    runtimes::XContainerRuntime rt({});
+    auto rtp = runtimes::makeRuntime("x-container");
+    runtimes::Runtime &rt = *rtp;
 
     auto spawn = [&](const char *name, int vcpus) {
         runtimes::ContainerOpts copts;
@@ -112,7 +113,11 @@ main()
                 static_cast<unsigned long long>(php.requestsServed()),
                 static_cast<unsigned long long>(mysql.queriesServed()));
 
-    const core::AbomStats &st = rt.xkernel().abom().stats();
+    const core::AbomStats &st =
+        static_cast<runtimes::XContainerRuntime &>(rt)
+            .xkernel()
+            .abom()
+            .stats();
     std::printf("ABOM platform-wide: %.2f%% of syscall invocations "
                 "ran as function calls\n",
                 100.0 * st.reductionRatio());

@@ -1,0 +1,132 @@
+#include "fault/fault.h"
+
+#include <cstdio>
+
+namespace xc::fault {
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::PacketLoss: return "packet_loss";
+      case FaultKind::PacketDelay: return "packet_delay";
+      case FaultKind::ConnReset: return "conn_reset";
+      case FaultKind::LinkPartition: return "link_partition";
+      case FaultKind::EvtchnDrop: return "evtchn_drop";
+      case FaultKind::GrantFail: return "grant_fail";
+      case FaultKind::ContainerCrash: return "container_crash";
+      case FaultKind::OomKill: return "oom_kill";
+      case FaultKind::SlowBoot: return "slow_boot";
+      case FaultKind::VcpuStall: return "vcpu_stall";
+      case FaultKind::kCount: break;
+    }
+    return "?";
+}
+
+const char *
+faultKindDescription(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::PacketLoss:
+        return "application message silently dropped on the wire";
+      case FaultKind::PacketDelay:
+        return "message delivered late by the configured delay";
+      case FaultKind::ConnReset:
+        return "established connection reset mid-flight";
+      case FaultKind::LinkPartition:
+        return "connection attempt refused (no route)";
+      case FaultKind::EvtchnDrop:
+        return "event-channel notification lost";
+      case FaultKind::GrantFail:
+        return "grant map/copy operation rejected";
+      case FaultKind::ContainerCrash:
+        return "booted container dies after a deterministic delay";
+      case FaultKind::OomKill:
+        return "container refused admission at boot";
+      case FaultKind::SlowBoot:
+        return "container boots but refuses connections for a while";
+      case FaultKind::VcpuStall:
+        return "core grant delayed (host preemption / steal time)";
+      case FaultKind::kCount: break;
+    }
+    return "?";
+}
+
+bool
+FaultPlan::anyEnabled() const
+{
+    for (const FaultSpec &s : spec) {
+        if (s.rate > 0.0)
+            return true;
+    }
+    return false;
+}
+
+FaultPlan
+FaultPlan::uniform(double rate, std::uint64_t seed)
+{
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.at(FaultKind::PacketLoss).rate = rate;
+    plan.at(FaultKind::PacketDelay).rate = rate;
+    plan.at(FaultKind::PacketDelay).param = 2 * sim::kTicksPerMs;
+    plan.at(FaultKind::ConnReset).rate = rate / 4.0;
+    plan.at(FaultKind::LinkPartition).rate = rate / 4.0;
+    plan.at(FaultKind::EvtchnDrop).rate = rate / 4.0;
+    plan.at(FaultKind::VcpuStall).rate = rate / 4.0;
+    plan.at(FaultKind::VcpuStall).param = sim::kTicksPerMs;
+    return plan;
+}
+
+void
+FaultInjector::configure(const FaultPlan &plan)
+{
+    plan_ = plan;
+    enabled_ = plan_.anyEnabled();
+    for (std::uint64_t &n : injected_)
+        n = 0;
+}
+
+sim::Tick
+FaultInjector::jitter(FaultKind k, std::uint64_t salt, sim::Tick lo,
+                      sim::Tick hi) const
+{
+    if (hi <= lo)
+        return lo;
+    std::uint64_t s = plan_.seed;
+    s ^= 0xd1b54a32d192ed03ull * (static_cast<std::uint64_t>(k) + 1);
+    s ^= salt * 0x2545f4914f6cdd1dull;
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<sim::Tick>(sim::splitMix64(s) % span);
+}
+
+std::uint64_t
+FaultInjector::totalInjected() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t n : injected_)
+        total += n;
+    return total;
+}
+
+std::string
+FaultInjector::report() const
+{
+    std::string out;
+    char line[128];
+    std::snprintf(line, sizeof line, "  %-16s %8s %10s\n", "fault",
+                  "rate", "injected");
+    out += line;
+    for (int i = 0; i < kFaultKindCount; ++i) {
+        const FaultSpec &s = plan_.spec[i];
+        if (s.rate <= 0.0 && injected_[i] == 0)
+            continue;
+        std::snprintf(line, sizeof line, "  %-16s %8.4f %10llu\n",
+                      faultKindName(static_cast<FaultKind>(i)), s.rate,
+                      static_cast<unsigned long long>(injected_[i]));
+        out += line;
+    }
+    return out;
+}
+
+} // namespace xc::fault

@@ -1,0 +1,192 @@
+#ifndef XC_FAULT_FAULT_H
+#define XC_FAULT_FAULT_H
+
+/**
+ * @file
+ * Deterministic, seed-driven fault injection.
+ *
+ * Every layer of the stack consults one FaultInjector (owned by
+ * hw::Machine, next to the mechanism counters): the network fabric
+ * for packet loss/delay/reset and link partitions, the Xen substrate
+ * for dropped event-channel notifications and failed grant
+ * operations, the runtimes for container boot faults and crashes,
+ * and the core scheduler for vCPU stalls.
+ *
+ * Two properties are the contract:
+ *
+ *  1. **Determinism.** Every decision is a pure function of
+ *     (plan seed, fault kind, simulated tick, caller salt) — a
+ *     stateless SplitMix64 hash, never a shared RNG stream. Two runs
+ *     with the same seed and the same FaultPlan make byte-identical
+ *     decisions regardless of call order, and enabling one fault
+ *     kind does not perturb the schedule of another.
+ *
+ *  2. **Zero cost when disabled.** A default FaultPlan is inert:
+ *     every hook is guarded by a single `enabled()` branch, no hash
+ *     is computed, no RNG state is consumed, and no event is
+ *     scheduled, so fault-free runs are bit-identical to builds that
+ *     predate the subsystem.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace xc::fault {
+
+/** Every fault class a layer can ask about. */
+enum class FaultKind : int {
+    // guestos::NetFabric — the wire.
+    PacketLoss,     ///< an application message silently dropped
+    PacketDelay,    ///< a message delivered late (param = extra ticks)
+    ConnReset,      ///< a connection torn down mid-flight (RST)
+    LinkPartition,  ///< a connection attempt refused (no route)
+    // src/xen — the PV substrate.
+    EvtchnDrop,     ///< an event-channel notification lost
+    GrantFail,      ///< a grant map/copy operation rejected
+    // src/runtimes — container lifecycle.
+    ContainerCrash, ///< a booted container dies later (param = max delay)
+    OomKill,        ///< a container refused admission at boot
+    SlowBoot,       ///< a container boots but refuses connects (param = hold)
+    // src/hw — the scheduler.
+    VcpuStall,      ///< a core grant delayed, e.g. host preemption (param = stall)
+    kCount,
+};
+
+constexpr int kFaultKindCount = static_cast<int>(FaultKind::kCount);
+
+/** Stable lower-case identifier ("packet_loss", "vcpu_stall", ...). */
+const char *faultKindName(FaultKind k);
+
+/** One-line human description. */
+const char *faultKindDescription(FaultKind k);
+
+/** Configuration for one fault kind. */
+struct FaultSpec
+{
+    /** Probability per opportunity in [0, 1]. 0 = never. */
+    double rate = 0.0;
+    /** Kind-specific magnitude (a delay, stall or hold duration). */
+    sim::Tick param = 0;
+};
+
+/** The full schedule description: what to inject, how often. */
+struct FaultPlan
+{
+    /** Decision seed. Independent of the machine's RNG seed so the
+     *  same workload can be replayed under different fault
+     *  schedules (and vice versa). */
+    std::uint64_t seed = 0xfade'd5eedull;
+
+    FaultSpec spec[kFaultKindCount];
+
+    FaultSpec &
+    at(FaultKind k)
+    {
+        return spec[static_cast<int>(k)];
+    }
+
+    const FaultSpec &
+    at(FaultKind k) const
+    {
+        return spec[static_cast<int>(k)];
+    }
+
+    /** True when any kind has a nonzero rate. */
+    bool anyEnabled() const;
+
+    /**
+     * The sweep plan used by `--faults <rate>`: data-path faults
+     * only (loss, delay, reset, partition, evtchn drops, vCPU
+     * stalls), scaled off one knob. Boot-lifecycle faults stay off
+     * so a sweep degrades service rather than killing it.
+     */
+    static FaultPlan uniform(double rate, std::uint64_t seed = 1);
+};
+
+/**
+ * The per-machine decision oracle. Copy of the plan + injection
+ * counters; all decision logic is stateless hashing.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector() = default;
+
+    /** Install @p plan (recomputes the enabled flag, resets counts). */
+    void configure(const FaultPlan &plan);
+
+    /** The one hot-path branch: anything armed at all? */
+    bool enabled() const { return enabled_; }
+
+    const FaultPlan &plan() const { return plan_; }
+
+    /**
+     * Should fault @p k fire at @p now for this opportunity?
+     * @p salt distinguishes concurrent opportunities at the same
+     * tick (a connection id, packet sequence, port, core...).
+     * Pure in (seed, k, now, salt); counts firings as a side effect.
+     */
+    bool
+    shouldInject(FaultKind k, sim::Tick now, std::uint64_t salt = 0)
+    {
+        const FaultSpec &s = plan_.spec[static_cast<int>(k)];
+        if (s.rate <= 0.0)
+            return false;
+        if (s.rate < 1.0 && hashUnit(k, now, salt) >= s.rate)
+            return false;
+        ++injected_[static_cast<int>(k)];
+        return true;
+    }
+
+    /** The configured magnitude for @p k (delay/stall/hold ticks). */
+    sim::Tick
+    param(FaultKind k) const
+    {
+        return plan_.spec[static_cast<int>(k)].param;
+    }
+
+    /**
+     * Deterministic value in [lo, hi] for @p k at @p salt — used to
+     * spread e.g. crash times across a window without consuming any
+     * RNG stream.
+     */
+    sim::Tick jitter(FaultKind k, std::uint64_t salt, sim::Tick lo,
+                     sim::Tick hi) const;
+
+    /** How many times @p k fired since configure(). */
+    std::uint64_t
+    injected(FaultKind k) const
+    {
+        return injected_[static_cast<int>(k)];
+    }
+
+    std::uint64_t totalInjected() const;
+
+    /** Aligned kind/rate/count table of everything that fired. */
+    std::string report() const;
+
+  private:
+    /** Stateless hash of (seed, kind, tick, salt) to [0, 1). */
+    double
+    hashUnit(FaultKind k, sim::Tick now, std::uint64_t salt) const
+    {
+        std::uint64_t s = plan_.seed;
+        s ^= 0x9e3779b97f4a7c15ull *
+             (static_cast<std::uint64_t>(k) + 1);
+        s ^= static_cast<std::uint64_t>(now) * 0xbf58476d1ce4e5b9ull;
+        s ^= salt * 0x94d049bb133111ebull;
+        return static_cast<double>(sim::splitMix64(s) >> 11) *
+               0x1.0p-53;
+    }
+
+    FaultPlan plan_;
+    bool enabled_ = false;
+    std::uint64_t injected_[kFaultKindCount] = {};
+};
+
+} // namespace xc::fault
+
+#endif // XC_FAULT_FAULT_H

@@ -6,8 +6,8 @@ namespace xc::guestos {
 
 Epoll::~Epoll()
 {
-    for (auto &[obj, item] : items)
-        obj->removeWatch(this);
+    for (auto &item : items)
+        item.file->removeWatch(this);
 }
 
 int
@@ -16,13 +16,18 @@ Epoll::ctlAdd(const FilePtr &file, std::uint32_t events,
 {
     if (!file || file.get() == this)
         return -ERR_INVAL;
-    auto it = items.find(file.get());
-    if (it != items.end()) {
-        it->second.events = events;
-        it->second.token = token;
-        file->removeWatch(this);
+    for (auto &item : items) {
+        if (item.file.get() == file.get()) { // EPOLL_CTL_MOD
+            file->removeWatch(this);
+            item.events = events;
+            item.token = token;
+            file->addWatch(this, events, token);
+            if (file->readiness() & events)
+                notifyReady();
+            return 0;
+        }
     }
-    items[file.get()] = Item{file, events, token};
+    items.push_back(Item{file, events, token});
     file->addWatch(this, events, token);
     if (file->readiness() & events)
         notifyReady();
@@ -34,20 +39,23 @@ Epoll::ctlDel(const FilePtr &file)
 {
     if (!file)
         return -ERR_INVAL;
-    auto it = items.find(file.get());
-    if (it == items.end())
-        return -ERR_NOENT;
-    file->removeWatch(this);
-    items.erase(it);
-    return 0;
+    for (auto it = items.begin(); it != items.end(); ++it) {
+        if (it->file.get() == file.get()) {
+            file->removeWatch(this);
+            items.erase(it);
+            return 0;
+        }
+    }
+    return -ERR_NOENT;
 }
 
 std::vector<EpollEvent>
 Epoll::collectReady(int max) const
 {
     std::vector<EpollEvent> out;
-    for (const auto &[obj, item] : items) {
-        std::uint32_t ready = obj->readiness() & (item.events | PollHup);
+    for (const auto &item : items) {
+        std::uint32_t ready =
+            item.file->readiness() & (item.events | PollHup);
         if (ready) {
             out.push_back(EpollEvent{item.token, ready});
             if (static_cast<int>(out.size()) >= max)

@@ -8,7 +8,6 @@
  */
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "sim/task.h"
@@ -66,7 +65,11 @@ class Epoll : public FileObject
         std::uint32_t events;
         std::uint64_t token;
     };
-    std::map<FileObject *, Item> items;
+    /** Interest list in insertion order. A pointer-keyed map here
+     *  would leak heap-address order into epoll_wait results (the
+     *  wake order of nginx workers), breaking in-process
+     *  run-to-run determinism. */
+    std::vector<Item> items;
     WaitQueue waiters;
 };
 

@@ -11,8 +11,34 @@ namespace xc::guestos {
 
 Connection::Connection(NetFabric &fabric, Endpoint *a, Endpoint *b,
                        sim::Tick latency)
-    : fabric(fabric), endA(a), endB(b), latency_(latency)
+    : fabric(fabric), endA(a), endB(b), latency_(latency),
+      id_(fabric.newConnId())
 {
+}
+
+bool
+Connection::touchesStack(const NetStack *stack) const
+{
+    if (stack == nullptr)
+        return false;
+    return (endA != nullptr && endA->stack() == stack) ||
+           (endB != nullptr && endB->stack() == stack);
+}
+
+void
+Connection::reset()
+{
+    auto self = shared_from_this();
+    fabric.events().scheduleAfter(latency_, [self] {
+        Endpoint *a = self->endA;
+        Endpoint *b = self->endB;
+        self->endA = nullptr;
+        self->endB = nullptr;
+        if (a)
+            a->peerClosed();
+        if (b)
+            b->peerClosed();
+    });
 }
 
 Endpoint *
@@ -29,12 +55,28 @@ void
 Connection::send(Endpoint *from, std::uint64_t bytes)
 {
     bool to_b = (from == endA);
+    sim::Tick extra = 0;
+    fault::FaultInjector *inj = fabric.faults_;
+    if (inj != nullptr && inj->enabled()) {
+        sim::Tick now = fabric.events().now();
+        std::uint64_t salt = (id_ << 20) | (seq_++ & 0xfffff);
+        if (inj->shouldInject(fault::FaultKind::ConnReset, now, salt)) {
+            reset();
+            return;
+        }
+        if (inj->shouldInject(fault::FaultKind::PacketLoss, now, salt))
+            return; // silently dropped; recovery is the caller's job
+        if (inj->shouldInject(fault::FaultKind::PacketDelay, now,
+                              salt))
+            extra = inj->param(fault::FaultKind::PacketDelay);
+    }
     auto self = shared_from_this();
-    fabric.events().scheduleAfter(latency_, [self, to_b, bytes] {
-        Endpoint *dst = to_b ? self->endB : self->endA;
-        if (dst)
-            dst->deliverData(bytes);
-    });
+    fabric.events().scheduleAfter(
+        latency_ + extra, [self, to_b, bytes] {
+            Endpoint *dst = to_b ? self->endB : self->endA;
+            if (dst)
+                dst->deliverData(bytes);
+        });
 }
 
 void
@@ -427,10 +469,14 @@ WireClient::close()
 void
 WireClient::deliverData(std::uint64_t bytes)
 {
+    // Data in flight when we closed is dropped, not delivered — a
+    // closed client socket must never surface stale response bytes
+    // (the load driver reuses its callbacks across reconnects).
+    if (!conn)
+        return;
     // Client machines ack instantly (their CPU is not the system
     // under test).
-    if (conn)
-        conn->ack(this, bytes);
+    conn->ack(this, bytes);
     if (onData)
         onData(bytes);
 }
@@ -509,6 +555,59 @@ NetFabric::unregisterStack(NetStack *stack)
         else
             ++it;
     }
+    heldUntil_.erase(stack);
+}
+
+void
+NetFabric::holdStack(const NetStack *stack, sim::Tick until)
+{
+    heldUntil_[stack] = until;
+}
+
+bool
+NetFabric::stackHeld(const NetStack *stack) const
+{
+    auto it = heldUntil_.find(stack);
+    return it != heldUntil_.end() && events_.now() < it->second;
+}
+
+void
+NetFabric::crashStack(NetStack *stack)
+{
+    for (auto it = listeners.begin(); it != listeners.end();) {
+        if (it->second->homeStack() == stack)
+            it = listeners.erase(it);
+        else
+            ++it;
+    }
+    // RST every established connection terminating in the crashed
+    // stack; prune dead entries while we're here.
+    std::vector<std::weak_ptr<Connection>> alive;
+    alive.reserve(liveConns_.size());
+    for (auto &weak : liveConns_) {
+        std::shared_ptr<Connection> conn = weak.lock();
+        if (!conn)
+            continue;
+        if (conn->touchesStack(stack))
+            conn->reset();
+        else
+            alive.push_back(std::move(weak));
+    }
+    liveConns_.swap(alive);
+}
+
+void
+NetFabric::trackConnection(const std::shared_ptr<Connection> &conn)
+{
+    // Prune opportunistically so long runs stay bounded.
+    if (liveConns_.size() > 1024 &&
+        (liveConns_.size() & (liveConns_.size() - 1)) == 0) {
+        std::erase_if(liveConns_,
+                      [](const std::weak_ptr<Connection> &w) {
+                          return w.expired();
+                      });
+    }
+    liveConns_.push_back(conn);
 }
 
 void
@@ -585,6 +684,22 @@ NetFabric::connect(Endpoint *initiator, SockAddr dst,
     TcpListener *listener = it->second;
     sim::Tick lat = latencyFor(initiator, listener->homeStack());
 
+    // Slow-boot hold: the guest is up but the service isn't
+    // accepting yet — refuse like a closed port.
+    if (stackHeld(listener->homeStack())) {
+        events_.scheduleAfter(2 * lat, [done] { done(nullptr); });
+        return;
+    }
+    // Link partition: the SYN never arrives; the initiator sees a
+    // refused connect after the handshake timeout (modelled as one
+    // RTT, same as an RST, to keep the event count bounded).
+    if (faults_ != nullptr && faults_->enabled() &&
+        faults_->shouldInject(fault::FaultKind::LinkPartition,
+                              events_.now(), k)) {
+        events_.scheduleAfter(2 * lat, [done] { done(nullptr); });
+        return;
+    }
+
     events_.scheduleAfter(lat, [this, initiator, k, lat, done] {
         // Re-check: the listener may have closed while the SYN was
         // in flight.
@@ -595,6 +710,7 @@ NetFabric::connect(Endpoint *initiator, SockAddr dst,
         }
         auto conn = std::make_shared<Connection>(
             *this, initiator, nullptr, lat);
+        trackConnection(conn);
         // incoming() adopts the server-side endpoint itself (kernel
         // modules may terminate the connection in custom endpoints).
         it2->second->incoming(conn);

@@ -21,7 +21,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <vector>
 
+#include "fault/fault.h"
 #include "sim/task.h"
 #include "guestos/file_object.h"
 #include "guestos/thread.h"
@@ -85,6 +87,16 @@ class Connection : public std::enable_shared_from_this<Connection>
     /** Late-bind the passive end (set during handshake delivery). */
     void adoptServerEnd(Endpoint *b) { endB = b; }
 
+    /**
+     * RST both directions: each surviving endpoint sees peerClosed
+     * after one latency. Used by the fault injector (ConnReset) and
+     * by NetFabric::crashStack.
+     */
+    void reset();
+
+    /** True if either endpoint terminates in @p stack. */
+    bool touchesStack(const NetStack *stack) const;
+
     sim::Tick latency() const { return latency_; }
     Endpoint *peerOf(Endpoint *ep) const;
 
@@ -93,6 +105,8 @@ class Connection : public std::enable_shared_from_this<Connection>
     Endpoint *endA;
     Endpoint *endB;
     sim::Tick latency_;
+    std::uint64_t id_;      ///< fabric-assigned, for fault salts
+    std::uint64_t seq_ = 0; ///< messages sent (fault salt component)
 };
 
 /** A connected TCP socket inside a guest kernel. */
@@ -271,6 +285,33 @@ class NetFabric
     /** Resolve an address through NAT rules (one hop). */
     SockAddr resolve(SockAddr addr) const;
 
+    /** Consult @p faults on the data path (packet loss/delay/reset,
+     *  link partitions). nullptr detaches. */
+    void attachFaults(fault::FaultInjector *faults)
+    {
+        faults_ = faults;
+    }
+
+    /** The attached injector; nullptr or disabled = fault-free. */
+    fault::FaultInjector *faults() const { return faults_; }
+
+    /**
+     * Refuse connections to @p stack's listeners until @p until
+     * (slow container boot: the guest is up but its services are
+     * not accepting yet).
+     */
+    void holdStack(const NetStack *stack, sim::Tick until);
+
+    /** True while @p stack is held (see holdStack). */
+    bool stackHeld(const NetStack *stack) const;
+
+    /**
+     * Simulated container crash: unbind every listener of @p stack
+     * (future connects are refused) and reset every established
+     * connection that terminates in it.
+     */
+    void crashStack(NetStack *stack);
+
     /**
      * Open a connection from @p initiator to @p dst. After a
      * handshake RTT, @p done fires with the established connection
@@ -284,18 +325,29 @@ class NetFabric
     sim::Tick latencyFor(Endpoint *initiator, NetStack *dstStack) const;
 
   private:
+    friend class Connection;
+
     static std::uint64_t
     key(SockAddr a)
     {
         return (static_cast<std::uint64_t>(a.ip) << 16) | a.port;
     }
 
+    std::uint64_t newConnId() { return nextConnId++; }
+    void trackConnection(const std::shared_ptr<Connection> &conn);
+
     sim::EventQueue &events_;
     NetConfig config_;
     std::map<std::uint64_t, TcpListener *> listeners;
     std::map<std::uint64_t, SockAddr> natRules;
+    fault::FaultInjector *faults_ = nullptr;
+    std::map<const NetStack *, sim::Tick> heldUntil_;
+    /** Live connections (pruned lazily) so crashStack can reset
+     *  everything terminating in a crashed stack. */
+    std::vector<std::weak_ptr<Connection>> liveConns_;
     IpAddr nextIp = 0x0a000001; // 10.0.0.1
     int nextMachine = 1;        // 0 = the server machine
+    std::uint64_t nextConnId = 1;
 };
 
 } // namespace xc::guestos

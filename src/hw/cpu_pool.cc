@@ -60,6 +60,14 @@ CorePool::dispatch(int core)
     cpuOf(core).account(config.chargeClass, cost);
     machine.mech().add(sim::Mech::ContextSwitch, cost);
     sim::Tick when = machine.now() + machine.cyclesToTicks(cost);
+    // Injected vCPU stall: the grant lands late, as if the host (or
+    // outer hypervisor) preempted this core. Simulated time passes;
+    // no cycles are charged — classic steal time.
+    auto &inj = machine.faults();
+    if (inj.enabled() &&
+        inj.shouldInject(fault::FaultKind::VcpuStall, machine.now(),
+                         (grants_ << 8) ^ static_cast<std::uint64_t>(core)))
+        when += inj.param(fault::FaultKind::VcpuStall);
     sliceEnd[core] = when + config.quantum;
     ++grants_;
     machine.events().schedule(when, [this, core, next] {

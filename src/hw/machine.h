@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
 #include "hw/cost_model.h"
 #include "hw/phys_memory.h"
 #include "sim/event_queue.h"
@@ -134,6 +135,18 @@ class Machine
     sim::MechanismCounters &mech() { return mech_; }
     const sim::MechanismCounters &mech() const { return mech_; }
 
+    /** Machine-wide fault oracle (see fault/fault.h). Disabled by
+     *  default; configureFaults() arms it. */
+    fault::FaultInjector &faults() { return faults_; }
+    const fault::FaultInjector &faults() const { return faults_; }
+
+    /** Arm the fault injector with @p plan (deterministic in the
+     *  plan's own seed, independent of this machine's RNG). */
+    void configureFaults(const fault::FaultPlan &plan)
+    {
+        faults_.configure(plan);
+    }
+
     int numCpus() const { return static_cast<int>(cpus_.size()); }
     Cpu &cpu(int i) { return *cpus_.at(i); }
 
@@ -155,6 +168,7 @@ class Machine
     sim::Rng rng_;
     sim::StatRegistry stats_;
     sim::MechanismCounters mech_;
+    fault::FaultInjector faults_;
     PhysMemory memory_;
     std::vector<std::unique_ptr<Cpu>> cpus_;
 };

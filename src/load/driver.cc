@@ -1,6 +1,7 @@
 #include "load/driver.h"
 
 #include <algorithm>
+#include <sstream>
 
 namespace xc::load {
 
@@ -9,11 +10,57 @@ using guestos::WireClient;
 struct ClosedLoopDriver::Conn
 {
     std::unique_ptr<WireClient> wire;
-    sim::Tick issuedAt = 0;
+    sim::Tick issuedAt = 0;      ///< current attempt started
+    sim::Tick firstIssuedAt = 0; ///< logical request started
     std::uint64_t received = 0;
     bool inFlight = false;
+    bool retryPending = false; ///< next connect resumes the request
+    int attempt = 0;           ///< retries used on the current request
+    int connectFailures = 0;   ///< consecutive refused connects
+    /** Bumped whenever outstanding timeout events become stale. */
+    std::uint64_t gen = 0;
     int machineId = 0;
 };
+
+std::string
+LoadResult::mechReport() const
+{
+    std::string out = renderMechTable(mech);
+    if (errors == 0 && errorDetail.retries == 0)
+        return out;
+    std::ostringstream os;
+    os << out;
+    os << "client errors        " << errors << " total\n";
+    os << "  timeouts           " << errorDetail.timeouts << "\n";
+    os << "  resets             " << errorDetail.resets << "\n";
+    os << "  refused            " << errorDetail.refused << "\n";
+    os << "  truncated          " << errorDetail.truncated << "\n";
+    os << "  retried-then-ok    " << errorDetail.retries << "\n";
+    return os.str();
+}
+
+std::string
+LoadResult::mechJson() const
+{
+    std::string out = renderMechJson(mech);
+    if (errors == 0 && errorDetail.retries == 0)
+        return out;
+    // Splice an "errors" object into the top-level JSON object.
+    std::size_t brace = out.rfind('}');
+    if (brace == std::string::npos)
+        return out;
+    std::ostringstream os;
+    os << out.substr(0, brace);
+    os << ",\"errors\":{"
+       << "\"total\":" << errors
+       << ",\"timeouts\":" << errorDetail.timeouts
+       << ",\"resets\":" << errorDetail.resets
+       << ",\"refused\":" << errorDetail.refused
+       << ",\"truncated\":" << errorDetail.truncated
+       << ",\"retries\":" << errorDetail.retries << "}";
+    os << out.substr(brace);
+    return os.str();
+}
 
 ClosedLoopDriver::ClosedLoopDriver(guestos::NetFabric &fabric,
                                    WorkloadSpec spec,
@@ -54,6 +101,16 @@ ClosedLoopDriver::inWindow() const
     return now >= windowStart && now < windowEnd;
 }
 
+sim::Tick
+ClosedLoopDriver::backoffFor(int failures) const
+{
+    // Capped exponential: base, 2*base, 4*base, ... <= cap.
+    sim::Tick delay = spec.backoffBase;
+    for (int i = 1; i < failures && delay < spec.backoffCap; ++i)
+        delay *= 2;
+    return std::min(delay, spec.backoffCap);
+}
+
 void
 ClosedLoopDriver::openConn(Conn &c)
 {
@@ -64,22 +121,37 @@ ClosedLoopDriver::openConn(Conn &c)
     Conn *conn = &c;
     wire->onConnected = [this, conn](bool ok) {
         if (!ok) {
-            ++errors;
-            // Back off briefly and retry (server may still be
-            // starting up).
+            ++errors_.refused;
+            ++conn->connectFailures;
+            // Back off and retry: the server may still be booting
+            // (or held by a slow-boot fault).
             fabric.events().scheduleAfter(
-                5 * sim::kTicksPerMs, [this, conn] { openConn(*conn); });
+                backoffFor(conn->connectFailures),
+                [this, conn] { openConn(*conn); });
             return;
         }
-        issue(*conn);
+        conn->connectFailures = 0;
+        if (conn->retryPending) {
+            conn->retryPending = false;
+            sendAttempt(*conn); // resume the interrupted request
+        } else {
+            issue(*conn);
+        }
     };
     wire->onData = [this, conn](std::uint64_t bytes) {
         onResponse(*conn, bytes);
     };
     wire->onPeerClosed = [this, conn] {
-        if (conn->inFlight)
-            ++errors;
-        conn->inFlight = false;
+        if (conn->inFlight) {
+            if (spec.responseBytes != 0 && conn->received > 0 &&
+                conn->received < spec.responseBytes)
+                ++errors_.truncated;
+            else
+                ++errors_.resets;
+            failAttempt(*conn);
+            return;
+        }
+        conn->gen++;
         openConn(*conn);
     };
     wire->connectTo(spec.target);
@@ -92,10 +164,55 @@ ClosedLoopDriver::issue(Conn &c)
         c.wire->close();
         return;
     }
+    c.firstIssuedAt = fabric.events().now();
+    c.attempt = 0;
+    sendAttempt(c);
+}
+
+void
+ClosedLoopDriver::sendAttempt(Conn &c)
+{
+    if (fabric.events().now() >= windowEnd) {
+        c.wire->close();
+        return;
+    }
     c.issuedAt = fabric.events().now();
     c.received = 0;
     c.inFlight = true;
+    std::uint64_t gen = ++c.gen;
     c.wire->send(spec.requestBytes);
+    if (spec.requestTimeout > 0) {
+        Conn *conn = &c;
+        fabric.events().scheduleAfter(
+            spec.requestTimeout, [this, conn, gen] {
+                if (conn->gen != gen || !conn->inFlight)
+                    return; // answered, failed, or superseded
+                ++errors_.timeouts;
+                failAttempt(*conn);
+            });
+    }
+}
+
+/**
+ * The current attempt failed (timeout or connection death). Tear the
+ * connection down and either retry the same logical request — after
+ * a capped exponential backoff, while the retry budget lasts — or
+ * abandon it and start fresh.
+ */
+void
+ClosedLoopDriver::failAttempt(Conn &c)
+{
+    c.inFlight = false;
+    c.gen++; // invalidate any outstanding timeout event
+    c.wire->close();
+    bool retry = c.attempt < spec.retryBudget;
+    if (retry)
+        ++c.attempt;
+    c.retryPending = retry;
+    Conn *conn = &c;
+    fabric.events().scheduleAfter(
+        backoffFor(retry ? c.attempt : 1),
+        [this, conn] { openConn(*conn); });
 }
 
 void
@@ -108,12 +225,15 @@ ClosedLoopDriver::onResponse(Conn &c, std::uint64_t bytes)
         return; // partial response
 
     c.inFlight = false;
+    c.gen++; // timeout no longer applies
+    if (c.attempt > 0)
+        ++errors_.retries; // failed at least once, then succeeded
     ++completed_;
     sim::Tick now = fabric.events().now();
     if (now >= windowStart && now < windowEnd) {
         ++counted;
         latenciesUs.push_back(
-            static_cast<double>(now - c.issuedAt) /
+            static_cast<double>(now - c.firstIssuedAt) /
             static_cast<double>(sim::kTicksPerUs));
     }
 
@@ -139,7 +259,8 @@ ClosedLoopDriver::collect()
     r.requests = counted;
     r.seconds = sim::ticksToSeconds(spec.duration);
     r.throughput = static_cast<double>(counted) / r.seconds;
-    r.errors = errors;
+    r.errorDetail = errors_;
+    r.errors = errors_.aggregate();
     if (observedMech != nullptr)
         r.mech = observedMech->snapshot() - mechAtStart;
     if (!latenciesUs.empty()) {

@@ -44,6 +44,36 @@ struct WorkloadSpec
     sim::Tick duration = 400 * sim::kTicksPerMs;
     /** Optional per-request think time (0 = saturating). */
     sim::Tick thinkTime = 0;
+
+    // --- client robustness (fault tolerance) --------------------------
+    /** Per-request timeout. 0 disables timeouts entirely (no timer
+     *  events are scheduled — the fault-free fast path). */
+    sim::Tick requestTimeout = 0;
+    /** Retries per logical request after a timeout/reset before the
+     *  request is abandoned and a fresh one issued. */
+    int retryBudget = 2;
+    /** First reconnect/retry delay; doubles per consecutive failure. */
+    sim::Tick backoffBase = 5 * sim::kTicksPerMs;
+    /** Ceiling for the exponential backoff. */
+    sim::Tick backoffCap = 40 * sim::kTicksPerMs;
+};
+
+/**
+ * Client-observed error taxonomy. The first four are failure events;
+ * `retries` counts logical requests that failed at least once and
+ * then succeeded (so it is not part of the aggregate).
+ */
+struct ErrorBreakdown
+{
+    std::uint64_t timeouts = 0;  ///< request exceeded requestTimeout
+    std::uint64_t resets = 0;    ///< connection died with a request in flight
+    std::uint64_t refused = 0;   ///< connect attempts refused
+    std::uint64_t truncated = 0; ///< partial response, then peer close
+    std::uint64_t retries = 0;   ///< requests retried then succeeded
+    std::uint64_t aggregate() const
+    {
+        return timeouts + resets + refused + truncated;
+    }
 };
 
 /** Measured results. */
@@ -55,15 +85,20 @@ struct LoadResult
     double meanLatencyUs = 0.0;
     double p50LatencyUs = 0.0;
     double p99LatencyUs = 0.0;
+    /** Aggregate failure events (== errorDetail.aggregate()). */
     std::uint64_t errors = 0;
+    /** The same errors broken down by kind. */
+    ErrorBreakdown errorDetail;
     /** Mechanism counts/cycles accrued between start() and
      *  collect() on the observed machine (zero if none observed). */
     sim::MechSnapshot mech;
 
-    /** Cycles-by-mechanism histogram (renderMechTable). */
-    std::string mechReport() const { return renderMechTable(mech); }
-    /** The same attribution as JSON (renderMechJson). */
-    std::string mechJson() const { return renderMechJson(mech); }
+    /** Cycles-by-mechanism histogram (renderMechTable), followed by
+     *  the error taxonomy when any errors/retries were observed. */
+    std::string mechReport() const;
+    /** The same attribution as JSON, with an "errors" object when
+     *  any errors/retries were observed. */
+    std::string mechJson() const;
 };
 
 /**
@@ -98,8 +133,11 @@ class ClosedLoopDriver
     struct Conn;
     void openConn(Conn &c);
     void issue(Conn &c);
+    void sendAttempt(Conn &c);
+    void failAttempt(Conn &c);
     void onResponse(Conn &c, std::uint64_t bytes);
     bool inWindow() const;
+    sim::Tick backoffFor(int failures) const;
 
     guestos::NetFabric &fabric;
     WorkloadSpec spec;
@@ -112,7 +150,7 @@ class ClosedLoopDriver
     sim::Tick windowEnd = 0;
     std::uint64_t completed_ = 0;
     std::uint64_t counted = 0;
-    std::uint64_t errors = 0;
+    ErrorBreakdown errors_;
     std::vector<double> latenciesUs;
 };
 

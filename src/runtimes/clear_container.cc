@@ -82,7 +82,7 @@ ClearContainerRuntime::ClearContainerRuntime(Options opt)
 }
 
 RtContainer *
-ClearContainerRuntime::createContainer(const ContainerOpts &copts)
+ClearContainerRuntime::bootContainer(const ContainerOpts &copts)
 {
     auto run = machine_->memory().alloc(
         copts.memBytes / hw::kPageSize,

@@ -36,7 +36,7 @@ DockerRuntime::DockerRuntime(Options opt)
 }
 
 RtContainer *
-DockerRuntime::createContainer(const ContainerOpts &)
+DockerRuntime::bootContainer(const ContainerOpts &)
 {
     // Containers share the host kernel; images are per-process state
     // supplied at process creation. Memory is not reserved (cgroups

@@ -42,6 +42,8 @@ class DockerContainer : public RtContainer
         return p;
     }
 
+    guestos::NetStack *netStack() override { return netns.get(); }
+
   private:
     guestos::GuestKernel &host;
     std::unique_ptr<guestos::NetStack> netns;
@@ -64,7 +66,7 @@ class DockerRuntime : public Runtime
     const std::string &name() const override { return name_; }
     hw::Machine &machine() override { return *machine_; }
     guestos::NetFabric &fabric() override { return *fabric_; }
-    RtContainer *createContainer(const ContainerOpts &opts) override;
+    RtContainer *bootContainer(const ContainerOpts &opts) override;
 
     guestos::GuestKernel &hostKernel() { return *host; }
     guestos::NativePort &hostPort() { return *port; }

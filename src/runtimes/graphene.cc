@@ -41,7 +41,7 @@ GrapheneRuntime::GrapheneRuntime(Options opt) : opts(opt)
 }
 
 RtContainer *
-GrapheneRuntime::createContainer(const ContainerOpts &copts)
+GrapheneRuntime::bootContainer(const ContainerOpts &copts)
 {
     instances.push_back(std::make_unique<GrapheneInstance>(
         *machine_, *pool, *fabric_, copts, opts.hostMeltdownPatched));

@@ -214,7 +214,7 @@ class GrapheneRuntime : public Runtime
     const std::string &name() const override { return name_; }
     hw::Machine &machine() override { return *machine_; }
     guestos::NetFabric &fabric() override { return *fabric_; }
-    RtContainer *createContainer(const ContainerOpts &opts) override;
+    RtContainer *bootContainer(const ContainerOpts &opts) override;
 
   private:
     std::string name_ = "graphene";

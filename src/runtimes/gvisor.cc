@@ -45,7 +45,7 @@ GvisorRuntime::GvisorRuntime(Options opt)
 }
 
 RtContainer *
-GvisorRuntime::createContainer(const ContainerOpts &copts)
+GvisorRuntime::bootContainer(const ContainerOpts &copts)
 {
     containers.push_back(std::make_unique<GvisorContainer>(
         *machine_, *pool, *fabric_, opts.meltdownPatched, copts.name));

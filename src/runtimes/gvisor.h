@@ -167,7 +167,7 @@ class GvisorRuntime : public Runtime
     const std::string &name() const override { return name_; }
     hw::Machine &machine() override { return *machine_; }
     guestos::NetFabric &fabric() override { return *fabric_; }
-    RtContainer *createContainer(const ContainerOpts &opts) override;
+    RtContainer *bootContainer(const ContainerOpts &opts) override;
 
   private:
     std::string name_;

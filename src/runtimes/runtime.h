@@ -11,10 +11,12 @@
  */
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
 #include "guestos/kernel.h"
 #include "guestos/net.h"
 #include "hw/machine.h"
@@ -29,6 +31,26 @@ struct ContainerOpts
     int vcpus = 1;
     /** Memory reservation for VM-backed runtimes. */
     std::uint64_t memBytes = 512ull << 20;
+};
+
+/**
+ * Runtime-independent construction parameters, consumed by the
+ * factory registry (makeRuntime). Each concrete runtime maps these
+ * onto its own Options; flags a runtime does not have are ignored.
+ */
+struct RuntimeConfig
+{
+    hw::MachineSpec spec = hw::MachineSpec::ec2C4_2xlarge();
+    std::uint64_t seed = 42;
+    /** Meltdown patch (KPTI / XPTI) where the runtime supports it. */
+    bool meltdownPatched = true;
+    /** Online binary optimization (X-Containers only). */
+    bool abomEnabled = true;
+    /** Per-container memory override (0 = runtime default). */
+    std::uint64_t containerMemBytes = 0;
+    /** Fault plan installed on the runtime's machine + fabric. A
+     *  default (all-zero) plan is free on the hot path. */
+    fault::FaultPlan faults{};
 };
 
 /** A deployed container, whatever the runtime maps it to. */
@@ -55,6 +77,11 @@ class RtContainer
     /** True if the runtime can run >1 process in this container
      *  (Unikernel cannot — §2.3). */
     virtual bool supportsMultiProcess() const { return true; }
+
+    /** The network stack this container's services bind in. Docker
+     *  overrides with the per-container netns; nullptr when the
+     *  container has no distinct stack. */
+    virtual guestos::NetStack *netStack() { return &kernel().net(); }
 };
 
 /** A container runtime assembled on one machine. */
@@ -70,9 +97,25 @@ class Runtime
     /**
      * Boot a container. @return nullptr when resources (memory, VM
      * slots) are exhausted — the mechanism behind Figure 8's
-     * density limits.
+     * density limits — or when an injected OomKill fault kills the
+     * container during boot.
+     *
+     * Non-virtual: applies boot-time faults (OomKill, SlowBoot,
+     * ContainerCrash) around the runtime-specific bootContainer().
      */
-    virtual RtContainer *createContainer(const ContainerOpts &opts) = 0;
+    RtContainer *createContainer(const ContainerOpts &opts);
+
+    /**
+     * Arm @p plan on this runtime's machine and attach the injector
+     * to its network fabric. A disabled plan costs one branch per
+     * consultation.
+     */
+    void
+    installFaults(const fault::FaultPlan &plan)
+    {
+        machine().configureFaults(plan);
+        fabric().attachFaults(&machine().faults());
+    }
 
     /**
      * Publish @p pub on the host address, forwarding to
@@ -93,8 +136,51 @@ class Runtime
     /** Derived runtimes pick a public host address once. */
     void setHostIp(guestos::IpAddr ip) { hostIp_ = ip; }
 
+    /** Runtime-specific boot path (was createContainer before the
+     *  fault-injection redesign). */
+    virtual RtContainer *bootContainer(const ContainerOpts &opts) = 0;
+
   private:
     guestos::IpAddr hostIp_ = 0xc0a80001; // 192.168.0.1
+    std::uint64_t bootSeq_ = 0; ///< containers booted (fault salt)
+};
+
+// --- runtime registry -------------------------------------------------
+
+/** Builds a runtime from a RuntimeConfig. */
+using RuntimeFactory =
+    std::function<std::unique_ptr<Runtime>(const RuntimeConfig &)>;
+
+/**
+ * Register a factory under @p name (replaces any previous entry).
+ * The built-in runtimes are pre-registered; see registry.cc.
+ */
+void registerRuntime(const std::string &name, RuntimeFactory factory);
+
+/**
+ * Build the runtime registered under @p name. Returns nullptr for
+ * unknown names and for runtimes unavailable on cfg.spec (Clear
+ * Containers without nested HW virt). cfg.faults is installed on
+ * the result (machine + fabric).
+ */
+std::unique_ptr<Runtime> makeRuntime(const std::string &name,
+                                     const RuntimeConfig &cfg = {});
+
+/** Convenience: default config on @p spec. */
+std::unique_ptr<Runtime> makeRuntime(const std::string &name,
+                                     const hw::MachineSpec &spec);
+
+/** All registered names, sorted. */
+std::vector<std::string> runtimeNames();
+
+/** Self-registration helper for runtimes defined outside this
+ *  library: `static RuntimeRegistrar r{"mine", factory};` */
+struct RuntimeRegistrar
+{
+    RuntimeRegistrar(const std::string &name, RuntimeFactory factory)
+    {
+        registerRuntime(name, std::move(factory));
+    }
 };
 
 } // namespace xc::runtimes

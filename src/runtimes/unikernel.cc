@@ -46,7 +46,7 @@ UnikernelRuntime::UnikernelRuntime(Options opt)
 }
 
 RtContainer *
-UnikernelRuntime::createContainer(const ContainerOpts &copts)
+UnikernelRuntime::bootContainer(const ContainerOpts &copts)
 {
     xen::Domain *dom =
         hv->createDomain(copts.name, copts.memBytes, copts.vcpus);

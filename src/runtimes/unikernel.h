@@ -162,7 +162,7 @@ class UnikernelRuntime : public Runtime
     const std::string &name() const override { return name_; }
     hw::Machine &machine() override { return *machine_; }
     guestos::NetFabric &fabric() override { return *fabric_; }
-    RtContainer *createContainer(const ContainerOpts &opts) override;
+    RtContainer *bootContainer(const ContainerOpts &opts) override;
 
   private:
     std::string name_ = "unikernel";

@@ -19,7 +19,7 @@ XContainerRuntime::XContainerRuntime(Options opt)
 }
 
 RtContainer *
-XContainerRuntime::createContainer(const ContainerOpts &copts)
+XContainerRuntime::bootContainer(const ContainerOpts &copts)
 {
     core::XContainerPlatform::ContainerSpec spec;
     spec.name = copts.name;

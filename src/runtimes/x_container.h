@@ -62,7 +62,7 @@ class XContainerRuntime : public Runtime
     const std::string &name() const override { return name_; }
     hw::Machine &machine() override { return *machine_; }
     guestos::NetFabric &fabric() override { return *fabric_; }
-    RtContainer *createContainer(const ContainerOpts &opts) override;
+    RtContainer *bootContainer(const ContainerOpts &opts) override;
 
     core::XContainerPlatform &platform() { return *platform_; }
     core::XKernel &xkernel() { return platform_->xkernel(); }

@@ -43,7 +43,7 @@ XenContainerRuntime::XenContainerRuntime(Options opt)
 }
 
 RtContainer *
-XenContainerRuntime::createContainer(const ContainerOpts &copts)
+XenContainerRuntime::bootContainer(const ContainerOpts &copts)
 {
     xen::Domain *dom =
         hv->createDomain(copts.name, copts.memBytes, copts.vcpus);

@@ -22,6 +22,14 @@ EventChannels::notify(EvtchnPort port)
     ++notifications_;
     if (mech_ != nullptr)
         mech_->add(sim::Mech::EvtchnNotify, 0);
+    if (faults_ != nullptr && faults_->enabled() &&
+        faults_->shouldInject(fault::FaultKind::EvtchnDrop,
+                              events_ != nullptr ? events_->now() : 0,
+                              static_cast<std::uint64_t>(port) ^
+                                  notifications_)) {
+        ++dropped_;
+        return; // the virtual interrupt is lost
+    }
     auto it = handlers.find(port);
     if (it != handlers.end() && it->second)
         it->second();
@@ -48,10 +56,27 @@ GrantTable::endAccess(GrantRef ref)
 }
 
 bool
+GrantTable::grantFaultInjected(GrantRef ref)
+{
+    if (faults_ == nullptr || !faults_->enabled())
+        return false;
+    std::uint64_t salt = (static_cast<std::uint64_t>(owner_) << 32) ^
+                         static_cast<std::uint64_t>(ref);
+    if (!faults_->shouldInject(fault::FaultKind::GrantFail,
+                               events_ != nullptr ? events_->now() : 0,
+                               salt))
+        return false;
+    ++failedOps_;
+    return true;
+}
+
+bool
 GrantTable::mapGrant(GrantRef ref, DomId mapper)
 {
     auto it = entries.find(ref);
     if (it == entries.end() || it->second.to != mapper)
+        return false;
+    if (grantFaultInjected(ref))
         return false;
     ++it->second.mapCount;
     return true;
@@ -70,6 +95,8 @@ GrantTable::grantCopy(GrantRef ref, DomId requester)
 {
     auto it = entries.find(ref);
     if (it == entries.end() || it->second.to != requester)
+        return false;
+    if (grantFaultInjected(ref))
         return false;
     ++copies_;
     return true;

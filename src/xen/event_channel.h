@@ -19,6 +19,8 @@
 #include <map>
 #include <vector>
 
+#include "fault/fault.h"
+#include "sim/event_queue.h"
 #include "sim/logging.h"
 #include "sim/mech_counters.h"
 
@@ -49,16 +51,29 @@ class EventChannels
     void notify(EvtchnPort port);
 
     std::uint64_t notifications() const { return notifications_; }
+    std::uint64_t dropped() const { return dropped_; }
     std::size_t openPorts() const { return handlers.size(); }
 
     /** Route notification counts into the machine-wide registry. */
     void attachMech(sim::MechanismCounters *mech) { mech_ = mech; }
 
+    /** Consult @p faults (clocked by @p events) on every notify:
+     *  injected EvtchnDrop faults lose the notification. */
+    void
+    attachFaults(fault::FaultInjector *faults, sim::EventQueue *events)
+    {
+        faults_ = faults;
+        events_ = events;
+    }
+
   private:
     std::map<EvtchnPort, std::function<void()>> handlers;
     EvtchnPort nextPort = 1;
     std::uint64_t notifications_ = 0;
+    std::uint64_t dropped_ = 0;
     sim::MechanismCounters *mech_ = nullptr;
+    fault::FaultInjector *faults_ = nullptr;
+    sim::EventQueue *events_ = nullptr;
 };
 
 /** A domain's grant table: pages offered to other domains. */
@@ -84,6 +99,16 @@ class GrantTable
 
     std::size_t activeGrants() const { return entries.size(); }
     std::uint64_t copies() const { return copies_; }
+    std::uint64_t failedOps() const { return failedOps_; }
+
+    /** Consult @p faults on map/copy: injected GrantFail faults
+     *  reject the operation (the caller retries or drops). */
+    void
+    attachFaults(fault::FaultInjector *faults, sim::EventQueue *events)
+    {
+        faults_ = faults;
+        events_ = events;
+    }
 
   private:
     struct Entry
@@ -94,10 +119,15 @@ class GrantTable
         int mapCount = 0;
     };
 
+    bool grantFaultInjected(GrantRef ref);
+
     DomId owner_;
     std::map<GrantRef, Entry> entries;
     GrantRef nextRef = 1;
     std::uint64_t copies_ = 0;
+    std::uint64_t failedOps_ = 0;
+    fault::FaultInjector *faults_ = nullptr;
+    sim::EventQueue *events_ = nullptr;
 };
 
 /**

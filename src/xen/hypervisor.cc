@@ -29,6 +29,8 @@ Domain::Domain(Hypervisor &hv, DomId id, std::string name,
       frames_(mem_bytes / hw::kPageSize), vcpus_(vcpus),
       firstFrame(first_frame), grants_(id)
 {
+    grants_.attachFaults(&hv.machine().faults(),
+                         &hv.machine().events());
 }
 
 Domain::~Domain()
@@ -40,6 +42,7 @@ Hypervisor::Hypervisor(hw::Machine &machine, Config config)
     : machine_(machine), config_(config)
 {
     evtchn.attachMech(&machine_.mech());
+    evtchn.attachFaults(&machine_.faults(), &machine_.events());
     int cores = config_.cores > 0 ? config_.cores : machine.numCpus();
 
     hw::CorePool::Config pool_cfg;

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/fault.h"
+#include "hw/machine.h"
+#include "xen/hypervisor.h"
+
+namespace xc::test {
+namespace {
+
+using fault::FaultInjector;
+using fault::FaultKind;
+using fault::FaultPlan;
+using fault::kFaultKindCount;
+
+TEST(Fault, KindNamesAreStableAndDistinct)
+{
+    std::vector<std::string> seen;
+    for (int i = 0; i < kFaultKindCount; ++i) {
+        std::string name =
+            fault::faultKindName(static_cast<FaultKind>(i));
+        EXPECT_FALSE(name.empty());
+        EXPECT_EQ(name.find(' '), std::string::npos) << name;
+        for (const std::string &prev : seen)
+            EXPECT_NE(name, prev);
+        seen.push_back(name);
+    }
+    EXPECT_STREQ(fault::faultKindName(FaultKind::PacketLoss),
+                 "packet_loss");
+    EXPECT_STREQ(fault::faultKindName(FaultKind::VcpuStall),
+                 "vcpu_stall");
+}
+
+TEST(Fault, DefaultPlanIsInert)
+{
+    FaultInjector inj;
+    EXPECT_FALSE(inj.enabled());
+    for (int i = 0; i < kFaultKindCount; ++i) {
+        FaultKind k = static_cast<FaultKind>(i);
+        for (sim::Tick t = 0; t < 1000; t += 7)
+            EXPECT_FALSE(inj.shouldInject(k, t, t * 3));
+        EXPECT_EQ(inj.injected(k), 0u);
+    }
+    EXPECT_EQ(inj.totalInjected(), 0u);
+}
+
+TEST(Fault, RateOneAlwaysFires)
+{
+    FaultPlan plan;
+    plan.at(FaultKind::PacketLoss).rate = 1.0;
+    FaultInjector inj;
+    inj.configure(plan);
+    EXPECT_TRUE(inj.enabled());
+    for (sim::Tick t = 0; t < 100; ++t)
+        EXPECT_TRUE(inj.shouldInject(FaultKind::PacketLoss, t, t));
+    EXPECT_EQ(inj.injected(FaultKind::PacketLoss), 100u);
+    // Other kinds stay silent.
+    EXPECT_FALSE(inj.shouldInject(FaultKind::ConnReset, 5, 5));
+}
+
+TEST(Fault, DecisionsArePureFunctionsOfSeedTickSalt)
+{
+    FaultPlan plan;
+    plan.at(FaultKind::PacketLoss).rate = 0.1;
+    plan.at(FaultKind::ConnReset).rate = 0.05;
+
+    FaultInjector a, b;
+    a.configure(plan);
+    b.configure(plan);
+
+    std::vector<bool> seq_a, seq_b;
+    for (sim::Tick t = 0; t < 5000; t += 3) {
+        seq_a.push_back(a.shouldInject(FaultKind::PacketLoss, t, 7));
+        seq_a.push_back(a.shouldInject(FaultKind::ConnReset, t, 7));
+    }
+    // b asks in a different order — per-decision results must not
+    // depend on call history (stateless hashing, no shared stream).
+    for (sim::Tick t = 0; t < 5000; t += 3)
+        seq_b.push_back(b.shouldInject(FaultKind::PacketLoss, t, 7));
+    std::vector<bool> resets;
+    for (sim::Tick t = 0; t < 5000; t += 3)
+        resets.push_back(b.shouldInject(FaultKind::ConnReset, t, 7));
+    std::vector<bool> interleaved;
+    for (std::size_t i = 0; i < resets.size(); ++i) {
+        interleaved.push_back(seq_b[i]);
+        interleaved.push_back(resets[i]);
+    }
+    EXPECT_EQ(seq_a, interleaved);
+    // Asking the same question twice gives the same answer.
+    FaultInjector c;
+    c.configure(plan);
+    bool first = c.shouldInject(FaultKind::PacketLoss, 42, 9);
+    EXPECT_EQ(c.shouldInject(FaultKind::PacketLoss, 42, 9), first);
+}
+
+TEST(Fault, DifferentSeedsGiveDifferentSchedules)
+{
+    FaultPlan p1, p2;
+    p1.at(FaultKind::PacketLoss).rate = 0.5;
+    p2.at(FaultKind::PacketLoss).rate = 0.5;
+    p1.seed = 1;
+    p2.seed = 2;
+    FaultInjector a, b;
+    a.configure(p1);
+    b.configure(p2);
+    int differing = 0;
+    for (sim::Tick t = 0; t < 2000; ++t)
+        if (a.shouldInject(FaultKind::PacketLoss, t, 0) !=
+            b.shouldInject(FaultKind::PacketLoss, t, 0))
+            ++differing;
+    EXPECT_GT(differing, 100);
+}
+
+TEST(Fault, FiringCountTracksRateMonotonically)
+{
+    auto fired = [](double rate) {
+        FaultPlan plan;
+        plan.at(FaultKind::PacketLoss).rate = rate;
+        FaultInjector inj;
+        inj.configure(plan);
+        for (sim::Tick t = 0; t < 20000; ++t)
+            inj.shouldInject(FaultKind::PacketLoss, t, 1);
+        return inj.injected(FaultKind::PacketLoss);
+    };
+    std::uint64_t low = fired(0.01);
+    std::uint64_t mid = fired(0.1);
+    std::uint64_t high = fired(0.5);
+    EXPECT_LT(low, mid);
+    EXPECT_LT(mid, high);
+    // Rough calibration: 10% rate fires within [5%, 15%] over 20k.
+    EXPECT_GT(mid, 20000ull / 20);
+    EXPECT_LT(mid, 20000ull * 3 / 20);
+}
+
+TEST(Fault, UniformPlanArmsDataPathOnly)
+{
+    FaultPlan plan = FaultPlan::uniform(0.01, 7);
+    EXPECT_TRUE(plan.anyEnabled());
+    EXPECT_GT(plan.at(FaultKind::PacketLoss).rate, 0.0);
+    EXPECT_GT(plan.at(FaultKind::EvtchnDrop).rate, 0.0);
+    EXPECT_GT(plan.at(FaultKind::VcpuStall).rate, 0.0);
+    // Boot-lifecycle faults stay off so sweeps degrade rather than
+    // kill the service.
+    EXPECT_EQ(plan.at(FaultKind::OomKill).rate, 0.0);
+    EXPECT_EQ(plan.at(FaultKind::ContainerCrash).rate, 0.0);
+    EXPECT_EQ(plan.at(FaultKind::SlowBoot).rate, 0.0);
+    EXPECT_EQ(FaultPlan::uniform(0.0, 7).anyEnabled(), false);
+}
+
+TEST(Fault, JitterIsDeterministicAndBounded)
+{
+    FaultPlan plan;
+    plan.at(FaultKind::ContainerCrash).rate = 1.0;
+    FaultInjector inj;
+    inj.configure(plan);
+    for (std::uint64_t salt = 0; salt < 200; ++salt) {
+        sim::Tick v =
+            inj.jitter(FaultKind::ContainerCrash, salt, 100, 300);
+        EXPECT_GE(v, 100u);
+        EXPECT_LE(v, 300u);
+        EXPECT_EQ(
+            inj.jitter(FaultKind::ContainerCrash, salt, 100, 300), v);
+    }
+}
+
+TEST(Fault, EvtchnDropLosesNotifications)
+{
+    hw::Machine machine(hw::MachineSpec::ec2C4_2xlarge(), 1);
+    FaultPlan plan;
+    plan.at(FaultKind::EvtchnDrop).rate = 1.0;
+    machine.configureFaults(plan);
+
+    xen::EventChannels evtchn;
+    evtchn.attachFaults(&machine.faults(), &machine.events());
+    int delivered = 0;
+    xen::EvtchnPort port =
+        evtchn.bind(1, [&delivered] { ++delivered; });
+    for (int i = 0; i < 10; ++i)
+        evtchn.notify(port);
+    EXPECT_EQ(delivered, 0);
+    EXPECT_EQ(evtchn.dropped(), 10u);
+    EXPECT_EQ(evtchn.notifications(), 10u);
+
+    // Disabled again: everything flows.
+    machine.configureFaults(FaultPlan{});
+    evtchn.notify(port);
+    EXPECT_EQ(delivered, 1);
+}
+
+TEST(Fault, GrantOpsFailUnderInjection)
+{
+    hw::Machine machine(hw::MachineSpec::ec2C4_2xlarge(), 1);
+    FaultPlan plan;
+    plan.at(FaultKind::GrantFail).rate = 1.0;
+    machine.configureFaults(plan);
+
+    xen::GrantTable grants(1);
+    grants.attachFaults(&machine.faults(), &machine.events());
+    xen::GrantRef ref = grants.grantAccess(2, 0x100, false);
+    EXPECT_FALSE(grants.mapGrant(ref, 2));
+    EXPECT_FALSE(grants.grantCopy(ref, 2));
+    EXPECT_EQ(grants.failedOps(), 2u);
+
+    machine.configureFaults(FaultPlan{});
+    EXPECT_TRUE(grants.mapGrant(ref, 2));
+}
+
+TEST(Fault, ReportListsOnlyFiredKinds)
+{
+    FaultPlan plan;
+    plan.at(FaultKind::PacketLoss).rate = 1.0;
+    FaultInjector inj;
+    inj.configure(plan);
+    inj.shouldInject(FaultKind::PacketLoss, 1, 1);
+    std::string report = inj.report();
+    EXPECT_NE(report.find("packet_loss"), std::string::npos);
+    EXPECT_EQ(report.find("vcpu_stall"), std::string::npos);
+}
+
+} // namespace
+} // namespace xc::test

@@ -149,6 +149,181 @@ TEST(NetEdge, ListenerClosedWhileSynInFlightRefuses)
     EXPECT_TRUE(refused);
 }
 
+TEST(NetEdge, WireClientDoubleCloseIsSafe)
+{
+    Rig rig(2);
+    rig.spawn("srv", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd s = static_cast<Fd>(co_await sys.socket());
+        co_await sys.bind(s, 80);
+        co_await sys.listen(s);
+        co_await sys.accept(s);
+        co_await t.sleepFor(20 * sim::kTicksPerMs);
+    });
+    WireClient client(rig.fabric, rig.fabric.newClientMachine());
+    client.onConnected = [&](bool ok) {
+        ASSERT_TRUE(ok);
+        client.close();
+        client.close(); // second close: no-op, no crash
+        EXPECT_FALSE(client.connected());
+    };
+    rig.machine.events().schedule(sim::kTicksPerMs, [&] {
+        client.connectTo(SockAddr{rig.kernel->net().ip(), 80});
+    });
+    rig.run();
+    EXPECT_FALSE(client.connected());
+}
+
+TEST(NetEdge, DataInFlightAtCloseIsDroppedNotDelivered)
+{
+    // Server sends right as the client closes: the response crosses
+    // the FIN on the wire and must be discarded at the dead socket,
+    // never surfaced through stale callbacks.
+    Rig rig(2);
+    rig.spawn("srv", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd s = static_cast<Fd>(co_await sys.socket());
+        co_await sys.bind(s, 80);
+        co_await sys.listen(s);
+        Fd c = static_cast<Fd>(co_await sys.accept(s));
+        // One one-way latency after accept ≈ the instant the client
+        // learns it is connected; its close lands a latency later.
+        co_await t.sleepFor(70 * sim::kTicksPerUs);
+        co_await sys.send(c, 100);
+        co_await t.sleepFor(20 * sim::kTicksPerMs);
+    });
+    bool got_data = false;
+    WireClient client(rig.fabric, rig.fabric.newClientMachine());
+    client.onData = [&](std::uint64_t) { got_data = true; };
+    client.onConnected = [&](bool ok) {
+        ASSERT_TRUE(ok);
+        // Close 30us in: before the server's data can arrive, after
+        // the server has committed to sending it.
+        rig.machine.events().scheduleAfter(30 * sim::kTicksPerUs,
+                                           [&] { client.close(); });
+    };
+    rig.machine.events().schedule(sim::kTicksPerMs, [&] {
+        client.connectTo(SockAddr{rig.kernel->net().ip(), 80});
+    });
+    rig.run();
+    EXPECT_FALSE(got_data);
+}
+
+TEST(NetEdge, NatRemovalMidFlightKeepsEstablishedConnection)
+{
+    // DNAT resolution happens at connect time; deleting the rule
+    // must not sever connections already established through it.
+    Rig rig(2);
+    int served = 0;
+    rig.spawn("srv", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd s = static_cast<Fd>(co_await sys.socket());
+        co_await sys.bind(s, 80);
+        co_await sys.listen(s);
+        Fd c = static_cast<Fd>(co_await sys.accept(s));
+        for (;;) {
+            std::int64_t n = co_await sys.recv(c, 4096);
+            if (n <= 0)
+                co_return;
+            co_await sys.send(c, 64);
+            ++served;
+        }
+    });
+    SockAddr pub{0xcb007103, 8080};
+    rig.fabric.addNatRule(pub, SockAddr{rig.kernel->net().ip(), 80});
+
+    std::uint64_t received = 0;
+    WireClient client(rig.fabric, rig.fabric.newClientMachine());
+    client.onData = [&](std::uint64_t bytes) {
+        received += bytes;
+        if (received >= 128)
+            client.close();
+    };
+    client.onConnected = [&](bool ok) {
+        ASSERT_TRUE(ok);
+        client.send(32);
+        // Rule goes away while the request is on the wire; the reply
+        // and a second round-trip must still flow.
+        rig.fabric.removeNatRule(pub);
+        rig.machine.events().scheduleAfter(5 * sim::kTicksPerMs,
+                                           [&] { client.send(32); });
+    };
+    rig.machine.events().schedule(sim::kTicksPerMs,
+                                  [&] { client.connectTo(pub); });
+    rig.machine.events().runUntil(200 * sim::kTicksPerMs);
+    EXPECT_EQ(served, 2);
+    EXPECT_EQ(received, 128u);
+}
+
+TEST(NetEdge, CrashStackResetsPeersAndRefusesNewConnects)
+{
+    Rig rig(2);
+    rig.spawn("srv", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd s = static_cast<Fd>(co_await sys.socket());
+        co_await sys.bind(s, 80);
+        co_await sys.listen(s);
+        Fd c = static_cast<Fd>(co_await sys.accept(s));
+        co_await sys.recv(c, 4096); // parked when the crash hits
+    });
+    bool peer_closed = false;
+    bool late_refused = false;
+    WireClient established(rig.fabric, rig.fabric.newClientMachine());
+    established.onPeerClosed = [&] { peer_closed = true; };
+    established.onConnected = [&](bool ok) { ASSERT_TRUE(ok); };
+    WireClient late(rig.fabric, rig.fabric.newClientMachine());
+    late.onConnected = [&](bool ok) { late_refused = !ok; };
+
+    SockAddr addr{rig.kernel->net().ip(), 80};
+    rig.machine.events().schedule(sim::kTicksPerMs,
+                                  [&] { established.connectTo(addr); });
+    rig.machine.events().schedule(10 * sim::kTicksPerMs, [&] {
+        rig.fabric.crashStack(&rig.kernel->net());
+    });
+    rig.machine.events().schedule(20 * sim::kTicksPerMs,
+                                  [&] { late.connectTo(addr); });
+    rig.machine.events().runUntil(100 * sim::kTicksPerMs);
+    EXPECT_TRUE(peer_closed);
+    EXPECT_FALSE(established.connected());
+    EXPECT_TRUE(late_refused);
+}
+
+TEST(NetEdge, HeldStackRefusesUntilDeadlineThenAccepts)
+{
+    Rig rig(2);
+    int accepted = 0;
+    rig.spawn("srv", [&](Thread &t) -> sim::Task<void> {
+        Sys sys(t);
+        Fd s = static_cast<Fd>(co_await sys.socket());
+        co_await sys.bind(s, 80);
+        co_await sys.listen(s);
+        for (;;) {
+            std::int64_t c = co_await sys.accept(s);
+            if (c < 0)
+                co_return;
+            ++accepted;
+            co_await sys.close(static_cast<Fd>(c));
+        }
+    });
+    rig.fabric.holdStack(&rig.kernel->net(), 15 * sim::kTicksPerMs);
+
+    bool early_refused = false, late_ok = false;
+    WireClient early(rig.fabric, rig.fabric.newClientMachine());
+    early.onConnected = [&](bool ok) { early_refused = !ok; };
+    WireClient late(rig.fabric, rig.fabric.newClientMachine());
+    late.onConnected = [&](bool ok) { late_ok = ok; };
+
+    SockAddr addr{rig.kernel->net().ip(), 80};
+    rig.machine.events().schedule(sim::kTicksPerMs,
+                                  [&] { early.connectTo(addr); });
+    rig.machine.events().schedule(20 * sim::kTicksPerMs,
+                                  [&] { late.connectTo(addr); });
+    rig.machine.events().runUntil(100 * sim::kTicksPerMs);
+    EXPECT_TRUE(early_refused);
+    EXPECT_TRUE(late_ok);
+    EXPECT_EQ(accepted, 1);
+}
+
 TEST(NetEdge, ManyConnectionsOneServerThread)
 {
     Rig rig(2);

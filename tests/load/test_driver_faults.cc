@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "apps/images.h"
+#include "apps/nginx.h"
+#include "load/driver.h"
+#include "runtimes/runtime.h"
+
+namespace xc::test {
+namespace {
+
+using fault::FaultKind;
+using fault::FaultPlan;
+
+/** NGINX on registry-built Docker, driven with client robustness
+ *  enabled, under an arbitrary fault plan. */
+load::LoadResult
+runUnderFaults(const FaultPlan &plan, std::uint64_t driver_seed = 1,
+               sim::Tick timeout = 25 * sim::kTicksPerMs)
+{
+    runtimes::RuntimeConfig cfg;
+    cfg.faults = plan;
+    auto rt = runtimes::makeRuntime("docker", cfg);
+    EXPECT_NE(rt, nullptr);
+
+    runtimes::ContainerOpts copts;
+    copts.name = "web";
+    copts.image = apps::glibcImage("img");
+    copts.vcpus = 2;
+    runtimes::RtContainer *c = rt->createContainer(copts);
+    EXPECT_NE(c, nullptr);
+    apps::NginxApp::Config ncfg;
+    ncfg.workers = 2;
+    apps::NginxApp nginx(ncfg);
+    nginx.deploy(*c);
+    rt->exposePort(c, 9000, 80);
+
+    load::WorkloadSpec spec = load::wrkSpec(
+        guestos::SockAddr{rt->hostIp(), 9000}, 8,
+        150 * sim::kTicksPerMs);
+    spec.requestTimeout = timeout;
+    spec.retryBudget = 3;
+
+    load::ClosedLoopDriver driver(rt->fabric(), spec, driver_seed);
+    rt->machine().events().schedule(10 * sim::kTicksPerMs,
+                                    [&] { driver.start(); });
+    rt->machine().events().runUntil(10 * sim::kTicksPerMs +
+                                    spec.warmup + spec.duration +
+                                    80 * sim::kTicksPerMs);
+    return driver.collect();
+}
+
+TEST(DriverFaults, NoFaultsMeansZeroTaxonomyEvenWithTimeoutsArmed)
+{
+    auto r = runUnderFaults(FaultPlan{});
+    EXPECT_GT(r.requests, 0u);
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_EQ(r.errorDetail.timeouts, 0u);
+    EXPECT_EQ(r.errorDetail.resets, 0u);
+    EXPECT_EQ(r.errorDetail.refused, 0u);
+    EXPECT_EQ(r.errorDetail.truncated, 0u);
+    EXPECT_EQ(r.errorDetail.retries, 0u);
+    EXPECT_EQ(r.errors, r.errorDetail.aggregate());
+}
+
+TEST(DriverFaults, PacketLossSurfacesAsTimeoutsAndRetries)
+{
+    FaultPlan plan;
+    plan.at(FaultKind::PacketLoss).rate = 0.08;
+    auto r = runUnderFaults(plan);
+    // Service degraded, not dead.
+    EXPECT_GT(r.requests, 0u);
+    EXPECT_GT(r.errorDetail.timeouts, 0u);
+    EXPECT_GT(r.errorDetail.retries, 0u);
+    EXPECT_EQ(r.errors, r.errorDetail.aggregate());
+}
+
+TEST(DriverFaults, ConnResetsSurfaceAsResets)
+{
+    FaultPlan plan;
+    plan.at(FaultKind::ConnReset).rate = 0.03;
+    auto r = runUnderFaults(plan);
+    EXPECT_GT(r.requests, 0u);
+    EXPECT_GT(r.errorDetail.resets, 0u);
+    EXPECT_GT(r.errors, 0u);
+}
+
+TEST(DriverFaults, LinkPartitionsSurfaceAsRefusedConnects)
+{
+    FaultPlan plan;
+    plan.at(FaultKind::LinkPartition).rate = 0.3;
+    auto r = runUnderFaults(plan);
+    EXPECT_GT(r.errorDetail.refused, 0u);
+}
+
+TEST(DriverFaults, SameSeedRunsAreIdentical)
+{
+    FaultPlan plan = FaultPlan::uniform(0.01, 5);
+    auto r1 = runUnderFaults(plan, 3);
+    auto r2 = runUnderFaults(plan, 3);
+    EXPECT_EQ(r1.requests, r2.requests);
+    EXPECT_EQ(r1.errors, r2.errors);
+    EXPECT_EQ(r1.errorDetail.timeouts, r2.errorDetail.timeouts);
+    EXPECT_EQ(r1.errorDetail.resets, r2.errorDetail.resets);
+    EXPECT_EQ(r1.errorDetail.refused, r2.errorDetail.refused);
+    EXPECT_EQ(r1.errorDetail.truncated, r2.errorDetail.truncated);
+    EXPECT_EQ(r1.errorDetail.retries, r2.errorDetail.retries);
+    EXPECT_DOUBLE_EQ(r1.throughput, r2.throughput);
+    EXPECT_DOUBLE_EQ(r1.p50LatencyUs, r2.p50LatencyUs);
+    EXPECT_DOUBLE_EQ(r1.p99LatencyUs, r2.p99LatencyUs);
+}
+
+TEST(DriverFaults, DifferentFaultSeedsDiffer)
+{
+    auto r1 = runUnderFaults(FaultPlan::uniform(0.02, 5));
+    auto r2 = runUnderFaults(FaultPlan::uniform(0.02, 6));
+    // Same rates, different schedule: some observable difference.
+    EXPECT_TRUE(r1.requests != r2.requests ||
+                r1.errors != r2.errors ||
+                r1.p99LatencyUs != r2.p99LatencyUs);
+}
+
+TEST(DriverFaults, HigherLossRatesDegradeTailLatency)
+{
+    auto clean = runUnderFaults(FaultPlan{});
+    FaultPlan lossy;
+    lossy.at(FaultKind::PacketLoss).rate = 0.08;
+    auto faulty = runUnderFaults(lossy);
+    EXPECT_GT(faulty.p99LatencyUs, clean.p99LatencyUs);
+    EXPECT_LT(faulty.throughput, clean.throughput);
+}
+
+TEST(DriverFaults, ErrorTaxonomyRendersInMechReportAndJson)
+{
+    FaultPlan plan;
+    plan.at(FaultKind::ConnReset).rate = 0.05;
+    auto r = runUnderFaults(plan);
+    ASSERT_GT(r.errors, 0u);
+    EXPECT_NE(r.mechReport().find("client errors"),
+              std::string::npos);
+    EXPECT_NE(r.mechJson().find("\"errors\""), std::string::npos);
+    EXPECT_NE(r.mechJson().find("\"resets\""), std::string::npos);
+
+    // Clean run: the report stays byte-compatible with PR 1 (no
+    // error section at all).
+    auto clean = runUnderFaults(FaultPlan{});
+    EXPECT_EQ(clean.mechReport().find("client errors"),
+              std::string::npos);
+    EXPECT_EQ(clean.mechJson().find("\"errors\""),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace xc::test

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/images.h"
+#include "runtimes/clear_container.h"
+#include "runtimes/docker.h"
+#include "runtimes/runtime.h"
+
+namespace xc::test {
+namespace {
+
+using runtimes::makeRuntime;
+using runtimes::RuntimeConfig;
+
+TEST(Registry, ListsEveryBuiltinRuntime)
+{
+    auto names = runtimes::runtimeNames();
+    for (const char *expected :
+         {"docker", "docker-unpatched", "xen-container",
+          "xen-container-unpatched", "x-container",
+          "x-container-unpatched", "gvisor", "gvisor-unpatched",
+          "clear-container", "clear-container-unpatched", "unikernel",
+          "graphene"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), expected),
+                  names.end())
+            << expected;
+    }
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Registry, BuildsRuntimesByName)
+{
+    for (const char *name :
+         {"docker", "xen-container", "x-container", "gvisor",
+          "unikernel", "graphene"}) {
+        auto rt = makeRuntime(name);
+        ASSERT_NE(rt, nullptr) << name;
+        EXPECT_FALSE(rt->name().empty());
+    }
+}
+
+TEST(Registry, UnknownNameReturnsNull)
+{
+    EXPECT_EQ(makeRuntime("no-such-runtime"), nullptr);
+    EXPECT_EQ(makeRuntime(""), nullptr);
+}
+
+TEST(Registry, ClearContainerRespectsMachineAvailability)
+{
+    // EC2 c4.2xlarge: nested cloud without nested HW virt.
+    EXPECT_EQ(makeRuntime("clear-container",
+                          hw::MachineSpec::ec2C4_2xlarge()),
+              nullptr);
+    // GCE exposes nested VMX; the local machine is not nested.
+    EXPECT_NE(
+        makeRuntime("clear-container", hw::MachineSpec::gceCustom4()),
+        nullptr);
+    EXPECT_NE(makeRuntime("clear-container",
+                          hw::MachineSpec::xeonE52690Local()),
+              nullptr);
+}
+
+TEST(Registry, FaultPlanIsInstalledOnMachineAndFabric)
+{
+    RuntimeConfig cfg;
+    cfg.faults = fault::FaultPlan::uniform(0.01, 3);
+    auto rt = makeRuntime("docker", cfg);
+    ASSERT_NE(rt, nullptr);
+    EXPECT_TRUE(rt->machine().faults().enabled());
+    EXPECT_EQ(rt->fabric().faults(), &rt->machine().faults());
+
+    // Default config: inert injector, but still attached.
+    auto calm = makeRuntime("docker");
+    ASSERT_NE(calm, nullptr);
+    EXPECT_FALSE(calm->machine().faults().enabled());
+    EXPECT_EQ(calm->fabric().faults(), &calm->machine().faults());
+}
+
+TEST(Registry, SeedReachesTheMachine)
+{
+    RuntimeConfig a, b;
+    a.seed = 7;
+    b.seed = 7;
+    auto ra = makeRuntime("docker", a);
+    auto rb = makeRuntime("docker", b);
+    ASSERT_NE(ra, nullptr);
+    ASSERT_NE(rb, nullptr);
+    // Same seed => identical RNG streams.
+    EXPECT_EQ(ra->machine().rng().next(), rb->machine().rng().next());
+}
+
+TEST(Registry, RegistrarAddsCustomRuntime)
+{
+    static int builds = 0;
+    runtimes::RuntimeRegistrar reg(
+        "test-custom", [](const RuntimeConfig &cfg) {
+            ++builds;
+            runtimes::DockerRuntime::Options o;
+            o.spec = cfg.spec;
+            o.seed = cfg.seed;
+            return std::make_unique<runtimes::DockerRuntime>(o);
+        });
+    auto rt = makeRuntime("test-custom");
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(builds, 1);
+    auto names = runtimes::runtimeNames();
+    EXPECT_NE(
+        std::find(names.begin(), names.end(), "test-custom"),
+        names.end());
+}
+
+TEST(Registry, BootFaultsGateContainerCreation)
+{
+    // OomKill at rate 1: every boot is refused, and the runtime's
+    // own bootContainer never runs.
+    RuntimeConfig cfg;
+    cfg.faults.at(fault::FaultKind::OomKill).rate = 1.0;
+    auto rt = makeRuntime("docker", cfg);
+    ASSERT_NE(rt, nullptr);
+    runtimes::ContainerOpts copts;
+    copts.image = apps::glibcImage("img");
+    EXPECT_EQ(rt->createContainer(copts), nullptr);
+    EXPECT_EQ(
+        rt->machine().faults().injected(fault::FaultKind::OomKill),
+        1u);
+}
+
+TEST(Registry, SlowBootHoldsTheContainersStack)
+{
+    RuntimeConfig cfg;
+    cfg.faults.at(fault::FaultKind::SlowBoot).rate = 1.0;
+    cfg.faults.at(fault::FaultKind::SlowBoot).param =
+        80 * sim::kTicksPerMs;
+    auto rt = makeRuntime("docker", cfg);
+    ASSERT_NE(rt, nullptr);
+    runtimes::ContainerOpts copts;
+    copts.image = apps::glibcImage("img");
+    runtimes::RtContainer *c = rt->createContainer(copts);
+    ASSERT_NE(c, nullptr);
+    ASSERT_NE(c->netStack(), nullptr);
+    EXPECT_TRUE(rt->fabric().stackHeld(c->netStack()));
+    // The hold expires once the simulated clock passes the deadline.
+    rt->machine().events().runUntil(100 * sim::kTicksPerMs);
+    EXPECT_FALSE(rt->fabric().stackHeld(c->netStack()));
+}
+
+} // namespace
+} // namespace xc::test

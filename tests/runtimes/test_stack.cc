@@ -5,18 +5,15 @@
 #include "apps/nginx.h"
 #include "load/driver.h"
 #include "runtimes/clear_container.h"
-#include "runtimes/docker.h"
 #include "runtimes/graphene.h"
-#include "runtimes/gvisor.h"
-#include "runtimes/unikernel.h"
 #include "runtimes/x_container.h"
-#include "runtimes/xen_container.h"
 
 namespace xc::test {
 namespace {
 
 using namespace xc;
 using runtimes::ContainerOpts;
+using runtimes::makeRuntime;
 using runtimes::RtContainer;
 using runtimes::Runtime;
 
@@ -55,8 +52,9 @@ runNginxOn(Runtime &rt, int workers = 1, int connections = 32)
 
 TEST(Stack, NginxOnDockerServesRequests)
 {
-    runtimes::DockerRuntime rt({});
-    load::LoadResult r = runNginxOn(rt);
+    auto rt = makeRuntime("docker");
+    ASSERT_NE(rt, nullptr);
+    load::LoadResult r = runNginxOn(*rt);
     EXPECT_GT(r.requests, 100u);
     EXPECT_GT(r.throughput, 1000.0);
     EXPECT_GT(r.p50LatencyUs, 0.0);
@@ -79,29 +77,29 @@ TEST(Stack, NginxOnXContainerServesRequests)
 
 TEST(Stack, XContainerOutperformsDockerOnNginx)
 {
-    runtimes::DockerRuntime docker({});
-    load::LoadResult rd = runNginxOn(docker);
-    runtimes::XContainerRuntime xcont({});
-    load::LoadResult rx = runNginxOn(xcont);
+    auto docker = makeRuntime("docker");
+    load::LoadResult rd = runNginxOn(*docker);
+    auto xcont = makeRuntime("x-container");
+    load::LoadResult rx = runNginxOn(*xcont);
     // The headline macro result: X-Containers beat patched Docker.
     EXPECT_GT(rx.throughput, rd.throughput);
 }
 
 TEST(Stack, GvisorIsFarSlowerThanDocker)
 {
-    runtimes::DockerRuntime docker({});
-    load::LoadResult rd = runNginxOn(docker);
-    runtimes::GvisorRuntime gvisor({});
-    load::LoadResult rg = runNginxOn(gvisor);
+    auto docker = makeRuntime("docker");
+    load::LoadResult rd = runNginxOn(*docker);
+    auto gvisor = makeRuntime("gvisor");
+    load::LoadResult rg = runNginxOn(*gvisor);
     EXPECT_LT(rg.throughput, rd.throughput * 0.7);
 }
 
 TEST(Stack, XenContainerSlowerThanXContainer)
 {
-    runtimes::XenContainerRuntime xen({});
-    load::LoadResult rp = runNginxOn(xen);
-    runtimes::XContainerRuntime xcont({});
-    load::LoadResult rx = runNginxOn(xcont);
+    auto xen = makeRuntime("xen-container");
+    load::LoadResult rp = runNginxOn(*xen);
+    auto xcont = makeRuntime("x-container");
+    load::LoadResult rx = runNginxOn(*xcont);
     EXPECT_GT(rx.throughput, rp.throughput);
     EXPECT_GT(rp.requests, 50u);
 }
@@ -118,24 +116,26 @@ TEST(Stack, ClearContainerUnavailableOnEc2)
 
 TEST(Stack, ClearContainerOnGceServes)
 {
-    runtimes::ClearContainerRuntime rt({});
-    load::LoadResult r = runNginxOn(rt);
+    auto rt =
+        makeRuntime("clear-container", hw::MachineSpec::gceCustom4());
+    ASSERT_NE(rt, nullptr);
+    load::LoadResult r = runNginxOn(*rt);
     EXPECT_GT(r.requests, 50u);
 }
 
 TEST(Stack, UnikernelSingleWorkerServes)
 {
-    runtimes::UnikernelRuntime rt({});
-    load::LoadResult r = runNginxOn(rt, /*workers=*/1);
+    auto rt = makeRuntime("unikernel");
+    load::LoadResult r = runNginxOn(*rt, /*workers=*/1);
     EXPECT_GT(r.requests, 50u);
 }
 
 TEST(Stack, UnikernelRefusesMultiProcess)
 {
-    runtimes::UnikernelRuntime rt({});
+    auto rt = makeRuntime("unikernel");
     ContainerOpts copts;
     copts.image = apps::glibcImage("x");
-    RtContainer *c = rt.createContainer(copts);
+    RtContainer *c = rt->createContainer(copts);
     ASSERT_NE(c, nullptr);
     EXPECT_FALSE(c->supportsMultiProcess());
 }
@@ -197,10 +197,10 @@ TEST(Stack, MemcachedOnXContainerBeatsDockerBigger)
         return driver.collect();
     };
 
-    runtimes::DockerRuntime docker({});
-    load::LoadResult rd = run_kv(docker);
-    runtimes::XContainerRuntime xcont({});
-    load::LoadResult rx = run_kv(xcont);
+    auto docker = makeRuntime("docker");
+    load::LoadResult rd = run_kv(*docker);
+    auto xcont = makeRuntime("x-container");
+    load::LoadResult rx = run_kv(*xcont);
     EXPECT_GT(rd.requests, 100u);
     EXPECT_GT(rx.throughput, rd.throughput);
 }
