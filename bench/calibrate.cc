@@ -18,9 +18,12 @@ int main(int argc, char **argv)
             auto rt = makeCloudRuntime(name, spec, opt);
             if (!rt) { std::printf("  %-28s n/a\n", name.c_str()); continue; }
             MacroRun run;
-            run.connections = opt.connectionsOr(
-                app == MacroApp::Nginx ? 160 : 400);
-            run.duration = opt.durationOr(300 * sim::kTicksPerMs);
+            int defConns = app == MacroApp::Nginx ? 160 : 400;
+            if (opt.quick)
+                defConns /= 4;
+            run.connections = opt.connectionsOr(defConns);
+            run.duration = opt.durationOr(
+                (opt.quick ? 60 : 300) * sim::kTicksPerMs);
             run.seed = opt.seed;
             auto r = runMacro(*rt, app, run);
             if (name == "docker") docker_tp = r.throughput;

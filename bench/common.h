@@ -41,6 +41,7 @@ using runtimes::Runtime;
  *   --mech            print the mechanism-cycle breakdown
  *   --faults RATE     inject FaultPlan::uniform(RATE)
  *   --quick           smaller sweep (CI)
+ *   --golden FILE     write a deterministic run digest to FILE
  */
 struct Options
 {
@@ -52,6 +53,7 @@ struct Options
     bool mech = false;
     double faultRate = 0.0;
     bool quick = false;
+    std::string goldenPath;
 
     static Options
     parse(int argc, char **argv)
@@ -86,13 +88,15 @@ struct Options
                 o.faultRate = std::strtod(v, nullptr);
             } else if (std::strcmp(a, "--quick") == 0) {
                 o.quick = true;
+            } else if (const char *v = value("--golden")) {
+                o.goldenPath = v;
             } else {
                 std::fprintf(
                     stderr,
                     "usage: %s [--runtime NAME] [--seed N] "
                     "[--duration MS] [--connections N] "
                     "[--trace out.json] [--mech] [--faults RATE] "
-                    "[--quick]\n",
+                    "[--quick] [--golden out.json]\n",
                     argv[0]);
                 std::exit(2);
             }
@@ -151,6 +155,49 @@ struct Options
                     sim::trace::capturedEvents(), tracePath.c_str(),
                     static_cast<unsigned long long>(
                         sim::trace::droppedEvents()));
+        return 0;
+    }
+};
+
+/**
+ * Collects one JSON line per benchmark configuration and writes them
+ * to --golden FILE. Every recorded quantity is simulated (request
+ * counts, simulated latencies, mechanism-cycle attribution), so for
+ * a fixed seed the file is byte-identical across hosts and runs —
+ * tests/golden/ pins these digests and test_golden_runs fails on any
+ * drift.
+ */
+struct GoldenLog
+{
+    std::string path;
+    std::string buf;
+
+    explicit GoldenLog(std::string p) : path(std::move(p)) {}
+
+    bool enabled() const { return !path.empty(); }
+
+    void
+    add(const std::string &line)
+    {
+        buf += line;
+        buf += '\n';
+    }
+
+    /** Write the digest; returns nonzero on failure. */
+    int
+    finish() const
+    {
+        if (!enabled())
+            return 0;
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f ||
+            std::fwrite(buf.data(), 1, buf.size(), f) != buf.size()) {
+            std::fprintf(stderr, "failed to write %s\n", path.c_str());
+            if (f)
+                std::fclose(f);
+            return 1;
+        }
+        std::fclose(f);
         return 0;
     }
 };
@@ -269,8 +316,8 @@ runMacro(Runtime &rt, MacroApp app, const MacroRun &run)
     load::ClosedLoopDriver driver(rt.fabric(), spec, run.seed);
     if (run.observeMech)
         driver.observeMech(rt.machine().mech());
-    rt.machine().events().schedule(10 * sim::kTicksPerMs,
-                                   [&] { driver.start(); });
+    rt.machine().events().post(10 * sim::kTicksPerMs,
+                               [&] { driver.start(); });
     rt.machine().events().runUntil(10 * sim::kTicksPerMs + spec.warmup +
                                    spec.duration +
                                    50 * sim::kTicksPerMs);

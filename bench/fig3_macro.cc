@@ -26,15 +26,21 @@ main(int argc, char **argv)
         const char *label;
         hw::MachineSpec spec;
     };
-    const Cloud clouds[] = {
+    std::vector<Cloud> clouds = {
         {"Amazon EC2", hw::MachineSpec::ec2C4_2xlarge()},
         {"Google GCE", hw::MachineSpec::gceCustom4()},
     };
+    // --quick: one cloud and a short measurement window; the
+    // configuration sweep itself stays complete.
+    if (opt.quick)
+        clouds.resize(1);
 
     std::printf("Figure 3: macrobenchmarks, relative to patched "
                 "Docker\n\n");
 
     opt.startTrace();
+    GoldenLog golden(opt.goldenPath);
+    double simSeconds = 0.0;
 
     for (MacroApp app : {MacroApp::Nginx, MacroApp::Memcached,
                          MacroApp::Redis}) {
@@ -55,12 +61,18 @@ main(int argc, char **argv)
                     continue;
                 }
                 MacroRun run;
-                run.connections = opt.connectionsOr(
-                    app == MacroApp::Nginx ? 160 : 400);
-                run.duration = opt.durationOr(300 * sim::kTicksPerMs);
+                int defConns = app == MacroApp::Nginx ? 160 : 400;
+                if (opt.quick)
+                    defConns /= 4;
+                run.connections = opt.connectionsOr(defConns);
+                run.duration = opt.durationOr(
+                    (opt.quick ? 60 : 300) * sim::kTicksPerMs);
                 run.seed = opt.seed;
-                run.observeMech = opt.mech;
+                run.observeMech = opt.mech || golden.enabled();
                 auto r = runMacro(*rt, app, run);
+                simSeconds += static_cast<double>(
+                                  rt->machine().events().now()) /
+                              sim::kTicksPerSec;
                 if (name == "docker") {
                     docker_tp = r.throughput;
                     docker_lat = r.p50LatencyUs;
@@ -74,9 +86,24 @@ main(int argc, char **argv)
                                    : 0.0);
                 if (opt.mech)
                     std::printf("%s", r.mechReport().c_str());
+                if (golden.enabled()) {
+                    char head[192];
+                    std::snprintf(
+                        head, sizeof head,
+                        "{\"bench\":\"fig3_macro\",\"app\":\"%s\","
+                        "\"cloud\":\"%s\",\"runtime\":\"%s\","
+                        "\"requests\":%llu,\"errors\":%llu,"
+                        "\"p50_us\":%.3f,\"mech\":",
+                        macroAppName(app), cloud.label, name.c_str(),
+                        static_cast<unsigned long long>(r.requests),
+                        static_cast<unsigned long long>(r.errors),
+                        r.p50LatencyUs);
+                    golden.add(std::string(head) + r.mechJson() + "}");
+                }
             }
             std::printf("\n");
         }
     }
-    return opt.finishTrace();
+    std::printf("total simulated time: %.6f s\n", simSeconds);
+    return opt.finishTrace() + golden.finish();
 }

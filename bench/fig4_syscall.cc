@@ -27,10 +27,16 @@ main(int argc, char **argv)
         const char *label;
         hw::MachineSpec spec;
     };
-    const Cloud clouds[] = {
+    std::vector<Cloud> clouds = {
         {"Amazon EC2", hw::MachineSpec::ec2C4_2xlarge()},
         {"Google GCE", hw::MachineSpec::gceCustom4()},
     };
+    std::vector<int> copiesList = {1, 4};
+    // --quick: one cloud, single copy, short window.
+    if (opt.quick) {
+        clouds.resize(1);
+        copiesList = {1};
+    }
 
     std::printf("Figure 4: relative system call throughput "
                 "(higher is better)\n");
@@ -38,10 +44,13 @@ main(int argc, char **argv)
                 "Clear; gVisor 7-9%% of Docker\n\n");
 
     opt.startTrace();
+    GoldenLog golden(opt.goldenPath);
+    double simSeconds = 0.0;
 
-    sim::Tick duration = opt.durationOr(200 * sim::kTicksPerMs);
+    sim::Tick duration =
+        opt.durationOr((opt.quick ? 50 : 200) * sim::kTicksPerMs);
     for (const Cloud &cloud : clouds) {
-        for (int copies : {1, 4}) {
+        for (int copies : copiesList) {
             std::printf("== %s, %s ==\n", cloud.label,
                         copies == 1 ? "single" : "concurrent(4)");
             double docker = 0.0;
@@ -57,6 +66,9 @@ main(int argc, char **argv)
                 }
                 auto r = load::runMicro(*rt, load::MicroKind::Syscall,
                                         duration, copies);
+                simSeconds += static_cast<double>(
+                                  rt->machine().events().now()) /
+                              sim::kTicksPerSec;
                 if (name == "docker")
                     docker = r.opsPerSec;
                 std::printf("  %-28s %12.0f loops/s  (%6.2fx)\n",
@@ -64,10 +76,22 @@ main(int argc, char **argv)
                             docker > 0 ? r.opsPerSec / docker : 0.0);
                 if (opt.mech)
                     std::printf("%s", r.mechReport().c_str());
+                if (golden.enabled()) {
+                    char head[160];
+                    std::snprintf(
+                        head, sizeof head,
+                        "{\"bench\":\"fig4_syscall\","
+                        "\"cloud\":\"%s\",\"copies\":%d,"
+                        "\"runtime\":\"%s\",\"ops\":%llu,\"mech\":",
+                        cloud.label, copies, name.c_str(),
+                        static_cast<unsigned long long>(r.ops));
+                    golden.add(std::string(head) + r.mechJson() + "}");
+                }
             }
             std::printf("\n");
         }
     }
 
-    return opt.finishTrace();
+    std::printf("total simulated time: %.6f s\n", simSeconds);
+    return opt.finishTrace() + golden.finish();
 }

@@ -29,10 +29,16 @@ main(int argc, char **argv)
         const char *label;
         hw::MachineSpec spec;
     };
-    const Cloud clouds[] = {
+    std::vector<Cloud> clouds = {
         {"Amazon EC2", hw::MachineSpec::ec2C4_2xlarge()},
         {"Google GCE", hw::MachineSpec::gceCustom4()},
     };
+    std::vector<int> copiesList = {1, 4};
+    // --quick: one cloud, single copy, short window.
+    if (opt.quick) {
+        clouds.resize(1);
+        copiesList = {1};
+    }
     const load::MicroKind kinds[] = {
         load::MicroKind::Execl,
         load::MicroKind::FileCopy,
@@ -46,9 +52,10 @@ main(int argc, char **argv)
 
     opt.startTrace();
 
-    sim::Tick duration = opt.durationOr(150 * sim::kTicksPerMs);
+    sim::Tick duration =
+        opt.durationOr((opt.quick ? 40 : 150) * sim::kTicksPerMs);
     for (const Cloud &cloud : clouds) {
-        for (int copies : {1, 4}) {
+        for (int copies : copiesList) {
             std::printf("===== %s, %s =====\n", cloud.label,
                         copies == 1 ? "single" : "concurrent(4)");
             for (load::MicroKind kind : kinds) {

@@ -21,6 +21,9 @@ using namespace xc::bench;
 
 namespace {
 
+/** Measurement window; main() shrinks it under --quick. */
+sim::Tick gDuration = 300 * sim::kTicksPerMs;
+
 std::unique_ptr<runtimes::Runtime>
 makeLibosRuntime(const std::string &which)
 {
@@ -49,10 +52,10 @@ nginxThroughput(runtimes::Runtime &rt, int workers)
 
     load::WorkloadSpec spec = load::wrkSpec(
         guestos::SockAddr{rt.hostIp(), 8080}, 64 * workers,
-        300 * sim::kTicksPerMs);
+        gDuration);
     load::ClosedLoopDriver driver(rt.fabric(), spec);
-    rt.machine().events().schedule(10 * sim::kTicksPerMs,
-                                   [&] { driver.start(); });
+    rt.machine().events().post(10 * sim::kTicksPerMs,
+                               [&] { driver.start(); });
     rt.machine().events().runUntil(10 * sim::kTicksPerMs +
                                    spec.warmup + spec.duration +
                                    50 * sim::kTicksPerMs);
@@ -139,14 +142,12 @@ phpMysqlThroughput(runtimes::Runtime &rt, PhpTopology topo)
     rt.exposePort(php2, 8082, 8080);
 
     load::WorkloadSpec s1 = load::wrkSpec(
-        guestos::SockAddr{rt.hostIp(), 8081}, 48,
-        300 * sim::kTicksPerMs);
+        guestos::SockAddr{rt.hostIp(), 8081}, 48, gDuration);
     load::WorkloadSpec s2 = load::wrkSpec(
-        guestos::SockAddr{rt.hostIp(), 8082}, 48,
-        300 * sim::kTicksPerMs);
+        guestos::SockAddr{rt.hostIp(), 8082}, 48, gDuration);
     load::ClosedLoopDriver d1(rt.fabric(), s1, 1);
     load::ClosedLoopDriver d2(rt.fabric(), s2, 2);
-    rt.machine().events().schedule(20 * sim::kTicksPerMs, [&] {
+    rt.machine().events().post(20 * sim::kTicksPerMs, [&] {
         d1.start();
         d2.start();
     });
@@ -158,8 +159,12 @@ phpMysqlThroughput(runtimes::Runtime &rt, PhpTopology topo)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options opt = Options::parse(argc, argv);
+    gDuration = opt.durationOr((opt.quick ? 60 : 300) *
+                               sim::kTicksPerMs);
+
     std::printf("Figure 6: LibOS platform comparison "
                 "(local cluster)\n\n");
 

@@ -21,6 +21,9 @@ using namespace xc::bench;
 
 namespace {
 
+/** Measurement window; main() shrinks it under --quick. */
+sim::Tick gDuration = 300 * sim::kTicksPerMs;
+
 enum class LbKind { Haproxy, IpvsNat, IpvsDr };
 
 double
@@ -81,11 +84,10 @@ runConfig(runtimes::Runtime &rt, LbKind kind)
     rt.exposePort(lb, 8080, 80);
 
     load::WorkloadSpec spec = load::wrkSpec(
-        guestos::SockAddr{rt.hostIp(), 8080}, 160,
-        300 * sim::kTicksPerMs);
+        guestos::SockAddr{rt.hostIp(), 8080}, 160, gDuration);
     load::ClosedLoopDriver driver(rt.fabric(), spec);
-    rt.machine().events().schedule(20 * sim::kTicksPerMs,
-                                   [&] { driver.start(); });
+    rt.machine().events().post(20 * sim::kTicksPerMs,
+                               [&] { driver.start(); });
     rt.machine().events().runUntil(20 * sim::kTicksPerMs + spec.warmup +
                                    spec.duration +
                                    60 * sim::kTicksPerMs);
@@ -95,8 +97,11 @@ runConfig(runtimes::Runtime &rt, LbKind kind)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options opt = Options::parse(argc, argv);
+    gDuration = opt.durationOr((opt.quick ? 60 : 300) *
+                               sim::kTicksPerMs);
     auto spec = hw::MachineSpec::xeonE52690Local();
 
     std::printf("Figure 9: kernel-level load balancing (req/s)\n");

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Simulator performance report: runs the sim-core microbenchmarks
+ * plus the --quick figure benches as subprocesses and emits one JSON
+ * document (BENCH_sim.json) summarising:
+ *
+ *  - events/sec and ns/op for each EventQueue microbenchmark,
+ *  - host wall time and peak RSS for each figure bench,
+ *  - the simulated-seconds-per-host-second ratio per figure bench.
+ *
+ * CI runs this on every PR and compares the result against the
+ * committed baseline (ci/perf_compare.py); regressions >20% warn.
+ *
+ *   perf_report [--out FILE] [--bindir DIR]
+ *
+ * The figure-bench numbers are host-dependent (wall time, RSS); only
+ * the golden digests pin simulated behaviour. This report tracks the
+ * simulator's own speed, not the paper's results.
+ */
+
+#include <sys/resource.h>
+#include <sys/time.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+namespace {
+
+/** Wall time + rusage + captured stdout of one child process. */
+struct ChildResult
+{
+    int exitCode = -1;
+    double wallSeconds = 0.0;
+    long maxRssKb = 0;
+    std::string out;
+};
+
+double
+monotonicSeconds()
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+}
+
+/** fork/exec @p argv, capture stdout, collect rusage via wait4. */
+bool
+runChild(const std::vector<std::string> &argv, ChildResult &res)
+{
+    int fds[2];
+    if (pipe(fds) != 0)
+        return false;
+
+    double start = monotonicSeconds();
+    pid_t pid = fork();
+    if (pid < 0) {
+        close(fds[0]);
+        close(fds[1]);
+        return false;
+    }
+    if (pid == 0) {
+        dup2(fds[1], STDOUT_FILENO);
+        close(fds[0]);
+        close(fds[1]);
+        std::vector<char *> cargv;
+        for (const std::string &a : argv)
+            cargv.push_back(const_cast<char *>(a.c_str()));
+        cargv.push_back(nullptr);
+        execv(cargv[0], cargv.data());
+        std::perror("execv");
+        _exit(127);
+    }
+    close(fds[1]);
+    res.out.clear();
+    char buf[4096];
+    ssize_t n;
+    while ((n = read(fds[0], buf, sizeof buf)) > 0)
+        res.out.append(buf, static_cast<std::size_t>(n));
+    close(fds[0]);
+
+    int status = 0;
+    struct rusage ru;
+    std::memset(&ru, 0, sizeof ru);
+    if (wait4(pid, &status, 0, &ru) != pid)
+        return false;
+    res.wallSeconds = monotonicSeconds() - start;
+    res.maxRssKb = ru.ru_maxrss;
+    res.exitCode =
+        WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+    return true;
+}
+
+/** Scan google-benchmark JSON output for "name" / value pairs. A
+ *  full JSON parser is overkill: the format is flat and stable. */
+double
+jsonNumberAfter(const std::string &text, std::size_t from,
+                std::size_t until, const std::string &key)
+{
+    std::size_t k = text.find("\"" + key + "\":", from);
+    if (k == std::string::npos || k >= until)
+        return 0.0;
+    return std::strtod(text.c_str() + k + key.size() + 3, nullptr);
+}
+
+struct MicroRow
+{
+    std::string name;
+    double nsPerOp = 0.0;
+    double itemsPerSec = 0.0;
+};
+
+std::vector<MicroRow>
+parseMicrobench(const std::string &text)
+{
+    std::vector<MicroRow> rows;
+    // Entries live under "benchmarks": [ {"name": ...}, ... ].
+    std::size_t pos = text.find("\"benchmarks\"");
+    while (pos != std::string::npos) {
+        std::size_t k = text.find("\"name\": \"", pos);
+        if (k == std::string::npos)
+            break;
+        k += 9;
+        std::size_t e = text.find('"', k);
+        if (e == std::string::npos)
+            break;
+        MicroRow row;
+        row.name = text.substr(k, e - k);
+        // Bound field lookups to this entry: later benchmarks may
+        // not report items_per_second at all.
+        std::size_t next = text.find("\"name\": \"", e);
+        if (next == std::string::npos)
+            next = text.size();
+        row.nsPerOp = jsonNumberAfter(text, e, next, "real_time");
+        row.itemsPerSec =
+            jsonNumberAfter(text, e, next, "items_per_second");
+        rows.push_back(std::move(row));
+        pos = e;
+    }
+    return rows;
+}
+
+/** Parse the figure benches' "total simulated time: X s" line. */
+double
+parseSimSeconds(const std::string &text)
+{
+    std::size_t k = text.find("total simulated time:");
+    if (k == std::string::npos)
+        return 0.0;
+    return std::strtod(text.c_str() + k + 21, nullptr);
+}
+
+std::string
+dirnameOf(const char *argv0)
+{
+    std::string s(argv0);
+    std::size_t slash = s.rfind('/');
+    return slash == std::string::npos ? std::string(".")
+                                      : s.substr(0, slash);
+}
+
+void
+appendKv(std::string &json, const char *key, double value,
+         bool last = false)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "    \"%s\": %.6g%s\n", key, value,
+                  last ? "" : ",");
+    json += buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out = "BENCH_sim.json";
+    std::string bindir = dirnameOf(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out = argv[++i];
+        } else if (std::strcmp(argv[i], "--bindir") == 0 &&
+                   i + 1 < argc) {
+            bindir = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--out FILE] [--bindir DIR]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    std::string json = "{\n";
+    int failures = 0;
+
+    // --- sim-core microbenchmarks ---------------------------------
+    {
+        ChildResult r;
+        std::vector<std::string> cmd = {
+            bindir + "/sim_microbench",
+            "--benchmark_format=json",
+            "--benchmark_min_time=0.2",
+        };
+        std::printf("running sim_microbench...\n");
+        if (!runChild(cmd, r) || r.exitCode != 0) {
+            std::fprintf(stderr, "sim_microbench failed (rc=%d)\n",
+                         r.exitCode);
+            ++failures;
+        }
+        json += "  \"microbench\": {\n";
+        std::vector<MicroRow> rows = parseMicrobench(r.out);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            json += "    \"" + rows[i].name + "\": {\"ns_per_op\": ";
+            char buf[96];
+            std::snprintf(buf, sizeof buf,
+                          "%.4g, \"events_per_sec\": %.6g}%s\n",
+                          rows[i].nsPerOp, rows[i].itemsPerSec,
+                          i + 1 < rows.size() ? "," : "");
+            json += buf;
+            std::printf("  %-40s %8.1f ns/op  %12.3g ev/s\n",
+                        rows[i].name.c_str(), rows[i].nsPerOp,
+                        rows[i].itemsPerSec);
+        }
+        json += "  },\n";
+    }
+
+    // --- figure benches (--quick) ---------------------------------
+    json += "  \"figures\": {\n";
+    const char *benches[] = {"fig4_syscall", "fig3_macro"};
+    for (std::size_t i = 0; i < 2; ++i) {
+        const char *name = benches[i];
+        ChildResult r;
+        std::printf("running %s --quick...\n", name);
+        if (!runChild({bindir + "/" + name, "--quick"}, r) ||
+            r.exitCode != 0) {
+            std::fprintf(stderr, "%s failed (rc=%d)\n", name,
+                         r.exitCode);
+            ++failures;
+        }
+        double simS = parseSimSeconds(r.out);
+        json += std::string("    \"") + name + "_quick\": {\n";
+        appendKv(json, "wall_s", r.wallSeconds);
+        appendKv(json, "max_rss_kb", static_cast<double>(r.maxRssKb));
+        appendKv(json, "sim_s", simS);
+        appendKv(json, "sim_per_host",
+                 r.wallSeconds > 0 ? simS / r.wallSeconds : 0.0, true);
+        json += i + 1 < 2 ? "    },\n" : "    }\n";
+        std::printf("  %-24s wall %6.2f s   rss %6ld MB   "
+                    "sim/host %.4f\n",
+                    name, r.wallSeconds, r.maxRssKb / 1024,
+                    r.wallSeconds > 0 ? simS / r.wallSeconds : 0.0);
+    }
+    json += "  }\n}\n";
+
+    std::FILE *f = std::fopen(out.c_str(), "w");
+    if (!f || std::fwrite(json.data(), 1, json.size(), f) !=
+                  json.size()) {
+        std::fprintf(stderr, "failed to write %s\n", out.c_str());
+        if (f)
+            std::fclose(f);
+        return 1;
+    }
+    std::fclose(f);
+    std::printf("wrote %s\n", out.c_str());
+    return failures != 0;
+}

@@ -22,15 +22,73 @@ using namespace xc;
 static void
 BM_EventQueueScheduleFire(benchmark::State &state)
 {
+    // The canonical hot cycle: fire-and-forget schedule + fire, as
+    // the swept schedulers (net, cpu_pool, driver) do it.
     sim::EventQueue q;
     std::uint64_t fired = 0;
     for (auto _ : state) {
-        q.scheduleAfter(1, [&] { ++fired; });
+        q.postAfter(1, [&] { ++fired; });
         q.step();
     }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
     benchmark::DoNotOptimize(fired);
 }
 BENCHMARK(BM_EventQueueScheduleFire);
+
+static void
+BM_EventQueueScheduleFireHandle(benchmark::State &state)
+{
+    // Same cycle through the handle-returning API (shared slab ref
+    // count + generation bookkeeping on top of the cheap path).
+    sim::EventQueue q;
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        sim::EventHandle h = q.scheduleAfter(1, [&] { ++fired; });
+        q.step();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+    benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventQueueScheduleFireHandle);
+
+static void
+BM_EventQueueScheduleCancel(benchmark::State &state)
+{
+    // The timeout pattern: schedule a guard, cancel it before it
+    // fires (kernel timers, driver request timeouts).
+    sim::EventQueue q;
+    for (auto _ : state) {
+        sim::EventHandle h = q.scheduleAfter(1000, [] {});
+        h.cancel();
+        q.runUntil(q.now() + 1);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueScheduleCancel);
+
+static void
+BM_EventQueueFanInOut(benchmark::State &state)
+{
+    // Bursty traffic: 64 events across mixed horizons (same tick,
+    // near wheel, far wheel), then drain — exercises cascading.
+    sim::EventQueue q;
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        sim::Tick base = q.now();
+        for (int i = 0; i < 64; ++i) {
+            q.post(base + (i % 4) * 700 + (i % 3),
+                   [&] { ++fired; });
+        }
+        q.run();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * 64));
+    benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventQueueFanInOut);
 
 static void
 BM_TaskCreateResume(benchmark::State &state)

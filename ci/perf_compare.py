@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_sim.json against the committed baseline.
+
+Usage: perf_compare.py BASELINE CURRENT [--threshold PCT]
+
+Prints a per-metric table and emits GitHub Actions ::warning::
+annotations for regressions beyond the threshold (default 20%).
+Always exits 0: CI runners are noisy, so perf drift warns rather
+than fails — the committed baseline is refreshed deliberately, not
+on every run.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def compare_metric(label, base, cur, higher_is_better, threshold, warnings):
+    if not base or not cur:
+        return
+    change = (cur - base) / base * 100.0
+    regressed = change < -threshold if higher_is_better else change > threshold
+    marker = "  <-- REGRESSION" if regressed else ""
+    print(f"  {label:<52} {base:>12.4g} -> {cur:>12.4g}  "
+          f"({change:+6.1f}%){marker}")
+    if regressed:
+        warnings.append(f"{label}: {change:+.1f}% vs baseline")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=20.0,
+                    help="warn when worse by more than PCT (default 20)")
+    args = ap.parse_args()
+
+    try:
+        base = load(args.baseline)
+    except OSError as e:
+        print(f"no baseline ({e}); skipping comparison")
+        return 0
+    cur = load(args.current)
+
+    warnings = []
+    print("microbenchmarks (events/sec, higher is better):")
+    for name, row in cur.get("microbench", {}).items():
+        ref = base.get("microbench", {}).get(name, {})
+        compare_metric(name, ref.get("events_per_sec"),
+                       row.get("events_per_sec"), True,
+                       args.threshold, warnings)
+
+    print("figure benches (host wall seconds, lower is better):")
+    for name, row in cur.get("figures", {}).items():
+        ref = base.get("figures", {}).get(name, {})
+        compare_metric(f"{name} wall_s", ref.get("wall_s"),
+                       row.get("wall_s"), False, args.threshold,
+                       warnings)
+        compare_metric(f"{name} max_rss_kb", ref.get("max_rss_kb"),
+                       row.get("max_rss_kb"), False, args.threshold,
+                       warnings)
+
+    for w in warnings:
+        print(f"::warning title=sim perf regression::{w}")
+    if not warnings:
+        print(f"no regressions beyond {args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

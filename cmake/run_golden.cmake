@@ -1,0 +1,34 @@
+# Runs one figure bench in --quick mode with a fixed seed and
+# compares its --golden digest byte-for-byte against the committed
+# snapshot under tests/golden/. Any drift — an event fired in a
+# different order, a mechanism cycle attributed differently — fails
+# the test. Invoked by ctest (see bench/CMakeLists.txt):
+#
+#   cmake -DBENCH=<binary> -DGOLDEN=<committed> -DOUT=<scratch>
+#         -P run_golden.cmake
+
+foreach(var BENCH GOLDEN OUT)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "run_golden.cmake: -D${var}= is required")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${BENCH} --quick --seed 42 --golden ${OUT}
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} exited with ${rc}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+        "golden digest drift: ${OUT} differs from ${GOLDEN}.\n"
+        "The simulation is no longer byte-identical to the pinned "
+        "run. If the change is intentional (new mechanism, changed "
+        "cost model), regenerate the snapshot with:\n"
+        "  ${BENCH} --quick --seed 42 --golden ${GOLDEN}")
+endif()

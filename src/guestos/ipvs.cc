@@ -166,7 +166,7 @@ class IpvsService::NatConn
         sim::Tick at = service.chargeSoftirq(work);
 
         auto self = shared_from_this();
-        service.kernel_->machine().events().schedule(
+        service.kernel_->machine().events().post(
             at, [self, from_client, bytes] {
                 if (self->closed)
                     return;

@@ -207,7 +207,7 @@ GuestKernel::waitPid(Thread &t, Pid pid)
     }
     int code = child->exitCode();
     // Reap after the child's coroutines have fully unwound.
-    machine_.events().scheduleAfter(0, [this, pid] {
+    machine_.events().postAfter(0, [this, pid] {
         auto it = processes.find(pid);
         if (it != processes.end() && it->second->exited())
             processes.erase(it);
@@ -282,7 +282,7 @@ GuestKernel::findProcess(Pid pid)
 void
 GuestKernel::resumeSoon(std::coroutine_handle<> h)
 {
-    machine_.events().scheduleAfter(0, [h] { h.resume(); });
+    machine_.events().postAfter(0, [h] { h.resume(); });
 }
 
 void
@@ -384,7 +384,7 @@ GuestKernel::dispatchThread(Vcpu *v, Thread *t)
 
     sim::Tick when = machine_.now() + machine_.cyclesToTicks(cost);
     t->sliceEnd_ = when + config.traits.threadQuantum;
-    machine_.events().schedule(when, [t] {
+    machine_.events().post(when, [t] {
         auto h = t->cont_;
         t->cont_ = nullptr;
         h.resume();
@@ -425,7 +425,7 @@ GuestKernel::onFlushSuspend(Thread *t, std::coroutine_handle<> h)
         boundary();
         return;
     }
-    machine_.events().scheduleAfter(machine_.cyclesToTicks(c), boundary);
+    machine_.events().postAfter(machine_.cyclesToTicks(c), boundary);
 }
 
 void

@@ -29,7 +29,7 @@ void
 Connection::reset()
 {
     auto self = shared_from_this();
-    fabric.events().scheduleAfter(latency_, [self] {
+    fabric.events().postAfter(latency_, [self] {
         Endpoint *a = self->endA;
         Endpoint *b = self->endB;
         self->endA = nullptr;
@@ -71,7 +71,7 @@ Connection::send(Endpoint *from, std::uint64_t bytes)
             extra = inj->param(fault::FaultKind::PacketDelay);
     }
     auto self = shared_from_this();
-    fabric.events().scheduleAfter(
+    fabric.events().postAfter(
         latency_ + extra, [self, to_b, bytes] {
             Endpoint *dst = to_b ? self->endB : self->endA;
             if (dst)
@@ -84,7 +84,7 @@ Connection::ack(Endpoint *receiver, std::uint64_t bytes)
 {
     bool to_b = (receiver == endA);
     auto self = shared_from_this();
-    fabric.events().scheduleAfter(latency_, [self, to_b, bytes] {
+    fabric.events().postAfter(latency_, [self, to_b, bytes] {
         Endpoint *dst = to_b ? self->endB : self->endA;
         if (dst)
             dst->deliverAck(bytes);
@@ -97,7 +97,7 @@ Connection::close(Endpoint *from)
     bool to_b = (from == endA);
     auto self = shared_from_this();
     detach(from);
-    fabric.events().scheduleAfter(latency_, [self, to_b] {
+    fabric.events().postAfter(latency_, [self, to_b] {
         Endpoint *dst = to_b ? self->endB : self->endA;
         if (dst)
             dst->peerClosed();
@@ -266,7 +266,7 @@ TcpSock::deliverData(std::uint64_t bytes)
     if (extra > 0 && !loopback_) {
         // Stacks with delayed-ack/Nagle-like behaviour surface the
         // data to the application a bit later.
-        kernel_.machine().events().scheduleAfter(
+        kernel_.machine().events().postAfter(
             extra, [this, bytes] {
                 if (closed_)
                     return;
@@ -677,8 +677,8 @@ NetFabric::connect(Endpoint *initiator, SockAddr dst,
     auto it = listeners.find(k);
     if (it == listeners.end()) {
         // RST after one round trip.
-        events_.scheduleAfter(2 * config_.crossMachineLatency,
-                              [done] { done(nullptr); });
+        events_.postAfter(2 * config_.crossMachineLatency,
+                          [done] { done(nullptr); });
         return;
     }
     TcpListener *listener = it->second;
@@ -687,7 +687,7 @@ NetFabric::connect(Endpoint *initiator, SockAddr dst,
     // Slow-boot hold: the guest is up but the service isn't
     // accepting yet — refuse like a closed port.
     if (stackHeld(listener->homeStack())) {
-        events_.scheduleAfter(2 * lat, [done] { done(nullptr); });
+        events_.postAfter(2 * lat, [done] { done(nullptr); });
         return;
     }
     // Link partition: the SYN never arrives; the initiator sees a
@@ -696,16 +696,16 @@ NetFabric::connect(Endpoint *initiator, SockAddr dst,
     if (faults_ != nullptr && faults_->enabled() &&
         faults_->shouldInject(fault::FaultKind::LinkPartition,
                               events_.now(), k)) {
-        events_.scheduleAfter(2 * lat, [done] { done(nullptr); });
+        events_.postAfter(2 * lat, [done] { done(nullptr); });
         return;
     }
 
-    events_.scheduleAfter(lat, [this, initiator, k, lat, done] {
+    events_.postAfter(lat, [this, initiator, k, lat, done] {
         // Re-check: the listener may have closed while the SYN was
         // in flight.
         auto it2 = listeners.find(k);
         if (it2 == listeners.end()) {
-            events_.scheduleAfter(lat, [done] { done(nullptr); });
+            events_.postAfter(lat, [done] { done(nullptr); });
             return;
         }
         auto conn = std::make_shared<Connection>(
@@ -714,8 +714,7 @@ NetFabric::connect(Endpoint *initiator, SockAddr dst,
         // incoming() adopts the server-side endpoint itself (kernel
         // modules may terminate the connection in custom endpoints).
         it2->second->incoming(conn);
-        events_.scheduleAfter(lat,
-                              [done, conn] { done(conn); });
+        events_.postAfter(lat, [done, conn] { done(conn); });
     });
 }
 

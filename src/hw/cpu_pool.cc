@@ -70,7 +70,7 @@ CorePool::dispatch(int core)
         when += inj.param(fault::FaultKind::VcpuStall);
     sliceEnd[core] = when + config.quantum;
     ++grants_;
-    machine.events().schedule(when, [this, core, next] {
+    machine.events().post(when, [this, core, next] {
         // The client may have been removed while the switch was in
         // flight (teardown); current[] is the source of truth.
         if (current[core] != next)

@@ -125,7 +125,7 @@ ClosedLoopDriver::openConn(Conn &c)
             ++conn->connectFailures;
             // Back off and retry: the server may still be booting
             // (or held by a slow-boot fault).
-            fabric.events().scheduleAfter(
+            fabric.events().postAfter(
                 backoffFor(conn->connectFailures),
                 [this, conn] { openConn(*conn); });
             return;
@@ -183,7 +183,7 @@ ClosedLoopDriver::sendAttempt(Conn &c)
     c.wire->send(spec.requestBytes);
     if (spec.requestTimeout > 0) {
         Conn *conn = &c;
-        fabric.events().scheduleAfter(
+        fabric.events().postAfter(
             spec.requestTimeout, [this, conn, gen] {
                 if (conn->gen != gen || !conn->inFlight)
                     return; // answered, failed, or superseded
@@ -210,7 +210,7 @@ ClosedLoopDriver::failAttempt(Conn &c)
         ++c.attempt;
     c.retryPending = retry;
     Conn *conn = &c;
-    fabric.events().scheduleAfter(
+    fabric.events().postAfter(
         backoffFor(retry ? c.attempt : 1),
         [this, conn] { openConn(*conn); });
 }
@@ -246,7 +246,7 @@ ClosedLoopDriver::onResponse(Conn &c, std::uint64_t bytes)
         }
     };
     if (spec.thinkTime > 0) {
-        fabric.events().scheduleAfter(spec.thinkTime, next);
+        fabric.events().postAfter(spec.thinkTime, next);
     } else {
         next();
     }

@@ -117,7 +117,7 @@ runIperf(runtimes::Runtime &rt, sim::Tick duration, int streams)
         };
         guestos::SockAddr target{
             rt.hostIp(), static_cast<guestos::Port>(5201 + i)};
-        fabric.events().schedule(
+        fabric.events().post(
             10 * sim::kTicksPerMs,
             [wire, target] { wire->connectTo(target); });
         senders.push_back(std::move(sender));

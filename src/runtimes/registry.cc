@@ -63,7 +63,7 @@ Runtime::createContainer(const ContainerOpts &opts)
         sim::Tick at = inj.jitter(fault::FaultKind::ContainerCrash,
                                   salt, life / 2, life + life / 2);
         guestos::NetFabric *fab = &fabric();
-        machine().events().scheduleAfter(
+        machine().events().postAfter(
             at, [fab, stack] { fab->crashStack(stack); });
     }
     return c;

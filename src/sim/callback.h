@@ -1,0 +1,143 @@
+#ifndef XC_SIM_CALLBACK_H
+#define XC_SIM_CALLBACK_H
+
+/**
+ * @file
+ * InlineCallback: a move-only type-erased `void()` callable with a
+ * small-buffer optimisation sized for the simulator's event lambdas.
+ *
+ * Event callbacks capture a handful of pointers (`this`, a client, a
+ * generation counter); std::function heap-allocates control blocks
+ * for exactly the same payload. InlineCallback stores any callable up
+ * to kInlineBytes directly inside the event entry, so the scheduling
+ * hot path performs zero heap allocations. Larger callables fall back
+ * to a single heap cell — correctness never depends on capture size.
+ */
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace xc::sim {
+
+class InlineCallback
+{
+  public:
+    /** Inline capacity: fits the common "this + a few words" lambda. */
+    static constexpr std::size_t kInlineBytes = 48;
+
+    InlineCallback() = default;
+
+    InlineCallback(const InlineCallback &) = delete;
+    InlineCallback &operator=(const InlineCallback &) = delete;
+
+    InlineCallback(InlineCallback &&other) noexcept { moveFrom(other); }
+
+    InlineCallback &
+    operator=(InlineCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    ~InlineCallback() { reset(); }
+
+    template <typename F>
+    explicit InlineCallback(F &&fn)
+    {
+        emplace(std::forward<F>(fn));
+    }
+
+    /** Install @p fn, destroying any previous callable. */
+    template <typename F>
+    void
+    emplace(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_invocable_r_v<void, Fn &>,
+                      "callback must be callable as void()");
+        reset();
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(fn));
+            ops_ = &inlineOps<Fn>;
+        } else {
+            // Oversized capture: one heap cell, still type-erased.
+            *reinterpret_cast<Fn **>(buf_) =
+                new Fn(std::forward<F>(fn));
+            ops_ = &heapOps<Fn>;
+        }
+    }
+
+    /** True when a callable is installed. */
+    bool engaged() const { return ops_ != nullptr; }
+    explicit operator bool() const { return engaged(); }
+
+    /** Invoke the callable (must be engaged). */
+    void
+    operator()()
+    {
+        ops_->invoke(buf_);
+    }
+
+    /** Destroy the callable, returning to the empty state. */
+    void
+    reset()
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *self);
+        /** Move-construct dst from src, then destroy src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *self);
+    };
+
+    void
+    moveFrom(InlineCallback &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_) {
+            ops_->relocate(buf_, other.buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void *self) { (*static_cast<Fn *>(self))(); },
+        [](void *dst, void *src) {
+            Fn *s = static_cast<Fn *>(src);
+            ::new (dst) Fn(std::move(*s));
+            s->~Fn();
+        },
+        [](void *self) { static_cast<Fn *>(self)->~Fn(); },
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void *self) { (**static_cast<Fn **>(self))(); },
+        [](void *dst, void *src) {
+            *static_cast<Fn **>(dst) = *static_cast<Fn **>(src);
+        },
+        [](void *self) { delete *static_cast<Fn **>(self); },
+    };
+
+    const Ops *ops_ = nullptr;
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+} // namespace xc::sim
+
+#endif // XC_SIM_CALLBACK_H

@@ -1,38 +1,362 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <bit>
+
 #include "sim/logging.h"
 
 namespace xc::sim {
 
-EventHandle
-EventQueue::schedule(Tick when, std::function<void()> fn)
+using detail::kNilEvent;
+
+namespace {
+
+/** First set bit index >= @p start, or kSlots if none. */
+std::uint32_t
+findSetBit(const std::uint64_t *bm, std::uint32_t start,
+           std::uint32_t nslots)
+{
+    if (start >= nslots)
+        return nslots;
+    std::uint32_t word = start >> 6;
+    std::uint64_t w = bm[word] & (~std::uint64_t(0) << (start & 63));
+    for (;;) {
+        if (w != 0)
+            return (word << 6) +
+                   static_cast<std::uint32_t>(std::countr_zero(w));
+        if (++word >= nslots / 64)
+            return nslots;
+        w = bm[word];
+    }
+}
+
+struct HeapLater
+{
+    bool
+    operator()(const auto &a, const auto &b) const
+    {
+        if (a.when != b.when)
+            return a.when > b.when;
+        return a.seq > b.seq;
+    }
+};
+
+} // namespace
+
+EventQueue::EventQueue()
+    : slab_(std::make_shared<detail::EventSlab>())
+{
+}
+
+EventQueue::~EventQueue()
+{
+    // Invalidate every outstanding handle and destroy pending
+    // callbacks; the slab itself stays alive while handles hold it.
+    for (std::uint32_t i = 0; i < slab_->used; ++i) {
+        detail::EventSlab::Entry &e = slab_->at(i);
+        ++e.gen;
+        e.live = false;
+        e.fn.reset();
+    }
+    slab_->live = 0;
+}
+
+void
+EventQueue::linkWheel(int level, std::uint32_t slot, std::uint32_t idx)
+{
+    Slot &s = wheel_[level][slot];
+    slab_->at(idx).next = kNilEvent;
+    if (s.tail == kNilEvent)
+        s.head = idx;
+    else
+        slab_->at(s.tail).next = idx;
+    s.tail = idx;
+    bitmap_[level][slot >> 6] |= std::uint64_t(1) << (slot & 63);
+}
+
+void
+EventQueue::placeInWheel(std::uint32_t idx, Tick when)
+{
+    if ((when >> kSlotBits) == l0Block_) {
+        linkWheel(0, static_cast<std::uint32_t>(when) & (kSlots - 1),
+                  idx);
+    } else if ((when >> (2 * kSlotBits)) == l1Super_) {
+        linkWheel(1,
+                  static_cast<std::uint32_t>(when >> kSlotBits) &
+                      (kSlots - 1),
+                  idx);
+    } else if ((when >> (3 * kSlotBits)) == l2Hyper_) {
+        linkWheel(2,
+                  static_cast<std::uint32_t>(when >> (2 * kSlotBits)) &
+                      (kSlots - 1),
+                  idx);
+    } else {
+        detail::EventSlab::Entry &e = slab_->at(idx);
+        heap_.push_back(HeapEntry{when, e.seq, idx});
+        std::push_heap(heap_.begin(), heap_.end(), HeapLater{});
+    }
+}
+
+std::uint32_t
+EventQueue::insert(Tick when)
 {
     XC_ASSERT(when >= now_);
-    auto alive = std::make_shared<bool>(true);
-    queue.push(Entry{when, nextSeq++, std::move(fn), alive});
-    ++*live_;
-    return EventHandle(alive, live_);
+    std::uint32_t idx = slab_->alloc();
+    detail::EventSlab::Entry &e = slab_->at(idx);
+    e.when = when;
+    e.seq = nextSeq_++;
+    e.live = true;
+    ++slab_->live;
+    placeInWheel(idx, when);
+    return idx;
+}
+
+Tick
+EventQueue::pruneSlot(int level, std::uint32_t slot)
+{
+    Slot &s = wheel_[level][slot];
+    Tick min = kTickMax;
+    std::uint32_t idx = s.head;
+    std::uint32_t prev = kNilEvent;
+    while (idx != kNilEvent) {
+        detail::EventSlab::Entry &e = slab_->at(idx);
+        std::uint32_t next = e.next;
+        if (!e.live) {
+            // Unlink and reclaim the cancelled entry.
+            if (prev == kNilEvent)
+                s.head = next;
+            else
+                slab_->at(prev).next = next;
+            if (s.tail == idx)
+                s.tail = prev;
+            slab_->release(idx);
+        } else {
+            if (e.when < min)
+                min = e.when;
+            prev = idx;
+        }
+        idx = next;
+    }
+    if (s.head == kNilEvent)
+        bitmap_[level][slot >> 6] &= ~(std::uint64_t(1) << (slot & 63));
+    return min;
+}
+
+void
+EventQueue::advanceTo(Tick t)
+{
+    // Sync now_ and the level trackers, cascading the higher-level
+    // slots that now describe the current block/superblock so their
+    // entries become visible to nextEventTime()'s scan ranges.
+    now_ = t;
+    l0Block_ = t >> kSlotBits;
+    l1Super_ = t >> (2 * kSlotBits);
+    l2Hyper_ = t >> (3 * kSlotBits);
+
+    auto cascade = [&](int level, std::uint32_t slot) {
+        std::uint64_t bit = std::uint64_t(1) << (slot & 63);
+        if (!(bitmap_[level][slot >> 6] & bit))
+            return;
+        Slot moved = wheel_[level][slot];
+        wheel_[level][slot] = Slot{};
+        bitmap_[level][slot >> 6] &= ~bit;
+        std::uint32_t idx = moved.head;
+        while (idx != kNilEvent) {
+            detail::EventSlab::Entry &e = slab_->at(idx);
+            std::uint32_t next = e.next;
+            if (!e.live)
+                slab_->release(idx);
+            else
+                placeInWheel(idx, e.when);
+            idx = next;
+        }
+    };
+    // Order matters: the superblock cascade can feed the block slot.
+    cascade(2, static_cast<std::uint32_t>(t >> (2 * kSlotBits)) &
+                   (kSlots - 1));
+    cascade(1,
+            static_cast<std::uint32_t>(t >> kSlotBits) & (kSlots - 1));
+}
+
+bool
+EventQueue::prepareBurst(Tick limit)
+{
+    burst_.clear();
+    burstPos_ = 0;
+
+    // Reclaim cancelled heap tops, then hold the earliest live heap
+    // tick. Unlike the wheel levels the heap is NOT guaranteed to be
+    // later than the wheel content: after now_ crosses a hyperblock
+    // boundary, entries scheduled long ago can be nearer than
+    // anything in the wheel, so it is always compared.
+    Tick heapT = kTickMax;
+    while (!heap_.empty()) {
+        const HeapEntry &top = heap_.front();
+        if (slab_->at(top.idx).live) {
+            heapT = top.when;
+            break;
+        }
+        std::uint32_t idx = top.idx;
+        std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+        heap_.pop_back();
+        slab_->release(idx);
+    }
+
+    // Level 0: the current 256-tick block, one tick per slot, so the
+    // slot index alone gives the tick. The first slot with a live
+    // entry is the L0 (and wheel) minimum; drain it directly into
+    // the burst — the list is already in seq order because cascades
+    // into a slot always precede direct inserts into it.
+    std::uint32_t s =
+        findSetBit(bitmap_[0],
+                   static_cast<std::uint32_t>(now_) & (kSlots - 1),
+                   kSlots);
+    for (; s < kSlots; s = findSetBit(bitmap_[0], s + 1, kSlots)) {
+        Tick slotTick = (l0Block_ << kSlotBits) | s;
+        if (heapT <= slotTick || slotTick > limit)
+            break; // resolve against the heap / give up below
+        std::uint64_t bit = std::uint64_t(1) << (s & 63);
+        Slot list = wheel_[0][s];
+        wheel_[0][s] = Slot{};
+        bitmap_[0][s >> 6] &= ~bit;
+        std::uint32_t idx = list.head;
+        while (idx != kNilEvent) {
+            detail::EventSlab::Entry &e = slab_->at(idx);
+            std::uint32_t next = e.next;
+            if (!e.live) {
+                slab_->release(idx);
+            } else {
+                XC_ASSERT(e.when == slotTick);
+                burst_.push_back(BurstEntry{e.seq, idx});
+            }
+            idx = next;
+        }
+        if (!burst_.empty()) {
+            // Fast path: strictly earlier than the heap, same block
+            // as now_, so no cascading and no sort are needed.
+            now_ = slotTick;
+            return true;
+        }
+    }
+
+    Tick wheelT = kTickMax;
+    if (s < kSlots) {
+        // The L0 scan stopped at an undrained slot: either the heap
+        // tick is no later than any remaining wheel tick (heap wins;
+        // levels 1/2 are later still), or the slot tick is already
+        // past the limit (and so is everything else pending).
+        if (heapT > ((l0Block_ << kSlotBits) | s))
+            return false;
+    } else {
+        // Levels 1/2: future blocks of the current superblock, then
+        // future superblocks of the current hyperblock. Slot order is
+        // block order, so the first slot with live entries holds the
+        // level minimum (entries within it span many ticks — walk
+        // the list for the min).
+        std::uint32_t start =
+            (static_cast<std::uint32_t>(now_ >> kSlotBits) &
+             (kSlots - 1)) +
+            1;
+        for (std::uint32_t b = findSetBit(bitmap_[1], start, kSlots);
+             b < kSlots; b = findSetBit(bitmap_[1], b + 1, kSlots)) {
+            wheelT = pruneSlot(1, b);
+            if (wheelT != kTickMax)
+                break;
+        }
+        if (wheelT == kTickMax) {
+            start = (static_cast<std::uint32_t>(now_ >> (2 * kSlotBits)) &
+                     (kSlots - 1)) +
+                    1;
+            for (std::uint32_t b =
+                     findSetBit(bitmap_[2], start, kSlots);
+                 b < kSlots;
+                 b = findSetBit(bitmap_[2], b + 1, kSlots)) {
+                wheelT = pruneSlot(2, b);
+                if (wheelT != kTickMax)
+                    break;
+            }
+        }
+    }
+
+    Tick t = std::min(wheelT, heapT);
+    if (t == kTickMax || t > limit)
+        return false;
+
+    // Slow path: enter the tick's block (cascading higher-level
+    // slots), then drain the tick's L0 slot and merge heap entries
+    // that fire at the same tick.
+    advanceTo(t);
+    std::uint32_t slot = static_cast<std::uint32_t>(t) & (kSlots - 1);
+    std::uint64_t bit = std::uint64_t(1) << (slot & 63);
+    if (bitmap_[0][slot >> 6] & bit) {
+        Slot list = wheel_[0][slot];
+        wheel_[0][slot] = Slot{};
+        bitmap_[0][slot >> 6] &= ~bit;
+        std::uint32_t idx = list.head;
+        while (idx != kNilEvent) {
+            detail::EventSlab::Entry &e = slab_->at(idx);
+            std::uint32_t next = e.next;
+            if (!e.live) {
+                slab_->release(idx);
+            } else {
+                XC_ASSERT(e.when == t);
+                burst_.push_back(BurstEntry{e.seq, idx});
+            }
+            idx = next;
+        }
+    }
+    bool heapMerged = false;
+    while (!heap_.empty()) {
+        const HeapEntry &top = heap_.front();
+        std::uint32_t idx = top.idx;
+        if (!slab_->at(idx).live) {
+            std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+            heap_.pop_back();
+            slab_->release(idx);
+            continue;
+        }
+        if (top.when != t)
+            break;
+        burst_.push_back(BurstEntry{top.seq, idx});
+        std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+        heap_.pop_back();
+        heapMerged = true;
+    }
+    XC_ASSERT(!burst_.empty());
+    // Wheel-drained entries are in seq order by construction; only a
+    // heap merge can interleave, so only then restore (when, seq).
+    if (heapMerged && burst_.size() > 1) {
+        std::sort(burst_.begin(), burst_.end(),
+                  [](const BurstEntry &a, const BurstEntry &b) {
+                      return a.seq < b.seq;
+                  });
+    }
+    now_ = t;
+    return true;
 }
 
 bool
 EventQueue::fireNext()
 {
-    while (!queue.empty()) {
-        // priority_queue::top() is const; we must copy-then-pop. The
-        // function object is small (captures are pointers), so this
-        // is cheap relative to event work.
-        Entry e = queue.top();
-        queue.pop();
-        if (!*e.alive)
-            continue;
-        *e.alive = false;
-        --*live_;
-        XC_ASSERT(e.when >= now_);
-        now_ = e.when;
-        e.fn();
-        return true;
+    for (;;) {
+        while (burstActive()) {
+            std::uint32_t idx = burst_[burstPos_++].idx;
+            detail::EventSlab::Entry &e = slab_->at(idx);
+            if (!e.live) {
+                // Cancelled while waiting in the burst.
+                slab_->release(idx);
+                continue;
+            }
+            e.live = false;
+            --slab_->live;
+            InlineCallback fn = std::move(e.fn);
+            slab_->release(idx);
+            fn();
+            return true;
+        }
+        if (!prepareBurst(kTickMax))
+            return false;
     }
-    return false;
 }
 
 bool
@@ -44,18 +368,20 @@ EventQueue::step()
 void
 EventQueue::runUntil(Tick limit)
 {
-    while (!queue.empty()) {
-        // Skip dead entries so top() reflects the next live event.
-        if (!*queue.top().alive) {
-            queue.pop();
+    for (;;) {
+        if (burstActive()) {
+            // A leftover burst (e.g. from step()) fires only while
+            // its tick is within the limit.
+            if (now_ > limit)
+                break;
+            fireNext();
             continue;
         }
-        if (queue.top().when > limit)
+        if (!prepareBurst(limit))
             break;
-        fireNext();
     }
     if (limit > now_)
-        now_ = limit;
+        advanceTo(limit);
 }
 
 void

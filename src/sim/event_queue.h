@@ -8,17 +8,92 @@
  * All simulated activity is driven by one EventQueue per simulation.
  * Events scheduled for the same tick fire in insertion order, which
  * (together with the single seeded Rng) makes runs bit-identical.
+ *
+ * Internally the queue is a hierarchical timing wheel (three levels
+ * of 256 slots covering the next 2^24 ticks) with an overflow binary
+ * heap for far-future events, backed by a slab allocator of event
+ * entries whose callbacks live inline (InlineCallback SBO). The
+ * common schedule/fire cycle therefore performs no heap allocation.
+ * See DESIGN.md "Sim-core internals" for the invariants that make
+ * the wheel's firing order bit-identical to a (when, seq) heap.
  */
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/callback.h"
 #include "sim/types.h"
 
 namespace xc::sim {
+
+class EventQueue;
+
+namespace detail {
+
+constexpr std::uint32_t kNilEvent = 0xffffffffu;
+
+/**
+ * Slab of event entries, shared (via shared_ptr) between the queue
+ * and outstanding EventHandles so a handle may safely outlive the
+ * queue. Entries are generation-counted: a handle is valid only
+ * while its recorded generation matches the entry's.
+ */
+struct EventSlab
+{
+    struct Entry
+    {
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        std::uint32_t next = kNilEvent; ///< slot chain / free list
+        std::uint32_t gen = 0;          ///< bumped on cancel/fire/free
+        bool live = false;              ///< scheduled, not yet fired
+        InlineCallback fn;
+    };
+
+    /** Entries per chunk; chunks never move, so Entry& stays stable. */
+    static constexpr std::uint32_t kChunkBits = 9;
+    static constexpr std::uint32_t kChunkSize = 1u << kChunkBits;
+
+    std::vector<std::unique_ptr<Entry[]>> chunks;
+    std::uint32_t used = 0; ///< high-water mark of allocated indices
+    std::uint32_t freeHead = kNilEvent;
+    std::size_t live = 0; ///< pending (scheduled, uncancelled) events
+
+    Entry &
+    at(std::uint32_t idx)
+    {
+        return chunks[idx >> kChunkBits][idx & (kChunkSize - 1)];
+    }
+
+    std::uint32_t
+    alloc()
+    {
+        if (freeHead != kNilEvent) {
+            std::uint32_t idx = freeHead;
+            freeHead = at(idx).next;
+            return idx;
+        }
+        if ((used >> kChunkBits) == chunks.size())
+            chunks.push_back(std::make_unique<Entry[]>(kChunkSize));
+        return used++;
+    }
+
+    /** Return @p idx to the free list. The callback must already be
+     *  destroyed (fire/cancel) or empty. */
+    void
+    release(std::uint32_t idx)
+    {
+        Entry &e = at(idx);
+        e.fn.reset();
+        ++e.gen; // invalidate any handle still pointing here
+        e.live = false;
+        e.next = freeHead;
+        freeHead = idx;
+    }
+};
+
+} // namespace detail
 
 /** Handle used to cancel a scheduled event. */
 class EventHandle
@@ -27,35 +102,48 @@ class EventHandle
     EventHandle() = default;
 
     /** True if the event is still pending (not fired, not cancelled). */
-    bool pending() const { return alive && *alive; }
+    bool
+    pending() const
+    {
+        return slab_ && slab_->at(idx_).gen == gen_;
+    }
 
     /** Cancel the event if still pending. */
     void
     cancel()
     {
-        if (alive && *alive) {
-            *alive = false;
-            if (live)
-                --*live;
-        }
+        if (!slab_)
+            return;
+        detail::EventSlab::Entry &e = slab_->at(idx_);
+        if (e.gen != gen_)
+            return;
+        // Mark dead; the queue reclaims the slot when it next walks
+        // the containing slot list / burst / heap.
+        ++e.gen;
+        e.live = false;
+        e.fn.reset();
+        --slab_->live;
     }
 
   private:
     friend class EventQueue;
-    EventHandle(std::shared_ptr<bool> a, std::shared_ptr<std::size_t> l)
-        : alive(std::move(a)), live(std::move(l))
+    EventHandle(std::shared_ptr<detail::EventSlab> s, std::uint32_t idx,
+                std::uint32_t gen)
+        : slab_(std::move(s)), idx_(idx), gen_(gen)
     {
     }
 
-    std::shared_ptr<bool> alive;
-    std::shared_ptr<std::size_t> live;
+    std::shared_ptr<detail::EventSlab> slab_;
+    std::uint32_t idx_ = detail::kNilEvent;
+    std::uint32_t gen_ = 0;
 };
 
 /** A single-owner discrete-event queue. */
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    EventQueue();
+    ~EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -66,17 +154,47 @@ class EventQueue
      * Schedule @p fn to run at absolute time @p when.
      * @return a handle that can cancel the event.
      */
-    EventHandle schedule(Tick when, std::function<void()> fn);
+    template <typename F>
+    EventHandle
+    schedule(Tick when, F &&fn)
+    {
+        std::uint32_t idx = insert(when);
+        detail::EventSlab::Entry &e = slab_->at(idx);
+        e.fn.emplace(std::forward<F>(fn));
+        return EventHandle(slab_, idx, e.gen);
+    }
 
     /** Schedule @p fn to run @p delay ticks from now. */
+    template <typename F>
     EventHandle
-    scheduleAfter(Tick delay, std::function<void()> fn)
+    scheduleAfter(Tick delay, F &&fn)
     {
-        return schedule(now_ + delay, std::move(fn));
+        return schedule(now_ + delay, std::forward<F>(fn));
+    }
+
+    /**
+     * Fire-and-forget variant of schedule(): no cancellation handle,
+     * no shared-ownership traffic. This is the cheap path; use it
+     * whenever the caller does not keep the handle.
+     */
+    template <typename F>
+    void
+    post(Tick when, F &&fn)
+    {
+        std::uint32_t idx = insert(when);
+        slab_->at(idx).fn.emplace(std::forward<F>(fn));
+    }
+
+    /** post() with a relative delay. */
+    template <typename F>
+    void
+    postAfter(Tick delay, F &&fn)
+    {
+        post(now_ + delay, std::forward<F>(fn));
     }
 
     /** Number of pending (non-cancelled) events. */
-    std::size_t pendingEvents() const { return *live_; }
+    std::size_t pendingEvents() const { return slab_->live; }
 
     /** Run all events up to and including @p limit. */
     void runUntil(Tick limit);
@@ -88,31 +206,84 @@ class EventQueue
     bool step();
 
   private:
-    struct Entry
+    // --- wheel geometry -------------------------------------------
+    // Level L holds events whose tick shares now's (when >> shiftL)
+    // "block" prefix: level 0 the current 256-tick block (one tick
+    // per slot), level 1 the current 65536-tick superblock (one
+    // 256-block per slot), level 2 the current 2^24-tick hyperblock
+    // (one superblock per slot). Everything farther lives in the
+    // overflow heap and fires straight from it.
+    static constexpr int kSlotBits = 8;
+    static constexpr std::uint32_t kSlots = 1u << kSlotBits;
+    static constexpr int kLevels = 3;
+    static constexpr std::uint32_t kBitmapWords = kSlots / 64;
+
+    struct Slot
+    {
+        std::uint32_t head = detail::kNilEvent;
+        std::uint32_t tail = detail::kNilEvent;
+    };
+
+    struct HeapEntry
     {
         Tick when;
         std::uint64_t seq;
-        std::function<void()> fn;
-        std::shared_ptr<bool> alive;
+        std::uint32_t idx;
     };
 
-    struct Later
+    struct BurstEntry
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
+        std::uint64_t seq;
+        std::uint32_t idx;
     };
+
+    /** Allocate an entry for @p when and link it into wheel/heap. */
+    std::uint32_t insert(Tick when);
+
+    void linkWheel(int level, std::uint32_t slot, std::uint32_t idx);
+    void placeInWheel(std::uint32_t idx, Tick when);
+
+    /**
+     * Find the earliest pending tick; if it is <= @p limit, commit
+     * now_ to it and fill burst_ with every entry firing then (seq
+     * order). Returns false — mutating nothing but dead-entry
+     * reclamation — when the queue is empty or the next tick is
+     * past @p limit.
+     */
+    bool prepareBurst(Tick limit);
+
+    /** Walk a slot list: release dead entries in place, return the
+     *  minimum live tick (kTickMax when none). */
+    Tick pruneSlot(int level, std::uint32_t slot);
+
+    /** Advance now_ (and the block trackers) without firing,
+     *  cascading newly-current higher-level slots. */
+    void advanceTo(Tick t);
 
     bool fireNext();
+    bool burstActive() const { return burstPos_ < burst_.size(); }
 
     Tick now_ = 0;
-    std::uint64_t nextSeq = 0;
-    std::shared_ptr<std::size_t> live_ = std::make_shared<std::size_t>(0);
-    std::priority_queue<Entry, std::vector<Entry>, Later> queue;
+    std::uint64_t nextSeq_ = 0;
+    std::shared_ptr<detail::EventSlab> slab_;
+
+    Slot wheel_[kLevels][kSlots];
+    std::uint64_t bitmap_[kLevels][kBitmapWords] = {};
+
+    // Block trackers: the (when >> 8*(L+1)) prefix whose events each
+    // level currently holds. Kept equal to now_'s prefixes whenever
+    // user code can run.
+    Tick l0Block_ = 0;
+    Tick l1Super_ = 0;
+    Tick l2Hyper_ = 0;
+
+    std::vector<HeapEntry> heap_; ///< min-heap on (when, seq)
+
+    // The burst: every entry firing at the current tick, in seq
+    // order. Entries in the burst are owned by it (not in any slot
+    // list); cancelled ones are reclaimed when consumed.
+    std::vector<BurstEntry> burst_;
+    std::size_t burstPos_ = 0;
 };
 
 } // namespace xc::sim

@@ -1,0 +1,157 @@
+#ifndef XC_TESTS_SIM_REFERENCE_EVENT_QUEUE_H
+#define XC_TESTS_SIM_REFERENCE_EVENT_QUEUE_H
+
+/**
+ * @file
+ * The pre-timing-wheel EventQueue, kept verbatim as a test oracle.
+ *
+ * This is the binary-heap + shared_ptr implementation the simulator
+ * shipped with before the hot-path rewrite. Its firing order defines
+ * the (when, seq) contract: earlier ticks first, insertion order
+ * within a tick. test_wheel_differential drives it in lockstep with
+ * the production wheel and asserts bit-identical behaviour. Do not
+ * optimise or "fix" this file — it is the specification.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.h"
+#include "sim/types.h"
+
+namespace xc::sim::testref {
+
+/** Handle used to cancel a scheduled reference event. */
+class ReferenceEventHandle
+{
+  public:
+    ReferenceEventHandle() = default;
+
+    bool pending() const { return alive && *alive; }
+
+    void
+    cancel()
+    {
+        if (alive && *alive) {
+            *alive = false;
+            if (live)
+                --*live;
+        }
+    }
+
+  private:
+    friend class ReferenceEventQueue;
+    ReferenceEventHandle(std::shared_ptr<bool> a,
+                         std::shared_ptr<std::size_t> l)
+        : alive(std::move(a)), live(std::move(l))
+    {
+    }
+
+    std::shared_ptr<bool> alive;
+    std::shared_ptr<std::size_t> live;
+};
+
+/** The original single-owner discrete-event queue. */
+class ReferenceEventQueue
+{
+  public:
+    ReferenceEventQueue() = default;
+    ReferenceEventQueue(const ReferenceEventQueue &) = delete;
+    ReferenceEventQueue &operator=(const ReferenceEventQueue &) = delete;
+
+    Tick now() const { return now_; }
+
+    ReferenceEventHandle
+    schedule(Tick when, std::function<void()> fn)
+    {
+        XC_ASSERT(when >= now_);
+        auto alive = std::make_shared<bool>(true);
+        queue.push(Entry{when, nextSeq++, std::move(fn), alive});
+        ++*live_;
+        return ReferenceEventHandle(alive, live_);
+    }
+
+    ReferenceEventHandle
+    scheduleAfter(Tick delay, std::function<void()> fn)
+    {
+        return schedule(now_ + delay, std::move(fn));
+    }
+
+    std::size_t pendingEvents() const { return *live_; }
+
+    void
+    runUntil(Tick limit)
+    {
+        while (!queue.empty()) {
+            if (!*queue.top().alive) {
+                queue.pop();
+                continue;
+            }
+            if (queue.top().when > limit)
+                break;
+            fireNext();
+        }
+        if (limit > now_)
+            now_ = limit;
+    }
+
+    void
+    run(std::uint64_t maxEvents = ~std::uint64_t(0))
+    {
+        std::uint64_t fired = 0;
+        while (fired < maxEvents && fireNext())
+            ++fired;
+    }
+
+    bool step() { return fireNext(); }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+        std::shared_ptr<bool> alive;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    bool
+    fireNext()
+    {
+        while (!queue.empty()) {
+            Entry e = queue.top();
+            queue.pop();
+            if (!*e.alive)
+                continue;
+            *e.alive = false;
+            --*live_;
+            XC_ASSERT(e.when >= now_);
+            now_ = e.when;
+            e.fn();
+            return true;
+        }
+        return false;
+    }
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq = 0;
+    std::shared_ptr<std::size_t> live_ = std::make_shared<std::size_t>(0);
+    std::priority_queue<Entry, std::vector<Entry>, Later> queue;
+};
+
+} // namespace xc::sim::testref
+
+#endif // XC_TESTS_SIM_REFERENCE_EVENT_QUEUE_H

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * EventHandle edge cases: the semantics the old shared_ptr handles
+ * provided, pinned so the generation-counted slab handles (and any
+ * future rewrite) keep them bit-for-bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace xc::sim {
+namespace {
+
+TEST(EventHandleEdge, CancelOwnEventFromInsideCallbackIsNoop)
+{
+    EventQueue q;
+    EventHandle h;
+    int fired = 0;
+    bool pendingInside = true;
+    h = q.schedule(10, [&] {
+        ++fired;
+        // The firing event is no longer pending from its own
+        // callback's point of view; cancelling it is a no-op.
+        pendingInside = h.pending();
+        h.cancel();
+        h.cancel();
+    });
+    q.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(pendingInside);
+    EXPECT_FALSE(h.pending());
+    EXPECT_EQ(q.pendingEvents(), 0u);
+}
+
+TEST(EventHandleEdge, CancelSiblingFromInsideCallback)
+{
+    EventQueue q;
+    std::vector<int> order;
+    EventHandle b;
+    q.schedule(10, [&] {
+        order.push_back(1);
+        b.cancel(); // same-tick sibling, later in the burst
+    });
+    b = q.schedule(10, [&] { order.push_back(2); });
+    q.schedule(10, [&] { order.push_back(3); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+    EXPECT_EQ(q.pendingEvents(), 0u);
+}
+
+TEST(EventHandleEdge, CancelFutureEventFromInsideCallback)
+{
+    EventQueue q;
+    bool fired = false;
+    EventHandle far;
+    far = q.schedule(1000, [&] { fired = true; });
+    q.schedule(10, [&] { far.cancel(); });
+    q.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(q.now(), 10u);
+    EXPECT_EQ(q.pendingEvents(), 0u);
+}
+
+TEST(EventHandleEdge, DoubleCancelDecrementsPendingOnce)
+{
+    EventQueue q;
+    EventHandle h = q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    EXPECT_EQ(q.pendingEvents(), 2u);
+    h.cancel();
+    EXPECT_EQ(q.pendingEvents(), 1u);
+    h.cancel(); // second cancel must not double-decrement
+    EXPECT_EQ(q.pendingEvents(), 1u);
+    q.run();
+    EXPECT_EQ(q.pendingEvents(), 0u);
+}
+
+TEST(EventHandleEdge, CancelAfterFireIsNoop)
+{
+    EventQueue q;
+    int count = 0;
+    EventHandle h = q.schedule(10, [&] { ++count; });
+    q.run();
+    EXPECT_FALSE(h.pending());
+    h.cancel();
+    h.cancel();
+    q.run();
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(q.pendingEvents(), 0u);
+}
+
+TEST(EventHandleEdge, HandleOutlivesQueue)
+{
+    EventHandle h;
+    {
+        EventQueue q;
+        h = q.schedule(10, [] {});
+        EXPECT_TRUE(h.pending());
+    }
+    // The queue is gone; the handle must observe "not pending" and
+    // cancel must be safe (no dangling access — ASan-verified).
+    EXPECT_FALSE(h.pending());
+    h.cancel();
+    EXPECT_FALSE(h.pending());
+}
+
+TEST(EventHandleEdge, HandleOutlivesQueueAfterFire)
+{
+    EventHandle h;
+    {
+        EventQueue q;
+        h = q.schedule(10, [] {});
+        q.run();
+        EXPECT_FALSE(h.pending());
+    }
+    EXPECT_FALSE(h.pending());
+    h.cancel();
+}
+
+TEST(EventHandleEdge, StaleHandleDoesNotCancelSlotReuse)
+{
+    // After an event fires, its slab slot can be reused by a new
+    // event. A stale handle to the old event must not observe — or
+    // cancel — the new occupant.
+    EventQueue q;
+    EventHandle stale = q.schedule(1, [] {});
+    q.run();
+    EXPECT_FALSE(stale.pending());
+    bool fired = false;
+    EventHandle fresh = q.schedule(100, [&] { fired = true; });
+    stale.cancel(); // must not touch the reused slot
+    EXPECT_TRUE(fresh.pending());
+    q.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventHandleEdge, ScheduleAtCurrentTickFromCallback)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] {
+        order.push_back(1);
+        // Same-tick from inside a callback: fires this tick, after
+        // every event already scheduled for it.
+        q.scheduleAfter(0, [&] { order.push_back(4); });
+    });
+    q.schedule(10, [&] { order.push_back(2); });
+    q.schedule(10, [&] { order.push_back(3); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+    EXPECT_EQ(q.now(), 10u);
+}
+
+TEST(EventHandleEdge, ChainedSameTickSchedulingTerminatesInOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        order.push_back(depth);
+        if (++depth < 5)
+            q.scheduleAfter(0, chain);
+    };
+    q.schedule(42, chain);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(q.now(), 42u);
+}
+
+TEST(EventHandleEdge, CancelOneOfManySameTick)
+{
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<EventHandle> hs;
+    for (int i = 0; i < 10; ++i)
+        hs.push_back(q.schedule(5, [&order, i] { order.push_back(i); }));
+    hs[3].cancel();
+    hs[7].cancel();
+    EXPECT_EQ(q.pendingEvents(), 8u);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 4, 5, 6, 8, 9}));
+}
+
+TEST(EventHandleEdge, DefaultHandleIsInert)
+{
+    EventHandle h;
+    EXPECT_FALSE(h.pending());
+    h.cancel();
+    EXPECT_FALSE(h.pending());
+}
+
+TEST(EventHandleEdge, PendingCallbacksDestroyedWithQueue)
+{
+    // Captured state must be released when the queue dies with
+    // events still pending (leak-checked under ASan in CI).
+    auto token = std::make_shared<int>(7);
+    std::weak_ptr<int> observer = token;
+    {
+        EventQueue q;
+        q.schedule(10, [t = std::move(token)] { (void)*t; });
+        EXPECT_FALSE(observer.expired());
+    }
+    EXPECT_TRUE(observer.expired());
+}
+
+TEST(EventHandleEdge, CancelReleasesCapturesImmediately)
+{
+    // Cancellation destroys the callback (and its captures) right
+    // away rather than when the tick is eventually reached.
+    auto token = std::make_shared<int>(7);
+    std::weak_ptr<int> observer = token;
+    EventQueue q;
+    EventHandle h =
+        q.schedule(1000000, [t = std::move(token)] { (void)*t; });
+    EXPECT_FALSE(observer.expired());
+    h.cancel();
+    EXPECT_TRUE(observer.expired());
+}
+
+TEST(EventHandleEdge, PostedEventsInterleaveWithScheduled)
+{
+    // post() (no handle) and schedule() share one seq space; the
+    // same-tick tie-break is global insertion order.
+    EventQueue q;
+    std::vector<int> order;
+    q.post(10, [&] { order.push_back(1); });
+    q.schedule(10, [&] { order.push_back(2); });
+    q.postAfter(10, [&] { order.push_back(3); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventHandleEdge, OversizedCaptureStillWorks)
+{
+    // Captures beyond the inline SBO take the heap fallback; the
+    // contract is unchanged.
+    EventQueue q;
+    struct Big
+    {
+        std::uint64_t payload[16];
+    };
+    Big big{};
+    big.payload[0] = 1;
+    big.payload[15] = 99;
+    std::uint64_t seen = 0;
+    EventHandle h =
+        q.schedule(10, [big, &seen] { seen = big.payload[15]; });
+    EXPECT_TRUE(h.pending());
+    q.run();
+    EXPECT_EQ(seen, 99u);
+    // And cancellation of an oversized capture frees it (ASan).
+    EventHandle h2 = q.schedule(20, [big, &seen] { seen = 0; });
+    h2.cancel();
+    q.run();
+    EXPECT_EQ(seen, 99u);
+}
+
+} // namespace
+} // namespace xc::sim
