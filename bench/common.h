@@ -10,6 +10,7 @@
  * paper-style rows.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +25,9 @@
 #include "fault/fault.h"
 #include "load/driver.h"
 #include "runtimes/runtime.h"
+#include "sim/profile.h"
+#include "sim/request_ctx.h"
+#include "sim/timeseries.h"
 #include "sim/trace.h"
 
 namespace xc::bench {
@@ -38,6 +42,10 @@ using runtimes::Runtime;
  *   --duration MS     measurement window override
  *   --connections N   client connections override
  *   --trace FILE      capture a Chrome trace to FILE
+ *   --trace-cat LIST  restrict tracing to these categories
+ *   --profile FILE    cycle-attribution profile (JSON + .collapsed)
+ *   --flight N        flight-record up to N requests per run
+ *   --timeseries FILE sample throughput/utilization time series
  *   --mech            print the mechanism-cycle breakdown
  *   --faults RATE     inject FaultPlan::uniform(RATE)
  *   --quick           smaller sweep (CI)
@@ -50,6 +58,10 @@ struct Options
     sim::Tick duration = 0; ///< 0 = the bench's default
     int connections = 0;    ///< 0 = the bench's default
     std::string tracePath;
+    std::string traceCat; ///< empty = all categories
+    std::string profilePath;
+    int flightSamples = 0; ///< 0 = flight recorder off
+    std::string timeseriesPath;
     bool mech = false;
     double faultRate = 0.0;
     bool quick = false;
@@ -82,6 +94,14 @@ struct Options
                 o.connections = std::atoi(v);
             } else if (const char *v = value("--trace")) {
                 o.tracePath = v;
+            } else if (const char *v = value("--trace-cat")) {
+                o.traceCat = v;
+            } else if (const char *v = value("--profile")) {
+                o.profilePath = v;
+            } else if (const char *v = value("--flight")) {
+                o.flightSamples = std::atoi(v);
+            } else if (const char *v = value("--timeseries")) {
+                o.timeseriesPath = v;
             } else if (std::strcmp(a, "--mech") == 0) {
                 o.mech = true;
             } else if (const char *v = value("--faults")) {
@@ -95,8 +115,10 @@ struct Options
                     stderr,
                     "usage: %s [--runtime NAME] [--seed N] "
                     "[--duration MS] [--connections N] "
-                    "[--trace out.json] [--mech] [--faults RATE] "
-                    "[--quick] [--golden out.json]\n",
+                    "[--trace out.json] [--trace-cat LIST] "
+                    "[--profile out.json] [--flight N] "
+                    "[--timeseries out.json] [--mech] "
+                    "[--faults RATE] [--quick] [--golden out.json]\n",
                     argv[0]);
                 std::exit(2);
             }
@@ -157,6 +179,66 @@ struct Options
                         sim::trace::droppedEvents()));
         return 0;
     }
+
+    // ----- observability (tracing + profiler + flight recorder) ---
+
+    bool profiling() const { return !profilePath.empty(); }
+    bool flightRecording() const { return flightSamples > 0; }
+    bool sampling() const { return !timeseriesPath.empty(); }
+
+    /** Arm every observability facility the flags selected. Call
+     *  once, before the first run; pair with finishObservability. */
+    void
+    startObservability() const
+    {
+        if (!traceCat.empty())
+            sim::trace::enable(sim::trace::parseCategories(traceCat));
+        startTrace();
+        if (profiling())
+            sim::prof::enable();
+    }
+
+    /**
+     * Announce one labeled benchmark run: subsequent attribution
+     * records into the tree named @p label, and (when --flight is
+     * on) the next @p flightSamples requests are sampled end to end.
+     * @p ticks_per_cycle lets flight timelines render cycles.
+     */
+    void
+    beginRun(const std::string &label,
+             double ticks_per_cycle = 0.0) const
+    {
+        if (profiling())
+            sim::prof::beginTree(label);
+        if (flightRecording())
+            sim::flight::arm(flightSamples, label, ticks_per_cycle);
+    }
+
+    /** Write/print everything; returns nonzero on write failure. */
+    int
+    finishObservability() const
+    {
+        int rc = finishTrace();
+        if (profiling()) {
+            sim::prof::disable();
+            std::string collapsed = profilePath + ".collapsed";
+            if (!sim::prof::saveJson(profilePath) ||
+                !sim::prof::saveCollapsed(collapsed)) {
+                std::fprintf(stderr, "failed to write %s\n",
+                             profilePath.c_str());
+                rc = 1;
+            } else {
+                std::printf("wrote cycle-attribution profile to %s "
+                            "(flamegraph input: %s)\n",
+                            profilePath.c_str(), collapsed.c_str());
+            }
+        }
+        if (flightRecording()) {
+            std::fputs(sim::flight::renderAll().c_str(), stdout);
+            sim::flight::clear();
+        }
+        return rc;
+    }
 };
 
 /**
@@ -201,6 +283,85 @@ struct GoldenLog
         return 0;
     }
 };
+
+/**
+ * Collects one time-series document per benchmark run and writes
+ * them to --timeseries FILE as {"runs":[{"label":...,"data":...}]}.
+ * Like GoldenLog, every value is simulated, so the file is
+ * deterministic for a fixed seed.
+ */
+struct SeriesLog
+{
+    std::string path;
+    std::string buf;
+
+    explicit SeriesLog(std::string p) : path(std::move(p)) {}
+
+    bool enabled() const { return !path.empty(); }
+
+    void
+    add(const std::string &label, const std::string &json)
+    {
+        if (!enabled())
+            return;
+        if (!buf.empty())
+            buf += ",\n";
+        buf += "{\"label\":\"" + label + "\",\"data\":" + json + "}";
+    }
+
+    /** Write the document; returns nonzero on failure. */
+    int
+    finish() const
+    {
+        if (!enabled())
+            return 0;
+        std::string out = "{\"runs\":[\n" + buf + "\n]}\n";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f ||
+            std::fwrite(out.data(), 1, out.size(), f) != out.size()) {
+            std::fprintf(stderr, "failed to write %s\n", path.c_str());
+            if (f)
+                std::fclose(f);
+            return 1;
+        }
+        std::fclose(f);
+        std::printf("wrote time series to %s\n", path.c_str());
+        return 0;
+    }
+};
+
+/** Register the standard macro-run probes: completed requests,
+ *  busy cycles, and per-mechanism cycles on the server machine. */
+inline void
+addMacroProbes(sim::TimeSeries &series, hw::Machine &machine,
+               const load::ClosedLoopDriver &driver)
+{
+    using Kind = sim::TimeSeries::Kind;
+    const load::ClosedLoopDriver *d = &driver;
+    series.addProbe("completed", Kind::Delta, [d] {
+        return static_cast<double>(d->completed());
+    });
+    hw::Machine *m = &machine;
+    series.addProbe("busy_cycles", Kind::Delta, [m] {
+        double busy = 0;
+        for (int i = 0; i < m->numCpus(); ++i) {
+            hw::Cpu &cpu = m->cpu(i);
+            busy += static_cast<double>(
+                cpu.cyclesIn(hw::CycleClass::User) +
+                cpu.cyclesIn(hw::CycleClass::Kernel) +
+                cpu.cyclesIn(hw::CycleClass::Hypervisor));
+        }
+        return busy;
+    });
+    for (int i = 0; i < sim::kMechCount; ++i) {
+        auto mech = static_cast<sim::Mech>(i);
+        series.addProbe(
+            std::string(sim::mechName(mech)) + "_cycles", Kind::Delta,
+            [m, mech] {
+                return static_cast<double>(m->mech().cyclesOf(mech));
+            });
+    }
+}
 
 /** The ten cloud configurations of §5.1 (5 runtimes x patched?),
  *  as registry names for runtimes::makeRuntime. */
@@ -255,6 +416,11 @@ struct MacroRun
     int retryBudget = 2;
     /** Attribute the server machine's mechanism counters. */
     bool observeMech = false;
+    /** When non-null, sample the standard macro probes into this
+     *  series for the duration of the run (see addMacroProbes). The
+     *  probes reference run-local state: do not restart the series
+     *  after runMacro returns. */
+    sim::TimeSeries *series = nullptr;
 };
 
 /** Deploy @p app on @p rt and drive it; returns the load result. */
@@ -316,11 +482,17 @@ runMacro(Runtime &rt, MacroApp app, const MacroRun &run)
     load::ClosedLoopDriver driver(rt.fabric(), spec, run.seed);
     if (run.observeMech)
         driver.observeMech(rt.machine().mech());
+    if (run.series != nullptr) {
+        addMacroProbes(*run.series, rt.machine(), driver);
+        run.series->start();
+    }
     rt.machine().events().post(10 * sim::kTicksPerMs,
                                [&] { driver.start(); });
     rt.machine().events().runUntil(10 * sim::kTicksPerMs + spec.warmup +
                                    spec.duration +
                                    50 * sim::kTicksPerMs);
+    if (run.series != nullptr)
+        run.series->stop();
     return driver.collect();
 }
 

@@ -38,8 +38,9 @@ main(int argc, char **argv)
     std::printf("Figure 3: macrobenchmarks, relative to patched "
                 "Docker\n\n");
 
-    opt.startTrace();
+    opt.startObservability();
     GoldenLog golden(opt.goldenPath);
+    SeriesLog seriesLog(opt.timeseriesPath);
     double simSeconds = 0.0;
 
     for (MacroApp app : {MacroApp::Nginx, MacroApp::Memcached,
@@ -69,7 +70,25 @@ main(int argc, char **argv)
                     (opt.quick ? 60 : 300) * sim::kTicksPerMs);
                 run.seed = opt.seed;
                 run.observeMech = opt.mech || golden.enabled();
+                char label[96];
+                std::snprintf(label, sizeof label, "%s/%s/%s",
+                              macroAppName(app), cloud.label,
+                              name.c_str());
+                opt.beginRun(label, static_cast<double>(
+                                        cloud.spec.periodTicks()));
+                std::unique_ptr<sim::TimeSeries> ts;
+                if (seriesLog.enabled()) {
+                    sim::TimeSeries::Options to;
+                    to.cadence = std::max<sim::Tick>(
+                        1, run.duration / 100);
+                    to.traceTrack = label;
+                    ts = std::make_unique<sim::TimeSeries>(
+                        rt->machine().events(), to);
+                    run.series = ts.get();
+                }
                 auto r = runMacro(*rt, app, run);
+                if (ts)
+                    seriesLog.add(label, ts->exportJson());
                 simSeconds += static_cast<double>(
                                   rt->machine().events().now()) /
                               sim::kTicksPerSec;
@@ -105,5 +124,6 @@ main(int argc, char **argv)
         }
     }
     std::printf("total simulated time: %.6f s\n", simSeconds);
-    return opt.finishTrace() + golden.finish();
+    return opt.finishObservability() + golden.finish() +
+           seriesLog.finish();
 }

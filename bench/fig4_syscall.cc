@@ -43,8 +43,9 @@ main(int argc, char **argv)
     std::printf("paper: X-Container up to 27x Docker, <=1.6x vs "
                 "Clear; gVisor 7-9%% of Docker\n\n");
 
-    opt.startTrace();
+    opt.startObservability();
     GoldenLog golden(opt.goldenPath);
+    SeriesLog seriesLog(opt.timeseriesPath);
     double simSeconds = 0.0;
 
     sim::Tick duration =
@@ -64,8 +65,24 @@ main(int argc, char **argv)
                                 name.c_str());
                     continue;
                 }
+                char label[96];
+                std::snprintf(label, sizeof label, "%s/%s/x%d",
+                              cloud.label, name.c_str(), copies);
+                opt.beginRun(label, static_cast<double>(
+                                        cloud.spec.periodTicks()));
+                std::unique_ptr<sim::TimeSeries> ts;
+                if (seriesLog.enabled()) {
+                    sim::TimeSeries::Options to;
+                    to.cadence =
+                        std::max<sim::Tick>(1, duration / 100);
+                    to.traceTrack = label;
+                    ts = std::make_unique<sim::TimeSeries>(
+                        rt->machine().events(), to);
+                }
                 auto r = load::runMicro(*rt, load::MicroKind::Syscall,
-                                        duration, copies);
+                                        duration, copies, ts.get());
+                if (ts)
+                    seriesLog.add(label, ts->exportJson());
                 simSeconds += static_cast<double>(
                                   rt->machine().events().now()) /
                               sim::kTicksPerSec;
@@ -93,5 +110,6 @@ main(int argc, char **argv)
     }
 
     std::printf("total simulated time: %.6f s\n", simSeconds);
-    return opt.finishTrace() + golden.finish();
+    return opt.finishObservability() + golden.finish() +
+           seriesLog.finish();
 }

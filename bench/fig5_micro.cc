@@ -50,7 +50,7 @@ main(int argc, char **argv)
     std::printf("Figure 5: relative microbenchmark performance "
                 "(higher is better)\n\n");
 
-    opt.startTrace();
+    opt.startObservability();
 
     sim::Tick duration =
         opt.durationOr((opt.quick ? 40 : 150) * sim::kTicksPerMs);
@@ -69,6 +69,14 @@ main(int argc, char **argv)
                         std::printf("  %-28s n/a\n", name.c_str());
                         continue;
                     }
+                    char label[96];
+                    std::snprintf(label, sizeof label, "%s/%s/%s/x%d",
+                                  cloud.label,
+                                  load::microKindName(kind),
+                                  name.c_str(), copies);
+                    opt.beginRun(label,
+                                 static_cast<double>(
+                                     cloud.spec.periodTicks()));
                     auto r = load::runMicro(*rt, kind, duration,
                                             copies);
                     if (name == "docker")
@@ -105,5 +113,5 @@ main(int argc, char **argv)
         }
     }
 
-    return opt.finishTrace();
+    return opt.finishObservability();
 }

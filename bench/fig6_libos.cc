@@ -168,14 +168,21 @@ main(int argc, char **argv)
     std::printf("Figure 6: LibOS platform comparison "
                 "(local cluster)\n\n");
 
+    opt.startObservability();
+    const double tpc = static_cast<double>(
+        hw::MachineSpec::xeonE52690Local().periodTicks());
+
     std::printf("(a) NGINX, 1 worker (requests/s)\n");
     double g1 = 0, u1 = 0, x1 = 0;
     {
         auto g = makeLibosRuntime("graphene");
+        opt.beginRun("nginx-w1/graphene", tpc);
         g1 = nginxThroughput(*g, 1);
         auto u = makeLibosRuntime("unikernel");
+        opt.beginRun("nginx-w1/unikernel", tpc);
         u1 = nginxThroughput(*u, 1);
         auto x = makeLibosRuntime("x-container");
+        opt.beginRun("nginx-w1/x-container", tpc);
         x1 = nginxThroughput(*x, 1);
     }
     std::printf("  G %8.0f   U %8.0f   X %8.0f    "
@@ -187,8 +194,10 @@ main(int argc, char **argv)
     double g4 = 0, x4 = 0;
     {
         auto g = makeLibosRuntime("graphene");
+        opt.beginRun("nginx-w4/graphene", tpc);
         g4 = nginxThroughput(*g, 4);
         auto x = makeLibosRuntime("x-container");
+        opt.beginRun("nginx-w4/x-container", tpc);
         x4 = nginxThroughput(*x, 4);
     }
     std::printf("  G %8.0f   X %8.0f    (X/G=%.2f; paper: >1.5x)\n\n",
@@ -208,8 +217,14 @@ main(int argc, char **argv)
     double u_dedicated = 0;
     for (const Cell &cell : cells) {
         auto u = makeLibosRuntime("unikernel");
+        opt.beginRun(std::string("php-mysql/") + cell.label +
+                         "/unikernel",
+                     tpc);
         double ur = phpMysqlThroughput(*u, cell.topo);
         auto x = makeLibosRuntime("x-container");
+        opt.beginRun(std::string("php-mysql/") + cell.label +
+                         "/x-container",
+                     tpc);
         double xr = phpMysqlThroughput(*x, cell.topo);
         if (cell.topo == PhpTopology::Dedicated)
             u_dedicated = ur;
@@ -222,5 +237,5 @@ main(int argc, char **argv)
                 xr / u_dedicated);
         }
     }
-    return 0;
+    return opt.finishObservability();
 }

@@ -133,9 +133,13 @@ main(int argc, char **argv)
         std::printf(" %14s", s.label);
     std::printf("\n");
 
+    opt.startObservability();
     for (int n : points) {
         std::printf("%8d", n);
         for (const Series &s : series) {
+            opt.beginRun(std::string(s.label) + "/N" +
+                             std::to_string(n),
+                         static_cast<double>(spec.periodTicks()));
             double tp = runPoint(s, n);
             if (tp < 0)
                 std::printf(" %9s(%3.0f)", "no-boot", -tp);
@@ -145,5 +149,5 @@ main(int argc, char **argv)
         }
         std::printf("\n");
     }
-    return 0;
+    return opt.finishObservability();
 }

@@ -108,9 +108,13 @@ main(int argc, char **argv)
     std::printf("paper: X+HAProxy ~2x Docker+HAProxy; IPVS NAT +12%%; "
                 "IPVS direct routing another ~2.5x\n\n");
 
+    opt.startObservability();
+
     double docker_hap = 0.0;
     {
         auto rt = runtimes::makeRuntime("docker", spec);
+        opt.beginRun("docker/haproxy",
+                     static_cast<double>(spec.periodTicks()));
         docker_hap = runConfig(*rt, LbKind::Haproxy);
         std::printf("  %-28s %10.0f  (1.00x)\n", "docker (haproxy)",
                     docker_hap);
@@ -129,6 +133,8 @@ main(int argc, char **argv)
     double prev = docker_hap;
     for (const Cell &cell : cells) {
         auto rt = runtimes::makeRuntime("x-container", spec);
+        opt.beginRun(cell.label,
+                     static_cast<double>(spec.periodTicks()));
         double tp = runConfig(*rt, cell.kind);
         std::printf("  %-28s %10.0f  (%.2fx docker, %.2fx prev)\n",
                     cell.label, tp,
@@ -136,5 +142,5 @@ main(int argc, char **argv)
                     prev > 0 ? tp / prev : 0.0);
         prev = tp;
     }
-    return 0;
+    return opt.finishObservability();
 }

@@ -37,7 +37,7 @@ main(int argc, char **argv)
     std::printf("FaultPlan::uniform(rate): packet loss/delay, conn "
                 "resets, partitions, evtchn drops, vCPU stalls\n\n");
 
-    opt.startTrace();
+    opt.startObservability();
 
     for (const std::string &name :
          {std::string("docker"), std::string("xen-container"),
@@ -69,6 +69,11 @@ main(int argc, char **argv)
             run.requestTimeout = 50 * sim::kTicksPerMs;
             run.retryBudget = 3;
             run.observeMech = opt.mech;
+            char label[96];
+            std::snprintf(label, sizeof label, "%s/rate%.3f",
+                          name.c_str(), rate);
+            opt.beginRun(label,
+                         static_cast<double>(spec.periodTicks()));
             auto r = runMacro(*rt, MacroApp::Nginx, run);
             const load::ErrorBreakdown &e = r.errorDetail;
             std::printf(
@@ -86,5 +91,5 @@ main(int argc, char **argv)
         std::printf("\n");
     }
 
-    return opt.finishTrace();
+    return opt.finishObservability();
 }

@@ -6,12 +6,17 @@
  *
  *  - events/sec and ns/op for each EventQueue microbenchmark,
  *  - host wall time and peak RSS for each figure bench,
- *  - the simulated-seconds-per-host-second ratio per figure bench.
+ *  - the simulated-seconds-per-host-second ratio per figure bench,
+ *  - a profiled fig4 rerun (--profile) with its wall-time overhead
+ *    relative to the plain run, plus the profile JSON itself
+ *    (--profile-out, uploaded by CI as an artifact).
  *
  * CI runs this on every PR and compares the result against the
  * committed baseline (ci/perf_compare.py); regressions >20% warn.
+ * A separate ci.yml step asserts the profiler-disabled fig4 wall
+ * stays within 2% of the committed baseline.
  *
- *   perf_report [--out FILE] [--bindir DIR]
+ *   perf_report [--out FILE] [--bindir DIR] [--profile-out FILE]
  *
  * The figure-bench numbers are host-dependent (wall time, RSS); only
  * the golden digests pin simulated behaviour. This report tracks the
@@ -181,15 +186,20 @@ main(int argc, char **argv)
 {
     std::string out = "BENCH_sim.json";
     std::string bindir = dirnameOf(argv[0]);
+    std::string profileOut = "fig4_profile.json";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out = argv[++i];
         } else if (std::strcmp(argv[i], "--bindir") == 0 &&
                    i + 1 < argc) {
             bindir = argv[++i];
+        } else if (std::strcmp(argv[i], "--profile-out") == 0 &&
+                   i + 1 < argc) {
+            profileOut = argv[++i];
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--out FILE] [--bindir DIR]\n",
+                         "usage: %s [--out FILE] [--bindir DIR] "
+                         "[--profile-out FILE]\n",
                          argv[0]);
             return 2;
         }
@@ -230,29 +240,66 @@ main(int argc, char **argv)
     }
 
     // --- figure benches (--quick) ---------------------------------
+    //
+    // The last row reruns fig4 with the cycle-attribution profiler
+    // on; its wall time against the plain fig4 row above is the
+    // profiler-enabled overhead (ci.yml asserts the *disabled* run
+    // stays within 2% of the committed baseline).
     json += "  \"figures\": {\n";
-    const char *benches[] = {"fig4_syscall", "fig3_macro"};
-    for (std::size_t i = 0; i < 2; ++i) {
-        const char *name = benches[i];
+    struct FigRun
+    {
+        const char *name; ///< binary under bindir
+        const char *key;  ///< JSON key ("<key>_quick")
+        bool profiled;    ///< add --profile and report overhead
+    };
+    const FigRun benches[] = {
+        {"fig4_syscall", "fig4_syscall", false},
+        {"fig3_macro", "fig3_macro", false},
+        {"fig4_syscall", "fig4_syscall_profile", true},
+    };
+    const std::size_t numBenches = sizeof benches / sizeof benches[0];
+    double plainFig4Wall = 0.0;
+    for (std::size_t i = 0; i < numBenches; ++i) {
+        const FigRun &fig = benches[i];
         ChildResult r;
-        std::printf("running %s --quick...\n", name);
-        if (!runChild({bindir + "/" + name, "--quick"}, r) ||
-            r.exitCode != 0) {
-            std::fprintf(stderr, "%s failed (rc=%d)\n", name,
+        std::vector<std::string> cmd = {bindir + "/" + fig.name,
+                                        "--quick"};
+        if (fig.profiled) {
+            cmd.push_back("--profile");
+            cmd.push_back(profileOut);
+        }
+        std::printf("running %s --quick%s...\n", fig.name,
+                    fig.profiled ? " --profile" : "");
+        if (!runChild(cmd, r) || r.exitCode != 0) {
+            std::fprintf(stderr, "%s failed (rc=%d)\n", fig.name,
                          r.exitCode);
             ++failures;
         }
+        if (!fig.profiled &&
+            std::strcmp(fig.name, "fig4_syscall") == 0)
+            plainFig4Wall = r.wallSeconds;
         double simS = parseSimSeconds(r.out);
-        json += std::string("    \"") + name + "_quick\": {\n";
+        json += std::string("    \"") + fig.key + "_quick\": {\n";
         appendKv(json, "wall_s", r.wallSeconds);
         appendKv(json, "max_rss_kb", static_cast<double>(r.maxRssKb));
         appendKv(json, "sim_s", simS);
-        appendKv(json, "sim_per_host",
-                 r.wallSeconds > 0 ? simS / r.wallSeconds : 0.0, true);
-        json += i + 1 < 2 ? "    },\n" : "    }\n";
+        if (fig.profiled) {
+            appendKv(json, "sim_per_host",
+                     r.wallSeconds > 0 ? simS / r.wallSeconds : 0.0);
+            appendKv(json, "profile_overhead",
+                     plainFig4Wall > 0
+                         ? r.wallSeconds / plainFig4Wall - 1.0
+                         : 0.0,
+                     true);
+        } else {
+            appendKv(json, "sim_per_host",
+                     r.wallSeconds > 0 ? simS / r.wallSeconds : 0.0,
+                     true);
+        }
+        json += i + 1 < numBenches ? "    },\n" : "    }\n";
         std::printf("  %-24s wall %6.2f s   rss %6ld MB   "
                     "sim/host %.4f\n",
-                    name, r.wallSeconds, r.maxRssKb / 1024,
+                    fig.key, r.wallSeconds, r.maxRssKb / 1024,
                     r.wallSeconds > 0 ? simS / r.wallSeconds : 0.0);
     }
     json += "  }\n}\n";

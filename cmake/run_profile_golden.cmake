@@ -1,0 +1,37 @@
+# Runs fig4 in --quick mode with a fixed seed and the
+# cycle-attribution profiler on, and compares the exported profile
+# JSON byte-for-byte against the committed snapshot under
+# tests/golden/. The export is deterministic by construction
+# (children sorted by name, fixed key order, integer cycles), so any
+# drift means cycles moved between frames. Invoked by ctest (see
+# bench/CMakeLists.txt):
+#
+#   cmake -DBENCH=<binary> -DGOLDEN=<committed> -DOUT=<scratch>
+#         -P run_profile_golden.cmake
+
+foreach(var BENCH GOLDEN OUT)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR
+            "run_profile_golden.cmake: -D${var}= is required")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${BENCH} --quick --seed 42 --profile ${OUT}
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} exited with ${rc}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+        "profile golden drift: ${OUT} differs from ${GOLDEN}.\n"
+        "Cycle attribution is no longer byte-identical to the "
+        "pinned run. If the change is intentional (new scope, "
+        "changed cost model), regenerate the snapshot with:\n"
+        "  ${BENCH} --quick --seed 42 --profile ${GOLDEN}")
+endif()

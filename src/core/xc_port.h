@@ -163,7 +163,9 @@ class XcPort : public guestos::PlatformPort
         // bottleneck in these experiments (they are idle SMT
         // siblings). See DESIGN.md "dom0 offload".
         (void)opts;
-        return c.ringHopPerPacket * 2 / 3;
+        hw::Cycles cost = c.ringHopPerPacket * 2 / 3;
+        XC_PROF_LEAF("xen/ring_hop", cost);
+        return cost;
     }
 
     const xen::DescriptorRing &txQueue() const { return txRing; }

@@ -163,6 +163,7 @@ class IpvsService::NatConn
                        2 * costs.ringHopPerPacket + kConntrack) +
             static_cast<hw::Cycles>(2 * costs.netPerByte *
                                     static_cast<double>(bytes));
+        XC_PROF_LEAF("guestos/ipvs", work);
         sim::Tick at = service.chargeSoftirq(work);
 
         auto self = shared_from_this();
@@ -170,14 +171,22 @@ class IpvsService::NatConn
             at, [self, from_client, bytes] {
                 if (self->closed)
                     return;
+                Connection *src_conn = from_client
+                                           ? self->connClient.get()
+                                           : self->connBackend.get();
                 Connection *dst = from_client
                                       ? self->connBackend.get()
                                       : self->connClient.get();
                 Endpoint *dst_end = from_client
                                         ? &self->endBackend
                                         : &self->endClient;
-                if (dst)
+                if (dst) {
+                    // Flight recorder: a sampled request keeps its
+                    // context across the director splice.
+                    if (src_conn != nullptr && src_conn->flight() != 0)
+                        dst->setFlight(src_conn->flight());
                     dst->send(dst_end, bytes);
+                }
             });
     }
 

@@ -374,6 +374,7 @@ GuestKernel::dispatchThread(Vcpu *v, Thread *t)
     XC_TRACE_INSTANT(Sched, now(), config.name.c_str(), v->idx(),
                      "dispatch");
     ++stats_.threadSwitches;
+    XC_PROF_SCOPE("guestos/sched");
     hw::Cycles cost = threadSwitchCost(v, nullptr, t);
     machine_.mech().add(sim::Mech::ContextSwitch, cost);
     v->current_ = t;
@@ -557,27 +558,34 @@ GuestKernel::syscallBinary(Thread &t, int nr)
     ++stats_.syscalls;
     Process &p = t.process();
     const auto &image = *p.image();
-    if (image.stubs) {
-        const isa::SyscallStub *stub = image.stubs->find(nr);
-        if (!stub)
-            stub = &image.stubs->ensure(nr, image.wrapperKind(nr));
-        isa::ExecEnv &env = config.platform->syscallEnv(t);
-        isa::Regs regs;
-        if (stub->kind == isa::WrapperKind::GoStackArg)
-            regs.stack[1] = static_cast<std::uint64_t>(nr);
-        isa::RunResult run =
-            isa::execute(image.stubs->code(), stub->entry, regs, env);
-        t.charge(run.instructions * costs().stubInstruction);
-        if (run.faulted)
-            sim::panic("syscall stub for %s faulted unrecoverably",
-                       syscallName(nr));
-    } else {
-        // Images without a binary model: plain trap cost.
-        hw::Cycles cost =
-            costs().syscallTrap +
-            (config.traits.kpti ? costs().kptiTrapOverhead : 0);
-        machine_.mech().add(sim::Mech::SyscallTrap, cost);
-        t.charge(cost);
+    {
+        // Attribution frame over the synchronous entry leg only: it
+        // must close before the co_await below suspends.
+        XC_PROF_SCOPE("guestos/syscall");
+        if (image.stubs) {
+            const isa::SyscallStub *stub = image.stubs->find(nr);
+            if (!stub)
+                stub = &image.stubs->ensure(nr, image.wrapperKind(nr));
+            isa::ExecEnv &env = config.platform->syscallEnv(t);
+            isa::Regs regs;
+            if (stub->kind == isa::WrapperKind::GoStackArg)
+                regs.stack[1] = static_cast<std::uint64_t>(nr);
+            isa::RunResult run =
+                isa::execute(image.stubs->code(), stub->entry, regs,
+                             env);
+            t.charge(run.instructions * costs().stubInstruction);
+            XC_PROF_CYCLES(run.instructions * costs().stubInstruction);
+            if (run.faulted)
+                sim::panic("syscall stub for %s faulted unrecoverably",
+                           syscallName(nr));
+        } else {
+            // Images without a binary model: plain trap cost.
+            hw::Cycles cost =
+                costs().syscallTrap +
+                (config.traits.kpti ? costs().kptiTrapOverhead : 0);
+            machine_.mech().add(sim::Mech::SyscallTrap, cost);
+            t.charge(cost);
+        }
     }
     co_await t.flushCompute();
 }
@@ -610,6 +618,7 @@ GuestKernel::semantic(Thread &t, int nr, SysArgs args)
     const auto &c = costs();
     // Generic kernel-side dispatch work.
     t.charge(serviceCost(25));
+    XC_PROF_LEAF("guestos/semantic", serviceCost(25));
 
     switch (nr) {
       case NR_getpid:

@@ -145,8 +145,11 @@ class NativePort : public PlatformPort
         hw::Cycles extra = opts.packetExtra;
         if (opts.mech != nullptr && opts.packetExtra > 0)
             opts.mech->add(sim::Mech::VmExit, opts.packetExtra);
-        if (opts.containerNet)
+        if (opts.containerNet) {
             extra += c.natPerPacket + c.vethPerPacket;
+            XC_PROF_LEAF("guestos/nat_veth",
+                         c.natPerPacket + c.vethPerPacket);
+        }
         return extra;
     }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "guestos/kernel.h"
+#include "sim/profile.h"
+#include "sim/request_ctx.h"
 #include "sim/trace.h"
 
 namespace xc::guestos {
@@ -71,8 +73,15 @@ Connection::send(Endpoint *from, std::uint64_t bytes)
             extra = inj->param(fault::FaultKind::PacketDelay);
     }
     auto self = shared_from_this();
+    std::uint64_t fid = flight_;
     fabric.events().postAfter(
-        latency_ + extra, [self, to_b, bytes] {
+        latency_ + extra, [self, to_b, bytes, fid] {
+            // Flight recorder: the sampled request crossed the wire
+            // (endA is always the initiator, so to_b = request leg).
+            if (fid != 0)
+                sim::flight::mark(fid,
+                                  to_b ? "wire/request" : "wire/reply",
+                                  self->fabric.events().now());
             Endpoint *dst = to_b ? self->endB : self->endA;
             if (dst)
                 dst->deliverData(bytes);
@@ -144,21 +153,30 @@ TcpSock::rxWork(std::uint64_t bytes) const
     const auto &costs = kernel_.costs();
     std::uint64_t mss = kernel_.net().fabric()->config().mss;
     std::uint64_t packets = std::max<std::uint64_t>(1, (bytes + mss - 1) / mss);
+    hw::Cycles byte_cost = static_cast<hw::Cycles>(
+        costs.netPerByte * static_cast<double>(bytes));
     // Loopback traffic never touches the NIC path: no driver hop,
     // no hardware interrupt.
     if (loopback_) {
-        return packets * kernel_.serviceCost(costs.netstackPerPacket / 2) +
-               static_cast<hw::Cycles>(costs.netPerByte *
-                                       static_cast<double>(bytes));
+        hw::Cycles work =
+            packets * kernel_.serviceCost(costs.netstackPerPacket / 2) +
+            byte_cost;
+        XC_PROF_LEAF("guestos/net_rx", work);
+        return work;
     }
+    // Attribution frame: the platform's event-delivery and NIC-path
+    // mechanism charges below nest under guestos/net_rx; the plain
+    // netstack+softirq work is this frame's own cycles.
+    XC_PROF_SCOPE("guestos/net_rx");
+    hw::Cycles stack_per_packet =
+        kernel_.serviceCost(costs.netstackPerPacket) + costs.softirqEntry;
     // Interrupt coalescing: roughly one interrupt per four packets.
-    hw::Cycles per_packet =
-        kernel_.serviceCost(costs.netstackPerPacket) + costs.softirqEntry +
+    hw::Cycles platform_per_packet =
         kernel_.platform().eventDeliveryCost(costs) / 4 +
         kernel_.platform().netPathExtraPerPacket(costs, /*rx=*/true);
-    return packets * per_packet +
-           static_cast<hw::Cycles>(costs.netPerByte *
-                                   static_cast<double>(bytes));
+    XC_PROF_CYCLES(packets * stack_per_packet + byte_cost);
+    return packets * (stack_per_packet + platform_per_packet) +
+           byte_cost;
 }
 
 hw::Cycles
@@ -167,17 +185,23 @@ TcpSock::txWork(std::uint64_t bytes) const
     const auto &costs = kernel_.costs();
     std::uint64_t mss = kernel_.net().fabric()->config().mss;
     std::uint64_t packets = std::max<std::uint64_t>(1, (bytes + mss - 1) / mss);
+    hw::Cycles byte_cost = static_cast<hw::Cycles>(
+        costs.netPerByte * static_cast<double>(bytes));
     if (loopback_) {
-        return packets * kernel_.serviceCost(costs.netstackPerPacket / 2) +
-               static_cast<hw::Cycles>(costs.netPerByte *
-                                       static_cast<double>(bytes));
+        hw::Cycles work =
+            packets * kernel_.serviceCost(costs.netstackPerPacket / 2) +
+            byte_cost;
+        XC_PROF_LEAF("guestos/net_tx", work);
+        return work;
     }
-    hw::Cycles per_packet =
-        kernel_.serviceCost(costs.netstackPerPacket) +
+    XC_PROF_SCOPE("guestos/net_tx");
+    hw::Cycles stack_per_packet =
+        kernel_.serviceCost(costs.netstackPerPacket);
+    hw::Cycles platform_per_packet =
         kernel_.platform().netPathExtraPerPacket(costs, /*rx=*/false);
-    return packets * per_packet +
-           static_cast<hw::Cycles>(costs.netPerByte *
-                                   static_cast<double>(bytes));
+    XC_PROF_CYCLES(packets * stack_per_packet + byte_cost);
+    return packets * (stack_per_packet + platform_per_packet) +
+           byte_cost;
 }
 
 sim::Task<std::int64_t>
@@ -195,10 +219,15 @@ TcpSock::read(Thread &t, std::uint64_t n)
     // Consume the softirq work accumulated for this data.
     t.charge(pendingRxWork + kernel_.serviceCost(120));
     pendingRxWork = 0;
+    std::uint64_t fid = conn ? conn->flight() : 0;
     if (conn)
         conn->ack(this, got);
     readinessChanged();
     co_await t.flushCompute();
+    // Flight recorder: the request left the guest kernel's socket
+    // layer (rx softirq work charged) and is now in the app's hands.
+    if (fid != 0)
+        sim::flight::mark(fid, "guestos/sock_read", kernel_.now());
     co_return static_cast<std::int64_t>(got);
 }
 
@@ -218,6 +247,10 @@ TcpSock::write(Thread &t, std::uint64_t n)
             co_return -ERR_INTR;
     }
     unacked += n;
+    // Flight recorder: the application finished computing and is
+    // handing the reply to the kernel's tx path.
+    if (std::uint64_t fid = conn->flight())
+        sim::flight::mark(fid, "apps/reply", kernel_.now());
     t.charge(txWork(n));
     conn->send(this, n);
     co_await t.flushCompute();
@@ -393,9 +426,15 @@ TcpListener::accept(Thread &t)
     // Connection establishment: handshake processing (SYN + ACK
     // both cross the NIC path), socket + pcb allocation,
     // accept-queue bookkeeping.
-    t.charge(kernel_.serviceCost(2400) +
-             2 * kernel_.platform().netPathExtraPerPacket(
-                     kernel_.costs(), true));
+    {
+        XC_PROF_SCOPE("guestos/accept");
+        hw::Cycles cost =
+            kernel_.serviceCost(2400) +
+            2 * kernel_.platform().netPathExtraPerPacket(
+                    kernel_.costs(), true);
+        XC_PROF_CYCLES(kernel_.serviceCost(2400));
+        t.charge(cost);
+    }
     readinessChanged();
     co_await t.flushCompute();
     co_return sock;
@@ -467,6 +506,13 @@ WireClient::close()
 }
 
 void
+WireClient::setFlight(std::uint64_t id)
+{
+    if (conn)
+        conn->setFlight(id);
+}
+
+void
 WireClient::deliverData(std::uint64_t bytes)
 {
     // Data in flight when we closed is dropped, not delivered — a
@@ -474,6 +520,8 @@ WireClient::deliverData(std::uint64_t bytes)
     // (the load driver reuses its callbacks across reconnects).
     if (!conn)
         return;
+    if (std::uint64_t fid = conn->flight())
+        sim::flight::mark(fid, "client/recv", fabric.events().now());
     // Client machines ack instantly (their CPU is not the system
     // under test).
     conn->ack(this, bytes);

@@ -100,6 +100,12 @@ class Connection : public std::enable_shared_from_this<Connection>
     sim::Tick latency() const { return latency_; }
     Endpoint *peerOf(Endpoint *ep) const;
 
+    /** Flight-recorder request context riding this connection
+     *  (0 = not sampled). Set by the load driver, read by every
+     *  layer the request crosses. */
+    void setFlight(std::uint64_t id) { flight_ = id; }
+    std::uint64_t flight() const { return flight_; }
+
   private:
     NetFabric &fabric;
     Endpoint *endA;
@@ -107,6 +113,7 @@ class Connection : public std::enable_shared_from_this<Connection>
     sim::Tick latency_;
     std::uint64_t id_;      ///< fabric-assigned, for fault salts
     std::uint64_t seq_ = 0; ///< messages sent (fault salt component)
+    std::uint64_t flight_ = 0; ///< sampled-request context id
 };
 
 /** A connected TCP socket inside a guest kernel. */
@@ -220,6 +227,10 @@ class WireClient : public Endpoint
     void send(std::uint64_t bytes);
     void close();
     bool connected() const { return conn != nullptr; }
+
+    /** Stamp (or clear, id 0) the flight-recorder context on the
+     *  underlying connection. No-op while unconnected. */
+    void setFlight(std::uint64_t id);
 
     void deliverData(std::uint64_t bytes) override;
     void deliverAck(std::uint64_t bytes) override;

@@ -25,8 +25,12 @@ PipeEnd::read(Thread &t, std::uint64_t n)
     core_->buffered -= got;
     hw::Cycles copy = static_cast<hw::Cycles>(
         costs.copyPerByte * static_cast<double>(got));
-    kernel_.machine().mech().add(sim::Mech::RingCopy, copy);
     hw::Cycles work = kernel_.serviceCost(costs.pipeOp) + copy;
+    {
+        XC_PROF_SCOPE("guestos/pipe");
+        kernel_.machine().mech().add(sim::Mech::RingCopy, copy);
+        XC_PROF_CYCLES(work - copy);
+    }
     core_->writers.wakeAll();
     readinessChanged();
     if (core_->writeEnd)
@@ -59,8 +63,12 @@ PipeEnd::write(Thread &t, std::uint64_t n)
     core_->buffered += chunk;
     hw::Cycles copy = static_cast<hw::Cycles>(
         costs.copyPerByte * static_cast<double>(chunk));
-    kernel_.machine().mech().add(sim::Mech::RingCopy, copy);
     hw::Cycles work = kernel_.serviceCost(costs.pipeOp) + copy;
+    {
+        XC_PROF_SCOPE("guestos/pipe");
+        kernel_.machine().mech().add(sim::Mech::RingCopy, copy);
+        XC_PROF_CYCLES(work - copy);
+    }
     core_->readers.wakeAll();
     readinessChanged();
     if (core_->readEnd)

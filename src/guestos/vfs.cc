@@ -26,11 +26,15 @@ VfsFile::read(Thread &t, std::uint64_t n)
 
     hw::Cycles copy = static_cast<hw::Cycles>(
         costs.copyPerByte * static_cast<double>(got));
-    kernel_.machine().mech().add(sim::Mech::RingCopy, copy);
     hw::Cycles work = kernel_.serviceCost(costs.vfsOp) + copy;
     if (!inode_->cached) {
         work += costs.blockOp;
         inode_->cached = true;
+    }
+    {
+        XC_PROF_SCOPE("guestos/vfs");
+        kernel_.machine().mech().add(sim::Mech::RingCopy, copy);
+        XC_PROF_CYCLES(work - copy);
     }
     offset_ += got;
     co_await t.compute(work);
@@ -45,8 +49,12 @@ VfsFile::write(Thread &t, std::uint64_t n)
     const auto &costs = kernel_.costs();
     hw::Cycles copy = static_cast<hw::Cycles>(
         costs.copyPerByte * static_cast<double>(n));
-    kernel_.machine().mech().add(sim::Mech::RingCopy, copy);
     hw::Cycles work = kernel_.serviceCost(costs.vfsOp) + copy;
+    {
+        XC_PROF_SCOPE("guestos/vfs");
+        kernel_.machine().mech().add(sim::Mech::RingCopy, copy);
+        XC_PROF_CYCLES(work - copy);
+    }
     offset_ += n;
     if (offset_ > inode_->size)
         inode_->size = offset_;

@@ -58,7 +58,12 @@ CorePool::dispatch(int core)
 
     Cycles cost = config.switchCost + decisionCost();
     cpuOf(core).account(config.chargeClass, cost);
-    machine.mech().add(sim::Mech::ContextSwitch, cost);
+    {
+        // vCPU-level switch (hypervisor scheduler), distinct from
+        // the guest kernel's thread dispatch.
+        XC_PROF_SCOPE("hw/vcpu_switch");
+        machine.mech().add(sim::Mech::ContextSwitch, cost);
+    }
     sim::Tick when = machine.now() + machine.cyclesToTicks(cost);
     // Injected vCPU stall: the grant lands late, as if the host (or
     // outer hypervisor) preempted this core. Simulated time passes;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "sim/request_ctx.h"
+
 namespace xc::load {
 
 using guestos::WireClient;
@@ -20,6 +22,9 @@ struct ClosedLoopDriver::Conn
     /** Bumped whenever outstanding timeout events become stale. */
     std::uint64_t gen = 0;
     int machineId = 0;
+    /** Flight-recorder context for the in-flight request (0 = not
+     *  sampled). */
+    std::uint64_t flight = 0;
 };
 
 std::string
@@ -180,6 +185,11 @@ ClosedLoopDriver::sendAttempt(Conn &c)
     c.received = 0;
     c.inFlight = true;
     std::uint64_t gen = ++c.gen;
+    // Sample this request for the flight recorder if it is armed;
+    // the context id rides the connection through every layer.
+    if (c.flight == 0 && sim::flight::armed())
+        c.flight = sim::flight::begin(c.issuedAt);
+    c.wire->setFlight(c.flight);
     c.wire->send(spec.requestBytes);
     if (spec.requestTimeout > 0) {
         Conn *conn = &c;
@@ -204,6 +214,10 @@ ClosedLoopDriver::failAttempt(Conn &c)
 {
     c.inFlight = false;
     c.gen++; // invalidate any outstanding timeout event
+    if (c.flight != 0) {
+        sim::flight::fail(c.flight, fabric.events().now());
+        c.flight = 0;
+    }
     c.wire->close();
     bool retry = c.attempt < spec.retryBudget;
     if (retry)
@@ -226,6 +240,11 @@ ClosedLoopDriver::onResponse(Conn &c, std::uint64_t bytes)
 
     c.inFlight = false;
     c.gen++; // timeout no longer applies
+    if (c.flight != 0) {
+        sim::flight::complete(c.flight, fabric.events().now());
+        c.wire->setFlight(0);
+        c.flight = 0;
+    }
     if (c.attempt > 0)
         ++errors_.retries; // failed at least once, then succeeded
     ++completed_;

@@ -3,6 +3,7 @@
 #include "apps/images.h"
 #include "guestos/sys.h"
 #include "guestos/vfs.h"
+#include "sim/timeseries.h"
 
 namespace xc::load {
 
@@ -187,9 +188,45 @@ runKind(Thread &t, MicroKind kind, MicroRun *run)
 
 } // namespace
 
+/** Register the standard micro-benchmark probes on @p series. */
+static void
+addMicroProbes(sim::TimeSeries &series, hw::Machine &machine,
+               guestos::GuestKernel &kernel,
+               const std::shared_ptr<MicroRun> &run)
+{
+    using Kind = sim::TimeSeries::Kind;
+    series.addProbe("ops", Kind::Delta, [run] {
+        return static_cast<double>(run->ops);
+    });
+    guestos::GuestKernel *k = &kernel;
+    series.addProbe("runq", Kind::Level, [k] {
+        return static_cast<double>(k->runQueueLength());
+    });
+    hw::Machine *m = &machine;
+    series.addProbe("busy_cycles", Kind::Delta, [m] {
+        double busy = 0;
+        for (int i = 0; i < m->numCpus(); ++i) {
+            hw::Cpu &cpu = m->cpu(i);
+            busy += static_cast<double>(
+                cpu.cyclesIn(hw::CycleClass::User) +
+                cpu.cyclesIn(hw::CycleClass::Kernel) +
+                cpu.cyclesIn(hw::CycleClass::Hypervisor));
+        }
+        return busy;
+    });
+    for (int i = 0; i < sim::kMechCount; ++i) {
+        auto mech = static_cast<sim::Mech>(i);
+        series.addProbe(
+            std::string(sim::mechName(mech)) + "_cycles", Kind::Delta,
+            [m, mech] {
+                return static_cast<double>(m->mech().cyclesOf(mech));
+            });
+    }
+}
+
 MicroResult
 runMicro(runtimes::Runtime &rt, MicroKind kind, sim::Tick duration,
-         int copies)
+         int copies, sim::TimeSeries *series)
 {
     runtimes::ContainerOpts copts;
     copts.name = std::string("ub-") + microKindName(kind);
@@ -224,9 +261,16 @@ runMicro(runtimes::Runtime &rt, MicroKind kind, sim::Tick duration,
                            std::move(body));
     }
 
+    if (series != nullptr) {
+        addMicroProbes(*series, rt.machine(), kernel, run);
+        series->start();
+    }
+
     sim::MechSnapshot before = rt.machine().mech().snapshot();
     rt.machine().events().runUntil(run->deadline +
                                    200 * sim::kTicksPerMs);
+    if (series != nullptr)
+        series->stop();
 
     MicroResult result;
     result.ops = run->ops;

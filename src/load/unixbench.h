@@ -20,6 +20,10 @@
 #include "runtimes/runtime.h"
 #include "sim/mech_counters.h"
 
+namespace xc::sim {
+class TimeSeries;
+}
+
 namespace xc::load {
 
 enum class MicroKind {
@@ -51,10 +55,15 @@ struct MicroResult
 /**
  * Run @p kind inside a fresh container on @p rt for @p duration of
  * simulated time with @p copies concurrent benchmark processes.
+ *
+ * When @p series is non-null, standard probes (completed ops, run
+ * queue depth, busy cycles, per-mechanism cycles) are registered on
+ * it and sampling runs for the duration of the benchmark.
  */
 MicroResult runMicro(runtimes::Runtime &rt, MicroKind kind,
                      sim::Tick duration = 300 * sim::kTicksPerMs,
-                     int copies = 1);
+                     int copies = 1,
+                     sim::TimeSeries *series = nullptr);
 
 } // namespace xc::load
 

@@ -121,8 +121,10 @@ class GvisorPort : public guestos::PlatformPort
     {
         // Packets traverse the host stack *and* the Sentry's
         // user-space netstack, with a host boundary crossing.
-        return c.netstackPerPacket + c.natPerPacket +
-               c.vethPerPacket + 1400;
+        hw::Cycles cost = c.netstackPerPacket + c.natPerPacket +
+                          c.vethPerPacket + 1400;
+        XC_PROF_LEAF("gvisor/netstack", cost);
+        return cost;
     }
 
     const GvisorSyscallEnv &gvisorEnv() const { return env; }

@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/profile.h"
+
 namespace xc::sim {
 
 /** Every mechanism class the simulator charges cycles for. */
@@ -85,12 +87,17 @@ std::string renderMechJson(const MechSnapshot &snap);
 class MechanismCounters
 {
   public:
-    /** Record @p n executions of @p m costing @p cycles in total. */
+    /** Record @p n executions of @p m costing @p cycles in total.
+     *  Doubles as the profiler's chokepoint: when attribution is on,
+     *  the same charge lands as a leaf frame under the innermost
+     *  open ProfileScope. */
     void
     add(Mech m, std::uint64_t cycles, std::uint64_t n = 1)
     {
         snap_.counts[static_cast<int>(m)] += n;
         snap_.cycles[static_cast<int>(m)] += cycles;
+        if (prof::enabled())
+            prof::chargeMech(static_cast<int>(m), cycles, n);
     }
 
     std::uint64_t

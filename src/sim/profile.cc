@@ -1,0 +1,421 @@
+#include "sim/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "sim/mech_counters.h"
+
+namespace xc::sim::prof {
+
+namespace detail {
+bool g_on = false;
+} // namespace detail
+
+namespace {
+
+/**
+ * Fixed "layer/operation" frame for each sim::Mech, indexed by
+ * static_cast<int>(Mech). The "xen/" prefix names the privilege-
+ * transition layer generically: for Docker that boundary is the
+ * host kernel trap, for PV/X-Container guests it is Xen — the frame
+ * name stays the same so attribution trees are comparable across
+ * runtimes (the paper's headline is exactly that X-Containers leave
+ * these frames empty).
+ */
+constexpr const char *kMechFrame[] = {
+    "xen/syscall_trap",       // Mech::SyscallTrap
+    "libos/patched_call",     // Mech::PatchedCall
+    "xen/hypercall",          // Mech::Hypercall
+    "xen/vmexit",             // Mech::VmExit
+    "hw/tlb_flush",           // Mech::TlbFlush
+    "xen/pt_validation",      // Mech::PtValidation
+    "guestos/context_switch", // Mech::ContextSwitch
+    "xen/evtchn_notify",      // Mech::EvtchnNotify
+    "gvisor/ptrace_hop",      // Mech::PtraceHop
+    "guestos/ring_copy",      // Mech::RingCopy
+};
+
+static_assert(sizeof kMechFrame / sizeof kMechFrame[0] == kMechCount,
+              "one frame name per Mech");
+
+/** One frame in an attribution tree. Children are looked up
+ *  linearly: fan-out per frame is small (a handful of mechanisms
+ *  and sub-operations), and insertion order is deterministic. */
+struct Node
+{
+    int name = -1; // index into g_names
+    std::uint64_t cycles = 0;
+    std::uint64_t count = 0;
+    std::vector<int> children; // node indices, insertion order
+};
+
+struct Tree
+{
+    std::string label;
+    std::vector<Node> nodes; // nodes[0] is the unnamed root
+};
+
+std::vector<std::string> g_names;
+std::vector<Tree> g_trees;
+int g_tree = -1;        // current tree index, -1 = none yet
+std::vector<int> g_stack; // open frames (node indices, current tree)
+
+int
+internName(const char *name)
+{
+    for (std::size_t i = 0; i < g_names.size(); ++i)
+        if (g_names[i] == name)
+            return static_cast<int>(i);
+    g_names.emplace_back(name);
+    return static_cast<int>(g_names.size()) - 1;
+}
+
+/** The tree frames record into; created lazily so charges fired
+ *  before any beginTree() still land somewhere visible. */
+Tree &
+currentTree()
+{
+    if (g_tree < 0) {
+        g_trees.push_back(Tree{"(unlabeled)", {Node{}}});
+        g_tree = static_cast<int>(g_trees.size()) - 1;
+    }
+    return g_trees[static_cast<std::size_t>(g_tree)];
+}
+
+int
+currentFrame()
+{
+    return g_stack.empty() ? 0 : g_stack.back();
+}
+
+int
+childNamed(Tree &tree, int parent, int name)
+{
+    Node &p = tree.nodes[static_cast<std::size_t>(parent)];
+    for (int c : p.children)
+        if (tree.nodes[static_cast<std::size_t>(c)].name == name)
+            return c;
+    int idx = static_cast<int>(tree.nodes.size());
+    Node child;
+    child.name = name;
+    tree.nodes.push_back(child);
+    // Re-fetch: push_back may have reallocated nodes.
+    tree.nodes[static_cast<std::size_t>(parent)].children.push_back(
+        idx);
+    return idx;
+}
+
+const Tree *
+findTree(const std::string &label)
+{
+    for (const Tree &t : g_trees)
+        if (t.label == label)
+            return &t;
+    return nullptr;
+}
+
+std::uint64_t
+subtreeCycles(const Tree &tree, int node)
+{
+    const Node &n = tree.nodes[static_cast<std::size_t>(node)];
+    std::uint64_t total = n.cycles;
+    for (int c : n.children)
+        total += subtreeCycles(tree, c);
+    return total;
+}
+
+std::uint64_t
+cyclesMatching(const Tree &tree, int node, int name)
+{
+    const Node &n = tree.nodes[static_cast<std::size_t>(node)];
+    if (n.name == name)
+        return subtreeCycles(tree, node);
+    std::uint64_t total = 0;
+    for (int c : n.children)
+        total += cyclesMatching(tree, c, name);
+    return total;
+}
+
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char ch : s) {
+        switch (ch) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(v));
+    out += buf;
+}
+
+/** Children of @p node sorted by frame name (export order). */
+std::vector<int>
+sortedChildren(const Tree &tree, int node)
+{
+    std::vector<int> kids =
+        tree.nodes[static_cast<std::size_t>(node)].children;
+    std::sort(kids.begin(), kids.end(), [&tree](int a, int b) {
+        return g_names[static_cast<std::size_t>(
+                   tree.nodes[static_cast<std::size_t>(a)].name)] <
+               g_names[static_cast<std::size_t>(
+                   tree.nodes[static_cast<std::size_t>(b)].name)];
+    });
+    return kids;
+}
+
+void
+appendNodeJson(std::string &out, const Tree &tree, int node)
+{
+    const Node &n = tree.nodes[static_cast<std::size_t>(node)];
+    out += "{\"name\":";
+    appendJsonString(out, g_names[static_cast<std::size_t>(n.name)]);
+    out += ",\"cycles\":";
+    appendU64(out, n.cycles);
+    out += ",\"count\":";
+    appendU64(out, n.count);
+    out += ",\"total_cycles\":";
+    appendU64(out, subtreeCycles(tree, node));
+    std::vector<int> kids = sortedChildren(tree, node);
+    if (!kids.empty()) {
+        out += ",\"children\":[";
+        for (std::size_t i = 0; i < kids.size(); ++i) {
+            if (i)
+                out += ',';
+            appendNodeJson(out, tree, kids[i]);
+        }
+        out += ']';
+    }
+    out += '}';
+}
+
+void
+appendCollapsed(std::string &out, const Tree &tree, int node,
+                std::string prefix)
+{
+    const Node &n = tree.nodes[static_cast<std::size_t>(node)];
+    if (node != 0) {
+        if (!prefix.empty())
+            prefix += ';';
+        prefix += g_names[static_cast<std::size_t>(n.name)];
+        if (n.cycles > 0) {
+            out += prefix;
+            out += ' ';
+            appendU64(out, n.cycles);
+            out += '\n';
+        }
+    }
+    for (int c : sortedChildren(tree, node))
+        appendCollapsed(out, tree, c, prefix);
+}
+
+bool
+saveText(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+} // namespace
+
+void
+enable()
+{
+    clear();
+    detail::g_on = true;
+}
+
+void
+disable()
+{
+    detail::g_on = false;
+    g_stack.clear();
+}
+
+void
+clear()
+{
+    detail::g_on = false;
+    g_trees.clear();
+    g_names.clear();
+    g_stack.clear();
+    g_tree = -1;
+}
+
+void
+beginTree(const std::string &label)
+{
+    if (!enabled())
+        return;
+    g_stack.clear();
+    for (std::size_t i = 0; i < g_trees.size(); ++i) {
+        if (g_trees[i].label == label) {
+            g_tree = static_cast<int>(i);
+            return;
+        }
+    }
+    g_trees.push_back(Tree{label, {Node{}}});
+    g_tree = static_cast<int>(g_trees.size()) - 1;
+}
+
+void
+push(const char *name)
+{
+    Tree &tree = currentTree();
+    g_stack.push_back(
+        childNamed(tree, currentFrame(), internName(name)));
+}
+
+void
+pop()
+{
+    if (!g_stack.empty())
+        g_stack.pop_back();
+}
+
+void
+addCycles(std::uint64_t cycles, std::uint64_t count)
+{
+    Node &n = currentTree()
+                  .nodes[static_cast<std::size_t>(currentFrame())];
+    n.cycles += cycles;
+    n.count += count;
+}
+
+void
+addLeaf(const char *name, std::uint64_t cycles, std::uint64_t count)
+{
+    Tree &tree = currentTree();
+    Node &n = tree.nodes[static_cast<std::size_t>(
+        childNamed(tree, currentFrame(), internName(name)))];
+    n.cycles += cycles;
+    n.count += count;
+}
+
+void
+chargeMech(int mech_index, std::uint64_t cycles, std::uint64_t n)
+{
+    if (mech_index < 0 || mech_index >= kMechCount)
+        return;
+    addLeaf(kMechFrame[mech_index], cycles, n);
+}
+
+const char *
+mechFrameName(int mech_index)
+{
+    if (mech_index < 0 || mech_index >= kMechCount)
+        return "";
+    return kMechFrame[mech_index];
+}
+
+std::size_t
+treeCount()
+{
+    return g_trees.size();
+}
+
+std::uint64_t
+totalCycles(const std::string &tree_label)
+{
+    const Tree *t = findTree(tree_label);
+    return t ? subtreeCycles(*t, 0) : 0;
+}
+
+std::uint64_t
+cyclesUnder(const std::string &tree_label, const std::string &frame)
+{
+    const Tree *t = findTree(tree_label);
+    if (!t)
+        return 0;
+    int name = -1;
+    for (std::size_t i = 0; i < g_names.size(); ++i)
+        if (g_names[i] == frame)
+            name = static_cast<int>(i);
+    if (name < 0)
+        return 0;
+    return cyclesMatching(*t, 0, name);
+}
+
+std::string
+exportJson()
+{
+    std::string out = "{\"trees\":[";
+    for (std::size_t t = 0; t < g_trees.size(); ++t) {
+        const Tree &tree = g_trees[t];
+        if (t)
+            out += ',';
+        out += "\n{\"label\":";
+        appendJsonString(out, tree.label);
+        out += ",\"total_cycles\":";
+        appendU64(out, subtreeCycles(tree, 0));
+        out += ",\"frames\":[";
+        std::vector<int> kids = sortedChildren(tree, 0);
+        for (std::size_t i = 0; i < kids.size(); ++i) {
+            if (i)
+                out += ',';
+            appendNodeJson(out, tree, kids[i]);
+        }
+        out += "]}";
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+std::string
+exportCollapsed()
+{
+    std::string out;
+    for (const Tree &tree : g_trees) {
+        std::string label = tree.label;
+        // flamegraph.pl splits frames on ';' — keep labels clean.
+        std::replace(label.begin(), label.end(), ';', ',');
+        appendCollapsed(out, tree, 0, label);
+    }
+    return out;
+}
+
+bool
+saveJson(const std::string &path)
+{
+    return saveText(path, exportJson());
+}
+
+bool
+saveCollapsed(const std::string &path)
+{
+    return saveText(path, exportCollapsed());
+}
+
+} // namespace xc::sim::prof

@@ -1,0 +1,182 @@
+#ifndef XC_SIM_PROFILE_H
+#define XC_SIM_PROFILE_H
+
+/**
+ * @file
+ * Cycle-attribution profiler: a hierarchical frame stack that
+ * records where the cost model's cycles went, per named run.
+ *
+ * Every mechanism charge (sim::MechanismCounters::add) lands as a
+ * leaf frame under the innermost open ProfileScope; layers can also
+ * attribute non-mechanism work explicitly with XC_PROF_CYCLES. The
+ * result is one attribution tree per (machine, runtime) run — begin
+ * one with beginTree() — exportable as a JSON summary and as
+ * collapsed-stack lines for FlameGraph/speedscope.
+ *
+ * Frame names follow a "layer/operation" convention: the layer
+ * prefix names where the cycles are spent (xen = privilege
+ * transitions through the hypervisor/host boundary, guestos = guest
+ * kernel work, libos = the X-LibOS fast path, gvisor = the Sentry,
+ * hw = hardware refills, apps = application handlers).
+ *
+ * Discipline mirrors XC_TRACE: disabled, every entry point is one
+ * branch and allocation-free; enabled, attribution never charges
+ * cycles or perturbs the simulation. Scopes are RAII over
+ * *synchronous* code only — never hold one across a co_await (the
+ * event loop would interleave other work under your frame).
+ *
+ *   prof::enable();
+ *   prof::beginTree("Amazon EC2/docker");
+ *   ... run ...
+ *   prof::saveJson("profile.json");
+ *   prof::saveCollapsed("profile.json.collapsed");
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace xc::sim::prof {
+
+namespace detail {
+extern bool g_on;
+} // namespace detail
+
+/** True while the profiler is recording (the one-branch gate). */
+inline bool
+enabled()
+{
+    return detail::g_on;
+}
+
+/** Clear all trees and start recording. */
+void enable();
+
+/** Stop recording; trees remain available for export/queries. */
+void disable();
+
+/** Discard every tree and reset to the disabled state. */
+void clear();
+
+/**
+ * Select (creating on first use) the attribution tree that
+ * subsequent frames and charges record into. Typically one tree per
+ * (cloud, runtime) bench run. No-op when disabled.
+ */
+void beginTree(const std::string &label);
+
+/** Open a frame named @p name under the current frame. Prefer
+ *  XC_PROF_SCOPE; push/pop must nest strictly. */
+void push(const char *name);
+void pop();
+
+/** Attribute @p cycles (and @p count occurrences) to the current
+ *  frame of the current tree. */
+void addCycles(std::uint64_t cycles, std::uint64_t count = 1);
+
+/** Attribute to a leaf child named @p name of the current frame
+ *  (one-shot scope: push + add + pop). */
+void addLeaf(const char *name, std::uint64_t cycles,
+             std::uint64_t count = 1);
+
+/**
+ * Mechanism hook (called by MechanismCounters::add): attribute to
+ * the mechanism's fixed "layer/operation" leaf frame.
+ * @p mech_index is static_cast<int>(sim::Mech).
+ */
+void chargeMech(int mech_index, std::uint64_t cycles,
+                std::uint64_t n);
+
+/** The frame name chargeMech uses for @p mech_index. */
+const char *mechFrameName(int mech_index);
+
+// ----- queries (tests, reports) ---------------------------------
+
+/** Number of trees recorded. */
+std::size_t treeCount();
+
+/** Total cycles attributed anywhere in the labeled tree (0 if the
+ *  tree does not exist). */
+std::uint64_t totalCycles(const std::string &tree_label);
+
+/** Cycles attributed to frames named @p frame (including their
+ *  descendants) within the labeled tree. */
+std::uint64_t cyclesUnder(const std::string &tree_label,
+                          const std::string &frame);
+
+// ----- export ---------------------------------------------------
+
+/**
+ * All trees as one JSON document. Deterministic: children are
+ * sorted by frame name, trees appear in beginTree() order, and all
+ * quantities are integers — same simulation, byte-identical output
+ * (golden-digest friendly).
+ */
+std::string exportJson();
+
+/**
+ * Collapsed-stack format (flamegraph.pl / speedscope): one line per
+ * frame with attributed cycles, "label;frame;frame cycles".
+ */
+std::string exportCollapsed();
+
+/** Write exportJson()/exportCollapsed() to @p path; false on I/O
+ *  failure. */
+bool saveJson(const std::string &path);
+bool saveCollapsed(const std::string &path);
+
+/**
+ * RAII frame over a synchronous region. Inactive (no push, no
+ * allocation) when the profiler is disabled at entry. Do NOT hold
+ * across co_await.
+ */
+class Scope
+{
+  public:
+    explicit Scope(const char *name)
+    {
+        if (enabled()) {
+            push(name);
+            active_ = true;
+        }
+    }
+
+    ~Scope()
+    {
+        if (active_)
+            pop();
+    }
+
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    bool active_ = false;
+};
+
+} // namespace xc::sim::prof
+
+#define XC_PROF_CAT2_(a, b) a##b
+#define XC_PROF_CAT_(a, b) XC_PROF_CAT2_(a, b)
+
+/** Scoped attribution frame (statement; names a hidden local). */
+#define XC_PROF_SCOPE(name)                                             \
+    ::xc::sim::prof::Scope XC_PROF_CAT_(xc_prof_scope_, __LINE__)       \
+    {                                                                   \
+        (name)                                                          \
+    }
+
+/** Attribute cycles to the current frame (one branch when off). */
+#define XC_PROF_CYCLES(cycles)                                          \
+    do {                                                                \
+        if (::xc::sim::prof::enabled())                                 \
+            ::xc::sim::prof::addCycles((cycles));                       \
+    } while (0)
+
+/** Attribute cycles to a leaf child of the current frame. */
+#define XC_PROF_LEAF(name, cycles)                                      \
+    do {                                                                \
+        if (::xc::sim::prof::enabled())                                 \
+            ::xc::sim::prof::addLeaf((name), (cycles));                 \
+    } while (0)
+
+#endif // XC_SIM_PROFILE_H

@@ -1,0 +1,314 @@
+#ifndef XC_SIM_REQUEST_CTX_H
+#define XC_SIM_REQUEST_CTX_H
+
+/**
+ * @file
+ * Per-request flight recorder: Dapper-style end-to-end timelines
+ * over simulated time.
+ *
+ * The load driver mints a request-context id for each sampled
+ * request (flight::begin); the id rides along with the request —
+ * stamped onto the guestos::Connection carrying it — and each layer
+ * it crosses appends a timestamped hop (flight::mark): client send,
+ * wire delivery, guest-kernel socket read, application reply, wire
+ * reply, client receive. When the response lands, flight::complete
+ * closes the record.
+ *
+ * Hops telescope: consecutive timestamps partition [begin, end], so
+ * the per-hop durations sum to the measured end-to-end latency
+ * *exactly* — the timeline is an attribution of the latency, not an
+ * approximation of it. The critical path is the longest segment.
+ *
+ * Arm with flight::arm(n) to record the next n requests; an id of 0
+ * means "not sampled" and every entry point is one branch in that
+ * case. Like the profiler, recording never charges cycles or
+ * perturbs the simulation.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace xc::sim::flight {
+
+/** One boundary crossing: the request reached @p where at @p at. */
+struct Hop
+{
+    const char *where;
+    Tick at;
+};
+
+/** One sampled request's end-to-end timeline. */
+struct Record
+{
+    std::uint64_t id = 0;
+    std::string label; ///< run label ("fig3/EC2/docker/nginx")
+    Tick begin = 0;
+    Tick end = 0;
+    bool complete = false;
+    bool failed = false;
+    /** Ticks-per-cycle of the serving machine (0 = unknown), for
+     *  rendering hop durations as cycles. */
+    double ticksPerCycle = 0.0;
+    std::vector<Hop> hops; ///< in time order; hops[0] is the mint
+
+    Tick
+    duration() const
+    {
+        return end - begin;
+    }
+
+    /**
+     * Sum of the per-hop segment durations. Telescopes to
+     * duration() by construction; asserted (within 1 tick) by the
+     * flight tests as the recorder's core invariant.
+     */
+    Tick
+    hopSum() const
+    {
+        if (hops.empty())
+            return duration();
+        Tick total = hops.front().at - begin;
+        for (std::size_t i = 1; i < hops.size(); ++i)
+            total += hops[i].at - hops[i - 1].at;
+        total += end - hops.back().at;
+        return total;
+    }
+
+    /** Index of the longest segment — the critical-path hop. The
+     *  segment ending at hops[i] starts at the previous hop (or
+     *  begin); index hops.size() means the final segment into
+     *  completion. */
+    std::size_t
+    criticalHop() const
+    {
+        std::size_t best = 0;
+        Tick bestDur = 0;
+        Tick prev = begin;
+        for (std::size_t i = 0; i < hops.size(); ++i) {
+            Tick d = hops[i].at - prev;
+            if (d > bestDur) {
+                bestDur = d;
+                best = i;
+            }
+            prev = hops[i].at;
+        }
+        if (end - prev > bestDur)
+            best = hops.size();
+        return best;
+    }
+};
+
+namespace detail {
+inline bool g_armed = false;
+inline int g_budget = 0;
+inline std::uint64_t g_next = 1;
+inline std::string g_label;
+inline double g_ticksPerCycle = 0.0;
+inline std::vector<Record> g_records;
+
+inline Record *
+find(std::uint64_t id)
+{
+    if (id == 0)
+        return nullptr;
+    // Newest first: marks target recently minted records.
+    for (std::size_t i = g_records.size(); i-- > 0;)
+        if (g_records[i].id == id)
+            return &g_records[i];
+    return nullptr;
+}
+} // namespace detail
+
+/** Record the next @p n requests under @p label. @p ticks_per_cycle
+ *  converts hop durations to cycles when rendering (pass the
+ *  machine spec's periodTicks()). */
+inline void
+arm(int n, std::string label = "", double ticks_per_cycle = 0.0)
+{
+    detail::g_budget = n;
+    detail::g_armed = n > 0;
+    detail::g_label = std::move(label);
+    detail::g_ticksPerCycle = ticks_per_cycle;
+}
+
+/** True while there is sampling budget left. */
+inline bool
+armed()
+{
+    return detail::g_armed && detail::g_budget > 0;
+}
+
+/** Drop all records and disarm. */
+inline void
+clear()
+{
+    detail::g_armed = false;
+    detail::g_budget = 0;
+    detail::g_next = 1;
+    detail::g_label.clear();
+    detail::g_ticksPerCycle = 0.0;
+    detail::g_records.clear();
+}
+
+/**
+ * Mint a request-context id at send time (driver only). Returns 0 —
+ * "not sampled" — when the recorder is disarmed or out of budget.
+ */
+inline std::uint64_t
+begin(Tick now)
+{
+    if (!armed())
+        return 0;
+    --detail::g_budget;
+    Record r;
+    r.id = detail::g_next++;
+    r.label = detail::g_label;
+    r.begin = now;
+    r.ticksPerCycle = detail::g_ticksPerCycle;
+    r.hops.push_back(Hop{"client/send", now});
+    detail::g_records.push_back(std::move(r));
+    return detail::g_records.back().id;
+}
+
+/** Append a hop to an open record; no-op for id 0 (the fast path). */
+inline void
+mark(std::uint64_t id, const char *where, Tick now)
+{
+    if (id == 0)
+        return;
+    Record *r = detail::find(id);
+    if (r && !r->complete && !r->failed)
+        r->hops.push_back(Hop{where, now});
+}
+
+/** Close a record: the response fully arrived at @p now. */
+inline void
+complete(std::uint64_t id, Tick now)
+{
+    Record *r = detail::find(id);
+    if (r && !r->complete && !r->failed) {
+        r->end = now;
+        r->complete = true;
+    }
+}
+
+/** Close a record as failed (timeout, reset, crash). */
+inline void
+fail(std::uint64_t id, Tick now)
+{
+    Record *r = detail::find(id);
+    if (r && !r->complete && !r->failed) {
+        r->end = now;
+        r->failed = true;
+    }
+}
+
+inline const std::vector<Record> &
+records()
+{
+    return detail::g_records;
+}
+
+inline std::size_t
+completeCount()
+{
+    std::size_t n = 0;
+    for (const Record &r : detail::g_records)
+        n += r.complete ? 1 : 0;
+    return n;
+}
+
+/** Render one record as a human-readable timeline table. */
+inline std::string
+renderTimeline(const Record &r)
+{
+    char buf[192];
+    std::string out;
+    std::snprintf(buf, sizeof buf,
+                  "flight #%llu [%s] %s  total %.3f us\n",
+                  static_cast<unsigned long long>(r.id),
+                  r.label.c_str(),
+                  r.failed ? "FAILED" : "complete",
+                  static_cast<double>(r.duration()) /
+                      static_cast<double>(kTicksPerUs));
+    out += buf;
+    std::size_t critical = r.criticalHop();
+    Tick prev = r.begin;
+    for (std::size_t i = 0; i <= r.hops.size(); ++i) {
+        const char *where =
+            i < r.hops.size() ? r.hops[i].where
+                              : (r.failed ? "client/fail"
+                                          : "client/complete");
+        Tick at = i < r.hops.size() ? r.hops[i].at : r.end;
+        double us = static_cast<double>(at - prev) /
+                    static_cast<double>(kTicksPerUs);
+        if (r.ticksPerCycle > 0) {
+            std::snprintf(buf, sizeof buf,
+                          "  %-20s +%10.3f us  %12.0f cycles%s\n",
+                          where, us,
+                          static_cast<double>(at - prev) /
+                              r.ticksPerCycle,
+                          i == critical ? "  <-- critical path" : "");
+        } else {
+            std::snprintf(buf, sizeof buf, "  %-20s +%10.3f us%s\n",
+                          where, us,
+                          i == critical ? "  <-- critical path" : "");
+        }
+        out += buf;
+        prev = at;
+    }
+    return out;
+}
+
+/** Render every record (bench --flight output). */
+inline std::string
+renderAll()
+{
+    std::string out;
+    for (const Record &r : detail::g_records)
+        out += renderTimeline(r);
+    return out;
+}
+
+/** All records as a JSON array (stable key order, integer ticks). */
+inline std::string
+exportJson()
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < detail::g_records.size(); ++i) {
+        const Record &r = detail::g_records[i];
+        char buf[160];
+        if (i)
+            out += ',';
+        std::snprintf(
+            buf, sizeof buf,
+            "\n{\"id\":%llu,\"begin\":%llu,\"end\":%llu,"
+            "\"complete\":%s,\"failed\":%s,\"hops\":[",
+            static_cast<unsigned long long>(r.id),
+            static_cast<unsigned long long>(r.begin),
+            static_cast<unsigned long long>(r.end),
+            r.complete ? "true" : "false",
+            r.failed ? "true" : "false");
+        out += buf;
+        for (std::size_t h = 0; h < r.hops.size(); ++h) {
+            std::snprintf(buf, sizeof buf,
+                          "%s{\"where\":\"%s\",\"at\":%llu}",
+                          h ? "," : "", r.hops[h].where,
+                          static_cast<unsigned long long>(
+                              r.hops[h].at));
+            out += buf;
+        }
+        out += "]}";
+    }
+    out += "\n]\n";
+    return out;
+}
+
+} // namespace xc::sim::flight
+
+#endif // XC_SIM_REQUEST_CTX_H

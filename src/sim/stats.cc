@@ -29,74 +29,153 @@ Gauge::render() const
     return os.str();
 }
 
-void
-Distribution::sample(double v)
+int
+Distribution::bucketOf(double v)
 {
-    samples.push_back(v);
-    sorted = false;
+    if (!(v > 0.0))
+        return 0;
+    int exp = 0;
+    double mant = std::frexp(v, &exp); // mant in [0.5, 1)
+    if (exp < -kExpRange)
+        return 0;
+    if (exp >= kExpRange)
+        return kBucketCount - 1;
+    int sub = static_cast<int>((mant - 0.5) * 2.0 * kSubBuckets);
+    sub = std::min(sub, kSubBuckets - 1);
+    return 1 + (exp + kExpRange) * kSubBuckets + sub;
+}
+
+double
+Distribution::bucketLo(int b)
+{
+    if (b <= 0)
+        return 0.0;
+    int idx = b - 1;
+    int exp = idx / kSubBuckets - kExpRange;
+    int sub = idx % kSubBuckets;
+    double mant =
+        0.5 + 0.5 * static_cast<double>(sub) / kSubBuckets;
+    return std::ldexp(mant, exp);
+}
+
+double
+Distribution::bucketWidth(int b)
+{
+    if (b <= 0)
+        return 0.0;
+    int exp = (b - 1) / kSubBuckets - kExpRange;
+    return std::ldexp(0.5 / kSubBuckets, exp);
 }
 
 void
-Distribution::ensureSorted() const
+Distribution::sample(double v)
 {
-    if (!sorted) {
-        std::sort(samples.begin(), samples.end());
-        sorted = true;
+    if (buckets_.empty())
+        buckets_.assign(kBucketCount, 0);
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
     }
+    ++count_;
+    sum_ += v;
+    sumSq_ += v * v;
+    ++buckets_[static_cast<std::size_t>(bucketOf(v))];
+}
+
+void
+Distribution::merge(const Distribution &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (buckets_.empty())
+        buckets_.assign(kBucketCount, 0);
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    sumSq_ += other.sumSq_;
+    for (int b = 0; b < kBucketCount; ++b)
+        buckets_[static_cast<std::size_t>(b)] +=
+            other.buckets_[static_cast<std::size_t>(b)];
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    sumSq_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+    buckets_.clear();
 }
 
 double
 Distribution::mean() const
 {
-    if (samples.empty())
+    if (count_ == 0)
         return 0.0;
-    double sum = 0.0;
-    for (double v : samples)
-        sum += v;
-    return sum / static_cast<double>(samples.size());
+    return sum_ / static_cast<double>(count_);
 }
 
 double
 Distribution::stddev() const
 {
-    if (samples.size() < 2)
+    if (count_ < 2)
         return 0.0;
     double m = mean();
-    double acc = 0.0;
-    for (double v : samples)
-        acc += (v - m) * (v - m);
-    return std::sqrt(acc / static_cast<double>(samples.size() - 1));
+    double var = (sumSq_ - static_cast<double>(count_) * m * m) /
+                 static_cast<double>(count_ - 1);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
 }
 
 double
 Distribution::min() const
 {
-    ensureSorted();
-    return samples.empty() ? 0.0 : samples.front();
+    return count_ == 0 ? 0.0 : min_;
 }
 
 double
 Distribution::max() const
 {
-    ensureSorted();
-    return samples.empty() ? 0.0 : samples.back();
+    return count_ == 0 ? 0.0 : max_;
 }
 
 double
 Distribution::percentile(double p) const
 {
-    if (samples.empty())
+    if (count_ == 0)
         return 0.0;
     XC_ASSERT(p >= 0.0 && p <= 100.0);
-    ensureSorted();
-    if (samples.size() == 1)
-        return samples[0];
-    // Linear interpolation between closest ranks.
-    double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
-    std::size_t lo = static_cast<std::size_t>(rank);
-    std::size_t hi = std::min(lo + 1, samples.size() - 1);
-    double frac = rank - static_cast<double>(lo);
-    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+    if (count_ == 1 || p <= 0.0)
+        return min_;
+    if (p >= 100.0)
+        return max_;
+    // Same closest-rank definition the exact path used, evaluated
+    // over buckets: the sample at fractional rank r is approximated
+    // by its covering bucket, linearly interpolated by position.
+    double rank = p / 100.0 * static_cast<double>(count_ - 1);
+    std::uint64_t before = 0;
+    for (int b = 0; b < kBucketCount; ++b) {
+        std::uint64_t n = buckets_[static_cast<std::size_t>(b)];
+        if (n == 0)
+            continue;
+        if (rank < static_cast<double>(before + n)) {
+            double pos = (rank - static_cast<double>(before) + 0.5) /
+                         static_cast<double>(n);
+            double v = bucketLo(b) + bucketWidth(b) * pos;
+            return std::min(std::max(v, min_), max_);
+        }
+        before += n;
+    }
+    return max_;
 }
 
 std::string
@@ -106,7 +185,7 @@ Distribution::render() const
     os << name() << ".count " << count() << "\n";
     os << name() << ".mean " << mean() << "\n";
     os << name() << ".stdev " << stddev() << "\n";
-    if (!samples.empty()) {
+    if (count_ != 0) {
         os << name() << ".min " << min() << "\n";
         os << name() << ".p50 " << percentile(50) << "\n";
         os << name() << ".p99 " << percentile(99) << "\n";

@@ -90,36 +90,65 @@ class Gauge : public Stat
 };
 
 /**
- * Sample distribution with exact percentiles.
+ * Sample distribution over a fixed log-bucket histogram.
  *
- * Stores all samples; the simulated workloads are bounded (at most a
- * few million requests) so this is acceptable and keeps percentiles
- * exact.
+ * Storage is O(1) per sample and bounded regardless of sample count
+ * (kBucketCount counters, allocated on first sample), so million-
+ * request runs cost the same as ten-request runs. Positive samples
+ * land in one of kSubBuckets equal slices per power-of-two octave,
+ * bounding relative bucket width — and therefore percentile error —
+ * to 1/kSubBuckets (~1.6%). Mean and stddev stay exact (running
+ * sum / sum of squares), as do min and max; percentile(0)/(100) and
+ * the single-sample case return exact values. Histograms over the
+ * same name space merge by bucket-wise addition.
  */
 class Distribution : public Stat
 {
   public:
     using Stat::Stat;
 
+    /** Slices per power-of-two octave (relative error bound). */
+    static constexpr int kSubBuckets = 64;
+    /** Binary exponents [-kExpRange, kExpRange) get their own
+     *  octave; magnitudes outside clamp to the edge buckets. */
+    static constexpr int kExpRange = 64;
+    /** Bucket 0 catches zero/negative/underflow samples. */
+    static constexpr int kBucketCount =
+        1 + 2 * kExpRange * kSubBuckets;
+
     void sample(double v);
 
-    std::uint64_t count() const { return samples.size(); }
+    std::uint64_t count() const { return count_; }
     double mean() const;
     double stddev() const;
     double min() const;
     double max() const;
 
-    /** Exact percentile; @p p in [0, 100]. */
+    /**
+     * Percentile over the histogram; @p p in [0, 100]. Exact at the
+     * edges and for a single sample; elsewhere interpolated within
+     * the covering bucket (relative error <= 1/kSubBuckets).
+     */
     double percentile(double p) const;
 
+    /** Fold @p other into this distribution (bucket-wise add).
+     *  Associative and commutative over bucket counts. */
+    void merge(const Distribution &other);
+
     std::string render() const override;
-    void reset() override { samples.clear(); sorted = true; }
+    void reset() override;
 
   private:
-    void ensureSorted() const;
+    static int bucketOf(double v);
+    static double bucketLo(int b);
+    static double bucketWidth(int b);
 
-    mutable std::vector<double> samples;
-    mutable bool sorted = true;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::vector<std::uint64_t> buckets_; // kBucketCount, lazy
 };
 
 /** Flat registry of named stats. */

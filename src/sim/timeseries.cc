@@ -1,0 +1,149 @@
+#include "sim/timeseries.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "sim/trace.h"
+
+namespace xc::sim {
+
+TimeSeries::TimeSeries(EventQueue &events)
+    : TimeSeries(events, Options{})
+{
+}
+
+TimeSeries::TimeSeries(EventQueue &events, Options opt)
+    : events_(events), opt_(std::move(opt))
+{
+    if (opt_.cadence == 0)
+        opt_.cadence = kTicksPerMs;
+    if (opt_.capacity == 0)
+        opt_.capacity = 1;
+}
+
+TimeSeries::~TimeSeries()
+{
+    stop();
+}
+
+void
+TimeSeries::addProbe(std::string name, Kind kind,
+                     std::function<double()> fn)
+{
+    Series s;
+    s.name = std::move(name);
+    s.kind = kind;
+    s.fn = std::move(fn);
+    s.ring.reserve(opt_.capacity);
+    series_.push_back(std::move(s));
+}
+
+void
+TimeSeries::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    firstAt_ = events_.now();
+    // Prime Delta baselines so the first stored point covers
+    // [start, start+cadence), not everything before the run.
+    for (Series &s : series_)
+        s.last = s.fn();
+    timer_ = events_.scheduleAfter(opt_.cadence,
+                                   [this] { sampleOnce(); });
+}
+
+void
+TimeSeries::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    timer_.cancel();
+}
+
+void
+TimeSeries::sampleOnce()
+{
+    for (Series &s : series_) {
+        double raw = s.fn();
+        double v = raw;
+        if (s.kind == Kind::Delta) {
+            v = raw - s.last;
+            s.last = raw;
+        }
+        if (s.ring.size() < opt_.capacity) {
+            s.ring.push_back(v);
+        } else {
+            s.ring[static_cast<std::size_t>(taken_) % opt_.capacity] =
+                v;
+        }
+        if (!opt_.traceTrack.empty() && trace::capturing())
+            trace::counterEvent(trace::App, opt_.traceTrack.c_str(),
+                                s.name.c_str(), events_.now(),
+                                static_cast<std::int64_t>(v));
+    }
+    ++taken_;
+    timer_ = events_.scheduleAfter(opt_.cadence,
+                                   [this] { sampleOnce(); });
+}
+
+std::vector<double>
+TimeSeries::points(const std::string &name) const
+{
+    for (const Series &s : series_) {
+        if (s.name != name)
+            continue;
+        if (taken_ <= opt_.capacity)
+            return s.ring;
+        // Ring wrapped: unroll oldest-first.
+        std::vector<double> out;
+        out.reserve(opt_.capacity);
+        std::size_t head =
+            static_cast<std::size_t>(taken_) % opt_.capacity;
+        for (std::size_t i = 0; i < opt_.capacity; ++i)
+            out.push_back(s.ring[(head + i) % opt_.capacity]);
+        return out;
+    }
+    return {};
+}
+
+std::string
+TimeSeries::exportJson() const
+{
+    char buf[96];
+    std::string out = "{";
+    std::snprintf(buf, sizeof buf,
+                  "\"start_tick\":%llu,\"cadence_ticks\":%llu,"
+                  "\"samples\":%llu,",
+                  static_cast<unsigned long long>(firstAt_),
+                  static_cast<unsigned long long>(opt_.cadence),
+                  static_cast<unsigned long long>(taken_));
+    out += buf;
+    std::uint64_t dropped =
+        taken_ > opt_.capacity ? taken_ - opt_.capacity : 0;
+    std::snprintf(buf, sizeof buf, "\"dropped\":%llu,\"series\":[",
+                  static_cast<unsigned long long>(dropped));
+    out += buf;
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+        const Series &s = series_[i];
+        if (i)
+            out += ',';
+        out += "\n{\"name\":\"";
+        out += s.name;
+        out += "\",\"kind\":\"";
+        out += s.kind == Kind::Level ? "level" : "delta";
+        out += "\",\"points\":[";
+        std::vector<double> pts = points(s.name);
+        for (std::size_t p = 0; p < pts.size(); ++p) {
+            std::snprintf(buf, sizeof buf, "%s%.6g", p ? "," : "",
+                          pts[p]);
+            out += buf;
+        }
+        out += "]}";
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+} // namespace xc::sim

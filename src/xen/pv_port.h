@@ -144,7 +144,9 @@ class PvPort : public guestos::PlatformPort
         // Guest-side front-end work only; netback + bridge + NAT
         // run on Domain-0's cores (see DESIGN.md "dom0 offload").
         (void)opts;
-        return c.ringHopPerPacket * 2 / 3;
+        hw::Cycles cost = c.ringHopPerPacket * 2 / 3;
+        XC_PROF_LEAF("xen/ring_hop", cost);
+        return cost;
     }
 
     const PvSyscallEnv &pvEnv() const { return env; }

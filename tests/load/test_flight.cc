@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "apps/images.h"
+#include "apps/nginx.h"
+#include "load/driver.h"
+#include "runtimes/docker.h"
+#include "runtimes/x_container.h"
+#include "sim/request_ctx.h"
+
+namespace xc::test {
+namespace {
+
+/** Every test leaves the global flight recorder disarmed and empty. */
+struct FlightGuard
+{
+    FlightGuard() { sim::flight::clear(); }
+    ~FlightGuard() { sim::flight::clear(); }
+};
+
+template <typename Rt>
+load::LoadResult
+runNginx(Rt &rt, int connections, sim::Tick duration)
+{
+    runtimes::ContainerOpts copts;
+    copts.name = "web";
+    copts.image = apps::glibcImage("img");
+    copts.vcpus = 2;
+    auto *c = rt.createContainer(copts);
+    apps::NginxApp::Config ncfg;
+    ncfg.workers = 2;
+    apps::NginxApp nginx(ncfg);
+    nginx.deploy(*c);
+    rt.exposePort(c, 9000, 80);
+
+    load::WorkloadSpec spec = load::wrkSpec(
+        guestos::SockAddr{rt.hostIp(), 9000}, connections, duration);
+    load::ClosedLoopDriver driver(rt.fabric(), spec);
+    rt.machine().events().schedule(10 * sim::kTicksPerMs,
+                                   [&] { driver.start(); });
+    rt.machine().events().runUntil(10 * sim::kTicksPerMs +
+                                   spec.warmup + spec.duration +
+                                   50 * sim::kTicksPerMs);
+    return driver.collect();
+}
+
+TEST(Flight, RecordsEndToEndTimelines)
+{
+    FlightGuard guard;
+    sim::flight::arm(8, "docker/nginx", 0.4);
+    runtimes::DockerRuntime rt({});
+    auto r = runNginx(rt, 4, 80 * sim::kTicksPerMs);
+    EXPECT_GT(r.requests, 0u);
+
+    ASSERT_GE(sim::flight::completeCount(), 1u);
+    for (const sim::flight::Record &rec : sim::flight::records()) {
+        if (!rec.complete)
+            continue;
+        EXPECT_EQ(rec.label, "docker/nginx");
+        EXPECT_GT(rec.duration(), 0u);
+        // The recorder's core invariant: hop segments telescope, so
+        // their sum equals the measured end-to-end latency within
+        // one tick.
+        EXPECT_LE(rec.hopSum() > rec.duration()
+                      ? rec.hopSum() - rec.duration()
+                      : rec.duration() - rec.hopSum(),
+                  1u);
+        ASSERT_GE(rec.hops.size(), 2u);
+        EXPECT_STREQ(rec.hops.front().where, "client/send");
+        // Hops are in time order.
+        for (std::size_t i = 1; i < rec.hops.size(); ++i)
+            EXPECT_GE(rec.hops[i].at, rec.hops[i - 1].at);
+        EXPECT_LE(rec.criticalHop(), rec.hops.size());
+    }
+}
+
+TEST(Flight, TimelineCrossesEveryLayer)
+{
+    FlightGuard guard;
+    sim::flight::arm(4, "x/nginx");
+    runtimes::XContainerRuntime rt({});
+    auto r = runNginx(rt, 2, 80 * sim::kTicksPerMs);
+    EXPECT_GT(r.requests, 0u);
+    ASSERT_GE(sim::flight::completeCount(), 1u);
+
+    const sim::flight::Record *rec = nullptr;
+    for (const sim::flight::Record &candidate :
+         sim::flight::records())
+        if (candidate.complete) {
+            rec = &candidate;
+            break;
+        }
+    ASSERT_NE(rec, nullptr);
+    auto has = [&](const char *where) {
+        for (const sim::flight::Hop &h : rec->hops)
+            if (std::string(h.where) == where)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has("client/send"));
+    EXPECT_TRUE(has("wire/request"));
+    EXPECT_TRUE(has("guestos/sock_read"));
+    EXPECT_TRUE(has("apps/reply"));
+    EXPECT_TRUE(has("wire/reply"));
+    EXPECT_TRUE(has("client/recv"));
+
+    std::string rendered = sim::flight::renderTimeline(*rec);
+    EXPECT_NE(rendered.find("client/send"), std::string::npos);
+    EXPECT_NE(rendered.find("<-- critical path"), std::string::npos);
+    EXPECT_NE(sim::flight::exportJson().find("guestos/sock_read"),
+              std::string::npos);
+}
+
+TEST(Flight, BudgetBoundsSampledRequests)
+{
+    FlightGuard guard;
+    sim::flight::arm(3, "docker/nginx");
+    runtimes::DockerRuntime rt({});
+    runNginx(rt, 8, 80 * sim::kTicksPerMs);
+    EXPECT_EQ(sim::flight::records().size(), 3u);
+    EXPECT_FALSE(sim::flight::armed()); // budget exhausted
+}
+
+TEST(Flight, DisarmedRunRecordsNothing)
+{
+    FlightGuard guard;
+    ASSERT_FALSE(sim::flight::armed());
+    runtimes::DockerRuntime rt({});
+    auto r = runNginx(rt, 4, 60 * sim::kTicksPerMs);
+    EXPECT_GT(r.requests, 0u);
+    EXPECT_TRUE(sim::flight::records().empty());
+}
+
+TEST(Flight, FailedRequestsCloseAsFailed)
+{
+    FlightGuard guard;
+    sim::flight::arm(2, "refused");
+    runtimes::DockerRuntime rt({});
+    // Nothing listening: requests never get a connection, so no
+    // records are minted (begin happens at send, after connect).
+    load::WorkloadSpec spec = load::wrkSpec(
+        guestos::SockAddr{rt.hostIp(), 9000}, 2,
+        50 * sim::kTicksPerMs);
+    spec.requestTimeout = 20 * sim::kTicksPerMs;
+    load::ClosedLoopDriver driver(rt.fabric(), spec);
+    driver.start();
+    rt.machine().events().runUntil(200 * sim::kTicksPerMs);
+    for (const sim::flight::Record &rec : sim::flight::records()) {
+        EXPECT_TRUE(rec.failed || rec.complete);
+        if (rec.failed) {
+            EXPECT_GE(rec.end, rec.begin);
+        }
+    }
+}
+
+} // namespace
+} // namespace xc::test

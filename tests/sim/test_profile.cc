@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "sim/mech_counters.h"
+#include "sim/profile.h"
+
+namespace xc::sim {
+namespace {
+
+/** Every test leaves the global profiler disabled and empty. */
+struct ProfGuard
+{
+    ProfGuard() { prof::clear(); }
+    ~ProfGuard() { prof::clear(); }
+};
+
+TEST(Profile, DisabledEntryPointsAreNoops)
+{
+    ProfGuard guard;
+    ASSERT_FALSE(prof::enabled());
+    {
+        XC_PROF_SCOPE("guestos/syscall");
+        XC_PROF_CYCLES(100);
+        XC_PROF_LEAF("xen/ring_hop", 50);
+    }
+    prof::beginTree("run");
+    EXPECT_EQ(prof::treeCount(), 0u);
+    EXPECT_EQ(prof::totalCycles("run"), 0u);
+}
+
+TEST(Profile, AttributesCyclesToNestedScopes)
+{
+    ProfGuard guard;
+    prof::enable();
+    prof::beginTree("run");
+    {
+        XC_PROF_SCOPE("guestos/syscall");
+        XC_PROF_CYCLES(100);
+        {
+            XC_PROF_SCOPE("guestos/net_rx");
+            XC_PROF_CYCLES(40);
+        }
+        XC_PROF_LEAF("xen/ring_hop", 10);
+    }
+    prof::disable();
+    EXPECT_EQ(prof::treeCount(), 1u);
+    EXPECT_EQ(prof::totalCycles("run"), 150u);
+    // cyclesUnder is subtree-inclusive.
+    EXPECT_EQ(prof::cyclesUnder("run", "guestos/syscall"), 150u);
+    EXPECT_EQ(prof::cyclesUnder("run", "guestos/net_rx"), 40u);
+    EXPECT_EQ(prof::cyclesUnder("run", "xen/ring_hop"), 10u);
+    EXPECT_EQ(prof::cyclesUnder("run", "no/such_frame"), 0u);
+}
+
+TEST(Profile, MechChargesLandAsLeafFrames)
+{
+    ProfGuard guard;
+    prof::enable();
+    prof::beginTree("mech");
+    MechanismCounters mech;
+    {
+        XC_PROF_SCOPE("guestos/syscall");
+        mech.add(Mech::SyscallTrap, 1000);
+        mech.add(Mech::RingCopy, 300, 2);
+    }
+    mech.add(Mech::Hypercall, 77); // outside any scope: root child
+    prof::disable();
+    EXPECT_EQ(prof::cyclesUnder("mech", "xen/syscall_trap"), 1000u);
+    EXPECT_EQ(prof::cyclesUnder("mech", "guestos/ring_copy"), 300u);
+    EXPECT_EQ(prof::cyclesUnder("mech", "xen/hypercall"), 77u);
+    EXPECT_EQ(prof::totalCycles("mech"), 1377u);
+    // The hook never changes counter semantics.
+    EXPECT_EQ(mech.count(Mech::SyscallTrap), 1u);
+    EXPECT_EQ(mech.count(Mech::RingCopy), 2u);
+    EXPECT_EQ(mech.cyclesOf(Mech::RingCopy), 300u);
+}
+
+TEST(Profile, MechFrameNamesAreStable)
+{
+    EXPECT_STREQ(
+        prof::mechFrameName(static_cast<int>(Mech::SyscallTrap)),
+        "xen/syscall_trap");
+    EXPECT_STREQ(
+        prof::mechFrameName(static_cast<int>(Mech::PatchedCall)),
+        "libos/patched_call");
+    EXPECT_STREQ(
+        prof::mechFrameName(static_cast<int>(Mech::PtraceHop)),
+        "gvisor/ptrace_hop");
+    EXPECT_STREQ(prof::mechFrameName(-1), "");
+    EXPECT_STREQ(prof::mechFrameName(kMechCount), "");
+}
+
+TEST(Profile, BeginTreeReusesExistingLabel)
+{
+    ProfGuard guard;
+    prof::enable();
+    prof::beginTree("a");
+    XC_PROF_LEAF("guestos/vfs", 10);
+    prof::beginTree("b");
+    XC_PROF_LEAF("guestos/vfs", 5);
+    prof::beginTree("a"); // back to the first tree
+    XC_PROF_LEAF("guestos/vfs", 20);
+    prof::disable();
+    EXPECT_EQ(prof::treeCount(), 2u);
+    EXPECT_EQ(prof::totalCycles("a"), 30u);
+    EXPECT_EQ(prof::totalCycles("b"), 5u);
+}
+
+TEST(Profile, ExportJsonIsDeterministicAndSortsChildren)
+{
+    ProfGuard guard;
+    prof::enable();
+    prof::beginTree("run");
+    // Insert out of name order; export must sort by name.
+    XC_PROF_LEAF("zeta/op", 1);
+    XC_PROF_LEAF("alpha/op", 2);
+    prof::disable();
+    std::string a = prof::exportJson();
+    std::string b = prof::exportJson();
+    EXPECT_EQ(a, b);
+    std::size_t alpha = a.find("\"name\":\"alpha/op\"");
+    std::size_t zeta = a.find("\"name\":\"zeta/op\"");
+    ASSERT_NE(alpha, std::string::npos);
+    ASSERT_NE(zeta, std::string::npos);
+    EXPECT_LT(alpha, zeta);
+    EXPECT_NE(a.find("\"total_cycles\":3"), std::string::npos);
+}
+
+TEST(Profile, ExportCollapsedEmitsStackLines)
+{
+    ProfGuard guard;
+    prof::enable();
+    prof::beginTree("run");
+    {
+        XC_PROF_SCOPE("guestos/syscall");
+        XC_PROF_CYCLES(100);
+        XC_PROF_LEAF("xen/syscall_trap", 40);
+    }
+    prof::disable();
+    std::string collapsed = prof::exportCollapsed();
+    EXPECT_NE(collapsed.find("run;guestos/syscall 100\n"),
+              std::string::npos);
+    EXPECT_NE(
+        collapsed.find("run;guestos/syscall;xen/syscall_trap 40\n"),
+        std::string::npos);
+}
+
+TEST(Profile, DisableKeepsTreesForExport)
+{
+    ProfGuard guard;
+    prof::enable();
+    prof::beginTree("run");
+    XC_PROF_LEAF("guestos/pipe", 9);
+    prof::disable();
+    EXPECT_FALSE(prof::enabled());
+    EXPECT_EQ(prof::totalCycles("run"), 9u);
+    prof::clear();
+    EXPECT_EQ(prof::treeCount(), 0u);
+}
+
+} // namespace
+} // namespace xc::sim

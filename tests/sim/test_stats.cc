@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
 #include "sim/logging.h"
 #include "sim/stats.h"
 
@@ -89,10 +94,149 @@ TEST(Stats, DistributionPercentiles)
     Distribution d(reg, "d", "");
     for (int i = 1; i <= 100; ++i)
         d.sample(i);
+    // Extremes are tracked exactly; interior percentiles come from
+    // the log-bucket histogram, accurate to one sub-bucket (<= 1/64
+    // relative).
     EXPECT_NEAR(d.percentile(0), 1.0, 1e-9);
-    EXPECT_NEAR(d.percentile(50), 50.5, 1e-9);
     EXPECT_NEAR(d.percentile(100), 100.0, 1e-9);
-    EXPECT_NEAR(d.percentile(99), 99.01, 0.1);
+    EXPECT_NEAR(d.percentile(50), 50.5, 50.5 / 64.0);
+    EXPECT_NEAR(d.percentile(99), 99.0, 99.0 / 64.0);
+}
+
+TEST(Stats, DistributionDuplicateValues)
+{
+    StatRegistry reg;
+    Distribution d(reg, "d", "");
+    for (int i = 0; i < 100; ++i)
+        d.sample(7.25);
+    // min == max clamps every percentile to the exact value.
+    EXPECT_DOUBLE_EQ(d.percentile(0), 7.25);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 7.25);
+    EXPECT_DOUBLE_EQ(d.percentile(99), 7.25);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 7.25);
+    EXPECT_DOUBLE_EQ(d.mean(), 7.25);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(Stats, DistributionHistogramErrorBound)
+{
+    // Deterministic pseudo-random samples over six decades; every
+    // percentile estimate must land within one sub-bucket (<= 1/64
+    // relative) of the adjacent exact order statistics.
+    StatRegistry reg;
+    Distribution d(reg, "d", "");
+    std::vector<double> vals;
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    for (int i = 0; i < 2000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        double u = static_cast<double>(x >> 11) /
+                   static_cast<double>(1ull << 53);
+        double v = 1e-3 * std::pow(10.0, 6.0 * u);
+        vals.push_back(v);
+        d.sample(v);
+    }
+    std::sort(vals.begin(), vals.end());
+    for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+        double rank = p / 100.0 *
+                      static_cast<double>(vals.size() - 1);
+        double lo = vals[static_cast<std::size_t>(std::floor(rank))];
+        double hi = vals[static_cast<std::size_t>(std::ceil(rank))];
+        double est = d.percentile(p);
+        EXPECT_GE(est, lo * (1.0 - 1.0 / 64.0) - 1e-12) << "p=" << p;
+        EXPECT_LE(est, hi * (1.0 + 1.0 / 64.0) + 1e-12) << "p=" << p;
+    }
+}
+
+TEST(Stats, DistributionMergeAssociative)
+{
+    StatRegistry reg;
+    Distribution a(reg, "a", ""), b(reg, "b", ""), c(reg, "c", "");
+    Distribution ab_c(reg, "ab_c", ""), bc_a(reg, "bc_a", "");
+    Distribution all(reg, "all", "");
+    for (int i = 1; i <= 30; ++i) {
+        a.sample(i);
+        all.sample(i);
+    }
+    for (int i = 100; i <= 160; i += 2) {
+        b.sample(i);
+        all.sample(i);
+    }
+    for (double v : {0.5, 0.25, 8.75}) {
+        c.sample(v);
+        all.sample(v);
+    }
+    ab_c.merge(a);
+    ab_c.merge(b);
+    ab_c.merge(c);
+    bc_a.merge(b);
+    bc_a.merge(c);
+    bc_a.merge(a);
+    EXPECT_EQ(ab_c.count(), all.count());
+    EXPECT_EQ(bc_a.count(), all.count());
+    EXPECT_DOUBLE_EQ(ab_c.min(), all.min());
+    EXPECT_DOUBLE_EQ(ab_c.max(), all.max());
+    EXPECT_NEAR(ab_c.mean(), bc_a.mean(), 1e-9);
+    EXPECT_NEAR(ab_c.mean(), all.mean(), 1e-9);
+    // Bucket counts are integers, so percentiles are exactly
+    // order-independent and equal to the all-at-once histogram.
+    for (double p : {0.0, 25.0, 50.0, 75.0, 99.0, 100.0}) {
+        EXPECT_DOUBLE_EQ(ab_c.percentile(p), bc_a.percentile(p))
+            << "p=" << p;
+        EXPECT_DOUBLE_EQ(ab_c.percentile(p), all.percentile(p))
+            << "p=" << p;
+    }
+}
+
+TEST(Stats, DistributionMergeEmptyIsNoop)
+{
+    StatRegistry reg;
+    Distribution d(reg, "d", ""), empty(reg, "e", "");
+    d.sample(3.0);
+    d.sample(9.0);
+    d.merge(empty);
+    EXPECT_EQ(d.count(), 2u);
+    EXPECT_DOUBLE_EQ(d.min(), 3.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 6.0);
+    // Merging into an empty distribution copies the other side.
+    empty.merge(d);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.min(), 3.0);
+    EXPECT_DOUBLE_EQ(empty.max(), 9.0);
+}
+
+TEST(Stats, DistributionResetSemantics)
+{
+    StatRegistry reg;
+    Distribution d(reg, "d", "");
+    d.sample(5.0);
+    d.sample(10.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 0.0);
+    // The distribution is fully reusable after reset.
+    d.sample(3.0);
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_DOUBLE_EQ(d.min(), 3.0);
+    EXPECT_DOUBLE_EQ(d.max(), 3.0);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 3.0);
+}
+
+TEST(Stats, DistributionNonPositiveSamples)
+{
+    StatRegistry reg;
+    Distribution d(reg, "d", "");
+    d.sample(-1.0);
+    d.sample(0.0);
+    d.sample(5.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.min(), -1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 5.0);
+    for (double p : {0.0, 50.0, 100.0}) {
+        EXPECT_GE(d.percentile(p), d.min());
+        EXPECT_LE(d.percentile(p), d.max());
+    }
 }
 
 TEST(Stats, DistributionSingleSample)

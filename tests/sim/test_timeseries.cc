@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "sim/timeseries.h"
+
+namespace xc::sim {
+namespace {
+
+TEST(TimeSeries, SamplesLevelAndDeltaProbes)
+{
+    EventQueue events;
+    TimeSeries::Options opt;
+    opt.cadence = 10;
+    TimeSeries ts(events, opt);
+
+    double level = 3.0;
+    double counter = 0.0;
+    ts.addProbe("level", TimeSeries::Kind::Level,
+                [&] { return level; });
+    ts.addProbe("rate", TimeSeries::Kind::Delta,
+                [&] { return counter; });
+    ts.start();
+
+    // Advance 5 cadences, bumping the counter by 7 per interval and
+    // the level once mid-way.
+    for (int i = 0; i < 5; ++i) {
+        counter += 7.0;
+        if (i == 2)
+            level = 9.0;
+        events.runUntil(events.now() + 10);
+    }
+    ts.stop();
+
+    EXPECT_EQ(ts.samplesTaken(), 5u);
+    std::vector<double> lv = ts.points("level");
+    std::vector<double> rv = ts.points("rate");
+    ASSERT_EQ(lv.size(), 5u);
+    ASSERT_EQ(rv.size(), 5u);
+    EXPECT_DOUBLE_EQ(lv.front(), 3.0);
+    EXPECT_DOUBLE_EQ(lv.back(), 9.0);
+    for (double v : rv)
+        EXPECT_DOUBLE_EQ(v, 7.0);
+    EXPECT_TRUE(ts.points("unknown").empty());
+}
+
+TEST(TimeSeries, DeltaBaselineIsPrimedAtStart)
+{
+    EventQueue events;
+    TimeSeries::Options opt;
+    opt.cadence = 10;
+    TimeSeries ts(events, opt);
+    double counter = 1000.0; // pre-run history must not leak in
+    ts.addProbe("rate", TimeSeries::Kind::Delta,
+                [&] { return counter; });
+    ts.start();
+    counter += 5.0;
+    events.runUntil(events.now() + 10);
+    ts.stop();
+    std::vector<double> rv = ts.points("rate");
+    ASSERT_EQ(rv.size(), 1u);
+    EXPECT_DOUBLE_EQ(rv[0], 5.0);
+}
+
+TEST(TimeSeries, RingDropsOldestWhenFull)
+{
+    EventQueue events;
+    TimeSeries::Options opt;
+    opt.cadence = 1;
+    opt.capacity = 4;
+    TimeSeries ts(events, opt);
+    double i = 0.0;
+    ts.addProbe("i", TimeSeries::Kind::Level, [&] { return i; });
+    ts.start();
+    for (int k = 1; k <= 10; ++k) {
+        i = k;
+        events.runUntil(events.now() + 1);
+    }
+    ts.stop();
+    EXPECT_EQ(ts.samplesTaken(), 10u);
+    std::vector<double> pts = ts.points("i");
+    ASSERT_EQ(pts.size(), 4u);
+    // Oldest-first unroll of the ring: the last four samples.
+    EXPECT_DOUBLE_EQ(pts[0], 7.0);
+    EXPECT_DOUBLE_EQ(pts[3], 10.0);
+}
+
+TEST(TimeSeries, StopHaltsSampling)
+{
+    EventQueue events;
+    TimeSeries::Options opt;
+    opt.cadence = 10;
+    TimeSeries ts(events, opt);
+    ts.addProbe("x", TimeSeries::Kind::Level, [] { return 1.0; });
+    ts.start();
+    events.runUntil(events.now() + 35);
+    ts.stop();
+    std::uint64_t taken = ts.samplesTaken();
+    events.runUntil(events.now() + 100);
+    EXPECT_EQ(ts.samplesTaken(), taken);
+    EXPECT_FALSE(ts.running());
+}
+
+TEST(TimeSeries, ExportJsonHasSeriesAndMetadata)
+{
+    EventQueue events;
+    TimeSeries::Options opt;
+    opt.cadence = 10;
+    TimeSeries ts(events, opt);
+    double c = 0.0;
+    ts.addProbe("ops", TimeSeries::Kind::Delta, [&] { return c; });
+    ts.addProbe("depth", TimeSeries::Kind::Level, [] { return 2.0; });
+    ts.start();
+    for (int k = 0; k < 3; ++k) {
+        c += 4.0;
+        events.runUntil(events.now() + 10);
+    }
+    ts.stop();
+    std::string json = ts.exportJson();
+    EXPECT_NE(json.find("\"cadence_ticks\":10"), std::string::npos);
+    EXPECT_NE(json.find("\"samples\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"ops\",\"kind\":\"delta\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"depth\",\"kind\":\"level\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"points\":[4,4,4]"), std::string::npos);
+    // Deterministic: same state, same bytes.
+    EXPECT_EQ(json, ts.exportJson());
+}
+
+} // namespace
+} // namespace xc::sim

@@ -8,6 +8,8 @@
 #include "runtimes/x_container.h"
 #include "sim/event_queue.h"
 #include "sim/mech_counters.h"
+#include "sim/profile.h"
+#include "sim/request_ctx.h"
 #include "sim/trace.h"
 
 // ----- global allocation counter --------------------------------
@@ -68,6 +70,10 @@ TEST(TraceOverhead, DisabledHotPathsAllocateNothing)
     sim::trace::enable(sim::trace::None);
     sim::trace::clearCapture();
     ASSERT_FALSE(sim::trace::capturing());
+    sim::prof::clear();
+    ASSERT_FALSE(sim::prof::enabled());
+    sim::flight::clear();
+    ASSERT_FALSE(sim::flight::armed());
 
     sim::EventQueue queue;
     sim::MechanismCounters mech;
@@ -79,8 +85,16 @@ TEST(TraceOverhead, DisabledHotPathsAllocateNothing)
         {
             XC_TRACE_SPAN(Syscall, queue, "hot", 0, "span");
         }
+        // mech.add is also the disabled profiler's chokepoint.
         mech.add(sim::Mech::SyscallTrap, 100);
         mech.add(sim::Mech::RingCopy, 7, 2);
+        {
+            XC_PROF_SCOPE("guestos/syscall");
+            XC_PROF_CYCLES(100);
+            XC_PROF_LEAF("xen/ring_hop", 50);
+        }
+        // id 0 is "not sampled": one branch, no record lookup.
+        sim::flight::mark(0, "guestos/sock_read", queue.now());
     }
     std::uint64_t after = g_allocs;
 
@@ -102,6 +116,32 @@ TEST(TraceOverhead, CaptureDoesNotPerturbTheSimulation)
         if (capture) {
             sim::trace::stopCapture();
             sim::trace::clearCapture();
+        }
+        return r;
+    };
+
+    load::MicroResult off = run(false);
+    load::MicroResult on = run(true);
+    EXPECT_GT(off.ops, 0u);
+    EXPECT_EQ(off.ops, on.ops);
+    EXPECT_TRUE(off.mech == on.mech);
+}
+
+TEST(TraceOverhead, ProfilerDoesNotPerturbTheSimulation)
+{
+    // Same invariant for the cycle-attribution profiler: it records
+    // where cycles went but never adds or moves any.
+    auto run = [](bool profile) {
+        if (profile) {
+            sim::prof::enable();
+            sim::prof::beginTree("perturb");
+        }
+        runtimes::XContainerRuntime rt({});
+        load::MicroResult r = load::runMicro(
+            rt, load::MicroKind::Syscall, 50 * sim::kTicksPerMs, 1);
+        if (profile) {
+            sim::prof::disable();
+            sim::prof::clear();
         }
         return r;
     };
