@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "runtimes/runtime.h"
 #include "sim/profile.h"
 #include "sim/request_ctx.h"
+#include "sim/sweep.h"
 #include "sim/timeseries.h"
 #include "sim/trace.h"
 
@@ -50,6 +52,8 @@ using runtimes::Runtime;
  *   --faults RATE     inject FaultPlan::uniform(RATE)
  *   --quick           smaller sweep (CI)
  *   --golden FILE     write a deterministic run digest to FILE
+ *   --jobs/-j N       run sweep cells on N host threads (0 = nproc);
+ *                     output is byte-identical to -j1 at any N
  */
 struct Options
 {
@@ -66,6 +70,7 @@ struct Options
     double faultRate = 0.0;
     bool quick = false;
     std::string goldenPath;
+    int jobs = 1; ///< sweep worker threads; 0 = hardware threads
 
     static Options
     parse(int argc, char **argv)
@@ -110,16 +115,25 @@ struct Options
                 o.quick = true;
             } else if (const char *v = value("--golden")) {
                 o.goldenPath = v;
+            } else if (const char *v = value("--jobs")) {
+                o.jobs = std::atoi(v);
+            } else if (const char *v = value("-j")) {
+                o.jobs = std::atoi(v);
+            } else if (std::strncmp(a, "-j", 2) == 0 &&
+                       a[2] != '\0') {
+                o.jobs = std::atoi(a + 2); // fused form: -j8
             } else {
                 std::fprintf(
                     stderr,
+                    "%s: unknown flag '%s'\n"
                     "usage: %s [--runtime NAME] [--seed N] "
                     "[--duration MS] [--connections N] "
                     "[--trace out.json] [--trace-cat LIST] "
                     "[--profile out.json] [--flight N] "
                     "[--timeseries out.json] [--mech] "
-                    "[--faults RATE] [--quick] [--golden out.json]\n",
-                    argv[0]);
+                    "[--faults RATE] [--quick] [--golden out.json] "
+                    "[--jobs/-j N]\n",
+                    argv[0], a, argv[0]);
                 std::exit(2);
             }
         }
@@ -239,7 +253,57 @@ struct Options
         }
         return rc;
     }
+
+    /**
+     * A closure that re-applies the selected observability flags
+     * inside a sweep cell's fresh sim::SimContext (the SweepExecutor
+     * cell setup): each context's trace mask, capture buffer and
+     * profiler start disabled, so every cell re-arms exactly what the
+     * command line selected. The flight recorder needs no re-arming
+     * here — beginRun() arms it per labeled run, inside the cell.
+     */
+    std::function<void()>
+    cellSetup() const
+    {
+        std::uint32_t mask =
+            traceCat.empty() ? 0
+                             : sim::trace::parseCategories(traceCat);
+        bool capture = !tracePath.empty();
+        bool profile = profiling();
+        return [mask, capture, profile] {
+            if (mask != 0)
+                sim::trace::enable(mask);
+            if (capture)
+                sim::trace::startCapture();
+            if (profile)
+                sim::prof::enable();
+        };
+    }
 };
+
+/**
+ * Run one simulation cell per element of @p cells — `fn(cell)` — on
+ * opt.jobs host threads via sim::SweepExecutor, returning the results
+ * in cell order. Each invocation of @p fn runs under a private
+ * SimContext with the Options' observability flags re-applied, and
+ * must communicate only through its return value (rendering, golden
+ * lines and baselines belong in a sequential pass over the returned
+ * vector, which keeps stdout byte-identical at any -j).
+ */
+template <typename CellT, typename Fn>
+auto
+runSweep(const Options &opt, const std::vector<CellT> &cells, Fn &&fn)
+    -> std::vector<decltype(fn(cells[0]))>
+{
+    using R = decltype(fn(cells[0]));
+    std::vector<R> out(cells.size());
+    sim::SweepExecutor ex(opt.jobs);
+    ex.setCellSetup(opt.cellSetup());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        ex.add([&out, &cells, &fn, i] { out[i] = fn(cells[i]); });
+    ex.run();
+    return out;
+}
 
 /**
  * Collects one JSON line per benchmark configuration and writes them

@@ -9,6 +9,11 @@
  * memcached (+34-108%), match it on Redis; gVisor collapses under
  * ptrace; Clear Containers (GCE only) pay nested-virtualization
  * penalties; Xen-Containers trail Docker.
+ *
+ * Every (app, cloud, runtime) cell is an independent simulation, so
+ * the sweep runs them across host threads (--jobs/-j) and renders
+ * the table afterwards in sequential-cell order — output is
+ * byte-identical at any -j.
  */
 
 #include "common.h"
@@ -41,11 +46,83 @@ main(int argc, char **argv)
     opt.startObservability();
     GoldenLog golden(opt.goldenPath);
     SeriesLog seriesLog(opt.timeseriesPath);
-    double simSeconds = 0.0;
 
+    struct Cell
+    {
+        MacroApp app;
+        std::size_t cloud;
+        std::string name;
+    };
+    struct Result
+    {
+        bool available = false;
+        load::LoadResult r;
+        double simSec = 0.0;
+        std::string seriesJson;
+    };
+
+    std::vector<Cell> cells;
     for (MacroApp app : {MacroApp::Nginx, MacroApp::Memcached,
                          MacroApp::Redis}) {
-        for (const Cloud &cloud : clouds) {
+        for (std::size_t ci = 0; ci < clouds.size(); ++ci) {
+            for (const std::string &name : cloudRuntimeNames()) {
+                if (opt.wantRuntime(name))
+                    cells.push_back(Cell{app, ci, name});
+            }
+        }
+    }
+
+    bool wantSeries = seriesLog.enabled();
+    std::vector<Result> results = runSweep(
+        opt, cells, [&](const Cell &cell) -> Result {
+            const Cloud &cloud = clouds[cell.cloud];
+            Result res;
+            auto rt = makeCloudRuntime(cell.name, cloud.spec, opt);
+            if (!rt)
+                return res;
+            res.available = true;
+            MacroRun run;
+            int defConns = cell.app == MacroApp::Nginx ? 160 : 400;
+            if (opt.quick)
+                defConns /= 4;
+            run.connections = opt.connectionsOr(defConns);
+            run.duration = opt.durationOr((opt.quick ? 60 : 300) *
+                                          sim::kTicksPerMs);
+            run.seed = opt.seed;
+            run.observeMech = opt.mech || golden.enabled();
+            char label[96];
+            std::snprintf(label, sizeof label, "%s/%s/%s",
+                          macroAppName(cell.app), cloud.label,
+                          cell.name.c_str());
+            opt.beginRun(label, static_cast<double>(
+                                    cloud.spec.periodTicks()));
+            std::unique_ptr<sim::TimeSeries> ts;
+            if (wantSeries) {
+                sim::TimeSeries::Options to;
+                to.cadence =
+                    std::max<sim::Tick>(1, run.duration / 100);
+                to.traceTrack = label;
+                ts = std::make_unique<sim::TimeSeries>(
+                    rt->machine().events(), to);
+                run.series = ts.get();
+            }
+            res.r = runMacro(*rt, cell.app, run);
+            if (ts)
+                res.seriesJson = ts->exportJson();
+            res.simSec =
+                static_cast<double>(rt->machine().events().now()) /
+                sim::kTicksPerSec;
+            return res;
+        });
+
+    // Sequential render in cell order: the table, golden digest and
+    // series document come out byte-identical to a -j1 run.
+    double simSeconds = 0.0;
+    std::size_t i = 0;
+    for (MacroApp app : {MacroApp::Nginx, MacroApp::Memcached,
+                         MacroApp::Redis}) {
+        for (std::size_t ci = 0; ci < clouds.size(); ++ci) {
+            const Cloud &cloud = clouds[ci];
             std::printf("== %s on %s ==\n", macroAppName(app),
                         cloud.label);
             std::printf("  %-28s %12s %8s %12s %8s\n", "runtime",
@@ -54,44 +131,21 @@ main(int argc, char **argv)
             for (const std::string &name : cloudRuntimeNames()) {
                 if (!opt.wantRuntime(name))
                     continue;
-                auto rt = makeCloudRuntime(name, cloud.spec, opt);
-                if (!rt) {
+                const Result &res = results[i++];
+                if (!res.available) {
                     std::printf("  %-28s (requires nested HW "
                                 "virtualization)\n",
                                 name.c_str());
                     continue;
                 }
-                MacroRun run;
-                int defConns = app == MacroApp::Nginx ? 160 : 400;
-                if (opt.quick)
-                    defConns /= 4;
-                run.connections = opt.connectionsOr(defConns);
-                run.duration = opt.durationOr(
-                    (opt.quick ? 60 : 300) * sim::kTicksPerMs);
-                run.seed = opt.seed;
-                run.observeMech = opt.mech || golden.enabled();
                 char label[96];
                 std::snprintf(label, sizeof label, "%s/%s/%s",
                               macroAppName(app), cloud.label,
                               name.c_str());
-                opt.beginRun(label, static_cast<double>(
-                                        cloud.spec.periodTicks()));
-                std::unique_ptr<sim::TimeSeries> ts;
-                if (seriesLog.enabled()) {
-                    sim::TimeSeries::Options to;
-                    to.cadence = std::max<sim::Tick>(
-                        1, run.duration / 100);
-                    to.traceTrack = label;
-                    ts = std::make_unique<sim::TimeSeries>(
-                        rt->machine().events(), to);
-                    run.series = ts.get();
-                }
-                auto r = runMacro(*rt, app, run);
-                if (ts)
-                    seriesLog.add(label, ts->exportJson());
-                simSeconds += static_cast<double>(
-                                  rt->machine().events().now()) /
-                              sim::kTicksPerSec;
+                if (!res.seriesJson.empty())
+                    seriesLog.add(label, res.seriesJson);
+                simSeconds += res.simSec;
+                const load::LoadResult &r = res.r;
                 if (name == "docker") {
                     docker_tp = r.throughput;
                     docker_lat = r.p50LatencyUs;

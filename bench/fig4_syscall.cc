@@ -8,6 +8,9 @@
  * vs Clear Containers; gVisor at 7-9% of Docker; Xen-Containers
  * below Docker; the Meltdown patch does not affect X-Containers or
  * Clear Containers.
+ *
+ * Cells run in parallel under --jobs/-j; rendering is sequential in
+ * cell order, so output is byte-identical at any -j.
  */
 
 #include "common.h"
@@ -46,11 +49,68 @@ main(int argc, char **argv)
     opt.startObservability();
     GoldenLog golden(opt.goldenPath);
     SeriesLog seriesLog(opt.timeseriesPath);
-    double simSeconds = 0.0;
 
     sim::Tick duration =
         opt.durationOr((opt.quick ? 50 : 200) * sim::kTicksPerMs);
-    for (const Cloud &cloud : clouds) {
+
+    struct Cell
+    {
+        std::size_t cloud;
+        int copies;
+        std::string name;
+    };
+    struct Result
+    {
+        bool available = false;
+        load::MicroResult r;
+        double simSec = 0.0;
+        std::string seriesJson;
+    };
+
+    std::vector<Cell> cells;
+    for (std::size_t ci = 0; ci < clouds.size(); ++ci)
+        for (int copies : copiesList)
+            for (const std::string &name : cloudRuntimeNames())
+                if (opt.wantRuntime(name))
+                    cells.push_back(Cell{ci, copies, name});
+
+    bool wantSeries = seriesLog.enabled();
+    std::vector<Result> results = runSweep(
+        opt, cells, [&](const Cell &cell) -> Result {
+            const Cloud &cloud = clouds[cell.cloud];
+            Result res;
+            auto rt = makeCloudRuntime(cell.name, cloud.spec, opt);
+            if (!rt)
+                return res;
+            res.available = true;
+            char label[96];
+            std::snprintf(label, sizeof label, "%s/%s/x%d",
+                          cloud.label, cell.name.c_str(),
+                          cell.copies);
+            opt.beginRun(label, static_cast<double>(
+                                    cloud.spec.periodTicks()));
+            std::unique_ptr<sim::TimeSeries> ts;
+            if (wantSeries) {
+                sim::TimeSeries::Options to;
+                to.cadence = std::max<sim::Tick>(1, duration / 100);
+                to.traceTrack = label;
+                ts = std::make_unique<sim::TimeSeries>(
+                    rt->machine().events(), to);
+            }
+            res.r = load::runMicro(*rt, load::MicroKind::Syscall,
+                                   duration, cell.copies, ts.get());
+            if (ts)
+                res.seriesJson = ts->exportJson();
+            res.simSec =
+                static_cast<double>(rt->machine().events().now()) /
+                sim::kTicksPerSec;
+            return res;
+        });
+
+    double simSeconds = 0.0;
+    std::size_t i = 0;
+    for (std::size_t ci = 0; ci < clouds.size(); ++ci) {
+        const Cloud &cloud = clouds[ci];
         for (int copies : copiesList) {
             std::printf("== %s, %s ==\n", cloud.label,
                         copies == 1 ? "single" : "concurrent(4)");
@@ -58,8 +118,8 @@ main(int argc, char **argv)
             for (const std::string &name : cloudRuntimeNames()) {
                 if (!opt.wantRuntime(name))
                     continue;
-                auto rt = makeCloudRuntime(name, cloud.spec, opt);
-                if (!rt) {
+                const Result &res = results[i++];
+                if (!res.available) {
                     std::printf("  %-28s (not available: no nested "
                                 "HW virtualization)\n",
                                 name.c_str());
@@ -68,24 +128,10 @@ main(int argc, char **argv)
                 char label[96];
                 std::snprintf(label, sizeof label, "%s/%s/x%d",
                               cloud.label, name.c_str(), copies);
-                opt.beginRun(label, static_cast<double>(
-                                        cloud.spec.periodTicks()));
-                std::unique_ptr<sim::TimeSeries> ts;
-                if (seriesLog.enabled()) {
-                    sim::TimeSeries::Options to;
-                    to.cadence =
-                        std::max<sim::Tick>(1, duration / 100);
-                    to.traceTrack = label;
-                    ts = std::make_unique<sim::TimeSeries>(
-                        rt->machine().events(), to);
-                }
-                auto r = load::runMicro(*rt, load::MicroKind::Syscall,
-                                        duration, copies, ts.get());
-                if (ts)
-                    seriesLog.add(label, ts->exportJson());
-                simSeconds += static_cast<double>(
-                                  rt->machine().events().now()) /
-                              sim::kTicksPerSec;
+                if (!res.seriesJson.empty())
+                    seriesLog.add(label, res.seriesJson);
+                simSeconds += res.simSec;
+                const load::MicroResult &r = res.r;
                 if (name == "docker")
                     docker = r.opsPerSec;
                 std::printf("  %-28s %12.0f loops/s  (%6.2fx)\n",

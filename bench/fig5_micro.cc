@@ -9,6 +9,9 @@
  * / pipe; *below* Docker on process creation and context switching
  * (page-table operations go through the X-Kernel); the Meltdown
  * patch does not affect X-Containers / Clear Containers.
+ *
+ * Cells run in parallel under --jobs/-j; rendering is sequential in
+ * cell order, so output is byte-identical at any -j.
  */
 
 #include "common.h"
@@ -46,6 +49,8 @@ main(int argc, char **argv)
         load::MicroKind::ContextSwitch,
         load::MicroKind::ProcessCreation,
     };
+    constexpr int kNumKinds =
+        static_cast<int>(sizeof kinds / sizeof kinds[0]);
 
     std::printf("Figure 5: relative microbenchmark performance "
                 "(higher is better)\n\n");
@@ -54,31 +59,78 @@ main(int argc, char **argv)
 
     sim::Tick duration =
         opt.durationOr((opt.quick ? 40 : 150) * sim::kTicksPerMs);
-    for (const Cloud &cloud : clouds) {
+
+    struct Cell
+    {
+        std::size_t cloud;
+        int copies;
+        int kind; ///< index into kinds; kNumKinds = iperf
+        std::string name;
+    };
+    struct Result
+    {
+        bool available = false;
+        load::MicroResult micro;
+        double gbps = 0.0;
+    };
+
+    std::vector<Cell> cells;
+    for (std::size_t ci = 0; ci < clouds.size(); ++ci) {
+        for (int copies : copiesList) {
+            for (int k = 0; k <= kNumKinds; ++k)
+                for (const std::string &name : cloudRuntimeNames())
+                    if (opt.wantRuntime(name))
+                        cells.push_back(Cell{ci, copies, k, name});
+        }
+    }
+
+    std::vector<Result> results = runSweep(
+        opt, cells, [&](const Cell &cell) -> Result {
+            const Cloud &cloud = clouds[cell.cloud];
+            Result res;
+            auto rt = makeCloudRuntime(cell.name, cloud.spec, opt);
+            if (!rt)
+                return res;
+            res.available = true;
+            const char *kindName = cell.kind < kNumKinds
+                                       ? load::microKindName(
+                                             kinds[cell.kind])
+                                       : "iperf";
+            char label[96];
+            std::snprintf(label, sizeof label, "%s/%s/%s/x%d",
+                          cloud.label, kindName, cell.name.c_str(),
+                          cell.copies);
+            opt.beginRun(label, static_cast<double>(
+                                    cloud.spec.periodTicks()));
+            if (cell.kind < kNumKinds) {
+                res.micro = load::runMicro(*rt, kinds[cell.kind],
+                                           duration, cell.copies);
+            } else {
+                res.gbps = load::runIperf(*rt, duration, cell.copies)
+                               .gbitPerSec;
+            }
+            return res;
+        });
+
+    std::size_t i = 0;
+    for (std::size_t ci = 0; ci < clouds.size(); ++ci) {
+        const Cloud &cloud = clouds[ci];
         for (int copies : copiesList) {
             std::printf("===== %s, %s =====\n", cloud.label,
                         copies == 1 ? "single" : "concurrent(4)");
-            for (load::MicroKind kind : kinds) {
-                std::printf("-- %s --\n", load::microKindName(kind));
+            for (int k = 0; k < kNumKinds; ++k) {
+                std::printf("-- %s --\n",
+                            load::microKindName(kinds[k]));
                 double docker = 0.0;
                 for (const std::string &name : cloudRuntimeNames()) {
                     if (!opt.wantRuntime(name))
                         continue;
-                    auto rt = makeCloudRuntime(name, cloud.spec, opt);
-                    if (!rt) {
+                    const Result &res = results[i++];
+                    if (!res.available) {
                         std::printf("  %-28s n/a\n", name.c_str());
                         continue;
                     }
-                    char label[96];
-                    std::snprintf(label, sizeof label, "%s/%s/%s/x%d",
-                                  cloud.label,
-                                  load::microKindName(kind),
-                                  name.c_str(), copies);
-                    opt.beginRun(label,
-                                 static_cast<double>(
-                                     cloud.spec.periodTicks()));
-                    auto r = load::runMicro(*rt, kind, duration,
-                                            copies);
+                    const load::MicroResult &r = res.micro;
                     if (name == "docker")
                         docker = r.opsPerSec;
                     std::printf(
@@ -95,19 +147,17 @@ main(int argc, char **argv)
             for (const std::string &name : cloudRuntimeNames()) {
                 if (!opt.wantRuntime(name))
                     continue;
-                auto rt = makeCloudRuntime(name, cloud.spec, opt);
-                if (!rt) {
+                const Result &res = results[i++];
+                if (!res.available) {
                     std::printf("  %-28s n/a\n", name.c_str());
                     continue;
                 }
-                auto r = load::runIperf(*rt, duration, copies);
                 if (name == "docker")
-                    docker_gbps = r.gbitPerSec;
+                    docker_gbps = res.gbps;
                 std::printf("  %-28s %10.2f Gbit/s  (%5.2fx)\n",
-                            name.c_str(), r.gbitPerSec,
-                            docker_gbps > 0
-                                ? r.gbitPerSec / docker_gbps
-                                : 0.0);
+                            name.c_str(), res.gbps,
+                            docker_gbps > 0 ? res.gbps / docker_gbps
+                                            : 0.0);
             }
             std::printf("\n");
         }

@@ -172,65 +172,77 @@ main(int argc, char **argv)
     const double tpc = static_cast<double>(
         hw::MachineSpec::xeonE52690Local().periodTicks());
 
-    std::printf("(a) NGINX, 1 worker (requests/s)\n");
-    double g1 = 0, u1 = 0, x1 = 0;
+    // One cell per (runtime, workload); gDuration is set above,
+    // before the sweep, and read-only inside cells.
+    struct Cell
     {
-        auto g = makeLibosRuntime("graphene");
-        opt.beginRun("nginx-w1/graphene", tpc);
-        g1 = nginxThroughput(*g, 1);
-        auto u = makeLibosRuntime("unikernel");
-        opt.beginRun("nginx-w1/unikernel", tpc);
-        u1 = nginxThroughput(*u, 1);
-        auto x = makeLibosRuntime("x-container");
-        opt.beginRun("nginx-w1/x-container", tpc);
-        x1 = nginxThroughput(*x, 1);
+        const char *runtime;
+        std::string label;
+        int workers;      ///< nginx workers; 0 = PHP+MySQL cell
+        PhpTopology topo; ///< PHP cells only
+    };
+    std::vector<Cell> cells = {
+        {"graphene", "nginx-w1/graphene", 1, PhpTopology::Shared},
+        {"unikernel", "nginx-w1/unikernel", 1, PhpTopology::Shared},
+        {"x-container", "nginx-w1/x-container", 1,
+         PhpTopology::Shared},
+        {"graphene", "nginx-w4/graphene", 4, PhpTopology::Shared},
+        {"x-container", "nginx-w4/x-container", 4,
+         PhpTopology::Shared},
+    };
+    struct PhpCase
+    {
+        const char *label;
+        PhpTopology topo;
+    };
+    const PhpCase phpCases[] = {
+        {"Shared", PhpTopology::Shared},
+        {"Dedicated", PhpTopology::Dedicated},
+        {"Dedicated&Merged", PhpTopology::DedicatedMerged},
+    };
+    for (const PhpCase &pc : phpCases) {
+        cells.push_back({"unikernel",
+                         std::string("php-mysql/") + pc.label +
+                             "/unikernel",
+                         0, pc.topo});
+        cells.push_back({"x-container",
+                         std::string("php-mysql/") + pc.label +
+                             "/x-container",
+                         0, pc.topo});
     }
+
+    std::vector<double> tp = runSweep(
+        opt, cells, [&](const Cell &cell) -> double {
+            auto rt = makeLibosRuntime(cell.runtime);
+            opt.beginRun(cell.label, tpc);
+            return cell.workers > 0
+                       ? nginxThroughput(*rt, cell.workers)
+                       : phpMysqlThroughput(*rt, cell.topo);
+        });
+
+    std::printf("(a) NGINX, 1 worker (requests/s)\n");
+    double g1 = tp[0], u1 = tp[1], x1 = tp[2];
     std::printf("  G %8.0f   U %8.0f   X %8.0f    "
                 "(X/G=%.2f, X/U=%.2f; paper: X~U, X>2xG)\n\n",
                 g1, u1, x1, g1 > 0 ? x1 / g1 : 0,
                 u1 > 0 ? x1 / u1 : 0);
 
     std::printf("(b) NGINX, 4 workers (requests/s; U n/a)\n");
-    double g4 = 0, x4 = 0;
-    {
-        auto g = makeLibosRuntime("graphene");
-        opt.beginRun("nginx-w4/graphene", tpc);
-        g4 = nginxThroughput(*g, 4);
-        auto x = makeLibosRuntime("x-container");
-        opt.beginRun("nginx-w4/x-container", tpc);
-        x4 = nginxThroughput(*x, 4);
-    }
+    double g4 = tp[3], x4 = tp[4];
     std::printf("  G %8.0f   X %8.0f    (X/G=%.2f; paper: >1.5x)\n\n",
                 g4, x4, g4 > 0 ? x4 / g4 : 0);
 
     std::printf("(c) 2x PHP + MySQL total throughput (requests/s)\n");
-    struct Cell
-    {
-        const char *label;
-        PhpTopology topo;
-    };
-    const Cell cells[] = {
-        {"Shared", PhpTopology::Shared},
-        {"Dedicated", PhpTopology::Dedicated},
-        {"Dedicated&Merged", PhpTopology::DedicatedMerged},
-    };
     double u_dedicated = 0;
-    for (const Cell &cell : cells) {
-        auto u = makeLibosRuntime("unikernel");
-        opt.beginRun(std::string("php-mysql/") + cell.label +
-                         "/unikernel",
-                     tpc);
-        double ur = phpMysqlThroughput(*u, cell.topo);
-        auto x = makeLibosRuntime("x-container");
-        opt.beginRun(std::string("php-mysql/") + cell.label +
-                         "/x-container",
-                     tpc);
-        double xr = phpMysqlThroughput(*x, cell.topo);
-        if (cell.topo == PhpTopology::Dedicated)
+    std::size_t i = 5;
+    for (const PhpCase &pc : phpCases) {
+        double ur = tp[i++];
+        double xr = tp[i++];
+        if (pc.topo == PhpTopology::Dedicated)
             u_dedicated = ur;
         std::printf("  %-18s U %8.0f   X %8.0f   (X/U=%.2f)\n",
-                    cell.label, ur, xr, ur > 0 ? xr / ur : 0);
-        if (cell.topo == PhpTopology::DedicatedMerged &&
+                    pc.label, ur, xr, ur > 0 ? xr / ur : 0);
+        if (pc.topo == PhpTopology::DedicatedMerged &&
             u_dedicated > 0) {
             std::printf(
                 "  merged X vs U-Dedicated: %.2fx (paper: ~3x)\n",

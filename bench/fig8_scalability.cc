@@ -134,18 +134,38 @@ main(int argc, char **argv)
     std::printf("\n");
 
     opt.startObservability();
+
+    // One cell per (N, series) point, n-major to match the table;
+    // negative throughput encodes "hit the boot limit at -tp VMs".
+    struct Cell
+    {
+        int n;
+        std::size_t series;
+    };
+    std::vector<Cell> cells;
+    for (int n : points)
+        for (std::size_t si = 0; si < series.size(); ++si)
+            cells.push_back(Cell{n, si});
+
+    std::vector<double> tps = runSweep(
+        opt, cells, [&](const Cell &cell) -> double {
+            const Series &s = series[cell.series];
+            opt.beginRun(std::string(s.label) + "/N" +
+                             std::to_string(cell.n),
+                         static_cast<double>(spec.periodTicks()));
+            return runPoint(s, cell.n);
+        });
+
+    std::size_t i = 0;
     for (int n : points) {
         std::printf("%8d", n);
-        for (const Series &s : series) {
-            opt.beginRun(std::string(s.label) + "/N" +
-                             std::to_string(n),
-                         static_cast<double>(spec.periodTicks()));
-            double tp = runPoint(s, n);
+        for (std::size_t si = 0; si < series.size(); ++si) {
+            (void)si;
+            double tp = tps[i++];
             if (tp < 0)
                 std::printf(" %9s(%3.0f)", "no-boot", -tp);
             else
                 std::printf(" %14.0f", tp);
-            std::fflush(stdout);
         }
         std::printf("\n");
     }

@@ -110,34 +110,40 @@ main(int argc, char **argv)
 
     opt.startObservability();
 
-    double docker_hap = 0.0;
-    {
-        auto rt = runtimes::makeRuntime("docker", spec);
-        opt.beginRun("docker/haproxy",
-                     static_cast<double>(spec.periodTicks()));
-        docker_hap = runConfig(*rt, LbKind::Haproxy);
-        std::printf("  %-28s %10.0f  (1.00x)\n", "docker (haproxy)",
-                    docker_hap);
-    }
-
     struct Cell
     {
+        const char *runtime;
         const char *label;
+        const char *profLabel;
         LbKind kind;
     };
-    const Cell cells[] = {
-        {"x-container (haproxy)", LbKind::Haproxy},
-        {"x-container (ipvs NAT)", LbKind::IpvsNat},
-        {"x-container (ipvs Route)", LbKind::IpvsDr},
+    const std::vector<Cell> cells = {
+        {"docker", "docker (haproxy)", "docker/haproxy",
+         LbKind::Haproxy},
+        {"x-container", "x-container (haproxy)",
+         "x-container (haproxy)", LbKind::Haproxy},
+        {"x-container", "x-container (ipvs NAT)",
+         "x-container (ipvs NAT)", LbKind::IpvsNat},
+        {"x-container", "x-container (ipvs Route)",
+         "x-container (ipvs Route)", LbKind::IpvsDr},
     };
+
+    std::vector<double> tps = runSweep(
+        opt, cells, [&](const Cell &cell) -> double {
+            auto rt = runtimes::makeRuntime(cell.runtime, spec);
+            opt.beginRun(cell.profLabel,
+                         static_cast<double>(spec.periodTicks()));
+            return runConfig(*rt, cell.kind);
+        });
+
+    double docker_hap = tps[0];
+    std::printf("  %-28s %10.0f  (1.00x)\n", cells[0].label,
+                docker_hap);
     double prev = docker_hap;
-    for (const Cell &cell : cells) {
-        auto rt = runtimes::makeRuntime("x-container", spec);
-        opt.beginRun(cell.label,
-                     static_cast<double>(spec.periodTicks()));
-        double tp = runConfig(*rt, cell.kind);
+    for (std::size_t i = 1; i < cells.size(); ++i) {
+        double tp = tps[i];
         std::printf("  %-28s %10.0f  (%.2fx docker, %.2fx prev)\n",
-                    cell.label, tp,
+                    cells[i].label, tp,
                     docker_hap > 0 ? tp / docker_hap : 0.0,
                     prev > 0 ? tp / prev : 0.0);
         prev = tp;

@@ -39,29 +39,41 @@ main(int argc, char **argv)
 
     opt.startObservability();
 
-    for (const std::string &name :
-         {std::string("docker"), std::string("xen-container"),
-          std::string("x-container"), std::string("gvisor"),
-          std::string("clear-container"), std::string("unikernel"),
-          std::string("graphene")}) {
+    const std::vector<std::string> names = {
+        "docker",    "xen-container",   "x-container", "gvisor",
+        "clear-container", "unikernel", "graphene"};
+
+    struct Cell
+    {
+        std::string name;
+        double rate;
+    };
+    struct Result
+    {
+        bool available = false;
+        load::LoadResult r;
+    };
+
+    std::vector<Cell> cells;
+    for (const std::string &name : names) {
         if (!opt.wantRuntime(name))
             continue;
-        std::printf("== %s ==\n", name.c_str());
-        std::printf("  %8s %10s %10s %10s %6s %6s %6s %6s %6s\n",
-                    "rate", "req/s", "p50(us)", "p99(us)", "timeo",
-                    "reset", "refus", "trunc", "retry");
-        for (double rate : rates) {
+        for (double rate : rates)
+            cells.push_back(Cell{name, rate});
+    }
+
+    std::vector<Result> results = runSweep(
+        opt, cells, [&](const Cell &cell) -> Result {
+            Result res;
             runtimes::RuntimeConfig cfg;
             cfg.spec = spec;
             cfg.seed = opt.seed;
-            cfg.faults = fault::FaultPlan::uniform(rate, opt.seed);
-            auto rt = runtimes::makeRuntime(name, cfg);
-            if (!rt) {
-                std::printf("  %8s (not available on this machine "
-                            "model)\n",
-                            "-");
-                break;
-            }
+            cfg.faults =
+                fault::FaultPlan::uniform(cell.rate, opt.seed);
+            auto rt = runtimes::makeRuntime(cell.name, cfg);
+            if (!rt)
+                return res;
+            res.available = true;
             MacroRun run;
             run.connections = opt.connectionsOr(64);
             run.duration = opt.durationOr(300 * sim::kTicksPerMs);
@@ -71,15 +83,38 @@ main(int argc, char **argv)
             run.observeMech = opt.mech;
             char label[96];
             std::snprintf(label, sizeof label, "%s/rate%.3f",
-                          name.c_str(), rate);
+                          cell.name.c_str(), cell.rate);
             opt.beginRun(label,
                          static_cast<double>(spec.periodTicks()));
-            auto r = runMacro(*rt, MacroApp::Nginx, run);
+            res.r = runMacro(*rt, MacroApp::Nginx, run);
+            return res;
+        });
+
+    std::size_t i = 0;
+    for (const std::string &name : names) {
+        if (!opt.wantRuntime(name))
+            continue;
+        std::printf("== %s ==\n", name.c_str());
+        std::printf("  %8s %10s %10s %10s %6s %6s %6s %6s %6s\n",
+                    "rate", "req/s", "p50(us)", "p99(us)", "timeo",
+                    "reset", "refus", "trunc", "retry");
+        for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+            const Result &res = results[i + ri];
+            if (!res.available) {
+                // Matches the sequential loop's `break`: one line,
+                // remaining rates skipped.
+                std::printf("  %8s (not available on this machine "
+                            "model)\n",
+                            "-");
+                break;
+            }
+            const load::LoadResult &r = res.r;
             const load::ErrorBreakdown &e = r.errorDetail;
             std::printf(
                 "  %8.3f %10.0f %10.0f %10.0f %6llu %6llu %6llu "
                 "%6llu %6llu\n",
-                rate, r.throughput, r.p50LatencyUs, r.p99LatencyUs,
+                rates[ri], r.throughput, r.p50LatencyUs,
+                r.p99LatencyUs,
                 static_cast<unsigned long long>(e.timeouts),
                 static_cast<unsigned long long>(e.resets),
                 static_cast<unsigned long long>(e.refused),
@@ -88,6 +123,7 @@ main(int argc, char **argv)
             if (opt.mech)
                 std::printf("%s", r.mechReport().c_str());
         }
+        i += rates.size();
         std::printf("\n");
     }
 

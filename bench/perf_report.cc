@@ -187,6 +187,8 @@ main(int argc, char **argv)
     std::string out = "BENCH_sim.json";
     std::string bindir = dirnameOf(argv[0]);
     std::string profileOut = "fig4_profile.json";
+    // Worker threads for the parallel-sweep row; 0 = min(8, nproc).
+    int parallelJobs = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out = argv[++i];
@@ -196,13 +198,22 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--profile-out") == 0 &&
                    i + 1 < argc) {
             profileOut = argv[++i];
+        } else if (std::strcmp(argv[i], "--jobs") == 0 &&
+                   i + 1 < argc) {
+            parallelJobs = std::atoi(argv[++i]);
         } else {
             std::fprintf(stderr,
                          "usage: %s [--out FILE] [--bindir DIR] "
-                         "[--profile-out FILE]\n",
+                         "[--profile-out FILE] [--jobs N]\n",
                          argv[0]);
             return 2;
         }
+    }
+    if (parallelJobs <= 0) {
+        long nproc = sysconf(_SC_NPROCESSORS_ONLN);
+        parallelJobs = nproc > 0 ? static_cast<int>(nproc) : 1;
+        if (parallelJobs > 8)
+            parallelJobs = 8;
     }
 
     std::string json = "{\n";
@@ -251,14 +262,17 @@ main(int argc, char **argv)
         const char *name; ///< binary under bindir
         const char *key;  ///< JSON key ("<key>_quick")
         bool profiled;    ///< add --profile and report overhead
+        int jobs;         ///< >0: add -j N, report sweep speedup
     };
     const FigRun benches[] = {
-        {"fig4_syscall", "fig4_syscall", false},
-        {"fig3_macro", "fig3_macro", false},
-        {"fig4_syscall", "fig4_syscall_profile", true},
+        {"fig4_syscall", "fig4_syscall", false, 0},
+        {"fig3_macro", "fig3_macro", false, 0},
+        {"fig3_macro", "fig3_parallel", false, parallelJobs},
+        {"fig4_syscall", "fig4_syscall_profile", true, 0},
     };
     const std::size_t numBenches = sizeof benches / sizeof benches[0];
     double plainFig4Wall = 0.0;
+    double plainFig3Wall = 0.0;
     for (std::size_t i = 0; i < numBenches; ++i) {
         const FigRun &fig = benches[i];
         ChildResult r;
@@ -268,16 +282,26 @@ main(int argc, char **argv)
             cmd.push_back("--profile");
             cmd.push_back(profileOut);
         }
-        std::printf("running %s --quick%s...\n", fig.name,
-                    fig.profiled ? " --profile" : "");
+        if (fig.jobs > 0) {
+            cmd.push_back("-j");
+            cmd.push_back(std::to_string(fig.jobs));
+        }
+        std::printf("running %s --quick%s%s...\n", fig.name,
+                    fig.profiled ? " --profile" : "",
+                    fig.jobs > 0
+                        ? (" -j" + std::to_string(fig.jobs)).c_str()
+                        : "");
         if (!runChild(cmd, r) || r.exitCode != 0) {
             std::fprintf(stderr, "%s failed (rc=%d)\n", fig.name,
                          r.exitCode);
             ++failures;
         }
-        if (!fig.profiled &&
-            std::strcmp(fig.name, "fig4_syscall") == 0)
-            plainFig4Wall = r.wallSeconds;
+        if (!fig.profiled && fig.jobs == 0) {
+            if (std::strcmp(fig.name, "fig4_syscall") == 0)
+                plainFig4Wall = r.wallSeconds;
+            else if (std::strcmp(fig.name, "fig3_macro") == 0)
+                plainFig3Wall = r.wallSeconds;
+        }
         double simS = parseSimSeconds(r.out);
         json += std::string("    \"") + fig.key + "_quick\": {\n";
         appendKv(json, "wall_s", r.wallSeconds);
@@ -289,6 +313,15 @@ main(int argc, char **argv)
             appendKv(json, "profile_overhead",
                      plainFig4Wall > 0
                          ? r.wallSeconds / plainFig4Wall - 1.0
+                         : 0.0,
+                     true);
+        } else if (fig.jobs > 0) {
+            appendKv(json, "sim_per_host",
+                     r.wallSeconds > 0 ? simS / r.wallSeconds : 0.0);
+            appendKv(json, "jobs", static_cast<double>(fig.jobs));
+            appendKv(json, "speedup",
+                     r.wallSeconds > 0 && plainFig3Wall > 0
+                         ? plainFig3Wall / r.wallSeconds
                          : 0.0,
                      true);
         } else {

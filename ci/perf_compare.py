@@ -64,6 +64,14 @@ def main():
         compare_metric(f"{name} max_rss_kb", ref.get("max_rss_kb"),
                        row.get("max_rss_kb"), False, args.threshold,
                        warnings)
+        # The parallel-sweep row also tracks its speedup over the
+        # sequential fig3 run (higher is better). Worker counts can
+        # differ between baseline and CI hosts, so only compare when
+        # both ran with the same -j.
+        if "speedup" in row and ref.get("jobs") == row.get("jobs"):
+            compare_metric(f"{name} speedup", ref.get("speedup"),
+                           row.get("speedup"), True, args.threshold,
+                           warnings)
 
     for w in warnings:
         print(f"::warning title=sim perf regression::{w}")

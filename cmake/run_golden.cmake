@@ -5,16 +5,22 @@
 # the test. Invoked by ctest (see bench/CMakeLists.txt):
 #
 #   cmake -DBENCH=<binary> -DGOLDEN=<committed> -DOUT=<scratch>
-#         -P run_golden.cmake
+#         [-DEXTRA_ARGS=<;-list>] -P run_golden.cmake
+#
+# EXTRA_ARGS appends flags to the bench invocation (e.g. "-j;4" to
+# check that a parallel sweep reproduces the sequential digest).
 
 foreach(var BENCH GOLDEN OUT)
     if(NOT DEFINED ${var})
         message(FATAL_ERROR "run_golden.cmake: -D${var}= is required")
     endif()
 endforeach()
+if(NOT DEFINED EXTRA_ARGS)
+    set(EXTRA_ARGS "")
+endif()
 
 execute_process(
-    COMMAND ${BENCH} --quick --seed 42 --golden ${OUT}
+    COMMAND ${BENCH} --quick --seed 42 --golden ${OUT} ${EXTRA_ARGS}
     RESULT_VARIABLE rc
     OUTPUT_QUIET)
 if(NOT rc EQUAL 0)

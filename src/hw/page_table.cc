@@ -50,23 +50,18 @@ PageTable::translate(Vaddr va) const
     return (pte->pfn << kPageShift) | (va & (kPageSize - 1));
 }
 
-void
-PageTable::forEach(const std::function<void(Vpn, const Pte &)> &fn) const
-{
-    for (const auto &[vpn, pte] : entries)
-        fn(vpn, pte);
-}
-
 std::uint64_t
 PageTable::copyUserFrom(PageTable &src, bool cow)
 {
     std::uint64_t copied = 0;
     // Collect first: marking COW mutates the source flags.
     std::vector<Vpn> user_vpns;
+    user_vpns.reserve(src.entries.size());
     for (const auto &[vpn, pte] : src.entries) {
         if (!isKernelHalf(vpnToVa(vpn)))
             user_vpns.push_back(vpn);
     }
+    entries.reserve(entries.size() + user_vpns.size());
     for (Vpn vpn : user_vpns) {
         Pte &spte = src.entries[vpn];
         if (cow && spte.writable()) {

@@ -16,7 +16,6 @@
  */
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 
 #include "hw/phys_memory.h"
@@ -108,8 +107,15 @@ class PageTable
     /** Number of mapped pages with the global bit set. */
     std::uint64_t globalPages() const { return globalCount; }
 
-    /** Apply @p fn to every (vpn, pte) pair. */
-    void forEach(const std::function<void(Vpn, const Pte &)> &fn) const;
+    /** Apply @p fn to every (vpn, pte) pair. Templated visitor so
+     *  fork/exec walks inline without a std::function allocation. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[vpn, pte] : entries)
+            fn(vpn, pte);
+    }
 
     /**
      * Duplicate all user-half entries of @p src into this table

@@ -1,0 +1,30 @@
+#include "sim/context.h"
+
+namespace xc::sim {
+
+ContextBinding::ContextBinding(SimContext &ctx)
+    : prev_trace_(trace::detail::bindThreadState(&ctx.trace)),
+      prev_prof_(prof::detail::bindThreadState(&ctx.prof)),
+      prev_flight_(flight::detail::bindThreadState(&ctx.flight)),
+      prev_log_(detail::bindThreadLogState(&ctx.log))
+{
+}
+
+ContextBinding::~ContextBinding()
+{
+    detail::bindThreadLogState(prev_log_);
+    flight::detail::bindThreadState(prev_flight_);
+    prof::detail::bindThreadState(prev_prof_);
+    trace::detail::bindThreadState(prev_trace_);
+}
+
+void
+mergeObservability(SimContext &src)
+{
+    trace::detail::mergeCapture(trace::detail::boundState(),
+                                src.trace);
+    prof::detail::mergeTrees(prof::detail::boundState(), src.prof);
+    flight::detail::mergeRecords(flight::detail::state(), src.flight);
+}
+
+} // namespace xc::sim

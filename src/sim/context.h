@@ -1,0 +1,80 @@
+#ifndef XC_SIM_CONTEXT_H
+#define XC_SIM_CONTEXT_H
+
+/**
+ * @file
+ * Per-simulation observability context.
+ *
+ * A SimContext owns one private instance of every piece of mutable
+ * process-wide state the observability subsystems keep: the trace
+ * capture buffer, the profiler's attribution trees, the flight
+ * recorder, and the logger's level/sink. Core simulation state was
+ * already per-instance (each hw::Machine owns its EventQueue, Rng,
+ * StatRegistry, MechanismCounters and FaultInjector), so binding a
+ * SimContext to a thread makes a whole simulation run self-contained:
+ * two runs on two threads share no mutable state at all.
+ *
+ * Binding is RAII and nestable:
+ *
+ *   SimContext ctx;
+ *   {
+ *       ContextBinding bind(ctx);
+ *       ... run one simulation; trace/prof/flight/log calls made on
+ *           this thread operate on ctx ...
+ *   }   // previous binding (usually the process default) restored
+ *
+ * After the run, mergeObservability(ctx) folds the context's
+ * captured events, profile trees and flight records into whatever
+ * state is bound to the calling thread — merging cell contexts in
+ * sequential-cell order reproduces a sequential run's exports
+ * byte-for-byte (see sim::SweepExecutor).
+ */
+
+#include "sim/logging.h"
+#include "sim/profile.h"
+#include "sim/request_ctx.h"
+#include "sim/trace.h"
+
+namespace xc::sim {
+
+/** Private observability state for one simulation run. */
+struct SimContext
+{
+    trace::detail::CaptureState trace;
+    prof::detail::ProfileState prof;
+    flight::detail::State flight;
+    LogState log;
+};
+
+/**
+ * Bind a SimContext's state to the calling thread for the lifetime
+ * of the object; the previous bindings are restored on destruction.
+ * Not copyable or movable; destroy on the thread that constructed it.
+ */
+class ContextBinding
+{
+  public:
+    explicit ContextBinding(SimContext &ctx);
+    ~ContextBinding();
+
+    ContextBinding(const ContextBinding &) = delete;
+    ContextBinding &operator=(const ContextBinding &) = delete;
+
+  private:
+    trace::detail::CaptureState *prev_trace_;
+    prof::detail::ProfileState *prev_prof_;
+    flight::detail::State *prev_flight_;
+    LogState *prev_log_;
+};
+
+/**
+ * Fold @p src's trace events, profile trees and flight records into
+ * the state currently bound to the calling thread. @p src's flight
+ * records are consumed (moved out); its trace/profile state is left
+ * intact. The caller must not hold a ContextBinding to @p src.
+ */
+void mergeObservability(SimContext &src);
+
+} // namespace xc::sim
+
+#endif // XC_SIM_CONTEXT_H

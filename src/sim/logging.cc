@@ -7,8 +7,16 @@ namespace xc::sim {
 
 namespace {
 
-LogLevel g_level = LogLevel::Warn;
-bool g_throw = false;
+/** Shared fallback for threads with no bound state: preserves the
+ *  historical process-global single-threaded behaviour. */
+LogState g_default;
+thread_local LogState *t_bound = nullptr;
+
+LogState &
+S()
+{
+    return t_bound != nullptr ? *t_bound : g_default;
+}
 
 std::string
 vformat(const char *fmt, va_list ap)
@@ -26,33 +34,56 @@ vformat(const char *fmt, va_list ap)
 void
 emit(const char *tag, const std::string &msg)
 {
-    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    LogState &st = S();
+    if (st.sink)
+        st.sink(tag, msg);
+    else
+        std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
 }
 
 } // namespace
 
+namespace detail {
+
+LogState *
+bindThreadLogState(LogState *state)
+{
+    LogState *prev = t_bound;
+    t_bound = state;
+    return prev;
+}
+
+} // namespace detail
+
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    S().level = level;
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return S().level;
+}
+
+void
+setLogSink(
+    std::function<void(const char *tag, const std::string &msg)> sink)
+{
+    S().sink = std::move(sink);
 }
 
 void
 setThrowOnError(bool enable)
 {
-    g_throw = enable;
+    S().throwOnError = enable;
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (g_level > LogLevel::Info)
+    if (S().level > LogLevel::Info)
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -63,7 +94,7 @@ inform(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (g_level > LogLevel::Warn)
+    if (S().level > LogLevel::Warn)
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -74,7 +105,7 @@ warn(const char *fmt, ...)
 void
 debugLog(const char *fmt, ...)
 {
-    if (g_level > LogLevel::Debug)
+    if (S().level > LogLevel::Debug)
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -89,7 +120,7 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    if (g_throw)
+    if (S().throwOnError)
         throw SimError{msg, true};
     emit("panic", msg);
     std::abort();
@@ -102,7 +133,7 @@ fatal(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    if (g_throw)
+    if (S().throwOnError)
         throw SimError{msg, false};
     emit("fatal", msg);
     std::exit(1);

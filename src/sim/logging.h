@@ -14,6 +14,7 @@
  */
 
 #include <cstdarg>
+#include <functional>
 #include <string>
 
 namespace xc::sim {
@@ -21,9 +22,21 @@ namespace xc::sim {
 /** Severity of a log message. */
 enum class LogLevel { Debug, Info, Warn, Error };
 
-/** Global verbosity threshold; messages below it are suppressed. */
+/** Verbosity threshold; messages below it are suppressed. Reads and
+ *  writes go to the state bound to the calling thread (see LogState),
+ *  falling back to a shared process-default. */
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
+
+/**
+ * Redirect log output (default: stderr). The sink receives the
+ * severity tag ("info", "warn", ...) and the formatted message
+ * without trailing newline. Pass an empty function to restore
+ * stderr. Parallel sweeps use this to buffer each cell's log lines
+ * for in-order replay.
+ */
+void setLogSink(
+    std::function<void(const char *tag, const std::string &msg)> sink);
 
 /** Printf-style message sinks. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
@@ -50,6 +63,27 @@ struct SimError
     std::string message;
     bool isPanic;
 };
+
+/**
+ * The complete mutable state of the logger. Every logging entry point
+ * operates on the state bound to the calling thread (falling back to
+ * a shared process-default), so concurrent simulations with distinct
+ * bound states never observe each other's level/sink settings.
+ */
+struct LogState
+{
+    LogLevel level = LogLevel::Warn;
+    bool throwOnError = false;
+    std::function<void(const char *tag, const std::string &msg)> sink;
+};
+
+namespace detail {
+
+/** Bind @p state to the calling thread (nullptr = process default).
+ *  Returns the previously bound state. */
+LogState *bindThreadLogState(LogState *state);
+
+} // namespace detail
 
 } // namespace xc::sim
 

@@ -9,10 +9,46 @@
 namespace xc::sim::prof {
 
 namespace detail {
-bool g_on = false;
+
+thread_local bool g_on = false;
+
+namespace {
+
+/** Shared fallback for threads with no bound state: preserves the
+ *  historical process-global single-threaded behaviour. */
+ProfileState g_default;
+thread_local ProfileState *t_bound = nullptr;
+
+} // namespace
+
+ProfileState *
+bindThreadState(ProfileState *state)
+{
+    ProfileState *prev = t_bound;
+    t_bound = state;
+    g_on = state != nullptr ? state->on : g_default.on;
+    return prev;
+}
+
+ProfileState &
+boundState()
+{
+    return t_bound != nullptr ? *t_bound : g_default;
+}
+
 } // namespace detail
 
 namespace {
+
+using detail::Node;
+using detail::ProfileState;
+using detail::Tree;
+
+ProfileState &
+S()
+{
+    return detail::boundState();
+}
 
 /**
  * Fixed "layer/operation" frame for each sim::Mech, indexed by
@@ -39,54 +75,32 @@ constexpr const char *kMechFrame[] = {
 static_assert(sizeof kMechFrame / sizeof kMechFrame[0] == kMechCount,
               "one frame name per Mech");
 
-/** One frame in an attribution tree. Children are looked up
- *  linearly: fan-out per frame is small (a handful of mechanisms
- *  and sub-operations), and insertion order is deterministic. */
-struct Node
-{
-    int name = -1; // index into g_names
-    std::uint64_t cycles = 0;
-    std::uint64_t count = 0;
-    std::vector<int> children; // node indices, insertion order
-};
-
-struct Tree
-{
-    std::string label;
-    std::vector<Node> nodes; // nodes[0] is the unnamed root
-};
-
-std::vector<std::string> g_names;
-std::vector<Tree> g_trees;
-int g_tree = -1;        // current tree index, -1 = none yet
-std::vector<int> g_stack; // open frames (node indices, current tree)
-
 int
-internName(const char *name)
+internName(ProfileState &st, const char *name)
 {
-    for (std::size_t i = 0; i < g_names.size(); ++i)
-        if (g_names[i] == name)
+    for (std::size_t i = 0; i < st.names.size(); ++i)
+        if (st.names[i] == name)
             return static_cast<int>(i);
-    g_names.emplace_back(name);
-    return static_cast<int>(g_names.size()) - 1;
+    st.names.emplace_back(name);
+    return static_cast<int>(st.names.size()) - 1;
 }
 
 /** The tree frames record into; created lazily so charges fired
  *  before any beginTree() still land somewhere visible. */
 Tree &
-currentTree()
+currentTree(ProfileState &st)
 {
-    if (g_tree < 0) {
-        g_trees.push_back(Tree{"(unlabeled)", {Node{}}});
-        g_tree = static_cast<int>(g_trees.size()) - 1;
+    if (st.tree < 0) {
+        st.trees.push_back(Tree{"(unlabeled)", {Node{}}});
+        st.tree = static_cast<int>(st.trees.size()) - 1;
     }
-    return g_trees[static_cast<std::size_t>(g_tree)];
+    return st.trees[static_cast<std::size_t>(st.tree)];
 }
 
 int
-currentFrame()
+currentFrame(const ProfileState &st)
 {
-    return g_stack.empty() ? 0 : g_stack.back();
+    return st.stack.empty() ? 0 : st.stack.back();
 }
 
 int
@@ -107,9 +121,9 @@ childNamed(Tree &tree, int parent, int name)
 }
 
 const Tree *
-findTree(const std::string &label)
+findTree(const ProfileState &st, const std::string &label)
 {
-    for (const Tree &t : g_trees)
+    for (const Tree &t : st.trees)
         if (t.label == label)
             return &t;
     return nullptr;
@@ -179,38 +193,40 @@ appendU64(std::string &out, std::uint64_t v)
 
 /** Children of @p node sorted by frame name (export order). */
 std::vector<int>
-sortedChildren(const Tree &tree, int node)
+sortedChildren(const ProfileState &st, const Tree &tree, int node)
 {
     std::vector<int> kids =
         tree.nodes[static_cast<std::size_t>(node)].children;
-    std::sort(kids.begin(), kids.end(), [&tree](int a, int b) {
-        return g_names[static_cast<std::size_t>(
+    std::sort(kids.begin(), kids.end(), [&st, &tree](int a, int b) {
+        return st.names[static_cast<std::size_t>(
                    tree.nodes[static_cast<std::size_t>(a)].name)] <
-               g_names[static_cast<std::size_t>(
+               st.names[static_cast<std::size_t>(
                    tree.nodes[static_cast<std::size_t>(b)].name)];
     });
     return kids;
 }
 
 void
-appendNodeJson(std::string &out, const Tree &tree, int node)
+appendNodeJson(std::string &out, const ProfileState &st,
+               const Tree &tree, int node)
 {
     const Node &n = tree.nodes[static_cast<std::size_t>(node)];
     out += "{\"name\":";
-    appendJsonString(out, g_names[static_cast<std::size_t>(n.name)]);
+    appendJsonString(out,
+                     st.names[static_cast<std::size_t>(n.name)]);
     out += ",\"cycles\":";
     appendU64(out, n.cycles);
     out += ",\"count\":";
     appendU64(out, n.count);
     out += ",\"total_cycles\":";
     appendU64(out, subtreeCycles(tree, node));
-    std::vector<int> kids = sortedChildren(tree, node);
+    std::vector<int> kids = sortedChildren(st, tree, node);
     if (!kids.empty()) {
         out += ",\"children\":[";
         for (std::size_t i = 0; i < kids.size(); ++i) {
             if (i)
                 out += ',';
-            appendNodeJson(out, tree, kids[i]);
+            appendNodeJson(out, st, tree, kids[i]);
         }
         out += ']';
     }
@@ -218,14 +234,14 @@ appendNodeJson(std::string &out, const Tree &tree, int node)
 }
 
 void
-appendCollapsed(std::string &out, const Tree &tree, int node,
-                std::string prefix)
+appendCollapsed(std::string &out, const ProfileState &st,
+                const Tree &tree, int node, std::string prefix)
 {
     const Node &n = tree.nodes[static_cast<std::size_t>(node)];
     if (node != 0) {
         if (!prefix.empty())
             prefix += ';';
-        prefix += g_names[static_cast<std::size_t>(n.name)];
+        prefix += st.names[static_cast<std::size_t>(n.name)];
         if (n.cycles > 0) {
             out += prefix;
             out += ' ';
@@ -233,8 +249,8 @@ appendCollapsed(std::string &out, const Tree &tree, int node,
             out += '\n';
         }
     }
-    for (int c : sortedChildren(tree, node))
-        appendCollapsed(out, tree, c, prefix);
+    for (int c : sortedChildren(st, tree, node))
+        appendCollapsed(out, st, tree, c, prefix);
 }
 
 bool
@@ -248,30 +264,81 @@ saveText(const std::string &path, const std::string &text)
     return std::fclose(f) == 0 && ok;
 }
 
+/** Recursively fold @p src_node's children into @p dst. */
+void
+mergeNode(ProfileState &dst, Tree &dst_tree, int dst_node,
+          const ProfileState &src, const Tree &src_tree, int src_node)
+{
+    const Node &sn =
+        src_tree.nodes[static_cast<std::size_t>(src_node)];
+    for (int c : sn.children) {
+        const Node &child =
+            src_tree.nodes[static_cast<std::size_t>(c)];
+        int name = internName(
+            dst, src.names[static_cast<std::size_t>(child.name)]
+                     .c_str());
+        int d = childNamed(dst_tree, dst_node, name);
+        Node &dn = dst_tree.nodes[static_cast<std::size_t>(d)];
+        dn.cycles += child.cycles;
+        dn.count += child.count;
+        mergeNode(dst, dst_tree, d, src, src_tree, c);
+    }
+}
+
 } // namespace
+
+namespace detail {
+
+void
+mergeTrees(ProfileState &dst, const ProfileState &src)
+{
+    for (const Tree &st : src.trees) {
+        Tree *dt = nullptr;
+        for (Tree &t : dst.trees)
+            if (t.label == st.label)
+                dt = &t;
+        if (dt == nullptr) {
+            dst.trees.push_back(Tree{st.label, {Node{}}});
+            dt = &dst.trees.back();
+        }
+        Node &droot = dt->nodes[0];
+        const Node &sroot = st.nodes[0];
+        droot.cycles += sroot.cycles;
+        droot.count += sroot.count;
+        mergeNode(dst, *dt, 0, src, st, 0);
+    }
+}
+
+} // namespace detail
 
 void
 enable()
 {
     clear();
+    ProfileState &st = S();
+    st.on = true;
     detail::g_on = true;
 }
 
 void
 disable()
 {
+    ProfileState &st = S();
+    st.on = false;
+    st.stack.clear();
     detail::g_on = false;
-    g_stack.clear();
 }
 
 void
 clear()
 {
+    ProfileState &st = S();
+    st.on = false;
+    st.trees.clear();
+    st.names.clear();
+    st.stack.clear();
+    st.tree = -1;
     detail::g_on = false;
-    g_trees.clear();
-    g_names.clear();
-    g_stack.clear();
-    g_tree = -1;
 }
 
 void
@@ -279,37 +346,41 @@ beginTree(const std::string &label)
 {
     if (!enabled())
         return;
-    g_stack.clear();
-    for (std::size_t i = 0; i < g_trees.size(); ++i) {
-        if (g_trees[i].label == label) {
-            g_tree = static_cast<int>(i);
+    ProfileState &st = S();
+    st.stack.clear();
+    for (std::size_t i = 0; i < st.trees.size(); ++i) {
+        if (st.trees[i].label == label) {
+            st.tree = static_cast<int>(i);
             return;
         }
     }
-    g_trees.push_back(Tree{label, {Node{}}});
-    g_tree = static_cast<int>(g_trees.size()) - 1;
+    st.trees.push_back(Tree{label, {Node{}}});
+    st.tree = static_cast<int>(st.trees.size()) - 1;
 }
 
 void
 push(const char *name)
 {
-    Tree &tree = currentTree();
-    g_stack.push_back(
-        childNamed(tree, currentFrame(), internName(name)));
+    ProfileState &st = S();
+    Tree &tree = currentTree(st);
+    st.stack.push_back(
+        childNamed(tree, currentFrame(st), internName(st, name)));
 }
 
 void
 pop()
 {
-    if (!g_stack.empty())
-        g_stack.pop_back();
+    ProfileState &st = S();
+    if (!st.stack.empty())
+        st.stack.pop_back();
 }
 
 void
 addCycles(std::uint64_t cycles, std::uint64_t count)
 {
-    Node &n = currentTree()
-                  .nodes[static_cast<std::size_t>(currentFrame())];
+    ProfileState &st = S();
+    Node &n = currentTree(st)
+                  .nodes[static_cast<std::size_t>(currentFrame(st))];
     n.cycles += cycles;
     n.count += count;
 }
@@ -317,9 +388,10 @@ addCycles(std::uint64_t cycles, std::uint64_t count)
 void
 addLeaf(const char *name, std::uint64_t cycles, std::uint64_t count)
 {
-    Tree &tree = currentTree();
+    ProfileState &st = S();
+    Tree &tree = currentTree(st);
     Node &n = tree.nodes[static_cast<std::size_t>(
-        childNamed(tree, currentFrame(), internName(name)))];
+        childNamed(tree, currentFrame(st), internName(st, name)))];
     n.cycles += cycles;
     n.count += count;
 }
@@ -343,25 +415,26 @@ mechFrameName(int mech_index)
 std::size_t
 treeCount()
 {
-    return g_trees.size();
+    return S().trees.size();
 }
 
 std::uint64_t
 totalCycles(const std::string &tree_label)
 {
-    const Tree *t = findTree(tree_label);
+    const Tree *t = findTree(S(), tree_label);
     return t ? subtreeCycles(*t, 0) : 0;
 }
 
 std::uint64_t
 cyclesUnder(const std::string &tree_label, const std::string &frame)
 {
-    const Tree *t = findTree(tree_label);
+    const ProfileState &st = S();
+    const Tree *t = findTree(st, tree_label);
     if (!t)
         return 0;
     int name = -1;
-    for (std::size_t i = 0; i < g_names.size(); ++i)
-        if (g_names[i] == frame)
+    for (std::size_t i = 0; i < st.names.size(); ++i)
+        if (st.names[i] == frame)
             name = static_cast<int>(i);
     if (name < 0)
         return 0;
@@ -371,9 +444,10 @@ cyclesUnder(const std::string &tree_label, const std::string &frame)
 std::string
 exportJson()
 {
+    const ProfileState &st = S();
     std::string out = "{\"trees\":[";
-    for (std::size_t t = 0; t < g_trees.size(); ++t) {
-        const Tree &tree = g_trees[t];
+    for (std::size_t t = 0; t < st.trees.size(); ++t) {
+        const Tree &tree = st.trees[t];
         if (t)
             out += ',';
         out += "\n{\"label\":";
@@ -381,11 +455,11 @@ exportJson()
         out += ",\"total_cycles\":";
         appendU64(out, subtreeCycles(tree, 0));
         out += ",\"frames\":[";
-        std::vector<int> kids = sortedChildren(tree, 0);
+        std::vector<int> kids = sortedChildren(st, tree, 0);
         for (std::size_t i = 0; i < kids.size(); ++i) {
             if (i)
                 out += ',';
-            appendNodeJson(out, tree, kids[i]);
+            appendNodeJson(out, st, tree, kids[i]);
         }
         out += "]}";
     }
@@ -396,12 +470,13 @@ exportJson()
 std::string
 exportCollapsed()
 {
+    const ProfileState &st = S();
     std::string out;
-    for (const Tree &tree : g_trees) {
+    for (const Tree &tree : st.trees) {
         std::string label = tree.label;
         // flamegraph.pl splits frames on ';' — keep labels clean.
         std::replace(label.begin(), label.end(), ';', ',');
-        appendCollapsed(out, tree, 0, label);
+        appendCollapsed(out, st, tree, 0, label);
     }
     return out;
 }

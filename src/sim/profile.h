@@ -34,11 +34,63 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace xc::sim::prof {
 
 namespace detail {
-extern bool g_on;
+
+/** Per-thread mirror of the bound state's on-flag: keeps the
+ *  enabled() gate a single thread-local load. */
+extern thread_local bool g_on;
+
+/** One frame in an attribution tree. Children are looked up
+ *  linearly: fan-out per frame is small (a handful of mechanisms
+ *  and sub-operations), and insertion order is deterministic. */
+struct Node
+{
+    int name = -1; // index into ProfileState::names
+    std::uint64_t cycles = 0;
+    std::uint64_t count = 0;
+    std::vector<int> children; // node indices, insertion order
+};
+
+struct Tree
+{
+    std::string label;
+    std::vector<Node> nodes; // nodes[0] is the unnamed root
+};
+
+/**
+ * The complete mutable state of the profiler. Every prof:: entry
+ * point operates on the state bound to the calling thread (falling
+ * back to a shared process-default instance), so concurrent
+ * simulations with distinct bound states never observe each other.
+ */
+struct ProfileState
+{
+    bool on = false;
+    std::vector<std::string> names;
+    std::vector<Tree> trees;
+    int tree = -1;          ///< current tree index, -1 = none yet
+    std::vector<int> stack; ///< open frames (node indices)
+};
+
+/** Bind @p state to the calling thread (nullptr = process default).
+ *  Returns the previously bound state. */
+ProfileState *bindThreadState(ProfileState *state);
+
+/** The state prof:: calls on this thread operate on. */
+ProfileState &boundState();
+
+/**
+ * Merge @p src's attribution trees into @p dst: trees are matched by
+ * label (appended in @p src order when new), frames by path, and
+ * cycle/count totals summed. Merging cell states in sequential-cell
+ * order reproduces a sequential profile byte-for-byte.
+ */
+void mergeTrees(ProfileState &dst, const ProfileState &src);
+
 } // namespace detail
 
 /** True while the profiler is recording (the one-branch gate). */

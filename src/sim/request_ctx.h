@@ -104,24 +104,72 @@ struct Record
 };
 
 namespace detail {
-inline bool g_armed = false;
-inline int g_budget = 0;
-inline std::uint64_t g_next = 1;
-inline std::string g_label;
-inline double g_ticksPerCycle = 0.0;
-inline std::vector<Record> g_records;
+
+/**
+ * The complete mutable state of the flight recorder. Every flight::
+ * entry point operates on the state bound to the calling thread
+ * (falling back to a shared process-default instance), so concurrent
+ * simulations with distinct bound states never observe each other.
+ */
+struct State
+{
+    bool armed = false;
+    int budget = 0;
+    std::uint64_t next = 1;
+    std::string label;
+    double ticksPerCycle = 0.0;
+    std::vector<Record> records;
+};
+
+inline State g_default;
+inline thread_local State *t_bound = nullptr;
+
+/** The state flight:: calls on this thread operate on. */
+inline State &
+state()
+{
+    return t_bound != nullptr ? *t_bound : g_default;
+}
+
+/** Bind @p st to the calling thread (nullptr = process default).
+ *  Returns the previously bound state. */
+inline State *
+bindThreadState(State *st)
+{
+    State *prev = t_bound;
+    t_bound = st;
+    return prev;
+}
+
+/**
+ * Move @p src's records onto the end of @p dst, re-minting ids from
+ * @p dst's counter. Merging cell states in sequential-cell order
+ * reproduces the id sequence a sequential run would have minted, so
+ * rendered timelines and JSON exports stay byte-identical.
+ */
+inline void
+mergeRecords(State &dst, State &src)
+{
+    for (Record &r : src.records) {
+        r.id = dst.next++;
+        dst.records.push_back(std::move(r));
+    }
+    src.records.clear();
+}
 
 inline Record *
 find(std::uint64_t id)
 {
     if (id == 0)
         return nullptr;
+    State &st = state();
     // Newest first: marks target recently minted records.
-    for (std::size_t i = g_records.size(); i-- > 0;)
-        if (g_records[i].id == id)
-            return &g_records[i];
+    for (std::size_t i = st.records.size(); i-- > 0;)
+        if (st.records[i].id == id)
+            return &st.records[i];
     return nullptr;
 }
+
 } // namespace detail
 
 /** Record the next @p n requests under @p label. @p ticks_per_cycle
@@ -130,29 +178,32 @@ find(std::uint64_t id)
 inline void
 arm(int n, std::string label = "", double ticks_per_cycle = 0.0)
 {
-    detail::g_budget = n;
-    detail::g_armed = n > 0;
-    detail::g_label = std::move(label);
-    detail::g_ticksPerCycle = ticks_per_cycle;
+    detail::State &st = detail::state();
+    st.budget = n;
+    st.armed = n > 0;
+    st.label = std::move(label);
+    st.ticksPerCycle = ticks_per_cycle;
 }
 
 /** True while there is sampling budget left. */
 inline bool
 armed()
 {
-    return detail::g_armed && detail::g_budget > 0;
+    const detail::State &st = detail::state();
+    return st.armed && st.budget > 0;
 }
 
 /** Drop all records and disarm. */
 inline void
 clear()
 {
-    detail::g_armed = false;
-    detail::g_budget = 0;
-    detail::g_next = 1;
-    detail::g_label.clear();
-    detail::g_ticksPerCycle = 0.0;
-    detail::g_records.clear();
+    detail::State &st = detail::state();
+    st.armed = false;
+    st.budget = 0;
+    st.next = 1;
+    st.label.clear();
+    st.ticksPerCycle = 0.0;
+    st.records.clear();
 }
 
 /**
@@ -164,15 +215,16 @@ begin(Tick now)
 {
     if (!armed())
         return 0;
-    --detail::g_budget;
+    detail::State &st = detail::state();
+    --st.budget;
     Record r;
-    r.id = detail::g_next++;
-    r.label = detail::g_label;
+    r.id = st.next++;
+    r.label = st.label;
     r.begin = now;
-    r.ticksPerCycle = detail::g_ticksPerCycle;
+    r.ticksPerCycle = st.ticksPerCycle;
     r.hops.push_back(Hop{"client/send", now});
-    detail::g_records.push_back(std::move(r));
-    return detail::g_records.back().id;
+    st.records.push_back(std::move(r));
+    return st.records.back().id;
 }
 
 /** Append a hop to an open record; no-op for id 0 (the fast path). */
@@ -211,14 +263,14 @@ fail(std::uint64_t id, Tick now)
 inline const std::vector<Record> &
 records()
 {
-    return detail::g_records;
+    return detail::state().records;
 }
 
 inline std::size_t
 completeCount()
 {
     std::size_t n = 0;
-    for (const Record &r : detail::g_records)
+    for (const Record &r : records())
         n += r.complete ? 1 : 0;
     return n;
 }
@@ -270,7 +322,7 @@ inline std::string
 renderAll()
 {
     std::string out;
-    for (const Record &r : detail::g_records)
+    for (const Record &r : records())
         out += renderTimeline(r);
     return out;
 }
@@ -279,9 +331,10 @@ renderAll()
 inline std::string
 exportJson()
 {
+    const std::vector<Record> &recs = records();
     std::string out = "[";
-    for (std::size_t i = 0; i < detail::g_records.size(); ++i) {
-        const Record &r = detail::g_records[i];
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+        const Record &r = recs[i];
         char buf[160];
         if (i)
             out += ',';

@@ -1,0 +1,178 @@
+#include "sim/sweep.h"
+
+#include <cstdio>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace xc::sim {
+
+/**
+ * Per-worker work-stealing deques. Each deque holds cell ids; a
+ * worker pops from the front of its own deque (preserving the deal
+ * order, which keeps -j1 strictly sequential) and steals from the
+ * back of another's when its own runs dry. One mutex per deque: cells
+ * are coarse-grained simulations, so the lock is cold.
+ */
+struct SweepExecutor::Queues
+{
+    struct Deque
+    {
+        std::mutex mu;
+        std::deque<std::size_t> ids;
+    };
+
+    explicit Queues(int workers) : deques(workers) {}
+
+    std::vector<Deque> deques;
+
+    /** Pop from own deque, else steal; false when all are empty. */
+    bool
+    next(int worker, std::size_t &id)
+    {
+        Deque &own = deques[static_cast<std::size_t>(worker)];
+        {
+            std::lock_guard<std::mutex> lock(own.mu);
+            if (!own.ids.empty()) {
+                id = own.ids.front();
+                own.ids.pop_front();
+                return true;
+            }
+        }
+        int n = static_cast<int>(deques.size());
+        for (int k = 1; k < n; ++k) {
+            Deque &victim =
+                deques[static_cast<std::size_t>((worker + k) % n)];
+            std::lock_guard<std::mutex> lock(victim.mu);
+            if (!victim.ids.empty()) {
+                id = victim.ids.back();
+                victim.ids.pop_back();
+                return true;
+            }
+        }
+        return false;
+    }
+};
+
+SweepExecutor::SweepExecutor(int jobs) : jobs_(jobs)
+{
+    if (jobs_ <= 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        jobs_ = hw > 0 ? static_cast<int>(hw) : 1;
+    }
+}
+
+SweepExecutor::~SweepExecutor() = default;
+
+void
+SweepExecutor::setCellSetup(std::function<void()> setup)
+{
+    setup_ = std::move(setup);
+}
+
+std::size_t
+SweepExecutor::add(std::function<void()> body)
+{
+    Cell cell;
+    cell.body = std::move(body);
+    cells_.push_back(std::move(cell));
+    return cells_.size() - 1;
+}
+
+void
+SweepExecutor::runCell(Cell &cell)
+{
+    cell.ctx = std::make_unique<SimContext>();
+
+    // Inherit the caller's log settings so per-cell output matches
+    // what a sequential run would have printed. (The binding isn't
+    // installed yet, so these reads still see the caller's state.)
+    cell.ctx->log.level = logLevel();
+    // fatal()/panic() inside a cell must not exit/abort the whole
+    // sweep from a worker thread: make them throw SimError, caught
+    // below into cell.error and re-reported after the merge.
+    cell.ctx->log.throwOnError = true;
+
+    ContextBinding bind(*cell.ctx);
+
+    // Buffer every line the cell would have written to stderr, for
+    // in-order replay at merge time.
+    std::string *console = &cell.console;
+    setLogSink([console](const char *tag, const std::string &msg) {
+        *console += tag;
+        *console += ": ";
+        *console += msg;
+        *console += '\n';
+    });
+    trace::setSink([console](const std::string &line) {
+        *console += line;
+        *console += '\n';
+    });
+
+    try {
+        if (setup_)
+            setup_();
+        cell.body();
+    } catch (const SimError &e) {
+        cell.error = e.message;
+    } catch (const std::exception &e) {
+        cell.error = e.what();
+    }
+}
+
+void
+SweepExecutor::workerLoop(int worker, int workers)
+{
+    (void)workers;
+    std::size_t id = 0;
+    while (queues_->next(worker, id))
+        runCell(cells_[id]);
+}
+
+void
+SweepExecutor::run()
+{
+    int workers = jobs_;
+    if (static_cast<std::size_t>(workers) > cells_.size())
+        workers = static_cast<int>(cells_.size());
+    if (workers < 1)
+        workers = 1;
+
+    queues_ = std::make_unique<Queues>(workers);
+    // Deal cells round-robin so each worker starts with a contiguous
+    // stripe of the matrix; stealing rebalances the tail.
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        Queues::Deque &dq =
+            queues_->deques[i % static_cast<std::size_t>(workers)];
+        dq.ids.push_back(i);
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers) - 1);
+    for (int w = 1; w < workers; ++w)
+        threads.emplace_back(
+            [this, w, workers] { workerLoop(w, workers); });
+    workerLoop(0, workers); // caller participates as worker 0
+    for (std::thread &t : threads)
+        t.join();
+    queues_.reset();
+
+    // Deterministic merge: strictly in cell-id order, on the
+    // caller's thread, against the caller's bound state.
+    std::string firstError;
+    for (Cell &cell : cells_) {
+        if (!cell.console.empty())
+            std::fputs(cell.console.c_str(), stderr);
+        mergeObservability(*cell.ctx);
+        if (firstError.empty() && !cell.error.empty())
+            firstError = cell.error;
+        cell.ctx.reset();
+    }
+
+    if (!firstError.empty())
+        fatal("sweep cell failed: %s", firstError.c_str());
+}
+
+} // namespace xc::sim

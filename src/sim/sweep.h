@@ -1,0 +1,117 @@
+#ifndef XC_SIM_SWEEP_H
+#define XC_SIM_SWEEP_H
+
+/**
+ * @file
+ * Parallel sweep executor: run independent simulation cells across
+ * host threads with results bit-identical to a sequential run.
+ *
+ * A "cell" is one configuration of a bench's sweep matrix — one
+ * (app, cloud, runtime, seed) combination — and is an independent,
+ * deterministic simulation: it builds its own hw::Machine (which
+ * owns its EventQueue, Rng, stats and counters) and touches no
+ * mutable state outside its bound sim::SimContext. That makes the
+ * sweep embarrassingly parallel; the only work is isolation and
+ * deterministic merging, which this executor provides:
+ *
+ *  - each cell runs under a fresh SimContext bound to the worker
+ *    thread, so trace capture, profile trees, flight records and log
+ *    output never interleave between cells;
+ *  - console output (trace lines, log lines) is buffered per cell
+ *    and replayed in cell order after the sweep;
+ *  - captured events / profile trees / flight records are merged
+ *    into the caller's state in cell order, reproducing exactly the
+ *    state a sequential run would have built.
+ *
+ * Scheduling is work-stealing over per-worker deques: cells are
+ * dealt round-robin, a worker pops from the front of its own deque
+ * and steals from the back of others when empty. Cells are coarse
+ * (milliseconds to seconds of host time each), so queue contention
+ * is irrelevant; stealing just keeps long cells from serializing the
+ * tail. The caller's thread participates as worker 0, so -j1 runs
+ * everything inline on the calling thread — byte-identical to the
+ * pre-executor sequential loops by construction.
+ *
+ * Usage (see bench::runSweep for the bench-side wrapper):
+ *
+ *   SweepExecutor ex(jobs);
+ *   ex.setCellSetup([] { ... enable tracing/profiling ... });
+ *   for (auto &cfg : cells)
+ *       ex.add([&, cfg] { results[i] = runOne(cfg); });
+ *   ex.run();   // blocks; merges observability in cell order
+ */
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/context.h"
+
+namespace xc::sim {
+
+class SweepExecutor
+{
+  public:
+    /**
+     * @p jobs: worker threads to use. 1 = run inline on the calling
+     * thread; <= 0 = one per hardware thread. The effective count is
+     * additionally capped at the number of cells.
+     */
+    explicit SweepExecutor(int jobs);
+    ~SweepExecutor();
+
+    SweepExecutor(const SweepExecutor &) = delete;
+    SweepExecutor &operator=(const SweepExecutor &) = delete;
+
+    /**
+     * Run @p setup at the start of every cell, on the worker thread,
+     * with the cell's SimContext already bound. Benches use this to
+     * re-apply their observability flags (trace mask, capture,
+     * profiler) inside each cell's private context.
+     */
+    void setCellSetup(std::function<void()> setup);
+
+    /** Enqueue a cell; returns its id (execution slot). Cells are
+     *  merged in id order, which is the order they were added. */
+    std::size_t add(std::function<void()> body);
+
+    /**
+     * Run all cells to completion, then merge each cell's console
+     * output and observability state into the caller's, in cell
+     * order. A cell that throws does not abort the sweep; its error
+     * is reported through sim::fatal after the merge (which honours
+     * setThrowOnError, so tests can assert on it).
+     */
+    void run();
+
+    /** Number of cells enqueued. */
+    std::size_t
+    size() const
+    {
+        return cells_.size();
+    }
+
+  private:
+    struct Cell
+    {
+        std::function<void()> body;
+        std::unique_ptr<SimContext> ctx;
+        std::string console; ///< buffered trace + log lines
+        std::string error;   ///< first exception message, if any
+    };
+
+    void runCell(Cell &cell);
+    void workerLoop(int worker, int workers);
+
+    int jobs_;
+    std::function<void()> setup_;
+    std::vector<Cell> cells_;
+
+    struct Queues; ///< per-worker deques (host-thread plumbing)
+    std::unique_ptr<Queues> queues_;
+};
+
+} // namespace xc::sim
+
+#endif // XC_SIM_SWEEP_H

@@ -2,16 +2,54 @@
 
 #include <cstdio>
 #include <sstream>
-#include <vector>
 
 #include "sim/event_queue.h"
 
 namespace xc::sim::trace {
 
+namespace detail {
+
+thread_local std::uint32_t g_mask = None;
+thread_local bool g_capturing = false;
+
 namespace {
 
-std::uint32_t g_mask = None;
-std::function<void(const std::string &)> g_sink;
+/** Shared fallback for threads with no bound state: preserves the
+ *  historical process-global single-threaded behaviour. */
+CaptureState g_default;
+thread_local CaptureState *t_bound = nullptr;
+
+} // namespace
+
+CaptureState *
+bindThreadState(CaptureState *state)
+{
+    CaptureState *prev = t_bound;
+    t_bound = state;
+    const CaptureState &now = state != nullptr ? *state : g_default;
+    g_mask = now.mask;
+    g_capturing = now.capturing;
+    return prev;
+}
+
+CaptureState &
+boundState()
+{
+    return t_bound != nullptr ? *t_bound : g_default;
+}
+
+} // namespace detail
+
+namespace {
+
+using detail::CaptureState;
+using detail::Event;
+
+CaptureState &
+S()
+{
+    return detail::boundState();
+}
 
 const char *
 categoryName(Category cat)
@@ -27,28 +65,6 @@ categoryName(Category cat)
       default: return "?";
     }
 }
-
-// ----- structured capture state ---------------------------------
-
-struct Event
-{
-    enum class Kind : std::uint8_t { Complete, Instant, Counter };
-    Kind kind;
-    Category cat;
-    int track;  ///< index into g_tracks
-    int lane;   ///< tid within the track
-    int name;   ///< index into g_names
-    Tick ts;
-    Tick dur;           ///< Complete only
-    std::int64_t value; ///< Counter only
-};
-
-bool g_capturing = false;
-std::size_t g_limit = kDefaultCaptureLimit;
-std::uint64_t g_dropped = 0;
-std::vector<Event> g_events;
-std::vector<std::string> g_tracks;
-std::vector<std::string> g_names;
 
 /**
  * Intern @p s into @p table; linear scan keeps insertion order (and
@@ -66,14 +82,20 @@ intern(std::vector<std::string> &table, const char *s)
     return static_cast<int>(table.size() - 1);
 }
 
-bool
-record(Event &&ev)
+int
+intern(std::vector<std::string> &table, const std::string &s)
 {
-    if (g_events.size() >= g_limit) {
-        ++g_dropped;
+    return intern(table, s.c_str());
+}
+
+bool
+record(CaptureState &st, Event &&ev)
+{
+    if (st.events.size() >= st.limit) {
+        ++st.dropped;
         return false;
     }
-    g_events.push_back(ev);
+    st.events.push_back(ev);
     return true;
 }
 
@@ -101,22 +123,37 @@ appendJsonString(std::ostringstream &os, const std::string &s)
 
 } // namespace
 
+namespace detail {
+
+void
+mergeCapture(CaptureState &dst, const CaptureState &src)
+{
+    for (const Event &ev : src.events) {
+        Event copy = ev;
+        copy.track = intern(dst.tracks,
+                            src.tracks[static_cast<std::size_t>(
+                                ev.track)]);
+        copy.name = intern(dst.names,
+                           src.names[static_cast<std::size_t>(
+                               ev.name)]);
+        record(dst, std::move(copy));
+    }
+    dst.dropped += src.dropped;
+}
+
+} // namespace detail
+
 void
 enable(std::uint32_t mask)
 {
-    g_mask = mask;
-}
-
-std::uint32_t
-enabled()
-{
-    return g_mask;
+    S().mask = mask;
+    detail::g_mask = mask;
 }
 
 void
 setSink(std::function<void(const std::string &)> sink)
 {
-    g_sink = std::move(sink);
+    S().sink = std::move(sink);
 }
 
 void
@@ -134,8 +171,9 @@ emit(Category cat, Tick now, const char *component, const char *fmt,
                   static_cast<double>(now) /
                       static_cast<double>(kTicksPerUs),
                   categoryName(cat), component, body);
-    if (g_sink)
-        g_sink(line);
+    CaptureState &st = S();
+    if (st.sink)
+        st.sink(line);
     else
         std::fprintf(stderr, "%s\n", line);
 }
@@ -173,93 +211,96 @@ void
 startCapture(std::size_t max_events)
 {
     clearCapture();
-    g_limit = max_events;
-    g_capturing = true;
+    CaptureState &st = S();
+    st.limit = max_events;
+    st.capturing = true;
+    detail::g_capturing = true;
 }
 
 void
 stopCapture()
 {
-    g_capturing = false;
-}
-
-bool
-capturing()
-{
-    return g_capturing;
+    S().capturing = false;
+    detail::g_capturing = false;
 }
 
 void
 clearCapture()
 {
-    g_capturing = false;
-    g_dropped = 0;
-    g_events.clear();
-    g_tracks.clear();
-    g_names.clear();
+    CaptureState &st = S();
+    st.capturing = false;
+    detail::g_capturing = false;
+    st.dropped = 0;
+    st.events.clear();
+    st.tracks.clear();
+    st.names.clear();
 }
 
 std::size_t
 capturedEvents()
 {
-    return g_events.size();
+    return S().events.size();
 }
 
 std::uint64_t
 droppedEvents()
 {
-    return g_dropped;
+    return S().dropped;
 }
 
 void
 completeEvent(Category cat, const char *track, int lane,
               const char *name, Tick begin, Tick end)
 {
-    if (!g_capturing)
+    CaptureState &st = S();
+    if (!st.capturing)
         return;
-    record({Event::Kind::Complete, cat, intern(g_tracks, track), lane,
-            intern(g_names, name), begin,
-            end >= begin ? end - begin : 0, 0});
+    record(st, {Event::Kind::Complete, cat, intern(st.tracks, track),
+                lane, intern(st.names, name), begin,
+                end >= begin ? end - begin : 0, 0});
 }
 
 void
 instantEvent(Category cat, const char *track, int lane,
              const char *name, Tick now)
 {
-    if (!g_capturing)
+    CaptureState &st = S();
+    if (!st.capturing)
         return;
-    record({Event::Kind::Instant, cat, intern(g_tracks, track), lane,
-            intern(g_names, name), now, 0, 0});
+    record(st, {Event::Kind::Instant, cat, intern(st.tracks, track),
+                lane, intern(st.names, name), now, 0, 0});
 }
 
 void
 counterEvent(Category cat, const char *track, const char *name,
              Tick now, std::int64_t value)
 {
-    if (!g_capturing)
+    CaptureState &st = S();
+    if (!st.capturing)
         return;
-    record({Event::Kind::Counter, cat, intern(g_tracks, track), 0,
-            intern(g_names, name), now, 0, value});
+    record(st, {Event::Kind::Counter, cat, intern(st.tracks, track),
+                0, intern(st.names, name), now, 0, value});
 }
 
 std::string
 exportJson()
 {
+    const CaptureState &st = S();
     std::ostringstream os;
     os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":"
-       << g_dropped << "},\"traceEvents\":[";
+       << st.dropped << "},\"traceEvents\":[";
     bool first = true;
-    for (std::size_t i = 0; i < g_tracks.size(); ++i) {
+    for (std::size_t i = 0; i < st.tracks.size(); ++i) {
         if (!first)
             os << ",";
         first = false;
         os << "{\"ph\":\"M\",\"pid\":" << i
            << ",\"tid\":0,\"name\":\"process_name\",\"args\":{"
               "\"name\":";
-        appendJsonString(os, g_tracks[i]);
+        appendJsonString(os, st.tracks[i]);
         os << "}}";
     }
-    for (const Event &ev : g_events) {
+    for (const Event &ev : st.events) {
         if (!first)
             os << ",";
         first = false;
@@ -272,7 +313,8 @@ exportJson()
         os << "\",\"pid\":" << ev.track << ",\"tid\":" << ev.lane
            << ",\"cat\":\"" << categoryName(ev.cat)
            << "\",\"name\":";
-        appendJsonString(os, g_names[ev.name]);
+        appendJsonString(os, st.names[static_cast<std::size_t>(
+                                 ev.name)]);
         os << ",\"ts\":";
         appendUs(os, ev.ts);
         switch (ev.kind) {
@@ -307,7 +349,7 @@ saveJson(const std::string &path)
 ScopedSpan::ScopedSpan(const EventQueue &q, Category cat,
                        const char *track, int lane, const char *name)
 {
-    if (!g_capturing)
+    if (!capturing())
         return; // inactive: q_ stays null, destructor is a no-op
     q_ = &q;
     cat_ = cat;
@@ -319,7 +361,7 @@ ScopedSpan::ScopedSpan(const EventQueue &q, Category cat,
 
 ScopedSpan::~ScopedSpan()
 {
-    if (q_ != nullptr && g_capturing)
+    if (q_ != nullptr && capturing())
         completeEvent(cat_, track_, lane_, name_, begin_, q_->now());
 }
 

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "sim/types.h"
 
@@ -55,11 +56,28 @@ enum Category : std::uint32_t {
     All = ~0u,
 };
 
+namespace detail {
+
+/**
+ * Hot-path mirrors of the bound state's category mask and capturing
+ * flag: one thread_local scalar load instead of a bound-pointer test
+ * plus dereference. Kept in sync by enable(), startCapture(),
+ * stopCapture(), clearCapture() and bindThreadState().
+ */
+extern thread_local std::uint32_t g_mask;
+extern thread_local bool g_capturing;
+
+} // namespace detail
+
 /** Enable (replace) the active category mask. */
 void enable(std::uint32_t mask);
 
 /** Currently-enabled mask. */
-std::uint32_t enabled();
+inline std::uint32_t
+enabled()
+{
+    return detail::g_mask;
+}
 
 /** True if @p cat is enabled. */
 inline bool
@@ -89,7 +107,14 @@ constexpr std::size_t kDefaultCaptureLimit = 1u << 20;
 
 /**
  * Start recording structured events (clears any previous capture).
- * Capture is global and single-threaded, like the simulation.
+ *
+ * Every trace entry point operates on the capture state bound to the
+ * calling thread (see detail::bindThreadState / sim::SimContext); a
+ * thread with no binding uses the shared process-default state, which
+ * preserves the historical "global and single-threaded" behaviour.
+ * Parallel sweeps bind one state per simulation cell and merge them
+ * back in cell order, so exports stay byte-identical to a sequential
+ * run.
  */
 void startCapture(std::size_t max_events = kDefaultCaptureLimit);
 
@@ -97,7 +122,11 @@ void startCapture(std::size_t max_events = kDefaultCaptureLimit);
 void stopCapture();
 
 /** True while a capture is recording. */
-bool capturing();
+inline bool
+capturing()
+{
+    return detail::g_capturing;
+}
 
 /** Discard captured events and track/name tables. */
 void clearCapture();
@@ -159,6 +188,60 @@ class ScopedSpan
     Category cat_ = None;
     Tick begin_ = 0;
 };
+
+// ----- per-simulation state (sim::SimContext plumbing) ----------
+
+namespace detail {
+
+/** One recorded structured event. */
+struct Event
+{
+    enum class Kind : std::uint8_t { Complete, Instant, Counter };
+    Kind kind;
+    Category cat;
+    int track;  ///< index into CaptureState::tracks
+    int lane;   ///< tid within the track
+    int name;   ///< index into CaptureState::names
+    Tick ts;
+    Tick dur;           ///< Complete only
+    std::int64_t value; ///< Counter only
+};
+
+/**
+ * The complete mutable state of the tracing subsystem: the line-trace
+ * category mask and sink plus the structured-capture buffer. Every
+ * trace:: entry point reads the state bound to the calling thread
+ * (falling back to a shared process-default instance), so concurrent
+ * simulations with distinct bound states never observe each other.
+ */
+struct CaptureState
+{
+    std::uint32_t mask = None;
+    std::function<void(const std::string &)> sink;
+    bool capturing = false;
+    std::size_t limit = kDefaultCaptureLimit;
+    std::uint64_t dropped = 0;
+    std::vector<Event> events;
+    std::vector<std::string> tracks;
+    std::vector<std::string> names;
+};
+
+/** Bind @p state to the calling thread (nullptr = process default).
+ *  Returns the previously bound state. */
+CaptureState *bindThreadState(CaptureState *state);
+
+/** The state trace:: calls on this thread operate on. */
+CaptureState &boundState();
+
+/**
+ * Append @p src's captured events to @p dst, re-interning track and
+ * name ids and honouring @p dst's buffer limit. Appending cell
+ * captures in sequential-cell order reproduces a sequential capture
+ * byte-for-byte, including the dropped-event count.
+ */
+void mergeCapture(CaptureState &dst, const CaptureState &src);
+
+} // namespace detail
 
 } // namespace xc::sim::trace
 

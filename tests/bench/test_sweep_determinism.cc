@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Parallel-sweep determinism: the same fixed-seed sweep run at -j1
+ * and -j4 must produce byte-identical rendered rows, golden digests
+ * and observability exports (trace JSON, profile JSON, flight JSON) —
+ * the whole point of sim::SweepExecutor. Plus isolation unit tests:
+ * two concurrently bound SimContexts must not bleed trace events,
+ * profile frames or flight records into each other.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "load/unixbench.h"
+#include "sim/context.h"
+#include "sim/sweep.h"
+
+namespace xc {
+namespace {
+
+using bench::Options;
+
+/** One mini fig4-style cell: (runtime, seed). */
+struct Cell
+{
+    const char *runtime;
+    std::uint64_t seed;
+};
+
+/** Everything a sweep run produces that must be jobs-invariant. */
+struct SweepOutput
+{
+    std::string table;
+    std::string golden;
+    std::string traceJson;
+    std::string profJson;
+    std::string flightJson;
+};
+
+SweepOutput
+runMiniSweep(int jobs)
+{
+    // The outer context stands in for the process state a bench main
+    // would use, so repeated runs in one test binary start clean.
+    sim::SimContext outer;
+    sim::ContextBinding bind(outer);
+
+    Options opt;
+    opt.jobs = jobs;
+    opt.seed = 42;
+    opt.tracePath = "unused";   // arm per-cell capture
+    opt.profilePath = "unused"; // arm per-cell profiler
+    opt.flightSamples = 2;
+    sim::trace::startCapture();
+    sim::prof::enable();
+
+    auto spec = hw::MachineSpec::ec2C4_2xlarge();
+    const std::vector<Cell> cells = {
+        {"docker", 1}, {"x-container", 1}, {"gvisor", 1},
+        {"docker", 2}, {"x-container", 2}, {"gvisor", 2},
+    };
+
+    std::vector<std::uint64_t> ops = bench::runSweep(
+        opt, cells, [&](const Cell &cell) -> std::uint64_t {
+            Options cellOpt = opt;
+            cellOpt.seed = cell.seed;
+            auto rt = bench::makeCloudRuntime(cell.runtime, spec,
+                                              cellOpt);
+            char label[64];
+            std::snprintf(label, sizeof label, "%s/seed%llu",
+                          cell.runtime,
+                          static_cast<unsigned long long>(cell.seed));
+            opt.beginRun(label,
+                         static_cast<double>(spec.periodTicks()));
+            return load::runMicro(*rt, load::MicroKind::Syscall,
+                                  5 * sim::kTicksPerMs, 1)
+                .ops;
+        });
+
+    SweepOutput out;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        char row[128];
+        std::snprintf(row, sizeof row, "%s seed=%llu ops=%llu\n",
+                      cells[i].runtime,
+                      static_cast<unsigned long long>(cells[i].seed),
+                      static_cast<unsigned long long>(ops[i]));
+        out.table += row;
+        out.golden += row; // stands in for a GoldenLog digest line
+    }
+    out.traceJson = sim::trace::exportJson();
+    out.profJson = sim::prof::exportJson();
+    out.flightJson = sim::flight::exportJson();
+    return out;
+}
+
+TEST(SweepDeterminism, ParallelMatchesSequentialByteForByte)
+{
+    SweepOutput j1 = runMiniSweep(1);
+    SweepOutput j4 = runMiniSweep(4);
+
+    EXPECT_EQ(j1.table, j4.table);
+    EXPECT_EQ(j1.golden, j4.golden);
+    EXPECT_EQ(j1.traceJson, j4.traceJson);
+    EXPECT_EQ(j1.profJson, j4.profJson);
+    EXPECT_EQ(j1.flightJson, j4.flightJson);
+
+    // And the run did simulate something: non-zero rows, captured
+    // profile cycles for every cell's tree.
+    EXPECT_NE(j1.table.find("ops="), std::string::npos);
+    EXPECT_NE(j1.profJson.find("docker/seed1"), std::string::npos);
+    EXPECT_NE(j1.profJson.find("gvisor/seed2"), std::string::npos);
+}
+
+TEST(SweepDeterminism, RepeatedParallelRunsAreStable)
+{
+    SweepOutput a = runMiniSweep(4);
+    SweepOutput b = runMiniSweep(4);
+    EXPECT_EQ(a.table, b.table);
+    EXPECT_EQ(a.traceJson, b.traceJson);
+    EXPECT_EQ(a.profJson, b.profJson);
+}
+
+TEST(SimContextIsolation, ConcurrentContextsDontBleed)
+{
+    sim::SimContext a, b;
+    std::atomic<int> ready{0};
+
+    auto worker = [&ready](sim::SimContext &ctx, const char *name,
+                           int events, std::uint64_t cycles) {
+        sim::ContextBinding bind(ctx);
+        sim::trace::startCapture();
+        sim::prof::enable();
+        sim::prof::beginTree(name);
+        sim::flight::arm(1, name);
+
+        // Rendezvous so both threads interleave their recording.
+        ready.fetch_add(1);
+        while (ready.load() < 2) {
+        }
+
+        for (int i = 0; i < events; ++i) {
+            sim::trace::completeEvent(sim::trace::Syscall, name, 0,
+                                      name, i * 10, i * 10 + 5);
+            sim::prof::addLeaf(name, cycles);
+        }
+        std::uint64_t id = sim::flight::begin(100);
+        sim::flight::mark(id, name, 200);
+        sim::flight::complete(id, 300);
+    };
+
+    std::thread ta([&] { worker(a, "alpha", 100, 7); });
+    std::thread tb([&] { worker(b, "beta", 37, 11); });
+    ta.join();
+    tb.join();
+
+    {
+        sim::ContextBinding bind(a);
+        EXPECT_EQ(sim::trace::capturedEvents(), 100u);
+        EXPECT_EQ(sim::prof::treeCount(), 1u);
+        EXPECT_EQ(sim::prof::totalCycles("alpha"), 700u);
+        EXPECT_EQ(sim::prof::totalCycles("beta"), 0u);
+        ASSERT_EQ(sim::flight::records().size(), 1u);
+        EXPECT_EQ(sim::flight::records()[0].label, "alpha");
+        EXPECT_EQ(sim::trace::exportJson().find("beta"),
+                  std::string::npos);
+    }
+    {
+        sim::ContextBinding bind(b);
+        EXPECT_EQ(sim::trace::capturedEvents(), 37u);
+        EXPECT_EQ(sim::prof::treeCount(), 1u);
+        EXPECT_EQ(sim::prof::totalCycles("beta"), 407u);
+        EXPECT_EQ(sim::prof::totalCycles("alpha"), 0u);
+        ASSERT_EQ(sim::flight::records().size(), 1u);
+        EXPECT_EQ(sim::flight::records()[0].label, "beta");
+    }
+}
+
+TEST(SimContextIsolation, MergePreservesSequentialOrder)
+{
+    // Two "cells" recorded independently, merged in cell order into
+    // a fresh outer context: flight ids re-mint sequentially and
+    // trace name tables re-intern without duplication.
+    sim::SimContext c1, c2, outer;
+    {
+        sim::ContextBinding bind(c1);
+        sim::trace::startCapture();
+        sim::trace::completeEvent(sim::trace::Net, "shared", 0,
+                                  "first", 0, 1);
+        sim::flight::arm(1, "cell1");
+        sim::flight::complete(sim::flight::begin(10), 20);
+    }
+    {
+        sim::ContextBinding bind(c2);
+        sim::trace::startCapture();
+        sim::trace::completeEvent(sim::trace::Net, "shared", 0,
+                                  "second", 2, 3);
+        sim::flight::arm(1, "cell2");
+        sim::flight::complete(sim::flight::begin(30), 40);
+    }
+    {
+        sim::ContextBinding bind(outer);
+        sim::trace::startCapture();
+        sim::mergeObservability(c1);
+        sim::mergeObservability(c2);
+        EXPECT_EQ(sim::trace::capturedEvents(), 2u);
+        ASSERT_EQ(sim::flight::records().size(), 2u);
+        EXPECT_EQ(sim::flight::records()[0].id, 1u);
+        EXPECT_EQ(sim::flight::records()[0].label, "cell1");
+        EXPECT_EQ(sim::flight::records()[1].id, 2u);
+        EXPECT_EQ(sim::flight::records()[1].label, "cell2");
+        // "shared" interned once: one process_name metadata entry.
+        std::string json = sim::trace::exportJson();
+        std::size_t first = json.find("\"shared\"");
+        ASSERT_NE(first, std::string::npos);
+        EXPECT_EQ(json.find("\"shared\"", first + 1),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace xc
