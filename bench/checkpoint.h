@@ -1,0 +1,268 @@
+#ifndef XC_BENCH_CHECKPOINT_H
+#define XC_BENCH_CHECKPOINT_H
+
+/**
+ * @file
+ * Checkpoint/restore driver for benchmark cells (DESIGN.md §13).
+ *
+ * A checkpoint is a sim::snap::Snapshot with one section per
+ * subsystem plus a "recipe" section recording how to rebuild the
+ * cell (bench, app, cloud, runtime, seed, window). Because event
+ * callbacks are type-erased closures over live objects, restore is
+ * *deterministic replay plus byte-verification*: the restoring
+ * process replays the recipe to the checkpoint tick — which
+ * reconstructs every closure — and then loads each section, which
+ * adopts counters and *verifies* all identity-bearing state against
+ * the file. Finally the restored cell is re-captured and every
+ * section is compared byte-for-byte with the file; any divergence
+ * throws sim::snap::SnapError.
+ *
+ * True warm-start (no replay) is fork()-based cloning of an
+ * already-booted parent — see bench/fig_whatif.cc.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "runtimes/runtime.h"
+#include "sim/snapshot.h"
+
+namespace xc::bench {
+
+// Section names, in capture order.
+inline constexpr const char *kSecRecipe = "recipe";
+inline constexpr const char *kSecQueue = "queue";
+inline constexpr const char *kSecRng = "rng";
+inline constexpr const char *kSecMech = "mech";
+inline constexpr const char *kSecFaults = "faults";
+inline constexpr const char *kSecHw = "hw";
+inline constexpr const char *kSecRuntime = "runtime";
+inline constexpr const char *kSecObservability = "observability";
+
+/**
+ * Everything needed to rebuild the checkpointed cell by replay.
+ * Restore refuses to proceed when the restoring invocation's flags
+ * disagree with the recipe — replaying a different cell would fail
+ * byte-verification anyway, but the recipe turns that into a clear
+ * error up front.
+ */
+struct CellRecipe
+{
+    std::string bench;   ///< producing benchmark ("fig3_macro", ...)
+    std::string app;     ///< macro app name ("nginx", ...)
+    std::string cloud;   ///< machine-spec label ("Amazon EC2", ...)
+    std::string runtime; ///< runtime registry name
+    std::uint64_t seed = 0;
+    sim::Tick duration = 0;    ///< measurement window (ticks)
+    int connections = 0;       ///< client connections
+    double faultRate = 0.0;    ///< --faults rate armed at boot
+    sim::Tick checkpointAt = 0; ///< sim time the snapshot captures
+
+    void
+    save(sim::snap::SnapWriter &w) const
+    {
+        w.str(bench);
+        w.str(app);
+        w.str(cloud);
+        w.str(runtime);
+        w.u64(seed);
+        w.u64(checkpointAt);
+        w.u64(duration);
+        w.i64(connections);
+        w.f64(faultRate);
+    }
+
+    static CellRecipe
+    load(sim::snap::SnapReader &r)
+    {
+        CellRecipe c;
+        c.bench = r.str();
+        c.app = r.str();
+        c.cloud = r.str();
+        c.runtime = r.str();
+        c.seed = r.u64();
+        c.checkpointAt = r.u64();
+        c.duration = r.u64();
+        c.connections = static_cast<int>(r.i64());
+        c.faultRate = r.f64();
+        r.expectEnd("recipe section");
+        return c;
+    }
+};
+
+/** Parse the recipe section out of a loaded snapshot. */
+inline CellRecipe
+snapshotRecipe(const sim::snap::Snapshot &snap)
+{
+    sim::snap::SnapReader r(snap.require(kSecRecipe));
+    return CellRecipe::load(r);
+}
+
+/**
+ * Capture @p rt's full simulation state at the current sim time.
+ * Must run from inside the cell's event loop (an event-queue hook),
+ * so no request is between "fired" and "accounted".
+ */
+inline sim::snap::Snapshot
+captureSnapshot(runtimes::Runtime &rt, const CellRecipe &recipe)
+{
+    using sim::snap::SnapWriter;
+    sim::snap::Snapshot snap;
+    auto section = [&snap](const char *name, auto &&fill) {
+        SnapWriter w;
+        fill(w);
+        snap.set(name, w.take());
+    };
+    section(kSecRecipe, [&](SnapWriter &w) { recipe.save(w); });
+    section(kSecQueue, [&](SnapWriter &w) {
+        rt.machine().events().saveState(w);
+    });
+    section(kSecRng,
+            [&](SnapWriter &w) { rt.machine().rng().saveState(w); });
+    section(kSecMech,
+            [&](SnapWriter &w) { rt.machine().mech().saveState(w); });
+    section(kSecFaults, [&](SnapWriter &w) {
+        rt.machine().faults().saveState(w);
+    });
+    section(kSecHw, [&](SnapWriter &w) { rt.machine().saveState(w); });
+    section(kSecRuntime, [&](SnapWriter &w) { rt.saveState(w); });
+    section(kSecObservability,
+            [&](SnapWriter &w) { sim::snap::saveObservability(w); });
+    return snap;
+}
+
+/**
+ * Restore-by-verification, the continuation-safe path: @p rt must
+ * have been replayed from the snapshot's recipe to exactly the
+ * checkpoint tick; this re-captures it and byte-compares every
+ * section against the file. Throws sim::snap::SnapError on any
+ * divergence. Because nothing is loaded, the cell's event callbacks
+ * stay intact and the run can continue — this is what --restore
+ * uses. (If the bytes match, every counter, identity, queue entry
+ * and RNG word already equals the checkpoint; adoption would be a
+ * no-op.)
+ */
+inline void
+verifySnapshot(runtimes::Runtime &rt, const sim::snap::Snapshot &snap)
+{
+    using sim::snap::SnapError;
+    CellRecipe recipe = snapshotRecipe(snap);
+    if (recipe.runtime != rt.name()) {
+        throw SnapError("snapshot is for runtime '" + recipe.runtime +
+                        "', not '" + rt.name() + "'");
+    }
+    if (rt.machine().events().now() != recipe.checkpointAt) {
+        throw SnapError(
+            "verify attempted at the wrong sim time (replay must "
+            "reach the checkpoint tick first)");
+    }
+    sim::snap::Snapshot again = captureSnapshot(rt, recipe);
+    for (const auto &[name, payload] : snap.sections()) {
+        const std::string *mine = again.find(name);
+        if (mine == nullptr || *mine != payload) {
+            throw SnapError("section '" + name +
+                            "' diverged from the snapshot (replay did "
+                            "not reproduce the checkpointed state)");
+        }
+    }
+}
+
+/**
+ * Full adoption restore: loads every section into @p rt (adopting
+ * counters, verifying identity-bearing state), then re-captures and
+ * byte-compares like verifySnapshot. Throws sim::snap::SnapError on
+ * any divergence. Loading the event queue leaves its callbacks
+ * hollow and invalidates pre-existing EventHandles (the slab's
+ * restore nonce is bumped), so the cell CANNOT continue running
+ * afterwards — use verifySnapshot for restore-and-continue; this
+ * path exists to exercise the adoption code in tests.
+ */
+inline void
+restoreSnapshot(runtimes::Runtime &rt, const sim::snap::Snapshot &snap)
+{
+    using sim::snap::SnapError;
+    using sim::snap::SnapReader;
+    CellRecipe recipe = snapshotRecipe(snap);
+    if (recipe.runtime != rt.name()) {
+        throw SnapError("snapshot is for runtime '" + recipe.runtime +
+                        "', not '" + rt.name() + "'");
+    }
+    if (rt.machine().events().now() != recipe.checkpointAt) {
+        throw SnapError(
+            "restore attempted at the wrong sim time (replay must "
+            "reach the checkpoint tick first)");
+    }
+    auto section = [&snap](const char *name, auto &&drain) {
+        SnapReader r(snap.require(name));
+        drain(r);
+    };
+    // The event queue first: its load bumps the restore nonce, so
+    // handles created before this call are dead from here on.
+    section(kSecQueue, [&](SnapReader &r) {
+        rt.machine().events().loadState(r); // calls expectEnd itself
+    });
+    section(kSecRng, [&](SnapReader &r) {
+        rt.machine().rng().loadState(r);
+        r.expectEnd("rng section");
+    });
+    section(kSecMech, [&](SnapReader &r) {
+        rt.machine().mech().loadState(r);
+        r.expectEnd("mech section");
+    });
+    section(kSecFaults, [&](SnapReader &r) {
+        rt.machine().faults().loadState(r);
+        r.expectEnd("faults section");
+    });
+    section(kSecHw, [&](SnapReader &r) {
+        rt.machine().loadState(r);
+        r.expectEnd("hw section");
+    });
+    section(kSecRuntime, [&](SnapReader &r) {
+        rt.loadState(r);
+        r.expectEnd("runtime section");
+    });
+    section(kSecObservability, [&](SnapReader &r) {
+        sim::snap::loadObservability(r); // verify-only + expectEnd
+    });
+    // The byte-identity theorem: what we now hold re-serializes to
+    // exactly the file. Any subsystem whose load silently dropped or
+    // mangled state fails here, not miles downstream.
+    sim::snap::Snapshot again = captureSnapshot(rt, recipe);
+    for (const auto &[name, payload] : snap.sections()) {
+        const std::string *mine = again.find(name);
+        if (mine == nullptr || *mine != payload) {
+            throw SnapError("section '" + name +
+                            "' diverged after restore (replay did not "
+                            "reproduce the checkpointed state)");
+        }
+    }
+}
+
+/**
+ * Restore-and-continue from an already-loaded snapshot, with the
+ * standard reporting: verifySnapshot + a notice to stderr (stderr so
+ * stdout stays byte-identical to an uninterrupted run). Exits with
+ * code 3 on any snapshot error — restore failures are hard errors,
+ * never silent degradation.
+ */
+inline void
+verifySnapshotOrDie(runtimes::Runtime &rt,
+                    const sim::snap::Snapshot &snap)
+{
+    try {
+        verifySnapshot(rt, snap);
+        std::fprintf(stderr,
+                     "restored at sim time %llu (all %zu sections "
+                     "byte-verified)\n",
+                     static_cast<unsigned long long>(
+                         rt.machine().events().now()),
+                     snap.sectionCount());
+    } catch (const sim::snap::SnapError &e) {
+        std::fprintf(stderr, "restore failed: %s\n", e.what());
+        std::exit(3);
+    }
+}
+
+} // namespace xc::bench
+
+#endif // XC_BENCH_CHECKPOINT_H

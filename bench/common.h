@@ -54,6 +54,12 @@ using runtimes::Runtime;
  *   --golden FILE     write a deterministic run digest to FILE
  *   --jobs/-j N       run sweep cells on N host threads (0 = nproc);
  *                     output is byte-identical to -j1 at any N
+ *   --checkpoint-at MS  capture a snapshot at this sim time
+ *   --checkpoint FILE   where to write the snapshot
+ *   --restore FILE      replay to the snapshot's tick, byte-verify
+ *                       every section against FILE, and continue
+ *   --no-fork           (fig_whatif) replay each what-if cell from
+ *                       scratch instead of fork()ing the warm parent
  */
 struct Options
 {
@@ -71,6 +77,10 @@ struct Options
     bool quick = false;
     std::string goldenPath;
     int jobs = 1; ///< sweep worker threads; 0 = hardware threads
+    sim::Tick checkpointAt = 0; ///< 0 = no checkpoint hook
+    std::string checkpointPath;
+    std::string restorePath;
+    bool noFork = false; ///< fig_whatif: replay instead of fork()
 
     static Options
     parse(int argc, char **argv)
@@ -115,6 +125,15 @@ struct Options
                 o.quick = true;
             } else if (const char *v = value("--golden")) {
                 o.goldenPath = v;
+            } else if (const char *v = value("--checkpoint-at")) {
+                o.checkpointAt = std::strtoull(v, nullptr, 0) *
+                                 sim::kTicksPerMs;
+            } else if (const char *v = value("--checkpoint")) {
+                o.checkpointPath = v;
+            } else if (const char *v = value("--restore")) {
+                o.restorePath = v;
+            } else if (std::strcmp(a, "--no-fork") == 0) {
+                o.noFork = true;
             } else if (const char *v = value("--jobs")) {
                 o.jobs = std::atoi(v);
             } else if (const char *v = value("-j")) {
@@ -132,7 +151,8 @@ struct Options
                     "[--profile out.json] [--flight N] "
                     "[--timeseries out.json] [--mech] "
                     "[--faults RATE] [--quick] [--golden out.json] "
-                    "[--jobs/-j N]\n",
+                    "[--checkpoint-at MS] [--checkpoint FILE] "
+                    "[--restore FILE] [--no-fork] [--jobs/-j N]\n",
                     argv[0], a, argv[0]);
                 std::exit(2);
             }
@@ -485,6 +505,17 @@ struct MacroRun
      *  probes reference run-local state: do not restart the series
      *  after runMacro returns. */
     sim::TimeSeries *series = nullptr;
+    /**
+     * When hook is set, it runs as an event at sim time hookAt —
+     * the checkpoint/restore attachment point. The hook event is
+     * posted immediately after the driver-start event, so it shifts
+     * every later event's tie-break sequence by exactly one: a
+     * uniform, order-preserving shift that leaves the run's outputs
+     * byte-identical to a hook-free run (the hook itself must have
+     * no simulated side effects — capture and verify both qualify).
+     */
+    sim::Tick hookAt = 0;
+    std::function<void()> hook;
 };
 
 /** Deploy @p app on @p rt and drive it; returns the load result. */
@@ -552,6 +583,8 @@ runMacro(Runtime &rt, MacroApp app, const MacroRun &run)
     }
     rt.machine().events().post(10 * sim::kTicksPerMs,
                                [&] { driver.start(); });
+    if (run.hookAt != 0 && run.hook)
+        rt.machine().events().post(run.hookAt, [&run] { run.hook(); });
     rt.machine().events().runUntil(10 * sim::kTicksPerMs + spec.warmup +
                                    spec.duration +
                                    50 * sim::kTicksPerMs);

@@ -16,6 +16,7 @@
  * byte-identical at any -j.
  */
 
+#include "checkpoint.h"
 #include "common.h"
 
 using namespace xc;
@@ -25,6 +26,41 @@ int
 main(int argc, char **argv)
 {
     Options opt = Options::parse(argc, argv);
+
+    // --checkpoint / --restore (DESIGN.md §13). Capture hooks onto
+    // the first sweep cell; restore hooks onto the cell the
+    // snapshot's recipe names. Both run as side-effect-free events,
+    // so stdout is byte-identical to an uninterrupted run.
+    bool capture = !opt.checkpointPath.empty();
+    if (capture && opt.checkpointAt == 0) {
+        std::fprintf(stderr,
+                     "%s: --checkpoint needs --checkpoint-at MS\n",
+                     argv[0]);
+        return 2;
+    }
+    sim::snap::Snapshot restoreSnap;
+    CellRecipe restoreRecipe;
+    bool restoring = !opt.restorePath.empty();
+    if (restoring) {
+        try {
+            restoreSnap =
+                sim::snap::Snapshot::loadFile(opt.restorePath);
+            restoreRecipe = snapshotRecipe(restoreSnap);
+        } catch (const sim::snap::SnapError &e) {
+            std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+            return 3;
+        }
+        if (restoreRecipe.bench != "fig3_macro" ||
+            opt.seed != restoreRecipe.seed) {
+            std::fprintf(stderr,
+                         "%s: snapshot is from bench '%s' seed %llu; "
+                         "rerun with matching flags\n",
+                         argv[0], restoreRecipe.bench.c_str(),
+                         static_cast<unsigned long long>(
+                             restoreRecipe.seed));
+            return 3;
+        }
+    }
 
     struct Cloud
     {
@@ -94,6 +130,49 @@ main(int argc, char **argv)
             std::snprintf(label, sizeof label, "%s/%s/%s",
                           macroAppName(cell.app), cloud.label,
                           cell.name.c_str());
+            if (capture && &cell == &cells[0]) {
+                CellRecipe rec;
+                rec.bench = "fig3_macro";
+                rec.app = macroAppName(cell.app);
+                rec.cloud = cloud.label;
+                rec.runtime = cell.name;
+                rec.seed = opt.seed;
+                rec.duration = run.duration;
+                rec.connections = run.connections;
+                rec.faultRate = opt.faultRate;
+                rec.checkpointAt = opt.checkpointAt;
+                run.hookAt = opt.checkpointAt;
+                run.hook = [&rt, rec, &opt] {
+                    try {
+                        captureSnapshot(*rt, rec)
+                            .save(opt.checkpointPath);
+                    } catch (const sim::snap::SnapError &e) {
+                        std::fprintf(stderr, "checkpoint failed: %s\n",
+                                     e.what());
+                        std::exit(3);
+                    }
+                    std::fprintf(
+                        stderr, "checkpointed %s at sim time %llu\n",
+                        opt.checkpointPath.c_str(),
+                        static_cast<unsigned long long>(
+                            rec.checkpointAt));
+                };
+            } else if (restoring &&
+                       restoreRecipe.app == macroAppName(cell.app) &&
+                       restoreRecipe.cloud == cloud.label &&
+                       restoreRecipe.runtime == cell.name) {
+                if (run.duration != restoreRecipe.duration ||
+                    run.connections != restoreRecipe.connections) {
+                    std::fprintf(stderr,
+                                 "restore: run window differs from "
+                                 "the snapshot's recipe\n");
+                    std::exit(3);
+                }
+                run.hookAt = restoreRecipe.checkpointAt;
+                run.hook = [&rt, &restoreSnap] {
+                    verifySnapshotOrDie(*rt, restoreSnap);
+                };
+            }
             opt.beginRun(label, static_cast<double>(
                                     cloud.spec.periodTicks()));
             std::unique_ptr<sim::TimeSeries> ts;

@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Warm-start what-if sweeps: boot ONE steady state (container boot,
+ * app deployment, driver warmup), then explore N divergent futures
+ * from that exact sim instant — a fault storm, a load spike, a
+ * config flip, alternate fault-plan seeds — without re-paying
+ * boot+warmup per cell.
+ *
+ * The warm start is genuine: the parent process runs the simulation
+ * to the divergence point T0, then fork()s one child per cell. The
+ * kernel's copy-on-write clone duplicates the entire live
+ * simulation — including the event queue's type-erased closures,
+ * which no serializer could rebuild — so every child continues from
+ * a bit-exact copy of the parent's state. Children report their
+ * result lines over pipes and the parent prints them in cell order.
+ *
+ * --no-fork replays each cell from scratch instead (boot + warmup +
+ * divergence, via the sweep executor). Its stdout is byte-identical
+ * to fork mode — that equality IS the correctness theorem for the
+ * warm start, and tests/bench + ci pin it.
+ *
+ * --checkpoint FILE writes a DESIGN.md §13 snapshot of the steady
+ * state at T0; --restore FILE replays to T0 and byte-verifies every
+ * section against the file before diverging.
+ */
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <thread>
+
+#include "checkpoint.h"
+#include "common.h"
+
+using namespace xc;
+using namespace xc::bench;
+
+namespace {
+
+/** Everything that defines the steady state and the run window. */
+struct Params
+{
+    std::string runtime;
+    hw::MachineSpec spec;
+    const char *cloudLabel = "Amazon EC2";
+    std::uint64_t seed = 42;
+    sim::Tick duration = 0;
+    int connections = 0;
+    double faultRate = 0.0;
+    sim::Tick t0 = 0;  ///< divergence point (warmup complete)
+    sim::Tick end = 0; ///< end of the measurement run
+};
+
+/** One divergent future. */
+struct WhatIfCell
+{
+    enum Kind { Baseline, FaultStorm, LoadSpike, ConfigFlip };
+    const char *label;
+    Kind kind;
+    double faultRate; ///< FaultStorm only
+    std::uint64_t salt; ///< divergence seed salt
+};
+
+std::vector<WhatIfCell>
+whatIfCells()
+{
+    return {
+        {"baseline", WhatIfCell::Baseline, 0.0, 0},
+        {"fault-storm-a", WhatIfCell::FaultStorm, 0.02, 0xA},
+        {"fault-storm-b", WhatIfCell::FaultStorm, 0.02, 0xB},
+        {"fault-heavy", WhatIfCell::FaultStorm, 0.08, 0xC},
+        {"load-spike", WhatIfCell::LoadSpike, 0.0, 0xD},
+        {"config-flip", WhatIfCell::ConfigFlip, 0.0, 0xE},
+    };
+}
+
+/** The booted, warmed simulation at T0. */
+struct Steady
+{
+    std::unique_ptr<runtimes::Runtime> rt;
+    std::unique_ptr<apps::NginxApp> app;
+    std::unique_ptr<load::ClosedLoopDriver> driver;
+};
+
+/**
+ * Boot the steady state and run it to p.t0. Exactly this function
+ * runs once in fork mode and once per cell in --no-fork replay, so
+ * both modes reach T0 through an identical event sequence.
+ */
+Steady
+bootSteady(const Params &p, const Options &opt)
+{
+    Steady s;
+    s.rt = makeCloudRuntime(p.runtime, p.spec, opt);
+    if (!s.rt) {
+        std::fprintf(stderr, "runtime '%s' unavailable on %s\n",
+                     p.runtime.c_str(), p.cloudLabel);
+        std::exit(2);
+    }
+    runtimes::ContainerOpts copts;
+    copts.name = "nginx";
+    copts.image = apps::glibcImage("img");
+    copts.vcpus = 4;
+    copts.memBytes = 512ull << 20;
+    runtimes::RtContainer *c = s.rt->createContainer(copts);
+    if (!c) {
+        std::fprintf(stderr, "%s: container failed to boot\n",
+                     s.rt->name().c_str());
+        std::exit(2);
+    }
+    apps::NginxApp::Config ncfg;
+    ncfg.workers = 4;
+    s.app = std::make_unique<apps::NginxApp>(ncfg);
+    s.app->deploy(*c);
+    s.rt->exposePort(c, 8080, 80);
+
+    load::WorkloadSpec spec =
+        load::abSpec(guestos::SockAddr{s.rt->hostIp(), 8080},
+                     p.connections, p.duration);
+    s.driver = std::make_unique<load::ClosedLoopDriver>(
+        s.rt->fabric(), spec, p.seed);
+    auto *driver = s.driver.get();
+    s.rt->machine().events().post(10 * sim::kTicksPerMs,
+                                  [driver] { driver->start(); });
+    s.rt->machine().events().runUntil(p.t0);
+    return s;
+}
+
+/** Apply cell's divergence at T0; @p spike keeps an extra driver
+ *  alive for the rest of the run when the cell needs one. */
+void
+applyDivergence(Steady &s, const WhatIfCell &cell, const Params &p,
+                std::unique_ptr<load::ClosedLoopDriver> &spike)
+{
+    switch (cell.kind) {
+      case WhatIfCell::Baseline:
+        break;
+      case WhatIfCell::FaultStorm:
+        // A fresh fault plan armed mid-run: machine + fabric faults
+        // start firing from T0, deterministic in (rate, seed^salt).
+        s.rt->installFaults(fault::FaultPlan::uniform(
+            cell.faultRate, p.seed ^ cell.salt));
+        break;
+      case WhatIfCell::LoadSpike: {
+        // Double the offered load: a second closed-loop driver with
+        // the same connection count joins at T0.
+        load::WorkloadSpec sp =
+            load::abSpec(guestos::SockAddr{s.rt->hostIp(), 8080},
+                         p.connections, p.duration);
+        spike = std::make_unique<load::ClosedLoopDriver>(
+            s.rt->fabric(), sp, p.seed ^ cell.salt);
+        spike->start();
+        break;
+      }
+      case WhatIfCell::ConfigFlip: {
+        // A network-QoS config flip at T0: every packet from here on
+        // pays an extra fixed wire delay (a mis-tuned qdisc), and the
+        // machine's entropy stream moves to the flipped world's seed.
+        fault::FaultPlan plan;
+        plan.seed = p.seed ^ cell.salt;
+        plan.at(fault::FaultKind::PacketDelay).rate = 1.0;
+        plan.at(fault::FaultKind::PacketDelay).param =
+            sim::kTicksPerMs / 10; // +100us per packet
+        s.rt->installFaults(plan);
+        s.rt->machine().rng().reseed(p.seed ^ cell.salt);
+        break;
+      }
+    }
+}
+
+/** Diverge, run to the end of the window, and format the result
+ *  line. Identical between fork children and --no-fork replays. */
+std::string
+runCell(Steady &s, const WhatIfCell &cell, const Params &p)
+{
+    std::unique_ptr<load::ClosedLoopDriver> spike;
+    applyDivergence(s, cell, p, spike);
+    s.rt->machine().events().runUntil(p.end);
+    load::LoadResult r = s.driver->collect();
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "  %-14s %10llu req %6llu err %12.0f req/s "
+                  "%10.0f p50(us)\n",
+                  cell.label,
+                  static_cast<unsigned long long>(r.requests),
+                  static_cast<unsigned long long>(r.errors),
+                  r.throughput, r.p50LatencyUs);
+    return line;
+}
+
+std::string
+goldenLine(const WhatIfCell &cell, const std::string &line)
+{
+    // The digest reuses the rendered line: it already contains every
+    // reported quantity, and byte-equality is the whole point.
+    std::string quoted;
+    for (char ch : line)
+        if (ch != '\n')
+            quoted += ch;
+    return "{\"bench\":\"fig_whatif\",\"cell\":\"" +
+           std::string(cell.label) + "\",\"line\":\"" + quoted +
+           "\"}";
+}
+
+CellRecipe
+makeRecipe(const Params &p)
+{
+    CellRecipe rec;
+    rec.bench = "fig_whatif";
+    rec.app = "nginx";
+    rec.cloud = p.cloudLabel;
+    rec.runtime = p.runtime;
+    rec.seed = p.seed;
+    rec.duration = p.duration;
+    rec.connections = p.connections;
+    rec.faultRate = p.faultRate;
+    rec.checkpointAt = p.t0;
+    return rec;
+}
+
+/** Fork-based warm start: clone the steady state per cell. */
+std::vector<std::string>
+runForked(const Params &p, const Options &opt,
+          const std::vector<WhatIfCell> &cells, int &exitCode)
+{
+    Steady s = bootSteady(p, opt);
+    if (!opt.checkpointPath.empty()) {
+        try {
+            captureSnapshot(*s.rt, makeRecipe(p))
+                .save(opt.checkpointPath);
+            std::fprintf(stderr, "checkpointed %s at sim time %llu\n",
+                         opt.checkpointPath.c_str(),
+                         static_cast<unsigned long long>(p.t0));
+        } catch (const sim::snap::SnapError &e) {
+            std::fprintf(stderr, "checkpoint failed: %s\n", e.what());
+            std::exit(3);
+        }
+    }
+    if (!opt.restorePath.empty()) {
+        sim::snap::Snapshot snap =
+            sim::snap::Snapshot::loadFile(opt.restorePath);
+        verifySnapshotOrDie(*s.rt, snap);
+    }
+
+    int jobs = opt.jobs > 0
+                   ? opt.jobs
+                   : static_cast<int>(
+                         std::thread::hardware_concurrency());
+    if (jobs < 1)
+        jobs = 1;
+
+    std::vector<std::string> lines(cells.size());
+    std::fflush(stdout);
+    std::fflush(stderr);
+    for (std::size_t base = 0; base < cells.size();
+         base += static_cast<std::size_t>(jobs)) {
+        std::size_t limit =
+            std::min(cells.size(),
+                     base + static_cast<std::size_t>(jobs));
+        std::vector<std::pair<pid_t, int>> kids;
+        for (std::size_t i = base; i < limit; ++i) {
+            int fds[2];
+            if (pipe(fds) != 0) {
+                std::perror("pipe");
+                std::exit(1);
+            }
+            pid_t pid = fork();
+            if (pid < 0) {
+                std::perror("fork");
+                std::exit(1);
+            }
+            if (pid == 0) {
+                // Child: a copy-on-write clone of the simulation at
+                // T0. Run the cell, ship the line, and _exit —
+                // never flush the parent's inherited stdio buffers.
+                close(fds[0]);
+                std::string line = runCell(s, cells[i], p);
+                std::size_t off = 0;
+                while (off < line.size()) {
+                    ssize_t n = write(fds[1], line.data() + off,
+                                      line.size() - off);
+                    if (n <= 0)
+                        _exit(4);
+                    off += static_cast<std::size_t>(n);
+                }
+                close(fds[1]);
+                _exit(0);
+            }
+            close(fds[1]);
+            kids.emplace_back(pid, fds[0]);
+        }
+        for (std::size_t i = base; i < limit; ++i) {
+            auto [pid, fd] = kids[i - base];
+            std::string line;
+            char buf[256];
+            ssize_t n;
+            while ((n = read(fd, buf, sizeof buf)) > 0)
+                line.append(buf, static_cast<std::size_t>(n));
+            close(fd);
+            int status = 0;
+            waitpid(pid, &status, 0);
+            if (!WIFEXITED(status) || WEXITSTATUS(status) != 0 ||
+                line.empty()) {
+                std::fprintf(stderr, "cell '%s': child failed\n",
+                             cells[i].label);
+                line = std::string("  ") + cells[i].label +
+                       " (failed)\n";
+                exitCode = 1;
+            }
+            lines[i] = std::move(line);
+        }
+    }
+    return lines;
+}
+
+/** Replay fallback: every cell re-boots and re-warms from scratch
+ *  on the sweep executor. Output must match fork mode byte for
+ *  byte. */
+std::vector<std::string>
+runReplayed(const Params &p, const Options &opt,
+            const std::vector<WhatIfCell> &cells)
+{
+    if (!opt.restorePath.empty()) {
+        // Verify once against a dedicated replay, then run cells.
+        Steady s = bootSteady(p, opt);
+        sim::snap::Snapshot snap =
+            sim::snap::Snapshot::loadFile(opt.restorePath);
+        verifySnapshotOrDie(*s.rt, snap);
+    }
+    if (!opt.checkpointPath.empty()) {
+        Steady s = bootSteady(p, opt);
+        try {
+            captureSnapshot(*s.rt, makeRecipe(p))
+                .save(opt.checkpointPath);
+            std::fprintf(stderr, "checkpointed %s at sim time %llu\n",
+                         opt.checkpointPath.c_str(),
+                         static_cast<unsigned long long>(p.t0));
+        } catch (const sim::snap::SnapError &e) {
+            std::fprintf(stderr, "checkpoint failed: %s\n", e.what());
+            std::exit(3);
+        }
+    }
+    return runSweep(opt, cells, [&](const WhatIfCell &cell) {
+        Steady s = bootSteady(p, opt);
+        return runCell(s, cell, p);
+    });
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = Options::parse(argc, argv);
+
+    Params p;
+    p.runtime = opt.runtime.empty() ? "x-container" : opt.runtime;
+    p.spec = hw::MachineSpec::ec2C4_2xlarge();
+    p.seed = opt.seed;
+    p.duration =
+        opt.durationOr((opt.quick ? 40 : 200) * sim::kTicksPerMs);
+    p.connections = opt.connectionsOr(opt.quick ? 40 : 160);
+    p.faultRate = opt.faultRate;
+    // T0 = driver start (10ms) + the workload's warmup; the ab spec
+    // defines the warmup, so derive it the same way bootSteady does.
+    p.t0 = 10 * sim::kTicksPerMs +
+           load::abSpec(guestos::SockAddr{0, 0}, 1, p.duration).warmup;
+    p.end = p.t0 + p.duration + 50 * sim::kTicksPerMs;
+
+    if (!opt.restorePath.empty()) {
+        // Fail fast on recipe/flag mismatch before paying a boot.
+        try {
+            CellRecipe rec = snapshotRecipe(
+                sim::snap::Snapshot::loadFile(opt.restorePath));
+            if (rec.bench != "fig_whatif" || rec.runtime != p.runtime ||
+                rec.seed != p.seed || rec.duration != p.duration ||
+                rec.connections != p.connections ||
+                rec.checkpointAt != p.t0) {
+                std::fprintf(stderr,
+                             "%s: snapshot recipe does not match "
+                             "these flags (bench %s, runtime %s, "
+                             "seed %llu)\n",
+                             argv[0], rec.bench.c_str(),
+                             rec.runtime.c_str(),
+                             static_cast<unsigned long long>(
+                                 rec.seed));
+                return 3;
+            }
+        } catch (const sim::snap::SnapError &e) {
+            std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+            return 3;
+        }
+    }
+
+    std::vector<WhatIfCell> cells = whatIfCells();
+
+    std::printf("What-if sweep: %s (nginx, %d conns, %llu ms window, "
+                "seed %llu)\n\n",
+                p.runtime.c_str(), p.connections,
+                static_cast<unsigned long long>(p.duration /
+                                                sim::kTicksPerMs),
+                static_cast<unsigned long long>(p.seed));
+    std::printf("  %-14s %14s %10s %18s %16s\n", "cell", "requests",
+                "errors", "throughput", "latency");
+
+    int exitCode = 0;
+    std::vector<std::string> lines =
+        opt.noFork ? runReplayed(p, opt, cells)
+                   : runForked(p, opt, cells, exitCode);
+
+    GoldenLog golden(opt.goldenPath);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        std::fputs(lines[i].c_str(), stdout);
+        if (golden.enabled())
+            golden.add(goldenLine(cells[i], lines[i]));
+    }
+    std::printf("\n%zu futures explored from one boot (%s)\n",
+                cells.size(), "divergence at warmup end");
+    return exitCode + golden.finish();
+}

@@ -263,13 +263,19 @@ main(int argc, char **argv)
         const char *key;  ///< JSON key ("<key>_quick")
         bool profiled;    ///< add --profile and report overhead
         int jobs;         ///< >0: add -j N, report sweep speedup
+        int snapMode;     ///< 1: capture a snapshot, 2: restore it
     };
+    // The fig3_checkpoint row runs before fig3_restore so the
+    // snapshot the restore run verifies against exists.
     const FigRun benches[] = {
-        {"fig4_syscall", "fig4_syscall", false, 0},
-        {"fig3_macro", "fig3_macro", false, 0},
-        {"fig3_macro", "fig3_parallel", false, parallelJobs},
-        {"fig4_syscall", "fig4_syscall_profile", true, 0},
+        {"fig4_syscall", "fig4_syscall", false, 0, 0},
+        {"fig3_macro", "fig3_macro", false, 0, 0},
+        {"fig3_macro", "fig3_parallel", false, parallelJobs, 0},
+        {"fig3_macro", "fig3_checkpoint", false, 0, 1},
+        {"fig3_macro", "fig3_restore", false, 0, 2},
+        {"fig4_syscall", "fig4_syscall_profile", true, 0, 0},
     };
+    const std::string snapPath = out + ".snap";
     const std::size_t numBenches = sizeof benches / sizeof benches[0];
     double plainFig4Wall = 0.0;
     double plainFig3Wall = 0.0;
@@ -286,17 +292,29 @@ main(int argc, char **argv)
             cmd.push_back("-j");
             cmd.push_back(std::to_string(fig.jobs));
         }
-        std::printf("running %s --quick%s%s...\n", fig.name,
+        if (fig.snapMode == 1) {
+            cmd.push_back("--checkpoint-at");
+            cmd.push_back("40");
+            cmd.push_back("--checkpoint");
+            cmd.push_back(snapPath);
+        } else if (fig.snapMode == 2) {
+            cmd.push_back("--restore");
+            cmd.push_back(snapPath);
+        }
+        std::printf("running %s --quick%s%s%s...\n", fig.name,
                     fig.profiled ? " --profile" : "",
                     fig.jobs > 0
                         ? (" -j" + std::to_string(fig.jobs)).c_str()
-                        : "");
+                        : "",
+                    fig.snapMode == 1   ? " --checkpoint"
+                    : fig.snapMode == 2 ? " --restore"
+                                        : "");
         if (!runChild(cmd, r) || r.exitCode != 0) {
             std::fprintf(stderr, "%s failed (rc=%d)\n", fig.name,
                          r.exitCode);
             ++failures;
         }
-        if (!fig.profiled && fig.jobs == 0) {
+        if (!fig.profiled && fig.jobs == 0 && fig.snapMode == 0) {
             if (std::strcmp(fig.name, "fig4_syscall") == 0)
                 plainFig4Wall = r.wallSeconds;
             else if (std::strcmp(fig.name, "fig3_macro") == 0)
@@ -322,6 +340,20 @@ main(int argc, char **argv)
             appendKv(json, "speedup",
                      r.wallSeconds > 0 && plainFig3Wall > 0
                          ? plainFig3Wall / r.wallSeconds
+                         : 0.0,
+                     true);
+        } else if (fig.snapMode != 0) {
+            // Wall cost of the snapshot machinery relative to the
+            // plain fig3 run: capture serializes + hashes every
+            // subsystem at the checkpoint tick; restore replays and
+            // then byte-verifies all sections against the file.
+            appendKv(json, "sim_per_host",
+                     r.wallSeconds > 0 ? simS / r.wallSeconds : 0.0);
+            appendKv(json,
+                     fig.snapMode == 1 ? "checkpoint_overhead"
+                                       : "restore_overhead",
+                     plainFig3Wall > 0
+                         ? r.wallSeconds / plainFig3Wall - 1.0
                          : 0.0,
                      true);
         } else {

@@ -10,3 +10,16 @@ cmake -B build -S .
 cmake --build build -j"$(nproc)"
 cd build
 ctest --output-on-failure -j"$(nproc)"
+
+# Checkpoint/restore gate (DESIGN.md §13): rerun the snapshot
+# roundtrip + differential suites explicitly (they are part of the
+# full ctest run above; this step names them so a checkpoint
+# regression is unmissable in the log), then produce the sample
+# snapshot CI uploads as an artifact.
+ctest -L checkpoint --output-on-failure -j"$(nproc)"
+./tests/test_snapshot --gtest_brief=1
+./tests/test_snapshot_differential --gtest_brief=1
+./bench/fig_whatif --quick --seed 42 \
+    --checkpoint sample_steady_state.snap >/dev/null
+test -s sample_steady_state.snap
+echo "checkpoint gate ok (sample snapshot: build/sample_steady_state.snap)"

@@ -1,0 +1,76 @@
+# Checkpoint/restore differential over a full figure bench
+# (DESIGN.md §13). Three facts are pinned at once:
+#
+#   1. a checkpoint-capturing run's --golden digest equals the
+#      committed plain-run digest (the capture hook is invisible);
+#   2. the run restored from that snapshot — replay to the
+#      checkpoint tick, byte-verify all sections, continue to
+#      completion — produces the SAME committed digest;
+#   3. the snapshot file itself is written and non-empty.
+#
+#   cmake -DBENCH=<binary> -DGOLDEN=<committed> -DWORK=<scratch-dir>
+#         -P run_restore_diff.cmake
+
+foreach(var BENCH GOLDEN WORK)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "run_restore_diff.cmake: -D${var}= is required")
+    endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORK})
+set(SNAP ${WORK}/restore_diff.snap)
+set(OUT_CK ${WORK}/restore_diff_ck.json)
+set(OUT_RS ${WORK}/restore_diff_rs.json)
+
+# 1. Checkpoint-capturing run.
+execute_process(
+    COMMAND ${BENCH} --quick --seed 42 --golden ${OUT_CK}
+            --checkpoint-at 40 --checkpoint ${SNAP}
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "checkpoint run exited with ${rc}")
+endif()
+if(NOT EXISTS ${SNAP})
+    message(FATAL_ERROR "checkpoint run wrote no snapshot at ${SNAP}")
+endif()
+file(SIZE ${SNAP} snap_size)
+if(snap_size EQUAL 0)
+    message(FATAL_ERROR "snapshot ${SNAP} is empty")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT_CK} ${GOLDEN}
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+        "checkpoint-capturing run drifted from the committed golden: "
+        "${OUT_CK} differs from ${GOLDEN}. The capture hook must be "
+        "invisible to the simulation.")
+endif()
+
+# 2. Restore run: replay, byte-verify every section, continue.
+execute_process(
+    COMMAND ${BENCH} --quick --seed 42 --golden ${OUT_RS}
+            --restore ${SNAP}
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE restore_err
+    OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "restore run exited with ${rc}: ${restore_err}")
+endif()
+if(NOT restore_err MATCHES "byte-verified")
+    message(FATAL_ERROR
+        "restore run did not report byte-verification: ${restore_err}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT_RS} ${GOLDEN}
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+        "restore-then-run drifted from the committed golden: "
+        "${OUT_RS} differs from ${GOLDEN}. Restore must be "
+        "event-for-event identical to the straight-through run.")
+endif()

@@ -32,6 +32,7 @@
 #include <string>
 
 #include "sim/rng.h"
+#include "sim/snapshot.h"
 #include "sim/types.h"
 
 namespace xc::fault {
@@ -167,6 +168,37 @@ class FaultInjector
 
     /** Aligned kind/rate/count table of everything that fired. */
     std::string report() const;
+
+    /** Serialize the plan (seed, rates, params) and the injection
+     *  cursors (per-kind firing counts). */
+    void
+    saveState(sim::snap::SnapWriter &w) const
+    {
+        w.u64(plan_.seed);
+        w.u32(kFaultKindCount);
+        for (const FaultSpec &s : plan_.spec) {
+            w.f64(s.rate);
+            w.u64(s.param);
+        }
+        w.b(enabled_);
+        for (std::uint64_t n : injected_)
+            w.u64(n);
+    }
+
+    /** Adopt a serialized plan + cursors. */
+    void
+    loadState(sim::snap::SnapReader &r)
+    {
+        plan_.seed = r.u64();
+        r.expectU32(kFaultKindCount, "fault kind count");
+        for (FaultSpec &s : plan_.spec) {
+            s.rate = r.f64();
+            s.param = r.u64();
+        }
+        enabled_ = r.b();
+        for (auto &n : injected_)
+            n = r.u64();
+    }
 
   private:
     /** Stateless hash of (seed, kind, tick, salt) to [0, 1). */

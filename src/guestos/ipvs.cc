@@ -287,4 +287,41 @@ IpvsService::chargeSoftirq(hw::Cycles work)
     return softirqBusyUntil;
 }
 
+void
+IpvsService::saveState(sim::snap::SnapWriter &w) const
+{
+    w.u8(cfg.mode == Mode::DirectRouting ? 1 : 0);
+    w.u32(cfg.port);
+    w.u32(static_cast<std::uint32_t>(cfg.backends.size()));
+    for (const SockAddr &b : cfg.backends) {
+        w.u32(b.ip);
+        w.u32(b.port);
+    }
+    w.u64(connections_);
+    w.u64(splicedBytes_);
+    w.u64(nextBackend);
+    w.u64(softirqBusyUntil);
+    w.u32(static_cast<std::uint32_t>(relays.size()));
+}
+
+void
+IpvsService::loadState(sim::snap::SnapReader &r)
+{
+    if (r.u8() != (cfg.mode == Mode::DirectRouting ? 1 : 0))
+        throw sim::snap::SnapError("ipvs mode mismatch");
+    r.expectU32(cfg.port, "ipvs service port");
+    r.expectU32(static_cast<std::uint32_t>(cfg.backends.size()),
+                "ipvs backend count");
+    for (const SockAddr &b : cfg.backends) {
+        r.expectU32(b.ip, "ipvs backend address");
+        r.expectU32(b.port, "ipvs backend port");
+    }
+    connections_ = r.u64();
+    splicedBytes_ = r.u64();
+    nextBackend = r.u64();
+    softirqBusyUntil = r.u64();
+    r.expectU32(static_cast<std::uint32_t>(relays.size()),
+                "ipvs relay count");
+}
+
 } // namespace xc::guestos

@@ -51,6 +51,13 @@ class IpvsService
     std::uint64_t connections() const { return connections_; }
     std::uint64_t splicedBytes() const { return splicedBytes_; }
 
+    /** Serialize the virtual-service table: mode/port/backends,
+     *  director counters, the round-robin cursor and softirq clock.
+     *  Active relay connections are live sockets (restore-or-verify:
+     *  the relay count must match). */
+    void saveState(sim::snap::SnapWriter &w) const;
+    void loadState(sim::snap::SnapReader &r);
+
   private:
     friend class NatConnFriend; // (documentation aid)
     class DrVipListener;

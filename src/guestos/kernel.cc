@@ -1019,4 +1019,94 @@ GuestKernel::semantic(Thread &t, int nr, SysArgs args)
     }
 }
 
+void
+GuestKernel::saveState(sim::snap::SnapWriter &w) const
+{
+    w.str(config.name);
+    w.u64(stats_.syscalls);
+    w.u64(stats_.threadSwitches);
+    w.u64(stats_.processSwitches);
+    w.u64(stats_.forks);
+    w.u64(stats_.execs);
+    w.u64(stats_.wakeups);
+    w.u32(static_cast<std::uint32_t>(nextPid));
+    w.u32(static_cast<std::uint32_t>(nextTid));
+
+    w.u32(static_cast<std::uint32_t>(vcpus.size()));
+    for (const auto &v : vcpus) {
+        w.u32(static_cast<std::uint32_t>(v->core_ + 1));
+        w.b(v->idle_);
+        w.b(v->current_ != nullptr);
+        w.u32(static_cast<std::uint32_t>(v->lastPid_));
+    }
+    w.u32(static_cast<std::uint32_t>(idleVcpus.size()));
+    w.u32(static_cast<std::uint32_t>(runq.size()));
+
+    w.u32(static_cast<std::uint32_t>(futexTable.size()));
+    for (const auto &[addr, slot] : futexTable) { // sorted map
+        w.u64(addr);
+        w.u64(slot.gen);
+        w.u64(slot.waiters.size());
+    }
+
+    w.u32(static_cast<std::uint32_t>(processes.size()));
+    for (const auto &[pid, proc] : processes) { // sorted map
+        w.u32(static_cast<std::uint32_t>(pid));
+        w.str(proc->name());
+        proc->pageTable().saveState(w);
+    }
+
+    vfs_->saveState(w);
+    w.u32(net_ != nullptr ? net_->ip() : 0);
+}
+
+void
+GuestKernel::loadState(sim::snap::SnapReader &r)
+{
+    r.expectStr(config.name, "kernel name");
+    stats_.syscalls = r.u64();
+    stats_.threadSwitches = r.u64();
+    stats_.processSwitches = r.u64();
+    stats_.forks = r.u64();
+    stats_.execs = r.u64();
+    stats_.wakeups = r.u64();
+    nextPid = static_cast<Pid>(r.u32());
+    nextTid = static_cast<Tid>(r.u32());
+
+    r.expectU32(static_cast<std::uint32_t>(vcpus.size()),
+                "vcpu count");
+    for (const auto &v : vcpus) {
+        r.expectU32(static_cast<std::uint32_t>(v->core_ + 1),
+                    "vcpu core");
+        if (r.b() != v->idle_)
+            throw sim::snap::SnapError("vcpu idle flag mismatch");
+        if (r.b() != (v->current_ != nullptr))
+            throw sim::snap::SnapError("vcpu occupancy mismatch");
+        v->lastPid_ = static_cast<Pid>(r.u32());
+    }
+    r.expectU32(static_cast<std::uint32_t>(idleVcpus.size()),
+                "idle vcpu count");
+    r.expectU32(static_cast<std::uint32_t>(runq.size()),
+                "run-queue depth");
+
+    r.expectU32(static_cast<std::uint32_t>(futexTable.size()),
+                "futex table size");
+    for (auto &[addr, slot] : futexTable) {
+        r.expectU64(addr, "futex address");
+        slot.gen = r.u64();
+        r.expectU64(slot.waiters.size(), "futex waiter count");
+    }
+
+    r.expectU32(static_cast<std::uint32_t>(processes.size()),
+                "process count");
+    for (auto &[pid, proc] : processes) {
+        r.expectU32(static_cast<std::uint32_t>(pid), "process pid");
+        r.expectStr(proc->name(), "process name");
+        proc->pageTable().loadState(r);
+    }
+
+    vfs_->loadState(r);
+    r.expectU32(net_ != nullptr ? net_->ip() : 0, "netstack address");
+}
+
 } // namespace xc::guestos

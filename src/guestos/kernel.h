@@ -235,6 +235,16 @@ class GuestKernel
     /** Formatted counters ("<name>.<stat> <value>" lines). */
     std::string renderStats() const;
 
+    /**
+     * Serialize kernel statistics, pid/tid cursors, scheduler shape
+     * (vCPU occupancy, run-queue depth), futex generations, every
+     * process's identity + page table, the VFS namespace, and the
+     * network stack's identity. Threads/coroutines are live objects:
+     * their arrangement is restore-or-verify (see DESIGN.md §13).
+     */
+    void saveState(sim::snap::SnapWriter &w) const;
+    void loadState(sim::snap::SnapReader &r);
+
     // --- futexes ------------------------------------------------------
 
     /** Wake generation of futex word @p addr (the "value" waiters

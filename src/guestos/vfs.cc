@@ -107,4 +107,31 @@ Vfs::open(const std::string &path, int flags, int &err)
     return std::make_shared<VfsFile>(kernel_, inode, flags);
 }
 
+void
+Vfs::saveState(sim::snap::SnapWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(inodes.size()));
+    for (const auto &[path, inode] : inodes) { // std::map: sorted
+        w.str(path);
+        w.u64(inode->size);
+        w.b(inode->isDir);
+        w.b(inode->cached);
+    }
+}
+
+void
+Vfs::loadState(sim::snap::SnapReader &r)
+{
+    inodes.clear();
+    std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        auto inode = std::make_shared<VfsInode>();
+        inode->path = r.str();
+        inode->size = r.u64();
+        inode->isDir = r.b();
+        inode->cached = r.b();
+        inodes.emplace(inode->path, std::move(inode));
+    }
+}
+
 } // namespace xc::guestos

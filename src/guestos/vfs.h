@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 
+#include "sim/snapshot.h"
 #include "sim/task.h"
 #include "guestos/file_object.h"
 #include "guestos/types.h"
@@ -92,6 +93,14 @@ class Vfs
                                   int &err);
 
     std::size_t fileCount() const { return inodes.size(); }
+
+    /** Serialize every inode (path order; std::map is sorted). */
+    void saveState(sim::snap::SnapWriter &w) const;
+
+    /** Replace the namespace with a serialized inode set. Open file
+     *  descriptions keep their old inodes — load into live kernels
+     *  only through the verify path. */
+    void loadState(sim::snap::SnapReader &r);
 
   private:
     GuestKernel &kernel_;

@@ -142,4 +142,41 @@ CorePool::remove(CpuClient *client)
     client->poolCore = -1;
 }
 
+void
+CorePool::saveState(sim::snap::SnapWriter &w) const
+{
+    w.str(name_);
+    w.u64(grants_);
+    w.u32(static_cast<std::uint32_t>(sliceEnd.size()));
+    for (sim::Tick t : sliceEnd)
+        w.u64(t);
+    w.u32(static_cast<std::uint32_t>(queue.size()));
+    for (const CpuClient *c : queue)
+        w.str(c->clientName());
+    w.u32(static_cast<std::uint32_t>(current.size()));
+    for (const CpuClient *c : current)
+        w.str(c != nullptr ? c->clientName() : std::string());
+}
+
+void
+CorePool::loadState(sim::snap::SnapReader &r)
+{
+    r.expectStr(name_, "core pool name");
+    grants_ = r.u64();
+    r.expectU32(static_cast<std::uint32_t>(sliceEnd.size()),
+                "core pool core count");
+    for (sim::Tick &t : sliceEnd)
+        t = r.u64();
+    r.expectU32(static_cast<std::uint32_t>(queue.size()),
+                "core pool run-queue depth");
+    for (const CpuClient *c : queue)
+        r.expectStr(c->clientName(), "core pool queued client");
+    r.expectU32(static_cast<std::uint32_t>(current.size()),
+                "core pool width");
+    for (const CpuClient *c : current) {
+        r.expectStr(c != nullptr ? c->clientName() : std::string(),
+                    "core pool running client");
+    }
+}
+
 } // namespace xc::hw

@@ -104,6 +104,20 @@ class CorePool
 
     const std::string &name() const { return name_; }
 
+    /**
+     * Serialize grant count, per-core slice deadlines, and the
+     * scheduling shape: queued / running client names in order.
+     * Clients are live objects reached through raw pointers, so they
+     * serialize as names; loadState verifies a replayed pool arrived
+     * at the same shape (restore-or-verify) rather than rebuilding
+     * the pointers.
+     */
+    void saveState(sim::snap::SnapWriter &w) const;
+
+    /** Adopt counters/deadlines; queue and core occupancy (by
+     *  client name) must match the serialized state. */
+    void loadState(sim::snap::SnapReader &r);
+
   private:
     void dispatch(int core);
     Cycles decisionCost() const;

@@ -37,4 +37,28 @@ Machine::utilizationReport() const
     return os.str();
 }
 
+void
+Machine::saveState(sim::snap::SnapWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(cpus_.size()));
+    for (const auto &cpu : cpus_)
+        cpu->saveState(w);
+    memory_.saveState(w);
+    const std::string statDump = stats_.dump();
+    w.u64(sim::snap::fnv1a64(statDump.data(), statDump.size()));
+}
+
+void
+Machine::loadState(sim::snap::SnapReader &r)
+{
+    r.expectU32(static_cast<std::uint32_t>(cpus_.size()),
+                "machine cpu count");
+    for (auto &cpu : cpus_)
+        cpu->loadState(r);
+    memory_.loadState(r);
+    const std::string statDump = stats_.dump();
+    r.expectU64(sim::snap::fnv1a64(statDump.data(), statDump.size()),
+                "stat registry digest");
+}
+
 } // namespace xc::hw

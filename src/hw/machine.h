@@ -72,6 +72,22 @@ class Tlb
     std::uint64_t kernelFlushes() const { return kernelFlushes_; }
     std::uint64_t fullFlushes() const { return fullFlushes_; }
 
+    void
+    saveState(sim::snap::SnapWriter &w) const
+    {
+        w.u64(switches_);
+        w.u64(kernelFlushes_);
+        w.u64(fullFlushes_);
+    }
+
+    void
+    loadState(sim::snap::SnapReader &r)
+    {
+        switches_ = r.u64();
+        kernelFlushes_ = r.u64();
+        fullFlushes_ = r.u64();
+    }
+
   private:
     sim::MechanismCounters *mech_ = nullptr;
     std::uint64_t switches_ = 0;
@@ -108,6 +124,22 @@ class Cpu
     cyclesIn(CycleClass cls) const
     {
         return accounted[static_cast<int>(cls)];
+    }
+
+    void
+    saveState(sim::snap::SnapWriter &w) const
+    {
+        for (Cycles c : accounted)
+            w.u64(c);
+        tlb_.saveState(w);
+    }
+
+    void
+    loadState(sim::snap::SnapReader &r)
+    {
+        for (Cycles &c : accounted)
+            c = r.u64();
+        tlb_.loadState(r);
     }
 
   private:
@@ -161,6 +193,19 @@ class Machine
     /** Per-CPU utilization over the elapsed simulated time:
      *  "cpuN user kernel hypervisor busy%" lines. */
     std::string utilizationReport() const;
+
+    /**
+     * Serialize the hardware-level state: per-CPU cycle accounting
+     * and TLB counters, the physical-frame allocator, and a digest
+     * of the stat registry's rendered dump. The event queue, RNG,
+     * mechanism counters and fault injector are serialized as their
+     * own snapshot sections by the checkpoint driver.
+     */
+    void saveState(sim::snap::SnapWriter &w) const;
+
+    /** Adopt CPU/TLB/memory state; CPU count and the stat-registry
+     *  digest must match (restore-or-verify). */
+    void loadState(sim::snap::SnapReader &r);
 
   private:
     MachineSpec spec_;

@@ -1,5 +1,7 @@
 #include "hw/page_table.h"
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 namespace xc::hw {
@@ -90,6 +92,40 @@ PageTable::clearUser()
         } else {
             ++it;
         }
+    }
+}
+
+void
+PageTable::saveState(sim::snap::SnapWriter &w) const
+{
+    std::vector<std::pair<Vpn, Pte>> sorted(entries.begin(),
+                                            entries.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    w.u64(globalCount);
+    w.u32(static_cast<std::uint32_t>(sorted.size()));
+    for (const auto &[vpn, pte] : sorted) {
+        w.u64(vpn);
+        w.u64(pte.pfn);
+        w.u32(pte.flags);
+    }
+}
+
+void
+PageTable::loadState(sim::snap::SnapReader &r)
+{
+    globalCount = r.u64();
+    entries.clear();
+    std::uint32_t n = r.u32();
+    entries.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        Vpn vpn = r.u64();
+        Pte pte;
+        pte.pfn = r.u64();
+        pte.flags = r.u32();
+        entries.emplace(vpn, pte);
     }
 }
 

@@ -128,6 +128,12 @@ class PageTable
     /** Drop all user-half entries (execve / exit). */
     void clearUser();
 
+    /** Serialize every mapping (sorted by vpn) + derived counters. */
+    void saveState(sim::snap::SnapWriter &w) const;
+
+    /** Replace this table's contents with a serialized state. */
+    void loadState(sim::snap::SnapReader &r);
+
   private:
     std::unordered_map<Vpn, Pte> entries;
     std::uint64_t globalCount = 0;

@@ -1,5 +1,9 @@
 #include "hw/phys_memory.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 namespace xc::hw {
 
 PhysMemory::PhysMemory(std::uint64_t bytes) : total(bytes / kPageSize)
@@ -72,6 +76,64 @@ PhysMemory::freeAllOwnedBy(OwnerId owner)
         }
     }
     perOwner.erase(owner);
+}
+
+void
+PhysMemory::saveState(sim::snap::SnapWriter &w) const
+{
+    w.u64(total);
+    w.u64(used);
+    w.u64(nextPfn);
+
+    std::vector<std::pair<Pfn, Run>> sortedRuns(runs.begin(),
+                                                runs.end());
+    std::sort(sortedRuns.begin(), sortedRuns.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    w.u32(static_cast<std::uint32_t>(sortedRuns.size()));
+    for (const auto &[pfn, run] : sortedRuns) {
+        w.u64(pfn);
+        w.u64(run.count);
+        w.u32(run.owner);
+    }
+
+    std::vector<std::pair<OwnerId, std::uint64_t>> sortedOwners(
+        perOwner.begin(), perOwner.end());
+    std::sort(sortedOwners.begin(), sortedOwners.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    w.u32(static_cast<std::uint32_t>(sortedOwners.size()));
+    for (const auto &[owner, frames] : sortedOwners) {
+        w.u32(owner);
+        w.u64(frames);
+    }
+}
+
+void
+PhysMemory::loadState(sim::snap::SnapReader &r)
+{
+    r.expectU64(total, "physical memory size");
+    used = r.u64();
+    nextPfn = r.u64();
+
+    runs.clear();
+    std::uint32_t nRuns = r.u32();
+    for (std::uint32_t i = 0; i < nRuns; ++i) {
+        Pfn pfn = r.u64();
+        Run run;
+        run.count = r.u64();
+        run.owner = r.u32();
+        runs.emplace(pfn, run);
+    }
+
+    perOwner.clear();
+    std::uint32_t nOwners = r.u32();
+    for (std::uint32_t i = 0; i < nOwners; ++i) {
+        OwnerId owner = r.u32();
+        perOwner.emplace(owner, r.u64());
+    }
 }
 
 } // namespace xc::hw

@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "sim/logging.h"
+#include "sim/snapshot.h"
 
 namespace xc::hw {
 
@@ -59,6 +60,13 @@ class PhysMemory
 
     /** Release every frame charged to @p owner. */
     void freeAllOwnedBy(OwnerId owner);
+
+    /** Serialize pool size, allocation cursor and every run /
+     *  per-owner total (sorted by key: deterministic bytes). */
+    void saveState(sim::snap::SnapWriter &w) const;
+
+    /** Adopt a serialized allocator state (pool size must match). */
+    void loadState(sim::snap::SnapReader &r);
 
   private:
     struct Run

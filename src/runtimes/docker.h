@@ -69,6 +69,22 @@ class DockerRuntime : public Runtime
     RtContainer *bootContainer(const ContainerOpts &opts) override;
 
     guestos::GuestKernel &hostKernel() { return *host; }
+
+    /** Base state + the shared host kernel. */
+    void
+    saveState(sim::snap::SnapWriter &w) override
+    {
+        Runtime::saveState(w);
+        host->saveState(w);
+    }
+
+    void
+    loadState(sim::snap::SnapReader &r) override
+    {
+        Runtime::loadState(r);
+        host->loadState(r);
+    }
+
     guestos::NativePort &hostPort() { return *port; }
 
   private:

@@ -132,6 +132,31 @@ class Runtime
     /** The host's public address (what load generators connect to). */
     guestos::IpAddr hostIp() const { return hostIp_; }
 
+    /**
+     * Per-runtime snapshot hook (see DESIGN.md §13). The base
+     * serializes what every runtime has — its registry name, host
+     * address and boot-sequence counter; runtimes with richer state
+     * (X-Containers' X-Kernel and per-container X-LibOS kernels,
+     * Docker's host kernel) override both methods and call the base
+     * first. The machine (event queue, RNG, memory, counters) is
+     * serialized separately by the checkpoint driver.
+     */
+    virtual void
+    saveState(sim::snap::SnapWriter &w)
+    {
+        w.str(name());
+        w.u32(hostIp_);
+        w.u64(bootSeq_);
+    }
+
+    virtual void
+    loadState(sim::snap::SnapReader &r)
+    {
+        r.expectStr(name(), "runtime name");
+        r.expectU32(hostIp_, "runtime host address");
+        bootSeq_ = r.u64();
+    }
+
   protected:
     /** Derived runtimes pick a public host address once. */
     void setHostIp(guestos::IpAddr ip) { hostIp_ = ip; }

@@ -35,4 +35,25 @@ XContainerRuntime::bootContainer(const ContainerOpts &copts)
     return containers.back().get();
 }
 
+void
+XContainerRuntime::saveState(sim::snap::SnapWriter &w)
+{
+    Runtime::saveState(w);
+    xkernel().saveState(w);
+    w.u32(static_cast<std::uint32_t>(containers.size()));
+    for (auto &handle : containers)
+        handle->kernel().saveState(w);
+}
+
+void
+XContainerRuntime::loadState(sim::snap::SnapReader &r)
+{
+    Runtime::loadState(r);
+    xkernel().loadState(r);
+    r.expectU32(static_cast<std::uint32_t>(containers.size()),
+                "container count");
+    for (auto &handle : containers)
+        handle->kernel().loadState(r);
+}
+
 } // namespace xc::runtimes

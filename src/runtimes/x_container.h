@@ -67,6 +67,11 @@ class XContainerRuntime : public Runtime
     core::XContainerPlatform &platform() { return *platform_; }
     core::XKernel &xkernel() { return platform_->xkernel(); }
 
+    /** Base state + the X-Kernel (hypervisor) + every booted
+     *  container's X-LibOS kernel. */
+    void saveState(sim::snap::SnapWriter &w) override;
+    void loadState(sim::snap::SnapReader &r) override;
+
   private:
     std::string name_;
     Options opts;

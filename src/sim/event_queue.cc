@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "sim/logging.h"
+#include "sim/snapshot.h"
 
 namespace xc::sim {
 
@@ -351,6 +352,13 @@ EventQueue::fireNext()
             --slab_->live;
             InlineCallback fn = std::move(e.fn);
             slab_->release(idx);
+            if (!fn) {
+                // Only a loadState()-restored entry can be live with
+                // no callback; a restored queue must be re-driven by
+                // deterministic replay, never run directly.
+                panic("fired a hollow event (queue restored from a "
+                      "snapshot cannot run; rebuild it by replay)");
+            }
             fn();
             return true;
         }
@@ -390,6 +398,145 @@ EventQueue::run(std::uint64_t maxEvents)
     std::uint64_t fired = 0;
     while (fired < maxEvents && fireNext())
         ++fired;
+}
+
+void
+EventQueue::saveState(snap::SnapWriter &w) const
+{
+    w.u64(now_);
+    w.u64(nextSeq_);
+    w.u64(l0Block_);
+    w.u64(l1Super_);
+    w.u64(l2Hyper_);
+
+    w.u32(slab_->used);
+    w.u32(slab_->freeHead);
+    w.u64(slab_->live);
+    for (std::uint32_t i = 0; i < slab_->used; ++i) {
+        const detail::EventSlab::Entry &e = slab_->at(i);
+        w.u64(e.when);
+        w.u64(e.seq);
+        w.u32(e.next);
+        w.u32(e.gen);
+        w.b(e.live);
+    }
+
+    for (int level = 0; level < kLevels; ++level) {
+        for (std::uint32_t s = 0; s < kSlots; ++s) {
+            w.u32(wheel_[level][s].head);
+            w.u32(wheel_[level][s].tail);
+        }
+        for (std::uint32_t wd = 0; wd < kBitmapWords; ++wd)
+            w.u64(bitmap_[level][wd]);
+    }
+
+    w.u32(static_cast<std::uint32_t>(heap_.size()));
+    for (const HeapEntry &h : heap_) {
+        w.u64(h.when);
+        w.u64(h.seq);
+        w.u32(h.idx);
+    }
+
+    w.u64(burstPos_);
+    w.u32(static_cast<std::uint32_t>(burst_.size()));
+    for (const BurstEntry &b : burst_) {
+        w.u64(b.seq);
+        w.u32(b.idx);
+    }
+}
+
+void
+EventQueue::loadState(snap::SnapReader &r)
+{
+    // Destroy whatever callbacks this queue currently holds: the
+    // adopted state replaces every reference to them.
+    for (std::uint32_t i = 0; i < slab_->used; ++i)
+        slab_->at(i).fn.reset();
+
+    now_ = r.u64();
+    nextSeq_ = r.u64();
+    l0Block_ = r.u64();
+    l1Super_ = r.u64();
+    l2Hyper_ = r.u64();
+
+    std::uint32_t used = r.u32();
+    std::uint32_t freeHead = r.u32();
+    std::uint64_t live = r.u64();
+    if (used > (1u << 28))
+        throw snap::SnapError("event slab implausibly large");
+    auto checkIdx = [&](std::uint32_t idx, const char *what) {
+        if (idx != kNilEvent && idx >= used)
+            throw snap::SnapError(std::string(what) +
+                                  ": event index out of range");
+    };
+    checkIdx(freeHead, "slab free list");
+
+    std::size_t chunksNeeded =
+        (used + detail::EventSlab::kChunkSize - 1) >>
+        detail::EventSlab::kChunkBits;
+    while (slab_->chunks.size() < chunksNeeded) {
+        slab_->chunks.push_back(
+            std::make_unique<detail::EventSlab::Entry[]>(
+                detail::EventSlab::kChunkSize));
+    }
+    for (std::uint32_t i = 0; i < used; ++i) {
+        detail::EventSlab::Entry &e = slab_->at(i);
+        e.when = r.u64();
+        e.seq = r.u64();
+        e.next = r.u32();
+        e.gen = r.u32();
+        e.live = r.b();
+        checkIdx(e.next, "slab entry chain");
+        // e.fn stays empty: the entry is hollow until replay rebuilds
+        // the queue (fireNext refuses to run it).
+    }
+    // Entries past the adopted high-water mark (this queue was larger
+    // than the snapshot's) become unreachable; their generations stay
+    // as-is — the nonce bump below invalidates any handle to them.
+    slab_->used = used;
+    slab_->freeHead = freeHead;
+    slab_->live = live;
+    ++slab_->restoreNonce;
+
+    for (int level = 0; level < kLevels; ++level) {
+        for (std::uint32_t s = 0; s < kSlots; ++s) {
+            wheel_[level][s].head = r.u32();
+            wheel_[level][s].tail = r.u32();
+            checkIdx(wheel_[level][s].head, "wheel slot head");
+            checkIdx(wheel_[level][s].tail, "wheel slot tail");
+        }
+        for (std::uint32_t wd = 0; wd < kBitmapWords; ++wd)
+            bitmap_[level][wd] = r.u64();
+    }
+
+    heap_.clear();
+    std::uint32_t heapSize = r.u32();
+    if (heapSize > used)
+        throw snap::SnapError("overflow heap larger than slab");
+    heap_.reserve(heapSize);
+    for (std::uint32_t i = 0; i < heapSize; ++i) {
+        HeapEntry h;
+        h.when = r.u64();
+        h.seq = r.u64();
+        h.idx = r.u32();
+        checkIdx(h.idx, "overflow heap");
+        heap_.push_back(h);
+    }
+
+    burst_.clear();
+    burstPos_ = r.u64();
+    std::uint32_t burstSize = r.u32();
+    if (burstSize > used || burstPos_ > burstSize)
+        throw snap::SnapError("burst state out of range");
+    burst_.reserve(burstSize);
+    for (std::uint32_t i = 0; i < burstSize; ++i) {
+        BurstEntry b;
+        b.seq = r.u64();
+        b.idx = r.u32();
+        checkIdx(b.idx, "burst");
+        burst_.push_back(b);
+    }
+    r.expectEnd("event queue section");
 }
 
 } // namespace xc::sim

@@ -29,6 +29,11 @@ namespace xc::sim {
 
 class EventQueue;
 
+namespace snap {
+class SnapWriter;
+class SnapReader;
+} // namespace snap
+
 namespace detail {
 
 constexpr std::uint32_t kNilEvent = 0xffffffffu;
@@ -59,6 +64,15 @@ struct EventSlab
     std::uint32_t used = 0; ///< high-water mark of allocated indices
     std::uint32_t freeHead = kNilEvent;
     std::size_t live = 0; ///< pending (scheduled, uncancelled) events
+
+    /**
+     * Restore epoch. EventQueue::loadState bumps it (never
+     * serialized), so every EventHandle minted before a restore —
+     * whose recorded generation may coincidentally match a restored
+     * entry's — reads as not-pending afterwards. Entry generations
+     * themselves roundtrip exactly through save/load.
+     */
+    std::uint64_t restoreNonce = 0;
 
     Entry &
     at(std::uint32_t idx)
@@ -105,14 +119,15 @@ class EventHandle
     bool
     pending() const
     {
-        return slab_ && slab_->at(idx_).gen == gen_;
+        return slab_ && slab_->restoreNonce == nonce_ &&
+               slab_->at(idx_).gen == gen_;
     }
 
     /** Cancel the event if still pending. */
     void
     cancel()
     {
-        if (!slab_)
+        if (!slab_ || slab_->restoreNonce != nonce_)
             return;
         detail::EventSlab::Entry &e = slab_->at(idx_);
         if (e.gen != gen_)
@@ -129,13 +144,15 @@ class EventHandle
     friend class EventQueue;
     EventHandle(std::shared_ptr<detail::EventSlab> s, std::uint32_t idx,
                 std::uint32_t gen)
-        : slab_(std::move(s)), idx_(idx), gen_(gen)
+        : slab_(std::move(s)), idx_(idx), gen_(gen),
+          nonce_(slab_->restoreNonce)
     {
     }
 
     std::shared_ptr<detail::EventSlab> slab_;
     std::uint32_t idx_ = detail::kNilEvent;
     std::uint32_t gen_ = 0;
+    std::uint64_t nonce_ = 0; ///< slab restore epoch at creation
 };
 
 /** A single-owner discrete-event queue. */
@@ -204,6 +221,25 @@ class EventQueue
 
     /** Fire at most one event. @return false if the queue was empty. */
     bool step();
+
+    /**
+     * Serialize the complete structural state: clock, sequence
+     * counter, slab entries (with their generations), wheel slots,
+     * bitmaps, overflow heap and in-flight burst. Callbacks are NOT
+     * serialized (they are type-erased closures over live objects);
+     * save→load→save is byte-identical regardless.
+     */
+    void saveState(snap::SnapWriter &w) const;
+
+    /**
+     * Adopt a serialized state. Restored events are hollow (no
+     * callback) — a restored queue supports inspection and byte
+     * comparison but must be rebuilt by deterministic replay before
+     * it can run; firing a hollow event panics. Invalidates every
+     * EventHandle minted before the call (see EventSlab::restoreNonce)
+     * and destroys any previously pending callbacks.
+     */
+    void loadState(snap::SnapReader &r);
 
   private:
     // --- wheel geometry -------------------------------------------

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "sim/profile.h"
+#include "sim/snapshot.h"
 
 namespace xc::sim {
 
@@ -118,6 +119,28 @@ class MechanismCounters
 
     std::string renderTable() const { return renderMechTable(snap_); }
     std::string renderJson() const { return renderMechJson(snap_); }
+
+    /** Serialize all counters (count + cycles per mechanism). */
+    void
+    saveState(snap::SnapWriter &w) const
+    {
+        w.u32(kMechCount);
+        for (int m = 0; m < kMechCount; ++m) {
+            w.u64(snap_.counts[m]);
+            w.u64(snap_.cycles[m]);
+        }
+    }
+
+    /** Adopt serialized counters (mechanism set must match). */
+    void
+    loadState(snap::SnapReader &r)
+    {
+        r.expectU32(kMechCount, "mechanism count");
+        for (int m = 0; m < kMechCount; ++m) {
+            snap_.counts[m] = r.u64();
+            snap_.cycles[m] = r.u64();
+        }
+    }
 
   private:
     MechSnapshot snap_;

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "sim/logging.h"
+#include "sim/snapshot.h"
 
 namespace xc::sim {
 
@@ -96,6 +97,22 @@ class Rng
 
     /** Zipf-distributed rank in [0, n) with skew s (key popularity). */
     std::uint64_t zipf(std::uint64_t n, double s);
+
+    /** Serialize the full generator state (4 words). */
+    void
+    saveState(snap::SnapWriter &w) const
+    {
+        for (std::uint64_t word : state)
+            w.u64(word);
+    }
+
+    /** Adopt a serialized generator state. */
+    void
+    loadState(snap::SnapReader &r)
+    {
+        for (auto &word : state)
+            word = r.u64();
+    }
 
   private:
     static constexpr std::uint64_t

@@ -1,0 +1,303 @@
+#include "sim/snapshot.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+#include "sim/logging.h"
+#include "sim/profile.h"
+#include "sim/request_ctx.h"
+#include "sim/trace.h"
+
+namespace xc::sim::snap {
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t n, std::uint64_t seed)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void
+SnapWriter::f64(double v)
+{
+    u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void
+SnapReader::need(std::size_t n) const
+{
+    if (n > d_.size() - pos_)
+        throw SnapError("snapshot truncated: need " +
+                        std::to_string(n) + " bytes, have " +
+                        std::to_string(d_.size() - pos_));
+}
+
+std::uint8_t
+SnapReader::u8()
+{
+    need(1);
+    return static_cast<std::uint8_t>(d_[pos_++]);
+}
+
+std::uint32_t
+SnapReader::u32()
+{
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<std::uint8_t>(d_[pos_ + i]))
+             << (8 * i);
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t
+SnapReader::u64()
+{
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<std::uint8_t>(d_[pos_ + i]))
+             << (8 * i);
+    pos_ += 8;
+    return v;
+}
+
+double
+SnapReader::f64()
+{
+    return std::bit_cast<double>(u64());
+}
+
+std::string
+SnapReader::str()
+{
+    std::uint32_t n = u32();
+    need(n);
+    std::string s(d_.substr(pos_, n));
+    pos_ += n;
+    return s;
+}
+
+void
+SnapReader::bytes(void *p, std::size_t n)
+{
+    need(n);
+    std::memcpy(p, d_.data() + pos_, n);
+    pos_ += n;
+}
+
+void
+SnapReader::expectU64(std::uint64_t want, const char *what)
+{
+    std::uint64_t got = u64();
+    if (got != want)
+        throw SnapError(std::string(what) + ": snapshot has " +
+                        std::to_string(got) + ", state has " +
+                        std::to_string(want));
+}
+
+void
+SnapReader::expectU32(std::uint32_t want, const char *what)
+{
+    std::uint32_t got = u32();
+    if (got != want)
+        throw SnapError(std::string(what) + ": snapshot has " +
+                        std::to_string(got) + ", state has " +
+                        std::to_string(want));
+}
+
+void
+SnapReader::expectStr(std::string_view want, const char *what)
+{
+    std::string got = str();
+    if (got != want)
+        throw SnapError(std::string(what) + ": snapshot has '" + got +
+                        "', state has '" + std::string(want) + "'");
+}
+
+void
+SnapReader::expectEnd(const char *what)
+{
+    if (pos_ != d_.size())
+        throw SnapError(std::string(what) + ": " +
+                        std::to_string(d_.size() - pos_) +
+                        " trailing bytes in section");
+}
+
+void
+Snapshot::set(const std::string &name, std::string payload)
+{
+    for (auto &[n, p] : sections_) {
+        if (n == name) {
+            p = std::move(payload);
+            return;
+        }
+    }
+    sections_.emplace_back(name, std::move(payload));
+}
+
+const std::string *
+Snapshot::find(const std::string &name) const
+{
+    for (const auto &[n, p] : sections_)
+        if (n == name)
+            return &p;
+    return nullptr;
+}
+
+const std::string &
+Snapshot::require(const std::string &name) const
+{
+    const std::string *p = find(name);
+    if (p == nullptr)
+        throw SnapError("snapshot is missing section '" + name + "'");
+    return *p;
+}
+
+std::string
+Snapshot::encode() const
+{
+    SnapWriter w;
+    w.bytes(kMagic, 8);
+    w.u32(kVersion);
+    w.u32(static_cast<std::uint32_t>(sections_.size()));
+    for (const auto &[name, payload] : sections_) {
+        w.str(name);
+        w.u64(payload.size());
+        w.bytes(payload.data(), payload.size());
+        w.u64(fnv1a64(payload.data(), payload.size()));
+    }
+    std::uint64_t fileHash = fnv1a64(w.data().data(), w.data().size());
+    w.u64(fileHash);
+    return w.take();
+}
+
+Snapshot
+Snapshot::decode(std::string_view data)
+{
+    if (data.size() < 8 + 4 + 4 + 8)
+        throw SnapError("snapshot too short (" +
+                        std::to_string(data.size()) + " bytes)");
+    // The trailer hash covers everything before it; verify first so
+    // any flipped byte fails here with one uniform message.
+    std::string_view body = data.substr(0, data.size() - 8);
+    SnapReader trailer(data.substr(data.size() - 8));
+    std::uint64_t want = trailer.u64();
+    if (fnv1a64(body.data(), body.size()) != want)
+        throw SnapError("snapshot file hash mismatch (corrupt file)");
+
+    SnapReader r(body);
+    char magic[8];
+    r.bytes(magic, 8);
+    if (std::memcmp(magic, kMagic, 8) != 0)
+        throw SnapError("bad snapshot magic");
+    std::uint32_t version = r.u32();
+    if (version != kVersion)
+        throw SnapError("unsupported snapshot version " +
+                        std::to_string(version) + " (expected " +
+                        std::to_string(kVersion) + ")");
+    std::uint32_t count = r.u32();
+
+    Snapshot snap;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::string name = r.str();
+        std::uint64_t len = r.u64();
+        if (len > r.remaining())
+            throw SnapError("section '" + name +
+                            "' length exceeds file size");
+        std::string payload(len, '\0');
+        r.bytes(payload.data(), len);
+        std::uint64_t hash = r.u64();
+        if (fnv1a64(payload.data(), payload.size()) != hash)
+            throw SnapError("section '" + name + "' hash mismatch");
+        if (snap.find(name) != nullptr)
+            throw SnapError("duplicate section '" + name + "'");
+        snap.sections_.emplace_back(std::move(name),
+                                    std::move(payload));
+    }
+    r.expectEnd("snapshot container");
+    return snap;
+}
+
+void
+Snapshot::save(const std::string &path) const
+{
+    std::string bytes = encode();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        throw SnapError("cannot open '" + path + "' for writing");
+    std::size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    bool ok = (n == bytes.size());
+    ok = (std::fclose(f) == 0) && ok;
+    if (!ok)
+        throw SnapError("short write to '" + path + "'");
+}
+
+Snapshot
+Snapshot::loadFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        throw SnapError("cannot open snapshot '" + path + "'");
+    std::string bytes;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.append(buf, n);
+    bool readErr = std::ferror(f) != 0;
+    std::fclose(f);
+    if (readErr)
+        throw SnapError("read error on snapshot '" + path + "'");
+    return decode(bytes);
+}
+
+void
+saveObservability(SnapWriter &w)
+{
+    // Trace capture: counters only — the event payload is exported
+    // through trace::exportJson and compared by the differential
+    // tests, so the snapshot records just the replay-checkable size.
+    w.u64(trace::capturedEvents());
+    w.u64(trace::droppedEvents());
+
+    // Profiler: tree count plus the full deterministic JSON export,
+    // so a replay divergence anywhere in the attribution shows up.
+    const std::string profJson = prof::exportJson();
+    w.u64(prof::treeCount());
+    w.u64(fnv1a64(profJson.data(), profJson.size()));
+
+    // Flight recorder: id cursor and record count.
+    const flight::detail::State &fl = flight::detail::state();
+    w.u64(fl.next);
+    w.u64(fl.records.size());
+
+    // Logger level (sink is a closure; level is the serializable part).
+    w.u32(static_cast<std::uint32_t>(logLevel()));
+}
+
+void
+loadObservability(SnapReader &r)
+{
+    r.expectU64(trace::capturedEvents(), "trace captured events");
+    r.expectU64(trace::droppedEvents(), "trace dropped events");
+    const std::string profJson = prof::exportJson();
+    r.expectU64(prof::treeCount(), "profile tree count");
+    r.expectU64(fnv1a64(profJson.data(), profJson.size()),
+                "profile tree digest");
+    const flight::detail::State &fl = flight::detail::state();
+    r.expectU64(fl.next, "flight id cursor");
+    r.expectU64(fl.records.size(), "flight record count");
+    r.expectU32(static_cast<std::uint32_t>(logLevel()), "log level");
+    r.expectEnd("observability section");
+}
+
+} // namespace xc::sim::snap

@@ -1,0 +1,183 @@
+#ifndef XC_SIM_SNAPSHOT_H
+#define XC_SIM_SNAPSHOT_H
+
+/**
+ * @file
+ * Versioned, deterministic binary serialization of simulator state.
+ *
+ * A Snapshot is an ordered list of named sections, each an opaque
+ * byte payload produced by some subsystem's saveState(SnapWriter&).
+ * The container format (see DESIGN.md §13) is:
+ *
+ *   magic   "XCSNAP01"                     8 bytes
+ *   version u32 (little-endian)            currently 1
+ *   count   u32                            number of sections
+ *   count × section:
+ *     nameLen u32, name bytes
+ *     payloadLen u64, payload bytes
+ *     payloadHash u64                      FNV-1a over the payload
+ *   fileHash u64                           FNV-1a over all prior bytes
+ *
+ * Everything is little-endian with fixed-width fields; doubles are
+ * stored as their IEEE-754 bit pattern. Two identical simulation
+ * states therefore always serialize to byte-identical files, which
+ * is the property the whole harness (roundtrip, differential and
+ * golden tests) rests on.
+ *
+ * Loading is defensive: every read is bounds-checked and every
+ * malformed input — truncation, bad magic, version skew, corrupted
+ * lengths or checksums — raises SnapError. No input may cause UB.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xc::sim::snap {
+
+/** Every snapshot failure mode: I/O, truncation, corruption,
+ *  version skew, and restore-time state mismatches. */
+struct SnapError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/** FNV-1a 64-bit over @p n bytes (seedable for incremental use). */
+std::uint64_t fnv1a64(const void *data, std::size_t n,
+                      std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/** Append-only little-endian primitive encoder. */
+class SnapWriter
+{
+  public:
+    void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+    /** IEEE-754 bit pattern; bit-exact roundtrip incl. -0.0/NaN. */
+    void f64(double v);
+
+    void
+    str(std::string_view s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        buf_.append(s.data(), s.size());
+    }
+
+    void bytes(const void *p, std::size_t n)
+    {
+        buf_.append(static_cast<const char *>(p), n);
+    }
+
+    const std::string &data() const { return buf_; }
+    std::string take() { return std::move(buf_); }
+
+  private:
+    std::string buf_;
+};
+
+/** Bounds-checked decoder over one section payload. */
+class SnapReader
+{
+  public:
+    explicit SnapReader(std::string_view data) : d_(data) {}
+
+    std::uint8_t u8();
+    bool b() { return u8() != 0; }
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    double f64();
+    std::string str();
+    void bytes(void *p, std::size_t n);
+
+    std::size_t remaining() const { return d_.size() - pos_; }
+
+    /** Restore-or-verify helpers: the serialized value must equal
+     *  the state being restored into (throws SnapError otherwise). */
+    void expectU64(std::uint64_t want, const char *what);
+    void expectU32(std::uint32_t want, const char *what);
+    void expectStr(std::string_view want, const char *what);
+
+    /** Assert the payload was fully consumed. */
+    void expectEnd(const char *what);
+
+  private:
+    void need(std::size_t n) const;
+
+    std::string_view d_;
+    std::size_t pos_ = 0;
+};
+
+/** An ordered collection of named sections. */
+class Snapshot
+{
+  public:
+    static constexpr std::uint32_t kVersion = 1;
+    static constexpr char kMagic[9] = "XCSNAP01"; // 8 bytes on disk
+
+    /** Append (or replace) section @p name. */
+    void set(const std::string &name, std::string payload);
+
+    /** Payload of @p name; nullptr when absent. */
+    const std::string *find(const std::string &name) const;
+
+    /** Payload of @p name; throws SnapError when absent. */
+    const std::string &require(const std::string &name) const;
+
+    std::size_t sectionCount() const { return sections_.size(); }
+
+    const std::vector<std::pair<std::string, std::string>> &
+    sections() const
+    {
+        return sections_;
+    }
+
+    /** Serialize to the container format above. Deterministic. */
+    std::string encode() const;
+
+    /** Parse @p data; throws SnapError on any malformation. */
+    static Snapshot decode(std::string_view data);
+
+    /** encode() to @p path; throws SnapError on I/O failure. */
+    void save(const std::string &path) const;
+
+    /** Read + decode @p path; throws SnapError on failure. */
+    static Snapshot loadFile(const std::string &path);
+
+  private:
+    std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+/**
+ * Serialize the observability state bound to the calling thread
+ * (trace capture counters, profiler trees, flight-recorder cursor,
+ * log level) — the SimContext side of a checkpoint. loadObservability
+ * verifies a replayed run reproduced the same observable state and
+ * throws SnapError on divergence.
+ */
+void saveObservability(SnapWriter &w);
+void loadObservability(SnapReader &r);
+
+} // namespace xc::sim::snap
+
+#endif // XC_SIM_SNAPSHOT_H

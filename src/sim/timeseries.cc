@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "sim/snapshot.h"
 #include "sim/trace.h"
 
 namespace xc::sim {
@@ -144,6 +145,52 @@ TimeSeries::exportJson() const
     }
     out += "\n]}\n";
     return out;
+}
+
+void
+TimeSeries::saveState(snap::SnapWriter &w) const
+{
+    w.u64(opt_.cadence);
+    w.u64(opt_.capacity);
+    w.u64(taken_);
+    w.u64(firstAt_);
+    w.b(running_);
+    w.u32(static_cast<std::uint32_t>(series_.size()));
+    for (const Series &s : series_) {
+        w.str(s.name);
+        w.u8(s.kind == Kind::Delta ? 1 : 0);
+        w.f64(s.last);
+        w.u32(static_cast<std::uint32_t>(s.ring.size()));
+        for (double v : s.ring)
+            w.f64(v);
+    }
+}
+
+void
+TimeSeries::loadState(snap::SnapReader &r)
+{
+    r.expectU64(opt_.cadence, "timeseries cadence");
+    r.expectU64(opt_.capacity, "timeseries capacity");
+    taken_ = r.u64();
+    firstAt_ = r.u64();
+    running_ = r.b();
+    r.expectU32(static_cast<std::uint32_t>(series_.size()),
+                "timeseries probe count");
+    for (Series &s : series_) {
+        r.expectStr(s.name, "timeseries probe name");
+        std::uint8_t kind = r.u8();
+        if ((kind != 0) != (s.kind == Kind::Delta))
+            throw snap::SnapError("timeseries probe '" + s.name +
+                                  "' kind mismatch");
+        s.last = r.f64();
+        std::uint32_t n = r.u32();
+        if (n > opt_.capacity)
+            throw snap::SnapError("timeseries ring larger than "
+                                  "capacity");
+        s.ring.assign(n, 0.0);
+        for (double &v : s.ring)
+            v = r.f64();
+    }
 }
 
 } // namespace xc::sim

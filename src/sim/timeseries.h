@@ -89,6 +89,18 @@ class TimeSeries
      */
     std::string exportJson() const;
 
+    /**
+     * Serialize cadence/capacity, the sample cursor and every
+     * probe's ring (names, kinds, deltas' last raw samples, points).
+     * The probe callables and the sampling timer are not serialized:
+     * a restored TimeSeries is for inspection/verification; replay
+     * re-arms sampling.
+     */
+    void saveState(snap::SnapWriter &w) const;
+
+    /** Adopt rings/cursors; probe names and kinds must match. */
+    void loadState(snap::SnapReader &r);
+
   private:
     struct Series
     {

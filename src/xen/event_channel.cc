@@ -102,4 +102,66 @@ GrantTable::grantCopy(GrantRef ref, DomId requester)
     return true;
 }
 
+void
+EventChannels::saveState(sim::snap::SnapWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(nextPort));
+    w.u64(notifications_);
+    w.u64(dropped_);
+    w.u32(static_cast<std::uint32_t>(handlers.size()));
+    for (const auto &[port, handler] : handlers) // std::map: sorted
+        w.u32(static_cast<std::uint32_t>(port));
+}
+
+void
+EventChannels::loadState(sim::snap::SnapReader &r)
+{
+    nextPort = static_cast<EvtchnPort>(r.u32());
+    notifications_ = r.u64();
+    dropped_ = r.u64();
+    r.expectU32(static_cast<std::uint32_t>(handlers.size()),
+                "event channel port count");
+    for (const auto &[port, handler] : handlers)
+        r.expectU32(static_cast<std::uint32_t>(port),
+                    "event channel port");
+}
+
+void
+GrantTable::saveState(sim::snap::SnapWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(owner_));
+    w.u32(static_cast<std::uint32_t>(nextRef));
+    w.u64(copies_);
+    w.u64(failedOps_);
+    w.u32(static_cast<std::uint32_t>(entries.size()));
+    for (const auto &[ref, e] : entries) { // std::map: sorted
+        w.u32(static_cast<std::uint32_t>(ref));
+        w.u32(static_cast<std::uint32_t>(e.to));
+        w.u64(e.pfn);
+        w.b(e.readonly);
+        w.u32(static_cast<std::uint32_t>(e.mapCount));
+    }
+}
+
+void
+GrantTable::loadState(sim::snap::SnapReader &r)
+{
+    r.expectU32(static_cast<std::uint32_t>(owner_),
+                "grant table owner");
+    nextRef = static_cast<GrantRef>(r.u32());
+    copies_ = r.u64();
+    failedOps_ = r.u64();
+    entries.clear();
+    std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        GrantRef ref = static_cast<GrantRef>(r.u32());
+        Entry e;
+        e.to = static_cast<DomId>(r.u32());
+        e.pfn = r.u64();
+        e.readonly = r.b();
+        e.mapCount = static_cast<int>(r.u32());
+        entries.emplace(ref, e);
+    }
+}
+
 } // namespace xc::xen

@@ -54,6 +54,13 @@ class EventChannels
     std::uint64_t dropped() const { return dropped_; }
     std::size_t openPorts() const { return handlers.size(); }
 
+    /** Serialize counters + the open port set (handlers are live
+     *  closures: restore-or-verify, see DESIGN.md §13). */
+    void saveState(sim::snap::SnapWriter &w) const;
+
+    /** Adopt counters; the open port set must match. */
+    void loadState(sim::snap::SnapReader &r);
+
     /** Route notification counts into the machine-wide registry. */
     void attachMech(sim::MechanismCounters *mech) { mech_ = mech; }
 
@@ -100,6 +107,12 @@ class GrantTable
     std::size_t activeGrants() const { return entries.size(); }
     std::uint64_t copies() const { return copies_; }
     std::uint64_t failedOps() const { return failedOps_; }
+
+    /** Serialize counters and every grant entry. */
+    void saveState(sim::snap::SnapWriter &w) const;
+
+    /** Replace table contents with a serialized state. */
+    void loadState(sim::snap::SnapReader &r);
 
     /** Consult @p faults on map/copy: injected GrantFail faults
      *  reject the operation (the caller retries or drops). */
@@ -173,6 +186,27 @@ class DescriptorRing
     std::uint64_t consumed() const { return cons_; }
     std::uint64_t drops() const { return drops_; }
     std::uint64_t batches() const { return batches_; }
+
+    void
+    saveState(sim::snap::SnapWriter &w) const
+    {
+        w.u32(static_cast<std::uint32_t>(capacity_));
+        w.u64(prod_);
+        w.u64(cons_);
+        w.u64(drops_);
+        w.u64(batches_);
+    }
+
+    void
+    loadState(sim::snap::SnapReader &r)
+    {
+        r.expectU32(static_cast<std::uint32_t>(capacity_),
+                    "descriptor ring capacity");
+        prod_ = r.u64();
+        cons_ = r.u64();
+        drops_ = r.u64();
+        batches_ = r.u64();
+    }
 
   private:
     int capacity_;

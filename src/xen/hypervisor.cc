@@ -174,4 +174,55 @@ Hypervisor::totalHypercalls() const
     return total;
 }
 
+void
+Hypervisor::saveState(sim::snap::SnapWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(Hypercall::kCount));
+    for (std::uint64_t count : hypercallCounts)
+        w.u64(count);
+    w.u64(rejectedMmuUpdates_);
+    w.u32(static_cast<std::uint32_t>(nextDomId));
+    w.u64(reserveFrame);
+
+    w.u32(static_cast<std::uint32_t>(domains.size()));
+    for (const auto &[id, dom] : domains) { // std::map: sorted
+        w.u32(static_cast<std::uint32_t>(id));
+        w.str(dom->name_);
+        w.u64(dom->frames_);
+        w.u32(static_cast<std::uint32_t>(dom->vcpus_));
+        w.u64(dom->firstFrame);
+        dom->grants_.saveState(w);
+    }
+
+    evtchn.saveState(w);
+    pool_->saveState(w);
+}
+
+void
+Hypervisor::loadState(sim::snap::SnapReader &r)
+{
+    r.expectU32(static_cast<std::uint32_t>(Hypercall::kCount),
+                "hypercall kind count");
+    for (std::uint64_t &count : hypercallCounts)
+        count = r.u64();
+    rejectedMmuUpdates_ = r.u64();
+    nextDomId = static_cast<DomId>(r.u32());
+    reserveFrame = r.u64();
+
+    r.expectU32(static_cast<std::uint32_t>(domains.size()),
+                "domain count");
+    for (auto &[id, dom] : domains) {
+        r.expectU32(static_cast<std::uint32_t>(id), "domain id");
+        r.expectStr(dom->name_, "domain name");
+        r.expectU64(dom->frames_, "domain frames");
+        r.expectU32(static_cast<std::uint32_t>(dom->vcpus_),
+                    "domain vcpus");
+        r.expectU64(dom->firstFrame, "domain first frame");
+        dom->grants_.loadState(r);
+    }
+
+    evtchn.loadState(r);
+    pool_->loadState(r);
+}
+
 } // namespace xc::xen

@@ -138,6 +138,17 @@ class Hypervisor
     std::uint64_t hypercalls(Hypercall call) const;
     std::uint64_t totalHypercalls() const;
 
+    /**
+     * Serialize hypercall/MMU counters, the domain-id cursor, every
+     * domain's identity + memory reservation + grant table, the
+     * event-channel table, and the credit scheduler's CorePool.
+     * Domains themselves hold live vCPU objects, so the domain set
+     * is restore-or-verify: loadState requires the same domains and
+     * adopts their counters.
+     */
+    void saveState(sim::snap::SnapWriter &w) const;
+    void loadState(sim::snap::SnapReader &r);
+
   private:
     hw::Machine &machine_;
     Config config_;

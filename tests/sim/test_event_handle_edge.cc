@@ -7,9 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "sim/event_queue.h"
+#include "sim/logging.h"
+#include "sim/snapshot.h"
 
 namespace xc::sim {
 namespace {
@@ -256,6 +259,85 @@ TEST(EventHandleEdge, OversizedCaptureStillWorks)
     h2.cancel();
     q.run();
     EXPECT_EQ(seen, 99u);
+}
+
+// --- snapshot restore vs handles (DESIGN.md §13) ---------------------
+
+TEST(EventHandleEdge, RestoreInvalidatesPreexistingHandles)
+{
+    EventQueue q;
+    EventHandle h = q.schedule(100, [] {});
+    EXPECT_TRUE(h.pending());
+
+    snap::SnapWriter w;
+    q.saveState(w);
+    std::string bytes = w.take();
+
+    // Loading bumps the slab's restore nonce: the entry's generation
+    // still roundtrips bit-exactly (save→load→save is a fixed
+    // point), but a handle minted before the load must read as dead
+    // — its world was replaced wholesale, generation match or not.
+    snap::SnapReader r(bytes);
+    q.loadState(r);
+    EXPECT_FALSE(h.pending());
+
+    // ... and state identity was NOT sacrificed for that: the
+    // restored queue re-serializes to the same bytes.
+    snap::SnapWriter w2;
+    q.saveState(w2);
+    EXPECT_EQ(w2.take(), bytes);
+}
+
+TEST(EventHandleEdge, CancelAfterRestoreIsInertNoop)
+{
+    EventQueue q;
+    EventHandle h = q.schedule(100, [] {});
+    snap::SnapWriter w;
+    q.saveState(w);
+    std::string bytes = w.take();
+    snap::SnapReader r(bytes);
+    q.loadState(r);
+
+    // A stale cancel must not touch the restored entry (which may
+    // now describe a different logical event in the restored world).
+    h.cancel();
+    h.cancel();
+    EXPECT_EQ(q.pendingEvents(), 1u);
+}
+
+TEST(EventHandleEdge, HandlesMintedAfterRestoreWork)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    snap::SnapWriter w;
+    q.saveState(w);
+    std::string bytes = w.take();
+    snap::SnapReader r(bytes);
+    q.loadState(r);
+
+    EventHandle fresh = q.schedule(50, [] {});
+    EXPECT_TRUE(fresh.pending());
+    fresh.cancel();
+    EXPECT_FALSE(fresh.pending());
+    EXPECT_EQ(q.pendingEvents(), 1u);
+}
+
+TEST(EventHandleEdge, FiringHollowRestoredEventPanics)
+{
+    // A restored queue is verify-only: its entries have no callbacks
+    // (closures cannot be serialized), so running it is a programming
+    // error that must be loud, not a silent no-op.
+    EventQueue q;
+    q.schedule(10, [] {});
+    snap::SnapWriter w;
+    q.saveState(w);
+    std::string bytes = w.take();
+    snap::SnapReader r(bytes);
+    q.loadState(r);
+
+    setThrowOnError(true);
+    EXPECT_THROW(q.run(), SimError);
+    setThrowOnError(false);
 }
 
 } // namespace

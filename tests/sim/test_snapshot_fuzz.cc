@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Negative and fuzz coverage for snapshot loading: truncated files,
+ * flipped version/magic bytes, corrupted section lengths, and
+ * seeded random byte flips must all surface as sim::snap::SnapError
+ * — never undefined behavior, a crash, or a silently-wrong object.
+ * CI runs this suite under ASan+UBSan, which is what turns "no UB"
+ * from a hope into a checked property.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/snapshot.h"
+
+namespace xc::sim {
+namespace {
+
+using snap::SnapError;
+using snap::SnapReader;
+using snap::Snapshot;
+using snap::SnapWriter;
+
+Snapshot
+sampleSnapshot()
+{
+    Snapshot s;
+    SnapWriter a;
+    a.u64(0x1122334455667788ull);
+    a.str("payload-one");
+    s.set("alpha", a.take());
+    SnapWriter b;
+    for (int i = 0; i < 32; ++i)
+        b.u32(static_cast<std::uint32_t>(i * 2654435761u));
+    s.set("beta", b.take());
+    return s;
+}
+
+/** decode() must throw SnapError (and only SnapError) on @p bytes. */
+void
+expectRejected(const std::string &bytes)
+{
+    EXPECT_THROW(
+        { Snapshot copy = Snapshot::decode(bytes); (void)copy; },
+        SnapError);
+}
+
+TEST(SnapshotFuzz, EveryTruncationPrefixRejected)
+{
+    std::string bytes = sampleSnapshot().encode();
+    // Every proper prefix must be rejected: either the trailer hash
+    // is missing/mismatched or a length check fires first.
+    for (std::size_t len = 0; len < bytes.size(); ++len)
+        expectRejected(bytes.substr(0, len));
+}
+
+TEST(SnapshotFuzz, VersionFlipRejected)
+{
+    std::string bytes = sampleSnapshot().encode();
+    // The u32 version sits right after the 8-byte magic. A version
+    // bump alone also invalidates the trailer hash, but the error
+    // must name the version once the hash is recomputed to match —
+    // so patch both: bump the version, then re-encode the trailer.
+    // Simpler and equally strong: flip the version byte and accept
+    // either failure mode, then check a *consistently* re-hashed
+    // future version is rejected with the version message.
+    std::string flipped = bytes;
+    flipped[8] = char(2);
+    expectRejected(flipped);
+
+    // Rebuild a structurally-valid "version 2" file: body with the
+    // patched version, trailer recomputed over it.
+    std::string body = bytes.substr(0, bytes.size() - 8);
+    body[8] = char(2);
+    std::uint64_t h = snap::fnv1a64(body.data(), body.size());
+    std::string v2 = body;
+    for (int i = 0; i < 8; ++i)
+        v2 += static_cast<char>((h >> (8 * i)) & 0xff);
+    try {
+        Snapshot::decode(v2);
+        FAIL() << "version 2 file decoded";
+    } catch (const SnapError &e) {
+        EXPECT_NE(std::strstr(e.what(), "version"), nullptr)
+            << e.what();
+    }
+}
+
+TEST(SnapshotFuzz, MagicCorruptionRejected)
+{
+    std::string bytes = sampleSnapshot().encode();
+    for (int i = 0; i < 8; ++i) {
+        std::string bad = bytes;
+        bad[i] ^= 0x40;
+        expectRejected(bad);
+    }
+}
+
+TEST(SnapshotFuzz, SectionLengthCorruptionRejected)
+{
+    Snapshot s = sampleSnapshot();
+    std::string bytes = s.encode();
+    // The first section's name starts after magic(8)+version(4)+
+    // count(4) = byte 16: nameLen u32, name, payloadLen u64. Patch
+    // the payload length to a huge value and to an off-by-one, with
+    // the trailer recomputed so only the length check can fire.
+    std::size_t nameLen = 5; // "alpha"
+    std::size_t lenOff = 16 + 4 + nameLen;
+    for (std::uint64_t evil :
+         {~std::uint64_t(0), std::uint64_t(1) << 40,
+          std::uint64_t(200), std::uint64_t(0)}) {
+        std::string body = bytes.substr(0, bytes.size() - 8);
+        for (int i = 0; i < 8; ++i)
+            body[lenOff + static_cast<std::size_t>(i)] =
+                static_cast<char>((evil >> (8 * i)) & 0xff);
+        std::uint64_t h = snap::fnv1a64(body.data(), body.size());
+        std::string bad = body;
+        for (int i = 0; i < 8; ++i)
+            bad += static_cast<char>((h >> (8 * i)) & 0xff);
+        expectRejected(bad);
+    }
+}
+
+TEST(SnapshotFuzz, SeededByteFlipsNeverUb)
+{
+    std::string bytes = sampleSnapshot().encode();
+    Rng rng(20260809);
+    int decodedOk = 0;
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::string bad = bytes;
+        int flips = 1 + static_cast<int>(rng.below(4));
+        for (int f = 0; f < flips; ++f) {
+            std::size_t pos = rng.below(bad.size());
+            bad[pos] ^= static_cast<char>(1 + rng.below(255));
+        }
+        try {
+            Snapshot copy = Snapshot::decode(bad);
+            // A flip that cancels itself out (xor 0 can't happen,
+            // but two flips can collide) may legitimately decode.
+            ++decodedOk;
+            (void)copy;
+        } catch (const SnapError &) {
+            // expected
+        }
+        // Any other exception or a sanitizer report fails the test.
+    }
+    // Nearly every corruption must be caught by the trailer hash.
+    EXPECT_LE(decodedOk, 20);
+}
+
+TEST(SnapshotFuzz, RequireMissingSectionThrows)
+{
+    Snapshot s = sampleSnapshot();
+    EXPECT_THROW(s.require("gamma"), SnapError);
+}
+
+TEST(SnapshotFuzz, ReaderOverrunThrows)
+{
+    SnapWriter w;
+    w.u32(7);
+    std::string bytes = w.take();
+    SnapReader r(bytes);
+    EXPECT_EQ(r.u32(), 7u);
+    EXPECT_THROW(r.u64(), SnapError);
+    SnapReader r2(bytes);
+    EXPECT_THROW(r2.u64(), SnapError);
+    SnapReader r3(bytes);
+    EXPECT_THROW(r3.str(), SnapError);
+}
+
+TEST(SnapshotFuzz, ExpectEndThrowsOnTrailingBytes)
+{
+    SnapWriter w;
+    w.u32(7);
+    w.u8(1);
+    std::string bytes = w.take();
+    SnapReader r(bytes);
+    r.u32();
+    EXPECT_THROW(r.expectEnd("trailing"), SnapError);
+}
+
+TEST(SnapshotFuzz, CorruptQueueSectionRejectedStructurally)
+{
+    // Queue loadState validates indices even when the container
+    // hashes pass (a hostile or buggy producer): hand it a payload
+    // whose free-list head points far out of range.
+    EventQueue q;
+    q.schedule(10, [] {});
+    SnapWriter w;
+    q.saveState(w);
+    std::string good = w.take();
+
+    // Layout: now u64, nextSeq u64, l0 u64, l1 u64, l2 u64,
+    // used u32, freeHead u32, ...
+    std::string bad = good;
+    std::size_t freeHeadOff = 8 * 5 + 4;
+    std::uint32_t evil = 0x7fffffff;
+    std::memcpy(&bad[freeHeadOff], &evil, sizeof evil);
+    EventQueue fresh;
+    SnapReader r(bad);
+    EXPECT_THROW(fresh.loadState(r), SnapError);
+}
+
+TEST(SnapshotFuzz, LoadFileMissingPathThrows)
+{
+    EXPECT_THROW(
+        Snapshot::loadFile("/nonexistent/dir/snap.bin"), SnapError);
+}
+
+} // namespace
+} // namespace xc::sim

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Snapshot roundtrip identity, per subsystem: serialize, load into a
+ * fresh (or the same) object, serialize again, and require the two
+ * byte strings to be identical. This is the invariant the
+ * checkpoint/restore design rests on (DESIGN.md §13): if save→load→
+ * save is not a fixed point, restore byte-verification can never
+ * pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "fault/fault.h"
+#include "hw/machine.h"
+#include "hw/page_table.h"
+#include "hw/phys_memory.h"
+#include "apps/images.h"
+#include "runtimes/runtime.h"
+#include "sim/event_queue.h"
+#include "sim/mech_counters.h"
+#include "sim/rng.h"
+#include "sim/snapshot.h"
+#include "sim/timeseries.h"
+
+namespace xc {
+namespace {
+
+using sim::snap::SnapReader;
+using sim::snap::SnapWriter;
+
+template <typename T>
+std::string
+saved(T &t)
+{
+    SnapWriter w;
+    t.saveState(w);
+    return w.take();
+}
+
+template <typename T>
+void
+loadFrom(T &t, const std::string &bytes)
+{
+    SnapReader r(bytes);
+    t.loadState(r);
+}
+
+// --- writer/reader primitives ---------------------------------------
+
+TEST(SnapshotRoundtrip, PrimitivesRoundtrip)
+{
+    SnapWriter w;
+    w.u8(0xab);
+    w.b(true);
+    w.b(false);
+    w.u32(0xdeadbeef);
+    w.u64(0x0123456789abcdefull);
+    w.i64(-42);
+    w.f64(3.25);
+    w.f64(-0.0);
+    w.str("hello");
+    w.str("");
+    std::string bytes = w.take();
+
+    SnapReader r(bytes);
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_TRUE(r.b());
+    EXPECT_FALSE(r.b());
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(r.i64(), -42);
+    EXPECT_EQ(r.f64(), 3.25);
+    // -0.0 must survive bit-exactly (IEEE bit pattern, not value).
+    double nz = r.f64();
+    EXPECT_EQ(nz, 0.0);
+    EXPECT_TRUE(std::signbit(nz));
+    EXPECT_EQ(r.str(), "hello");
+    EXPECT_EQ(r.str(), "");
+    EXPECT_NO_THROW(r.expectEnd("primitives"));
+}
+
+TEST(SnapshotRoundtrip, ContainerEncodeDecode)
+{
+    sim::snap::Snapshot snap;
+    snap.set("alpha", std::string("\x00\x01\x02", 3));
+    snap.set("beta", "payload");
+    snap.set("empty", "");
+    std::string bytes = snap.encode();
+
+    sim::snap::Snapshot back = sim::snap::Snapshot::decode(bytes);
+    ASSERT_EQ(back.sectionCount(), 3u);
+    EXPECT_EQ(back.require("alpha"), std::string("\x00\x01\x02", 3));
+    EXPECT_EQ(back.require("beta"), "payload");
+    EXPECT_EQ(back.require("empty"), "");
+    EXPECT_EQ(back.find("gamma"), nullptr);
+    // Re-encode is a fixed point.
+    EXPECT_EQ(back.encode(), bytes);
+}
+
+// --- event queue ------------------------------------------------------
+
+TEST(SnapshotRoundtrip, EventQueueAcrossWheelLevelsAndHeap)
+{
+    sim::EventQueue q;
+    // Freelist churn: schedule + fire a batch first.
+    for (int i = 0; i < 5; ++i)
+        q.schedule(1 + i, [] {});
+    q.runUntil(100);
+    // Level 0 (near), level 1, level 2, and overflow-heap distances,
+    // plus a cancelled entry (live slab slot, dead event).
+    q.schedule(150, [] {});
+    q.schedule(100 + (1 << 10), [] {});
+    q.schedule(100 + (1 << 18), [] {});
+    q.schedule(100 + (1ull << 30), [] {});
+    q.schedule(100 + (1ull << 40), [] {});
+    sim::EventHandle dead = q.schedule(170, [] {});
+    dead.cancel();
+
+    std::string a = saved(q);
+    sim::EventQueue fresh;
+    loadFrom(fresh, a);
+    std::string b = saved(fresh);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(fresh.now(), q.now());
+    EXPECT_EQ(fresh.pendingEvents(), q.pendingEvents());
+}
+
+TEST(SnapshotRoundtrip, EventQueueMidBurst)
+{
+    sim::EventQueue q;
+    for (int i = 0; i < 3; ++i)
+        q.schedule(50, [] {});
+    q.schedule(60, [] {});
+    // Fire exactly one of the three same-tick events: the snapshot
+    // must capture the in-flight burst cursor.
+    ASSERT_TRUE(q.step());
+    ASSERT_EQ(q.now(), 50u);
+
+    std::string a = saved(q);
+    sim::EventQueue fresh;
+    loadFrom(fresh, a);
+    EXPECT_EQ(saved(fresh), a);
+}
+
+TEST(SnapshotRoundtrip, EventQueueSelfLoadIsFixedPoint)
+{
+    sim::EventQueue q;
+    q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    std::string a = saved(q);
+    loadFrom(q, a); // load into the live queue itself
+    EXPECT_EQ(saved(q), a);
+}
+
+// --- small subsystems -------------------------------------------------
+
+TEST(SnapshotRoundtrip, Rng)
+{
+    sim::Rng rng(1234);
+    for (int i = 0; i < 100; ++i)
+        rng.next();
+    std::string a = saved(rng);
+    sim::Rng fresh(1);
+    loadFrom(fresh, a);
+    EXPECT_EQ(saved(fresh), a);
+    // The restored generator continues the same stream.
+    sim::Rng again(1234);
+    for (int i = 0; i < 100; ++i)
+        again.next();
+    EXPECT_EQ(fresh.next(), again.next());
+}
+
+TEST(SnapshotRoundtrip, MechanismCounters)
+{
+    sim::MechanismCounters mech;
+    mech.add(sim::Mech::SyscallTrap, 100);
+    mech.add(sim::Mech::TlbFlush, 7);
+    std::string a = saved(mech);
+    sim::MechanismCounters fresh;
+    loadFrom(fresh, a);
+    EXPECT_EQ(saved(fresh), a);
+}
+
+TEST(SnapshotRoundtrip, FaultInjector)
+{
+    fault::FaultInjector inj;
+    inj.configure(fault::FaultPlan::uniform(0.25, 99));
+    for (sim::Tick t = 0; t < 64; ++t)
+        inj.shouldInject(fault::FaultKind::PacketLoss, t, t * 3);
+    std::string a = saved(inj);
+    fault::FaultInjector fresh;
+    loadFrom(fresh, a);
+    EXPECT_EQ(saved(fresh), a);
+    EXPECT_EQ(fresh.enabled(), inj.enabled());
+    EXPECT_EQ(fresh.injected(fault::FaultKind::PacketLoss),
+              inj.injected(fault::FaultKind::PacketLoss));
+}
+
+TEST(SnapshotRoundtrip, PhysMemory)
+{
+    hw::PhysMemory mem(64ull << 20);
+    auto a1 = mem.alloc(10, 1);
+    auto a2 = mem.alloc(20, 2);
+    auto a3 = mem.alloc(5, 1);
+    ASSERT_TRUE(a1 && a2 && a3);
+    mem.free(*a2, 20); // leave a hole
+    std::string a = saved(mem);
+    hw::PhysMemory fresh(64ull << 20);
+    loadFrom(fresh, a);
+    EXPECT_EQ(saved(fresh), a);
+    EXPECT_EQ(fresh.usedFrames(), mem.usedFrames());
+    EXPECT_EQ(fresh.ownedFrames(1), mem.ownedFrames(1));
+}
+
+TEST(SnapshotRoundtrip, PageTable)
+{
+    hw::PageTable pt;
+    pt.map(0x1000, 7, hw::PtePresent | hw::PteWritable);
+    pt.map(0xffff800000001000ull, 9,
+           hw::PtePresent | hw::PteGlobal);
+    pt.map(0x5000, 11, hw::PtePresent | hw::PteUser | hw::PteCow);
+    std::string a = saved(pt);
+    hw::PageTable fresh;
+    loadFrom(fresh, a);
+    EXPECT_EQ(saved(fresh), a);
+    EXPECT_EQ(fresh.mappedPages(), pt.mappedPages());
+}
+
+TEST(SnapshotRoundtrip, MachineSelf)
+{
+    hw::Machine m(hw::MachineSpec::ec2C4_2xlarge(), 42);
+    m.cpu(0).account(hw::CycleClass::User, 1000);
+    m.cpu(1).account(hw::CycleClass::Kernel, 500);
+    m.memory().alloc(32, 3);
+    std::string a = saved(m);
+    loadFrom(m, a);
+    EXPECT_EQ(saved(m), a);
+}
+
+TEST(SnapshotRoundtrip, TimeSeries)
+{
+    sim::EventQueue q;
+    sim::TimeSeries::Options to;
+    to.cadence = 10;
+    double v = 0.0;
+    sim::TimeSeries series(q, to);
+    series.addProbe("v", sim::TimeSeries::Kind::Level,
+                    [&v] { return v; });
+    series.start();
+    q.schedule(35, [&v] { v = 7.5; });
+    q.runUntil(50);
+    series.stop();
+
+    std::string a = saved(series);
+    sim::TimeSeries fresh(q, to);
+    fresh.addProbe("v", sim::TimeSeries::Kind::Level,
+                   [&v] { return v; });
+    loadFrom(fresh, a);
+    EXPECT_EQ(saved(fresh), a);
+    EXPECT_EQ(fresh.exportJson(), series.exportJson());
+}
+
+// --- full runtimes (self-roundtrip: save, load back, save) -----------
+
+TEST(SnapshotRoundtrip, DockerRuntime)
+{
+    auto rt = runtimes::makeRuntime(
+        "docker", hw::MachineSpec::ec2C4_2xlarge());
+    ASSERT_NE(rt, nullptr);
+    runtimes::ContainerOpts copts;
+    copts.name = "c0";
+    copts.image = apps::glibcImage("img");
+    auto *c = rt->createContainer(copts);
+    ASSERT_NE(c, nullptr);
+    rt->machine().events().runUntil(5 * sim::kTicksPerMs);
+
+    std::string a = saved(*rt);
+    loadFrom(*rt, a);
+    EXPECT_EQ(saved(*rt), a);
+}
+
+TEST(SnapshotRoundtrip, XContainerRuntime)
+{
+    auto rt = runtimes::makeRuntime(
+        "x-container", hw::MachineSpec::ec2C4_2xlarge());
+    ASSERT_NE(rt, nullptr);
+    runtimes::ContainerOpts copts;
+    copts.name = "xc0";
+    copts.image = apps::glibcImage("img");
+    auto *c = rt->createContainer(copts);
+    ASSERT_NE(c, nullptr);
+    rt->machine().events().runUntil(5 * sim::kTicksPerMs);
+
+    std::string a = saved(*rt);
+    loadFrom(*rt, a);
+    EXPECT_EQ(saved(*rt), a);
+}
+
+// --- observability ----------------------------------------------------
+
+TEST(SnapshotRoundtrip, ObservabilitySection)
+{
+    SnapWriter w;
+    sim::snap::saveObservability(w);
+    std::string a = w.take();
+    // Nothing changed between save and load: verification passes.
+    SnapReader r(a);
+    EXPECT_NO_THROW(sim::snap::loadObservability(r));
+    SnapWriter w2;
+    sim::snap::saveObservability(w2);
+    EXPECT_EQ(w2.take(), a);
+}
+
+} // namespace
+} // namespace xc
