@@ -11,6 +11,7 @@
  */
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +27,7 @@
 #include "fault/fault.h"
 #include "load/driver.h"
 #include "runtimes/runtime.h"
+#include "sim/ctl.h"
 #include "sim/profile.h"
 #include "sim/request_ctx.h"
 #include "sim/sweep.h"
@@ -60,6 +62,14 @@ using runtimes::Runtime;
  *                       every section against FILE, and continue
  *   --no-fork           (fig_whatif) replay each what-if cell from
  *                       scratch instead of fork()ing the warm parent
+ *   --cloud NAME      run only clouds whose label contains NAME
+ *                     (case-insensitive; fig3/fig4)
+ *   --ctl SOCK        serve a live control plane on this UNIX socket
+ *   --ctl-log FILE    record executed ctl commands to FILE
+ *   --ctl-replay FILE re-execute a recorded ctl log (no socket)
+ *   --ctl-hold        freeze at the first ctl poll tick until a
+ *                     `resume` command (or timeout -> exit 3)
+ *   --ctl-quantum MS  ctl command quantization period (default 10)
  */
 struct Options
 {
@@ -81,6 +91,12 @@ struct Options
     std::string checkpointPath;
     std::string restorePath;
     bool noFork = false; ///< fig_whatif: replay instead of fork()
+    std::string cloud;  ///< empty = every cloud the bench covers
+    std::string ctlSocket;
+    std::string ctlLog;
+    std::string ctlReplay;
+    bool ctlHold = false;
+    sim::Tick ctlQuantum = 10 * sim::kTicksPerMs;
 
     static Options
     parse(int argc, char **argv)
@@ -134,6 +150,19 @@ struct Options
                 o.restorePath = v;
             } else if (std::strcmp(a, "--no-fork") == 0) {
                 o.noFork = true;
+            } else if (const char *v = value("--cloud")) {
+                o.cloud = v;
+            } else if (const char *v = value("--ctl")) {
+                o.ctlSocket = v;
+            } else if (const char *v = value("--ctl-log")) {
+                o.ctlLog = v;
+            } else if (const char *v = value("--ctl-replay")) {
+                o.ctlReplay = v;
+            } else if (std::strcmp(a, "--ctl-hold") == 0) {
+                o.ctlHold = true;
+            } else if (const char *v = value("--ctl-quantum")) {
+                o.ctlQuantum = std::strtoull(v, nullptr, 0) *
+                               sim::kTicksPerMs;
             } else if (const char *v = value("--jobs")) {
                 o.jobs = std::atoi(v);
             } else if (const char *v = value("-j")) {
@@ -152,7 +181,10 @@ struct Options
                     "[--timeseries out.json] [--mech] "
                     "[--faults RATE] [--quick] [--golden out.json] "
                     "[--checkpoint-at MS] [--checkpoint FILE] "
-                    "[--restore FILE] [--no-fork] [--jobs/-j N]\n",
+                    "[--restore FILE] [--no-fork] [--cloud NAME] "
+                    "[--ctl SOCK] [--ctl-log FILE] "
+                    "[--ctl-replay FILE] [--ctl-hold] "
+                    "[--ctl-quantum MS] [--jobs/-j N]\n",
                     argv[0], a, argv[0]);
                 std::exit(2);
             }
@@ -165,6 +197,44 @@ struct Options
     wantRuntime(const std::string &label) const
     {
         return runtime.empty() || runtime == label;
+    }
+
+    /** True when cloud @p label should run under --cloud filtering
+     *  (case-insensitive substring match). */
+    bool
+    wantCloud(const std::string &label) const
+    {
+        if (cloud.empty())
+            return true;
+        auto lower = [](std::string s) {
+            std::transform(s.begin(), s.end(), s.begin(),
+                           [](unsigned char c) {
+                               return static_cast<char>(
+                                   std::tolower(c));
+                           });
+            return s;
+        };
+        return lower(label).find(lower(cloud)) != std::string::npos;
+    }
+
+    /** True when any control-plane mode (live or replay) is on. */
+    bool
+    ctlEnabled() const
+    {
+        return !ctlSocket.empty() || !ctlReplay.empty();
+    }
+
+    /** The SessionOptions these flags select. */
+    sim::ctl::SessionOptions
+    ctlSessionOptions() const
+    {
+        sim::ctl::SessionOptions so;
+        so.socketPath = ctlSocket;
+        so.logPath = ctlLog;
+        so.replayPath = ctlReplay;
+        so.quantum = ctlQuantum;
+        so.holdAtStart = ctlHold;
+        return so;
     }
 
     sim::Tick
@@ -447,8 +517,8 @@ addMacroProbes(sim::TimeSeries &series, hw::Machine &machine,
     }
 }
 
-/** The ten cloud configurations of §5.1 (5 runtimes x patched?),
- *  as registry names for runtimes::makeRuntime. */
+/** The twelve cloud configurations of §5.1 (6 runtimes x patched?),
+ *  as registry names for runtimes::buildRuntime. */
 inline std::vector<std::string>
 cloudRuntimeNames()
 {
@@ -458,12 +528,15 @@ cloudRuntimeNames()
         "x-container",     "x-container-unpatched",
         "gvisor",          "gvisor-unpatched",
         "clear-container", "clear-container-unpatched",
+        "kvm-microvm",     "kvm-microvm-unpatched",
     };
 }
 
 /** Build @p name on @p spec with the options' seed + fault plan.
- *  nullptr when unavailable (Clear Containers on EC2). */
-inline std::unique_ptr<Runtime>
+ *  `!result` when unavailable (Clear Containers / KVM microVMs on
+ *  EC2) — result.reason says why; result.warnings lists ignored
+ *  settings. */
+inline runtimes::RuntimeResult
 makeCloudRuntime(const std::string &name, const hw::MachineSpec &spec,
                  const Options &opt = {})
 {
@@ -471,7 +544,26 @@ makeCloudRuntime(const std::string &name, const hw::MachineSpec &spec,
     cfg.spec = spec;
     cfg.seed = opt.seed;
     cfg.faults = opt.faultPlan();
-    return runtimes::makeRuntime(name, cfg);
+    return runtimes::buildRuntime(name, cfg);
+}
+
+/** Report a skipped configuration the same way everywhere. */
+inline void
+printUnavailable(const std::string &label,
+                 const runtimes::RuntimeResult &built)
+{
+    std::printf("  %-28s (%s: %s)\n", label.c_str(),
+                runtimes::makeStatusName(built.status),
+                built.reason.c_str());
+}
+
+/** Print any buildRuntime warnings (ignored/clamped settings). */
+inline void
+printBuildWarnings(const runtimes::RuntimeResult &built)
+{
+    for (const runtimes::ConfigWarning &w : built.warnings)
+        std::fprintf(stderr, "warning: %s: %s\n", w.field.c_str(),
+                     w.message.c_str());
 }
 
 /** Which macro app to deploy. */
@@ -516,6 +608,12 @@ struct MacroRun
      */
     sim::Tick hookAt = 0;
     std::function<void()> hook;
+    /**
+     * Called once with the driver right after construction (before
+     * any event runs) — the control plane uses it to hold a pointer
+     * for live status queries. Must not start/steer the driver.
+     */
+    std::function<void(load::ClosedLoopDriver &)> driverObserver;
 };
 
 /** Deploy @p app on @p rt and drive it; returns the load result. */
@@ -575,6 +673,8 @@ runMacro(Runtime &rt, MacroApp app, const MacroRun &run)
     spec.retryBudget = run.retryBudget;
 
     load::ClosedLoopDriver driver(rt.fabric(), spec, run.seed);
+    if (run.driverObserver)
+        run.driverObserver(driver);
     if (run.observeMech)
         driver.observeMech(rt.machine().mech());
     if (run.series != nullptr) {

@@ -16,6 +16,8 @@
  * byte-identical at any -j.
  */
 
+#include <map>
+
 #include "checkpoint.h"
 #include "common.h"
 
@@ -71,6 +73,16 @@ main(int argc, char **argv)
         {"Amazon EC2", hw::MachineSpec::ec2C4_2xlarge()},
         {"Google GCE", hw::MachineSpec::gceCustom4()},
     };
+    // --cloud filters before --quick truncates, so
+    // `--quick --cloud gce` keeps GCE (where kvm-microvm runs).
+    std::erase_if(clouds, [&opt](const Cloud &c) {
+        return !opt.wantCloud(c.label);
+    });
+    if (clouds.empty()) {
+        std::fprintf(stderr, "%s: no cloud matches '%s'\n", argv[0],
+                     opt.cloud.c_str());
+        return 2;
+    }
     // --quick: one cloud and a short measurement window; the
     // configuration sweep itself stays complete.
     if (opt.quick)
@@ -92,6 +104,7 @@ main(int argc, char **argv)
     struct Result
     {
         bool available = false;
+        std::string reason; ///< why not, when !available
         load::LoadResult r;
         double simSec = 0.0;
         std::string seriesJson;
@@ -113,9 +126,15 @@ main(int argc, char **argv)
         opt, cells, [&](const Cell &cell) -> Result {
             const Cloud &cloud = clouds[cell.cloud];
             Result res;
-            auto rt = makeCloudRuntime(cell.name, cloud.spec, opt);
-            if (!rt)
+            auto built = makeCloudRuntime(cell.name, cloud.spec, opt);
+            if (!built) {
+                res.reason =
+                    std::string(runtimes::makeStatusName(
+                        built.status)) +
+                    ": " + built.reason;
                 return res;
+            }
+            auto rt = std::move(built.runtime);
             res.available = true;
             MacroRun run;
             int defConns = cell.app == MacroApp::Nginx ? 160 : 400;
@@ -185,6 +204,104 @@ main(int argc, char **argv)
                     rt->machine().events(), to);
                 run.series = ts.get();
             }
+
+            // Live control plane / replay: bound to the first cell
+            // only (one socket, one event queue). Commands execute
+            // at quantized ticks; see DESIGN.md §14.
+            std::unique_ptr<sim::ctl::Session> ctl;
+            load::ClosedLoopDriver *driverPtr = nullptr;
+            std::map<std::string, runtimes::RtContainer *> spawned;
+            if (opt.ctlEnabled() && &cell == &cells[0]) {
+                sim::ctl::SessionHooks hooks;
+                runtimes::Runtime *rtp = rt.get();
+                std::string run_label = label;
+                hooks.status = [rtp, &driverPtr, run_label] {
+                    char s[192];
+                    std::snprintf(
+                        s, sizeof s, "%s tick=%llu completed=%llu",
+                        run_label.c_str(),
+                        static_cast<unsigned long long>(
+                            rtp->machine().events().now()),
+                        static_cast<unsigned long long>(
+                            driverPtr ? driverPtr->completed() : 0));
+                    return std::string(s);
+                };
+                hooks.mechJson = [rtp] {
+                    return rtp->machine().mech().renderJson();
+                };
+                if (ts) {
+                    hooks.timeseries = [tsp = ts.get()] {
+                        return tsp->exportJson();
+                    };
+                }
+                if (opt.profiling()) {
+                    hooks.profile = [] {
+                        return sim::prof::exportJson();
+                    };
+                }
+                if (opt.flightRecording()) {
+                    hooks.flight = [] {
+                        return sim::flight::renderAll();
+                    };
+                }
+                hooks.injectFaults = [rtp, seed = opt.seed](
+                                         double rate) {
+                    rtp->installFaults(
+                        rate <= 0.0
+                            ? fault::FaultPlan{}
+                            : fault::FaultPlan::uniform(rate, seed));
+                    return std::string();
+                };
+                hooks.spawn = [rtp, &spawned](
+                                  const std::string &cname)
+                    -> std::string {
+                    if (spawned.count(cname))
+                        return "container '" + cname +
+                               "' already spawned";
+                    runtimes::ContainerOpts copts =
+                        runtimes::ContainerOpts::builder()
+                            .name(cname)
+                            .image(apps::glibcImage("img"))
+                            .vcpus(1)
+                            .memBytes(128ull << 20)
+                            .build();
+                    runtimes::RtContainer *c =
+                        rtp->createContainer(copts);
+                    if (c == nullptr)
+                        return "boot failed (resources exhausted "
+                               "or fault-injected)";
+                    spawned[cname] = c;
+                    return {};
+                };
+                hooks.kill = [rtp, &spawned](
+                                 const std::string &cname)
+                    -> std::string {
+                    auto it = spawned.find(cname);
+                    if (it == spawned.end())
+                        return "no spawned container named '" +
+                               cname + "'";
+                    guestos::NetStack *stack =
+                        it->second->netStack();
+                    if (stack != nullptr)
+                        rtp->fabric().crashStack(stack);
+                    spawned.erase(it);
+                    return {};
+                };
+                try {
+                    ctl = std::make_unique<sim::ctl::Session>(
+                        rtp->machine().events(),
+                        opt.ctlSessionOptions(), std::move(hooks));
+                    ctl->start();
+                } catch (const sim::ctl::CtlError &e) {
+                    std::fprintf(stderr, "ctl: %s\n", e.what());
+                    std::exit(2);
+                }
+                run.driverObserver =
+                    [&driverPtr](load::ClosedLoopDriver &d) {
+                        driverPtr = &d;
+                    };
+            }
+
             res.r = runMacro(*rt, cell.app, run);
             if (ts)
                 res.seriesJson = ts->exportJson();
@@ -212,9 +329,8 @@ main(int argc, char **argv)
                     continue;
                 const Result &res = results[i++];
                 if (!res.available) {
-                    std::printf("  %-28s (requires nested HW "
-                                "virtualization)\n",
-                                name.c_str());
+                    std::printf("  %-28s (%s)\n", name.c_str(),
+                                res.reason.c_str());
                     continue;
                 }
                 char label[96];

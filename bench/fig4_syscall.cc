@@ -34,6 +34,16 @@ main(int argc, char **argv)
         {"Amazon EC2", hw::MachineSpec::ec2C4_2xlarge()},
         {"Google GCE", hw::MachineSpec::gceCustom4()},
     };
+    // --cloud filters before --quick truncates, so
+    // `--quick --cloud gce` keeps GCE (where kvm-microvm runs).
+    std::erase_if(clouds, [&opt](const Cloud &c) {
+        return !opt.wantCloud(c.label);
+    });
+    if (clouds.empty()) {
+        std::fprintf(stderr, "%s: no cloud matches '%s'\n", argv[0],
+                     opt.cloud.c_str());
+        return 2;
+    }
     std::vector<int> copiesList = {1, 4};
     // --quick: one cloud, single copy, short window.
     if (opt.quick) {
@@ -62,6 +72,7 @@ main(int argc, char **argv)
     struct Result
     {
         bool available = false;
+        std::string reason; ///< why not, when !available
         load::MicroResult r;
         double simSec = 0.0;
         std::string seriesJson;
@@ -79,9 +90,15 @@ main(int argc, char **argv)
         opt, cells, [&](const Cell &cell) -> Result {
             const Cloud &cloud = clouds[cell.cloud];
             Result res;
-            auto rt = makeCloudRuntime(cell.name, cloud.spec, opt);
-            if (!rt)
+            auto built = makeCloudRuntime(cell.name, cloud.spec, opt);
+            if (!built) {
+                res.reason =
+                    std::string(runtimes::makeStatusName(
+                        built.status)) +
+                    ": " + built.reason;
                 return res;
+            }
+            auto rt = std::move(built.runtime);
             res.available = true;
             char label[96];
             std::snprintf(label, sizeof label, "%s/%s/x%d",
@@ -120,9 +137,8 @@ main(int argc, char **argv)
                     continue;
                 const Result &res = results[i++];
                 if (!res.available) {
-                    std::printf("  %-28s (not available: no nested "
-                                "HW virtualization)\n",
-                                name.c_str());
+                    std::printf("  %-28s (%s)\n", name.c_str(),
+                                res.reason.c_str());
                     continue;
                 }
                 char label[96];

@@ -24,11 +24,14 @@ namespace {
 /** Per-VM Domain-0 overhead beyond guest RAM (bytes). */
 constexpr std::uint64_t kPvToolstackOverhead = 132ull << 20;
 constexpr std::uint64_t kHvmQemuOverhead = 229ull << 20;
+// A microVM monitor (firecracker-style) keeps only a few MB of host
+// state per VM — no QEMU device model, no xenstored.
+constexpr std::uint64_t kMicrovmMonitorOverhead = 5ull << 20;
 
 struct Series
 {
     const char *label;
-    std::function<std::unique_ptr<runtimes::Runtime>()> make;
+    std::function<runtimes::RuntimeResult()> make;
     std::uint64_t containerMem;
     std::uint64_t dom0Overhead; ///< extra per-VM host memory
 };
@@ -36,7 +39,14 @@ struct Series
 double
 runPoint(const Series &series, int n)
 {
-    auto rt = series.make();
+    auto built = series.make();
+    if (!built) {
+        std::fprintf(stderr, "%s: %s: %s\n", series.label,
+                     runtimes::makeStatusName(built.status),
+                     built.reason.c_str());
+        std::exit(2);
+    }
+    auto rt = std::move(built.runtime);
     std::vector<std::unique_ptr<apps::NginxPhpApp>> apps_;
     std::vector<std::unique_ptr<load::ClosedLoopDriver>> drivers;
 
@@ -118,6 +128,8 @@ main(int argc, char **argv)
     // Local machine: plain (non-nested) HVM.
     series.push_back({"xen-hvm", viaRegistry("clear-container"),
                       256ull << 20, kHvmQemuOverhead});
+    series.push_back({"kvm-microvm", viaRegistry("kvm-microvm"),
+                      128ull << 20, kMicrovmMonitorOverhead});
     if (!opt.runtime.empty())
         std::erase_if(series, [&opt](const Series &s) {
             return s.label != opt.runtime;

@@ -91,12 +91,15 @@ Steady
 bootSteady(const Params &p, const Options &opt)
 {
     Steady s;
-    s.rt = makeCloudRuntime(p.runtime, p.spec, opt);
-    if (!s.rt) {
-        std::fprintf(stderr, "runtime '%s' unavailable on %s\n",
-                     p.runtime.c_str(), p.cloudLabel);
+    auto built = makeCloudRuntime(p.runtime, p.spec, opt);
+    if (!built) {
+        std::fprintf(stderr, "runtime '%s' unavailable on %s (%s: %s)\n",
+                     p.runtime.c_str(), p.cloudLabel,
+                     runtimes::makeStatusName(built.status),
+                     built.reason.c_str());
         std::exit(2);
     }
+    s.rt = std::move(built.runtime);
     runtimes::ContainerOpts copts;
     copts.name = "nginx";
     copts.image = apps::glibcImage("img");

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Live control-plane smoke + replay determinism gate (DESIGN.md §14).
+#
+#   ctl_smoke.sh <fig3_macro> <xc_ctl> <workdir>
+#
+# Holds a fig3 --quick run at its first poll tick, drives it over the
+# UNIX socket with xc_ctl (queries, a fault injection, a container
+# spawn + kill, resume), then replays the recorded command log twice
+# (-j1 and -j4). All three runs must produce byte-identical golden
+# digests: the live session IS a deterministic run.
+set -euo pipefail
+
+FIG3=$1
+XC_CTL=$2
+WORK=$3
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+SOCK="$WORK/ctl.sock"
+LOG="$WORK/ctl.log"
+
+"$FIG3" --quick --seed 42 --cloud ec2 --runtime docker \
+    --golden "$WORK/live.json" \
+    --ctl "$SOCK" --ctl-hold --ctl-log "$LOG" \
+    >"$WORK/live.out" 2>"$WORK/live.err" &
+BENCH_PID=$!
+
+# Wait for the held session's socket to appear.
+for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && break
+    sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "ctl socket never appeared"; exit 1; }
+
+"$XC_CTL" "$SOCK" ping | grep -q pong
+"$XC_CTL" "$SOCK" status >/dev/null
+"$XC_CTL" "$SOCK" mech | grep -q syscall_trap
+"$XC_CTL" "$SOCK" inject-faults 0.001
+"$XC_CTL" "$SOCK" spawn smoke1
+"$XC_CTL" "$SOCK" kill smoke1
+# A bad command must fail typed, not wedge the session.
+if "$XC_CTL" "$SOCK" inject-faults not-a-rate 2>/dev/null; then
+    echo "hostile inject-faults unexpectedly succeeded"; exit 1
+fi
+"$XC_CTL" "$SOCK" resume
+
+wait "$BENCH_PID"
+grep -q '^# xc-ctl-log v1' "$LOG"
+
+"$FIG3" --quick --seed 42 --cloud ec2 --runtime docker \
+    --golden "$WORK/replay1.json" --ctl-replay "$LOG" -j1 \
+    >/dev/null 2>&1
+"$FIG3" --quick --seed 42 --cloud ec2 --runtime docker \
+    --golden "$WORK/replay4.json" --ctl-replay "$LOG" -j4 \
+    >/dev/null 2>&1
+
+cmp "$WORK/live.json" "$WORK/replay1.json"
+cmp "$WORK/replay1.json" "$WORK/replay4.json"
+echo "ctl smoke ok: live session replays bit-identically (-j1, -j4)"

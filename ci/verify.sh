@@ -23,3 +23,8 @@ ctest -L checkpoint --output-on-failure -j"$(nproc)"
     --checkpoint sample_steady_state.snap >/dev/null
 test -s sample_steady_state.snap
 echo "checkpoint gate ok (sample snapshot: build/sample_steady_state.snap)"
+
+# Live control-plane gate (DESIGN.md §14): drive a held fig3 session
+# over its UNIX socket with xc_ctl, then replay the recorded command
+# log at -j1 and -j4 — all three golden digests must be identical.
+../ci/ctl_smoke.sh ./bench/fig3_macro ./tools/xc_ctl ctl_smoke_work

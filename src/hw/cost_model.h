@@ -66,6 +66,25 @@ struct CostModel
     /** The same exit when the hypervisor itself runs in a VM
      *  (nested virtualization, Clear Containers on GCE). */
     Cycles vmexitNested = 11000;
+    // --- KVM microVM (hardware-virtualized, kvmtool-style) ----------
+    /** Extra decode/dispatch on a port-I/O exit (virtio doorbell
+     *  kicks are PIO writes to the notify register). */
+    Cycles kvmPioExit = 250;
+    /** Extra instruction-decode work on an MMIO exit. */
+    Cycles kvmMmioExit = 450;
+    /** Extra handling for an interrupt-window exit (guest opened
+     *  interrupts while an injection was pending). */
+    Cycles kvmIrqWindowExit = 150;
+    /** Injecting one virtual interrupt through the in-kernel
+     *  irqchip, including the exit it forces on the target vCPU. */
+    Cycles kvmIrqInject = 600;
+    /** Doorbell bookkeeping beyond the raw exit (ioeventfd lookup,
+     *  queue notify dispatch) — charged per actual kick. */
+    Cycles kvmVirtioKickNotify = 150;
+    /** Split-ring bookkeeping per descriptor (avail/used index
+     *  handshake on both sides). */
+    Cycles virtioPerDescriptor = 300;
+
     /** Delivering a virtual interrupt/event to a PV guest kernel. */
     Cycles pvEventDelivery = 1500;
     /** X-Container event delivery: the LibOS emulates the interrupt

@@ -1,0 +1,39 @@
+#include "hw/virtio.h"
+
+namespace xc::hw {
+
+void
+VirtQueue::saveState(sim::snap::SnapWriter &w) const
+{
+    w.u32(cfg_.size);
+    w.b(cfg_.kickSuppression);
+    w.u32(availIdx_);
+    w.u32(usedIdx_);
+    w.u64(produced_);
+    w.u64(consumed_);
+    w.u64(kicks_);
+    w.u64(suppressed_);
+    w.u64(stalls_);
+    w.u64(batches_);
+}
+
+void
+VirtQueue::loadState(sim::snap::SnapReader &r)
+{
+    r.expectU32(cfg_.size, "virtqueue size");
+    if (r.b() != cfg_.kickSuppression) {
+        throw sim::snap::SnapError(
+            "virtqueue kick-suppression mode differs from the "
+            "snapshot");
+    }
+    availIdx_ = static_cast<std::uint16_t>(r.u32());
+    usedIdx_ = static_cast<std::uint16_t>(r.u32());
+    produced_ = r.u64();
+    consumed_ = r.u64();
+    kicks_ = r.u64();
+    suppressed_ = r.u64();
+    stalls_ = r.u64();
+    batches_ = r.u64();
+}
+
+} // namespace xc::hw

@@ -1,0 +1,144 @@
+#ifndef XC_HW_VIRTIO_H
+#define XC_HW_VIRTIO_H
+
+/**
+ * @file
+ * Virtio split-queue ring model (virtio 1.0 "split virtqueue",
+ * kvmtool-style): a driver-side available ring and a device-side
+ * used ring, both indexed by free-running 16-bit counters that wrap
+ * naturally. The simulator does not move payload bytes through the
+ * ring (NetFabric carries them); what the ring models is the
+ * *notification economy* that makes hardware-virtualized I/O cheap
+ * or expensive:
+ *
+ *  - every doorbell kick is a PIO exit, so drivers only kick on the
+ *    empty->non-empty edge while the device is idle (the device
+ *    suppresses further notifications — VRING_USED_F_NO_NOTIFY —
+ *    while it is processing, exactly like kvmtool's virtio core);
+ *  - the device completes descriptors in batches, so one completion
+ *    interrupt covers many buffers;
+ *  - a full ring means the driver must wait for the device to drain
+ *    before posting more (backpressure, not loss).
+ *
+ * The cost of each kick/injection is charged by the caller (the KVM
+ * platform port) through xen::VmExitModel; this class only accounts
+ * ring occupancy and the kick/suppression decisions.
+ */
+
+#include <cstdint>
+
+#include "sim/snapshot.h"
+
+namespace xc::hw {
+
+/** One split virtqueue (avail/used index pair + counters). */
+class VirtQueue
+{
+  public:
+    struct Config
+    {
+        /** Ring size in descriptors; must be a power of two per the
+         *  virtio spec (the index masks rely on it). */
+        std::uint16_t size = 256;
+        /** Device-side notification suppression: when off, every
+         *  produce() wants a kick (pre-1.0 drivers / test mode). */
+        bool kickSuppression = true;
+    };
+
+    explicit VirtQueue(Config cfg) : cfg_(cfg) {}
+
+    /**
+     * Driver side: post one descriptor chain head on the available
+     * ring. Returns false — and counts a stall — when the ring is
+     * full; the caller must consume() (wait for the device) first.
+     */
+    bool
+    produce()
+    {
+        if (full()) {
+            ++stalls_;
+            return false;
+        }
+        ++availIdx_; // free-running; wraps at 2^16
+        ++produced_;
+        return true;
+    }
+
+    /**
+     * True when the descriptors just produced need a doorbell kick:
+     * always without suppression, otherwise only on the
+     * empty->non-empty edge (the device stopped polling).
+     */
+    bool
+    kickNeeded() const
+    {
+        if (!cfg_.kickSuppression)
+            return pending() > 0;
+        return pending() == 1;
+    }
+
+    /** Record that the driver kicked the doorbell. */
+    void noteKick() { ++kicks_; }
+
+    /** Record a kick elided by notification suppression. */
+    void noteSuppressed() { ++suppressed_; }
+
+    /**
+     * Device side: move up to @p max descriptors from the available
+     * ring to the used ring. Returns the batch size actually moved.
+     */
+    std::uint16_t
+    consume(std::uint16_t max = 0xffff)
+    {
+        std::uint16_t n = pending();
+        if (n > max)
+            n = max;
+        usedIdx_ = static_cast<std::uint16_t>(usedIdx_ + n);
+        consumed_ += n;
+        if (n > 0)
+            ++batches_;
+        return n;
+    }
+
+    /** Descriptors posted but not yet completed. The subtraction is
+     *  wraparound-correct: both indices are free-running u16. */
+    std::uint16_t
+    pending() const
+    {
+        return static_cast<std::uint16_t>(availIdx_ - usedIdx_);
+    }
+
+    bool full() const { return pending() == cfg_.size; }
+    bool empty() const { return pending() == 0; }
+    std::uint16_t size() const { return cfg_.size; }
+
+    // Raw free-running indices (wraparound visible to tests).
+    std::uint16_t availIdx() const { return availIdx_; }
+    std::uint16_t usedIdx() const { return usedIdx_; }
+
+    // Lifetime counters.
+    std::uint64_t produced() const { return produced_; }
+    std::uint64_t consumed() const { return consumed_; }
+    std::uint64_t kicks() const { return kicks_; }
+    std::uint64_t suppressedKicks() const { return suppressed_; }
+    std::uint64_t stalls() const { return stalls_; }
+    std::uint64_t batches() const { return batches_; }
+
+    void saveState(sim::snap::SnapWriter &w) const;
+    void loadState(sim::snap::SnapReader &r);
+
+  private:
+    Config cfg_;
+    std::uint16_t availIdx_ = 0; ///< driver's free-running index
+    std::uint16_t usedIdx_ = 0;  ///< device's free-running index
+    std::uint64_t produced_ = 0;
+    std::uint64_t consumed_ = 0;
+    std::uint64_t kicks_ = 0;
+    std::uint64_t suppressed_ = 0;
+    std::uint64_t stalls_ = 0;  ///< produce() attempts on a full ring
+    std::uint64_t batches_ = 0; ///< non-empty consume() calls
+};
+
+} // namespace xc::hw
+
+#endif // XC_HW_VIRTIO_H

@@ -65,6 +65,14 @@ class ClearContainerRuntime : public Runtime
 
     const std::string &name() const override { return name_; }
     hw::Machine &machine() override { return *machine_; }
+
+    CapabilitySet
+    capabilities() const override
+    {
+        return kCapMultiProcess | kCapPerContainerKernel |
+               kCapHwVirtIsolation | kCapNestedVirtRequired |
+               kCapMeltdownPatchControl;
+    }
     guestos::NetFabric &fabric() override { return *fabric_; }
     RtContainer *bootContainer(const ContainerOpts &opts) override;
 

@@ -213,6 +213,12 @@ class GrapheneRuntime : public Runtime
 
     const std::string &name() const override { return name_; }
     hw::Machine &machine() override { return *machine_; }
+
+    CapabilitySet
+    capabilities() const override
+    {
+        return kCapMultiProcess;
+    }
     guestos::NetFabric &fabric() override { return *fabric_; }
     RtContainer *bootContainer(const ContainerOpts &opts) override;
 

@@ -1,0 +1,110 @@
+#include "runtimes/kvm_microvm.h"
+
+namespace xc::runtimes {
+
+KvmMicrovmContainer::KvmMicrovmContainer(
+    hw::Machine &machine, hw::CorePool &pool,
+    guestos::NetFabric &fabric, const ContainerOpts &opts,
+    hw::Pfn first_frame, bool nested, xen::VmExitModel &exits,
+    const KvmPort::Options &popts)
+    : machine_(machine), firstFrame_(first_frame),
+      frames_(opts.memBytes / hw::kPageSize)
+{
+    port_ = std::make_unique<KvmPort>(machine.costs(), exits, popts);
+
+    guestos::GuestKernel::Config kcfg;
+    kcfg.name = opts.name + ".microvm";
+    kcfg.vcpus = opts.vcpus;
+    kcfg.traits.kpti = popts.guestKpti;
+    kcfg.traits.kernelGlobal = true;
+    // Nested EPT walks tax all guest kernel memory-touching work.
+    if (nested)
+        kcfg.traits.serviceCostFactor = 1.35;
+    kcfg.pool = &pool;
+    kcfg.platform = port_.get();
+    kcfg.fabric = &fabric;
+    guest_ = std::make_unique<guestos::GuestKernel>(machine, kcfg);
+}
+
+KvmMicrovmContainer::~KvmMicrovmContainer()
+{
+    guest_.reset(); // kernel drops listeners before memory goes
+    machine_.memory().free(firstFrame_, frames_);
+}
+
+KvmMicrovmRuntime::KvmMicrovmRuntime(Options opt)
+    : name_(opt.hostMeltdownPatched ? "kvm-microvm"
+                                    : "kvm-microvm-unpatched"),
+      opts_(opt)
+{
+    if (!availableOn(opt.spec)) {
+        sim::fatal("KVM microVMs need nested hardware "
+                   "virtualization, which %s does not provide",
+                   opt.spec.name.c_str());
+    }
+    nested_ = opt.spec.nestedCloud;
+    machine_ = std::make_unique<hw::Machine>(opt.spec, opt.seed);
+    fabric_ =
+        std::make_unique<guestos::NetFabric>(machine_->events());
+    exits_ = std::make_unique<xen::VmExitModel>(
+        machine_->costs(), nested_, &machine_->mech());
+
+    // KVM schedules vCPUs as host threads; vCPU switches flush TLBs.
+    hw::CorePool::Config pool_cfg;
+    pool_cfg.cores = machine_->numCpus();
+    pool_cfg.quantum = 6 * sim::kTicksPerMs;
+    pool_cfg.switchCost = machine_->costs().vcpuSwitch +
+                          machine_->costs().tlbRefillUser +
+                          machine_->costs().tlbRefillKernel;
+    pool_cfg.decisionBase = machine_->costs().schedDecisionBase;
+    pool_cfg.decisionLog2 = machine_->costs().schedDecisionLog2;
+    pool_cfg.cachePressureLog2 =
+        machine_->costs().cachePressureLog2;
+    pool_cfg.cachePressureFreeLog2 =
+        machine_->costs().cachePressureFreeLog2;
+    pool_ =
+        std::make_unique<hw::CorePool>(*machine_, pool_cfg, "kvm");
+}
+
+RtContainer *
+KvmMicrovmRuntime::bootContainer(const ContainerOpts &copts)
+{
+    auto run = machine_->memory().alloc(
+        copts.memBytes / hw::kPageSize,
+        static_cast<hw::OwnerId>(0x1000 + nextId_++));
+    if (!run)
+        return nullptr; // VM cannot boot
+
+    KvmPort::Options popts;
+    popts.guestKpti = opts_.guestKpti;
+    popts.ringSize = opts_.virtioRingSize;
+    popts.kickSuppression = opts_.kickSuppression;
+    popts.mech = &machine_->mech();
+    containers_.push_back(std::make_unique<KvmMicrovmContainer>(
+        *machine_, *pool_, *fabric_, copts, *run, nested_, *exits_,
+        popts));
+    return containers_.back().get();
+}
+
+void
+KvmMicrovmRuntime::saveState(sim::snap::SnapWriter &w)
+{
+    Runtime::saveState(w);
+    exits_->saveState(w);
+    w.u32(static_cast<std::uint32_t>(containers_.size()));
+    for (const auto &c : containers_)
+        c->port().saveState(w);
+}
+
+void
+KvmMicrovmRuntime::loadState(sim::snap::SnapReader &r)
+{
+    Runtime::loadState(r);
+    exits_->loadState(r);
+    r.expectU32(static_cast<std::uint32_t>(containers_.size()),
+                "kvm container count");
+    for (auto &c : containers_)
+        c->port().loadState(r);
+}
+
+} // namespace xc::runtimes

@@ -1,13 +1,13 @@
 /**
  * @file
- * The runtime factory registry and the fault-aware container boot
- * path shared by every runtime.
+ * The capability-typed runtime registry and the fault-aware container
+ * boot path shared by every runtime.
  *
  * Registration is centralized here rather than via static objects in
  * each runtime's translation unit: xc_runtimes is a static library,
  * and a registrar object in an otherwise-unreferenced TU would be
  * dead-stripped at link time. Adding a runtime means adding its
- * factory to builtinFactories() below (external code can also call
+ * RuntimeInfo to builtinInfos() below (external code can also call
  * registerRuntime / use RuntimeRegistrar at its own risk of the
  * same linker behavior).
  */
@@ -21,17 +21,69 @@
 #include "runtimes/docker.h"
 #include "runtimes/graphene.h"
 #include "runtimes/gvisor.h"
+#include "runtimes/kvm_microvm.h"
 #include "runtimes/unikernel.h"
 #include "runtimes/x_container.h"
 #include "runtimes/xen_container.h"
 
 namespace xc::runtimes {
 
+// --- capability / status names ----------------------------------------
+
+std::string
+capabilityNames(CapabilitySet caps)
+{
+    static const struct
+    {
+        Capability cap;
+        const char *name;
+    } kNames[] = {
+        {kCapMeltdownPatchControl, "meltdown-patch-control"},
+        {kCapAbom, "abom"},
+        {kCapHwVirtIsolation, "hw-virt-isolation"},
+        {kCapPerContainerKernel, "per-container-kernel"},
+        {kCapMultiProcess, "multi-process"},
+        {kCapVirtioNet, "virtio-net"},
+        {kCapNestedVirtRequired, "nested-virt-required"},
+    };
+    std::string out;
+    for (const auto &n : kNames) {
+        if (!(caps & n.cap))
+            continue;
+        if (!out.empty())
+            out += '|';
+        out += n.name;
+    }
+    return out.empty() ? "none" : out;
+}
+
+const char *
+makeStatusName(MakeStatus s)
+{
+    switch (s) {
+    case MakeStatus::Ok:
+        return "ok";
+    case MakeStatus::UnknownName:
+        return "unknown-name";
+    case MakeStatus::Unavailable:
+        return "unavailable";
+    case MakeStatus::InvalidConfig:
+        return "invalid-config";
+    }
+    return "?";
+}
+
 // --- fault-aware boot path --------------------------------------------
 
 RtContainer *
 Runtime::createContainer(const ContainerOpts &opts)
 {
+    if (opts.vcpus <= 0) {
+        throw std::invalid_argument(
+            "createContainer: vcpus must be >= 1, got " +
+            std::to_string(opts.vcpus));
+    }
+
     fault::FaultInjector &inj = machine().faults();
     const std::uint64_t salt = bootSeq_++;
     const sim::Tick now = machine().now();
@@ -83,24 +135,52 @@ baseOptions(const RuntimeConfig &cfg)
     return o;
 }
 
-std::map<std::string, RuntimeFactory>
-builtinFactories()
+/** Availability rule shared by the HW-virtualized families: a cloud
+ *  VM host must expose nested virtualization (EC2 does not — §1). */
+std::string
+needsNestedHwVirt(const RuntimeConfig &cfg)
 {
-    std::map<std::string, RuntimeFactory> map;
+    if (!cfg.spec.nestedCloud || cfg.spec.nestedHwVirtAvailable)
+        return {};
+    return "requires nested hardware virtualization and cloud '" +
+           cfg.spec.name + "' does not expose it";
+}
 
+std::map<std::string, RuntimeInfo>
+builtinInfos()
+{
+    std::map<std::string, RuntimeInfo> map;
+
+    // Register `name` and `name`-unpatched; the unpatched variant
+    // pins the flag false and drops the patch-control capability.
     auto addPatchedPair = [&map](const std::string &name,
-                                 auto makeWithPatchFlag) {
-        map[name] = [makeWithPatchFlag](const RuntimeConfig &cfg) {
-            return makeWithPatchFlag(cfg, cfg.meltdownPatched);
+                                 CapabilitySet caps,
+                                 auto makeWithPatchFlag,
+                                 std::function<std::string(
+                                     const RuntimeConfig &)>
+                                     availability = {}) {
+        RuntimeInfo patched;
+        patched.factory = [makeWithPatchFlag](
+                              const RuntimeConfig &cfg) {
+            return makeWithPatchFlag(
+                cfg, cfg.meltdownPatched.value_or(true));
         };
-        map[name + "-unpatched"] =
-            [makeWithPatchFlag](const RuntimeConfig &cfg) {
-                return makeWithPatchFlag(cfg, false);
-            };
+        patched.caps = caps | kCapMeltdownPatchControl;
+        patched.availability = availability;
+        map[name] = std::move(patched);
+
+        RuntimeInfo unpatched;
+        unpatched.factory = [makeWithPatchFlag](
+                                const RuntimeConfig &cfg) {
+            return makeWithPatchFlag(cfg, false);
+        };
+        unpatched.caps = caps;
+        unpatched.availability = std::move(availability);
+        map[name + "-unpatched"] = std::move(unpatched);
     };
 
     addPatchedPair(
-        "docker",
+        "docker", kCapMultiProcess,
         [](const RuntimeConfig &cfg,
            bool patched) -> std::unique_ptr<Runtime> {
             auto o = baseOptions<DockerRuntime::Options>(cfg);
@@ -108,7 +188,7 @@ builtinFactories()
             return std::make_unique<DockerRuntime>(o);
         });
     addPatchedPair(
-        "xen-container",
+        "xen-container", kCapMultiProcess | kCapPerContainerKernel,
         [](const RuntimeConfig &cfg,
            bool patched) -> std::unique_ptr<Runtime> {
             auto o = baseOptions<XenContainerRuntime::Options>(cfg);
@@ -117,17 +197,21 @@ builtinFactories()
         });
     addPatchedPair(
         "x-container",
+        kCapMultiProcess | kCapPerContainerKernel | kCapAbom,
         [](const RuntimeConfig &cfg,
            bool patched) -> std::unique_ptr<Runtime> {
             auto o = baseOptions<XContainerRuntime::Options>(cfg);
             o.meltdownPatched = patched;
-            o.abomEnabled = cfg.abomEnabled;
-            if (cfg.containerMemBytes != 0)
-                o.defaultMemBytes = cfg.containerMemBytes;
+            if (cfg.xcontainer) {
+                o.abomEnabled = cfg.xcontainer->abomEnabled;
+                if (cfg.xcontainer->containerMemBytes != 0)
+                    o.defaultMemBytes =
+                        cfg.xcontainer->containerMemBytes;
+            }
             return std::make_unique<XContainerRuntime>(o);
         });
     addPatchedPair(
-        "gvisor",
+        "gvisor", kCapMultiProcess,
         [](const RuntimeConfig &cfg,
            bool patched) -> std::unique_ptr<Runtime> {
             auto o = baseOptions<GvisorRuntime::Options>(cfg);
@@ -136,74 +220,194 @@ builtinFactories()
         });
     addPatchedPair(
         "clear-container",
+        kCapMultiProcess | kCapPerContainerKernel |
+            kCapHwVirtIsolation | kCapNestedVirtRequired,
         [](const RuntimeConfig &cfg,
            bool patched) -> std::unique_ptr<Runtime> {
-            if (!ClearContainerRuntime::availableOn(cfg.spec))
-                return nullptr; // needs nested HW virt
             auto o = baseOptions<ClearContainerRuntime::Options>(cfg);
             o.hostMeltdownPatched = patched;
             return std::make_unique<ClearContainerRuntime>(o);
-        });
+        },
+        needsNestedHwVirt);
+    addPatchedPair(
+        "kvm-microvm",
+        kCapMultiProcess | kCapPerContainerKernel |
+            kCapHwVirtIsolation | kCapVirtioNet |
+            kCapNestedVirtRequired,
+        [](const RuntimeConfig &cfg,
+           bool patched) -> std::unique_ptr<Runtime> {
+            auto o = baseOptions<KvmMicrovmRuntime::Options>(cfg);
+            o.hostMeltdownPatched = patched;
+            if (cfg.kvm) {
+                o.guestKpti = cfg.kvm->guestKpti;
+                o.virtioRingSize = cfg.kvm->virtioRingSize;
+                o.kickSuppression = cfg.kvm->kickSuppression;
+            }
+            return std::make_unique<KvmMicrovmRuntime>(o);
+        },
+        needsNestedHwVirt);
 
-    map["unikernel"] = [](const RuntimeConfig &cfg) {
+    RuntimeInfo unikernel;
+    unikernel.factory = [](const RuntimeConfig &cfg) {
         auto o = baseOptions<UnikernelRuntime::Options>(cfg);
         return std::make_unique<UnikernelRuntime>(o);
     };
+    unikernel.caps = kCapPerContainerKernel; // single-process (§2.3)
+    map["unikernel"] = std::move(unikernel);
+
     // The paper ran Graphene without the Meltdown patch on the host
     // (stock Ubuntu 16.04 on the local cluster); the registry keeps
     // that configuration regardless of cfg.meltdownPatched.
-    map["graphene"] = [](const RuntimeConfig &cfg) {
+    RuntimeInfo graphene;
+    graphene.factory = [](const RuntimeConfig &cfg) {
         auto o = baseOptions<GrapheneRuntime::Options>(cfg);
         o.hostMeltdownPatched = false;
         return std::make_unique<GrapheneRuntime>(o);
     };
+    graphene.caps = kCapMultiProcess;
+    map["graphene"] = std::move(graphene);
     return map;
 }
 
-std::map<std::string, RuntimeFactory> &
-factoryMap()
+std::map<std::string, RuntimeInfo> &
+infoMap()
 {
-    static std::map<std::string, RuntimeFactory> map =
-        builtinFactories();
+    static std::map<std::string, RuntimeInfo> map = builtinInfos();
     return map;
+}
+
+bool
+isPowerOfTwo(std::uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Collect warnings for settings the chosen entry will ignore. */
+void
+collectWarnings(const std::string &name, const RuntimeInfo &info,
+                const RuntimeConfig &cfg, RuntimeResult &out)
+{
+    if (cfg.meltdownPatched.has_value() &&
+        !(info.caps & kCapMeltdownPatchControl)) {
+        out.warnings.push_back(
+            {"meltdownPatched",
+             "runtime '" + name +
+                 "' has no Meltdown-patch toggle; setting ignored"});
+    }
+    if (cfg.xcontainer && !(info.caps & kCapAbom)) {
+        out.warnings.push_back(
+            {"xcontainer", "runtime '" + name +
+                               "' is not an X-Container; "
+                               "X-Container settings ignored"});
+    }
+    if (cfg.kvm && !(info.caps & kCapVirtioNet)) {
+        out.warnings.push_back(
+            {"kvm", "runtime '" + name +
+                        "' is not a KVM microVM; KVM settings "
+                        "ignored"});
+    }
 }
 
 } // namespace
 
 void
+registerRuntime(const std::string &name, RuntimeInfo info)
+{
+    infoMap()[name] = std::move(info);
+}
+
+void
 registerRuntime(const std::string &name, RuntimeFactory factory)
 {
-    factoryMap()[name] = std::move(factory);
+    RuntimeInfo info;
+    info.factory = std::move(factory);
+    infoMap()[name] = std::move(info);
+}
+
+RuntimeResult
+buildRuntime(const std::string &name, const RuntimeConfig &cfg)
+{
+    RuntimeResult result;
+
+    auto &map = infoMap();
+    auto it = map.find(name);
+    if (it == map.end()) {
+        result.status = MakeStatus::UnknownName;
+        result.reason = "no runtime registered under '" + name + "'";
+        return result;
+    }
+    const RuntimeInfo &info = it->second;
+
+    collectWarnings(name, info, cfg, result);
+
+    if ((info.caps & kCapVirtioNet) && cfg.kvm) {
+        const std::uint16_t ring = cfg.kvm->virtioRingSize;
+        if (ring < 2 || !isPowerOfTwo(ring)) {
+            result.status = MakeStatus::InvalidConfig;
+            result.reason =
+                "kvm.virtioRingSize must be a power of two in "
+                "[2, 32768], got " +
+                std::to_string(ring);
+            return result;
+        }
+    }
+
+    if (info.availability) {
+        std::string why = info.availability(cfg);
+        if (!why.empty()) {
+            result.status = MakeStatus::Unavailable;
+            result.reason = std::move(why);
+            return result;
+        }
+    }
+
+    result.runtime = info.factory(cfg);
+    if (!result.runtime) {
+        // A factory may still bail (legacy external registrations).
+        result.status = MakeStatus::Unavailable;
+        result.reason =
+            "factory for '" + name + "' declined this configuration";
+        return result;
+    }
+    result.runtime->installFaults(cfg.faults);
+    return result;
+}
+
+RuntimeResult
+buildRuntime(const std::string &name, const hw::MachineSpec &spec)
+{
+    RuntimeConfig cfg;
+    cfg.spec = spec;
+    return buildRuntime(name, cfg);
 }
 
 std::unique_ptr<Runtime>
 makeRuntime(const std::string &name, const RuntimeConfig &cfg)
 {
-    auto &map = factoryMap();
-    auto it = map.find(name);
-    if (it == map.end())
-        return nullptr;
-    std::unique_ptr<Runtime> rt = it->second(cfg);
-    if (rt)
-        rt->installFaults(cfg.faults);
-    return rt;
+    return buildRuntime(name, cfg).runtime;
 }
 
 std::unique_ptr<Runtime>
 makeRuntime(const std::string &name, const hw::MachineSpec &spec)
 {
-    RuntimeConfig cfg;
-    cfg.spec = spec;
-    return makeRuntime(name, cfg);
+    return buildRuntime(name, spec).runtime;
 }
 
 std::vector<std::string>
 runtimeNames()
 {
     std::vector<std::string> names;
-    for (const auto &[name, factory] : factoryMap())
+    for (const auto &[name, info] : infoMap())
         names.push_back(name);
     return names;
+}
+
+CapabilitySet
+runtimeCapabilities(const std::string &name)
+{
+    auto &map = infoMap();
+    auto it = map.find(name);
+    return it == map.end() ? 0 : it->second.caps;
 }
 
 } // namespace xc::runtimes

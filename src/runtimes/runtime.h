@@ -4,15 +4,26 @@
 /**
  * @file
  * Common interface over every container runtime in the evaluation
- * (Fig. 1): Docker, gVisor, Clear Containers, Xen-Containers
- * (LightVM-style), X-Containers, Unikernel (Rumprun), and Graphene.
- * Benchmarks deploy the same applications through this interface on
- * each architecture.
+ * (Fig. 1): Docker, gVisor, Clear Containers, KVM microVMs,
+ * Xen-Containers (LightVM-style), X-Containers, Unikernel (Rumprun),
+ * and Graphene. Benchmarks deploy the same applications through this
+ * interface on each architecture.
+ *
+ * Construction goes through a capability-typed registry:
+ * buildRuntime() returns a RuntimeResult carrying either the runtime
+ * or a typed, printable reason (unknown name, unavailable on this
+ * machine, invalid family config), plus warnings for settings the
+ * chosen runtime ignores. Each runtime advertises what it can do via
+ * capabilities(), so callers can query "does this family support a
+ * Meltdown-patch toggle / per-container kernels / virtio" instead of
+ * pattern-matching names.
  */
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -23,31 +34,154 @@
 
 namespace xc::runtimes {
 
+// --- capabilities -----------------------------------------------------
+
+/** What a runtime family can do / requires; OR-able into a set. */
+enum Capability : std::uint32_t {
+    /** The host Meltdown patch (KPTI/XPTI) is a meaningful toggle
+     *  for this family ("-unpatched" variants exist). */
+    kCapMeltdownPatchControl = 1u << 0,
+    /** Automatic binary optimization of syscalls (ABOM, §5.3). */
+    kCapAbom = 1u << 1,
+    /** Isolation boundary is hardware virtualization (VT-x). */
+    kCapHwVirtIsolation = 1u << 2,
+    /** Each container gets its own (library) OS kernel. */
+    kCapPerContainerKernel = 1u << 3,
+    /** Containers can run more than one process (§2.3). */
+    kCapMultiProcess = 1u << 4,
+    /** I/O rides virtio split-queue rings into the host. */
+    kCapVirtioNet = 1u << 5,
+    /** On a cloud VM host, needs nested HW virtualization. */
+    kCapNestedVirtRequired = 1u << 6,
+};
+
+using CapabilitySet = std::uint32_t;
+
+/** Pipe-joined human-readable names ("multi-process|abom"). */
+std::string capabilityNames(CapabilitySet caps);
+
+// --- container options ------------------------------------------------
+
 /** Parameters for one container instance. */
 struct ContainerOpts
 {
     std::string name = "c";
     std::shared_ptr<guestos::Image> image;
     int vcpus = 1;
-    /** Memory reservation for VM-backed runtimes. */
+    /** Memory reservation for VM-backed runtimes. Some runtimes
+     *  (Docker) have no reservation and accept 0; the Builder is
+     *  stricter and rejects it. */
     std::uint64_t memBytes = 512ull << 20;
+
+    class Builder;
+    static Builder builder();
+};
+
+/**
+ * Validating builder: catches nonsense (vcpus=0, memBytes=0) at
+ * construction instead of as a silent zero-sized allocation deep in
+ * some runtime's boot path. Throws std::invalid_argument.
+ */
+class ContainerOpts::Builder
+{
+  public:
+    Builder &
+    name(std::string n)
+    {
+        o_.name = std::move(n);
+        return *this;
+    }
+
+    Builder &
+    image(std::shared_ptr<guestos::Image> img)
+    {
+        o_.image = std::move(img);
+        return *this;
+    }
+
+    Builder &
+    vcpus(int n)
+    {
+        o_.vcpus = n;
+        return *this;
+    }
+
+    Builder &
+    memBytes(std::uint64_t bytes)
+    {
+        o_.memBytes = bytes;
+        return *this;
+    }
+
+    ContainerOpts
+    build() const
+    {
+        if (o_.vcpus <= 0)
+            throw std::invalid_argument(
+                "ContainerOpts: vcpus must be >= 1, got " +
+                std::to_string(o_.vcpus));
+        if (o_.memBytes == 0)
+            throw std::invalid_argument(
+                "ContainerOpts: memBytes must be nonzero");
+        if (o_.name.empty())
+            throw std::invalid_argument(
+                "ContainerOpts: name must be nonempty");
+        return o_;
+    }
+
+  private:
+    ContainerOpts o_;
+};
+
+inline ContainerOpts::Builder
+ContainerOpts::builder()
+{
+    return Builder{};
+}
+
+// --- per-family runtime configuration ---------------------------------
+
+/** X-Container-specific knobs (ignored by other families). */
+struct XContainerConfig
+{
+    /** Online binary optimization (§5.3). */
+    bool abomEnabled = true;
+    /** Per-container memory override (0 = runtime default). */
+    std::uint64_t containerMemBytes = 0;
+};
+
+/** KVM-microVM-specific knobs (ignored by other families). */
+struct KvmMicrovmConfig
+{
+    /** KPTI inside the guest kernel (microVMs usually disable it:
+     *  the VM boundary already isolates the host). */
+    bool guestKpti = false;
+    /** Virtio ring size in descriptors; must be a power of two in
+     *  [2, 32768] per the virtio spec. */
+    std::uint16_t virtioRingSize = 256;
+    /** Doorbell suppression (VRING_USED_F_NO_NOTIFY). */
+    bool kickSuppression = true;
 };
 
 /**
  * Runtime-independent construction parameters, consumed by the
- * factory registry (makeRuntime). Each concrete runtime maps these
- * onto its own Options; flags a runtime does not have are ignored.
+ * factory registry (buildRuntime). Family-specific settings live in
+ * optional per-family structs; setting one for a runtime that
+ * ignores it produces a typed warning on the RuntimeResult instead
+ * of silence.
  */
 struct RuntimeConfig
 {
     hw::MachineSpec spec = hw::MachineSpec::ec2C4_2xlarge();
     std::uint64_t seed = 42;
-    /** Meltdown patch (KPTI / XPTI) where the runtime supports it. */
-    bool meltdownPatched = true;
-    /** Online binary optimization (X-Containers only). */
-    bool abomEnabled = true;
-    /** Per-container memory override (0 = runtime default). */
-    std::uint64_t containerMemBytes = 0;
+    /** Meltdown patch (KPTI / XPTI) where the runtime supports it
+     *  (kCapMeltdownPatchControl). Unset means the family default
+     *  (patched, matching the paper's 2018 measurement window). */
+    std::optional<bool> meltdownPatched;
+    /** X-Container family settings. */
+    std::optional<XContainerConfig> xcontainer;
+    /** KVM microVM family settings. */
+    std::optional<KvmMicrovmConfig> kvm;
     /** Fault plan installed on the runtime's machine + fabric. A
      *  default (all-zero) plan is free on the hot path. */
     fault::FaultPlan faults{};
@@ -94,11 +228,18 @@ class Runtime
     virtual hw::Machine &machine() = 0;
     virtual guestos::NetFabric &fabric() = 0;
 
+    /** What this runtime family can do (see Capability). */
+    virtual CapabilitySet capabilities() const
+    {
+        return kCapMultiProcess;
+    }
+
     /**
      * Boot a container. @return nullptr when resources (memory, VM
      * slots) are exhausted — the mechanism behind Figure 8's
      * density limits — or when an injected OomKill fault kills the
-     * container during boot.
+     * container during boot. Throws std::invalid_argument for
+     * options no runtime could honor (vcpus < 1).
      *
      * Non-virtual: applies boot-time faults (OomKill, SlowBoot,
      * ContainerCrash) around the runtime-specific bootContainer().
@@ -176,27 +317,98 @@ class Runtime
 using RuntimeFactory =
     std::function<std::unique_ptr<Runtime>(const RuntimeConfig &)>;
 
+/** Why buildRuntime() did not return a runtime. */
+enum class MakeStatus {
+    Ok,
+    /** No registry entry under that name. */
+    UnknownName,
+    /** Registered, but cannot run on cfg.spec (e.g. Clear
+     *  Containers / KVM microVMs on EC2: no nested HW virt). */
+    Unavailable,
+    /** A per-family config struct failed validation. */
+    InvalidConfig,
+};
+
+/** Printable identifier for a MakeStatus. */
+const char *makeStatusName(MakeStatus s);
+
+/** A setting the chosen runtime ignored or clamped. */
+struct ConfigWarning
+{
+    std::string field;   ///< e.g. "kvm.virtioRingSize"
+    std::string message; ///< why it was ignored / what was used
+};
+
 /**
- * Register a factory under @p name (replaces any previous entry).
+ * Outcome of buildRuntime(): either a runtime (status Ok) or a typed
+ * failure with a human-readable reason. Warnings may accompany
+ * either. Smart-pointer-ish accessors keep `if (result)` /
+ * `result->machine()` call sites natural.
+ */
+struct RuntimeResult
+{
+    std::unique_ptr<Runtime> runtime;
+    MakeStatus status = MakeStatus::Ok;
+    /** One-line reason when status != Ok ("requires nested hardware
+     *  virtualization and cloud 'ec2-c4.2xlarge' has none"). */
+    std::string reason;
+    std::vector<ConfigWarning> warnings;
+
+    explicit operator bool() const { return runtime != nullptr; }
+    Runtime &operator*() const { return *runtime; }
+    Runtime *operator->() const { return runtime.get(); }
+    Runtime *get() const { return runtime.get(); }
+};
+
+/** Registry entry: how to build a family + what it advertises. */
+struct RuntimeInfo
+{
+    RuntimeFactory factory;
+    CapabilitySet caps = kCapMultiProcess;
+    /** Empty string when cfg.spec can host this family, else the
+     *  reason it cannot. Unset means always available. */
+    std::function<std::string(const RuntimeConfig &)> availability;
+};
+
+/**
+ * Register @p info under @p name (replaces any previous entry).
  * The built-in runtimes are pre-registered; see registry.cc.
  */
+void registerRuntime(const std::string &name, RuntimeInfo info);
+
+/** Back-compat overload: bare factory, default capabilities. */
 void registerRuntime(const std::string &name, RuntimeFactory factory);
 
 /**
- * Build the runtime registered under @p name. Returns nullptr for
- * unknown names and for runtimes unavailable on cfg.spec (Clear
- * Containers without nested HW virt). cfg.faults is installed on
- * the result (machine + fabric).
+ * Build the runtime registered under @p name. Validates per-family
+ * config, checks spec availability, and installs cfg.faults on the
+ * result (machine + fabric). Never returns a null result object —
+ * inspect .status / .reason when `!result`.
+ */
+RuntimeResult buildRuntime(const std::string &name,
+                           const RuntimeConfig &cfg = {});
+
+/** Convenience: default config on @p spec. */
+RuntimeResult buildRuntime(const std::string &name,
+                           const hw::MachineSpec &spec);
+
+/**
+ * @deprecated Thin shim over buildRuntime() that drops the typed
+ * status: returns nullptr for unknown names, unavailable specs and
+ * invalid configs alike. Prefer buildRuntime().
  */
 std::unique_ptr<Runtime> makeRuntime(const std::string &name,
                                      const RuntimeConfig &cfg = {});
 
-/** Convenience: default config on @p spec. */
+/** @deprecated See above. */
 std::unique_ptr<Runtime> makeRuntime(const std::string &name,
                                      const hw::MachineSpec &spec);
 
 /** All registered names, sorted. */
 std::vector<std::string> runtimeNames();
+
+/** Advertised capabilities of @p name; 0 when unknown. */
+CapabilitySet runtimeCapabilities(const std::string &name);
 
 /** Self-registration helper for runtimes defined outside this
  *  library: `static RuntimeRegistrar r{"mine", factory};` */
@@ -205,6 +417,11 @@ struct RuntimeRegistrar
     RuntimeRegistrar(const std::string &name, RuntimeFactory factory)
     {
         registerRuntime(name, std::move(factory));
+    }
+
+    RuntimeRegistrar(const std::string &name, RuntimeInfo info)
+    {
+        registerRuntime(name, std::move(info));
     }
 };
 

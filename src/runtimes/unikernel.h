@@ -161,6 +161,12 @@ class UnikernelRuntime : public Runtime
 
     const std::string &name() const override { return name_; }
     hw::Machine &machine() override { return *machine_; }
+
+    CapabilitySet
+    capabilities() const override
+    {
+        return kCapPerContainerKernel; // single-process (§2.3)
+    }
     guestos::NetFabric &fabric() override { return *fabric_; }
     RtContainer *bootContainer(const ContainerOpts &opts) override;
 

@@ -61,6 +61,13 @@ class XContainerRuntime : public Runtime
 
     const std::string &name() const override { return name_; }
     hw::Machine &machine() override { return *machine_; }
+
+    CapabilitySet
+    capabilities() const override
+    {
+        return kCapMultiProcess | kCapPerContainerKernel |
+               kCapAbom | kCapMeltdownPatchControl;
+    }
     guestos::NetFabric &fabric() override { return *fabric_; }
     RtContainer *bootContainer(const ContainerOpts &opts) override;
 

@@ -1,0 +1,752 @@
+#include "sim/ctl.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "sim/logging.h"
+
+namespace xc::sim::ctl {
+
+// --- wire framing -----------------------------------------------------
+
+namespace {
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t
+getU32(const char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(p[i]))
+             << (8 * i);
+    return v;
+}
+
+} // namespace
+
+std::string
+encodeFrame(std::uint32_t type, std::string_view payload)
+{
+    if (payload.size() > kMaxPayload) {
+        throw CtlError("ctl frame payload of " +
+                       std::to_string(payload.size()) +
+                       " bytes exceeds the " +
+                       std::to_string(kMaxPayload) + "-byte limit");
+    }
+    std::string out;
+    out.reserve(8 + payload.size());
+    putU32(out, type);
+    putU32(out, static_cast<std::uint32_t>(payload.size()));
+    out.append(payload.data(), payload.size());
+    return out;
+}
+
+bool
+FrameParser::feed(const void *data, std::size_t n,
+                  std::vector<Frame> &out)
+{
+    if (failed())
+        return false;
+    buf_.append(static_cast<const char *>(data), n);
+    while (buf_.size() >= 8) {
+        const std::uint32_t type = getU32(buf_.data());
+        const std::uint32_t len = getU32(buf_.data() + 4);
+        if (len > maxPayload_) {
+            error_ = "frame length " + std::to_string(len) +
+                     " exceeds the " + std::to_string(maxPayload_) +
+                     "-byte payload limit";
+            buf_.clear();
+            return false;
+        }
+        if (buf_.size() < 8u + len)
+            break; // wait for the rest
+        Frame f;
+        f.type = type;
+        f.payload.assign(buf_, 8, len);
+        out.push_back(std::move(f));
+        buf_.erase(0, 8u + len);
+    }
+    return true;
+}
+
+// --- command log ------------------------------------------------------
+
+std::string
+formatLogLine(const LogEntry &e)
+{
+    static const char kHex[] = "0123456789abcdef";
+    std::string line = std::to_string(e.tick) + ' ' +
+                       std::to_string(e.type) + ' ';
+    if (e.payload.empty()) {
+        line += '-';
+    } else {
+        for (unsigned char c : e.payload) {
+            line += kHex[c >> 4];
+            line += kHex[c & 0xf];
+        }
+    }
+    return line;
+}
+
+namespace {
+
+int
+hexNibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+std::uint64_t
+parseU64Field(std::string_view tok, const char *what, int lineno)
+{
+    if (tok.empty())
+        throw CtlError(std::string("ctl log line ") +
+                       std::to_string(lineno) + ": empty " + what);
+    std::uint64_t v = 0;
+    for (char c : tok) {
+        if (c < '0' || c > '9')
+            throw CtlError(std::string("ctl log line ") +
+                           std::to_string(lineno) + ": bad " + what +
+                           " '" + std::string(tok) + "'");
+        std::uint64_t next = v * 10 + static_cast<std::uint64_t>(c - '0');
+        if (next < v)
+            throw CtlError(std::string("ctl log line ") +
+                           std::to_string(lineno) + ": " + what +
+                           " overflows");
+        v = next;
+    }
+    return v;
+}
+
+} // namespace
+
+CtlLog
+parseCtlLogText(std::string_view text)
+{
+    CtlLog log;
+    bool sawHeader = false;
+    int lineno = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        std::string_view line = text.substr(
+            pos, eol == std::string_view::npos ? text.size() - pos
+                                               : eol - pos);
+        pos = eol == std::string_view::npos ? text.size() + 1
+                                            : eol + 1;
+        ++lineno;
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            constexpr std::string_view kHeader =
+                "# xc-ctl-log v1 quantum=";
+            if (line.substr(0, kHeader.size()) != kHeader)
+                throw CtlError("ctl log line " +
+                               std::to_string(lineno) +
+                               ": unrecognized header");
+            log.quantum = static_cast<Tick>(parseU64Field(
+                line.substr(kHeader.size()), "quantum", lineno));
+            if (log.quantum == 0)
+                throw CtlError("ctl log header: quantum must be "
+                               "nonzero");
+            sawHeader = true;
+            continue;
+        }
+        if (!sawHeader)
+            throw CtlError("ctl log: missing '# xc-ctl-log v1' "
+                           "header before first entry");
+        // <tick> <type> <hexpayload|->
+        std::size_t s1 = line.find(' ');
+        std::size_t s2 = s1 == std::string_view::npos
+                             ? std::string_view::npos
+                             : line.find(' ', s1 + 1);
+        if (s2 == std::string_view::npos)
+            throw CtlError("ctl log line " + std::to_string(lineno) +
+                           ": expected '<tick> <type> <payload>'");
+        LogEntry e;
+        e.tick = static_cast<Tick>(
+            parseU64Field(line.substr(0, s1), "tick", lineno));
+        std::uint64_t type = parseU64Field(
+            line.substr(s1 + 1, s2 - s1 - 1), "type", lineno);
+        if (type > 0xffffffffull)
+            throw CtlError("ctl log line " + std::to_string(lineno) +
+                           ": type out of range");
+        e.type = static_cast<std::uint32_t>(type);
+        std::string_view hex = line.substr(s2 + 1);
+        if (hex != "-") {
+            if (hex.empty() || hex.size() % 2 != 0)
+                throw CtlError("ctl log line " +
+                               std::to_string(lineno) +
+                               ": odd-length hex payload");
+            if (hex.size() / 2 > kMaxPayload)
+                throw CtlError("ctl log line " +
+                               std::to_string(lineno) +
+                               ": payload exceeds frame limit");
+            e.payload.reserve(hex.size() / 2);
+            for (std::size_t i = 0; i < hex.size(); i += 2) {
+                int hi = hexNibble(hex[i]);
+                int lo = hexNibble(hex[i + 1]);
+                if (hi < 0 || lo < 0)
+                    throw CtlError("ctl log line " +
+                                   std::to_string(lineno) +
+                                   ": bad hex payload");
+                e.payload.push_back(
+                    static_cast<char>((hi << 4) | lo));
+            }
+        }
+        if (!log.entries.empty() &&
+            e.tick < log.entries.back().tick)
+            throw CtlError("ctl log line " + std::to_string(lineno) +
+                           ": ticks must be non-decreasing");
+        log.entries.push_back(std::move(e));
+    }
+    if (!sawHeader)
+        throw CtlError("ctl log: empty or missing header");
+    return log;
+}
+
+CtlLog
+parseCtlLogFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        throw CtlError("cannot open ctl log '" + path +
+                       "': " + std::strerror(errno));
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    const bool bad = std::ferror(f) != 0;
+    std::fclose(f);
+    if (bad)
+        throw CtlError("error reading ctl log '" + path + "'");
+    return parseCtlLogText(text);
+}
+
+// --- socket server ----------------------------------------------------
+
+struct CtlServer::Impl
+{
+    struct Client
+    {
+        int fd = -1;
+        FrameParser parser;
+        std::string writeBuf;
+    };
+
+    int listenFd = -1;
+    int epollFd = -1;
+    int wakeFd = -1; ///< eventfd: reply queued / stop requested
+    std::thread thread;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    bool stopping = false;
+    std::deque<Request> pending;
+    /** Replies queued by the sim thread, drained by the loop. */
+    std::deque<std::pair<std::uint64_t, std::string>> outbound;
+
+    std::uint64_t nextClient = 1;
+    std::map<std::uint64_t, Client> clients; ///< by token
+
+    void loop();
+    void acceptClients();
+    void readClient(std::uint64_t token);
+    void flushClient(std::uint64_t token);
+    void closeClient(std::uint64_t token);
+    void updateInterest(std::uint64_t token);
+};
+
+namespace {
+
+void
+setNonBlocking(int fd)
+{
+    int flags = fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+} // namespace
+
+CtlServer::CtlServer(std::string path)
+    : path_(std::move(path)), impl_(new Impl)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path_.size() >= sizeof addr.sun_path) {
+        delete impl_;
+        throw CtlError("ctl socket path too long: " + path_);
+    }
+    std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+    impl_->listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (impl_->listenFd < 0) {
+        delete impl_;
+        throw CtlError(std::string("socket(): ") +
+                       std::strerror(errno));
+    }
+    // A previous run that died uncleanly leaves a ghost socket
+    // behind; binding over it needs the unlink first (kvm-ipc does
+    // the same).
+    struct stat st{};
+    if (::lstat(path_.c_str(), &st) == 0 && S_ISSOCK(st.st_mode))
+        ::unlink(path_.c_str());
+
+    bool ok =
+        ::bind(impl_->listenFd,
+               reinterpret_cast<const sockaddr *>(&addr),
+               sizeof addr) == 0 &&
+        ::listen(impl_->listenFd, 8) == 0;
+    if (ok) {
+        setNonBlocking(impl_->listenFd);
+        impl_->epollFd = ::epoll_create1(EPOLL_CLOEXEC);
+        impl_->wakeFd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+        ok = impl_->epollFd >= 0 && impl_->wakeFd >= 0;
+    }
+    if (!ok) {
+        const std::string why = std::strerror(errno);
+        if (impl_->listenFd >= 0)
+            ::close(impl_->listenFd);
+        if (impl_->epollFd >= 0)
+            ::close(impl_->epollFd);
+        if (impl_->wakeFd >= 0)
+            ::close(impl_->wakeFd);
+        delete impl_;
+        throw CtlError("cannot serve ctl socket '" + path_ +
+                       "': " + why);
+    }
+
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = 0; // 0 = listener
+    ::epoll_ctl(impl_->epollFd, EPOLL_CTL_ADD, impl_->listenFd, &ev);
+    ev.events = EPOLLIN;
+    ev.data.u64 = ~std::uint64_t(0); // ~0 = wake eventfd
+    ::epoll_ctl(impl_->epollFd, EPOLL_CTL_ADD, impl_->wakeFd, &ev);
+
+    impl_->thread = std::thread([this] { impl_->loop(); });
+}
+
+CtlServer::~CtlServer()
+{
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        impl_->stopping = true;
+    }
+    std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n =
+        ::write(impl_->wakeFd, &one, sizeof one);
+    impl_->thread.join();
+    for (auto &[token, c] : impl_->clients)
+        ::close(c.fd);
+    ::close(impl_->listenFd);
+    ::close(impl_->epollFd);
+    ::close(impl_->wakeFd);
+    ::unlink(path_.c_str());
+    delete impl_;
+}
+
+void
+CtlServer::Impl::loop()
+{
+    epoll_event events[16];
+    for (;;) {
+        int n = ::epoll_wait(epollFd, events, 16, -1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        for (int i = 0; i < n; ++i) {
+            const std::uint64_t token = events[i].data.u64;
+            if (token == ~std::uint64_t(0)) {
+                std::uint64_t drain;
+                while (::read(wakeFd, &drain, sizeof drain) > 0) {
+                }
+                // Queued replies ride on the wakeup.
+                std::deque<std::pair<std::uint64_t, std::string>> out;
+                {
+                    std::lock_guard<std::mutex> lock(mu);
+                    if (stopping)
+                        return;
+                    out.swap(outbound);
+                }
+                for (auto &[dst, bytes] : out) {
+                    auto it = clients.find(dst);
+                    if (it == clients.end())
+                        continue; // client hung up already
+                    it->second.writeBuf += bytes;
+                    flushClient(dst);
+                }
+            } else if (token == 0) {
+                acceptClients();
+            } else if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+                closeClient(token);
+            } else {
+                if (events[i].events & EPOLLIN)
+                    readClient(token);
+                if ((events[i].events & EPOLLOUT) &&
+                    clients.count(token))
+                    flushClient(token);
+            }
+        }
+    }
+}
+
+void
+CtlServer::Impl::acceptClients()
+{
+    for (;;) {
+        int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0)
+            return;
+        setNonBlocking(fd);
+        const std::uint64_t token = nextClient++;
+        clients[token].fd = fd;
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.u64 = token;
+        ::epoll_ctl(epollFd, EPOLL_CTL_ADD, fd, &ev);
+    }
+}
+
+void
+CtlServer::Impl::readClient(std::uint64_t token)
+{
+    auto it = clients.find(token);
+    if (it == clients.end())
+        return;
+    Client &c = it->second;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::read(c.fd, buf, sizeof buf);
+        if (n > 0) {
+            std::vector<Frame> frames;
+            if (!c.parser.feed(buf, static_cast<std::size_t>(n),
+                               frames)) {
+                warn("ctl: dropping client: %s",
+                     c.parser.error().c_str());
+                closeClient(token);
+                return;
+            }
+            if (!frames.empty()) {
+                std::lock_guard<std::mutex> lock(mu);
+                for (Frame &f : frames) {
+                    pending.push_back(Request{token, f.type,
+                                              std::move(f.payload)});
+                }
+                cv.notify_all();
+            }
+        } else if (n == 0) {
+            closeClient(token);
+            return;
+        } else {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return;
+            if (errno == EINTR)
+                continue;
+            closeClient(token);
+            return;
+        }
+    }
+}
+
+void
+CtlServer::Impl::flushClient(std::uint64_t token)
+{
+    auto it = clients.find(token);
+    if (it == clients.end())
+        return;
+    Client &c = it->second;
+    while (!c.writeBuf.empty()) {
+        ssize_t n =
+            ::write(c.fd, c.writeBuf.data(), c.writeBuf.size());
+        if (n > 0) {
+            c.writeBuf.erase(0, static_cast<std::size_t>(n));
+        } else {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                break;
+            if (errno == EINTR)
+                continue;
+            closeClient(token);
+            return;
+        }
+    }
+    updateInterest(token);
+}
+
+void
+CtlServer::Impl::updateInterest(std::uint64_t token)
+{
+    auto it = clients.find(token);
+    if (it == clients.end())
+        return;
+    epoll_event ev{};
+    ev.events = EPOLLIN |
+                (it->second.writeBuf.empty() ? 0u : EPOLLOUT);
+    ev.data.u64 = token;
+    ::epoll_ctl(epollFd, EPOLL_CTL_MOD, it->second.fd, &ev);
+}
+
+void
+CtlServer::Impl::closeClient(std::uint64_t token)
+{
+    auto it = clients.find(token);
+    if (it == clients.end())
+        return;
+    ::epoll_ctl(epollFd, EPOLL_CTL_DEL, it->second.fd, nullptr);
+    ::close(it->second.fd);
+    clients.erase(it);
+}
+
+std::vector<CtlServer::Request>
+CtlServer::drain()
+{
+    std::vector<Request> out;
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    while (!impl_->pending.empty()) {
+        out.push_back(std::move(impl_->pending.front()));
+        impl_->pending.pop_front();
+    }
+    return out;
+}
+
+bool
+CtlServer::waitForRequests(int timeout_ms)
+{
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    return impl_->cv.wait_for(
+        lock, std::chrono::milliseconds(timeout_ms),
+        [this] { return !impl_->pending.empty(); });
+}
+
+void
+CtlServer::post(std::uint64_t client, std::uint32_t type,
+                std::string_view payload)
+{
+    std::string frame = encodeFrame(type, payload);
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        impl_->outbound.emplace_back(client, std::move(frame));
+    }
+    std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n =
+        ::write(impl_->wakeFd, &one, sizeof one);
+}
+
+// --- session ----------------------------------------------------------
+
+Session::Session(EventQueue &events, SessionOptions opt,
+                 SessionHooks hooks)
+    : events_(events), opt_(std::move(opt)), hooks_(std::move(hooks))
+{
+    if (!opt_.socketPath.empty() && !opt_.replayPath.empty())
+        throw CtlError("--ctl and --ctl-replay are mutually "
+                       "exclusive");
+    if (opt_.quantum == 0)
+        throw CtlError("ctl quantum must be nonzero");
+}
+
+Session::~Session()
+{
+    if (logFile_ != nullptr)
+        std::fclose(static_cast<std::FILE *>(logFile_));
+}
+
+void
+Session::start()
+{
+    if (replayMode()) {
+        replay_ = parseCtlLogFile(opt_.replayPath);
+        opt_.quantum = replay_.quantum;
+    } else if (!opt_.socketPath.empty()) {
+        server_ = std::make_unique<CtlServer>(opt_.socketPath);
+        if (!opt_.logPath.empty()) {
+            std::FILE *f = std::fopen(opt_.logPath.c_str(), "w");
+            if (f == nullptr)
+                throw CtlError("cannot open ctl log '" +
+                               opt_.logPath +
+                               "': " + std::strerror(errno));
+            std::fprintf(f, "# xc-ctl-log v1 quantum=%llu\n",
+                         static_cast<unsigned long long>(
+                             opt_.quantum));
+            std::fflush(f);
+            logFile_ = f;
+        }
+    } else {
+        return; // nothing to do
+    }
+    held_ = opt_.holdAtStart && !replayMode();
+    events_.postAfter(opt_.quantum, [this] { poll(); });
+}
+
+std::pair<bool, std::string>
+Session::execute(std::uint32_t type, const std::string &payload)
+{
+    ++executed_;
+    auto query = [&payload](const std::function<std::string()> &h,
+                            const char *what)
+        -> std::pair<bool, std::string> {
+        if (!payload.empty())
+            return {false, std::string(what) +
+                               " takes no payload"};
+        if (!h)
+            return {false, std::string(what) +
+                               " not supported by this bench"};
+        return {true, h()};
+    };
+
+    switch (type) {
+    case kPing:
+        return {true, "pong"};
+    case kStatus:
+        return query(hooks_.status, "status");
+    case kMech:
+        return query(hooks_.mechJson, "mech");
+    case kTimeseries:
+        return query(hooks_.timeseries, "timeseries");
+    case kProfile:
+        return query(hooks_.profile, "profile");
+    case kFlight:
+        return query(hooks_.flight, "flight");
+    case kInjectFaults: {
+        if (!hooks_.injectFaults)
+            return {false,
+                    "inject-faults not supported by this bench"};
+        char *end = nullptr;
+        errno = 0;
+        double rate = std::strtod(payload.c_str(), &end);
+        if (payload.empty() || end == nullptr || *end != '\0' ||
+            errno != 0 || !(rate >= 0.0) || rate > 1.0)
+            return {false, "inject-faults payload must be a rate "
+                           "in [0, 1], got '" +
+                               payload + "'"};
+        std::string err = hooks_.injectFaults(rate);
+        return err.empty() ? std::pair<bool, std::string>{true, "ok"}
+                           : std::pair<bool, std::string>{false,
+                                                          err};
+    }
+    case kSpawn:
+    case kKill: {
+        const auto &hook = type == kSpawn ? hooks_.spawn
+                                          : hooks_.kill;
+        const char *what = type == kSpawn ? "spawn" : "kill";
+        if (!hook)
+            return {false, std::string(what) +
+                               " not supported by this bench"};
+        if (payload.empty())
+            return {false, std::string(what) +
+                               " needs a container name"};
+        std::string err = hook(payload);
+        return err.empty() ? std::pair<bool, std::string>{true, "ok"}
+                           : std::pair<bool, std::string>{false,
+                                                          err};
+    }
+    case kResume:
+        resumed_ = true;
+        return {true, held_ ? "resuming" : "ok"};
+    default:
+        return {false,
+                "unknown command type " + std::to_string(type)};
+    }
+}
+
+void
+Session::logCommand(std::uint32_t type, const std::string &payload)
+{
+    if (logFile_ == nullptr)
+        return;
+    LogEntry e;
+    e.tick = events_.now();
+    e.type = type;
+    e.payload = payload;
+    std::FILE *f = static_cast<std::FILE *>(logFile_);
+    std::fprintf(f, "%s\n", formatLogLine(e).c_str());
+    std::fflush(f);
+}
+
+void
+Session::holdLoop()
+{
+    using Clock = std::chrono::steady_clock;
+    const auto deadline =
+        Clock::now() + std::chrono::seconds(opt_.holdTimeoutSec);
+    std::fprintf(stderr,
+                 "[ctl] holding at tick %llu until resume "
+                 "(timeout %ds)\n",
+                 static_cast<unsigned long long>(events_.now()),
+                 opt_.holdTimeoutSec);
+    while (!resumed_) {
+        if (Clock::now() >= deadline) {
+            std::fprintf(stderr,
+                         "[ctl] hold timed out after %ds with no "
+                         "resume command\n",
+                         opt_.holdTimeoutSec);
+            std::exit(3);
+        }
+        server_->waitForRequests(200);
+        for (CtlServer::Request &req : server_->drain()) {
+            auto [ok, reply] = execute(req.type, req.payload);
+            logCommand(req.type, req.payload);
+            server_->post(req.client, ok ? kReplyOk : kReplyErr,
+                          reply);
+        }
+    }
+    held_ = false;
+}
+
+void
+Session::poll()
+{
+    if (replayMode()) {
+        const Tick now = events_.now();
+        while (replayNext_ < replay_.entries.size() &&
+               replay_.entries[replayNext_].tick <= now) {
+            const LogEntry &e = replay_.entries[replayNext_++];
+            execute(e.type, e.payload); // replies discarded
+        }
+    } else {
+        if (held_)
+            holdLoop();
+        for (CtlServer::Request &req : server_->drain()) {
+            auto [ok, reply] = execute(req.type, req.payload);
+            logCommand(req.type, req.payload);
+            server_->post(req.client, ok ? kReplyOk : kReplyErr,
+                          reply);
+        }
+    }
+    events_.postAfter(opt_.quantum, [this] { poll(); });
+}
+
+} // namespace xc::sim::ctl

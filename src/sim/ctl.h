@@ -1,0 +1,284 @@
+#ifndef XC_SIM_CTL_H
+#define XC_SIM_CTL_H
+
+/**
+ * @file
+ * Live control plane: query and steer a running simulation over a
+ * UNIX-domain socket without breaking determinism.
+ *
+ * ## Wire protocol
+ *
+ * Length-prefixed frames (kvm-ipc style), little-endian:
+ *
+ *     u32 type | u32 len | len payload bytes
+ *
+ * over AF_UNIX SOCK_STREAM. Payloads are bounded by kMaxPayload;
+ * any frame claiming more is a protocol error and the connection is
+ * dropped. Requests use the Cmd codes below; every request gets
+ * exactly one reply frame (kReplyOk with the result text, or
+ * kReplyErr with a one-line reason). Malformed input of any shape —
+ * truncation, hostile lengths, unknown types, random bytes — must
+ * produce a typed error (CtlError / kReplyErr / closed connection),
+ * never undefined behavior.
+ *
+ * ## Determinism contract (see DESIGN.md §14)
+ *
+ * Commands arrive on a host thread at unpredictable wall-clock
+ * moments, but they only ever take effect at *quantized simulation
+ * ticks*: the Session schedules a recurring poll event every
+ * `quantum` ticks, and each poll drains whatever commands have
+ * arrived since the last one, executing them inside the event
+ * stream at that tick. Every executed command — queries included —
+ * is appended to a replayable log (`<tick> <type> <hex-payload>`
+ * under a `# xc-ctl-log v1 quantum=N` header). Replaying that log
+ * re-executes each command at its recorded tick; because queries
+ * are allocation-only and mutations are deterministic functions of
+ * (tick, payload, sim state), a replayed run is bit-identical to
+ * the live one at any host thread count.
+ *
+ * `holdAtStart` freezes the simulation host-side at the first poll
+ * tick (commands are served while frozen; simulated time does not
+ * advance) until a kResume command — or a wall-clock timeout, which
+ * exits with status 3 so CI cannot hang. Because simulated time is
+ * frozen, a held session is replay-equivalent to an unheld one.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/types.h"
+
+namespace xc::sim::ctl {
+
+/** Any control-plane failure: I/O, protocol, malformed logs. */
+struct CtlError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/** Hard bound on one frame's payload. */
+constexpr std::uint32_t kMaxPayload = 1u << 20;
+
+/** Request frame types. */
+enum Cmd : std::uint32_t {
+    kPing = 1,         ///< liveness probe -> "pong"
+    kStatus = 2,       ///< one-line run status
+    kMech = 3,         ///< mechanism-counter JSON
+    kTimeseries = 4,   ///< time-series sampler dump
+    kProfile = 5,      ///< cycle-attribution profile JSON
+    kFlight = 6,       ///< flight-recorder dump
+    kInjectFaults = 7, ///< payload: uniform fault rate (ASCII double)
+    kSpawn = 8,        ///< payload: container name to boot
+    kKill = 9,         ///< payload: container name to crash
+    kResume = 10,      ///< release a held session
+};
+
+/** Reply frame types. */
+enum Reply : std::uint32_t {
+    kReplyOk = 100,
+    kReplyErr = 101,
+};
+
+/** One decoded frame. */
+struct Frame
+{
+    std::uint32_t type = 0;
+    std::string payload;
+};
+
+/** Serialize one frame. Throws CtlError when payload > kMaxPayload. */
+std::string encodeFrame(std::uint32_t type, std::string_view payload);
+
+/**
+ * Incremental frame decoder. Feed arbitrary byte chunks; complete
+ * frames are appended to the caller's vector. Returns false — and
+ * latches an error — on a hostile length; a latched parser rejects
+ * all further input.
+ */
+class FrameParser
+{
+  public:
+    explicit FrameParser(std::uint32_t max_payload = kMaxPayload)
+        : maxPayload_(max_payload)
+    {
+    }
+
+    bool feed(const void *data, std::size_t n,
+              std::vector<Frame> &out);
+
+    bool failed() const { return !error_.empty(); }
+    const std::string &error() const { return error_; }
+
+    /** Bytes buffered awaiting the rest of a frame. */
+    std::size_t buffered() const { return buf_.size(); }
+
+  private:
+    std::uint32_t maxPayload_;
+    std::string buf_;
+    std::string error_;
+};
+
+// --- command log ------------------------------------------------------
+
+/** One replayable command: what executed, and at which tick. */
+struct LogEntry
+{
+    Tick tick = 0;
+    std::uint32_t type = 0;
+    std::string payload;
+};
+
+/** A parsed command log. */
+struct CtlLog
+{
+    Tick quantum = 0;
+    std::vector<LogEntry> entries;
+};
+
+/** Render one log line (`<tick> <type> <hex>`; "-" = empty). */
+std::string formatLogLine(const LogEntry &e);
+
+/** Parse a full log text. Throws CtlError on any malformation. */
+CtlLog parseCtlLogText(std::string_view text);
+
+/** Read + parse @p path. Throws CtlError. */
+CtlLog parseCtlLogFile(const std::string &path);
+
+// --- socket server (host side) ----------------------------------------
+
+/**
+ * Epoll-driven AF_UNIX listener on its own host thread. Accepts
+ * clients, decodes request frames, and queues them for the
+ * simulation thread to drain at its next poll tick; replies are
+ * written back asynchronously. Never touches simulation state.
+ */
+class CtlServer
+{
+  public:
+    struct Request
+    {
+        std::uint64_t client = 0; ///< opaque reply routing token
+        std::uint32_t type = 0;
+        std::string payload;
+    };
+
+    /** Binds (unlinking any ghost socket) and starts the thread.
+     *  Throws CtlError on socket errors. */
+    explicit CtlServer(std::string path);
+    ~CtlServer();
+
+    CtlServer(const CtlServer &) = delete;
+    CtlServer &operator=(const CtlServer &) = delete;
+
+    /** Pop all requests received so far (non-blocking). */
+    std::vector<Request> drain();
+
+    /** Block until a request is pending or @p timeout_ms elapses.
+     *  @return true when at least one request is waiting. */
+    bool waitForRequests(int timeout_ms);
+
+    /** Queue a reply frame to @p client (dropped if it is gone). */
+    void post(std::uint64_t client, std::uint32_t type,
+              std::string_view payload);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    struct Impl;
+    std::string path_;
+    Impl *impl_;
+};
+
+// --- simulation-side session ------------------------------------------
+
+struct SessionOptions
+{
+    /** Live mode: socket to listen on ("" = no live server). */
+    std::string socketPath;
+    /** Live mode: command log to record ("" = don't record). */
+    std::string logPath;
+    /** Replay mode: execute this recorded log instead of serving a
+     *  socket. Mutually exclusive with socketPath. */
+    std::string replayPath;
+    /** Poll period in ticks; commands take effect on multiples of
+     *  it. Replay uses the quantum recorded in the log header. */
+    Tick quantum = 10 * kTicksPerMs;
+    /** Freeze the run host-side at the first poll tick until a
+     *  kResume command arrives. */
+    bool holdAtStart = false;
+    /** Wall-clock bound on the hold; expiry exits with status 3. */
+    int holdTimeoutSec = 120;
+};
+
+/** What the embedding bench exposes to the control plane. Unset
+ *  hooks answer kReplyErr "not supported by this bench". Mutating
+ *  hooks return "" on success or a one-line error. */
+struct SessionHooks
+{
+    std::function<std::string()> status;
+    std::function<std::string()> mechJson;
+    std::function<std::string()> timeseries;
+    std::function<std::string()> profile;
+    std::function<std::string()> flight;
+    std::function<std::string(double)> injectFaults;
+    std::function<std::string(const std::string &)> spawn;
+    std::function<std::string(const std::string &)> kill;
+};
+
+/**
+ * Binds a control plane to one simulation's event queue. start()
+ * schedules the recurring poll; the destructor tears the server
+ * down. Construct after the queue, destroy before it.
+ */
+class Session
+{
+  public:
+    Session(EventQueue &events, SessionOptions opt,
+            SessionHooks hooks);
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /** Begin polling (live) or arm the recorded log (replay). */
+    void start();
+
+    bool replayMode() const { return !opt_.replayPath.empty(); }
+
+    /** Commands executed so far (live + replay). */
+    std::uint64_t executed() const { return executed_; }
+
+    /**
+     * Execute one command against the hooks; shared by live and
+     * replay paths (and unit tests). @return (ok, reply payload).
+     */
+    std::pair<bool, std::string> execute(std::uint32_t type,
+                                         const std::string &payload);
+
+  private:
+    void poll();
+    void logCommand(std::uint32_t type, const std::string &payload);
+    void holdLoop();
+
+    EventQueue &events_;
+    SessionOptions opt_;
+    SessionHooks hooks_;
+    std::unique_ptr<CtlServer> server_;
+    CtlLog replay_;
+    std::size_t replayNext_ = 0;
+    void *logFile_ = nullptr; ///< FILE*, opaque to keep cstdio out
+    bool held_ = false;
+    bool resumed_ = false;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace xc::sim::ctl
+
+#endif // XC_SIM_CTL_H

@@ -19,6 +19,9 @@ mechName(Mech m)
       case Mech::EvtchnNotify: return "evtchn_notify";
       case Mech::PtraceHop: return "ptrace_hop";
       case Mech::RingCopy: return "ring_copy";
+      case Mech::KvmVmExit: return "kvm_vmexit";
+      case Mech::KvmIrqInject: return "kvm_irq_inject";
+      case Mech::KvmVirtioKick: return "kvm_virtio_kick";
       case Mech::kCount: break;
     }
     return "?";
@@ -43,6 +46,12 @@ mechDescription(Mech m)
         return "event-channel / virtual-interrupt deliveries";
       case Mech::PtraceHop: return "ptrace stops (sentry interception)";
       case Mech::RingCopy: return "data copies across privilege rings";
+      case Mech::KvmVmExit:
+        return "KVM guest exits (PIO/MMIO/EPT/irq-window)";
+      case Mech::KvmIrqInject:
+        return "KVM irqchip virtual-interrupt injections";
+      case Mech::KvmVirtioKick:
+        return "virtio doorbell kicks (notify bookkeeping)";
       case Mech::kCount: break;
     }
     return "?";

@@ -38,6 +38,9 @@ enum class Mech : int {
     EvtchnNotify,    ///< event-channel / virtual-interrupt deliveries
     PtraceHop,       ///< ptrace stops (gVisor sentry interception)
     RingCopy,        ///< data copies across privilege rings
+    KvmVmExit,       ///< KVM guest exits (PIO/MMIO/EPT/irq-window)
+    KvmIrqInject,    ///< KVM irqchip virtual-interrupt injections
+    KvmVirtioKick,   ///< virtio doorbell kicks (notify bookkeeping)
     kCount,
 };
 

@@ -70,6 +70,9 @@ constexpr const char *kMechFrame[] = {
     "xen/evtchn_notify",      // Mech::EvtchnNotify
     "gvisor/ptrace_hop",      // Mech::PtraceHop
     "guestos/ring_copy",      // Mech::RingCopy
+    "kvm/vmexit",             // Mech::KvmVmExit
+    "kvm/irq_inject",         // Mech::KvmIrqInject
+    "kvm/virtio_kick",        // Mech::KvmVirtioKick
 };
 
 static_assert(sizeof kMechFrame / sizeof kMechFrame[0] == kMechCount,

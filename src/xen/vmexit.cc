@@ -1,0 +1,102 @@
+#include "xen/vmexit.h"
+
+namespace xc::xen {
+
+const char *
+exitReasonName(ExitReason r)
+{
+    switch (r) {
+    case ExitReason::Pio:
+        return "pio";
+    case ExitReason::Mmio:
+        return "mmio";
+    case ExitReason::EptViolation:
+        return "ept_violation";
+    case ExitReason::IrqWindow:
+        return "irq_window";
+    case ExitReason::kCount:
+        break;
+    }
+    return "?";
+}
+
+sim::Cycles
+VmExitModel::exit(ExitReason reason)
+{
+    sim::Cycles c = nested_ ? costs_.vmexitNested : costs_.vmexit;
+    switch (reason) {
+    case ExitReason::Pio:
+        c += costs_.kvmPioExit;
+        break;
+    case ExitReason::Mmio:
+        c += costs_.kvmMmioExit;
+        break;
+    case ExitReason::EptViolation:
+        break; // stage-2 walk cost is the base exit itself
+    case ExitReason::IrqWindow:
+        c += costs_.kvmIrqWindowExit;
+        break;
+    case ExitReason::kCount:
+        break;
+    }
+    ++exitCounts_[static_cast<int>(reason)];
+    if (mech_)
+        mech_->add(sim::Mech::KvmVmExit, c);
+    return c;
+}
+
+sim::Cycles
+VmExitModel::injectIrq()
+{
+    sim::Cycles c = costs_.kvmIrqInject;
+    ++irqInjections_;
+    if (mech_)
+        mech_->add(sim::Mech::KvmIrqInject, c);
+    return c;
+}
+
+sim::Cycles
+VmExitModel::kickNotify()
+{
+    sim::Cycles c = costs_.kvmVirtioKickNotify;
+    ++kicks_;
+    if (mech_)
+        mech_->add(sim::Mech::KvmVirtioKick, c);
+    return c;
+}
+
+std::uint64_t
+VmExitModel::totalExits() const
+{
+    std::uint64_t t = 0;
+    for (std::uint64_t n : exitCounts_)
+        t += n;
+    return t;
+}
+
+void
+VmExitModel::saveState(sim::snap::SnapWriter &w) const
+{
+    w.b(nested_);
+    w.u32(kExitReasonCount);
+    for (std::uint64_t n : exitCounts_)
+        w.u64(n);
+    w.u64(irqInjections_);
+    w.u64(kicks_);
+}
+
+void
+VmExitModel::loadState(sim::snap::SnapReader &r)
+{
+    if (r.b() != nested_) {
+        throw sim::snap::SnapError(
+            "vmexit model nesting mode differs from the snapshot");
+    }
+    r.expectU32(kExitReasonCount, "vm-exit reason count");
+    for (std::uint64_t &n : exitCounts_)
+        n = r.u64();
+    irqInjections_ = r.u64();
+    kicks_ = r.u64();
+}
+
+} // namespace xc::xen

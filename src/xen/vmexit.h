@@ -1,0 +1,104 @@
+#ifndef XC_XEN_VMEXIT_H
+#define XC_XEN_VMEXIT_H
+
+/**
+ * @file
+ * VM-exit pricing for hardware-virtualized (KVM-style) guests.
+ *
+ * Where the PV runtimes price hypercalls and event channels, a
+ * hardware-virtualized microVM prices *exits*: every device doorbell
+ * (PIO write), every MMIO register access, and every virtual
+ * interrupt the host irqchip injects forces a world switch whose base
+ * cost is CostModel::vmexit — or vmexitNested when the "host" is
+ * itself a cloud VM (Xen-Blanket territory, §1 of the paper). The
+ * per-reason extras on top model the decode/dispatch work the VMM
+ * does before resuming the guest.
+ *
+ * All charges land in three dedicated mechanism counters
+ * (Mech::KvmVmExit / KvmIrqInject / KvmVirtioKick) so profiles and
+ * flamegraphs can show exactly where a microVM's cycles go, side by
+ * side with the PV runtimes' hypercall columns. The three charge
+ * paths are disjoint — injectIrq() and kickNotify() each price their
+ * whole operation, including the exit they imply — so summing the
+ * counters never double-counts.
+ */
+
+#include <cstdint>
+
+#include "hw/cost_model.h"
+#include "sim/mech_counters.h"
+#include "sim/snapshot.h"
+#include "sim/types.h"
+
+namespace xc::xen {
+
+/** Why the guest exited to the VMM. */
+enum class ExitReason : int {
+    Pio,          ///< port I/O (virtio doorbell kicks)
+    Mmio,         ///< memory-mapped device register access
+    EptViolation, ///< stage-2 page fault (lazy mapping / ballooning)
+    IrqWindow,    ///< guest re-enabled interrupts with one pending
+    kCount,
+};
+
+constexpr int kExitReasonCount = static_cast<int>(ExitReason::kCount);
+
+/** Stable lower-case identifier ("pio", "mmio", ...). */
+const char *exitReasonName(ExitReason r);
+
+/** Prices and counts the world switches of one microVM runtime. */
+class VmExitModel
+{
+  public:
+    VmExitModel(const hw::CostModel &costs, bool nested,
+                sim::MechanismCounters *mech)
+        : costs_(costs), nested_(nested), mech_(mech)
+    {
+    }
+
+    /**
+     * One guest exit for @p reason: base world-switch cost plus the
+     * reason's decode/dispatch extra. Returns the cycles charged.
+     */
+    sim::Cycles exit(ExitReason reason);
+
+    /**
+     * Inject one virtual interrupt through the in-kernel irqchip.
+     * Priced as a whole (CostModel::kvmIrqInject includes the exit it
+     * forces on the target vCPU), so do not also call exit().
+     */
+    sim::Cycles injectIrq();
+
+    /**
+     * Doorbell bookkeeping beyond the raw PIO exit (ioeventfd lookup
+     * and queue-notify dispatch). Callers pair this with exit(Pio).
+     */
+    sim::Cycles kickNotify();
+
+    bool nested() const { return nested_; }
+
+    std::uint64_t
+    exits(ExitReason r) const
+    {
+        return exitCounts_[static_cast<int>(r)];
+    }
+
+    std::uint64_t totalExits() const;
+    std::uint64_t irqInjections() const { return irqInjections_; }
+    std::uint64_t kicks() const { return kicks_; }
+
+    void saveState(sim::snap::SnapWriter &w) const;
+    void loadState(sim::snap::SnapReader &r);
+
+  private:
+    const hw::CostModel &costs_;
+    bool nested_;
+    sim::MechanismCounters *mech_;
+    std::uint64_t exitCounts_[kExitReasonCount] = {};
+    std::uint64_t irqInjections_ = 0;
+    std::uint64_t kicks_ = 0;
+};
+
+} // namespace xc::xen
+
+#endif // XC_XEN_VMEXIT_H

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "hw/virtio.h"
+#include "sim/snapshot.h"
+
+namespace xc::test {
+namespace {
+
+using hw::VirtQueue;
+using sim::snap::SnapError;
+using sim::snap::SnapReader;
+using sim::snap::SnapWriter;
+
+VirtQueue::Config
+cfg(std::uint16_t size, bool suppression = true)
+{
+    VirtQueue::Config c;
+    c.size = size;
+    c.kickSuppression = suppression;
+    return c;
+}
+
+TEST(VirtQueue, StartsEmpty)
+{
+    VirtQueue q(cfg(8));
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.full());
+    EXPECT_EQ(q.pending(), 0);
+    EXPECT_FALSE(q.kickNeeded());
+}
+
+TEST(VirtQueue, KickOnlyOnEmptyToNonEmptyEdge)
+{
+    VirtQueue q(cfg(8));
+    ASSERT_TRUE(q.produce());
+    EXPECT_TRUE(q.kickNeeded()); // first descriptor wakes the device
+    q.noteKick();
+    ASSERT_TRUE(q.produce());
+    EXPECT_FALSE(q.kickNeeded()); // device already processing
+    q.noteSuppressed();
+    EXPECT_EQ(q.kicks(), 1u);
+    EXPECT_EQ(q.suppressedKicks(), 1u);
+
+    // Drain; the next produce is an edge again.
+    EXPECT_EQ(q.consume(), 2);
+    ASSERT_TRUE(q.produce());
+    EXPECT_TRUE(q.kickNeeded());
+}
+
+TEST(VirtQueue, NoSuppressionKicksEveryProduce)
+{
+    VirtQueue q(cfg(8, /*suppression=*/false));
+    ASSERT_TRUE(q.produce());
+    EXPECT_TRUE(q.kickNeeded());
+    ASSERT_TRUE(q.produce());
+    EXPECT_TRUE(q.kickNeeded()); // pre-1.0 driver: kick per batch
+}
+
+TEST(VirtQueue, FullRingStallsNotLoses)
+{
+    VirtQueue q(cfg(4));
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(q.produce());
+    EXPECT_TRUE(q.full());
+    EXPECT_FALSE(q.produce()); // backpressure, not overwrite
+    EXPECT_FALSE(q.produce());
+    EXPECT_EQ(q.stalls(), 2u);
+    EXPECT_EQ(q.produced(), 4u);
+    EXPECT_EQ(q.pending(), 4);
+
+    EXPECT_EQ(q.consume(), 4);
+    EXPECT_TRUE(q.empty());
+    EXPECT_TRUE(q.produce()); // room again after the drain
+}
+
+TEST(VirtQueue, ConsumeHonorsBatchLimit)
+{
+    VirtQueue q(cfg(16));
+    for (int i = 0; i < 10; ++i)
+        ASSERT_TRUE(q.produce());
+    EXPECT_EQ(q.consume(4), 4);
+    EXPECT_EQ(q.pending(), 6);
+    EXPECT_EQ(q.consume(4), 4);
+    EXPECT_EQ(q.consume(4), 2); // partial final batch
+    EXPECT_EQ(q.consume(4), 0); // empty: not a batch
+    EXPECT_EQ(q.batches(), 3u);
+    EXPECT_EQ(q.consumed(), 10u);
+}
+
+TEST(VirtQueue, IndicesWrapAtSixtyFourK)
+{
+    // Push >65536 descriptors through a small ring: the u16 indices
+    // must wrap while pending() stays correct throughout.
+    VirtQueue q(cfg(4));
+    for (int i = 0; i < 70000; ++i) {
+        ASSERT_TRUE(q.produce()) << i;
+        ASSERT_EQ(q.consume(), 1) << i;
+        ASSERT_TRUE(q.empty()) << i;
+    }
+    EXPECT_EQ(q.produced(), 70000u);
+    EXPECT_EQ(q.consumed(), 70000u);
+    // 70000 mod 65536 = 4464: the raw indices wrapped.
+    EXPECT_EQ(q.availIdx(), 4464);
+    EXPECT_EQ(q.usedIdx(), 4464);
+    EXPECT_EQ(q.pending(), 0);
+}
+
+TEST(VirtQueue, PendingCorrectAcrossTheWrapBoundary)
+{
+    VirtQueue q(cfg(8));
+    // Park the indices just below the wrap point.
+    for (int i = 0; i < 65534; ++i) {
+        ASSERT_TRUE(q.produce());
+        q.consume();
+    }
+    EXPECT_EQ(q.availIdx(), 65534);
+    // Straddle the boundary: availIdx wraps past 0 while usedIdx
+    // has not.
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(q.produce());
+    EXPECT_EQ(q.availIdx(), 3); // 65534 + 5 mod 65536
+    EXPECT_EQ(q.usedIdx(), 65534);
+    EXPECT_EQ(q.pending(), 5);
+    EXPECT_EQ(q.consume(), 5);
+    EXPECT_EQ(q.usedIdx(), 3);
+}
+
+std::string
+saved(const VirtQueue &q)
+{
+    SnapWriter w;
+    q.saveState(w);
+    return w.take();
+}
+
+TEST(VirtQueue, SnapshotRoundtripIsAFixedPoint)
+{
+    VirtQueue q(cfg(8));
+    for (int i = 0; i < 5; ++i)
+        q.produce();
+    q.noteKick();
+    q.consume(3);
+    q.produce(); // leave it mid-flight
+    std::string a = saved(q);
+
+    VirtQueue fresh(cfg(8));
+    SnapReader r(a);
+    fresh.loadState(r);
+    EXPECT_EQ(saved(fresh), a);
+    EXPECT_EQ(fresh.pending(), q.pending());
+    EXPECT_EQ(fresh.kicks(), q.kicks());
+    EXPECT_EQ(fresh.produced(), q.produced());
+}
+
+TEST(VirtQueue, SnapshotRejectsMismatchedGeometry)
+{
+    VirtQueue q(cfg(8));
+    std::string a = saved(q);
+
+    VirtQueue wrongSize(cfg(16));
+    SnapReader r1(a);
+    EXPECT_THROW(wrongSize.loadState(r1), SnapError);
+
+    VirtQueue wrongMode(cfg(8, /*suppression=*/false));
+    SnapReader r2(a);
+    EXPECT_THROW(wrongMode.loadState(r2), SnapError);
+}
+
+} // namespace
+} // namespace xc::test

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * KVM microVM runtime family: registry presence and capability
+ * advertisement, machine availability, vm-exit vs syscall mechanism
+ * attribution under a real served workload, the virtio notification
+ * economy, and snapshot roundtrips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/images.h"
+#include "apps/nginx.h"
+#include "load/driver.h"
+#include "runtimes/kvm_microvm.h"
+#include "runtimes/runtime.h"
+#include "sim/mech_counters.h"
+
+namespace xc::test {
+namespace {
+
+using runtimes::buildRuntime;
+using runtimes::ContainerOpts;
+using runtimes::KvmMicrovmRuntime;
+using runtimes::MakeStatus;
+using runtimes::RtContainer;
+using runtimes::Runtime;
+using runtimes::RuntimeConfig;
+using sim::Mech;
+using sim::MechSnapshot;
+
+/** Deploy NGINX on @p rt, drive it with wrk, return the counters. */
+MechSnapshot
+serveNginx(Runtime &rt)
+{
+    ContainerOpts copts;
+    copts.name = "web";
+    copts.image = apps::glibcImage("img");
+    copts.vcpus = 1;
+    copts.memBytes = 256ull << 20;
+    RtContainer *c = rt.createContainer(copts);
+    EXPECT_NE(c, nullptr);
+    apps::NginxApp nginx({});
+    nginx.deploy(*c);
+    rt.exposePort(c, 8080, 80);
+    load::WorkloadSpec spec = load::wrkSpec(
+        guestos::SockAddr{rt.hostIp(), 8080}, 16,
+        100 * sim::kTicksPerMs);
+    load::ClosedLoopDriver driver(rt.fabric(), spec);
+    rt.machine().events().schedule(10 * sim::kTicksPerMs,
+                                   [&] { driver.start(); });
+    rt.machine().events().runUntil(10 * sim::kTicksPerMs +
+                                   spec.warmup + spec.duration +
+                                   50 * sim::kTicksPerMs);
+    EXPECT_GT(driver.collect().requests, 50u);
+    return rt.machine().mech().snapshot();
+}
+
+TEST(KvmMicrovm, RegisteredUnderBothNames)
+{
+    auto names = runtimes::runtimeNames();
+    EXPECT_NE(std::find(names.begin(), names.end(), "kvm-microvm"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(),
+                        "kvm-microvm-unpatched"),
+              names.end());
+}
+
+TEST(KvmMicrovm, AvailabilityFollowsNestedHwVirt)
+{
+    EXPECT_FALSE(KvmMicrovmRuntime::availableOn(
+        hw::MachineSpec::ec2C4_2xlarge()));
+    EXPECT_TRUE(KvmMicrovmRuntime::availableOn(
+        hw::MachineSpec::gceCustom4()));
+    EXPECT_TRUE(KvmMicrovmRuntime::availableOn(
+        hw::MachineSpec::xeonE52690Local()));
+
+    auto ec2 = buildRuntime("kvm-microvm",
+                            hw::MachineSpec::ec2C4_2xlarge());
+    EXPECT_FALSE(ec2);
+    EXPECT_EQ(ec2.status, MakeStatus::Unavailable);
+    EXPECT_NE(ec2.reason.find("nested"), std::string::npos);
+
+    auto gce =
+        buildRuntime("kvm-microvm", hw::MachineSpec::gceCustom4());
+    ASSERT_TRUE(gce);
+    EXPECT_EQ(gce->name(), "kvm-microvm");
+}
+
+TEST(KvmMicrovm, AdvertisesHwVirtAndVirtioCapabilities)
+{
+    using namespace runtimes;
+    CapabilitySet caps = runtimeCapabilities("kvm-microvm");
+    EXPECT_TRUE(caps & kCapHwVirtIsolation);
+    EXPECT_TRUE(caps & kCapVirtioNet);
+    EXPECT_TRUE(caps & kCapPerContainerKernel);
+    EXPECT_TRUE(caps & kCapNestedVirtRequired);
+    EXPECT_TRUE(caps & kCapMeltdownPatchControl);
+    EXPECT_FALSE(caps & kCapAbom);
+    // The pinned-unpatched entry gives up patch control.
+    EXPECT_FALSE(runtimeCapabilities("kvm-microvm-unpatched") &
+                 kCapMeltdownPatchControl);
+    // The instance advertises the same family set.
+    auto rt =
+        buildRuntime("kvm-microvm", hw::MachineSpec::gceCustom4());
+    ASSERT_TRUE(rt);
+    EXPECT_TRUE(rt->capabilities() & kCapVirtioNet);
+}
+
+TEST(KvmMicrovm, RingSizeValidatedAtBuildTime)
+{
+    RuntimeConfig cfg;
+    cfg.spec = hw::MachineSpec::gceCustom4();
+    cfg.kvm = runtimes::KvmMicrovmConfig{};
+    cfg.kvm->virtioRingSize = 3; // not a power of two
+    auto bad = buildRuntime("kvm-microvm", cfg);
+    EXPECT_FALSE(bad);
+    EXPECT_EQ(bad.status, MakeStatus::InvalidConfig);
+    EXPECT_NE(bad.reason.find("virtioRingSize"), std::string::npos);
+
+    cfg.kvm->virtioRingSize = 1; // below the minimum
+    EXPECT_EQ(buildRuntime("kvm-microvm", cfg).status,
+              MakeStatus::InvalidConfig);
+
+    cfg.kvm->virtioRingSize = 64;
+    EXPECT_TRUE(buildRuntime("kvm-microvm", cfg));
+}
+
+TEST(KvmMicrovm, ServesNginxWithVmexitAttribution)
+{
+    auto rt =
+        buildRuntime("kvm-microvm", hw::MachineSpec::gceCustom4());
+    ASSERT_TRUE(rt);
+    MechSnapshot d = serveNginx(*rt);
+    // Hardware-virtualized I/O: exits, injections and doorbell kicks
+    // all observed and charged.
+    EXPECT_GT(d.count(Mech::KvmVmExit), 0u);
+    EXPECT_GT(d.cyclesOf(Mech::KvmVmExit), 0u);
+    EXPECT_GT(d.count(Mech::KvmIrqInject), 0u);
+    EXPECT_GT(d.count(Mech::KvmVirtioKick), 0u);
+    // Guest syscalls are native traps, not paravirtual hypercalls.
+    EXPECT_GT(d.count(Mech::SyscallTrap), 0u);
+    EXPECT_EQ(d.count(Mech::Hypercall), 0u);
+    EXPECT_EQ(d.count(Mech::PtraceHop), 0u);
+}
+
+TEST(KvmMicrovm, ParavirtRuntimesNeverChargeKvmCounters)
+{
+    auto rt = buildRuntime("x-container",
+                           hw::MachineSpec::gceCustom4());
+    ASSERT_TRUE(rt);
+    MechSnapshot d = serveNginx(*rt);
+    EXPECT_EQ(d.count(Mech::KvmVmExit), 0u);
+    EXPECT_EQ(d.count(Mech::KvmIrqInject), 0u);
+    EXPECT_EQ(d.count(Mech::KvmVirtioKick), 0u);
+}
+
+TEST(KvmMicrovm, KickSuppressionElidesMostDoorbells)
+{
+    KvmMicrovmRuntime::Options opt;
+    opt.spec = hw::MachineSpec::gceCustom4();
+    KvmMicrovmRuntime rt(opt);
+    ContainerOpts copts;
+    copts.name = "web";
+    copts.image = apps::glibcImage("img");
+    copts.memBytes = 256ull << 20;
+    auto *c = static_cast<runtimes::KvmMicrovmContainer *>(
+        rt.createContainer(copts));
+    ASSERT_NE(c, nullptr);
+    apps::NginxApp nginx({});
+    nginx.deploy(*c);
+    rt.exposePort(c, 8080, 80);
+    load::WorkloadSpec spec = load::wrkSpec(
+        guestos::SockAddr{rt.hostIp(), 8080}, 16,
+        100 * sim::kTicksPerMs);
+    load::ClosedLoopDriver driver(rt.fabric(), spec);
+    rt.machine().events().schedule(10 * sim::kTicksPerMs,
+                                   [&] { driver.start(); });
+    rt.machine().events().runUntil(200 * sim::kTicksPerMs +
+                                   spec.warmup + spec.duration);
+
+    const hw::VirtQueue &tx = c->port().txQueue();
+    EXPECT_GT(tx.produced(), 0u);
+    EXPECT_GT(tx.kicks(), 0u);
+    // Under sustained load most packets ride an already-armed ring:
+    // the doorbell fires only on empty->non-empty edges.
+    EXPECT_GT(tx.suppressedKicks(), 0u);
+    EXPECT_LT(tx.kicks(), tx.produced());
+    EXPECT_EQ(tx.kicks() + tx.suppressedKicks(), tx.produced());
+    // Only the TX ring rings a doorbell (PIO exit + kick-notify);
+    // RX "kicks" are completion interrupts charged as irq
+    // injections. The kvm_virtio_kick mech counter is therefore
+    // exactly the TX kick count.
+    EXPECT_EQ(rt.machine().mech().count(Mech::KvmVirtioKick),
+              rt.exits().kicks());
+    EXPECT_EQ(rt.exits().kicks(), tx.kicks());
+}
+
+TEST(KvmMicrovm, NestedCloudExitsCostMoreThanBareMetal)
+{
+    // Same workload, same seed: the GCE (nested) run must charge
+    // more cycles per exit than the local bare-metal run.
+    KvmMicrovmRuntime::Options nested;
+    nested.spec = hw::MachineSpec::gceCustom4();
+    KvmMicrovmRuntime rtNested(nested);
+    MechSnapshot dn = serveNginx(rtNested);
+
+    KvmMicrovmRuntime::Options bare;
+    bare.spec = hw::MachineSpec::xeonE52690Local();
+    KvmMicrovmRuntime rtBare(bare);
+    MechSnapshot db = serveNginx(rtBare);
+
+    ASSERT_GT(dn.count(Mech::KvmVmExit), 0u);
+    ASSERT_GT(db.count(Mech::KvmVmExit), 0u);
+    double costNested =
+        static_cast<double>(dn.cyclesOf(Mech::KvmVmExit)) /
+        static_cast<double>(dn.count(Mech::KvmVmExit));
+    double costBare =
+        static_cast<double>(db.cyclesOf(Mech::KvmVmExit)) /
+        static_cast<double>(db.count(Mech::KvmVmExit));
+    EXPECT_GT(costNested, costBare * 2);
+}
+
+std::string
+saved(Runtime &rt)
+{
+    sim::snap::SnapWriter w;
+    rt.saveState(w);
+    return w.take();
+}
+
+TEST(KvmMicrovm, SnapshotRoundtripIsAFixedPoint)
+{
+    auto rt =
+        buildRuntime("kvm-microvm", hw::MachineSpec::gceCustom4());
+    ASSERT_TRUE(rt);
+    ContainerOpts copts;
+    copts.name = "kv0";
+    copts.image = apps::glibcImage("img");
+    copts.memBytes = 128ull << 20;
+    auto *c = rt->createContainer(copts);
+    ASSERT_NE(c, nullptr);
+    rt->machine().events().runUntil(5 * sim::kTicksPerMs);
+
+    std::string a = saved(*rt);
+    sim::snap::SnapReader r(a);
+    rt->loadState(r);
+    EXPECT_EQ(saved(*rt), a);
+}
+
+} // namespace
+} // namespace xc::test

@@ -10,7 +10,9 @@
 namespace xc::test {
 namespace {
 
+using runtimes::buildRuntime;
 using runtimes::makeRuntime;
+using runtimes::MakeStatus;
 using runtimes::RuntimeConfig;
 
 TEST(Registry, ListsEveryBuiltinRuntime)
@@ -20,7 +22,8 @@ TEST(Registry, ListsEveryBuiltinRuntime)
          {"docker", "docker-unpatched", "xen-container",
           "xen-container-unpatched", "x-container",
           "x-container-unpatched", "gvisor", "gvisor-unpatched",
-          "clear-container", "clear-container-unpatched", "unikernel",
+          "clear-container", "clear-container-unpatched",
+          "kvm-microvm", "kvm-microvm-unpatched", "unikernel",
           "graphene"}) {
         EXPECT_NE(std::find(names.begin(), names.end(), expected),
                   names.end())
@@ -59,6 +62,145 @@ TEST(Registry, ClearContainerRespectsMachineAvailability)
     EXPECT_NE(makeRuntime("clear-container",
                           hw::MachineSpec::xeonE52690Local()),
               nullptr);
+}
+
+TEST(Registry, BuildRuntimeReportsTypedFailures)
+{
+    auto unknown = buildRuntime("no-such-runtime");
+    EXPECT_FALSE(unknown);
+    EXPECT_EQ(unknown.status, MakeStatus::UnknownName);
+    EXPECT_NE(unknown.reason.find("no-such-runtime"),
+              std::string::npos);
+
+    auto unavailable = buildRuntime(
+        "clear-container", hw::MachineSpec::ec2C4_2xlarge());
+    EXPECT_FALSE(unavailable);
+    EXPECT_EQ(unavailable.status, MakeStatus::Unavailable);
+    EXPECT_NE(unavailable.reason.find("nested"), std::string::npos);
+
+    auto ok = buildRuntime("docker");
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(ok.status, MakeStatus::Ok);
+    EXPECT_TRUE(ok.reason.empty());
+    EXPECT_EQ(ok->name(), "docker");
+    // Smart-pointer accessors agree.
+    EXPECT_EQ(ok.get(), &*ok);
+}
+
+TEST(Registry, MakeStatusNamesArePrintable)
+{
+    EXPECT_STREQ(runtimes::makeStatusName(MakeStatus::Ok), "ok");
+    EXPECT_STREQ(runtimes::makeStatusName(MakeStatus::UnknownName),
+                 "unknown-name");
+    EXPECT_STREQ(runtimes::makeStatusName(MakeStatus::Unavailable),
+                 "unavailable");
+    EXPECT_STREQ(runtimes::makeStatusName(MakeStatus::InvalidConfig),
+                 "invalid-config");
+}
+
+TEST(Registry, CapabilitiesExposedPerFamily)
+{
+    using namespace runtimes;
+    EXPECT_TRUE(runtimeCapabilities("x-container") & kCapAbom);
+    EXPECT_TRUE(runtimeCapabilities("x-container") &
+                kCapPerContainerKernel);
+    EXPECT_FALSE(runtimeCapabilities("docker") &
+                 kCapPerContainerKernel);
+    EXPECT_TRUE(runtimeCapabilities("docker") & kCapMultiProcess);
+    EXPECT_FALSE(runtimeCapabilities("unikernel") & kCapMultiProcess);
+    EXPECT_FALSE(runtimeCapabilities("graphene") &
+                 kCapMeltdownPatchControl);
+    EXPECT_EQ(runtimeCapabilities("no-such-runtime"), 0u);
+    // Instances advertise what the registry promised.
+    auto rt = buildRuntime("unikernel");
+    ASSERT_TRUE(rt);
+    EXPECT_EQ(rt->capabilities() & kCapMultiProcess, 0u);
+}
+
+TEST(Registry, CapabilityNamesRender)
+{
+    using namespace runtimes;
+    EXPECT_EQ(capabilityNames(0), "none");
+    std::string s =
+        capabilityNames(kCapAbom | kCapPerContainerKernel);
+    EXPECT_NE(s.find("abom"), std::string::npos);
+    EXPECT_NE(s.find("per-container-kernel"), std::string::npos);
+}
+
+TEST(Registry, IgnoredConfigSectionsProduceWarnings)
+{
+    // A kvm config handed to docker is ignored — with a warning
+    // naming the field, not silently.
+    RuntimeConfig cfg;
+    cfg.kvm = runtimes::KvmMicrovmConfig{};
+    auto rt = buildRuntime("docker", cfg);
+    ASSERT_TRUE(rt);
+    ASSERT_FALSE(rt.warnings.empty());
+    EXPECT_NE(rt.warnings[0].field.find("kvm"), std::string::npos);
+
+    RuntimeConfig xcfg;
+    xcfg.xcontainer = runtimes::XContainerConfig{};
+    auto gv = buildRuntime("gvisor", xcfg);
+    ASSERT_TRUE(gv);
+    EXPECT_FALSE(gv.warnings.empty());
+
+    // The section consumed by its own family: no warning.
+    auto xc = buildRuntime("x-container", xcfg);
+    ASSERT_TRUE(xc);
+    EXPECT_TRUE(xc.warnings.empty());
+}
+
+TEST(Registry, ContainerOptsBuilderValidates)
+{
+    using runtimes::ContainerOpts;
+    ContainerOpts ok = ContainerOpts::builder()
+                           .name("web")
+                           .image(apps::glibcImage("img"))
+                           .vcpus(2)
+                           .memBytes(64ull << 20)
+                           .build();
+    EXPECT_EQ(ok.name, "web");
+    EXPECT_EQ(ok.vcpus, 2);
+
+    EXPECT_THROW(ContainerOpts::builder().name("").build(),
+                 std::invalid_argument);
+    EXPECT_THROW(ContainerOpts::builder()
+                     .name("a")
+                     .vcpus(0)
+                     .memBytes(1)
+                     .build(),
+                 std::invalid_argument);
+    EXPECT_THROW(ContainerOpts::builder()
+                     .name("a")
+                     .vcpus(1)
+                     .memBytes(0)
+                     .build(),
+                 std::invalid_argument);
+}
+
+TEST(Registry, CreateContainerRejectsNonPositiveVcpus)
+{
+    auto rt = buildRuntime("docker");
+    ASSERT_TRUE(rt);
+    runtimes::ContainerOpts copts;
+    copts.image = apps::glibcImage("img");
+    copts.vcpus = 0;
+    EXPECT_THROW(rt->createContainer(copts), std::invalid_argument);
+    copts.vcpus = -3;
+    EXPECT_THROW(rt->createContainer(copts), std::invalid_argument);
+}
+
+TEST(Registry, DeprecatedShimStillWorks)
+{
+    // The shim flattens every failure to nullptr…
+    EXPECT_EQ(makeRuntime("no-such-runtime"), nullptr);
+    EXPECT_EQ(makeRuntime("clear-container",
+                          hw::MachineSpec::ec2C4_2xlarge()),
+              nullptr);
+    // …and still builds what buildRuntime would.
+    auto rt = makeRuntime("docker");
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->name(), "docker");
 }
 
 TEST(Registry, FaultPlanIsInstalledOnMachineAndFabric)

@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Control-plane wire protocol: frame codec roundtrips, every
+ * truncation prefix, hostile lengths, seeded byte-flip fuzzing, the
+ * command-log grammar, a live CtlServer loopback, and the Session
+ * command dispatcher. The invariant under test: malformed input of
+ * any shape yields a typed error (CtlError / kReplyErr / latched
+ * parser), never undefined behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "sim/ctl.h"
+
+namespace xc::test {
+namespace {
+
+using namespace sim::ctl;
+
+std::vector<Frame>
+parseAll(const std::string &bytes)
+{
+    FrameParser p;
+    std::vector<Frame> out;
+    EXPECT_TRUE(p.feed(bytes.data(), bytes.size(), out));
+    return out;
+}
+
+TEST(CtlFrame, RoundtripsTypesAndPayloads)
+{
+    std::string bytes = encodeFrame(kPing, "") +
+                        encodeFrame(kSpawn, "web0") +
+                        encodeFrame(kReplyOk, std::string(1000, 'x'));
+    auto frames = parseAll(bytes);
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames[0].type, kPing);
+    EXPECT_EQ(frames[0].payload, "");
+    EXPECT_EQ(frames[1].type, kSpawn);
+    EXPECT_EQ(frames[1].payload, "web0");
+    EXPECT_EQ(frames[2].type, kReplyOk);
+    EXPECT_EQ(frames[2].payload.size(), 1000u);
+}
+
+TEST(CtlFrame, ByteAtATimeFeedFindsTheSameFrames)
+{
+    std::string bytes =
+        encodeFrame(kMech, "") + encodeFrame(kKill, "c9");
+    FrameParser p;
+    std::vector<Frame> out;
+    for (char ch : bytes)
+        ASSERT_TRUE(p.feed(&ch, 1, out));
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[1].payload, "c9");
+    EXPECT_EQ(p.buffered(), 0u);
+}
+
+TEST(CtlFrame, EveryTruncationPrefixJustBuffers)
+{
+    std::string bytes = encodeFrame(kInjectFaults, "0.25");
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        FrameParser p;
+        std::vector<Frame> out;
+        ASSERT_TRUE(p.feed(bytes.data(), cut, out)) << cut;
+        EXPECT_TRUE(out.empty()) << cut;
+        EXPECT_FALSE(p.failed()) << cut;
+        EXPECT_EQ(p.buffered(), cut) << cut;
+        // Completing the frame later still works.
+        ASSERT_TRUE(
+            p.feed(bytes.data() + cut, bytes.size() - cut, out));
+        ASSERT_EQ(out.size(), 1u) << cut;
+        EXPECT_EQ(out[0].payload, "0.25") << cut;
+    }
+}
+
+TEST(CtlFrame, HostileLengthLatchesTheParser)
+{
+    // type=1, len=2^31: far past kMaxPayload.
+    unsigned char evil[8] = {1, 0, 0, 0, 0, 0, 0, 0x80};
+    FrameParser p;
+    std::vector<Frame> out;
+    EXPECT_FALSE(p.feed(evil, sizeof evil, out));
+    EXPECT_TRUE(p.failed());
+    EXPECT_NE(p.error().find("exceeds"), std::string::npos);
+    // Latched: even a pristine frame is rejected now.
+    std::string good = encodeFrame(kPing, "");
+    EXPECT_FALSE(p.feed(good.data(), good.size(), out));
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(CtlFrame, LengthJustOverTheLimitFails)
+{
+    unsigned char hdr[8] = {1, 0, 0, 0, 0, 0, 0, 0};
+    std::uint32_t len = kMaxPayload + 1;
+    std::memcpy(hdr + 4, &len, 4);
+    FrameParser p;
+    std::vector<Frame> out;
+    EXPECT_FALSE(p.feed(hdr, sizeof hdr, out));
+    EXPECT_TRUE(p.failed());
+}
+
+TEST(CtlFrame, EncodeRejectsOversizePayload)
+{
+    EXPECT_THROW(
+        encodeFrame(kSpawn, std::string(kMaxPayload + 1, 'a')),
+        CtlError);
+    // At the limit is legal.
+    EXPECT_NO_THROW(encodeFrame(kSpawn, std::string(kMaxPayload, 'a')));
+}
+
+TEST(CtlFrame, ThousandSeededByteFlipsNeverMisbehave)
+{
+    const std::string base = encodeFrame(kStatus, "") +
+                             encodeFrame(kSpawn, "container-name") +
+                             encodeFrame(kInjectFaults, "0.125") +
+                             encodeFrame(kReplyErr, "some reason");
+    std::uint64_t rng = 0x9e3779b97f4a7c15ull; // fixed seed
+    auto next = [&rng] {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        return rng >> 33;
+    };
+    for (int iter = 0; iter < 1000; ++iter) {
+        std::string bytes = base;
+        std::size_t pos = next() % bytes.size();
+        bytes[pos] =
+            static_cast<char>(bytes[pos] ^ (1u << (next() % 8)));
+        FrameParser p;
+        std::vector<Frame> out;
+        bool ok = p.feed(bytes.data(), bytes.size(), out);
+        // Either the stream still parses (the flip hit a payload or
+        // a type byte) or the parser latched a typed error — and the
+        // two verdicts must agree.
+        EXPECT_EQ(ok, !p.failed()) << iter;
+        if (!ok)
+            EXPECT_FALSE(p.error().empty()) << iter;
+        for (const Frame &f : out)
+            EXPECT_LE(f.payload.size(), kMaxPayload) << iter;
+    }
+}
+
+// --- command log ------------------------------------------------------
+
+TEST(CtlLog, FormatParseRoundtrip)
+{
+    std::string text = "# xc-ctl-log v1 quantum=1000\n";
+    std::vector<LogEntry> entries = {
+        {0, kPing, ""},
+        {1000, kSpawn, "web0"},
+        {1000, kInjectFaults, "0.5"},
+        {5000, kResume, ""},
+    };
+    for (const LogEntry &e : entries)
+        text += formatLogLine(e) + "\n";
+    CtlLog log = parseCtlLogText(text);
+    EXPECT_EQ(log.quantum, 1000u);
+    ASSERT_EQ(log.entries.size(), entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        EXPECT_EQ(log.entries[i].tick, entries[i].tick) << i;
+        EXPECT_EQ(log.entries[i].type, entries[i].type) << i;
+        EXPECT_EQ(log.entries[i].payload, entries[i].payload) << i;
+    }
+}
+
+TEST(CtlLog, RejectsMalformedLogs)
+{
+    // No header.
+    EXPECT_THROW(parseCtlLogText("0 1 -\n"), CtlError);
+    // Wrong version.
+    EXPECT_THROW(parseCtlLogText("# xc-ctl-log v2 quantum=10\n"),
+                 CtlError);
+    const std::string hdr = "# xc-ctl-log v1 quantum=1000\n";
+    // Odd-length hex payload.
+    EXPECT_THROW(parseCtlLogText(hdr + "0 1 abc\n"), CtlError);
+    // Non-hex payload bytes.
+    EXPECT_THROW(parseCtlLogText(hdr + "0 1 zz\n"), CtlError);
+    // Ticks must be non-decreasing (commands execute in order).
+    EXPECT_THROW(parseCtlLogText(hdr + "2000 1 -\n1000 1 -\n"),
+                 CtlError);
+    // Missing fields.
+    EXPECT_THROW(parseCtlLogText(hdr + "1000\n"), CtlError);
+    // Zero quantum would wedge the poll loop.
+    EXPECT_THROW(parseCtlLogText("# xc-ctl-log v1 quantum=0\n"),
+                 CtlError);
+}
+
+TEST(CtlLog, FuzzedLogTextEitherParsesOrThrows)
+{
+    const std::string base = "# xc-ctl-log v1 quantum=1000\n"
+                             "0 1 -\n"
+                             "1000 8 77656230\n"
+                             "2000 10 -\n";
+    std::uint64_t rng = 42;
+    auto next = [&rng] {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        return rng >> 33;
+    };
+    int parsed = 0, rejected = 0;
+    for (int iter = 0; iter < 1000; ++iter) {
+        std::string text = base;
+        std::size_t pos = next() % text.size();
+        text[pos] = static_cast<char>(next() % 256);
+        try {
+            CtlLog log = parseCtlLogText(text);
+            ++parsed;
+            for (std::size_t i = 1; i < log.entries.size(); ++i)
+                EXPECT_GE(log.entries[i].tick,
+                          log.entries[i - 1].tick);
+        } catch (const CtlError &) {
+            ++rejected; // typed rejection is the contract
+        }
+    }
+    // The corpus must exercise both outcomes.
+    EXPECT_GT(parsed, 0);
+    EXPECT_GT(rejected, 0);
+}
+
+// --- server loopback --------------------------------------------------
+
+int
+connectTo(const std::string &path)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof addr),
+              0);
+    return fd;
+}
+
+TEST(CtlServer, LoopbackRequestReply)
+{
+    std::string path = ::testing::TempDir() + "xc_ctl_loop.sock";
+    ::unlink(path.c_str());
+    CtlServer server(path);
+    int fd = connectTo(path);
+
+    std::string req = encodeFrame(kStatus, "");
+    ASSERT_EQ(::write(fd, req.data(), req.size()),
+              static_cast<ssize_t>(req.size()));
+    ASSERT_TRUE(server.waitForRequests(5000));
+    auto reqs = server.drain();
+    ASSERT_EQ(reqs.size(), 1u);
+    EXPECT_EQ(reqs[0].type, kStatus);
+    EXPECT_TRUE(reqs[0].payload.empty());
+
+    server.post(reqs[0].client, kReplyOk, "tick=0");
+    FrameParser p;
+    std::vector<Frame> frames;
+    char buf[256];
+    while (frames.empty()) {
+        ssize_t n = ::read(fd, buf, sizeof buf);
+        ASSERT_GT(n, 0);
+        ASSERT_TRUE(p.feed(buf, static_cast<std::size_t>(n), frames));
+    }
+    EXPECT_EQ(frames[0].type, kReplyOk);
+    EXPECT_EQ(frames[0].payload, "tick=0");
+    ::close(fd);
+}
+
+TEST(CtlServer, HostileClientIsDroppedOthersSurvive)
+{
+    std::string path = ::testing::TempDir() + "xc_ctl_evil.sock";
+    ::unlink(path.c_str());
+    CtlServer server(path);
+    int evil = connectTo(path);
+    int good = connectTo(path);
+
+    unsigned char bomb[8] = {1, 0, 0, 0, 0xff, 0xff, 0xff, 0xff};
+    ASSERT_EQ(::write(evil, bomb, sizeof bomb), 8);
+    std::string req = encodeFrame(kPing, "");
+    ASSERT_EQ(::write(good, req.data(), req.size()),
+              static_cast<ssize_t>(req.size()));
+
+    ASSERT_TRUE(server.waitForRequests(5000));
+    auto reqs = server.drain();
+    ASSERT_EQ(reqs.size(), 1u);
+    EXPECT_EQ(reqs[0].type, kPing);
+
+    // The hostile connection is closed by the server.
+    char c;
+    EXPECT_EQ(::read(evil, &c, 1), 0);
+    ::close(evil);
+    ::close(good);
+}
+
+// --- session dispatch -------------------------------------------------
+
+TEST(CtlSession, ExecuteDispatchesToHooks)
+{
+    sim::EventQueue q;
+    SessionHooks hooks;
+    hooks.status = [] { return std::string("running"); };
+    double seenRate = -1;
+    hooks.injectFaults = [&](double rate) {
+        seenRate = rate;
+        return std::string();
+    };
+    std::string lastSpawn;
+    hooks.spawn = [&](const std::string &name) {
+        lastSpawn = name;
+        return std::string();
+    };
+    Session s(q, SessionOptions{}, hooks);
+
+    auto [ok1, r1] = s.execute(kPing, "");
+    EXPECT_TRUE(ok1);
+    EXPECT_EQ(r1, "pong");
+    auto [ok2, r2] = s.execute(kStatus, "");
+    EXPECT_TRUE(ok2);
+    EXPECT_EQ(r2, "running");
+    auto [ok3, r3] = s.execute(kInjectFaults, "0.25");
+    EXPECT_TRUE(ok3);
+    EXPECT_DOUBLE_EQ(seenRate, 0.25);
+    auto [ok4, r4] = s.execute(kSpawn, "webX");
+    EXPECT_TRUE(ok4);
+    EXPECT_EQ(lastSpawn, "webX");
+    EXPECT_EQ(s.executed(), 4u);
+}
+
+TEST(CtlSession, ExecuteRejectsBadRequestsTyped)
+{
+    sim::EventQueue q;
+    SessionHooks hooks;
+    hooks.status = [] { return std::string("ok"); };
+    hooks.injectFaults = [](double) { return std::string(); };
+    hooks.spawn = [](const std::string &) { return std::string(); };
+    Session s(q, SessionOptions{}, hooks);
+
+    // Unset hook.
+    EXPECT_FALSE(s.execute(kMech, "").first);
+    // Queries take no payload.
+    EXPECT_FALSE(s.execute(kStatus, "junk").first);
+    // Fault rate must be a double in [0, 1].
+    EXPECT_FALSE(s.execute(kInjectFaults, "nonsense").first);
+    EXPECT_FALSE(s.execute(kInjectFaults, "1.5").first);
+    EXPECT_FALSE(s.execute(kInjectFaults, "-0.1").first);
+    EXPECT_FALSE(s.execute(kInjectFaults, "").first);
+    // Spawn/kill need a name.
+    EXPECT_FALSE(s.execute(kSpawn, "").first);
+    EXPECT_FALSE(s.execute(kKill, "x").first); // hook unset
+    // Unknown command type.
+    auto [ok, reason] = s.execute(9999, "");
+    EXPECT_FALSE(ok);
+    EXPECT_NE(reason.find("unknown"), std::string::npos);
+}
+
+TEST(CtlSession, RejectsContradictoryOptions)
+{
+    sim::EventQueue q;
+    SessionOptions opt;
+    opt.socketPath = "/tmp/a.sock";
+    opt.replayPath = "/tmp/a.log";
+    EXPECT_THROW(Session(q, opt, SessionHooks{}), CtlError);
+    SessionOptions zero;
+    zero.quantum = 0;
+    EXPECT_THROW(Session(q, zero, SessionHooks{}), CtlError);
+}
+
+} // namespace
+} // namespace xc::test

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * xc_ctl — command-line client for a bench's live control socket.
+ *
+ *   xc_ctl SOCKET CMD [ARG]
+ *
+ *   CMD: ping | status | mech | timeseries | profile | flight
+ *      | inject-faults RATE | spawn NAME | kill NAME | resume
+ *
+ * Connects to the AF_UNIX socket a bench exposes via --ctl, sends
+ * one request frame, prints the reply payload to stdout, and exits
+ * 0 on kReplyOk / 1 on kReplyErr / 2 on usage or transport errors.
+ * See DESIGN.md §14 for the framing and the determinism contract.
+ */
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "sim/ctl.h"
+
+namespace {
+
+using namespace xc::sim::ctl;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: xc_ctl SOCKET CMD [ARG]\n"
+        "  CMD: ping | status | mech | timeseries | profile |\n"
+        "       flight | inject-faults RATE | spawn NAME |\n"
+        "       kill NAME | resume\n");
+    return 2;
+}
+
+bool
+sendAll(int fd, const std::string &bytes)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        ssize_t n =
+            ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string socket_path = argv[1];
+    const std::string cmd = argv[2];
+    const std::string arg = argc > 3 ? argv[3] : "";
+
+    std::uint32_t type = 0;
+    std::string payload;
+    if (cmd == "ping") {
+        type = kPing;
+    } else if (cmd == "status") {
+        type = kStatus;
+    } else if (cmd == "mech") {
+        type = kMech;
+    } else if (cmd == "timeseries") {
+        type = kTimeseries;
+    } else if (cmd == "profile") {
+        type = kProfile;
+    } else if (cmd == "flight") {
+        type = kFlight;
+    } else if (cmd == "inject-faults") {
+        type = kInjectFaults;
+        payload = arg;
+    } else if (cmd == "spawn") {
+        type = kSpawn;
+        payload = arg;
+    } else if (cmd == "kill") {
+        type = kKill;
+        payload = arg;
+    } else if (cmd == "resume") {
+        type = kResume;
+    } else {
+        return usage();
+    }
+    if ((type == kInjectFaults || type == kSpawn || type == kKill) &&
+        payload.empty())
+        return usage();
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof addr.sun_path) {
+        std::fprintf(stderr, "xc_ctl: socket path too long\n");
+        return 2;
+    }
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::perror("xc_ctl: socket");
+        return 2;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        std::fprintf(stderr, "xc_ctl: cannot connect to %s: %s\n",
+                     socket_path.c_str(), std::strerror(errno));
+        ::close(fd);
+        return 2;
+    }
+
+    if (!sendAll(fd, encodeFrame(type, payload))) {
+        std::perror("xc_ctl: write");
+        ::close(fd);
+        return 2;
+    }
+
+    FrameParser parser;
+    std::vector<Frame> frames;
+    char buf[4096];
+    while (frames.empty()) {
+        ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n == 0) {
+            std::fprintf(stderr,
+                         "xc_ctl: connection closed before reply\n");
+            ::close(fd);
+            return 2;
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            std::perror("xc_ctl: read");
+            ::close(fd);
+            return 2;
+        }
+        if (!parser.feed(buf, static_cast<std::size_t>(n), frames)) {
+            std::fprintf(stderr, "xc_ctl: bad reply: %s\n",
+                         parser.error().c_str());
+            ::close(fd);
+            return 2;
+        }
+    }
+    ::close(fd);
+
+    const Frame &reply = frames.front();
+    if (!reply.payload.empty())
+        std::printf("%s\n", reply.payload.c_str());
+    if (reply.type == kReplyOk)
+        return 0;
+    std::fprintf(stderr, "xc_ctl: command failed\n");
+    return 1;
+}
