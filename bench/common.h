@@ -25,6 +25,7 @@
 #include "apps/nginx.h"
 #include "apps/php_mysql.h"
 #include "fault/fault.h"
+#include "isa/superblock.h"
 #include "load/driver.h"
 #include "runtimes/runtime.h"
 #include "sim/ctl.h"
@@ -70,6 +71,12 @@ using runtimes::Runtime;
  *   --ctl-hold        freeze at the first ctl poll tick until a
  *                     `resume` command (or timeout -> exit 3)
  *   --ctl-quantum MS  ctl command quantization period (default 10)
+ *   --no-superblock   execute syscall stubs through the verbatim
+ *                     interpreter instead of the superblock cache
+ *                     (reference semantics; output is identical)
+ *   --domains N       split the simulated world into N lookahead
+ *                     domains advanced on separate host threads
+ *                     (fig3; output is byte-identical to N=1)
  */
 struct Options
 {
@@ -97,6 +104,8 @@ struct Options
     std::string ctlReplay;
     bool ctlHold = false;
     sim::Tick ctlQuantum = 10 * sim::kTicksPerMs;
+    bool noSuperblock = false; ///< verbatim-interpreter reference run
+    int domains = 1; ///< intra-sim lookahead domains (1 = sequential)
 
     static Options
     parse(int argc, char **argv)
@@ -163,6 +172,10 @@ struct Options
             } else if (const char *v = value("--ctl-quantum")) {
                 o.ctlQuantum = std::strtoull(v, nullptr, 0) *
                                sim::kTicksPerMs;
+            } else if (std::strcmp(a, "--no-superblock") == 0) {
+                o.noSuperblock = true;
+            } else if (const char *v = value("--domains")) {
+                o.domains = std::atoi(v);
             } else if (const char *v = value("--jobs")) {
                 o.jobs = std::atoi(v);
             } else if (const char *v = value("-j")) {
@@ -184,11 +197,36 @@ struct Options
                     "[--restore FILE] [--no-fork] [--cloud NAME] "
                     "[--ctl SOCK] [--ctl-log FILE] "
                     "[--ctl-replay FILE] [--ctl-hold] "
-                    "[--ctl-quantum MS] [--jobs/-j N]\n",
+                    "[--ctl-quantum MS] [--jobs/-j N] "
+                    "[--no-superblock] [--domains N]\n",
                     argv[0], a, argv[0]);
                 std::exit(2);
             }
         }
+        if (o.domains < 1) {
+            std::fprintf(stderr, "%s: --domains must be >= 1\n",
+                         argv[0]);
+            std::exit(2);
+        }
+        if (o.domains > 1 &&
+            (o.faultRate > 0.0 || !o.ctlSocket.empty() ||
+             !o.ctlReplay.empty() || o.checkpointAt != 0 ||
+             !o.checkpointPath.empty() || !o.restorePath.empty() ||
+             !o.tracePath.empty() || !o.profilePath.empty() ||
+             o.flightSamples != 0 || !o.timeseriesPath.empty())) {
+            // Domain-parallel runs support only the plain measurement
+            // path: faults can reset/crash across domains, and the
+            // observability sinks assume a single simulation thread.
+            std::fprintf(stderr,
+                         "%s: --domains is incompatible with "
+                         "--faults/--ctl/--ctl-replay/--checkpoint/"
+                         "--restore/--trace/--profile/--flight/"
+                         "--timeseries\n",
+                         argv[0]);
+            std::exit(2);
+        }
+        if (o.noSuperblock)
+            isa::setSuperblocksEnabled(false);
         return o;
     }
 
@@ -592,6 +630,16 @@ struct MacroRun
     int retryBudget = 2;
     /** Attribute the server machine's mechanism counters. */
     bool observeMech = false;
+    /**
+     * Intra-sim lookahead domains (see sim::DomainSet). 1 runs the
+     * whole world on the machine's queue, exactly as before. N > 1
+     * puts the server machine in domain 0 (the caller's thread) and
+     * deals client machines round-robin across domains 1..N-1, each
+     * advanced on its own host thread in windows bounded by the
+     * cross-machine link latency. Requires a plain run: no hook, no
+     * series, no faults (runMacro asserts).
+     */
+    int domains = 1;
     /** When non-null, sample the standard macro probes into this
      *  series for the duration of the run (see addMacroProbes). The
      *  probes reference run-local state: do not restart the series
@@ -672,6 +720,58 @@ runMacro(Runtime &rt, MacroApp app, const MacroRun &run)
     spec.requestTimeout = run.requestTimeout;
     spec.retryBudget = run.retryBudget;
 
+    const sim::Tick limit = 10 * sim::kTicksPerMs + spec.warmup +
+                            spec.duration + 50 * sim::kTicksPerMs;
+
+    if (run.domains > 1) {
+        // Domain-parallel path: the server machine keeps its queue
+        // (domain 0, this thread); all client machines live on
+        // separate queues advanced on their own host threads. Only
+        // the plain measurement configuration is supported.
+        XC_ASSERT(!run.hook && run.series == nullptr &&
+                  !run.driverObserver);
+        const int n = run.domains;
+        std::vector<std::unique_ptr<sim::EventQueue>> clientQs;
+        for (int d = 1; d < n; ++d)
+            clientQs.push_back(std::make_unique<sim::EventQueue>());
+        sim::DomainSet ds(n);
+        ds.attach(0, &rt.machine().events());
+        for (int d = 1; d < n; ++d)
+            ds.attach(d, clientQs[static_cast<std::size_t>(d - 1)].get());
+        // Machine 0 is the server; clients (ids 1+) deal round-robin
+        // over domains 1..n-1, so every cross-domain link is a
+        // cross-machine link and the window is its latency.
+        rt.fabric().attachDomains(&ds, [n](int m) {
+            return m == 0 ? 0 : 1 + (m - 1) % (n - 1);
+        });
+
+        // The driver's shared state (latency vector, error counters,
+        // rng) is mutated from wire callbacks, which execute in the
+        // domain owning each client machine — single-threaded only
+        // when every client lands in ONE domain. So runMacro caps at
+        // two domains (server || all clients); DomainSet itself
+        // handles any count for worlds with partitionable load.
+        XC_ASSERT(n == 2 &&
+                  "runMacro --domains supports exactly 2 domains: "
+                  "server + one client domain");
+        sim::EventQueue &clientQ = *clientQs[0];
+        load::ClosedLoopDriver driver(rt.fabric(), spec, run.seed,
+                                      &clientQ);
+        if (run.observeMech) {
+            driver.observeMech(rt.machine().mech());
+            // Baseline must be read in the server's domain at the
+            // start tick; start() itself runs on the client queue.
+            driver.deferMechBaseline();
+            rt.machine().events().post(
+                10 * sim::kTicksPerMs,
+                [&] { driver.captureMechBaseline(); });
+        }
+        clientQ.post(10 * sim::kTicksPerMs, [&] { driver.start(); });
+        ds.run(limit, rt.fabric().config().crossMachineLatency);
+        rt.fabric().attachDomains(nullptr, {});
+        return driver.collect();
+    }
+
     load::ClosedLoopDriver driver(rt.fabric(), spec, run.seed);
     if (run.driverObserver)
         run.driverObserver(driver);
@@ -685,9 +785,7 @@ runMacro(Runtime &rt, MacroApp app, const MacroRun &run)
                                [&] { driver.start(); });
     if (run.hookAt != 0 && run.hook)
         rt.machine().events().post(run.hookAt, [&run] { run.hook(); });
-    rt.machine().events().runUntil(10 * sim::kTicksPerMs + spec.warmup +
-                                   spec.duration +
-                                   50 * sim::kTicksPerMs);
+    rt.machine().events().runUntil(limit);
     if (run.series != nullptr)
         run.series->stop();
     return driver.collect();

@@ -145,6 +145,7 @@ main(int argc, char **argv)
                                           sim::kTicksPerMs);
             run.seed = opt.seed;
             run.observeMech = opt.mech || golden.enabled();
+            run.domains = opt.domains;
             char label[96];
             std::snprintf(label, sizeof label, "%s/%s/%s",
                           macroAppName(cell.app), cloud.label,

@@ -267,10 +267,18 @@ main(int argc, char **argv)
         std::vector<std::string> extraArgs; ///< appended verbatim
     };
     // The fig3_checkpoint row runs before fig3_restore so the
-    // snapshot the restore run verifies against exists.
+    // snapshot the restore run verifies against exists. The
+    // fig3_verbatim row runs before fig3_superblock so the
+    // superblock row can report its speedup over the verbatim
+    // interpreter (DESIGN.md §15) from the same host conditions.
     const FigRun benches[] = {
         {"fig4_syscall", "fig4_syscall", false, 0, 0, {}},
         {"fig3_macro", "fig3_macro", false, 0, 0, {}},
+        {"fig3_macro", "fig3_verbatim", false, 0, 0,
+         {"--no-superblock"}},
+        {"fig3_macro", "fig3_superblock", false, 0, 0, {}},
+        {"fig3_macro", "fig3_domains", false, 0, 0,
+         {"--domains", "2"}},
         {"fig3_macro", "fig3_parallel", false, parallelJobs, 0, {}},
         {"fig3_macro", "fig3_checkpoint", false, 0, 1, {}},
         {"fig3_macro", "fig3_restore", false, 0, 2, {}},
@@ -288,6 +296,7 @@ main(int argc, char **argv)
     const std::size_t numBenches = sizeof benches / sizeof benches[0];
     double plainFig4Wall = 0.0;
     double plainFig3Wall = 0.0;
+    double verbatimFig3Wall = 0.0;
     for (std::size_t i = 0; i < numBenches; ++i) {
         const FigRun &fig = benches[i];
         ChildResult r;
@@ -325,13 +334,12 @@ main(int argc, char **argv)
                          r.exitCode);
             ++failures;
         }
-        if (!fig.profiled && fig.jobs == 0 && fig.snapMode == 0 &&
-            fig.extraArgs.empty()) {
-            if (std::strcmp(fig.name, "fig4_syscall") == 0)
-                plainFig4Wall = r.wallSeconds;
-            else if (std::strcmp(fig.name, "fig3_macro") == 0)
-                plainFig3Wall = r.wallSeconds;
-        }
+        if (std::strcmp(fig.key, "fig4_syscall") == 0)
+            plainFig4Wall = r.wallSeconds;
+        else if (std::strcmp(fig.key, "fig3_macro") == 0)
+            plainFig3Wall = r.wallSeconds;
+        else if (std::strcmp(fig.key, "fig3_verbatim") == 0)
+            verbatimFig3Wall = r.wallSeconds;
         double simS = parseSimSeconds(r.out);
         json += std::string("    \"") + fig.key + "_quick\": {\n";
         appendKv(json, "wall_s", r.wallSeconds);
@@ -366,6 +374,17 @@ main(int argc, char **argv)
                                        : "restore_overhead",
                      plainFig3Wall > 0
                          ? r.wallSeconds / plainFig3Wall - 1.0
+                         : 0.0,
+                     true);
+        } else if (std::strcmp(fig.key, "fig3_superblock") == 0) {
+            // The superblock direct-execution row: same run as
+            // fig3_macro, reported against the verbatim-interpreter
+            // reference measured moments earlier on this host.
+            appendKv(json, "sim_per_host",
+                     r.wallSeconds > 0 ? simS / r.wallSeconds : 0.0);
+            appendKv(json, "speedup_vs_verbatim",
+                     r.wallSeconds > 0 && verbatimFig3Wall > 0
+                         ? verbatimFig3Wall / r.wallSeconds
                          : 0.0,
                      true);
         } else {

@@ -15,6 +15,7 @@
 #include "hw/cpu_pool.h"
 #include "isa/assembler.h"
 #include "isa/interpreter.h"
+#include "isa/superblock.h"
 #include "sim/event_queue.h"
 
 using namespace xc;
@@ -145,6 +146,29 @@ BM_StubInterpretation(benchmark::State &state)
     }
 }
 BENCHMARK(BM_StubInterpretation);
+
+static void
+BM_StubSuperblock(benchmark::State &state)
+{
+    // The same wrapper as BM_StubInterpretation executed through the
+    // superblock translation cache (DESIGN.md §15): after the first
+    // iteration the block is pre-decoded and runs without per-insn
+    // dispatch. The gap between this row and BM_StubInterpretation
+    // is the direct-execution win on the syscall hot path.
+    isa::CodeBuffer code(0x1000);
+    isa::Assembler as(code);
+    isa::GuestAddr entry = as.movEaxImm(39);
+    as.syscallInsn();
+    as.ret();
+    NullEnv env;
+    isa::SuperblockCache cache;
+    for (auto _ : state) {
+        isa::Regs regs;
+        auto r = cache.execute(code, entry, regs, env);
+        benchmark::DoNotOptimize(r.instructions);
+    }
+}
+BENCHMARK(BM_StubSuperblock);
 
 static void
 BM_AbomPatchSite(benchmark::State &state)

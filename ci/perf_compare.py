@@ -48,11 +48,18 @@ def main():
     cur = load(args.current)
 
     warnings = []
-    print("microbenchmarks (events/sec, higher is better):")
+    print("microbenchmarks (ns/op, lower is better):")
     for name, row in cur.get("microbench", {}).items():
         ref = base.get("microbench", {}).get(name, {})
-        compare_metric(name, ref.get("events_per_sec"),
-                       row.get("events_per_sec"), True,
+        # ns/op is the universal metric: every row reports it, and
+        # comparing it lower-is-better means a *faster* benchmark
+        # (e.g. BM_StubInterpretation after superblock direct
+        # execution) sails through — only slowdowns beyond the
+        # threshold warn. events_per_sec is redundant with ns/op and
+        # zero for rows that don't report items_per_second, so it is
+        # no longer compared.
+        compare_metric(name, ref.get("ns_per_op"),
+                       row.get("ns_per_op"), False,
                        args.threshold, warnings)
 
     print("figure benches (host wall seconds, lower is better):")
@@ -72,6 +79,14 @@ def main():
             compare_metric(f"{name} speedup", ref.get("speedup"),
                            row.get("speedup"), True, args.threshold,
                            warnings)
+        # The superblock row tracks its speedup over the verbatim
+        # interpreter, measured back-to-back on the same host — a
+        # host-speed-independent ratio (higher is better).
+        if "speedup_vs_verbatim" in row:
+            compare_metric(f"{name} speedup_vs_verbatim",
+                           ref.get("speedup_vs_verbatim"),
+                           row.get("speedup_vs_verbatim"), True,
+                           args.threshold, warnings)
 
     for w in warnings:
         print(f"::warning title=sim perf regression::{w}")

@@ -24,6 +24,17 @@ ctest -L checkpoint --output-on-failure -j"$(nproc)"
 test -s sample_steady_state.snap
 echo "checkpoint gate ok (sample snapshot: build/sample_steady_state.snap)"
 
+# Superblock + lookahead-domain gate (DESIGN.md §15): the lockstep
+# differential suite (superblock direct execution vs the verbatim
+# interpreter over ~1e5 random sequences), then the fig3 golden
+# reproduced with the cache disabled and with two conservative
+# lookahead domains — part of the full ctest run above, named here
+# so a direct-execution or domain-sync regression is unmissable.
+./tests/test_superblock_differential --gtest_brief=1
+ctest -R 'golden_fig3_verbatim|golden_fig3_domains' \
+    --output-on-failure -j"$(nproc)"
+echo "superblock + domain gate ok"
+
 # Live control-plane gate (DESIGN.md §14): drive a held fig3 session
 # over its UNIX socket with xc_ctl, then replay the recorded command
 # log at -j1 and -j4 — all three golden digests must be identical.

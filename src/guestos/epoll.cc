@@ -65,6 +65,46 @@ Epoll::collectReady(int max) const
     return out;
 }
 
+int
+Epoll::countReady(int max) const
+{
+    int n = 0;
+    for (const auto &item : items) {
+        std::uint32_t ready =
+            item.file->readiness() & (item.events | PollHup);
+        if (ready) {
+            if (++n >= max)
+                break;
+        }
+    }
+    return n;
+}
+
+sim::Task<int>
+Epoll::waitCount(Thread &t, int max, sim::Tick timeout)
+{
+    for (;;) {
+        // Same charge as wait(): scan cost scales with the
+        // interest-list size.
+        t.charge(t.kernel().serviceCost(
+            80 + 6 * static_cast<hw::Cycles>(items.size())));
+        int ready = countReady(max);
+        if (ready > 0 || timeout == 0) {
+            co_await t.flushCompute();
+            co_return ready;
+        }
+        if (timeout == sim::kTickMax) {
+            co_await t.blockOn(waiters);
+        } else {
+            co_await t.blockOnTimeout(waiters, timeout);
+            if (t.timedOut())
+                co_return 0;
+        }
+        if (t.interrupted())
+            co_return 0; // EINTR
+    }
+}
+
 sim::Task<std::vector<EpollEvent>>
 Epoll::wait(Thread &t, int max, sim::Tick timeout)
 {
@@ -114,7 +154,7 @@ Epoll::write(Thread &, std::uint64_t)
 std::uint32_t
 Epoll::readiness() const
 {
-    return collectReady(1).empty() ? 0u : std::uint32_t(PollIn);
+    return countReady(1) == 0 ? 0u : std::uint32_t(PollIn);
 }
 
 } // namespace xc::guestos

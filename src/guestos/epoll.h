@@ -44,6 +44,15 @@ class Epoll : public FileObject
     sim::Task<std::vector<EpollEvent>> wait(Thread &t, int max,
                                             sim::Tick timeout);
 
+    /**
+     * wait() without materializing the event list: the kernel's
+     * epoll_wait semantic only reports the ready count to the guest,
+     * and the per-call vector was one of the hottest allocation
+     * sites in a fig3 run. Timing and blocking behavior are
+     * identical to wait().
+     */
+    sim::Task<int> waitCount(Thread &t, int max, sim::Tick timeout);
+
     /** Called by watched files when readiness may have changed. */
     void notifyReady();
 
@@ -57,6 +66,7 @@ class Epoll : public FileObject
 
   private:
     std::vector<EpollEvent> collectReady(int max) const;
+    int countReady(int max) const;
 
     GuestKernel &kernel_;
     struct Item

@@ -571,8 +571,11 @@ GuestKernel::syscallBinary(Thread &t, int nr)
             if (stub->kind == isa::WrapperKind::GoStackArg)
                 regs.stack[1] = static_cast<std::uint64_t>(nr);
             isa::RunResult run =
-                isa::execute(image.stubs->code(), stub->entry, regs,
-                             env);
+                isa::superblocksEnabled()
+                    ? image.stubs->superblocks().execute(
+                          image.stubs->code(), stub->entry, regs, env)
+                    : isa::execute(image.stubs->code(), stub->entry,
+                                   regs, env);
             t.charge(run.instructions * costs().stubInstruction);
             XC_PROF_CYCLES(run.instructions * costs().stubInstruction);
             if (run.faulted)
@@ -897,9 +900,9 @@ GuestKernel::semantic(Thread &t, int nr, SysArgs args)
             args.arg[2] < 0
                 ? sim::kTickMax
                 : static_cast<sim::Tick>(args.arg[2]) * sim::kTicksPerMs;
-        auto events = co_await ep->wait(
+        int nready = co_await ep->waitCount(
             t, static_cast<int>(args.arg[1]), timeout);
-        co_return static_cast<std::int64_t>(events.size());
+        co_return static_cast<std::int64_t>(nready);
       }
 
       case NR_futex: {

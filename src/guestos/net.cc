@@ -13,7 +13,9 @@ namespace xc::guestos {
 
 Connection::Connection(NetFabric &fabric, Endpoint *a, Endpoint *b,
                        sim::Tick latency)
-    : fabric(fabric), endA(a), endB(b), latency_(latency),
+    : fabric(fabric), endA(a), endB(b),
+      machA_(a != nullptr ? a->machineId() : -1),
+      machB_(b != nullptr ? b->machineId() : -1), latency_(latency),
       id_(fabric.newConnId())
 {
 }
@@ -23,19 +25,25 @@ Connection::touchesStack(const NetStack *stack) const
 {
     if (stack == nullptr)
         return false;
-    return (endA != nullptr && endA->stack() == stack) ||
-           (endB != nullptr && endB->stack() == stack);
+    Endpoint *a = endA.load(std::memory_order_relaxed);
+    Endpoint *b = endB.load(std::memory_order_relaxed);
+    return (a != nullptr && a->stack() == stack) ||
+           (b != nullptr && b->stack() == stack);
 }
 
 void
 Connection::reset()
 {
+    // A reset touches both endpoints from one event, which has no
+    // home domain — and every reset source (fault injection, crash)
+    // is rejected in domain mode anyway.
+    XC_ASSERT(!fabric.domainMode());
     auto self = shared_from_this();
     fabric.events().postAfter(latency_, [self] {
-        Endpoint *a = self->endA;
-        Endpoint *b = self->endB;
-        self->endA = nullptr;
-        self->endB = nullptr;
+        Endpoint *a = self->endA.load(std::memory_order_relaxed);
+        Endpoint *b = self->endB.load(std::memory_order_relaxed);
+        self->endA.store(nullptr, std::memory_order_relaxed);
+        self->endB.store(nullptr, std::memory_order_relaxed);
         if (a)
             a->peerClosed();
         if (b)
@@ -46,17 +54,17 @@ Connection::reset()
 Endpoint *
 Connection::peerOf(Endpoint *ep) const
 {
-    if (ep == endA)
-        return endB;
-    if (ep == endB)
-        return endA;
+    if (ep == endA.load(std::memory_order_relaxed))
+        return endB.load(std::memory_order_relaxed);
+    if (ep == endB.load(std::memory_order_relaxed))
+        return endA.load(std::memory_order_relaxed);
     return nullptr;
 }
 
 void
 Connection::send(Endpoint *from, std::uint64_t bytes)
 {
-    bool to_b = (from == endA);
+    bool to_b = (from == endA.load(std::memory_order_relaxed));
     sim::Tick extra = 0;
     fault::FaultInjector *inj = fabric.faults_;
     if (inj != nullptr && inj->enabled()) {
@@ -74,15 +82,18 @@ Connection::send(Endpoint *from, std::uint64_t bytes)
     }
     auto self = shared_from_this();
     std::uint64_t fid = flight_;
-    fabric.events().postAfter(
-        latency_ + extra, [self, to_b, bytes, fid] {
+    fabric.postFor(
+        to_b ? machB_ : machA_, latency_ + extra,
+        [self, to_b, bytes, fid] {
             // Flight recorder: the sampled request crossed the wire
             // (endA is always the initiator, so to_b = request leg).
             if (fid != 0)
                 sim::flight::mark(fid,
                                   to_b ? "wire/request" : "wire/reply",
                                   self->fabric.events().now());
-            Endpoint *dst = to_b ? self->endB : self->endA;
+            Endpoint *dst =
+                (to_b ? self->endB : self->endA)
+                    .load(std::memory_order_relaxed);
             if (dst)
                 dst->deliverData(bytes);
         });
@@ -91,35 +102,41 @@ Connection::send(Endpoint *from, std::uint64_t bytes)
 void
 Connection::ack(Endpoint *receiver, std::uint64_t bytes)
 {
-    bool to_b = (receiver == endA);
+    bool to_b = (receiver == endA.load(std::memory_order_relaxed));
     auto self = shared_from_this();
-    fabric.events().postAfter(latency_, [self, to_b, bytes] {
-        Endpoint *dst = to_b ? self->endB : self->endA;
-        if (dst)
-            dst->deliverAck(bytes);
-    });
+    fabric.postFor(to_b ? machB_ : machA_, latency_,
+                   [self, to_b, bytes] {
+                       Endpoint *dst =
+                           (to_b ? self->endB : self->endA)
+                               .load(std::memory_order_relaxed);
+                       if (dst)
+                           dst->deliverAck(bytes);
+                   });
 }
 
 void
 Connection::close(Endpoint *from)
 {
-    bool to_b = (from == endA);
+    bool to_b = (from == endA.load(std::memory_order_relaxed));
     auto self = shared_from_this();
     detach(from);
-    fabric.events().postAfter(latency_, [self, to_b] {
-        Endpoint *dst = to_b ? self->endB : self->endA;
-        if (dst)
-            dst->peerClosed();
-    });
+    fabric.postFor(to_b ? machB_ : machA_, latency_,
+                   [self, to_b] {
+                       Endpoint *dst =
+                           (to_b ? self->endB : self->endA)
+                               .load(std::memory_order_relaxed);
+                       if (dst)
+                           dst->peerClosed();
+                   });
 }
 
 void
 Connection::detach(Endpoint *ep)
 {
-    if (endA == ep)
-        endA = nullptr;
-    if (endB == ep)
-        endB = nullptr;
+    if (endA.load(std::memory_order_relaxed) == ep)
+        endA.store(nullptr, std::memory_order_relaxed);
+    if (endB.load(std::memory_order_relaxed) == ep)
+        endB.store(nullptr, std::memory_order_relaxed);
 }
 
 // --- TcpSock ------------------------------------------------------------
@@ -596,6 +613,7 @@ NetFabric::registerStack(NetStack *)
 void
 NetFabric::unregisterStack(NetStack *stack)
 {
+    std::lock_guard<std::mutex> lock(dirMu_);
     // Drop any listeners still registered for this stack.
     for (auto it = listeners.begin(); it != listeners.end();) {
         if (it->second->homeStack() == stack)
@@ -609,19 +627,22 @@ NetFabric::unregisterStack(NetStack *stack)
 void
 NetFabric::holdStack(const NetStack *stack, sim::Tick until)
 {
+    std::lock_guard<std::mutex> lock(dirMu_);
     heldUntil_[stack] = until;
 }
 
 bool
 NetFabric::stackHeld(const NetStack *stack) const
 {
+    std::lock_guard<std::mutex> lock(dirMu_);
     auto it = heldUntil_.find(stack);
-    return it != heldUntil_.end() && events_.now() < it->second;
+    return it != heldUntil_.end() && clockNow() < it->second;
 }
 
 void
 NetFabric::crashStack(NetStack *stack)
 {
+    XC_ASSERT(!domainMode());
     for (auto it = listeners.begin(); it != listeners.end();) {
         if (it->second->homeStack() == stack)
             it = listeners.erase(it);
@@ -661,18 +682,21 @@ NetFabric::trackConnection(const std::shared_ptr<Connection> &conn)
 void
 NetFabric::bindListener(SockAddr addr, TcpListener *listener)
 {
+    std::lock_guard<std::mutex> lock(dirMu_);
     listeners[key(addr)] = listener;
 }
 
 void
 NetFabric::unbindListener(SockAddr addr)
 {
+    std::lock_guard<std::mutex> lock(dirMu_);
     listeners.erase(key(addr));
 }
 
 TcpListener *
 NetFabric::listenerAt(SockAddr addr) const
 {
+    std::lock_guard<std::mutex> lock(dirMu_);
     auto it = listeners.find(key(addr));
     return it == listeners.end() ? nullptr : it->second;
 }
@@ -680,18 +704,21 @@ NetFabric::listenerAt(SockAddr addr) const
 void
 NetFabric::addNatRule(SockAddr pub, SockAddr priv)
 {
+    std::lock_guard<std::mutex> lock(dirMu_);
     natRules[key(pub)] = priv;
 }
 
 void
 NetFabric::removeNatRule(SockAddr pub)
 {
+    std::lock_guard<std::mutex> lock(dirMu_);
     natRules.erase(key(pub));
 }
 
 SockAddr
 NetFabric::resolve(SockAddr addr) const
 {
+    std::lock_guard<std::mutex> lock(dirMu_);
     auto it = natRules.find(key(addr));
     return it == natRules.end() ? addr : it->second;
 }
@@ -720,22 +747,31 @@ void
 NetFabric::connect(Endpoint *initiator, SockAddr dst,
                    std::function<void(std::shared_ptr<Connection>)> done)
 {
+    // connect() runs in the initiator's domain; refusal callbacks are
+    // delivered back to the initiator's machine, the SYN crosses to
+    // the listener's machine, and the final done(conn) crosses back.
+    int initMach = initiator->machineId();
     SockAddr resolved = resolve(dst);
     std::uint64_t k = key(resolved);
-    auto it = listeners.find(k);
-    if (it == listeners.end()) {
+    TcpListener *listener = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(dirMu_);
+        auto it = listeners.find(k);
+        listener = it == listeners.end() ? nullptr : it->second;
+    }
+    if (listener == nullptr) {
         // RST after one round trip.
-        events_.postAfter(2 * config_.crossMachineLatency,
-                          [done] { done(nullptr); });
+        postFor(initMach, 2 * config_.crossMachineLatency,
+                [done] { done(nullptr); });
         return;
     }
-    TcpListener *listener = it->second;
     sim::Tick lat = latencyFor(initiator, listener->homeStack());
+    int srvMach = listener->homeStack()->machineId();
 
     // Slow-boot hold: the guest is up but the service isn't
     // accepting yet — refuse like a closed port.
     if (stackHeld(listener->homeStack())) {
-        events_.postAfter(2 * lat, [done] { done(nullptr); });
+        postFor(initMach, 2 * lat, [done] { done(nullptr); });
         return;
     }
     // Link partition: the SYN never arrives; the initiator sees a
@@ -744,16 +780,21 @@ NetFabric::connect(Endpoint *initiator, SockAddr dst,
     if (faults_ != nullptr && faults_->enabled() &&
         faults_->shouldInject(fault::FaultKind::LinkPartition,
                               events_.now(), k)) {
-        events_.postAfter(2 * lat, [done] { done(nullptr); });
+        postFor(initMach, 2 * lat, [done] { done(nullptr); });
         return;
     }
 
-    events_.postAfter(lat, [this, initiator, k, lat, done] {
+    postFor(srvMach, lat, [this, initiator, initMach, k, lat, done] {
         // Re-check: the listener may have closed while the SYN was
-        // in flight.
-        auto it2 = listeners.find(k);
-        if (it2 == listeners.end()) {
-            events_.postAfter(lat, [done] { done(nullptr); });
+        // in flight. (This lambda runs in the listener's domain.)
+        TcpListener *lsn = nullptr;
+        {
+            std::lock_guard<std::mutex> lock(dirMu_);
+            auto it2 = listeners.find(k);
+            lsn = it2 == listeners.end() ? nullptr : it2->second;
+        }
+        if (lsn == nullptr) {
+            postFor(initMach, lat, [done] { done(nullptr); });
             return;
         }
         auto conn = std::make_shared<Connection>(
@@ -761,8 +802,8 @@ NetFabric::connect(Endpoint *initiator, SockAddr dst,
         trackConnection(conn);
         // incoming() adopts the server-side endpoint itself (kernel
         // modules may terminate the connection in custom endpoints).
-        it2->second->incoming(conn);
-        events_.postAfter(lat, [done, conn] { done(conn); });
+        lsn->incoming(conn);
+        postFor(initMach, lat, [done, conn] { done(conn); });
     });
 }
 

@@ -16,14 +16,17 @@
  * nested exits for Clear Containers.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "fault/fault.h"
+#include "sim/sweep.h"
 #include "sim/task.h"
 #include "guestos/file_object.h"
 #include "guestos/thread.h"
@@ -85,7 +88,12 @@ class Connection : public std::enable_shared_from_this<Connection>
     void detach(Endpoint *ep);
 
     /** Late-bind the passive end (set during handshake delivery). */
-    void adoptServerEnd(Endpoint *b) { endB = b; }
+    void
+    adoptServerEnd(Endpoint *b)
+    {
+        machB_ = b->machineId();
+        endB.store(b, std::memory_order_relaxed);
+    }
 
     /**
      * RST both directions: each surviving endpoint sees peerClosed
@@ -108,8 +116,23 @@ class Connection : public std::enable_shared_from_this<Connection>
 
   private:
     NetFabric &fabric;
-    Endpoint *endA;
-    Endpoint *endB;
+    /**
+     * Endpoint pointers are written by the side that owns them
+     * (established/detach/close run in the owner's lookahead domain)
+     * but read by either side's send path (`from == endA`), so in
+     * domain-parallel runs the loads race benignly with the peer's
+     * stores. Relaxed atomics make that well-defined; delivery
+     * lambdas only dereference the pointer owned by the domain they
+     * execute in.
+     */
+    std::atomic<Endpoint *> endA;
+    std::atomic<Endpoint *> endB;
+    /** Endpoint machine ids, captured at attach time so delivery
+     *  routing works after a side detaches. machB_ is written one
+     *  full lookahead window before any cross-domain reader can need
+     *  it (the handshake reply leg), so plain ints suffice. */
+    int machA_ = -1;
+    int machB_ = -1;
     sim::Tick latency_;
     std::uint64_t id_;      ///< fabric-assigned, for fault salts
     std::uint64_t seq_ = 0; ///< messages sent (fault salt component)
@@ -278,6 +301,62 @@ class NetFabric
     const NetConfig &config() const { return config_; }
     sim::EventQueue &events() { return events_; }
 
+    /**
+     * Enter (or leave, with nullptr) domain-parallel mode: wire
+     * deliveries are routed per destination machine through @p ds
+     * instead of the single queue. @p domainOfMachine maps a machine
+     * id to its domain index; it must be pure and total. The minimum
+     * latency of any link crossing a domain boundary bounds the
+     * usable sync window (for machine-granular partitions that is
+     * config().crossMachineLatency). Call only while no events are
+     * running; faults, crashes and connection resets are
+     * unsupported in domain mode.
+     */
+    void
+    attachDomains(sim::DomainSet *ds,
+                  std::function<int(int)> domainOfMachine)
+    {
+        domains_ = ds;
+        domainOfMachine_ = std::move(domainOfMachine);
+    }
+
+    /** True while attachDomains() routing is active. */
+    bool domainMode() const { return domains_ != nullptr; }
+
+    /**
+     * Schedule @p fn after @p delay ticks of the CURRENT domain's
+     * clock, to run in the domain owning @p dstMachine. The
+     * single-queue fallback is exactly events().postAfter — every
+     * wire delivery goes through here so domain mode changes nothing
+     * when detached.
+     */
+    void
+    postFor(int dstMachine, sim::Tick delay,
+            std::function<void()> fn)
+    {
+        if (domains_ == nullptr) {
+            events_.postAfter(delay, std::move(fn));
+            return;
+        }
+        int cur = sim::DomainSet::current();
+        sim::EventQueue *q = domains_->queueOf(cur);
+        sim::Tick when = q->now() + delay;
+        int dst = domainOfMachine_(dstMachine);
+        if (dst == cur)
+            q->post(when, [fn = std::move(fn)] { fn(); });
+        else
+            domains_->post(dst, when, std::move(fn));
+    }
+
+    /** The current domain's clock (events().now() when detached). */
+    sim::Tick
+    clockNow() const
+    {
+        if (domains_ == nullptr)
+            return events_.now();
+        return domains_->queueOf(sim::DomainSet::current())->now();
+    }
+
     /** Register a kernel stack on the (single) server machine. */
     IpAddr registerStack(NetStack *stack);
     void unregisterStack(NetStack *stack);
@@ -349,6 +428,13 @@ class NetFabric
 
     sim::EventQueue &events_;
     NetConfig config_;
+    sim::DomainSet *domains_ = nullptr;
+    std::function<int(int)> domainOfMachine_;
+    /** Guards the address directory (listeners/natRules/heldUntil_):
+     *  connect() resolves addresses from client domains while the
+     *  server domain binds/unbinds. Uncontended in single-queue
+     *  runs. */
+    mutable std::mutex dirMu_;
     std::map<std::uint64_t, TcpListener *> listeners;
     std::map<std::uint64_t, SockAddr> natRules;
     fault::FaultInjector *faults_ = nullptr;

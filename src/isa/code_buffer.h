@@ -48,6 +48,7 @@ class CodeBuffer
     append(std::uint8_t b)
     {
         bytes_.push_back(b);
+        ++version_;
         return end() - 1;
     }
 
@@ -56,6 +57,7 @@ class CodeBuffer
     {
         for (auto b : bs)
             bytes_.push_back(b);
+        ++version_;
     }
 
     std::uint8_t
@@ -80,6 +82,7 @@ class CodeBuffer
     {
         XC_ASSERT(contains(va));
         bytes_[va - base_] = b;
+        ++version_;
     }
 
     /**
@@ -96,15 +99,24 @@ class CodeBuffer
         if (std::memcmp(&bytes_[va - base_], expected, len) != 0)
             return false;
         std::memcpy(&bytes_[va - base_], replacement, len);
+        ++version_;
         return true;
     }
 
     /** Raw access for tests and disassembly. */
     const std::vector<std::uint8_t> &bytes() const { return bytes_; }
 
+    /**
+     * Monotonic mutation counter: bumped on every successful byte
+     * mutation (append/write8/cmpxchg). Decoded-trace caches key on
+     * this to notice ABOM patches without diffing bytes.
+     */
+    std::uint64_t version() const { return version_; }
+
   private:
     GuestAddr base_;
     std::vector<std::uint8_t> bytes_;
+    std::uint64_t version_ = 0;
 };
 
 } // namespace xc::isa

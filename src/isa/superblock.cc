@@ -1,0 +1,203 @@
+#include "isa/superblock.h"
+
+#include <atomic>
+
+namespace xc::isa {
+
+namespace {
+
+std::atomic<bool> gSuperblocksEnabled{true};
+
+} // namespace
+
+bool
+superblocksEnabled()
+{
+    return gSuperblocksEnabled.load(std::memory_order_relaxed);
+}
+
+void
+setSuperblocksEnabled(bool on)
+{
+    gSuperblocksEnabled.store(on, std::memory_order_relaxed);
+}
+
+void
+SuperblockCache::refresh(const CodeBuffer &code)
+{
+    if (version_ == code.version() && base_ == code.base() &&
+        blockAt_.size() == code.size())
+        return;
+    ++invalidations_;
+    version_ = code.version();
+    base_ = code.base();
+    blocks_.clear();
+    blockAt_.assign(code.size(), -1);
+}
+
+const Superblock &
+SuperblockCache::lookupOrBuild(const CodeBuffer &code, GuestAddr ip)
+{
+    std::size_t off = ip - base_;
+    std::int32_t idx = blockAt_[off];
+    if (idx >= 0)
+        return blocks_[static_cast<std::size_t>(idx)];
+
+    Superblock sb;
+    sb.entry = ip;
+    GuestAddr va = ip;
+    while (sb.ops.size() < kMaxOps) {
+        Insn insn = decode(code, va);
+        SbOp op;
+        op.op = insn.op;
+        op.length = insn.length;
+        op.imm = insn.imm;
+        if (insn.op == Op::CallAbs)
+            op.aux = vsyscallSlotIndex(static_cast<GuestAddr>(insn.imm));
+        sb.ops.push_back(op);
+        switch (insn.op) {
+          case Op::MovEaxImm:
+          case Op::MovRaxImm:
+          case Op::MovRaxRsp:
+          case Op::MovEdiImm:
+          case Op::MovEsiImm:
+          case Op::MovEdxImm:
+          case Op::Nop:
+            va += insn.length;
+            continue;
+          default:
+            break; // terminator: Syscall/CallAbs/JmpRel8/Ret/Invalid
+        }
+        break;
+    }
+
+    blockAt_[off] = static_cast<std::int32_t>(blocks_.size());
+    blocks_.push_back(std::move(sb));
+    return blocks_.back();
+}
+
+RunResult
+SuperblockCache::execute(CodeBuffer &code, GuestAddr entry, Regs &regs,
+                         ExecEnv &env, std::uint64_t max_insns)
+{
+    RunResult result;
+    GuestAddr ip = entry;
+
+    for (;;) {
+        if (result.instructions >= max_insns) {
+            result.hitLimit = true;
+            return result;
+        }
+
+        // Env callbacks may have patched code since the last block:
+        // re-key the cache before every block entry.
+        refresh(code);
+
+        if (!code.contains(ip)) {
+            // decode() yields Invalid outside the buffer; mirror the
+            // interpreter's invalid-opcode path without caching.
+            ++result.instructions;
+            GuestAddr fixed = env.onInvalidOpcode(regs, code, ip);
+            if (fixed == ExecEnv::kFault) {
+                result.faulted = true;
+                return result;
+            }
+            ip = fixed;
+            continue;
+        }
+
+        const Superblock &sb = lookupOrBuild(code, ip);
+        const SbOp *ops = sb.ops.data();
+        std::size_t n = sb.ops.size();
+        bool leave = false;
+        for (std::size_t i = 0; i < n && !leave; ++i) {
+            if (result.instructions >= max_insns) {
+                result.hitLimit = true;
+                return result;
+            }
+            const SbOp &op = ops[i];
+            ++result.instructions;
+            switch (op.op) {
+              case Op::MovEaxImm:
+                regs.rax = static_cast<std::uint32_t>(op.imm);
+                ip += op.length;
+                break;
+              case Op::MovRaxImm:
+                regs.rax = static_cast<std::uint64_t>(op.imm);
+                ip += op.length;
+                break;
+              case Op::MovRaxRsp:
+                regs.rax = regs.loadRspDisp(op.imm);
+                ip += op.length;
+                break;
+              case Op::MovEdiImm:
+                regs.rdi = static_cast<std::uint32_t>(op.imm);
+                ip += op.length;
+                break;
+              case Op::MovEsiImm:
+                regs.rsi = static_cast<std::uint32_t>(op.imm);
+                ip += op.length;
+                break;
+              case Op::MovEdxImm:
+                regs.rdx = static_cast<std::uint32_t>(op.imm);
+                ip += op.length;
+                break;
+              case Op::Nop:
+                ip += op.length;
+                break;
+
+              case Op::Syscall:
+                ip = env.onSyscall(regs, code, ip + op.length);
+                if (ip == ExecEnv::kFault) {
+                    result.faulted = true;
+                    return result;
+                }
+                leave = true;
+                break;
+
+              case Op::CallAbs: {
+                if (op.aux < 0) {
+                    GuestAddr fixed =
+                        env.onInvalidOpcode(regs, code, ip);
+                    if (fixed == ExecEnv::kFault) {
+                        result.faulted = true;
+                        return result;
+                    }
+                    ip = fixed;
+                    leave = true;
+                    break;
+                }
+                ip = env.onVsyscallCall(op.aux, regs, code,
+                                        ip + op.length);
+                if (ip == ExecEnv::kFault) {
+                    result.faulted = true;
+                    return result;
+                }
+                leave = true;
+                break;
+              }
+
+              case Op::JmpRel8:
+                ip = ip + op.length + op.imm;
+                leave = true;
+                break;
+
+              case Op::Ret:
+                return result;
+
+              case Op::Invalid: {
+                GuestAddr fixed = env.onInvalidOpcode(regs, code, ip);
+                if (fixed == ExecEnv::kFault) {
+                    result.faulted = true;
+                    return result;
+                }
+                ip = fixed;
+                leave = true;
+                break;
+              }
+            }
+        }
+    }
+}
+
+} // namespace xc::isa

@@ -1,0 +1,110 @@
+#ifndef XC_ISA_SUPERBLOCK_H
+#define XC_ISA_SUPERBLOCK_H
+
+/**
+ * @file
+ * Superblock direct execution (DESIGN.md §15, ROADMAP item 4b).
+ *
+ * The verbatim interpreter decodes every instruction of every
+ * ABOM-patched wrapper on every syscall (~28 ns/insn). But wrapper
+ * text mutates only when ABOM patches a site, which happens once per
+ * site per image; between patches the byte stream is frozen. A
+ * SuperblockCache pre-decodes straight-line runs — movs/nops up to a
+ * terminator (syscall, vsyscall call, jmp, ret, or undecodable
+ * bytes) — into flat arrays keyed by entry address and replays them
+ * without per-instruction fetch/decode.
+ *
+ * Semantics are bit-for-bit the interpreter's: the same instruction
+ * budget ordering (an instruction is counted even when invalid), the
+ * same environment callbacks at the same ips with the same
+ * ip_after values, the same fault propagation. Cycle accounting and
+ * Mech attribution happen inside ExecEnv and in the caller's
+ * per-instruction charge, so identical instruction counts and
+ * callback sequences imply identical charges.
+ *
+ * Invalidation keys on CodeBuffer::version(): every byte mutation
+ * (ABOM cmpxchg, loader write, append) bumps the counter and the
+ * next lookup drops the whole cache. Environment callbacks may patch
+ * code mid-run (onSyscallTrap does), so superblocks always end at
+ * env-interaction points and the cache is re-checked before every
+ * block — a superblock never spans a potential patch.
+ *
+ * The cache is derived state: it is never serialized, and restore
+ * (deterministic replay, DESIGN.md §13) rebuilds it lazily exactly
+ * as the original run did.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/interpreter.h"
+
+namespace xc::isa {
+
+/** One pre-decoded instruction inside a superblock. */
+struct SbOp
+{
+    Op op = Op::Invalid;
+    std::uint8_t length = 0;
+    /** Pre-resolved vsyscall slot for CallAbs (-1 = not a slot). */
+    std::int32_t aux = 0;
+    /** Immediate / displacement payload (sign handling per op). */
+    std::int64_t imm = 0;
+};
+
+/** A straight-line pre-decoded run starting at a fixed address. */
+struct Superblock
+{
+    GuestAddr entry = 0;
+    std::vector<SbOp> ops;
+};
+
+/**
+ * Per-StubLibrary translation cache + direct executor.
+ *
+ * Lookup is a flat side table indexed by (va - base): stub text is a
+ * few KB, so O(1) array indexing beats any hash. Not thread-safe by
+ * itself; each simulated world owns its stub libraries exclusively
+ * (guest kernels of one world always run on one lookahead domain).
+ */
+class SuperblockCache
+{
+  public:
+    /** Drop-in replacement for isa::execute() with identical
+     *  observable behavior. */
+    RunResult execute(CodeBuffer &code, GuestAddr entry, Regs &regs,
+                      ExecEnv &env, std::uint64_t max_insns = 10000);
+
+    /** Translated blocks currently cached (observability/tests). */
+    std::size_t blockCount() const { return blocks_.size(); }
+    /** Cache flushes caused by code mutation (observability/tests). */
+    std::uint64_t invalidations() const { return invalidations_; }
+
+  private:
+    /** Longest block: caps translation work on pathological text. */
+    static constexpr std::size_t kMaxOps = 64;
+
+    const Superblock &lookupOrBuild(const CodeBuffer &code,
+                                    GuestAddr ip);
+    void refresh(const CodeBuffer &code);
+
+    std::uint64_t version_ = ~std::uint64_t{0};
+    GuestAddr base_ = 0;
+    /** blockAt_[va - base] = index into blocks_, or -1. */
+    std::vector<std::int32_t> blockAt_;
+    std::vector<Superblock> blocks_;
+    std::uint64_t invalidations_ = 0;
+};
+
+/**
+ * Process-wide toggle (default on). The verbatim interpreter remains
+ * the reference semantics: differential tests and the
+ * `--no-superblock` bench flag run both and require identical
+ * results.
+ */
+bool superblocksEnabled();
+void setSuperblocksEnabled(bool on);
+
+} // namespace xc::isa
+
+#endif // XC_ISA_SUPERBLOCK_H

@@ -60,15 +60,23 @@ StubLibrary::build(int nr, WrapperKind kind, const std::string &symbol)
     }
 
     stubs_.push_back(stub);
-    byNr.emplace(nr, stubs_.size() - 1); // first wrapper for nr wins
+    if (nr >= 0) {
+        if (byNr_.size() <= static_cast<std::size_t>(nr))
+            byNr_.resize(static_cast<std::size_t>(nr) + 1, 0);
+        if (byNr_[static_cast<std::size_t>(nr)] == 0) // first wins
+            byNr_[static_cast<std::size_t>(nr)] =
+                static_cast<std::uint32_t>(stubs_.size());
+    }
     return stub;
 }
 
 const SyscallStub *
 StubLibrary::find(int nr) const
 {
-    auto it = byNr.find(nr);
-    return it == byNr.end() ? nullptr : &stubs_[it->second];
+    if (nr < 0 || static_cast<std::size_t>(nr) >= byNr_.size())
+        return nullptr;
+    std::uint32_t slot = byNr_[static_cast<std::size_t>(nr)];
+    return slot == 0 ? nullptr : &stubs_[slot - 1];
 }
 
 const SyscallStub &

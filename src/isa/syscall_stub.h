@@ -10,12 +10,12 @@
  * cancellable wrappers (MySQL's 44.6% row) do not match at all.
  */
 
-#include <map>
 #include <string>
 #include <vector>
 
 #include "isa/assembler.h"
 #include "isa/code_buffer.h"
+#include "isa/superblock.h"
 
 namespace xc::isa {
 
@@ -92,10 +92,20 @@ class StubLibrary
 
     const std::vector<SyscallStub> &stubs() const { return stubs_; }
 
+    /**
+     * The library's superblock translation cache (derived state,
+     * DESIGN.md §15): execute stubs through this instead of the
+     * verbatim interpreter when isa::superblocksEnabled().
+     */
+    SuperblockCache &superblocks() { return superblocks_; }
+
   private:
     CodeBuffer code_;
     std::vector<SyscallStub> stubs_;
-    std::map<int, std::size_t> byNr;
+    /** byNr_[nr] = index into stubs_ + 1; 0 = none (flat: syscall
+     *  numbers are small and find() runs on every syscall). */
+    std::vector<std::uint32_t> byNr_;
+    SuperblockCache superblocks_;
 };
 
 } // namespace xc::isa

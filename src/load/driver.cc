@@ -69,9 +69,16 @@ LoadResult::mechJson() const
 
 ClosedLoopDriver::ClosedLoopDriver(guestos::NetFabric &fabric,
                                    WorkloadSpec spec,
-                                   std::uint64_t seed)
-    : fabric(fabric), spec(spec), rng(seed)
+                                   std::uint64_t seed,
+                                   sim::EventQueue *clock)
+    : fabric(fabric), spec(spec), rng(seed), clock_(clock)
 {
+}
+
+sim::EventQueue &
+ClosedLoopDriver::clk() const
+{
+    return clock_ != nullptr ? *clock_ : fabric.events();
 }
 
 ClosedLoopDriver::~ClosedLoopDriver() = default;
@@ -84,10 +91,17 @@ ClosedLoopDriver::observeMech(const sim::MechanismCounters &mech)
 }
 
 void
+ClosedLoopDriver::captureMechBaseline()
+{
+    if (observedMech != nullptr)
+        mechAtStart = observedMech->snapshot();
+}
+
+void
 ClosedLoopDriver::start()
 {
-    startedAt = fabric.events().now();
-    if (observedMech != nullptr)
+    startedAt = clk().now();
+    if (observedMech != nullptr && !mechBaselineDeferred_)
         mechAtStart = observedMech->snapshot();
     windowStart = startedAt + spec.warmup;
     windowEnd = windowStart + spec.duration;
@@ -102,7 +116,7 @@ ClosedLoopDriver::start()
 bool
 ClosedLoopDriver::inWindow() const
 {
-    sim::Tick now = fabric.events().now();
+    sim::Tick now = clk().now();
     return now >= windowStart && now < windowEnd;
 }
 
@@ -119,7 +133,7 @@ ClosedLoopDriver::backoffFor(int failures) const
 void
 ClosedLoopDriver::openConn(Conn &c)
 {
-    if (fabric.events().now() >= windowEnd)
+    if (clk().now() >= windowEnd)
         return;
     c.wire = std::make_unique<WireClient>(fabric, c.machineId);
     WireClient *wire = c.wire.get();
@@ -130,7 +144,7 @@ ClosedLoopDriver::openConn(Conn &c)
             ++conn->connectFailures;
             // Back off and retry: the server may still be booting
             // (or held by a slow-boot fault).
-            fabric.events().postAfter(
+            clk().postAfter(
                 backoffFor(conn->connectFailures),
                 [this, conn] { openConn(*conn); });
             return;
@@ -165,11 +179,11 @@ ClosedLoopDriver::openConn(Conn &c)
 void
 ClosedLoopDriver::issue(Conn &c)
 {
-    if (fabric.events().now() >= windowEnd) {
+    if (clk().now() >= windowEnd) {
         c.wire->close();
         return;
     }
-    c.firstIssuedAt = fabric.events().now();
+    c.firstIssuedAt = clk().now();
     c.attempt = 0;
     sendAttempt(c);
 }
@@ -177,11 +191,11 @@ ClosedLoopDriver::issue(Conn &c)
 void
 ClosedLoopDriver::sendAttempt(Conn &c)
 {
-    if (fabric.events().now() >= windowEnd) {
+    if (clk().now() >= windowEnd) {
         c.wire->close();
         return;
     }
-    c.issuedAt = fabric.events().now();
+    c.issuedAt = clk().now();
     c.received = 0;
     c.inFlight = true;
     std::uint64_t gen = ++c.gen;
@@ -193,7 +207,7 @@ ClosedLoopDriver::sendAttempt(Conn &c)
     c.wire->send(spec.requestBytes);
     if (spec.requestTimeout > 0) {
         Conn *conn = &c;
-        fabric.events().postAfter(
+        clk().postAfter(
             spec.requestTimeout, [this, conn, gen] {
                 if (conn->gen != gen || !conn->inFlight)
                     return; // answered, failed, or superseded
@@ -215,7 +229,7 @@ ClosedLoopDriver::failAttempt(Conn &c)
     c.inFlight = false;
     c.gen++; // invalidate any outstanding timeout event
     if (c.flight != 0) {
-        sim::flight::fail(c.flight, fabric.events().now());
+        sim::flight::fail(c.flight, clk().now());
         c.flight = 0;
     }
     c.wire->close();
@@ -224,7 +238,7 @@ ClosedLoopDriver::failAttempt(Conn &c)
         ++c.attempt;
     c.retryPending = retry;
     Conn *conn = &c;
-    fabric.events().postAfter(
+    clk().postAfter(
         backoffFor(retry ? c.attempt : 1),
         [this, conn] { openConn(*conn); });
 }
@@ -241,14 +255,14 @@ ClosedLoopDriver::onResponse(Conn &c, std::uint64_t bytes)
     c.inFlight = false;
     c.gen++; // timeout no longer applies
     if (c.flight != 0) {
-        sim::flight::complete(c.flight, fabric.events().now());
+        sim::flight::complete(c.flight, clk().now());
         c.wire->setFlight(0);
         c.flight = 0;
     }
     if (c.attempt > 0)
         ++errors_.retries; // failed at least once, then succeeded
     ++completed_;
-    sim::Tick now = fabric.events().now();
+    sim::Tick now = clk().now();
     if (now >= windowStart && now < windowEnd) {
         ++counted;
         latenciesUs.push_back(
@@ -265,7 +279,7 @@ ClosedLoopDriver::onResponse(Conn &c, std::uint64_t bytes)
         }
     };
     if (spec.thinkTime > 0) {
-        fabric.events().postAfter(spec.thinkTime, next);
+        clk().postAfter(spec.thinkTime, next);
     } else {
         next();
     }

@@ -108,8 +108,15 @@ struct LoadResult
 class ClosedLoopDriver
 {
   public:
+    /**
+     * @p clock: the event queue whose time base the driver lives on.
+     * Defaults to fabric.events(); in domain-parallel runs pass the
+     * client domain's queue instead, so every driver-scheduled event
+     * (backoffs, timeouts, think time) lands in the clients' domain.
+     */
     ClosedLoopDriver(guestos::NetFabric &fabric, WorkloadSpec spec,
-                     std::uint64_t seed = 1);
+                     std::uint64_t seed = 1,
+                     sim::EventQueue *clock = nullptr);
     ~ClosedLoopDriver();
 
     /** Open all connections and begin issuing requests. */
@@ -121,6 +128,19 @@ class ClosedLoopDriver
      * before start() with the server machine's registry.
      */
     void observeMech(const sim::MechanismCounters &mech);
+
+    /**
+     * Domain-parallel mech attribution: start() runs on the client
+     * queue and must not read the server domain's counters, so the
+     * caller (1) calls deferMechBaseline() at setup — start() then
+     * skips its own re-snapshot — and (2) posts captureMechBaseline()
+     * as an event on the SERVER's queue at the tick start() fires.
+     * The flag is written before any domain thread exists and the
+     * snapshot is read only after the domain run joins, so neither
+     * races with start().
+     */
+    void deferMechBaseline() { mechBaselineDeferred_ = true; }
+    void captureMechBaseline();
 
     /** Stop and compute results (call after the queue ran past
      *  warmup + duration). */
@@ -139,11 +159,16 @@ class ClosedLoopDriver
     bool inWindow() const;
     sim::Tick backoffFor(int failures) const;
 
+    /** Time base for now()/postAfter (see ctor doc). */
+    sim::EventQueue &clk() const;
+
     guestos::NetFabric &fabric;
     WorkloadSpec spec;
     sim::Rng rng;
+    sim::EventQueue *clock_ = nullptr;
     const sim::MechanismCounters *observedMech = nullptr;
     sim::MechSnapshot mechAtStart;
+    bool mechBaselineDeferred_ = false;
     std::vector<std::unique_ptr<Conn>> conns;
     sim::Tick startedAt = 0;
     sim::Tick windowStart = 0;

@@ -102,6 +102,8 @@ std::uint32_t
 EventQueue::insert(Tick when)
 {
     XC_ASSERT(when >= now_);
+    if (scanValid_ && when < scanT_)
+        scanValid_ = false; // may beat the memoized wheel minimum
     std::uint32_t idx = slab_->alloc();
     detail::EventSlab::Entry &e = slab_->at(idx);
     e.when = when;
@@ -149,6 +151,7 @@ EventQueue::advanceTo(Tick t)
     // Sync now_ and the level trackers, cascading the higher-level
     // slots that now describe the current block/superblock so their
     // entries become visible to nextEventTime()'s scan ranges.
+    scanValid_ = false; // cascades restructure the L1/L2 slots
     now_ = t;
     l0Block_ = t >> kSlotBits;
     l1Super_ = t >> (2 * kSlotBits);
@@ -177,6 +180,67 @@ EventQueue::advanceTo(Tick t)
                    (kSlots - 1));
     cascade(1,
             static_cast<std::uint32_t>(t >> kSlotBits) & (kSlots - 1));
+}
+
+void
+EventQueue::fusedAdvance(Tick t, int level, std::uint32_t slot)
+{
+    // Detach the winning slot; the preceding pruneSlot (or the
+    // cancel-epoch guard, when the scan was memoized) left only live
+    // entries in it.
+    scanValid_ = false; // the winning slot is being consumed
+    Slot list = wheel_[level][slot];
+    wheel_[level][slot] = Slot{};
+    bitmap_[level][slot >> 6] &= ~(std::uint64_t(1) << (slot & 63));
+
+    now_ = t;
+    l0Block_ = t >> kSlotBits;
+    l1Super_ = t >> (2 * kSlotBits);
+    l2Hyper_ = t >> (3 * kSlotBits);
+
+    // Distribute in one walk (advanceTo would cascade the slot into
+    // lower levels and drain the L0 slot of t as separate passes):
+    // entries firing now go straight to the burst in list order —
+    // the order the cascades would have appended them to the L0
+    // slot — and later entries re-enter the wheel against the
+    // updated trackers.
+    std::uint32_t idx = list.head;
+    while (idx != kNilEvent) {
+        detail::EventSlab::Entry &e = slab_->at(idx);
+        std::uint32_t next = e.next;
+        if (e.when == t)
+            burst_.push_back(BurstEntry{e.seq, idx});
+        else
+            placeInWheel(idx, e.when);
+        idx = next;
+    }
+
+    // Slots of t at the levels below the winner can only hold
+    // leftovers from a previous block/superblock, and those are all
+    // cancelled: a live entry fires before now_ crosses its block.
+    // Release them exactly where advanceTo's cascades and the L0
+    // drain would have.
+    auto releaseStale = [&](int lv, std::uint32_t sl) {
+        std::uint64_t bit = std::uint64_t(1) << (sl & 63);
+        if (!(bitmap_[lv][sl >> 6] & bit))
+            return;
+        Slot moved = wheel_[lv][sl];
+        wheel_[lv][sl] = Slot{};
+        bitmap_[lv][sl >> 6] &= ~bit;
+        std::uint32_t i = moved.head;
+        while (i != kNilEvent) {
+            detail::EventSlab::Entry &e = slab_->at(i);
+            std::uint32_t nx = e.next;
+            XC_ASSERT(!e.live);
+            slab_->release(i);
+            i = nx;
+        }
+    };
+    if (level == 2)
+        releaseStale(1,
+                     static_cast<std::uint32_t>(t >> kSlotBits) &
+                         (kSlots - 1));
+    releaseStale(0, static_cast<std::uint32_t>(t) & (kSlots - 1));
 }
 
 bool
@@ -241,6 +305,8 @@ EventQueue::prepareBurst(Tick limit)
     }
 
     Tick wheelT = kTickMax;
+    int winLevel = 0;
+    std::uint32_t winSlot = 0;
     if (s < kSlots) {
         // The L0 scan stopped at an undrained slot: either the heap
         // tick is no later than any remaining wheel tick (heap wins;
@@ -248,6 +314,14 @@ EventQueue::prepareBurst(Tick limit)
         // past the limit (and so is everything else pending).
         if (heapT > ((l0Block_ << kSlotBits) | s))
             return false;
+    } else if (scanValid_ && scanEpoch_ == slab_->cancelEpoch) {
+        // The scan answer is unchanged since last time: no advance,
+        // no cancel, no earlier insert. Skipping the rescan is safe
+        // precisely because a rescan would release nothing (only
+        // cancels create dead entries, and a cancel invalidates).
+        wheelT = scanT_;
+        winLevel = scanLevel_;
+        winSlot = scanSlot_;
     } else {
         // Levels 1/2: future blocks of the current superblock, then
         // future superblocks of the current hyperblock. Slot order is
@@ -261,8 +335,11 @@ EventQueue::prepareBurst(Tick limit)
         for (std::uint32_t b = findSetBit(bitmap_[1], start, kSlots);
              b < kSlots; b = findSetBit(bitmap_[1], b + 1, kSlots)) {
             wheelT = pruneSlot(1, b);
-            if (wheelT != kTickMax)
+            if (wheelT != kTickMax) {
+                winLevel = 1;
+                winSlot = b;
                 break;
+            }
         }
         if (wheelT == kTickMax) {
             start = (static_cast<std::uint32_t>(now_ >> (2 * kSlotBits)) &
@@ -273,15 +350,49 @@ EventQueue::prepareBurst(Tick limit)
                  b < kSlots;
                  b = findSetBit(bitmap_[2], b + 1, kSlots)) {
                 wheelT = pruneSlot(2, b);
-                if (wheelT != kTickMax)
+                if (wheelT != kTickMax) {
+                    winLevel = 2;
+                    winSlot = b;
                     break;
+                }
             }
         }
+        scanT_ = wheelT;
+        scanLevel_ = winLevel;
+        scanSlot_ = winSlot;
+        // Arm the cancel guard with the winning slot's tick range
+        // (every entry in an L1/L2 slot has `when` inside it, so no
+        // relevant cancel can miss the epoch bump). Empty wheel:
+        // empty range — only inserts can change the answer then.
+        if (winLevel != 0) {
+            int shift = winLevel * kSlotBits;
+            slab_->scanLo = (((wheelT >> (shift + kSlotBits))
+                              << kSlotBits) |
+                             winSlot)
+                            << shift;
+            slab_->scanHi =
+                slab_->scanLo + ((Tick(1) << shift) - 1);
+        } else {
+            slab_->scanLo = 1;
+            slab_->scanHi = 0;
+        }
+        scanEpoch_ = slab_->cancelEpoch;
+        scanValid_ = true;
     }
 
     Tick t = std::min(wheelT, heapT);
     if (t == kTickMax || t > limit)
         return false;
+
+    if (winLevel != 0 && wheelT < heapT) {
+        // The wheel won outright: no same-tick heap merge can occur
+        // (dead heap tops were reclaimed above, so the live top is
+        // strictly later), meaning no seq re-sort either. Take the
+        // fused one-walk advance+drain.
+        fusedAdvance(t, winLevel, winSlot);
+        XC_ASSERT(!burst_.empty());
+        return true;
+    }
 
     // Slow path: enter the tick's block (cascading higher-level
     // slots), then drain the tick's L0 slot and merge heap entries
@@ -452,6 +563,8 @@ EventQueue::loadState(snap::SnapReader &r)
     // adopted state replaces every reference to them.
     for (std::uint32_t i = 0; i < slab_->used; ++i)
         slab_->at(i).fn.reset();
+
+    scanValid_ = false; // memo refers to the pre-restore wheel
 
     now_ = r.u64();
     nextSeq_ = r.u64();

@@ -74,6 +74,20 @@ struct EventSlab
      */
     std::uint64_t restoreNonce = 0;
 
+    /**
+     * Bumped by EventHandle::cancel() (which mutates entries without
+     * going through the queue) when the cancelled tick falls inside
+     * [scanLo, scanHi] — the tick range of the winning wheel slot
+     * the queue's memoized L1/L2 scan refers to. Cancels outside
+     * that slot don't invalidate: the unmemoized scan would neither
+     * see nor release them (it walks only the winning slot), so
+     * skipping the rescan keeps slab free-list order — and therefore
+     * snapshot bytes — identical. Never serialized.
+     */
+    std::uint64_t cancelEpoch = 0;
+    Tick scanLo = 0;
+    Tick scanHi = kTickMax;
+
     Entry &
     at(std::uint32_t idx)
     {
@@ -138,6 +152,8 @@ class EventHandle
         e.live = false;
         e.fn.reset();
         --slab_->live;
+        if (e.when >= slab_->scanLo && e.when <= slab_->scanHi)
+            ++slab_->cancelEpoch;
     }
 
   private:
@@ -296,6 +312,17 @@ class EventQueue
      *  cascading newly-current higher-level slots. */
     void advanceTo(Tick t);
 
+    /**
+     * Fused advance+drain for a wheel-won slow path: distribute the
+     * pruned winning slot (level 1 or 2) in ONE walk — entries firing
+     * at @p t go straight into burst_, later ones re-enter the wheel
+     * against the post-advance trackers — instead of cascading the
+     * slot level by level and re-walking it at each. State-transition
+     * identical to advanceTo(t) + L0 drain, including slab release
+     * order (snapshots depend on it).
+     */
+    void fusedAdvance(Tick t, int level, std::uint32_t slot);
+
     bool fireNext();
     bool burstActive() const { return burstPos_ < burst_.size(); }
 
@@ -314,6 +341,18 @@ class EventQueue
     Tick l2Hyper_ = 0;
 
     std::vector<HeapEntry> heap_; ///< min-heap on (when, seq)
+
+    // Memoized result of prepareBurst's L1/L2 winning-slot scan.
+    // Pure lookup cache (never serialized): between two bursts the
+    // scan answer only changes on an earlier insert (invalidated in
+    // insert()), a cancel (guarded by slab_->cancelEpoch so the
+    // rescan reclaims dead entries exactly where the unmemoized walk
+    // would), or an advance (invalidated in advanceTo/fusedAdvance).
+    Tick scanT_ = kTickMax;
+    int scanLevel_ = 0;
+    std::uint32_t scanSlot_ = 0;
+    bool scanValid_ = false;
+    std::uint64_t scanEpoch_ = 0;
 
     // The burst: every entry firing at the current tick, in seq
     // order. Entries in the burst are owned by it (not in any slot

@@ -1,11 +1,15 @@
 #include "sim/sweep.h"
 
+#include <algorithm>
+#include <barrier>
 #include <cstdio>
 #include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <utility>
+
+#include "sim/event_queue.h"
 
 namespace xc::sim {
 
@@ -173,6 +177,160 @@ SweepExecutor::run()
 
     if (!firstError.empty())
         fatal("sweep cell failed: %s", firstError.c_str());
+}
+
+// --- DomainSet --------------------------------------------------------
+
+namespace {
+
+/** Thread → domain binding. -1 on threads owned by no DomainSet. */
+thread_local int tlDomain = -1;
+
+} // namespace
+
+int
+DomainSet::current()
+{
+    return tlDomain;
+}
+
+DomainSet::DomainSet(int domains) : prevCurrent_(tlDomain)
+{
+    XC_ASSERT(domains >= 1);
+    queues_.resize(static_cast<std::size_t>(domains), nullptr);
+    boxes_.resize(queues_.size());
+    for (auto &b : boxes_)
+        b = std::make_unique<Mailbox>();
+    sendSeq_.assign(queues_.size(), 0);
+    // The constructing thread executes domain 0 (and performs any
+    // pre-run posts, e.g. scheduling the initial driver events).
+    tlDomain = 0;
+}
+
+DomainSet::~DomainSet()
+{
+    tlDomain = prevCurrent_;
+}
+
+void
+DomainSet::attach(int domain, EventQueue *q)
+{
+    XC_ASSERT(domain >= 0 && domain < size() && q != nullptr);
+    XC_ASSERT(queues_[domain] == nullptr);
+    queues_[domain] = q;
+}
+
+void
+DomainSet::post(int dstDomain, Tick when, std::function<void()> fn)
+{
+    XC_ASSERT(dstDomain >= 0 && dstDomain < size());
+    int src = tlDomain;
+    XC_ASSERT(src >= 0 && src < size());
+    Mailbox &box = *boxes_[dstDomain];
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.msgs.push_back(Msg{when, static_cast<std::uint32_t>(src),
+                           sendSeq_[src]++, std::move(fn)});
+}
+
+void
+DomainSet::drainAll()
+{
+    for (int d = 0; d < size(); ++d) {
+        Mailbox &box = *boxes_[d];
+        // No lock needed: every domain thread is parked at the
+        // window barrier, whose synchronisation orders their pushes
+        // before this drain.
+        if (box.msgs.empty())
+            continue;
+        // Canonical injection order, independent of which thread
+        // pushed first in host time. (when, srcDomain, srcSeq) is a
+        // unique key: srcSeq is a per-source counter.
+        std::sort(box.msgs.begin(), box.msgs.end(),
+                  [](const Msg &a, const Msg &b) {
+                      if (a.when != b.when)
+                          return a.when < b.when;
+                      if (a.srcDomain != b.srcDomain)
+                          return a.srcDomain < b.srcDomain;
+                      return a.srcSeq < b.srcSeq;
+                  });
+        EventQueue *q = queues_[d];
+        for (Msg &m : box.msgs) {
+            if (m.when <= q->now())
+                panic("lookahead violation: cross-domain delivery at "
+                      "tick %llu into domain %d already at tick %llu "
+                      "(window wider than the minimum link latency?)",
+                      static_cast<unsigned long long>(m.when), d,
+                      static_cast<unsigned long long>(q->now()));
+            q->post(m.when, [fn = std::move(m.fn)] { fn(); });
+        }
+        box.msgs.clear();
+    }
+}
+
+void
+DomainSet::run(Tick limit, Tick window)
+{
+    XC_ASSERT(window > 0);
+    for (EventQueue *q : queues_)
+        XC_ASSERT(q != nullptr);
+
+    // Pre-run posts (made on the caller's thread during setup) are
+    // injected before the first window.
+    drainAll();
+
+    const int n = size();
+    if (n == 1) {
+        // Degenerate set: the sequential path, byte-identical to a
+        // plain runUntil.
+        queues_[0]->runUntil(limit);
+        return;
+    }
+
+    Tick start = queues_[0]->now();
+    for (EventQueue *q : queues_)
+        start = std::min(start, q->now());
+    if (start >= limit)
+        return;
+
+    // Window ends: e_0 = start + W - 1 keeps every window W ticks
+    // wide ([start, e_0] inclusive); the last end is exactly `limit`
+    // so each queue finishes with now() == limit, matching the
+    // 1-domain path.
+    const Tick firstEnd =
+        limit - start > window - 1 ? start + window - 1 : limit;
+
+    std::barrier bar(n, [this]() noexcept { drainAll(); });
+
+    auto body = [&](int domain) {
+        EventQueue *q = queues_[domain];
+        Tick end = firstEnd;
+        for (;;) {
+            if (end > q->now())
+                q->runUntil(end);
+            bar.arrive_and_wait();
+            if (end == limit)
+                break;
+            end = limit - end > window ? end + window : limit;
+        }
+    };
+
+    // Non-zero domains get their own host thread and a private
+    // SimContext slice, merged in domain order afterwards.
+    std::vector<SimContext> ctxs(static_cast<std::size_t>(n - 1));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n - 1));
+    for (int d = 1; d < n; ++d) {
+        threads.emplace_back([&, d] {
+            tlDomain = d;
+            ContextBinding bind(ctxs[static_cast<std::size_t>(d - 1)]);
+            body(d);
+        });
+    }
+    body(0);
+    for (std::thread &t : threads)
+        t.join();
+    for (SimContext &ctx : ctxs)
+        mergeObservability(ctx);
 }
 
 } // namespace xc::sim

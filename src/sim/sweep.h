@@ -41,14 +41,109 @@
  *   ex.run();   // blocks; merges observability in cell order
  */
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "sim/context.h"
+#include "sim/types.h"
 
 namespace xc::sim {
+
+class EventQueue;
+
+/**
+ * Intra-sim lookahead domains: conservative parallel execution of
+ * ONE simulated world, split along links whose latency bounds how
+ * far apart the pieces can drift.
+ *
+ * Where SweepExecutor parallelises across independent cells, a
+ * DomainSet parallelises inside a single cell. The world's hosts are
+ * partitioned into domains, each owning a private EventQueue (and,
+ * for non-zero domains, a private SimContext slice). Execution
+ * proceeds in windows of W ticks, where W is no larger than the
+ * minimum latency of any cross-domain link: during a window every
+ * domain runs its own queue independently, because nothing a peer
+ * domain does in the same window can affect it before the window
+ * ends. Cross-domain interactions are posted into per-destination
+ * mailboxes and injected at the window barrier, sorted by
+ * (delivery tick, source domain, source sequence) so insertion order
+ * — and therefore the destination queue's same-tick tie-break — is
+ * independent of host scheduling. A message whose delivery tick is
+ * not strictly after the destination's clock at the barrier is a
+ * lookahead violation (the partition's latency floor was overstated)
+ * and panics deterministically.
+ *
+ * Domain 0 always runs on the caller's thread: world construction
+ * happens there, so coroutine frames created during setup keep dying
+ * on their allocating thread (the frame pool in task.h relies on
+ * this). A 1-domain set degenerates to plain runUntil on the
+ * caller's thread — byte-identical to not using a DomainSet at all.
+ */
+class DomainSet
+{
+  public:
+    explicit DomainSet(int domains);
+    ~DomainSet();
+
+    DomainSet(const DomainSet &) = delete;
+    DomainSet &operator=(const DomainSet &) = delete;
+
+    /** Bind @p q as domain @p domain's queue. All domains must be
+     *  attached before run(). */
+    void attach(int domain, EventQueue *q);
+
+    /**
+     * Post @p fn at absolute tick @p when into @p dstDomain's queue.
+     * Called from any domain thread while run() is active (or from
+     * the caller's thread before it); delivery happens at the next
+     * window barrier.
+     */
+    void post(int dstDomain, Tick when, std::function<void()> fn);
+
+    /**
+     * Run every domain to @p limit (inclusive, runUntil semantics —
+     * every queue's now() equals @p limit afterwards) in conservative
+     * windows of @p window ticks. Domain 0 executes on the calling
+     * thread; each other domain gets a host thread with a fresh
+     * SimContext, merged into the caller's in domain order on return.
+     */
+    void run(Tick limit, Tick window);
+
+    int size() const { return static_cast<int>(queues_.size()); }
+    EventQueue *queueOf(int domain) const { return queues_[domain]; }
+
+    /** Domain bound to the calling thread: 0 on the owning thread,
+     *  the domain index inside run() workers, -1 elsewhere. */
+    static int current();
+
+  private:
+    struct Msg
+    {
+        Tick when = 0;
+        std::uint32_t srcDomain = 0;
+        std::uint64_t srcSeq = 0; ///< per-source send counter
+        std::function<void()> fn;
+    };
+
+    struct Mailbox
+    {
+        std::mutex mu;
+        std::vector<Msg> msgs;
+    };
+
+    /** Inject (sorted) pending messages into their queues. Runs with
+     *  every domain thread stopped at the window barrier. */
+    void drainAll();
+
+    std::vector<EventQueue *> queues_;
+    std::vector<std::unique_ptr<Mailbox>> boxes_;
+    std::vector<std::uint64_t> sendSeq_; ///< indexed by source domain
+    int prevCurrent_; ///< caller-thread binding to restore on dtor
+};
 
 class SweepExecutor
 {

@@ -14,7 +14,9 @@
  */
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
+#include <new>
 #include <optional>
 #include <utility>
 
@@ -26,6 +28,103 @@ template <typename T>
 class Task;
 
 namespace detail {
+
+/**
+ * Thread-local size-class pool for coroutine frames.
+ *
+ * Simulated worlds create and destroy millions of short-lived frames
+ * (every syscall is a stack of 3-6 Task coroutines); with the global
+ * allocator those frees dominate the unprofiled half of a fig3 run.
+ * A frame always dies on the thread that created it — a sweep cell
+ * runs wholly on one worker, and lookahead domains pin each world
+ * slice to one thread — so the pool needs no locks.
+ *
+ * Disabled under ASan/TSan: pooling would hide use-after-free and
+ * cross-thread bugs from the sanitizers.
+ */
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define XC_FRAME_POOL_DISABLED 1
+#endif
+
+class FramePool
+{
+  public:
+    static constexpr std::size_t kGrain = 64;
+    static constexpr std::size_t kClasses = 64; // pools up to 4 KiB
+                                                // (semantic()'s big
+                                                // switch frame is
+                                                // ~1.5 KiB)
+
+    void *
+    alloc(std::size_t n)
+    {
+        std::size_t cls = (n + kGrain - 1) / kGrain;
+        if (cls == 0 || cls > kClasses)
+            return ::operator new(n);
+        void *&head = free_[cls - 1];
+        if (void *p = head) {
+            head = *static_cast<void **>(p);
+            return p;
+        }
+        return ::operator new(cls * kGrain);
+    }
+
+    void
+    release(void *p, std::size_t n)
+    {
+        std::size_t cls = (n + kGrain - 1) / kGrain;
+        if (cls == 0 || cls > kClasses) {
+            ::operator delete(p);
+            return;
+        }
+        *static_cast<void **>(p) = free_[cls - 1];
+        free_[cls - 1] = p;
+    }
+
+    ~FramePool()
+    {
+        for (void *&head : free_) {
+            while (head) {
+                void *next = *static_cast<void **>(head);
+                ::operator delete(head);
+                head = next;
+            }
+        }
+    }
+
+  private:
+    void *free_[kClasses] = {};
+};
+
+#ifndef XC_FRAME_POOL_DISABLED
+inline FramePool &
+framePool()
+{
+    thread_local FramePool pool;
+    return pool;
+}
+#endif
+
+inline void *
+frameAlloc(std::size_t n)
+{
+#ifdef XC_FRAME_POOL_DISABLED
+    return ::operator new(n);
+#else
+    return framePool().alloc(n);
+#endif
+}
+
+inline void
+frameFree(void *p, std::size_t n)
+{
+#ifdef XC_FRAME_POOL_DISABLED
+    ::operator delete(p);
+    (void)n;
+#else
+    framePool().release(p, n);
+#endif
+}
 
 /** Final awaiter: symmetric-transfer to the awaiting coroutine. */
 struct FinalAwaiter
@@ -51,6 +150,14 @@ struct PromiseBase
     std::suspend_always initial_suspend() noexcept { return {}; }
     FinalAwaiter final_suspend() noexcept { return {}; }
     void unhandled_exception() { error = std::current_exception(); }
+
+    // Coroutine frames route through the thread-local FramePool.
+    static void *operator new(std::size_t n) { return frameAlloc(n); }
+    static void
+    operator delete(void *p, std::size_t n)
+    {
+        frameFree(p, n);
+    }
 };
 
 } // namespace detail

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Differential lockstep suite for superblock direct execution
+ * (DESIGN.md §15): ~1e5 randomized assembled sequences run through
+ * both the verbatim interpreter (the reference semantics) and
+ * SuperblockCache::execute, asserting identical final registers,
+ * instruction counts, cycle charges, environment-callback sequences
+ * and fault addresses. Any divergence prints the offending seed so
+ * the case can be replayed in isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.h"
+#include "isa/interpreter.h"
+#include "isa/superblock.h"
+#include "sim/rng.h"
+
+namespace xc::isa {
+namespace {
+
+/**
+ * Environment that journals every callback with its full argument
+ * set and accrues a synthetic cycle charge per interaction, so two
+ * runs compare as (journal, cycles, Regs, RunResult) tuples. The
+ * responses themselves are driven by a deterministic Rng, covering
+ * fixups, faults and return-address adjustment.
+ */
+class JournalEnv : public ExecEnv
+{
+  public:
+    explicit JournalEnv(std::uint64_t seed) : rng(seed) {}
+
+    std::vector<std::string> journal;
+    std::uint64_t cycles = 0;
+
+    GuestAddr
+    onSyscall(Regs &regs, CodeBuffer &, GuestAddr ip_after) override
+    {
+        journal.push_back("sys nr=" + std::to_string(regs.rax) +
+                          " ip=" + std::to_string(ip_after));
+        cycles += 700 + regs.rax % 64;
+        regs.rax = rng.next() % 4096;
+        return ip_after;
+    }
+
+    GuestAddr
+    onVsyscallCall(int slot, Regs &regs, CodeBuffer &code,
+                   GuestAddr ret_addr) override
+    {
+        journal.push_back("vsys slot=" + std::to_string(slot) +
+                          " ret=" + std::to_string(ret_addr));
+        cycles += 120 + static_cast<std::uint64_t>(slot);
+        regs.rax = rng.next() % 4096;
+        // Mimic the phase-1 skip logic on occasion: if the byte at
+        // the return address decodes as a (stale) syscall, hop it.
+        Insn next = decode(code, ret_addr);
+        if (next.op == Op::Syscall && rng.next() % 2 == 0)
+            return ret_addr + next.length;
+        return ret_addr;
+    }
+
+    GuestAddr
+    onInvalidOpcode(Regs &, CodeBuffer &code, GuestAddr ip) override
+    {
+        journal.push_back("ud2 ip=" + std::to_string(ip));
+        cycles += 900;
+        switch (rng.next() % 4) {
+          case 0:
+            return kFault;
+          case 1:
+            return ip + 1; // skip the bad byte
+          case 2:
+            // Jump somewhere pseudo-random inside (or just past)
+            // the text — may land mid-instruction, which is exactly
+            // the desync the differential must survive.
+            return code.base() + rng.next() % (code.size() + 2);
+          default:
+            return kFault;
+        }
+    }
+
+  private:
+    sim::Rng rng;
+};
+
+/** Assemble a random wrapper-like sequence; identical for any two
+ *  calls with the same seed. */
+void
+assembleRandom(CodeBuffer &code, sim::Rng &rng)
+{
+    Assembler as(code);
+    int len = 1 + static_cast<int>(rng.next() % 12);
+    for (int i = 0; i < len; ++i) {
+        switch (rng.next() % 12) {
+          case 0:
+            as.movEaxImm(static_cast<std::uint32_t>(rng.next()));
+            break;
+          case 1:
+            as.movRaxImm(static_cast<std::int32_t>(rng.next()));
+            break;
+          case 2:
+            as.movRaxFromRsp(static_cast<std::uint8_t>(
+                8 * (rng.next() % Regs::kStackSlots)));
+            break;
+          case 3:
+            as.movEdiImm(static_cast<std::uint32_t>(rng.next()));
+            break;
+          case 4:
+            as.movEsiImm(static_cast<std::uint32_t>(rng.next()));
+            break;
+          case 5:
+            as.movEdxImm(static_cast<std::uint32_t>(rng.next()));
+            break;
+          case 6:
+            as.nop(1 + static_cast<int>(rng.next() % 3));
+            break;
+          case 7:
+            as.syscallInsn();
+            break;
+          case 8:
+            as.callAbs(vsyscallSlotAddr(
+                static_cast<int>(rng.next() % 16)));
+            break;
+          case 9:
+            // call to a non-vsyscall target: invalid-opcode path.
+            as.callAbs(0x400000 + rng.next() % 0x1000);
+            break;
+          case 10:
+            // Raw garbage byte: undecodable.
+            code.append(static_cast<std::uint8_t>(
+                0x60 + rng.next() % 8));
+            break;
+          default: {
+            // Forward jmp landing anywhere in the next few bytes —
+            // including mid-instruction once later bytes exist.
+            GuestAddr at = as.here();
+            as.jmpTo(at + 2 + rng.next() % 6);
+            break;
+          }
+        }
+    }
+    as.ret();
+}
+
+struct Outcome
+{
+    RunResult r;
+    Regs regs;
+    std::vector<std::string> journal;
+    std::uint64_t cycles = 0;
+};
+
+Outcome
+runOne(std::uint64_t seed, bool superblocks, std::uint64_t budget)
+{
+    sim::Rng rng(seed);
+    CodeBuffer code(0x1000);
+    assembleRandom(code, rng);
+
+    Outcome out;
+    out.regs.rax = rng.next();
+    out.regs.rdi = rng.next();
+    out.regs.rsi = rng.next();
+    out.regs.rdx = rng.next();
+    for (auto &slot : out.regs.stack)
+        slot = rng.next() % 512;
+
+    JournalEnv env(seed ^ 0x5b7e11ull);
+    if (superblocks) {
+        SuperblockCache cache;
+        out.r = cache.execute(code, 0x1000, out.regs, env, budget);
+    } else {
+        out.r = execute(code, 0x1000, out.regs, env, budget);
+    }
+    out.journal = std::move(env.journal);
+    out.cycles = env.cycles;
+    return out;
+}
+
+void
+expectSame(std::uint64_t seed, const Outcome &a, const Outcome &b)
+{
+    ASSERT_EQ(a.r.instructions, b.r.instructions) << "seed " << seed;
+    ASSERT_EQ(a.r.faulted, b.r.faulted) << "seed " << seed;
+    ASSERT_EQ(a.r.hitLimit, b.r.hitLimit) << "seed " << seed;
+    ASSERT_EQ(a.cycles, b.cycles) << "seed " << seed;
+    ASSERT_EQ(a.regs.rax, b.regs.rax) << "seed " << seed;
+    ASSERT_EQ(a.regs.rdi, b.regs.rdi) << "seed " << seed;
+    ASSERT_EQ(a.regs.rsi, b.regs.rsi) << "seed " << seed;
+    ASSERT_EQ(a.regs.rdx, b.regs.rdx) << "seed " << seed;
+    ASSERT_EQ(a.journal, b.journal) << "seed " << seed;
+}
+
+TEST(SuperblockDifferential, RandomSequencesLockstep)
+{
+    // ~1e5 sequences; the budget keeps jmp-loops bounded while still
+    // exercising the hitLimit path on both sides.
+    for (std::uint64_t seed = 1; seed <= 100000; ++seed) {
+        Outcome ref = runOne(seed, false, 200);
+        Outcome sb = runOne(seed, true, 200);
+        expectSame(seed, ref, sb);
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+}
+
+TEST(SuperblockDifferential, TinyBudgetsLockstep)
+{
+    // Budget exhaustion must bite at the same instruction regardless
+    // of block shape: sweep budgets across the same programs.
+    for (std::uint64_t seed = 1; seed <= 2000; ++seed) {
+        for (std::uint64_t budget : {1ull, 2ull, 3ull, 5ull, 9ull}) {
+            Outcome ref = runOne(seed, false, budget);
+            Outcome sb = runOne(seed, true, budget);
+            expectSame(seed * 16 + budget, ref, sb);
+            if (::testing::Test::HasFatalFailure())
+                return;
+        }
+    }
+}
+
+/** Env that patches code text mid-run: the first syscall rewrites
+ *  its own site into nops (ABOM-style), which must invalidate any
+ *  cached superblocks before the next block executes. */
+class PatchingEnv : public ExecEnv
+{
+  public:
+    std::vector<std::string> journal;
+
+    GuestAddr
+    onSyscall(Regs &regs, CodeBuffer &code,
+              GuestAddr ip_after) override
+    {
+        journal.push_back("sys nr=" + std::to_string(regs.rax));
+        if (!patched_) {
+            patched_ = true;
+            // Overwrite the 2-byte syscall just executed with nops.
+            code.write8(ip_after - 2, kOpNop);
+            code.write8(ip_after - 1, kOpNop);
+        }
+        regs.rax = 7;
+        return ip_after;
+    }
+
+    GuestAddr
+    onVsyscallCall(int slot, Regs &, CodeBuffer &,
+                   GuestAddr ret_addr) override
+    {
+        journal.push_back("vsys slot=" + std::to_string(slot));
+        return ret_addr;
+    }
+
+    GuestAddr
+    onInvalidOpcode(Regs &, CodeBuffer &, GuestAddr ip) override
+    {
+        journal.push_back("ud2 ip=" + std::to_string(ip));
+        return kFault;
+    }
+
+  private:
+    bool patched_ = false;
+};
+
+TEST(SuperblockDifferential, MidRunPatchInvalidatesCache)
+{
+    // loop: mov; syscall; jmp loop — the second iteration must see
+    // the patched (nop'd) text, not a stale superblock.
+    auto build = [](CodeBuffer &code) {
+        Assembler as(code);
+        GuestAddr entry = as.movEaxImm(39);
+        as.syscallInsn();
+        as.jmpTo(entry);
+        return entry;
+    };
+
+    CodeBuffer refCode(0x1000);
+    GuestAddr entry = build(refCode);
+    Regs refRegs;
+    PatchingEnv refEnv;
+    RunResult ref = execute(refCode, entry, refRegs, refEnv, 50);
+
+    CodeBuffer sbCode(0x1000);
+    build(sbCode);
+    Regs sbRegs;
+    PatchingEnv sbEnv;
+    SuperblockCache cache;
+    RunResult sb = cache.execute(sbCode, entry, sbRegs, sbEnv, 50);
+
+    EXPECT_EQ(ref.instructions, sb.instructions);
+    EXPECT_EQ(ref.hitLimit, sb.hitLimit);
+    EXPECT_EQ(refEnv.journal, sbEnv.journal);
+    EXPECT_EQ(refRegs.rax, sbRegs.rax);
+    EXPECT_GE(cache.invalidations(), 2u); // initial key + the patch
+}
+
+TEST(SuperblockDifferential, CacheReusesBlocksAcrossCalls)
+{
+    CodeBuffer code(0x1000);
+    Assembler as(code);
+    GuestAddr entry = as.movEaxImm(1);
+    as.nop(4);
+    as.ret();
+
+    SuperblockCache cache;
+    JournalEnv env(1);
+    for (int i = 0; i < 10; ++i) {
+        Regs regs;
+        RunResult r = cache.execute(code, entry, regs, env);
+        EXPECT_EQ(r.instructions, 6u);
+    }
+    EXPECT_EQ(cache.blockCount(), 1u);
+    EXPECT_EQ(cache.invalidations(), 1u); // first-touch key only
+}
+
+} // namespace
+} // namespace xc::isa

@@ -16,6 +16,7 @@
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "sim/snapshot.h"
+#include "sim/sweep.h"
 
 namespace xc::sim {
 namespace {
@@ -202,6 +203,39 @@ TEST(SnapshotFuzz, CorruptQueueSectionRejectedStructurally)
     EventQueue fresh;
     SnapReader r(bad);
     EXPECT_THROW(fresh.loadState(r), SnapError);
+}
+
+TEST(SnapshotFuzz, CorruptDomainRunQueueRejectedStructurally)
+{
+    // Same structural validation, but on a queue that just finished
+    // a lookahead-domain run (DESIGN.md §15): cross-domain injection
+    // must leave the slab in a state whose corruption is still
+    // caught, not one the validator no longer understands.
+    EventQueue q0, q1;
+    DomainSet ds(2);
+    ds.attach(0, &q0);
+    ds.attach(1, &q1);
+    q0.post(1, [&ds, &q0] { ds.post(1, q0.now() + 40, [] {}); });
+    ds.run(200, 40);
+    q1.schedule(250, [] {});
+
+    SnapWriter w;
+    q1.saveState(w);
+    std::string good = w.take();
+    std::string bad = good;
+    std::size_t freeHeadOff = 8 * 5 + 4;
+    std::uint32_t evil = 0x7fffffff;
+    std::memcpy(&bad[freeHeadOff], &evil, sizeof evil);
+    EventQueue fresh;
+    SnapReader r(bad);
+    EXPECT_THROW(fresh.loadState(r), SnapError);
+    // The untampered bytes still load and re-save as a fixed point.
+    EventQueue ok;
+    SnapReader r2(good);
+    ok.loadState(r2);
+    SnapWriter w2;
+    ok.saveState(w2);
+    EXPECT_EQ(w2.take(), good);
 }
 
 TEST(SnapshotFuzz, LoadFileMissingPathThrows)

@@ -18,11 +18,16 @@
 #include "hw/page_table.h"
 #include "hw/phys_memory.h"
 #include "apps/images.h"
+#include "guestos/process.h"
+#include "guestos/sys.h"
+#include "isa/superblock.h"
+#include "isa/syscall_stub.h"
 #include "runtimes/runtime.h"
 #include "sim/event_queue.h"
 #include "sim/mech_counters.h"
 #include "sim/rng.h"
 #include "sim/snapshot.h"
+#include "sim/sweep.h"
 #include "sim/timeseries.h"
 
 namespace xc {
@@ -297,6 +302,141 @@ TEST(SnapshotRoundtrip, XContainerRuntime)
     std::string a = saved(*rt);
     loadFrom(*rt, a);
     EXPECT_EQ(saved(*rt), a);
+}
+
+// --- derived state: superblock caches & lookahead domains ------------
+//
+// Neither the superblock translation cache (DESIGN.md §15) nor the
+// lookahead-domain partition is serialized: both are re-derived on
+// restore — the cache by re-translating patched text on first
+// execution, the partition from the recipe's machine-id map. These
+// tests pin that down: snapshots taken with warm and never-warmed
+// caches are byte-identical, and domain-run queues snapshot to the
+// same fixed point on every identical run.
+
+namespace {
+
+/** Boot an X-Container, run a thread through a burst of patched
+ *  syscalls, and return the runtime snapshot plus the image's
+ *  superblock-cache population. */
+std::pair<std::string, std::size_t>
+syscallBurstSnapshot(bool superblocks)
+{
+    isa::setSuperblocksEnabled(superblocks);
+    auto image = apps::glibcImage("img");
+    auto rt = runtimes::makeRuntime(
+        "x-container", hw::MachineSpec::ec2C4_2xlarge());
+    runtimes::ContainerOpts copts;
+    copts.name = "xc0";
+    copts.image = image;
+    auto *c = rt->createContainer(copts);
+    guestos::Process *proc = c->createProcess("p0", image);
+    c->kernel().spawnThread(
+        proc, "t0", [](guestos::Thread &t) -> sim::Task<void> {
+            guestos::Sys sys(t);
+            for (int i = 0; i < 50; ++i) {
+                co_await sys.getpid();
+                co_await sys.getuid();
+                co_await sys.umask(022);
+            }
+        });
+    rt->machine().events().runUntil(5 * sim::kTicksPerMs);
+    std::pair<std::string, std::size_t> out(
+        saved(*rt), image->stubs->superblocks().blockCount());
+    isa::setSuperblocksEnabled(true);
+    return out;
+}
+
+} // namespace
+
+TEST(SnapshotRoundtrip, SuperblockCacheIsDerivedNotSerialized)
+{
+    // Same recipe executed twice: once through the superblock cache,
+    // once through the verbatim interpreter (cache never touched).
+    // If any cache state leaked into the snapshot — or if superblock
+    // execution charged even one cycle differently — the byte
+    // strings would differ.
+    auto warm = syscallBurstSnapshot(true);
+    auto cold = syscallBurstSnapshot(false);
+    EXPECT_GT(warm.second, 0u); // the cache really was exercised
+    EXPECT_EQ(cold.second, 0u); // ...and really was bypassed here
+    EXPECT_EQ(warm.first, cold.first);
+}
+
+TEST(SnapshotRoundtrip, SuperblockCacheUntouchedByLoadState)
+{
+    // loadState neither clears nor repopulates the cache — it simply
+    // is not in the snapshot. A restore-by-replay starts cold (the
+    // previous test) and a live reload keeps whatever is warm.
+    isa::setSuperblocksEnabled(true);
+    auto image = apps::glibcImage("img");
+    auto rt = runtimes::makeRuntime(
+        "x-container", hw::MachineSpec::ec2C4_2xlarge());
+    runtimes::ContainerOpts copts;
+    copts.name = "xc0";
+    copts.image = image;
+    auto *c = rt->createContainer(copts);
+    guestos::Process *proc = c->createProcess("p0", image);
+    c->kernel().spawnThread(
+        proc, "t0", [](guestos::Thread &t) -> sim::Task<void> {
+            guestos::Sys sys(t);
+            for (int i = 0; i < 20; ++i)
+                co_await sys.getpid();
+        });
+    rt->machine().events().runUntil(5 * sim::kTicksPerMs);
+
+    std::size_t blocks = image->stubs->superblocks().blockCount();
+    ASSERT_GT(blocks, 0u);
+    std::string a = saved(*rt);
+    loadFrom(*rt, a);
+    EXPECT_EQ(saved(*rt), a);
+    EXPECT_EQ(image->stubs->superblocks().blockCount(), blocks);
+}
+
+TEST(SnapshotRoundtrip, DomainRunQueuesSnapshotToSameFixedPoint)
+{
+    // A two-domain run with cross-domain traffic: every domain queue
+    // must be a save→load→save fixed point afterwards, and repeating
+    // the identical run must reproduce the identical per-queue bytes
+    // — the partition re-derives from the recipe, so nothing about
+    // it needs to live in (or perturb) the queue snapshots.
+    constexpr sim::Tick W = 40;
+    auto runOnce = []() {
+        std::vector<std::string> out;
+        sim::EventQueue q0, q1;
+        sim::DomainSet ds(2);
+        ds.attach(0, &q0);
+        ds.attach(1, &q1);
+        struct Pump
+        {
+            sim::DomainSet *ds;
+            sim::EventQueue *q;
+            int d;
+            void
+            operator()() const
+            {
+                Pump next = *this;
+                next.d = 1 - d;
+                next.q = ds->queueOf(next.d);
+                if (q->now() + W <= 600)
+                    ds->post(next.d, q->now() + W, next);
+            }
+        };
+        q0.post(3, Pump{&ds, &q0, 0});
+        q1.post(5, Pump{&ds, &q1, 1});
+        ds.run(600, W);
+        out.push_back(saved(q0));
+        out.push_back(saved(q1));
+        return out;
+    };
+
+    std::vector<std::string> a = runOnce();
+    for (const std::string &bytes : a) {
+        sim::EventQueue fresh;
+        loadFrom(fresh, bytes);
+        EXPECT_EQ(saved(fresh), bytes);
+    }
+    EXPECT_EQ(runOnce(), a);
 }
 
 // --- observability ----------------------------------------------------
