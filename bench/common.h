@@ -24,11 +24,13 @@
 #include "apps/kv.h"
 #include "apps/nginx.h"
 #include "apps/php_mysql.h"
+#include "provenance.h"
 #include "fault/fault.h"
 #include "isa/superblock.h"
 #include "load/driver.h"
 #include "runtimes/runtime.h"
 #include "sim/ctl.h"
+#include "sim/metrics.h"
 #include "sim/profile.h"
 #include "sim/request_ctx.h"
 #include "sim/sweep.h"
@@ -38,6 +40,18 @@
 namespace xc::bench {
 
 using runtimes::Runtime;
+
+/** Write @p data to @p path; false on I/O failure. */
+inline bool
+writeTextFile(const std::string &path, const std::string &data)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    bool ok =
+        std::fwrite(data.data(), 1, data.size(), f) == data.size();
+    return std::fclose(f) == 0 && ok;
+}
 
 /**
  * The flags every bench accepts:
@@ -51,6 +65,10 @@ using runtimes::Runtime;
  *   --profile FILE    cycle-attribution profile (JSON + .collapsed)
  *   --flight N        flight-record up to N requests per run
  *   --timeseries FILE sample throughput/utilization time series
+ *   --metrics FILE    enable the labeled-metrics registry and write
+ *                     its JSON exposition to FILE at the end
+ *   --slo-log FILE    write the SLO alert event log to FILE
+ *                     (fig_slo)
  *   --mech            print the mechanism-cycle breakdown
  *   --faults RATE     inject FaultPlan::uniform(RATE)
  *   --quick           smaller sweep (CI)
@@ -89,6 +107,11 @@ struct Options
     std::string profilePath;
     int flightSamples = 0; ///< 0 = flight recorder off
     std::string timeseriesPath;
+    std::string metricsPath;
+    /** Benches that need the registry regardless of --metrics
+     *  (fig_slo) set this before startObservability(). */
+    bool metricsForce = false;
+    std::string sloLogPath; ///< --slo-log: alert event log (fig_slo)
     bool mech = false;
     double faultRate = 0.0;
     bool quick = false;
@@ -142,6 +165,10 @@ struct Options
                 o.flightSamples = std::atoi(v);
             } else if (const char *v = value("--timeseries")) {
                 o.timeseriesPath = v;
+            } else if (const char *v = value("--metrics")) {
+                o.metricsPath = v;
+            } else if (const char *v = value("--slo-log")) {
+                o.sloLogPath = v;
             } else if (std::strcmp(a, "--mech") == 0) {
                 o.mech = true;
             } else if (const char *v = value("--faults")) {
@@ -191,7 +218,8 @@ struct Options
                     "[--duration MS] [--connections N] "
                     "[--trace out.json] [--trace-cat LIST] "
                     "[--profile out.json] [--flight N] "
-                    "[--timeseries out.json] [--mech] "
+                    "[--timeseries out.json] [--metrics out.json] "
+                    "[--slo-log FILE] [--mech] "
                     "[--faults RATE] [--quick] [--golden out.json] "
                     "[--checkpoint-at MS] [--checkpoint FILE] "
                     "[--restore FILE] [--no-fork] [--cloud NAME] "
@@ -213,7 +241,8 @@ struct Options
              !o.ctlReplay.empty() || o.checkpointAt != 0 ||
              !o.checkpointPath.empty() || !o.restorePath.empty() ||
              !o.tracePath.empty() || !o.profilePath.empty() ||
-             o.flightSamples != 0 || !o.timeseriesPath.empty())) {
+             o.flightSamples != 0 || !o.timeseriesPath.empty() ||
+             !o.metricsPath.empty())) {
             // Domain-parallel runs support only the plain measurement
             // path: faults can reset/crash across domains, and the
             // observability sinks assume a single simulation thread.
@@ -221,7 +250,7 @@ struct Options
                          "%s: --domains is incompatible with "
                          "--faults/--ctl/--ctl-replay/--checkpoint/"
                          "--restore/--trace/--profile/--flight/"
-                         "--timeseries\n",
+                         "--timeseries/--metrics\n",
                          argv[0]);
             std::exit(2);
         }
@@ -303,14 +332,17 @@ struct Options
             sim::trace::startCapture();
     }
 
-    /** Stop + write the trace; returns nonzero on write failure. */
+    /** Stop + write the trace (provenance-stamped); returns nonzero
+     *  on write failure. */
     int
     finishTrace() const
     {
         if (tracePath.empty())
             return 0;
         sim::trace::stopCapture();
-        if (!sim::trace::saveJson(tracePath)) {
+        if (!writeTextFile(tracePath,
+                           stampProvenance(sim::trace::exportJson(),
+                                           seed, runtime))) {
             std::fprintf(stderr, "failed to write %s\n",
                          tracePath.c_str());
             return 1;
@@ -327,6 +359,10 @@ struct Options
     bool profiling() const { return !profilePath.empty(); }
     bool flightRecording() const { return flightSamples > 0; }
     bool sampling() const { return !timeseriesPath.empty(); }
+    bool metricsOn() const
+    {
+        return metricsForce || !metricsPath.empty();
+    }
 
     /** Arm every observability facility the flags selected. Call
      *  once, before the first run; pair with finishObservability. */
@@ -338,6 +374,8 @@ struct Options
         startTrace();
         if (profiling())
             sim::prof::enable();
+        if (metricsOn())
+            sim::metrics::enable();
     }
 
     /**
@@ -364,7 +402,10 @@ struct Options
         if (profiling()) {
             sim::prof::disable();
             std::string collapsed = profilePath + ".collapsed";
-            if (!sim::prof::saveJson(profilePath) ||
+            if (!writeTextFile(
+                    profilePath,
+                    stampProvenance(sim::prof::exportJson(), seed,
+                                    runtime)) ||
                 !sim::prof::saveCollapsed(collapsed)) {
                 std::fprintf(stderr, "failed to write %s\n",
                              profilePath.c_str());
@@ -378,6 +419,20 @@ struct Options
         if (flightRecording()) {
             std::fputs(sim::flight::renderAll().c_str(), stdout);
             sim::flight::clear();
+        }
+        if (!metricsPath.empty()) {
+            if (!writeTextFile(
+                    metricsPath,
+                    stampProvenance(sim::metrics::exportJson(), seed,
+                                    runtime))) {
+                std::fprintf(stderr, "failed to write %s\n",
+                             metricsPath.c_str());
+                rc = 1;
+            } else {
+                std::printf("wrote %zu metric families to %s\n",
+                            sim::metrics::familyCount(),
+                            metricsPath.c_str());
+            }
         }
         return rc;
     }
@@ -398,13 +453,16 @@ struct Options
                              : sim::trace::parseCategories(traceCat);
         bool capture = !tracePath.empty();
         bool profile = profiling();
-        return [mask, capture, profile] {
+        bool metricsCell = metricsOn();
+        return [mask, capture, profile, metricsCell] {
             if (mask != 0)
                 sim::trace::enable(mask);
             if (capture)
                 sim::trace::startCapture();
             if (profile)
                 sim::prof::enable();
+            if (metricsCell)
+                sim::metrics::enable();
         };
     }
 };
@@ -486,8 +544,14 @@ struct SeriesLog
 {
     std::string path;
     std::string buf;
+    std::uint64_t seed = 0;
+    std::string runtime;
 
-    explicit SeriesLog(std::string p) : path(std::move(p)) {}
+    explicit SeriesLog(std::string p, std::uint64_t s = 0,
+                       std::string rt = "")
+        : path(std::move(p)), seed(s), runtime(std::move(rt))
+    {
+    }
 
     bool enabled() const { return !path.empty(); }
 
@@ -501,13 +565,15 @@ struct SeriesLog
         buf += "{\"label\":\"" + label + "\",\"data\":" + json + "}";
     }
 
-    /** Write the document; returns nonzero on failure. */
+    /** Write the document (provenance-stamped); returns nonzero on
+     *  failure. */
     int
     finish() const
     {
         if (!enabled())
             return 0;
-        std::string out = "{\"runs\":[\n" + buf + "\n]}\n";
+        std::string out = stampProvenance(
+            "{\"runs\":[\n" + buf + "\n]}\n", seed, runtime);
         std::FILE *f = std::fopen(path.c_str(), "w");
         if (!f ||
             std::fwrite(out.data(), 1, out.size(), f) != out.size()) {
@@ -657,6 +723,16 @@ struct MacroRun
     sim::Tick hookAt = 0;
     std::function<void()> hook;
     /**
+     * Additional timed events posted right after the hook event, in
+     * order (fault storms, load-spike starts, SLO evaluations —
+     * fig_slo). Same determinism argument as hook: posting them
+     * shifts later tie-break sequence numbers uniformly, so a run
+     * without them is untouched and a run with them is byte-identical
+     * at any -j. Incompatible with domains > 1.
+     */
+    std::vector<std::pair<sim::Tick, std::function<void()>>>
+        extraEvents;
+    /**
      * Called once with the driver right after construction (before
      * any event runs) — the control plane uses it to hold a pointer
      * for live status queries. Must not start/steer the driver.
@@ -719,6 +795,54 @@ runMacro(Runtime &rt, MacroApp app, const MacroRun &run)
 
     spec.requestTimeout = run.requestTimeout;
     spec.retryBudget = run.retryBudget;
+    spec.metricRuntime = rt.name();
+    spec.metricApp = macroAppName(app);
+
+    // Mirror the per-cell mechanism counters and queue depths into
+    // the labeled-metrics registry as scrape-time collectors (zero
+    // cost between scrapes). Their callbacks reference run-local
+    // objects, so they are finalized before runMacro returns.
+    if (sim::metrics::enabled()) {
+        namespace m = sim::metrics;
+        const std::string &rtName = rt.name();
+        const char *appName = macroAppName(app);
+        hw::Machine *mach = &rt.machine();
+        for (int i = 0; i < sim::kMechCount; ++i) {
+            auto mech = static_cast<sim::Mech>(i);
+            m::addCollector(
+                "xc_mech_cycles_total",
+                "cycles attributed to each isolation mechanism",
+                m::Kind::Counter, {"runtime", "mech"},
+                {rtName, sim::mechName(mech)}, [mach, mech] {
+                    return static_cast<double>(
+                        mach->mech().cyclesOf(mech));
+                });
+        }
+        guestos::NetFabric *fab = &rt.fabric();
+        m::addCollector("xc_net_backlog",
+                        "accept-backlog depth summed over listeners",
+                        m::Kind::Gauge, {"runtime"}, {rtName},
+                        [fab] {
+                            return static_cast<double>(
+                                fab->totalBacklog());
+                        });
+        guestos::GuestKernel *k = &c->kernel();
+        m::addCollector("xc_runq_depth",
+                        "runnable threads queued in the guest kernel",
+                        m::Kind::Gauge, {"runtime", "app"},
+                        {rtName, appName}, [k] {
+                            return static_cast<double>(
+                                k->runQueueLength());
+                        });
+        if (hw::CorePool *pool = k->schedPool()) {
+            m::addCollector(
+                "xc_cpu_pool_waiting",
+                "vCPUs waiting for a core in the scheduling pool",
+                m::Kind::Gauge, {"runtime"}, {rtName}, [pool] {
+                    return static_cast<double>(pool->waiting());
+                });
+        }
+    }
 
     const sim::Tick limit = 10 * sim::kTicksPerMs + spec.warmup +
                             spec.duration + 50 * sim::kTicksPerMs;
@@ -729,7 +853,7 @@ runMacro(Runtime &rt, MacroApp app, const MacroRun &run)
         // separate queues advanced on their own host threads. Only
         // the plain measurement configuration is supported.
         XC_ASSERT(!run.hook && run.series == nullptr &&
-                  !run.driverObserver);
+                  !run.driverObserver && run.extraEvents.empty());
         const int n = run.domains;
         std::vector<std::unique_ptr<sim::EventQueue>> clientQs;
         for (int d = 1; d < n; ++d)
@@ -785,9 +909,13 @@ runMacro(Runtime &rt, MacroApp app, const MacroRun &run)
                                [&] { driver.start(); });
     if (run.hookAt != 0 && run.hook)
         rt.machine().events().post(run.hookAt, [&run] { run.hook(); });
+    for (const auto &ev : run.extraEvents)
+        rt.machine().events().post(ev.first, ev.second);
     rt.machine().events().runUntil(limit);
     if (run.series != nullptr)
         run.series->stop();
+    if (sim::metrics::enabled())
+        sim::metrics::finalizeCollectors();
     return driver.collect();
 }
 

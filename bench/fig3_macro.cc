@@ -93,7 +93,7 @@ main(int argc, char **argv)
 
     opt.startObservability();
     GoldenLog golden(opt.goldenPath);
-    SeriesLog seriesLog(opt.timeseriesPath);
+    SeriesLog seriesLog(opt.timeseriesPath, opt.seed, opt.runtime);
 
     struct Cell
     {
@@ -243,6 +243,16 @@ main(int argc, char **argv)
                 if (opt.flightRecording()) {
                     hooks.flight = [] {
                         return sim::flight::renderAll();
+                    };
+                }
+                if (opt.metricsOn()) {
+                    // Live scrape for `xc_ctl metrics` / `watch`:
+                    // reads the cell's own registry state (the hook
+                    // runs on the simulation thread).
+                    hooks.metrics = [](const std::string &format) {
+                        return format == "json"
+                                   ? sim::metrics::exportJson()
+                                   : sim::metrics::renderText();
                     };
                 }
                 hooks.injectFaults = [rtp, seed = opt.seed](

@@ -58,7 +58,7 @@ main(int argc, char **argv)
 
     opt.startObservability();
     GoldenLog golden(opt.goldenPath);
-    SeriesLog seriesLog(opt.timeseriesPath);
+    SeriesLog seriesLog(opt.timeseriesPath, opt.seed, opt.runtime);
 
     sim::Tick duration =
         opt.durationOr((opt.quick ? 50 : 200) * sim::kTicksPerMs);

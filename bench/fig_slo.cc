@@ -1,0 +1,375 @@
+/**
+ * @file
+ * SLO figure: NGINX cells driven through a mid-run fault storm and a
+ * load spike while sim-time SLO monitors (DESIGN.md §16) evaluate an
+ * availability objective and a coordinated-omission-free latency
+ * objective at quantized ticks. The deterministic alert event log
+ * (FIRE/CLEAR transitions with sim timestamps) is the figure's
+ * output — and its golden: the log must be byte-identical across
+ * hosts, across -j1/-j4 sweeps, and across checkpoint/restore.
+ *
+ * Timeline within each cell (sim time):
+ *
+ *   10 ms          closed-loop driver starts (20 ms warmup)
+ *   storm window   FaultPlan::uniform(rate) installed, then cleared
+ *   spike window   a second ab driver at 4x connections starts
+ *   every 10 ms    Monitor::evaluate() samples the metrics registry
+ *
+ * The storm degrades availability (timeouts/resets -> error-budget
+ * burn) and the spike degrades latency (queueing -> threshold
+ * violations); both SLOs fire and then clear as the run recovers.
+ *
+ * The metrics registry is force-enabled (the SLO monitors read it),
+ * so this bench also exercises the full metrics pipeline even when
+ * --metrics is not given.
+ */
+
+#include "checkpoint.h"
+#include "common.h"
+#include "sim/slo.h"
+
+using namespace xc;
+using namespace xc::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opt = Options::parse(argc, argv);
+    opt.metricsForce = true; // the SLO monitors read the registry
+
+    // --checkpoint / --restore, exactly as fig3_macro (DESIGN.md
+    // §13): capture hooks onto the first cell, restore verifies and
+    // continues — the alert log must come out byte-identical.
+    bool capture = !opt.checkpointPath.empty();
+    if (capture && opt.checkpointAt == 0) {
+        std::fprintf(stderr,
+                     "%s: --checkpoint needs --checkpoint-at MS\n",
+                     argv[0]);
+        return 2;
+    }
+    sim::snap::Snapshot restoreSnap;
+    CellRecipe restoreRecipe;
+    bool restoring = !opt.restorePath.empty();
+    if (restoring) {
+        try {
+            restoreSnap =
+                sim::snap::Snapshot::loadFile(opt.restorePath);
+            restoreRecipe = snapshotRecipe(restoreSnap);
+        } catch (const sim::snap::SnapError &e) {
+            std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+            return 3;
+        }
+        if (restoreRecipe.bench != "fig_slo" ||
+            opt.seed != restoreRecipe.seed) {
+            std::fprintf(stderr,
+                         "%s: snapshot is from bench '%s' seed %llu; "
+                         "rerun with matching flags\n",
+                         argv[0], restoreRecipe.bench.c_str(),
+                         static_cast<unsigned long long>(
+                             restoreRecipe.seed));
+            return 3;
+        }
+    }
+
+    const hw::MachineSpec spec = hw::MachineSpec::ec2C4_2xlarge();
+    const std::vector<std::string> names = {
+        "docker", "xen-container", "x-container", "gvisor"};
+
+    // Timeline knobs (sim ticks). The run window is long enough for
+    // the storm + spike to land inside the measurement window and
+    // for the slow burn-rate window to drain afterwards.
+    const sim::Tick duration =
+        opt.durationOr((opt.quick ? 300 : 600) * sim::kTicksPerMs);
+    const sim::Tick quantum = 10 * sim::kTicksPerMs;
+    const sim::Tick stormAt = 80 * sim::kTicksPerMs;
+    const sim::Tick stormEnd = 150 * sim::kTicksPerMs;
+    const double stormRate = 0.02;
+    const sim::Tick spikeAt = 170 * sim::kTicksPerMs;
+    const sim::Tick horizon =
+        10 * sim::kTicksPerMs + 20 * sim::kTicksPerMs + duration;
+
+    std::printf("SLO monitors: NGINX through a fault storm "
+                "(rate %.3f @ %llu-%llu ms) and a 4x load spike "
+                "(@ %llu ms)\n\n",
+                stormRate,
+                static_cast<unsigned long long>(stormAt /
+                                                sim::kTicksPerMs),
+                static_cast<unsigned long long>(stormEnd /
+                                                sim::kTicksPerMs),
+                static_cast<unsigned long long>(spikeAt /
+                                                sim::kTicksPerMs));
+
+    opt.startObservability();
+    GoldenLog golden(opt.goldenPath);
+
+    struct Cell
+    {
+        std::string name;
+    };
+    struct Result
+    {
+        bool available = false;
+        std::string reason;
+        load::LoadResult r;
+        std::uint64_t spikeRequests = 0;
+        double simSec = 0.0;
+        std::string alertLog; ///< Monitor::renderLog()
+        std::string sloJson;  ///< Monitor::exportJson()
+    };
+
+    std::vector<Cell> cells;
+    for (const std::string &name : names)
+        if (opt.wantRuntime(name))
+            cells.push_back(Cell{name});
+
+    std::vector<Result> results = runSweep(
+        opt, cells, [&](const Cell &cell) -> Result {
+            Result res;
+            auto built = makeCloudRuntime(cell.name, spec, opt);
+            if (!built) {
+                res.reason =
+                    std::string(runtimes::makeStatusName(
+                        built.status)) +
+                    ": " + built.reason;
+                return res;
+            }
+            auto rt = std::move(built.runtime);
+            res.available = true;
+            runtimes::Runtime *rtp = rt.get();
+
+            MacroRun run;
+            run.connections = opt.connectionsOr(opt.quick ? 40 : 80);
+            run.duration = duration;
+            run.seed = opt.seed;
+            run.requestTimeout = 25 * sim::kTicksPerMs;
+            run.retryBudget = 2;
+            run.observeMech = opt.mech || golden.enabled();
+            opt.beginRun("nginx/slo/" + cell.name,
+                         static_cast<double>(spec.periodTicks()));
+
+            // The two objectives. Windows are sized for the sim run
+            // (fast 40 ms / slow 120 ms at a 10 ms cadence), not for
+            // wall-clock ops; the burn math is identical.
+            sim::slo::Monitor monitor(quantum);
+            {
+                sim::slo::Spec avail;
+                avail.name = "nginx-availability";
+                avail.kind = sim::slo::Spec::Kind::ErrorRate;
+                avail.metric = "xc_requests_total";
+                avail.match = {{"runtime", cell.name},
+                               {"app", "nginx"}};
+                avail.objective = 0.999;
+                avail.fastWindow = 40 * sim::kTicksPerMs;
+                avail.slowWindow = 120 * sim::kTicksPerMs;
+                avail.fastBurn = 10.0;
+                avail.slowBurn = 5.0;
+                monitor.addSpec(avail);
+
+                sim::slo::Spec lat;
+                lat.name = "nginx-latency-p99";
+                lat.kind = sim::slo::Spec::Kind::Latency;
+                lat.metric = "xc_request_intended_latency_us";
+                lat.match = {{"runtime", cell.name},
+                             {"app", "nginx"}};
+                lat.latencyThresholdUs = 1000.0;
+                lat.objective = 0.95;
+                lat.fastWindow = 40 * sim::kTicksPerMs;
+                lat.slowWindow = 120 * sim::kTicksPerMs;
+                lat.fastBurn = 4.0;
+                lat.slowBurn = 2.0;
+                monitor.addSpec(lat);
+            }
+
+            // Load spike: a second ab driver at 4x connections whose
+            // own metrics are labeled app="nginx-spike" so the SLO
+            // reads only the steady workload's series (the spike
+            // still degrades it through server queueing).
+            load::WorkloadSpec spikeSpec = load::abSpec(
+                guestos::SockAddr{rt->hostIp(), 8080},
+                run.connections * 4, 60 * sim::kTicksPerMs);
+            spikeSpec.requestTimeout = run.requestTimeout;
+            spikeSpec.retryBudget = run.retryBudget;
+            spikeSpec.metricRuntime = cell.name;
+            spikeSpec.metricApp = "nginx-spike";
+            load::ClosedLoopDriver spike(rt->fabric(), spikeSpec,
+                                         opt.seed + 1);
+
+            // Timed events: storm on/off, spike start, and the SLO
+            // evaluation cadence across the whole run.
+            run.extraEvents.emplace_back(
+                stormAt, [rtp, &opt, stormRate] {
+                    rtp->installFaults(fault::FaultPlan::uniform(
+                        stormRate, opt.seed));
+                });
+            run.extraEvents.emplace_back(stormEnd, [rtp] {
+                rtp->installFaults(fault::FaultPlan{});
+            });
+            run.extraEvents.emplace_back(spikeAt,
+                                         [&spike] { spike.start(); });
+            for (sim::Tick t = quantum; t <= horizon; t += quantum)
+                run.extraEvents.emplace_back(
+                    t, [&monitor, t] { monitor.evaluate(t); });
+
+            if (capture && &cell == &cells[0]) {
+                CellRecipe rec;
+                rec.bench = "fig_slo";
+                rec.app = "nginx";
+                rec.cloud = "Amazon EC2";
+                rec.runtime = cell.name;
+                rec.seed = opt.seed;
+                rec.duration = run.duration;
+                rec.connections = run.connections;
+                rec.faultRate = opt.faultRate;
+                rec.checkpointAt = opt.checkpointAt;
+                run.hookAt = opt.checkpointAt;
+                run.hook = [&rt, rec, &opt] {
+                    try {
+                        captureSnapshot(*rt, rec)
+                            .save(opt.checkpointPath);
+                    } catch (const sim::snap::SnapError &e) {
+                        std::fprintf(stderr,
+                                     "checkpoint failed: %s\n",
+                                     e.what());
+                        std::exit(3);
+                    }
+                    std::fprintf(
+                        stderr, "checkpointed %s at sim time %llu\n",
+                        opt.checkpointPath.c_str(),
+                        static_cast<unsigned long long>(
+                            rec.checkpointAt));
+                };
+            } else if (restoring &&
+                       restoreRecipe.runtime == cell.name) {
+                if (run.duration != restoreRecipe.duration ||
+                    run.connections != restoreRecipe.connections) {
+                    std::fprintf(stderr,
+                                 "restore: run window differs from "
+                                 "the snapshot's recipe\n");
+                    std::exit(3);
+                }
+                run.hookAt = restoreRecipe.checkpointAt;
+                run.hook = [&rt, &restoreSnap] {
+                    verifySnapshotOrDie(*rt, restoreSnap);
+                };
+            }
+
+            // Live control plane on the first cell: the metrics and
+            // slo verbs make `xc_ctl watch` show the storm land.
+            std::unique_ptr<sim::ctl::Session> ctl;
+            load::ClosedLoopDriver *driverPtr = nullptr;
+            if (opt.ctlEnabled() && &cell == &cells[0]) {
+                sim::ctl::SessionHooks hooks;
+                std::string run_label = "nginx/slo/" + cell.name;
+                hooks.status = [rtp, &driverPtr, run_label] {
+                    char s[192];
+                    std::snprintf(
+                        s, sizeof s, "%s tick=%llu completed=%llu",
+                        run_label.c_str(),
+                        static_cast<unsigned long long>(
+                            rtp->machine().events().now()),
+                        static_cast<unsigned long long>(
+                            driverPtr ? driverPtr->completed() : 0));
+                    return std::string(s);
+                };
+                hooks.mechJson = [rtp] {
+                    return rtp->machine().mech().renderJson();
+                };
+                hooks.metrics = [](const std::string &format) {
+                    return format == "json"
+                               ? sim::metrics::exportJson()
+                               : sim::metrics::renderText();
+                };
+                hooks.slo = [&monitor] {
+                    return monitor.renderText();
+                };
+                hooks.injectFaults = [rtp, seed = opt.seed](
+                                         double rate) {
+                    rtp->installFaults(
+                        rate <= 0.0
+                            ? fault::FaultPlan{}
+                            : fault::FaultPlan::uniform(rate, seed));
+                    return std::string();
+                };
+                try {
+                    ctl = std::make_unique<sim::ctl::Session>(
+                        rtp->machine().events(),
+                        opt.ctlSessionOptions(), std::move(hooks));
+                    ctl->start();
+                } catch (const sim::ctl::CtlError &e) {
+                    std::fprintf(stderr, "ctl: %s\n", e.what());
+                    std::exit(2);
+                }
+                run.driverObserver =
+                    [&driverPtr](load::ClosedLoopDriver &d) {
+                        driverPtr = &d;
+                    };
+            }
+
+            res.r = runMacro(*rt, MacroApp::Nginx, run);
+            res.spikeRequests = spike.completed();
+            res.simSec =
+                static_cast<double>(rt->machine().events().now()) /
+                sim::kTicksPerSec;
+            res.alertLog = monitor.renderLog();
+            res.sloJson = monitor.exportJson();
+            return res;
+        });
+
+    // Sequential render in cell order: stdout, the --slo-log alert
+    // event log and the --golden digest are byte-identical at any -j.
+    std::string alertLog;
+    double simSeconds = 0.0;
+    std::size_t i = 0;
+    for (const Cell &cell : cells) {
+        const Result &res = results[i++];
+        std::printf("== %s ==\n", cell.name.c_str());
+        if (!res.available) {
+            std::printf("  (%s)\n\n", res.reason.c_str());
+            continue;
+        }
+        const load::LoadResult &r = res.r;
+        std::printf("  %12s %10s %10s %8s %8s %8s\n", "req/s",
+                    "p50(us)", "p99(us)", "errors", "retries",
+                    "spike");
+        std::printf("  %12.0f %10.0f %10.0f %8llu %8llu %8llu\n",
+                    r.throughput, r.p50LatencyUs, r.p99LatencyUs,
+                    static_cast<unsigned long long>(r.errors),
+                    static_cast<unsigned long long>(
+                        r.errorDetail.retries),
+                    static_cast<unsigned long long>(
+                        res.spikeRequests));
+        std::printf("%s", res.alertLog.c_str());
+        std::printf("\n");
+
+        simSeconds += res.simSec;
+        alertLog += "== " + cell.name + " ==\n" + res.alertLog;
+        if (golden.enabled()) {
+            char head[160];
+            std::snprintf(
+                head, sizeof head,
+                "{\"bench\":\"fig_slo\",\"runtime\":\"%s\","
+                "\"requests\":%llu,\"errors\":%llu,"
+                "\"spike_requests\":%llu,\"slo\":",
+                cell.name.c_str(),
+                static_cast<unsigned long long>(r.requests),
+                static_cast<unsigned long long>(r.errors),
+                static_cast<unsigned long long>(res.spikeRequests));
+            golden.add(std::string(head) + res.sloJson + "}");
+        }
+    }
+
+    std::printf("total simulated time: %.6f s\n", simSeconds);
+
+    int rc = 0;
+    if (!opt.sloLogPath.empty()) {
+        if (!writeTextFile(opt.sloLogPath, alertLog)) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         opt.sloLogPath.c_str());
+            rc = 1;
+        } else {
+            std::printf("wrote alert event log to %s\n",
+                        opt.sloLogPath.c_str());
+        }
+    }
+    return opt.finishObservability() + golden.finish() + rc;
+}

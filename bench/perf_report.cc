@@ -35,6 +35,8 @@
 #include <string>
 #include <vector>
 
+#include "provenance.h"
+
 namespace {
 
 /** Wall time + rusage + captured stdout of one child process. */
@@ -271,6 +273,7 @@ main(int argc, char **argv)
     // fig3_verbatim row runs before fig3_superblock so the
     // superblock row can report its speedup over the verbatim
     // interpreter (DESIGN.md §15) from the same host conditions.
+    const std::string metricsOut = out + ".metrics.json";
     const FigRun benches[] = {
         {"fig4_syscall", "fig4_syscall", false, 0, 0, {}},
         {"fig3_macro", "fig3_macro", false, 0, 0, {}},
@@ -282,6 +285,15 @@ main(int argc, char **argv)
         {"fig3_macro", "fig3_parallel", false, parallelJobs, 0, {}},
         {"fig3_macro", "fig3_checkpoint", false, 0, 1, {}},
         {"fig3_macro", "fig3_restore", false, 0, 2, {}},
+        // The labeled-metrics registry enabled (DESIGN.md §16): its
+        // wall time against the plain fig3 row is the metrics-ENABLED
+        // overhead; ci.yml separately asserts the disabled run stays
+        // within 2% of the committed baseline.
+        {"fig3_macro", "fig3_metrics", false, 0, 0,
+         {"--metrics", metricsOut}},
+        // SLO monitors + fault storm + load spike on top of the
+        // registry (bench/fig_slo.cc).
+        {"fig_slo", "fig_slo", false, 0, 0, {}},
         // The hardware-virtualized family exercises a different hot
         // path (vm-exit pricing + virtio rings on every packet).
         {"fig3_macro",
@@ -376,6 +388,16 @@ main(int argc, char **argv)
                          ? r.wallSeconds / plainFig3Wall - 1.0
                          : 0.0,
                      true);
+        } else if (std::strcmp(fig.key, "fig3_metrics") == 0) {
+            // Wall cost of the enabled metrics path (instrument
+            // updates + scrape-time collectors) vs the plain run.
+            appendKv(json, "sim_per_host",
+                     r.wallSeconds > 0 ? simS / r.wallSeconds : 0.0);
+            appendKv(json, "metrics_overhead",
+                     plainFig3Wall > 0
+                         ? r.wallSeconds / plainFig3Wall - 1.0
+                         : 0.0,
+                     true);
         } else if (std::strcmp(fig.key, "fig3_superblock") == 0) {
             // The superblock direct-execution row: same run as
             // fig3_macro, reported against the verbatim-interpreter
@@ -399,6 +421,8 @@ main(int argc, char **argv)
                     r.wallSeconds > 0 ? simS / r.wallSeconds : 0.0);
     }
     json += "  }\n}\n";
+    // Figure benches above all run at the default seed (42).
+    json = xc::bench::stampProvenance(json, 42);
 
     std::FILE *f = std::fopen(out.c_str(), "w");
     if (!f || std::fwrite(json.data(), 1, json.size(), f) !=

@@ -1,0 +1,74 @@
+#ifndef XC_BENCH_PROVENANCE_H
+#define XC_BENCH_PROVENANCE_H
+
+/**
+ * @file
+ * Common provenance header for every JSON export (trace, profile,
+ * timeseries, metrics, perf_report): seed, runtime, git describe and
+ * build flavor, so an artifact found on disk identifies the build
+ * and run that produced it.
+ *
+ * Deliberately NOT stamped on --golden digests: goldens are
+ * byte-compared against files committed from other checkouts, so
+ * they must stay provenance-free (cmake/run_profile_golden.cmake
+ * strips the header before comparing profiles for the same reason).
+ *
+ * XC_GIT_DESCRIBE / XC_BUILD_FLAGS are configure-time compile
+ * definitions (bench/CMakeLists.txt); standalone builds fall back to
+ * "unknown".
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#ifndef XC_GIT_DESCRIBE
+#define XC_GIT_DESCRIBE "unknown"
+#endif
+#ifndef XC_BUILD_FLAGS
+#define XC_BUILD_FLAGS "unknown"
+#endif
+
+namespace xc::bench {
+
+/** The provenance header as one JSON object. */
+inline std::string
+provenanceObject(std::uint64_t seed, const std::string &runtime = "")
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(seed));
+    std::string out = "{\"seed\":";
+    out += buf;
+    out += ",\"runtime\":\"" + runtime + "\"";
+    out += ",\"git\":\"" XC_GIT_DESCRIBE "\"";
+    out += ",\"build\":\"" XC_BUILD_FLAGS "\"}";
+    return out;
+}
+
+/**
+ * Splice `"provenance": {...}` as the first member of @p json's
+ * top-level object. Documents that do not start with an object pass
+ * through unchanged.
+ */
+inline std::string
+stampProvenance(std::string json, std::uint64_t seed,
+                const std::string &runtime = "")
+{
+    std::size_t brace = json.find('{');
+    if (brace == std::string::npos)
+        return json;
+    std::string head = "\"provenance\":" +
+                       provenanceObject(seed, runtime);
+    // Keep "{}" valid: only add the separating comma when the object
+    // already has members.
+    std::size_t next = json.find_first_not_of(" \t\n", brace + 1);
+    if (next != std::string::npos && json[next] != '}')
+        head += ",";
+    json.insert(brace + 1, head);
+    return json;
+}
+
+} // namespace xc::bench
+
+#endif // XC_BENCH_PROVENANCE_H

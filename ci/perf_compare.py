@@ -88,6 +88,23 @@ def main():
                            row.get("speedup_vs_verbatim"), True,
                            args.threshold, warnings)
 
+    # Row-coverage diff: a baseline row that vanished from the fresh
+    # report usually means a bench was dropped (or renamed) without
+    # refreshing the baseline, and a fresh row absent from the
+    # baseline means the baseline is stale. Neither is skipped
+    # silently; vanished rows warn like regressions do.
+    for section in ("microbench", "figures"):
+        base_rows = set(base.get(section, {}))
+        cur_rows = set(cur.get(section, {}))
+        for name in sorted(base_rows - cur_rows):
+            msg = (f"{section}/{name}: in baseline but missing from "
+                   "the fresh report (bench dropped or renamed?)")
+            print(msg)
+            warnings.append(msg)
+        for name in sorted(cur_rows - base_rows):
+            print(f"{section}/{name}: new row not in the baseline — "
+                  "refresh bench/BENCH_sim.baseline.json")
+
     for w in warnings:
         print(f"::warning title=sim perf regression::{w}")
     if not warnings:

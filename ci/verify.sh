@@ -39,3 +39,13 @@ echo "superblock + domain gate ok"
 # over its UNIX socket with xc_ctl, then replay the recorded command
 # log at -j1 and -j4 — all three golden digests must be identical.
 ../ci/ctl_smoke.sh ./bench/fig3_macro ./tools/xc_ctl ctl_smoke_work
+
+# SLO alerting gate (DESIGN.md §16): the fixed-seed fig_slo fault
+# storm + load spike must reproduce the committed alert event log
+# byte-for-byte (FIRE/CLEAR transitions with sim timestamps). The
+# golden_fig_slo* ctest entries above already pin the full digest at
+# -j1/-j4/restore; this names the alert log itself so an alerting
+# regression is unmissable in the log.
+./bench/fig_slo --quick --seed 42 --slo-log fig_slo_alerts.log >/dev/null
+cmp fig_slo_alerts.log ../tests/golden/fig_slo_alerts_seed42.log
+echo "slo alerting gate ok (alert log matches committed golden)"

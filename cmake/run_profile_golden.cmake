@@ -24,8 +24,17 @@ if(NOT rc EQUAL 0)
     message(FATAL_ERROR "${BENCH} exited with ${rc}")
 endif()
 
+# The live export carries a provenance header (seed, git describe,
+# build flags — see bench/provenance.h) that is deliberately absent
+# from committed goldens; strip it before the byte compare.
+file(READ ${OUT} out_json)
+string(REGEX REPLACE "\"provenance\":{[^}]*},?" "" out_json
+    "${out_json}")
+file(WRITE ${OUT}.stripped "${out_json}")
+
 execute_process(
-    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT}.stripped
+        ${GOLDEN}
     RESULT_VARIABLE diff)
 if(NOT diff EQUAL 0)
     message(FATAL_ERROR

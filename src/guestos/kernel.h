@@ -231,6 +231,8 @@ class GuestKernel
     Process *findProcess(Pid pid);
     std::size_t processCount() const { return processes.size(); }
     std::size_t runQueueLength() const { return runq.size(); }
+    /** The pool the vCPUs schedule on (queue-depth gauges). */
+    hw::CorePool *schedPool() const { return config.pool; }
 
     /** Formatted counters ("<name>.<stat> <value>" lines). */
     std::string renderStats() const;

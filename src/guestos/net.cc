@@ -701,6 +701,16 @@ NetFabric::listenerAt(SockAddr addr) const
     return it == listeners.end() ? nullptr : it->second;
 }
 
+std::size_t
+NetFabric::totalBacklog() const
+{
+    std::lock_guard<std::mutex> lock(dirMu_);
+    std::size_t total = 0;
+    for (const auto &[addr, listener] : listeners)
+        total += listener->backlogLen();
+    return total;
+}
+
 void
 NetFabric::addNatRule(SockAddr pub, SockAddr priv)
 {

@@ -368,6 +368,11 @@ class NetFabric
     void unbindListener(SockAddr addr);
     TcpListener *listenerAt(SockAddr addr) const;
 
+    /** Pending (accepted-by-the-wire, unaccepted-by-the-app)
+     *  connections summed over every bound listener — the accept
+     *  backlog depth gauge. */
+    std::size_t totalBacklog() const;
+
     /** iptables-style DNAT: @p pub forwards to @p priv. */
     void addNatRule(SockAddr pub, SockAddr priv);
     void removeNatRule(SockAddr pub);

@@ -14,6 +14,10 @@ struct ClosedLoopDriver::Conn
     std::unique_ptr<WireClient> wire;
     sim::Tick issuedAt = 0;      ///< current attempt started
     sim::Tick firstIssuedAt = 0; ///< logical request started
+    sim::Tick intendedAt = 0;    ///< CO-free intended start
+    /** When the NEXT logical request should start (previous
+     *  completion + think time); 0 until the first completion. */
+    sim::Tick nextIntended = 0;
     std::uint64_t received = 0;
     bool inFlight = false;
     bool retryPending = false; ///< next connect resumes the request
@@ -105,6 +109,31 @@ ClosedLoopDriver::start()
         mechAtStart = observedMech->snapshot();
     windowStart = startedAt + spec.warmup;
     windowEnd = windowStart + spec.duration;
+    if (sim::metrics::enabled()) {
+        namespace m = sim::metrics;
+        const std::string &rt = spec.metricRuntime;
+        const std::string &app = spec.metricApp;
+        auto outcome = [&](const char *status) {
+            return m::counter(
+                "xc_requests_total",
+                "client request outcomes by runtime, app and status",
+                {"runtime", "app", "status"}, {rt, app, status});
+        };
+        mOk_ = outcome("ok");
+        mTimeout_ = outcome("timeout");
+        mReset_ = outcome("reset");
+        mRefused_ = outcome("refused");
+        mTruncated_ = outcome("truncated");
+        mLatency_ = m::histogram(
+            "xc_request_latency_us",
+            "measured request latency (completion minus first issue)",
+            {"runtime", "app"}, {rt, app});
+        mIntendedLatency_ = m::histogram(
+            "xc_request_intended_latency_us",
+            "coordinated-omission-free latency (completion minus "
+            "intended start)",
+            {"runtime", "app"}, {rt, app});
+    }
     for (int i = 0; i < spec.connections; ++i) {
         conns.push_back(std::make_unique<Conn>());
         Conn &c = *conns.back();
@@ -141,6 +170,7 @@ ClosedLoopDriver::openConn(Conn &c)
     wire->onConnected = [this, conn](bool ok) {
         if (!ok) {
             ++errors_.refused;
+            mRefused_.add();
             ++conn->connectFailures;
             // Back off and retry: the server may still be booting
             // (or held by a slow-boot fault).
@@ -163,10 +193,13 @@ ClosedLoopDriver::openConn(Conn &c)
     wire->onPeerClosed = [this, conn] {
         if (conn->inFlight) {
             if (spec.responseBytes != 0 && conn->received > 0 &&
-                conn->received < spec.responseBytes)
+                conn->received < spec.responseBytes) {
                 ++errors_.truncated;
-            else
+                mTruncated_.add();
+            } else {
                 ++errors_.resets;
+                mReset_.add();
+            }
             failAttempt(*conn);
             return;
         }
@@ -184,6 +217,8 @@ ClosedLoopDriver::issue(Conn &c)
         return;
     }
     c.firstIssuedAt = clk().now();
+    c.intendedAt =
+        c.nextIntended != 0 ? c.nextIntended : c.firstIssuedAt;
     c.attempt = 0;
     sendAttempt(c);
 }
@@ -212,6 +247,7 @@ ClosedLoopDriver::sendAttempt(Conn &c)
                 if (conn->gen != gen || !conn->inFlight)
                     return; // answered, failed, or superseded
                 ++errors_.timeouts;
+                mTimeout_.add();
                 failAttempt(*conn);
             });
     }
@@ -262,13 +298,24 @@ ClosedLoopDriver::onResponse(Conn &c, std::uint64_t bytes)
     if (c.attempt > 0)
         ++errors_.retries; // failed at least once, then succeeded
     ++completed_;
+    mOk_.add();
     sim::Tick now = clk().now();
     if (now >= windowStart && now < windowEnd) {
         ++counted;
         latenciesUs.push_back(
             static_cast<double>(now - c.firstIssuedAt) /
             static_cast<double>(sim::kTicksPerUs));
+        mLatency_.observe(
+            static_cast<double>(now - c.firstIssuedAt) /
+            static_cast<double>(sim::kTicksPerUs));
+        mIntendedLatency_.observe(
+            static_cast<double>(now - c.intendedAt) /
+            static_cast<double>(sim::kTicksPerUs));
     }
+    // The next logical request on this connection should start as
+    // soon as the think time elapses; any further client-side stall
+    // is charged to its intended latency.
+    c.nextIntended = now + spec.thinkTime;
 
     auto next = [this, conn = &c] {
         if (spec.keepalive) {

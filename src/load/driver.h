@@ -20,6 +20,7 @@
 
 #include "guestos/net.h"
 #include "sim/mech_counters.h"
+#include "sim/metrics.h"
 #include "sim/rng.h"
 #include "sim/stats.h"
 
@@ -56,6 +57,13 @@ struct WorkloadSpec
     sim::Tick backoffBase = 5 * sim::kTicksPerMs;
     /** Ceiling for the exponential backoff. */
     sim::Tick backoffCap = 40 * sim::kTicksPerMs;
+
+    // --- metrics labels ----------------------------------------------
+    /** Values of the {runtime, app} labels this driver stamps on its
+     *  xc_requests_total / latency metric families (no-ops while the
+     *  metrics registry is disabled). */
+    std::string metricRuntime = "unknown";
+    std::string metricApp = "unknown";
 };
 
 /**
@@ -177,6 +185,21 @@ class ClosedLoopDriver
     std::uint64_t counted = 0;
     ErrorBreakdown errors_;
     std::vector<double> latenciesUs;
+
+    // Labeled-metrics instruments, resolved once in start() (inert
+    // when the registry is disabled). The intended-start histogram
+    // is coordinated-omission-free: each sample measures completion
+    // minus the tick the request SHOULD have started (previous
+    // completion + think time), so client-side stalls (backoff,
+    // reconnects, abandoned retries) are charged to the next
+    // success instead of vanishing.
+    sim::metrics::Counter mOk_;
+    sim::metrics::Counter mTimeout_;
+    sim::metrics::Counter mReset_;
+    sim::metrics::Counter mRefused_;
+    sim::metrics::Counter mTruncated_;
+    sim::metrics::Histogram mLatency_;
+    sim::metrics::Histogram mIntendedLatency_;
 };
 
 /** wrk: keepalive HTTP load (Fig. 6, 8, 9). */

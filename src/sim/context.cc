@@ -6,6 +6,7 @@ ContextBinding::ContextBinding(SimContext &ctx)
     : prev_trace_(trace::detail::bindThreadState(&ctx.trace)),
       prev_prof_(prof::detail::bindThreadState(&ctx.prof)),
       prev_flight_(flight::detail::bindThreadState(&ctx.flight)),
+      prev_metrics_(metrics::detail::bindThreadState(&ctx.metrics)),
       prev_log_(detail::bindThreadLogState(&ctx.log))
 {
 }
@@ -13,6 +14,7 @@ ContextBinding::ContextBinding(SimContext &ctx)
 ContextBinding::~ContextBinding()
 {
     detail::bindThreadLogState(prev_log_);
+    metrics::detail::bindThreadState(prev_metrics_);
     flight::detail::bindThreadState(prev_flight_);
     prof::detail::bindThreadState(prev_prof_);
     trace::detail::bindThreadState(prev_trace_);
@@ -25,6 +27,8 @@ mergeObservability(SimContext &src)
                                 src.trace);
     prof::detail::mergeTrees(prof::detail::boundState(), src.prof);
     flight::detail::mergeRecords(flight::detail::state(), src.flight);
+    metrics::detail::mergeState(metrics::detail::boundState(),
+                                src.metrics);
 }
 
 } // namespace xc::sim

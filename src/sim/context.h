@@ -31,6 +31,7 @@
  */
 
 #include "sim/logging.h"
+#include "sim/metrics.h"
 #include "sim/profile.h"
 #include "sim/request_ctx.h"
 #include "sim/trace.h"
@@ -43,6 +44,7 @@ struct SimContext
     trace::detail::CaptureState trace;
     prof::detail::ProfileState prof;
     flight::detail::State flight;
+    metrics::detail::MetricState metrics;
     LogState log;
 };
 
@@ -64,6 +66,7 @@ class ContextBinding
     trace::detail::CaptureState *prev_trace_;
     prof::detail::ProfileState *prev_prof_;
     flight::detail::State *prev_flight_;
+    metrics::detail::MetricState *prev_metrics_;
     LogState *prev_log_;
 };
 

@@ -47,6 +47,43 @@ getU32(const char *p)
 
 } // namespace
 
+const VerbInfo *
+verbTable()
+{
+    // One row per Cmd; xc_ctl derives its parser and --help from
+    // this, so keep the rows in protocol order.
+    static const VerbInfo kVerbs[] = {
+        {"ping", kPing, "", false, "liveness probe (prints 'pong')"},
+        {"status", kStatus, "", false, "one-line run status"},
+        {"mech", kMech, "", false, "mechanism-counter JSON"},
+        {"timeseries", kTimeseries, "", false,
+         "time-series sampler dump"},
+        {"profile", kProfile, "", false,
+         "cycle-attribution profile JSON"},
+        {"flight", kFlight, "", false, "flight-recorder dump"},
+        {"inject-faults", kInjectFaults, "RATE", true,
+         "set the uniform fault rate (0 disables)"},
+        {"spawn", kSpawn, "NAME", true, "boot a named container"},
+        {"kill", kKill, "NAME", true, "crash a named container"},
+        {"resume", kResume, "", false, "release a held session"},
+        {"metrics", kMetrics, "FORMAT", false,
+         "labeled-metrics exposition (FORMAT: json; default text)"},
+        {"slo", kSlo, "", false, "SLO monitor status + alert log"},
+        {nullptr, 0, "", false, nullptr},
+    };
+    return kVerbs;
+}
+
+const VerbInfo *
+findVerb(std::string_view verb)
+{
+    for (const VerbInfo *v = verbTable(); v->verb != nullptr; ++v) {
+        if (verb == v->verb)
+            return v;
+    }
+    return nullptr;
+}
+
 std::string
 encodeFrame(std::uint32_t type, std::string_view payload)
 {
@@ -673,6 +710,17 @@ Session::execute(std::uint32_t type, const std::string &payload)
                            : std::pair<bool, std::string>{false,
                                                           err};
     }
+    case kMetrics: {
+        if (!hooks_.metrics)
+            return {false, "metrics not supported by this bench"};
+        if (!payload.empty() && payload != "json")
+            return {false, "metrics payload must be empty or "
+                           "'json', got '" +
+                               payload + "'"};
+        return {true, hooks_.metrics(payload)};
+    }
+    case kSlo:
+        return query(hooks_.slo, "slo");
     case kResume:
         resumed_ = true;
         return {true, held_ ? "resuming" : "ok"};

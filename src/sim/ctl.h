@@ -78,7 +78,30 @@ enum Cmd : std::uint32_t {
     kSpawn = 8,        ///< payload: container name to boot
     kKill = 9,         ///< payload: container name to crash
     kResume = 10,      ///< release a held session
+    kMetrics = 11,     ///< labeled-metrics exposition; payload:
+                       ///< "" = text, "json" = JSON
+    kSlo = 12,         ///< SLO monitor status + alert log
 };
+
+/**
+ * One row of the verb table shared by the dispatcher and the
+ * xc_ctl client: the client generates its parser and --help from
+ * this, so a new verb is self-documenting by construction.
+ */
+struct VerbInfo
+{
+    const char *verb;    ///< client spelling, e.g. "inject-faults"
+    std::uint32_t type;  ///< the Cmd it encodes to
+    const char *arg;     ///< argument placeholder ("" = none)
+    bool argRequired;    ///< false = argument optional
+    const char *help;    ///< one-line description
+};
+
+/** The verb table, one row per Cmd (terminated by a null verb). */
+const VerbInfo *verbTable();
+
+/** Look up a client verb; nullptr when unknown. */
+const VerbInfo *findVerb(std::string_view verb);
 
 /** Reply frame types. */
 enum Reply : std::uint32_t {
@@ -230,6 +253,11 @@ struct SessionHooks
     std::function<std::string(double)> injectFaults;
     std::function<std::string(const std::string &)> spawn;
     std::function<std::string(const std::string &)> kill;
+    /** Labeled-metrics exposition; the payload selects the format
+     *  ("" = OpenMetrics text, "json" = JSON). */
+    std::function<std::string(const std::string &)> metrics;
+    /** SLO monitor status table + alert log. */
+    std::function<std::string()> slo;
 };
 
 /**

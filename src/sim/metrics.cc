@@ -1,0 +1,475 @@
+#include "sim/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "sim/logging.h"
+
+namespace xc::sim::metrics {
+
+const char *
+kindName(Kind k)
+{
+    switch (k) {
+      case Kind::Counter: return "counter";
+      case Kind::Gauge: return "gauge";
+      case Kind::Histogram: return "histogram";
+    }
+    return "?";
+}
+
+namespace detail {
+
+thread_local bool g_on = false;
+
+namespace {
+
+MetricState g_default;
+thread_local MetricState *g_bound = nullptr;
+
+/** Refresh every collector-backed value (exposition + snapshot). */
+void
+runCollectors(MetricState &st)
+{
+    for (Family &f : st.families) {
+        for (Instance &i : f.instances) {
+            if (i.collect)
+                i.value = i.collect();
+        }
+    }
+}
+
+} // namespace
+
+MetricState *
+bindThreadState(MetricState *state)
+{
+    MetricState *prev = g_bound;
+    g_bound = state;
+    g_on = state != nullptr ? state->on : g_default.on;
+    return prev;
+}
+
+MetricState &
+boundState()
+{
+    return g_bound != nullptr ? *g_bound : g_default;
+}
+
+Instance *
+resolve(MetricState &st, std::string_view name,
+        std::string_view help, Kind kind,
+        std::initializer_list<std::string_view> keys,
+        std::initializer_list<std::string_view> values)
+{
+    XC_ASSERT(keys.size() == values.size());
+    Family *fam = nullptr;
+    auto it = st.byName.find(std::string(name));
+    if (it == st.byName.end()) {
+        st.byName.emplace(std::string(name), st.families.size());
+        st.families.emplace_back();
+        fam = &st.families.back();
+        fam->name = std::string(name);
+        fam->help = std::string(help);
+        fam->kind = kind;
+        for (std::string_view k : keys)
+            fam->labelKeys.emplace_back(k);
+    } else {
+        fam = &st.families[it->second];
+        if (fam->kind != kind)
+            panic("metric family '%s' re-registered as %s (was %s)",
+                  fam->name.c_str(), kindName(kind),
+                  kindName(fam->kind));
+        if (fam->labelKeys.size() != keys.size())
+            panic("metric family '%s' re-registered with %zu label "
+                  "keys (was %zu)",
+                  fam->name.c_str(), keys.size(),
+                  fam->labelKeys.size());
+    }
+    std::vector<std::string> tuple;
+    tuple.reserve(values.size());
+    for (std::string_view v : values)
+        tuple.emplace_back(v);
+    auto [vit, inserted] =
+        fam->index.emplace(tuple, fam->instances.size());
+    if (inserted) {
+        fam->instances.emplace_back();
+        fam->instances.back().labels = std::move(tuple);
+    }
+    return &fam->instances[vit->second];
+}
+
+void
+mergeState(MetricState &dst, MetricState &src)
+{
+    // Collector callbacks reference cell-local objects (machines,
+    // kernels) that die with the cell: capture their final value
+    // now and drop them.
+    runCollectors(src);
+    for (Family &f : src.families) {
+        for (Instance &i : f.instances)
+            i.collect = nullptr;
+    }
+    for (const Family &sf : src.families) {
+        std::size_t di = 0;
+        auto it = dst.byName.find(sf.name);
+        if (it == dst.byName.end()) {
+            di = dst.families.size();
+            dst.byName.emplace(sf.name, di);
+            dst.families.emplace_back();
+            Family &nf = dst.families.back();
+            nf.name = sf.name;
+            nf.help = sf.help;
+            nf.kind = sf.kind;
+            nf.labelKeys = sf.labelKeys;
+        } else {
+            di = it->second;
+            if (dst.families[di].kind != sf.kind ||
+                dst.families[di].labelKeys != sf.labelKeys)
+                panic("metric family '%s' merged with a different "
+                      "schema",
+                      sf.name.c_str());
+        }
+        Family &df = dst.families[di];
+        for (const Instance &si : sf.instances) {
+            auto [vit, inserted] =
+                df.index.emplace(si.labels, df.instances.size());
+            if (inserted) {
+                df.instances.emplace_back();
+                df.instances.back().labels = si.labels;
+            }
+            Instance &di2 = df.instances[vit->second];
+            switch (sf.kind) {
+              case Kind::Counter:
+                di2.value += si.value;
+                break;
+              case Kind::Gauge:
+                di2.value = si.value; // latest-merged cell wins
+                break;
+              case Kind::Histogram:
+                di2.histo.merge(si.histo);
+                break;
+            }
+        }
+    }
+}
+
+} // namespace detail
+
+void
+enable()
+{
+    detail::MetricState &st = detail::boundState();
+    st.families.clear();
+    st.byName.clear();
+    st.on = true;
+    detail::g_on = true;
+}
+
+void
+disable()
+{
+    detail::boundState().on = false;
+    detail::g_on = false;
+}
+
+void
+clear()
+{
+    detail::MetricState &st = detail::boundState();
+    st.families.clear();
+    st.byName.clear();
+    st.on = false;
+    detail::g_on = false;
+}
+
+Counter
+counter(std::string_view name, std::string_view help,
+        std::initializer_list<std::string_view> keys,
+        std::initializer_list<std::string_view> values)
+{
+    if (!enabled())
+        return Counter();
+    return Counter(detail::resolve(detail::boundState(), name, help,
+                                   Kind::Counter, keys, values));
+}
+
+Gauge
+gauge(std::string_view name, std::string_view help,
+      std::initializer_list<std::string_view> keys,
+      std::initializer_list<std::string_view> values)
+{
+    if (!enabled())
+        return Gauge();
+    return Gauge(detail::resolve(detail::boundState(), name, help,
+                                 Kind::Gauge, keys, values));
+}
+
+Histogram
+histogram(std::string_view name, std::string_view help,
+          std::initializer_list<std::string_view> keys,
+          std::initializer_list<std::string_view> values)
+{
+    if (!enabled())
+        return Histogram();
+    return Histogram(detail::resolve(detail::boundState(), name, help,
+                                     Kind::Histogram, keys, values));
+}
+
+void
+addCollector(std::string_view name, std::string_view help, Kind kind,
+             std::initializer_list<std::string_view> keys,
+             std::initializer_list<std::string_view> values,
+             std::function<double()> fn)
+{
+    if (!enabled())
+        return;
+    XC_ASSERT(kind != Kind::Histogram &&
+              "collectors mirror scalar quantities");
+    detail::Instance *i = detail::resolve(detail::boundState(), name,
+                                          help, kind, keys, values);
+    i->collect = std::move(fn);
+}
+
+void
+finalizeCollectors()
+{
+    detail::MetricState &st = detail::boundState();
+    detail::runCollectors(st);
+    for (detail::Family &f : st.families) {
+        for (detail::Instance &i : f.instances)
+            i.collect = nullptr;
+    }
+}
+
+std::size_t
+familyCount()
+{
+    return detail::boundState().families.size();
+}
+
+double
+valueOf(std::string_view family,
+        std::initializer_list<
+            std::pair<std::string_view, std::string_view>>
+            match)
+{
+    detail::MetricState &st = detail::boundState();
+    auto it = st.byName.find(std::string(family));
+    if (it == st.byName.end())
+        return 0.0;
+    detail::Family &f = st.families[it->second];
+    double total = 0.0;
+    for (detail::Instance &i : f.instances) {
+        bool all = true;
+        for (const auto &[k, v] : match) {
+            bool found = false;
+            for (std::size_t ki = 0; ki < f.labelKeys.size(); ++ki) {
+                if (f.labelKeys[ki] == k) {
+                    found = i.labels[ki] == v;
+                    break;
+                }
+            }
+            if (!found) {
+                all = false;
+                break;
+            }
+        }
+        if (!all)
+            continue;
+        if (i.collect)
+            i.value = i.collect();
+        total += i.value;
+    }
+    return total;
+}
+
+namespace {
+
+/** Format a double the way every exposition does (%.6g: compact,
+ *  deterministic, integer-exact for counters under 2^53). */
+std::string
+num(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+std::string
+labelSet(const detail::Family &f, const detail::Instance &i,
+         const char *extraKey = nullptr,
+         const char *extraVal = nullptr)
+{
+    if (f.labelKeys.empty() && extraKey == nullptr)
+        return "";
+    std::string out = "{";
+    for (std::size_t k = 0; k < f.labelKeys.size(); ++k) {
+        if (k != 0)
+            out += ",";
+        out += f.labelKeys[k] + "=\"" + i.labels[k] + "\"";
+    }
+    if (extraKey != nullptr) {
+        if (!f.labelKeys.empty())
+            out += ",";
+        out += std::string(extraKey) + "=\"" + extraVal + "\"";
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace
+
+std::string
+renderText()
+{
+    detail::MetricState &st = detail::boundState();
+    detail::runCollectors(st);
+    std::string out;
+    for (const detail::Family &f : st.families) {
+        out += "# HELP " + f.name + " " + f.help + "\n";
+        out += "# TYPE " + f.name + " " +
+               std::string(kindName(f.kind)) + "\n";
+        for (const detail::Instance &i : f.instances) {
+            if (f.kind == Kind::Histogram) {
+                out += f.name + "_count" + labelSet(f, i) + " " +
+                       num(static_cast<double>(i.histo.count())) +
+                       "\n";
+                out += f.name + "_sum" + labelSet(f, i) + " " +
+                       num(i.histo.sum()) + "\n";
+                for (const char *q : {"0.5", "0.9", "0.99"}) {
+                    double p = std::strtod(q, nullptr) * 100.0;
+                    out += f.name +
+                           labelSet(f, i, "quantile", q) + " " +
+                           num(i.histo.percentile(p)) + "\n";
+                }
+            } else {
+                out += f.name + labelSet(f, i) + " " +
+                       num(i.value) + "\n";
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+exportJson()
+{
+    detail::MetricState &st = detail::boundState();
+    detail::runCollectors(st);
+    std::ostringstream os;
+    os << "{\"families\":[";
+    bool firstFam = true;
+    for (const detail::Family &f : st.families) {
+        if (!firstFam)
+            os << ",";
+        firstFam = false;
+        os << "{\"name\":\"" << f.name << "\",\"help\":\"" << f.help
+           << "\",\"kind\":\"" << kindName(f.kind)
+           << "\",\"label_keys\":[";
+        for (std::size_t k = 0; k < f.labelKeys.size(); ++k)
+            os << (k != 0 ? "," : "") << "\"" << f.labelKeys[k]
+               << "\"";
+        os << "],\"instances\":[";
+        bool firstInst = true;
+        for (const detail::Instance &i : f.instances) {
+            if (!firstInst)
+                os << ",";
+            firstInst = false;
+            os << "{\"labels\":[";
+            for (std::size_t k = 0; k < i.labels.size(); ++k)
+                os << (k != 0 ? "," : "") << "\"" << i.labels[k]
+                   << "\"";
+            os << "]";
+            if (f.kind == Kind::Histogram) {
+                os << ",\"count\":" << i.histo.count()
+                   << ",\"sum\":" << num(i.histo.sum())
+                   << ",\"min\":" << num(i.histo.min())
+                   << ",\"p50\":" << num(i.histo.percentile(50))
+                   << ",\"p90\":" << num(i.histo.percentile(90))
+                   << ",\"p99\":" << num(i.histo.percentile(99))
+                   << ",\"max\":" << num(i.histo.max());
+            } else {
+                os << ",\"value\":" << num(i.value);
+            }
+            os << "}";
+        }
+        os << "]}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+bool
+saveJson(const std::string &path)
+{
+    std::string json = exportJson();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    bool ok =
+        std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+void
+saveState(snap::SnapWriter &w)
+{
+    detail::MetricState &st = detail::boundState();
+    detail::runCollectors(st);
+    w.u32(static_cast<std::uint32_t>(st.families.size()));
+    for (const detail::Family &f : st.families) {
+        w.str(f.name);
+        w.str(f.help);
+        w.u8(static_cast<std::uint8_t>(f.kind));
+        w.u32(static_cast<std::uint32_t>(f.labelKeys.size()));
+        for (const std::string &k : f.labelKeys)
+            w.str(k);
+        w.u32(static_cast<std::uint32_t>(f.instances.size()));
+        for (const detail::Instance &i : f.instances) {
+            for (const std::string &v : i.labels)
+                w.str(v);
+            if (f.kind == Kind::Histogram)
+                i.histo.saveState(w);
+            else
+                w.f64(i.value);
+        }
+    }
+}
+
+void
+loadState(snap::SnapReader &r)
+{
+    detail::MetricState &st = detail::boundState();
+    st.families.clear();
+    st.byName.clear();
+    std::uint32_t nfam = r.u32();
+    for (std::uint32_t fi = 0; fi < nfam; ++fi) {
+        st.families.emplace_back();
+        detail::Family &f = st.families.back();
+        f.name = r.str();
+        f.help = r.str();
+        std::uint8_t kind = r.u8();
+        if (kind > static_cast<std::uint8_t>(Kind::Histogram))
+            throw snap::SnapError("bad metric kind in snapshot");
+        f.kind = static_cast<Kind>(kind);
+        st.byName.emplace(f.name, st.families.size() - 1);
+        std::uint32_t nkeys = r.u32();
+        for (std::uint32_t k = 0; k < nkeys; ++k)
+            f.labelKeys.push_back(r.str());
+        std::uint32_t ninst = r.u32();
+        for (std::uint32_t ii = 0; ii < ninst; ++ii) {
+            f.instances.emplace_back();
+            detail::Instance &inst = f.instances.back();
+            for (std::uint32_t k = 0; k < nkeys; ++k)
+                inst.labels.push_back(r.str());
+            if (f.kind == Kind::Histogram)
+                inst.histo.loadState(r);
+            else
+                inst.value = r.f64();
+            f.index.emplace(inst.labels, f.instances.size() - 1);
+        }
+    }
+}
+
+} // namespace xc::sim::metrics

@@ -1,0 +1,311 @@
+#ifndef XC_SIM_METRICS_H
+#define XC_SIM_METRICS_H
+
+/**
+ * @file
+ * Unified labeled-metrics registry: the simulator's production-style
+ * metrics plane (DESIGN.md §16).
+ *
+ * A metric *family* is a named quantity with a fixed label-key
+ * schema and a kind — Counter (monotonic), Gauge (set-to-latest) or
+ * Histogram (a sim::LogHistogram). Each distinct label-value tuple
+ * within a family is an interned *instance*; instances are created
+ * on first touch and iterate forever after in that first-touch
+ * order, which is a deterministic function of the simulation, so
+ * every exposition (text, JSON, snapshot) is byte-identical across
+ * runs, hosts and -j levels.
+ *
+ * Like the tracer and profiler, all entry points operate on the
+ * state bound to the calling thread (sim::SimContext), falling back
+ * to a shared process default, and cell states merge back in
+ * sequential-cell order (counters and histogram buckets sum; gauges
+ * take the merged-in cell's last value). Disabled, every hot-path
+ * entry point is a single thread-local branch and allocation-free.
+ *
+ * Two producer styles:
+ *
+ *  - direct instruments, resolved once and updated at event time:
+ *
+ *      metrics::Counter ok = metrics::counter(
+ *          "xc_requests_total", "client request outcomes",
+ *          {"runtime", "app", "status"}, {rt, app, "ok"});
+ *      ...
+ *      ok.add(1);                       // hot path: one pointer add
+ *
+ *  - scrape-time collectors for state that already has a cheap
+ *    authoritative owner (mech counters, queue depths): a callback
+ *    re-read at every exposition, costing nothing between scrapes:
+ *
+ *      metrics::addCollector("xc_runq_depth", "runnable threads",
+ *          Kind::Gauge, {"runtime"}, {rt},
+ *          [k] { return double(k->runQueueLength()); });
+ */
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/snapshot.h"
+#include "sim/stats.h"
+
+namespace xc::sim::metrics {
+
+enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+
+const char *kindName(Kind k);
+
+namespace detail {
+
+/** Per-thread mirror of the bound state's on-flag: keeps the
+ *  enabled() gate a single thread-local load. */
+extern thread_local bool g_on;
+
+/** One interned label-value tuple of a family. */
+struct Instance
+{
+    std::vector<std::string> labels; ///< values, keyed by the family
+    double value = 0.0;              ///< Counter / Gauge kinds
+    LogHistogram histo;              ///< Histogram kind
+    /** Scrape-time collector: when set, value is refreshed from it
+     *  at every exposition (and finalized before a cell merge). */
+    std::function<double()> collect;
+};
+
+/** One metric family: schema plus its instances in first-touch
+ *  order (the deterministic exposition order). */
+struct Family
+{
+    std::string name;
+    std::string help;
+    Kind kind = Kind::Counter;
+    std::vector<std::string> labelKeys;
+    /** Instances in first-touch order. A deque so element addresses
+     *  are stable for the life of the state (instrument handles). */
+    std::deque<Instance> instances;
+    /** Interned label tuples -> index into instances. */
+    std::map<std::vector<std::string>, std::size_t> index;
+};
+
+/**
+ * The complete mutable state of the metrics registry. Every
+ * metrics:: entry point operates on the state bound to the calling
+ * thread (falling back to a shared process-default instance), so
+ * concurrent simulations with distinct bound states never observe
+ * each other.
+ */
+struct MetricState
+{
+    bool on = false;
+    /** Families in registration order (the exposition order). A
+     *  deque so Family objects (and therefore their instances)
+     *  never move when later families register: resolved instrument
+     *  handles stay valid for the life of the state. */
+    std::deque<Family> families;
+    std::map<std::string, std::size_t> byName;
+};
+
+/** Bind @p state to the calling thread (nullptr = process default).
+ *  Returns the previously bound state. */
+MetricState *bindThreadState(MetricState *state);
+
+/** The state metrics:: calls on this thread operate on. */
+MetricState &boundState();
+
+/**
+ * Fold @p src into @p dst: families are matched by name (appended
+ * in @p src order when new; kind and label schema must agree),
+ * instances by label tuple. Counters and histograms sum; gauges
+ * take @p src's value. @p src's collectors are finalized (their
+ * last value captured, the callbacks dropped — they reference
+ * cell-local objects) before merging, so merging cell states in
+ * sequential-cell order reproduces a sequential run's exposition
+ * byte-for-byte.
+ */
+void mergeState(MetricState &dst, MetricState &src);
+
+/** Resolve-or-intern an instance (nullptr when disabled). */
+Instance *resolve(MetricState &st, std::string_view name,
+                  std::string_view help, Kind kind,
+                  std::initializer_list<std::string_view> keys,
+                  std::initializer_list<std::string_view> values);
+
+} // namespace detail
+
+/** True while the registry is recording (the one-branch gate). */
+inline bool
+enabled()
+{
+    return detail::g_on;
+}
+
+/** Clear all families and start recording. */
+void enable();
+
+/** Stop recording; families remain available for exposition. */
+void disable();
+
+/** Discard every family and reset to the disabled state. */
+void clear();
+
+/**
+ * Instrument handles: resolved once (interning the label tuple),
+ * then updated in O(1) with no lookups or allocation. A handle
+ * resolved while the registry was disabled is inert (null).
+ */
+class Counter
+{
+  public:
+    Counter() = default;
+    explicit Counter(detail::Instance *i) : i_(i) {}
+
+    void
+    add(double n = 1.0)
+    {
+        if (i_ != nullptr)
+            i_->value += n;
+    }
+
+    explicit operator bool() const { return i_ != nullptr; }
+
+  private:
+    detail::Instance *i_ = nullptr;
+};
+
+class Gauge
+{
+  public:
+    Gauge() = default;
+    explicit Gauge(detail::Instance *i) : i_(i) {}
+
+    void
+    set(double v)
+    {
+        if (i_ != nullptr)
+            i_->value = v;
+    }
+
+    explicit operator bool() const { return i_ != nullptr; }
+
+  private:
+    detail::Instance *i_ = nullptr;
+};
+
+class Histogram
+{
+  public:
+    Histogram() = default;
+    explicit Histogram(detail::Instance *i) : i_(i) {}
+
+    void
+    observe(double v)
+    {
+        if (i_ != nullptr)
+            i_->histo.sample(v);
+    }
+
+    /** The underlying histogram (SLO objectives); nullptr-safe. */
+    const LogHistogram *histogram() const
+    {
+        return i_ != nullptr ? &i_->histo : nullptr;
+    }
+
+    explicit operator bool() const { return i_ != nullptr; }
+
+  private:
+    detail::Instance *i_ = nullptr;
+};
+
+/**
+ * Resolve (registering the family and interning the label tuple on
+ * first touch) an instrument on the bound state. Returns an inert
+ * handle — without allocating — when the registry is disabled.
+ * @p keys and @p values must be the same length; a family's schema
+ * and kind are fixed by its first registration (mismatches panic).
+ */
+Counter counter(std::string_view name, std::string_view help,
+                std::initializer_list<std::string_view> keys,
+                std::initializer_list<std::string_view> values);
+Gauge gauge(std::string_view name, std::string_view help,
+            std::initializer_list<std::string_view> keys,
+            std::initializer_list<std::string_view> values);
+Histogram histogram(std::string_view name, std::string_view help,
+                    std::initializer_list<std::string_view> keys,
+                    std::initializer_list<std::string_view> values);
+
+/**
+ * Register a scrape-time collector: @p fn is re-read at every
+ * exposition (renderText / exportJson / saveState) and its result
+ * becomes the instance's value. Costs nothing between scrapes —
+ * the mirroring style for state with a cheap authoritative owner
+ * (mechanism counters, queue depths). No-op when disabled. The
+ * callback is dropped (its last value kept) when the owning cell's
+ * state is merged, so it must stay callable only for the cell's
+ * lifetime.
+ */
+void addCollector(std::string_view name, std::string_view help,
+                  Kind kind,
+                  std::initializer_list<std::string_view> keys,
+                  std::initializer_list<std::string_view> values,
+                  std::function<double()> fn);
+
+/** Invoke every collector on the bound state and drop the
+ *  callbacks (values freeze at this scrape). Called by merge. */
+void finalizeCollectors();
+
+// ----- queries (tests, SLO objectives) --------------------------
+
+/** Number of families registered on the bound state. */
+std::size_t familyCount();
+
+/** Sum of values over a family's instances whose labels contain
+ *  every (key, value) of @p match (0 if absent; collectors are
+ *  refreshed first). Counter/Gauge kinds. */
+double
+valueOf(std::string_view family,
+        std::initializer_list<std::pair<std::string_view,
+                                        std::string_view>>
+            match = {});
+
+// ----- exposition -----------------------------------------------
+
+/**
+ * OpenMetrics-style text exposition:
+ *
+ *   # HELP xc_requests_total client request outcomes
+ *   # TYPE xc_requests_total counter
+ *   xc_requests_total{runtime="docker",app="nginx",status="ok"} 812
+ *
+ * Histograms render as summary-style lines (_count, _sum and
+ * quantile-labeled points) rather than thousands of _bucket lines.
+ * Deterministic: families in registration order, instances in
+ * first-touch order, %.6g values. Collectors are refreshed.
+ */
+std::string renderText();
+
+/** The same exposition as one JSON document (stable key order). */
+std::string exportJson();
+
+/** Write exportJson() to @p path; false on I/O failure. */
+bool saveJson(const std::string &path);
+
+// ----- snapshot (DESIGN.md §13) ---------------------------------
+
+/**
+ * Serialize the bound state (families, interned labels, values,
+ * histogram buckets; collectors contribute their current value).
+ * save → loadState into any state → save is a byte fixed point.
+ */
+void saveState(snap::SnapWriter &w);
+
+/** Replace the bound state's families with the serialized ones
+ *  (adoption; collector callbacks are not restored). */
+void loadState(snap::SnapReader &r);
+
+} // namespace xc::sim::metrics
+
+#endif // XC_SIM_METRICS_H

@@ -1,0 +1,258 @@
+#include "sim/slo.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "sim/logging.h"
+#include "sim/metrics.h"
+#include "sim/trace.h"
+
+namespace xc::sim::slo {
+
+namespace {
+
+/** Does @p inst of @p fam satisfy every (key, value) constraint? */
+bool
+matches(const metrics::detail::Family &fam,
+        const metrics::detail::Instance &inst,
+        const std::vector<std::pair<std::string, std::string>> &match)
+{
+    for (const auto &[k, v] : match) {
+        bool ok = false;
+        for (std::size_t ki = 0; ki < fam.labelKeys.size(); ++ki) {
+            if (fam.labelKeys[ki] == k) {
+                ok = inst.labels[ki] == v;
+                break;
+            }
+        }
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+std::string
+fmt(const char *f, double a, double b, double c)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof buf, f, a, b, c);
+    return buf;
+}
+
+} // namespace
+
+Monitor::Monitor(Tick quantum) : quantum_(quantum)
+{
+    XC_ASSERT(quantum_ > 0);
+}
+
+void
+Monitor::addSpec(Spec spec)
+{
+    XC_ASSERT(spec.objective > 0.0 && spec.objective < 1.0);
+    XC_ASSERT(spec.fastWindow > 0 &&
+              spec.fastWindow <= spec.slowWindow);
+    specs_.push_back(State{std::move(spec), {}, false, 0.0, 0.0});
+}
+
+Monitor::Sample
+Monitor::sampleSpec(const Spec &spec, Tick now) const
+{
+    Sample s;
+    s.at = now;
+    metrics::detail::MetricState &st = metrics::detail::boundState();
+    auto it = st.byName.find(spec.metric);
+    if (it == st.byName.end())
+        return s;
+    metrics::detail::Family &fam = st.families[it->second];
+    std::size_t goodKey = fam.labelKeys.size();
+    if (spec.kind == Spec::Kind::ErrorRate) {
+        for (std::size_t ki = 0; ki < fam.labelKeys.size(); ++ki) {
+            if (fam.labelKeys[ki] == spec.goodLabel)
+                goodKey = ki;
+        }
+    }
+    for (metrics::detail::Instance &inst : fam.instances) {
+        if (!matches(fam, inst, spec.match))
+            continue;
+        if (spec.kind == Spec::Kind::Latency) {
+            s.total += inst.histo.count();
+            s.good +=
+                inst.histo.countBelow(spec.latencyThresholdUs);
+        } else {
+            if (inst.collect)
+                inst.value = inst.collect();
+            auto n = static_cast<std::uint64_t>(inst.value);
+            s.total += n;
+            if (goodKey < fam.labelKeys.size() &&
+                inst.labels[goodKey] == spec.goodValue)
+                s.good += n;
+        }
+    }
+    return s;
+}
+
+double
+Monitor::burnOver(const State &st, Tick window) const
+{
+    if (st.history.empty())
+        return 0.0;
+    const Sample &newest = st.history.back();
+    Tick lo = newest.at >= window ? newest.at - window : 0;
+    // Baseline: the latest sample at or before the window start
+    // (falling back to the oldest we kept — a partial window while
+    // history warms up).
+    const Sample *base = &st.history.front();
+    for (const Sample &s : st.history) {
+        if (s.at > lo)
+            break;
+        base = &s;
+    }
+    std::uint64_t total = newest.total - base->total;
+    std::uint64_t good = newest.good - base->good;
+    if (total == 0)
+        return 0.0;
+    double badFrac = static_cast<double>(total - good) /
+                     static_cast<double>(total);
+    return badFrac / (1.0 - st.spec.objective);
+}
+
+void
+Monitor::evaluate(Tick now)
+{
+    if (now % quantum_ != 0)
+        panic("slo::Monitor::evaluate at tick %llu, not a multiple "
+              "of quantum %llu",
+              static_cast<unsigned long long>(now),
+              static_cast<unsigned long long>(quantum_));
+    for (State &st : specs_) {
+        XC_ASSERT(st.history.empty() ||
+                  now > st.history.back().at);
+        st.history.push_back(sampleSpec(st.spec, now));
+        st.lastFast = burnOver(st, st.spec.fastWindow);
+        st.lastSlow = burnOver(st, st.spec.slowWindow);
+        bool over = st.lastFast >= st.spec.fastBurn &&
+                    st.lastSlow >= st.spec.slowBurn;
+        if (over != st.firing) {
+            st.firing = over;
+            alerts_.push_back(Alert{st.spec.name, over, now,
+                                    st.lastFast, st.lastSlow});
+            trace::instantEvent(trace::Category::App, "slo", 0,
+                                (st.spec.name +
+                                 (over ? ":fire" : ":clear"))
+                                    .c_str(),
+                                now);
+        }
+        // Keep one sample at or before (now - slowWindow) as the
+        // slow-window baseline; drop everything older.
+        Tick lo = now >= st.spec.slowWindow
+                      ? now - st.spec.slowWindow
+                      : 0;
+        std::size_t keepFrom = 0;
+        for (std::size_t i = 0; i < st.history.size(); ++i) {
+            if (st.history[i].at <= lo)
+                keepFrom = i;
+        }
+        if (keepFrom > 0)
+            st.history.erase(st.history.begin(),
+                             st.history.begin() +
+                                 static_cast<std::ptrdiff_t>(
+                                     keepFrom));
+    }
+}
+
+bool
+Monitor::firing(const std::string &name) const
+{
+    for (const State &st : specs_) {
+        if (st.firing && (name.empty() || st.spec.name == name))
+            return true;
+    }
+    return false;
+}
+
+std::string
+Monitor::renderLog() const
+{
+    std::string out;
+    for (const Alert &a : alerts_) {
+        out += a.firing ? "FIRE  " : "CLEAR ";
+        out += a.slo;
+        out += fmt(" t=%.6fs fast=%.3f slow=%.3f",
+                   ticksToSeconds(a.at), a.fast, a.slow);
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+Monitor::renderText() const
+{
+    std::string out;
+    for (const State &st : specs_) {
+        const Sample *s =
+            st.history.empty() ? nullptr : &st.history.back();
+        std::uint64_t good = s != nullptr ? s->good : 0;
+        std::uint64_t total = s != nullptr ? s->total : 0;
+        double compliance =
+            total != 0 ? static_cast<double>(good) /
+                             static_cast<double>(total)
+                       : 1.0;
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "%-24s %-6s obj=%.4g ok=%.6g "
+                      "fast=%.3f slow=%.3f events=%llu\n",
+                      st.spec.name.c_str(),
+                      st.firing ? "FIRING" : "OK",
+                      st.spec.objective, compliance, st.lastFast,
+                      st.lastSlow,
+                      static_cast<unsigned long long>(total));
+        out += buf;
+    }
+    return out;
+}
+
+std::string
+Monitor::exportJson() const
+{
+    std::string out = "{\"slos\":[";
+    bool first = true;
+    for (const State &st : specs_) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "{\"name\":\"" + st.spec.name + "\",\"objective\":";
+        out += fmt("%.6g,\"fast_burn\":%.6g,\"slow_burn\":%.6g",
+                   st.spec.objective, st.lastFast, st.lastSlow);
+        out += std::string(",\"firing\":") +
+               (st.firing ? "true" : "false") + "}";
+    }
+    out += "],\"alerts\":[";
+    first = true;
+    for (const Alert &a : alerts_) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += std::string("{\"slo\":\"") + a.slo +
+               "\",\"type\":\"" + (a.firing ? "fire" : "clear") +
+               "\",";
+        out += fmt("\"t_s\":%.6f,\"fast\":%.3f,\"slow\":%.3f}",
+                   ticksToSeconds(a.at), a.fast, a.slow);
+    }
+    out += "]}";
+    return out;
+}
+
+bool
+Monitor::saveLog(const std::string &path) const
+{
+    std::string log = renderLog();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    bool ok =
+        std::fwrite(log.data(), 1, log.size(), f) == log.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+} // namespace xc::sim::slo

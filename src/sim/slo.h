@@ -1,0 +1,168 @@
+#ifndef XC_SIM_SLO_H
+#define XC_SIM_SLO_H
+
+/**
+ * @file
+ * Sim-time SLO monitors with multi-window burn-rate alerting
+ * (DESIGN.md §16).
+ *
+ * An SLO Spec declares an objective over a metric family in the
+ * labeled-metrics registry (sim/metrics.h):
+ *
+ *  - ErrorRate: good events are the instances whose `goodLabel` key
+ *    equals `goodValue` (e.g. status="ok" of xc_requests_total),
+ *    total events are all matching instances;
+ *
+ *  - Latency: good events are the histogram samples at or below
+ *    latencyThresholdUs, total events the histogram's count.
+ *
+ * A Monitor evaluates its specs at quantized sim ticks: each
+ * evaluate(now) appends a (tick, good, total) snapshot per spec and
+ * computes the burn rate over a fast and a slow trailing window,
+ *
+ *     burn(w) = (bad_w / total_w) / (1 - objective)
+ *
+ * (burn 1.0 = exactly consuming the error budget). An alert is
+ * active while BOTH windows burn at or above their thresholds — the
+ * classic fast+slow guard against blips — and clears as soon as
+ * either window drops back below its threshold (the fast window
+ * recovering first is the usual path). Fires and clears append to a
+ * replayable alert event log
+ * with sim timestamps, mirrored as trace instants on an "slo"
+ * track.
+ *
+ * Everything here is a pure function of simulation state sampled at
+ * quantized sim ticks: the alert log is byte-identical across host
+ * machines, -j parallelism (the monitor lives with its cell) and
+ * checkpoint/restore (restore replays the same evaluations).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace xc::sim::slo {
+
+/** One service-level objective over a metric family. */
+struct Spec
+{
+    enum class Kind : std::uint8_t { ErrorRate, Latency };
+
+    std::string name;   ///< alert/log identity, e.g. "nginx-avail"
+    Kind kind = Kind::ErrorRate;
+
+    /** Metric family the objective reads (counter family for
+     *  ErrorRate, histogram family for Latency). */
+    std::string metric;
+    /** Label constraints selecting the instances to aggregate. */
+    std::vector<std::pair<std::string, std::string>> match;
+
+    /** ErrorRate: instances whose @ref goodLabel equals
+     *  @ref goodValue count as good events. */
+    std::string goodLabel = "status";
+    std::string goodValue = "ok";
+
+    /** Latency: samples at/below this many microseconds are good. */
+    double latencyThresholdUs = 0.0;
+
+    /** Target good/total fraction (e.g. 0.999). */
+    double objective = 0.999;
+
+    /** Multi-window burn-rate alert policy. Defaults follow the
+     *  usual page-tier shape: a hot fast window to catch cliffs,
+     *  a slow window to confirm it is not a blip. */
+    Tick fastWindow = 2 * kTicksPerSec;
+    Tick slowWindow = 10 * kTicksPerSec;
+    double fastBurn = 10.0;
+    double slowBurn = 5.0;
+};
+
+/** One fire/clear transition in the alert event log. */
+struct Alert
+{
+    std::string slo;     ///< Spec::name
+    bool firing = false; ///< true = fire, false = clear
+    Tick at = 0;         ///< quantized evaluation tick
+    double fast = 0.0;   ///< fast-window burn at the transition
+    double slow = 0.0;   ///< slow-window burn at the transition
+};
+
+/**
+ * Evaluates a set of SLO specs against the metrics registry state
+ * bound to the calling thread. Cell-local: create it next to the
+ * cell's drivers and call evaluate() from a periodic sim event at
+ * quantized ticks (every multiple of @p quantum).
+ */
+class Monitor
+{
+  public:
+    /** @p quantum is the evaluation cadence; evaluate() panics on
+     *  ticks that are not multiples of it (determinism guard). */
+    explicit Monitor(Tick quantum);
+
+    void addSpec(Spec spec);
+
+    /** Sample every spec at @p now, update burn-rate windows, and
+     *  append fire/clear transitions to the alert log. */
+    void evaluate(Tick now);
+
+    const std::vector<Alert> &alerts() const { return alerts_; }
+    std::size_t specCount() const { return specs_.size(); }
+
+    /** True while the named SLO (or, with no name, any SLO) is in
+     *  the firing state. */
+    bool firing(const std::string &name = "") const;
+
+    /**
+     * The replayable alert event log, one line per transition:
+     *
+     *   FIRE  nginx-avail t=12.340s fast=14.2 slow=6.1
+     *   CLEAR nginx-avail t=15.870s fast=0.0 slow=2.3
+     *
+     * Deterministic; the fig_slo golden format.
+     */
+    std::string renderLog() const;
+
+    /** Current per-spec status table (the ctl `slo` verb). */
+    std::string renderText() const;
+
+    /** Alert log plus current spec states as one JSON document. */
+    std::string exportJson() const;
+
+    /** Write renderLog() to @p path; false on I/O failure. */
+    bool saveLog(const std::string &path) const;
+
+  private:
+    struct Sample
+    {
+        Tick at = 0;
+        std::uint64_t good = 0;
+        std::uint64_t total = 0;
+    };
+
+    struct State
+    {
+        Spec spec;
+        std::vector<Sample> history; ///< pruned to slowWindow
+        bool firing = false;
+        double lastFast = 0.0;
+        double lastSlow = 0.0;
+    };
+
+    /** Cumulative (good, total) for @p spec right now. */
+    Sample sampleSpec(const Spec &spec, Tick now) const;
+
+    /** Burn rate over the trailing @p window ending at the newest
+     *  sample of @p st. */
+    double burnOver(const State &st, Tick window) const;
+
+    Tick quantum_;
+    std::vector<State> specs_;
+    std::vector<Alert> alerts_;
+};
+
+} // namespace xc::sim::slo
+
+#endif // XC_SIM_SLO_H

@@ -30,7 +30,7 @@ Gauge::render() const
 }
 
 int
-Distribution::bucketOf(double v)
+LogHistogram::bucketOf(double v)
 {
     if (!(v > 0.0))
         return 0;
@@ -46,7 +46,7 @@ Distribution::bucketOf(double v)
 }
 
 double
-Distribution::bucketLo(int b)
+LogHistogram::bucketLo(int b)
 {
     if (b <= 0)
         return 0.0;
@@ -59,7 +59,7 @@ Distribution::bucketLo(int b)
 }
 
 double
-Distribution::bucketWidth(int b)
+LogHistogram::bucketWidth(int b)
 {
     if (b <= 0)
         return 0.0;
@@ -68,7 +68,7 @@ Distribution::bucketWidth(int b)
 }
 
 void
-Distribution::sample(double v)
+LogHistogram::sample(double v)
 {
     if (buckets_.empty())
         buckets_.assign(kBucketCount, 0);
@@ -85,7 +85,7 @@ Distribution::sample(double v)
 }
 
 void
-Distribution::merge(const Distribution &other)
+LogHistogram::merge(const LogHistogram &other)
 {
     if (other.count_ == 0)
         return;
@@ -107,7 +107,7 @@ Distribution::merge(const Distribution &other)
 }
 
 void
-Distribution::reset()
+LogHistogram::reset()
 {
     count_ = 0;
     sum_ = 0.0;
@@ -118,7 +118,7 @@ Distribution::reset()
 }
 
 double
-Distribution::mean() const
+LogHistogram::mean() const
 {
     if (count_ == 0)
         return 0.0;
@@ -126,7 +126,7 @@ Distribution::mean() const
 }
 
 double
-Distribution::stddev() const
+LogHistogram::stddev() const
 {
     if (count_ < 2)
         return 0.0;
@@ -137,19 +137,72 @@ Distribution::stddev() const
 }
 
 double
-Distribution::min() const
+LogHistogram::min() const
 {
     return count_ == 0 ? 0.0 : min_;
 }
 
 double
-Distribution::max() const
+LogHistogram::max() const
 {
     return count_ == 0 ? 0.0 : max_;
 }
 
+std::uint64_t
+LogHistogram::countBelow(double v) const
+{
+    if (count_ == 0)
+        return 0;
+    int limit = bucketOf(v);
+    std::uint64_t below = 0;
+    for (int b = 0; b <= limit; ++b)
+        below += buckets_[static_cast<std::size_t>(b)];
+    return below;
+}
+
+void
+LogHistogram::saveState(snap::SnapWriter &w) const
+{
+    w.u64(count_);
+    w.f64(sum_);
+    w.f64(sumSq_);
+    w.f64(min_);
+    w.f64(max_);
+    std::uint32_t nonzero = 0;
+    for (std::uint64_t n : buckets_)
+        nonzero += n != 0 ? 1 : 0;
+    w.u32(nonzero);
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+        if (buckets_[b] != 0) {
+            w.u32(static_cast<std::uint32_t>(b));
+            w.u64(buckets_[b]);
+        }
+    }
+}
+
+void
+LogHistogram::loadState(snap::SnapReader &r)
+{
+    reset();
+    count_ = r.u64();
+    sum_ = r.f64();
+    sumSq_ = r.f64();
+    min_ = r.f64();
+    max_ = r.f64();
+    std::uint32_t nonzero = r.u32();
+    if (nonzero != 0)
+        buckets_.assign(kBucketCount, 0);
+    for (std::uint32_t i = 0; i < nonzero; ++i) {
+        std::uint32_t b = r.u32();
+        if (b >= static_cast<std::uint32_t>(kBucketCount))
+            throw snap::SnapError("histogram bucket index "
+                                  "out of range");
+        buckets_[b] = r.u64();
+    }
+}
+
 double
-Distribution::percentile(double p) const
+LogHistogram::percentile(double p) const
 {
     if (count_ == 0)
         return 0.0;
@@ -185,7 +238,7 @@ Distribution::render() const
     os << name() << ".count " << count() << "\n";
     os << name() << ".mean " << mean() << "\n";
     os << name() << ".stdev " << stddev() << "\n";
-    if (count_ != 0) {
+    if (count() != 0) {
         os << name() << ".min " << min() << "\n";
         os << name() << ".p50 " << percentile(50) << "\n";
         os << name() << ".p99 " << percentile(99) << "\n";

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/snapshot.h"
+
 namespace xc::sim {
 
 class StatRegistry;
@@ -90,7 +92,9 @@ class Gauge : public Stat
 };
 
 /**
- * Sample distribution over a fixed log-bucket histogram.
+ * The registry-free log-bucket histogram core (shared by the
+ * Distribution stat below and the labeled metrics registry in
+ * sim/metrics.h).
  *
  * Storage is O(1) per sample and bounded regardless of sample count
  * (kBucketCount counters, allocated on first sample), so million-
@@ -99,14 +103,12 @@ class Gauge : public Stat
  * bounding relative bucket width — and therefore percentile error —
  * to 1/kSubBuckets (~1.6%). Mean and stddev stay exact (running
  * sum / sum of squares), as do min and max; percentile(0)/(100) and
- * the single-sample case return exact values. Histograms over the
- * same name space merge by bucket-wise addition.
+ * the single-sample case return exact values. Histograms merge by
+ * bucket-wise addition.
  */
-class Distribution : public Stat
+class LogHistogram
 {
   public:
-    using Stat::Stat;
-
     /** Slices per power-of-two octave (relative error bound). */
     static constexpr int kSubBuckets = 64;
     /** Binary exponents [-kExpRange, kExpRange) get their own
@@ -119,6 +121,7 @@ class Distribution : public Stat
     void sample(double v);
 
     std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
     double mean() const;
     double stddev() const;
     double min() const;
@@ -131,12 +134,25 @@ class Distribution : public Stat
      */
     double percentile(double p) const;
 
-    /** Fold @p other into this distribution (bucket-wise add).
-     *  Associative and commutative over bucket counts. */
-    void merge(const Distribution &other);
+    /**
+     * Samples recorded at or below @p v, at bucket granularity:
+     * every sample in v's covering bucket (and all lower buckets)
+     * counts, so the answer can overstate by at most the samples in
+     * one bucket (relative threshold error <= 1/kSubBuckets).
+     * Deterministic — the SLO latency objective's good-event count.
+     */
+    std::uint64_t countBelow(double v) const;
 
-    std::string render() const override;
-    void reset() override;
+    /** Fold @p other into this histogram (bucket-wise add).
+     *  Associative and commutative over bucket counts. */
+    void merge(const LogHistogram &other);
+
+    void reset();
+
+    /** Snapshot serialization (sparse: only nonzero buckets).
+     *  save→load→save is a byte fixed point. */
+    void saveState(snap::SnapWriter &w) const;
+    void loadState(snap::SnapReader &r);
 
   private:
     static int bucketOf(double v);
@@ -149,6 +165,46 @@ class Distribution : public Stat
     double min_ = 0.0;
     double max_ = 0.0;
     std::vector<std::uint64_t> buckets_; // kBucketCount, lazy
+};
+
+/** Sample distribution stat: a registered, named LogHistogram. */
+class Distribution : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    static constexpr int kSubBuckets = LogHistogram::kSubBuckets;
+    static constexpr int kExpRange = LogHistogram::kExpRange;
+    static constexpr int kBucketCount = LogHistogram::kBucketCount;
+
+    void sample(double v) { histo_.sample(v); }
+
+    std::uint64_t count() const { return histo_.count(); }
+    double mean() const { return histo_.mean(); }
+    double stddev() const { return histo_.stddev(); }
+    double min() const { return histo_.min(); }
+    double max() const { return histo_.max(); }
+    double percentile(double p) const { return histo_.percentile(p); }
+
+    std::uint64_t
+    countBelow(double v) const
+    {
+        return histo_.countBelow(v);
+    }
+
+    void merge(const Distribution &other)
+    {
+        histo_.merge(other.histo_);
+    }
+
+    /** The underlying histogram (metrics mirroring, tests). */
+    const LogHistogram &histogram() const { return histo_; }
+
+    std::string render() const override;
+    void reset() override { histo_.reset(); }
+
+  private:
+    LogHistogram histo_;
 };
 
 /** Flat registry of named stats. */

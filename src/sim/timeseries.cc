@@ -70,7 +70,13 @@ TimeSeries::sampleOnce()
         double raw = s.fn();
         double v = raw;
         if (s.kind == Kind::Delta) {
-            v = raw - s.last;
+            // Clamp at zero: per-interval rates are documented
+            // non-negative, and a raw sample below the baseline
+            // (a counter re-bound across restore adoption, or a
+            // probe whose owner was recreated) would otherwise
+            // export a negative rate. The baseline still adopts the
+            // new raw value so subsequent deltas are exact.
+            v = raw >= s.last ? raw - s.last : 0.0;
             s.last = raw;
         }
         if (s.ring.size() < opt_.capacity) {

@@ -14,7 +14,10 @@
  *  - Level: the sampled value is stored as-is (e.g. queue depth).
  *  - Delta: the stored value is the increase since the previous
  *    sample (e.g. ops completed this interval), turning monotonic
- *    counters into per-interval rates.
+ *    counters into per-interval rates. Delta points are always
+ *    non-negative: a raw sample below the baseline (a counter
+ *    re-bound after restore adoption) stores 0 and adopts the new
+ *    value as the next baseline.
  *
  * Ring buffers drop the oldest samples when capacity is exceeded;
  * sample times are implicit (start + i * cadence) so storage is one

@@ -1,0 +1,368 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "sim/snapshot.h"
+
+namespace xc::sim {
+namespace {
+
+namespace mx = metrics;
+
+/** Bind a fresh MetricState to this thread for the test's lifetime
+ *  (the same isolation runMacro gives each cell), restoring the
+ *  previous binding on destruction. */
+struct BoundState
+{
+    BoundState() { prev = mx::detail::bindThreadState(&st); }
+    ~BoundState()
+    {
+        mx::clear();
+        mx::detail::bindThreadState(prev);
+    }
+    mx::detail::MetricState st;
+    mx::detail::MetricState *prev = nullptr;
+};
+
+TEST(Metrics, DisabledHandlesAreInertAndAllocationIsSkipped)
+{
+    BoundState bound;
+    ASSERT_FALSE(mx::enabled());
+
+    mx::Counter c = mx::counter("xc_requests_total", "requests",
+                                {"status"}, {"ok"});
+    mx::Gauge g = mx::gauge("xc_depth", "depth", {}, {});
+    mx::Histogram h =
+        mx::histogram("xc_latency_us", "latency", {}, {});
+    EXPECT_FALSE(static_cast<bool>(c));
+    EXPECT_FALSE(static_cast<bool>(g));
+    EXPECT_FALSE(static_cast<bool>(h));
+    EXPECT_EQ(h.histogram(), nullptr);
+
+    // Inert handles swallow updates without touching any state.
+    c.add(5);
+    g.set(3.0);
+    h.observe(42.0);
+    mx::addCollector("xc_runq", "runq", mx::Kind::Gauge, {}, {},
+                     [] { return 1.0; });
+
+    EXPECT_EQ(mx::familyCount(), 0u);
+    EXPECT_EQ(mx::renderText(), "");
+    EXPECT_DOUBLE_EQ(mx::valueOf("xc_requests_total"), 0.0);
+}
+
+TEST(Metrics, CounterGaugeHistogramRoundTrip)
+{
+    BoundState bound;
+    mx::enable();
+    ASSERT_TRUE(mx::enabled());
+
+    mx::Counter ok = mx::counter("xc_requests_total", "requests",
+                                 {"status"}, {"ok"});
+    mx::Counter err = mx::counter("xc_requests_total", "requests",
+                                  {"status"}, {"error"});
+    mx::Gauge depth = mx::gauge("xc_runq_depth", "depth", {}, {});
+    mx::Histogram lat =
+        mx::histogram("xc_latency_us", "latency", {}, {});
+    ASSERT_TRUE(static_cast<bool>(ok));
+    ASSERT_TRUE(static_cast<bool>(err));
+
+    ok.add();
+    ok.add(9);
+    err.add(2);
+    depth.set(7.0);
+    depth.set(3.0); // gauge: latest value wins
+    lat.observe(100.0);
+    lat.observe(300.0);
+
+    EXPECT_EQ(mx::familyCount(), 3u);
+    EXPECT_DOUBLE_EQ(mx::valueOf("xc_requests_total"), 12.0);
+    EXPECT_DOUBLE_EQ(
+        mx::valueOf("xc_requests_total", {{"status", "ok"}}), 10.0);
+    EXPECT_DOUBLE_EQ(
+        mx::valueOf("xc_requests_total", {{"status", "error"}}),
+        2.0);
+    EXPECT_DOUBLE_EQ(mx::valueOf("xc_runq_depth"), 3.0);
+    ASSERT_NE(lat.histogram(), nullptr);
+    EXPECT_EQ(lat.histogram()->count(), 2u);
+    EXPECT_DOUBLE_EQ(lat.histogram()->sum(), 400.0);
+}
+
+TEST(Metrics, LabelTuplesInternToOneInstance)
+{
+    BoundState bound;
+    mx::enable();
+
+    mx::Counter a = mx::counter("xc_mech_cycles_total", "cycles",
+                                {"mech"}, {"syscall"});
+    mx::Counter b = mx::counter("xc_mech_cycles_total", "cycles",
+                                {"mech"}, {"syscall"});
+    a.add(3);
+    b.add(4); // same interned instance as `a`
+    EXPECT_DOUBLE_EQ(mx::valueOf("xc_mech_cycles_total",
+                                 {{"mech", "syscall"}}),
+                     7.0);
+    EXPECT_EQ(mx::familyCount(), 1u);
+}
+
+TEST(Metrics, RenderTextUsesFirstTouchOrder)
+{
+    BoundState bound;
+    mx::enable();
+
+    mx::counter("xc_ops_total", "ops", {"op"}, {"write"}).add(1);
+    mx::counter("xc_ops_total", "ops", {"op"}, {"read"}).add(2);
+    // Re-touching an existing tuple must not reorder instances.
+    mx::counter("xc_ops_total", "ops", {"op"}, {"write"}).add(1);
+
+    std::string text = mx::renderText();
+    std::size_t help = text.find("# HELP xc_ops_total ops");
+    std::size_t type = text.find("# TYPE xc_ops_total counter");
+    std::size_t w = text.find("xc_ops_total{op=\"write\"} 2");
+    std::size_t r = text.find("xc_ops_total{op=\"read\"} 2");
+    ASSERT_NE(help, std::string::npos) << text;
+    ASSERT_NE(type, std::string::npos) << text;
+    ASSERT_NE(w, std::string::npos) << text;
+    ASSERT_NE(r, std::string::npos) << text;
+    EXPECT_LT(help, type);
+    EXPECT_LT(type, w);
+    EXPECT_LT(w, r); // write touched first, so it renders first
+}
+
+TEST(Metrics, ExpositionIsDeterministic)
+{
+    auto populate = [] {
+        mx::enable();
+        mx::counter("xc_requests_total", "requests",
+                    {"runtime", "status"}, {"docker", "ok"})
+            .add(11);
+        mx::counter("xc_requests_total", "requests",
+                    {"runtime", "status"}, {"docker", "error"})
+            .add(1);
+        mx::gauge("xc_net_backlog", "backlog", {"runtime"},
+                  {"docker"})
+            .set(4.0);
+        mx::Histogram h = mx::histogram("xc_latency_us", "latency",
+                                        {"runtime"}, {"docker"});
+        for (int i = 1; i <= 16; ++i)
+            h.observe(100.0 * i);
+    };
+
+    std::string text1, json1;
+    {
+        BoundState bound;
+        populate();
+        text1 = mx::renderText();
+        json1 = mx::exportJson();
+        // Same state, same bytes.
+        EXPECT_EQ(mx::renderText(), text1);
+        EXPECT_EQ(mx::exportJson(), json1);
+    }
+    // A separately-built state with the same touch sequence exposes
+    // byte-identical documents.
+    BoundState bound;
+    populate();
+    EXPECT_EQ(mx::renderText(), text1);
+    EXPECT_EQ(mx::exportJson(), json1);
+    EXPECT_NE(json1.find("\"kind\":\"histogram\""),
+              std::string::npos);
+    EXPECT_NE(json1.find("\"count\":16"), std::string::npos);
+}
+
+TEST(Metrics, CollectorsRefreshAtExpositionAndFreezeOnFinalize)
+{
+    BoundState bound;
+    mx::enable();
+
+    double depth = 2.0;
+    mx::addCollector("xc_runq_depth", "depth", mx::Kind::Gauge, {},
+                     {}, [&depth] { return depth; });
+
+    EXPECT_NE(mx::renderText().find("xc_runq_depth 2"),
+              std::string::npos);
+    depth = 9.0; // no metrics call needed: re-read at next scrape
+    EXPECT_NE(mx::renderText().find("xc_runq_depth 9"),
+              std::string::npos);
+
+    depth = 5.0;
+    mx::finalizeCollectors(); // captures 5, drops the callback
+    depth = 77.0;
+    EXPECT_DOUBLE_EQ(mx::valueOf("xc_runq_depth"), 5.0);
+    EXPECT_NE(mx::renderText().find("xc_runq_depth 5"),
+              std::string::npos);
+}
+
+TEST(Metrics, MergeSumsCountersMergesHistogramsGaugesTakeSrc)
+{
+    mx::detail::MetricState dst, src;
+
+    {
+        BoundState dummy; // keep the process default clean
+        mx::detail::bindThreadState(&dst);
+        mx::enable();
+        mx::counter("xc_requests_total", "requests", {"status"},
+                    {"ok"})
+            .add(10);
+        mx::gauge("xc_depth", "depth", {}, {}).set(1.0);
+        mx::histogram("xc_latency_us", "latency", {}, {})
+            .observe(100.0);
+
+        mx::detail::bindThreadState(&src);
+        mx::enable();
+        // Different first-touch order within the family and one
+        // tuple dst has not seen.
+        mx::counter("xc_requests_total", "requests", {"status"},
+                    {"error"})
+            .add(3);
+        mx::counter("xc_requests_total", "requests", {"status"},
+                    {"ok"})
+            .add(5);
+        mx::gauge("xc_depth", "depth", {}, {}).set(8.0);
+        mx::Histogram h =
+            mx::histogram("xc_latency_us", "latency", {}, {});
+        h.observe(200.0);
+        h.observe(300.0);
+        // A family only the source knows, collector-backed; its
+        // callback captures a local that dies with this scope, so
+        // the merge must finalize it.
+        double waiting = 6.0;
+        mx::addCollector("xc_cpu_pool_waiting", "waiting",
+                         mx::Kind::Gauge, {}, {},
+                         [&waiting] { return waiting; });
+
+        mx::detail::mergeState(dst, src);
+        mx::detail::bindThreadState(&dst);
+
+        EXPECT_DOUBLE_EQ(mx::valueOf("xc_requests_total",
+                                     {{"status", "ok"}}),
+                         15.0);
+        EXPECT_DOUBLE_EQ(mx::valueOf("xc_requests_total",
+                                     {{"status", "error"}}),
+                         3.0);
+        EXPECT_DOUBLE_EQ(mx::valueOf("xc_depth"), 8.0);
+        EXPECT_DOUBLE_EQ(mx::valueOf("xc_cpu_pool_waiting"), 6.0);
+        mx::detail::bindThreadState(&dummy.st);
+    }
+
+    // After the merge the source's collector callback is gone:
+    // exposing the merged state cannot call into the dead cell.
+    for (const mx::detail::Family &f : src.families) {
+        for (const mx::detail::Instance &i : f.instances)
+            EXPECT_FALSE(static_cast<bool>(i.collect));
+    }
+    ASSERT_EQ(dst.byName.count("xc_latency_us"), 1u);
+    const mx::detail::Family &lat =
+        dst.families[dst.byName.at("xc_latency_us")];
+    ASSERT_EQ(lat.instances.size(), 1u);
+    EXPECT_EQ(lat.instances.front().histo.count(), 3u);
+    EXPECT_DOUBLE_EQ(lat.instances.front().histo.sum(), 600.0);
+}
+
+TEST(Metrics, MergeInSequentialCellOrderReproducesSequentialRun)
+{
+    // The -j byte-identity argument in one test: touching cells
+    // sequentially into one state, or touching per-cell states and
+    // merging them in cell order, must expose the same bytes.
+    auto touchCell = [](const char *rt, double errs) {
+        mx::counter("xc_requests_total", "requests",
+                    {"runtime", "status"}, {rt, "ok"})
+            .add(100);
+        mx::counter("xc_requests_total", "requests",
+                    {"runtime", "status"}, {rt, "error"})
+            .add(errs);
+    };
+
+    std::string sequential;
+    {
+        BoundState bound;
+        mx::enable();
+        touchCell("docker", 2);
+        touchCell("x-container", 1);
+        sequential = mx::renderText();
+    }
+
+    mx::detail::MetricState merged, cellA, cellB;
+    BoundState dummy;
+    mx::detail::bindThreadState(&merged);
+    mx::enable();
+    mx::detail::bindThreadState(&cellA);
+    mx::enable();
+    touchCell("docker", 2);
+    mx::detail::bindThreadState(&cellB);
+    mx::enable();
+    touchCell("x-container", 1);
+    mx::detail::mergeState(merged, cellA);
+    mx::detail::mergeState(merged, cellB);
+    mx::detail::bindThreadState(&merged);
+    EXPECT_EQ(mx::renderText(), sequential);
+    mx::detail::bindThreadState(&dummy.st);
+}
+
+TEST(Metrics, SaveLoadStateIsAByteFixedPoint)
+{
+    BoundState bound;
+    mx::enable();
+
+    mx::counter("xc_requests_total", "requests",
+                {"runtime", "status"}, {"docker", "ok"})
+        .add(123);
+    mx::gauge("xc_net_backlog", "backlog", {"runtime"}, {"docker"})
+        .set(5.0);
+    mx::Histogram h =
+        mx::histogram("xc_latency_us", "latency", {}, {});
+    for (int i = 0; i < 32; ++i)
+        h.observe(50.0 + 13.0 * i);
+    double cycles = 4096.0;
+    mx::addCollector("xc_mech_cycles_total", "cycles", mx::Kind::Counter,
+                     {"mech"}, {"syscall"},
+                     [&cycles] { return cycles; });
+
+    snap::SnapWriter w1;
+    mx::saveState(w1);
+    std::string bytes = w1.take();
+    std::string text = mx::renderText();
+
+    mx::detail::MetricState fresh;
+    mx::detail::MetricState *self =
+        mx::detail::bindThreadState(&fresh);
+    mx::enable();
+    snap::SnapReader r(bytes);
+    mx::loadState(r);
+
+    snap::SnapWriter w2;
+    mx::saveState(w2);
+    EXPECT_EQ(w2.take(), bytes);
+    // The restored state exposes the same document (collector
+    // values were serialized as plain values).
+    EXPECT_EQ(mx::renderText(), text);
+    EXPECT_DOUBLE_EQ(mx::valueOf("xc_mech_cycles_total",
+                                 {{"mech", "syscall"}}),
+                     4096.0);
+    mx::detail::bindThreadState(self);
+}
+
+TEST(Metrics, EnableResetsAndDisableKeepsFamiliesReadable)
+{
+    BoundState bound;
+    mx::enable();
+    mx::counter("xc_a_total", "a", {}, {}).add(1);
+    EXPECT_EQ(mx::familyCount(), 1u);
+
+    // disable(): recording stops, exposition still works.
+    mx::disable();
+    EXPECT_FALSE(mx::enabled());
+    EXPECT_EQ(mx::familyCount(), 1u);
+    EXPECT_NE(mx::renderText().find("xc_a_total 1"),
+              std::string::npos);
+    mx::counter("xc_a_total", "a", {}, {}).add(99); // inert
+    EXPECT_DOUBLE_EQ(mx::valueOf("xc_a_total"), 1.0);
+
+    // enable(): a fresh recording epoch.
+    mx::enable();
+    EXPECT_EQ(mx::familyCount(), 0u);
+}
+
+} // namespace
+} // namespace xc::sim

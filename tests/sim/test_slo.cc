@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/metrics.h"
+#include "sim/slo.h"
+
+namespace xc::sim {
+namespace {
+
+namespace mx = metrics;
+
+/** Evaluation quantum for every test: 10 simulated microseconds
+ *  (ticks are picoseconds), so alert timestamps render as
+ *  recognizable %.6f second values. */
+constexpr Tick kQ = 10 * kTicksPerUs;
+
+/** Bind a fresh MetricState to this thread so each test's SLO
+ *  samples come from its own registry (cell isolation). */
+struct BoundState
+{
+    BoundState()
+    {
+        prev = mx::detail::bindThreadState(&st);
+        mx::enable();
+    }
+    ~BoundState()
+    {
+        mx::clear();
+        mx::detail::bindThreadState(prev);
+    }
+    mx::detail::MetricState st;
+    mx::detail::MetricState *prev = nullptr;
+};
+
+/** An error-rate spec over xc_requests_total with a 0.9 objective
+ *  (10% error budget), fast window 2 quanta, slow window 4. */
+slo::Spec
+availSpec()
+{
+    slo::Spec s;
+    s.name = "avail";
+    s.kind = slo::Spec::Kind::ErrorRate;
+    s.metric = "xc_requests_total";
+    s.objective = 0.9;
+    s.fastWindow = 2 * kQ;
+    s.slowWindow = 4 * kQ;
+    s.fastBurn = 2.0;
+    s.slowBurn = 1.0;
+    return s;
+}
+
+TEST(Slo, BurnRateFiresOnConjunctionAndClearsOnEitherWindow)
+{
+    BoundState bound;
+    mx::Counter ok = mx::counter("xc_requests_total", "requests",
+                                 {"status"}, {"ok"});
+    mx::Counter err = mx::counter("xc_requests_total", "requests",
+                                  {"status"}, {"error"});
+
+    slo::Monitor mon(kQ);
+    mon.addSpec(availSpec());
+    ASSERT_EQ(mon.specCount(), 1u);
+
+    // t=10: clean traffic — no burn.
+    ok.add(100);
+    mon.evaluate(1 * kQ);
+    EXPECT_FALSE(mon.firing());
+
+    // t=20: 50/100 requests fail this quantum. Fast window (back to
+    // t=0, baseline t=10): bad 50/100 = 0.5 -> burn 5 >= 2. Slow
+    // window agrees -> FIRE.
+    ok.add(50);
+    err.add(50);
+    mon.evaluate(2 * kQ);
+    EXPECT_TRUE(mon.firing());
+    EXPECT_TRUE(mon.firing("avail"));
+    EXPECT_FALSE(mon.firing("other"));
+
+    // t=30: clean again, but the fast window [10,30] still holds
+    // the bad quantum: bad 50/200 -> burn 2.5 >= 2. Still firing,
+    // and no duplicate FIRE is logged.
+    ok.add(100);
+    mon.evaluate(3 * kQ);
+    EXPECT_TRUE(mon.firing());
+    ASSERT_EQ(mon.alerts().size(), 1u);
+
+    // t=40: the fast window [20,40] is clean (burn 0 < 2) while the
+    // slow window [0,40] still burns 50/300/0.1 = 1.67 >= 1. One
+    // window below threshold is enough to clear.
+    ok.add(100);
+    mon.evaluate(4 * kQ);
+    EXPECT_FALSE(mon.firing());
+
+    ASSERT_EQ(mon.alerts().size(), 2u);
+    const slo::Alert &fire = mon.alerts()[0];
+    const slo::Alert &clear = mon.alerts()[1];
+    EXPECT_EQ(fire.slo, "avail");
+    EXPECT_TRUE(fire.firing);
+    EXPECT_EQ(fire.at, 2 * kQ);
+    EXPECT_DOUBLE_EQ(fire.fast, 5.0);
+    EXPECT_DOUBLE_EQ(fire.slow, 5.0);
+    EXPECT_EQ(clear.slo, "avail");
+    EXPECT_FALSE(clear.firing);
+    EXPECT_EQ(clear.at, 4 * kQ);
+    EXPECT_DOUBLE_EQ(clear.fast, 0.0);
+    EXPECT_GE(clear.slow, 1.0); // cleared while the slow window burned
+}
+
+TEST(Slo, LatencyObjectiveCountsSamplesAboveThresholdAsBad)
+{
+    BoundState bound;
+    mx::Histogram lat = mx::histogram("xc_request_latency_us",
+                                      "latency", {}, {});
+
+    slo::Spec s;
+    s.name = "lat";
+    s.kind = slo::Spec::Kind::Latency;
+    s.metric = "xc_request_latency_us";
+    s.latencyThresholdUs = 1000.0;
+    s.objective = 0.5; // half the samples may be slow
+    s.fastWindow = 1 * kQ;
+    s.slowWindow = 2 * kQ;
+    s.fastBurn = 2.0;
+    s.slowBurn = 2.0;
+
+    slo::Monitor mon(kQ);
+    mon.addSpec(s);
+
+    // t=10: all fast — compliant.
+    for (int i = 0; i < 10; ++i)
+        lat.observe(50.0);
+    mon.evaluate(1 * kQ);
+    EXPECT_FALSE(mon.firing());
+
+    // t=20: this quantum is 100% slow: bad 1.0 / budget 0.5 = burn
+    // 2.0 on both windows -> FIRE.
+    for (int i = 0; i < 10; ++i)
+        lat.observe(50000.0);
+    mon.evaluate(2 * kQ);
+    EXPECT_TRUE(mon.firing("lat"));
+    ASSERT_EQ(mon.alerts().size(), 1u);
+    EXPECT_DOUBLE_EQ(mon.alerts()[0].fast, 2.0);
+}
+
+TEST(Slo, MatchFiltersInstancesByLabel)
+{
+    BoundState bound;
+    mx::Counter aOk =
+        mx::counter("xc_requests_total", "requests",
+                    {"runtime", "status"}, {"docker", "ok"});
+    mx::Counter bErr =
+        mx::counter("xc_requests_total", "requests",
+                    {"runtime", "status"}, {"gvisor", "error"});
+
+    slo::Spec s = availSpec();
+    s.match = {{"runtime", "docker"}};
+    slo::Monitor mon(kQ);
+    mon.addSpec(s);
+
+    // Every gvisor request fails; docker is clean. The docker-scoped
+    // SLO must not fire on the other runtime's errors.
+    aOk.add(100);
+    bErr.add(100);
+    mon.evaluate(1 * kQ);
+    aOk.add(100);
+    bErr.add(100);
+    mon.evaluate(2 * kQ);
+    EXPECT_FALSE(mon.firing());
+    EXPECT_TRUE(mon.alerts().empty());
+}
+
+TEST(Slo, MissingMetricFamilyIsQuiet)
+{
+    BoundState bound;
+    slo::Monitor mon(kQ);
+    mon.addSpec(availSpec()); // family never registered
+    mon.evaluate(1 * kQ);
+    mon.evaluate(2 * kQ);
+    EXPECT_FALSE(mon.firing());
+    EXPECT_TRUE(mon.alerts().empty());
+    EXPECT_NE(mon.renderText().find("avail"), std::string::npos);
+    EXPECT_NE(mon.renderText().find("OK"), std::string::npos);
+}
+
+TEST(Slo, LogAndJsonAreDeterministicReplays)
+{
+    auto run = [](slo::Monitor &mon) {
+        BoundState bound;
+        mx::Counter ok = mx::counter("xc_requests_total", "requests",
+                                     {"status"}, {"ok"});
+        mx::Counter err = mx::counter("xc_requests_total",
+                                      "requests", {"status"},
+                                      {"error"});
+        mon.addSpec(availSpec());
+        ok.add(100);
+        mon.evaluate(1 * kQ);
+        ok.add(50);
+        err.add(50);
+        mon.evaluate(2 * kQ);
+        ok.add(100);
+        mon.evaluate(3 * kQ);
+        ok.add(100);
+        mon.evaluate(4 * kQ);
+    };
+
+    slo::Monitor monA(kQ), monB(kQ);
+    run(monA);
+    run(monB);
+
+    std::string log = monA.renderLog();
+    EXPECT_EQ(log, monB.renderLog());
+    EXPECT_EQ(monA.exportJson(), monB.exportJson());
+    EXPECT_EQ(monA.renderText(), monB.renderText());
+
+    // The golden log format: one line per transition with the
+    // quantized sim timestamp and both burns.
+    EXPECT_NE(log.find("FIRE  avail t=0.000020s fast=5.000"),
+              std::string::npos)
+        << log;
+    EXPECT_NE(log.find("CLEAR avail t=0.000040s fast=0.000"),
+              std::string::npos)
+        << log;
+    EXPECT_NE(monA.exportJson().find("\"type\":\"fire\""),
+              std::string::npos);
+    EXPECT_NE(monA.exportJson().find("\"firing\":false"),
+              std::string::npos);
+}
+
+TEST(Slo, HistoryPruningKeepsSlowWindowBaseline)
+{
+    BoundState bound;
+    mx::Counter ok = mx::counter("xc_requests_total", "requests",
+                                 {"status"}, {"ok"});
+    mx::Counter err = mx::counter("xc_requests_total", "requests",
+                                  {"status"}, {"error"});
+
+    slo::Monitor mon(kQ);
+    mon.addSpec(availSpec());
+
+    // Long clean run so history pruning has cycled many times
+    // (slow window 40 keeps ~5 samples of the hundreds taken).
+    for (Tick t = kQ; t <= 100 * kQ; t += kQ) {
+        ok.add(100);
+        mon.evaluate(t);
+    }
+    EXPECT_FALSE(mon.firing());
+
+    // A burst must still be judged against the pruned trailing
+    // windows exactly as in the short run: 50% bad over one quantum
+    // -> fast burn 5 -> FIRE.
+    ok.add(50);
+    err.add(50);
+    mon.evaluate(101 * kQ);
+    EXPECT_TRUE(mon.firing());
+    ASSERT_EQ(mon.alerts().size(), 1u);
+    EXPECT_EQ(mon.alerts()[0].at, 101 * kQ);
+    // Fast window [990,1010]: 100 clean + 100 half-bad = 50/200.
+    EXPECT_DOUBLE_EQ(mon.alerts()[0].fast, 2.5);
+}
+
+} // namespace
+} // namespace xc::sim

@@ -127,5 +127,91 @@ TEST(TimeSeries, ExportJsonHasSeriesAndMetadata)
     EXPECT_EQ(json, ts.exportJson());
 }
 
+TEST(TimeSeries, ExportJsonEmptyRing)
+{
+    EventQueue events;
+    TimeSeries::Options opt;
+    opt.cadence = 10;
+    TimeSeries ts(events, opt);
+    ts.addProbe("ops", TimeSeries::Kind::Delta, [] { return 0.0; });
+
+    // Never started: no samples, no points, still a valid document.
+    std::string json = ts.exportJson();
+    EXPECT_NE(json.find("\"samples\":0"), std::string::npos);
+    EXPECT_NE(json.find("\"dropped\":0"), std::string::npos);
+    EXPECT_NE(json.find("\"points\":[]"), std::string::npos);
+    EXPECT_EQ(json, ts.exportJson());
+    EXPECT_TRUE(ts.points("ops").empty());
+
+    // Started but stopped before the first cadence: same shape.
+    ts.start();
+    ts.stop();
+    EXPECT_NE(ts.exportJson().find("\"points\":[]"),
+              std::string::npos);
+}
+
+TEST(TimeSeries, ExportJsonExactlyFullRingThenWrap)
+{
+    EventQueue events;
+    TimeSeries::Options opt;
+    opt.cadence = 1;
+    opt.capacity = 3;
+    TimeSeries ts(events, opt);
+    double i = 0.0;
+    ts.addProbe("i", TimeSeries::Kind::Level, [&] { return i; });
+    ts.start();
+    for (int k = 1; k <= 3; ++k) {
+        i = k;
+        events.runUntil(events.now() + 1);
+    }
+    // Exactly full: no wrap, nothing dropped, insertion order kept.
+    EXPECT_EQ(ts.samplesTaken(), 3u);
+    std::string json = ts.exportJson();
+    EXPECT_NE(json.find("\"dropped\":0"), std::string::npos);
+    EXPECT_NE(json.find("\"points\":[1,2,3]"), std::string::npos);
+
+    // One more sample wraps: oldest falls off, unroll stays
+    // oldest-first starting at the ring head.
+    i = 4;
+    events.runUntil(events.now() + 1);
+    ts.stop();
+    EXPECT_EQ(ts.samplesTaken(), 4u);
+    json = ts.exportJson();
+    EXPECT_NE(json.find("\"dropped\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"points\":[2,3,4]"), std::string::npos);
+    EXPECT_EQ(json, ts.exportJson());
+}
+
+TEST(TimeSeries, DeltaClampsAtZeroWhenCounterDecreases)
+{
+    EventQueue events;
+    TimeSeries::Options opt;
+    opt.cadence = 10;
+    TimeSeries ts(events, opt);
+    double counter = 100.0;
+    ts.addProbe("rate", TimeSeries::Kind::Delta,
+                [&] { return counter; });
+    ts.start();
+    counter = 110.0; // normal increase
+    events.runUntil(events.now() + 10);
+    // The counter's owner restarts (restore adoption): the raw value
+    // drops below the baseline. The point clamps to 0 — per-interval
+    // rates are documented non-negative — and the new raw value
+    // becomes the baseline.
+    counter = 5.0;
+    events.runUntil(events.now() + 10);
+    counter = 12.0; // exact again from the adopted baseline
+    events.runUntil(events.now() + 10);
+    ts.stop();
+
+    std::vector<double> rv = ts.points("rate");
+    ASSERT_EQ(rv.size(), 3u);
+    EXPECT_DOUBLE_EQ(rv[0], 10.0);
+    EXPECT_DOUBLE_EQ(rv[1], 0.0);
+    EXPECT_DOUBLE_EQ(rv[2], 7.0);
+    for (double v : rv)
+        EXPECT_GE(v, 0.0);
+}
+
 } // namespace
 } // namespace xc::sim

@@ -8,6 +8,7 @@
 #include "runtimes/x_container.h"
 #include "sim/event_queue.h"
 #include "sim/mech_counters.h"
+#include "sim/metrics.h"
 #include "sim/profile.h"
 #include "sim/request_ctx.h"
 #include "sim/trace.h"
@@ -100,6 +101,35 @@ TEST(TraceOverhead, DisabledHotPathsAllocateNothing)
 
     EXPECT_EQ(after - before, 0u);
     EXPECT_EQ(mech.count(sim::Mech::SyscallTrap), 1000u);
+}
+
+TEST(TraceOverhead, DisabledMetricsAllocateNothing)
+{
+    // Same discipline for the labeled-metrics registry: while
+    // disabled, resolving an instrument returns an inert handle
+    // without interning anything, updates are one null check, and
+    // registering a collector is a plain early return.
+    sim::metrics::clear();
+    ASSERT_FALSE(sim::metrics::enabled());
+
+    std::uint64_t before = g_allocs;
+    for (int i = 0; i < 1000; ++i) {
+        sim::metrics::Counter c = sim::metrics::counter(
+            "xc_requests_total", "client request outcomes",
+            {"runtime", "app", "status"}, {"docker", "nginx", "ok"});
+        c.add(1);
+        sim::metrics::Gauge g = sim::metrics::gauge(
+            "xc_runq_depth", "runnable threads", {"runtime"},
+            {"docker"});
+        g.set(3.0);
+        sim::metrics::Histogram h = sim::metrics::histogram(
+            "xc_request_latency_us", "request latency", {}, {});
+        h.observe(123.0);
+    }
+    std::uint64_t after = g_allocs;
+
+    EXPECT_EQ(after - before, 0u);
+    EXPECT_EQ(sim::metrics::familyCount(), 0u);
 }
 
 TEST(TraceOverhead, CaptureDoesNotPerturbTheSimulation)

@@ -2,24 +2,35 @@
  * @file
  * xc_ctl — command-line client for a bench's live control socket.
  *
- *   xc_ctl SOCKET CMD [ARG]
- *
- *   CMD: ping | status | mech | timeseries | profile | flight
- *      | inject-faults RATE | spawn NAME | kill NAME | resume
+ *   xc_ctl SOCKET VERB [ARG]
+ *   xc_ctl SOCKET watch [INTERVAL_MS] [COUNT]
+ *   xc_ctl --help
  *
  * Connects to the AF_UNIX socket a bench exposes via --ctl, sends
  * one request frame, prints the reply payload to stdout, and exits
  * 0 on kReplyOk / 1 on kReplyErr / 2 on usage or transport errors.
+ *
+ * The verb set, argument syntax and --help text are generated from
+ * sim::ctl::verbTable() — the same table the server dispatches on —
+ * so a verb added to the protocol is self-documenting here. `watch`
+ * is the one client-side verb: it re-scrapes status + metrics + slo
+ * every INTERVAL_MS (default 500) and renders a top-style dashboard
+ * (COUNT scrapes, default unbounded; benches without a metrics or
+ * slo hook just show fewer panes).
+ *
  * See DESIGN.md §14 for the framing and the determinism contract.
  */
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <time.h>
 #include <unistd.h>
 
 #include "sim/ctl.h"
@@ -31,12 +42,23 @@ using namespace xc::sim::ctl;
 int
 usage()
 {
-    std::fprintf(
-        stderr,
-        "usage: xc_ctl SOCKET CMD [ARG]\n"
-        "  CMD: ping | status | mech | timeseries | profile |\n"
-        "       flight | inject-faults RATE | spawn NAME |\n"
-        "       kill NAME | resume\n");
+    std::fprintf(stderr, "usage: xc_ctl SOCKET VERB [ARG]\n"
+                         "  VERB:\n");
+    for (const VerbInfo *v = verbTable(); v->verb != nullptr; ++v) {
+        std::string spelled = v->verb;
+        if (v->arg[0] != '\0') {
+            spelled += " ";
+            spelled += v->argRequired ? v->arg
+                                      : (std::string("[") + v->arg +
+                                         "]");
+        }
+        std::fprintf(stderr, "    %-24s %s\n", spelled.c_str(),
+                     v->help);
+    }
+    std::fprintf(stderr,
+                 "    %-24s %s\n", "watch [INTERVAL_MS] [COUNT]",
+                 "periodic status/metrics/slo dashboard "
+                 "(client-side)");
     return 2;
 }
 
@@ -57,49 +79,15 @@ sendAll(int fd, const std::string &bytes)
     return true;
 }
 
-} // namespace
-
+/**
+ * One request/reply round trip on a fresh connection.
+ * @return 0 = kReplyOk (reply in @p out), 1 = kReplyErr (error text
+ * in @p out), 2 = transport failure (diagnostic already printed).
+ */
 int
-main(int argc, char **argv)
+request(const std::string &socket_path, std::uint32_t type,
+        const std::string &payload, std::string &out)
 {
-    if (argc < 3)
-        return usage();
-    const std::string socket_path = argv[1];
-    const std::string cmd = argv[2];
-    const std::string arg = argc > 3 ? argv[3] : "";
-
-    std::uint32_t type = 0;
-    std::string payload;
-    if (cmd == "ping") {
-        type = kPing;
-    } else if (cmd == "status") {
-        type = kStatus;
-    } else if (cmd == "mech") {
-        type = kMech;
-    } else if (cmd == "timeseries") {
-        type = kTimeseries;
-    } else if (cmd == "profile") {
-        type = kProfile;
-    } else if (cmd == "flight") {
-        type = kFlight;
-    } else if (cmd == "inject-faults") {
-        type = kInjectFaults;
-        payload = arg;
-    } else if (cmd == "spawn") {
-        type = kSpawn;
-        payload = arg;
-    } else if (cmd == "kill") {
-        type = kKill;
-        payload = arg;
-    } else if (cmd == "resume") {
-        type = kResume;
-    } else {
-        return usage();
-    }
-    if ((type == kInjectFaults || type == kSpawn || type == kKill) &&
-        payload.empty())
-        return usage();
-
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
     if (socket_path.size() >= sizeof addr.sun_path) {
@@ -155,10 +143,96 @@ main(int argc, char **argv)
     }
     ::close(fd);
 
-    const Frame &reply = frames.front();
-    if (!reply.payload.empty())
-        std::printf("%s\n", reply.payload.c_str());
-    if (reply.type == kReplyOk)
+    out = frames.front().payload;
+    return frames.front().type == kReplyOk ? 0 : 1;
+}
+
+/**
+ * The dashboard loop: scrape status (and, when the bench supports
+ * them, metrics + slo) every @p interval_ms, @p count times (0 =
+ * until the socket goes away). Renders with an ANSI home+clear
+ * prefix on a TTY; plain appended panes otherwise (CI-friendly).
+ */
+int
+watch(const std::string &socket_path, int interval_ms, int count)
+{
+    const bool tty = ::isatty(STDOUT_FILENO) == 1;
+    for (int i = 0; count == 0 || i < count; ++i) {
+        std::string status, metrics, slo;
+        int rc = request(socket_path, kStatus, "", status);
+        if (rc == 2)
+            return i == 0 ? 2 : 0; // bench exited between scrapes
+        int mrc = request(socket_path, kMetrics, "", metrics);
+        if (mrc == 2)
+            return 0;
+        int src = request(socket_path, kSlo, "", slo);
+        if (src == 2)
+            return 0;
+
+        if (tty)
+            std::fputs("\x1b[H\x1b[2J", stdout);
+        std::printf("== xc_ctl watch: %s (scrape %d) ==\n",
+                    socket_path.c_str(), i + 1);
+        std::printf("-- status --\n%s\n",
+                    rc == 0 ? status.c_str() : "(unavailable)");
+        if (mrc == 0)
+            std::printf("-- metrics --\n%s", metrics.c_str());
+        if (src == 0)
+            std::printf("-- slo --\n%s", slo.c_str());
+        std::fflush(stdout);
+
+        if (count != 0 && i + 1 >= count)
+            break;
+        struct timespec ts;
+        ts.tv_sec = interval_ms / 1000;
+        ts.tv_nsec =
+            static_cast<long>(interval_ms % 1000) * 1000000L;
+        ::nanosleep(&ts, nullptr);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                      std::strcmp(argv[1], "-h") == 0))
+        return usage();
+    if (argc < 3)
+        return usage();
+    const std::string socket_path = argv[1];
+    const std::string cmd = argv[2];
+
+    if (cmd == "watch") {
+        int interval_ms =
+            argc > 3 ? std::atoi(argv[3]) : 500;
+        int count = argc > 4 ? std::atoi(argv[4]) : 0;
+        if (interval_ms <= 0) {
+            std::fprintf(stderr,
+                         "xc_ctl: watch interval must be > 0 ms\n");
+            return 2;
+        }
+        return watch(socket_path, interval_ms, count);
+    }
+
+    const VerbInfo *verb = findVerb(cmd);
+    if (verb == nullptr)
+        return usage();
+    std::string payload = argc > 3 ? argv[3] : "";
+    if (verb->argRequired && payload.empty())
+        return usage();
+    if (verb->arg[0] == '\0' && !payload.empty())
+        return usage();
+
+    std::string reply;
+    int rc = request(socket_path, verb->type, payload, reply);
+    if (rc == 2)
+        return 2;
+    if (!reply.empty())
+        std::printf("%s\n", reply.c_str());
+    if (rc == 0)
         return 0;
     std::fprintf(stderr, "xc_ctl: command failed\n");
     return 1;
