@@ -95,6 +95,8 @@ writeTextFile(const std::string &path, const std::string &data)
  *   --domains N       split the simulated world into N lookahead
  *                     domains advanced on separate host threads
  *                     (fig3; output is byte-identical to N=1)
+ *   --n N             container-count override for density benches
+ *                     (fig_cluster: run exactly one N-container cell)
  */
 struct Options
 {
@@ -129,6 +131,7 @@ struct Options
     sim::Tick ctlQuantum = 10 * sim::kTicksPerMs;
     bool noSuperblock = false; ///< verbatim-interpreter reference run
     int domains = 1; ///< intra-sim lookahead domains (1 = sequential)
+    int n = 0; ///< --n: container-count override (0 = bench default)
 
     static Options
     parse(int argc, char **argv)
@@ -203,6 +206,8 @@ struct Options
                 o.noSuperblock = true;
             } else if (const char *v = value("--domains")) {
                 o.domains = std::atoi(v);
+            } else if (const char *v = value("--n")) {
+                o.n = std::atoi(v);
             } else if (const char *v = value("--jobs")) {
                 o.jobs = std::atoi(v);
             } else if (const char *v = value("-j")) {
@@ -226,7 +231,7 @@ struct Options
                     "[--ctl SOCK] [--ctl-log FILE] "
                     "[--ctl-replay FILE] [--ctl-hold] "
                     "[--ctl-quantum MS] [--jobs/-j N] "
-                    "[--no-superblock] [--domains N]\n",
+                    "[--no-superblock] [--domains N] [--n N]\n",
                     argv[0], a, argv[0]);
                 std::exit(2);
             }

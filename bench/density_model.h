@@ -1,0 +1,146 @@
+#ifndef XC_BENCH_DENSITY_MODEL_H
+#define XC_BENCH_DENSITY_MODEL_H
+
+/**
+ * @file
+ * One source of truth for container-density memory accounting,
+ * shared by fig8_scalability and fig_cluster (DESIGN.md §17).
+ *
+ * Two kinds of numbers live here:
+ *
+ *  1. Per-VM host-side overheads beyond the guest's own memory
+ *     reservation — the hand-measured toolstack/monitor constants
+ *     that bound Figure 8's density limits (Xen PV stops ~250 VMs,
+ *     HVM ~200 on a 96 GB host).
+ *
+ *  2. Measured flyweight accounting: walk the per-container kernels
+ *     and the machine's frame allocator and report how many host
+ *     bytes the container state actually costs (shared CoW page-table
+ *     chunks counted once, only materialized frame contents charged)
+ *     next to what an eager-copy representation would have paid
+ *     (private flat page tables, every reserved frame materialized).
+ *     The ratio between the two columns is the tentpole claim of the
+ *     10k-container experiment.
+ */
+
+#include <cstdint>
+
+#include "guestos/kernel.h"
+#include "hw/machine.h"
+#include "hw/page_table.h"
+#include "runtimes/runtime.h"
+#include "sim/image_cache.h"
+
+namespace xc::bench {
+
+// --- per-VM host overheads (bytes beyond guest RAM) -------------------
+
+/** Xen PV: xenstored + console + xl bookkeeping per domain. */
+constexpr std::uint64_t kPvToolstackOverhead = 132ull << 20;
+/** Xen HVM: the QEMU device-model process per guest. */
+constexpr std::uint64_t kHvmQemuOverhead = 229ull << 20;
+/** A microVM monitor (firecracker-style) keeps only a few MB of host
+ *  state per VM — no QEMU device model, no xenstored. */
+constexpr std::uint64_t kMicrovmMonitorOverhead = 5ull << 20;
+
+/**
+ * Charge @p bytes of per-VM Domain-0 overhead for instance @p i on
+ * @p machine (xenstored/console for PV, the QEMU device model for
+ * HVM). Returns false when the pool is exhausted — the mechanism
+ * behind Figure 8's boot limits.
+ */
+inline bool
+chargeHostOverhead(hw::Machine &machine, std::uint64_t bytes, int i)
+{
+    if (bytes == 0)
+        return true;
+    auto run = machine.memory().alloc(
+        bytes / hw::kPageSize,
+        0xff000000u + static_cast<hw::OwnerId>(i));
+    return run.has_value();
+}
+
+/**
+ * Measured flyweight accounting over a set of containers. Feed every
+ * booted container with addContainer(), then the machine once with
+ * addMachine(); read the two bytes/container columns.
+ *
+ * Every input is simulated state (chunk pointers, mapped-PTE counts,
+ * frame-allocator totals), so for a fixed seed the report is
+ * byte-identical across hosts, -j levels and checkpoint/restore —
+ * safe to put in a golden digest.
+ */
+struct DensityReport
+{
+    std::uint64_t containers = 0;
+    hw::PageTableFootprint pt;
+    /** Frame contents actually materialized by a write. */
+    std::uint64_t touchedBytes = 0;
+    /** Every frame reserved from the allocator (guest RAM eager). */
+    std::uint64_t reservedBytes = 0;
+
+    void
+    addContainer(runtimes::RtContainer &c)
+    {
+        ++containers;
+        c.kernel().forEachProcess([this](const guestos::Process &p) {
+            pt.add(p.pageTable());
+        });
+    }
+
+    void
+    addMachine(hw::Machine &machine)
+    {
+        touchedBytes =
+            machine.memory().touchedFrames() * hw::kPageSize;
+        reservedBytes =
+            machine.memory().usedFrames() * hw::kPageSize;
+    }
+
+    /** Host bytes the flyweight representation actually charges:
+     *  unique CoW chunks + materialized frame contents. */
+    std::uint64_t
+    flyweightBytes() const
+    {
+        return pt.uniqueChunkBytes + touchedBytes;
+    }
+
+    /** What an eager-copy representation would pay: a private flat
+     *  page table per address space and every reserved frame
+     *  materialized. */
+    std::uint64_t
+    eagerBytes() const
+    {
+        return pt.eagerFlatBytes() + reservedBytes;
+    }
+
+    double
+    flyweightBytesPerContainer() const
+    {
+        return containers == 0 ? 0.0
+                               : static_cast<double>(flyweightBytes()) /
+                                     static_cast<double>(containers);
+    }
+
+    double
+    eagerBytesPerContainer() const
+    {
+        return containers == 0 ? 0.0
+                               : static_cast<double>(eagerBytes()) /
+                                     static_cast<double>(containers);
+    }
+
+    /** eager / flyweight (the headline density multiplier). */
+    double
+    savingsRatio() const
+    {
+        return flyweightBytes() == 0
+                   ? 0.0
+                   : static_cast<double>(eagerBytes()) /
+                         static_cast<double>(flyweightBytes());
+    }
+};
+
+} // namespace xc::bench
+
+#endif // XC_BENCH_DENSITY_MODEL_H

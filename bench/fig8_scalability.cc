@@ -15,18 +15,12 @@
 #include "common.h"
 
 #include "apps/nginx_php.h"
+#include "density_model.h"
 
 using namespace xc;
 using namespace xc::bench;
 
 namespace {
-
-/** Per-VM Domain-0 overhead beyond guest RAM (bytes). */
-constexpr std::uint64_t kPvToolstackOverhead = 132ull << 20;
-constexpr std::uint64_t kHvmQemuOverhead = 229ull << 20;
-// A microVM monitor (firecracker-style) keeps only a few MB of host
-// state per VM — no QEMU device model, no xenstored.
-constexpr std::uint64_t kMicrovmMonitorOverhead = 5ull << 20;
 
 struct Series
 {
@@ -36,7 +30,17 @@ struct Series
     std::uint64_t dom0Overhead; ///< extra per-VM host memory
 };
 
-double
+/** One (series, N) measurement: aggregate throughput plus the
+ *  measured flyweight-vs-eager memory accounting (density_model.h —
+ *  the same columns fig_cluster reports). */
+struct Point
+{
+    double tp = 0;         ///< req/s; negative = boot limit at -tp
+    double flyPerC = 0;    ///< measured host bytes per container
+    double eagerPerC = 0;  ///< eager-copy bytes per container
+};
+
+Point
 runPoint(const Series &series, int n)
 {
     auto built = series.make();
@@ -49,18 +53,14 @@ runPoint(const Series &series, int n)
     auto rt = std::move(built.runtime);
     std::vector<std::unique_ptr<apps::NginxPhpApp>> apps_;
     std::vector<std::unique_ptr<load::ClosedLoopDriver>> drivers;
+    std::vector<runtimes::RtContainer *> booted_containers;
 
     int booted = 0;
     for (int i = 0; i < n; ++i) {
         // VM-based platforms pay extra Domain-0 memory per instance
         // (xenstored/console for PV, the QEMU device model for HVM).
-        if (series.dom0Overhead > 0) {
-            auto run = rt->machine().memory().alloc(
-                series.dom0Overhead / hw::kPageSize,
-                0xff000000u + static_cast<hw::OwnerId>(i));
-            if (!run)
-                break;
-        }
+        if (!chargeHostOverhead(rt->machine(), series.dom0Overhead, i))
+            break;
         runtimes::ContainerOpts copts;
         copts.name = "web" + std::to_string(i);
         copts.image = apps::glibcImage("img");
@@ -72,10 +72,22 @@ runPoint(const Series &series, int n)
         apps_.push_back(std::make_unique<apps::NginxPhpApp>());
         apps_.back()->deploy(*c);
         rt->exposePort(c, static_cast<guestos::Port>(10000 + i), 80);
+        booted_containers.push_back(c);
         ++booted;
     }
-    if (booted < n)
-        return -static_cast<double>(booted); // boot limit hit
+
+    DensityReport density;
+    for (runtimes::RtContainer *c : booted_containers)
+        density.addContainer(*c);
+    density.addMachine(rt->machine());
+    Point point;
+    point.flyPerC = density.flyweightBytesPerContainer();
+    point.eagerPerC = density.eagerBytesPerContainer();
+
+    if (booted < n) {
+        point.tp = -static_cast<double>(booted); // boot limit hit
+        return point;
+    }
 
     sim::Tick duration = 300 * sim::kTicksPerMs;
     for (int i = 0; i < booted; ++i) {
@@ -94,10 +106,9 @@ runPoint(const Series &series, int n)
                                     drivers[0]->completed() * 0 +
                                     20 * sim::kTicksPerMs + duration +
                                     100 * sim::kTicksPerMs);
-    double total = 0;
     for (auto &d : drivers)
-        total += d->collect().throughput;
-    return total;
+        point.tp += d->collect().throughput;
+    return point;
 }
 
 } // namespace
@@ -159,8 +170,8 @@ main(int argc, char **argv)
         for (std::size_t si = 0; si < series.size(); ++si)
             cells.push_back(Cell{n, si});
 
-    std::vector<double> tps = runSweep(
-        opt, cells, [&](const Cell &cell) -> double {
+    std::vector<Point> pts = runSweep(
+        opt, cells, [&](const Cell &cell) -> Point {
             const Series &s = series[cell.series];
             opt.beginRun(std::string(s.label) + "/N" +
                              std::to_string(cell.n),
@@ -173,13 +184,28 @@ main(int argc, char **argv)
         std::printf("%8d", n);
         for (std::size_t si = 0; si < series.size(); ++si) {
             (void)si;
-            double tp = tps[i++];
+            double tp = pts[i++].tp;
             if (tp < 0)
                 std::printf(" %9s(%3.0f)", "no-boot", -tp);
             else
                 std::printf(" %14.0f", tp);
         }
         std::printf("\n");
+    }
+
+    // Measured memory accounting at the largest point each series
+    // reached (density_model.h — the same columns fig_cluster's
+    // 10k-container run reports).
+    std::printf("\nhost MB/container at N=%d "
+                "(flyweight measured vs eager-copy):\n",
+                points.back());
+    std::size_t last = cells.size() - series.size();
+    for (std::size_t si = 0; si < series.size(); ++si) {
+        const Point &p = pts[last + si];
+        std::printf("  %-14s %10.2f %10.2f  (%.1fx)\n",
+                    series[si].label, p.flyPerC / (1 << 20),
+                    p.eagerPerC / (1 << 20),
+                    p.flyPerC > 0 ? p.eagerPerC / p.flyPerC : 0.0);
     }
     return opt.finishObservability();
 }

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * fig_cluster: rack-density experiment — boot 10,000+ x-containers
+ * on one simulated host behind the Figure 9 front door (IPVS direct
+ * routing in the director's X-LibOS) and drive them with open-loop
+ * load (DESIGN.md §17).
+ *
+ * This is the bench the flyweight work exists for: with interned
+ * address-space templates (sim::ImageCache + hw::PageTable CoW
+ * chunks) and lazily zero-filled frames, per-container state is
+ * near-constant, so N=10k costs barely more host memory than N=400.
+ * Each cell reports:
+ *
+ *  - booted / offered / completed / shed counts,
+ *  - coordinated-omission-free p50/p99 (completion minus *arrival*,
+ *    queue wait included — the number a closed loop cannot produce),
+ *  - measured host bytes/container next to the eager-copy baseline
+ *    (density_model.h), and
+ *  - a snapshot save -> load -> save byte fixed-point check.
+ *
+ * The poisson-overload cell offers more load than the front door's
+ * connection pool can serve: the pending queue saturates and the
+ * driver starts shedding — open-loop overload collapse, visible as a
+ * nonzero shed count and p99 pinned near the queue bound.
+ *
+ * Everything in the golden digest is simulated, so a fixed seed
+ * reproduces it byte-for-byte at any -j level.
+ */
+
+#include "common.h"
+
+#include "density_model.h"
+#include "guestos/ipvs.h"
+#include "load/open_loop.h"
+#include "runtimes/x_container.h"
+
+using namespace xc;
+using namespace xc::bench;
+
+namespace {
+
+/** Measurement window; main() shrinks it under --quick. */
+sim::Tick gDuration = 200 * sim::kTicksPerMs;
+
+/** One (N, arrival-process) configuration. */
+struct Cell
+{
+    int n;                 ///< backend containers
+    load::ArrivalKind kind;
+    const char *label;     ///< golden/table identifier
+    double ratePerC = 10.0; ///< offered req/s per container
+    int connections = 64;  ///< front-door client pool
+    std::uint64_t queueCap = 1024; ///< admission bound
+};
+
+struct CellResult
+{
+    int booted = 0;
+    load::OpenLoopResult r;
+    std::uint64_t flyTotal = 0;   ///< measured flyweight bytes
+    std::uint64_t eagerTotal = 0; ///< eager-copy baseline bytes
+    double ratio = 0.0;           ///< eager / flyweight
+    bool snapOk = false;
+    std::uint64_t events = 0; ///< events fired in this cell
+    double simSeconds = 0.0;
+};
+
+/** The simulated rack host: the local Dell R720 cost model with a
+ *  density-experiment memory build-out (10k x 32 MB guests plus the
+ *  X-Kernel reserve must fit the physical pool). */
+hw::MachineSpec
+rackSpec()
+{
+    hw::MachineSpec spec = hw::MachineSpec::xeonE52690Local();
+    spec.name = "rack-r720-384g";
+    spec.memBytes = 384ull << 30;
+    return spec;
+}
+
+CellResult
+runCell(const Options &opt, const Cell &cell)
+{
+    CellResult res;
+
+    runtimes::RuntimeConfig cfg;
+    cfg.spec = rackSpec();
+    cfg.seed = opt.seed;
+    runtimes::XContainerConfig xcfg;
+    xcfg.internImages = true;
+    cfg.xcontainer = xcfg;
+    auto built = runtimes::buildRuntime("x-container", cfg);
+    if (!built) {
+        std::fprintf(stderr, "x-container: %s: %s\n",
+                     runtimes::makeStatusName(built.status),
+                     built.reason.c_str());
+        std::exit(2);
+    }
+    auto rt = std::move(built.runtime);
+    auto *xrt =
+        static_cast<runtimes::XContainerRuntime *>(rt.get());
+
+    // One interned boot image shared by every container in the cell.
+    std::shared_ptr<guestos::Image> image =
+        apps::glibcImage("img", xrt->imageCache());
+
+    // N single-worker NGINX backends (the fig9 topology, scaled).
+    std::vector<runtimes::RtContainer *> containers;
+    std::vector<std::unique_ptr<apps::NginxApp>> backends;
+    std::vector<guestos::SockAddr> backend_addrs;
+    for (int i = 0; i < cell.n; ++i) {
+        runtimes::ContainerOpts copts;
+        copts.name = "web" + std::to_string(i);
+        copts.image = image;
+        copts.vcpus = 1;
+        copts.memBytes = 32ull << 20;
+        runtimes::RtContainer *c = rt->createContainer(copts);
+        if (!c)
+            break;
+        apps::NginxApp::Config ncfg;
+        ncfg.workers = 1;
+        backends.push_back(std::make_unique<apps::NginxApp>(ncfg));
+        backends.back()->deploy(*c);
+        backend_addrs.push_back(guestos::SockAddr{c->ip(), 80});
+        containers.push_back(c);
+        ++res.booted;
+    }
+
+    // The front door: IPVS direct routing in the director's X-LibOS
+    // (backends answer clients directly; the director only
+    // dispatches, so 10k backends do not funnel through one proxy).
+    runtimes::ContainerOpts lb_opts;
+    lb_opts.name = "lb";
+    lb_opts.image = image;
+    lb_opts.vcpus = 2;
+    lb_opts.memBytes = 64ull << 20;
+    runtimes::RtContainer *lb = rt->createContainer(lb_opts);
+    if (lb == nullptr) {
+        std::fprintf(stderr, "fig_cluster: director failed to boot\n");
+        std::exit(2);
+    }
+    containers.push_back(lb);
+    guestos::IpvsService::Config icfg;
+    icfg.backends = backend_addrs;
+    icfg.mode = guestos::IpvsService::Mode::DirectRouting;
+    guestos::IpvsService ipvs(icfg);
+    if (!ipvs.install(lb->kernel())) {
+        std::fprintf(stderr, "fig_cluster: ipvs install failed\n");
+        std::exit(2);
+    }
+    rt->exposePort(lb, 8080, 80);
+
+    // Open-loop drive: arrivals are a pure function of (config,
+    // seed, window) — the server's behaviour cannot slow them down.
+    load::WorkloadSpec spec = load::wrkSpec(
+        guestos::SockAddr{rt->hostIp(), 8080}, cell.connections,
+        gDuration);
+    spec.metricRuntime = rt->name();
+    spec.metricApp = "nginx-cluster";
+    load::ArrivalConfig arrivals;
+    arrivals.kind = cell.kind;
+    arrivals.ratePerSec = cell.ratePerC * cell.n;
+    arrivals.queueCap = cell.queueCap;
+    load::OpenLoopDriver driver(rt->fabric(), spec, arrivals,
+                                opt.seed);
+    rt->machine().events().post(10 * sim::kTicksPerMs,
+                                [&] { driver.start(); });
+    rt->machine().events().runUntil(10 * sim::kTicksPerMs +
+                                    spec.warmup + spec.duration +
+                                    60 * sim::kTicksPerMs);
+    res.r = driver.collect();
+
+    // Measured flyweight accounting vs the eager-copy baseline —
+    // the same columns fig8 reports (density_model.h).
+    DensityReport density;
+    for (runtimes::RtContainer *c : containers)
+        density.addContainer(*c);
+    density.addMachine(rt->machine());
+    res.flyTotal = density.flyweightBytes();
+    res.eagerTotal = density.eagerBytes();
+    res.ratio = density.savingsRatio();
+
+    // Snapshot byte fixed point: serialize the runtime (X-Kernel +
+    // every per-container X-LibOS), restore-or-verify it back into
+    // itself, serialize again — both byte strings must be identical.
+    {
+        sim::snap::SnapWriter first;
+        rt->saveState(first);
+        sim::snap::SnapReader reader(first.data());
+        rt->loadState(reader);
+        sim::snap::SnapWriter second;
+        rt->saveState(second);
+        res.snapOk = first.data() == second.data();
+    }
+
+    res.events = rt->machine().events().firedEvents();
+    res.simSeconds = sim::ticksToSeconds(rt->machine().now());
+    return res;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = Options::parse(argc, argv);
+    gDuration =
+        opt.durationOr((opt.quick ? 60 : 200) * sim::kTicksPerMs);
+
+    std::vector<Cell> cells;
+    if (opt.n > 0) {
+        // --n N: exactly one Poisson cell (the ci/verify.sh RSS gate
+        // runs `--quick --n 4000` and meters this process's peak RSS).
+        cells.push_back({opt.n, load::ArrivalKind::Poisson, "poisson"});
+    } else if (opt.quick) {
+        cells = {
+            {400, load::ArrivalKind::Poisson, "poisson"},
+            {400, load::ArrivalKind::Mmpp, "mmpp"},
+            {400, load::ArrivalKind::Diurnal, "diurnal"},
+            // Offered load far beyond what the 4-connection pool can
+            // serve: the queue saturates and arrivals are shed.
+            {400, load::ArrivalKind::Poisson, "poisson-overload",
+             100.0, 4, 128},
+            {10000, load::ArrivalKind::Poisson, "poisson"},
+        };
+    } else {
+        cells = {
+            {400, load::ArrivalKind::Poisson, "poisson"},
+            {400, load::ArrivalKind::Mmpp, "mmpp"},
+            {400, load::ArrivalKind::Diurnal, "diurnal"},
+            {400, load::ArrivalKind::Poisson, "poisson-overload",
+             100.0, 4, 128},
+            {1000, load::ArrivalKind::Poisson, "poisson"},
+            {4000, load::ArrivalKind::Poisson, "poisson"},
+            {10000, load::ArrivalKind::Poisson, "poisson"},
+        };
+    }
+
+    std::printf("fig_cluster: open-loop load onto N x-containers "
+                "behind IPVS direct routing\n");
+    std::printf("flyweight container state (CoW page-table chunks + "
+                "interned images + lazy frames)\n\n");
+    std::printf("%7s %18s %8s %9s %9s %7s %10s %10s  %-28s\n", "N",
+                "arrivals", "booted", "offered", "done", "shed",
+                "p50(us)", "p99(us)", "MB/cont fly vs eager");
+
+    opt.startObservability();
+
+    GoldenLog golden(opt.goldenPath);
+    std::vector<CellResult> results = runSweep(
+        opt, cells, [&](const Cell &cell) -> CellResult {
+            opt.beginRun(std::string("cluster/") + cell.label + "/N" +
+                         std::to_string(cell.n));
+            return runCell(opt, cell);
+        });
+
+    std::uint64_t totalEvents = 0;
+    double simSeconds = 0.0;
+    std::uint64_t flyPerC10k = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell &cell = cells[i];
+        const CellResult &res = results[i];
+        std::uint64_t booted =
+            static_cast<std::uint64_t>(res.booted);
+        std::uint64_t flyPerC =
+            booted ? res.flyTotal / (booted + 1) : 0; // +1: director
+        std::uint64_t eagerPerC =
+            booted ? res.eagerTotal / (booted + 1) : 0;
+        if (cell.n >= 10000)
+            flyPerC10k = flyPerC;
+        totalEvents += res.events;
+        simSeconds += res.simSeconds;
+
+        std::printf("%7d %18s %8d %9llu %9llu %7llu %10.1f %10.1f  "
+                    "%.3f vs %.1f (%.0fx)\n",
+                    cell.n, cell.label, res.booted,
+                    static_cast<unsigned long long>(res.r.offered),
+                    static_cast<unsigned long long>(
+                        res.r.load.requests),
+                    static_cast<unsigned long long>(res.r.shed),
+                    res.r.load.p50LatencyUs, res.r.load.p99LatencyUs,
+                    static_cast<double>(flyPerC) / (1 << 20),
+                    static_cast<double>(eagerPerC) / (1 << 20),
+                    res.ratio);
+        if (!res.snapOk)
+            std::printf("  %s/N%d: snapshot fixed point FAILED\n",
+                        cell.label, cell.n);
+
+        if (golden.enabled()) {
+            char line[512];
+            std::snprintf(
+                line, sizeof line,
+                "{\"bench\":\"fig_cluster\",\"cell\":\"%s\","
+                "\"n\":%d,\"booted\":%d,\"offered\":%llu,"
+                "\"completed\":%llu,\"shed\":%llu,"
+                "\"queued_peak\":%llu,\"errors\":%llu,"
+                "\"p50_us\":%.1f,\"p99_us\":%.1f,"
+                "\"fly_bytes\":%llu,\"eager_bytes\":%llu,"
+                "\"fly_per_c\":%llu,\"eager_per_c\":%llu,"
+                "\"snap\":\"%s\"}",
+                cell.label, cell.n, res.booted,
+                static_cast<unsigned long long>(res.r.offered),
+                static_cast<unsigned long long>(res.r.load.requests),
+                static_cast<unsigned long long>(res.r.shed),
+                static_cast<unsigned long long>(res.r.queuedPeak),
+                static_cast<unsigned long long>(res.r.load.errors),
+                res.r.load.p50LatencyUs, res.r.load.p99LatencyUs,
+                static_cast<unsigned long long>(res.flyTotal),
+                static_cast<unsigned long long>(res.eagerTotal),
+                static_cast<unsigned long long>(flyPerC),
+                static_cast<unsigned long long>(eagerPerC),
+                res.snapOk ? "ok" : "FAILED");
+            golden.add(line);
+        }
+    }
+
+    // Host-side keys for perf_report (not part of the golden: the
+    // event count is simulated, but the report recomputes events/sec
+    // against its own wall clock).
+    if (flyPerC10k != 0)
+        std::printf("\nbytes_per_container_10k: %llu\n",
+                    static_cast<unsigned long long>(flyPerC10k));
+    std::printf("events fired: %llu\n",
+                static_cast<unsigned long long>(totalEvents));
+    std::printf("total simulated time: %.6f s\n", simSeconds);
+
+    int rc = golden.finish();
+    for (const CellResult &res : results)
+        if (!res.snapOk)
+            rc = 1;
+    return rc != 0 ? rc : opt.finishObservability();
+}

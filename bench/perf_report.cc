@@ -162,6 +162,17 @@ parseSimSeconds(const std::string &text)
     return std::strtod(text.c_str() + k + 21, nullptr);
 }
 
+/** Parse a "<label> <number>" stdout line (fig_cluster's density and
+ *  event-count keys). Returns 0 when the label is absent. */
+double
+parseLabelledNumber(const std::string &text, const char *label)
+{
+    std::size_t k = text.find(label);
+    if (k == std::string::npos)
+        return 0.0;
+    return std::strtod(text.c_str() + k + std::strlen(label), nullptr);
+}
+
 std::string
 dirnameOf(const char *argv0)
 {
@@ -302,6 +313,10 @@ main(int argc, char **argv)
          0,
          0,
          {"--cloud", "gce", "--runtime", "kvm-microvm"}},
+        // The 10k-container density sweep (bench/fig_cluster.cc):
+        // flyweight bytes/container at N=10k plus the open-loop
+        // event-processing rate on this host.
+        {"fig_cluster", "fig_cluster", false, 0, 0, {}},
         {"fig4_syscall", "fig4_syscall_profile", true, 0, 0, {}},
     };
     const std::string snapPath = out + ".snap";
@@ -396,6 +411,21 @@ main(int argc, char **argv)
             appendKv(json, "metrics_overhead",
                      plainFig3Wall > 0
                          ? r.wallSeconds / plainFig3Wall - 1.0
+                         : 0.0,
+                     true);
+        } else if (std::strcmp(fig.key, "fig_cluster") == 0) {
+            // Density + event-rate rows: host bytes per container at
+            // N=10k (simulated state, host-independent) and fired
+            // simulation events per host second (host-dependent).
+            appendKv(json, "sim_per_host",
+                     r.wallSeconds > 0 ? simS / r.wallSeconds : 0.0);
+            appendKv(json, "bytes_per_container",
+                     parseLabelledNumber(r.out,
+                                         "bytes_per_container_10k:"));
+            appendKv(json, "events_per_sec",
+                     r.wallSeconds > 0
+                         ? parseLabelledNumber(r.out, "events fired:") /
+                               r.wallSeconds
                          : 0.0,
                      true);
         } else if (std::strcmp(fig.key, "fig3_superblock") == 0) {

@@ -49,3 +49,28 @@ echo "superblock + domain gate ok"
 ./bench/fig_slo --quick --seed 42 --slo-log fig_slo_alerts.log >/dev/null
 cmp fig_slo_alerts.log ../tests/golden/fig_slo_alerts_seed42.log
 echo "slo alerting gate ok (alert log matches committed golden)"
+
+# Container-density gate (DESIGN.md §17): boot a 4,000-container
+# cell under the open-loop driver and assert host peak RSS stays
+# under the committed budget. The flyweight representation (shared
+# CoW page-table chunks + lazy zero-fill frames) keeps this run
+# around ~300 MB; an eager-copy regression — private flat page
+# tables or materialized guest frames — costs tens of GB and fails
+# immediately. /usr/bin/time is absent in the CI image, so peak RSS
+# comes from getrusage(RUSAGE_CHILDREN) via python3.
+XC_CLUSTER_RSS_BUDGET_KB=458752  # 448 MB
+python3 - "$XC_CLUSTER_RSS_BUDGET_KB" <<'EOF'
+import resource, subprocess, sys
+budget_kb = int(sys.argv[1])
+rc = subprocess.call(["./bench/fig_cluster", "--quick", "--n", "4000"],
+                     stdout=subprocess.DEVNULL)
+if rc != 0:
+    sys.exit(f"fig_cluster --n 4000 exited with {rc}")
+peak_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+print(f"fig_cluster N=4000 peak RSS {peak_kb} KB "
+      f"(budget {budget_kb} KB)")
+if peak_kb > budget_kb:
+    sys.exit("density gate FAILED: peak RSS over the committed "
+             "budget — flyweight sharing has regressed")
+EOF
+echo "density gate ok (N=4000 open-loop cell within RSS budget)"

@@ -7,50 +7,90 @@ namespace xc::apps {
 using guestos::Image;
 using isa::WrapperKind;
 
-std::shared_ptr<Image>
-glibcImage(const std::string &name)
+namespace {
+
+/** Content key for an image: family tag + image name + the syscall
+ *  numbers routed through non-standard wrappers. */
+std::uint64_t
+imageKey(const char *family, const std::string &name,
+         const std::set<int> &nrs)
 {
-    auto img = std::make_shared<Image>();
-    img->name = name;
-    img->stubs = std::make_shared<isa::StubLibrary>();
-    img->wrapperFor = [](int nr) {
-        // glibc uses the 32-bit-immediate form for low numbers and
-        // the mov-rax form for a few (e.g. rt_sigreturn).
-        if (nr == guestos::NR_rt_sigreturn)
-            return WrapperKind::GlibcMovRax;
-        return WrapperKind::GlibcMovEax;
-    };
-    return img;
+    std::uint64_t key = sim::ImageCache::fnv1a("apps::Image");
+    key = sim::ImageCache::combine(key,
+                                   sim::ImageCache::fnv1a(family));
+    key = sim::ImageCache::combine(key, sim::ImageCache::fnv1a(name));
+    for (int nr : nrs)
+        key = sim::ImageCache::combine(
+            key, static_cast<std::uint64_t>(nr));
+    return key;
+}
+
+template <typename Make>
+std::shared_ptr<Image>
+internOrMake(sim::ImageCache *cache, std::uint64_t key, Make &&make)
+{
+    if (!cache)
+        return make();
+    return cache->intern<Image>(key, std::forward<Make>(make));
+}
+
+} // namespace
+
+std::shared_ptr<Image>
+glibcImage(const std::string &name, sim::ImageCache *cache)
+{
+    return internOrMake(cache, imageKey("glibc", name, {}), [&] {
+        auto img = std::make_shared<Image>();
+        img->name = name;
+        img->stubs = std::make_shared<isa::StubLibrary>();
+        img->wrapperFor = [](int nr) {
+            // glibc uses the 32-bit-immediate form for low numbers
+            // and the mov-rax form for a few (e.g. rt_sigreturn).
+            if (nr == guestos::NR_rt_sigreturn)
+                return WrapperKind::GlibcMovRax;
+            return WrapperKind::GlibcMovEax;
+        };
+        return img;
+    });
 }
 
 std::shared_ptr<Image>
-goImage(const std::string &name)
+goImage(const std::string &name, sim::ImageCache *cache)
 {
-    auto img = std::make_shared<Image>();
-    img->name = name;
-    img->stubs = std::make_shared<isa::StubLibrary>();
-    img->wrapperFor = [](int) { return WrapperKind::GoStackArg; };
-    return img;
+    return internOrMake(cache, imageKey("go", name, {}), [&] {
+        auto img = std::make_shared<Image>();
+        img->name = name;
+        img->stubs = std::make_shared<isa::StubLibrary>();
+        img->wrapperFor = [](int) {
+            return WrapperKind::GoStackArg;
+        };
+        return img;
+    });
 }
 
 std::shared_ptr<Image>
-mixedImage(const std::string &name, std::set<int> cancellable_nrs)
+mixedImage(const std::string &name, std::set<int> cancellable_nrs,
+           sim::ImageCache *cache)
 {
-    auto img = std::make_shared<Image>();
-    img->name = name;
-    img->stubs = std::make_shared<isa::StubLibrary>();
-    img->wrapperFor = [nrs = std::move(cancellable_nrs)](int nr) {
-        if (nrs.count(nr))
-            return WrapperKind::PthreadCancellable;
-        if (nr == guestos::NR_rt_sigreturn)
-            return WrapperKind::GlibcMovRax;
-        return WrapperKind::GlibcMovEax;
-    };
-    return img;
+    return internOrMake(
+        cache, imageKey("mixed", name, cancellable_nrs), [&] {
+            auto img = std::make_shared<Image>();
+            img->name = name;
+            img->stubs = std::make_shared<isa::StubLibrary>();
+            img->wrapperFor = [nrs = std::move(cancellable_nrs)](
+                                  int nr) {
+                if (nrs.count(nr))
+                    return WrapperKind::PthreadCancellable;
+                if (nr == guestos::NR_rt_sigreturn)
+                    return WrapperKind::GlibcMovRax;
+                return WrapperKind::GlibcMovEax;
+            };
+            return img;
+        });
 }
 
 std::shared_ptr<Image>
-mysqlImage()
+mysqlImage(sim::ImageCache *cache)
 {
     // The paper: "MySQL uses cancellable system calls implemented in
     // the libpthread library that are not recognized by ABOM" — the
@@ -58,15 +98,16 @@ mysqlImage()
     return mixedImage("mysql:5.7",
                       {guestos::NR_read, guestos::NR_write,
                        guestos::NR_recvfrom, guestos::NR_sendto,
-                       guestos::NR_recvmsg, guestos::NR_sendmsg});
+                       guestos::NR_recvmsg, guestos::NR_sendmsg},
+                      cache);
 }
 
 std::shared_ptr<Image>
-nginxImage()
+nginxImage(sim::ImageCache *cache)
 {
     // nginx's vectored-write path goes through a wrapper shape ABOM
     // does not recognize (Table 1: 92.3%).
-    return mixedImage("nginx:1.13", {guestos::NR_writev});
+    return mixedImage("nginx:1.13", {guestos::NR_writev}, cache);
 }
 
 } // namespace xc::apps

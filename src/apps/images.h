@@ -16,6 +16,14 @@
  *  - several runtimes (Ruby/JVM/Erlang/nginx) route one or two
  *    syscalls through non-standard sequences, giving the 92-99%
  *    rows.
+ *
+ * Every factory takes an optional sim::ImageCache. With a cache, the
+ * decoded Image (and its StubLibrary, hence its CodeBuffer and
+ * SuperblockCache working set) is interned by content key and shared
+ * by every container booting the same image — one ABOM patch pass
+ * serves all of them (DESIGN.md §17). Without one (the default),
+ * each call builds a private copy, preserving per-container patch
+ * counts that the existing goldens pin.
  */
 
 #include <memory>
@@ -24,28 +32,34 @@
 
 #include "guestos/process.h"
 #include "guestos/syscall_nums.h"
+#include "sim/image_cache.h"
 
 namespace xc::apps {
 
 /** Plain C/glibc image: everything online-patchable. */
-std::shared_ptr<guestos::Image> glibcImage(const std::string &name);
+std::shared_ptr<guestos::Image>
+glibcImage(const std::string &name, sim::ImageCache *cache = nullptr);
 
 /** Go runtime image: syscall.Syscall-style stack-arg wrappers. */
-std::shared_ptr<guestos::Image> goImage(const std::string &name);
+std::shared_ptr<guestos::Image>
+goImage(const std::string &name, sim::ImageCache *cache = nullptr);
 
 /**
  * Image whose wrappers for @p cancellable_nrs go through libpthread
  * cancellable sequences (unpatchable online); everything else glibc.
  */
 std::shared_ptr<guestos::Image>
-mixedImage(const std::string &name, std::set<int> cancellable_nrs);
+mixedImage(const std::string &name, std::set<int> cancellable_nrs,
+           sim::ImageCache *cache = nullptr);
 
 /** MySQL: read/write/send/recv through cancellable wrappers. */
-std::shared_ptr<guestos::Image> mysqlImage();
+std::shared_ptr<guestos::Image>
+mysqlImage(sim::ImageCache *cache = nullptr);
 
 /** nginx: its writev path uses a non-standard sequence (Table 1's
  *  92.3% row). */
-std::shared_ptr<guestos::Image> nginxImage();
+std::shared_ptr<guestos::Image>
+nginxImage(sim::ImageCache *cache = nullptr);
 
 } // namespace xc::apps
 

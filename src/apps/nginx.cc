@@ -12,8 +12,8 @@ using guestos::Thread;
 void
 NginxApp::deploy(runtimes::RtContainer &container)
 {
-    image_ = nginxImage();
     guestos::GuestKernel &kernel = container.kernel();
+    image_ = nginxImage(kernel.imageCache());
     kernel.vfs().createFile("/srv/index.html", cfg.pageBytes);
 
     guestos::Process *master =

@@ -11,8 +11,8 @@ using guestos::Thread;
 void
 NginxPhpApp::deploy(runtimes::RtContainer &container)
 {
-    image_ = glibcImage("webdevops/php-nginx");
     guestos::GuestKernel &kernel = container.kernel();
+    image_ = glibcImage("webdevops/php-nginx", kernel.imageCache());
 
     // Four processes: two masters that only supervise and two
     // workers that carry the request path.

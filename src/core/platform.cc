@@ -45,6 +45,7 @@ XContainerPlatform::spawn(const ContainerSpec &spec)
     kcfg.vcpus = spec.vcpus;
     kcfg.pool = &xk->pool();
     kcfg.fabric = &fabric;
+    kcfg.imageCache = config_.imageCache;
 
     XcPort::Options port_opts;
     port_opts.natForwarding = spec.natForwarding;

@@ -60,6 +60,9 @@ class XContainerPlatform
     {
         XKernel::XConfig xkernel;
         Toolstack toolstack = Toolstack::Xl;
+        /** Per-simulation intern store handed to every container's
+         *  X-LibOS (nullptr: eager per-container state). */
+        sim::ImageCache *imageCache = nullptr;
     };
 
     /** Per-container spawn parameters (Docker-image-shaped). */

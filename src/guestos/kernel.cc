@@ -112,21 +112,44 @@ GuestKernel::createProcess(const std::string &name,
         config.traits.kernelGlobal && !config.traits.kpti;
     std::uint32_t kflags = hw::PtePresent | hw::PteWritable |
                            (kernel_global ? std::uint32_t(hw::PteGlobal) : 0u);
-    for (std::uint64_t i = 0; i < kKernelImagePages; ++i)
-        p->pageTable().map(hw::kKernelBase + i * hw::kPageSize, 1 + i,
-                           kflags);
-    for (std::uint64_t i = 0; i < image->textPages; ++i)
-        p->pageTable().map(0x400000 + i * hw::kPageSize, 0x100 + i,
-                           hw::PtePresent | hw::PteUser);
-    for (std::uint64_t i = 0; i < image->dataPages; ++i)
-        p->pageTable().map(0x600000 + i * hw::kPageSize, 0x1100 + i,
-                           hw::PtePresent | hw::PteUser |
-                               hw::PteWritable);
-    for (std::uint64_t i = 0; i < kStackPages; ++i)
-        p->pageTable().map(0x7ffd00000000ull + i * hw::kPageSize,
-                           0x2100 + i,
-                           hw::PtePresent | hw::PteUser |
-                               hw::PteWritable);
+    auto layout = [&](hw::PageTable &pt) {
+        for (std::uint64_t i = 0; i < kKernelImagePages; ++i)
+            pt.map(hw::kKernelBase + i * hw::kPageSize, 1 + i,
+                   kflags);
+        for (std::uint64_t i = 0; i < image->textPages; ++i)
+            pt.map(0x400000 + i * hw::kPageSize, 0x100 + i,
+                   hw::PtePresent | hw::PteUser);
+        for (std::uint64_t i = 0; i < image->dataPages; ++i)
+            pt.map(0x600000 + i * hw::kPageSize, 0x1100 + i,
+                   hw::PtePresent | hw::PteUser | hw::PteWritable);
+        for (std::uint64_t i = 0; i < kStackPages; ++i)
+            pt.map(0x7ffd00000000ull + i * hw::kPageSize, 0x2100 + i,
+                   hw::PtePresent | hw::PteUser | hw::PteWritable);
+    };
+
+    if (sim::ImageCache *cache = config.imageCache) {
+        // Flyweight path: instantiate from an interned template
+        // whose chunks all N identical processes share; any write
+        // breaks only the touched chunk (DESIGN.md §17).
+        auto interner = cache->intern<hw::PageTableInterner>(
+            sim::ImageCache::fnv1a("hw::PageTableInterner"),
+            [] { return std::make_shared<hw::PageTableInterner>(); });
+        std::uint64_t key =
+            sim::ImageCache::fnv1a("aspace-template");
+        key = sim::ImageCache::combine(key, kflags);
+        key = sim::ImageCache::combine(key, image->textPages);
+        key = sim::ImageCache::combine(key, image->dataPages);
+        auto tmpl = cache->intern<hw::PageTable>(key, [&] {
+            auto t = std::make_shared<hw::PageTable>();
+            layout(*t);
+            interner->pinAll(*t);
+            return t;
+        });
+        p->pageTable().attachInterner(interner.get());
+        p->pageTable().shareFrom(*tmpl);
+    } else {
+        layout(p->pageTable());
+    }
     return p;
 }
 

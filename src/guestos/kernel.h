@@ -27,6 +27,7 @@
 
 #include "hw/cpu_pool.h"
 #include "hw/machine.h"
+#include "sim/image_cache.h"
 #include "sim/stats.h"
 #include "sim/task.h"
 #include "guestos/platform_port.h"
@@ -155,6 +156,12 @@ class GuestKernel
         PlatformPort *platform = nullptr;
         /** Network fabric this kernel's stack attaches to. */
         NetFabric *fabric = nullptr;
+        /** Optional per-simulation intern store. When set, process
+         *  address spaces are instantiated from interned templates
+         *  with copy-on-write chunk sharing instead of being mapped
+         *  eagerly — the flyweight that makes 10k+ identical
+         *  containers per host affordable (DESIGN.md §17). */
+        sim::ImageCache *imageCache = nullptr;
     };
 
     GuestKernel(hw::Machine &machine, Config config);
@@ -173,6 +180,9 @@ class GuestKernel
 
     Vfs &vfs() { return *vfs_; }
     NetStack &net() { return *net_; }
+
+    /** Per-simulation intern store (nullptr when interning is off). */
+    sim::ImageCache *imageCache() { return config.imageCache; }
 
     /** The network stack process @p p sees (its netns). */
     NetStack &netOf(Process &p);
@@ -230,6 +240,16 @@ class GuestKernel
 
     Process *findProcess(Pid pid);
     std::size_t processCount() const { return processes.size(); }
+
+    /** Visit every live process in pid order (memory-footprint
+     *  accounting — see hw::PageTableFootprint). */
+    template <typename Fn>
+    void
+    forEachProcess(Fn &&fn) const
+    {
+        for (const auto &[pid, p] : processes)
+            fn(static_cast<const Process &>(*p));
+    }
     std::size_t runQueueLength() const { return runq.size(); }
     /** The pool the vCPUs schedule on (queue-depth gauges). */
     hw::CorePool *schedPool() const { return config.pool; }

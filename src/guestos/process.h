@@ -75,6 +75,7 @@ class Process
     const std::string &name() const { return name_; }
     const std::shared_ptr<Image> &image() const { return image_; }
     hw::PageTable &pageTable() { return pageTable_; }
+    const hw::PageTable &pageTable() const { return pageTable_; }
 
     bool exited() const { return exited_; }
     int exitCode() const { return exitCode_; }

@@ -6,14 +6,77 @@
 
 namespace xc::hw {
 
+namespace {
+
+constexpr std::uint32_t
+chunkSlot(Vpn vpn)
+{
+    return static_cast<std::uint32_t>(vpn &
+                                      (PageTable::kChunkSlots - 1));
+}
+
+constexpr std::uint64_t
+chunkIndex(Vpn vpn)
+{
+    return vpn >> PageTable::kChunkShift;
+}
+
+void
+setOcc(PageTable::Chunk &c, std::uint32_t slot)
+{
+    c.occ[slot >> 6] |= 1ull << (slot & 63);
+}
+
+void
+clearOcc(PageTable::Chunk &c, std::uint32_t slot)
+{
+    c.occ[slot >> 6] &= ~(1ull << (slot & 63));
+}
+
+} // namespace
+
+void
+PageTable::tally(const Chunk &c, std::uint64_t &slots,
+                 std::uint64_t &globals)
+{
+    for (std::uint32_t s = 0; s < kChunkSlots; ++s) {
+        if (!c.occupied(s))
+            continue;
+        ++slots;
+        if (c.pte[s].global())
+            ++globals;
+    }
+}
+
+PageTable::Chunk &
+PageTable::writableChunk(std::shared_ptr<Chunk> &sp)
+{
+    if (sp.use_count() > 1) {
+        sp = std::make_shared<Chunk>(*sp);
+        ++cowBreaks_;
+    }
+    return *sp;
+}
+
 void
 PageTable::map(Vaddr va, Pfn pfn, std::uint32_t flags)
 {
     Vpn vpn = vaToVpn(va);
-    auto it = entries.find(vpn);
-    if (it != entries.end() && it->second.global())
-        --globalCount;
-    entries[vpn] = Pte{pfn, flags};
+    auto [it, inserted] =
+        chunks.try_emplace(chunkIndex(vpn), nullptr);
+    if (inserted)
+        it->second = std::make_shared<Chunk>();
+    Chunk &c = writableChunk(it->second);
+    std::uint32_t slot = chunkSlot(vpn);
+    if (c.occupied(slot)) {
+        if (c.pte[slot].global())
+            --globalCount;
+    } else {
+        setOcc(c, slot);
+        ++c.count;
+        ++mapped;
+    }
+    c.pte[slot] = Pte{pfn, flags};
     if (flags & PteGlobal)
         ++globalCount;
 }
@@ -21,26 +84,51 @@ PageTable::map(Vaddr va, Pfn pfn, std::uint32_t flags)
 void
 PageTable::unmap(Vaddr va)
 {
-    auto it = entries.find(vaToVpn(va));
-    if (it == entries.end())
+    Vpn vpn = vaToVpn(va);
+    auto it = chunks.find(chunkIndex(vpn));
+    if (it == chunks.end())
         return;
-    if (it->second.global())
+    std::uint32_t slot = chunkSlot(vpn);
+    if (!it->second->occupied(slot))
+        return;
+    if (it->second->pte[slot].global())
         --globalCount;
-    entries.erase(it);
+    if (it->second->count == 1) {
+        // Last entry: drop the whole chunk, no clone needed.
+        chunks.erase(it);
+        --mapped;
+        return;
+    }
+    Chunk &c = writableChunk(it->second);
+    clearOcc(c, slot);
+    c.pte[slot] = Pte{};
+    --c.count;
+    --mapped;
 }
 
 const Pte *
 PageTable::lookup(Vaddr va) const
 {
-    auto it = entries.find(vaToVpn(va));
-    return it == entries.end() ? nullptr : &it->second;
+    Vpn vpn = vaToVpn(va);
+    auto it = chunks.find(chunkIndex(vpn));
+    if (it == chunks.end())
+        return nullptr;
+    std::uint32_t slot = chunkSlot(vpn);
+    return it->second->occupied(slot) ? &it->second->pte[slot]
+                                      : nullptr;
 }
 
 Pte *
 PageTable::lookupMutable(Vaddr va)
 {
-    auto it = entries.find(vaToVpn(va));
-    return it == entries.end() ? nullptr : &it->second;
+    Vpn vpn = vaToVpn(va);
+    auto it = chunks.find(chunkIndex(vpn));
+    if (it == chunks.end())
+        return nullptr;
+    std::uint32_t slot = chunkSlot(vpn);
+    if (!it->second->occupied(slot))
+        return nullptr;
+    return &writableChunk(it->second).pte[slot];
 }
 
 std::optional<std::uint64_t>
@@ -56,27 +144,77 @@ std::uint64_t
 PageTable::copyUserFrom(PageTable &src, bool cow)
 {
     std::uint64_t copied = 0;
-    // Collect first: marking COW mutates the source flags.
-    std::vector<Vpn> user_vpns;
-    user_vpns.reserve(src.entries.size());
-    for (const auto &[vpn, pte] : src.entries) {
-        if (!isKernelHalf(vpnToVa(vpn)))
-            user_vpns.push_back(vpn);
-    }
-    entries.reserve(entries.size() + user_vpns.size());
-    for (Vpn vpn : user_vpns) {
-        Pte &spte = src.entries[vpn];
-        if (cow && spte.writable()) {
-            spte.flags &= ~PteWritable;
-            spte.flags |= PteCow;
+    // Forked children inherit the parent's interner so grandchildren
+    // forks dedupe against the same pinned templates.
+    if (!interner_)
+        interner_ = src.interner_;
+    // Collect first: cow-marking mutates src, and src may be *this.
+    std::vector<std::uint64_t> userChunks;
+    userChunks.reserve(src.chunks.size());
+    for (const auto &[ci, sp] : src.chunks)
+        if (!chunkIsKernel(ci))
+            userChunks.push_back(ci);
+
+    for (std::uint64_t ci : userChunks) {
+        std::shared_ptr<Chunk> &ssp = src.chunks[ci];
+        if (cow) {
+            bool anyWritable = false;
+            for (std::uint32_t s = 0; s < kChunkSlots && !anyWritable;
+                 ++s)
+                anyWritable =
+                    ssp->occupied(s) && ssp->pte[s].writable();
+            if (anyWritable) {
+                std::shared_ptr<Chunk> variant =
+                    src.interner_ ? src.interner_->cowVariant(ssp)
+                                  : nullptr;
+                if (variant) {
+                    ssp = std::move(variant);
+                } else {
+                    Chunk &c = src.writableChunk(ssp);
+                    for (std::uint32_t s = 0; s < kChunkSlots; ++s) {
+                        if (!c.occupied(s) || !c.pte[s].writable())
+                            continue;
+                        c.pte[s].flags &= ~PteWritable;
+                        c.pte[s].flags |= PteCow;
+                    }
+                }
+            }
         }
-        auto it = entries.find(vpn);
-        if (it != entries.end() && it->second.global())
-            --globalCount;
-        entries[vpn] = spte;
-        if (spte.global())
-            ++globalCount;
-        ++copied;
+
+        auto [dit, inserted] = chunks.try_emplace(ci, nullptr);
+        if (inserted || dit->second->count == 0) {
+            // Destination has nothing here: share the whole chunk.
+            std::uint64_t slots = 0, globals = 0;
+            tally(*ssp, slots, globals);
+            if (!inserted) {
+                mapped -= dit->second->count;
+            }
+            dit->second = ssp;
+            mapped += slots;
+            globalCount += globals;
+            copied += slots;
+            continue;
+        }
+        // Destination already maps pages in this range: entry-wise
+        // overwrite-merge, preserving unrelated destination entries.
+        Chunk &dc = writableChunk(dit->second);
+        const Chunk &sc = *ssp;
+        for (std::uint32_t s = 0; s < kChunkSlots; ++s) {
+            if (!sc.occupied(s))
+                continue;
+            if (dc.occupied(s)) {
+                if (dc.pte[s].global())
+                    --globalCount;
+            } else {
+                setOcc(dc, s);
+                ++dc.count;
+                ++mapped;
+            }
+            dc.pte[s] = sc.pte[s];
+            if (sc.pte[s].global())
+                ++globalCount;
+            ++copied;
+        }
     }
     return copied;
 }
@@ -84,49 +222,109 @@ PageTable::copyUserFrom(PageTable &src, bool cow)
 void
 PageTable::clearUser()
 {
-    for (auto it = entries.begin(); it != entries.end();) {
-        if (!isKernelHalf(vpnToVa(it->first))) {
-            if (it->second.global())
-                --globalCount;
-            it = entries.erase(it);
-        } else {
+    for (auto it = chunks.begin(); it != chunks.end();) {
+        if (chunkIsKernel(it->first)) {
             ++it;
+            continue;
         }
+        std::uint64_t slots = 0, globals = 0;
+        tally(*it->second, slots, globals);
+        mapped -= slots;
+        globalCount -= globals;
+        it = chunks.erase(it);
     }
+}
+
+void
+PageTable::shareFrom(const PageTable &src)
+{
+    chunks = src.chunks;
+    mapped = src.mapped;
+    globalCount = src.globalCount;
+    if (!interner_)
+        interner_ = src.interner_;
 }
 
 void
 PageTable::saveState(sim::snap::SnapWriter &w) const
 {
-    std::vector<std::pair<Vpn, Pte>> sorted(entries.begin(),
-                                            entries.end());
-    std::sort(sorted.begin(), sorted.end(),
-              [](const auto &a, const auto &b) {
-                  return a.first < b.first;
-              });
+    // Chunked iteration is already ascending-vpn, so the byte format
+    // is unchanged from the flat-map era: derived counters, then the
+    // sorted (vpn, pfn, flags) triples.
     w.u64(globalCount);
-    w.u32(static_cast<std::uint32_t>(sorted.size()));
-    for (const auto &[vpn, pte] : sorted) {
+    w.u32(static_cast<std::uint32_t>(mapped));
+    forEach([&](Vpn vpn, const Pte &pte) {
         w.u64(vpn);
         w.u64(pte.pfn);
         w.u32(pte.flags);
-    }
+    });
 }
 
 void
 PageTable::loadState(sim::snap::SnapReader &r)
 {
     globalCount = r.u64();
-    entries.clear();
+    chunks.clear();
+    mapped = 0;
     std::uint32_t n = r.u32();
-    entries.reserve(n);
+    std::uint64_t fileGlobal = globalCount;
     for (std::uint32_t i = 0; i < n; ++i) {
         Vpn vpn = r.u64();
-        Pte pte;
-        pte.pfn = r.u64();
-        pte.flags = r.u32();
-        entries.emplace(vpn, pte);
+        Pfn pfn = r.u64();
+        std::uint32_t flags = r.u32();
+        map(vpnToVa(vpn), pfn, flags);
     }
+    // map() recomputed the global tally from flags; the snapshot's
+    // counter is authoritative (matches the flat-map loader, which
+    // trusted the file).
+    globalCount = fileGlobal;
+}
+
+void
+PageTableInterner::pin(const std::shared_ptr<PageTable::Chunk> &sp)
+{
+    if (pinnedSet_.insert(sp.get()).second)
+        pinned_.push_back(sp);
+}
+
+void
+PageTableInterner::pinAll(const PageTable &pt)
+{
+    for (const auto &[ci, sp] : pt.chunks)
+        pin(sp);
+}
+
+std::shared_ptr<PageTable::Chunk>
+PageTableInterner::cowVariant(
+    const std::shared_ptr<PageTable::Chunk> &sp)
+{
+    // Address identity is only trustworthy for pinned chunks: the
+    // interner's own reference keeps them alive (and, with refcount
+    // >= 2, immutable) forever.
+    if (!pinnedSet_.count(sp.get()))
+        return nullptr;
+    auto it = variants_.find(sp.get());
+    if (it != variants_.end())
+        return it->second;
+    auto variant = std::make_shared<PageTable::Chunk>(*sp);
+    bool changed = false;
+    for (std::uint32_t s = 0; s < PageTable::kChunkSlots; ++s) {
+        if (!variant->occupied(s) || !variant->pte[s].writable())
+            continue;
+        variant->pte[s].flags &= ~PteWritable;
+        variant->pte[s].flags |= PteCow;
+        changed = true;
+    }
+    if (!changed) {
+        variants_.emplace(sp.get(), sp);
+        return sp;
+    }
+    pin(variant);
+    // The variant is its own cow-marked form: forking a fork must
+    // resolve to the same shared chunk, not clone again.
+    variants_.emplace(variant.get(), variant);
+    variants_.emplace(sp.get(), variant);
+    return variant;
 }
 
 } // namespace xc::hw

@@ -3,20 +3,37 @@
 
 /**
  * @file
- * Per-address-space page table.
+ * Per-address-space page table with copy-on-write chunk sharing.
  *
- * Models the x86-64 4-level radix structurally as a flat vpn -> PTE
- * map (the simulator never walks on loads/stores; walk costs are
- * charged from the cost model). PTE flag semantics, the canonical
- * user/kernel address-space split, the global bit, and dirty-bit
- * behaviour are modelled faithfully because the X-Container design
- * depends on them: stack-pointer-MSB mode detection (§4.2), global
- * kernel mappings across intra-container process switches (§4.3), and
- * ABOM setting the dirty bit on read-only code pages (§4.4).
+ * Models the x86-64 4-level radix structurally as a vpn -> PTE map
+ * (the simulator never walks on loads/stores; walk costs are charged
+ * from the cost model). PTE flag semantics, the canonical user/kernel
+ * address-space split, the global bit, and dirty-bit behaviour are
+ * modelled faithfully because the X-Container design depends on them:
+ * stack-pointer-MSB mode detection (§4.2), global kernel mappings
+ * across intra-container process switches (§4.3), and ABOM setting
+ * the dirty bit on read-only code pages (§4.4).
+ *
+ * Storage is chunked: 512 consecutive PTEs (one leaf page-table's
+ * worth) live in a refcounted Chunk, and tables share chunks by
+ * pointer. Any mutation of a chunk whose refcount exceeds one first
+ * clones it (fault-on-write break), so sharing is invisible to
+ * clients: `copyUserFrom(src, cow=true)` keeps its fork semantics and
+ * snapshots stay byte fixed points. Because kKernelBase is
+ * chunk-aligned, every chunk is homogeneously user-half or
+ * kernel-half, which lets fork and clearUser move whole chunks.
+ * This is what makes per-container address-space state near-flyweight
+ * when N identical containers boot from one interned template
+ * (DESIGN.md §17).
  */
 
+#include <array>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "hw/phys_memory.h"
 
@@ -76,12 +93,41 @@ vpnToVa(Vpn vpn)
     return vpn << kPageShift;
 }
 
+class PageTableInterner;
+
 /** A single address space's page table. */
 class PageTable
 {
   public:
     /** Number of radix levels a hardware walk traverses. */
     static constexpr int kLevels = 4;
+
+    /** log2 PTEs per leaf chunk (one hardware leaf table). */
+    static constexpr int kChunkShift = 9;
+    static constexpr std::uint64_t kChunkSlots = 1ull << kChunkShift;
+
+    /** 512 consecutive PTEs plus an occupancy bitmap. Shared between
+     *  tables via shared_ptr; immutable while the refcount exceeds
+     *  one (mutators clone first). */
+    struct Chunk
+    {
+        std::array<Pte, kChunkSlots> pte{};
+        std::array<std::uint64_t, kChunkSlots / 64> occ{};
+        std::uint32_t count = 0; ///< occupied slots
+
+        bool
+        occupied(std::uint32_t slot) const
+        {
+            return occ[slot >> 6] & (1ull << (slot & 63));
+        }
+    };
+
+    /** Bytes one materialized chunk costs the host. */
+    static constexpr std::uint64_t kChunkBytes = sizeof(Chunk);
+
+    /** Nominal bytes/PTE of the pre-CoW flat-hash representation;
+     *  the eager-copy baseline figure benchmarks compare against. */
+    static constexpr std::uint64_t kSlotBytes = 64;
 
     /** Install / overwrite the mapping for @p va. */
     void map(Vaddr va, Pfn pfn, std::uint32_t flags);
@@ -92,7 +138,8 @@ class PageTable
     /** Look up the PTE for @p va; nullptr if unmapped. */
     const Pte *lookup(Vaddr va) const;
 
-    /** Mutable lookup (used for dirty/COW updates). */
+    /** Mutable lookup (used for dirty/COW updates). Breaks chunk
+     *  sharing: the returned entry is private to this table. */
     Pte *lookupMutable(Vaddr va);
 
     /**
@@ -102,31 +149,68 @@ class PageTable
     std::optional<std::uint64_t> translate(Vaddr va) const;
 
     /** Number of mapped pages (drives fork/exec copy costs). */
-    std::uint64_t mappedPages() const { return entries.size(); }
+    std::uint64_t mappedPages() const { return mapped; }
 
     /** Number of mapped pages with the global bit set. */
     std::uint64_t globalPages() const { return globalCount; }
 
-    /** Apply @p fn to every (vpn, pte) pair. Templated visitor so
-     *  fork/exec walks inline without a std::function allocation. */
+    /** Apply @p fn to every (vpn, pte) pair in ascending vpn order.
+     *  Templated visitor so fork/exec walks inline without a
+     *  std::function allocation. */
     template <typename Fn>
     void
     forEach(Fn &&fn) const
     {
-        for (const auto &[vpn, pte] : entries)
-            fn(vpn, pte);
+        for (const auto &[ci, sp] : chunks) {
+            const Chunk &c = *sp;
+            for (std::uint32_t s = 0; s < kChunkSlots; ++s)
+                if (c.occupied(s))
+                    fn((ci << kChunkShift) | s, c.pte[s]);
+        }
     }
 
     /**
      * Duplicate all user-half entries of @p src into this table
      * (fork). If @p cow, writable pages become read-only + COW in
-     * both tables, as Linux does.
+     * both tables, as Linux does. Whole chunks are shared by
+     * reference where possible; an attached PageTableInterner lets N
+     * forks of one pinned template share a single cow-marked variant
+     * instead of each breaking the template chunk.
      * @return number of entries copied.
      */
     std::uint64_t copyUserFrom(PageTable &src, bool cow);
 
     /** Drop all user-half entries (execve / exit). */
     void clearUser();
+
+    /**
+     * Become an alias of @p src: share every chunk by reference
+     * (kernel half included) and copy the derived counters. Used to
+     * instantiate an address space from an interned template; the
+     * first write to any chunk breaks that chunk's sharing.
+     */
+    void shareFrom(const PageTable &src);
+
+    /** Use @p interner to dedupe cow-marked variants of pinned
+     *  template chunks across forks (nullptr detaches). */
+    void attachInterner(PageTableInterner *interner)
+    {
+        interner_ = interner;
+    }
+
+    /** Chunks currently referenced (shared or private). */
+    std::uint64_t chunkCount() const { return chunks.size(); }
+
+    /** Bytes of chunk storage charged if every referenced chunk were
+     *  private to this table (the no-sharing cost). */
+    std::uint64_t
+    ownedChunkBytes() const
+    {
+        return chunks.size() * kChunkBytes;
+    }
+
+    /** Times a shared chunk was cloned by a write (fault-on-write). */
+    std::uint64_t cowBreaks() const { return cowBreaks_; }
 
     /** Serialize every mapping (sorted by vpn) + derived counters. */
     void saveState(sim::snap::SnapWriter &w) const;
@@ -135,8 +219,105 @@ class PageTable
     void loadState(sim::snap::SnapReader &r);
 
   private:
-    std::unordered_map<Vpn, Pte> entries;
+    friend class PageTableInterner;
+    friend struct PageTableFootprint;
+
+    static bool
+    chunkIsKernel(std::uint64_t ci)
+    {
+        return isKernelHalf(vpnToVa(ci << kChunkShift));
+    }
+
+    /** Occupied slots / global bits in @p c (scanned, not cached, so
+     *  raw lookupMutable flag edits can never desync counters). */
+    static void tally(const Chunk &c, std::uint64_t &slots,
+                      std::uint64_t &globals);
+
+    /** Ensure the chunk at @p ci is privately owned, cloning a shared
+     *  one (the fault-on-write break). Requires the chunk to exist. */
+    Chunk &writableChunk(std::shared_ptr<Chunk> &sp);
+
+    std::map<std::uint64_t, std::shared_ptr<Chunk>> chunks;
+    std::uint64_t mapped = 0;
     std::uint64_t globalCount = 0;
+    std::uint64_t cowBreaks_ = 0;
+    PageTableInterner *interner_ = nullptr;
+};
+
+/**
+ * Dedupe store for cow-marked variants of pinned template chunks.
+ *
+ * Forking cow-marks the parent's writable user pages, which mutates
+ * the parent table — so N containers forked from one shared template
+ * would each clone the template's data/stack chunks just to set the
+ * same PteCow bits. The interner computes that cow-marked variant
+ * once per pinned chunk and hands the same shared_ptr to every fork.
+ *
+ * Address identity is safe as the map key because the interner pins
+ * every chunk it knows about (holds a shared_ptr forever): a pinned
+ * chunk's refcount never drops to one, so no mutator can edit it in
+ * place and its address can never be recycled. One interner per
+ * simulation cell (owned next to the sim::ImageCache) keeps sweep
+ * cells independent.
+ */
+class PageTableInterner
+{
+  public:
+    /** Pin every chunk of @p pt as an immutable template chunk. */
+    void pinAll(const PageTable &pt);
+
+    /** Shared cow-marked variant of pinned chunk @p sp; nullptr if
+     *  @p sp is not pinned (caller falls back to a private clone). */
+    std::shared_ptr<PageTable::Chunk>
+    cowVariant(const std::shared_ptr<PageTable::Chunk> &sp);
+
+    std::uint64_t pinnedChunks() const { return pinned_.size(); }
+    std::uint64_t variantChunks() const { return variants_.size(); }
+
+  private:
+    void pin(const std::shared_ptr<PageTable::Chunk> &sp);
+
+    std::unordered_set<const PageTable::Chunk *> pinnedSet_;
+    std::vector<std::shared_ptr<PageTable::Chunk>> pinned_;
+    std::unordered_map<const PageTable::Chunk *,
+                       std::shared_ptr<PageTable::Chunk>>
+        variants_;
+};
+
+/**
+ * Cross-table memory accounting: walks any number of PageTables and
+ * reports unique bytes (each shared chunk counted once) next to the
+ * eager bytes a private-copy representation would have paid. The
+ * figure benches derive bytes/container from this — one source of
+ * truth for fig8 and fig_cluster (DESIGN.md §17).
+ */
+struct PageTableFootprint
+{
+    std::uint64_t tables = 0;
+    std::uint64_t slots = 0;            ///< total mapped PTEs
+    std::uint64_t uniqueChunkBytes = 0; ///< shared chunks counted once
+    std::uint64_t eagerChunkBytes = 0;  ///< chunks counted per table
+
+    void
+    add(const PageTable &pt)
+    {
+        ++tables;
+        slots += pt.mappedPages();
+        eagerChunkBytes += pt.ownedChunkBytes();
+        for (const auto &[ci, sp] : pt.chunks)
+            if (seen_.insert(sp.get()).second)
+                uniqueChunkBytes += PageTable::kChunkBytes;
+    }
+
+    /** Bytes the pre-CoW flat-hash representation would have used. */
+    std::uint64_t
+    eagerFlatBytes() const
+    {
+        return slots * PageTable::kSlotBytes;
+    }
+
+  private:
+    std::unordered_set<const void *> seen_;
 };
 
 } // namespace xc::hw

@@ -42,7 +42,39 @@ PhysMemory::free(Pfn first, std::uint64_t count)
     owner_it->second -= count;
     if (owner_it->second == 0)
         perOwner.erase(owner_it);
+    dropTouched(first, count);
     runs.erase(it);
+}
+
+const std::uint8_t *
+PhysMemory::zeroPage()
+{
+    static const FrameBytes kZero{};
+    return kZero.data();
+}
+
+const std::uint8_t *
+PhysMemory::frameData(Pfn pfn) const
+{
+    auto it = touched.find(pfn);
+    return it == touched.end() ? zeroPage() : it->second->data();
+}
+
+std::uint8_t *
+PhysMemory::frameDataMutable(Pfn pfn)
+{
+    auto it = touched.find(pfn);
+    if (it == touched.end())
+        it = touched.emplace(pfn, std::make_unique<FrameBytes>())
+                 .first;
+    return it->second->data();
+}
+
+void
+PhysMemory::dropTouched(Pfn first, std::uint64_t count)
+{
+    touched.erase(touched.lower_bound(first),
+                  touched.lower_bound(first + count));
 }
 
 std::uint64_t
@@ -70,6 +102,7 @@ PhysMemory::freeAllOwnedBy(OwnerId owner)
     for (auto it = runs.begin(); it != runs.end();) {
         if (it->second.owner == owner) {
             used -= it->second.count;
+            dropTouched(it->first, it->second.count);
             it = runs.erase(it);
         } else {
             ++it;
@@ -109,6 +142,23 @@ PhysMemory::saveState(sim::snap::SnapWriter &w) const
         w.u32(owner);
         w.u64(frames);
     }
+
+    // Materialized frame contents. Frames touched but still all
+    // zeroes are indistinguishable from untouched ones, so they are
+    // dropped here — which is exactly what keeps save->load->save a
+    // byte fixed point (the loader only re-materializes frames this
+    // writer kept).
+    std::uint32_t nonZero = 0;
+    for (const auto &[pfn, data] : touched)
+        if (*data != FrameBytes{})
+            ++nonZero;
+    w.u32(nonZero);
+    for (const auto &[pfn, data] : touched) {
+        if (*data == FrameBytes{})
+            continue;
+        w.u64(pfn);
+        w.bytes(data->data(), data->size());
+    }
 }
 
 void
@@ -133,6 +183,15 @@ PhysMemory::loadState(sim::snap::SnapReader &r)
     for (std::uint32_t i = 0; i < nOwners; ++i) {
         OwnerId owner = r.u32();
         perOwner.emplace(owner, r.u64());
+    }
+
+    touched.clear();
+    std::uint32_t nFrames = r.u32();
+    for (std::uint32_t i = 0; i < nFrames; ++i) {
+        Pfn pfn = r.u64();
+        auto data = std::make_unique<FrameBytes>();
+        r.bytes(data->data(), data->size());
+        touched.emplace(pfn, std::move(data));
     }
 }
 

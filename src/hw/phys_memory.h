@@ -12,7 +12,10 @@
  * recoverable condition rather than a panic.
  */
 
+#include <array>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 
@@ -61,6 +64,28 @@ class PhysMemory
     /** Release every frame charged to @p owner. */
     void freeAllOwnedBy(OwnerId owner);
 
+    // --- Frame contents (lazy zero-fill) ---------------------------
+    //
+    // Reserving a pool — even terabytes for a simulated rack — costs
+    // nothing per frame: contents materialize only on first write.
+    // Reads of an untouched frame all alias one canonical zero page,
+    // so booting 10,000 mostly-idle containers charges the host for
+    // the handful of frames each actually dirties, not for
+    // N * memBytes (DESIGN.md §17).
+
+    /** Read-only contents of @p pfn; the shared all-zeroes page if
+     *  the frame was never written. */
+    const std::uint8_t *frameData(Pfn pfn) const;
+
+    /** Writable contents of @p pfn, zero-filled on first touch. */
+    std::uint8_t *frameDataMutable(Pfn pfn);
+
+    /** Frames whose contents have been materialized by a write. */
+    std::uint64_t touchedFrames() const { return touched.size(); }
+
+    /** The canonical zero page untouched frames alias. */
+    static const std::uint8_t *zeroPage();
+
     /** Serialize pool size, allocation cursor and every run /
      *  per-owner total (sorted by key: deterministic bytes). */
     void saveState(sim::snap::SnapWriter &w) const;
@@ -75,11 +100,19 @@ class PhysMemory
         OwnerId owner;
     };
 
+    using FrameBytes = std::array<std::uint8_t, kPageSize>;
+
+    /** Drop materialized contents of frames in [first, first+count). */
+    void dropTouched(Pfn first, std::uint64_t count);
+
     std::uint64_t total;
     std::uint64_t used = 0;
     Pfn nextPfn = 1; // pfn 0 reserved (null)
     std::unordered_map<Pfn, Run> runs; // first pfn -> run
     std::unordered_map<OwnerId, std::uint64_t> perOwner;
+    /** Materialized frame contents, sorted by pfn so serialization
+     *  is deterministic without a per-save sort. */
+    std::map<Pfn, std::unique_ptr<FrameBytes>> touched;
 };
 
 } // namespace xc::hw

@@ -1,0 +1,355 @@
+#include "load/open_loop.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xc::load {
+
+using guestos::WireClient;
+
+struct OpenLoopDriver::Conn
+{
+    std::unique_ptr<WireClient> wire;
+    sim::Tick arrivedAt = 0; ///< the arrival this request serves
+    sim::Tick issuedAt = 0;  ///< when the wire send happened
+    std::uint64_t received = 0;
+    bool inFlight = false;
+    bool idle = false; ///< currently parked in idle_
+    int machineId = 0;
+};
+
+std::vector<sim::Tick>
+OpenLoopDriver::schedule(const ArrivalConfig &cfg, std::uint64_t seed,
+                         sim::Tick start, sim::Tick end)
+{
+    std::vector<sim::Tick> out;
+    if (cfg.ratePerSec <= 0.0 || end <= start)
+        return out;
+    sim::Rng rng(seed);
+    const double ticksPerSec =
+        static_cast<double>(sim::kTicksPerSec);
+    auto emit = [&](double t) {
+        sim::Tick tick = static_cast<sim::Tick>(t);
+        // Doubles cast to the same tick must stay strictly
+        // increasing: arrival order is load-bearing for determinism.
+        if (!out.empty() && tick <= out.back())
+            tick = out.back() + 1;
+        out.push_back(tick);
+    };
+
+    switch (cfg.kind) {
+    case ArrivalKind::Poisson: {
+        const double meanGap = ticksPerSec / cfg.ratePerSec;
+        for (double t = static_cast<double>(start);;) {
+            t += rng.expMean(meanGap);
+            if (t >= static_cast<double>(end))
+                break;
+            emit(t);
+        }
+        break;
+    }
+    case ArrivalKind::Mmpp: {
+        // Two-state MMPP with equal mean dwell: normalize the state
+        // factors so the long-run mean rate stays cfg.ratePerSec.
+        const double norm =
+            2.0 / (cfg.mmppBurstFactor + cfg.mmppCalmFactor);
+        const double burstGap =
+            ticksPerSec / (cfg.ratePerSec * cfg.mmppBurstFactor * norm);
+        const double calmGap =
+            ticksPerSec / (cfg.ratePerSec * cfg.mmppCalmFactor * norm);
+        const double dwell =
+            static_cast<double>(cfg.mmppMeanDwell);
+        bool burst = true;
+        double t = static_cast<double>(start);
+        double stateEnd = t + rng.expMean(dwell);
+        for (;;) {
+            double dt = rng.expMean(burst ? burstGap : calmGap);
+            if (t + dt >= stateEnd) {
+                // The exponential is memoryless: restarting the draw
+                // at the state switch leaves the process unbiased.
+                t = stateEnd;
+                burst = !burst;
+                stateEnd = t + rng.expMean(dwell);
+                if (t >= static_cast<double>(end))
+                    break;
+                continue;
+            }
+            t += dt;
+            if (t >= static_cast<double>(end))
+                break;
+            emit(t);
+        }
+        break;
+    }
+    case ArrivalKind::Diurnal: {
+        // Thinning (Lewis-Shedler): draw candidates at the peak rate
+        // and accept with probability lambda(t)/peak.
+        const double peak = cfg.ratePerSec * (1.0 + cfg.diurnalDepth);
+        const double peakGap = ticksPerSec / peak;
+        const double period =
+            static_cast<double>(cfg.diurnalPeriod);
+        const double twoPi = 6.283185307179586;
+        for (double t = static_cast<double>(start);;) {
+            t += rng.expMean(peakGap);
+            if (t >= static_cast<double>(end))
+                break;
+            double phase =
+                twoPi * std::fmod(t - static_cast<double>(start),
+                                  period) /
+                period;
+            double lam = cfg.ratePerSec *
+                         (1.0 + cfg.diurnalDepth * std::sin(phase));
+            if (rng.uniform() * peak < lam)
+                emit(t);
+        }
+        break;
+    }
+    }
+    return out;
+}
+
+OpenLoopDriver::OpenLoopDriver(guestos::NetFabric &fabric,
+                               WorkloadSpec spec,
+                               ArrivalConfig arrivals,
+                               std::uint64_t seed,
+                               sim::EventQueue *clock)
+    : fabric(fabric), spec(spec), arrivals_(arrivals), seed_(seed),
+      clock_(clock)
+{
+}
+
+OpenLoopDriver::~OpenLoopDriver() = default;
+
+sim::EventQueue &
+OpenLoopDriver::clk() const
+{
+    return clock_ != nullptr ? *clock_ : fabric.events();
+}
+
+void
+OpenLoopDriver::observeMech(const sim::MechanismCounters &mech)
+{
+    observedMech = &mech;
+    mechAtStart = mech.snapshot();
+}
+
+void
+OpenLoopDriver::start()
+{
+    startedAt = clk().now();
+    if (observedMech != nullptr)
+        mechAtStart = observedMech->snapshot();
+    windowStart = startedAt + spec.warmup;
+    windowEnd = windowStart + spec.duration;
+    if (sim::metrics::enabled()) {
+        namespace m = sim::metrics;
+        const std::string &rt = spec.metricRuntime;
+        const std::string &app = spec.metricApp;
+        auto outcome = [&](const char *status) {
+            return m::counter(
+                "xc_requests_total",
+                "client request outcomes by runtime, app and status",
+                {"runtime", "app", "status"}, {rt, app, status});
+        };
+        mOk_ = outcome("ok");
+        mReset_ = outcome("reset");
+        mRefused_ = outcome("refused");
+        mTruncated_ = outcome("truncated");
+        mShed_ = outcome("shed");
+        mLatency_ = m::histogram(
+            "xc_request_latency_us",
+            "measured request latency (completion minus first issue)",
+            {"runtime", "app"}, {rt, app});
+        mIntendedLatency_ = m::histogram(
+            "xc_request_intended_latency_us",
+            "coordinated-omission-free latency (completion minus "
+            "intended start)",
+            {"runtime", "app"}, {rt, app});
+    }
+
+    for (int i = 0; i < spec.connections; ++i) {
+        conns.push_back(std::make_unique<Conn>());
+        Conn &c = *conns.back();
+        c.machineId = fabric.newClientMachine();
+        openConn(c);
+    }
+
+    // The whole run's arrivals, fixed before the first event fires.
+    std::vector<sim::Tick> plan =
+        schedule(arrivals_, seed_, startedAt, windowEnd);
+    for (sim::Tick at : plan)
+        clk().post(at, [this, at] { arrival(at); });
+}
+
+void
+OpenLoopDriver::openConn(Conn &c)
+{
+    if (clk().now() >= windowEnd)
+        return;
+    c.wire = std::make_unique<WireClient>(fabric, c.machineId);
+    WireClient *wire = c.wire.get();
+    Conn *conn = &c;
+    wire->onConnected = [this, conn](bool ok) {
+        if (!ok) {
+            ++errors_.refused;
+            mRefused_.add();
+            clk().postAfter(spec.backoffBase,
+                            [this, conn] { openConn(*conn); });
+            return;
+        }
+        connIdle(*conn);
+    };
+    wire->onData = [this, conn](std::uint64_t bytes) {
+        onResponse(*conn, bytes);
+    };
+    wire->onPeerClosed = [this, conn] {
+        if (conn->inFlight) {
+            if (spec.responseBytes != 0 && conn->received > 0 &&
+                conn->received < spec.responseBytes) {
+                ++errors_.truncated;
+                mTruncated_.add();
+            } else {
+                ++errors_.resets;
+                mReset_.add();
+            }
+            failInFlight(*conn);
+            return;
+        }
+        if (conn->idle) {
+            conn->idle = false;
+            idle_.erase(
+                std::find(idle_.begin(), idle_.end(), conn));
+        }
+        openConn(*conn);
+    };
+    wire->connectTo(spec.target);
+}
+
+void
+OpenLoopDriver::arrival(sim::Tick at)
+{
+    ++offered_;
+    if (!idle_.empty()) {
+        Conn *c = idle_.back();
+        idle_.pop_back();
+        c->idle = false;
+        dispatch(*c, at);
+        return;
+    }
+    if (pending_.size() < arrivals_.queueCap) {
+        pending_.push_back(at);
+        queuedPeak_ = std::max(
+            queuedPeak_,
+            static_cast<std::uint64_t>(pending_.size()));
+        return;
+    }
+    // Admission control: the queue is full, the request never enters
+    // the system. This is the open-loop overload signal.
+    ++shed_;
+    mShed_.add();
+}
+
+void
+OpenLoopDriver::dispatch(Conn &c, sim::Tick arrivedAt)
+{
+    if (clk().now() >= windowEnd) {
+        c.wire->close();
+        return;
+    }
+    c.arrivedAt = arrivedAt;
+    c.issuedAt = clk().now();
+    c.received = 0;
+    c.inFlight = true;
+    c.wire->send(spec.requestBytes);
+}
+
+void
+OpenLoopDriver::connIdle(Conn &c)
+{
+    if (!pending_.empty()) {
+        sim::Tick at = pending_.front();
+        pending_.pop_front();
+        dispatch(c, at);
+        return;
+    }
+    if (!c.idle) {
+        c.idle = true;
+        idle_.push_back(&c);
+    }
+}
+
+void
+OpenLoopDriver::failInFlight(Conn &c)
+{
+    // Open-loop semantics: a failed request is a failure, full stop.
+    // The next arrival is independent — no retry of the logical
+    // request (retries would re-close the loop).
+    c.inFlight = false;
+    c.wire->close();
+    openConn(c);
+}
+
+void
+OpenLoopDriver::onResponse(Conn &c, std::uint64_t bytes)
+{
+    if (!c.inFlight)
+        return;
+    c.received += bytes;
+    if (spec.responseBytes != 0 && c.received < spec.responseBytes)
+        return; // partial response
+
+    c.inFlight = false;
+    ++completed_;
+    mOk_.add();
+    sim::Tick now = clk().now();
+    if (now >= windowStart && now < windowEnd) {
+        ++counted;
+        double measured =
+            static_cast<double>(now - c.issuedAt) /
+            static_cast<double>(sim::kTicksPerUs);
+        double intended =
+            static_cast<double>(now - c.arrivedAt) /
+            static_cast<double>(sim::kTicksPerUs);
+        latenciesUs.push_back(measured);
+        intendedLatenciesUs.push_back(intended);
+        mLatency_.observe(measured);
+        mIntendedLatency_.observe(intended);
+    }
+    connIdle(c);
+}
+
+OpenLoopResult
+OpenLoopDriver::collect()
+{
+    OpenLoopResult r;
+    r.offered = offered_;
+    r.shed = shed_;
+    r.queuedPeak = queuedPeak_;
+    r.load.requests = counted;
+    r.load.seconds = sim::ticksToSeconds(spec.duration);
+    r.load.throughput =
+        static_cast<double>(counted) / r.load.seconds;
+    r.load.errorDetail = errors_;
+    r.load.errors = errors_.aggregate();
+    if (observedMech != nullptr)
+        r.load.mech = observedMech->snapshot() - mechAtStart;
+    // The headline percentiles are the coordinated-omission-free
+    // ones: completion minus arrival, queue wait included.
+    if (!intendedLatenciesUs.empty()) {
+        std::sort(intendedLatenciesUs.begin(),
+                  intendedLatenciesUs.end());
+        double sum = 0;
+        for (double v : intendedLatenciesUs)
+            sum += v;
+        r.load.meanLatencyUs =
+            sum / static_cast<double>(intendedLatenciesUs.size());
+        r.load.p50LatencyUs =
+            intendedLatenciesUs[intendedLatenciesUs.size() / 2];
+        r.load.p99LatencyUs = intendedLatenciesUs[std::min(
+            intendedLatenciesUs.size() - 1,
+            intendedLatenciesUs.size() * 99 / 100)];
+    }
+    return r;
+}
+
+} // namespace xc::load

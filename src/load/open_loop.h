@@ -1,0 +1,162 @@
+#ifndef XC_LOAD_OPEN_LOOP_H
+#define XC_LOAD_OPEN_LOOP_H
+
+/**
+ * @file
+ * Open-loop load generation with realistic arrival processes.
+ *
+ * A closed loop caps its own offered load: when the server slows
+ * down, each connection waits longer between requests, so overload
+ * never compounds — precisely the regime a cluster front door must
+ * survive. The OpenLoopDriver instead draws request *arrivals* from
+ * a stochastic process (Poisson, bursty MMPP, diurnal) that does not
+ * care how the server is doing. Arrivals queue behind a bounded
+ * connection pool; the queue wait is charged to the request's
+ * coordinated-omission-free latency (completion minus arrival), and
+ * arrivals past the queue bound are shed — which is what overload
+ * collapse looks like from the client (DESIGN.md §17).
+ *
+ * The arrival schedule is a pure function of (config, seed, window),
+ * pregenerated before the first event fires: identical at -j1 and
+ * -j4, across checkpoint/restore, and directly unit-testable.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "load/driver.h"
+
+namespace xc::load {
+
+enum class ArrivalKind {
+    Poisson, ///< memoryless, constant rate
+    Mmpp,    ///< 2-state Markov-modulated Poisson (bursty)
+    Diurnal, ///< sinusoidal rate (daily cycle, compressed)
+};
+
+/** Parameters of the arrival process. */
+struct ArrivalConfig
+{
+    ArrivalKind kind = ArrivalKind::Poisson;
+    /** Long-run mean arrival rate (requests per simulated second). */
+    double ratePerSec = 1000.0;
+
+    // --- MMPP (bursty) ---------------------------------------------
+    /** Rate multiplier while in the burst state. */
+    double mmppBurstFactor = 4.0;
+    /** Rate multiplier while in the calm state. */
+    double mmppCalmFactor = 0.25;
+    /** Mean dwell time in each state (exponential). */
+    sim::Tick mmppMeanDwell = 50 * sim::kTicksPerMs;
+
+    // --- Diurnal ----------------------------------------------------
+    /** Peak-to-mean amplitude in [0, 1): rate swings between
+     *  rate*(1-depth) and rate*(1+depth). */
+    double diurnalDepth = 0.8;
+    /** One full day, compressed to simulation scale. */
+    sim::Tick diurnalPeriod = 200 * sim::kTicksPerMs;
+
+    /** Arrivals waiting for a free connection before new arrivals
+     *  are shed (the admission-control bound that makes overload
+     *  collapse observable instead of unbounded). */
+    std::uint64_t queueCap = 1024;
+};
+
+/** Open-loop measurement: the closed-loop result plus the offered /
+ *  shed accounting a closed loop cannot produce. */
+struct OpenLoopResult
+{
+    LoadResult load;
+    std::uint64_t offered = 0; ///< arrivals in the whole run
+    std::uint64_t shed = 0;    ///< arrivals dropped at the queue cap
+    std::uint64_t queuedPeak = 0; ///< high-water pending arrivals
+};
+
+/**
+ * The driver. Create, start(), run the event queue past
+ * warmup + duration, then collect().
+ */
+class OpenLoopDriver
+{
+  public:
+    /**
+     * Pure arrival-schedule generator: every arrival tick in
+     * [start, end) for @p cfg under @p seed, strictly increasing.
+     * This is the entire source of open-loop randomness — the driver
+     * replays it, so two drivers with equal (cfg, seed, window) are
+     * deterministic regardless of server behaviour or host threads.
+     */
+    static std::vector<sim::Tick> schedule(const ArrivalConfig &cfg,
+                                           std::uint64_t seed,
+                                           sim::Tick start,
+                                           sim::Tick end);
+
+    OpenLoopDriver(guestos::NetFabric &fabric, WorkloadSpec spec,
+                   ArrivalConfig arrivals, std::uint64_t seed = 1,
+                   sim::EventQueue *clock = nullptr);
+    ~OpenLoopDriver();
+
+    /** Pregenerate the schedule, open the pool, begin arrivals. */
+    void start();
+
+    /** Attribute mechanism counters (see ClosedLoopDriver). */
+    void observeMech(const sim::MechanismCounters &mech);
+
+    /** Stop and compute results (call after the queue ran past
+     *  warmup + duration). */
+    OpenLoopResult collect();
+
+    /** Requests completed so far (including warmup). */
+    std::uint64_t completed() const { return completed_; }
+
+  private:
+    struct Conn;
+    void openConn(Conn &c);
+    void arrival(sim::Tick at);
+    void dispatch(Conn &c, sim::Tick arrivedAt);
+    void connIdle(Conn &c);
+    void onResponse(Conn &c, std::uint64_t bytes);
+    void failInFlight(Conn &c);
+    sim::EventQueue &clk() const;
+
+    guestos::NetFabric &fabric;
+    WorkloadSpec spec;
+    ArrivalConfig arrivals_;
+    std::uint64_t seed_;
+    sim::EventQueue *clock_ = nullptr;
+    const sim::MechanismCounters *observedMech = nullptr;
+    sim::MechSnapshot mechAtStart;
+    std::vector<std::unique_ptr<Conn>> conns;
+    std::vector<Conn *> idle_;
+    std::deque<sim::Tick> pending_; ///< queued arrival ticks
+    sim::Tick startedAt = 0;
+    sim::Tick windowStart = 0;
+    sim::Tick windowEnd = 0;
+    std::uint64_t offered_ = 0;
+    std::uint64_t shed_ = 0;
+    std::uint64_t queuedPeak_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t counted = 0;
+    ErrorBreakdown errors_;
+    std::vector<double> latenciesUs;         ///< completion - issue
+    std::vector<double> intendedLatenciesUs; ///< completion - arrival
+
+    // PR 9 labeled-metrics instruments (inert when the registry is
+    // disabled). The intended-start histogram gets the CO-free
+    // sample: completion minus the *arrival* tick, queue wait
+    // included — under overload it grows without bound, which is the
+    // signal a closed loop structurally cannot emit.
+    sim::metrics::Counter mOk_;
+    sim::metrics::Counter mReset_;
+    sim::metrics::Counter mRefused_;
+    sim::metrics::Counter mTruncated_;
+    sim::metrics::Counter mShed_;
+    sim::metrics::Histogram mLatency_;
+    sim::metrics::Histogram mIntendedLatency_;
+};
+
+} // namespace xc::load
+
+#endif // XC_LOAD_OPEN_LOOP_H

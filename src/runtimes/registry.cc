@@ -204,6 +204,7 @@ builtinInfos()
             o.meltdownPatched = patched;
             if (cfg.xcontainer) {
                 o.abomEnabled = cfg.xcontainer->abomEnabled;
+                o.internImages = cfg.xcontainer->internImages;
                 if (cfg.xcontainer->containerMemBytes != 0)
                     o.defaultMemBytes =
                         cfg.xcontainer->containerMemBytes;

@@ -148,6 +148,9 @@ struct XContainerConfig
     bool abomEnabled = true;
     /** Per-container memory override (0 = runtime default). */
     std::uint64_t containerMemBytes = 0;
+    /** Intern images / stubs / address-space templates so identical
+     *  containers share flyweight state (DESIGN.md §17). */
+    bool internImages = false;
 };
 
 /** KVM-microVM-specific knobs (ignored by other families). */

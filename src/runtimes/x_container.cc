@@ -9,11 +9,14 @@ XContainerRuntime::XContainerRuntime(Options opt)
 {
     machine_ = std::make_unique<hw::Machine>(opt.spec, opt.seed);
     fabric_ = std::make_unique<guestos::NetFabric>(machine_->events());
+    if (opt.internImages)
+        imageCache_ = std::make_unique<sim::ImageCache>();
 
     core::XContainerPlatform::Config pcfg;
     pcfg.xkernel.base.xenBlanket = opt.spec.nestedCloud;
     pcfg.xkernel.abomEnabled = opt.abomEnabled;
     pcfg.xkernel.meltdownPatched = opt.meltdownPatched;
+    pcfg.imageCache = imageCache_.get();
     platform_ = std::make_unique<core::XContainerPlatform>(
         *machine_, *fabric_, pcfg);
 }

@@ -55,6 +55,12 @@ class XContainerRuntime : public Runtime
         /** Default container memory: 128 MB boots everything the
          *  paper runs (§5.6 note: 64 MB also works). */
         std::uint64_t defaultMemBytes = 128ull << 20;
+        /** Intern kernel images, stub libraries, and address-space
+         *  templates in a per-runtime sim::ImageCache so N identical
+         *  containers share one copy (DESIGN.md §17). Off by default:
+         *  sharing ABOM-patched CodeBuffers changes patch counts,
+         *  which the per-container goldens predate. */
+        bool internImages = false;
     };
 
     explicit XContainerRuntime(Options opt);
@@ -74,6 +80,9 @@ class XContainerRuntime : public Runtime
     core::XContainerPlatform &platform() { return *platform_; }
     core::XKernel &xkernel() { return platform_->xkernel(); }
 
+    /** The runtime's intern store (nullptr when interning is off). */
+    sim::ImageCache *imageCache() { return imageCache_.get(); }
+
     /** Base state + the X-Kernel (hypervisor) + every booted
      *  container's X-LibOS kernel. */
     void saveState(sim::snap::SnapWriter &w) override;
@@ -82,6 +91,10 @@ class XContainerRuntime : public Runtime
   private:
     std::string name_;
     Options opts;
+    /** Declared before the platform/containers so interned artifacts
+     *  (and the raw interner pointers tables hold) outlive every
+     *  kernel that references them. */
+    std::unique_ptr<sim::ImageCache> imageCache_;
     std::unique_ptr<hw::Machine> machine_;
     std::unique_ptr<guestos::NetFabric> fabric_;
     std::unique_ptr<core::XContainerPlatform> platform_;

@@ -470,6 +470,7 @@ EventQueue::fireNext()
                 panic("fired a hollow event (queue restored from a "
                       "snapshot cannot run; rebuild it by replay)");
             }
+            ++fired_;
             fn();
             return true;
         }

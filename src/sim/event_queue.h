@@ -229,6 +229,12 @@ class EventQueue
     /** Number of pending (non-cancelled) events. */
     std::size_t pendingEvents() const { return slab_->live; }
 
+    /** Total events fired over this queue's lifetime. Host-side
+     *  throughput telemetry (events/sec in perf_report); NOT
+     *  serialized, so a restored run's counter restarts at zero
+     *  without perturbing snapshot byte-identity. */
+    std::uint64_t firedEvents() const { return fired_; }
+
     /** Run all events up to and including @p limit. */
     void runUntil(Tick limit);
 
@@ -328,6 +334,7 @@ class EventQueue
 
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
+    std::uint64_t fired_ = 0; ///< lifetime fired count (telemetry)
     std::shared_ptr<detail::EventSlab> slab_;
 
     Slot wheel_[kLevels][kSlots];

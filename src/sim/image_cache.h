@@ -1,0 +1,89 @@
+#ifndef XC_SIM_IMAGE_CACHE_H
+#define XC_SIM_IMAGE_CACHE_H
+
+/**
+ * @file
+ * Content-addressed intern store for immutable boot-time artifacts.
+ *
+ * Booting N identical x-containers decodes the same kernel image,
+ * builds the same syscall-stub CodeBuffer, and lays out the same
+ * address-space template N times. The ImageCache collapses that to
+ * once: callers intern by a content key (what the artifact is built
+ * from, hashed with fnv1a/combine) and share the result. The store
+ * is type-erased so one cache holds apps::Image, isa::StubLibrary,
+ * hw::PageTable templates, and the hw::PageTableInterner without
+ * this header knowing any of those types (DESIGN.md §17).
+ *
+ * One cache per simulation cell — it is owned by the runtime, never
+ * global — so parallel sweep cells stay independent and -jN output
+ * remains byte-identical (the PR 5 invariant).
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string_view>
+#include <utility>
+
+namespace xc::sim {
+
+class ImageCache
+{
+  public:
+    /** FNV-1a 64-bit over @p s, the canonical content-key hash. */
+    static std::uint64_t
+    fnv1a(std::string_view s)
+    {
+        std::uint64_t h = 0xcbf29ce484222325ull;
+        for (unsigned char c : s) {
+            h ^= c;
+            h *= 0x100000001b3ull;
+        }
+        return h;
+    }
+
+    /** Fold @p v into key @p h (order-sensitive). */
+    static std::uint64_t
+    combine(std::uint64_t h, std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+        return h;
+    }
+
+    /**
+     * Return the artifact interned under @p key, constructing it via
+     * @p make() on first use. The caller owns key uniqueness: two
+     * different artifact types must not collide on a key (callers
+     * fold a type tag string into the key for this reason).
+     */
+    template <typename T, typename Make>
+    std::shared_ptr<T>
+    intern(std::uint64_t key, Make &&make)
+    {
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            ++hits_;
+            return std::static_pointer_cast<T>(it->second);
+        }
+        ++misses_;
+        std::shared_ptr<T> made = std::forward<Make>(make)();
+        entries_.emplace(key, made);
+        return made;
+    }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t size() const { return entries_.size(); }
+
+  private:
+    std::map<std::uint64_t, std::shared_ptr<void>> entries_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace xc::sim
+
+#endif // XC_SIM_IMAGE_CACHE_H

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Chunked copy-on-write page-table sharing (DESIGN.md §17): chunk
+ * aliasing via shareFrom, fault-on-write breaks, interner dedupe of
+ * cow-marked fork variants, footprint accounting, and snapshot byte
+ * fixed points across shared state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/page_table.h"
+#include "sim/snapshot.h"
+
+namespace xc::hw {
+namespace {
+
+/** Map @p n user pages starting at @p base, one page apart. */
+void
+mapUserPages(PageTable &pt, Vaddr base, int n,
+             std::uint32_t flags = PtePresent | PteUser)
+{
+    for (int i = 0; i < n; ++i)
+        pt.map(base + static_cast<Vaddr>(i) * kPageSize,
+               static_cast<Pfn>(100 + i), flags);
+}
+
+TEST(PageTableCow, ShareFromAliasesChunksNotCopies)
+{
+    PageTable tmpl, clone;
+    mapUserPages(tmpl, 0x400000, 8);
+    tmpl.map(kKernelBase, 1, PtePresent | PteGlobal);
+
+    clone.shareFrom(tmpl);
+    EXPECT_EQ(clone.mappedPages(), tmpl.mappedPages());
+    EXPECT_EQ(clone.globalPages(), tmpl.globalPages());
+    EXPECT_EQ(clone.chunkCount(), tmpl.chunkCount());
+
+    // Shared chunks are counted once by the footprint walker.
+    PageTableFootprint fp;
+    fp.add(tmpl);
+    fp.add(clone);
+    EXPECT_EQ(fp.tables, 2u);
+    EXPECT_EQ(fp.uniqueChunkBytes,
+              tmpl.chunkCount() * PageTable::kChunkBytes);
+    EXPECT_EQ(fp.eagerChunkBytes, 2 * fp.uniqueChunkBytes);
+}
+
+TEST(PageTableCow, WriteBreaksOnlyTheTouchedChunk)
+{
+    PageTable tmpl, clone;
+    // Two chunks: user pages in chunk 0x400000>>21 and a second
+    // chunk far away.
+    mapUserPages(tmpl, 0x400000, 4);
+    mapUserPages(tmpl, 0x40000000, 4);
+    clone.shareFrom(tmpl);
+    ASSERT_EQ(clone.cowBreaks(), 0u);
+
+    // A mutation through the clone clones exactly one chunk.
+    clone.map(0x400000, 999, PtePresent | PteUser | PteWritable);
+    EXPECT_EQ(clone.cowBreaks(), 1u);
+    EXPECT_EQ(clone.lookup(0x400000)->pfn, 999u);
+    // The template still sees the original mapping.
+    EXPECT_EQ(tmpl.lookup(0x400000)->pfn, 100u);
+
+    // The untouched chunk stays shared: footprint counts it once.
+    PageTableFootprint fp;
+    fp.add(tmpl);
+    fp.add(clone);
+    EXPECT_EQ(fp.uniqueChunkBytes, 3 * PageTable::kChunkBytes);
+}
+
+TEST(PageTableCow, LookupMutableBreaksSharing)
+{
+    PageTable tmpl, clone;
+    mapUserPages(tmpl, 0x400000, 2);
+    clone.shareFrom(tmpl);
+
+    Pte *pte = clone.lookupMutable(0x400000);
+    ASSERT_TRUE(pte);
+    pte->flags |= PteDirty;
+    EXPECT_EQ(clone.cowBreaks(), 1u);
+    EXPECT_TRUE(clone.lookup(0x400000)->dirty());
+    EXPECT_FALSE(tmpl.lookup(0x400000)->dirty());
+}
+
+TEST(PageTableCow, NFlyweightClonesShareOneTemplate)
+{
+    // The 10k-container claim in miniature: N aliases of one
+    // template cost one template's worth of unique chunk bytes.
+    PageTable tmpl;
+    mapUserPages(tmpl, 0x400000, 32);
+    tmpl.map(kKernelBase, 1, PtePresent | PteGlobal);
+
+    constexpr int kN = 100;
+    std::vector<PageTable> clones(kN);
+    for (PageTable &c : clones)
+        c.shareFrom(tmpl);
+
+    PageTableFootprint fp;
+    fp.add(tmpl);
+    for (PageTable &c : clones)
+        fp.add(c);
+    EXPECT_EQ(fp.tables, kN + 1u);
+    EXPECT_EQ(fp.uniqueChunkBytes,
+              tmpl.chunkCount() * PageTable::kChunkBytes);
+    // The eager flat representation pays per table, per slot.
+    EXPECT_EQ(fp.eagerFlatBytes(),
+              fp.slots * PageTable::kSlotBytes);
+    EXPECT_GT(fp.eagerFlatBytes(), 10 * fp.uniqueChunkBytes);
+}
+
+TEST(PageTableCow, InternerDedupesCowVariantAcrossForks)
+{
+    // Fork cow-marks the parent's writable pages — without the
+    // interner, every fork from a shared template would privately
+    // clone the template chunk just to set identical PteCow bits.
+    PageTableInterner interner;
+    PageTable tmpl;
+    mapUserPages(tmpl, 0x400000, 8,
+                 PtePresent | PteUser | PteWritable);
+    interner.pinAll(tmpl);
+    EXPECT_EQ(interner.pinnedChunks(), tmpl.chunkCount());
+
+    constexpr int kForks = 10;
+    std::vector<PageTable> parents(kForks);
+    std::vector<PageTable> children(kForks);
+    for (int i = 0; i < kForks; ++i) {
+        parents[i].shareFrom(tmpl);
+        parents[i].attachInterner(&interner);
+        children[i].attachInterner(&interner);
+        children[i].copyUserFrom(parents[i], /*cow=*/true);
+    }
+    // One cow-marked variant serves every fork. It is registered
+    // under both the template's key and its own (so forking a fork
+    // resolves to the same chunk): two map entries, one chunk.
+    EXPECT_EQ(interner.variantChunks(), 2 * tmpl.chunkCount());
+
+    PageTableFootprint fp;
+    fp.add(tmpl);
+    for (int i = 0; i < kForks; ++i) {
+        fp.add(parents[i]);
+        fp.add(children[i]);
+    }
+    // Unique bytes: the pristine template chunk + its one cow
+    // variant, regardless of fork count.
+    EXPECT_EQ(fp.uniqueChunkBytes, 2 * PageTable::kChunkBytes);
+}
+
+TEST(PageTableCow, SharedTablesSnapshotToByteFixedPoint)
+{
+    PageTable tmpl, clone;
+    mapUserPages(tmpl, 0x400000, 4);
+    clone.shareFrom(tmpl);
+    clone.map(0x400000, 42, PtePresent | PteUser | PteWritable);
+
+    sim::snap::SnapWriter first;
+    clone.saveState(first);
+    PageTable reloaded;
+    sim::snap::SnapReader r(first.data());
+    reloaded.loadState(r);
+    sim::snap::SnapWriter second;
+    reloaded.saveState(second);
+    EXPECT_EQ(first.data(), second.data());
+    EXPECT_EQ(reloaded.mappedPages(), clone.mappedPages());
+    EXPECT_EQ(reloaded.lookup(0x400000)->pfn, 42u);
+}
+
+TEST(PageTableCow, ClearUserDropsWholeSharedChunks)
+{
+    PageTable tmpl, clone;
+    mapUserPages(tmpl, 0x400000, 4);
+    tmpl.map(kKernelBase, 9, PtePresent | PteGlobal);
+    clone.shareFrom(tmpl);
+
+    clone.clearUser();
+    EXPECT_EQ(clone.mappedPages(), 1u);
+    EXPECT_TRUE(clone.lookup(kKernelBase));
+    // Dropping a chunk reference is not a fault-on-write break.
+    EXPECT_EQ(clone.cowBreaks(), 0u);
+    // The template is untouched.
+    EXPECT_EQ(tmpl.mappedPages(), 5u);
+}
+
+} // namespace
+} // namespace xc::hw

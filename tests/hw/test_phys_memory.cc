@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "hw/phys_memory.h"
+#include "sim/snapshot.h"
 
 namespace xc::hw {
 namespace {
@@ -77,6 +78,92 @@ TEST(PhysMemory, ManySmallVmAllocationsUntilFull)
     while (mem.alloc(vm_frames, booted + 1))
         ++booted;
     EXPECT_EQ(booted, 192); // 96 GB / 512 MB
+}
+
+TEST(PhysMemory, UntouchedFramesAliasTheZeroPage)
+{
+    PhysMemory mem(1 << 20);
+    auto run = mem.alloc(16, 1);
+    ASSERT_TRUE(run);
+    // Reads of never-written frames all resolve to one canonical
+    // zero page: no per-frame host memory is materialized.
+    EXPECT_EQ(mem.frameData(*run), PhysMemory::zeroPage());
+    EXPECT_EQ(mem.frameData(*run + 15), PhysMemory::zeroPage());
+    EXPECT_EQ(mem.touchedFrames(), 0u);
+    for (std::uint64_t i = 0; i < kPageSize; ++i)
+        ASSERT_EQ(mem.frameData(*run)[i], 0u);
+}
+
+TEST(PhysMemory, WriteMaterializesExactlyOneFrame)
+{
+    PhysMemory mem(1 << 20);
+    auto run = mem.alloc(16, 1);
+    ASSERT_TRUE(run);
+    std::uint8_t *p = mem.frameDataMutable(*run + 3);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p[0], 0u); // zero-filled on first touch
+    p[0] = 0xab;
+    p[kPageSize - 1] = 0xcd;
+    EXPECT_EQ(mem.touchedFrames(), 1u);
+    // The touched frame no longer aliases the zero page; its
+    // neighbours still do.
+    EXPECT_NE(mem.frameData(*run + 3), PhysMemory::zeroPage());
+    EXPECT_EQ(mem.frameData(*run + 3)[0], 0xab);
+    EXPECT_EQ(mem.frameData(*run + 3)[kPageSize - 1], 0xcd);
+    EXPECT_EQ(mem.frameData(*run + 2), PhysMemory::zeroPage());
+}
+
+TEST(PhysMemory, FreeDropsMaterializedContents)
+{
+    PhysMemory mem(1 << 20);
+    auto run = mem.alloc(4, 1);
+    ASSERT_TRUE(run);
+    mem.frameDataMutable(*run)[0] = 0x5a;
+    EXPECT_EQ(mem.touchedFrames(), 1u);
+    mem.free(*run, 4);
+    // Contents die with the run: a freed container's dirtied frames
+    // stop costing host memory immediately.
+    EXPECT_EQ(mem.touchedFrames(), 0u);
+    EXPECT_EQ(mem.frameData(*run), PhysMemory::zeroPage());
+}
+
+TEST(PhysMemory, SnapshotIsByteFixedPointWithTouchedFrames)
+{
+    PhysMemory mem(1 << 20);
+    auto run = mem.alloc(8, 1);
+    ASSERT_TRUE(run);
+    mem.alloc(4, 2);
+    mem.frameDataMutable(*run + 1)[7] = 0x11;
+    mem.frameDataMutable(*run + 5)[0] = 0x22;
+
+    sim::snap::SnapWriter first;
+    mem.saveState(first);
+    PhysMemory reloaded(1 << 20);
+    sim::snap::SnapReader r(first.data());
+    reloaded.loadState(r);
+    sim::snap::SnapWriter second;
+    reloaded.saveState(second);
+    EXPECT_EQ(first.data(), second.data());
+
+    // Restored contents and accounting match the original.
+    EXPECT_EQ(reloaded.touchedFrames(), 2u);
+    EXPECT_EQ(reloaded.usedFrames(), 12u);
+    EXPECT_EQ(reloaded.frameData(*run + 1)[7], 0x11);
+    EXPECT_EQ(reloaded.frameData(*run + 5)[0], 0x22);
+    // Untouched frames alias the zero page after restore too.
+    EXPECT_EQ(reloaded.frameData(*run), PhysMemory::zeroPage());
+}
+
+TEST(PhysMemory, HugePoolCostsNothingUntilWritten)
+{
+    // The 10k-container mechanism: reserving a whole rack's worth of
+    // frames is free per frame; only dirtied pages cost host bytes.
+    PhysMemory mem(384ull << 30); // 384 GB simulated pool
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_TRUE(mem.alloc((32ull << 20) / kPageSize,
+                              static_cast<OwnerId>(i)));
+    EXPECT_EQ(mem.usedFrames(), 1000ull * 8192);
+    EXPECT_EQ(mem.touchedFrames(), 0u);
 }
 
 TEST(PhysMemory, DoubleFreePanics)

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Content-addressed intern store (DESIGN.md §17): first use
+ * constructs, later uses share, distinct keys stay distinct, and the
+ * key hash is a stable pure function.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "sim/image_cache.h"
+
+namespace xc::sim {
+namespace {
+
+TEST(ImageCache, FirstInternConstructsLaterInternsShare)
+{
+    ImageCache cache;
+    int built = 0;
+    auto make = [&] {
+        ++built;
+        return std::make_shared<std::string>("kernel-image");
+    };
+    std::uint64_t key = ImageCache::fnv1a("glibc/img");
+
+    auto a = cache.intern<std::string>(key, make);
+    auto b = cache.intern<std::string>(key, make);
+    auto c = cache.intern<std::string>(key, make);
+    EXPECT_EQ(built, 1);
+    // Identity, not equality: all callers hold the same object.
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(b.get(), c.get());
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ImageCache, DistinctKeysInternDistinctArtifacts)
+{
+    ImageCache cache;
+    auto a = cache.intern<std::string>(
+        ImageCache::fnv1a("image/alpine"),
+        [] { return std::make_shared<std::string>("a"); });
+    auto b = cache.intern<std::string>(
+        ImageCache::fnv1a("image/ubuntu"),
+        [] { return std::make_shared<std::string>("b"); });
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(ImageCache, HashIsStableAndOrderSensitive)
+{
+    // fnv1a is the canonical content key: equal input, equal key —
+    // across calls, caches and processes (no address identity).
+    EXPECT_EQ(ImageCache::fnv1a("abc"), ImageCache::fnv1a("abc"));
+    EXPECT_NE(ImageCache::fnv1a("abc"), ImageCache::fnv1a("acb"));
+    EXPECT_NE(ImageCache::fnv1a("ab"), ImageCache::fnv1a("abc"));
+
+    std::uint64_t h = ImageCache::fnv1a("stub-library");
+    EXPECT_EQ(ImageCache::combine(h, 42),
+              ImageCache::combine(h, 42));
+    EXPECT_NE(ImageCache::combine(h, 42),
+              ImageCache::combine(h, 43));
+    // Order-sensitive fold: (a then b) != (b then a).
+    EXPECT_NE(ImageCache::combine(ImageCache::combine(h, 1), 2),
+              ImageCache::combine(ImageCache::combine(h, 2), 1));
+}
+
+TEST(ImageCache, TypeTagKeepsTypesApart)
+{
+    // Two artifact types built from the same source string must fold
+    // a type tag into the key — the store is type-erased and cannot
+    // catch a collision itself.
+    std::uint64_t imgKey = ImageCache::combine(
+        ImageCache::fnv1a("type:image"), ImageCache::fnv1a("busybox"));
+    std::uint64_t stubKey = ImageCache::combine(
+        ImageCache::fnv1a("type:stubs"), ImageCache::fnv1a("busybox"));
+    EXPECT_NE(imgKey, stubKey);
+
+    ImageCache cache;
+    auto img = cache.intern<std::string>(imgKey, [] {
+        return std::make_shared<std::string>("image-bytes");
+    });
+    auto stubs = cache.intern<int>(stubKey,
+                                   [] { return std::make_shared<int>(7); });
+    EXPECT_EQ(*img, "image-bytes");
+    EXPECT_EQ(*stubs, 7);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+} // namespace
+} // namespace xc::sim
